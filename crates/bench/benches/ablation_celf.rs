@@ -1,0 +1,51 @@
+//! Ablation: CELF lazy greedy vs the plain Algorithm 3.1 greedy loop.
+//!
+//! Not part of the paper's evaluation (its naive implementations use the plain
+//! loop throughout); this bench quantifies the Estimate-call pruning of
+//! Section 3.3.3 for the two submodular estimators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use im_core::algorithm::SelectionStrategy;
+use imexp::ApproachKind;
+use imnet::ProbabilityModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let instance = im_bench::ba_dense(ProbabilityModel::InDegreeWeighted);
+
+    println!("\n--- Ablation: CELF vs plain greedy (BA_d iwc, k = 16) ---");
+    for approach in [ApproachKind::Snapshot, ApproachKind::Ris] {
+        let algorithm = approach.with_sample_number(match approach {
+            ApproachKind::Ris => 8_192,
+            _ => 64,
+        });
+        let plain = algorithm.run_with_strategy(&instance.graph, 16, 5, SelectionStrategy::PlainGreedy);
+        let celf = algorithm.run_with_strategy(&instance.graph, 16, 5, SelectionStrategy::Celf);
+        println!(
+            "{:<9} estimate calls: plain = {}, CELF = {} ({}x fewer); identical seeds: {}",
+            approach.name(),
+            plain.estimate_calls,
+            celf.estimate_calls,
+            plain.estimate_calls / celf.estimate_calls.max(1),
+            plain.seeds == celf.seeds,
+        );
+    }
+
+    let mut group = c.benchmark_group("ablation_celf");
+    group.sample_size(10);
+    for (label, strategy) in [("plain", SelectionStrategy::PlainGreedy), ("celf", SelectionStrategy::Celf)] {
+        group.bench_function(format!("snapshot_k16_tau32/{label}"), |b| {
+            b.iter(|| {
+                black_box(
+                    ApproachKind::Snapshot
+                        .with_sample_number(32)
+                        .run_with_strategy(&instance.graph, 16, 5, strategy),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

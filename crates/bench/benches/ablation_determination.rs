@@ -1,0 +1,61 @@
+//! Ablation: sample-number determination (Section 7's open direction).
+//!
+//! Runs the TIM⁺/IMM determination pipeline on two instances, prints the
+//! worst-case `θ`, the adapted `β`/`τ` and the empirical least sample numbers
+//! from the Table 5 driver, and times the determination itself (the price a
+//! practitioner pays before the first seed is selected).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use im_core::determination::{determine_all_sample_numbers, tim_kpt_estimate, AccuracyTarget};
+use imexp::experiments::least_samples::{least_sample_numbers, NearOptimalCriterion};
+use imexp::ExperimentScale;
+use imnet::ProbabilityModel;
+use imrand::default_rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let target = AccuracyTarget { epsilon: 0.1, delta: 0.05, k: 1 };
+
+    println!("\n--- Ablation: worst-case determination vs empirical least sample number ---");
+    for (label, instance) in [
+        ("Karate uc0.1", im_bench::karate(ProbabilityModel::uc01())),
+        ("BA_s iwc", im_bench::ba_sparse(ProbabilityModel::InDegreeWeighted)),
+    ] {
+        let determined =
+            determine_all_sample_numbers(&instance.graph, &target, &mut default_rng(3));
+        let criterion = NearOptimalCriterion { quality_fraction: 0.95, confidence: 0.9 };
+        let empirical =
+            least_sample_numbers(&instance, 1, ExperimentScale::Quick, 30, criterion);
+        println!(
+            "{label:<14} determined: θ = {:>9.0}, β = {:>9.0}, τ = {:>9.0} | empirical: β* = {}, τ* = {}, θ* = {}",
+            determined.theta,
+            determined.beta,
+            determined.tau,
+            fmt(empirical[0].least_sample_number),
+            fmt(empirical[1].least_sample_number),
+            fmt(empirical[2].least_sample_number),
+        );
+    }
+
+    let karate = im_bench::karate(ProbabilityModel::uc01());
+    let mut group = c.benchmark_group("ablation_determination");
+    group.sample_size(10);
+    group.bench_function("kpt_estimate_karate", |b| {
+        b.iter(|| {
+            black_box(tim_kpt_estimate(&karate.graph, &target, &mut default_rng(5)))
+        })
+    });
+    group.bench_function("full_determination_karate", |b| {
+        b.iter(|| {
+            black_box(determine_all_sample_numbers(&karate.graph, &target, &mut default_rng(5)))
+        })
+    });
+    group.finish();
+}
+
+fn fmt(x: Option<u64>) -> String {
+    x.map_or_else(|| "-".to_string(), |v| v.to_string())
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Ablation: heuristic baselines (Section 3.6) vs the sampling approaches.
+//!
+//! Scores every `imheur` selector and the sketch-space greedy against the
+//! shared oracle on BA_d, and times the cheap heuristics against one RIS run
+//! of comparable quality.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imexp::ApproachKind;
+use imheur::{
+    DegreeDiscount, IrieSelector, MaxDegree, PageRankSelector, RandomSelector, SeedSelector,
+    SingleDiscount, WeightedDegree,
+};
+use imnet::ProbabilityModel;
+use imrand::default_rng;
+use imsketch::SketchGreedy;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let instance = im_bench::ba_dense(ProbabilityModel::InDegreeWeighted);
+    let graph = &instance.graph;
+    let oracle = &instance.oracle;
+    let k = 16;
+    let (_, greedy_influence) = oracle.greedy_seed_set(k);
+
+    println!("\n--- Ablation: heuristics vs sampling (BA_d iwc, k = {k}) ---");
+    println!("oracle greedy reference influence: {greedy_influence:.2}");
+    let selectors: Vec<(&str, Box<dyn SeedSelector>)> = vec![
+        ("MaxDegree", Box::new(MaxDegree)),
+        ("WeightedDegree", Box::new(WeightedDegree)),
+        ("SingleDiscount", Box::new(SingleDiscount)),
+        ("DegreeDiscount", Box::new(DegreeDiscount::with_mean_probability(graph))),
+        ("PageRank", Box::new(PageRankSelector::default())),
+        ("IRIE", Box::new(IrieSelector::default())),
+        ("Random", Box::new(RandomSelector::new(1))),
+    ];
+    for (name, selector) in &selectors {
+        let result = selector.select(graph, k);
+        let influence = oracle.estimate(&result.seeds);
+        println!(
+            "{:<16} influence = {:>7.2} ({:>5.1}% of greedy), edges touched = {}",
+            name,
+            influence,
+            100.0 * influence / greedy_influence,
+            result.edges_examined
+        );
+    }
+    let sketch = SketchGreedy::new(32, 16).select(graph, k, &mut default_rng(5));
+    println!(
+        "{:<16} influence = {:>7.2} ({:>5.1}% of greedy), traversal = {}",
+        "SketchGreedy",
+        oracle.estimate(&sketch.seeds),
+        100.0 * oracle.estimate(&sketch.seeds) / greedy_influence,
+        sketch.traversal_cost
+    );
+    let ris = ApproachKind::Ris.with_sample_number(8_192).run(graph, k, 3);
+    println!(
+        "{:<16} influence = {:>7.2} ({:>5.1}% of greedy), edges touched = {}",
+        "RIS(θ=8192)",
+        oracle.estimate_seed_set(&ris.seeds),
+        100.0 * oracle.estimate_seed_set(&ris.seeds) / greedy_influence,
+        ris.traversal_cost.edges
+    );
+
+    let mut group = c.benchmark_group("ablation_heuristics");
+    group.sample_size(10);
+    group.bench_function("degree_discount_k16", |b| {
+        b.iter(|| black_box(DegreeDiscount::with_mean_probability(graph).select(graph, k)))
+    });
+    group.bench_function("pagerank_k16", |b| {
+        b.iter(|| black_box(PageRankSelector::default().select(graph, k)))
+    });
+    group.bench_function("irie_k16", |b| {
+        b.iter(|| black_box(IrieSelector::default().select(graph, k)))
+    });
+    group.bench_function("ris_theta2048_k16", |b| {
+        b.iter(|| black_box(ApproachKind::Ris.with_sample_number(2_048).run(graph, k, 3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

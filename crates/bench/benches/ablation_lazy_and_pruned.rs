@@ -1,0 +1,75 @@
+//! Ablation: Estimate-call pruning — plain greedy vs CELF vs CELF++ vs UBLF.
+//!
+//! Section 3.3.3 surveys two pruning families for the greedy loop: lazy
+//! evaluation (CELF, CELF++) and static upper bounds (UBLF). This bench counts
+//! the Estimate calls each one issues for the same RIS estimator and checks
+//! that all four return the same seed set, then times the two cheapest.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use im_core::celfpp::celf_pp_select;
+use im_core::ris::RisEstimator;
+use im_core::ublf::{influence_upper_bounds, ublf_select};
+use im_core::{celf_select, greedy_select};
+use imnet::ProbabilityModel;
+use imrand::{default_rng, Pcg32};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let instance = im_bench::ba_dense(ProbabilityModel::InDegreeWeighted);
+    let graph = &instance.graph;
+    let k = 16;
+    let theta = 8_192;
+    let bounds = influence_upper_bounds(graph, 32);
+
+    println!("\n--- Ablation: greedy vs CELF vs CELF++ vs UBLF (BA_d iwc, k = {k}, θ = {theta}) ---");
+    let mut plain_est = RisEstimator::new(graph, theta, &mut Pcg32::seed_from_u64(5));
+    let plain = greedy_select(&mut plain_est, k, &mut Pcg32::seed_from_u64(7));
+    let mut celf_est = RisEstimator::new(graph, theta, &mut Pcg32::seed_from_u64(5));
+    let celf = celf_select(&mut celf_est, k, &mut Pcg32::seed_from_u64(7));
+    let mut cpp_est = RisEstimator::new(graph, theta, &mut Pcg32::seed_from_u64(5));
+    let (cpp, cpp_stats) = celf_pp_select(&mut cpp_est, k, &mut Pcg32::seed_from_u64(7));
+    let mut ublf_est = RisEstimator::new(graph, theta, &mut Pcg32::seed_from_u64(5));
+    let (ublf, ublf_stats) = ublf_select(&mut ublf_est, k, &bounds, &mut Pcg32::seed_from_u64(7));
+
+    println!("plain greedy : {:>9} estimate calls", plain.estimate_calls);
+    println!("CELF         : {:>9} estimate calls", celf.estimate_calls);
+    println!(
+        "CELF++       : {:>9} estimate calls ({} promotions)",
+        cpp.estimate_calls, cpp_stats.promotions
+    );
+    println!(
+        "UBLF         : {:>9} estimate calls ({} candidates pruned)",
+        ublf.estimate_calls, ublf_stats.pruned
+    );
+    println!(
+        "identical seed sets: CELF {}, CELF++ {}, UBLF {}",
+        plain.seed_set() == celf.seed_set(),
+        plain.seed_set() == cpp.seed_set(),
+        plain.seed_set() == ublf.seed_set(),
+    );
+
+    let mut group = c.benchmark_group("ablation_lazy_and_pruned");
+    group.sample_size(10);
+    group.bench_function("celf/ris_theta2048_k8", |b| {
+        b.iter(|| {
+            let mut est = RisEstimator::new(graph, 2_048, &mut default_rng(3));
+            black_box(celf_select(&mut est, 8, &mut default_rng(4)))
+        })
+    });
+    group.bench_function("celfpp/ris_theta2048_k8", |b| {
+        b.iter(|| {
+            let mut est = RisEstimator::new(graph, 2_048, &mut default_rng(3));
+            black_box(celf_pp_select(&mut est, 8, &mut default_rng(4)))
+        })
+    });
+    group.bench_function("ublf/ris_theta2048_k8", |b| {
+        b.iter(|| {
+            let mut est = RisEstimator::new(graph, 2_048, &mut default_rng(3));
+            black_box(ublf_select(&mut est, 8, &bounds, &mut default_rng(4)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 1 bench: entropy decay of the seed-set distribution on Karate
+//! (uc0.1, k = 1), one series per approach.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imexp::ApproachKind;
+use imnet::ProbabilityModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let instance = im_bench::karate(ProbabilityModel::uc01());
+    let sweep = im_bench::small_sweep(8, 30);
+
+    println!("\n--- Figure 1 series (Karate uc0.1, k = 1, 30 trials) ---");
+    for approach in ApproachKind::all() {
+        let analyzed = instance.sweep(approach, 1, &sweep);
+        let series: Vec<String> = analyzed
+            .analyses
+            .iter()
+            .map(|a| format!("{}:{:.2}", a.sample_number, a.entropy))
+            .collect();
+        println!("{:<9} H = [{}]", approach.name(), series.join(" "));
+    }
+
+    let mut group = c.benchmark_group("fig1_entropy_decay");
+    group.sample_size(10);
+    for approach in ApproachKind::all() {
+        group.bench_function(format!("sweep_point/{}_s64_k1", approach.name()), |b| {
+            b.iter(|| {
+                let batch =
+                    instance.run_trials(approach.with_sample_number(64), 1, 10, 3, false);
+                black_box(batch.seed_set_distribution().entropy())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

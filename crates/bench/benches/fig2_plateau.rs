@@ -1,0 +1,45 @@
+//! Figure 2 bench: entropy plateaus on the iwc instances with near-tied seed
+//! sets (Karate iwc k = 4, Physicians iwc k = 1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imexp::ApproachKind;
+use imnet::ProbabilityModel;
+use imstats::convergence::detect_plateau;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let karate = im_bench::karate(ProbabilityModel::InDegreeWeighted);
+    let sweep = im_bench::small_sweep(8, 30);
+
+    println!("\n--- Figure 2 series (Karate iwc, k = 4, RIS, 30 trials) ---");
+    let analyzed = karate.sweep(ApproachKind::Ris, 4, &sweep);
+    let curve = analyzed.entropy_curve();
+    for p in &curve {
+        println!("theta = {:>4}  H = {:.3}", p.sample_number, p.entropy);
+    }
+    println!("plateau: {:?}", detect_plateau(&curve, 3, 0.35));
+    let top = karate.oracle.top_influential_vertices(2);
+    println!("top-2 singleton influences: {:.3} vs {:.3}", top[0].1, top[1].1);
+
+    let mut group = c.benchmark_group("fig2_plateau");
+    group.sample_size(10);
+    group.bench_function("ris_sweep_point/karate_iwc_k4_s256", |b| {
+        b.iter(|| {
+            let batch = karate.run_trials(
+                ApproachKind::Ris.with_sample_number(256),
+                4,
+                10,
+                5,
+                false,
+            );
+            black_box(batch.seed_set_distribution().entropy())
+        })
+    });
+    group.bench_function("plateau_detection", |b| {
+        b.iter(|| black_box(detect_plateau(&curve, 3, 0.35)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Figure 3 bench: entropy decay of RIS at k = 1 on BA_s / BA_d under the
+//! four edge-probability settings.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imexp::ApproachKind;
+use imnet::ProbabilityModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let sweep = im_bench::small_sweep(10, 20);
+
+    println!("\n--- Figure 3 series (BA_s, RIS, k = 1, 20 trials) ---");
+    for model in ProbabilityModel::paper_models() {
+        let instance = im_bench::ba_sparse(model);
+        let analyzed = instance.sweep(ApproachKind::Ris, 1, &sweep);
+        let series: Vec<String> = analyzed
+            .analyses
+            .iter()
+            .map(|a| format!("{}:{:.2}", a.sample_number, a.entropy))
+            .collect();
+        println!("{:<7} H = [{}]", model.label(), series.join(" "));
+    }
+
+    let mut group = c.benchmark_group("fig3_prob_models");
+    group.sample_size(10);
+    for model in [ProbabilityModel::uc001(), ProbabilityModel::InDegreeWeighted] {
+        let instance = im_bench::ba_sparse(model);
+        group.bench_function(format!("ris_run/ba_s_{}_theta1024", model.label()), |b| {
+            b.iter(|| {
+                black_box(
+                    ApproachKind::Ris
+                        .with_sample_number(1_024)
+                        .run(&instance.graph, 1, 9),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Figure 4 bench: influence distributions on Physicians (uc0.1, k = 16).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imexp::ApproachKind;
+use imnet::ProbabilityModel;
+use imstats::SummaryStats;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let instance = im_bench::physicians(ProbabilityModel::uc01());
+    let sweep = im_bench::small_sweep(6, 15);
+
+    println!("\n--- Figure 4 series (Physicians uc0.1, k = 16, Snapshot, 15 trials) ---");
+    let analyzed = instance.sweep(ApproachKind::Snapshot, 16, &sweep);
+    for a in &analyzed.analyses {
+        println!(
+            "tau = {:>3}  mean = {:>7.2}  median = {:>7.2}  p1 = {:>7.2}  p99 = {:>7.2}",
+            a.sample_number,
+            a.influence_stats.mean,
+            a.influence_stats.median,
+            a.influence_stats.p01,
+            a.influence_stats.p99,
+        );
+    }
+
+    let influences = analyzed.analyses.last().unwrap().influences.clone();
+    let mut group = c.benchmark_group("fig4_influence_dist");
+    group.sample_size(10);
+    group.bench_function("snapshot_run/physicians_uc0.1_k16_tau32", |b| {
+        b.iter(|| {
+            black_box(
+                ApproachKind::Snapshot
+                    .with_sample_number(32)
+                    .run(&instance.graph, 16, 7),
+            )
+        })
+    });
+    group.bench_function("summary_stats", |b| {
+        b.iter(|| black_box(SummaryStats::from_values(&influences)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Figure 6 bench: the mean-vs-SD / mean-vs-1st-percentile relation is shared
+//! by all three approaches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imexp::ApproachKind;
+use imnet::ProbabilityModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let instance = im_bench::physicians(ProbabilityModel::OutDegreeWeighted);
+    let sweep = im_bench::small_sweep(6, 15);
+
+    println!("\n--- Figure 6 series (Physicians owc, k = 4, 15 trials) ---");
+    for approach in ApproachKind::all() {
+        let analyzed = instance.sweep(approach, 4, &sweep);
+        for a in &analyzed.analyses {
+            println!(
+                "{:<9} s = {:>3}  mean = {:>7.3}  sd = {:>6.3}  p1 = {:>7.3}",
+                approach.name(),
+                a.sample_number,
+                a.influence_stats.mean,
+                a.influence_stats.std_dev,
+                a.influence_stats.p01,
+            );
+        }
+    }
+
+    let mut group = c.benchmark_group("fig6_mean_vs_stats");
+    group.sample_size(10);
+    group.bench_function("oneshot_run/physicians_owc_k4_beta64", |b| {
+        b.iter(|| {
+            black_box(
+                ApproachKind::Oneshot
+                    .with_sample_number(64)
+                    .run(&instance.graph, 4, 11),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

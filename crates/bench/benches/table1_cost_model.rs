@@ -1,0 +1,41 @@
+//! Table 1 bench: the per-sample cost-model quantities (Σ Inf(v), m̃, EPT).
+//!
+//! Prints the Table 1 columns for Karate under all four probability models and
+//! measures the cost of evaluating them from a shared oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imexp::experiments::table1::cost_model_row;
+use imnet::ProbabilityModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Regenerate the table series once, so `cargo bench` output contains the
+    // same rows the paper's Table 1 parameterises.
+    println!("\n--- Table 1 series (Karate) ---");
+    for model in ProbabilityModel::paper_models() {
+        let instance = im_bench::karate(model);
+        let row = cost_model_row(&instance);
+        println!(
+            "{:<22} sum Inf(v) = {:>9.3}  m~ = {:>8.3}  EPT = {:>7.4}  EPT<=1+m~: {}",
+            instance.label(),
+            row.sum_singleton_influence,
+            row.expected_live_edges,
+            row.ept,
+            row.ept_bound_holds(0.05 * row.ept.max(1.0)),
+        );
+    }
+
+    let instance = im_bench::karate(ProbabilityModel::uc01());
+    let mut group = c.benchmark_group("table1_cost_model");
+    group.sample_size(20);
+    group.bench_function("cost_model_row/karate_uc0.1", |b| {
+        b.iter(|| black_box(cost_model_row(&instance)))
+    });
+    group.bench_function("singleton_influences/karate_uc0.1", |b| {
+        b.iter(|| black_box(instance.oracle.singleton_influences()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table 3 bench: network statistics (degrees, clustering, average distance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imexp::config::ExperimentScale;
+use imexp::experiments::table3::network_rows;
+use imgraph::stats::GraphStats;
+use imnet::{Dataset, ProbabilityModel};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n--- Table 3 series (quick scale) ---");
+    for row in network_rows(ExperimentScale::Quick) {
+        println!(
+            "{:<12} n = {:>7}  m = {:>8}  d+ = {:>5}  d- = {:>5}  clus = {:?}",
+            row.dataset.name(),
+            row.stats.num_vertices,
+            row.stats.num_edges,
+            row.stats.max_out_degree,
+            row.stats.max_in_degree,
+            row.stats.clustering_coefficient,
+        );
+    }
+
+    let karate = im_bench::graph(Dataset::Karate, ProbabilityModel::uc01());
+    let ba_d = im_bench::graph(Dataset::BaDense, ProbabilityModel::uc01());
+    let mut group = c.benchmark_group("table3_network_stats");
+    group.sample_size(20);
+    group.bench_function("graph_stats/karate", |b| {
+        b.iter(|| black_box(GraphStats::compute(karate.graph())))
+    });
+    group.bench_function("graph_stats/ba_dense", |b| {
+        b.iter(|| black_box(GraphStats::compute(ba_d.graph())))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 4 bench: top-3 single-vertex influence spreads on BA_s / BA_d.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imnet::ProbabilityModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n--- Table 4 series ---");
+    for (name, build) in [
+        ("BA_s", im_bench::ba_sparse as fn(ProbabilityModel) -> imexp::PreparedInstance),
+        ("BA_d", im_bench::ba_dense as fn(ProbabilityModel) -> imexp::PreparedInstance),
+    ] {
+        for model in ProbabilityModel::paper_models() {
+            let instance = build(model);
+            let top: Vec<String> = instance
+                .oracle
+                .top_influential_vertices(3)
+                .into_iter()
+                .map(|(_, inf)| format!("{inf:.4}"))
+                .collect();
+            println!("{:<5} {:<7} top-3 Inf(v) = [{}]", name, model.label(), top.join(", "));
+        }
+    }
+
+    let instance = im_bench::ba_dense(ProbabilityModel::InDegreeWeighted);
+    let mut group = c.benchmark_group("table4_top_vertices");
+    group.sample_size(20);
+    group.bench_function("top_influential_vertices/ba_d_iwc", |b| {
+        b.iter(|| black_box(instance.oracle.top_influential_vertices(3)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Table 5 bench: the least sample number reaching near-optimal seed sets
+//! with high probability.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imexp::ApproachKind;
+use imnet::ProbabilityModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let instance = im_bench::karate(ProbabilityModel::uc01());
+    let (_, exact) = instance.exact_greedy(1);
+    let threshold = 0.95 * exact;
+    let sweep = im_bench::small_sweep(8, 30);
+
+    println!("\n--- Table 5 series (Karate uc0.1, k = 1, 30 trials, 95%-near-optimal @ 90%) ---");
+    for approach in ApproachKind::all() {
+        let analyzed = instance.sweep(approach, 1, &sweep);
+        let hit = analyzed.least_sample_number_reaching(threshold, 0.9);
+        println!("{:<9} least sample number = {:?}", approach.name(), hit);
+    }
+
+    let mut group = c.benchmark_group("table5_least_samples");
+    group.sample_size(10);
+    group.bench_function("near_optimal_fraction/snapshot_tau128", |b| {
+        b.iter(|| {
+            let batch = instance.run_trials(
+                ApproachKind::Snapshot.with_sample_number(128),
+                1,
+                10,
+                3,
+                false,
+            );
+            let hits = batch
+                .outcomes
+                .iter()
+                .filter(|o| instance.oracle.estimate_seed_set(&o.seeds) >= threshold)
+                .count();
+            black_box(hits)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table 6 / Figure 7 bench: comparable number ratio of Oneshot to Snapshot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imexp::ApproachKind;
+use imnet::ProbabilityModel;
+use imstats::ratio::{comparable_number_ratio, median_ratio};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let instance = im_bench::karate(ProbabilityModel::uc01());
+    let sweep = im_bench::small_sweep(7, 25);
+
+    println!("\n--- Table 6 series (Karate uc0.1, k = 1 and 4, 25 trials) ---");
+    let mut curves = Vec::new();
+    for k in [1usize, 4] {
+        let snapshot = instance.sweep(ApproachKind::Snapshot, k, &sweep).sample_curve();
+        let oneshot = instance.sweep(ApproachKind::Oneshot, k, &sweep).sample_curve();
+        let points = comparable_number_ratio(&snapshot, &oneshot);
+        let ratios: Vec<f64> = points.iter().map(|p| p.number_ratio).collect();
+        println!(
+            "k = {k}: median comparable number ratio beta/tau = {:?} over {} reference points",
+            median_ratio(&ratios),
+            points.len()
+        );
+        curves.push((snapshot, oneshot));
+    }
+
+    let (snapshot_curve, oneshot_curve) = curves.pop().unwrap();
+    let mut group = c.benchmark_group("table6_comparable_oneshot");
+    group.sample_size(20);
+    group.bench_function("comparable_number_ratio", |b| {
+        b.iter(|| black_box(comparable_number_ratio(&snapshot_curve, &oneshot_curve)))
+    });
+    group.bench_function("oneshot_run/karate_uc0.1_k4_beta64", |b| {
+        b.iter(|| {
+            black_box(ApproachKind::Oneshot.with_sample_number(64).run(&instance.graph, 4, 3))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Table 7 / Figure 8 bench: comparable number and size ratios of RIS to
+//! Snapshot (RIS needs far more but far smaller samples).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imexp::ApproachKind;
+use imnet::ProbabilityModel;
+use imstats::ratio::{comparable_number_ratio, median_ratio};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let instance = im_bench::karate(ProbabilityModel::uc01());
+    let snapshot_sweep = im_bench::small_sweep(7, 25);
+    let ris_sweep = im_bench::small_sweep(12, 25);
+
+    println!("\n--- Table 7 series (Karate uc0.1, k = 1, 25 trials) ---");
+    let snapshot = instance.sweep(ApproachKind::Snapshot, 1, &snapshot_sweep).sample_curve();
+    let ris = instance.sweep(ApproachKind::Ris, 1, &ris_sweep).sample_curve();
+    let points = comparable_number_ratio(&snapshot, &ris);
+    let number_ratios: Vec<f64> = points.iter().map(|p| p.number_ratio).collect();
+    let size_ratios: Vec<f64> = points.iter().filter_map(|p| p.size_ratio).collect();
+    println!(
+        "median number ratio theta/tau = {:?}, median size ratio = {:?}",
+        median_ratio(&number_ratios),
+        median_ratio(&size_ratios)
+    );
+
+    let mut group = c.benchmark_group("table7_comparable_ris");
+    group.sample_size(20);
+    group.bench_function("comparable_ratios/karate", |b| {
+        b.iter(|| black_box(comparable_number_ratio(&snapshot, &ris)))
+    });
+    group.bench_function("ris_run/karate_uc0.1_k1_theta4096", |b| {
+        b.iter(|| {
+            black_box(ApproachKind::Ris.with_sample_number(4_096).run(&instance.graph, 1, 3))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table 8 bench: per-sample traversal cost at k = 1 and sample number 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imexp::experiments::traversal::per_sample_costs;
+use imexp::ApproachKind;
+use imnet::ProbabilityModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n--- Table 8 series (Karate, k = 1, sample number 1, 500 runs) ---");
+    for model in ProbabilityModel::paper_models() {
+        let instance = im_bench::karate(model);
+        let costs = per_sample_costs(&instance, 500);
+        println!(
+            "{:<7} Oneshot = {:>7.1}v/{:>8.1}e  Snapshot = {:>7.1}v/{:>8.1}e  RIS = {:>5.2}v/{:>6.2}e",
+            model.label(),
+            costs[0].vertices,
+            costs[0].edges,
+            costs[1].vertices,
+            costs[1].edges,
+            costs[2].vertices,
+            costs[2].edges,
+        );
+    }
+
+    let instance = im_bench::karate(ProbabilityModel::uc01());
+    let mut group = c.benchmark_group("table8_traversal_cost");
+    group.sample_size(10);
+    for approach in ApproachKind::all() {
+        group.bench_function(format!("single_sample_run/{}", approach.name()), |b| {
+            b.iter(|| {
+                black_box(approach.with_sample_number(1).run(&instance.graph, 1, 13))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Table 9 bench: traversal cost when the three approaches are conditioned to
+//! identical accuracy (β = cr₁·γ, τ = γ, θ = cr₂·γ).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use imexp::config::ExperimentScale;
+use imexp::experiments::traversal::identical_accuracy_row;
+use imnet::ProbabilityModel;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    println!("\n--- Table 9 series (Karate, k = 1, quick scale) ---");
+    for model in [ProbabilityModel::uc01(), ProbabilityModel::InDegreeWeighted] {
+        let instance = im_bench::karate(model);
+        let row = identical_accuracy_row(&instance, 1, ExperimentScale::Quick, 20);
+        println!(
+            "{:<22} cr1 = {:?}, cr2 = {:?}, per-gamma cost Oneshot = {:?}, Snapshot = {:.1}, RIS = {:?}",
+            instance.label(),
+            row.oneshot_ratio,
+            row.ris_ratio,
+            row.oneshot_cost,
+            row.snapshot_cost,
+            row.ris_cost,
+        );
+    }
+
+    let instance = im_bench::karate(ProbabilityModel::uc01());
+    let mut group = c.benchmark_group("table9_identical_accuracy");
+    group.sample_size(10);
+    group.bench_function("identical_accuracy_row/karate_uc0.1", |b| {
+        b.iter(|| {
+            black_box(identical_accuracy_row(&instance, 1, ExperimentScale::Quick, 10))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

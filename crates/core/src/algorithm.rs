@@ -1,0 +1,271 @@
+//! The algorithm front-end driven by the experiment harness.
+//!
+//! An [`Algorithm`] value names one of the three approaches together with its
+//! sample number; [`Algorithm::run`] performs one complete randomized run —
+//! Build, then `k` greedy iterations with random tie-breaking — and returns
+//! the seed set along with the run's traversal cost and sample size, which is
+//! exactly the record the paper's experimental methodology stores per trial
+//! (Section 4).
+
+use imgraph::InfluenceGraph;
+use imrand::{default_rng, Rng32};
+use serde::{Deserialize, Serialize};
+
+use crate::cost::{SampleSize, TraversalCost};
+use crate::estimator::InfluenceEstimator;
+use crate::greedy::{celf_select, greedy_select, GreedyResult};
+use crate::oneshot::OneshotEstimator;
+use crate::ris::RisEstimator;
+use crate::seed_set::SeedSet;
+use crate::snapshot::SnapshotEstimator;
+
+/// Which greedy driver to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum SelectionStrategy {
+    /// Plain Algorithm 3.1 (k·n Estimate calls). This is what the paper's
+    /// "naive implementations" use and the default everywhere.
+    #[default]
+    PlainGreedy,
+    /// CELF lazy greedy (admissible for Snapshot and RIS only; Oneshot falls
+    /// back to plain greedy).
+    Celf,
+}
+
+/// One of the paper's three approaches, with its sample number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Oneshot with `β` simulations per Estimate call.
+    Oneshot {
+        /// Sample number β.
+        beta: u64,
+    },
+    /// Snapshot with `τ` pre-sampled live-edge graphs.
+    Snapshot {
+        /// Sample number τ.
+        tau: u64,
+    },
+    /// RIS with `θ` reverse-reachable sets.
+    Ris {
+        /// Sample number θ.
+        theta: u64,
+    },
+}
+
+impl Algorithm {
+    /// The approach name as used in the paper's tables.
+    #[must_use]
+    pub fn approach(&self) -> &'static str {
+        match self {
+            Algorithm::Oneshot { .. } => "Oneshot",
+            Algorithm::Snapshot { .. } => "Snapshot",
+            Algorithm::Ris { .. } => "RIS",
+        }
+    }
+
+    /// The sample number (β, τ or θ).
+    #[must_use]
+    pub fn sample_number(&self) -> u64 {
+        match self {
+            Algorithm::Oneshot { beta } => *beta,
+            Algorithm::Snapshot { tau } => *tau,
+            Algorithm::Ris { theta } => *theta,
+        }
+    }
+
+    /// The same approach with a different sample number.
+    #[must_use]
+    pub fn with_sample_number(&self, s: u64) -> Algorithm {
+        match self {
+            Algorithm::Oneshot { .. } => Algorithm::Oneshot { beta: s },
+            Algorithm::Snapshot { .. } => Algorithm::Snapshot { tau: s },
+            Algorithm::Ris { .. } => Algorithm::Ris { theta: s },
+        }
+    }
+
+    /// Run one complete randomized trial with the workspace default generator
+    /// seeded by `seed`.
+    #[must_use]
+    pub fn run(&self, graph: &InfluenceGraph, k: usize, seed: u64) -> RunOutcome {
+        self.run_with_strategy(graph, k, seed, SelectionStrategy::PlainGreedy)
+    }
+
+    /// Run one trial with an explicit greedy strategy.
+    #[must_use]
+    pub fn run_with_strategy(
+        &self,
+        graph: &InfluenceGraph,
+        k: usize,
+        seed: u64,
+        strategy: SelectionStrategy,
+    ) -> RunOutcome {
+        // Two independent generator streams: one feeding the estimator
+        // (sampling), one feeding the greedy tie-break shuffle, mirroring the
+        // per-run PRNG initialisation of Section 4.1.
+        let mut sampling_rng = default_rng(seed);
+        let mut shuffle_rng = default_rng(seed ^ 0x9E37_79B9_7F4A_7C15);
+
+        fn drive<E: InfluenceEstimator, R: Rng32>(
+            estimator: &mut E,
+            k: usize,
+            strategy: SelectionStrategy,
+            rng: &mut R,
+        ) -> (GreedyResult, TraversalCost, SampleSize) {
+            let result = match strategy {
+                SelectionStrategy::PlainGreedy => greedy_select(estimator, k, rng),
+                SelectionStrategy::Celf => celf_select(estimator, k, rng),
+            };
+            (result, estimator.traversal_cost(), estimator.sample_size())
+        }
+
+        let (result, traversal_cost, sample_size) = match self {
+            Algorithm::Oneshot { beta } => {
+                let mut estimator = OneshotEstimator::new(graph, *beta, sampling_rng);
+                drive(&mut estimator, k, strategy, &mut shuffle_rng)
+            }
+            Algorithm::Snapshot { tau } => {
+                let mut estimator = SnapshotEstimator::new(graph, *tau, &mut sampling_rng);
+                drive(&mut estimator, k, strategy, &mut shuffle_rng)
+            }
+            Algorithm::Ris { theta } => {
+                let mut estimator = RisEstimator::new(graph, *theta, &mut sampling_rng);
+                drive(&mut estimator, k, strategy, &mut shuffle_rng)
+            }
+        };
+
+        RunOutcome {
+            algorithm: *self,
+            seed_size: k,
+            rng_seed: seed,
+            seeds: result.seed_set(),
+            selection_order: result.selection_order,
+            internal_estimates: result.estimates,
+            estimate_calls: result.estimate_calls,
+            traversal_cost,
+            sample_size,
+        }
+    }
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Algorithm::Oneshot { beta } => write!(f, "Oneshot(β={beta})"),
+            Algorithm::Snapshot { tau } => write!(f, "Snapshot(τ={tau})"),
+            Algorithm::Ris { theta } => write!(f, "RIS(θ={theta})"),
+        }
+    }
+}
+
+/// Everything recorded about a single randomized run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunOutcome {
+    /// The algorithm and sample number that produced this run.
+    pub algorithm: Algorithm,
+    /// The requested seed-set size `k`.
+    pub seed_size: usize,
+    /// The seed used to initialise the run's generators.
+    pub rng_seed: u64,
+    /// The selected seeds in canonical form.
+    pub seeds: SeedSet,
+    /// The seeds in selection order (`v_1, …, v_k`).
+    pub selection_order: Vec<imgraph::VertexId>,
+    /// The estimator's own value for each selected seed (not the oracle's).
+    pub internal_estimates: Vec<f64>,
+    /// Number of Estimate calls issued by the greedy driver.
+    pub estimate_calls: u64,
+    /// Vertices and edges examined over the whole run.
+    pub traversal_cost: TraversalCost,
+    /// Vertices and edges stored as samples (constant after Build).
+    pub sample_size: SampleSize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imgraph::DiGraph;
+
+    fn star(prob: f64) -> InfluenceGraph {
+        let edges: Vec<_> = (1..6u32).map(|v| (0, v)).collect();
+        InfluenceGraph::new(DiGraph::from_edges(6, &edges), vec![prob; 5])
+    }
+
+    #[test]
+    fn all_three_algorithms_find_the_hub() {
+        let ig = star(0.8);
+        for alg in [
+            Algorithm::Oneshot { beta: 128 },
+            Algorithm::Snapshot { tau: 64 },
+            Algorithm::Ris { theta: 4_096 },
+        ] {
+            let outcome = alg.run(&ig, 1, 7);
+            assert_eq!(
+                outcome.seeds,
+                SeedSet::new(vec![0]),
+                "{alg} should select the hub"
+            );
+            assert_eq!(outcome.selection_order.len(), 1);
+            assert_eq!(outcome.seed_size, 1);
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible_per_seed() {
+        let ig = star(0.4);
+        let alg = Algorithm::Snapshot { tau: 16 };
+        let a = alg.run(&ig, 2, 99);
+        let b = alg.run(&ig, 2, 99);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_can_differ() {
+        let ig = star(0.05);
+        let alg = Algorithm::Oneshot { beta: 1 };
+        let sets: std::collections::HashSet<_> =
+            (0..30u64).map(|s| alg.run(&ig, 1, s).seeds).collect();
+        assert!(sets.len() > 1, "with β = 1 and tiny probabilities, runs should disagree");
+    }
+
+    #[test]
+    fn accessor_helpers() {
+        let alg = Algorithm::Ris { theta: 8 };
+        assert_eq!(alg.approach(), "RIS");
+        assert_eq!(alg.sample_number(), 8);
+        assert_eq!(alg.with_sample_number(32), Algorithm::Ris { theta: 32 });
+        assert_eq!(format!("{alg}"), "RIS(θ=8)");
+        assert_eq!(format!("{}", Algorithm::Oneshot { beta: 2 }), "Oneshot(β=2)");
+        assert_eq!(format!("{}", Algorithm::Snapshot { tau: 3 }), "Snapshot(τ=3)");
+    }
+
+    #[test]
+    fn celf_strategy_matches_plain_greedy_for_submodular_estimators() {
+        let ig = star(0.6);
+        for alg in [Algorithm::Snapshot { tau: 32 }, Algorithm::Ris { theta: 1_024 }] {
+            let plain = alg.run_with_strategy(&ig, 3, 5, SelectionStrategy::PlainGreedy);
+            let celf = alg.run_with_strategy(&ig, 3, 5, SelectionStrategy::Celf);
+            assert_eq!(plain.seeds, celf.seeds, "{alg}");
+            assert!(celf.estimate_calls <= plain.estimate_calls, "{alg}");
+        }
+    }
+
+    #[test]
+    fn traversal_cost_grows_with_sample_number() {
+        let ig = star(0.5);
+        let small = Algorithm::Oneshot { beta: 4 }.run(&ig, 1, 3);
+        let large = Algorithm::Oneshot { beta: 64 }.run(&ig, 1, 3);
+        assert!(large.traversal_cost.total() > small.traversal_cost.total());
+        // Oneshot never stores samples; Snapshot and RIS do.
+        assert_eq!(small.sample_size.total(), 0);
+        assert!(Algorithm::Snapshot { tau: 4 }.run(&ig, 1, 3).sample_size.total() > 0);
+        assert!(Algorithm::Ris { theta: 64 }.run(&ig, 1, 3).sample_size.total() > 0);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let ig = star(0.5);
+        let outcome = Algorithm::Ris { theta: 32 }.run(&ig, 2, 11);
+        let json = serde_json::to_string(&outcome).unwrap();
+        let back: RunOutcome = serde_json::from_str(&json).unwrap();
+        assert_eq!(outcome, back);
+    }
+}

@@ -1,0 +1,176 @@
+//! Implementation-independent cost accounting.
+//!
+//! Section 1.3 of the paper: rather than CPU time and RAM — which depend on
+//! implementations and machines — the study measures the number of vertices
+//! and edges *traversed* (proportional to running time) and the number of
+//! vertices and edges *stored in memory as samples* (proportional to memory
+//! usage). These two structs are threaded through every estimator.
+
+use serde::{Deserialize, Serialize};
+
+/// Vertices and edges examined by an algorithm (possibly counting repeats),
+/// the paper's *traversal cost*.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraversalCost {
+    /// Number of vertex examinations.
+    pub vertices: u64,
+    /// Number of edge examinations.
+    pub edges: u64,
+}
+
+impl TraversalCost {
+    /// A zero cost.
+    #[must_use]
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Construct from explicit counts.
+    #[must_use]
+    pub fn new(vertices: u64, edges: u64) -> Self {
+        Self { vertices, edges }
+    }
+
+    /// Total touches (vertices + edges); the scalar used when a single
+    /// "traversal cost" number is reported (Table 9).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.vertices + self.edges
+    }
+
+    /// Add a reachability query's counts.
+    pub fn add_scan(&mut self, vertices: usize, edges: usize) {
+        self.vertices += vertices as u64;
+        self.edges += edges as u64;
+    }
+}
+
+impl std::ops::Add for TraversalCost {
+    type Output = TraversalCost;
+    fn add(self, rhs: TraversalCost) -> TraversalCost {
+        TraversalCost { vertices: self.vertices + rhs.vertices, edges: self.edges + rhs.edges }
+    }
+}
+
+impl std::ops::AddAssign for TraversalCost {
+    fn add_assign(&mut self, rhs: TraversalCost) {
+        self.vertices += rhs.vertices;
+        self.edges += rhs.edges;
+    }
+}
+
+impl std::iter::Sum for TraversalCost {
+    fn sum<I: Iterator<Item = TraversalCost>>(iter: I) -> TraversalCost {
+        iter.fold(TraversalCost::zero(), |acc, c| acc + c)
+    }
+}
+
+/// Vertices and edges stored in memory as approach-specific samples, the
+/// paper's *sample size*.
+///
+/// * Oneshot stores nothing between Estimate calls (sample size 0);
+/// * Snapshot stores `τ` live-edge graphs (`τ·n` vertices plus in expectation
+///   `τ·m̃` edges);
+/// * RIS stores `θ` RR sets (`θ·EPT` vertices in expectation, no edges).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SampleSize {
+    /// Vertices stored across all samples.
+    pub vertices: u64,
+    /// Edges stored across all samples.
+    pub edges: u64,
+}
+
+impl SampleSize {
+    /// A zero sample size (Oneshot).
+    #[must_use]
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Construct from explicit counts.
+    #[must_use]
+    pub fn new(vertices: u64, edges: u64) -> Self {
+        Self { vertices, edges }
+    }
+
+    /// Total stored items (vertices + edges), the scalar used for the
+    /// comparable *size* ratio of Section 5.2.3.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.vertices + self.edges
+    }
+}
+
+impl std::ops::Add for SampleSize {
+    type Output = SampleSize;
+    fn add(self, rhs: SampleSize) -> SampleSize {
+        SampleSize { vertices: self.vertices + rhs.vertices, edges: self.edges + rhs.edges }
+    }
+}
+
+impl std::ops::AddAssign for SampleSize {
+    fn add_assign(&mut self, rhs: SampleSize) {
+        self.vertices += rhs.vertices;
+        self.edges += rhs.edges;
+    }
+}
+
+impl std::iter::Sum for SampleSize {
+    fn sum<I: Iterator<Item = SampleSize>>(iter: I) -> SampleSize {
+        iter.fold(SampleSize::zero(), |acc, s| acc + s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn traversal_cost_arithmetic() {
+        let a = TraversalCost::new(3, 7);
+        let b = TraversalCost::new(10, 20);
+        assert_eq!(a + b, TraversalCost::new(13, 27));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, TraversalCost::new(13, 27));
+        assert_eq!(c.total(), 40);
+        assert_eq!(TraversalCost::zero().total(), 0);
+    }
+
+    #[test]
+    fn traversal_cost_add_scan() {
+        let mut c = TraversalCost::zero();
+        c.add_scan(5, 9);
+        c.add_scan(1, 0);
+        assert_eq!(c, TraversalCost::new(6, 9));
+    }
+
+    #[test]
+    fn traversal_cost_sum() {
+        let total: TraversalCost =
+            vec![TraversalCost::new(1, 2), TraversalCost::new(3, 4)].into_iter().sum();
+        assert_eq!(total, TraversalCost::new(4, 6));
+    }
+
+    #[test]
+    fn sample_size_arithmetic() {
+        let a = SampleSize::new(2, 5);
+        let b = SampleSize::new(8, 0);
+        assert_eq!(a + b, SampleSize::new(10, 5));
+        let mut c = a;
+        c += b;
+        assert_eq!(c.total(), 15);
+        let sum: SampleSize = vec![a, b].into_iter().sum();
+        assert_eq!(sum, c);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = TraversalCost::new(11, 13);
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<TraversalCost>(&json).unwrap(), c);
+        let s = SampleSize::new(1, 2);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<SampleSize>(&json).unwrap(), s);
+    }
+}

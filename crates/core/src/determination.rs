@@ -1,0 +1,438 @@
+//! Sample-number determination (Sections 3.3.3, 3.4.3, 3.5.3 and 7).
+//!
+//! RIS research concentrates on choosing the sample number `θ` so that a
+//! `(1 − 1/e − ε)`-approximation holds with probability `1 − δ`; Oneshot and
+//! Snapshot research has not, which the paper's concluding Section 7 lists as
+//! an open direction ("apply RIS's sample number determination to Oneshot and
+//! Snapshot"). This module implements the standard determination machinery —
+//! the TIM⁺ KPT estimation, the IMM-style `θ(ε, δ, OPT lower bound)` formula
+//! and the OPIM-style online bounds — and the requested adaptation: given the
+//! same accuracy target, derive `β` for Oneshot and `τ` for Snapshot from the
+//! worst-case bounds of [`crate::bounds`] with the optimum estimated by RIS
+//! instead of assumed.
+//!
+//! All formulas take the hidden constants as 1, exactly as the paper does when
+//! quoting the bounds in Section 5.2.1.
+
+use imgraph::InfluenceGraph;
+use imrand::Rng32;
+
+use crate::bounds::{oneshot_sample_bound, snapshot_sample_bound, BoundParams};
+use crate::greedy::greedy_select;
+use crate::ris::{generate_rr_set, RisEstimator};
+
+/// Accuracy target shared by every determination routine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyTarget {
+    /// Approximation slack `ε` in `(0, 1)`.
+    pub epsilon: f64,
+    /// Failure probability `δ` in `(0, 1)`.
+    pub delta: f64,
+    /// Seed-set size `k ≥ 1`.
+    pub k: usize,
+}
+
+impl AccuracyTarget {
+    /// A target with the paper's reference values `ε = 0.05`, `δ = 0.01`.
+    #[must_use]
+    pub fn paper_reference(k: usize) -> Self {
+        Self { epsilon: 0.05, delta: 0.01, k }
+    }
+
+    fn validate(&self) {
+        assert!(self.epsilon > 0.0 && self.epsilon < 1.0, "ε must lie in (0, 1)");
+        assert!(self.delta > 0.0 && self.delta < 1.0, "δ must lie in (0, 1)");
+        assert!(self.k >= 1, "k must be at least 1");
+    }
+}
+
+/// Outcome of the TIM⁺ KPT estimation (Tang, Xiao, Shi, SIGMOD 2014, Alg. 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KptEstimate {
+    /// The KPT estimate: a lower bound (in expectation within a factor 4) on
+    /// the optimum `OPT_k`.
+    pub kpt: f64,
+    /// RR sets drawn during estimation.
+    pub rr_sets_used: u64,
+    /// The doubling round in which the stopping condition fired (1-based), or
+    /// 0 if the fallback value `1` was returned.
+    pub stopping_round: u32,
+}
+
+/// Estimate KPT — a constant-factor lower bound on `OPT_k` — by the TIM⁺
+/// doubling procedure: in round `i`, draw `c_i = λ·2^i` RR sets, compute the
+/// statistic `κ(R) = 1 − (1 − w(R)/m)^k` per set, and stop once the average
+/// statistic exceeds `2^{-i}`; then `KPT = n·mean(κ)/2`.
+///
+/// # Panics
+///
+/// Panics if the graph is empty or the target is invalid.
+pub fn tim_kpt_estimate<R: Rng32>(
+    graph: &InfluenceGraph,
+    target: &AccuracyTarget,
+    rng: &mut R,
+) -> KptEstimate {
+    target.validate();
+    let n = graph.num_vertices() as f64;
+    let m = graph.num_edges() as f64;
+    assert!(n >= 1.0, "KPT estimation needs a non-empty graph");
+    let log2_n = n.log2().max(1.0);
+    // λ = 6·ln n + 6·ln log₂ n, the round budget multiplier of TIM⁺ with ℓ = 1.
+    let lambda = 6.0 * n.ln().max(1.0) + 6.0 * log2_n.ln().max(0.0);
+    let mut rr_sets_used = 0u64;
+
+    let max_rounds = (log2_n.floor() as u32).max(1);
+    for round in 1..=max_rounds {
+        let c_i = (lambda * f64::from(1u32 << round)).ceil().max(1.0) as u64;
+        let mut kappa_sum = 0.0f64;
+        for _ in 0..c_i {
+            let rr = generate_rr_set(graph, rng);
+            rr_sets_used += 1;
+            let width = rr.edges_examined as f64;
+            let kappa = if m == 0.0 {
+                0.0
+            } else {
+                1.0 - (1.0 - width / m).max(0.0).powi(target.k as i32)
+            };
+            kappa_sum += kappa;
+        }
+        let mean_kappa = kappa_sum / c_i as f64;
+        if mean_kappa > 1.0 / f64::from(1u32 << round) {
+            return KptEstimate {
+                kpt: (n * mean_kappa / 2.0).max(1.0),
+                rr_sets_used,
+                stopping_round: round,
+            };
+        }
+    }
+    // TIM⁺ falls back to KPT = 1 when no round fires (tiny influence graphs).
+    KptEstimate { kpt: 1.0, rr_sets_used, stopping_round: 0 }
+}
+
+/// The IMM sample-number formula: the number of RR sets that guarantees a
+/// `(1 − 1/e − ε)`-approximation with probability `1 − δ` given a lower bound
+/// on the optimum (Tang, Shi, Xiao, SIGMOD 2015, Theorem 1 with ℓ folded into
+/// `δ`).
+///
+/// # Panics
+///
+/// Panics if the target is invalid or `opt_lower_bound < 1`.
+#[must_use]
+pub fn imm_theta(num_vertices: usize, target: &AccuracyTarget, opt_lower_bound: f64) -> f64 {
+    target.validate();
+    assert!(opt_lower_bound >= 1.0, "the optimum is at least 1 (a seed activates itself)");
+    let n = num_vertices as f64;
+    let k = target.k as f64;
+    let e_const = std::f64::consts::E;
+    let alpha = (1.0 / target.delta).ln().sqrt();
+    // ln C(n, k) ≤ k·ln(n·e/k).
+    let log_binom = k * ((n * e_const / k).ln().max(0.0));
+    let beta = ((1.0 - 1.0 / e_const) * (log_binom + (1.0 / target.delta).ln())).sqrt();
+    let numerator = 2.0 * n * ((1.0 - 1.0 / e_const) * alpha + beta).powi(2);
+    numerator / (opt_lower_bound * target.epsilon * target.epsilon)
+}
+
+/// Estimate a lower bound on `OPT_k` with a light-weight IMM-style sampling
+/// phase: draw `θ₀` RR sets, run greedy maximum coverage on them, and scale
+/// the covered fraction down by `(1 + ε)` to absorb the sampling error.
+///
+/// Returns the lower bound together with the RR sets drawn.
+pub fn estimate_opt_lower_bound<R: Rng32>(
+    graph: &InfluenceGraph,
+    target: &AccuracyTarget,
+    theta0: u64,
+    rng: &mut R,
+) -> (f64, u64) {
+    target.validate();
+    assert!(theta0 >= 1, "need at least one RR set");
+    let mut estimator = RisEstimator::new(graph, theta0, rng);
+    let result = greedy_select(&mut estimator, target.k, rng);
+    let coverage = estimator.estimate_set(result.seed_set().vertices());
+    let lower = (coverage / (1.0 + target.epsilon)).max(1.0);
+    (lower, theta0)
+}
+
+/// The full determination pipeline for RIS: KPT estimation, an OPT lower
+/// bound refined on `θ₀ = θ(KPT)` RR sets, and the final `θ`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RisDetermination {
+    /// The KPT estimate of the first phase.
+    pub kpt: KptEstimate,
+    /// The refined lower bound on `OPT_k`.
+    pub opt_lower_bound: f64,
+    /// The determined number of RR sets.
+    pub theta: u64,
+}
+
+/// Determine `θ` for RIS on the given instance.
+pub fn determine_ris_theta<R: Rng32>(
+    graph: &InfluenceGraph,
+    target: &AccuracyTarget,
+    rng: &mut R,
+) -> RisDetermination {
+    let kpt = tim_kpt_estimate(graph, target, rng);
+    let theta0 = imm_theta(graph.num_vertices(), target, kpt.kpt).ceil().max(1.0) as u64;
+    // Cap the refinement pool: the refinement only sharpens the OPT estimate,
+    // and a pool in the millions would defeat the point of determination on
+    // the small instances this library targets.
+    let refine_pool = theta0.min(100_000);
+    let (opt_lb, _) = estimate_opt_lower_bound(graph, target, refine_pool, rng);
+    let opt_lb = opt_lb.max(kpt.kpt);
+    let theta = imm_theta(graph.num_vertices(), target, opt_lb).ceil().max(1.0) as u64;
+    RisDetermination { kpt, opt_lower_bound: opt_lb, theta }
+}
+
+/// The paper's future-direction adaptation: derive the Oneshot sample number
+/// `β` and the Snapshot sample number `τ` for the same accuracy target, using
+/// an RIS-estimated optimum in place of the unknown `OPT_k`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptedSampleNumbers {
+    /// Determined Oneshot simulations per Estimate call.
+    pub beta: f64,
+    /// Determined Snapshot random-graph count.
+    pub tau: f64,
+    /// Determined RIS RR-set count (for reference, from the same OPT estimate).
+    pub theta: f64,
+    /// The OPT lower bound all three numbers are based on.
+    pub opt_lower_bound: f64,
+}
+
+/// Determine `β`, `τ` and `θ` for one instance and one accuracy target.
+pub fn determine_all_sample_numbers<R: Rng32>(
+    graph: &InfluenceGraph,
+    target: &AccuracyTarget,
+    rng: &mut R,
+) -> AdaptedSampleNumbers {
+    let ris = determine_ris_theta(graph, target, rng);
+    let params = BoundParams {
+        num_vertices: graph.num_vertices() as f64,
+        num_edges: graph.num_edges() as f64,
+        seed_size: target.k as f64,
+        epsilon: target.epsilon,
+        delta: target.delta,
+        opt_k: ris.opt_lower_bound.max(1.0),
+    };
+    AdaptedSampleNumbers {
+        beta: oneshot_sample_bound(&params),
+        tau: snapshot_sample_bound(&params),
+        theta: ris.theta as f64,
+        opt_lower_bound: ris.opt_lower_bound,
+    }
+}
+
+/// OPIM-style online bounds (Tang, Tang, Xiao, Yuan, SIGMOD 2018): given the
+/// greedy solution's coverage on one RR collection and its coverage on an
+/// independent validation collection, bound the solution's true influence from
+/// below and the optimum from above, yielding an a-posteriori approximation
+/// guarantee.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnlineBounds {
+    /// High-probability lower bound on `Inf(S)`.
+    pub influence_lower: f64,
+    /// High-probability upper bound on `OPT_k`.
+    pub opt_upper: f64,
+    /// The certified approximation ratio `influence_lower / opt_upper`,
+    /// clamped to `[0, 1]`.
+    pub approx_ratio: f64,
+}
+
+/// Compute OPIM-style online bounds.
+///
+/// * `greedy_coverage_r1` — number of RR sets of the *selection* collection
+///   covered by the greedy solution;
+/// * `solution_coverage_r2` — number of RR sets of the independent
+///   *validation* collection covered by the same solution;
+/// * `theta1`, `theta2` — the two collection sizes;
+/// * `num_vertices` — `n`;
+/// * `delta` — failure probability split evenly between the two bounds.
+///
+/// # Panics
+///
+/// Panics if a coverage exceeds its collection size, a collection is empty, or
+/// `delta` is outside `(0, 1)`.
+#[must_use]
+pub fn opim_online_bounds(
+    greedy_coverage_r1: u64,
+    solution_coverage_r2: u64,
+    theta1: u64,
+    theta2: u64,
+    num_vertices: usize,
+    delta: f64,
+) -> OnlineBounds {
+    assert!(theta1 >= 1 && theta2 >= 1, "both RR collections must be non-empty");
+    assert!(greedy_coverage_r1 <= theta1, "coverage cannot exceed the collection size");
+    assert!(solution_coverage_r2 <= theta2, "coverage cannot exceed the collection size");
+    assert!(delta > 0.0 && delta < 1.0, "δ must lie in (0, 1)");
+    let n = num_vertices as f64;
+    let log_term = (2.0 / delta).ln();
+
+    // Lower bound on Inf(S) from the validation collection (Chernoff lower tail).
+    let cov2 = solution_coverage_r2 as f64;
+    let lower_frac = {
+        let centered = (cov2 + 2.0 * log_term / 9.0).max(0.0);
+        let adjusted = (centered.sqrt() - (log_term / 2.0_f64).sqrt()).max(0.0);
+        (adjusted * adjusted - log_term / 18.0).max(0.0) / theta2 as f64
+    };
+    let influence_lower = (n * lower_frac).min(n);
+
+    // Upper bound on OPT from the selection collection: greedy covers at least
+    // (1 − 1/e)·OPT's coverage, and the optimum's coverage concentrates from
+    // above (Chernoff upper tail).
+    let cov1 = greedy_coverage_r1 as f64 / (1.0 - 1.0 / std::f64::consts::E);
+    let upper_frac = {
+        let root = (cov1 + log_term / 2.0).sqrt() + (log_term / 2.0_f64).sqrt();
+        root * root / theta1 as f64
+    };
+    let opt_upper = (n * upper_frac).min(n).max(1.0);
+
+    let approx_ratio = (influence_lower / opt_upper).clamp(0.0, 1.0);
+    OnlineBounds { influence_lower, opt_upper, approx_ratio }
+}
+
+/// Empirically search for the least sample number whose mean influence (over
+/// `trials` runs evaluated by `evaluate`) reaches `target_influence`. The
+/// candidate sample numbers are the powers of two `2^0 … 2^max_exponent`,
+/// mirroring the sweep design of Section 5.
+///
+/// Returns the first qualifying sample number, or `None` if none qualifies.
+pub fn least_sample_number_reaching(
+    mut evaluate: impl FnMut(u64) -> f64,
+    target_influence: f64,
+    max_exponent: u32,
+) -> Option<u64> {
+    (0..=max_exponent).map(|e| 1u64 << e).find(|&s| evaluate(s) >= target_influence)
+}
+
+/// A seed vertex count sanity helper shared by examples: the number of
+/// simulations Section 3.3.3 quotes as "sufficient in practice".
+pub const PRACTICAL_ONESHOT_BETA: u64 = 10_000;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::exact_greedy;
+    use imgraph::DiGraph;
+    use imrand::Pcg32;
+
+    fn star(prob: f64, leaves: usize) -> InfluenceGraph {
+        let edges: Vec<_> = (1..=leaves as u32).map(|v| (0, v)).collect();
+        InfluenceGraph::new(DiGraph::from_edges(leaves + 1, &edges), vec![prob; leaves])
+    }
+
+    #[test]
+    fn paper_reference_target_is_valid() {
+        let t = AccuracyTarget::paper_reference(4);
+        t.validate();
+        assert_eq!(t.k, 4);
+        assert!((t.epsilon - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kpt_estimate_is_a_sane_lower_bound_on_the_optimum() {
+        let ig = star(0.5, 8);
+        let target = AccuracyTarget { epsilon: 0.2, delta: 0.1, k: 1 };
+        let kpt = tim_kpt_estimate(&ig, &target, &mut Pcg32::seed_from_u64(1));
+        let exact = exact_greedy(&ig, 1).influence(); // = OPT₁ on a star
+        assert!(kpt.kpt >= 1.0);
+        assert!(kpt.kpt <= exact * 4.0, "KPT {} far above OPT {exact}", kpt.kpt);
+        assert!(kpt.rr_sets_used > 0);
+    }
+
+    #[test]
+    fn imm_theta_shrinks_with_larger_opt_and_grows_with_tighter_epsilon() {
+        let target = AccuracyTarget { epsilon: 0.1, delta: 0.01, k: 2 };
+        let base = imm_theta(1_000, &target, 10.0);
+        assert!(imm_theta(1_000, &target, 100.0) < base);
+        let tighter = AccuracyTarget { epsilon: 0.05, ..target };
+        assert!(imm_theta(1_000, &tighter, 10.0) > base * 3.0);
+    }
+
+    #[test]
+    fn opt_lower_bound_does_not_exceed_the_true_optimum_by_much() {
+        let ig = star(0.5, 8);
+        let target = AccuracyTarget { epsilon: 0.1, delta: 0.1, k: 1 };
+        let (lb, used) =
+            estimate_opt_lower_bound(&ig, &target, 20_000, &mut Pcg32::seed_from_u64(2));
+        let opt = exact_greedy(&ig, 1).influence();
+        assert_eq!(used, 20_000);
+        assert!(lb <= opt * 1.05, "lower bound {lb} above optimum {opt}");
+        assert!(lb >= opt * 0.7, "lower bound {lb} too loose vs {opt}");
+    }
+
+    #[test]
+    fn determined_theta_is_far_above_the_empirical_requirement() {
+        // Section 5.2.1's point: worst-case determination is orders of
+        // magnitude above what is empirically needed on small instances.
+        let ig = star(0.5, 8);
+        let target = AccuracyTarget::paper_reference(1);
+        let det = determine_ris_theta(&ig, &target, &mut Pcg32::seed_from_u64(3));
+        assert!(det.theta > 1_000, "θ = {}", det.theta);
+        assert!(det.opt_lower_bound >= 1.0);
+    }
+
+    #[test]
+    fn adapted_numbers_are_positive_and_grow_with_the_seed_size() {
+        let ig = star(0.5, 8);
+        let k2 = determine_all_sample_numbers(
+            &ig,
+            &AccuracyTarget { epsilon: 0.2, delta: 0.1, k: 2 },
+            &mut Pcg32::seed_from_u64(4),
+        );
+        let k1 = determine_all_sample_numbers(
+            &ig,
+            &AccuracyTarget { epsilon: 0.2, delta: 0.1, k: 1 },
+            &mut Pcg32::seed_from_u64(4),
+        );
+        for adapted in [&k1, &k2] {
+            assert!(adapted.beta > 0.0 && adapted.tau > 0.0 && adapted.theta > 0.0);
+            assert!(adapted.opt_lower_bound >= 1.0);
+        }
+        // The Oneshot bound scales with k²·(ln δ⁻¹ + ln k) and the Snapshot
+        // bound with k·ln n, so both must grow when k doubles (the OPT
+        // estimate can only grow with k, but on this star OPT₂ < 2·OPT₁, so
+        // the k² numerator dominates).
+        assert!(k2.beta > k1.beta, "β should grow with k: {} vs {}", k2.beta, k1.beta);
+        assert!(k2.tau > 0.5 * k1.tau);
+    }
+
+    #[test]
+    fn opim_bounds_bracket_the_truth_on_a_clean_instance() {
+        // Simulate a solution covering 30% of 10,000 validation RR sets on a
+        // 100-vertex graph: Inf(S) ≈ 30.
+        let bounds = opim_online_bounds(3_500, 3_000, 10_000, 10_000, 100, 0.01);
+        assert!(bounds.influence_lower <= 30.0 + 1.0);
+        assert!(bounds.influence_lower > 25.0, "lower {}", bounds.influence_lower);
+        assert!(bounds.opt_upper >= 30.0);
+        assert!(bounds.approx_ratio > 0.0 && bounds.approx_ratio <= 1.0);
+    }
+
+    #[test]
+    fn opim_ratio_improves_with_more_validation_sets() {
+        let small = opim_online_bounds(35, 30, 100, 100, 100, 0.01);
+        let large = opim_online_bounds(35_000, 30_000, 100_000, 100_000, 100, 0.01);
+        assert!(large.approx_ratio > small.approx_ratio);
+    }
+
+    #[test]
+    fn least_sample_number_search_finds_the_threshold() {
+        // A synthetic curve: mean influence 2·log2(s); target 8 needs s = 16.
+        let found = least_sample_number_reaching(|s| 2.0 * (s as f64).log2(), 8.0, 10);
+        assert_eq!(found, Some(16));
+        let none = least_sample_number_reaching(|s| (s as f64).log2(), 100.0, 4);
+        assert_eq!(none, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "coverage cannot exceed")]
+    fn opim_rejects_impossible_coverage() {
+        let _ = opim_online_bounds(200, 10, 100, 100, 50, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "ε must lie in (0, 1)")]
+    fn invalid_target_panics() {
+        let target = AccuracyTarget { epsilon: 1.5, delta: 0.1, k: 1 };
+        let ig = star(0.5, 3);
+        let _ = tim_kpt_estimate(&ig, &target, &mut Pcg32::seed_from_u64(1));
+    }
+}

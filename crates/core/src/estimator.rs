@@ -1,0 +1,117 @@
+//! The Build / Estimate / Update interface of the simple greedy framework
+//! (Algorithm 3.1).
+//!
+//! Every algorithmic approach implements [`InfluenceEstimator`]:
+//!
+//! * *Build* is the constructor of the concrete estimator (it receives the
+//!   influence graph and the approach-specific sample number);
+//! * [`InfluenceEstimator::estimate`] returns an estimate of the (marginal)
+//!   influence of a candidate vertex with respect to the seeds chosen so far —
+//!   the paper notes the greedy argmax is the same whether the estimator
+//!   returns `Inf(S + v)` or the marginal gain, so each approach returns
+//!   whichever is natural for it;
+//! * [`InfluenceEstimator::update`] commits the chosen seed so subsequent
+//!   estimates are relative to the enlarged seed set.
+
+use imgraph::VertexId;
+
+use crate::cost::{SampleSize, TraversalCost};
+
+/// A stateful influence estimator driven by the greedy framework.
+pub trait InfluenceEstimator {
+    /// Number of vertices of the underlying influence graph (the greedy loop
+    /// iterates over `0..num_vertices()` candidates).
+    fn num_vertices(&self) -> usize;
+
+    /// Estimate of the influence of adding `candidate` to the current seed
+    /// set (either `Inf(S + v)` or the marginal gain, depending on the
+    /// approach — both yield the same argmax).
+    fn estimate(&mut self, candidate: VertexId) -> f64;
+
+    /// Commit `chosen` as the next seed.
+    fn update(&mut self, chosen: VertexId);
+
+    /// Estimate of the marginal gain of `candidate` with respect to the
+    /// committed seeds *plus* the given pending (not yet committed) seeds,
+    /// without mutating the estimator.
+    ///
+    /// This is the extra evaluation CELF++ ([`crate::celfpp`]) needs for its
+    /// `mg2` cache. Estimators that cannot provide it cheaply return `None`
+    /// (the default), in which case callers fall back to plain re-evaluation.
+    fn estimate_with_pending(&mut self, _candidate: VertexId, _pending: &[VertexId]) -> Option<f64> {
+        None
+    }
+
+    /// Cumulative traversal cost so far (vertices and edges examined since
+    /// Build).
+    fn traversal_cost(&self) -> TraversalCost;
+
+    /// The sample size of the estimator's in-memory state (constant after
+    /// Build for Snapshot and RIS; zero for Oneshot).
+    fn sample_size(&self) -> SampleSize;
+
+    /// Short approach name used in reports ("Oneshot", "Snapshot", "RIS").
+    fn approach_name(&self) -> &'static str;
+
+    /// The approach-specific sample number (`β`, `τ` or `θ`).
+    fn sample_number(&self) -> u64;
+
+    /// Whether this estimator's estimates are monotone and submodular in the
+    /// seed set (true for Snapshot and RIS, false for Oneshot, Section 3.3.1),
+    /// which is what makes CELF's lazy evaluation admissible.
+    fn is_submodular(&self) -> bool;
+}
+
+/// Blanket helper implementations shared by the test suites.
+#[cfg(test)]
+pub(crate) mod testing {
+    use super::*;
+
+    /// A deterministic estimator wrapping a fixed per-vertex value table, used
+    /// to unit-test the greedy loop in isolation. Marginal gains are additive:
+    /// the estimate of `v` is `values[v]` unless already chosen, in which case
+    /// it is 0.
+    pub struct TableEstimator {
+        pub values: Vec<f64>,
+        pub chosen: Vec<VertexId>,
+        pub cost: TraversalCost,
+    }
+
+    impl TableEstimator {
+        pub fn new(values: Vec<f64>) -> Self {
+            Self { values, chosen: Vec::new(), cost: TraversalCost::zero() }
+        }
+    }
+
+    impl InfluenceEstimator for TableEstimator {
+        fn num_vertices(&self) -> usize {
+            self.values.len()
+        }
+        fn estimate(&mut self, candidate: VertexId) -> f64 {
+            self.cost.vertices += 1;
+            if self.chosen.contains(&candidate) {
+                0.0
+            } else {
+                self.values[candidate as usize]
+            }
+        }
+        fn update(&mut self, chosen: VertexId) {
+            self.chosen.push(chosen);
+        }
+        fn traversal_cost(&self) -> TraversalCost {
+            self.cost
+        }
+        fn sample_size(&self) -> SampleSize {
+            SampleSize::zero()
+        }
+        fn approach_name(&self) -> &'static str {
+            "Table"
+        }
+        fn sample_number(&self) -> u64 {
+            1
+        }
+        fn is_submodular(&self) -> bool {
+            true
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! The simple greedy framework (Algorithm 3.1) and the CELF lazy-greedy
+//! acceleration (Section 3.3.3, "Estimate call pruning").
+//!
+//! Tie-breaking follows Section 4.1: the vertex order is shuffled uniformly at
+//! random once per run, the greedy scan walks the candidates in that order and
+//! keeps the *last* vertex attaining the maximum estimate, so ties are broken
+//! uniformly at random without depending on the input vertex numbering.
+
+use imgraph::VertexId;
+use imrand::{seq, Rng32};
+
+use crate::estimator::InfluenceEstimator;
+use crate::seed_set::SeedSet;
+
+/// The outcome of one greedy seed selection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GreedyResult {
+    /// Seeds in the order they were selected (`v_1, …, v_k`).
+    pub selection_order: Vec<VertexId>,
+    /// The estimator's value for each selected seed at selection time.
+    pub estimates: Vec<f64>,
+    /// Number of Estimate calls issued (equals `k·n` for plain greedy, usually
+    /// far fewer for CELF).
+    pub estimate_calls: u64,
+}
+
+impl GreedyResult {
+    /// The selected seeds as a canonical [`SeedSet`].
+    #[must_use]
+    pub fn seed_set(&self) -> SeedSet {
+        SeedSet::new(self.selection_order.clone())
+    }
+
+    /// Number of seeds selected.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.selection_order.len()
+    }
+
+    /// Whether no seed was selected (k = 0 or an empty graph).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.selection_order.is_empty()
+    }
+}
+
+/// Run the plain greedy loop of Algorithm 3.1: at each of the `k` iterations,
+/// call Estimate for *every* vertex and keep the last maximiser in the
+/// shuffled candidate order.
+pub fn greedy_select<E: InfluenceEstimator, R: Rng32>(
+    estimator: &mut E,
+    k: usize,
+    rng: &mut R,
+) -> GreedyResult {
+    let n = estimator.num_vertices();
+    let order = seq::random_permutation(n, rng);
+    let k = k.min(n);
+    let mut selection_order = Vec::with_capacity(k);
+    let mut estimates = Vec::with_capacity(k);
+    let mut selected = vec![false; n];
+    let mut estimate_calls = 0u64;
+
+    for _ in 0..k {
+        let mut best: Option<(VertexId, f64)> = None;
+        for &v in &order {
+            if selected[v as usize] {
+                continue;
+            }
+            let value = estimator.estimate(v);
+            estimate_calls += 1;
+            // Keep the LAST vertex attaining the maximum (">=" comparison), as
+            // specified by Algorithm 3.1 line 5.
+            match best {
+                Some((_, best_value)) if value < best_value => {}
+                _ => best = Some((v, value)),
+            }
+        }
+        let Some((chosen, value)) = best else { break };
+        selected[chosen as usize] = true;
+        estimator.update(chosen);
+        selection_order.push(chosen);
+        estimates.push(value);
+    }
+
+    GreedyResult { selection_order, estimates, estimate_calls }
+}
+
+/// CELF lazy greedy (Leskovec et al. 2007): maintain an upper bound on every
+/// vertex's marginal gain (its estimate from a previous iteration) in a
+/// priority queue and re-evaluate only the top entry until it stays on top.
+///
+/// Lazy evaluation is only admissible when the estimator is monotone and
+/// submodular (Snapshot and RIS); for estimators that are not
+/// ([`crate::OneshotEstimator`]), this function falls back to plain
+/// [`greedy_select`] so results remain correct, as the paper's Section 3.3.1
+/// cautions.
+pub fn celf_select<E: InfluenceEstimator, R: Rng32>(
+    estimator: &mut E,
+    k: usize,
+    rng: &mut R,
+) -> GreedyResult {
+    if !estimator.is_submodular() {
+        return greedy_select(estimator, k, rng);
+    }
+    let n = estimator.num_vertices();
+    let order = seq::random_permutation(n, rng);
+    let k = k.min(n);
+    let mut selection_order = Vec::with_capacity(k);
+    let mut estimates = Vec::with_capacity(k);
+    let mut estimate_calls = 0u64;
+
+    // Heap entry: cached gain, tie-break rank from the shuffled order, vertex,
+    // and the number of seeds that were already committed when the gain was
+    // computed (its "freshness stamp").
+    use std::cmp::Ordering;
+    struct HeapEntry {
+        gain: f64,
+        rank: u32,
+        vertex: VertexId,
+        valid_at: usize,
+    }
+    impl PartialEq for HeapEntry {
+        fn eq(&self, other: &Self) -> bool {
+            self.gain == other.gain && self.rank == other.rank
+        }
+    }
+    impl Eq for HeapEntry {}
+    impl PartialOrd for HeapEntry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for HeapEntry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // Max-heap by (gain, rank): ties go to the larger rank, i.e. the
+            // *last* vertex in the shuffled order, matching Algorithm 3.1.
+            self.gain
+                .partial_cmp(&other.gain)
+                .expect("estimates must not be NaN")
+                .then(self.rank.cmp(&other.rank))
+        }
+    }
+
+    // Initial pass: estimate every vertex once with an empty seed set.
+    let mut pq: std::collections::BinaryHeap<HeapEntry> = order
+        .iter()
+        .enumerate()
+        .map(|(rank, &v)| {
+            let gain = estimator.estimate(v);
+            estimate_calls += 1;
+            HeapEntry { gain, rank: rank as u32, vertex: v, valid_at: 0 }
+        })
+        .collect();
+
+    while selection_order.len() < k {
+        let committed = selection_order.len();
+        let Some(top) = pq.pop() else { break };
+        if top.valid_at == committed {
+            // Gain is current; submodularity guarantees every stale entry
+            // below it can only have shrunk, so this is the true maximum.
+            estimator.update(top.vertex);
+            selection_order.push(top.vertex);
+            estimates.push(top.gain);
+        } else {
+            // Stale entry: re-estimate against the current seed set and push
+            // it back with a fresh stamp.
+            let gain = estimator.estimate(top.vertex);
+            estimate_calls += 1;
+            pq.push(HeapEntry { gain, rank: top.rank, vertex: top.vertex, valid_at: committed });
+        }
+    }
+
+    GreedyResult { selection_order, estimates, estimate_calls }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::testing::TableEstimator;
+    use imrand::Pcg32;
+
+    #[test]
+    fn greedy_picks_top_k_values() {
+        let mut est = TableEstimator::new(vec![1.0, 5.0, 3.0, 4.0, 2.0]);
+        let mut rng = Pcg32::seed_from_u64(1);
+        let result = greedy_select(&mut est, 3, &mut rng);
+        assert_eq!(result.seed_set(), crate::SeedSet::new(vec![1, 3, 2]));
+        assert_eq!(result.selection_order[0], 1, "highest value first");
+        assert_eq!(result.estimates[0], 5.0);
+        assert_eq!(result.estimate_calls, 5 + 4 + 3);
+        assert_eq!(result.len(), 3);
+    }
+
+    #[test]
+    fn greedy_k_larger_than_n_is_clamped() {
+        let mut est = TableEstimator::new(vec![1.0, 2.0]);
+        let mut rng = Pcg32::seed_from_u64(2);
+        let result = greedy_select(&mut est, 10, &mut rng);
+        assert_eq!(result.len(), 2);
+    }
+
+    #[test]
+    fn greedy_k_zero_returns_empty() {
+        let mut est = TableEstimator::new(vec![1.0, 2.0]);
+        let mut rng = Pcg32::seed_from_u64(3);
+        let result = greedy_select(&mut est, 0, &mut rng);
+        assert!(result.is_empty());
+        assert_eq!(result.estimate_calls, 0);
+    }
+
+    #[test]
+    fn greedy_on_empty_graph() {
+        let mut est = TableEstimator::new(vec![]);
+        let mut rng = Pcg32::seed_from_u64(4);
+        let result = greedy_select(&mut est, 3, &mut rng);
+        assert!(result.is_empty());
+    }
+
+    #[test]
+    fn tie_breaking_is_randomised() {
+        // All values equal: across many runs with different seeds every vertex
+        // should be selected as the single seed at least once.
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..200u64 {
+            let mut est = TableEstimator::new(vec![1.0; 5]);
+            let mut rng = Pcg32::seed_from_u64(seed);
+            let result = greedy_select(&mut est, 1, &mut rng);
+            seen.insert(result.selection_order[0]);
+        }
+        assert_eq!(seen.len(), 5, "all tied vertices should be selectable: {seen:?}");
+    }
+
+    #[test]
+    fn celf_matches_greedy_on_submodular_table() {
+        for seed in 0..20u64 {
+            let values = vec![3.0, 9.0, 1.0, 7.0, 7.0, 2.0];
+            let mut greedy_est = TableEstimator::new(values.clone());
+            let mut celf_est = TableEstimator::new(values);
+            let g = greedy_select(&mut greedy_est, 3, &mut Pcg32::seed_from_u64(seed));
+            let c = celf_select(&mut celf_est, 3, &mut Pcg32::seed_from_u64(seed));
+            assert_eq!(g.seed_set(), c.seed_set(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn celf_issues_no_more_estimate_calls_than_greedy() {
+        let values: Vec<f64> = (0..50).map(|i| f64::from(i)).collect();
+        let mut greedy_est = TableEstimator::new(values.clone());
+        let mut celf_est = TableEstimator::new(values);
+        let g = greedy_select(&mut greedy_est, 5, &mut Pcg32::seed_from_u64(9));
+        let c = celf_select(&mut celf_est, 5, &mut Pcg32::seed_from_u64(9));
+        assert!(c.estimate_calls <= g.estimate_calls);
+        assert_eq!(g.seed_set(), c.seed_set());
+    }
+
+    #[test]
+    fn celf_k_zero_and_empty() {
+        let mut est = TableEstimator::new(vec![1.0]);
+        let result = celf_select(&mut est, 0, &mut Pcg32::seed_from_u64(1));
+        assert!(result.is_empty());
+        let mut empty = TableEstimator::new(vec![]);
+        let result = celf_select(&mut empty, 2, &mut Pcg32::seed_from_u64(1));
+        assert!(result.is_empty());
+    }
+}

@@ -1,0 +1,67 @@
+//! Influence maximization under the independent cascade model.
+//!
+//! This crate is the paper's subject matter: the greedy framework of
+//! Algorithm 3.1 together with the three influence estimators it can be
+//! instantiated with —
+//!
+//! * [`OneshotEstimator`] (Algorithm 3.2) — `β` forward Monte-Carlo
+//!   simulations per [`InfluenceEstimator::estimate`] call;
+//! * [`SnapshotEstimator`] (Algorithm 3.3) — `τ` live-edge graphs sampled once
+//!   in Build and shared across the whole greedy selection, with the optional
+//!   subgraph-reduction Update of Section 3.4.3;
+//! * [`RisEstimator`] (Algorithm 3.4) — `θ` reverse-reachable sets and greedy
+//!   maximum coverage.
+//!
+//! Every estimator accounts for its work in the paper's two
+//! implementation-independent metrics: the *traversal cost* (vertices and
+//! edges examined, [`TraversalCost`]) and the *sample size* (vertices and
+//! edges stored in memory, [`SampleSize`]).
+//!
+//! Supporting modules:
+//!
+//! * [`diffusion`] — forward IC simulation (and the linear-threshold extension
+//!   in [`lt`]);
+//! * [`greedy`] — the shared greedy loop with the random tie-breaking rule of
+//!   Section 4.1, plus the CELF lazy-greedy acceleration of Section 3.3.3;
+//! * [`oracle`] — the reusable RR-set–based influence oracle the paper uses to
+//!   evaluate the quality of returned seed sets (Section 5.2);
+//! * [`bounds`] — the worst-case sample-number bounds quoted in Sections 3.3.3,
+//!   3.4.3 and 3.5.3, used for the bound-gap discussion of Section 5.2.1;
+//! * [`algorithm`] — a small front-end enum selecting an approach and a sample
+//!   number, which is what the experiment harness drives.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod algorithm;
+pub mod bounds;
+pub mod celfpp;
+pub mod cost;
+pub mod determination;
+pub mod diffusion;
+pub mod estimator;
+pub mod exact;
+pub mod greedy;
+pub mod lt;
+pub mod lt_estimators;
+pub mod oneshot;
+pub mod oracle;
+pub mod ris;
+pub mod seed_set;
+pub mod snapshot;
+pub mod ublf;
+
+pub use algorithm::{Algorithm, RunOutcome};
+pub use celfpp::celf_pp_select;
+pub use cost::{SampleSize, TraversalCost};
+pub use determination::AccuracyTarget;
+pub use estimator::InfluenceEstimator;
+pub use exact::{exact_greedy, exact_influence};
+pub use lt_estimators::{LtOneshotEstimator, LtRisEstimator, LtSnapshotEstimator};
+pub use ublf::{influence_upper_bounds, ublf_select};
+pub use greedy::{celf_select, greedy_select, GreedyResult};
+pub use oneshot::OneshotEstimator;
+pub use oracle::InfluenceOracle;
+pub use ris::RisEstimator;
+pub use seed_set::SeedSet;
+pub use snapshot::SnapshotEstimator;

@@ -1,0 +1,551 @@
+//! Oneshot, Snapshot and RIS estimators under the linear threshold model.
+//!
+//! The paper's experiments use the independent cascade model exclusively, but
+//! its three algorithmic approaches are model-agnostic: each only needs an
+//! unbiased estimator of the influence spread. This module ports all three to
+//! the linear threshold (LT) model of [`crate::lt`], using the classical
+//! live-edge interpretation of Kempe et al.: every vertex keeps *at most one*
+//! incoming edge, chosen with probability equal to its weight, and LT
+//! influence equals expected reachability over that distribution. Consequently
+//!
+//! * LT-Oneshot simulates the threshold process directly (β simulations per
+//!   Estimate call);
+//! * LT-Snapshot samples τ one-in-edge live-edge graphs up front;
+//! * LT-RIS samples reverse *paths*: an RR set under LT is the path obtained
+//!   by repeatedly hopping to the (at most one) live in-neighbour.
+//!
+//! All three implement [`InfluenceEstimator`], so they drive the same greedy
+//! framework, cost accounting and experiment harness as their IC counterparts.
+
+use imgraph::{DiGraph, InfluenceGraph, VertexId};
+use imrand::Rng32;
+
+use crate::cost::{SampleSize, TraversalCost};
+use crate::estimator::InfluenceEstimator;
+use crate::lt::{sample_lt_live_edges, LtSimulator};
+
+/// LT-Oneshot: β forward threshold simulations per Estimate call.
+pub struct LtOneshotEstimator<'g, R: Rng32> {
+    graph: &'g InfluenceGraph,
+    beta: u64,
+    rng: R,
+    simulator: LtSimulator,
+    committed: Vec<VertexId>,
+    cost: TraversalCost,
+}
+
+impl<'g, R: Rng32> LtOneshotEstimator<'g, R> {
+    /// Build an LT-Oneshot estimator with `beta ≥ 1` simulations per call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta == 0`.
+    pub fn new(graph: &'g InfluenceGraph, beta: u64, rng: R) -> Self {
+        assert!(beta >= 1, "LT-Oneshot needs at least one simulation per call");
+        Self {
+            graph,
+            beta,
+            rng,
+            simulator: LtSimulator::for_graph(graph),
+            committed: Vec::new(),
+            cost: TraversalCost::zero(),
+        }
+    }
+
+    /// The seeds committed so far.
+    #[must_use]
+    pub fn current_seeds(&self) -> &[VertexId] {
+        &self.committed
+    }
+
+    /// Estimate the LT influence of an arbitrary seed set.
+    pub fn estimate_set(&mut self, seeds: &[VertexId]) -> f64 {
+        let mut total = 0usize;
+        for _ in 0..self.beta {
+            let outcome = self.simulator.simulate(self.graph, seeds, &mut self.rng);
+            total += outcome.activated;
+            self.cost += outcome.cost;
+        }
+        total as f64 / self.beta as f64
+    }
+}
+
+impl<R: Rng32> InfluenceEstimator for LtOneshotEstimator<'_, R> {
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn estimate(&mut self, candidate: VertexId) -> f64 {
+        let mut seeds = self.committed.clone();
+        seeds.push(candidate);
+        self.estimate_set(&seeds)
+    }
+
+    fn update(&mut self, chosen: VertexId) {
+        self.committed.push(chosen);
+    }
+
+    fn traversal_cost(&self) -> TraversalCost {
+        self.cost
+    }
+
+    fn sample_size(&self) -> SampleSize {
+        SampleSize::zero()
+    }
+
+    fn approach_name(&self) -> &'static str {
+        "LT-Oneshot"
+    }
+
+    fn sample_number(&self) -> u64 {
+        self.beta
+    }
+
+    fn is_submodular(&self) -> bool {
+        false
+    }
+}
+
+/// LT-Snapshot: τ one-in-edge live-edge graphs sampled in Build and shared by
+/// the whole greedy selection, with residual marking in Update.
+pub struct LtSnapshotEstimator {
+    /// Live-edge graphs; each vertex has in-degree at most one.
+    snapshots: Vec<DiGraph>,
+    /// Per-snapshot flags marking vertices already reached by committed seeds.
+    reached: Vec<Vec<bool>>,
+    committed: Vec<VertexId>,
+    num_vertices: usize,
+    tau: u64,
+    cost: TraversalCost,
+    sample_size: SampleSize,
+}
+
+impl LtSnapshotEstimator {
+    /// Build an LT-Snapshot estimator with `tau ≥ 1` live-edge samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau == 0` or the graph is empty.
+    pub fn new<R: Rng32>(graph: &InfluenceGraph, tau: u64, rng: &mut R) -> Self {
+        assert!(tau >= 1, "LT-Snapshot needs at least one live-edge sample");
+        let n = graph.num_vertices();
+        assert!(n > 0, "LT-Snapshot needs a non-empty graph");
+        let mut snapshots = Vec::with_capacity(tau as usize);
+        let mut cost = TraversalCost::zero();
+        let mut sample_size = SampleSize::zero();
+        for _ in 0..tau {
+            let live = sample_lt_live_edges(graph, rng);
+            // Sampling examines every vertex and, in the worst case, all of its
+            // in-edges.
+            cost.vertices += n as u64;
+            cost.edges += graph.num_edges() as u64;
+            sample_size.vertices += n as u64;
+            sample_size.edges += live.len() as u64;
+            snapshots.push(DiGraph::from_edges(n, &live));
+        }
+        Self {
+            reached: vec![vec![false; n]; tau as usize],
+            snapshots,
+            committed: Vec::new(),
+            num_vertices: n,
+            tau,
+            cost,
+            sample_size,
+        }
+    }
+
+    /// The seeds committed so far.
+    #[must_use]
+    pub fn current_seeds(&self) -> &[VertexId] {
+        &self.committed
+    }
+
+    /// Count vertices newly reachable from `v` in snapshot `i`, optionally
+    /// marking them as reached.
+    ///
+    /// Vertices already reached by committed seeds are neither counted nor
+    /// expanded: the reached set is closed under reachability, so everything
+    /// behind them is already accounted for.
+    fn marginal_reach(&mut self, i: usize, v: VertexId, commit: bool) -> usize {
+        if self.reached[i][v as usize] {
+            return 0;
+        }
+        let mut stack = vec![v];
+        let mut newly: Vec<VertexId> = Vec::new();
+        // Local visited set so estimate-only calls leave no trace.
+        let mut seen = vec![false; self.num_vertices];
+        while let Some(u) = stack.pop() {
+            if seen[u as usize] || self.reached[i][u as usize] {
+                continue;
+            }
+            seen[u as usize] = true;
+            newly.push(u);
+            self.cost.vertices += 1;
+            for &w in self.snapshots[i].out_neighbors(u) {
+                self.cost.edges += 1;
+                stack.push(w);
+            }
+        }
+        if commit {
+            for &u in &newly {
+                self.reached[i][u as usize] = true;
+            }
+        }
+        newly.len()
+    }
+}
+
+impl InfluenceEstimator for LtSnapshotEstimator {
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn estimate(&mut self, candidate: VertexId) -> f64 {
+        let mut total = 0usize;
+        for i in 0..self.snapshots.len() {
+            total += self.marginal_reach(i, candidate, false);
+        }
+        total as f64 / self.tau as f64
+    }
+
+    fn update(&mut self, chosen: VertexId) {
+        self.committed.push(chosen);
+        for i in 0..self.snapshots.len() {
+            let _ = self.marginal_reach(i, chosen, true);
+        }
+    }
+
+    fn traversal_cost(&self) -> TraversalCost {
+        self.cost
+    }
+
+    fn sample_size(&self) -> SampleSize {
+        self.sample_size
+    }
+
+    fn approach_name(&self) -> &'static str {
+        "LT-Snapshot"
+    }
+
+    fn sample_number(&self) -> u64 {
+        self.tau
+    }
+
+    fn is_submodular(&self) -> bool {
+        true
+    }
+}
+
+/// One LT reverse-reachable set: the backward path from a random target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LtRrSet {
+    /// The vertices on the reverse path (the target comes first).
+    pub vertices: Vec<VertexId>,
+    /// The random target the path was grown from.
+    pub target: VertexId,
+    /// In-edges examined while growing the path.
+    pub edges_examined: u64,
+}
+
+/// Generate one LT RR set: starting from `target`, repeatedly pick at most one
+/// live in-edge (in-neighbour `u` with probability `w(u, target)`) and hop to
+/// it, stopping when no edge is live or a vertex repeats.
+pub fn generate_lt_rr_set<R: Rng32>(
+    graph: &InfluenceGraph,
+    target: VertexId,
+    rng: &mut R,
+) -> LtRrSet {
+    let mut vertices = vec![target];
+    let mut edges_examined = 0u64;
+    let mut current = target;
+    loop {
+        let x = rng.next_f64();
+        let mut acc = 0.0f64;
+        let mut next: Option<VertexId> = None;
+        for (u, w) in graph.in_edges_with_prob(current) {
+            edges_examined += 1;
+            acc += w;
+            if x < acc {
+                next = Some(u);
+                break;
+            }
+        }
+        match next {
+            Some(u) if !vertices.contains(&u) => {
+                vertices.push(u);
+                current = u;
+            }
+            _ => break,
+        }
+    }
+    LtRrSet { vertices, target, edges_examined }
+}
+
+/// LT-RIS: θ reverse paths and greedy maximum coverage over them.
+pub struct LtRisEstimator {
+    rr_sets: Vec<Vec<VertexId>>,
+    vertex_to_sets: Vec<Vec<u32>>,
+    covered: Vec<bool>,
+    cover_count: Vec<u32>,
+    committed: Vec<VertexId>,
+    num_vertices: usize,
+    theta: u64,
+    cost: TraversalCost,
+    sample_size: SampleSize,
+}
+
+impl LtRisEstimator {
+    /// Build an LT-RIS estimator from `theta ≥ 1` reverse paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta == 0` or the graph is empty.
+    pub fn new<R: Rng32>(graph: &InfluenceGraph, theta: u64, rng: &mut R) -> Self {
+        assert!(theta >= 1, "LT-RIS needs at least one RR set");
+        let n = graph.num_vertices();
+        assert!(n > 0, "LT-RIS needs a non-empty graph");
+        let mut rr_sets = Vec::with_capacity(theta as usize);
+        let mut vertex_to_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut cover_count = vec![0u32; n];
+        let mut cost = TraversalCost::zero();
+        let mut sample_size = SampleSize::zero();
+        for set_id in 0..theta {
+            let target = rng.gen_index(n) as VertexId;
+            let rr = generate_lt_rr_set(graph, target, rng);
+            cost.vertices += rr.vertices.len() as u64;
+            cost.edges += rr.edges_examined;
+            sample_size.vertices += rr.vertices.len() as u64;
+            for &v in &rr.vertices {
+                vertex_to_sets[v as usize].push(set_id as u32);
+                cover_count[v as usize] += 1;
+            }
+            rr_sets.push(rr.vertices);
+        }
+        Self {
+            covered: vec![false; rr_sets.len()],
+            rr_sets,
+            vertex_to_sets,
+            cover_count,
+            committed: Vec::new(),
+            num_vertices: n,
+            theta,
+            cost,
+            sample_size,
+        }
+    }
+
+    /// The seeds committed so far.
+    #[must_use]
+    pub fn current_seeds(&self) -> &[VertexId] {
+        &self.committed
+    }
+
+    /// Estimate the LT influence of an arbitrary seed set over all RR sets.
+    #[must_use]
+    pub fn estimate_set(&self, seeds: &[VertexId]) -> f64 {
+        let mut hit = vec![false; self.rr_sets.len()];
+        for &s in seeds {
+            for &set_id in &self.vertex_to_sets[s as usize] {
+                hit[set_id as usize] = true;
+            }
+        }
+        let count = hit.iter().filter(|&&h| h).count();
+        self.num_vertices as f64 * count as f64 / self.theta as f64
+    }
+}
+
+impl InfluenceEstimator for LtRisEstimator {
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn estimate(&mut self, candidate: VertexId) -> f64 {
+        self.num_vertices as f64 * f64::from(self.cover_count[candidate as usize])
+            / self.theta as f64
+    }
+
+    fn update(&mut self, chosen: VertexId) {
+        self.committed.push(chosen);
+        let set_ids = std::mem::take(&mut self.vertex_to_sets[chosen as usize]);
+        for &set_id in &set_ids {
+            if self.covered[set_id as usize] {
+                continue;
+            }
+            self.covered[set_id as usize] = true;
+            for &member in &self.rr_sets[set_id as usize] {
+                let count = &mut self.cover_count[member as usize];
+                *count = count.saturating_sub(1);
+            }
+        }
+        self.vertex_to_sets[chosen as usize] = set_ids;
+    }
+
+    fn traversal_cost(&self) -> TraversalCost {
+        self.cost
+    }
+
+    fn sample_size(&self) -> SampleSize {
+        self.sample_size
+    }
+
+    fn approach_name(&self) -> &'static str {
+        "LT-RIS"
+    }
+
+    fn sample_number(&self) -> u64 {
+        self.theta
+    }
+
+    fn is_submodular(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_select;
+    use crate::lt::monte_carlo_lt_influence;
+    use imgraph::DiGraph;
+    use imrand::Pcg32;
+
+    /// 0 -> 2 and 1 -> 2 with weights 0.5 each: Inf_LT({0}) = 1.5,
+    /// Inf_LT({0,1}) = 3.
+    fn fan_in() -> InfluenceGraph {
+        InfluenceGraph::new(DiGraph::from_edges(3, &[(0, 2), (1, 2)]), vec![0.5, 0.5])
+    }
+
+    /// Path with full weights: seeding the head activates everything.
+    fn path_full(len: usize) -> InfluenceGraph {
+        let edges: Vec<_> = (0..len as u32 - 1).map(|i| (i, i + 1)).collect();
+        InfluenceGraph::new(DiGraph::from_edges(len, &edges), vec![1.0; len - 1])
+    }
+
+    #[test]
+    fn lt_oneshot_estimates_the_closed_form() {
+        let ig = fan_in();
+        let mut est = LtOneshotEstimator::new(&ig, 40_000, Pcg32::seed_from_u64(1));
+        let inf = est.estimate(0);
+        assert!((inf - 1.5).abs() < 0.03, "LT-Oneshot estimate {inf}");
+        assert_eq!(est.approach_name(), "LT-Oneshot");
+        assert_eq!(est.sample_number(), 40_000);
+        assert!(!est.is_submodular());
+        assert_eq!(est.sample_size(), SampleSize::zero());
+        assert!(est.traversal_cost().vertices > 0);
+    }
+
+    #[test]
+    fn lt_snapshot_estimates_the_closed_form() {
+        let ig = fan_in();
+        let mut est = LtSnapshotEstimator::new(&ig, 20_000, &mut Pcg32::seed_from_u64(2));
+        let inf = est.estimate(0);
+        assert!((inf - 1.5).abs() < 0.05, "LT-Snapshot estimate {inf}");
+        assert!(est.is_submodular());
+        assert_eq!(est.approach_name(), "LT-Snapshot");
+        assert!(est.sample_size().vertices > 0);
+    }
+
+    #[test]
+    fn lt_ris_estimates_the_closed_form() {
+        let ig = fan_in();
+        let mut est = LtRisEstimator::new(&ig, 60_000, &mut Pcg32::seed_from_u64(3));
+        let inf = est.estimate(0);
+        assert!((inf - 1.5).abs() < 0.05, "LT-RIS estimate {inf}");
+        assert_eq!(est.approach_name(), "LT-RIS");
+        assert_eq!(est.sample_size().edges, 0);
+    }
+
+    #[test]
+    fn all_three_match_monte_carlo_on_a_weighted_diamond() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let ig = InfluenceGraph::new(g, vec![0.6, 0.4, 0.5, 0.5]);
+        let reference =
+            monte_carlo_lt_influence(&ig, &[0], 200_000, &mut Pcg32::seed_from_u64(4));
+        let mut oneshot = LtOneshotEstimator::new(&ig, 50_000, Pcg32::seed_from_u64(5));
+        let mut snapshot = LtSnapshotEstimator::new(&ig, 30_000, &mut Pcg32::seed_from_u64(6));
+        let mut ris = LtRisEstimator::new(&ig, 80_000, &mut Pcg32::seed_from_u64(7));
+        assert!((oneshot.estimate(0) - reference).abs() < 0.05);
+        assert!((snapshot.estimate(0) - reference).abs() < 0.05);
+        assert!((ris.estimate(0) - reference).abs() < 0.05);
+    }
+
+    #[test]
+    fn lt_rr_sets_are_paths_without_repeats() {
+        let ig = path_full(5);
+        let mut rng = Pcg32::seed_from_u64(8);
+        for _ in 0..100 {
+            let target = rng.gen_index(5) as VertexId;
+            let rr = generate_lt_rr_set(&ig, target, &mut rng);
+            assert!(rr.vertices.contains(&rr.target));
+            let mut sorted = rr.vertices.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), rr.vertices.len(), "repeated vertex in LT RR set");
+            // On the full-weight path, the RR set of target z is {0, …, z}.
+            assert_eq!(rr.vertices.len(), rr.target as usize + 1);
+        }
+    }
+
+    #[test]
+    fn greedy_under_lt_picks_the_path_head() {
+        let ig = path_full(6);
+        let mut est = LtRisEstimator::new(&ig, 3_000, &mut Pcg32::seed_from_u64(9));
+        let result = greedy_select(&mut est, 1, &mut Pcg32::seed_from_u64(10));
+        assert_eq!(result.selection_order, vec![0]);
+
+        let mut snap = LtSnapshotEstimator::new(&ig, 200, &mut Pcg32::seed_from_u64(11));
+        let result = greedy_select(&mut snap, 1, &mut Pcg32::seed_from_u64(12));
+        assert_eq!(result.selection_order, vec![0]);
+    }
+
+    #[test]
+    fn snapshot_update_makes_marginals_shrink() {
+        let ig = path_full(4);
+        let mut est = LtSnapshotEstimator::new(&ig, 100, &mut Pcg32::seed_from_u64(13));
+        let before = est.estimate(1);
+        est.update(0); // head reaches everything, so vertex 1's marginal drops to 0.
+        let after = est.estimate(1);
+        assert!(before > after);
+        assert_eq!(after, 0.0);
+        assert_eq!(est.current_seeds(), &[0]);
+    }
+
+    #[test]
+    fn ris_update_removes_covered_paths() {
+        let ig = path_full(4);
+        let mut est = LtRisEstimator::new(&ig, 1_000, &mut Pcg32::seed_from_u64(14));
+        est.update(0);
+        for v in 0..4u32 {
+            assert_eq!(est.estimate(v), 0.0, "marginal of {v} after covering everything");
+        }
+    }
+
+    #[test]
+    fn estimate_set_handles_unions() {
+        let ig = fan_in();
+        let est = LtRisEstimator::new(&ig, 50_000, &mut Pcg32::seed_from_u64(15));
+        let union = est.estimate_set(&[0, 1]);
+        assert!((union - 3.0).abs() < 0.05, "union estimate {union}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one simulation")]
+    fn lt_oneshot_zero_beta_panics() {
+        let ig = fan_in();
+        let _ = LtOneshotEstimator::new(&ig, 0, Pcg32::seed_from_u64(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one live-edge sample")]
+    fn lt_snapshot_zero_tau_panics() {
+        let ig = fan_in();
+        let _ = LtSnapshotEstimator::new(&ig, 0, &mut Pcg32::seed_from_u64(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one RR set")]
+    fn lt_ris_zero_theta_panics() {
+        let ig = fan_in();
+        let _ = LtRisEstimator::new(&ig, 0, &mut Pcg32::seed_from_u64(1));
+    }
+}

@@ -1,0 +1,193 @@
+//! The Oneshot approach (Algorithm 3.2): Monte-Carlo simulations on the spot.
+//!
+//! Build does nothing. Estimate simulates the diffusion process `β` times from
+//! `S_{ℓ−1} + v` and returns the average number of activated vertices. Update
+//! does nothing beyond remembering the chosen seed. The estimator is unbiased
+//! but — because every Estimate call uses fresh randomness — neither monotone
+//! nor submodular (Section 3.3.1), so CELF-style lazy evaluation is not
+//! admissible for it.
+
+use imgraph::{InfluenceGraph, VertexId};
+use imrand::Rng32;
+
+use crate::cost::{SampleSize, TraversalCost};
+use crate::diffusion::IcSimulator;
+use crate::estimator::InfluenceEstimator;
+
+/// The Oneshot (simulation-based) influence estimator.
+pub struct OneshotEstimator<'g, R: Rng32> {
+    graph: &'g InfluenceGraph,
+    /// Sample number β: simulations per Estimate call.
+    beta: u64,
+    rng: R,
+    simulator: IcSimulator,
+    current_seeds: Vec<VertexId>,
+    cost: TraversalCost,
+}
+
+impl<'g, R: Rng32> OneshotEstimator<'g, R> {
+    /// Build an Oneshot estimator (Algorithm 3.2's Build is a no-op; this just
+    /// captures the graph, the sample number `β ≥ 1` and the run's generator).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta == 0`.
+    pub fn new(graph: &'g InfluenceGraph, beta: u64, rng: R) -> Self {
+        assert!(beta >= 1, "Oneshot needs at least one simulation per estimate");
+        Self {
+            graph,
+            beta,
+            rng,
+            simulator: IcSimulator::for_graph(graph),
+            current_seeds: Vec::new(),
+            cost: TraversalCost::zero(),
+        }
+    }
+
+    /// The seeds committed so far.
+    #[must_use]
+    pub fn current_seeds(&self) -> &[VertexId] {
+        &self.current_seeds
+    }
+
+    /// Estimate the influence spread of an arbitrary seed set (used by tests
+    /// and by the traversal-cost experiment at k = 1 with sample number 1).
+    pub fn estimate_set(&mut self, seeds: &[VertexId]) -> f64 {
+        let mut total = 0usize;
+        for _ in 0..self.beta {
+            let outcome = self.simulator.simulate(self.graph, seeds, &mut self.rng);
+            total += outcome.activated;
+            self.cost += outcome.cost;
+        }
+        total as f64 / self.beta as f64
+    }
+}
+
+impl<'g, R: Rng32> InfluenceEstimator for OneshotEstimator<'g, R> {
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn estimate(&mut self, candidate: VertexId) -> f64 {
+        // Simulate from S_{ℓ−1} + v; the candidate is appended temporarily.
+        self.current_seeds.push(candidate);
+        let value = {
+            let mut total = 0usize;
+            for _ in 0..self.beta {
+                let outcome = self.simulator.simulate(self.graph, &self.current_seeds, &mut self.rng);
+                total += outcome.activated;
+                self.cost += outcome.cost;
+            }
+            total as f64 / self.beta as f64
+        };
+        self.current_seeds.pop();
+        value
+    }
+
+    fn update(&mut self, chosen: VertexId) {
+        self.current_seeds.push(chosen);
+    }
+
+    fn traversal_cost(&self) -> TraversalCost {
+        self.cost
+    }
+
+    fn sample_size(&self) -> SampleSize {
+        // Oneshot stores no samples between Estimate calls; the |A_{≤n}| ≤ n
+        // vertices held during one simulation are transient (Section 3.3.2).
+        SampleSize::zero()
+    }
+
+    fn approach_name(&self) -> &'static str {
+        "Oneshot"
+    }
+
+    fn sample_number(&self) -> u64 {
+        self.beta
+    }
+
+    fn is_submodular(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::greedy::greedy_select;
+    use imgraph::DiGraph;
+    use imrand::Pcg32;
+
+    fn star(prob: f64) -> InfluenceGraph {
+        // 0 -> 1..4
+        let edges: Vec<_> = (1..5u32).map(|v| (0, v)).collect();
+        InfluenceGraph::new(DiGraph::from_edges(5, &edges), vec![prob; 4])
+    }
+
+    #[test]
+    fn estimate_of_hub_exceeds_leaf() {
+        let ig = star(0.5);
+        let mut est = OneshotEstimator::new(&ig, 512, Pcg32::seed_from_u64(1));
+        let hub = est.estimate(0);
+        let leaf = est.estimate(3);
+        assert!(hub > leaf, "hub estimate {hub} should exceed leaf estimate {leaf}");
+        assert!((leaf - 1.0).abs() < 0.05, "a leaf activates only itself");
+        assert!((hub - 3.0).abs() < 0.2, "hub influence should be ≈ 1 + 4·0.5 = 3");
+    }
+
+    #[test]
+    fn estimates_are_relative_to_current_seed_set() {
+        let ig = star(1.0);
+        let mut est = OneshotEstimator::new(&ig, 16, Pcg32::seed_from_u64(2));
+        // With the hub already selected, every additional vertex yields the
+        // same total influence of 5.
+        est.update(0);
+        let value = est.estimate(1);
+        assert!((value - 5.0).abs() < 1e-9);
+        assert_eq!(est.current_seeds(), &[0]);
+    }
+
+    #[test]
+    fn traversal_cost_accumulates_per_simulation() {
+        let ig = star(1e-12);
+        let beta = 8;
+        let mut est = OneshotEstimator::new(&ig, beta, Pcg32::seed_from_u64(3));
+        let _ = est.estimate(0);
+        // Each simulation from {0}: scans vertex 0 and its 4 out-edges.
+        assert_eq!(est.traversal_cost().vertices, beta);
+        assert_eq!(est.traversal_cost().edges, 4 * beta);
+    }
+
+    #[test]
+    fn sample_size_is_zero() {
+        let ig = star(0.5);
+        let est = OneshotEstimator::new(&ig, 4, Pcg32::seed_from_u64(4));
+        assert_eq!(est.sample_size(), SampleSize::zero());
+        assert_eq!(est.approach_name(), "Oneshot");
+        assert_eq!(est.sample_number(), 4);
+        assert!(!est.is_submodular());
+    }
+
+    #[test]
+    fn greedy_with_oneshot_picks_the_hub() {
+        let ig = star(0.9);
+        let mut est = OneshotEstimator::new(&ig, 256, Pcg32::seed_from_u64(5));
+        let result = greedy_select(&mut est, 1, &mut Pcg32::seed_from_u64(6));
+        assert_eq!(result.selection_order, vec![0]);
+    }
+
+    #[test]
+    fn estimate_set_matches_estimate_for_singletons() {
+        let ig = star(1.0);
+        let mut a = OneshotEstimator::new(&ig, 32, Pcg32::seed_from_u64(7));
+        let mut b = OneshotEstimator::new(&ig, 32, Pcg32::seed_from_u64(7));
+        assert!((a.estimate(0) - b.estimate_set(&[0])).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one simulation")]
+    fn zero_beta_panics() {
+        let ig = star(0.5);
+        let _ = OneshotEstimator::new(&ig, 0, Pcg32::seed_from_u64(8));
+    }
+}

@@ -1,0 +1,171 @@
+//! Canonical seed sets.
+//!
+//! The study's central object is the *distribution of seed sets* produced by
+//! repeated algorithm runs (Section 4). To build that distribution, seed sets
+//! must be comparable irrespective of the order in which the greedy loop
+//! selected their elements; [`SeedSet`] therefore stores vertices in sorted
+//! order and hashes/compares on that canonical form, while the selection order
+//! is kept separately by [`crate::greedy::GreedyResult`].
+
+use imgraph::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// A set of seed vertices in canonical (sorted, deduplicated) form.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct SeedSet {
+    vertices: Vec<VertexId>,
+}
+
+impl SeedSet {
+    /// The empty seed set.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self { vertices: Vec::new() }
+    }
+
+    /// Build a canonical seed set from vertices in any order; duplicates are
+    /// removed.
+    #[must_use]
+    pub fn new(mut vertices: Vec<VertexId>) -> Self {
+        vertices.sort_unstable();
+        vertices.dedup();
+        Self { vertices }
+    }
+
+    /// Number of seeds `k`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.vertices.is_empty()
+    }
+
+    /// The seeds in sorted order.
+    #[must_use]
+    pub fn vertices(&self) -> &[VertexId] {
+        &self.vertices
+    }
+
+    /// Whether `v` is a seed (binary search on the sorted representation).
+    #[must_use]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.vertices.binary_search(&v).is_ok()
+    }
+
+    /// A new set with `v` added (no-op if already present).
+    #[must_use]
+    pub fn with(&self, v: VertexId) -> Self {
+        if self.contains(v) {
+            return self.clone();
+        }
+        let mut vertices = self.vertices.clone();
+        let pos = vertices.partition_point(|&x| x < v);
+        vertices.insert(pos, v);
+        Self { vertices }
+    }
+
+    /// Iterate over the seeds.
+    pub fn iter(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.vertices.iter().copied()
+    }
+}
+
+impl From<Vec<VertexId>> for SeedSet {
+    fn from(v: Vec<VertexId>) -> Self {
+        SeedSet::new(v)
+    }
+}
+
+impl From<&[VertexId]> for SeedSet {
+    fn from(v: &[VertexId]) -> Self {
+        SeedSet::new(v.to_vec())
+    }
+}
+
+impl FromIterator<VertexId> for SeedSet {
+    fn from_iter<T: IntoIterator<Item = VertexId>>(iter: T) -> Self {
+        SeedSet::new(iter.into_iter().collect())
+    }
+}
+
+impl std::fmt::Display for SeedSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{{")?;
+        for (i, v) in self.vertices.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form_ignores_order_and_duplicates() {
+        let a = SeedSet::new(vec![3, 1, 2]);
+        let b = SeedSet::new(vec![2, 3, 1, 1, 2]);
+        assert_eq!(a, b);
+        assert_eq!(a.vertices(), &[1, 2, 3]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn hashing_respects_canonical_form() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(SeedSet::new(vec![5, 9]));
+        assert!(set.contains(&SeedSet::new(vec![9, 5])));
+        assert!(!set.contains(&SeedSet::new(vec![9])));
+    }
+
+    #[test]
+    fn contains_and_with() {
+        let s = SeedSet::new(vec![10, 20]);
+        assert!(s.contains(10));
+        assert!(!s.contains(15));
+        let t = s.with(15);
+        assert_eq!(t.vertices(), &[10, 15, 20]);
+        assert_eq!(s.with(10), s, "adding an existing seed is a no-op");
+        assert_eq!(s.len(), 2, "with() must not mutate the original");
+    }
+
+    #[test]
+    fn empty_and_display() {
+        let e = SeedSet::empty();
+        assert!(e.is_empty());
+        assert_eq!(format!("{e}"), "{}");
+        assert_eq!(format!("{}", SeedSet::new(vec![2, 1])), "{1, 2}");
+    }
+
+    #[test]
+    fn conversions() {
+        let from_vec: SeedSet = vec![4u32, 2].into();
+        let from_slice: SeedSet = [2u32, 4].as_slice().into();
+        let from_iter: SeedSet = [4u32, 2, 2].into_iter().collect();
+        assert_eq!(from_vec, from_slice);
+        assert_eq!(from_vec, from_iter);
+        assert_eq!(from_vec.iter().collect::<Vec<_>>(), vec![2, 4]);
+    }
+
+    #[test]
+    fn ordering_is_lexicographic_on_sorted_vertices() {
+        assert!(SeedSet::new(vec![1, 2]) < SeedSet::new(vec![1, 3]));
+        assert!(SeedSet::new(vec![1]) < SeedSet::new(vec![1, 0].into_iter().map(|x| x + 1).collect()));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = SeedSet::new(vec![7, 3, 11]);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<SeedSet>(&json).unwrap(), s);
+    }
+}

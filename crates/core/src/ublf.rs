@@ -1,0 +1,264 @@
+//! Upper-bound based pruning of Estimate calls (UBLF, Zhou et al., ICDM 2013).
+//!
+//! Section 3.3.3 describes "Estimate call pruning" for Oneshot-type
+//! algorithms: upper bounds on the marginal influence, derived without any
+//! simulation, identify vertices that can never be the argmax and so never
+//! need to be simulated. UBLF obtains such bounds from a linear system over
+//! the influence-probability matrix; this module implements the walk-sum form
+//! of that bound and a bound-pruned greedy driver that works with any
+//! [`InfluenceEstimator`].
+//!
+//! The bound: the probability that a seed `v` reaches a vertex `w` is at most
+//! the sum over all walks from `v` to `w` of the product of edge
+//! probabilities, hence
+//!
+//! ```text
+//! Inf({v}) ≤ Σ_{t = 0}^{n − 1} (Pᵗ·1)(v)
+//! ```
+//!
+//! where `P` is the `n × n` matrix with `P[v][w] = p(v, w)`. Because the
+//! influence function is submodular, `Inf({v})` also bounds the marginal gain
+//! of `v` with respect to *any* seed set, so one static bound vector serves
+//! every greedy iteration.
+
+use imgraph::{InfluenceGraph, VertexId};
+use imrand::{seq, Rng32};
+
+use crate::estimator::InfluenceEstimator;
+use crate::greedy::GreedyResult;
+
+/// Compute the UBLF walk-sum upper bound on `Inf({v})` for every vertex.
+///
+/// `max_walk_length` caps the Neumann series. Any cap of at least `n − 1`
+/// yields a true upper bound (reachability only needs simple paths); smaller
+/// caps make the vector a heuristic bound, which is how UBLF is typically run
+/// on graphs where the series converges quickly.
+#[must_use]
+pub fn influence_upper_bounds(graph: &InfluenceGraph, max_walk_length: usize) -> Vec<f64> {
+    let n = graph.num_vertices();
+    // walk[v] after t rounds holds Σ over walks of length exactly t starting
+    // at v of the product of probabilities; bound accumulates the series.
+    let mut walk = vec![1.0f64; n];
+    let mut bound = vec![1.0f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..max_walk_length {
+        for v in 0..n as VertexId {
+            let mut sum = 0.0f64;
+            for (w, p) in graph.out_edges_with_prob(v) {
+                sum += p * walk[w as usize];
+            }
+            next[v as usize] = sum;
+        }
+        std::mem::swap(&mut walk, &mut next);
+        let mut any_progress = false;
+        for v in 0..n {
+            if walk[v] > 1e-15 {
+                any_progress = true;
+            }
+            bound[v] += walk[v];
+        }
+        if !any_progress {
+            break;
+        }
+    }
+    bound
+}
+
+/// Statistics of a bound-pruned greedy run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UblfStats {
+    /// Estimate calls actually issued.
+    pub estimate_calls: u64,
+    /// Candidate evaluations skipped thanks to the upper bounds.
+    pub pruned: u64,
+}
+
+/// Greedy seed selection with static upper-bound pruning.
+///
+/// In every iteration the candidates are scanned in decreasing bound order;
+/// as soon as the bound of the next candidate does not exceed the best
+/// estimate seen in this iteration, the remaining candidates are skipped.
+/// Ties in the resulting argmax are broken towards the candidate appearing
+/// later in the per-run random shuffle, matching Algorithm 3.1.
+///
+/// Pruning is exact when every estimate is at most its bound (true for the
+/// exact influence and for RIS/Snapshot estimates up to sampling noise); with
+/// a noisy estimator the pruned scan may differ from the full scan on
+/// near-ties, which is the trade-off UBLF accepts.
+///
+/// # Panics
+///
+/// Panics if `bounds.len()` differs from the estimator's vertex count.
+pub fn ublf_select<E: InfluenceEstimator, R: Rng32>(
+    estimator: &mut E,
+    k: usize,
+    bounds: &[f64],
+    rng: &mut R,
+) -> (GreedyResult, UblfStats) {
+    let n = estimator.num_vertices();
+    assert_eq!(bounds.len(), n, "need exactly one upper bound per vertex");
+    let k = k.min(n);
+
+    // Shuffle first (tie-breaking), then sort by bound descending, keeping the
+    // shuffled order among equal bounds. The shuffled rank also decides ties
+    // between equal *estimates* (later rank wins, as in Algorithm 3.1).
+    let order = seq::random_permutation(n, rng);
+    let mut rank_of = vec![0u32; n];
+    for (rank, &v) in order.iter().enumerate() {
+        rank_of[v as usize] = rank as u32;
+    }
+    let mut by_bound: Vec<VertexId> = order;
+    by_bound.sort_by(|&a, &b| {
+        bounds[b as usize]
+            .partial_cmp(&bounds[a as usize])
+            .expect("bounds must not be NaN")
+            .then(rank_of[a as usize].cmp(&rank_of[b as usize]))
+    });
+
+    let mut selection_order = Vec::with_capacity(k);
+    let mut estimates = Vec::with_capacity(k);
+    let mut selected = vec![false; n];
+    let mut stats = UblfStats::default();
+
+    for _ in 0..k {
+        let mut best: Option<(VertexId, f64)> = None;
+        let mut scanned = 0u64;
+        for &v in &by_bound {
+            if selected[v as usize] {
+                continue;
+            }
+            if let Some((_, best_value)) = best {
+                if bounds[v as usize] <= best_value {
+                    // Every remaining candidate has an even smaller bound.
+                    break;
+                }
+            }
+            let value = estimator.estimate(v);
+            stats.estimate_calls += 1;
+            scanned += 1;
+            match best {
+                Some((bv, best_value))
+                    if value < best_value
+                        || (value == best_value
+                            && rank_of[v as usize] < rank_of[bv as usize]) => {}
+                _ => best = Some((v, value)),
+            }
+        }
+        let remaining = (n - selection_order.len()) as u64;
+        stats.pruned += remaining.saturating_sub(scanned);
+        let Some((chosen, value)) = best else { break };
+        selected[chosen as usize] = true;
+        estimator.update(chosen);
+        selection_order.push(chosen);
+        estimates.push(value);
+    }
+
+    (GreedyResult { selection_order, estimates, estimate_calls: stats.estimate_calls }, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::testing::TableEstimator;
+    use crate::exact::{exact_influence, exact_singleton_influences};
+    use crate::greedy::greedy_select;
+    use crate::ris::RisEstimator;
+    use imgraph::DiGraph;
+    use imrand::Pcg32;
+
+    fn small_graph() -> InfluenceGraph {
+        let edges = [(0u32, 1u32), (0, 2), (1, 3), (2, 3), (3, 4), (4, 0)];
+        InfluenceGraph::new(DiGraph::from_edges(5, &edges), vec![0.6, 0.3, 0.5, 0.7, 0.4, 0.2])
+    }
+
+    #[test]
+    fn bounds_dominate_exact_singleton_influence() {
+        let ig = small_graph();
+        let bounds = influence_upper_bounds(&ig, ig.num_vertices());
+        let exact = exact_singleton_influences(&ig);
+        for (v, (&b, &inf)) in bounds.iter().zip(&exact).enumerate() {
+            assert!(b + 1e-12 >= inf, "vertex {v}: bound {b} < exact influence {inf}");
+        }
+    }
+
+    #[test]
+    fn bounds_dominate_marginal_gains() {
+        // Submodularity: the marginal gain of v w.r.t. any set is at most
+        // Inf({v}) ≤ bound(v).
+        let ig = small_graph();
+        let bounds = influence_upper_bounds(&ig, ig.num_vertices());
+        for v in 0..5u32 {
+            for other in 0..5u32 {
+                if other == v {
+                    continue;
+                }
+                let gain =
+                    exact_influence(&ig, &[other, v]) - exact_influence(&ig, &[other]);
+                assert!(bounds[v as usize] + 1e-12 >= gain);
+            }
+        }
+    }
+
+    #[test]
+    fn bound_on_isolated_vertex_is_one() {
+        let ig = InfluenceGraph::new(DiGraph::from_edges(3, &[(0, 1)]), vec![0.5]);
+        let bounds = influence_upper_bounds(&ig, 3);
+        assert!((bounds[2] - 1.0).abs() < 1e-12);
+        assert!((bounds[1] - 1.0).abs() < 1e-12);
+        assert!((bounds[0] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn longer_walk_caps_never_decrease_the_bound() {
+        let ig = small_graph();
+        let short = influence_upper_bounds(&ig, 1);
+        let long = influence_upper_bounds(&ig, 10);
+        for v in 0..5 {
+            assert!(long[v] + 1e-12 >= short[v]);
+        }
+    }
+
+    #[test]
+    fn pruned_greedy_matches_plain_greedy_on_exact_tables() {
+        // A value table that respects its own bounds exactly: pruning is then
+        // lossless and the selections must agree.
+        let values = vec![4.0, 9.0, 2.0, 7.0, 5.0, 1.0];
+        let bounds = vec![4.5, 9.5, 2.5, 7.5, 5.5, 1.5];
+        for seed in 0..20u64 {
+            let mut plain = TableEstimator::new(values.clone());
+            let mut pruned = TableEstimator::new(values.clone());
+            let g = greedy_select(&mut plain, 3, &mut Pcg32::seed_from_u64(seed));
+            let (u, stats) =
+                ublf_select(&mut pruned, 3, &bounds, &mut Pcg32::seed_from_u64(seed));
+            assert_eq!(g.seed_set(), u.seed_set(), "seed {seed}");
+            assert!(stats.estimate_calls <= g.estimate_calls);
+            assert!(stats.pruned > 0, "tight bounds should prune something");
+        }
+    }
+
+    #[test]
+    fn pruned_greedy_with_ris_picks_the_same_hub() {
+        let ig = small_graph();
+        let bounds = influence_upper_bounds(&ig, ig.num_vertices());
+        let mut a = RisEstimator::new(&ig, 4_000, &mut Pcg32::seed_from_u64(1));
+        let mut b = RisEstimator::new(&ig, 4_000, &mut Pcg32::seed_from_u64(1));
+        let g = greedy_select(&mut a, 2, &mut Pcg32::seed_from_u64(2));
+        let (u, _) = ublf_select(&mut b, 2, &bounds, &mut Pcg32::seed_from_u64(2));
+        assert_eq!(g.seed_set(), u.seed_set());
+    }
+
+    #[test]
+    fn k_zero_and_empty_bounds() {
+        let mut est = TableEstimator::new(vec![]);
+        let (result, stats) = ublf_select(&mut est, 3, &[], &mut Pcg32::seed_from_u64(1));
+        assert!(result.is_empty());
+        assert_eq!(stats.estimate_calls, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one upper bound per vertex")]
+    fn mismatched_bound_length_panics() {
+        let mut est = TableEstimator::new(vec![1.0, 2.0]);
+        let _ = ublf_select(&mut est, 1, &[1.0], &mut Pcg32::seed_from_u64(1));
+    }
+}

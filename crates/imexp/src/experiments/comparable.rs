@@ -1,0 +1,236 @@
+//! Figures 7–8 and Tables 6–7: comparable number and size ratios.
+//!
+//! Definition (Section 5.2.3): fix an instance; `s₂` is *comparable* to `s₁`
+//! if it is the least sample number at which algorithm 2's mean influence
+//! matches or exceeds algorithm 1's mean at `s₁`. The paper reports
+//!
+//! * Table 6 — the median comparable *number* ratio of Oneshot to Snapshot
+//!   (how many times more simulations than random graphs are needed);
+//! * Table 7 — the median comparable number ratio *and* size ratio of RIS to
+//!   Snapshot (RIS needs many more but far smaller samples).
+
+use imnet::{Dataset, ProbabilityModel};
+use imstats::ratio::{comparable_number_ratio, median_ratio, ComparablePoint};
+
+use crate::config::{ApproachKind, ExperimentScale};
+use crate::experiments::{instance_for, trials_for, ExperimentReport};
+use crate::report::{fmt_float, fmt_option, TextTable};
+use crate::runner::PreparedInstance;
+
+/// The comparable-ratio analysis of `candidate` against `reference` on one
+/// instance at one seed size.
+#[derive(Debug, Clone)]
+pub struct ComparableAnalysis {
+    /// Instance label.
+    pub instance: String,
+    /// Seed size.
+    pub seed_size: usize,
+    /// Per-reference-point ratios.
+    pub points: Vec<ComparablePoint>,
+    /// Median number ratio across reference points.
+    pub median_number_ratio: Option<f64>,
+    /// Median size ratio across reference points (None when the reference
+    /// stores no samples, e.g. Oneshot).
+    pub median_size_ratio: Option<f64>,
+}
+
+/// Run both approaches on the instance and compute the comparable ratios of
+/// `candidate` relative to `reference`.
+#[must_use]
+pub fn compare_approaches(
+    instance: &PreparedInstance,
+    reference: ApproachKind,
+    candidate: ApproachKind,
+    k: usize,
+    scale: ExperimentScale,
+    trials: usize,
+) -> ComparableAnalysis {
+    let sweep_for = |approach: ApproachKind| match approach {
+        ApproachKind::Ris => scale.ris_sweep(trials),
+        _ => scale.simulation_sweep(trials),
+    };
+    let reference_curve = instance.sweep(reference, k, &sweep_for(reference)).sample_curve();
+    let candidate_curve = instance.sweep(candidate, k, &sweep_for(candidate)).sample_curve();
+    let points = comparable_number_ratio(&reference_curve, &candidate_curve);
+    let number_ratios: Vec<f64> = points.iter().map(|p| p.number_ratio).collect();
+    let size_ratios: Vec<f64> = points.iter().filter_map(|p| p.size_ratio).collect();
+    ComparableAnalysis {
+        instance: instance.label(),
+        seed_size: k,
+        median_number_ratio: median_ratio(&number_ratios),
+        median_size_ratio: median_ratio(&size_ratios),
+        points,
+    }
+}
+
+/// Instance list shared by Tables 6 and 7 at a given scale.
+#[must_use]
+pub fn comparable_instances(scale: ExperimentScale) -> Vec<(Dataset, ProbabilityModel, usize)> {
+    let mut cases = vec![
+        (Dataset::Karate, ProbabilityModel::uc01(), 1),
+        (Dataset::Karate, ProbabilityModel::uc01(), 4),
+        (Dataset::Karate, ProbabilityModel::InDegreeWeighted, 1),
+        (Dataset::Physicians, ProbabilityModel::uc001(), 1),
+        (Dataset::Physicians, ProbabilityModel::InDegreeWeighted, 4),
+        (Dataset::BaSparse, ProbabilityModel::InDegreeWeighted, 1),
+    ];
+    if scale != ExperimentScale::Quick {
+        cases.extend([
+            (Dataset::Karate, ProbabilityModel::uc001(), 4),
+            (Dataset::Karate, ProbabilityModel::OutDegreeWeighted, 4),
+            (Dataset::Physicians, ProbabilityModel::uc01(), 16),
+            (Dataset::Physicians, ProbabilityModel::OutDegreeWeighted, 4),
+            (Dataset::CaGrQc, ProbabilityModel::uc001(), 1),
+            (Dataset::CaGrQc, ProbabilityModel::OutDegreeWeighted, 1),
+            (Dataset::WikiVote, ProbabilityModel::InDegreeWeighted, 1),
+            (Dataset::BaSparse, ProbabilityModel::uc001(), 1),
+            (Dataset::BaDense, ProbabilityModel::InDegreeWeighted, 1),
+            (Dataset::BaDense, ProbabilityModel::uc001(), 4),
+        ]);
+    }
+    cases
+}
+
+/// Table 6 (and Figure 7): comparable number ratio of Oneshot to Snapshot.
+#[must_use]
+pub fn table6(scale: ExperimentScale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "table6",
+        "comparable number ratio of Oneshot to Snapshot (Figure 7, Table 6)",
+    );
+    let mut table = TextTable::new(
+        "Median comparable number ratio beta/tau (Snapshot as reference)",
+        &["network", "prob.", "k", "median beta/tau", "reference points"],
+    );
+    for (dataset, model, k) in comparable_instances(scale) {
+        let instance =
+            PreparedInstance::prepare(instance_for(dataset, model, scale), scale.oracle_pool(), 10);
+        let trials = trials_for(dataset, scale);
+        let analysis = compare_approaches(
+            &instance,
+            ApproachKind::Snapshot,
+            ApproachKind::Oneshot,
+            k,
+            scale,
+            trials,
+        );
+        table.add_row(vec![
+            dataset.name().to_string(),
+            model.label(),
+            k.to_string(),
+            fmt_option(analysis.median_number_ratio.map(fmt_float)),
+            analysis.points.len().to_string(),
+        ]);
+    }
+    report.tables.push(table);
+    report.notes.push(
+        "Paper finding: the comparable number ratio of Oneshot to Snapshot lies between 1 and 32 \
+         for k = 1 and grows with k (up to 96 at k = 64): Snapshot needs fewer samples because its \
+         estimator is monotone and submodular."
+            .to_string(),
+    );
+    report
+}
+
+/// Table 7 (and Figure 8): comparable number and size ratios of RIS to
+/// Snapshot.
+#[must_use]
+pub fn table7(scale: ExperimentScale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "table7",
+        "comparable number and size ratios of RIS to Snapshot (Figure 8, Table 7)",
+    );
+    let mut table = TextTable::new(
+        "Median comparable ratios of RIS to Snapshot",
+        &["network", "prob.", "k", "number ratio theta/tau", "size ratio (theta*EPT)/(tau*m~)"],
+    );
+    for (dataset, model, k) in comparable_instances(scale) {
+        let instance =
+            PreparedInstance::prepare(instance_for(dataset, model, scale), scale.oracle_pool(), 12);
+        let trials = trials_for(dataset, scale);
+        let analysis = compare_approaches(
+            &instance,
+            ApproachKind::Snapshot,
+            ApproachKind::Ris,
+            k,
+            scale,
+            trials,
+        );
+        table.add_row(vec![
+            dataset.name().to_string(),
+            model.label(),
+            k.to_string(),
+            fmt_option(analysis.median_number_ratio.map(fmt_float)),
+            fmt_option(analysis.median_size_ratio.map(fmt_float)),
+        ]);
+    }
+    report.tables.push(table);
+    report.notes.push(
+        "Paper finding: RIS needs orders of magnitude more samples than Snapshot (ratios of 16 to \
+         over 10^5) but each RR set is tiny, so the comparable *size* ratio is often below 1: RIS \
+         is more space-saving than Snapshot on large or low-probability networks."
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InstanceConfig;
+
+    #[test]
+    fn oneshot_needs_at_least_as_many_samples_as_snapshot_on_karate() {
+        let instance = PreparedInstance::prepare(
+            InstanceConfig::new(Dataset::Karate, ProbabilityModel::uc01()),
+            10_000,
+            1,
+        );
+        let analysis = compare_approaches(
+            &instance,
+            ApproachKind::Snapshot,
+            ApproachKind::Oneshot,
+            1,
+            ExperimentScale::Quick,
+            40,
+        );
+        let median = analysis.median_number_ratio.expect("ratios should exist");
+        assert!(
+            median >= 0.5,
+            "Oneshot should not need dramatically fewer samples than Snapshot (median {median})"
+        );
+        assert!(!analysis.points.is_empty());
+        // Oneshot stores nothing, so no size ratio is defined in this direction.
+        assert!(analysis.median_size_ratio.is_none());
+    }
+
+    #[test]
+    fn ris_needs_more_but_smaller_samples_than_snapshot() {
+        let instance = PreparedInstance::prepare(
+            InstanceConfig::new(Dataset::Karate, ProbabilityModel::uc01()),
+            10_000,
+            2,
+        );
+        let analysis = compare_approaches(
+            &instance,
+            ApproachKind::Snapshot,
+            ApproachKind::Ris,
+            1,
+            ExperimentScale::Quick,
+            40,
+        );
+        let number = analysis.median_number_ratio.expect("number ratios exist");
+        assert!(number > 1.0, "RIS should need more samples than Snapshot (got {number})");
+        let size = analysis.median_size_ratio.expect("size ratios exist");
+        assert!(
+            size < number,
+            "the size ratio ({size}) must be far below the number ratio ({number})"
+        );
+    }
+
+    #[test]
+    fn instance_list_grows_with_scale() {
+        assert!(comparable_instances(ExperimentScale::Quick).len()
+            < comparable_instances(ExperimentScale::Standard).len());
+    }
+}

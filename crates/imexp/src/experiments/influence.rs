@@ -1,0 +1,279 @@
+//! Table 4 and Figures 4–6: influence-spread distributions.
+
+use imnet::{Dataset, ProbabilityModel};
+
+use crate::config::{ApproachKind, ExperimentScale, SweepConfig};
+use crate::experiments::{instance_for, trials_for, ExperimentReport};
+use crate::report::{fmt_float, TextTable};
+use crate::runner::PreparedInstance;
+
+/// Table 4: the top-3 single-vertex influence spreads of BA_s and BA_d under
+/// every probability model — the quantity the paper uses to explain the
+/// entropy decay speed of Figure 3.
+#[must_use]
+pub fn table4(scale: ExperimentScale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "table4",
+        "top-3 single-vertex influence spreads on BA_s / BA_d (Table 4)",
+    );
+    for dataset in [Dataset::BaSparse, Dataset::BaDense] {
+        let mut table = TextTable::new(
+            format!("Top-3 Inf(v) on {}", dataset.name()),
+            &["rank", "uc0.1", "uc0.01", "iwc", "owc"],
+        );
+        let mut columns: Vec<Vec<f64>> = Vec::new();
+        for model in ProbabilityModel::paper_models() {
+            let instance = PreparedInstance::prepare(
+                instance_for(dataset, model, scale),
+                scale.oracle_pool(),
+                4,
+            );
+            let top = instance.oracle.top_influential_vertices(3);
+            columns.push(top.into_iter().map(|(_, inf)| inf).collect());
+        }
+        for rank in 0..3 {
+            let mut row = vec![format!("Inf(v{})", rank + 1)];
+            for column in &columns {
+                row.push(fmt_float(column.get(rank).copied().unwrap_or(f64::NAN)));
+            }
+            table.add_row(row);
+        }
+        report.tables.push(table);
+        // The paper's observation: the relative gap between rank 1 and rank 2
+        // predicts how quickly the seed-set distribution degenerates.
+        for (model, column) in ProbabilityModel::paper_models().iter().zip(&columns) {
+            if column.len() >= 2 && column[0] > 0.0 {
+                report.notes.push(format!(
+                    "{} ({}): relative top-1/top-2 gap = {:.4}",
+                    dataset.name(),
+                    model.label(),
+                    (column[0] - column[1]) / column[0],
+                ));
+            }
+        }
+    }
+    report
+}
+
+/// Figure 4: influence distributions (notched-box-plot statistics) on
+/// Physicians (uc0.1, k = 16), one table per approach.
+#[must_use]
+pub fn fig4(scale: ExperimentScale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig4",
+        "influence distribution vs sample number on Physicians (uc0.1, k = 16) (Figure 4)",
+    );
+    let k = 16;
+    let instance = PreparedInstance::prepare(
+        instance_for(Dataset::Physicians, ProbabilityModel::uc01(), scale),
+        scale.oracle_pool(),
+        5,
+    );
+    let trials = trials_for(Dataset::Physicians, scale);
+    for approach in ApproachKind::all() {
+        let sweep = match approach {
+            ApproachKind::Ris => scale.ris_sweep(trials),
+            _ => scale.simulation_sweep(trials),
+        };
+        let analyzed = instance.sweep(approach, k, &sweep);
+        let mut table = TextTable::new(
+            format!("Influence distribution, {} on Physicians (uc0.1, k = 16)", approach.name()),
+            &["sample number", "mean", "median", "sd", "p1", "q1", "q3", "p99"],
+        );
+        for a in &analyzed.analyses {
+            let s = &a.influence_stats;
+            table.add_row(vec![
+                a.sample_number.to_string(),
+                fmt_float(s.mean),
+                fmt_float(s.median),
+                fmt_float(s.std_dev),
+                fmt_float(s.p01),
+                fmt_float(s.q1),
+                fmt_float(s.q3),
+                fmt_float(s.p99),
+            ]);
+        }
+        report.tables.push(table);
+        let first = analyzed.analyses.first().expect("non-empty sweep");
+        let last = analyzed.analyses.last().expect("non-empty sweep");
+        report.notes.push(format!(
+            "{}: mean influence improves from {} (s = {}) to {} (s = {})",
+            approach.name(),
+            fmt_float(first.influence_stats.mean),
+            first.sample_number,
+            fmt_float(last.influence_stats.mean),
+            last.sample_number,
+        ));
+    }
+    report
+}
+
+/// Figure 5: contrasting convergence of RIS on ca-GrQc under uc0.1 (fast,
+/// giant-component core) and owc (slow, similarly influential vertices).
+#[must_use]
+pub fn fig5(scale: ExperimentScale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig5",
+        "RIS influence distributions on ca-GrQc: quick convergence on uc0.1 vs slow improvement on owc (Figure 5)",
+    );
+    let trials = trials_for(Dataset::CaGrQc, scale);
+    for model in [ProbabilityModel::uc01(), ProbabilityModel::OutDegreeWeighted] {
+        let instance = PreparedInstance::prepare(
+            instance_for(Dataset::CaGrQc, model, scale),
+            scale.oracle_pool(),
+            6,
+        );
+        let analyzed = instance.sweep(ApproachKind::Ris, 1, &scale.ris_sweep(trials));
+        let mut table = TextTable::new(
+            format!("RIS on ca-GrQc ({}), k = 1", model.label()),
+            &["theta", "mean", "p1", "median", "p99", "mean / final mean"],
+        );
+        let final_mean = analyzed.analyses.last().expect("non-empty").influence_stats.mean;
+        for a in &analyzed.analyses {
+            let s = &a.influence_stats;
+            table.add_row(vec![
+                a.sample_number.to_string(),
+                fmt_float(s.mean),
+                fmt_float(s.p01),
+                fmt_float(s.median),
+                fmt_float(s.p99),
+                fmt_float(if final_mean > 0.0 { s.mean / final_mean } else { 0.0 }),
+            ]);
+        }
+        report.tables.push(table);
+        let first_fraction =
+            analyzed.analyses.first().expect("non-empty").influence_stats.mean / final_mean;
+        report.notes.push(format!(
+            "ca-GrQc ({}): the θ = 1 mean is {:.0}% of the converged mean",
+            model.label(),
+            100.0 * first_fraction,
+        ));
+    }
+    report.notes.push(
+        "Paper finding: under uc0.1 the mean starts below 20% of the maximum and improves quickly \
+         (core vertices are easy to identify); under owc it starts above 50% but improves slowly \
+         (all vertices are similarly influential)."
+            .to_string(),
+    );
+    report
+}
+
+/// Figure 6: the relation between the mean and other statistics (standard
+/// deviation, 1st percentile) is nearly independent of the algorithm, which
+/// justifies comparing influence distributions by their means alone.
+#[must_use]
+pub fn fig6(scale: ExperimentScale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "fig6",
+        "mean vs SD and mean vs 1st percentile across algorithms on Physicians (Figure 6)",
+    );
+    let cases = [(ProbabilityModel::OutDegreeWeighted, 4usize), (ProbabilityModel::uc01(), 16usize)];
+    for (model, k) in cases {
+        let instance = PreparedInstance::prepare(
+            instance_for(Dataset::Physicians, model, scale),
+            scale.oracle_pool(),
+            7,
+        );
+        let trials = trials_for(Dataset::Physicians, scale);
+        let mut table = TextTable::new(
+            format!("Mean vs other statistics, Physicians ({}), k = {k}", model.label()),
+            &["approach", "sample number", "mean", "sd", "p1"],
+        );
+        for approach in ApproachKind::all() {
+            let sweep = match approach {
+                ApproachKind::Ris => scale.ris_sweep(trials),
+                _ => scale.simulation_sweep(trials),
+            };
+            let analyzed = instance.sweep(approach, k, &sweep);
+            for a in &analyzed.analyses {
+                table.add_row(vec![
+                    approach.name().to_string(),
+                    a.sample_number.to_string(),
+                    fmt_float(a.influence_stats.mean),
+                    fmt_float(a.influence_stats.std_dev),
+                    fmt_float(a.influence_stats.p01),
+                ]);
+            }
+        }
+        report.tables.push(table);
+    }
+    report.notes.push(
+        "Paper finding: plotting SD (or the 1st percentile) against the mean yields nearly the \
+         same curve for Oneshot, Snapshot and RIS, so the mean alone ranks influence \
+         distributions."
+            .to_string(),
+    );
+    report
+}
+
+/// Helper shared by tests and benches: a cut-down Figure 4-style sweep with an
+/// explicit sweep configuration (so callers control the cost precisely).
+#[must_use]
+pub fn influence_distribution_table(
+    instance: &PreparedInstance,
+    approach: ApproachKind,
+    k: usize,
+    sweep: &SweepConfig,
+) -> TextTable {
+    let analyzed = instance.sweep(approach, k, sweep);
+    let mut table = TextTable::new(
+        format!("Influence distribution, {} on {}", approach.name(), instance.label()),
+        &["sample number", "mean", "median", "sd", "p1", "p99"],
+    );
+    for a in &analyzed.analyses {
+        let s = &a.influence_stats;
+        table.add_row(vec![
+            a.sample_number.to_string(),
+            fmt_float(s.mean),
+            fmt_float(s.median),
+            fmt_float(s.std_dev),
+            fmt_float(s.p01),
+            fmt_float(s.p99),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InstanceConfig;
+
+    #[test]
+    fn table4_reports_three_ranks_for_both_networks() {
+        let report = table4(ExperimentScale::Quick);
+        assert_eq!(report.tables.len(), 2);
+        for table in &report.tables {
+            assert_eq!(table.num_rows(), 3);
+        }
+        // BA_d under uc0.1 has a dense giant component, so its top influence
+        // must be far larger than under uc0.01; check via the rendered cells.
+        let ba_d = &report.tables[1];
+        let top_uc01: f64 = ba_d.rows()[0][1].parse().unwrap();
+        let top_uc001: f64 = ba_d.rows()[0][2].parse().unwrap();
+        assert!(
+            top_uc01 > top_uc001,
+            "uc0.1 top influence {top_uc01} should exceed uc0.01 {top_uc001}"
+        );
+    }
+
+    #[test]
+    fn influence_distribution_table_has_one_row_per_sample_number() {
+        let instance = PreparedInstance::prepare(
+            InstanceConfig::new(Dataset::Karate, ProbabilityModel::uc01()),
+            5_000,
+            1,
+        );
+        let sweep = SweepConfig {
+            sample_numbers: vec![1, 32],
+            trials: 20,
+            base_seed: 5,
+            parallel: true,
+        };
+        let table = influence_distribution_table(&instance, ApproachKind::Snapshot, 4, &sweep);
+        assert_eq!(table.num_rows(), 2);
+        let mean_small: f64 = table.rows()[0][1].parse().unwrap();
+        let mean_large: f64 = table.rows()[1][1].parse().unwrap();
+        assert!(mean_large >= mean_small * 0.9, "mean should not collapse with more samples");
+    }
+}

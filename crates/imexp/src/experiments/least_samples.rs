@@ -1,0 +1,253 @@
+//! Table 5 and the Section 5.2.1 bound-gap analysis.
+//!
+//! Table 5 reports, per instance and per approach, the least sample number at
+//! which the algorithm returns a *near-optimal* seed set (influence at least
+//! 0.95 × the exact-greedy influence) with probability at least 99 % over the
+//! trials, together with the entropy of the seed-set distribution at that
+//! sample number. Section 5.2.1 then contrasts those empirical numbers with
+//! the worst-case bounds of Section 3, which are orders of magnitude larger.
+
+use im_core::bounds::{oneshot_sample_bound, ris_sample_bound, snapshot_sample_bound, BoundParams};
+use imnet::{Dataset, ProbabilityModel};
+
+use crate::config::{ApproachKind, ExperimentScale};
+use crate::experiments::{instance_for, trials_for, ExperimentReport};
+use crate::report::{fmt_float, fmt_option, TextTable};
+use crate::runner::PreparedInstance;
+
+/// The Table 5 result of one approach on one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeastSampleResult {
+    /// The approach.
+    pub approach: ApproachKind,
+    /// The least sample number reaching the near-optimality criterion, if any
+    /// sample number in the sweep did.
+    pub least_sample_number: Option<u64>,
+    /// The entropy of the seed-set distribution at that sample number.
+    pub entropy_at_least: Option<f64>,
+}
+
+/// The near-optimality criterion of Table 5.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NearOptimalCriterion {
+    /// Fraction of the exact-greedy influence that counts as near-optimal
+    /// (paper: 0.95).
+    pub quality_fraction: f64,
+    /// Required probability of returning a near-optimal set (paper: 0.99).
+    pub confidence: f64,
+}
+
+impl Default for NearOptimalCriterion {
+    fn default() -> Self {
+        Self { quality_fraction: 0.95, confidence: 0.99 }
+    }
+}
+
+/// Compute the Table 5 row of one instance: the least sample number and its
+/// entropy for each approach.
+#[must_use]
+pub fn least_sample_numbers(
+    instance: &PreparedInstance,
+    k: usize,
+    scale: ExperimentScale,
+    trials: usize,
+    criterion: NearOptimalCriterion,
+) -> Vec<LeastSampleResult> {
+    let (_, exact_influence) = instance.exact_greedy(k);
+    let threshold = criterion.quality_fraction * exact_influence;
+    ApproachKind::all()
+        .into_iter()
+        .map(|approach| {
+            let sweep = match approach {
+                ApproachKind::Ris => scale.ris_sweep(trials),
+                _ => scale.simulation_sweep(trials),
+            };
+            let analyzed = instance.sweep(approach, k, &sweep);
+            let hit = analyzed.least_sample_number_reaching(threshold, criterion.confidence);
+            LeastSampleResult {
+                approach,
+                least_sample_number: hit.map(|(s, _)| s),
+                entropy_at_least: hit.map(|(_, h)| h),
+            }
+        })
+        .collect()
+}
+
+/// The instance list of Table 5 at a given scale (the paper's full list spans
+/// 25 rows; the quick scale keeps the cheap, structurally distinct ones).
+#[must_use]
+pub fn table5_instances(scale: ExperimentScale) -> Vec<(Dataset, ProbabilityModel, usize)> {
+    let mut cases = vec![
+        (Dataset::Karate, ProbabilityModel::uc01(), 1),
+        (Dataset::Karate, ProbabilityModel::uc01(), 4),
+        (Dataset::Karate, ProbabilityModel::uc001(), 1),
+        (Dataset::Karate, ProbabilityModel::InDegreeWeighted, 1),
+        (Dataset::Karate, ProbabilityModel::OutDegreeWeighted, 1),
+        (Dataset::BaSparse, ProbabilityModel::uc01(), 1),
+        (Dataset::BaSparse, ProbabilityModel::InDegreeWeighted, 1),
+    ];
+    if scale != ExperimentScale::Quick {
+        cases.extend([
+            (Dataset::Karate, ProbabilityModel::uc001(), 4),
+            (Dataset::Karate, ProbabilityModel::OutDegreeWeighted, 4),
+            (Dataset::Physicians, ProbabilityModel::uc001(), 1),
+            (Dataset::Physicians, ProbabilityModel::InDegreeWeighted, 4),
+            (Dataset::Physicians, ProbabilityModel::OutDegreeWeighted, 1),
+            (Dataset::WikiVote, ProbabilityModel::uc001(), 1),
+            (Dataset::WikiVote, ProbabilityModel::InDegreeWeighted, 1),
+            (Dataset::BaSparse, ProbabilityModel::uc001(), 1),
+            (Dataset::BaSparse, ProbabilityModel::OutDegreeWeighted, 1),
+            (Dataset::BaSparse, ProbabilityModel::InDegreeWeighted, 16),
+            (Dataset::BaDense, ProbabilityModel::uc001(), 1),
+            (Dataset::BaDense, ProbabilityModel::InDegreeWeighted, 1),
+        ]);
+    }
+    cases
+}
+
+/// Run the Table 5 driver.
+#[must_use]
+pub fn table5(scale: ExperimentScale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "table5",
+        "least sample number for near-optimal seed sets with probability 99% (Table 5)",
+    );
+    let criterion = NearOptimalCriterion::default();
+    let mut table = TextTable::new(
+        "Least sample number (log2) and entropy at that sample number",
+        &[
+            "network", "prob.", "k",
+            "log2 beta*", "H*(Oneshot)",
+            "log2 tau*", "H*(Snapshot)",
+            "log2 theta*", "H*(RIS)",
+        ],
+    );
+    for (dataset, model, k) in table5_instances(scale) {
+        let instance =
+            PreparedInstance::prepare(instance_for(dataset, model, scale), scale.oracle_pool(), 8);
+        let trials = trials_for(dataset, scale);
+        let results = least_sample_numbers(&instance, k, scale, trials, criterion);
+        let mut row = vec![dataset.name().to_string(), model.label(), k.to_string()];
+        for result in &results {
+            row.push(fmt_option(result.least_sample_number.map(|s| (s as f64).log2() as u64)));
+            row.push(fmt_option(result.entropy_at_least.map(fmt_float)));
+        }
+        table.add_row(row);
+    }
+    report.tables.push(table);
+    report.notes.push(
+        "Paper finding: β* ranges from 2^6 to 2^13 and τ* from 2^4 to 2^13 depending on the \
+         instance, so a fixed sample number for Oneshot/Snapshot is never universally right; the \
+         entropy at the least sample number need not be close to 0."
+            .to_string(),
+    );
+    report
+}
+
+/// The Section 5.2.1 bound-gap analysis: empirical least sample numbers vs
+/// the worst-case bounds of Section 3 with ε = 0.05, δ = 0.01.
+#[must_use]
+pub fn bound_gap(scale: ExperimentScale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "bound_gap",
+        "worst-case sample-number bounds vs empirical least sample numbers (Section 5.2.1)",
+    );
+    let criterion = NearOptimalCriterion::default();
+    let mut table = TextTable::new(
+        "Empirical vs worst-case sample numbers (eps = 0.05, delta = 0.01)",
+        &[
+            "instance", "k",
+            "empirical beta*", "bound beta",
+            "empirical tau*", "bound tau",
+            "empirical theta*", "bound theta",
+        ],
+    );
+    let cases = [
+        (Dataset::Karate, ProbabilityModel::uc001(), 4usize),
+        (Dataset::BaSparse, ProbabilityModel::InDegreeWeighted, 4usize),
+    ];
+    for (dataset, model, k) in cases {
+        let instance =
+            PreparedInstance::prepare(instance_for(dataset, model, scale), scale.oracle_pool(), 9);
+        let trials = trials_for(dataset, scale);
+        let results = least_sample_numbers(&instance, k, scale, trials, criterion);
+        let (_, opt) = instance.exact_greedy(k);
+        let params = BoundParams {
+            num_vertices: instance.graph.num_vertices() as f64,
+            num_edges: instance.graph.num_edges() as f64,
+            seed_size: k as f64,
+            epsilon: 0.05,
+            delta: 0.01,
+            opt_k: opt.max(1.0),
+        };
+        table.add_row(vec![
+            instance.label(),
+            k.to_string(),
+            fmt_option(results[0].least_sample_number),
+            format!("{:.2e}", oneshot_sample_bound(&params)),
+            fmt_option(results[1].least_sample_number),
+            format!("{:.2e}", snapshot_sample_bound(&params)),
+            fmt_option(results[2].least_sample_number),
+            format!("{:.2e}", ris_sample_bound(&params)),
+        ]);
+    }
+    report.tables.push(table);
+    report.notes.push(
+        "Paper finding: empirical least sample numbers are several orders of magnitude below the \
+         worst-case bounds (e.g. 256 empirical vs ≈10^8 bound for Oneshot on Wiki-Vote uc0.01)."
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InstanceConfig;
+
+    #[test]
+    fn least_sample_numbers_on_karate_are_found_and_ordered_sensibly() {
+        let instance = PreparedInstance::prepare(
+            InstanceConfig::new(Dataset::Karate, ProbabilityModel::uc01()),
+            10_000,
+            3,
+        );
+        // Small custom scale: the Quick sweep already caps at 2^8 / 2^12.
+        let results = least_sample_numbers(
+            &instance,
+            1,
+            ExperimentScale::Quick,
+            40,
+            NearOptimalCriterion { quality_fraction: 0.9, confidence: 0.9 },
+        );
+        assert_eq!(results.len(), 3);
+        // On Karate uc0.1 k=1, each approach should reach near-optimality
+        // within its quick sweep.
+        for r in &results {
+            assert!(
+                r.least_sample_number.is_some(),
+                "{} should reach the criterion on Karate",
+                r.approach.name()
+            );
+            assert!(r.entropy_at_least.unwrap() >= 0.0);
+        }
+        // RIS needs more samples than Snapshot (its samples are much smaller);
+        // this is the paper's log2 θ* ≫ log2 τ* pattern.
+        let tau = results[1].least_sample_number.unwrap();
+        let theta = results[2].least_sample_number.unwrap();
+        assert!(theta >= tau, "θ* = {theta} should be at least τ* = {tau}");
+    }
+
+    #[test]
+    fn criterion_default_matches_paper() {
+        let c = NearOptimalCriterion::default();
+        assert_eq!(c.quality_fraction, 0.95);
+        assert_eq!(c.confidence, 0.99);
+    }
+
+    #[test]
+    fn table5_instance_list_grows_with_scale() {
+        assert!(table5_instances(ExperimentScale::Quick).len()
+            < table5_instances(ExperimentScale::Paper).len());
+    }
+}

@@ -1,0 +1,166 @@
+//! Table 1: the theoretical per-sample cost model of the three approaches.
+//!
+//! Table 1 of the paper states, per unit sample and at k = 1:
+//!
+//! * vertex traversal cost — Oneshot and Snapshot both pay `Σ_v Inf(v)`, RIS
+//!   pays `EPT = (1/n)·Σ_v Inf(v)`, i.e. a ratio of `1 : 1 : 1/n`;
+//! * sample size — Oneshot stores nothing, Snapshot stores `m̃ = Σ_e p(e)`
+//!   edges per random graph, RIS stores `EPT` vertices per RR set, with
+//!   `EPT ≤ 1 + m̃`.
+//!
+//! This driver evaluates those model quantities on every (data set ×
+//! probability model) instance via the shared oracle and verifies the claimed
+//! relations, which is the analytic backdrop for the empirical Table 8.
+
+use imnet::{Dataset, ProbabilityModel};
+
+use crate::config::ExperimentScale;
+use crate::experiments::{instance_for, ExperimentReport};
+use crate::report::{fmt_float, TextTable};
+use crate::runner::PreparedInstance;
+
+/// The model quantities for one instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CostModelRow {
+    /// Instance label.
+    pub instance: String,
+    /// `Σ_v Inf(v)`: expected vertex traversal per Oneshot/Snapshot sample.
+    pub sum_singleton_influence: f64,
+    /// `m̃ = Σ_e p(e)`: expected live edges per Snapshot sample.
+    pub expected_live_edges: f64,
+    /// `EPT = (1/n)·Σ_v Inf(v)`: expected RR-set size.
+    pub ept: f64,
+    /// `n`, for the 1/n column.
+    pub num_vertices: usize,
+    /// `m`, for the m̃/m ratio.
+    pub num_edges: usize,
+}
+
+impl CostModelRow {
+    /// Whether the appendix inequality `EPT ≤ 1 + m̃` holds (up to the oracle's
+    /// sampling error).
+    #[must_use]
+    pub fn ept_bound_holds(&self, tolerance: f64) -> bool {
+        self.ept <= 1.0 + self.expected_live_edges + tolerance
+    }
+
+    /// The RIS-to-Oneshot vertex-cost ratio, theoretically `1/n`.
+    #[must_use]
+    pub fn ris_vertex_ratio(&self) -> f64 {
+        self.ept / self.sum_singleton_influence
+    }
+}
+
+/// Compute the cost-model row of one prepared instance.
+#[must_use]
+pub fn cost_model_row(instance: &PreparedInstance) -> CostModelRow {
+    let influences = instance.oracle.singleton_influences();
+    let sum: f64 = influences.iter().sum();
+    CostModelRow {
+        instance: instance.label(),
+        sum_singleton_influence: sum,
+        expected_live_edges: instance.graph.probability_sum(),
+        ept: instance.oracle.expected_rr_size(),
+        num_vertices: instance.graph.num_vertices(),
+        num_edges: instance.graph.num_edges(),
+    }
+}
+
+/// Run the Table 1 driver: small data sets × the four probability models.
+#[must_use]
+pub fn run(scale: ExperimentScale) -> ExperimentReport {
+    let mut report = ExperimentReport::new(
+        "table1",
+        "theoretical per-sample traversal cost and sample size (Table 1)",
+    );
+    let datasets = [Dataset::Karate, Dataset::Physicians, Dataset::BaSparse, Dataset::BaDense];
+    let mut table = TextTable::new(
+        "Per-sample cost model at k = 1",
+        &[
+            "instance",
+            "sum Inf(v)",
+            "m~ (=sum p(e))",
+            "EPT",
+            "EPT <= 1+m~",
+            "RIS/Oneshot vertex ratio",
+            "1/n",
+        ],
+    );
+    for dataset in datasets {
+        for model in ProbabilityModel::paper_models() {
+            let instance = PreparedInstance::prepare(
+                instance_for(dataset, model, scale),
+                scale.oracle_pool().min(100_000),
+                11,
+            );
+            let row = cost_model_row(&instance);
+            table.add_row(vec![
+                row.instance.clone(),
+                fmt_float(row.sum_singleton_influence),
+                fmt_float(row.expected_live_edges),
+                fmt_float(row.ept),
+                row.ept_bound_holds(0.05 * row.ept.max(1.0)).to_string(),
+                format!("{:.2e}", row.ris_vertex_ratio()),
+                format!("{:.2e}", 1.0 / row.num_vertices as f64),
+            ]);
+        }
+    }
+    report.tables.push(table);
+    report.notes.push(
+        "Table 1 predicts a per-sample vertex-cost ratio of 1 : 1 : 1/n for Oneshot : Snapshot : RIS; \
+         the last two columns verify EPT / sum Inf(v) ≈ 1/n on every instance."
+            .to_string(),
+    );
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::InstanceConfig;
+
+    #[test]
+    fn cost_model_on_karate_uc01() {
+        let instance = PreparedInstance::prepare(
+            InstanceConfig::new(Dataset::Karate, ProbabilityModel::uc01()),
+            20_000,
+            1,
+        );
+        let row = cost_model_row(&instance);
+        // m̃ = 0.1 · 156 = 15.6 exactly.
+        assert!((row.expected_live_edges - 15.6).abs() < 1e-9);
+        // EPT = (1/n)·Σ Inf(v) by definition of both quantities.
+        assert!(
+            (row.ept - row.sum_singleton_influence / 34.0).abs() < 1e-9,
+            "EPT {} vs sum/n {}",
+            row.ept,
+            row.sum_singleton_influence / 34.0
+        );
+        assert!(row.ept_bound_holds(0.1), "EPT ≤ 1 + m̃ must hold");
+        assert!((row.ris_vertex_ratio() - 1.0 / 34.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iwc_live_edges_equal_vertices_with_in_neighbors() {
+        let instance = PreparedInstance::prepare(
+            InstanceConfig::new(Dataset::Karate, ProbabilityModel::InDegreeWeighted),
+            5_000,
+            1,
+        );
+        let row = cost_model_row(&instance);
+        // Under iwc every vertex with in-degree ≥ 1 contributes exactly 1 to m̃;
+        // in Karate every vertex has in-neighbours, so m̃ = n = 34.
+        assert!((row.expected_live_edges - 34.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quick_run_produces_all_rows() {
+        let report = run(ExperimentScale::Quick);
+        assert_eq!(report.tables.len(), 1);
+        assert_eq!(report.tables[0].num_rows(), 4 * 4);
+        // Every row should satisfy the EPT bound.
+        for row in report.tables[0].rows() {
+            assert_eq!(row[4], "true", "EPT bound violated in row {row:?}");
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! `imexp` — run the paper's experiments from the command line.
+//!
+//! ```text
+//! imexp <experiment> [--scale quick|standard|paper] [--json]
+//! imexp all [--scale quick]
+//! imexp list
+//! ```
+//!
+//! Each experiment name corresponds to one table or figure of the paper; see
+//! `imexp list` or DESIGN.md for the mapping.
+
+use std::process::ExitCode;
+
+use imexp::config::ExperimentScale;
+use imexp::experiments::{experiment_names, run_by_name};
+
+fn print_usage() {
+    eprintln!("usage: imexp <experiment|all|list> [--scale quick|standard|paper] [--json]");
+    eprintln!("experiments: {}", experiment_names().join(", "));
+}
+
+fn parse_scale(value: &str) -> Option<ExperimentScale> {
+    match value {
+        "quick" => Some(ExperimentScale::Quick),
+        "standard" => Some(ExperimentScale::Standard),
+        "paper" => Some(ExperimentScale::Paper),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    let command = args[0].as_str();
+    let mut scale = ExperimentScale::Quick;
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let Some(value) = args.get(i + 1) else {
+                    eprintln!("--scale requires a value");
+                    return ExitCode::FAILURE;
+                };
+                let Some(parsed) = parse_scale(value) else {
+                    eprintln!("unknown scale {value:?} (expected quick, standard or paper)");
+                    return ExitCode::FAILURE;
+                };
+                scale = parsed;
+                i += 2;
+            }
+            "--json" => {
+                json = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown option {other:?}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    match command {
+        "list" => {
+            for name in experiment_names() {
+                println!("{name}");
+            }
+            ExitCode::SUCCESS
+        }
+        "all" => {
+            for name in experiment_names() {
+                eprintln!("running {name} …");
+                let report = run_by_name(name, scale).expect("registered experiment must run");
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&report).expect("report serialises"));
+                } else {
+                    println!("{report}");
+                }
+            }
+            ExitCode::SUCCESS
+        }
+        name => match run_by_name(name, scale) {
+            Some(report) => {
+                if json {
+                    println!("{}", serde_json::to_string_pretty(&report).expect("report serialises"));
+                } else {
+                    println!("{report}");
+                }
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("unknown experiment {name:?}");
+                print_usage();
+                ExitCode::FAILURE
+            }
+        },
+    }
+}

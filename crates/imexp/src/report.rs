@@ -1,0 +1,183 @@
+//! Plain-text report tables.
+//!
+//! Every experiment driver renders its result as an aligned text table whose
+//! rows mirror the corresponding table or figure series of the paper, so
+//! `imexp <experiment>` output can be compared against the paper side by side
+//! and EXPERIMENTS.md can embed the tables verbatim.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple column-aligned text table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct TextTable {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Create a table with a title and column headers.
+    #[must_use]
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            header: header.iter().map(|s| (*s).to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row; the row is padded or truncated to the header width.
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        let mut cells = cells;
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Append a row of displayable values.
+    pub fn add_display_row<D: std::fmt::Display>(&mut self, cells: &[D]) {
+        self.add_row(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// The table title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// The rows (for tests and JSON export).
+    #[must_use]
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// Render as an aligned text block.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        let total_width: usize = widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1));
+        out.push_str(&"-".repeat(total_width));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for TextTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.render())
+    }
+}
+
+/// Format a float with sensible precision for report cells: integers render
+/// without a fraction, small numbers keep four significant decimals.
+#[must_use]
+pub fn fmt_float(x: f64) -> String {
+    if !x.is_finite() {
+        return format!("{x}");
+    }
+    if (x.fract()).abs() < 1e-9 && x.abs() < 1e15 {
+        format!("{}", x.round() as i64)
+    } else if x.abs() >= 100.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Format an optional value, rendering `None` as the paper's "–" placeholder.
+#[must_use]
+pub fn fmt_option<D: std::fmt::Display>(value: Option<D>) -> String {
+    value.map_or_else(|| "-".to_string(), |v| v.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new("Demo", &["name", "value"]);
+        t.add_row(vec!["alpha".into(), "1".into()]);
+        t.add_row(vec!["b".into(), "10000".into()]);
+        let rendered = t.render();
+        assert!(rendered.starts_with("Demo\n"));
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].starts_with("name"));
+        assert!(lines[3].starts_with("alpha"));
+        // Column alignment: "value" column starts at the same offset everywhere.
+        let offset = lines[1].find("value").unwrap();
+        assert_eq!(lines[3].find('1').unwrap(), offset);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.title(), "Demo");
+    }
+
+    #[test]
+    fn rows_are_padded_and_truncated() {
+        let mut t = TextTable::new("t", &["a", "b"]);
+        t.add_row(vec!["only-one".into()]);
+        t.add_row(vec!["x".into(), "y".into(), "extra".into()]);
+        assert_eq!(t.rows()[0].len(), 2);
+        assert_eq!(t.rows()[1].len(), 2);
+        assert_eq!(t.rows()[0][1], "");
+    }
+
+    #[test]
+    fn display_row_helper() {
+        let mut t = TextTable::new("t", &["a", "b", "c"]);
+        t.add_display_row(&[1.0, 2.5, 3.0]);
+        assert_eq!(t.rows()[0], vec!["1", "2.5", "3"]);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_float(3.0), "3");
+        assert_eq!(fmt_float(0.123456), "0.1235");
+        assert_eq!(fmt_float(12345.678), "12345.7");
+        assert_eq!(fmt_float(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn option_formatting() {
+        assert_eq!(fmt_option(Some(42)), "42");
+        assert_eq!(fmt_option::<u32>(None), "-");
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut t = TextTable::new("t", &["a"]);
+        t.add_row(vec!["x".into()]);
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(serde_json::from_str::<TextTable>(&json).unwrap(), t);
+    }
+}

@@ -1,0 +1,395 @@
+//! Trial execution and per-configuration analysis.
+//!
+//! The paper's methodology (Section 4): run algorithm `alg` with sample number
+//! `s`, `T` times; record every seed set and its (oracle) influence; construct
+//! the seed-set distribution `S(s)` and the influence distribution `I(s)`.
+//! [`PreparedInstance`] holds the influence graph together with the *shared*
+//! oracle so that every identical seed set receives an identical influence
+//! estimate across algorithms and sample numbers, exactly as in Section 5.2.
+
+use im_core::{Algorithm, InfluenceOracle, RunOutcome, SeedSet};
+use imgraph::InfluenceGraph;
+use imrand::derive_seed;
+use imstats::convergence::EntropyPoint;
+use imstats::{EmpiricalDistribution, SampleCurve, SummaryStats};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::config::{ApproachKind, InstanceConfig, SweepConfig};
+
+/// A problem instance ready to run: the influence graph, the shared influence
+/// oracle, and (lazily computed) the exact-greedy reference seed set.
+pub struct PreparedInstance {
+    /// The configuration the instance was built from.
+    pub config: InstanceConfig,
+    /// The influence graph.
+    pub graph: InfluenceGraph,
+    /// The shared oracle used to evaluate every returned seed set.
+    pub oracle: InfluenceOracle,
+}
+
+impl PreparedInstance {
+    /// Build the graph and the shared oracle.
+    #[must_use]
+    pub fn prepare(config: InstanceConfig, oracle_pool: usize, oracle_seed: u64) -> Self {
+        let graph = config.spec.influence_graph(config.model, config.dataset_seed);
+        let mut rng = imrand::default_rng(oracle_seed ^ ORACLE_SEED_MIX);
+        let oracle = InfluenceOracle::build(&graph, oracle_pool, &mut rng);
+        Self { config, graph, oracle }
+    }
+
+    /// Human-readable label of the instance.
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.config.label()
+    }
+
+    /// The exact-greedy reference: greedy maximum coverage on the oracle pool
+    /// (Section 5.2's "Exact Greedy" limit object) and its influence.
+    #[must_use]
+    pub fn exact_greedy(&self, k: usize) -> (SeedSet, f64) {
+        let (order, influence) = self.oracle.greedy_seed_set(k);
+        (SeedSet::new(order), influence)
+    }
+
+    /// Run `trials` independent trials of `algorithm` at seed size `k`.
+    #[must_use]
+    pub fn run_trials(
+        &self,
+        algorithm: Algorithm,
+        k: usize,
+        trials: usize,
+        base_seed: u64,
+        parallel: bool,
+    ) -> TrialBatch {
+        let outcomes: Vec<RunOutcome> = if parallel && trials > 1 {
+            run_trials_parallel(&self.graph, algorithm, k, trials, base_seed)
+        } else {
+            (0..trials)
+                .map(|t| algorithm.run(&self.graph, k, derive_seed(base_seed, t as u64)))
+                .collect()
+        };
+        TrialBatch { algorithm, seed_size: k, outcomes }
+    }
+
+    /// Run the full sample-number sweep of one approach and analyse every
+    /// sample number against the shared oracle.
+    #[must_use]
+    pub fn sweep(&self, approach: ApproachKind, k: usize, sweep: &SweepConfig) -> AnalyzedSweep {
+        let mut analyses = Vec::with_capacity(sweep.sample_numbers.len());
+        for (idx, &s) in sweep.sample_numbers.iter().enumerate() {
+            let algorithm = approach.with_sample_number(s);
+            let batch = self.run_trials(
+                algorithm,
+                k,
+                sweep.trials,
+                derive_seed(sweep.base_seed, idx as u64),
+                sweep.parallel,
+            );
+            analyses.push(SampleAnalysis::from_batch(&batch, &self.oracle));
+        }
+        AnalyzedSweep { approach, seed_size: k, analyses }
+    }
+}
+
+/// Mixed into the oracle seed so the oracle's RR sets are independent of the
+/// trial RR sets even when a caller reuses the same base seed for both.
+const ORACLE_SEED_MIX: u64 = 0x0AC1_E5EE_D000_0001;
+
+fn run_trials_parallel(
+    graph: &InfluenceGraph,
+    algorithm: Algorithm,
+    k: usize,
+    trials: usize,
+    base_seed: u64,
+) -> Vec<RunOutcome> {
+    let workers = std::thread::available_parallelism().map_or(2, |p| p.get()).min(trials).max(1);
+    let next = Mutex::new(0usize);
+    let results: Mutex<Vec<Option<RunOutcome>>> = Mutex::new(vec![None; trials]);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let t = {
+                    let mut guard = next.lock();
+                    let t = *guard;
+                    if t >= trials {
+                        break;
+                    }
+                    *guard += 1;
+                    t
+                };
+                let outcome = algorithm.run(graph, k, derive_seed(base_seed, t as u64));
+                results.lock()[t] = Some(outcome);
+            });
+        }
+    })
+    .expect("trial worker panicked");
+    results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("every trial index must have been filled"))
+        .collect()
+}
+
+/// All outcomes of `T` trials of one (algorithm, sample number, k)
+/// configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrialBatch {
+    /// The algorithm (with sample number) that was run.
+    pub algorithm: Algorithm,
+    /// The seed-set size `k`.
+    pub seed_size: usize,
+    /// One outcome per trial.
+    pub outcomes: Vec<RunOutcome>,
+}
+
+impl TrialBatch {
+    /// Number of trials.
+    #[must_use]
+    pub fn num_trials(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// The empirical seed-set distribution of the batch.
+    #[must_use]
+    pub fn seed_set_distribution(&self) -> EmpiricalDistribution<SeedSet> {
+        self.outcomes.iter().map(|o| o.seeds.clone()).collect()
+    }
+
+    /// Mean traversal cost per trial (vertices, edges).
+    #[must_use]
+    pub fn mean_traversal_cost(&self) -> (f64, f64) {
+        if self.outcomes.is_empty() {
+            return (0.0, 0.0);
+        }
+        let n = self.outcomes.len() as f64;
+        let v: u64 = self.outcomes.iter().map(|o| o.traversal_cost.vertices).sum();
+        let e: u64 = self.outcomes.iter().map(|o| o.traversal_cost.edges).sum();
+        (v as f64 / n, e as f64 / n)
+    }
+
+    /// Mean sample size per trial (vertices + edges stored).
+    #[must_use]
+    pub fn mean_sample_size(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.outcomes.iter().map(|o| o.sample_size.total()).sum();
+        total as f64 / self.outcomes.len() as f64
+    }
+}
+
+/// The analysis of one sample number: distribution, entropy, influence
+/// statistics and cost aggregates.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SampleAnalysis {
+    /// The sample number (β, τ or θ).
+    pub sample_number: u64,
+    /// Number of trials analysed.
+    pub trials: usize,
+    /// Shannon entropy of the seed-set distribution.
+    pub entropy: f64,
+    /// Number of distinct seed sets observed.
+    pub distinct_seed_sets: usize,
+    /// The most frequent seed set and its empirical probability.
+    pub modal_seed_set: Option<(SeedSet, f64)>,
+    /// Oracle influence of every trial's seed set (the influence distribution).
+    pub influences: Vec<f64>,
+    /// Summary statistics of the influence distribution.
+    pub influence_stats: SummaryStats,
+    /// Mean traversal cost per trial.
+    pub mean_traversal_vertices: f64,
+    /// Mean edge-traversal cost per trial.
+    pub mean_traversal_edges: f64,
+    /// Mean sample size per trial (vertices + edges stored in memory).
+    pub mean_sample_size: f64,
+}
+
+impl SampleAnalysis {
+    /// Analyse one trial batch against the shared oracle.
+    #[must_use]
+    pub fn from_batch(batch: &TrialBatch, oracle: &InfluenceOracle) -> Self {
+        assert!(!batch.outcomes.is_empty(), "cannot analyse an empty batch");
+        let distribution = batch.seed_set_distribution();
+        let influences: Vec<f64> =
+            batch.outcomes.iter().map(|o| oracle.estimate_seed_set(&o.seeds)).collect();
+        let (v, e) = batch.mean_traversal_cost();
+        let modal_seed_set = distribution
+            .mode()
+            .map(|(s, c)| (s.clone(), c as f64 / distribution.num_trials() as f64));
+        Self {
+            sample_number: batch.algorithm.sample_number(),
+            trials: batch.num_trials(),
+            entropy: distribution.entropy(),
+            distinct_seed_sets: distribution.num_distinct(),
+            modal_seed_set,
+            influence_stats: SummaryStats::from_values(&influences),
+            influences,
+            mean_traversal_vertices: v,
+            mean_traversal_edges: e,
+            mean_sample_size: batch.mean_sample_size(),
+        }
+    }
+
+    /// Fraction of trials whose influence reached `threshold` (the Table 5
+    /// near-optimality criterion uses `0.95 × exact greedy`).
+    #[must_use]
+    pub fn fraction_at_least(&self, threshold: f64) -> f64 {
+        SummaryStats::fraction_at_least(&self.influences, threshold)
+    }
+}
+
+/// The analysed sweep of one approach on one instance at one seed size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AnalyzedSweep {
+    /// The approach that was swept.
+    pub approach: ApproachKind,
+    /// The seed-set size `k`.
+    pub seed_size: usize,
+    /// One analysis per sample number, in increasing sample-number order.
+    pub analyses: Vec<SampleAnalysis>,
+}
+
+impl AnalyzedSweep {
+    /// The entropy-decay curve (Figures 1–3).
+    #[must_use]
+    pub fn entropy_curve(&self) -> Vec<EntropyPoint> {
+        self.analyses
+            .iter()
+            .map(|a| EntropyPoint { sample_number: a.sample_number, entropy: a.entropy })
+            .collect()
+    }
+
+    /// The mean-influence sample curve used by the comparable-ratio analysis
+    /// (Figures 7–8, Tables 6–7).
+    #[must_use]
+    pub fn sample_curve(&self) -> SampleCurve {
+        let mut curve = SampleCurve::new();
+        for a in &self.analyses {
+            curve.push(a.sample_number, a.influence_stats.mean, a.mean_sample_size);
+        }
+        curve
+    }
+
+    /// The least sample number at which at least `confidence` of the trials
+    /// reached `threshold` influence (Table 5), along with its entropy.
+    #[must_use]
+    pub fn least_sample_number_reaching(
+        &self,
+        threshold: f64,
+        confidence: f64,
+    ) -> Option<(u64, f64)> {
+        self.analyses
+            .iter()
+            .find(|a| a.fraction_at_least(threshold) >= confidence)
+            .map(|a| (a.sample_number, a.entropy))
+    }
+
+    /// The analysis at a specific sample number, if present.
+    #[must_use]
+    pub fn at(&self, sample_number: u64) -> Option<&SampleAnalysis> {
+        self.analyses.iter().find(|a| a.sample_number == sample_number)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imnet::{Dataset, ProbabilityModel};
+
+    fn karate_instance() -> PreparedInstance {
+        PreparedInstance::prepare(
+            InstanceConfig::new(Dataset::Karate, ProbabilityModel::uc01()),
+            5_000,
+            7,
+        )
+    }
+
+    #[test]
+    fn prepared_instance_basics() {
+        let inst = karate_instance();
+        assert_eq!(inst.graph.num_vertices(), 34);
+        assert_eq!(inst.label(), "Karate (uc0.1)");
+        let (seeds, influence) = inst.exact_greedy(1);
+        assert_eq!(seeds.len(), 1);
+        assert!(influence > 1.0 && influence < 34.0);
+    }
+
+    #[test]
+    fn trial_batches_are_reproducible_and_distinct_across_trials() {
+        let inst = karate_instance();
+        let alg = Algorithm::Ris { theta: 8 };
+        let a = inst.run_trials(alg, 1, 20, 3, false);
+        let b = inst.run_trials(alg, 1, 20, 3, false);
+        assert_eq!(a.outcomes, b.outcomes, "same base seed ⇒ identical batch");
+        let dist = a.seed_set_distribution();
+        assert_eq!(dist.num_trials(), 20);
+        assert!(
+            dist.num_distinct() > 1,
+            "θ = 8 on Karate should still produce diverse seed sets"
+        );
+    }
+
+    #[test]
+    fn parallel_and_serial_runs_agree() {
+        let inst = karate_instance();
+        let alg = Algorithm::Snapshot { tau: 4 };
+        let serial = inst.run_trials(alg, 2, 12, 11, false);
+        let parallel = inst.run_trials(alg, 2, 12, 11, true);
+        assert_eq!(serial.outcomes, parallel.outcomes);
+    }
+
+    #[test]
+    fn analysis_computes_entropy_and_influences() {
+        let inst = karate_instance();
+        let batch = inst.run_trials(Algorithm::Ris { theta: 64 }, 1, 30, 5, true);
+        let analysis = SampleAnalysis::from_batch(&batch, &inst.oracle);
+        assert_eq!(analysis.trials, 30);
+        assert_eq!(analysis.influences.len(), 30);
+        assert!(analysis.entropy >= 0.0);
+        assert!(analysis.influence_stats.mean > 1.0);
+        assert!(analysis.mean_sample_size > 0.0);
+        assert!(analysis.fraction_at_least(0.0) >= 0.999);
+        let (_, modal_prob) = analysis.modal_seed_set.clone().unwrap();
+        assert!(modal_prob > 0.0 && modal_prob <= 1.0);
+    }
+
+    #[test]
+    fn sweep_entropy_decreases_and_influence_increases() {
+        let inst = karate_instance();
+        let sweep = SweepConfig { sample_numbers: vec![1, 64, 1024], trials: 40, base_seed: 1, parallel: true };
+        let analyzed = inst.sweep(ApproachKind::Ris, 1, &sweep);
+        assert_eq!(analyzed.analyses.len(), 3);
+        let curve = analyzed.entropy_curve();
+        assert!(
+            curve.first().unwrap().entropy >= curve.last().unwrap().entropy,
+            "entropy should not increase from θ=1 to θ=1024"
+        );
+        let means: Vec<f64> = analyzed.analyses.iter().map(|a| a.influence_stats.mean).collect();
+        assert!(means[2] >= means[0], "mean influence should improve with more samples");
+        let sample_curve = analyzed.sample_curve();
+        assert_eq!(sample_curve.len(), 3);
+        assert!(analyzed.at(64).is_some());
+        assert!(analyzed.at(65).is_none());
+    }
+
+    #[test]
+    fn least_sample_number_reaching_matches_definition() {
+        // A larger oracle pool than the other tests: the 0.95-near-optimality
+        // margin on Karate is only ≈ 0.2 influence, so the oracle's own 99 %
+        // half-width (1.29·n/√pool) must be well below that.
+        let inst = PreparedInstance::prepare(
+            InstanceConfig::new(Dataset::Karate, ProbabilityModel::uc01()),
+            120_000,
+            7,
+        );
+        let sweep = SweepConfig { sample_numbers: vec![1, 256], trials: 30, base_seed: 2, parallel: true };
+        let analyzed = inst.sweep(ApproachKind::Snapshot, 1, &sweep);
+        let (_, exact) = inst.exact_greedy(1);
+        // With τ = 256 on Karate, essentially every trial should be
+        // near-optimal.
+        let hit = analyzed.least_sample_number_reaching(0.95 * exact, 0.9);
+        assert!(hit.is_some());
+        assert!(analyzed.least_sample_number_reaching(f64::MAX, 0.9).is_none());
+    }
+}

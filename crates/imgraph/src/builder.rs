@@ -1,0 +1,209 @@
+//! Incremental construction of directed graphs.
+
+use rustc_hash::FxHashSet;
+
+use crate::{DiGraph, Edge, VertexId};
+
+/// A mutable edge-list accumulator that produces a [`DiGraph`].
+///
+/// The generators in `imnet` use the builder to assemble graphs edge by edge.
+/// The builder can optionally deduplicate parallel edges and drop self-loops,
+/// which is how the synthetic SNAP analogs are normalised (the SNAP originals
+/// are simple graphs).
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+    dedup: bool,
+    drop_self_loops: bool,
+}
+
+impl GraphBuilder {
+    /// Create a builder for a graph with `n` vertices.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { num_vertices: n, edges: Vec::new(), dedup: false, drop_self_loops: false }
+    }
+
+    /// Create a builder with capacity for an expected number of edges.
+    #[must_use]
+    pub fn with_capacity(n: usize, expected_edges: usize) -> Self {
+        Self {
+            num_vertices: n,
+            edges: Vec::with_capacity(expected_edges),
+            dedup: false,
+            drop_self_loops: false,
+        }
+    }
+
+    /// Remove duplicate directed edges when building.
+    #[must_use]
+    pub fn dedup_edges(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Drop self-loops when building.
+    #[must_use]
+    pub fn drop_self_loops(mut self, yes: bool) -> Self {
+        self.drop_self_loops = yes;
+        self
+    }
+
+    /// Number of vertices this builder was created with.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of edges currently accumulated (before dedup/self-loop filtering).
+    #[must_use]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Grow the vertex set; existing edges are unaffected.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        self.num_vertices = self.num_vertices.max(n);
+    }
+
+    /// Append a directed edge `u → v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) {
+        assert!((u as usize) < self.num_vertices, "source {u} out of range");
+        assert!((v as usize) < self.num_vertices, "target {v} out of range");
+        self.edges.push((u, v));
+    }
+
+    /// Append both directions of an undirected edge `{u, v}`.
+    ///
+    /// This matches how KONECT/SNAP undirected networks are handled by the
+    /// paper: each undirected edge counts as two arcs (Karate has 78
+    /// undirected edges and m = 156).
+    pub fn add_undirected_edge(&mut self, u: VertexId, v: VertexId) {
+        self.add_edge(u, v);
+        self.add_edge(v, u);
+    }
+
+    /// View of the accumulated edge list.
+    #[must_use]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Whether the directed edge `u → v` has already been added.
+    ///
+    /// Linear scan; intended for generators that need occasional membership
+    /// checks on small neighbourhoods, not for bulk queries.
+    #[must_use]
+    pub fn contains_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edges.contains(&(u, v))
+    }
+
+    /// Finalise the builder into a [`DiGraph`].
+    #[must_use]
+    pub fn build(self) -> DiGraph {
+        let mut edges = self.edges;
+        if self.drop_self_loops {
+            edges.retain(|&(u, v)| u != v);
+        }
+        if self.dedup {
+            let mut seen = FxHashSet::default();
+            edges.retain(|&e| seen.insert(e));
+        }
+        DiGraph::from_edges(self.num_vertices, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_graph() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn undirected_edges_add_both_arcs() {
+        let mut b = GraphBuilder::new(2);
+        b.add_undirected_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.out_neighbors(0), &[1]);
+        assert_eq!(g.out_neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn dedup_removes_parallel_edges() {
+        let mut b = GraphBuilder::new(2).dedup_edges(true);
+        b.add_edge(0, 1);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn dedup_keeps_opposite_directions() {
+        let mut b = GraphBuilder::new(2).dedup_edges(true);
+        b.add_edge(0, 1);
+        b.add_edge(1, 0);
+        assert_eq!(b.build().num_edges(), 2);
+    }
+
+    #[test]
+    fn drop_self_loops_filters() {
+        let mut b = GraphBuilder::new(2).drop_self_loops(true);
+        b.add_edge(0, 0);
+        b.add_edge(0, 1);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.out_neighbors(0), &[1]);
+    }
+
+    #[test]
+    fn ensure_vertices_grows_only() {
+        let mut b = GraphBuilder::new(3);
+        b.ensure_vertices(2);
+        assert_eq!(b.num_vertices(), 3);
+        b.ensure_vertices(5);
+        assert_eq!(b.num_vertices(), 5);
+        b.add_edge(4, 0);
+        assert_eq!(b.build().num_vertices(), 5);
+    }
+
+    #[test]
+    fn contains_edge_checks_direction() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1);
+        assert!(b.contains_edge(0, 1));
+        assert!(!b.contains_edge(1, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(1);
+        b.add_edge(0, 1);
+    }
+
+    #[test]
+    fn with_capacity_builds_identically() {
+        let mut a = GraphBuilder::new(4);
+        let mut b = GraphBuilder::with_capacity(4, 16);
+        for (u, v) in [(0u32, 1u32), (1, 2), (2, 3)] {
+            a.add_edge(u, v);
+            b.add_edge(u, v);
+        }
+        assert_eq!(a.build(), b.build());
+    }
+}

@@ -1,0 +1,248 @@
+//! Influence-graph coarsening.
+//!
+//! Section 3.6 of the paper lists graph reduction/coarsening (Ohsaka, Sonobe,
+//! Fujita, Kawarabayashi, SIGMOD 2017; Purohit et al., KDD 2014) among the
+//! techniques that trade estimation accuracy for speed: groups of vertices
+//! that (almost) always activate together are contracted into supervertices,
+//! shrinking every subsequent simulation, snapshot and RR set.
+//!
+//! This module provides the two building blocks those systems share:
+//!
+//! * [`contract_partition`] — the quotient graph of an arbitrary vertex
+//!   partition, with parallel quotient edges merged by the "at least one edge
+//!   live" probability `1 − Π(1 − p)`;
+//! * [`certain_edge_partition`] — the partition induced by the strongly
+//!   connected components of the subgraph of (near-)certain edges
+//!   (`p ≥ threshold`), which is the deterministic core of influence-based
+//!   coarsening: vertices joined by probability-1 cycles are
+//!   influence-equivalent, so contracting them is lossless.
+
+use crate::components::strongly_connected_components;
+use crate::{DiGraph, InfluenceGraph, VertexId};
+
+/// The result of contracting an influence graph along a vertex partition.
+#[derive(Debug, Clone)]
+pub struct CoarsenedGraph {
+    /// The quotient influence graph on the supervertices.
+    pub graph: InfluenceGraph,
+    /// For every original vertex, the id of its supervertex.
+    pub membership: Vec<VertexId>,
+    /// For every supervertex, how many original vertices it contains.
+    pub sizes: Vec<usize>,
+}
+
+impl CoarsenedGraph {
+    /// Number of supervertices.
+    #[must_use]
+    pub fn num_supervertices(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// The reduction ratio `1 − (supervertices / original vertices)`; 0 means
+    /// nothing was contracted.
+    #[must_use]
+    pub fn reduction_ratio(&self) -> f64 {
+        let original: usize = self.sizes.iter().sum();
+        if original == 0 {
+            0.0
+        } else {
+            1.0 - self.num_supervertices() as f64 / original as f64
+        }
+    }
+
+    /// Translate a seed set on the coarsened graph back to original vertices
+    /// (one representative per supervertex: the smallest original id).
+    #[must_use]
+    pub fn expand_seeds(&self, super_seeds: &[VertexId]) -> Vec<VertexId> {
+        super_seeds
+            .iter()
+            .map(|&s| {
+                self.membership
+                    .iter()
+                    .position(|&m| m == s)
+                    .map(|v| v as VertexId)
+                    .expect("supervertex must have at least one member")
+            })
+            .collect()
+    }
+}
+
+/// Contract `graph` along `partition` (a supervertex id per original vertex).
+///
+/// Edges inside a block disappear; parallel edges between two blocks are
+/// merged into a single quotient edge whose probability is the probability
+/// that at least one of them is live, `1 − Π(1 − p_i)` — the exact influence
+/// semantics of merging parallel channels under independent cascade.
+///
+/// # Panics
+///
+/// Panics if `partition.len()` differs from the vertex count or block ids are
+/// not contiguous starting at 0.
+#[must_use]
+pub fn contract_partition(graph: &InfluenceGraph, partition: &[VertexId]) -> CoarsenedGraph {
+    let n = graph.num_vertices();
+    assert_eq!(partition.len(), n, "need one block id per vertex");
+    let num_blocks = partition.iter().map(|&b| b as usize + 1).max().unwrap_or(0);
+    let mut sizes = vec![0usize; num_blocks];
+    for &b in partition {
+        assert!(
+            (b as usize) < num_blocks,
+            "block ids must be contiguous and start at 0"
+        );
+        sizes[b as usize] += 1;
+    }
+    assert!(
+        sizes.iter().all(|&s| s > 0),
+        "block ids must be contiguous and start at 0 (found an empty block)"
+    );
+
+    // Survival probability (probability that *no* parallel edge is live) per
+    // quotient edge.
+    let mut survival: std::collections::HashMap<(VertexId, VertexId), f64> =
+        std::collections::HashMap::new();
+    for u in 0..n as VertexId {
+        let bu = partition[u as usize];
+        for (v, p) in graph.out_edges_with_prob(u) {
+            let bv = partition[v as usize];
+            if bu == bv {
+                continue;
+            }
+            *survival.entry((bu, bv)).or_insert(1.0) *= 1.0 - p;
+        }
+    }
+    let mut quotient_edges: Vec<((VertexId, VertexId), f64)> = survival
+        .into_iter()
+        .map(|(e, s)| (e, (1.0 - s).clamp(f64::MIN_POSITIVE, 1.0)))
+        .collect();
+    quotient_edges.sort_by_key(|&((a, b), _)| (a, b));
+    let edges: Vec<(VertexId, VertexId)> = quotient_edges.iter().map(|&(e, _)| e).collect();
+    let probabilities: Vec<f64> = quotient_edges.iter().map(|&(_, p)| p).collect();
+    let quotient = InfluenceGraph::new(DiGraph::from_edges(num_blocks, &edges), probabilities);
+
+    CoarsenedGraph { graph: quotient, membership: partition.to_vec(), sizes }
+}
+
+/// The partition induced by the strongly connected components of the subgraph
+/// of edges with probability at least `threshold`.
+///
+/// With `threshold = 1.0` the contraction is lossless for influence
+/// computation: vertices on a cycle of probability-1 edges always activate
+/// together. Lower thresholds trade accuracy for a smaller graph, which is the
+/// knob influence-coarsening systems expose.
+///
+/// # Panics
+///
+/// Panics if `threshold` is not in `(0, 1]`.
+#[must_use]
+pub fn certain_edge_partition(graph: &InfluenceGraph, threshold: f64) -> Vec<VertexId> {
+    assert!(threshold > 0.0 && threshold <= 1.0, "threshold must lie in (0, 1]");
+    let n = graph.num_vertices();
+    let mut certain_edges: Vec<(VertexId, VertexId)> = Vec::new();
+    for u in 0..n as VertexId {
+        for (v, p) in graph.out_edges_with_prob(u) {
+            if p >= threshold {
+                certain_edges.push((u, v));
+            }
+        }
+    }
+    let subgraph = DiGraph::from_edges(n, &certain_edges);
+    strongly_connected_components(&subgraph)
+}
+
+/// Convenience: contract the SCCs of the `p ≥ threshold` subgraph.
+#[must_use]
+pub fn coarsen_by_certain_edges(graph: &InfluenceGraph, threshold: f64) -> CoarsenedGraph {
+    let partition = certain_edge_partition(graph, threshold);
+    contract_partition(graph, &partition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 0 <-> 1 with probability 1 (a certain 2-cycle), 1 -> 2 with 0.5,
+    /// 0 -> 2 with 0.5.
+    fn cycle_plus_tail() -> InfluenceGraph {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (0, 2)]);
+        InfluenceGraph::new(g, vec![1.0, 1.0, 0.5, 0.5])
+    }
+
+    #[test]
+    fn certain_cycle_is_contracted() {
+        let ig = cycle_plus_tail();
+        let coarse = coarsen_by_certain_edges(&ig, 1.0);
+        assert_eq!(coarse.num_supervertices(), 2);
+        assert_eq!(coarse.membership[0], coarse.membership[1]);
+        assert_ne!(coarse.membership[0], coarse.membership[2]);
+        let mut sizes = coarse.sizes.clone();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 2]);
+        assert!(coarse.reduction_ratio() > 0.0);
+    }
+
+    #[test]
+    fn parallel_quotient_edges_merge_with_or_probability() {
+        // Both 0 -> 2 and 1 -> 2 become the same quotient edge; its probability
+        // must be 1 − (1 − 0.5)·(1 − 0.5) = 0.75.
+        let ig = cycle_plus_tail();
+        let coarse = coarsen_by_certain_edges(&ig, 1.0);
+        assert_eq!(coarse.graph.num_edges(), 1);
+        assert!((coarse.graph.probability(0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn contraction_preserves_exact_influence_of_the_merged_block() {
+        // Influence of the certain block {0, 1} onto vertex 2 is the same
+        // before and after coarsening: 2 + 0.75 original (seeding {0}) versus
+        // (block of size 2) + 0.75 coarse.
+        let ig = cycle_plus_tail();
+        let coarse = coarsen_by_certain_edges(&ig, 1.0);
+        let block = coarse.membership[0];
+        // Expected coarse influence of the block: itself + 0.75 of the tail.
+        let tail_prob = coarse.graph.probability(0);
+        let coarse_influence = coarse.sizes[block as usize] as f64 + tail_prob;
+        assert!((coarse_influence - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_partition_changes_nothing() {
+        let ig = cycle_plus_tail();
+        let identity: Vec<VertexId> = (0..3).collect();
+        let coarse = contract_partition(&ig, &identity);
+        assert_eq!(coarse.num_supervertices(), 3);
+        assert_eq!(coarse.graph.num_edges(), 4);
+        assert_eq!(coarse.reduction_ratio(), 0.0);
+    }
+
+    #[test]
+    fn lower_threshold_contracts_more() {
+        let ig = cycle_plus_tail();
+        let strict = coarsen_by_certain_edges(&ig, 1.0);
+        let loose = coarsen_by_certain_edges(&ig, 0.5);
+        assert!(loose.num_supervertices() <= strict.num_supervertices());
+    }
+
+    #[test]
+    fn expand_seeds_returns_members_of_the_chosen_blocks() {
+        let ig = cycle_plus_tail();
+        let coarse = coarsen_by_certain_edges(&ig, 1.0);
+        let block_of_0 = coarse.membership[0];
+        let expanded = coarse.expand_seeds(&[block_of_0]);
+        assert_eq!(expanded.len(), 1);
+        assert!(coarse.membership[expanded[0] as usize] == block_of_0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one block id per vertex")]
+    fn wrong_partition_length_panics() {
+        let ig = cycle_plus_tail();
+        let _ = contract_partition(&ig, &[0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must lie in (0, 1]")]
+    fn invalid_threshold_panics() {
+        let ig = cycle_plus_tail();
+        let _ = certain_edge_partition(&ig, 0.0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Connected components.
+//!
+//! Section 5.3 of the paper explains expensive traversal costs through the
+//! emergence of a *giant component* in the live-edge graph counterpart of
+//! high-probability instances. This module provides the component machinery
+//! used to verify that explanation: weakly connected components via union-find
+//! and strongly connected components via an iterative Tarjan algorithm.
+
+use crate::DiGraph;
+
+/// Disjoint-set union (union-find) with path halving and union by size.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// Create a structure with `n` singleton sets.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
+    }
+
+    /// Find the representative of `x` (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Merge the sets containing `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn set_size(&mut self, x: u32) -> usize {
+        let root = self.find(x);
+        self.size[root as usize] as usize
+    }
+
+    /// Number of disjoint sets.
+    #[must_use]
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+}
+
+/// Sizes of the weakly connected components of `graph`, in descending order.
+#[must_use]
+pub fn weakly_connected_component_sizes(graph: &DiGraph) -> Vec<usize> {
+    let n = graph.num_vertices();
+    let mut uf = UnionFind::new(n);
+    for u in graph.vertices() {
+        for &v in graph.out_neighbors(u) {
+            uf.union(u, v);
+        }
+    }
+    let mut counts = std::collections::HashMap::new();
+    for v in 0..n as u32 {
+        *counts.entry(uf.find(v)).or_insert(0usize) += 1;
+    }
+    let mut sizes: Vec<usize> = counts.into_values().collect();
+    sizes.sort_unstable_by(|a, b| b.cmp(a));
+    sizes
+}
+
+/// Size of the largest weakly connected component (0 for an empty graph).
+///
+/// The fraction `largest / n` is how Section 5.3 diagnoses giant-component
+/// influence graphs.
+#[must_use]
+pub fn largest_weak_component(graph: &DiGraph) -> usize {
+    weakly_connected_component_sizes(graph).first().copied().unwrap_or(0)
+}
+
+/// Strongly connected components via an iterative Tarjan algorithm.
+///
+/// Returns a vector mapping every vertex to a component id in `0..k`;
+/// components are numbered in reverse topological order of the condensation
+/// (Tarjan's natural output order).
+#[must_use]
+pub fn strongly_connected_components(graph: &DiGraph) -> Vec<u32> {
+    const UNVISITED: u32 = u32::MAX;
+    let n = graph.num_vertices();
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut component = vec![UNVISITED; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut next_index = 0u32;
+    let mut next_component = 0u32;
+
+    // Explicit DFS stack: (vertex, next-child-position).
+    let mut call_stack: Vec<(u32, usize)> = Vec::new();
+
+    for start in 0..n as u32 {
+        if index[start as usize] != UNVISITED {
+            continue;
+        }
+        call_stack.push((start, 0));
+        while let Some(&mut (v, ref mut child_pos)) = call_stack.last_mut() {
+            if *child_pos == 0 {
+                // First visit of v.
+                index[v as usize] = next_index;
+                lowlink[v as usize] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v as usize] = true;
+            }
+            let neighbors = graph.out_neighbors(v);
+            let mut advanced = false;
+            while *child_pos < neighbors.len() {
+                let w = neighbors[*child_pos];
+                *child_pos += 1;
+                if index[w as usize] == UNVISITED {
+                    call_stack.push((w, 0));
+                    advanced = true;
+                    break;
+                } else if on_stack[w as usize] {
+                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                }
+            }
+            if advanced {
+                continue;
+            }
+            // All children processed: pop v.
+            call_stack.pop();
+            if let Some(&(parent, _)) = call_stack.last() {
+                lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+            }
+            if lowlink[v as usize] == index[v as usize] {
+                // v is the root of an SCC.
+                loop {
+                    let w = stack.pop().expect("Tarjan stack underflow");
+                    on_stack[w as usize] = false;
+                    component[w as usize] = next_component;
+                    if w == v {
+                        break;
+                    }
+                }
+                next_component += 1;
+            }
+        }
+    }
+    component
+}
+
+/// Number of strongly connected components.
+#[must_use]
+pub fn num_strongly_connected_components(graph: &DiGraph) -> usize {
+    let comps = strongly_connected_components(graph);
+    comps.iter().copied().max().map_or(0, |max| max as usize + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.num_components(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+        assert_eq!(uf.set_size(0), 2);
+        assert_eq!(uf.set_size(4), 1);
+    }
+
+    #[test]
+    fn weak_components_of_two_paths() {
+        let g = DiGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        let sizes = weakly_connected_component_sizes(&g);
+        assert_eq!(sizes, vec![3, 2, 1]);
+        assert_eq!(largest_weak_component(&g), 3);
+    }
+
+    #[test]
+    fn weak_components_ignore_direction() {
+        let g = DiGraph::from_edges(3, &[(1, 0), (1, 2)]);
+        assert_eq!(largest_weak_component(&g), 3);
+    }
+
+    #[test]
+    fn empty_graph_components() {
+        let g = DiGraph::from_edges(0, &[]);
+        assert_eq!(largest_weak_component(&g), 0);
+        assert_eq!(num_strongly_connected_components(&g), 0);
+    }
+
+    #[test]
+    fn scc_on_a_cycle() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps[0], comps[1]);
+        assert_eq!(comps[1], comps[2]);
+        assert_eq!(num_strongly_connected_components(&g), 1);
+    }
+
+    #[test]
+    fn scc_on_a_dag() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let comps = strongly_connected_components(&g);
+        let distinct: std::collections::HashSet<_> = comps.iter().collect();
+        assert_eq!(distinct.len(), 4);
+        assert_eq!(num_strongly_connected_components(&g), 4);
+    }
+
+    #[test]
+    fn scc_mixed_structure() {
+        // Two 2-cycles joined by a one-way edge: {0,1} -> {2,3}
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]);
+        let comps = strongly_connected_components(&g);
+        assert_eq!(comps[0], comps[1]);
+        assert_eq!(comps[2], comps[3]);
+        assert_ne!(comps[0], comps[2]);
+        assert_eq!(num_strongly_connected_components(&g), 2);
+        // Tarjan emits components in reverse topological order: the sink
+        // component {2,3} is numbered before the source component {0,1}.
+        assert!(comps[2] < comps[0]);
+    }
+
+    #[test]
+    fn scc_handles_deep_paths_iteratively() {
+        // A 50_000-vertex path would overflow the call stack with a recursive
+        // Tarjan; the iterative version must handle it.
+        let n = 50_000;
+        let edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        let g = DiGraph::from_edges(n, &edges);
+        assert_eq!(num_strongly_connected_components(&g), n);
+    }
+
+    #[test]
+    fn scc_isolated_vertices() {
+        let g = DiGraph::from_edges(3, &[]);
+        assert_eq!(num_strongly_connected_components(&g), 3);
+    }
+}

@@ -1,0 +1,278 @@
+//! Plain-text edge-list input/output.
+//!
+//! The original study reads SNAP/KONECT edge lists; this module provides the
+//! same format so users can plug in the real data sets when they have them:
+//! one `source target [probability]` triple per line, `#`-prefixed comment
+//! lines ignored, whitespace-separated.
+
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+use crate::{DiGraph, Edge, InfluenceGraph};
+
+/// Errors produced while reading edge lists.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line could not be parsed; carries the 1-based line number and content.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending line content.
+        content: String,
+        /// Human-readable description of what went wrong.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, content, reason } => {
+                write!(f, "parse error at line {line} ({reason}): {content:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// A parsed edge list: edges, optional per-edge probabilities, and the vertex
+/// count inferred as `max id + 1`.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeList {
+    /// Parsed edges in file order.
+    pub edges: Vec<Edge>,
+    /// Per-edge probabilities if *every* edge line carried one, else empty.
+    pub probabilities: Vec<f64>,
+    /// Inferred number of vertices (`max endpoint + 1`, or 0 if no edges).
+    pub num_vertices: usize,
+}
+
+impl EdgeList {
+    /// Convert into a [`DiGraph`], ignoring probabilities.
+    #[must_use]
+    pub fn into_graph(self) -> DiGraph {
+        DiGraph::from_edges(self.num_vertices, &self.edges)
+    }
+
+    /// Convert into an [`InfluenceGraph`]; requires every line to have carried
+    /// a probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the edge list has no probability column.
+    #[must_use]
+    pub fn into_influence_graph(self) -> InfluenceGraph {
+        assert!(
+            self.probabilities.len() == self.edges.len(),
+            "edge list has no complete probability column"
+        );
+        let graph = DiGraph::from_edges(self.num_vertices, &self.edges);
+        InfluenceGraph::new(graph, self.probabilities)
+    }
+}
+
+/// Parse an edge list from any reader.
+pub fn read_edge_list<R: BufRead>(reader: R) -> Result<EdgeList, IoError> {
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut probabilities: Vec<f64> = Vec::new();
+    let mut max_vertex: Option<u32> = None;
+    let mut saw_missing_probability = false;
+
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_no = idx + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let u: u32 = parse_field(parts.next(), line_no, trimmed, "missing source")?;
+        let v: u32 = parse_field(parts.next(), line_no, trimmed, "missing target")?;
+        match parts.next() {
+            Some(p) => {
+                let p: f64 = p.parse().map_err(|_| IoError::Parse {
+                    line: line_no,
+                    content: trimmed.to_string(),
+                    reason: "invalid probability".to_string(),
+                })?;
+                probabilities.push(p);
+            }
+            None => saw_missing_probability = true,
+        }
+        max_vertex = Some(max_vertex.map_or(u.max(v), |m| m.max(u).max(v)));
+        edges.push((u, v));
+    }
+
+    if saw_missing_probability {
+        probabilities.clear();
+    }
+    Ok(EdgeList {
+        num_vertices: max_vertex.map_or(0, |m| m as usize + 1),
+        edges,
+        probabilities,
+    })
+}
+
+fn parse_field(
+    field: Option<&str>,
+    line: usize,
+    content: &str,
+    missing: &str,
+) -> Result<u32, IoError> {
+    let s = field.ok_or_else(|| IoError::Parse {
+        line,
+        content: content.to_string(),
+        reason: missing.to_string(),
+    })?;
+    s.parse().map_err(|_| IoError::Parse {
+        line,
+        content: content.to_string(),
+        reason: format!("invalid vertex id {s:?}"),
+    })
+}
+
+/// Parse an edge list from a string (convenience for tests and embedded data).
+pub fn parse_edge_list(text: &str) -> Result<EdgeList, IoError> {
+    read_edge_list(text.as_bytes())
+}
+
+/// Read an edge list from a file path.
+pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<EdgeList, IoError> {
+    let file = std::fs::File::open(path)?;
+    read_edge_list(std::io::BufReader::new(file))
+}
+
+/// Write a graph as a plain edge list (no probability column).
+pub fn write_edge_list<W: Write>(graph: &DiGraph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# directed edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    for (u, v) in graph.edges_in_insertion_order() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Write an influence graph as an edge list with a probability column.
+pub fn write_influence_graph<W: Write>(ig: &InfluenceGraph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(
+        w,
+        "# influence graph: {} vertices, {} edges, prob sum {:.6}",
+        ig.num_vertices(),
+        ig.num_edges(),
+        ig.probability_sum()
+    )?;
+    for (eid, (u, v)) in ig.graph().edges_in_insertion_order().into_iter().enumerate() {
+        writeln!(w, "{u} {v} {}", ig.probability(eid as u32))?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_edge_list() {
+        let el = parse_edge_list("# comment\n0 1\n1 2\n\n2 0\n").unwrap();
+        assert_eq!(el.edges, vec![(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(el.num_vertices, 3);
+        assert!(el.probabilities.is_empty());
+        let g = el.into_graph();
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn parse_with_probabilities() {
+        let el = parse_edge_list("0 1 0.5\n1 0 0.25\n").unwrap();
+        assert_eq!(el.probabilities, vec![0.5, 0.25]);
+        let ig = el.into_influence_graph();
+        assert_eq!(ig.probability(0), 0.5);
+    }
+
+    #[test]
+    fn partial_probability_column_is_dropped() {
+        let el = parse_edge_list("0 1 0.5\n1 0\n").unwrap();
+        assert!(el.probabilities.is_empty());
+    }
+
+    #[test]
+    fn percent_comments_and_whitespace() {
+        let el = parse_edge_list("% konect style\n  3   4  \n").unwrap();
+        assert_eq!(el.edges, vec![(3, 4)]);
+        assert_eq!(el.num_vertices, 5);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_list() {
+        let el = parse_edge_list("# nothing\n").unwrap();
+        assert!(el.edges.is_empty());
+        assert_eq!(el.num_vertices, 0);
+    }
+
+    #[test]
+    fn invalid_vertex_id_is_an_error() {
+        let err = parse_edge_list("a b\n").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 1"), "unexpected message: {msg}");
+    }
+
+    #[test]
+    fn missing_target_is_an_error() {
+        let err = parse_edge_list("7\n").unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn invalid_probability_is_an_error() {
+        let err = parse_edge_list("0 1 nope\n").unwrap_err();
+        assert!(err.to_string().contains("invalid probability"));
+    }
+
+    #[test]
+    fn graph_round_trip() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (2, 1), (1, 0)]);
+        let mut buffer = Vec::new();
+        write_edge_list(&g, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let parsed = parse_edge_list(&text).unwrap().into_graph();
+        assert_eq!(parsed.num_vertices(), 3);
+        assert_eq!(parsed.edges_in_insertion_order(), g.edges_in_insertion_order());
+    }
+
+    #[test]
+    fn influence_graph_round_trip() {
+        let g = DiGraph::from_edges(2, &[(0, 1), (1, 0)]);
+        let ig = InfluenceGraph::new(g, vec![0.125, 0.75]);
+        let mut buffer = Vec::new();
+        write_influence_graph(&ig, &mut buffer).unwrap();
+        let text = String::from_utf8(buffer).unwrap();
+        let parsed = parse_edge_list(&text).unwrap().into_influence_graph();
+        assert_eq!(parsed.probability(0), 0.125);
+        assert_eq!(parsed.probability(1), 0.75);
+        assert!((parsed.probability_sum() - ig.probability_sum()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("imgraph_io_test_edges.txt");
+        let g = DiGraph::from_edges(4, &[(0, 3), (3, 2)]);
+        write_edge_list(&g, std::fs::File::create(&path).unwrap()).unwrap();
+        let read = read_edge_list_file(&path).unwrap();
+        assert_eq!(read.edges, vec![(0, 3), (3, 2)]);
+        let _ = std::fs::remove_file(&path);
+    }
+}

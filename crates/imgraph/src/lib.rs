@@ -1,0 +1,49 @@
+//! Directed-graph and influence-graph substrate for the influence-maximization
+//! study.
+//!
+//! The paper works with two kinds of graph (Section 2.1):
+//!
+//! * a *deterministic* directed graph `G = (V, E)`, represented here by
+//!   [`DiGraph`] — a compressed sparse row (CSR) structure over `u32` vertex
+//!   ids with both forward and reverse adjacency;
+//! * an *influence graph* `G = (V, E, p)` attaching an influence probability
+//!   `p(e) ∈ (0, 1]` to each edge, represented by [`InfluenceGraph`].
+//!
+//! On top of the storage types this crate provides the graph operations the
+//! three algorithmic approaches need:
+//!
+//! * [`reach`] — breadth-first reachability with reusable workspaces; computes
+//!   `r_G(S)`, the number of vertices reachable from a seed set, which is what
+//!   Snapshot's estimator evaluates (Algorithm 3.3);
+//! * [`live_edge`] — sampling of live-edge graphs ("random graphs" `G ∼ 𝒢` in
+//!   the paper's random-graph interpretation of the IC model);
+//! * [`components`] — weakly/strongly connected components, used to verify the
+//!   giant-component behaviour discussed in Section 5.3;
+//! * [`stats`] — the network statistics of Table 3 (degrees, clustering
+//!   coefficient, average distance);
+//! * [`io`] — plain-text edge-list parsing and writing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod builder;
+pub mod coarsen;
+pub mod components;
+mod csr;
+mod influence;
+pub mod io;
+pub mod live_edge;
+pub mod reach;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::DiGraph;
+pub use influence::InfluenceGraph;
+
+/// Vertex identifier. Graphs in this study have at most a few million
+/// vertices, so 32 bits suffice and halve the memory traffic of adjacency
+/// arrays compared with `usize`.
+pub type VertexId = u32;
+
+/// A directed edge `(source, target)`.
+pub type Edge = (VertexId, VertexId);

@@ -1,0 +1,300 @@
+//! Breadth-first reachability with reusable workspaces.
+//!
+//! Snapshot's estimator evaluates `r_G(S)` — the number of vertices reachable
+//! from a seed set — on every pre-sampled live-edge graph and for every
+//! candidate vertex, so this is the hottest loop of the whole study. The
+//! [`ReachWorkspace`] keeps its queue and visited marks alive across calls
+//! (epoch-based marking avoids clearing an `n`-sized array per query), which
+//! is the "reuse collections" idiom from the Rust performance guide.
+
+use crate::{DiGraph, VertexId};
+
+/// Reusable scratch space for breadth-first searches over graphs with at most
+/// `capacity` vertices.
+#[derive(Debug, Clone)]
+pub struct ReachWorkspace {
+    /// Epoch-stamped visited marks: `visited[v] == epoch` means v was reached
+    /// in the current query.
+    visited: Vec<u32>,
+    epoch: u32,
+    queue: Vec<VertexId>,
+}
+
+impl ReachWorkspace {
+    /// Create a workspace able to serve graphs with up to `n` vertices.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { visited: vec![0; n], epoch: 0, queue: Vec::with_capacity(n.min(1024)) }
+    }
+
+    /// Grow the workspace if the graph is larger than the current capacity.
+    pub fn ensure_capacity(&mut self, n: usize) {
+        if self.visited.len() < n {
+            self.visited.resize(n, 0);
+        }
+    }
+
+    /// Begin a new query; returns the fresh epoch value.
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            // Epoch wrap-around: reset all marks once every 2^32 queries.
+            self.visited.iter_mut().for_each(|x| *x = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
+
+    /// Whether `v` was visited by the most recent traversal.
+    #[must_use]
+    pub fn was_visited(&self, v: VertexId) -> bool {
+        self.visited[v as usize] == self.epoch
+    }
+
+    /// Number of vertices reachable from `seeds` in `graph`, counting the
+    /// seeds themselves (this is `r_G(S)` from Section 2.1). Duplicate seeds
+    /// are counted once. Also reports the traversal effort via the returned
+    /// [`ReachStats`].
+    pub fn reachable_count(&mut self, graph: &DiGraph, seeds: &[VertexId]) -> ReachStats {
+        let epoch = self.next_epoch();
+        self.queue.clear();
+        let mut stats = ReachStats::default();
+        for &s in seeds {
+            let slot = &mut self.visited[s as usize];
+            if *slot != epoch {
+                *slot = epoch;
+                self.queue.push(s);
+            }
+        }
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            stats.vertices_scanned += 1;
+            for &v in graph.out_neighbors(u) {
+                stats.edges_scanned += 1;
+                let slot = &mut self.visited[v as usize];
+                if *slot != epoch {
+                    *slot = epoch;
+                    self.queue.push(v);
+                }
+            }
+        }
+        stats.reachable = self.queue.len();
+        stats
+    }
+
+    /// Collect the set of vertices reachable from `seeds` (including seeds).
+    pub fn reachable_set(&mut self, graph: &DiGraph, seeds: &[VertexId]) -> Vec<VertexId> {
+        self.reachable_count(graph, seeds);
+        self.queue.clone()
+    }
+
+    /// Number of vertices reachable from `seeds` that were *not* already
+    /// visited in a previous call marked by `blocked`. Used by the Snapshot
+    /// subgraph-reduction optimisation where vertices reachable from earlier
+    /// seeds must not be recounted.
+    pub fn reachable_count_excluding(
+        &mut self,
+        graph: &DiGraph,
+        seeds: &[VertexId],
+        blocked: &[bool],
+    ) -> ReachStats {
+        let epoch = self.next_epoch();
+        self.queue.clear();
+        let mut stats = ReachStats::default();
+        for &s in seeds {
+            if blocked[s as usize] {
+                continue;
+            }
+            let slot = &mut self.visited[s as usize];
+            if *slot != epoch {
+                *slot = epoch;
+                self.queue.push(s);
+            }
+        }
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            stats.vertices_scanned += 1;
+            for &v in graph.out_neighbors(u) {
+                stats.edges_scanned += 1;
+                if blocked[v as usize] {
+                    continue;
+                }
+                let slot = &mut self.visited[v as usize];
+                if *slot != epoch {
+                    *slot = epoch;
+                    self.queue.push(v);
+                }
+            }
+        }
+        stats.reachable = self.queue.len();
+        stats
+    }
+
+    /// Single-source shortest-path distances (in hops) from `source`,
+    /// returning `None` for unreachable vertices. Allocates the distance
+    /// vector; used by [`crate::stats`] for average-distance estimation, not
+    /// on algorithm hot paths.
+    pub fn bfs_distances(&mut self, graph: &DiGraph, source: VertexId) -> Vec<Option<u32>> {
+        let n = graph.num_vertices();
+        let mut dist: Vec<Option<u32>> = vec![None; n];
+        let epoch = self.next_epoch();
+        self.queue.clear();
+        dist[source as usize] = Some(0);
+        self.visited[source as usize] = epoch;
+        self.queue.push(source);
+        let mut head = 0usize;
+        while head < self.queue.len() {
+            let u = self.queue[head];
+            head += 1;
+            let du = dist[u as usize].expect("queued vertices have distances");
+            for &v in graph.out_neighbors(u) {
+                let slot = &mut self.visited[v as usize];
+                if *slot != epoch {
+                    *slot = epoch;
+                    dist[v as usize] = Some(du + 1);
+                    self.queue.push(v);
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// Outcome of a reachability query: the reachable-set size and the traversal
+/// effort, in the paper's implementation-independent units (vertices and edges
+/// examined).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReachStats {
+    /// `r_G(S)`: number of distinct vertices reachable from the seeds,
+    /// including the seeds.
+    pub reachable: usize,
+    /// Vertices popped from the BFS queue (each reachable vertex once).
+    pub vertices_scanned: usize,
+    /// Out-edges examined during the traversal.
+    pub edges_scanned: usize,
+}
+
+/// Convenience function computing `r_G(S)` without managing a workspace.
+///
+/// Allocates a fresh workspace per call; prefer [`ReachWorkspace`] in loops.
+#[must_use]
+pub fn reachable_count(graph: &DiGraph, seeds: &[VertexId]) -> usize {
+    ReachWorkspace::new(graph.num_vertices()).reachable_count(graph, seeds).reachable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(n: usize) -> DiGraph {
+        let edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        DiGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn chain_reachability() {
+        let g = chain(5);
+        let mut ws = ReachWorkspace::new(5);
+        assert_eq!(ws.reachable_count(&g, &[0]).reachable, 5);
+        assert_eq!(ws.reachable_count(&g, &[3]).reachable, 2);
+        assert_eq!(ws.reachable_count(&g, &[4]).reachable, 1);
+    }
+
+    #[test]
+    fn seed_set_union_and_duplicates() {
+        let g = chain(6);
+        let mut ws = ReachWorkspace::new(6);
+        assert_eq!(ws.reachable_count(&g, &[4, 0]).reachable, 6);
+        assert_eq!(ws.reachable_count(&g, &[2, 2, 2]).reachable, 4);
+        assert_eq!(ws.reachable_count(&g, &[]).reachable, 0);
+    }
+
+    #[test]
+    fn disconnected_components() {
+        // 0 -> 1, 2 -> 3 (two components)
+        let g = DiGraph::from_edges(4, &[(0, 1), (2, 3)]);
+        let mut ws = ReachWorkspace::new(4);
+        assert_eq!(ws.reachable_count(&g, &[0]).reachable, 2);
+        assert_eq!(ws.reachable_count(&g, &[0, 2]).reachable, 4);
+    }
+
+    #[test]
+    fn traversal_stats_counts() {
+        // Star: 0 -> {1, 2, 3}
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let mut ws = ReachWorkspace::new(4);
+        let stats = ws.reachable_count(&g, &[0]);
+        assert_eq!(stats.reachable, 4);
+        assert_eq!(stats.vertices_scanned, 4);
+        assert_eq!(stats.edges_scanned, 3);
+    }
+
+    #[test]
+    fn cycles_terminate() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let mut ws = ReachWorkspace::new(3);
+        let stats = ws.reachable_count(&g, &[0]);
+        assert_eq!(stats.reachable, 3);
+        assert_eq!(stats.edges_scanned, 3);
+    }
+
+    #[test]
+    fn reachable_set_contents() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 2)]);
+        let mut ws = ReachWorkspace::new(4);
+        let mut set = ws.reachable_set(&g, &[0]);
+        set.sort_unstable();
+        assert_eq!(set, vec![0, 1, 2]);
+        assert!(ws.was_visited(2));
+        assert!(!ws.was_visited(3));
+    }
+
+    #[test]
+    fn workspace_reuse_is_consistent() {
+        let g = chain(10);
+        let mut ws = ReachWorkspace::new(10);
+        for s in 0..10u32 {
+            assert_eq!(ws.reachable_count(&g, &[s]).reachable, 10 - s as usize);
+        }
+    }
+
+    #[test]
+    fn excluding_blocked_vertices() {
+        let g = chain(5);
+        let mut ws = ReachWorkspace::new(5);
+        // Block vertex 2: from 0 we can now only reach {0, 1}.
+        let mut blocked = vec![false; 5];
+        blocked[2] = true;
+        assert_eq!(ws.reachable_count_excluding(&g, &[0], &blocked).reachable, 2);
+        // Blocked seed contributes nothing.
+        assert_eq!(ws.reachable_count_excluding(&g, &[2], &blocked).reachable, 0);
+    }
+
+    #[test]
+    fn bfs_distances_on_chain() {
+        let g = chain(4);
+        let mut ws = ReachWorkspace::new(4);
+        let d = ws.bfs_distances(&g, 0);
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+        let d = ws.bfs_distances(&g, 2);
+        assert_eq!(d, vec![None, None, Some(0), Some(1)]);
+    }
+
+    #[test]
+    fn convenience_function_matches_workspace() {
+        let g = chain(7);
+        assert_eq!(reachable_count(&g, &[1]), 6);
+    }
+
+    #[test]
+    fn ensure_capacity_grows() {
+        let mut ws = ReachWorkspace::new(2);
+        ws.ensure_capacity(10);
+        let g = chain(10);
+        assert_eq!(ws.reachable_count(&g, &[0]).reachable, 10);
+    }
+}

@@ -1,0 +1,346 @@
+//! Network statistics (Table 3 of the paper).
+//!
+//! The paper characterises every data set by its vertex/edge counts, maximum
+//! out- and in-degree, global clustering coefficient and average distance.
+//! [`GraphStats::compute`] reproduces those columns; average distance is
+//! estimated by sampling BFS sources (the paper leaves it blank for the larger
+//! networks, and an exact all-pairs computation would defeat the purpose of a
+//! statistics table).
+
+use imrand::{seq, Pcg32};
+use rustc_hash::FxHashSet;
+use serde::{Deserialize, Serialize};
+
+use crate::reach::ReachWorkspace;
+use crate::{DiGraph, VertexId};
+
+/// Summary statistics of a directed network, mirroring Table 3.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Number of vertices `n`.
+    pub num_vertices: usize,
+    /// Number of directed edges `m`.
+    pub num_edges: usize,
+    /// Maximum out-degree `∆⁺`.
+    pub max_out_degree: usize,
+    /// Maximum in-degree `∆⁻`.
+    pub max_in_degree: usize,
+    /// Mean out-degree `m / n` (0 for an empty graph).
+    pub mean_degree: f64,
+    /// Global clustering coefficient of the undirected projection:
+    /// `3 × (#triangles) / (#connected triplets)`, or `None` when the graph
+    /// has no connected triplet.
+    pub clustering_coefficient: Option<f64>,
+    /// Average finite directed distance, estimated from sampled BFS sources;
+    /// `None` if no finite pair was found or estimation was skipped.
+    pub average_distance: Option<f64>,
+}
+
+/// Controls how expensive the optional statistics are.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsConfig {
+    /// Number of BFS sources sampled for the average-distance estimate.
+    /// `0` skips the estimate entirely.
+    pub distance_sources: usize,
+    /// Skip the clustering coefficient when the graph has more edges than
+    /// this (triangle counting is the most expensive part on dense graphs).
+    pub max_edges_for_clustering: usize,
+    /// Seed for source sampling.
+    pub seed: u64,
+}
+
+impl Default for StatsConfig {
+    fn default() -> Self {
+        Self { distance_sources: 64, max_edges_for_clustering: 50_000_000, seed: 0x5747_5354 }
+    }
+}
+
+impl GraphStats {
+    /// Compute statistics with the default configuration.
+    #[must_use]
+    pub fn compute(graph: &DiGraph) -> Self {
+        Self::compute_with(graph, StatsConfig::default())
+    }
+
+    /// Compute statistics with an explicit configuration.
+    #[must_use]
+    pub fn compute_with(graph: &DiGraph, config: StatsConfig) -> Self {
+        let n = graph.num_vertices();
+        let m = graph.num_edges();
+        let clustering = if m <= config.max_edges_for_clustering {
+            global_clustering_coefficient(graph)
+        } else {
+            None
+        };
+        let average_distance = if config.distance_sources > 0 && n > 1 {
+            estimate_average_distance(graph, config.distance_sources, config.seed)
+        } else {
+            None
+        };
+        Self {
+            num_vertices: n,
+            num_edges: m,
+            max_out_degree: graph.max_out_degree(),
+            max_in_degree: graph.max_in_degree(),
+            mean_degree: if n == 0 { 0.0 } else { m as f64 / n as f64 },
+            clustering_coefficient: clustering,
+            average_distance,
+        }
+    }
+}
+
+/// Global clustering coefficient of the *undirected projection* of `graph`:
+/// `3 × triangles / connected triplets`. Returns `None` when the graph has no
+/// connected triplet (e.g. a star of degree < 2 everywhere).
+#[must_use]
+pub fn global_clustering_coefficient(graph: &DiGraph) -> Option<f64> {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return None;
+    }
+    // Undirected neighbour sets (deduplicated, without self-loops).
+    let mut neighbors: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+    for u in graph.vertices() {
+        for &v in graph.out_neighbors(u) {
+            if u != v {
+                neighbors[u as usize].push(v);
+                neighbors[v as usize].push(u);
+            }
+        }
+    }
+    for list in &mut neighbors {
+        list.sort_unstable();
+        list.dedup();
+    }
+
+    // Count triangles with the standard ordered-neighbour intersection: a
+    // triangle {u, v, w} is counted once for its smallest vertex pair order.
+    let mut triangles: u64 = 0;
+    let mut triplets: u64 = 0;
+    let mut marker: FxHashSet<VertexId> = FxHashSet::default();
+    for u in 0..n as u32 {
+        let deg = neighbors[u as usize].len() as u64;
+        // Connected triplets centred at u: C(deg, 2).
+        triplets += deg * deg.saturating_sub(1) / 2;
+        marker.clear();
+        marker.extend(neighbors[u as usize].iter().copied());
+        for &v in &neighbors[u as usize] {
+            if v <= u {
+                continue;
+            }
+            for &w in &neighbors[v as usize] {
+                if w > v && marker.contains(&w) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triplets == 0 {
+        None
+    } else {
+        Some(3.0 * triangles as f64 / triplets as f64)
+    }
+}
+
+/// Estimate the average finite directed distance by running BFS from
+/// `sources` randomly chosen vertices. Pairs with no directed path are
+/// excluded (the convention used for "avg. dis." in Table 3).
+#[must_use]
+pub fn estimate_average_distance(graph: &DiGraph, sources: usize, seed: u64) -> Option<f64> {
+    let n = graph.num_vertices();
+    if n < 2 {
+        return None;
+    }
+    let mut rng = Pcg32::seed_from_u64(seed);
+    let sources = sources.min(n);
+    let chosen: Vec<VertexId> = if sources == n {
+        (0..n as u32).collect()
+    } else {
+        seq::sample_distinct(n, sources, &mut rng)
+    };
+    let mut ws = ReachWorkspace::new(n);
+    let mut total = 0.0f64;
+    let mut pairs = 0u64;
+    for &s in &chosen {
+        let dist = ws.bfs_distances(graph, s);
+        for (v, d) in dist.iter().enumerate() {
+            if v as u32 != s {
+                if let Some(d) = d {
+                    total += f64::from(*d);
+                    pairs += 1;
+                }
+            }
+        }
+    }
+    if pairs == 0 {
+        None
+    } else {
+        Some(total / pairs as f64)
+    }
+}
+
+/// Degree distribution helper: `result[d]` is the number of vertices with the
+/// given out-degree (`direction = Direction::Out`) or in-degree.
+#[must_use]
+pub fn degree_histogram(graph: &DiGraph, direction: Direction) -> Vec<usize> {
+    let max_deg = match direction {
+        Direction::Out => graph.max_out_degree(),
+        Direction::In => graph.max_in_degree(),
+    };
+    let mut hist = vec![0usize; max_deg + 1];
+    for v in graph.vertices() {
+        let d = match direction {
+            Direction::Out => graph.out_degree(v),
+            Direction::In => graph.in_degree(v),
+        };
+        hist[d] += 1;
+    }
+    hist
+}
+
+/// Edge direction selector for degree statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// Out-degrees.
+    Out,
+    /// In-degrees.
+    In,
+}
+
+/// Fit the exponent of a power-law `P(k) ∝ k^(−γ)` to the degree distribution
+/// using the discrete maximum-likelihood estimator of Clauset–Shalizi–Newman
+/// with `k_min = 1` (approximate form). Returns `None` if fewer than two
+/// vertices have positive degree.
+#[must_use]
+pub fn power_law_exponent_mle(graph: &DiGraph, direction: Direction) -> Option<f64> {
+    let mut count = 0usize;
+    let mut log_sum = 0.0f64;
+    for v in graph.vertices() {
+        let d = match direction {
+            Direction::Out => graph.out_degree(v),
+            Direction::In => graph.in_degree(v),
+        };
+        if d >= 1 {
+            count += 1;
+            // k_min = 1; the CSN estimator uses ln(k / (k_min - 1/2)).
+            log_sum += (d as f64 / 0.5).ln();
+        }
+    }
+    if count < 2 || log_sum == 0.0 {
+        None
+    } else {
+        Some(1.0 + count as f64 / log_sum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> DiGraph {
+        // Undirected triangle (6 arcs).
+        DiGraph::from_edges(3, &[(0, 1), (1, 0), (1, 2), (2, 1), (0, 2), (2, 0)])
+    }
+
+    #[test]
+    fn triangle_clustering_is_one() {
+        let c = global_clustering_coefficient(&triangle()).unwrap();
+        assert!((c - 1.0).abs() < 1e-12, "triangle clustering should be 1, got {c}");
+    }
+
+    #[test]
+    fn path_clustering_is_zero() {
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let c = global_clustering_coefficient(&g).unwrap();
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn star_without_triplet_center_counts() {
+        // Undirected star with 3 leaves: center has C(3,2)=3 triplets, no triangle.
+        let g = DiGraph::from_edges(4, &[(0, 1), (1, 0), (0, 2), (2, 0), (0, 3), (3, 0)]);
+        let c = global_clustering_coefficient(&g).unwrap();
+        assert_eq!(c, 0.0);
+    }
+
+    #[test]
+    fn clustering_none_without_triplets() {
+        let g = DiGraph::from_edges(2, &[(0, 1), (1, 0)]);
+        assert!(global_clustering_coefficient(&g).is_none());
+    }
+
+    #[test]
+    fn clustering_ignores_edge_direction_and_multiplicity() {
+        // Triangle given with only one arc per undirected edge plus a duplicate.
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0), (0, 1)]);
+        let c = global_clustering_coefficient(&g).unwrap();
+        assert!((c - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_distance_on_directed_path() {
+        // 0 -> 1 -> 2; finite distances: (0,1)=1, (0,2)=2, (1,2)=1 → mean 4/3.
+        let g = DiGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let d = estimate_average_distance(&g, 3, 1).unwrap();
+        assert!((d - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn average_distance_none_when_no_edges() {
+        let g = DiGraph::from_edges(3, &[]);
+        assert!(estimate_average_distance(&g, 3, 1).is_none());
+    }
+
+    #[test]
+    fn stats_compute_full() {
+        let stats = GraphStats::compute(&triangle());
+        assert_eq!(stats.num_vertices, 3);
+        assert_eq!(stats.num_edges, 6);
+        assert_eq!(stats.max_out_degree, 2);
+        assert_eq!(stats.max_in_degree, 2);
+        assert!((stats.mean_degree - 2.0).abs() < 1e-12);
+        assert!((stats.clustering_coefficient.unwrap() - 1.0).abs() < 1e-12);
+        assert!((stats.average_distance.unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_respect_config_toggles() {
+        let g = triangle();
+        let stats = GraphStats::compute_with(
+            &g,
+            StatsConfig { distance_sources: 0, max_edges_for_clustering: 0, seed: 1 },
+        );
+        assert!(stats.average_distance.is_none());
+        assert!(stats.clustering_coefficient.is_none());
+    }
+
+    #[test]
+    fn degree_histogram_counts() {
+        let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2)]);
+        let out = degree_histogram(&g, Direction::Out);
+        assert_eq!(out, vec![2, 1, 0, 1]); // two sinks, one deg-1, one deg-3
+        let inn = degree_histogram(&g, Direction::In);
+        assert_eq!(inn, vec![1, 2, 1]);
+    }
+
+    #[test]
+    fn power_law_exponent_is_plausible_for_star() {
+        // A hub-and-spoke graph has a heavy-tailed in-degree distribution; the
+        // MLE should produce a finite exponent > 1 over the 99 leaves.
+        let mut edges = Vec::new();
+        for i in 1..100u32 {
+            edges.push((0u32, i));
+        }
+        let g = DiGraph::from_edges(100, &edges);
+        let gamma = power_law_exponent_mle(&g, Direction::In).unwrap();
+        assert!(gamma > 1.0 && gamma.is_finite());
+        // Out-degrees: only the hub has positive degree, so no fit is possible.
+        assert!(power_law_exponent_mle(&g, Direction::Out).is_none());
+    }
+
+    #[test]
+    fn power_law_exponent_none_for_empty() {
+        let g = DiGraph::from_edges(3, &[]);
+        assert!(power_law_exponent_mle(&g, Direction::Out).is_none());
+    }
+}

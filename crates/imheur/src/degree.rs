@@ -1,0 +1,122 @@
+//! Degree-based seed selection: the simplest proxies for influence.
+
+use imgraph::{InfluenceGraph, VertexId};
+
+use crate::selector::{full_scan_edge_cost, top_k_by_score, HeuristicResult, SeedSelector};
+
+/// Rank vertices by raw out-degree `d⁺(v)` and return the top `k`.
+///
+/// This is the "high-degree" baseline of Kempe et al.'s original evaluation;
+/// it ignores edge probabilities entirely and so over-values hubs whose edges
+/// are weak (e.g. under the in-degree weighted cascade, where a hub pointing
+/// at popular vertices contributes almost nothing per edge).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MaxDegree;
+
+impl SeedSelector for MaxDegree {
+    fn select(&self, graph: &InfluenceGraph, k: usize) -> HeuristicResult {
+        let g = graph.graph();
+        let scores: Vec<f64> = (0..g.num_vertices() as VertexId)
+            .map(|v| g.out_degree(v) as f64)
+            .collect();
+        let (seeds, picked) = top_k_by_score(&scores, k);
+        HeuristicResult {
+            seeds,
+            scores: picked,
+            vertices_examined: g.num_vertices() as u64,
+            edges_examined: 0,
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "MaxDegree"
+    }
+}
+
+/// Rank vertices by expected out-weight `Σ_{w ∈ Γ⁺(v)} p(v, w)` — the expected
+/// number of direct activations — and return the top `k`.
+///
+/// Unlike [`MaxDegree`] this is probability-aware: under the out-degree
+/// weighted cascade every vertex scores exactly 1 (so the heuristic carries no
+/// signal, which is itself informative), while under the uniform cascade the
+/// ranking coincides with max-degree.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WeightedDegree;
+
+impl SeedSelector for WeightedDegree {
+    fn select(&self, graph: &InfluenceGraph, k: usize) -> HeuristicResult {
+        let n = graph.num_vertices();
+        let scores: Vec<f64> =
+            (0..n as VertexId).map(|v| graph.expected_out_weight(v)).collect();
+        let (seeds, picked) = top_k_by_score(&scores, k);
+        HeuristicResult {
+            seeds,
+            scores: picked,
+            vertices_examined: n as u64,
+            edges_examined: full_scan_edge_cost(graph),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "WeightedDegree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imgraph::DiGraph;
+
+    /// A hub (vertex 0) with three out-edges plus a chain 4 -> 5.
+    fn hub_graph(p_hub: f64, p_chain: f64) -> InfluenceGraph {
+        let g = DiGraph::from_edges(6, &[(0, 1), (0, 2), (0, 3), (4, 5)]);
+        InfluenceGraph::new(g, vec![p_hub, p_hub, p_hub, p_chain])
+    }
+
+    #[test]
+    fn max_degree_picks_the_hub_first() {
+        let ig = hub_graph(0.01, 0.9);
+        let r = MaxDegree.select(&ig, 2);
+        assert_eq!(r.seeds[0], 0);
+        assert_eq!(r.seeds[1], 4);
+        assert_eq!(r.scores, vec![3.0, 1.0]);
+        assert_eq!(r.vertices_examined, 6);
+        assert_eq!(MaxDegree.name(), "MaxDegree");
+    }
+
+    #[test]
+    fn weighted_degree_prefers_strong_edges() {
+        // Hub has 3 weak edges (total weight 0.03); the chain vertex has one
+        // strong edge (0.9), so weighted degree ranks it first.
+        let ig = hub_graph(0.01, 0.9);
+        let r = WeightedDegree.select(&ig, 1);
+        assert_eq!(r.seeds, vec![4]);
+        assert!((r.scores[0] - 0.9).abs() < 1e-12);
+        assert_eq!(r.edges_examined, 4);
+    }
+
+    #[test]
+    fn weighted_degree_matches_max_degree_under_uniform_probabilities() {
+        let ig = hub_graph(0.1, 0.1);
+        let by_degree = MaxDegree.select(&ig, 3).seeds;
+        let by_weight = WeightedDegree.select(&ig, 3).seeds;
+        assert_eq!(by_degree, by_weight);
+    }
+
+    #[test]
+    fn k_zero_and_k_larger_than_n() {
+        let ig = hub_graph(0.5, 0.5);
+        assert!(MaxDegree.select(&ig, 0).is_empty());
+        assert_eq!(WeightedDegree.select(&ig, 100).len(), 6);
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let ig = hub_graph(0.5, 0.5);
+        let r = MaxDegree.select(&ig, 6);
+        let mut sorted = r.seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), r.seeds.len());
+    }
+}

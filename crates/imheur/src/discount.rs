@@ -1,0 +1,240 @@
+//! The degree-discount heuristics of Chen, Wang and Yang (KDD 2009).
+//!
+//! Both rules pick seeds one at a time by (discounted) degree. The insight is
+//! that once a neighbour of `v` has been chosen as a seed, part of `v`'s
+//! degree is "wasted": the neighbour may already be activated, so edges into
+//! it no longer contribute fresh influence.
+//!
+//! * *SingleDiscount* subtracts one from a vertex's degree for every selected
+//!   out-neighbour.
+//! * *DegreeDiscount* applies the sharper correction
+//!   `dd(v) = d(v) − 2·t(v) − (d(v) − t(v))·t(v)·p`, where `t(v)` is the
+//!   number of already-selected in-neighbours of `v` and `p` a representative
+//!   uniform edge probability. The formula is derived for the uniform
+//!   independent cascade; for non-uniform probability models we follow common
+//!   practice and plug in the mean edge probability.
+
+use imgraph::{InfluenceGraph, VertexId};
+
+use crate::selector::{HeuristicResult, SeedSelector};
+
+/// The single-discount rule: degree minus the number of already-selected
+/// out-neighbours.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SingleDiscount;
+
+impl SeedSelector for SingleDiscount {
+    fn select(&self, graph: &InfluenceGraph, k: usize) -> HeuristicResult {
+        let g = graph.graph();
+        let n = g.num_vertices();
+        let k = k.min(n);
+        let mut score: Vec<f64> = (0..n as VertexId).map(|v| g.out_degree(v) as f64).collect();
+        let mut selected = vec![false; n];
+        let mut seeds = Vec::with_capacity(k);
+        let mut scores = Vec::with_capacity(k);
+        let mut vertices_examined = 0u64;
+        let mut edges_examined = 0u64;
+
+        for _ in 0..k {
+            let Some(best) = argmax_unselected(&score, &selected) else { break };
+            vertices_examined += n as u64;
+            selected[best as usize] = true;
+            seeds.push(best);
+            scores.push(score[best as usize]);
+            // Every in-neighbour of the chosen seed loses one unit of useful
+            // degree: its edge into the seed can no longer activate anything new.
+            for &u in g.in_neighbors(best) {
+                edges_examined += 1;
+                if !selected[u as usize] {
+                    score[u as usize] -= 1.0;
+                }
+            }
+        }
+        HeuristicResult { seeds, scores, vertices_examined, edges_examined }
+    }
+
+    fn name(&self) -> &'static str {
+        "SingleDiscount"
+    }
+}
+
+/// The degree-discount rule for the uniform independent cascade.
+#[derive(Debug, Clone, Copy)]
+pub struct DegreeDiscount {
+    /// The representative edge probability `p` in the discount formula. Use
+    /// the uniform-cascade constant when the instance is uniform; otherwise
+    /// [`DegreeDiscount::with_mean_probability`] plugs in the graph mean.
+    pub probability: f64,
+}
+
+impl DegreeDiscount {
+    /// Discount with an explicit representative probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `probability` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(probability: f64) -> Self {
+        assert!(
+            probability > 0.0 && probability <= 1.0,
+            "representative probability must lie in (0, 1], got {probability}"
+        );
+        Self { probability }
+    }
+
+    /// Discount with the mean edge probability of the given instance.
+    #[must_use]
+    pub fn with_mean_probability(graph: &InfluenceGraph) -> Self {
+        let m = graph.num_edges();
+        let p = if m == 0 { 1.0 } else { graph.probability_sum() / m as f64 };
+        Self::new(p.clamp(f64::MIN_POSITIVE, 1.0))
+    }
+}
+
+impl SeedSelector for DegreeDiscount {
+    fn select(&self, graph: &InfluenceGraph, k: usize) -> HeuristicResult {
+        let g = graph.graph();
+        let n = g.num_vertices();
+        let k = k.min(n);
+        let p = self.probability;
+        let degree: Vec<f64> = (0..n as VertexId).map(|v| g.out_degree(v) as f64).collect();
+        // t[v]: number of already-selected in-neighbours of v.
+        let mut t = vec![0.0f64; n];
+        let mut score = degree.clone();
+        let mut selected = vec![false; n];
+        let mut seeds = Vec::with_capacity(k);
+        let mut scores = Vec::with_capacity(k);
+        let mut vertices_examined = 0u64;
+        let mut edges_examined = 0u64;
+
+        for _ in 0..k {
+            let Some(best) = argmax_unselected(&score, &selected) else { break };
+            vertices_examined += n as u64;
+            selected[best as usize] = true;
+            seeds.push(best);
+            scores.push(score[best as usize]);
+            // The chosen seed is an in-neighbour of each of its out-neighbours
+            // v; increment t(v) and recompute the discounted degree.
+            for &v in g.out_neighbors(best) {
+                edges_examined += 1;
+                if selected[v as usize] {
+                    continue;
+                }
+                t[v as usize] += 1.0;
+                let d = degree[v as usize];
+                let tv = t[v as usize];
+                score[v as usize] = d - 2.0 * tv - (d - tv) * tv * p;
+            }
+        }
+        HeuristicResult { seeds, scores, vertices_examined, edges_examined }
+    }
+
+    fn name(&self) -> &'static str {
+        "DegreeDiscount"
+    }
+}
+
+/// Index of the largest score among unselected vertices (ties to the smaller
+/// id), or `None` if everything is selected.
+fn argmax_unselected(score: &[f64], selected: &[bool]) -> Option<VertexId> {
+    let mut best: Option<(VertexId, f64)> = None;
+    for (v, (&s, &sel)) in score.iter().zip(selected).enumerate() {
+        if sel {
+            continue;
+        }
+        match best {
+            Some((_, bs)) if s <= bs => {}
+            _ => best = Some((v as VertexId, s)),
+        }
+    }
+    best.map(|(v, _)| v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imgraph::DiGraph;
+
+    /// Two overlapping stars: hub 0 -> {1, 2, 3}, hub 1 -> {2, 3, 4, 5}.
+    /// Undirected-style arcs so discounts have in-neighbours to act on.
+    fn two_hubs(p: f64) -> InfluenceGraph {
+        let mut edges = Vec::new();
+        for v in [1u32, 2, 3] {
+            edges.push((0, v));
+            edges.push((v, 0));
+        }
+        for v in [2u32, 3, 4, 5] {
+            edges.push((1, v));
+            edges.push((v, 1));
+        }
+        let m = edges.len();
+        InfluenceGraph::new(DiGraph::from_edges(6, &edges), vec![p; m])
+    }
+
+    #[test]
+    fn single_discount_avoids_redundant_second_hub() {
+        // After picking hub 1 (degree 4), hub 0 keeps degree 3 but vertices 2
+        // and 3 lose a unit, so the second pick must be hub 0 rather than a
+        // leaf adjacent to hub 1.
+        let ig = two_hubs(0.1);
+        let r = SingleDiscount.select(&ig, 2);
+        assert_eq!(r.seeds[0], 1);
+        assert_eq!(r.seeds[1], 0);
+        assert_eq!(r.len(), 2);
+        assert!(r.edges_examined > 0);
+    }
+
+    #[test]
+    fn degree_discount_matches_chen_et_al_formula_on_first_discount() {
+        let ig = two_hubs(0.1);
+        let r = DegreeDiscount::new(0.1).select(&ig, 2);
+        assert_eq!(r.seeds[0], 1, "highest degree first");
+        // Vertex 2 (degree 2) after one selected in-neighbour: 2 - 2 - (2-1)*1*0.1 = -0.1.
+        // Hub 0 (degree 3, one selected in-neighbour): 3 - 2 - (3-1)*1*0.1 = 0.8,
+        // still the largest remaining score, so it is second.
+        assert_eq!(r.seeds[1], 0);
+        // Hub 1 touches vertices {0, 2, 3, 4, 5} both ways, so d⁺(1) = 5.
+        assert!((r.scores[0] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_probability_constructor_uses_graph_mean() {
+        let ig = two_hubs(0.25);
+        let dd = DegreeDiscount::with_mean_probability(&ig);
+        assert!((dd.probability - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discounts_return_distinct_seeds_and_respect_k() {
+        let ig = two_hubs(0.1);
+        for k in 0..=6 {
+            for r in [SingleDiscount.select(&ig, k), DegreeDiscount::new(0.1).select(&ig, k)] {
+                assert_eq!(r.len(), k.min(6));
+                let mut sorted = r.seeds.clone();
+                sorted.sort_unstable();
+                sorted.dedup();
+                assert_eq!(sorted.len(), r.seeds.len(), "duplicate seeds at k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn selector_names() {
+        assert_eq!(SingleDiscount.name(), "SingleDiscount");
+        assert_eq!(DegreeDiscount::new(0.5).name(), "DegreeDiscount");
+    }
+
+    #[test]
+    #[should_panic(expected = "must lie in (0, 1]")]
+    fn zero_probability_rejected() {
+        let _ = DegreeDiscount::new(0.0);
+    }
+
+    #[test]
+    fn first_pick_always_matches_max_degree() {
+        let ig = two_hubs(0.3);
+        let md = crate::MaxDegree.select(&ig, 1).seeds;
+        assert_eq!(SingleDiscount.select(&ig, 1).seeds, md);
+        assert_eq!(DegreeDiscount::new(0.3).select(&ig, 1).seeds, md);
+    }
+}

@@ -1,0 +1,108 @@
+//! The [`SeedSelector`] trait shared by every heuristic.
+
+use imgraph::{InfluenceGraph, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// The outcome of one heuristic seed selection.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeuristicResult {
+    /// Selected seeds in rank order (best first).
+    pub seeds: Vec<VertexId>,
+    /// The heuristic's internal score of each selected seed at selection time.
+    /// Scores are only comparable within one heuristic; they are *not*
+    /// influence estimates.
+    pub scores: Vec<f64>,
+    /// Vertices examined while ranking (the paper's vertex traversal cost).
+    pub vertices_examined: u64,
+    /// Edges examined while ranking (the paper's edge traversal cost).
+    pub edges_examined: u64,
+}
+
+impl HeuristicResult {
+    /// Number of seeds selected.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.seeds.len()
+    }
+
+    /// Whether no seed was selected.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.seeds.is_empty()
+    }
+}
+
+/// A seed-selection heuristic: rank vertices by a quickly computable proxy for
+/// influence and return the top `k`.
+pub trait SeedSelector {
+    /// Select `k` seeds from the influence graph. Implementations must return
+    /// at most `min(k, n)` distinct vertices, best-ranked first.
+    fn select(&self, graph: &InfluenceGraph, k: usize) -> HeuristicResult;
+
+    /// Short name used in reports and bench labels.
+    fn name(&self) -> &'static str;
+}
+
+/// Pick the `k` largest entries of `scores`, breaking ties towards the smaller
+/// vertex id, and account one vertex examination per scored vertex.
+///
+/// This is the shared "rank and take top-k" tail of the purely score-based
+/// heuristics (max-degree, weighted degree, PageRank, IRIE).
+#[must_use]
+pub(crate) fn top_k_by_score(scores: &[f64], k: usize) -> (Vec<VertexId>, Vec<f64>) {
+    let mut order: Vec<VertexId> = (0..scores.len() as VertexId).collect();
+    order.sort_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .expect("heuristic scores must not be NaN")
+            .then(a.cmp(&b))
+    });
+    order.truncate(k.min(scores.len()));
+    let picked_scores = order.iter().map(|&v| scores[v as usize]).collect();
+    (order, picked_scores)
+}
+
+/// Total number of directed edges; the edge cost of any heuristic that scans
+/// the full adjacency once.
+pub(crate) fn full_scan_edge_cost(graph: &InfluenceGraph) -> u64 {
+    graph.num_edges() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_orders_by_score_then_id() {
+        let (seeds, scores) = top_k_by_score(&[1.0, 5.0, 5.0, 0.5], 3);
+        assert_eq!(seeds, vec![1, 2, 0]);
+        assert_eq!(scores, vec![5.0, 5.0, 1.0]);
+    }
+
+    #[test]
+    fn top_k_clamps_to_n() {
+        let (seeds, _) = top_k_by_score(&[1.0, 2.0], 10);
+        assert_eq!(seeds.len(), 2);
+    }
+
+    #[test]
+    fn top_k_of_zero_is_empty() {
+        let (seeds, scores) = top_k_by_score(&[1.0, 2.0], 0);
+        assert!(seeds.is_empty());
+        assert!(scores.is_empty());
+    }
+
+    #[test]
+    fn heuristic_result_len_and_serde() {
+        let r = HeuristicResult {
+            seeds: vec![3, 1],
+            scores: vec![2.0, 1.0],
+            vertices_examined: 4,
+            edges_examined: 7,
+        };
+        assert_eq!(r.len(), 2);
+        assert!(!r.is_empty());
+        let json = serde_json::to_string(&r).unwrap();
+        assert_eq!(serde_json::from_str::<HeuristicResult>(&json).unwrap(), r);
+    }
+}

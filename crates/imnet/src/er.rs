@@ -1,0 +1,166 @@
+//! Erdős–Rényi random graphs.
+//!
+//! The paper contrasts complex networks with "random graphs" (Section 4.2.1);
+//! this module provides both the `G(n, m)` and `G(n, p)` variants as directed
+//! graphs. They are used in tests, as baselines for the structural statistics
+//! of Table 3, and by the dataset registry when a structureless control graph
+//! is requested.
+
+use imgraph::{DiGraph, GraphBuilder, VertexId};
+use imrand::Rng32;
+use rustc_hash::FxHashSet;
+
+/// Generate a directed `G(n, m)` graph: exactly `m` distinct directed edges
+/// (no self-loops) chosen uniformly at random.
+///
+/// # Panics
+///
+/// Panics if `m` exceeds the number of possible directed edges `n·(n−1)`.
+#[must_use]
+pub fn gnm_directed<R: Rng32>(n: usize, m: usize, rng: &mut R) -> DiGraph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1));
+    assert!(m <= max_edges, "cannot place {m} distinct edges in a {n}-vertex digraph");
+    let mut seen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    while seen.len() < m {
+        let u = rng.gen_index(n) as VertexId;
+        let v = rng.gen_index(n) as VertexId;
+        if u == v {
+            continue;
+        }
+        if seen.insert((u, v)) {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+/// Generate a directed `G(n, p)` graph: every ordered pair `(u, v)`, `u ≠ v`,
+/// is an edge independently with probability `p`.
+///
+/// Uses geometric skipping so the running time is `O(n + m)` rather than
+/// `O(n²)` for sparse `p`.
+#[must_use]
+pub fn gnp_directed<R: Rng32>(n: usize, p: f64, rng: &mut R) -> DiGraph {
+    assert!((0.0..=1.0).contains(&p), "probability {p} out of range");
+    let mut builder = GraphBuilder::new(n);
+    if n == 0 || p == 0.0 {
+        return builder.build();
+    }
+    if p >= 1.0 {
+        for u in 0..n as VertexId {
+            for v in 0..n as VertexId {
+                if u != v {
+                    builder.add_edge(u, v);
+                }
+            }
+        }
+        return builder.build();
+    }
+    // Iterate over the n·(n−1) candidate pairs with geometric jumps.
+    let total = (n as u64) * (n as u64 - 1);
+    let log_q = (1.0 - p).ln();
+    let mut position: u64 = 0;
+    loop {
+        // Draw the gap to the next present edge: floor(ln(U) / ln(1 − p)).
+        let u = rng.next_f64().max(f64::MIN_POSITIVE);
+        let gap = (u.ln() / log_q).floor() as u64;
+        position = match position.checked_add(gap) {
+            Some(next) => next,
+            None => break,
+        };
+        if position >= total {
+            break;
+        }
+        let (src, mut dst) = ((position / (n as u64 - 1)) as usize, (position % (n as u64 - 1)) as usize);
+        // Skip the diagonal: pairs for source `src` enumerate all targets
+        // except `src` itself.
+        if dst >= src {
+            dst += 1;
+        }
+        builder.add_edge(src as VertexId, dst as VertexId);
+        position += 1;
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imrand::Pcg32;
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let g = gnm_directed(50, 200, &mut rng);
+        assert_eq!(g.num_vertices(), 50);
+        assert_eq!(g.num_edges(), 200);
+    }
+
+    #[test]
+    fn gnm_no_self_loops_or_duplicates() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let g = gnm_directed(30, 300, &mut rng);
+        let mut seen = std::collections::HashSet::new();
+        for (u, v) in g.edges() {
+            assert_ne!(u, v);
+            assert!(seen.insert((u, v)));
+        }
+    }
+
+    #[test]
+    fn gnm_complete_digraph() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let g = gnm_directed(5, 20, &mut rng);
+        assert_eq!(g.num_edges(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn gnm_too_many_edges_panics() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let _ = gnm_directed(3, 7, &mut rng);
+    }
+
+    #[test]
+    fn gnp_zero_and_one() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        assert_eq!(gnp_directed(10, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(gnp_directed(5, 1.0, &mut rng).num_edges(), 20);
+        assert_eq!(gnp_directed(0, 0.5, &mut rng).num_vertices(), 0);
+    }
+
+    #[test]
+    fn gnp_edge_count_concentrates() {
+        let mut rng = Pcg32::seed_from_u64(6);
+        let n = 200;
+        let p = 0.05;
+        let expected = (n * (n - 1)) as f64 * p;
+        let mut total = 0usize;
+        let reps = 20;
+        for _ in 0..reps {
+            total += gnp_directed(n, p, &mut rng).num_edges();
+        }
+        let mean = total as f64 / reps as f64;
+        assert!(
+            (mean - expected).abs() < expected * 0.1,
+            "mean edge count {mean} should be near {expected}"
+        );
+    }
+
+    #[test]
+    fn gnp_no_self_loops() {
+        let mut rng = Pcg32::seed_from_u64(7);
+        let g = gnp_directed(40, 0.2, &mut rng);
+        for (u, v) in g.edges() {
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    fn gnp_is_deterministic_per_seed() {
+        let a = gnp_directed(60, 0.1, &mut Pcg32::seed_from_u64(8));
+        let b = gnp_directed(60, 0.1, &mut Pcg32::seed_from_u64(8));
+        assert_eq!(a, b);
+    }
+}

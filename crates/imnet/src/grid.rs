@@ -1,0 +1,114 @@
+//! Regular lattice (grid) graphs.
+//!
+//! The paper contrasts complex networks with structures "that occur in neither
+//! random graphs nor grid graphs" (Section 4.2.1); a grid generator gives the
+//! test suite and the examples a maximally *non*-complex baseline: constant
+//! degree, no hubs, no clustering skew, and diameter `Θ(rows + cols)` instead
+//! of `O(log n)`. Influence spreads on grids grow slowly with the sample
+//! number, which exercises the "slow improvement" regime of Figure 5.
+
+use imgraph::{DiGraph, VertexId};
+
+/// Build a directed 2-D grid with `rows × cols` vertices.
+///
+/// Vertex `(r, c)` has index `r·cols + c`. Every vertex is connected to its
+/// right and down neighbour; with `bidirectional` the reverse arcs are added
+/// too (giving the classical 4-neighbour lattice as a symmetric digraph).
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+#[must_use]
+pub fn grid_2d(rows: usize, cols: usize, bidirectional: bool) -> DiGraph {
+    assert!(rows > 0 && cols > 0, "grid dimensions must be positive");
+    let n = rows * cols;
+    let index = |r: usize, c: usize| (r * cols + c) as VertexId;
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(4 * n);
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((index(r, c), index(r, c + 1)));
+                if bidirectional {
+                    edges.push((index(r, c + 1), index(r, c)));
+                }
+            }
+            if r + 1 < rows {
+                edges.push((index(r, c), index(r + 1, c)));
+                if bidirectional {
+                    edges.push((index(r + 1, c), index(r, c)));
+                }
+            }
+        }
+    }
+    DiGraph::from_edges(n, &edges)
+}
+
+/// Number of edges of a directed (`bidirectional = false`) 2-D grid, for
+/// quick sanity checks: `rows·(cols − 1) + cols·(rows − 1)`.
+#[must_use]
+pub fn grid_2d_edge_count(rows: usize, cols: usize) -> usize {
+    rows * (cols - 1) + cols * (rows - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imgraph::reach::reachable_count;
+
+    #[test]
+    fn directed_grid_has_the_expected_edge_count() {
+        let g = grid_2d(4, 5, false);
+        assert_eq!(g.num_vertices(), 20);
+        assert_eq!(g.num_edges(), grid_2d_edge_count(4, 5));
+        assert_eq!(g.num_edges(), 4 * 4 + 5 * 3);
+    }
+
+    #[test]
+    fn bidirectional_grid_doubles_the_edges() {
+        let g = grid_2d(3, 3, true);
+        assert_eq!(g.num_edges(), 2 * grid_2d_edge_count(3, 3));
+        // Interior vertex has degree 4 in both directions.
+        assert_eq!(g.out_degree(4), 4);
+        assert_eq!(g.in_degree(4), 4);
+    }
+
+    #[test]
+    fn corner_degrees_are_correct_in_the_directed_grid() {
+        let g = grid_2d(3, 3, false);
+        // Top-left corner points right and down.
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+        // Bottom-right corner is a sink.
+        assert_eq!(g.out_degree(8), 0);
+        assert_eq!(g.in_degree(8), 2);
+    }
+
+    #[test]
+    fn top_left_corner_reaches_everything_in_the_directed_grid() {
+        let g = grid_2d(6, 7, false);
+        assert_eq!(reachable_count(&g, &[0]), 42);
+        // The bottom-right corner reaches only itself.
+        assert_eq!(reachable_count(&g, &[41]), 1);
+    }
+
+    #[test]
+    fn every_vertex_reaches_everything_in_the_bidirectional_grid() {
+        let g = grid_2d(4, 4, true);
+        for v in 0..16u32 {
+            assert_eq!(reachable_count(&g, &[v]), 16);
+        }
+    }
+
+    #[test]
+    fn single_row_grid_is_a_path() {
+        let g = grid_2d(1, 5, false);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(reachable_count(&g, &[0]), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimensions must be positive")]
+    fn zero_dimension_panics() {
+        let _ = grid_2d(0, 5, false);
+    }
+}

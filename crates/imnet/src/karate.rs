@@ -1,0 +1,125 @@
+//! Zachary's karate club network (Zachary, 1977), the `Karate` data set of
+//! Table 3: 34 vertices, 78 undirected friendships, i.e. 156 directed arcs.
+//!
+//! This is the one real-world network of the study small enough to embed in
+//! source form; the edge list below is the canonical 1-indexed list shifted to
+//! 0-indexed vertex ids. Following the paper (and KONECT's handling of
+//! undirected networks), each undirected edge is materialised as two arcs.
+
+use imgraph::{DiGraph, GraphBuilder};
+
+/// Number of vertices in the karate club network.
+pub const NUM_VERTICES: usize = 34;
+
+/// The 78 undirected friendship edges, 0-indexed.
+pub const UNDIRECTED_EDGES: [(u32, u32); 78] = [
+    (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10), (0, 11),
+    (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31),
+    (1, 2), (1, 3), (1, 7), (1, 13), (1, 17), (1, 19), (1, 21), (1, 30),
+    (2, 3), (2, 7), (2, 8), (2, 9), (2, 13), (2, 27), (2, 28), (2, 32),
+    (3, 7), (3, 12), (3, 13),
+    (4, 6), (4, 10),
+    (5, 6), (5, 10), (5, 16),
+    (6, 16),
+    (8, 30), (8, 32), (8, 33),
+    (9, 33),
+    (13, 33),
+    (14, 32), (14, 33),
+    (15, 32), (15, 33),
+    (18, 32), (18, 33),
+    (19, 33),
+    (20, 32), (20, 33),
+    (22, 32), (22, 33),
+    (23, 25), (23, 27), (23, 29), (23, 32), (23, 33),
+    (24, 25), (24, 27), (24, 31),
+    (25, 31),
+    (26, 29), (26, 33),
+    (27, 33),
+    (28, 31), (28, 33),
+    (29, 32), (29, 33),
+    (30, 32), (30, 33),
+    (31, 32), (31, 33),
+    (32, 33),
+];
+
+/// Build the karate club as a directed graph with 156 arcs (each undirected
+/// edge in both directions), matching the `m = 156` of Table 3.
+#[must_use]
+pub fn karate_club() -> DiGraph {
+    let mut builder = GraphBuilder::with_capacity(NUM_VERTICES, UNDIRECTED_EDGES.len() * 2);
+    for &(u, v) in &UNDIRECTED_EDGES {
+        builder.add_undirected_edge(u, v);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_counts() {
+        let g = karate_club();
+        assert_eq!(g.num_vertices(), 34);
+        assert_eq!(g.num_edges(), 156);
+    }
+
+    #[test]
+    fn table3_max_degrees() {
+        // Table 3 reports ∆⁺ = ∆⁻ = 17 (vertex 33 in 0-indexed ids, the club
+        // instructor "John A.").
+        let g = karate_club();
+        assert_eq!(g.max_out_degree(), 17);
+        assert_eq!(g.max_in_degree(), 17);
+        assert_eq!(g.out_degree(33), 17);
+        assert_eq!(g.in_degree(33), 17);
+        // The other famous hub, vertex 0 ("Mr. Hi"), has degree 16.
+        assert_eq!(g.out_degree(0), 16);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicates() {
+        let mut seen = std::collections::HashSet::new();
+        for &(u, v) in &UNDIRECTED_EDGES {
+            assert_ne!(u, v, "self-loop in karate data");
+            assert!(u < v, "edges must be stored with u < v: ({u}, {v})");
+            assert!(seen.insert((u, v)), "duplicate edge ({u}, {v})");
+            assert!(v < 34);
+        }
+        assert_eq!(seen.len(), 78);
+    }
+
+    #[test]
+    fn symmetric_adjacency() {
+        let g = karate_club();
+        for u in g.vertices() {
+            for &v in g.out_neighbors(u) {
+                assert!(
+                    g.out_neighbors(v).contains(&u),
+                    "missing reverse arc for ({u}, {v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn clustering_coefficient_matches_table3() {
+        // Table 3 reports a clustering coefficient of 0.26 for Karate.
+        let g = karate_club();
+        let c = imgraph::stats::global_clustering_coefficient(&g).unwrap();
+        assert!((c - 0.2557).abs() < 0.01, "clustering coefficient {c} should be ≈ 0.26");
+    }
+
+    #[test]
+    fn average_distance_matches_table3() {
+        // Table 3 reports an average distance of 2.41.
+        let g = karate_club();
+        let d = imgraph::stats::estimate_average_distance(&g, 34, 1).unwrap();
+        assert!((d - 2.41).abs() < 0.02, "average distance {d} should be ≈ 2.41");
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        assert_eq!(imgraph::components::largest_weak_component(&karate_club()), 34);
+    }
+}

@@ -1,0 +1,181 @@
+//! Stochastic Kronecker graph generator.
+//!
+//! The SNAP networks used by the paper (com-Youtube, soc-Pokec) are commonly
+//! modelled by stochastic Kronecker graphs: recursively self-similar adjacency
+//! structure, heavy-tailed degrees and a densifying core — the properties the
+//! paper's giant-component discussion (Section 5.3) leans on. This generator
+//! produces a directed graph on `2^scale` vertices by the standard edge-by-edge
+//! ball-dropping procedure: each edge independently descends `scale` levels of
+//! the 2×2 initiator matrix, choosing a quadrant proportionally to the
+//! initiator entries, and the reached cell `(u, v)` becomes a directed edge.
+
+use imgraph::{DiGraph, VertexId};
+use imrand::Rng32;
+
+/// A stochastic Kronecker generator with a 2×2 initiator matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct StochasticKronecker {
+    /// The initiator matrix `[[a, b], [c, d]]`; entries must be non-negative
+    /// and sum to a positive value. The classical "core–periphery" choice is
+    /// `a ≫ b ≈ c > d`.
+    pub initiator: [[f64; 2]; 2],
+    /// Number of Kronecker levels; the graph has `2^scale` vertices.
+    pub scale: u32,
+    /// Number of edge-dropping attempts. Duplicate edges and self-loops are
+    /// removed, so the resulting edge count is at most this.
+    pub edges: usize,
+}
+
+impl StochasticKronecker {
+    /// A generator with the widely used initiator `[[0.9, 0.5], [0.5, 0.2]]`
+    /// (after normalisation), which yields core-whisker-like graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is 0 or larger than 24, or if `edges` is 0.
+    #[must_use]
+    pub fn social_like(scale: u32, edges: usize) -> Self {
+        Self::new([[0.9, 0.5], [0.5, 0.2]], scale, edges)
+    }
+
+    /// A generator with an explicit initiator matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any entry is negative, all entries are zero, `scale` is 0 or
+    /// larger than 24, or `edges` is 0.
+    #[must_use]
+    pub fn new(initiator: [[f64; 2]; 2], scale: u32, edges: usize) -> Self {
+        for row in &initiator {
+            for &x in row {
+                assert!(x >= 0.0 && x.is_finite(), "initiator entries must be non-negative");
+            }
+        }
+        let total: f64 = initiator.iter().flatten().sum();
+        assert!(total > 0.0, "initiator matrix must have positive mass");
+        assert!(scale >= 1 && scale <= 24, "scale must lie in 1..=24, got {scale}");
+        assert!(edges > 0, "need at least one edge attempt");
+        Self { initiator, scale, edges }
+    }
+
+    /// Number of vertices of the generated graph (`2^scale`).
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        1usize << self.scale
+    }
+
+    /// Generate one directed graph (duplicate edges and self-loops dropped).
+    pub fn generate<R: Rng32>(&self, rng: &mut R) -> DiGraph {
+        let n = self.num_vertices();
+        let total: f64 = self.initiator.iter().flatten().sum();
+        // Cumulative quadrant probabilities in row-major order:
+        // (0,0), (0,1), (1,0), (1,1).
+        let probs = [
+            self.initiator[0][0] / total,
+            self.initiator[0][1] / total,
+            self.initiator[1][0] / total,
+            self.initiator[1][1] / total,
+        ];
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(self.edges);
+        for _ in 0..self.edges {
+            let mut u = 0usize;
+            let mut v = 0usize;
+            for _ in 0..self.scale {
+                let x = rng.next_f64();
+                let quadrant = if x < probs[0] {
+                    (0, 0)
+                } else if x < probs[0] + probs[1] {
+                    (0, 1)
+                } else if x < probs[0] + probs[1] + probs[2] {
+                    (1, 0)
+                } else {
+                    (1, 1)
+                };
+                u = (u << 1) | quadrant.0;
+                v = (v << 1) | quadrant.1;
+            }
+            if u != v {
+                edges.push((u as VertexId, v as VertexId));
+            }
+        }
+        edges.sort_unstable();
+        edges.dedup();
+        DiGraph::from_edges(n, &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imrand::Pcg32;
+
+    #[test]
+    fn vertex_count_is_a_power_of_two() {
+        let gen = StochasticKronecker::social_like(8, 2_000);
+        assert_eq!(gen.num_vertices(), 256);
+        let g = gen.generate(&mut Pcg32::seed_from_u64(1));
+        assert_eq!(g.num_vertices(), 256);
+        assert!(g.num_edges() > 0);
+        assert!(g.num_edges() <= 2_000);
+    }
+
+    #[test]
+    fn no_self_loops_or_duplicate_edges() {
+        let gen = StochasticKronecker::social_like(7, 3_000);
+        let g = gen.generate(&mut Pcg32::seed_from_u64(2));
+        let mut edges = g.edges_in_insertion_order();
+        for &(u, v) in &edges {
+            assert_ne!(u, v, "self-loop generated");
+        }
+        let before = edges.len();
+        edges.sort_unstable();
+        edges.dedup();
+        assert_eq!(edges.len(), before, "duplicate edge generated");
+    }
+
+    #[test]
+    fn core_heavy_initiator_skews_degrees_towards_low_ids() {
+        // With a ≫ d, low-id vertices (repeated 0-quadrant choices) accumulate
+        // far more incident edges than high-id vertices.
+        let gen = StochasticKronecker::new([[0.95, 0.4], [0.4, 0.1]], 9, 8_000);
+        let g = gen.generate(&mut Pcg32::seed_from_u64(3));
+        let n = g.num_vertices();
+        let low: usize = (0..(n / 8) as VertexId).map(|v| g.out_degree(v) + g.in_degree(v)).sum();
+        let high: usize = ((7 * n / 8) as VertexId..n as VertexId)
+            .map(|v| g.out_degree(v) + g.in_degree(v))
+            .sum();
+        assert!(low > high * 3, "core {low} vs periphery {high}");
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let gen = StochasticKronecker::social_like(10, 20_000);
+        let g = gen.generate(&mut Pcg32::seed_from_u64(4));
+        let max_deg = g.max_out_degree();
+        let mean_deg = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            max_deg as f64 > mean_deg * 8.0,
+            "max degree {max_deg} should dwarf the mean {mean_deg}"
+        );
+    }
+
+    #[test]
+    fn reproducible_for_a_fixed_seed() {
+        let gen = StochasticKronecker::social_like(6, 500);
+        let a = gen.generate(&mut Pcg32::seed_from_u64(9));
+        let b = gen.generate(&mut Pcg32::seed_from_u64(9));
+        assert_eq!(a.edges_in_insertion_order(), b.edges_in_insertion_order());
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must lie in 1..=24")]
+    fn oversized_scale_panics() {
+        let _ = StochasticKronecker::social_like(30, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_initiator_panics() {
+        let _ = StochasticKronecker::new([[0.5, -0.1], [0.2, 0.1]], 4, 10);
+    }
+}

@@ -1,0 +1,38 @@
+//! Network data for the influence-maximization study.
+//!
+//! The paper evaluates on six real-world networks and two synthetic
+//! Barabási–Albert networks (Table 3), under four edge-probability settings
+//! (Section 4.3). This crate provides:
+//!
+//! * [`karate`] — the Zachary karate club network embedded verbatim (the only
+//!   real data set small enough to ship in source form);
+//! * generators — [`ba`] (Barabási–Albert, used for `BA_s`/`BA_d`), [`er`]
+//!   (Erdős–Rényi), [`ws`] (Watts–Strogatz small-world), [`chung_lu`]
+//!   (Chung–Lu / configuration-model power-law digraphs), [`kronecker`]
+//!   (stochastic Kronecker, a second SNAP-style analog family) and [`grid`]
+//!   (regular lattices, the maximally non-complex baseline); the power-law
+//!   generators synthesise structural analogs of the SNAP/KONECT data sets
+//!   that cannot be redistributed here (see DESIGN.md, "Substitutions");
+//! * [`probability`] — the edge-probability models `uc0.1`, `uc0.01`, `iwc`,
+//!   `owc` (plus the common trivalency extension);
+//! * [`datasets`] — a registry mapping the paper's data-set names to concrete
+//!   [`imgraph::InfluenceGraph`]s, with the scale knobs used to keep the two
+//!   largest networks laptop-sized by default.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ba;
+pub mod chung_lu;
+pub mod datasets;
+pub mod er;
+pub mod grid;
+pub mod karate;
+pub mod kronecker;
+pub mod probability;
+pub mod ws;
+
+pub use datasets::{Dataset, DatasetSpec};
+pub use grid::grid_2d;
+pub use kronecker::StochasticKronecker;
+pub use probability::ProbabilityModel;

@@ -1,0 +1,163 @@
+//! The Watts–Strogatz small-world model (Watts & Strogatz, 1998).
+//!
+//! Used to synthesise the *Physicians* analog: a small social network with
+//! high clustering (Table 3 reports 0.25) and low average distance. The
+//! generator produces an undirected ring lattice with `k` neighbours per
+//! vertex and rewires each edge with probability `beta`, then the dataset
+//! registry orients edges randomly or symmetrises them as needed.
+
+use imgraph::VertexId;
+use imrand::Rng32;
+
+/// Parameters of the Watts–Strogatz generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WattsStrogatz {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Each vertex is connected to its `k` nearest ring neighbours (`k` must
+    /// be even and smaller than the number of vertices).
+    pub k: usize,
+    /// Rewiring probability.
+    pub beta: f64,
+}
+
+impl WattsStrogatz {
+    /// Generate the undirected edge list (each edge once, endpoints unordered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is odd, `k >= num_vertices`, or `beta` is outside `[0, 1]`.
+    #[must_use]
+    pub fn generate_undirected<R: Rng32>(&self, rng: &mut R) -> Vec<(VertexId, VertexId)> {
+        let n = self.num_vertices;
+        let k = self.k;
+        assert!(k % 2 == 0, "k must be even (got {k})");
+        assert!(k < n, "k ({k}) must be smaller than the number of vertices ({n})");
+        assert!((0.0..=1.0).contains(&self.beta), "beta {} out of range", self.beta);
+
+        // Ring lattice: vertex i connects to i+1 .. i+k/2 (mod n).
+        let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * k / 2);
+        for i in 0..n {
+            for offset in 1..=(k / 2) {
+                let j = (i + offset) % n;
+                edges.push((i as VertexId, j as VertexId));
+            }
+        }
+
+        // Rewire: each edge keeps its first endpoint and, with probability
+        // beta, redirects its second endpoint to a uniformly random vertex
+        // that is neither the first endpoint nor a current neighbour of it.
+        let mut adjacency: Vec<Vec<VertexId>> = vec![Vec::with_capacity(k); n];
+        for &(u, v) in &edges {
+            adjacency[u as usize].push(v);
+            adjacency[v as usize].push(u);
+        }
+        for idx in 0..edges.len() {
+            if !rng.bernoulli(self.beta) {
+                continue;
+            }
+            let (u, old_v) = edges[idx];
+            // Reject until a valid new endpoint is found; bail out after a
+            // bounded number of attempts for nearly complete graphs.
+            let mut attempts = 0;
+            loop {
+                attempts += 1;
+                if attempts > 32 {
+                    break;
+                }
+                let new_v = rng.gen_index(n) as VertexId;
+                if new_v == u || adjacency[u as usize].contains(&new_v) {
+                    continue;
+                }
+                // Commit the rewire.
+                adjacency[u as usize].retain(|&x| x != old_v);
+                adjacency[old_v as usize].retain(|&x| x != u);
+                adjacency[u as usize].push(new_v);
+                adjacency[new_v as usize].push(u);
+                edges[idx] = (u, new_v);
+                break;
+            }
+        }
+        edges
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imgraph::GraphBuilder;
+    use imrand::Pcg32;
+
+    fn symmetrize(n: usize, edges: &[(VertexId, VertexId)]) -> imgraph::DiGraph {
+        let mut b = GraphBuilder::with_capacity(n, edges.len() * 2);
+        for &(u, v) in edges {
+            b.add_undirected_edge(u, v);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn edge_count_is_nk_over_2() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let ws = WattsStrogatz { num_vertices: 100, k: 6, beta: 0.1 };
+        let edges = ws.generate_undirected(&mut rng);
+        assert_eq!(edges.len(), 100 * 6 / 2);
+    }
+
+    #[test]
+    fn no_rewiring_gives_regular_lattice() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let ws = WattsStrogatz { num_vertices: 20, k: 4, beta: 0.0 };
+        let g = symmetrize(20, &ws.generate_undirected(&mut rng));
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 4, "vertex {v} should keep lattice degree");
+        }
+    }
+
+    #[test]
+    fn lattice_with_no_rewiring_has_high_clustering() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let ws = WattsStrogatz { num_vertices: 200, k: 8, beta: 0.0 };
+        let g = symmetrize(200, &ws.generate_undirected(&mut rng));
+        let c = imgraph::stats::global_clustering_coefficient(&g).unwrap();
+        assert!(c > 0.5, "ring lattice clustering should be high, got {c}");
+    }
+
+    #[test]
+    fn rewiring_shortens_average_distance() {
+        let n = 300;
+        let base = WattsStrogatz { num_vertices: n, k: 6, beta: 0.0 };
+        let rewired = WattsStrogatz { num_vertices: n, k: 6, beta: 0.2 };
+        let g0 = symmetrize(n, &base.generate_undirected(&mut Pcg32::seed_from_u64(4)));
+        let g1 = symmetrize(n, &rewired.generate_undirected(&mut Pcg32::seed_from_u64(4)));
+        let d0 = imgraph::stats::estimate_average_distance(&g0, 40, 7).unwrap();
+        let d1 = imgraph::stats::estimate_average_distance(&g1, 40, 7).unwrap();
+        assert!(
+            d1 < d0,
+            "rewiring should create shortcuts: baseline {d0}, rewired {d1}"
+        );
+    }
+
+    #[test]
+    fn no_self_loops_after_rewiring() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let ws = WattsStrogatz { num_vertices: 80, k: 4, beta: 0.8 };
+        for (u, v) in ws.generate_undirected(&mut rng) {
+            assert_ne!(u, v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn odd_k_panics() {
+        let mut rng = Pcg32::seed_from_u64(6);
+        let _ = WattsStrogatz { num_vertices: 10, k: 3, beta: 0.1 }.generate_undirected(&mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "smaller than the number of vertices")]
+    fn oversized_k_panics() {
+        let mut rng = Pcg32::seed_from_u64(7);
+        let _ = WattsStrogatz { num_vertices: 4, k: 4, beta: 0.1 }.generate_undirected(&mut rng);
+    }
+}

@@ -1,0 +1,107 @@
+//! Pseudorandom number generation for the influence-maximization study.
+//!
+//! The paper (Ohsaka, SIGMOD 2020, Section 4.1) fixes the randomness model of
+//! every algorithm precisely:
+//!
+//! * each algorithm run is seeded independently so that repeated runs produce
+//!   *random solutions*,
+//! * the generator used by the original C++ implementation is the Mersenne
+//!   Twister ([`Mt19937`]),
+//! * RIS uses *two* generator kinds: one that picks a uniformly random target
+//!   vertex, and one that produces uniform reals in `[0, 1)` for edge trials.
+//!
+//! This crate re-implements those primitives from scratch so the rest of the
+//! workspace is independent of any external RNG implementation:
+//!
+//! * [`Mt19937`] — the classic 32-bit Mersenne Twister (MT19937), matching the
+//!   reference implementation of Matsumoto & Nishimura.
+//! * [`Pcg32`] — a small, fast PCG-XSH-RR generator used where generator state
+//!   size matters (e.g. one generator per worker thread).
+//! * [`SplitMix64`] — a tiny generator used for seeding the others.
+//! * [`Rng32`] — the trait all generators implement; it provides the
+//!   convenience methods the algorithms need (`next_f64`, `bernoulli`,
+//!   `gen_range`, …).
+//! * [`seq`] — sequence utilities (Fisher–Yates shuffle, sampling without
+//!   replacement) used for the random tie-breaking order of Algorithm 3.1.
+//!
+//! All generators are deterministic functions of their 64-bit seed, which is
+//! what makes every experiment in the workspace reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod mt19937;
+mod pcg;
+pub mod seq;
+mod splitmix;
+mod traits;
+
+pub use mt19937::Mt19937;
+pub use pcg::Pcg32;
+pub use splitmix::SplitMix64;
+pub use traits::Rng32;
+
+/// The default generator used by algorithm implementations in this workspace.
+///
+/// The paper used MT19937; we default to it as well so that the simulated
+/// randomness model matches Section 4.1. Code that wants a lighter generator
+/// (e.g. one per worker thread) can instantiate [`Pcg32`] explicitly.
+pub type DefaultRng = Mt19937;
+
+/// Create the default generator from a 64-bit seed.
+///
+/// This is the single entry point used by the algorithm crates; switching the
+/// workspace to a different generator only requires changing [`DefaultRng`].
+#[must_use]
+pub fn default_rng(seed: u64) -> DefaultRng {
+    Mt19937::seed_from_u64(seed)
+}
+
+/// Derive a stream of independent 64-bit seeds from a base seed.
+///
+/// Trial `i` of an experiment uses `derive_seed(base, i)`. The derivation runs
+/// the base and index through [`SplitMix64`] so that nearby indices produce
+/// unrelated seeds (plain `base + i` would correlate the low bits of
+/// small-state generators).
+#[must_use]
+pub fn derive_seed(base: u64, index: u64) -> u64 {
+    let mut sm = SplitMix64::new(base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    sm.next_u64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_rng_is_deterministic() {
+        let mut a = default_rng(42);
+        let mut b = default_rng(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u32(), b.next_u32());
+        }
+    }
+
+    #[test]
+    fn default_rng_differs_across_seeds() {
+        let mut a = default_rng(1);
+        let mut b = default_rng(2);
+        let same = (0..32).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "seeds 1 and 2 should produce different streams");
+    }
+
+    #[test]
+    fn derived_seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(derive_seed(7, i)), "duplicate derived seed at index {i}");
+        }
+    }
+
+    #[test]
+    fn derived_seeds_differ_from_plain_offset() {
+        // Regression: make sure derivation is not the identity on the index.
+        assert_ne!(derive_seed(0, 1), 1);
+        assert_ne!(derive_seed(5, 0), 5);
+    }
+}

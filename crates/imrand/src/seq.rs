@@ -1,0 +1,274 @@
+//! Sequence utilities: shuffling and sampling.
+//!
+//! Algorithm 3.1 of the paper shuffles the vertex order once per run so that
+//! greedy tie-breaking is uniformly random; [`shuffle`] implements the
+//! Fisher–Yates shuffle used for that purpose. The remaining helpers support
+//! workload generation in `imnet` (sampling distinct attachment targets,
+//! reservoir sampling of edges).
+
+use crate::traits::Rng32;
+
+/// Shuffle `slice` in place with the Fisher–Yates algorithm.
+pub fn shuffle<T, R: Rng32>(slice: &mut [T], rng: &mut R) {
+    let n = slice.len();
+    if n < 2 {
+        return;
+    }
+    for i in (1..n).rev() {
+        let j = rng.gen_index(i + 1);
+        slice.swap(i, j);
+    }
+}
+
+/// Return a shuffled copy of `0..n`, the random vertex order of Algorithm 3.1.
+#[must_use]
+pub fn random_permutation<R: Rng32>(n: usize, rng: &mut R) -> Vec<u32> {
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    shuffle(&mut perm, rng);
+    perm
+}
+
+/// Choose one element of `slice` uniformly at random.
+///
+/// Returns `None` on an empty slice.
+pub fn choose<'a, T, R: Rng32>(slice: &'a [T], rng: &mut R) -> Option<&'a T> {
+    if slice.is_empty() {
+        None
+    } else {
+        Some(&slice[rng.gen_index(slice.len())])
+    }
+}
+
+/// Sample `k` *distinct* values from `0..n` uniformly at random.
+///
+/// Used by the Barabási–Albert generator to pick distinct attachment targets.
+/// Uses Floyd's algorithm, which performs exactly `k` insertions regardless of
+/// `n`, so sampling a handful of targets out of millions of vertices is cheap.
+///
+/// # Panics
+///
+/// Panics if `k > n`.
+#[must_use]
+pub fn sample_distinct<R: Rng32>(n: usize, k: usize, rng: &mut R) -> Vec<u32> {
+    assert!(k <= n, "cannot sample {k} distinct values from 0..{n}");
+    // Floyd's algorithm: for j in n-k..n, draw t in [0, j]; insert t unless
+    // already present, in which case insert j.
+    let mut chosen: Vec<u32> = Vec::with_capacity(k);
+    for j in (n - k)..n {
+        let t = rng.gen_index(j + 1) as u32;
+        if chosen.contains(&t) {
+            chosen.push(j as u32);
+        } else {
+            chosen.push(t);
+        }
+    }
+    chosen
+}
+
+/// Reservoir-sample `k` items from an iterator of unknown length (Vitter's
+/// Algorithm R). Returns fewer than `k` items if the iterator is shorter.
+#[must_use]
+pub fn reservoir_sample<I, T, R>(iter: I, k: usize, rng: &mut R) -> Vec<T>
+where
+    I: IntoIterator<Item = T>,
+    R: Rng32,
+{
+    let mut reservoir: Vec<T> = Vec::with_capacity(k);
+    if k == 0 {
+        return reservoir;
+    }
+    for (i, item) in iter.into_iter().enumerate() {
+        if i < k {
+            reservoir.push(item);
+        } else {
+            let j = rng.gen_index(i + 1);
+            if j < k {
+                reservoir[j] = item;
+            }
+        }
+    }
+    reservoir
+}
+
+/// A weighted index sampler over non-negative weights (linear scan).
+///
+/// Used by the Chung–Lu generator where the weight array changes rarely and
+/// the number of draws is proportional to the number of edges.
+#[derive(Debug, Clone)]
+pub struct CumulativeSampler {
+    cumulative: Vec<f64>,
+    total: f64,
+}
+
+impl CumulativeSampler {
+    /// Build a sampler from raw non-negative weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all weights are zero or any weight is negative/NaN.
+    #[must_use]
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "CumulativeSampler needs at least one weight");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut total = 0.0f64;
+        for &w in weights {
+            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+            total += w;
+            cumulative.push(total);
+        }
+        assert!(total > 0.0, "total weight must be positive");
+        Self { cumulative, total }
+    }
+
+    /// Number of weights.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the sampler is empty (never true for a constructed sampler).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw an index with probability proportional to its weight.
+    pub fn sample<R: Rng32>(&self, rng: &mut R) -> usize {
+        let x = rng.next_f64() * self.total;
+        // Binary search for the first cumulative weight strictly greater than x.
+        match self.cumulative.binary_search_by(|&c| {
+            c.partial_cmp(&x).expect("cumulative weights are finite")
+        }) {
+            Ok(i) => (i + 1).min(self.cumulative.len() - 1),
+            Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pcg32;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let mut v: Vec<u32> = (0..100).collect();
+        shuffle(&mut v, &mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_handles_tiny_slices() {
+        let mut rng = Pcg32::seed_from_u64(2);
+        let mut empty: [u32; 0] = [];
+        shuffle(&mut empty, &mut rng);
+        let mut one = [7u32];
+        shuffle(&mut one, &mut rng);
+        assert_eq!(one, [7]);
+    }
+
+    #[test]
+    fn shuffle_actually_permutes() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        let original: Vec<u32> = (0..50).collect();
+        let mut v = original.clone();
+        shuffle(&mut v, &mut rng);
+        assert_ne!(v, original, "a 50-element shuffle should almost surely move something");
+    }
+
+    #[test]
+    fn random_permutation_covers_all_values() {
+        let mut rng = Pcg32::seed_from_u64(4);
+        let perm = random_permutation(37, &mut rng);
+        let mut sorted = perm.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn choose_none_on_empty() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let empty: [u32; 0] = [];
+        assert!(choose(&empty, &mut rng).is_none());
+        assert_eq!(choose(&[42], &mut rng), Some(&42));
+    }
+
+    #[test]
+    fn sample_distinct_has_no_duplicates() {
+        let mut rng = Pcg32::seed_from_u64(6);
+        for _ in 0..100 {
+            let s = sample_distinct(50, 10, &mut rng);
+            assert_eq!(s.len(), 10);
+            let mut dedup = s.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), 10, "sample contains duplicates: {s:?}");
+            assert!(s.iter().all(|&x| x < 50));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_full_range() {
+        let mut rng = Pcg32::seed_from_u64(7);
+        let mut s = sample_distinct(8, 8, &mut rng);
+        s.sort_unstable();
+        assert_eq!(s, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample")]
+    fn sample_distinct_rejects_oversized_k() {
+        let mut rng = Pcg32::seed_from_u64(8);
+        let _ = sample_distinct(3, 4, &mut rng);
+    }
+
+    #[test]
+    fn reservoir_sample_short_iterator() {
+        let mut rng = Pcg32::seed_from_u64(9);
+        let s = reservoir_sample(0..3u32, 10, &mut rng);
+        assert_eq!(s, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reservoir_sample_uniformity() {
+        // Each of 10 items should appear in a size-2 reservoir with
+        // probability 2/10 = 0.2.
+        let mut rng = Pcg32::seed_from_u64(10);
+        let mut counts = [0usize; 10];
+        let trials = 50_000;
+        for _ in 0..trials {
+            for x in reservoir_sample(0..10u32, 2, &mut rng) {
+                counts[x as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let p = c as f64 / trials as f64;
+            assert!((p - 0.2).abs() < 0.02, "item {i} selected with prob {p}");
+        }
+    }
+
+    #[test]
+    fn cumulative_sampler_respects_weights() {
+        let mut rng = Pcg32::seed_from_u64(11);
+        let sampler = CumulativeSampler::new(&[1.0, 0.0, 3.0]);
+        let n = 100_000;
+        let mut counts = [0usize; 3];
+        for _ in 0..n {
+            counts[sampler.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0, "zero-weight index must never be drawn");
+        let p0 = counts[0] as f64 / n as f64;
+        let p2 = counts[2] as f64 / n as f64;
+        assert!((p0 - 0.25).abs() < 0.02);
+        assert!((p2 - 0.75).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "total weight must be positive")]
+    fn cumulative_sampler_rejects_all_zero() {
+        let _ = CumulativeSampler::new(&[0.0, 0.0]);
+    }
+}

@@ -1,0 +1,78 @@
+//! SplitMix64 (Steele, Lea & Flood, 2014): a tiny generator whose main role in
+//! this workspace is expanding 64-bit seeds into the larger states of
+//! [`crate::Mt19937`] and [`crate::Pcg32`], and deriving per-trial seeds.
+
+use crate::traits::Rng32;
+
+/// The SplitMix64 generator (64-bit state, 64-bit output, period `2^64`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator whose state is exactly `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Produce the next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+impl Rng32 for SplitMix64 {
+    fn next_u32(&mut self) -> u32 {
+        (SplitMix64::next_u64(self) >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        SplitMix64::next_u64(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference outputs for seed 1234567 published with the original
+    /// SplitMix64 sources (Vigna's `splitmix64.c`).
+    #[test]
+    fn matches_reference_vector() {
+        let mut rng = SplitMix64::new(1_234_567);
+        let expected = [
+            6_457_827_717_110_365_317u64,
+            3_203_168_211_198_807_973,
+            9_817_491_932_198_370_423,
+            4_593_380_528_125_082_431,
+            16_408_922_859_458_223_821,
+        ];
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(rng.next_u64(), e, "mismatch at output {i}");
+        }
+    }
+
+    #[test]
+    fn zero_seed_produces_nonzero_stream() {
+        let mut rng = SplitMix64::new(0);
+        assert_ne!(rng.next_u64(), 0);
+    }
+
+    #[test]
+    fn rng32_impl_consumes_one_u64_per_u32() {
+        // The Rng32 impl deliberately draws a full 64-bit word per 32-bit
+        // output (simplicity over thrift); document that behaviour here.
+        let mut a = SplitMix64::new(9);
+        let mut b = SplitMix64::new(9);
+        let x = Rng32::next_u32(&mut a);
+        let y = (SplitMix64::next_u64(&mut b) >> 32) as u32;
+        assert_eq!(x, y);
+    }
+}

@@ -1,0 +1,174 @@
+//! The [`Rng32`] trait: the minimal generator interface the study needs.
+
+/// A 32-bit pseudorandom number generator.
+///
+/// Every generator in this crate implements `Rng32`. The provided methods are
+/// exactly the operations the influence-maximization algorithms perform:
+///
+/// * `next_f64` — a uniform real in `[0, 1)` used for edge liveness trials
+///   (`x < p(e)` decides whether an edge is alive, Section 4.1),
+/// * `bernoulli(p)` — the edge trial itself,
+/// * `gen_range(n)` — a uniform vertex index in `[0, n)` used by RIS to pick a
+///   random target vertex,
+/// * `next_u64` — convenience for seeding and hashing.
+pub trait Rng32 {
+    /// Produce the next 32 bits of the stream.
+    fn next_u32(&mut self) -> u32;
+
+    /// Produce the next 64 bits by concatenating two 32-bit outputs.
+    ///
+    /// The high word is drawn first so that `next_u64` and two `next_u32`
+    /// calls consume the stream identically.
+    fn next_u64(&mut self) -> u64 {
+        let hi = u64::from(self.next_u32());
+        let lo = u64::from(self.next_u32());
+        (hi << 32) | lo
+    }
+
+    /// A uniform double in `[0, 1)` with 53 bits of precision.
+    fn next_f64(&mut self) -> f64 {
+        // Take the top 53 bits of a 64-bit draw; dividing by 2^53 yields a
+        // uniform dyadic rational in [0, 1).
+        const SCALE: f64 = 1.0 / (1u64 << 53) as f64;
+        (self.next_u64() >> 11) as f64 * SCALE
+    }
+
+    /// A Bernoulli trial with success probability `p`.
+    ///
+    /// Values of `p <= 0` never succeed and values of `p >= 1` always succeed,
+    /// so edge probabilities of exactly 1.0 keep every edge alive.
+    fn bernoulli(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            false
+        } else if p >= 1.0 {
+            true
+        } else {
+            self.next_f64() < p
+        }
+    }
+
+    /// A uniform integer in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased and
+    /// avoids the modulo bias of naive `next_u32() % bound`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    fn gen_range(&mut self, bound: u32) -> u32 {
+        assert!(bound > 0, "gen_range bound must be positive");
+        // Lemire (2019): unbiased bounded integers via 32x32->64 multiplication.
+        let mut x = self.next_u32();
+        let mut m = u64::from(x) * u64::from(bound);
+        let mut low = m as u32;
+        if low < bound {
+            let threshold = bound.wrapping_neg() % bound;
+            while low < threshold {
+                x = self.next_u32();
+                m = u64::from(x) * u64::from(bound);
+                low = m as u32;
+            }
+        }
+        (m >> 32) as u32
+    }
+
+    /// A uniform `usize` in `[0, bound)`; convenience wrapper over
+    /// [`Rng32::gen_range`] for indexing slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0` or `bound > u32::MAX as usize`.
+    fn gen_index(&mut self, bound: usize) -> usize {
+        assert!(
+            bound <= u32::MAX as usize,
+            "gen_index bound {bound} exceeds u32::MAX"
+        );
+        self.gen_range(bound as u32) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Mt19937, Pcg32, SplitMix64};
+
+    fn check_f64_range<R: Rng32>(mut rng: R) {
+        for _ in 0..10_000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x), "next_f64 out of range: {x}");
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval_for_all_generators() {
+        check_f64_range(Mt19937::seed_from_u64(1));
+        check_f64_range(Pcg32::seed_from_u64(1));
+        check_f64_range(SplitMix64::new(1));
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = Pcg32::seed_from_u64(3);
+        for _ in 0..100 {
+            assert!(!rng.bernoulli(0.0));
+            assert!(rng.bernoulli(1.0));
+            assert!(!rng.bernoulli(-0.5));
+            assert!(rng.bernoulli(1.5));
+        }
+    }
+
+    #[test]
+    fn bernoulli_mean_is_close_to_p() {
+        let mut rng = Mt19937::seed_from_u64(11);
+        let p = 0.3;
+        let n = 100_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(p)).count();
+        let mean = hits as f64 / n as f64;
+        assert!((mean - p).abs() < 0.01, "empirical mean {mean} too far from {p}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_everything() {
+        let mut rng = Pcg32::seed_from_u64(5);
+        let bound = 7u32;
+        let mut seen = [false; 7];
+        for _ in 0..10_000 {
+            let x = rng.gen_range(bound);
+            assert!(x < bound);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should be hit");
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = Mt19937::seed_from_u64(17);
+        let bound = 10u32;
+        let n = 200_000usize;
+        let mut counts = vec![0usize; bound as usize];
+        for _ in 0..n {
+            counts[rng.gen_range(bound) as usize] += 1;
+        }
+        let expected = n as f64 / f64::from(bound);
+        for (i, &c) in counts.iter().enumerate() {
+            let dev = (c as f64 - expected).abs() / expected;
+            assert!(dev < 0.05, "bucket {i} deviates {dev:.3} from uniform");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn gen_range_zero_bound_panics() {
+        let mut rng = Pcg32::seed_from_u64(1);
+        let _ = rng.gen_range(0);
+    }
+
+    #[test]
+    fn next_u64_consumes_two_u32() {
+        let mut a = Pcg32::seed_from_u64(9);
+        let mut b = Pcg32::seed_from_u64(9);
+        let hi = u64::from(b.next_u32());
+        let lo = u64::from(b.next_u32());
+        assert_eq!(a.next_u64(), (hi << 32) | lo);
+    }
+}

@@ -1,0 +1,254 @@
+//! Bottom-k min-hash sketches for reachability-set size estimation.
+//!
+//! Every vertex is assigned an independent uniform rank in `[0, 1)`. The
+//! bottom-k sketch of a vertex `v` is the multiset of the `k` smallest ranks
+//! among the vertices reachable from `v`. If the sketch holds fewer than `k`
+//! ranks the reachable set has exactly that many vertices; otherwise the
+//! classical bottom-k estimator `(k − 1) / τ_k`, where `τ_k` is the `k`-th
+//! smallest rank, is an unbiased estimate of the reachable-set size with
+//! coefficient of variation `≤ 1/√(k − 2)` (Cohen 1997).
+//!
+//! Sketches for *all* vertices of a graph are computed together by Cohen's
+//! pruned reverse search: process vertices in increasing rank order and run a
+//! reverse BFS from each, stopping at vertices whose sketch is already full —
+//! every rank seen later can only be larger than the ones already stored.
+
+use imgraph::{DiGraph, VertexId};
+use imrand::Rng32;
+
+/// The bottom-k sketch of a single vertex: its `k` smallest reachable ranks in
+/// increasing order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BottomKSketch {
+    ranks: Vec<f64>,
+}
+
+impl BottomKSketch {
+    /// The stored ranks in increasing order (at most `k` of them).
+    #[must_use]
+    pub fn ranks(&self) -> &[f64] {
+        &self.ranks
+    }
+
+    /// Number of ranks stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// Whether the sketch is empty (an isolated vertex still reaches itself,
+    /// so this only happens for sketches that were never built).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ranks.is_empty()
+    }
+
+    /// Estimate the number of vertices in the sketched reachable set.
+    ///
+    /// If the sketch holds fewer than `k` ranks the answer is exact; otherwise
+    /// the bottom-k estimator `(k − 1) / τ_k` is returned.
+    #[must_use]
+    pub fn estimate(&self, k: usize) -> f64 {
+        if self.ranks.len() < k {
+            self.ranks.len() as f64
+        } else {
+            let tau = self.ranks[k - 1];
+            if tau <= 0.0 {
+                // All k ranks collapsed to ~0; fall back to the stored count to
+                // avoid division by zero (vanishingly unlikely with f64 ranks).
+                self.ranks.len() as f64
+            } else {
+                (k as f64 - 1.0) / tau
+            }
+        }
+    }
+}
+
+/// Bottom-k reachability sketches for every vertex of one directed graph
+/// (typically a live-edge snapshot).
+#[derive(Debug, Clone)]
+pub struct ReachabilitySketches {
+    sketches: Vec<BottomKSketch>,
+    k: usize,
+    /// Vertices plus edges examined while building (the paper's traversal
+    /// cost for the sketch-construction phase).
+    build_cost: u64,
+}
+
+impl ReachabilitySketches {
+    /// Build bottom-k sketches for all vertices of `graph` using ranks drawn
+    /// from `rng`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn build<R: Rng32>(graph: &DiGraph, k: usize, rng: &mut R) -> Self {
+        assert!(k > 0, "bottom-k sketches need k ≥ 1");
+        let n = graph.num_vertices();
+        // Independent uniform ranks; ties are broken by vertex id which only
+        // matters at f64-collision probability.
+        let ranks: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+        let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+        order.sort_by(|&a, &b| {
+            ranks[a as usize].partial_cmp(&ranks[b as usize]).expect("ranks are finite").then(a.cmp(&b))
+        });
+
+        let mut sketches = vec![BottomKSketch::default(); n];
+        let mut build_cost = 0u64;
+        let mut queue: Vec<VertexId> = Vec::new();
+        let mut visited = vec![u32::MAX; n];
+
+        // Process vertices in increasing rank order; push each rank to every
+        // vertex that can reach it (reverse BFS), pruning at full sketches.
+        for (epoch, &w) in order.iter().enumerate() {
+            let epoch = epoch as u32;
+            let rank = ranks[w as usize];
+            queue.clear();
+            queue.push(w);
+            visited[w as usize] = epoch;
+            let mut head = 0usize;
+            while head < queue.len() {
+                let v = queue[head];
+                head += 1;
+                build_cost += 1;
+                let sketch = &mut sketches[v as usize];
+                if sketch.ranks.len() >= k {
+                    // Already full with smaller ranks — neither this vertex nor
+                    // anything above it needs the current rank.
+                    continue;
+                }
+                sketch.ranks.push(rank);
+                for &u in graph.in_neighbors(v) {
+                    build_cost += 1;
+                    if visited[u as usize] != epoch {
+                        visited[u as usize] = epoch;
+                        queue.push(u);
+                    }
+                }
+            }
+        }
+        Self { sketches, k, build_cost }
+    }
+
+    /// The sketch parameter `k`.
+    #[must_use]
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of sketched vertices.
+    #[must_use]
+    pub fn num_vertices(&self) -> usize {
+        self.sketches.len()
+    }
+
+    /// The sketch of one vertex.
+    #[must_use]
+    pub fn sketch(&self, v: VertexId) -> &BottomKSketch {
+        &self.sketches[v as usize]
+    }
+
+    /// Estimated size of the reachable set of `v`.
+    #[must_use]
+    pub fn estimate_reachable(&self, v: VertexId) -> f64 {
+        self.sketches[v as usize].estimate(self.k)
+    }
+
+    /// Vertices plus edges examined during construction.
+    #[must_use]
+    pub fn build_cost(&self) -> u64 {
+        self.build_cost
+    }
+
+    /// Total number of stored ranks — the sketch-side analogue of the paper's
+    /// sample size (at most `k · n`).
+    #[must_use]
+    pub fn stored_ranks(&self) -> usize {
+        self.sketches.iter().map(BottomKSketch::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imgraph::reach::reachable_count;
+    use imrand::Pcg32;
+
+    fn path(n: usize) -> DiGraph {
+        let edges: Vec<_> = (0..n as u32 - 1).map(|i| (i, i + 1)).collect();
+        DiGraph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn small_reachable_sets_are_exact() {
+        // On a 6-path with k = 8 every sketch is under-full, so estimates are
+        // exact reachable counts: vertex i reaches n - i vertices.
+        let g = path(6);
+        let sketches = ReachabilitySketches::build(&g, 8, &mut Pcg32::seed_from_u64(1));
+        for v in 0..6u32 {
+            let estimate = sketches.estimate_reachable(v);
+            assert!((estimate - (6 - v as usize) as f64).abs() < 1e-12, "vertex {v}: {estimate}");
+        }
+    }
+
+    #[test]
+    fn sketch_ranks_are_sorted_and_bounded_by_k() {
+        let g = path(30);
+        let k = 4;
+        let sketches = ReachabilitySketches::build(&g, k, &mut Pcg32::seed_from_u64(2));
+        for v in 0..30u32 {
+            let s = sketches.sketch(v);
+            assert!(s.len() <= k);
+            assert!(s.ranks().windows(2).all(|w| w[0] <= w[1]), "unsorted sketch for {v}");
+        }
+        assert_eq!(sketches.k(), k);
+        assert_eq!(sketches.num_vertices(), 30);
+        assert!(sketches.stored_ranks() <= k * 30);
+        assert!(sketches.build_cost() > 0);
+    }
+
+    #[test]
+    fn estimates_track_exact_counts_on_a_long_path() {
+        // Average the relative error of the head vertex over several rank
+        // assignments; bottom-k with k = 64 should estimate a 200-vertex
+        // reachable set within a few percent on average.
+        let g = path(200);
+        let exact = reachable_count(&g, &[0]) as f64;
+        let mut total = 0.0;
+        let runs = 20;
+        for seed in 0..runs {
+            let sketches = ReachabilitySketches::build(&g, 64, &mut Pcg32::seed_from_u64(seed));
+            total += sketches.estimate_reachable(0);
+        }
+        let mean = total / runs as f64;
+        assert!(
+            (mean - exact).abs() / exact < 0.15,
+            "mean estimate {mean} too far from exact {exact}"
+        );
+    }
+
+    #[test]
+    fn isolated_vertices_reach_only_themselves() {
+        let g = DiGraph::from_edges(5, &[(0, 1)]);
+        let sketches = ReachabilitySketches::build(&g, 4, &mut Pcg32::seed_from_u64(3));
+        for v in 2..5u32 {
+            assert!((sketches.estimate_reachable(v) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn estimator_handles_full_sketch_branch() {
+        let sketch = BottomKSketch { ranks: vec![0.1, 0.2, 0.5] };
+        // Under-full relative to k = 4: exact count.
+        assert_eq!(sketch.estimate(4), 3.0);
+        // Full at k = 3: (3 - 1) / 0.5 = 4.
+        assert!((sketch.estimate(3) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k ≥ 1")]
+    fn zero_k_panics() {
+        let g = path(3);
+        let _ = ReachabilitySketches::build(&g, 0, &mut Pcg32::seed_from_u64(1));
+    }
+}

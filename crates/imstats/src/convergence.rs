@@ -1,0 +1,212 @@
+//! Convergence and plateau detection over entropy curves.
+//!
+//! Section 5.1 asks two qualitative questions of every entropy-vs-sample-number
+//! curve: did it *converge* to 0 (a unique seed set), and does it exhibit a
+//! *plateau* (a long stretch at a nearly constant positive entropy, the
+//! signature of near-tied seed sets in Figure 2)? These helpers answer both
+//! from the raw curve, so the experiment drivers and the tests share one
+//! definition.
+
+use serde::{Deserialize, Serialize};
+
+/// One point of an entropy-decay curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EntropyPoint {
+    /// The sample number at which the empirical distribution was built.
+    pub sample_number: u64,
+    /// The Shannon entropy of the seed-set distribution.
+    pub entropy: f64,
+}
+
+/// Verdict on an entropy curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConvergenceReport {
+    /// Smallest sample number at which the entropy is (numerically) zero and
+    /// stays zero for the rest of the curve, if any.
+    pub converged_at: Option<u64>,
+    /// Whether the final point of the curve has zero entropy.
+    pub final_entropy_is_zero: bool,
+    /// The longest plateau found (see [`detect_plateau`]), if any.
+    pub plateau: Option<Plateau>,
+}
+
+/// A stretch of consecutive curve points whose entropy stays within a
+/// tolerance band around a positive level.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Plateau {
+    /// First sample number of the plateau.
+    pub start_sample_number: u64,
+    /// Last sample number of the plateau.
+    pub end_sample_number: u64,
+    /// Number of consecutive points in the plateau.
+    pub length: usize,
+    /// Mean entropy across the plateau.
+    pub level: f64,
+}
+
+/// Numerical tolerance below which entropy counts as zero.
+pub const ZERO_ENTROPY_TOLERANCE: f64 = 1e-9;
+
+/// Find the earliest sample number from which the entropy is zero for the rest
+/// of the curve.
+#[must_use]
+pub fn convergence_point(curve: &[EntropyPoint]) -> Option<u64> {
+    if curve.is_empty() {
+        return None;
+    }
+    // Walk backwards while entropy stays zero.
+    let mut converged_at = None;
+    for point in curve.iter().rev() {
+        if point.entropy <= ZERO_ENTROPY_TOLERANCE {
+            converged_at = Some(point.sample_number);
+        } else {
+            break;
+        }
+    }
+    converged_at
+}
+
+/// Find the longest plateau: at least `min_length` consecutive points whose
+/// entropy stays within `tolerance` of the stretch's running mean and above
+/// the zero tolerance (a converged tail is not a plateau).
+#[must_use]
+pub fn detect_plateau(
+    curve: &[EntropyPoint],
+    min_length: usize,
+    tolerance: f64,
+) -> Option<Plateau> {
+    if curve.len() < min_length || min_length < 2 {
+        return None;
+    }
+    let mut best: Option<Plateau> = None;
+    let mut start = 0usize;
+    while start < curve.len() {
+        if curve[start].entropy <= ZERO_ENTROPY_TOLERANCE {
+            start += 1;
+            continue;
+        }
+        let mut end = start;
+        let mut sum = 0.0;
+        while end < curve.len() {
+            let candidate_sum = sum + curve[end].entropy;
+            let candidate_mean = candidate_sum / (end - start + 1) as f64;
+            let within = curve[start..=end]
+                .iter()
+                .all(|p| (p.entropy - candidate_mean).abs() <= tolerance)
+                && curve[end].entropy > ZERO_ENTROPY_TOLERANCE;
+            if within {
+                sum = candidate_sum;
+                end += 1;
+            } else {
+                break;
+            }
+        }
+        let length = end - start;
+        if length >= min_length {
+            let level = sum / length as f64;
+            let plateau = Plateau {
+                start_sample_number: curve[start].sample_number,
+                end_sample_number: curve[end - 1].sample_number,
+                length,
+                level,
+            };
+            if best.map_or(true, |b| plateau.length > b.length) {
+                best = Some(plateau);
+            }
+        }
+        start += length.max(1);
+    }
+    best
+}
+
+/// Produce the full report used by the Figure 1/2 experiment drivers.
+#[must_use]
+pub fn analyze_curve(curve: &[EntropyPoint], plateau_min_length: usize, plateau_tolerance: f64) -> ConvergenceReport {
+    ConvergenceReport {
+        converged_at: convergence_point(curve),
+        final_entropy_is_zero: curve
+            .last()
+            .is_some_and(|p| p.entropy <= ZERO_ENTROPY_TOLERANCE),
+        plateau: detect_plateau(curve, plateau_min_length, plateau_tolerance),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve(points: &[(u64, f64)]) -> Vec<EntropyPoint> {
+        points.iter().map(|&(s, e)| EntropyPoint { sample_number: s, entropy: e }).collect()
+    }
+
+    #[test]
+    fn convergence_point_finds_first_zero_of_the_tail() {
+        let c = curve(&[(1, 5.0), (2, 3.0), (4, 0.0), (8, 0.0)]);
+        assert_eq!(convergence_point(&c), Some(4));
+    }
+
+    #[test]
+    fn no_convergence_when_entropy_stays_positive() {
+        let c = curve(&[(1, 5.0), (2, 3.0), (4, 1.0)]);
+        assert_eq!(convergence_point(&c), None);
+        assert_eq!(convergence_point(&[]), None);
+    }
+
+    #[test]
+    fn temporary_zero_does_not_count_as_convergence() {
+        // Entropy touching zero then rising again (possible with few trials)
+        // must not be reported as converged at the early dip.
+        let c = curve(&[(1, 2.0), (2, 0.0), (4, 1.0), (8, 0.0)]);
+        assert_eq!(convergence_point(&c), Some(8));
+    }
+
+    #[test]
+    fn plateau_detection_finds_the_figure2_shape() {
+        // Entropy drops, then sits near 1 bit for a long stretch (two
+        // almost-tied seed sets), then falls to zero.
+        let c = curve(&[
+            (1, 6.0),
+            (2, 4.0),
+            (4, 1.05),
+            (8, 1.0),
+            (16, 0.98),
+            (32, 1.01),
+            (64, 0.97),
+            (128, 0.0),
+        ]);
+        let plateau = detect_plateau(&c, 3, 0.1).expect("plateau should be detected");
+        assert_eq!(plateau.start_sample_number, 4);
+        assert_eq!(plateau.end_sample_number, 64);
+        assert_eq!(plateau.length, 5);
+        assert!((plateau.level - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn monotone_decay_has_no_plateau() {
+        let c = curve(&[(1, 6.0), (2, 4.0), (4, 2.0), (8, 1.0), (16, 0.5), (32, 0.0)]);
+        assert!(detect_plateau(&c, 3, 0.1).is_none());
+    }
+
+    #[test]
+    fn converged_tail_is_not_a_plateau() {
+        let c = curve(&[(1, 3.0), (2, 0.0), (4, 0.0), (8, 0.0), (16, 0.0)]);
+        assert!(detect_plateau(&c, 3, 0.1).is_none());
+    }
+
+    #[test]
+    fn short_curves_yield_no_plateau() {
+        let c = curve(&[(1, 1.0), (2, 1.0)]);
+        assert!(detect_plateau(&c, 3, 0.1).is_none());
+        assert!(detect_plateau(&c, 1, 0.1).is_none(), "min_length < 2 is rejected");
+    }
+
+    #[test]
+    fn analyze_curve_combines_everything() {
+        let c = curve(&[(1, 4.0), (2, 1.0), (4, 1.0), (8, 1.0), (16, 0.0)]);
+        let report = analyze_curve(&c, 3, 0.05);
+        assert_eq!(report.converged_at, Some(16));
+        assert!(report.final_entropy_is_zero);
+        let plateau = report.plateau.expect("plateau expected");
+        assert_eq!(plateau.length, 3);
+    }
+}

@@ -1,0 +1,206 @@
+//! Counting distributions over arbitrary outcomes.
+
+use std::hash::Hash;
+
+use rustc_hash::FxHashMap;
+
+use crate::entropy::shannon_entropy_from_counts;
+
+/// An empirical distribution built by counting outcomes of repeated trials.
+///
+/// The paper builds one of these over *seed sets* for every (algorithm,
+/// sample number, instance) configuration; it is generic so the tests can use
+/// simple outcome types.
+#[derive(Debug, Clone)]
+pub struct EmpiricalDistribution<T: Eq + Hash> {
+    counts: FxHashMap<T, u64>,
+    total: u64,
+}
+
+impl<T: Eq + Hash> Default for EmpiricalDistribution<T> {
+    fn default() -> Self {
+        Self { counts: FxHashMap::default(), total: 0 }
+    }
+}
+
+impl<T: Eq + Hash> EmpiricalDistribution<T> {
+    /// An empty distribution.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one observation of `outcome`.
+    pub fn record(&mut self, outcome: T) {
+        *self.counts.entry(outcome).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Record `count` observations of `outcome`.
+    pub fn record_many(&mut self, outcome: T, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.counts.entry(outcome).or_insert(0) += count;
+        self.total += count;
+    }
+
+    /// Total number of recorded trials `T`.
+    #[must_use]
+    pub fn num_trials(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct outcomes observed.
+    #[must_use]
+    pub fn num_distinct(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Whether the distribution is degenerate (at most one distinct outcome),
+    /// i.e. has Shannon entropy 0.
+    #[must_use]
+    pub fn is_degenerate(&self) -> bool {
+        self.counts.len() <= 1
+    }
+
+    /// Empirical probability mass of `outcome`.
+    #[must_use]
+    pub fn probability(&self, outcome: &T) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        *self.counts.get(outcome).unwrap_or(&0) as f64 / self.total as f64
+    }
+
+    /// Raw count of `outcome`.
+    #[must_use]
+    pub fn count(&self, outcome: &T) -> u64 {
+        *self.counts.get(outcome).unwrap_or(&0)
+    }
+
+    /// The most frequent outcome with its count (`None` on an empty
+    /// distribution). Ties are broken arbitrarily but deterministically per
+    /// map iteration order is not relied upon anywhere.
+    #[must_use]
+    pub fn mode(&self) -> Option<(&T, u64)> {
+        self.counts.iter().max_by_key(|&(_, &c)| c).map(|(t, &c)| (t, c))
+    }
+
+    /// Shannon entropy (base 2) of the empirical distribution; the diversity
+    /// measure of Section 5.1.
+    #[must_use]
+    pub fn entropy(&self) -> f64 {
+        let counts: Vec<u64> = self.counts.values().copied().collect();
+        shannon_entropy_from_counts(&counts)
+    }
+
+    /// Iterate over `(outcome, count)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&T, u64)> + '_ {
+        self.counts.iter().map(|(t, &c)| (t, c))
+    }
+
+    /// The empirical probability of outcomes satisfying `predicate`; e.g. the
+    /// probability of returning a near-optimal seed set (Table 5's 99 %
+    /// criterion).
+    #[must_use]
+    pub fn probability_of(&self, mut predicate: impl FnMut(&T) -> bool) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let hits: u64 =
+            self.counts.iter().filter(|(t, _)| predicate(t)).map(|(_, &c)| c).sum();
+        hits as f64 / self.total as f64
+    }
+}
+
+impl<T: Eq + Hash> FromIterator<T> for EmpiricalDistribution<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut dist = Self::new();
+        for item in iter {
+            dist.record(item);
+        }
+        dist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_and_probabilities() {
+        let mut d = EmpiricalDistribution::new();
+        d.record("a");
+        d.record("a");
+        d.record("b");
+        d.record_many("c", 0);
+        assert_eq!(d.num_trials(), 3);
+        assert_eq!(d.num_distinct(), 2);
+        assert!((d.probability(&"a") - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(d.count(&"b"), 1);
+        assert_eq!(d.count(&"missing"), 0);
+        assert_eq!(d.probability(&"missing"), 0.0);
+    }
+
+    #[test]
+    fn record_many_accumulates() {
+        let mut d = EmpiricalDistribution::new();
+        d.record_many(7u32, 10);
+        d.record_many(8u32, 30);
+        assert_eq!(d.num_trials(), 40);
+        assert!((d.probability(&8) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degeneracy_and_entropy() {
+        let mut d = EmpiricalDistribution::new();
+        assert!(d.is_degenerate());
+        assert_eq!(d.entropy(), 0.0);
+        d.record_many(vec![1u32, 2], 100);
+        assert!(d.is_degenerate());
+        assert_eq!(d.entropy(), 0.0);
+        d.record(vec![3u32]);
+        assert!(!d.is_degenerate());
+        assert!(d.entropy() > 0.0);
+    }
+
+    #[test]
+    fn uniform_entropy_matches_log2() {
+        let d: EmpiricalDistribution<u32> = (0..16u32).collect();
+        assert!((d.entropy() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mode_returns_heaviest_outcome() {
+        let mut d = EmpiricalDistribution::new();
+        d.record_many("x", 5);
+        d.record_many("y", 9);
+        d.record_many("z", 2);
+        let (outcome, count) = d.mode().unwrap();
+        assert_eq!(*outcome, "y");
+        assert_eq!(count, 9);
+        let empty: EmpiricalDistribution<u32> = EmpiricalDistribution::new();
+        assert!(empty.mode().is_none());
+    }
+
+    #[test]
+    fn probability_of_predicate() {
+        let mut d = EmpiricalDistribution::new();
+        d.record_many(1u32, 60);
+        d.record_many(2u32, 30);
+        d.record_many(3u32, 10);
+        assert!((d.probability_of(|&x| x >= 2) - 0.4).abs() < 1e-12);
+        assert_eq!(d.probability_of(|_| true), 1.0);
+        let empty: EmpiricalDistribution<u32> = EmpiricalDistribution::new();
+        assert_eq!(empty.probability_of(|_| true), 0.0);
+    }
+
+    #[test]
+    fn iteration_covers_all_outcomes() {
+        let d: EmpiricalDistribution<u32> = vec![1, 1, 2, 3].into_iter().collect();
+        let total: u64 = d.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 4);
+        assert_eq!(d.iter().count(), 3);
+    }
+}

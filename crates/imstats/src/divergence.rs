@@ -1,0 +1,190 @@
+//! Divergences between empirical distributions.
+//!
+//! Section 5.1 tracks a *single* distribution's diversity via its Shannon
+//! entropy. When comparing two algorithms (or the same algorithm at two sample
+//! numbers), one also wants to know how far apart their seed-set distributions
+//! are — e.g. to confirm that Oneshot, Snapshot and RIS converge to the *same*
+//! degenerate distribution, not merely to degenerate ones. This module
+//! provides the standard distances on discrete distributions with finite
+//! support:
+//!
+//! * [`total_variation_distance`] — `½·Σ |p(x) − q(x)|`, in `[0, 1]`;
+//! * [`jensen_shannon_divergence`] — the symmetrised, smoothed KL divergence,
+//!   in `[0, 1]` when using base-2 logarithms;
+//! * [`overlap_coefficient`] — `Σ min(p(x), q(x))`, the shared probability
+//!   mass;
+//! * [`support_jaccard`] — the Jaccard index of the two supports, a cruder
+//!   but easily interpretable "do they even return the same seed sets" score.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+use crate::distribution::EmpiricalDistribution;
+
+/// Iterate over the union support of two distributions.
+fn union_support<'a, T: Eq + Hash>(
+    p: &'a EmpiricalDistribution<T>,
+    q: &'a EmpiricalDistribution<T>,
+) -> Vec<&'a T> {
+    let mut seen: HashSet<&T> = HashSet::new();
+    let mut support = Vec::new();
+    for (x, _) in p.iter().chain(q.iter()) {
+        if seen.insert(x) {
+            support.push(x);
+        }
+    }
+    support
+}
+
+/// Total variation distance `½·Σ_x |p(x) − q(x)|` between two empirical
+/// distributions. Ranges from 0 (identical) to 1 (disjoint supports).
+#[must_use]
+pub fn total_variation_distance<T: Eq + Hash>(
+    p: &EmpiricalDistribution<T>,
+    q: &EmpiricalDistribution<T>,
+) -> f64 {
+    0.5 * union_support(p, q)
+        .into_iter()
+        .map(|x| (p.probability(x) - q.probability(x)).abs())
+        .sum::<f64>()
+}
+
+/// Jensen–Shannon divergence (base-2 logarithm), in `[0, 1]`.
+///
+/// `JS(p, q) = ½·KL(p ‖ m) + ½·KL(q ‖ m)` with `m = ½(p + q)`; unlike raw KL
+/// it is symmetric and finite even when the supports differ.
+#[must_use]
+pub fn jensen_shannon_divergence<T: Eq + Hash>(
+    p: &EmpiricalDistribution<T>,
+    q: &EmpiricalDistribution<T>,
+) -> f64 {
+    let mut js = 0.0f64;
+    for x in union_support(p, q) {
+        let px = p.probability(x);
+        let qx = q.probability(x);
+        let mx = 0.5 * (px + qx);
+        if px > 0.0 {
+            js += 0.5 * px * (px / mx).log2();
+        }
+        if qx > 0.0 {
+            js += 0.5 * qx * (qx / mx).log2();
+        }
+    }
+    js.clamp(0.0, 1.0)
+}
+
+/// Overlap coefficient `Σ_x min(p(x), q(x))`: the probability mass the two
+/// distributions agree on. Equals `1 − TV(p, q)`.
+#[must_use]
+pub fn overlap_coefficient<T: Eq + Hash>(
+    p: &EmpiricalDistribution<T>,
+    q: &EmpiricalDistribution<T>,
+) -> f64 {
+    union_support(p, q)
+        .into_iter()
+        .map(|x| p.probability(x).min(q.probability(x)))
+        .sum()
+}
+
+/// Jaccard index of the two supports: `|supp(p) ∩ supp(q)| / |supp(p) ∪ supp(q)|`.
+///
+/// Returns 1 for two empty distributions (they trivially agree).
+#[must_use]
+pub fn support_jaccard<T: Eq + Hash>(
+    p: &EmpiricalDistribution<T>,
+    q: &EmpiricalDistribution<T>,
+) -> f64 {
+    let p_support: HashSet<&T> = p.iter().map(|(x, _)| x).collect();
+    let q_support: HashSet<&T> = q.iter().map(|(x, _)| x).collect();
+    let union = p_support.union(&q_support).count();
+    if union == 0 {
+        return 1.0;
+    }
+    let intersection = p_support.intersection(&q_support).count();
+    intersection as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dist(outcomes: &[(u32, u64)]) -> EmpiricalDistribution<u32> {
+        let mut d = EmpiricalDistribution::new();
+        for &(x, c) in outcomes {
+            d.record_many(x, c);
+        }
+        d
+    }
+
+    #[test]
+    fn identical_distributions_have_zero_distance() {
+        let p = dist(&[(1, 10), (2, 30), (3, 60)]);
+        let q = dist(&[(1, 1), (2, 3), (3, 6)]);
+        assert!(total_variation_distance(&p, &q) < 1e-12);
+        assert!(jensen_shannon_divergence(&p, &q) < 1e-12);
+        assert!((overlap_coefficient(&p, &q) - 1.0).abs() < 1e-12);
+        assert!((support_jaccard(&p, &q) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_supports_are_maximally_far() {
+        let p = dist(&[(1, 5), (2, 5)]);
+        let q = dist(&[(3, 5), (4, 5)]);
+        assert!((total_variation_distance(&p, &q) - 1.0).abs() < 1e-12);
+        assert!((jensen_shannon_divergence(&p, &q) - 1.0).abs() < 1e-9);
+        assert!(overlap_coefficient(&p, &q) < 1e-12);
+        assert_eq!(support_jaccard(&p, &q), 0.0);
+    }
+
+    #[test]
+    fn tv_and_overlap_are_complementary() {
+        let p = dist(&[(1, 7), (2, 3)]);
+        let q = dist(&[(1, 2), (2, 6), (3, 2)]);
+        let tv = total_variation_distance(&p, &q);
+        let ov = overlap_coefficient(&p, &q);
+        assert!((tv + ov - 1.0).abs() < 1e-12, "TV {tv} + overlap {ov} should be 1");
+        assert!(tv > 0.0 && tv < 1.0);
+    }
+
+    #[test]
+    fn divergences_are_symmetric() {
+        let p = dist(&[(1, 8), (2, 2)]);
+        let q = dist(&[(1, 3), (3, 7)]);
+        assert!((total_variation_distance(&p, &q) - total_variation_distance(&q, &p)).abs() < 1e-12);
+        assert!((jensen_shannon_divergence(&p, &q) - jensen_shannon_divergence(&q, &p)).abs() < 1e-12);
+        assert!((support_jaccard(&p, &q) - support_jaccard(&q, &p)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn half_shifted_distribution_has_intermediate_distance() {
+        // p is uniform on {1, 2}; q is uniform on {2, 3}: TV = 0.5.
+        let p = dist(&[(1, 5), (2, 5)]);
+        let q = dist(&[(2, 5), (3, 5)]);
+        assert!((total_variation_distance(&p, &q) - 0.5).abs() < 1e-12);
+        let js = jensen_shannon_divergence(&p, &q);
+        assert!(js > 0.0 && js < 1.0);
+        assert!((support_jaccard(&p, &q) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_distributions() {
+        let empty: EmpiricalDistribution<u32> = EmpiricalDistribution::new();
+        let p = dist(&[(1, 3)]);
+        assert_eq!(support_jaccard(&empty, &empty), 1.0);
+        assert_eq!(support_jaccard(&empty, &p), 0.0);
+        assert!((total_variation_distance(&empty, &p) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn works_on_seed_set_like_outcomes() {
+        let mut p: EmpiricalDistribution<Vec<u32>> = EmpiricalDistribution::new();
+        let mut q: EmpiricalDistribution<Vec<u32>> = EmpiricalDistribution::new();
+        p.record(vec![0, 3]);
+        p.record(vec![0, 3]);
+        p.record(vec![1, 3]);
+        q.record(vec![0, 3]);
+        q.record(vec![1, 3]);
+        let tv = total_variation_distance(&p, &q);
+        assert!(tv > 0.0 && tv < 0.5);
+    }
+}

@@ -1,0 +1,122 @@
+//! Shannon entropy of discrete distributions.
+//!
+//! Section 5.1 measures the diversity of a seed-set distribution with the
+//! Shannon entropy `H = −Σ_S p_S·log₂ p_S`; a degenerate distribution (a
+//! single set) has entropy 0, and an empirical distribution built from `T`
+//! trials can never exceed `log₂ T` (≈ 9.97 for the paper's 1,000 trials).
+
+/// Shannon entropy (base 2) of a probability vector.
+///
+/// Zero-probability entries contribute nothing; the probabilities are expected
+/// to sum to 1 but small numerical deviations are tolerated.
+///
+/// # Panics
+///
+/// Panics if any probability is negative or NaN.
+#[must_use]
+pub fn shannon_entropy_from_probabilities(probabilities: &[f64]) -> f64 {
+    let mut h = 0.0f64;
+    for &p in probabilities {
+        assert!(p >= 0.0 && p.is_finite(), "probabilities must be finite and non-negative");
+        if p > 0.0 {
+            h -= p * p.log2();
+        }
+    }
+    // Clamp tiny negative rounding artefacts (e.g. a single outcome with
+    // probability 1.0000000000000002).
+    h.max(0.0)
+}
+
+/// Shannon entropy (base 2) of a count vector (an empirical distribution).
+///
+/// Returns 0 for an empty count vector.
+#[must_use]
+pub fn shannon_entropy_from_counts(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let total = total as f64;
+    let mut h = 0.0f64;
+    for &c in counts {
+        if c > 0 {
+            let p = c as f64 / total;
+            h -= p * p.log2();
+        }
+    }
+    h.max(0.0)
+}
+
+/// The maximum entropy an empirical distribution over `trials` samples can
+/// attain (`log₂ trials`), the ceiling mentioned in Section 5.1.
+#[must_use]
+pub fn max_entropy_for_trials(trials: u64) -> f64 {
+    if trials == 0 {
+        0.0
+    } else {
+        (trials as f64).log2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degenerate_distribution_has_zero_entropy() {
+        assert_eq!(shannon_entropy_from_probabilities(&[1.0]), 0.0);
+        assert_eq!(shannon_entropy_from_counts(&[42]), 0.0);
+        assert_eq!(shannon_entropy_from_counts(&[7, 0, 0]), 0.0);
+    }
+
+    #[test]
+    fn uniform_distribution_has_log2_n_entropy() {
+        let h = shannon_entropy_from_probabilities(&[0.25; 4]);
+        assert!((h - 2.0).abs() < 1e-12);
+        let h = shannon_entropy_from_counts(&[5, 5, 5, 5, 5, 5, 5, 5]);
+        assert!((h - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_distribution_entropy() {
+        // H(0.5, 0.25, 0.25) = 1.5 bits.
+        let h = shannon_entropy_from_probabilities(&[0.5, 0.25, 0.25]);
+        assert!((h - 1.5).abs() < 1e-12);
+        let h = shannon_entropy_from_counts(&[2, 1, 1]);
+        assert!((h - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_probabilities_are_ignored() {
+        let h = shannon_entropy_from_probabilities(&[0.5, 0.0, 0.5]);
+        assert!((h - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(shannon_entropy_from_probabilities(&[]), 0.0);
+        assert_eq!(shannon_entropy_from_counts(&[]), 0.0);
+        assert_eq!(shannon_entropy_from_counts(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn paper_ceiling_for_1000_trials() {
+        let ceiling = max_entropy_for_trials(1_000);
+        assert!((ceiling - 9.9657).abs() < 1e-3, "log2(1000) ≈ 9.97, got {ceiling}");
+        assert_eq!(max_entropy_for_trials(0), 0.0);
+        assert_eq!(max_entropy_for_trials(1), 0.0);
+    }
+
+    #[test]
+    fn entropy_never_exceeds_the_trial_ceiling() {
+        let counts: Vec<u64> = vec![1; 1_000];
+        let h = shannon_entropy_from_counts(&counts);
+        assert!(h <= max_entropy_for_trials(1_000) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_probability_panics() {
+        let _ = shannon_entropy_from_probabilities(&[-0.1, 1.1]);
+    }
+}

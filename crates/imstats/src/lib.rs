@@ -1,0 +1,36 @@
+//! Empirical distribution statistics for the influence-maximization study.
+//!
+//! The paper's methodology (Section 4) runs each algorithm `T` times per
+//! configuration and studies two empirical distributions: the distribution of
+//! *seed sets* `S(s)` and the distribution of *influence spread* `I(s)`. This
+//! crate provides the statistics applied to them:
+//!
+//! * [`EmpiricalDistribution`] — a counting distribution over arbitrary
+//!   hashable outcomes (seed sets), with Shannon entropy ([`entropy`]),
+//!   degeneracy/mode queries and convergence helpers ([`convergence`]);
+//! * [`SummaryStats`] — the notched-box-plot statistics of Figure 4 (mean,
+//!   standard deviation, quartiles, 1st/99th percentiles, median notch);
+//! * [`ratio`] — the *comparable number ratio* and *comparable size ratio* of
+//!   Section 5.2.3, computed from per-sample-number mean-influence curves.
+//!
+//! The crate is deliberately independent of the graph and algorithm crates so
+//! the statistics can be unit-tested on synthetic data and reused on any
+//! outcome type.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convergence;
+mod distribution;
+pub mod divergence;
+pub mod entropy;
+pub mod interval;
+pub mod ratio;
+mod summary;
+
+pub use distribution::EmpiricalDistribution;
+pub use divergence::{jensen_shannon_divergence, total_variation_distance};
+pub use entropy::{shannon_entropy_from_counts, shannon_entropy_from_probabilities};
+pub use interval::{bootstrap_mean_interval, wilson_interval, ConfidenceInterval};
+pub use ratio::{comparable_number_ratio, comparable_size_ratio, SampleCurve};
+pub use summary::SummaryStats;

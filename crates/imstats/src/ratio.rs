@@ -1,0 +1,260 @@
+//! Comparable number and size ratios (Section 5.2.3).
+//!
+//! The paper compares two algorithms by asking, for each sample number `s₁` of
+//! algorithm 1, what is the *least* sample number `s₂` of algorithm 2 whose
+//! influence distribution is at least as good (the paper shows the mean is the
+//! dominant statistic, so "better" means "has a mean at least as large").
+//! `s₂ / s₁` is the *comparable number ratio*; weighting each side by its
+//! per-sample size gives the *comparable size ratio*.
+
+use serde::{Deserialize, Serialize};
+
+/// The mean-influence curve of one algorithm on one instance: mean influence
+/// (and per-run sample size) for each evaluated sample number.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct SampleCurve {
+    points: Vec<CurvePoint>,
+}
+
+/// One point of a [`SampleCurve`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// The sample number (β, τ or θ).
+    pub sample_number: u64,
+    /// Mean influence spread over the trials at this sample number.
+    pub mean_influence: f64,
+    /// Total sample size (stored vertices + edges) at this sample number.
+    pub sample_size: f64,
+}
+
+impl SampleCurve {
+    /// An empty curve.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a point; points may be added in any order.
+    pub fn push(&mut self, sample_number: u64, mean_influence: f64, sample_size: f64) {
+        self.points.push(CurvePoint { sample_number, mean_influence, sample_size });
+        self.points.sort_by_key(|p| p.sample_number);
+    }
+
+    /// Build a curve from `(sample number, mean influence)` pairs with zero
+    /// sample sizes (useful when only the number ratio is needed).
+    #[must_use]
+    pub fn from_means(pairs: &[(u64, f64)]) -> Self {
+        let mut curve = Self::new();
+        for &(s, m) in pairs {
+            curve.push(s, m, 0.0);
+        }
+        curve
+    }
+
+    /// The points in increasing sample-number order.
+    #[must_use]
+    pub fn points(&self) -> &[CurvePoint] {
+        &self.points
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the curve has no points.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean influence at exactly this sample number, if evaluated.
+    #[must_use]
+    pub fn mean_at(&self, sample_number: u64) -> Option<f64> {
+        self.points
+            .iter()
+            .find(|p| p.sample_number == sample_number)
+            .map(|p| p.mean_influence)
+    }
+
+    /// The least sample number whose mean influence reaches `target`, together
+    /// with that point; `None` if the curve never reaches the target.
+    #[must_use]
+    pub fn least_sample_reaching(&self, target: f64) -> Option<&CurvePoint> {
+        self.points.iter().find(|p| p.mean_influence >= target)
+    }
+}
+
+/// The comparable ratios of `candidate` relative to `reference` at one
+/// reference sample number.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComparablePoint {
+    /// The reference algorithm's sample number `s₁`.
+    pub reference_sample_number: u64,
+    /// The least candidate sample number `s₂` whose mean matches or exceeds
+    /// the reference mean at `s₁`.
+    pub candidate_sample_number: u64,
+    /// `s₂ / s₁`.
+    pub number_ratio: f64,
+    /// `(candidate sample size at s₂) / (reference sample size at s₁)`, or
+    /// `None` when either size is zero (e.g. Oneshot stores nothing).
+    pub size_ratio: Option<f64>,
+}
+
+/// For every point of `reference`, find the least sample number of `candidate`
+/// that is *comparable* (mean influence at least as large), as defined in
+/// Section 5.2.3. Reference points the candidate never matches are omitted
+/// (the paper leaves those cells blank).
+#[must_use]
+pub fn comparable_number_ratio(
+    reference: &SampleCurve,
+    candidate: &SampleCurve,
+) -> Vec<ComparablePoint> {
+    let mut result = Vec::new();
+    for ref_point in reference.points() {
+        if let Some(cand_point) = candidate.least_sample_reaching(ref_point.mean_influence) {
+            let number_ratio =
+                cand_point.sample_number as f64 / ref_point.sample_number as f64;
+            let size_ratio = if ref_point.sample_size > 0.0 && cand_point.sample_size > 0.0 {
+                Some(cand_point.sample_size / ref_point.sample_size)
+            } else {
+                None
+            };
+            result.push(ComparablePoint {
+                reference_sample_number: ref_point.sample_number,
+                candidate_sample_number: cand_point.sample_number,
+                number_ratio,
+                size_ratio,
+            });
+        }
+    }
+    result
+}
+
+/// The comparable *size* ratios only (Figure 8 / Table 7 right half);
+/// reference points with zero sample size are skipped.
+#[must_use]
+pub fn comparable_size_ratio(reference: &SampleCurve, candidate: &SampleCurve) -> Vec<f64> {
+    comparable_number_ratio(reference, candidate)
+        .into_iter()
+        .filter_map(|p| p.size_ratio)
+        .collect()
+}
+
+/// The median of a list of ratios — what Tables 6 and 7 report per instance.
+/// Returns `None` for an empty list.
+#[must_use]
+pub fn median_ratio(ratios: &[f64]) -> Option<f64> {
+    if ratios.is_empty() {
+        return None;
+    }
+    let mut sorted = ratios.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("ratios must not be NaN"));
+    let n = sorted.len();
+    Some(if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference curve: mean doubles in quality every 4× samples.
+    fn reference() -> SampleCurve {
+        SampleCurve::from_means(&[(1, 10.0), (4, 20.0), (16, 30.0), (64, 40.0)])
+    }
+
+    /// Candidate needs 2× the samples of the reference for the same mean.
+    fn slower_candidate() -> SampleCurve {
+        SampleCurve::from_means(&[(1, 5.0), (2, 10.0), (8, 20.0), (32, 30.0), (128, 40.0)])
+    }
+
+    #[test]
+    fn curve_accessors() {
+        let c = reference();
+        assert_eq!(c.len(), 4);
+        assert!(!c.is_empty());
+        assert_eq!(c.mean_at(4), Some(20.0));
+        assert_eq!(c.mean_at(5), None);
+        assert_eq!(c.least_sample_reaching(25.0).unwrap().sample_number, 16);
+        assert!(c.least_sample_reaching(99.0).is_none());
+        assert!(SampleCurve::new().is_empty());
+    }
+
+    #[test]
+    fn points_are_sorted_regardless_of_insertion_order() {
+        let mut c = SampleCurve::new();
+        c.push(16, 3.0, 0.0);
+        c.push(1, 1.0, 0.0);
+        c.push(4, 2.0, 0.0);
+        let numbers: Vec<u64> = c.points().iter().map(|p| p.sample_number).collect();
+        assert_eq!(numbers, vec![1, 4, 16]);
+    }
+
+    #[test]
+    fn number_ratio_of_two_x_slower_candidate() {
+        let ratios = comparable_number_ratio(&reference(), &slower_candidate());
+        assert_eq!(ratios.len(), 4);
+        for p in &ratios {
+            assert!((p.number_ratio - 2.0).abs() < 1e-12, "ratio at s1={} is {}", p.reference_sample_number, p.number_ratio);
+        }
+    }
+
+    #[test]
+    fn unreachable_targets_are_omitted() {
+        let reference = SampleCurve::from_means(&[(1, 10.0), (4, 1_000.0)]);
+        let candidate = SampleCurve::from_means(&[(1, 10.0), (1024, 20.0)]);
+        let ratios = comparable_number_ratio(&reference, &candidate);
+        assert_eq!(ratios.len(), 1, "only the reachable reference point should appear");
+        assert_eq!(ratios[0].reference_sample_number, 1);
+    }
+
+    #[test]
+    fn size_ratio_uses_sample_sizes() {
+        // Snapshot-like reference (large per-sample size) vs RIS-like candidate
+        // (small per-sample size): number ratio is large but size ratio small,
+        // the Table 7 phenomenon.
+        let mut snapshot = SampleCurve::new();
+        snapshot.push(1, 10.0, 1_000.0);
+        snapshot.push(4, 20.0, 4_000.0);
+        let mut ris = SampleCurve::new();
+        ris.push(64, 10.0, 128.0);
+        ris.push(256, 20.0, 512.0);
+        let points = comparable_number_ratio(&snapshot, &ris);
+        assert_eq!(points.len(), 2);
+        assert!((points[0].number_ratio - 64.0).abs() < 1e-12);
+        assert!((points[0].size_ratio.unwrap() - 0.128).abs() < 1e-12);
+        let sizes = comparable_size_ratio(&snapshot, &ris);
+        assert_eq!(sizes.len(), 2);
+        assert!(sizes.iter().all(|&r| r < 1.0), "RIS should be more space-saving");
+    }
+
+    #[test]
+    fn size_ratio_is_none_when_reference_stores_nothing() {
+        // Oneshot stores nothing, so comparing against it yields no size ratio.
+        let oneshot = SampleCurve::from_means(&[(8, 10.0)]);
+        let mut snapshot = SampleCurve::new();
+        snapshot.push(1, 10.0, 500.0);
+        let points = comparable_number_ratio(&oneshot, &snapshot);
+        assert_eq!(points.len(), 1);
+        assert!(points[0].size_ratio.is_none());
+        assert!(comparable_size_ratio(&oneshot, &snapshot).is_empty());
+    }
+
+    #[test]
+    fn identical_curves_have_ratio_one() {
+        let ratios = comparable_number_ratio(&reference(), &reference());
+        assert!(ratios.iter().all(|p| (p.number_ratio - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn median_ratio_handles_odd_even_empty() {
+        assert_eq!(median_ratio(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median_ratio(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median_ratio(&[]), None);
+    }
+}

@@ -1,0 +1,215 @@
+//! Summary statistics of influence distributions.
+//!
+//! Figure 4 of the paper presents influence distributions as *notched box
+//! plots*: mean, median with a 95 % confidence notch, quartiles, 1st/99th
+//! percentiles and outliers. [`SummaryStats`] computes all of those from the
+//! `T` recorded influence values of a configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample of real values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SummaryStats {
+    /// Number of observations.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 in the denominator; 0 for n < 2).
+    pub std_dev: f64,
+    /// Minimum observation.
+    pub min: f64,
+    /// 1st percentile.
+    pub p01: f64,
+    /// 25th percentile (lower quartile).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile (upper quartile).
+    pub q3: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum observation.
+    pub max: f64,
+    /// Half-width of the 95 % median notch, `1.57·IQR/√n` (McGill et al.), the
+    /// convention used by the paper's notched box plots.
+    pub median_notch: f64,
+}
+
+impl SummaryStats {
+    /// Compute summary statistics of `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or contains NaN.
+    #[must_use]
+    pub fn from_values(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarise an empty sample");
+        assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
+
+        let count = sorted.len();
+        let mean = sorted.iter().sum::<f64>() / count as f64;
+        let variance = if count < 2 {
+            0.0
+        } else {
+            sorted.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (count as f64 - 1.0)
+        };
+        let q1 = percentile_of_sorted(&sorted, 25.0);
+        let q3 = percentile_of_sorted(&sorted, 75.0);
+        let iqr = q3 - q1;
+        Self {
+            count,
+            mean,
+            std_dev: variance.sqrt(),
+            min: sorted[0],
+            p01: percentile_of_sorted(&sorted, 1.0),
+            q1,
+            median: percentile_of_sorted(&sorted, 50.0),
+            q3,
+            p99: percentile_of_sorted(&sorted, 99.0),
+            max: sorted[count - 1],
+            median_notch: 1.57 * iqr / (count as f64).sqrt(),
+        }
+    }
+
+    /// An arbitrary percentile in `[0, 100]` of the original sample.
+    #[must_use]
+    pub fn percentile(values: &[f64], p: f64) -> f64 {
+        assert!(!values.is_empty(), "cannot take a percentile of an empty sample");
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
+        percentile_of_sorted(&sorted, p)
+    }
+
+    /// Fraction of observations at or above `threshold`; Table 5 uses this
+    /// with `threshold = 0.95 × exact-greedy influence` and asks for ≥ 0.99.
+    #[must_use]
+    pub fn fraction_at_least(values: &[f64], threshold: f64) -> f64 {
+        if values.is_empty() {
+            return 0.0;
+        }
+        values.iter().filter(|&&v| v >= threshold).count() as f64 / values.len() as f64
+    }
+
+    /// The interquartile range `q3 − q1`.
+    #[must_use]
+    pub fn iqr(&self) -> f64 {
+        self.q3 - self.q1
+    }
+
+    /// Lower and upper bounds of the median's 95 % notch.
+    #[must_use]
+    pub fn notch_interval(&self) -> (f64, f64) {
+        (self.median - self.median_notch, self.median + self.median_notch)
+    }
+}
+
+/// Linear-interpolation percentile of an already sorted slice (the "linear"
+/// a.k.a. type-7 quantile definition used by NumPy's default).
+fn percentile_of_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of [0, 100]");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (n as f64 - 1.0);
+    let lower = rank.floor() as usize;
+    let upper = rank.ceil() as usize;
+    let weight = rank - lower as f64;
+    sorted[lower] * (1.0 - weight) + sorted[upper] * weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_statistics() {
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let s = SummaryStats::from_values(&values);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert!((s.median - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert!((s.std_dev - (2.5f64).sqrt()).abs() < 1e-12);
+        assert!((s.q1 - 2.0).abs() < 1e-12);
+        assert!((s.q3 - 4.0).abs() < 1e-12);
+        assert!((s.iqr() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_observation() {
+        let s = SummaryStats::from_values(&[7.5]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.median, 7.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.p01, 7.5);
+        assert_eq!(s.p99, 7.5);
+        assert_eq!(s.median_notch, 0.0);
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let values = [0.0, 10.0];
+        assert!((SummaryStats::percentile(&values, 50.0) - 5.0).abs() < 1e-12);
+        assert!((SummaryStats::percentile(&values, 25.0) - 2.5).abs() < 1e-12);
+        assert_eq!(SummaryStats::percentile(&values, 0.0), 0.0);
+        assert_eq!(SummaryStats::percentile(&values, 100.0), 10.0);
+    }
+
+    #[test]
+    fn percentile_is_order_independent() {
+        let a = [5.0, 1.0, 4.0, 2.0, 3.0];
+        let b = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(SummaryStats::percentile(&a, 75.0), SummaryStats::percentile(&b, 75.0));
+    }
+
+    #[test]
+    fn fraction_at_least_counts_inclusive() {
+        let values = [1.0, 2.0, 3.0, 4.0];
+        assert!((SummaryStats::fraction_at_least(&values, 3.0) - 0.5).abs() < 1e-12);
+        assert_eq!(SummaryStats::fraction_at_least(&values, 0.0), 1.0);
+        assert_eq!(SummaryStats::fraction_at_least(&values, 10.0), 0.0);
+        assert_eq!(SummaryStats::fraction_at_least(&[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn notch_interval_brackets_the_median() {
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let s = SummaryStats::from_values(&values);
+        let (lo, hi) = s.notch_interval();
+        assert!(lo < s.median && s.median < hi);
+        assert!((s.median_notch - 1.57 * s.iqr() / 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_sample_has_zero_spread() {
+        let s = SummaryStats::from_values(&[2.0; 50]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.iqr(), 0.0);
+        assert_eq!(s.p01, 2.0);
+        assert_eq!(s.p99, 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = SummaryStats::from_values(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn nan_values_panic() {
+        let _ = SummaryStats::from_values(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let s = SummaryStats::from_values(&[1.0, 2.0, 3.0]);
+        let json = serde_json::to_string(&s).unwrap();
+        assert_eq!(serde_json::from_str::<SummaryStats>(&json).unwrap(), s);
+    }
+}

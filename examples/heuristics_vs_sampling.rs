@@ -1,0 +1,91 @@
+//! Heuristic baselines versus the three sampling approaches.
+//!
+//! ```text
+//! cargo run --release --example heuristics_vs_sampling
+//! ```
+//!
+//! Section 3.6 of the paper sets heuristics aside with one sentence: they are
+//! "faster than the three approaches, but resulting seed sets have less
+//! influence". This example quantifies that sentence on a dense
+//! Barabási–Albert network under two probability models: every heuristic in
+//! `imheur` (plus the sketch-space greedy from `imsketch`) is run once, every
+//! sampling approach is run at a moderate sample number, and all seed sets are
+//! scored by one shared influence oracle.
+
+use im_study::prelude::*;
+use imheur::{DegreeDiscount, IrieSelector, MaxDegree, PageRankSelector, RandomSelector, SingleDiscount, WeightedDegree};
+
+fn main() {
+    let k = 8;
+    let base = Dataset::BaDense.build(7);
+    for model in [ProbabilityModel::uc001(), ProbabilityModel::InDegreeWeighted] {
+        let graph = model.assign(&base);
+        let mut rng = default_rng(11);
+        let oracle = InfluenceOracle::build(&graph, 300_000, &mut rng);
+        let (greedy_seeds, greedy_influence) = oracle.greedy_seed_set(k);
+        println!(
+            "\nBA_d under {} — n = {}, m = {}, k = {k}",
+            model.label(),
+            graph.num_vertices(),
+            graph.num_edges()
+        );
+        println!("exact-greedy reference: {:.2} (seeds {})", greedy_influence, SeedSet::new(greedy_seeds));
+        println!("{:<18} {:>12} {:>12} {:>14}", "method", "influence", "% of greedy", "edges touched");
+
+        // Heuristic baselines.
+        let selectors: Vec<(&str, Box<dyn SeedSelector>)> = vec![
+            ("MaxDegree", Box::new(MaxDegree)),
+            ("WeightedDegree", Box::new(WeightedDegree)),
+            ("SingleDiscount", Box::new(SingleDiscount)),
+            ("DegreeDiscount", Box::new(DegreeDiscount::with_mean_probability(&graph))),
+            ("PageRank", Box::new(PageRankSelector::default())),
+            ("IRIE", Box::new(IrieSelector::default())),
+            ("Random", Box::new(RandomSelector::new(3))),
+        ];
+        for (name, selector) in &selectors {
+            let result = selector.select(&graph, k);
+            let influence = oracle.estimate(&result.seeds);
+            println!(
+                "{:<18} {:>12.2} {:>11.1}% {:>14}",
+                name,
+                influence,
+                100.0 * influence / greedy_influence,
+                result.edges_examined
+            );
+        }
+
+        // Sketch-space greedy (simplified SKIM).
+        let sketch = SketchGreedy::new(64, 32).select(&graph, k, &mut default_rng(21));
+        let sketch_influence = oracle.estimate(&sketch.seeds);
+        println!(
+            "{:<18} {:>12.2} {:>11.1}% {:>14}",
+            "SketchGreedy",
+            sketch_influence,
+            100.0 * sketch_influence / greedy_influence,
+            sketch.traversal_cost
+        );
+
+        // The three sampling approaches at moderate sample numbers.
+        for algorithm in [
+            Algorithm::Oneshot { beta: 64 },
+            Algorithm::Snapshot { tau: 128 },
+            Algorithm::Ris { theta: 65_536 },
+        ] {
+            let outcome = algorithm.run(&graph, k, 99);
+            let influence = oracle.estimate_seed_set(&outcome.seeds);
+            println!(
+                "{:<18} {:>12.2} {:>11.1}% {:>14}",
+                algorithm.to_string(),
+                influence,
+                100.0 * influence / greedy_influence,
+                outcome.traversal_cost.edges
+            );
+        }
+    }
+    println!("\nTake-away: on a hub-dominated BA network the degree-aware heuristics track exact");
+    println!("greedy while touching orders of magnitude fewer edges, the zero-information Random");
+    println!("baseline collapses, and the three sampling approaches reach greedy quality at modest");
+    println!("sample numbers — the regime where their trade-offs (Sections 3.6 and 5.2) start to matter");
+    println!("is low-probability or structurally flat instances, which the quickstart and the");
+    println!("solution_distribution examples explore.");
+}

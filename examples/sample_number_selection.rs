@@ -1,0 +1,98 @@
+//! Sample-number determination: the paper's open direction made concrete.
+//!
+//! ```text
+//! cargo run --release --example sample_number_selection
+//! ```
+//!
+//! Section 7 of the paper asks whether RIS-style sample-number determination
+//! can be applied to Oneshot and Snapshot. This example walks the full
+//! pipeline on a small instance:
+//!
+//! 1. estimate a lower bound on the optimum (TIM⁺ KPT estimation + an
+//!    IMM-style refinement on a sampled RR collection);
+//! 2. turn that bound into the worst-case sample numbers `θ` (RIS), `β`
+//!    (Oneshot) and `τ` (Snapshot) for a common accuracy target;
+//! 3. contrast those worst-case numbers with the *empirical* least sample
+//!    number that already reaches 95 % of exact greedy — the gap the paper
+//!    reports in Section 5.2.1;
+//! 4. certify one concrete run a posteriori with OPIM-style online bounds.
+
+use im_study::prelude::*;
+use im_core::determination::{
+    determine_all_sample_numbers, least_sample_number_reaching, opim_online_bounds,
+    AccuracyTarget,
+};
+use im_core::ris::RisEstimator;
+
+fn main() {
+    let k = 2;
+    let graph = Dataset::Karate.influence_graph(ProbabilityModel::uc01(), 0);
+    println!(
+        "instance: Karate (uc0.1), n = {}, m = {}, k = {k}\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    // Ground truth for the comparison: greedy on a large shared oracle.
+    let mut rng = default_rng(1);
+    let oracle = InfluenceOracle::build(&graph, 200_000, &mut rng);
+    let (_, exact_greedy_influence) = oracle.greedy_seed_set(k);
+    println!("exact-greedy reference influence: {exact_greedy_influence:.3}");
+
+    // --- 1 & 2: worst-case determination for a common accuracy target -------
+    let target = AccuracyTarget { epsilon: 0.1, delta: 0.05, k };
+    let mut det_rng = default_rng(2);
+    let determined = determine_all_sample_numbers(&graph, &target, &mut det_rng);
+    println!("\nworst-case determination at (ε = {}, δ = {}):", target.epsilon, target.delta);
+    println!("  estimated OPT lower bound : {:.3}", determined.opt_lower_bound);
+    println!("  RIS       θ  = {:>12.0}", determined.theta);
+    println!("  Oneshot   β  = {:>12.0}   (adapted via the Tang et al. bound)", determined.beta);
+    println!("  Snapshot  τ  = {:>12.0}   (adapted via the Karimi et al. bound)", determined.tau);
+
+    // --- 3: empirical least sample numbers ----------------------------------
+    let near_optimal = 0.95 * exact_greedy_influence;
+    let trials: u64 = 20;
+    let sweep = |base: Algorithm, max_exponent: u32| -> Option<u64> {
+        least_sample_number_reaching(
+            |sample_number| {
+                let algorithm = base.with_sample_number(sample_number);
+                let total: f64 = (0..trials)
+                    .map(|t| oracle.estimate_seed_set(&algorithm.run(&graph, k, t).seeds))
+                    .sum();
+                total / trials as f64
+            },
+            near_optimal,
+            max_exponent,
+        )
+    };
+    let beta_star = sweep(Algorithm::Oneshot { beta: 1 }, 12);
+    let tau_star = sweep(Algorithm::Snapshot { tau: 1 }, 12);
+    let theta_star = sweep(Algorithm::Ris { theta: 1 }, 18);
+    println!("\nempirical least sample number reaching 95% of exact greedy (mean over {trials} trials):");
+    println!("  Oneshot   β* = {}", fmt(beta_star));
+    println!("  Snapshot  τ* = {}", fmt(tau_star));
+    println!("  RIS       θ* = {}", fmt(theta_star));
+    println!("  → the worst-case numbers above exceed these by orders of magnitude (Section 5.2.1).");
+
+    // --- 4: a-posteriori certification via OPIM-style online bounds ---------
+    let theta_run = 8_192u64;
+    let mut sel_rng = default_rng(3);
+    let mut selection = RisEstimator::new(&graph, theta_run, &mut sel_rng);
+    let result = im_core::greedy_select(&mut selection, k, &mut default_rng(4));
+    let seeds = result.seed_set();
+    let mut val_rng = default_rng(5);
+    let validation = RisEstimator::new(&graph, theta_run, &mut val_rng);
+    let n = graph.num_vertices();
+    let cov1 = (selection.estimate_set(seeds.vertices()) / n as f64 * theta_run as f64).round() as u64;
+    let cov2 = (validation.estimate_set(seeds.vertices()) / n as f64 * theta_run as f64).round() as u64;
+    let bounds = opim_online_bounds(cov1, cov2, theta_run, theta_run, n, 0.01);
+    println!("\nonline certification of one RIS run at θ = {theta_run}:");
+    println!("  seeds                  : {seeds}");
+    println!("  influence lower bound  : {:.3}", bounds.influence_lower);
+    println!("  optimum upper bound    : {:.3}", bounds.opt_upper);
+    println!("  certified approx ratio : {:.3}", bounds.approx_ratio);
+}
+
+fn fmt(x: Option<u64>) -> String {
+    x.map_or_else(|| "not reached in the sweep".to_string(), |v| v.to_string())
+}

@@ -1,0 +1,59 @@
+//! Traversal-cost accounting: reproduce one row of Table 8 interactively.
+//!
+//! ```text
+//! cargo run --release --example traversal_cost
+//! ```
+//!
+//! The paper measures algorithmic effort in machine-independent units — the
+//! number of vertices and edges examined — instead of wall-clock time. This
+//! example measures the per-sample traversal cost of the three approaches on
+//! Karate under all four probability models (the Karate rows of Table 8) and
+//! checks the paper's cost-model relations:
+//!
+//! * vertex cost: `Oneshot ≈ Snapshot ≈ n · RIS`
+//! * edge cost:   `Oneshot ≈ (m/m̃) · Snapshot ≈ n · RIS` (approximately)
+
+use im_study::prelude::*;
+
+fn main() {
+    let trials = 2_000;
+    let k = 1;
+    println!("Karate, k = {k}, sample number 1, {trials} runs per cell\n");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>16}",
+        "prob.", "Oneshot v", "Oneshot e", "Snapshot v", "Snapshot e", "RIS v", "RIS e", "n·RISv/Oneshotv"
+    );
+
+    for model in ProbabilityModel::paper_models() {
+        let instance = PreparedInstance::prepare(
+            InstanceConfig::new(Dataset::Karate, model),
+            50_000,
+            13,
+        );
+        let n = instance.graph.num_vertices() as f64;
+        let mut cells: Vec<(f64, f64)> = Vec::new();
+        for approach in ApproachKind::all() {
+            let batch =
+                instance.run_trials(approach.with_sample_number(1), k, trials, 21, true);
+            cells.push(batch.mean_traversal_cost());
+        }
+        let (oneshot, snapshot, ris) = (cells[0], cells[1], cells[2]);
+        println!(
+            "{:<8} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>12.2} {:>12.2} {:>16.3}",
+            model.label(),
+            oneshot.0,
+            oneshot.1,
+            snapshot.0,
+            snapshot.1,
+            ris.0,
+            ris.1,
+            n * ris.0 / oneshot.0.max(1e-9),
+        );
+    }
+
+    println!(
+        "\nExpected shape (Table 8, Karate rows): the Oneshot and Snapshot vertex costs coincide, \
+         Snapshot's edge cost is ≈ m̃/m of Oneshot's (0.1 under uc0.1, 0.01 under uc0.01), and RIS \
+         is roughly n times cheaper than Oneshot per sample — the last column should sit near 1."
+    );
+}

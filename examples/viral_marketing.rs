@@ -1,0 +1,62 @@
+//! A viral-marketing style scenario on a synthetic social network.
+//!
+//! ```text
+//! cargo run --release --example viral_marketing
+//! ```
+//!
+//! The motivating application of influence maximization (Section 1): a
+//! marketer can give free samples to `k` customers and wants to maximise the
+//! expected number of eventual adopters. We build a Barabási–Albert social
+//! network (the paper's BA_d), weight edges with the in-degree weighted
+//! cascade, compare seed sets chosen by degree (a common heuristic) against
+//! seed sets chosen by RIS, and report the budget→reach curve.
+
+use im_study::prelude::*;
+
+fn main() {
+    // A 1,000-member community with dense, hub-heavy friendships (BA_d) and
+    // iwc influence probabilities (each member is influenced equally by each
+    // of their friends).
+    let graph = Dataset::BaDense.influence_graph(ProbabilityModel::InDegreeWeighted, 3);
+    println!(
+        "community: {} members, {} directed relationships\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+
+    let mut rng = default_rng(99);
+    let oracle = InfluenceOracle::build(&graph, 300_000, &mut rng);
+
+    // Baseline heuristic: seed the k highest out-degree members.
+    let degree_seeds = |k: usize| -> SeedSet {
+        let mut by_degree: Vec<VertexId> = (0..graph.num_vertices() as u32).collect();
+        by_degree.sort_by_key(|&v| std::cmp::Reverse(graph.graph().out_degree(v)));
+        SeedSet::new(by_degree.into_iter().take(k).collect())
+    };
+
+    println!(
+        "{:>6} {:>18} {:>18} {:>12}",
+        "budget", "degree heuristic", "RIS (greedy)", "lift"
+    );
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        let heuristic = degree_seeds(k);
+        let heuristic_reach = oracle.estimate_seed_set(&heuristic);
+
+        let outcome = Algorithm::Ris { theta: 65_536 }.run(&graph, k, 7);
+        let ris_reach = oracle.estimate_seed_set(&outcome.seeds);
+
+        println!(
+            "{:>6} {:>18.2} {:>18.2} {:>11.1}%",
+            k,
+            heuristic_reach,
+            ris_reach,
+            100.0 * (ris_reach - heuristic_reach) / heuristic_reach.max(1e-9),
+        );
+    }
+
+    println!(
+        "\nThe greedy RIS seeds avoid wasting budget on hubs whose audiences overlap — the reason \
+         the paper's greedy framework beats degree heuristics (Section 3.6 notes heuristics trade \
+         accuracy for speed)."
+    );
+}
