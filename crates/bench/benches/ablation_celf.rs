@@ -19,7 +19,8 @@ fn bench(c: &mut Criterion) {
             ApproachKind::Ris => 8_192,
             _ => 64,
         });
-        let plain = algorithm.run_with_strategy(&instance.graph, 16, 5, SelectionStrategy::PlainGreedy);
+        let plain =
+            algorithm.run_with_strategy(&instance.graph, 16, 5, SelectionStrategy::PlainGreedy);
         let celf = algorithm.run_with_strategy(&instance.graph, 16, 5, SelectionStrategy::Celf);
         println!(
             "{:<9} estimate calls: plain = {}, CELF = {} ({}x fewer); identical seeds: {}",
@@ -33,7 +34,10 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("ablation_celf");
     group.sample_size(10);
-    for (label, strategy) in [("plain", SelectionStrategy::PlainGreedy), ("celf", SelectionStrategy::Celf)] {
+    for (label, strategy) in [
+        ("plain", SelectionStrategy::PlainGreedy),
+        ("celf", SelectionStrategy::Celf),
+    ] {
         group.bench_function(format!("snapshot_k16_tau32/{label}"), |b| {
             b.iter(|| {
                 black_box(

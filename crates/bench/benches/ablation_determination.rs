@@ -14,18 +14,27 @@ use imrand::default_rng;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
-    let target = AccuracyTarget { epsilon: 0.1, delta: 0.05, k: 1 };
+    let target = AccuracyTarget {
+        epsilon: 0.1,
+        delta: 0.05,
+        k: 1,
+    };
 
     println!("\n--- Ablation: worst-case determination vs empirical least sample number ---");
     for (label, instance) in [
         ("Karate uc0.1", im_bench::karate(ProbabilityModel::uc01())),
-        ("BA_s iwc", im_bench::ba_sparse(ProbabilityModel::InDegreeWeighted)),
+        (
+            "BA_s iwc",
+            im_bench::ba_sparse(ProbabilityModel::InDegreeWeighted),
+        ),
     ] {
         let determined =
             determine_all_sample_numbers(&instance.graph, &target, &mut default_rng(3));
-        let criterion = NearOptimalCriterion { quality_fraction: 0.95, confidence: 0.9 };
-        let empirical =
-            least_sample_numbers(&instance, 1, ExperimentScale::Quick, 30, criterion);
+        let criterion = NearOptimalCriterion {
+            quality_fraction: 0.95,
+            confidence: 0.9,
+        };
+        let empirical = least_sample_numbers(&instance, 1, ExperimentScale::Quick, 30, criterion);
         println!(
             "{label:<14} determined: θ = {:>9.0}, β = {:>9.0}, τ = {:>9.0} | empirical: β* = {}, τ* = {}, θ* = {}",
             determined.theta,
@@ -42,12 +51,20 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("kpt_estimate_karate", |b| {
         b.iter(|| {
-            black_box(tim_kpt_estimate(&karate.graph, &target, &mut default_rng(5)))
+            black_box(tim_kpt_estimate(
+                &karate.graph,
+                &target,
+                &mut default_rng(5),
+            ))
         })
     });
     group.bench_function("full_determination_karate", |b| {
         b.iter(|| {
-            black_box(determine_all_sample_numbers(&karate.graph, &target, &mut default_rng(5)))
+            black_box(determine_all_sample_numbers(
+                &karate.graph,
+                &target,
+                &mut default_rng(5),
+            ))
         })
     });
     group.finish();

@@ -28,7 +28,10 @@ fn bench(c: &mut Criterion) {
         ("MaxDegree", Box::new(MaxDegree)),
         ("WeightedDegree", Box::new(WeightedDegree)),
         ("SingleDiscount", Box::new(SingleDiscount)),
-        ("DegreeDiscount", Box::new(DegreeDiscount::with_mean_probability(graph))),
+        (
+            "DegreeDiscount",
+            Box::new(DegreeDiscount::with_mean_probability(graph)),
+        ),
         ("PageRank", Box::new(PageRankSelector::default())),
         ("IRIE", Box::new(IrieSelector::default())),
         ("Random", Box::new(RandomSelector::new(1))),

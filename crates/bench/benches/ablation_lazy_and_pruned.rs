@@ -21,7 +21,9 @@ fn bench(c: &mut Criterion) {
     let theta = 8_192;
     let bounds = influence_upper_bounds(graph, 32);
 
-    println!("\n--- Ablation: greedy vs CELF vs CELF++ vs UBLF (BA_d iwc, k = {k}, θ = {theta}) ---");
+    println!(
+        "\n--- Ablation: greedy vs CELF vs CELF++ vs UBLF (BA_d iwc, k = {k}, θ = {theta}) ---"
+    );
     let mut plain_est = RisEstimator::new(graph, theta, &mut Pcg32::seed_from_u64(5));
     let plain = greedy_select(&mut plain_est, k, &mut Pcg32::seed_from_u64(7));
     let mut celf_est = RisEstimator::new(graph, theta, &mut Pcg32::seed_from_u64(5));

@@ -24,9 +24,7 @@ fn bench(c: &mut Criterion) {
     let snapshot_seeds = greedy_select(&mut snapshot, k, &mut default_rng(4)).seed_set();
     let mut ris = LtRisEstimator::new(graph, 16_384, &mut default_rng(5));
     let ris_seeds = greedy_select(&mut ris, k, &mut default_rng(6)).seed_set();
-    println!(
-        "seeds: LT-Oneshot {oneshot_seeds}, LT-Snapshot {snapshot_seeds}, LT-RIS {ris_seeds}"
-    );
+    println!("seeds: LT-Oneshot {oneshot_seeds}, LT-Snapshot {snapshot_seeds}, LT-RIS {ris_seeds}");
     println!(
         "traversal (vertices): Oneshot {} | Snapshot {} | RIS {}",
         oneshot.traversal_cost().vertices,

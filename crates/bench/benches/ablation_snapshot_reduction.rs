@@ -32,7 +32,11 @@ fn bench(c: &mut Criterion) {
                 let mut sampling = Pcg32::seed_from_u64(3);
                 let mut estimator =
                     SnapshotEstimator::with_options(graph, 16, &mut sampling, reduction);
-                black_box(greedy_select(&mut estimator, 8, &mut Pcg32::seed_from_u64(4)))
+                black_box(greedy_select(
+                    &mut estimator,
+                    8,
+                    &mut Pcg32::seed_from_u64(4),
+                ))
             })
         });
     }

@@ -26,8 +26,7 @@ fn bench(c: &mut Criterion) {
     for approach in ApproachKind::all() {
         group.bench_function(format!("sweep_point/{}_s64_k1", approach.name()), |b| {
             b.iter(|| {
-                let batch =
-                    instance.run_trials(approach.with_sample_number(64), 1, 10, 3, false);
+                let batch = instance.run_trials(approach.with_sample_number(64), 1, 10, 3, false);
                 black_box(batch.seed_set_distribution().entropy())
             })
         });

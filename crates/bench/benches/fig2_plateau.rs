@@ -19,19 +19,17 @@ fn bench(c: &mut Criterion) {
     }
     println!("plateau: {:?}", detect_plateau(&curve, 3, 0.35));
     let top = karate.oracle.top_influential_vertices(2);
-    println!("top-2 singleton influences: {:.3} vs {:.3}", top[0].1, top[1].1);
+    println!(
+        "top-2 singleton influences: {:.3} vs {:.3}",
+        top[0].1, top[1].1
+    );
 
     let mut group = c.benchmark_group("fig2_plateau");
     group.sample_size(10);
     group.bench_function("ris_sweep_point/karate_iwc_k4_s256", |b| {
         b.iter(|| {
-            let batch = karate.run_trials(
-                ApproachKind::Ris.with_sample_number(256),
-                4,
-                10,
-                5,
-                false,
-            );
+            let batch =
+                karate.run_trials(ApproachKind::Ris.with_sample_number(256), 4, 10, 5, false);
             black_box(batch.seed_set_distribution().entropy())
         })
     });

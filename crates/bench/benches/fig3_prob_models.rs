@@ -23,7 +23,10 @@ fn bench(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("fig3_prob_models");
     group.sample_size(10);
-    for model in [ProbabilityModel::uc001(), ProbabilityModel::InDegreeWeighted] {
+    for model in [
+        ProbabilityModel::uc001(),
+        ProbabilityModel::InDegreeWeighted,
+    ] {
         let instance = im_bench::ba_sparse(model);
         group.bench_function(format!("ris_run/ba_s_{}_theta1024", model.label()), |b| {
             b.iter(|| {

@@ -10,14 +10,23 @@ fn bench(c: &mut Criterion) {
     let sweep = im_bench::small_sweep(10, 10);
 
     println!("\n--- Figure 5 series (ca-GrQc analog /8, RIS, k = 1, 10 trials) ---");
-    for model in [ProbabilityModel::uc01(), ProbabilityModel::OutDegreeWeighted] {
+    for model in [
+        ProbabilityModel::uc01(),
+        ProbabilityModel::OutDegreeWeighted,
+    ] {
         let instance = im_bench::grqc_small(model);
         let analyzed = instance.sweep(ApproachKind::Ris, 1, &sweep);
         let final_mean = analyzed.analyses.last().unwrap().influence_stats.mean;
         let series: Vec<String> = analyzed
             .analyses
             .iter()
-            .map(|a| format!("{}:{:.0}%", a.sample_number, 100.0 * a.influence_stats.mean / final_mean))
+            .map(|a| {
+                format!(
+                    "{}:{:.0}%",
+                    a.sample_number,
+                    100.0 * a.influence_stats.mean / final_mean
+                )
+            })
             .collect();
         println!("{:<6} mean/final = [{}]", model.label(), series.join(" "));
     }
@@ -27,10 +36,22 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_convergence_contrast");
     group.sample_size(10);
     group.bench_function("ris_run/grqc_uc0.1_theta1024", |b| {
-        b.iter(|| black_box(ApproachKind::Ris.with_sample_number(1_024).run(&uc.graph, 1, 5)))
+        b.iter(|| {
+            black_box(
+                ApproachKind::Ris
+                    .with_sample_number(1_024)
+                    .run(&uc.graph, 1, 5),
+            )
+        })
     });
     group.bench_function("ris_run/grqc_owc_theta1024", |b| {
-        b.iter(|| black_box(ApproachKind::Ris.with_sample_number(1_024).run(&owc.graph, 1, 5)))
+        b.iter(|| {
+            black_box(
+                ApproachKind::Ris
+                    .with_sample_number(1_024)
+                    .run(&owc.graph, 1, 5),
+            )
+        })
     });
     group.finish();
 }

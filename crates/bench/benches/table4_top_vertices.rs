@@ -7,8 +7,14 @@ use std::hint::black_box;
 fn bench(c: &mut Criterion) {
     println!("\n--- Table 4 series ---");
     for (name, build) in [
-        ("BA_s", im_bench::ba_sparse as fn(ProbabilityModel) -> imexp::PreparedInstance),
-        ("BA_d", im_bench::ba_dense as fn(ProbabilityModel) -> imexp::PreparedInstance),
+        (
+            "BA_s",
+            im_bench::ba_sparse as fn(ProbabilityModel) -> imexp::PreparedInstance,
+        ),
+        (
+            "BA_d",
+            im_bench::ba_dense as fn(ProbabilityModel) -> imexp::PreparedInstance,
+        ),
     ] {
         for model in ProbabilityModel::paper_models() {
             let instance = build(model);
@@ -18,7 +24,12 @@ fn bench(c: &mut Criterion) {
                 .into_iter()
                 .map(|(_, inf)| format!("{inf:.4}"))
                 .collect();
-            println!("{:<5} {:<7} top-3 Inf(v) = [{}]", name, model.label(), top.join(", "));
+            println!(
+                "{:<5} {:<7} top-3 Inf(v) = [{}]",
+                name,
+                model.label(),
+                top.join(", ")
+            );
         }
     }
 

@@ -13,8 +13,12 @@ fn bench(c: &mut Criterion) {
     println!("\n--- Table 6 series (Karate uc0.1, k = 1 and 4, 25 trials) ---");
     let mut curves = Vec::new();
     for k in [1usize, 4] {
-        let snapshot = instance.sweep(ApproachKind::Snapshot, k, &sweep).sample_curve();
-        let oneshot = instance.sweep(ApproachKind::Oneshot, k, &sweep).sample_curve();
+        let snapshot = instance
+            .sweep(ApproachKind::Snapshot, k, &sweep)
+            .sample_curve();
+        let oneshot = instance
+            .sweep(ApproachKind::Oneshot, k, &sweep)
+            .sample_curve();
         let points = comparable_number_ratio(&snapshot, &oneshot);
         let ratios: Vec<f64> = points.iter().map(|p| p.number_ratio).collect();
         println!(
@@ -33,7 +37,11 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("oneshot_run/karate_uc0.1_k4_beta64", |b| {
         b.iter(|| {
-            black_box(ApproachKind::Oneshot.with_sample_number(64).run(&instance.graph, 4, 3))
+            black_box(
+                ApproachKind::Oneshot
+                    .with_sample_number(64)
+                    .run(&instance.graph, 4, 3),
+            )
         })
     });
     group.finish();

@@ -13,8 +13,12 @@ fn bench(c: &mut Criterion) {
     let ris_sweep = im_bench::small_sweep(12, 25);
 
     println!("\n--- Table 7 series (Karate uc0.1, k = 1, 25 trials) ---");
-    let snapshot = instance.sweep(ApproachKind::Snapshot, 1, &snapshot_sweep).sample_curve();
-    let ris = instance.sweep(ApproachKind::Ris, 1, &ris_sweep).sample_curve();
+    let snapshot = instance
+        .sweep(ApproachKind::Snapshot, 1, &snapshot_sweep)
+        .sample_curve();
+    let ris = instance
+        .sweep(ApproachKind::Ris, 1, &ris_sweep)
+        .sample_curve();
     let points = comparable_number_ratio(&snapshot, &ris);
     let number_ratios: Vec<f64> = points.iter().map(|p| p.number_ratio).collect();
     let size_ratios: Vec<f64> = points.iter().filter_map(|p| p.size_ratio).collect();
@@ -31,7 +35,11 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("ris_run/karate_uc0.1_k1_theta4096", |b| {
         b.iter(|| {
-            black_box(ApproachKind::Ris.with_sample_number(4_096).run(&instance.graph, 1, 3))
+            black_box(
+                ApproachKind::Ris
+                    .with_sample_number(4_096)
+                    .run(&instance.graph, 1, 3),
+            )
         })
     });
     group.finish();

@@ -28,9 +28,7 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     for approach in ApproachKind::all() {
         group.bench_function(format!("single_sample_run/{}", approach.name()), |b| {
-            b.iter(|| {
-                black_box(approach.with_sample_number(1).run(&instance.graph, 1, 13))
-            })
+            b.iter(|| black_box(approach.with_sample_number(1).run(&instance.graph, 1, 13)))
         });
     }
     group.finish();

@@ -28,7 +28,12 @@ fn bench(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("identical_accuracy_row/karate_uc0.1", |b| {
         b.iter(|| {
-            black_box(identical_accuracy_row(&instance, 1, ExperimentScale::Quick, 10))
+            black_box(identical_accuracy_row(
+                &instance,
+                1,
+                ExperimentScale::Quick,
+                10,
+            ))
         })
     });
     group.finish();

@@ -26,7 +26,11 @@ pub fn physicians(model: ProbabilityModel) -> PreparedInstance {
 /// A scaled-down ca-GrQc analog (factor 8) under a given probability model.
 #[must_use]
 pub fn grqc_small(model: ProbabilityModel) -> PreparedInstance {
-    PreparedInstance::prepare(InstanceConfig::scaled(Dataset::CaGrQc, model, 8), 50_000, 17)
+    PreparedInstance::prepare(
+        InstanceConfig::scaled(Dataset::CaGrQc, model, 8),
+        50_000,
+        17,
+    )
 }
 
 /// The BA_d synthetic network under a given probability model.

@@ -16,6 +16,7 @@ use crate::estimator::InfluenceEstimator;
 use crate::greedy::{celf_select, greedy_select, GreedyResult};
 use crate::oneshot::OneshotEstimator;
 use crate::ris::RisEstimator;
+use crate::sampler::Backend;
 use crate::seed_set::SeedSet;
 use crate::snapshot::SnapshotEstimator;
 
@@ -98,11 +99,39 @@ impl Algorithm {
         seed: u64,
         strategy: SelectionStrategy,
     ) -> RunOutcome {
+        self.run_with_options(
+            graph,
+            k,
+            seed,
+            RunOptions {
+                strategy,
+                backend: None,
+            },
+        )
+    }
+
+    /// Run one trial with full execution options.
+    ///
+    /// With `options.backend == None` the estimator samples from one shared
+    /// MT19937 stream, exactly as the paper's reference implementation
+    /// (Section 4.1). With `Some(backend)` sampling goes through the batched
+    /// sampler layer: per-batch PRNG streams split from the run seed via
+    /// SplitMix64, with identical results on [`Backend::Sequential`] and
+    /// [`Backend::Parallel`] — parallelism never changes the selected seeds.
+    #[must_use]
+    pub fn run_with_options(
+        &self,
+        graph: &InfluenceGraph,
+        k: usize,
+        seed: u64,
+        options: RunOptions,
+    ) -> RunOutcome {
         // Two independent generator streams: one feeding the estimator
         // (sampling), one feeding the greedy tie-break shuffle, mirroring the
         // per-run PRNG initialisation of Section 4.1.
         let mut sampling_rng = default_rng(seed);
         let mut shuffle_rng = default_rng(seed ^ 0x9E37_79B9_7F4A_7C15);
+        let strategy = options.strategy;
 
         fn drive<E: InfluenceEstimator, R: Rng32>(
             estimator: &mut E,
@@ -117,17 +146,30 @@ impl Algorithm {
             (result, estimator.traversal_cost(), estimator.sample_size())
         }
 
-        let (result, traversal_cost, sample_size) = match self {
-            Algorithm::Oneshot { beta } => {
+        let (result, traversal_cost, sample_size) = match (self, options.backend) {
+            (Algorithm::Oneshot { beta }, None) => {
                 let mut estimator = OneshotEstimator::new(graph, *beta, sampling_rng);
                 drive(&mut estimator, k, strategy, &mut shuffle_rng)
             }
-            Algorithm::Snapshot { tau } => {
+            (Algorithm::Oneshot { beta }, Some(backend)) => {
+                let mut estimator = OneshotEstimator::with_backend(graph, *beta, seed, backend);
+                drive(&mut estimator, k, strategy, &mut shuffle_rng)
+            }
+            (Algorithm::Snapshot { tau }, None) => {
                 let mut estimator = SnapshotEstimator::new(graph, *tau, &mut sampling_rng);
                 drive(&mut estimator, k, strategy, &mut shuffle_rng)
             }
-            Algorithm::Ris { theta } => {
+            (Algorithm::Snapshot { tau }, Some(backend)) => {
+                let mut estimator =
+                    SnapshotEstimator::with_backend(graph, *tau, seed, backend, true);
+                drive(&mut estimator, k, strategy, &mut shuffle_rng)
+            }
+            (Algorithm::Ris { theta }, None) => {
                 let mut estimator = RisEstimator::new(graph, *theta, &mut sampling_rng);
+                drive(&mut estimator, k, strategy, &mut shuffle_rng)
+            }
+            (Algorithm::Ris { theta }, Some(backend)) => {
+                let mut estimator = RisEstimator::with_backend(graph, *theta, seed, backend);
                 drive(&mut estimator, k, strategy, &mut shuffle_rng)
             }
         };
@@ -142,6 +184,27 @@ impl Algorithm {
             estimate_calls: result.estimate_calls,
             traversal_cost,
             sample_size,
+        }
+    }
+}
+
+/// Execution options for [`Algorithm::run_with_options`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunOptions {
+    /// Which greedy driver to use.
+    pub strategy: SelectionStrategy,
+    /// `None`: the paper-faithful shared-stream sampling discipline.
+    /// `Some(backend)`: the batched sampler layer on the given backend.
+    pub backend: Option<Backend>,
+}
+
+impl RunOptions {
+    /// Plain greedy on the batched sampler with the given backend.
+    #[must_use]
+    pub fn with_backend(backend: Backend) -> Self {
+        Self {
+            strategy: SelectionStrategy::PlainGreedy,
+            backend: Some(backend),
         }
     }
 }
@@ -223,7 +286,10 @@ mod tests {
         let alg = Algorithm::Oneshot { beta: 1 };
         let sets: std::collections::HashSet<_> =
             (0..30u64).map(|s| alg.run(&ig, 1, s).seeds).collect();
-        assert!(sets.len() > 1, "with β = 1 and tiny probabilities, runs should disagree");
+        assert!(
+            sets.len() > 1,
+            "with β = 1 and tiny probabilities, runs should disagree"
+        );
     }
 
     #[test]
@@ -233,14 +299,23 @@ mod tests {
         assert_eq!(alg.sample_number(), 8);
         assert_eq!(alg.with_sample_number(32), Algorithm::Ris { theta: 32 });
         assert_eq!(format!("{alg}"), "RIS(θ=8)");
-        assert_eq!(format!("{}", Algorithm::Oneshot { beta: 2 }), "Oneshot(β=2)");
-        assert_eq!(format!("{}", Algorithm::Snapshot { tau: 3 }), "Snapshot(τ=3)");
+        assert_eq!(
+            format!("{}", Algorithm::Oneshot { beta: 2 }),
+            "Oneshot(β=2)"
+        );
+        assert_eq!(
+            format!("{}", Algorithm::Snapshot { tau: 3 }),
+            "Snapshot(τ=3)"
+        );
     }
 
     #[test]
     fn celf_strategy_matches_plain_greedy_for_submodular_estimators() {
         let ig = star(0.6);
-        for alg in [Algorithm::Snapshot { tau: 32 }, Algorithm::Ris { theta: 1_024 }] {
+        for alg in [
+            Algorithm::Snapshot { tau: 32 },
+            Algorithm::Ris { theta: 1_024 },
+        ] {
             let plain = alg.run_with_strategy(&ig, 3, 5, SelectionStrategy::PlainGreedy);
             let celf = alg.run_with_strategy(&ig, 3, 5, SelectionStrategy::Celf);
             assert_eq!(plain.seeds, celf.seeds, "{alg}");
@@ -256,8 +331,20 @@ mod tests {
         assert!(large.traversal_cost.total() > small.traversal_cost.total());
         // Oneshot never stores samples; Snapshot and RIS do.
         assert_eq!(small.sample_size.total(), 0);
-        assert!(Algorithm::Snapshot { tau: 4 }.run(&ig, 1, 3).sample_size.total() > 0);
-        assert!(Algorithm::Ris { theta: 64 }.run(&ig, 1, 3).sample_size.total() > 0);
+        assert!(
+            Algorithm::Snapshot { tau: 4 }
+                .run(&ig, 1, 3)
+                .sample_size
+                .total()
+                > 0
+        );
+        assert!(
+            Algorithm::Ris { theta: 64 }
+                .run(&ig, 1, 3)
+                .sample_size
+                .total()
+                > 0
+        );
     }
 
     #[test]

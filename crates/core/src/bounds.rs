@@ -30,9 +30,15 @@ impl BoundParams {
         assert!(self.num_vertices >= 1.0, "n must be at least 1");
         assert!(self.num_edges >= 0.0, "m must be non-negative");
         assert!(self.seed_size >= 1.0, "k must be at least 1");
-        assert!(self.epsilon > 0.0 && self.epsilon < 1.0, "ε must lie in (0, 1)");
+        assert!(
+            self.epsilon > 0.0 && self.epsilon < 1.0,
+            "ε must lie in (0, 1)"
+        );
         assert!(self.delta > 0.0 && self.delta < 1.0, "δ must lie in (0, 1)");
-        assert!(self.opt_k >= 1.0, "OPT_k must be at least 1 (a seed activates itself)");
+        assert!(
+            self.opt_k >= 1.0,
+            "OPT_k must be at least 1 (a seed activates itself)"
+        );
     }
 }
 
@@ -106,7 +112,10 @@ mod tests {
         // is close to k·0.68.
         assert!(oneshot > ris, "Oneshot bound must exceed the RIS bound");
         let ratio = oneshot / ris;
-        assert!(ratio > 1.5 && ratio < p.seed_size * 2.0, "ratio {ratio} out of expected range");
+        assert!(
+            ratio > 1.5 && ratio < p.seed_size * 2.0,
+            "ratio {ratio} out of expected range"
+        );
     }
 
     #[test]
@@ -149,7 +158,11 @@ mod tests {
     #[test]
     fn borgs_threshold_scales_with_graph_size() {
         let p = params();
-        let small = borgs_weight_threshold(&BoundParams { num_vertices: 100.0, num_edges: 500.0, ..p });
+        let small = borgs_weight_threshold(&BoundParams {
+            num_vertices: 100.0,
+            num_edges: 500.0,
+            ..p
+        });
         let large = borgs_weight_threshold(&p);
         assert!(large > small);
     }

@@ -44,7 +44,10 @@ pub fn celf_pp_select<E: InfluenceEstimator, R: Rng32>(
 ) -> (GreedyResult, CelfPpStats) {
     if !estimator.is_submodular() {
         let result = greedy_select(estimator, k, rng);
-        let stats = CelfPpStats { estimate_calls: result.estimate_calls, promotions: 0 };
+        let stats = CelfPpStats {
+            estimate_calls: result.estimate_calls,
+            promotions: 0,
+        };
         return (result, stats);
     }
     let n = estimator.num_vertices();
@@ -108,7 +111,14 @@ pub fn celf_pp_select<E: InfluenceEstimator, R: Rng32>(
             Some((_, best)) if mg1 < best => {}
             _ => current_best = Some((v, mg1)),
         }
-        heap.push(Entry { mg1, mg2, prev_best, rank: rank as u32, vertex: v, valid_at: 0 });
+        heap.push(Entry {
+            mg1,
+            mg2,
+            prev_best,
+            rank: rank as u32,
+            vertex: v,
+            valid_at: 0,
+        });
     }
 
     let mut last_seed: Option<VertexId> = None;
@@ -154,7 +164,14 @@ pub fn celf_pp_select<E: InfluenceEstimator, R: Rng32>(
         heap.push(top);
     }
 
-    (GreedyResult { selection_order, estimates, estimate_calls: stats.estimate_calls }, stats)
+    (
+        GreedyResult {
+            selection_order,
+            estimates,
+            estimate_calls: stats.estimate_calls,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -194,7 +211,10 @@ mod tests {
             let g = greedy_select(&mut a, 2, &mut Pcg32::seed_from_u64(seed + 7));
             let (c, stats) = celf_pp_select(&mut b, 2, &mut Pcg32::seed_from_u64(seed + 7));
             assert_eq!(g.seed_set(), c.seed_set(), "seed {seed}");
-            assert_eq!(stats.promotions, 0, "Snapshot does not expose pending estimates");
+            assert_eq!(
+                stats.promotions, 0,
+                "Snapshot does not expose pending estimates"
+            );
         }
     }
 
@@ -239,6 +259,9 @@ mod tests {
         let pending = est.estimate_with_pending(1, &[0]).unwrap();
         est.update(0);
         let actual = est.estimate(1);
-        assert!((pending - actual).abs() < 1e-12, "pending {pending} vs actual {actual}");
+        assert!(
+            (pending - actual).abs() < 1e-12,
+            "pending {pending} vs actual {actual}"
+        );
     }
 }

@@ -48,7 +48,10 @@ impl TraversalCost {
 impl std::ops::Add for TraversalCost {
     type Output = TraversalCost;
     fn add(self, rhs: TraversalCost) -> TraversalCost {
-        TraversalCost { vertices: self.vertices + rhs.vertices, edges: self.edges + rhs.edges }
+        TraversalCost {
+            vertices: self.vertices + rhs.vertices,
+            edges: self.edges + rhs.edges,
+        }
     }
 }
 
@@ -104,7 +107,10 @@ impl SampleSize {
 impl std::ops::Add for SampleSize {
     type Output = SampleSize;
     fn add(self, rhs: SampleSize) -> SampleSize {
-        SampleSize { vertices: self.vertices + rhs.vertices, edges: self.edges + rhs.edges }
+        SampleSize {
+            vertices: self.vertices + rhs.vertices,
+            edges: self.edges + rhs.edges,
+        }
     }
 }
 
@@ -147,8 +153,9 @@ mod tests {
 
     #[test]
     fn traversal_cost_sum() {
-        let total: TraversalCost =
-            vec![TraversalCost::new(1, 2), TraversalCost::new(3, 4)].into_iter().sum();
+        let total: TraversalCost = vec![TraversalCost::new(1, 2), TraversalCost::new(3, 4)]
+            .into_iter()
+            .sum();
         assert_eq!(total, TraversalCost::new(4, 6));
     }
 

@@ -36,11 +36,18 @@ impl AccuracyTarget {
     /// A target with the paper's reference values `ε = 0.05`, `δ = 0.01`.
     #[must_use]
     pub fn paper_reference(k: usize) -> Self {
-        Self { epsilon: 0.05, delta: 0.01, k }
+        Self {
+            epsilon: 0.05,
+            delta: 0.01,
+            k,
+        }
     }
 
     fn validate(&self) {
-        assert!(self.epsilon > 0.0 && self.epsilon < 1.0, "ε must lie in (0, 1)");
+        assert!(
+            self.epsilon > 0.0 && self.epsilon < 1.0,
+            "ε must lie in (0, 1)"
+        );
         assert!(self.delta > 0.0 && self.delta < 1.0, "δ must lie in (0, 1)");
         assert!(self.k >= 1, "k must be at least 1");
     }
@@ -106,7 +113,11 @@ pub fn tim_kpt_estimate<R: Rng32>(
         }
     }
     // TIM⁺ falls back to KPT = 1 when no round fires (tiny influence graphs).
-    KptEstimate { kpt: 1.0, rr_sets_used, stopping_round: 0 }
+    KptEstimate {
+        kpt: 1.0,
+        rr_sets_used,
+        stopping_round: 0,
+    }
 }
 
 /// The IMM sample-number formula: the number of RR sets that guarantees a
@@ -120,7 +131,10 @@ pub fn tim_kpt_estimate<R: Rng32>(
 #[must_use]
 pub fn imm_theta(num_vertices: usize, target: &AccuracyTarget, opt_lower_bound: f64) -> f64 {
     target.validate();
-    assert!(opt_lower_bound >= 1.0, "the optimum is at least 1 (a seed activates itself)");
+    assert!(
+        opt_lower_bound >= 1.0,
+        "the optimum is at least 1 (a seed activates itself)"
+    );
     let n = num_vertices as f64;
     let k = target.k as f64;
     let e_const = std::f64::consts::E;
@@ -171,15 +185,23 @@ pub fn determine_ris_theta<R: Rng32>(
     rng: &mut R,
 ) -> RisDetermination {
     let kpt = tim_kpt_estimate(graph, target, rng);
-    let theta0 = imm_theta(graph.num_vertices(), target, kpt.kpt).ceil().max(1.0) as u64;
+    let theta0 = imm_theta(graph.num_vertices(), target, kpt.kpt)
+        .ceil()
+        .max(1.0) as u64;
     // Cap the refinement pool: the refinement only sharpens the OPT estimate,
     // and a pool in the millions would defeat the point of determination on
     // the small instances this library targets.
     let refine_pool = theta0.min(100_000);
     let (opt_lb, _) = estimate_opt_lower_bound(graph, target, refine_pool, rng);
     let opt_lb = opt_lb.max(kpt.kpt);
-    let theta = imm_theta(graph.num_vertices(), target, opt_lb).ceil().max(1.0) as u64;
-    RisDetermination { kpt, opt_lower_bound: opt_lb, theta }
+    let theta = imm_theta(graph.num_vertices(), target, opt_lb)
+        .ceil()
+        .max(1.0) as u64;
+    RisDetermination {
+        kpt,
+        opt_lower_bound: opt_lb,
+        theta,
+    }
 }
 
 /// The paper's future-direction adaptation: derive the Oneshot sample number
@@ -259,9 +281,18 @@ pub fn opim_online_bounds(
     num_vertices: usize,
     delta: f64,
 ) -> OnlineBounds {
-    assert!(theta1 >= 1 && theta2 >= 1, "both RR collections must be non-empty");
-    assert!(greedy_coverage_r1 <= theta1, "coverage cannot exceed the collection size");
-    assert!(solution_coverage_r2 <= theta2, "coverage cannot exceed the collection size");
+    assert!(
+        theta1 >= 1 && theta2 >= 1,
+        "both RR collections must be non-empty"
+    );
+    assert!(
+        greedy_coverage_r1 <= theta1,
+        "coverage cannot exceed the collection size"
+    );
+    assert!(
+        solution_coverage_r2 <= theta2,
+        "coverage cannot exceed the collection size"
+    );
     assert!(delta > 0.0 && delta < 1.0, "δ must lie in (0, 1)");
     let n = num_vertices as f64;
     let log_term = (2.0 / delta).ln();
@@ -286,7 +317,11 @@ pub fn opim_online_bounds(
     let opt_upper = (n * upper_frac).min(n).max(1.0);
 
     let approx_ratio = (influence_lower / opt_upper).clamp(0.0, 1.0);
-    OnlineBounds { influence_lower, opt_upper, approx_ratio }
+    OnlineBounds {
+        influence_lower,
+        opt_upper,
+        approx_ratio,
+    }
 }
 
 /// Empirically search for the least sample number whose mean influence (over
@@ -300,7 +335,9 @@ pub fn least_sample_number_reaching(
     target_influence: f64,
     max_exponent: u32,
 ) -> Option<u64> {
-    (0..=max_exponent).map(|e| 1u64 << e).find(|&s| evaluate(s) >= target_influence)
+    (0..=max_exponent)
+        .map(|e| 1u64 << e)
+        .find(|&s| evaluate(s) >= target_influence)
 }
 
 /// A seed vertex count sanity helper shared by examples: the number of
@@ -330,27 +367,46 @@ mod tests {
     #[test]
     fn kpt_estimate_is_a_sane_lower_bound_on_the_optimum() {
         let ig = star(0.5, 8);
-        let target = AccuracyTarget { epsilon: 0.2, delta: 0.1, k: 1 };
+        let target = AccuracyTarget {
+            epsilon: 0.2,
+            delta: 0.1,
+            k: 1,
+        };
         let kpt = tim_kpt_estimate(&ig, &target, &mut Pcg32::seed_from_u64(1));
         let exact = exact_greedy(&ig, 1).influence(); // = OPT₁ on a star
         assert!(kpt.kpt >= 1.0);
-        assert!(kpt.kpt <= exact * 4.0, "KPT {} far above OPT {exact}", kpt.kpt);
+        assert!(
+            kpt.kpt <= exact * 4.0,
+            "KPT {} far above OPT {exact}",
+            kpt.kpt
+        );
         assert!(kpt.rr_sets_used > 0);
     }
 
     #[test]
     fn imm_theta_shrinks_with_larger_opt_and_grows_with_tighter_epsilon() {
-        let target = AccuracyTarget { epsilon: 0.1, delta: 0.01, k: 2 };
+        let target = AccuracyTarget {
+            epsilon: 0.1,
+            delta: 0.01,
+            k: 2,
+        };
         let base = imm_theta(1_000, &target, 10.0);
         assert!(imm_theta(1_000, &target, 100.0) < base);
-        let tighter = AccuracyTarget { epsilon: 0.05, ..target };
+        let tighter = AccuracyTarget {
+            epsilon: 0.05,
+            ..target
+        };
         assert!(imm_theta(1_000, &tighter, 10.0) > base * 3.0);
     }
 
     #[test]
     fn opt_lower_bound_does_not_exceed_the_true_optimum_by_much() {
         let ig = star(0.5, 8);
-        let target = AccuracyTarget { epsilon: 0.1, delta: 0.1, k: 1 };
+        let target = AccuracyTarget {
+            epsilon: 0.1,
+            delta: 0.1,
+            k: 1,
+        };
         let (lb, used) =
             estimate_opt_lower_bound(&ig, &target, 20_000, &mut Pcg32::seed_from_u64(2));
         let opt = exact_greedy(&ig, 1).influence();
@@ -375,12 +431,20 @@ mod tests {
         let ig = star(0.5, 8);
         let k2 = determine_all_sample_numbers(
             &ig,
-            &AccuracyTarget { epsilon: 0.2, delta: 0.1, k: 2 },
+            &AccuracyTarget {
+                epsilon: 0.2,
+                delta: 0.1,
+                k: 2,
+            },
             &mut Pcg32::seed_from_u64(4),
         );
         let k1 = determine_all_sample_numbers(
             &ig,
-            &AccuracyTarget { epsilon: 0.2, delta: 0.1, k: 1 },
+            &AccuracyTarget {
+                epsilon: 0.2,
+                delta: 0.1,
+                k: 1,
+            },
             &mut Pcg32::seed_from_u64(4),
         );
         for adapted in [&k1, &k2] {
@@ -391,7 +455,12 @@ mod tests {
         // bound with k·ln n, so both must grow when k doubles (the OPT
         // estimate can only grow with k, but on this star OPT₂ < 2·OPT₁, so
         // the k² numerator dominates).
-        assert!(k2.beta > k1.beta, "β should grow with k: {} vs {}", k2.beta, k1.beta);
+        assert!(
+            k2.beta > k1.beta,
+            "β should grow with k: {} vs {}",
+            k2.beta,
+            k1.beta
+        );
         assert!(k2.tau > 0.5 * k1.tau);
     }
 
@@ -401,7 +470,11 @@ mod tests {
         // 100-vertex graph: Inf(S) ≈ 30.
         let bounds = opim_online_bounds(3_500, 3_000, 10_000, 10_000, 100, 0.01);
         assert!(bounds.influence_lower <= 30.0 + 1.0);
-        assert!(bounds.influence_lower > 25.0, "lower {}", bounds.influence_lower);
+        assert!(
+            bounds.influence_lower > 25.0,
+            "lower {}",
+            bounds.influence_lower
+        );
         assert!(bounds.opt_upper >= 30.0);
         assert!(bounds.approx_ratio > 0.0 && bounds.approx_ratio <= 1.0);
     }
@@ -431,7 +504,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "ε must lie in (0, 1)")]
     fn invalid_target_panics() {
-        let target = AccuracyTarget { epsilon: 1.5, delta: 0.1, k: 1 };
+        let target = AccuracyTarget {
+            epsilon: 1.5,
+            delta: 0.1,
+            k: 1,
+        };
         let ig = star(0.5, 3);
         let _ = tim_kpt_estimate(&ig, &target, &mut Pcg32::seed_from_u64(1));
     }

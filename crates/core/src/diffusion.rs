@@ -37,7 +37,11 @@ impl IcSimulator {
     /// Create a simulator for graphs with up to `n` vertices.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self { active_epoch: vec![0; n], epoch: 0, frontier: Vec::new() }
+        Self {
+            active_epoch: vec![0; n],
+            epoch: 0,
+            frontier: Vec::new(),
+        }
     }
 
     /// Create a simulator sized for `ig`.
@@ -93,7 +97,10 @@ impl IcSimulator {
                 }
             }
         }
-        SimulationOutcome { activated: self.frontier.len(), cost }
+        SimulationOutcome {
+            activated: self.frontier.len(),
+            cost,
+        }
     }
 
     /// Run one simulation and additionally return the activated vertex set.
@@ -135,7 +142,9 @@ mod tests {
 
     fn path(probabilities: &[f64]) -> InfluenceGraph {
         let n = probabilities.len() + 1;
-        let edges: Vec<_> = (0..probabilities.len() as u32).map(|i| (i, i + 1)).collect();
+        let edges: Vec<_> = (0..probabilities.len() as u32)
+            .map(|i| (i, i + 1))
+            .collect();
         InfluenceGraph::new(DiGraph::from_edges(n, &edges), probabilities.to_vec())
     }
 
@@ -204,7 +213,10 @@ mod tests {
         let expected = 1.0 + p + p * p + p * p * p;
         let mut rng = Pcg32::seed_from_u64(6);
         let estimate = monte_carlo_influence(&ig, &[0], 200_000, &mut rng);
-        assert!((estimate - expected).abs() < 0.02, "estimate {estimate} vs expected {expected}");
+        assert!(
+            (estimate - expected).abs() < 0.02,
+            "estimate {estimate} vs expected {expected}"
+        );
     }
 
     #[test]

@@ -38,7 +38,11 @@ pub trait InfluenceEstimator {
     /// This is the extra evaluation CELF++ ([`crate::celfpp`]) needs for its
     /// `mg2` cache. Estimators that cannot provide it cheaply return `None`
     /// (the default), in which case callers fall back to plain re-evaluation.
-    fn estimate_with_pending(&mut self, _candidate: VertexId, _pending: &[VertexId]) -> Option<f64> {
+    fn estimate_with_pending(
+        &mut self,
+        _candidate: VertexId,
+        _pending: &[VertexId],
+    ) -> Option<f64> {
         None
     }
 
@@ -79,7 +83,11 @@ pub(crate) mod testing {
 
     impl TableEstimator {
         pub fn new(values: Vec<f64>) -> Self {
-            Self { values, chosen: Vec::new(), cost: TraversalCost::zero() }
+            Self {
+                values,
+                chosen: Vec::new(),
+                cost: TraversalCost::zero(),
+            }
         }
     }
 

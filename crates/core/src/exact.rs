@@ -117,7 +117,9 @@ fn reachable_in_mask(
 /// Panics if the graph has more than [`MAX_EXACT_EDGES`] edges.
 #[must_use]
 pub fn exact_singleton_influences(graph: &InfluenceGraph) -> Vec<f64> {
-    (0..graph.num_vertices() as VertexId).map(|v| exact_influence(graph, &[v])).collect()
+    (0..graph.num_vertices() as VertexId)
+        .map(|v| exact_influence(graph, &[v]))
+        .collect()
 }
 
 /// The result of the exact greedy selection.
@@ -174,7 +176,10 @@ pub fn exact_greedy(graph: &InfluenceGraph, k: usize) -> ExactGreedyResult {
         seeds.push(v);
         prefix_influence.push(value);
     }
-    ExactGreedyResult { seeds, prefix_influence }
+    ExactGreedyResult {
+        seeds,
+        prefix_influence,
+    }
 }
 
 /// The exact optimum `OPT_k` by exhausting all `C(n, k)` seed sets; used to
@@ -236,10 +241,7 @@ mod tests {
 
     fn star(prob: f64, leaves: usize) -> InfluenceGraph {
         let edges: Vec<_> = (1..=leaves as u32).map(|v| (0, v)).collect();
-        InfluenceGraph::new(
-            DiGraph::from_edges(leaves + 1, &edges),
-            vec![prob; leaves],
-        )
+        InfluenceGraph::new(DiGraph::from_edges(leaves + 1, &edges), vec![prob; leaves])
     }
 
     #[test]
@@ -267,9 +269,7 @@ mod tests {
     #[test]
     fn duplicate_seeds_do_not_double_count() {
         let ig = star(0.3, 3);
-        assert!(
-            (exact_influence(&ig, &[0, 0]) - exact_influence(&ig, &[0])).abs() < 1e-12
-        );
+        assert!((exact_influence(&ig, &[0, 0]) - exact_influence(&ig, &[0])).abs() < 1e-12);
     }
 
     #[test]
@@ -311,7 +311,10 @@ mod tests {
     fn exact_greedy_picks_hub_then_unreached_leaf() {
         let ig = star(0.2, 4);
         let result = exact_greedy(&ig, 2);
-        assert_eq!(result.seeds[0], 0, "hub has the largest singleton influence");
+        assert_eq!(
+            result.seeds[0], 0,
+            "hub has the largest singleton influence"
+        );
         assert!(result.seeds[1] >= 1, "second seed is a leaf");
         assert_eq!(result.prefix_influence.len(), 2);
         assert!(result.influence() > exact_influence(&ig, &[0]));

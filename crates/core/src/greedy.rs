@@ -82,7 +82,11 @@ pub fn greedy_select<E: InfluenceEstimator, R: Rng32>(
         estimates.push(value);
     }
 
-    GreedyResult { selection_order, estimates, estimate_calls }
+    GreedyResult {
+        selection_order,
+        estimates,
+        estimate_calls,
+    }
 }
 
 /// CELF lazy greedy (Leskovec et al. 2007): maintain an upper bound on every
@@ -148,7 +152,12 @@ pub fn celf_select<E: InfluenceEstimator, R: Rng32>(
         .map(|(rank, &v)| {
             let gain = estimator.estimate(v);
             estimate_calls += 1;
-            HeapEntry { gain, rank: rank as u32, vertex: v, valid_at: 0 }
+            HeapEntry {
+                gain,
+                rank: rank as u32,
+                vertex: v,
+                valid_at: 0,
+            }
         })
         .collect();
 
@@ -166,11 +175,20 @@ pub fn celf_select<E: InfluenceEstimator, R: Rng32>(
             // it back with a fresh stamp.
             let gain = estimator.estimate(top.vertex);
             estimate_calls += 1;
-            pq.push(HeapEntry { gain, rank: top.rank, vertex: top.vertex, valid_at: committed });
+            pq.push(HeapEntry {
+                gain,
+                rank: top.rank,
+                vertex: top.vertex,
+                valid_at: committed,
+            });
         }
     }
 
-    GreedyResult { selection_order, estimates, estimate_calls }
+    GreedyResult {
+        selection_order,
+        estimates,
+        estimate_calls,
+    }
 }
 
 #[cfg(test)]
@@ -227,7 +245,11 @@ mod tests {
             let result = greedy_select(&mut est, 1, &mut rng);
             seen.insert(result.selection_order[0]);
         }
-        assert_eq!(seen.len(), 5, "all tied vertices should be selectable: {seen:?}");
+        assert_eq!(
+            seen.len(),
+            5,
+            "all tied vertices should be selectable: {seen:?}"
+        );
     }
 
     #[test]
@@ -244,7 +266,7 @@ mod tests {
 
     #[test]
     fn celf_issues_no_more_estimate_calls_than_greedy() {
-        let values: Vec<f64> = (0..50).map(|i| f64::from(i)).collect();
+        let values: Vec<f64> = (0..50).map(f64::from).collect();
         let mut greedy_est = TableEstimator::new(values.clone());
         let mut celf_est = TableEstimator::new(values);
         let g = greedy_select(&mut greedy_est, 5, &mut Pcg32::seed_from_u64(9));

@@ -19,6 +19,10 @@
 //!
 //! Supporting modules:
 //!
+//! * [`sampler`] — the shared batch-sampling execution layer all three
+//!   estimators drive: a [`sampler::SampleBudget`] split into batches with one
+//!   SplitMix64-derived PRNG stream each, executed sequentially or (with the
+//!   `parallel` feature) across worker threads with byte-identical results;
 //! * [`diffusion`] — forward IC simulation (and the linear-threshold extension
 //!   in [`lt`]);
 //! * [`greedy`] — the shared greedy loop with the random tie-breaking rule of
@@ -47,21 +51,23 @@ pub mod lt_estimators;
 pub mod oneshot;
 pub mod oracle;
 pub mod ris;
+pub mod sampler;
 pub mod seed_set;
 pub mod snapshot;
 pub mod ublf;
 
-pub use algorithm::{Algorithm, RunOutcome};
+pub use algorithm::{Algorithm, RunOptions, RunOutcome};
 pub use celfpp::celf_pp_select;
 pub use cost::{SampleSize, TraversalCost};
 pub use determination::AccuracyTarget;
 pub use estimator::InfluenceEstimator;
 pub use exact::{exact_greedy, exact_influence};
-pub use lt_estimators::{LtOneshotEstimator, LtRisEstimator, LtSnapshotEstimator};
-pub use ublf::{influence_upper_bounds, ublf_select};
 pub use greedy::{celf_select, greedy_select, GreedyResult};
+pub use lt_estimators::{LtOneshotEstimator, LtRisEstimator, LtSnapshotEstimator};
 pub use oneshot::OneshotEstimator;
 pub use oracle::InfluenceOracle;
 pub use ris::RisEstimator;
+pub use sampler::{Backend, SampleBudget};
 pub use seed_set::SeedSet;
 pub use snapshot::SnapshotEstimator;
+pub use ublf::{influence_upper_bounds, ublf_select};

@@ -116,7 +116,10 @@ impl LtSimulator {
                 }
             }
         }
-        LtOutcome { activated: self.frontier.len(), cost }
+        LtOutcome {
+            activated: self.frontier.len(),
+            cost,
+        }
     }
 }
 

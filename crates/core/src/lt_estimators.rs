@@ -18,17 +18,29 @@
 //! framework, cost accounting and experiment harness as their IC counterparts.
 
 use imgraph::{DiGraph, InfluenceGraph, VertexId};
-use imrand::Rng32;
+use imrand::{derive_seed, DefaultRng, Rng32};
 
 use crate::cost::{SampleSize, TraversalCost};
 use crate::estimator::InfluenceEstimator;
 use crate::lt::{sample_lt_live_edges, LtSimulator};
+use crate::sampler::{self, Backend, SampleBudget};
+
+/// Where LT-Oneshot's per-Estimate simulations draw their randomness from
+/// (mirrors the IC estimator's two disciplines).
+enum LtSource<R> {
+    Stream(R),
+    Batched {
+        base_seed: u64,
+        backend: Backend,
+        next_call: u64,
+    },
+}
 
 /// LT-Oneshot: β forward threshold simulations per Estimate call.
 pub struct LtOneshotEstimator<'g, R: Rng32> {
     graph: &'g InfluenceGraph,
     beta: u64,
-    rng: R,
+    source: LtSource<R>,
     simulator: LtSimulator,
     committed: Vec<VertexId>,
     cost: TraversalCost,
@@ -41,11 +53,14 @@ impl<'g, R: Rng32> LtOneshotEstimator<'g, R> {
     ///
     /// Panics if `beta == 0`.
     pub fn new(graph: &'g InfluenceGraph, beta: u64, rng: R) -> Self {
-        assert!(beta >= 1, "LT-Oneshot needs at least one simulation per call");
+        assert!(
+            beta >= 1,
+            "LT-Oneshot needs at least one simulation per call"
+        );
         Self {
             graph,
             beta,
-            rng,
+            source: LtSource::Stream(rng),
             simulator: LtSimulator::for_graph(graph),
             committed: Vec::new(),
             cost: TraversalCost::zero(),
@@ -60,13 +75,94 @@ impl<'g, R: Rng32> LtOneshotEstimator<'g, R> {
 
     /// Estimate the LT influence of an arbitrary seed set.
     pub fn estimate_set(&mut self, seeds: &[VertexId]) -> f64 {
-        let mut total = 0usize;
-        for _ in 0..self.beta {
-            let outcome = self.simulator.simulate(self.graph, seeds, &mut self.rng);
-            total += outcome.activated;
-            self.cost += outcome.cost;
+        let beta = self.beta;
+        let (activated, cost) = match &mut self.source {
+            LtSource::Stream(rng) => {
+                let graph = self.graph;
+                let simulator = &mut self.simulator;
+                sampler::fold_stream(
+                    beta,
+                    rng,
+                    (0u64, TraversalCost::zero()),
+                    |(activated, mut cost), _, rng| {
+                        let outcome = simulator.simulate(graph, seeds, rng);
+                        cost += outcome.cost;
+                        (activated + outcome.activated as u64, cost)
+                    },
+                )
+            }
+            LtSource::Batched {
+                base_seed,
+                backend,
+                next_call,
+            } => {
+                let call_seed = derive_seed(*base_seed, *next_call);
+                let backend = *backend;
+                *next_call += 1;
+                let graph = self.graph;
+                let budget = SampleBudget::new(beta);
+                // `run_batches_reusing` lets the single worker drive the
+                // estimator-owned simulator instead of allocating fresh O(n)
+                // scratch on every Estimate call.
+                sampler::run_batches_reusing(
+                    &budget,
+                    call_seed,
+                    backend,
+                    &mut self.simulator,
+                    || LtSimulator::for_graph(graph),
+                    |simulator, batch, rng| {
+                        let mut activated = 0u64;
+                        let mut cost = TraversalCost::zero();
+                        for _ in 0..batch.len {
+                            let outcome = simulator.simulate(graph, seeds, rng);
+                            activated += outcome.activated as u64;
+                            cost += outcome.cost;
+                        }
+                        (activated, cost)
+                    },
+                )
+                .into_iter()
+                .fold((0u64, TraversalCost::zero()), |(a, mut c), (ba, bc)| {
+                    c += bc;
+                    (a + ba, c)
+                })
+            }
+        };
+        self.cost += cost;
+        activated as f64 / beta as f64
+    }
+}
+
+impl<'g> LtOneshotEstimator<'g, DefaultRng> {
+    /// Build an LT-Oneshot estimator driven by the batched sampler (identical
+    /// estimates on the sequential and parallel [`Backend`]s for a fixed
+    /// `base_seed`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta == 0`.
+    pub fn with_backend(
+        graph: &'g InfluenceGraph,
+        beta: u64,
+        base_seed: u64,
+        backend: Backend,
+    ) -> Self {
+        assert!(
+            beta >= 1,
+            "LT-Oneshot needs at least one simulation per call"
+        );
+        Self {
+            graph,
+            beta,
+            source: LtSource::Batched {
+                base_seed,
+                backend,
+                next_call: 0,
+            },
+            simulator: LtSimulator::for_graph(graph),
+            committed: Vec::new(),
+            cost: TraversalCost::zero(),
         }
-        total as f64 / self.beta as f64
     }
 }
 
@@ -128,13 +224,61 @@ impl LtSnapshotEstimator {
     /// Panics if `tau == 0` or the graph is empty.
     pub fn new<R: Rng32>(graph: &InfluenceGraph, tau: u64, rng: &mut R) -> Self {
         assert!(tau >= 1, "LT-Snapshot needs at least one live-edge sample");
+        assert!(
+            graph.num_vertices() > 0,
+            "LT-Snapshot needs a non-empty graph"
+        );
+        let lists = sampler::fold_stream(
+            tau,
+            rng,
+            Vec::with_capacity(tau as usize),
+            |mut acc, _, rng| {
+                acc.push(sample_lt_live_edges(graph, rng));
+                acc
+            },
+        );
+        Self::from_live_lists(graph, tau, lists)
+    }
+
+    /// Build step driven by the batched sampler: `τ` one-in-edge live-edge
+    /// samples drawn from per-batch PRNG streams derived from `base_seed`,
+    /// optionally across worker threads; identical output on the sequential
+    /// and parallel [`Backend`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau == 0` or the graph is empty.
+    pub fn with_backend(
+        graph: &InfluenceGraph,
+        tau: u64,
+        base_seed: u64,
+        backend: Backend,
+    ) -> Self {
+        assert!(tau >= 1, "LT-Snapshot needs at least one live-edge sample");
+        assert!(
+            graph.num_vertices() > 0,
+            "LT-Snapshot needs a non-empty graph"
+        );
+        let lists = sampler::sample_batched(
+            &SampleBudget::new(tau),
+            base_seed,
+            backend,
+            || (),
+            |(), _, rng| sample_lt_live_edges(graph, rng),
+        );
+        Self::from_live_lists(graph, tau, lists)
+    }
+
+    fn from_live_lists(
+        graph: &InfluenceGraph,
+        tau: u64,
+        lists: Vec<Vec<(VertexId, VertexId)>>,
+    ) -> Self {
         let n = graph.num_vertices();
-        assert!(n > 0, "LT-Snapshot needs a non-empty graph");
-        let mut snapshots = Vec::with_capacity(tau as usize);
+        let mut snapshots = Vec::with_capacity(lists.len());
         let mut cost = TraversalCost::zero();
         let mut sample_size = SampleSize::zero();
-        for _ in 0..tau {
-            let live = sample_lt_live_edges(graph, rng);
+        for live in lists {
             // Sampling examines every vertex and, in the worst case, all of its
             // in-edges.
             cost.vertices += n as u64;
@@ -278,7 +422,11 @@ pub fn generate_lt_rr_set<R: Rng32>(
             _ => break,
         }
     }
-    LtRrSet { vertices, target, edges_examined }
+    LtRrSet {
+        vertices,
+        target,
+        edges_examined,
+    }
 }
 
 /// LT-RIS: θ reverse paths and greedy maximum coverage over them.
@@ -304,14 +452,56 @@ impl LtRisEstimator {
         assert!(theta >= 1, "LT-RIS needs at least one RR set");
         let n = graph.num_vertices();
         assert!(n > 0, "LT-RIS needs a non-empty graph");
-        let mut rr_sets = Vec::with_capacity(theta as usize);
+        let generated = sampler::fold_stream(
+            theta,
+            rng,
+            Vec::with_capacity(theta as usize),
+            |mut acc, _, rng| {
+                let target = rng.gen_index(n) as VertexId;
+                acc.push(generate_lt_rr_set(graph, target, rng));
+                acc
+            },
+        );
+        Self::from_rr_sets(n, theta, generated)
+    }
+
+    /// Build step driven by the batched sampler: `θ` reverse paths drawn from
+    /// per-batch PRNG streams derived from `base_seed`, optionally across
+    /// worker threads; identical output on the sequential and parallel
+    /// [`Backend`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta == 0` or the graph is empty.
+    pub fn with_backend(
+        graph: &InfluenceGraph,
+        theta: u64,
+        base_seed: u64,
+        backend: Backend,
+    ) -> Self {
+        assert!(theta >= 1, "LT-RIS needs at least one RR set");
+        let n = graph.num_vertices();
+        assert!(n > 0, "LT-RIS needs a non-empty graph");
+        let generated = sampler::sample_batched(
+            &SampleBudget::new(theta),
+            base_seed,
+            backend,
+            || (),
+            |(), _, rng| {
+                let target = rng.gen_index(n) as VertexId;
+                generate_lt_rr_set(graph, target, rng)
+            },
+        );
+        Self::from_rr_sets(n, theta, generated)
+    }
+
+    fn from_rr_sets(n: usize, theta: u64, generated: Vec<LtRrSet>) -> Self {
+        let mut rr_sets = Vec::with_capacity(generated.len());
         let mut vertex_to_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut cover_count = vec![0u32; n];
         let mut cost = TraversalCost::zero();
         let mut sample_size = SampleSize::zero();
-        for set_id in 0..theta {
-            let target = rng.gen_index(n) as VertexId;
-            let rr = generate_lt_rr_set(graph, target, rng);
+        for (set_id, rr) in generated.into_iter().enumerate() {
             cost.vertices += rr.vertices.len() as u64;
             cost.edges += rr.edges_examined;
             sample_size.vertices += rr.vertices.len() as u64;
@@ -459,8 +649,7 @@ mod tests {
     fn all_three_match_monte_carlo_on_a_weighted_diamond() {
         let g = DiGraph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
         let ig = InfluenceGraph::new(g, vec![0.6, 0.4, 0.5, 0.5]);
-        let reference =
-            monte_carlo_lt_influence(&ig, &[0], 200_000, &mut Pcg32::seed_from_u64(4));
+        let reference = monte_carlo_lt_influence(&ig, &[0], 200_000, &mut Pcg32::seed_from_u64(4));
         let mut oneshot = LtOneshotEstimator::new(&ig, 50_000, Pcg32::seed_from_u64(5));
         let mut snapshot = LtSnapshotEstimator::new(&ig, 30_000, &mut Pcg32::seed_from_u64(6));
         let mut ris = LtRisEstimator::new(&ig, 80_000, &mut Pcg32::seed_from_u64(7));
@@ -480,7 +669,11 @@ mod tests {
             let mut sorted = rr.vertices.clone();
             sorted.sort_unstable();
             sorted.dedup();
-            assert_eq!(sorted.len(), rr.vertices.len(), "repeated vertex in LT RR set");
+            assert_eq!(
+                sorted.len(),
+                rr.vertices.len(),
+                "repeated vertex in LT RR set"
+            );
             // On the full-weight path, the RR set of target z is {0, …, z}.
             assert_eq!(rr.vertices.len(), rr.target as usize + 1);
         }
@@ -516,7 +709,11 @@ mod tests {
         let mut est = LtRisEstimator::new(&ig, 1_000, &mut Pcg32::seed_from_u64(14));
         est.update(0);
         for v in 0..4u32 {
-            assert_eq!(est.estimate(v), 0.0, "marginal of {v} after covering everything");
+            assert_eq!(
+                est.estimate(v),
+                0.0,
+                "marginal of {v} after covering everything"
+            );
         }
     }
 

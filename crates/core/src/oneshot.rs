@@ -8,18 +8,34 @@
 //! admissible for it.
 
 use imgraph::{InfluenceGraph, VertexId};
-use imrand::Rng32;
+use imrand::{derive_seed, DefaultRng, Rng32};
 
 use crate::cost::{SampleSize, TraversalCost};
 use crate::diffusion::IcSimulator;
 use crate::estimator::InfluenceEstimator;
+use crate::sampler::{self, Backend, SampleBudget};
+
+/// Where an Estimate call's `β` simulations draw their randomness from.
+enum Source<R> {
+    /// The paper-faithful shared stream: every simulation advances one
+    /// generator in order (inherently sequential).
+    Stream(R),
+    /// The batched sampler: Estimate call `c` derives its own seed from
+    /// `base_seed` and fans its `β` simulations out in deterministic batches,
+    /// identical on the sequential and parallel [`Backend`]s.
+    Batched {
+        base_seed: u64,
+        backend: Backend,
+        next_call: u64,
+    },
+}
 
 /// The Oneshot (simulation-based) influence estimator.
 pub struct OneshotEstimator<'g, R: Rng32> {
     graph: &'g InfluenceGraph,
     /// Sample number β: simulations per Estimate call.
     beta: u64,
-    rng: R,
+    source: Source<R>,
     simulator: IcSimulator,
     current_seeds: Vec<VertexId>,
     cost: TraversalCost,
@@ -33,11 +49,14 @@ impl<'g, R: Rng32> OneshotEstimator<'g, R> {
     ///
     /// Panics if `beta == 0`.
     pub fn new(graph: &'g InfluenceGraph, beta: u64, rng: R) -> Self {
-        assert!(beta >= 1, "Oneshot needs at least one simulation per estimate");
+        assert!(
+            beta >= 1,
+            "Oneshot needs at least one simulation per estimate"
+        );
         Self {
             graph,
             beta,
-            rng,
+            source: Source::Stream(rng),
             simulator: IcSimulator::for_graph(graph),
             current_seeds: Vec::new(),
             cost: TraversalCost::zero(),
@@ -53,13 +72,97 @@ impl<'g, R: Rng32> OneshotEstimator<'g, R> {
     /// Estimate the influence spread of an arbitrary seed set (used by tests
     /// and by the traversal-cost experiment at k = 1 with sample number 1).
     pub fn estimate_set(&mut self, seeds: &[VertexId]) -> f64 {
-        let mut total = 0usize;
-        for _ in 0..self.beta {
-            let outcome = self.simulator.simulate(self.graph, seeds, &mut self.rng);
-            total += outcome.activated;
-            self.cost += outcome.cost;
+        let beta = self.beta;
+        let (activated, cost) = match &mut self.source {
+            Source::Stream(rng) => {
+                let graph = self.graph;
+                let simulator = &mut self.simulator;
+                sampler::fold_stream(
+                    beta,
+                    rng,
+                    (0u64, TraversalCost::zero()),
+                    |(activated, mut cost), _, rng| {
+                        let outcome = simulator.simulate(graph, seeds, rng);
+                        cost += outcome.cost;
+                        (activated + outcome.activated as u64, cost)
+                    },
+                )
+            }
+            Source::Batched {
+                base_seed,
+                backend,
+                next_call,
+            } => {
+                let call_seed = derive_seed(*base_seed, *next_call);
+                let backend = *backend;
+                *next_call += 1;
+                let graph = self.graph;
+                let budget = SampleBudget::new(beta);
+                // `run_batches_reusing` lets the single worker drive the
+                // estimator-owned simulator instead of allocating fresh O(n)
+                // scratch on every Estimate call.
+                sampler::run_batches_reusing(
+                    &budget,
+                    call_seed,
+                    backend,
+                    &mut self.simulator,
+                    || IcSimulator::for_graph(graph),
+                    |simulator, batch, rng| {
+                        let mut activated = 0u64;
+                        let mut cost = TraversalCost::zero();
+                        for _ in 0..batch.len {
+                            let outcome = simulator.simulate(graph, seeds, rng);
+                            activated += outcome.activated as u64;
+                            cost += outcome.cost;
+                        }
+                        (activated, cost)
+                    },
+                )
+                .into_iter()
+                .fold((0u64, TraversalCost::zero()), |(a, mut c), (ba, bc)| {
+                    c += bc;
+                    (a + ba, c)
+                })
+            }
+        };
+        self.cost += cost;
+        activated as f64 / beta as f64
+    }
+}
+
+impl<'g> OneshotEstimator<'g, DefaultRng> {
+    /// Build an Oneshot estimator driven by the batched sampler: every
+    /// Estimate call fans its `β` simulations out over `backend`, drawing
+    /// per-batch PRNG streams derived from `base_seed` and the call index.
+    /// For a fixed `base_seed` the estimates — and therefore every seed set
+    /// greedy selects — are identical on the sequential and parallel
+    /// [`Backend`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta == 0`.
+    pub fn with_backend(
+        graph: &'g InfluenceGraph,
+        beta: u64,
+        base_seed: u64,
+        backend: Backend,
+    ) -> Self {
+        assert!(
+            beta >= 1,
+            "Oneshot needs at least one simulation per estimate"
+        );
+        Self {
+            graph,
+            beta,
+            source: Source::Batched {
+                base_seed,
+                backend,
+                next_call: 0,
+            },
+            simulator: IcSimulator::for_graph(graph),
+            current_seeds: Vec::new(),
+            cost: TraversalCost::zero(),
         }
-        total as f64 / self.beta as f64
     }
 }
 
@@ -71,15 +174,9 @@ impl<'g, R: Rng32> InfluenceEstimator for OneshotEstimator<'g, R> {
     fn estimate(&mut self, candidate: VertexId) -> f64 {
         // Simulate from S_{ℓ−1} + v; the candidate is appended temporarily.
         self.current_seeds.push(candidate);
-        let value = {
-            let mut total = 0usize;
-            for _ in 0..self.beta {
-                let outcome = self.simulator.simulate(self.graph, &self.current_seeds, &mut self.rng);
-                total += outcome.activated;
-                self.cost += outcome.cost;
-            }
-            total as f64 / self.beta as f64
-        };
+        let seeds = std::mem::take(&mut self.current_seeds);
+        let value = self.estimate_set(&seeds);
+        self.current_seeds = seeds;
         self.current_seeds.pop();
         value
     }
@@ -130,9 +227,15 @@ mod tests {
         let mut est = OneshotEstimator::new(&ig, 512, Pcg32::seed_from_u64(1));
         let hub = est.estimate(0);
         let leaf = est.estimate(3);
-        assert!(hub > leaf, "hub estimate {hub} should exceed leaf estimate {leaf}");
+        assert!(
+            hub > leaf,
+            "hub estimate {hub} should exceed leaf estimate {leaf}"
+        );
         assert!((leaf - 1.0).abs() < 0.05, "a leaf activates only itself");
-        assert!((hub - 3.0).abs() < 0.2, "hub influence should be ≈ 1 + 4·0.5 = 3");
+        assert!(
+            (hub - 3.0).abs() < 0.2,
+            "hub influence should be ≈ 1 + 4·0.5 = 3"
+        );
     }
 
     #[test]

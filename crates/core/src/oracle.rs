@@ -11,8 +11,17 @@
 use imgraph::{InfluenceGraph, VertexId};
 use imrand::Rng32;
 
-use crate::ris::generate_rr_set_for_target;
+use crate::ris::RrScratch;
+use crate::sampler::{self, Backend, SampleBudget};
 use crate::seed_set::SeedSet;
+
+/// Append `set_id` to the posting list of every member vertex of one RR set
+/// (shared by the stream and batched build paths).
+fn index_rr_set(vertex_to_sets: &mut [Vec<u32>], set_id: u32, vertices: &[VertexId]) {
+    for &v in vertices {
+        vertex_to_sets[v as usize].push(set_id);
+    }
+}
 
 /// A shared, read-only influence estimator backed by a pool of RR sets.
 #[derive(Debug, Clone)]
@@ -42,21 +51,71 @@ impl InfluenceOracle {
         assert!(pool_size > 0, "oracle needs a non-empty RR-set pool");
         let n = graph.num_vertices();
         assert!(n > 0, "oracle needs a non-empty graph");
-        assert!(pool_size <= u32::MAX as usize, "pool size exceeds u32 set ids");
+        assert!(
+            pool_size <= u32::MAX as usize,
+            "pool size exceeds u32 set ids"
+        );
 
+        // Stream discipline over the shared RR-set scratch; posting lists are
+        // filled as sets are drawn so the member lists are never all held at
+        // once (pools go up to 10⁷ sets).
         let mut vertex_to_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut visited = vec![0u32; n];
-        let mut queue: Vec<VertexId> = Vec::new();
-        for set_id in 0..pool_size {
-            let epoch = (set_id + 1) as u32;
-            let target = rng.gen_index(n) as VertexId;
-            let rr =
-                generate_rr_set_for_target(graph, target, rng, &mut visited, epoch, &mut queue);
-            for &v in &rr.vertices {
-                vertex_to_sets[v as usize].push(set_id as u32);
-            }
+        let mut scratch = RrScratch::for_graph(graph);
+        sampler::fold_stream(pool_size as u64, rng, (), |(), set_id, rng| {
+            let rr = scratch.generate(graph, rng);
+            index_rr_set(&mut vertex_to_sets, set_id as u32, &rr.vertices);
+        });
+        Self {
+            vertex_to_sets,
+            pool_size,
+            num_vertices: n,
+            _private: (),
         }
-        Self { vertex_to_sets, pool_size, num_vertices: n, _private: () }
+    }
+
+    /// Build an oracle with the batched sampler: the pool's RR sets are drawn
+    /// from per-batch PRNG streams derived from `base_seed`, optionally across
+    /// worker threads. For a fixed `base_seed` the pool — and therefore every
+    /// oracle estimate — is identical on the sequential and parallel
+    /// [`Backend`]s. This is the recommended constructor for the paper-scale
+    /// 10⁷-set pools, whose generation is embarrassingly parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_size == 0` or the graph is empty.
+    pub fn build_with_backend(
+        graph: &InfluenceGraph,
+        pool_size: usize,
+        base_seed: u64,
+        backend: Backend,
+    ) -> Self {
+        assert!(pool_size > 0, "oracle needs a non-empty RR-set pool");
+        let n = graph.num_vertices();
+        assert!(n > 0, "oracle needs a non-empty graph");
+        assert!(
+            pool_size <= u32::MAX as usize,
+            "pool size exceeds u32 set ids"
+        );
+
+        // Workers return only the member lists; the posting lists are merged
+        // in deterministic batch order on the calling thread.
+        let members = sampler::sample_batched(
+            &SampleBudget::new(pool_size as u64),
+            base_seed,
+            backend,
+            || RrScratch::for_graph(graph),
+            |scratch, _, rng| scratch.generate(graph, rng).vertices,
+        );
+        let mut vertex_to_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (set_id, vertices) in members.into_iter().enumerate() {
+            index_rr_set(&mut vertex_to_sets, set_id as u32, &vertices);
+        }
+        Self {
+            vertex_to_sets,
+            pool_size,
+            num_vertices: n,
+            _private: (),
+        }
     }
 
     /// Number of RR sets in the pool.
@@ -129,7 +188,11 @@ impl InfluenceOracle {
             .enumerate()
             .map(|(v, inf)| (v as VertexId, inf))
             .collect();
-        all.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("influence is finite").then(a.0.cmp(&b.0)));
+        all.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("influence is finite")
+                .then(a.0.cmp(&b.0))
+        });
         all.truncate(count);
         all
     }
@@ -159,8 +222,8 @@ impl InfluenceOracle {
         let mut is_selected = vec![false; n];
         for _ in 0..k {
             let mut best: Option<(VertexId, usize)> = None;
-            for v in 0..n {
-                if is_selected[v] {
+            for (v, &already) in is_selected.iter().enumerate() {
+                if already {
                     continue;
                 }
                 let gain = self.vertex_to_sets[v]

@@ -15,6 +15,7 @@ use imrand::Rng32;
 
 use crate::cost::{SampleSize, TraversalCost};
 use crate::estimator::InfluenceEstimator;
+use crate::sampler::{self, Backend, SampleBudget};
 
 /// One reverse-reachable set plus its generation cost.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -59,7 +60,11 @@ pub fn generate_rr_set_for_target<R: Rng32>(
             }
         }
     }
-    RrSet { vertices: queue.clone(), target, edges_examined }
+    RrSet {
+        vertices: queue.clone(),
+        target,
+        edges_examined,
+    }
 }
 
 /// Generate one RR set for a uniformly random target (the paper's "RR set").
@@ -70,6 +75,77 @@ pub fn generate_rr_set<R: Rng32>(graph: &InfluenceGraph, rng: &mut R) -> RrSet {
     let mut visited = vec![0u32; n];
     let mut queue = Vec::new();
     generate_rr_set_for_target(graph, target, rng, &mut visited, 1, &mut queue)
+}
+
+/// Reusable per-worker scratch for RR-set generation (epoch marks + queue).
+pub struct RrScratch {
+    visited: Vec<u32>,
+    epoch: u32,
+    queue: Vec<VertexId>,
+}
+
+impl RrScratch {
+    /// Scratch sized for `graph`.
+    #[must_use]
+    pub fn for_graph(graph: &InfluenceGraph) -> Self {
+        Self {
+            visited: vec![0u32; graph.num_vertices()],
+            epoch: 0,
+            queue: Vec::new(),
+        }
+    }
+
+    /// Draw one RR set for a uniformly random target, reusing the scratch.
+    pub fn generate<R: Rng32>(&mut self, graph: &InfluenceGraph, rng: &mut R) -> RrSet {
+        if self.epoch == u32::MAX {
+            self.visited.iter_mut().for_each(|x| *x = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        let target = rng.gen_index(graph.num_vertices()) as VertexId;
+        generate_rr_set_for_target(
+            graph,
+            target,
+            rng,
+            &mut self.visited,
+            self.epoch,
+            &mut self.queue,
+        )
+    }
+}
+
+/// Stream discipline: draw `theta` RR sets in order from one shared generator
+/// (the paper-faithful Build of Algorithm 3.4).
+pub fn generate_rr_sets<R: Rng32>(graph: &InfluenceGraph, theta: u64, rng: &mut R) -> Vec<RrSet> {
+    let mut scratch = RrScratch::for_graph(graph);
+    sampler::fold_stream(
+        theta,
+        rng,
+        Vec::with_capacity(theta as usize),
+        |mut acc, _, rng| {
+            acc.push(scratch.generate(graph, rng));
+            acc
+        },
+    )
+}
+
+/// Batched discipline: draw `theta` RR sets with one PRNG stream per batch.
+///
+/// The output is a pure function of `(theta, base_seed)`: the sequential and
+/// parallel [`Backend`]s return byte-identical sets in the same order.
+pub fn generate_rr_sets_batched(
+    graph: &InfluenceGraph,
+    theta: u64,
+    base_seed: u64,
+    backend: Backend,
+) -> Vec<RrSet> {
+    sampler::sample_batched(
+        &SampleBudget::new(theta),
+        base_seed,
+        backend,
+        || RrScratch::for_graph(graph),
+        |scratch, _, rng| scratch.generate(graph, rng),
+    )
 }
 
 /// The RIS influence estimator (a greedy-maximum-coverage view of `θ` RR sets).
@@ -100,21 +176,44 @@ impl RisEstimator {
     /// Panics if `theta == 0` or the graph is empty.
     pub fn new<R: Rng32>(graph: &InfluenceGraph, theta: u64, rng: &mut R) -> Self {
         assert!(theta >= 1, "RIS needs at least one RR set");
-        let n = graph.num_vertices();
-        assert!(n > 0, "RIS needs a non-empty graph");
+        assert!(graph.num_vertices() > 0, "RIS needs a non-empty graph");
+        Self::from_rr_sets(
+            graph.num_vertices(),
+            theta,
+            generate_rr_sets(graph, theta, rng),
+        )
+    }
 
-        let mut rr_sets: Vec<Vec<VertexId>> = Vec::with_capacity(theta as usize);
+    /// Build step driven by the batched sampler: `θ` RR sets drawn from
+    /// per-batch PRNG streams derived from `base_seed`, optionally across
+    /// worker threads. For a fixed `base_seed` the resulting estimator — and
+    /// therefore every seed set greedy selects from it — is identical on the
+    /// sequential and parallel [`Backend`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta == 0` or the graph is empty.
+    pub fn with_backend(
+        graph: &InfluenceGraph,
+        theta: u64,
+        base_seed: u64,
+        backend: Backend,
+    ) -> Self {
+        assert!(theta >= 1, "RIS needs at least one RR set");
+        assert!(graph.num_vertices() > 0, "RIS needs a non-empty graph");
+        let rr = generate_rr_sets_batched(graph, theta, base_seed, backend);
+        Self::from_rr_sets(graph.num_vertices(), theta, rr)
+    }
+
+    /// Index a collection of generated RR sets into the coverage structures
+    /// greedy maximum coverage needs.
+    fn from_rr_sets(n: usize, theta: u64, generated: Vec<RrSet>) -> Self {
+        let mut rr_sets: Vec<Vec<VertexId>> = Vec::with_capacity(generated.len());
         let mut vertex_to_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
         let mut cover_count = vec![0u32; n];
         let mut cost = TraversalCost::zero();
         let mut sample_size = SampleSize::zero();
-
-        let mut visited = vec![0u32; n];
-        let mut queue: Vec<VertexId> = Vec::new();
-        for set_id in 0..theta {
-            let epoch = (set_id + 1) as u32;
-            let target = rng.gen_index(n) as VertexId;
-            let rr = generate_rr_set_for_target(graph, target, rng, &mut visited, epoch, &mut queue);
+        for (set_id, rr) in generated.into_iter().enumerate() {
             cost.vertices += rr.vertices.len() as u64;
             cost.edges += rr.edges_examined;
             sample_size.vertices += rr.vertices.len() as u64;
@@ -124,7 +223,6 @@ impl RisEstimator {
             }
             rr_sets.push(rr.vertices);
         }
-
         Self {
             covered: vec![false; rr_sets.len()],
             rr_sets,
@@ -354,7 +452,11 @@ mod tests {
         let ig = path(1.0, 4);
         let mut rng = Pcg32::seed_from_u64(7);
         let est = RisEstimator::new(&ig, 20_000, &mut rng);
-        assert!((est.empirical_ept() - 2.5).abs() < 0.05, "EPT {}", est.empirical_ept());
+        assert!(
+            (est.empirical_ept() - 2.5).abs() < 0.05,
+            "EPT {}",
+            est.empirical_ept()
+        );
     }
 
     #[test]

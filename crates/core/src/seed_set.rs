@@ -20,7 +20,9 @@ impl SeedSet {
     /// The empty seed set.
     #[must_use]
     pub fn empty() -> Self {
-        Self { vertices: Vec::new() }
+        Self {
+            vertices: Vec::new(),
+        }
     }
 
     /// Build a canonical seed set from vertices in any order; duplicates are
@@ -159,7 +161,9 @@ mod tests {
     #[test]
     fn ordering_is_lexicographic_on_sorted_vertices() {
         assert!(SeedSet::new(vec![1, 2]) < SeedSet::new(vec![1, 3]));
-        assert!(SeedSet::new(vec![1]) < SeedSet::new(vec![1, 0].into_iter().map(|x| x + 1).collect()));
+        assert!(
+            SeedSet::new(vec![1]) < SeedSet::new(vec![1, 0].into_iter().map(|x| x + 1).collect())
+        );
     }
 
     #[test]

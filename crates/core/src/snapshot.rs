@@ -13,13 +13,49 @@
 //! (`r_{G⁽ⁱ⁾}(S + v) − r_{G⁽ⁱ⁾}(S) = r_{H⁽ⁱ⁾}(v)`). The optimisation can be
 //! switched off to measure its effect (ablation bench).
 
-use imgraph::live_edge::{sample_snapshots, Snapshot};
+use imgraph::live_edge::{sample_snapshot, Snapshot};
 use imgraph::reach::ReachWorkspace;
 use imgraph::{InfluenceGraph, VertexId};
 use imrand::Rng32;
 
 use crate::cost::{SampleSize, TraversalCost};
 use crate::estimator::InfluenceEstimator;
+use crate::sampler::{self, Backend, SampleBudget};
+
+/// Stream discipline: sample `tau` live-edge graphs in order from one shared
+/// generator (the paper-faithful Build of Algorithm 3.3).
+pub fn sample_snapshots_stream<R: Rng32>(
+    graph: &InfluenceGraph,
+    tau: u64,
+    rng: &mut R,
+) -> Vec<Snapshot> {
+    sampler::fold_stream(
+        tau,
+        rng,
+        Vec::with_capacity(tau as usize),
+        |mut acc, _, rng| {
+            acc.push(sample_snapshot(graph, rng));
+            acc
+        },
+    )
+}
+
+/// Batched discipline: sample `tau` live-edge graphs with one PRNG stream per
+/// batch; identical output on the sequential and parallel [`Backend`]s.
+pub fn sample_snapshots_batched(
+    graph: &InfluenceGraph,
+    tau: u64,
+    base_seed: u64,
+    backend: Backend,
+) -> Vec<Snapshot> {
+    sampler::sample_batched(
+        &SampleBudget::new(tau),
+        base_seed,
+        backend,
+        || (),
+        |(), _, rng| sample_snapshot(graph, rng),
+    )
+}
 
 /// The Snapshot (live-edge sampling) influence estimator.
 pub struct SnapshotEstimator {
@@ -58,8 +94,32 @@ impl SnapshotEstimator {
         use_reduction: bool,
     ) -> Self {
         assert!(tau >= 1, "Snapshot needs at least one random graph");
-        let n = graph.num_vertices();
-        let snapshots = sample_snapshots(graph, tau as usize, rng);
+        let snapshots = sample_snapshots_stream(graph, tau, rng);
+        Self::from_snapshots(graph.num_vertices(), tau, snapshots, use_reduction)
+    }
+
+    /// Build step driven by the batched sampler: `τ` live-edge graphs drawn
+    /// from per-batch PRNG streams derived from `base_seed`, optionally across
+    /// worker threads. For a fixed `base_seed` the snapshots — and therefore
+    /// every seed set greedy selects — are identical on the sequential and
+    /// parallel [`Backend`]s.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau == 0`.
+    pub fn with_backend(
+        graph: &InfluenceGraph,
+        tau: u64,
+        base_seed: u64,
+        backend: Backend,
+        use_reduction: bool,
+    ) -> Self {
+        assert!(tau >= 1, "Snapshot needs at least one random graph");
+        let snapshots = sample_snapshots_batched(graph, tau, base_seed, backend);
+        Self::from_snapshots(graph.num_vertices(), tau, snapshots, use_reduction)
+    }
+
+    fn from_snapshots(n: usize, tau: u64, snapshots: Vec<Snapshot>, use_reduction: bool) -> Self {
         // Build examines every edge of the influence graph once per snapshot.
         // Section 3.4.2 (and Table 8) account for that separately from the
         // Estimate/Update traversal cost — "Build touches each edge only τ
@@ -125,7 +185,8 @@ impl SnapshotEstimator {
         for snap in &self.snapshots {
             let stats = self.workspace.reachable_count(snap.graph(), seeds);
             total += stats.reachable;
-            self.cost.add_scan(stats.vertices_scanned, stats.edges_scanned);
+            self.cost
+                .add_scan(stats.vertices_scanned, stats.edges_scanned);
         }
         total as f64 / self.snapshots.len() as f64
     }
@@ -146,7 +207,8 @@ impl InfluenceEstimator for SnapshotEstimator {
                     &self.blocked[i],
                 );
                 marginal_total += stats.reachable;
-                self.cost.add_scan(stats.vertices_scanned, stats.edges_scanned);
+                self.cost
+                    .add_scan(stats.vertices_scanned, stats.edges_scanned);
             }
         } else {
             // Naive path: recompute r(S + v) and subtract the cached r(S).
@@ -155,7 +217,8 @@ impl InfluenceEstimator for SnapshotEstimator {
                 seeds.push(candidate);
                 let stats = self.workspace.reachable_count(snap.graph(), &seeds);
                 marginal_total += stats.reachable - self.base_reach[i];
-                self.cost.add_scan(stats.vertices_scanned, stats.edges_scanned);
+                self.cost
+                    .add_scan(stats.vertices_scanned, stats.edges_scanned);
             }
         }
         marginal_total as f64 / self.snapshots.len() as f64
@@ -171,7 +234,8 @@ impl InfluenceEstimator for SnapshotEstimator {
                     &[chosen],
                     &self.blocked[i],
                 );
-                self.cost.add_scan(stats.vertices_scanned, stats.edges_scanned);
+                self.cost
+                    .add_scan(stats.vertices_scanned, stats.edges_scanned);
                 let blocked = &mut self.blocked[i];
                 for v in 0..self.num_vertices as u32 {
                     if self.workspace.was_visited(v) {
@@ -183,9 +247,12 @@ impl InfluenceEstimator for SnapshotEstimator {
         } else {
             self.committed.push(chosen);
             for (i, snap) in self.snapshots.iter().enumerate() {
-                let stats = self.workspace.reachable_count(snap.graph(), &self.committed);
+                let stats = self
+                    .workspace
+                    .reachable_count(snap.graph(), &self.committed);
                 self.base_reach[i] = stats.reachable;
-                self.cost.add_scan(stats.vertices_scanned, stats.edges_scanned);
+                self.cost
+                    .add_scan(stats.vertices_scanned, stats.edges_scanned);
             }
             return;
         }
@@ -248,7 +315,10 @@ mod tests {
         est.update(0); // vertex 0 reaches everything on a deterministic path
         let after = est.estimate(2);
         assert!((before - 3.0).abs() < 1e-12);
-        assert!(after.abs() < 1e-12, "marginal gain after covering the path should be 0");
+        assert!(
+            after.abs() < 1e-12,
+            "marginal gain after covering the path should be 0"
+        );
     }
 
     #[test]
@@ -279,8 +349,10 @@ mod tests {
     #[test]
     fn reduction_lowers_estimate_traversal_cost() {
         let ig = path(1.0, 50);
-        let mut reduced = SnapshotEstimator::with_options(&ig, 8, &mut Pcg32::seed_from_u64(3), true);
-        let mut naive = SnapshotEstimator::with_options(&ig, 8, &mut Pcg32::seed_from_u64(3), false);
+        let mut reduced =
+            SnapshotEstimator::with_options(&ig, 8, &mut Pcg32::seed_from_u64(3), true);
+        let mut naive =
+            SnapshotEstimator::with_options(&ig, 8, &mut Pcg32::seed_from_u64(3), false);
         // Select the head of the path, then estimate the tail: the reduced
         // estimator should traverse far fewer vertices afterwards.
         reduced.update(0);

@@ -139,8 +139,7 @@ pub fn ublf_select<E: InfluenceEstimator, R: Rng32>(
             match best {
                 Some((bv, best_value))
                     if value < best_value
-                        || (value == best_value
-                            && rank_of[v as usize] < rank_of[bv as usize]) => {}
+                        || (value == best_value && rank_of[v as usize] < rank_of[bv as usize]) => {}
                 _ => best = Some((v, value)),
             }
         }
@@ -153,7 +152,14 @@ pub fn ublf_select<E: InfluenceEstimator, R: Rng32>(
         estimates.push(value);
     }
 
-    (GreedyResult { selection_order, estimates, estimate_calls: stats.estimate_calls }, stats)
+    (
+        GreedyResult {
+            selection_order,
+            estimates,
+            estimate_calls: stats.estimate_calls,
+        },
+        stats,
+    )
 }
 
 #[cfg(test)]
@@ -168,7 +174,10 @@ mod tests {
 
     fn small_graph() -> InfluenceGraph {
         let edges = [(0u32, 1u32), (0, 2), (1, 3), (2, 3), (3, 4), (4, 0)];
-        InfluenceGraph::new(DiGraph::from_edges(5, &edges), vec![0.6, 0.3, 0.5, 0.7, 0.4, 0.2])
+        InfluenceGraph::new(
+            DiGraph::from_edges(5, &edges),
+            vec![0.6, 0.3, 0.5, 0.7, 0.4, 0.2],
+        )
     }
 
     #[test]
@@ -177,7 +186,10 @@ mod tests {
         let bounds = influence_upper_bounds(&ig, ig.num_vertices());
         let exact = exact_singleton_influences(&ig);
         for (v, (&b, &inf)) in bounds.iter().zip(&exact).enumerate() {
-            assert!(b + 1e-12 >= inf, "vertex {v}: bound {b} < exact influence {inf}");
+            assert!(
+                b + 1e-12 >= inf,
+                "vertex {v}: bound {b} < exact influence {inf}"
+            );
         }
     }
 
@@ -192,8 +204,7 @@ mod tests {
                 if other == v {
                     continue;
                 }
-                let gain =
-                    exact_influence(&ig, &[other, v]) - exact_influence(&ig, &[other]);
+                let gain = exact_influence(&ig, &[other, v]) - exact_influence(&ig, &[other]);
                 assert!(bounds[v as usize] + 1e-12 >= gain);
             }
         }
@@ -228,8 +239,7 @@ mod tests {
             let mut plain = TableEstimator::new(values.clone());
             let mut pruned = TableEstimator::new(values.clone());
             let g = greedy_select(&mut plain, 3, &mut Pcg32::seed_from_u64(seed));
-            let (u, stats) =
-                ublf_select(&mut pruned, 3, &bounds, &mut Pcg32::seed_from_u64(seed));
+            let (u, stats) = ublf_select(&mut pruned, 3, &bounds, &mut Pcg32::seed_from_u64(seed));
             assert_eq!(g.seed_set(), u.seed_set(), "seed {seed}");
             assert!(stats.estimate_calls <= g.estimate_calls);
             assert!(stats.pruned > 0, "tight bounds should prune something");

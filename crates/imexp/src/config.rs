@@ -19,7 +19,11 @@ impl ApproachKind {
     /// All three approaches, in the paper's order.
     #[must_use]
     pub fn all() -> [ApproachKind; 3] {
-        [ApproachKind::Oneshot, ApproachKind::Snapshot, ApproachKind::Ris]
+        [
+            ApproachKind::Oneshot,
+            ApproachKind::Snapshot,
+            ApproachKind::Ris,
+        ]
     }
 
     /// The paper's display name.
@@ -65,13 +69,21 @@ impl InstanceConfig {
     /// An instance at the default specification of `dataset`.
     #[must_use]
     pub fn new(dataset: Dataset, model: ProbabilityModel) -> Self {
-        Self { spec: dataset.spec(), model, dataset_seed: 0 }
+        Self {
+            spec: dataset.spec(),
+            model,
+            dataset_seed: 0,
+        }
     }
 
     /// An instance scaled down by `factor` (see [`DatasetSpec::scaled`]).
     #[must_use]
     pub fn scaled(dataset: Dataset, model: ProbabilityModel, factor: usize) -> Self {
-        Self { spec: DatasetSpec::scaled(dataset, factor), model, dataset_seed: 0 }
+        Self {
+            spec: DatasetSpec::scaled(dataset, factor),
+            model,
+            dataset_seed: 0,
+        }
     }
 
     /// Human-readable label like `Karate (uc0.1)`.
@@ -91,8 +103,10 @@ pub struct SweepConfig {
     pub trials: usize,
     /// Base seed; trial `i` at sweep position `j` derives its own seed.
     pub base_seed: u64,
-    /// Whether to spread trials over worker threads.
-    pub parallel: bool,
+    /// Worker threads spreading the trials: `0` = one per core, `1` =
+    /// sequential, `n` = exactly `n` workers. The thread count never changes
+    /// the outcomes (each trial derives its own seed).
+    pub threads: usize,
 }
 
 impl SweepConfig {
@@ -103,7 +117,7 @@ impl SweepConfig {
             sample_numbers: (0..=max_exponent).map(|e| 1u64 << e).collect(),
             trials,
             base_seed: 0x0B5E_55ED,
-            parallel: true,
+            threads: 0,
         }
     }
 
@@ -114,11 +128,18 @@ impl SweepConfig {
         self
     }
 
-    /// Disable/enable threading (builder style).
+    /// Set the worker-thread knob (builder style; `0` = one per core).
     #[must_use]
-    pub fn with_parallel(mut self, parallel: bool) -> Self {
-        self.parallel = parallel;
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
         self
+    }
+
+    /// Disable/enable threading (builder style): `true` = one worker per
+    /// core, `false` = sequential.
+    #[must_use]
+    pub fn with_parallel(self, parallel: bool) -> Self {
+        self.with_threads(if parallel { 0 } else { 1 })
     }
 
     /// Keep only sample numbers `≤ cap` (the per-approach caps differ: β and τ
@@ -126,10 +147,15 @@ impl SweepConfig {
     #[must_use]
     pub fn capped_at(&self, cap: u64) -> Self {
         Self {
-            sample_numbers: self.sample_numbers.iter().copied().filter(|&s| s <= cap).collect(),
+            sample_numbers: self
+                .sample_numbers
+                .iter()
+                .copied()
+                .filter(|&s| s <= cap)
+                .collect(),
             trials: self.trials,
             base_seed: self.base_seed,
-            parallel: self.parallel,
+            threads: self.threads,
         }
     }
 }
@@ -251,7 +277,8 @@ mod tests {
     fn instance_labels() {
         let c = InstanceConfig::new(Dataset::Karate, ProbabilityModel::uc01());
         assert_eq!(c.label(), "Karate (uc0.1)");
-        let scaled = InstanceConfig::scaled(Dataset::WikiVote, ProbabilityModel::InDegreeWeighted, 10);
+        let scaled =
+            InstanceConfig::scaled(Dataset::WikiVote, ProbabilityModel::InDegreeWeighted, 10);
         assert!(scaled.spec.num_vertices < Dataset::WikiVote.spec().num_vertices);
         assert_eq!(scaled.label(), "Wiki-Vote (iwc)");
     }
@@ -265,7 +292,8 @@ mod tests {
         assert_eq!(capped.sample_numbers, vec![1, 2, 4]);
         let reseeded = capped.with_base_seed(7).with_parallel(false);
         assert_eq!(reseeded.base_seed, 7);
-        assert!(!reseeded.parallel);
+        assert_eq!(reseeded.threads, 1, "with_parallel(false) pins one worker");
+        assert_eq!(reseeded.with_threads(4).threads, 4);
     }
 
     #[test]
@@ -279,13 +307,23 @@ mod tests {
         assert!(quick.oracle_pool() < paper.oracle_pool());
         assert!(quick.analog_scale_factor() > paper.analog_scale_factor());
         assert_eq!(paper.trials_small(), 1_000, "the paper runs 1,000 trials");
-        assert_eq!(paper.max_exponent_ris(), 24, "θ goes up to 2^24 in the paper");
+        assert_eq!(
+            paper.max_exponent_ris(),
+            24,
+            "θ goes up to 2^24 in the paper"
+        );
     }
 
     #[test]
     fn scale_default_sweeps() {
         let s = ExperimentScale::Quick;
-        assert_eq!(s.simulation_sweep(5).sample_numbers.len() as u32, s.max_exponent_simulation() + 1);
-        assert_eq!(s.ris_sweep(5).sample_numbers.len() as u32, s.max_exponent_ris() + 1);
+        assert_eq!(
+            s.simulation_sweep(5).sample_numbers.len() as u32,
+            s.max_exponent_simulation() + 1
+        );
+        assert_eq!(
+            s.ris_sweep(5).sample_numbers.len() as u32,
+            s.max_exponent_ris() + 1
+        );
     }
 }

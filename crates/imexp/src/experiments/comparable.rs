@@ -49,8 +49,12 @@ pub fn compare_approaches(
         ApproachKind::Ris => scale.ris_sweep(trials),
         _ => scale.simulation_sweep(trials),
     };
-    let reference_curve = instance.sweep(reference, k, &sweep_for(reference)).sample_curve();
-    let candidate_curve = instance.sweep(candidate, k, &sweep_for(candidate)).sample_curve();
+    let reference_curve = instance
+        .sweep(reference, k, &sweep_for(reference))
+        .sample_curve();
+    let candidate_curve = instance
+        .sweep(candidate, k, &sweep_for(candidate))
+        .sample_curve();
     let points = comparable_number_ratio(&reference_curve, &candidate_curve);
     let number_ratios: Vec<f64> = points.iter().map(|p| p.number_ratio).collect();
     let size_ratios: Vec<f64> = points.iter().filter_map(|p| p.size_ratio).collect();
@@ -100,7 +104,13 @@ pub fn table6(scale: ExperimentScale) -> ExperimentReport {
     );
     let mut table = TextTable::new(
         "Median comparable number ratio beta/tau (Snapshot as reference)",
-        &["network", "prob.", "k", "median beta/tau", "reference points"],
+        &[
+            "network",
+            "prob.",
+            "k",
+            "median beta/tau",
+            "reference points",
+        ],
     );
     for (dataset, model, k) in comparable_instances(scale) {
         let instance =
@@ -142,7 +152,13 @@ pub fn table7(scale: ExperimentScale) -> ExperimentReport {
     );
     let mut table = TextTable::new(
         "Median comparable ratios of RIS to Snapshot",
-        &["network", "prob.", "k", "number ratio theta/tau", "size ratio (theta*EPT)/(tau*m~)"],
+        &[
+            "network",
+            "prob.",
+            "k",
+            "number ratio theta/tau",
+            "size ratio (theta*EPT)/(tau*m~)",
+        ],
     );
     for (dataset, model, k) in comparable_instances(scale) {
         let instance =
@@ -220,7 +236,10 @@ mod tests {
             40,
         );
         let number = analysis.median_number_ratio.expect("number ratios exist");
-        assert!(number > 1.0, "RIS should need more samples than Snapshot (got {number})");
+        assert!(
+            number > 1.0,
+            "RIS should need more samples than Snapshot (got {number})"
+        );
         let size = analysis.median_size_ratio.expect("size ratios exist");
         assert!(
             size < number,
@@ -230,7 +249,9 @@ mod tests {
 
     #[test]
     fn instance_list_grows_with_scale() {
-        assert!(comparable_instances(ExperimentScale::Quick).len()
-            < comparable_instances(ExperimentScale::Standard).len());
+        assert!(
+            comparable_instances(ExperimentScale::Quick).len()
+                < comparable_instances(ExperimentScale::Standard).len()
+        );
     }
 }

@@ -34,7 +34,12 @@ pub struct EntropyExperiment {
 impl EntropyExperiment {
     /// Run all three approaches on one prepared instance.
     #[must_use]
-    pub fn run(instance: &PreparedInstance, k: usize, scale: ExperimentScale, trials: usize) -> Self {
+    pub fn run(
+        instance: &PreparedInstance,
+        k: usize,
+        scale: ExperimentScale,
+        trials: usize,
+    ) -> Self {
         let sweeps = ApproachKind::all()
             .into_iter()
             .map(|approach| {
@@ -45,7 +50,11 @@ impl EntropyExperiment {
                 instance.sweep(approach, k, &sweep)
             })
             .collect();
-        Self { instance: instance.label(), seed_size: k, sweeps }
+        Self {
+            instance: instance.label(),
+            seed_size: k,
+            sweeps,
+        }
     }
 
     /// Convergence report per approach.
@@ -133,10 +142,7 @@ pub fn fig2(scale: ExperimentScale) -> ExperimentReport {
         "fig2",
         "entropy plateaus caused by almost-tied seed sets (Figure 2)",
     );
-    let cases = [
-        (Dataset::Karate, 4usize),
-        (Dataset::Physicians, 1usize),
-    ];
+    let cases = [(Dataset::Karate, 4usize), (Dataset::Physicians, 1usize)];
     for (dataset, k) in cases {
         let instance = PreparedInstance::prepare(
             instance_for(dataset, ProbabilityModel::InDegreeWeighted, scale),
@@ -145,15 +151,17 @@ pub fn fig2(scale: ExperimentScale) -> ExperimentReport {
         );
         let trials = trials_for(dataset, scale);
         let experiment = EntropyExperiment::run(&instance, k, scale, trials);
-        report.tables.push(
-            experiment.to_table(&format!("Entropy on {} (iwc), k = {k}", dataset.name())),
-        );
+        report
+            .tables
+            .push(experiment.to_table(&format!("Entropy on {} (iwc), k = {k}", dataset.name())));
         for (approach, convergence) in experiment.convergence() {
             report.notes.push(format!(
                 "{} (iwc) k = {k}, {}: plateau = {:?}",
                 dataset.name(),
                 approach.name(),
-                convergence.plateau.map(|p| (p.start_sample_number, p.end_sample_number, p.level)),
+                convergence
+                    .plateau
+                    .map(|p| (p.start_sample_number, p.end_sample_number, p.level)),
             ));
         }
         // The paper explains the plateau by two near-tied seed sets: report the
@@ -186,8 +194,10 @@ pub fn fig3(scale: ExperimentScale) -> ExperimentReport {
             header.push(format!("H[{}]", model.label()));
         }
         let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-        let mut table =
-            TextTable::new(format!("RIS entropy on {} (k = 1)", dataset.name()), &header_refs);
+        let mut table = TextTable::new(
+            format!("RIS entropy on {} (k = 1)", dataset.name()),
+            &header_refs,
+        );
 
         let mut sweeps = Vec::new();
         for model in ProbabilityModel::paper_models() {
@@ -199,8 +209,12 @@ pub fn fig3(scale: ExperimentScale) -> ExperimentReport {
             let sweep = instance.sweep(ApproachKind::Ris, 1, &scale.ris_sweep(trials));
             sweeps.push((model, sweep));
         }
-        let sample_numbers: Vec<u64> =
-            sweeps[0].1.analyses.iter().map(|a| a.sample_number).collect();
+        let sample_numbers: Vec<u64> = sweeps[0]
+            .1
+            .analyses
+            .iter()
+            .map(|a| a.sample_number)
+            .collect();
         for s in sample_numbers {
             let mut row = vec![s.to_string()];
             for (_, sweep) in &sweeps {
@@ -253,7 +267,7 @@ mod tests {
                     sample_numbers: vec![1, 16, 256],
                     trials: 25,
                     base_seed: 3,
-                    parallel: true,
+                    threads: 0,
                 };
                 instance.sweep(approach, 1, &sweep)
             })

@@ -50,14 +50,21 @@ pub fn heuristics(scale: ExperimentScale) -> ExperimentReport {
             PreparedInstance::prepare(instance_for(dataset, model, scale), scale.oracle_pool(), 17);
         let (_, greedy_influence) = instance.exact_greedy(k);
         let mut table = TextTable::new(
-            format!("{} — k = {k}, oracle greedy = {}", instance.label(), fmt_float(greedy_influence)),
+            format!(
+                "{} — k = {k}, oracle greedy = {}",
+                instance.label(),
+                fmt_float(greedy_influence)
+            ),
             &["method", "influence", "% of greedy", "edges touched"],
         );
         let selectors: Vec<(&str, Box<dyn SeedSelector>)> = vec![
             ("MaxDegree", Box::new(MaxDegree)),
             ("WeightedDegree", Box::new(WeightedDegree)),
             ("SingleDiscount", Box::new(SingleDiscount)),
-            ("DegreeDiscount", Box::new(DegreeDiscount::with_mean_probability(&instance.graph))),
+            (
+                "DegreeDiscount",
+                Box::new(DegreeDiscount::with_mean_probability(&instance.graph)),
+            ),
             ("PageRank", Box::new(PageRankSelector::default())),
             ("IRIE", Box::new(IrieSelector::default())),
             ("Random", Box::new(RandomSelector::new(1))),
@@ -80,7 +87,9 @@ pub fn heuristics(scale: ExperimentScale) -> ExperimentReport {
             fmt_float(100.0 * sketch_influence / greedy_influence),
             sketch.traversal_cost.to_string(),
         ]);
-        let ris = ApproachKind::Ris.with_sample_number(8_192).run(&instance.graph, k, 3);
+        let ris = ApproachKind::Ris
+            .with_sample_number(8_192)
+            .run(&instance.graph, k, 3);
         let ris_influence = instance.oracle.estimate_seed_set(&ris.seeds);
         table.add_row(vec![
             "RIS(θ=8192)".to_string(),
@@ -106,10 +115,23 @@ pub fn determination(scale: ExperimentScale) -> ExperimentReport {
         "determination",
         "Section 7 open direction: worst-case sample-number determination vs empirical requirement",
     );
-    let criterion = least_samples::NearOptimalCriterion { quality_fraction: 0.95, confidence: 0.9 };
+    let criterion = least_samples::NearOptimalCriterion {
+        quality_fraction: 0.95,
+        confidence: 0.9,
+    };
     let mut table = TextTable::new(
         "determined (ε = 0.1, δ = 0.05) vs empirical least sample numbers",
-        &["instance", "k", "OPT lower bound", "θ det.", "β det.", "τ det.", "β*", "τ*", "θ*"],
+        &[
+            "instance",
+            "k",
+            "OPT lower bound",
+            "θ det.",
+            "β det.",
+            "τ det.",
+            "β*",
+            "τ*",
+            "θ*",
+        ],
     );
     for (dataset, model, k) in extension_instances(scale) {
         // The weighted BA_d instance repeats the bound-gap story without new
@@ -119,7 +141,11 @@ pub fn determination(scale: ExperimentScale) -> ExperimentReport {
         }
         let instance =
             PreparedInstance::prepare(instance_for(dataset, model, scale), scale.oracle_pool(), 17);
-        let target = AccuracyTarget { epsilon: 0.1, delta: 0.05, k };
+        let target = AccuracyTarget {
+            epsilon: 0.1,
+            delta: 0.05,
+            k,
+        };
         let determined =
             determine_all_sample_numbers(&instance.graph, &target, &mut default_rng(3));
         let empirical = least_samples::least_sample_numbers(
@@ -159,7 +185,10 @@ mod tests {
     fn heuristics_driver_produces_one_table_per_instance() {
         let report = heuristics(ExperimentScale::Quick);
         assert_eq!(report.id, "heuristics");
-        assert_eq!(report.tables.len(), extension_instances(ExperimentScale::Quick).len());
+        assert_eq!(
+            report.tables.len(),
+            extension_instances(ExperimentScale::Quick).len()
+        );
         for table in &report.tables {
             assert_eq!(table.num_rows(), 9, "7 heuristics + sketch greedy + RIS");
         }

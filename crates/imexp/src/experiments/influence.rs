@@ -77,8 +77,20 @@ pub fn fig4(scale: ExperimentScale) -> ExperimentReport {
         };
         let analyzed = instance.sweep(approach, k, &sweep);
         let mut table = TextTable::new(
-            format!("Influence distribution, {} on Physicians (uc0.1, k = 16)", approach.name()),
-            &["sample number", "mean", "median", "sd", "p1", "q1", "q3", "p99"],
+            format!(
+                "Influence distribution, {} on Physicians (uc0.1, k = 16)",
+                approach.name()
+            ),
+            &[
+                "sample number",
+                "mean",
+                "median",
+                "sd",
+                "p1",
+                "q1",
+                "q3",
+                "p99",
+            ],
         );
         for a in &analyzed.analyses {
             let s = &a.influence_stats;
@@ -117,7 +129,10 @@ pub fn fig5(scale: ExperimentScale) -> ExperimentReport {
         "RIS influence distributions on ca-GrQc: quick convergence on uc0.1 vs slow improvement on owc (Figure 5)",
     );
     let trials = trials_for(Dataset::CaGrQc, scale);
-    for model in [ProbabilityModel::uc01(), ProbabilityModel::OutDegreeWeighted] {
+    for model in [
+        ProbabilityModel::uc01(),
+        ProbabilityModel::OutDegreeWeighted,
+    ] {
         let instance = PreparedInstance::prepare(
             instance_for(Dataset::CaGrQc, model, scale),
             scale.oracle_pool(),
@@ -128,7 +143,12 @@ pub fn fig5(scale: ExperimentScale) -> ExperimentReport {
             format!("RIS on ca-GrQc ({}), k = 1", model.label()),
             &["theta", "mean", "p1", "median", "p99", "mean / final mean"],
         );
-        let final_mean = analyzed.analyses.last().expect("non-empty").influence_stats.mean;
+        let final_mean = analyzed
+            .analyses
+            .last()
+            .expect("non-empty")
+            .influence_stats
+            .mean;
         for a in &analyzed.analyses {
             let s = &a.influence_stats;
             table.add_row(vec![
@@ -137,12 +157,21 @@ pub fn fig5(scale: ExperimentScale) -> ExperimentReport {
                 fmt_float(s.p01),
                 fmt_float(s.median),
                 fmt_float(s.p99),
-                fmt_float(if final_mean > 0.0 { s.mean / final_mean } else { 0.0 }),
+                fmt_float(if final_mean > 0.0 {
+                    s.mean / final_mean
+                } else {
+                    0.0
+                }),
             ]);
         }
         report.tables.push(table);
-        let first_fraction =
-            analyzed.analyses.first().expect("non-empty").influence_stats.mean / final_mean;
+        let first_fraction = analyzed
+            .analyses
+            .first()
+            .expect("non-empty")
+            .influence_stats
+            .mean
+            / final_mean;
         report.notes.push(format!(
             "ca-GrQc ({}): the θ = 1 mean is {:.0}% of the converged mean",
             model.label(),
@@ -167,7 +196,10 @@ pub fn fig6(scale: ExperimentScale) -> ExperimentReport {
         "fig6",
         "mean vs SD and mean vs 1st percentile across algorithms on Physicians (Figure 6)",
     );
-    let cases = [(ProbabilityModel::OutDegreeWeighted, 4usize), (ProbabilityModel::uc01(), 16usize)];
+    let cases = [
+        (ProbabilityModel::OutDegreeWeighted, 4usize),
+        (ProbabilityModel::uc01(), 16usize),
+    ];
     for (model, k) in cases {
         let instance = PreparedInstance::prepare(
             instance_for(Dataset::Physicians, model, scale),
@@ -176,7 +208,10 @@ pub fn fig6(scale: ExperimentScale) -> ExperimentReport {
         );
         let trials = trials_for(Dataset::Physicians, scale);
         let mut table = TextTable::new(
-            format!("Mean vs other statistics, Physicians ({}), k = {k}", model.label()),
+            format!(
+                "Mean vs other statistics, Physicians ({}), k = {k}",
+                model.label()
+            ),
             &["approach", "sample number", "mean", "sd", "p1"],
         );
         for approach in ApproachKind::all() {
@@ -217,7 +252,11 @@ pub fn influence_distribution_table(
 ) -> TextTable {
     let analyzed = instance.sweep(approach, k, sweep);
     let mut table = TextTable::new(
-        format!("Influence distribution, {} on {}", approach.name(), instance.label()),
+        format!(
+            "Influence distribution, {} on {}",
+            approach.name(),
+            instance.label()
+        ),
         &["sample number", "mean", "median", "sd", "p1", "p99"],
     );
     for a in &analyzed.analyses {
@@ -268,12 +307,15 @@ mod tests {
             sample_numbers: vec![1, 32],
             trials: 20,
             base_seed: 5,
-            parallel: true,
+            threads: 0,
         };
         let table = influence_distribution_table(&instance, ApproachKind::Snapshot, 4, &sweep);
         assert_eq!(table.num_rows(), 2);
         let mean_small: f64 = table.rows()[0][1].parse().unwrap();
         let mean_large: f64 = table.rows()[1][1].parse().unwrap();
-        assert!(mean_large >= mean_small * 0.9, "mean should not collapse with more samples");
+        assert!(
+            mean_large >= mean_small * 0.9,
+            "mean should not collapse with more samples"
+        );
     }
 }

@@ -39,7 +39,10 @@ pub struct NearOptimalCriterion {
 
 impl Default for NearOptimalCriterion {
     fn default() -> Self {
-        Self { quality_fraction: 0.95, confidence: 0.99 }
+        Self {
+            quality_fraction: 0.95,
+            confidence: 0.99,
+        }
     }
 }
 
@@ -116,10 +119,15 @@ pub fn table5(scale: ExperimentScale) -> ExperimentReport {
     let mut table = TextTable::new(
         "Least sample number (log2) and entropy at that sample number",
         &[
-            "network", "prob.", "k",
-            "log2 beta*", "H*(Oneshot)",
-            "log2 tau*", "H*(Snapshot)",
-            "log2 theta*", "H*(RIS)",
+            "network",
+            "prob.",
+            "k",
+            "log2 beta*",
+            "H*(Oneshot)",
+            "log2 tau*",
+            "H*(Snapshot)",
+            "log2 theta*",
+            "H*(RIS)",
         ],
     );
     for (dataset, model, k) in table5_instances(scale) {
@@ -129,7 +137,9 @@ pub fn table5(scale: ExperimentScale) -> ExperimentReport {
         let results = least_sample_numbers(&instance, k, scale, trials, criterion);
         let mut row = vec![dataset.name().to_string(), model.label(), k.to_string()];
         for result in &results {
-            row.push(fmt_option(result.least_sample_number.map(|s| (s as f64).log2() as u64)));
+            row.push(fmt_option(
+                result.least_sample_number.map(|s| (s as f64).log2() as u64),
+            ));
             row.push(fmt_option(result.entropy_at_least.map(fmt_float)));
         }
         table.add_row(row);
@@ -156,15 +166,23 @@ pub fn bound_gap(scale: ExperimentScale) -> ExperimentReport {
     let mut table = TextTable::new(
         "Empirical vs worst-case sample numbers (eps = 0.05, delta = 0.01)",
         &[
-            "instance", "k",
-            "empirical beta*", "bound beta",
-            "empirical tau*", "bound tau",
-            "empirical theta*", "bound theta",
+            "instance",
+            "k",
+            "empirical beta*",
+            "bound beta",
+            "empirical tau*",
+            "bound tau",
+            "empirical theta*",
+            "bound theta",
         ],
     );
     let cases = [
         (Dataset::Karate, ProbabilityModel::uc001(), 4usize),
-        (Dataset::BaSparse, ProbabilityModel::InDegreeWeighted, 4usize),
+        (
+            Dataset::BaSparse,
+            ProbabilityModel::InDegreeWeighted,
+            4usize,
+        ),
     ];
     for (dataset, model, k) in cases {
         let instance =
@@ -218,7 +236,10 @@ mod tests {
             1,
             ExperimentScale::Quick,
             40,
-            NearOptimalCriterion { quality_fraction: 0.9, confidence: 0.9 },
+            NearOptimalCriterion {
+                quality_fraction: 0.9,
+                confidence: 0.9,
+            },
         );
         assert_eq!(results.len(), 3);
         // On Karate uc0.1 k=1, each approach should reach near-optimality
@@ -247,7 +268,9 @@ mod tests {
 
     #[test]
     fn table5_instance_list_grows_with_scale() {
-        assert!(table5_instances(ExperimentScale::Quick).len()
-            < table5_instances(ExperimentScale::Paper).len());
+        assert!(
+            table5_instances(ExperimentScale::Quick).len()
+                < table5_instances(ExperimentScale::Paper).len()
+        );
     }
 }

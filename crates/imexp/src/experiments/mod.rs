@@ -54,7 +54,12 @@ impl ExperimentReport {
     /// Create an empty report.
     #[must_use]
     pub fn new(id: impl Into<String>, description: impl Into<String>) -> Self {
-        Self { id: id.into(), description: description.into(), tables: Vec::new(), notes: Vec::new() }
+        Self {
+            id: id.into(),
+            description: description.into(),
+            tables: Vec::new(),
+            notes: Vec::new(),
+        }
     }
 
     /// Render every table and note as one text block.
@@ -112,7 +117,11 @@ pub fn instance_for(
     model: ProbabilityModel,
     scale: ExperimentScale,
 ) -> InstanceConfig {
-    InstanceConfig { spec: spec_for(dataset, scale), model, dataset_seed: 0 }
+    InstanceConfig {
+        spec: spec_for(dataset, scale),
+        model,
+        dataset_seed: 0,
+    }
 }
 
 /// Number of trials appropriate for a dataset at a scale (the paper uses
@@ -131,8 +140,23 @@ pub fn trials_for(dataset: Dataset, scale: ExperimentScale) -> usize {
 #[must_use]
 pub fn experiment_names() -> Vec<&'static str> {
     vec![
-        "table1", "table3", "fig1", "fig2", "fig3", "table4", "fig4", "table5", "fig5", "fig6",
-        "table6", "table7", "table8", "table9", "bound_gap", "heuristics", "determination",
+        "table1",
+        "table3",
+        "fig1",
+        "fig2",
+        "fig3",
+        "table4",
+        "fig4",
+        "table5",
+        "fig5",
+        "fig6",
+        "table6",
+        "table7",
+        "table8",
+        "table9",
+        "bound_gap",
+        "heuristics",
+        "determination",
     ]
 }
 

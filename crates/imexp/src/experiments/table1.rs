@@ -73,7 +73,12 @@ pub fn run(scale: ExperimentScale) -> ExperimentReport {
         "table1",
         "theoretical per-sample traversal cost and sample size (Table 1)",
     );
-    let datasets = [Dataset::Karate, Dataset::Physicians, Dataset::BaSparse, Dataset::BaDense];
+    let datasets = [
+        Dataset::Karate,
+        Dataset::Physicians,
+        Dataset::BaSparse,
+        Dataset::BaDense,
+    ];
     let mut table = TextTable::new(
         "Per-sample cost model at k = 1",
         &[

@@ -55,15 +55,29 @@ pub fn run(scale: ExperimentScale) -> ExperimentReport {
     let mut table = TextTable::new(
         "Network statistics (built networks vs. paper reference)",
         &[
-            "network", "kind", "n", "m", "max d+", "max d-", "clus. coef.", "avg. dist.",
-            "paper n", "paper m", "paper d+", "paper d-",
+            "network",
+            "kind",
+            "n",
+            "m",
+            "max d+",
+            "max d-",
+            "clus. coef.",
+            "avg. dist.",
+            "paper n",
+            "paper m",
+            "paper d+",
+            "paper d-",
         ],
     );
     for row in network_rows(scale) {
         let reference = row.dataset.table3_reference();
         table.add_row(vec![
             row.dataset.name().to_string(),
-            if row.exact { "exact".to_string() } else { "analog".to_string() },
+            if row.exact {
+                "exact".to_string()
+            } else {
+                "analog".to_string()
+            },
             row.stats.num_vertices.to_string(),
             row.stats.num_edges.to_string(),
             row.stats.max_out_degree.to_string(),
@@ -103,7 +117,10 @@ mod tests {
         assert_eq!(karate.stats.num_vertices, 34);
         assert_eq!(karate.stats.num_edges, 156);
         assert_eq!(karate.stats.max_out_degree, 17);
-        let ba_s = rows.iter().find(|r| r.dataset == Dataset::BaSparse).unwrap();
+        let ba_s = rows
+            .iter()
+            .find(|r| r.dataset == Dataset::BaSparse)
+            .unwrap();
         assert_eq!(ba_s.stats.num_vertices, 1_000);
         assert_eq!(ba_s.stats.num_edges, 999);
     }

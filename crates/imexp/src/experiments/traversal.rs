@@ -37,7 +37,11 @@ pub fn per_sample_costs(instance: &PreparedInstance, trials: usize) -> Vec<PerSa
         .map(|approach| {
             let batch = instance.run_trials(approach.with_sample_number(1), 1, trials, 21, true);
             let (vertices, edges) = batch.mean_traversal_cost();
-            PerSampleCost { approach, vertices, edges }
+            PerSampleCost {
+                approach,
+                vertices,
+                edges,
+            }
         })
         .collect()
 }
@@ -47,7 +51,12 @@ pub fn per_sample_costs(instance: &PreparedInstance, trials: usize) -> Vec<PerSa
 pub fn table8_instances(scale: ExperimentScale) -> Vec<(Dataset, ProbabilityModel)> {
     let datasets: Vec<Dataset> = match scale {
         ExperimentScale::Quick => {
-            vec![Dataset::Karate, Dataset::Physicians, Dataset::BaSparse, Dataset::BaDense]
+            vec![
+                Dataset::Karate,
+                Dataset::Physicians,
+                Dataset::BaSparse,
+                Dataset::BaDense,
+            ]
         }
         _ => vec![
             Dataset::Karate,
@@ -87,16 +96,23 @@ pub fn table8(scale: ExperimentScale) -> ExperimentReport {
     let mut table = TextTable::new(
         "Average traversal cost per sample (vertices / edges examined)",
         &[
-            "network", "prob.",
-            "Oneshot v", "Oneshot e",
-            "Snapshot v", "Snapshot e",
-            "RIS v", "RIS e",
+            "network",
+            "prob.",
+            "Oneshot v",
+            "Oneshot e",
+            "Snapshot v",
+            "Snapshot e",
+            "RIS v",
+            "RIS e",
             "n * RIS v / Oneshot v",
         ],
     );
     for (dataset, model) in table8_instances(scale) {
-        let instance =
-            PreparedInstance::prepare(instance_for(dataset, model, scale), scale.oracle_pool().min(50_000), 13);
+        let instance = PreparedInstance::prepare(
+            instance_for(dataset, model, scale),
+            scale.oracle_pool().min(50_000),
+            13,
+        );
         // Per-sample cost is noisy at sample number 1, so average over a
         // healthy number of runs (these runs are very cheap).
         let trials = (trials_for(dataset, scale) * 2).clamp(20, 2_000);
@@ -104,7 +120,11 @@ pub fn table8(scale: ExperimentScale) -> ExperimentReport {
         let n = instance.graph.num_vertices() as f64;
         let oneshot = costs[0];
         let ris = costs[2];
-        let ratio_check = if oneshot.vertices > 0.0 { n * ris.vertices / oneshot.vertices } else { 0.0 };
+        let ratio_check = if oneshot.vertices > 0.0 {
+            n * ris.vertices / oneshot.vertices
+        } else {
+            0.0
+        };
         table.add_row(vec![
             dataset.name().to_string(),
             model.label(),
@@ -154,10 +174,24 @@ pub fn identical_accuracy_row(
 ) -> IdenticalAccuracyRow {
     let costs = per_sample_costs(instance, trials.clamp(20, 500));
     let total = |c: &PerSampleCost| c.vertices + c.edges;
-    let cr1 = compare_approaches(instance, ApproachKind::Snapshot, ApproachKind::Oneshot, k, scale, trials)
-        .median_number_ratio;
-    let cr2 = compare_approaches(instance, ApproachKind::Snapshot, ApproachKind::Ris, k, scale, trials)
-        .median_number_ratio;
+    let cr1 = compare_approaches(
+        instance,
+        ApproachKind::Snapshot,
+        ApproachKind::Oneshot,
+        k,
+        scale,
+        trials,
+    )
+    .median_number_ratio;
+    let cr2 = compare_approaches(
+        instance,
+        ApproachKind::Snapshot,
+        ApproachKind::Ris,
+        k,
+        scale,
+        trials,
+    )
+    .median_number_ratio;
     IdenticalAccuracyRow {
         instance: instance.label(),
         oneshot_ratio: cr1,
@@ -184,7 +218,12 @@ pub fn table9(scale: ExperimentScale) -> ExperimentReport {
         ],
         _ => {
             let mut v = Vec::new();
-            for dataset in [Dataset::CaGrQc, Dataset::WikiVote, Dataset::BaSparse, Dataset::BaDense] {
+            for dataset in [
+                Dataset::CaGrQc,
+                Dataset::WikiVote,
+                Dataset::BaSparse,
+                Dataset::BaDense,
+            ] {
                 for model in ProbabilityModel::paper_models() {
                     if dataset == Dataset::WikiVote && model == ProbabilityModel::uc01() {
                         continue;
@@ -197,7 +236,15 @@ pub fn table9(scale: ExperimentScale) -> ExperimentReport {
     };
     let mut table = TextTable::new(
         "Per-gamma traversal-cost coefficients at identical accuracy",
-        &["instance", "cr1 (beta/tau)", "cr2 (theta/tau)", "Oneshot cost", "Snapshot cost", "RIS cost", "fastest"],
+        &[
+            "instance",
+            "cr1 (beta/tau)",
+            "cr2 (theta/tau)",
+            "Oneshot cost",
+            "Snapshot cost",
+            "RIS cost",
+            "fastest",
+        ],
     );
     for (dataset, model) in cases {
         let instance =

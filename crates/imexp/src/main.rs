@@ -76,7 +76,10 @@ fn main() -> ExitCode {
                 eprintln!("running {name} …");
                 let report = run_by_name(name, scale).expect("registered experiment must run");
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&report).expect("report serialises"));
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&report).expect("report serialises")
+                    );
                 } else {
                     println!("{report}");
                 }
@@ -86,7 +89,10 @@ fn main() -> ExitCode {
         name => match run_by_name(name, scale) {
             Some(report) => {
                 if json {
-                    println!("{}", serde_json::to_string_pretty(&report).expect("report serialises"));
+                    println!(
+                        "{}",
+                        serde_json::to_string_pretty(&report).expect("report serialises")
+                    );
                 } else {
                     println!("{report}");
                 }

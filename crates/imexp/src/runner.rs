@@ -7,12 +7,12 @@
 //! oracle so that every identical seed set receives an identical influence
 //! estimate across algorithms and sample numbers, exactly as in Section 5.2.
 
+use im_core::sampler::{self, Backend, SampleBudget};
 use im_core::{Algorithm, InfluenceOracle, RunOutcome, SeedSet};
 use imgraph::InfluenceGraph;
 use imrand::derive_seed;
 use imstats::convergence::EntropyPoint;
 use imstats::{EmpiricalDistribution, SampleCurve, SummaryStats};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::config::{ApproachKind, InstanceConfig, SweepConfig};
@@ -32,10 +32,16 @@ impl PreparedInstance {
     /// Build the graph and the shared oracle.
     #[must_use]
     pub fn prepare(config: InstanceConfig, oracle_pool: usize, oracle_seed: u64) -> Self {
-        let graph = config.spec.influence_graph(config.model, config.dataset_seed);
+        let graph = config
+            .spec
+            .influence_graph(config.model, config.dataset_seed);
         let mut rng = imrand::default_rng(oracle_seed ^ ORACLE_SEED_MIX);
         let oracle = InfluenceOracle::build(&graph, oracle_pool, &mut rng);
-        Self { config, graph, oracle }
+        Self {
+            config,
+            graph,
+            oracle,
+        }
     }
 
     /// Human-readable label of the instance.
@@ -53,6 +59,9 @@ impl PreparedInstance {
     }
 
     /// Run `trials` independent trials of `algorithm` at seed size `k`.
+    ///
+    /// `parallel` is a convenience switch over [`Self::run_trials_threads`]:
+    /// `true` uses one worker per core, `false` runs sequentially.
     #[must_use]
     pub fn run_trials(
         &self,
@@ -62,14 +71,35 @@ impl PreparedInstance {
         base_seed: u64,
         parallel: bool,
     ) -> TrialBatch {
-        let outcomes: Vec<RunOutcome> = if parallel && trials > 1 {
-            run_trials_parallel(&self.graph, algorithm, k, trials, base_seed)
-        } else {
-            (0..trials)
-                .map(|t| algorithm.run(&self.graph, k, derive_seed(base_seed, t as u64)))
-                .collect()
-        };
-        TrialBatch { algorithm, seed_size: k, outcomes }
+        self.run_trials_threads(
+            algorithm,
+            k,
+            trials,
+            base_seed,
+            if parallel { 0 } else { 1 },
+        )
+    }
+
+    /// Run `trials` independent trials on an explicit number of worker
+    /// threads (`0` = one per core, `1` = sequential).
+    ///
+    /// Every trial derives its own seed from `base_seed` and its index, so
+    /// the batch is identical for every thread count.
+    #[must_use]
+    pub fn run_trials_threads(
+        &self,
+        algorithm: Algorithm,
+        k: usize,
+        trials: usize,
+        base_seed: u64,
+        threads: usize,
+    ) -> TrialBatch {
+        let outcomes = run_trials_on(&self.graph, algorithm, k, trials, base_seed, threads);
+        TrialBatch {
+            algorithm,
+            seed_size: k,
+            outcomes,
+        }
     }
 
     /// Run the full sample-number sweep of one approach and analyse every
@@ -79,16 +109,20 @@ impl PreparedInstance {
         let mut analyses = Vec::with_capacity(sweep.sample_numbers.len());
         for (idx, &s) in sweep.sample_numbers.iter().enumerate() {
             let algorithm = approach.with_sample_number(s);
-            let batch = self.run_trials(
+            let batch = self.run_trials_threads(
                 algorithm,
                 k,
                 sweep.trials,
                 derive_seed(sweep.base_seed, idx as u64),
-                sweep.parallel,
+                sweep.threads,
             );
             analyses.push(SampleAnalysis::from_batch(&batch, &self.oracle));
         }
-        AnalyzedSweep { approach, seed_size: k, analyses }
+        AnalyzedSweep {
+            approach,
+            seed_size: k,
+            analyses,
+        }
     }
 }
 
@@ -96,39 +130,29 @@ impl PreparedInstance {
 /// trial RR sets even when a caller reuses the same base seed for both.
 const ORACLE_SEED_MIX: u64 = 0x0AC1_E5EE_D000_0001;
 
-fn run_trials_parallel(
+/// The trial fan-out: one batch per trial, dispatched through `im_core`'s
+/// sampler layer so the thread count never changes the outcomes (each trial
+/// is seeded from `base_seed` and its own index, not from the batch PRNG).
+fn run_trials_on(
     graph: &InfluenceGraph,
     algorithm: Algorithm,
     k: usize,
     trials: usize,
     base_seed: u64,
+    threads: usize,
 ) -> Vec<RunOutcome> {
-    let workers = std::thread::available_parallelism().map_or(2, |p| p.get()).min(trials).max(1);
-    let next = Mutex::new(0usize);
-    let results: Mutex<Vec<Option<RunOutcome>>> = Mutex::new(vec![None; trials]);
-    crossbeam::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let t = {
-                    let mut guard = next.lock();
-                    let t = *guard;
-                    if t >= trials {
-                        break;
-                    }
-                    *guard += 1;
-                    t
-                };
-                let outcome = algorithm.run(graph, k, derive_seed(base_seed, t as u64));
-                results.lock()[t] = Some(outcome);
-            });
-        }
-    })
-    .expect("trial worker panicked");
-    results
-        .into_inner()
-        .into_iter()
-        .map(|o| o.expect("every trial index must have been filled"))
-        .collect()
+    let backend = match threads {
+        0 => Backend::parallel(),
+        1 => Backend::Sequential,
+        n => Backend::Parallel { threads: n },
+    };
+    sampler::run_batches(
+        &SampleBudget::with_batch_size(trials as u64, 1),
+        base_seed,
+        backend,
+        || (),
+        |(), batch, _| algorithm.run(graph, k, derive_seed(base_seed, batch.start)),
+    )
 }
 
 /// All outcomes of `T` trials of one (algorithm, sample number, k)
@@ -163,7 +187,11 @@ impl TrialBatch {
             return (0.0, 0.0);
         }
         let n = self.outcomes.len() as f64;
-        let v: u64 = self.outcomes.iter().map(|o| o.traversal_cost.vertices).sum();
+        let v: u64 = self
+            .outcomes
+            .iter()
+            .map(|o| o.traversal_cost.vertices)
+            .sum();
         let e: u64 = self.outcomes.iter().map(|o| o.traversal_cost.edges).sum();
         (v as f64 / n, e as f64 / n)
     }
@@ -211,8 +239,11 @@ impl SampleAnalysis {
     pub fn from_batch(batch: &TrialBatch, oracle: &InfluenceOracle) -> Self {
         assert!(!batch.outcomes.is_empty(), "cannot analyse an empty batch");
         let distribution = batch.seed_set_distribution();
-        let influences: Vec<f64> =
-            batch.outcomes.iter().map(|o| oracle.estimate_seed_set(&o.seeds)).collect();
+        let influences: Vec<f64> = batch
+            .outcomes
+            .iter()
+            .map(|o| oracle.estimate_seed_set(&o.seeds))
+            .collect();
         let (v, e) = batch.mean_traversal_cost();
         let modal_seed_set = distribution
             .mode()
@@ -256,7 +287,10 @@ impl AnalyzedSweep {
     pub fn entropy_curve(&self) -> Vec<EntropyPoint> {
         self.analyses
             .iter()
-            .map(|a| EntropyPoint { sample_number: a.sample_number, entropy: a.entropy })
+            .map(|a| EntropyPoint {
+                sample_number: a.sample_number,
+                entropy: a.entropy,
+            })
             .collect()
     }
 
@@ -288,7 +322,9 @@ impl AnalyzedSweep {
     /// The analysis at a specific sample number, if present.
     #[must_use]
     pub fn at(&self, sample_number: u64) -> Option<&SampleAnalysis> {
-        self.analyses.iter().find(|a| a.sample_number == sample_number)
+        self.analyses
+            .iter()
+            .find(|a| a.sample_number == sample_number)
     }
 }
 
@@ -357,7 +393,12 @@ mod tests {
     #[test]
     fn sweep_entropy_decreases_and_influence_increases() {
         let inst = karate_instance();
-        let sweep = SweepConfig { sample_numbers: vec![1, 64, 1024], trials: 40, base_seed: 1, parallel: true };
+        let sweep = SweepConfig {
+            sample_numbers: vec![1, 64, 1024],
+            trials: 40,
+            base_seed: 1,
+            threads: 0,
+        };
         let analyzed = inst.sweep(ApproachKind::Ris, 1, &sweep);
         assert_eq!(analyzed.analyses.len(), 3);
         let curve = analyzed.entropy_curve();
@@ -365,8 +406,15 @@ mod tests {
             curve.first().unwrap().entropy >= curve.last().unwrap().entropy,
             "entropy should not increase from θ=1 to θ=1024"
         );
-        let means: Vec<f64> = analyzed.analyses.iter().map(|a| a.influence_stats.mean).collect();
-        assert!(means[2] >= means[0], "mean influence should improve with more samples");
+        let means: Vec<f64> = analyzed
+            .analyses
+            .iter()
+            .map(|a| a.influence_stats.mean)
+            .collect();
+        assert!(
+            means[2] >= means[0],
+            "mean influence should improve with more samples"
+        );
         let sample_curve = analyzed.sample_curve();
         assert_eq!(sample_curve.len(), 3);
         assert!(analyzed.at(64).is_some());
@@ -383,13 +431,20 @@ mod tests {
             120_000,
             7,
         );
-        let sweep = SweepConfig { sample_numbers: vec![1, 256], trials: 30, base_seed: 2, parallel: true };
+        let sweep = SweepConfig {
+            sample_numbers: vec![1, 256],
+            trials: 30,
+            base_seed: 2,
+            threads: 0,
+        };
         let analyzed = inst.sweep(ApproachKind::Snapshot, 1, &sweep);
         let (_, exact) = inst.exact_greedy(1);
         // With τ = 256 on Karate, essentially every trial should be
         // near-optimal.
         let hit = analyzed.least_sample_number_reaching(0.95 * exact, 0.9);
         assert!(hit.is_some());
-        assert!(analyzed.least_sample_number_reaching(f64::MAX, 0.9).is_none());
+        assert!(analyzed
+            .least_sample_number_reaching(f64::MAX, 0.9)
+            .is_none());
     }
 }

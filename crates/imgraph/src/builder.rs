@@ -22,7 +22,12 @@ impl GraphBuilder {
     /// Create a builder for a graph with `n` vertices.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self { num_vertices: n, edges: Vec::new(), dedup: false, drop_self_loops: false }
+        Self {
+            num_vertices: n,
+            edges: Vec::new(),
+            dedup: false,
+            drop_self_loops: false,
+        }
     }
 
     /// Create a builder with capacity for an expected number of edges.

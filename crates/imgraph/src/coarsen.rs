@@ -119,7 +119,11 @@ pub fn contract_partition(graph: &InfluenceGraph, partition: &[VertexId]) -> Coa
     let probabilities: Vec<f64> = quotient_edges.iter().map(|&(_, p)| p).collect();
     let quotient = InfluenceGraph::new(DiGraph::from_edges(num_blocks, &edges), probabilities);
 
-    CoarsenedGraph { graph: quotient, membership: partition.to_vec(), sizes }
+    CoarsenedGraph {
+        graph: quotient,
+        membership: partition.to_vec(),
+        sizes,
+    }
 }
 
 /// The partition induced by the strongly connected components of the subgraph
@@ -135,7 +139,10 @@ pub fn contract_partition(graph: &InfluenceGraph, partition: &[VertexId]) -> Coa
 /// Panics if `threshold` is not in `(0, 1]`.
 #[must_use]
 pub fn certain_edge_partition(graph: &InfluenceGraph, threshold: f64) -> Vec<VertexId> {
-    assert!(threshold > 0.0 && threshold <= 1.0, "threshold must lie in (0, 1]");
+    assert!(
+        threshold > 0.0 && threshold <= 1.0,
+        "threshold must lie in (0, 1]"
+    );
     let n = graph.num_vertices();
     let mut certain_edges: Vec<(VertexId, VertexId)> = Vec::new();
     for u in 0..n as VertexId {

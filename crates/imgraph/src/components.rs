@@ -20,7 +20,11 @@ impl UnionFind {
     /// Create a structure with `n` singleton sets.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
     }
 
     /// Find the representative of `x` (with path halving).
@@ -92,7 +96,10 @@ pub fn weakly_connected_component_sizes(graph: &DiGraph) -> Vec<usize> {
 /// influence graphs.
 #[must_use]
 pub fn largest_weak_component(graph: &DiGraph) -> usize {
-    weakly_connected_component_sizes(graph).first().copied().unwrap_or(0)
+    weakly_connected_component_sizes(graph)
+        .first()
+        .copied()
+        .unwrap_or(0)
 }
 
 /// Strongly connected components via an iterative Tarjan algorithm.
@@ -171,7 +178,11 @@ pub fn strongly_connected_components(graph: &DiGraph) -> Vec<u32> {
 #[must_use]
 pub fn num_strongly_connected_components(graph: &DiGraph) -> usize {
     let comps = strongly_connected_components(graph);
-    comps.iter().copied().max().map_or(0, |max| max as usize + 1)
+    comps
+        .iter()
+        .copied()
+        .max()
+        .map_or(0, |max| max as usize + 1)
 }
 
 #[cfg(test)]

@@ -50,13 +50,22 @@ impl InfluenceGraph {
         }
         let transpose = graph.transpose();
         let prob_sum = probabilities.iter().sum();
-        Self { graph, probabilities, transpose, prob_sum }
+        Self {
+            graph,
+            probabilities,
+            transpose,
+            prob_sum,
+        }
     }
 
     /// Build an influence graph directly from an edge list and a probability
     /// assignment function `p(u, v)`.
     #[must_use]
-    pub fn from_edges_with(n: usize, edges: &[Edge], mut p: impl FnMut(VertexId, VertexId) -> f64) -> Self {
+    pub fn from_edges_with(
+        n: usize,
+        edges: &[Edge],
+        mut p: impl FnMut(VertexId, VertexId) -> f64,
+    ) -> Self {
         let graph = DiGraph::from_edges(n, edges);
         let probabilities = edges.iter().map(|&(u, v)| p(u, v)).collect();
         Self::new(graph, probabilities)
@@ -111,13 +120,17 @@ impl InfluenceGraph {
 
     /// Out-neighbours of `v` with the probability of each incident edge.
     pub fn out_edges_with_prob(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f64)> + '_ {
-        self.graph.out_edges(v).map(move |(w, eid)| (w, self.probability(eid)))
+        self.graph
+            .out_edges(v)
+            .map(move |(w, eid)| (w, self.probability(eid)))
     }
 
     /// In-neighbours of `v` with the probability of each incident edge
     /// (i.e. the probability of the original edge `(u, v)`).
     pub fn in_edges_with_prob(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f64)> + '_ {
-        self.graph.in_edges(v).map(move |(u, eid)| (u, self.probability(eid)))
+        self.graph
+            .in_edges(v)
+            .map(move |(u, eid)| (u, self.probability(eid)))
     }
 
     /// The expected in-weight `Σ_{u ∈ Γ⁻(v)} p(u, v)` of a vertex; equals 1 for

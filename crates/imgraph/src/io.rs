@@ -30,7 +30,11 @@ impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "I/O error: {e}"),
-            IoError::Parse { line, content, reason } => {
+            IoError::Parse {
+                line,
+                content,
+                reason,
+            } => {
                 write!(f, "parse error at line {line} ({reason}): {content:?}")
             }
         }
@@ -155,7 +159,12 @@ pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<EdgeList, IoError> 
 /// Write a graph as a plain edge list (no probability column).
 pub fn write_edge_list<W: Write>(graph: &DiGraph, writer: W) -> Result<(), IoError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# directed edge list: {} vertices, {} edges", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# directed edge list: {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (u, v) in graph.edges_in_insertion_order() {
         writeln!(w, "{u} {v}")?;
     }
@@ -173,7 +182,12 @@ pub fn write_influence_graph<W: Write>(ig: &InfluenceGraph, writer: W) -> Result
         ig.num_edges(),
         ig.probability_sum()
     )?;
-    for (eid, (u, v)) in ig.graph().edges_in_insertion_order().into_iter().enumerate() {
+    for (eid, (u, v)) in ig
+        .graph()
+        .edges_in_insertion_order()
+        .into_iter()
+        .enumerate()
+    {
         writeln!(w, "{u} {v} {}", ig.probability(eid as u32))?;
     }
     w.flush()?;
@@ -249,7 +263,10 @@ mod tests {
         let text = String::from_utf8(buffer).unwrap();
         let parsed = parse_edge_list(&text).unwrap().into_graph();
         assert_eq!(parsed.num_vertices(), 3);
-        assert_eq!(parsed.edges_in_insertion_order(), g.edges_in_insertion_order());
+        assert_eq!(
+            parsed.edges_in_insertion_order(),
+            g.edges_in_insertion_order()
+        );
     }
 
     #[test]

@@ -58,9 +58,8 @@ impl Snapshot {
 pub fn sample_snapshot<R: Rng32>(ig: &InfluenceGraph, rng: &mut R) -> Snapshot {
     let n = ig.num_vertices();
     let graph = ig.graph();
-    let mut live: Vec<(VertexId, VertexId)> = Vec::with_capacity(
-        (ig.probability_sum().ceil() as usize).min(ig.num_edges()),
-    );
+    let mut live: Vec<(VertexId, VertexId)> =
+        Vec::with_capacity((ig.probability_sum().ceil() as usize).min(ig.num_edges()));
     // Iterate in edge-id order so the RNG consumption order is deterministic
     // and independent of CSR layout.
     for u in graph.vertices() {
@@ -120,7 +119,10 @@ mod tests {
             .iter()
             .map(Snapshot::live_edge_count)
             .sum();
-        assert!(total <= 1, "with p = 1e-9, essentially no edge should survive");
+        assert!(
+            total <= 1,
+            "with p = 1e-9, essentially no edge should survive"
+        );
     }
 
     #[test]

@@ -24,7 +24,11 @@ impl ReachWorkspace {
     /// Create a workspace able to serve graphs with up to `n` vertices.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self { visited: vec![0; n], epoch: 0, queue: Vec::with_capacity(n.min(1024)) }
+        Self {
+            visited: vec![0; n],
+            epoch: 0,
+            queue: Vec::with_capacity(n.min(1024)),
+        }
     }
 
     /// Grow the workspace if the graph is larger than the current capacity.
@@ -183,7 +187,9 @@ pub struct ReachStats {
 /// Allocates a fresh workspace per call; prefer [`ReachWorkspace`] in loops.
 #[must_use]
 pub fn reachable_count(graph: &DiGraph, seeds: &[VertexId]) -> usize {
-    ReachWorkspace::new(graph.num_vertices()).reachable_count(graph, seeds).reachable
+    ReachWorkspace::new(graph.num_vertices())
+        .reachable_count(graph, seeds)
+        .reachable
 }
 
 #[cfg(test)]
@@ -269,9 +275,15 @@ mod tests {
         // Block vertex 2: from 0 we can now only reach {0, 1}.
         let mut blocked = vec![false; 5];
         blocked[2] = true;
-        assert_eq!(ws.reachable_count_excluding(&g, &[0], &blocked).reachable, 2);
+        assert_eq!(
+            ws.reachable_count_excluding(&g, &[0], &blocked).reachable,
+            2
+        );
         // Blocked seed contributes nothing.
-        assert_eq!(ws.reachable_count_excluding(&g, &[2], &blocked).reachable, 0);
+        assert_eq!(
+            ws.reachable_count_excluding(&g, &[2], &blocked).reachable,
+            0
+        );
     }
 
     #[test]

@@ -51,7 +51,11 @@ pub struct StatsConfig {
 
 impl Default for StatsConfig {
     fn default() -> Self {
-        Self { distance_sources: 64, max_edges_for_clustering: 50_000_000, seed: 0x5747_5354 }
+        Self {
+            distance_sources: 64,
+            max_edges_for_clustering: 50_000_000,
+            seed: 0x5747_5354,
+        }
     }
 }
 
@@ -245,7 +249,10 @@ mod tests {
     #[test]
     fn triangle_clustering_is_one() {
         let c = global_clustering_coefficient(&triangle()).unwrap();
-        assert!((c - 1.0).abs() < 1e-12, "triangle clustering should be 1, got {c}");
+        assert!(
+            (c - 1.0).abs() < 1e-12,
+            "triangle clustering should be 1, got {c}"
+        );
     }
 
     #[test]
@@ -308,7 +315,11 @@ mod tests {
         let g = triangle();
         let stats = GraphStats::compute_with(
             &g,
-            StatsConfig { distance_sources: 0, max_edges_for_clustering: 0, seed: 1 },
+            StatsConfig {
+                distance_sources: 0,
+                max_edges_for_clustering: 0,
+                seed: 1,
+            },
         );
         assert!(stats.average_distance.is_none());
         assert!(stats.clustering_coefficient.is_none());

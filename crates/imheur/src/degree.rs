@@ -46,8 +46,9 @@ pub struct WeightedDegree;
 impl SeedSelector for WeightedDegree {
     fn select(&self, graph: &InfluenceGraph, k: usize) -> HeuristicResult {
         let n = graph.num_vertices();
-        let scores: Vec<f64> =
-            (0..n as VertexId).map(|v| graph.expected_out_weight(v)).collect();
+        let scores: Vec<f64> = (0..n as VertexId)
+            .map(|v| graph.expected_out_weight(v))
+            .collect();
         let (seeds, picked) = top_k_by_score(&scores, k);
         HeuristicResult {
             seeds,

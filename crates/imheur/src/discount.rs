@@ -36,7 +36,9 @@ impl SeedSelector for SingleDiscount {
         let mut edges_examined = 0u64;
 
         for _ in 0..k {
-            let Some(best) = argmax_unselected(&score, &selected) else { break };
+            let Some(best) = argmax_unselected(&score, &selected) else {
+                break;
+            };
             vertices_examined += n as u64;
             selected[best as usize] = true;
             seeds.push(best);
@@ -50,7 +52,12 @@ impl SeedSelector for SingleDiscount {
                 }
             }
         }
-        HeuristicResult { seeds, scores, vertices_examined, edges_examined }
+        HeuristicResult {
+            seeds,
+            scores,
+            vertices_examined,
+            edges_examined,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -86,7 +93,11 @@ impl DegreeDiscount {
     #[must_use]
     pub fn with_mean_probability(graph: &InfluenceGraph) -> Self {
         let m = graph.num_edges();
-        let p = if m == 0 { 1.0 } else { graph.probability_sum() / m as f64 };
+        let p = if m == 0 {
+            1.0
+        } else {
+            graph.probability_sum() / m as f64
+        };
         Self::new(p.clamp(f64::MIN_POSITIVE, 1.0))
     }
 }
@@ -108,7 +119,9 @@ impl SeedSelector for DegreeDiscount {
         let mut edges_examined = 0u64;
 
         for _ in 0..k {
-            let Some(best) = argmax_unselected(&score, &selected) else { break };
+            let Some(best) = argmax_unselected(&score, &selected) else {
+                break;
+            };
             vertices_examined += n as u64;
             selected[best as usize] = true;
             seeds.push(best);
@@ -126,7 +139,12 @@ impl SeedSelector for DegreeDiscount {
                 score[v as usize] = d - 2.0 * tv - (d - tv) * tv * p;
             }
         }
-        HeuristicResult { seeds, scores, vertices_examined, edges_examined }
+        HeuristicResult {
+            seeds,
+            scores,
+            vertices_examined,
+            edges_examined,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -208,7 +226,10 @@ mod tests {
     fn discounts_return_distinct_seeds_and_respect_k() {
         let ig = two_hubs(0.1);
         for k in 0..=6 {
-            for r in [SingleDiscount.select(&ig, k), DegreeDiscount::new(0.1).select(&ig, k)] {
+            for r in [
+                SingleDiscount.select(&ig, k),
+                DegreeDiscount::new(0.1).select(&ig, k),
+            ] {
                 assert_eq!(r.len(), k.min(6));
                 let mut sorted = r.seeds.clone();
                 sorted.sort_unstable();

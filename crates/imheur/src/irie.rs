@@ -28,7 +28,10 @@ pub struct IrieSelector {
 
 impl Default for IrieSelector {
     fn default() -> Self {
-        Self { alpha: 0.7, iterations: 20 }
+        Self {
+            alpha: 0.7,
+            iterations: 20,
+        }
     }
 }
 
@@ -40,7 +43,10 @@ impl IrieSelector {
     /// Panics if `alpha` is outside `(0, 1]` or `iterations` is zero.
     #[must_use]
     pub fn new(alpha: f64, iterations: usize) -> Self {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must lie in (0, 1], got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must lie in (0, 1], got {alpha}"
+        );
         assert!(iterations > 0, "need at least one rank iteration");
         Self { alpha, iterations }
     }
@@ -58,8 +64,7 @@ impl IrieSelector {
                 for (w, p) in graph.out_edges_with_prob(v) {
                     pushed += p * rank[w as usize];
                 }
-                next[v as usize] =
-                    (1.0 - already_active[v as usize]) * (1.0 + self.alpha * pushed);
+                next[v as usize] = (1.0 - already_active[v as usize]) * (1.0 + self.alpha * pushed);
             }
             std::mem::swap(&mut rank, &mut next);
         }
@@ -108,7 +113,12 @@ impl SeedSelector for IrieSelector {
                 *ap = (*ap + (1.0 - *ap) * p).min(1.0);
             }
         }
-        HeuristicResult { seeds, scores, vertices_examined, edges_examined }
+        HeuristicResult {
+            seeds,
+            scores,
+            vertices_examined,
+            edges_examined,
+        }
     }
 
     fn name(&self) -> &'static str {
@@ -130,7 +140,7 @@ mod tests {
     #[test]
     fn rank_of_source_exceeds_rank_of_sink() {
         let ig = chain_plus_hub();
-        let ranks = IrieSelector::default().ranks(&ig, &vec![0.0; 6]);
+        let ranks = IrieSelector::default().ranks(&ig, &[0.0; 6]);
         assert!(ranks[0] > ranks[1], "hub {} vs leaf {}", ranks[0], ranks[1]);
         assert!(ranks[4] > ranks[5]);
     }
@@ -151,7 +161,10 @@ mod tests {
         let ig = chain_plus_hub();
         let r = IrieSelector::default().select(&ig, 2);
         assert_eq!(r.seeds[0], 0);
-        assert_eq!(r.seeds[1], 4, "second seed should come from the untouched component");
+        assert_eq!(
+            r.seeds[1], 4,
+            "second seed should come from the untouched component"
+        );
     }
 
     #[test]
@@ -171,7 +184,11 @@ mod tests {
         let ig = InfluenceGraph::new(DiGraph::from_edges(5, &edges), vec![0.9; m]);
         let r = IrieSelector::default().select(&ig, 2);
         assert!(r.seeds[0] < 3);
-        assert_eq!(r.seeds[1], 3, "second seed escapes the saturated clique: {:?}", r.seeds);
+        assert_eq!(
+            r.seeds[1], 3,
+            "second seed escapes the saturated clique: {:?}",
+            r.seeds
+        );
     }
 
     #[test]

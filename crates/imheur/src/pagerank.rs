@@ -26,7 +26,11 @@ pub struct PageRankSelector {
 
 impl Default for PageRankSelector {
     fn default() -> Self {
-        Self { damping: 0.85, max_iterations: 100, tolerance: 1e-9 }
+        Self {
+            damping: 0.85,
+            max_iterations: 100,
+            tolerance: 1e-9,
+        }
     }
 }
 
@@ -39,8 +43,14 @@ impl PageRankSelector {
     /// Panics if `damping` is outside `[0, 1)`.
     #[must_use]
     pub fn new(damping: f64) -> Self {
-        assert!((0.0..1.0).contains(&damping), "damping must lie in [0, 1), got {damping}");
-        Self { damping, ..Self::default() }
+        assert!(
+            (0.0..1.0).contains(&damping),
+            "damping must lie in [0, 1), got {damping}"
+        );
+        Self {
+            damping,
+            ..Self::default()
+        }
     }
 
     /// Compute the influence-weighted PageRank vector (summing to 1) together
@@ -57,8 +67,9 @@ impl PageRankSelector {
         let uniform = 1.0 / n as f64;
         let mut rank = vec![uniform; n];
         let mut next = vec![0.0f64; n];
-        let in_mass: Vec<f64> =
-            (0..n as VertexId).map(|v| graph.expected_in_weight(v)).collect();
+        let in_mass: Vec<f64> = (0..n as VertexId)
+            .map(|v| graph.expected_in_weight(v))
+            .collect();
 
         let mut iterations = 0usize;
         for _ in 0..self.max_iterations {
@@ -143,7 +154,12 @@ mod tests {
         let edges = [(0u32, 1u32), (1, 2), (2, 3)];
         let ig = InfluenceGraph::new(DiGraph::from_edges(4, &edges), vec![0.8; 3]);
         let (scores, _) = PageRankSelector::default().scores(&ig);
-        assert!(scores[0] > scores[3], "head {} vs tail {}", scores[0], scores[3]);
+        assert!(
+            scores[0] > scores[3],
+            "head {} vs tail {}",
+            scores[0],
+            scores[3]
+        );
     }
 
     #[test]

@@ -10,7 +10,7 @@ use crate::selector::{HeuristicResult, SeedSelector};
 /// The selector owns its seed so that repeated calls with the same
 /// configuration are reproducible; construct with a different seed per trial
 /// when a distribution over random baselines is wanted.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct RandomSelector {
     /// Seed of the internal PCG32 generator.
     pub seed: u64,
@@ -21,12 +21,6 @@ impl RandomSelector {
     #[must_use]
     pub fn new(seed: u64) -> Self {
         Self { seed }
-    }
-}
-
-impl Default for RandomSelector {
-    fn default() -> Self {
-        Self { seed: 0 }
     }
 }
 

@@ -22,7 +22,10 @@ impl BarabasiAlbert {
     /// The paper's sparse instance `BA_s`: n = 1,000, M = 1.
     #[must_use]
     pub fn sparse() -> Self {
-        Self { num_vertices: 1_000, edges_per_vertex: 1 }
+        Self {
+            num_vertices: 1_000,
+            edges_per_vertex: 1,
+        }
     }
 
     /// The paper's dense instance `BA_d`: n = 1,000, M = 11.
@@ -32,7 +35,10 @@ impl BarabasiAlbert {
     /// with the seed because duplicate attachments are rejected.)
     #[must_use]
     pub fn dense() -> Self {
-        Self { num_vertices: 1_000, edges_per_vertex: 11 }
+        Self {
+            num_vertices: 1_000,
+            edges_per_vertex: 11,
+        }
     }
 
     /// Generate the *undirected* attachment edge list (each edge once).
@@ -52,7 +58,10 @@ impl BarabasiAlbert {
         let n = self.num_vertices;
         let m_attach = self.edges_per_vertex;
         assert!(m_attach >= 1, "edges_per_vertex must be at least 1");
-        assert!(n > m_attach, "need more vertices ({n}) than attachments per vertex ({m_attach})");
+        assert!(
+            n > m_attach,
+            "need more vertices ({n}) than attachments per vertex ({m_attach})"
+        );
 
         let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * m_attach);
         // `endpoints` holds every edge endpoint once; sampling an element
@@ -185,7 +194,10 @@ mod tests {
     #[test]
     fn no_self_loops_and_no_duplicate_attachments() {
         let mut rng = Pcg32::seed_from_u64(4);
-        let spec = BarabasiAlbert { num_vertices: 300, edges_per_vertex: 5 };
+        let spec = BarabasiAlbert {
+            num_vertices: 300,
+            edges_per_vertex: 5,
+        };
         let edges = spec.generate_undirected(&mut rng);
         let mut seen = std::collections::HashSet::new();
         for &(u, v) in &edges {
@@ -200,7 +212,10 @@ mod tests {
         // Preferential attachment should produce a hub much larger than the
         // median degree.
         let mut rng = Pcg32::seed_from_u64(5);
-        let spec = BarabasiAlbert { num_vertices: 2_000, edges_per_vertex: 2 };
+        let spec = BarabasiAlbert {
+            num_vertices: 2_000,
+            edges_per_vertex: 2,
+        };
         let edges = spec.generate_undirected(&mut rng);
         let mut deg = undirected_degrees(2_000, &edges);
         deg.sort_unstable();
@@ -238,6 +253,10 @@ mod tests {
     #[should_panic(expected = "need more vertices")]
     fn too_few_vertices_panics() {
         let mut rng = Pcg32::seed_from_u64(12);
-        let _ = BarabasiAlbert { num_vertices: 3, edges_per_vertex: 3 }.generate_undirected(&mut rng);
+        let _ = BarabasiAlbert {
+            num_vertices: 3,
+            edges_per_vertex: 3,
+        }
+        .generate_undirected(&mut rng);
     }
 }

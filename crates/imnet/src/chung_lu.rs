@@ -33,8 +33,15 @@ impl ChungLu {
     /// number of edges).
     #[must_use]
     pub fn new(out_weights: Vec<f64>, in_weights: Vec<f64>) -> Self {
-        assert_eq!(out_weights.len(), in_weights.len(), "weight sequences must have equal length");
-        assert!(!out_weights.is_empty(), "weight sequences must be non-empty");
+        assert_eq!(
+            out_weights.len(),
+            in_weights.len(),
+            "weight sequences must have equal length"
+        );
+        assert!(
+            !out_weights.is_empty(),
+            "weight sequences must be non-empty"
+        );
         let so: f64 = out_weights.iter().sum();
         let si: f64 = in_weights.iter().sum();
         assert!(so > 0.0 && si > 0.0, "weight sums must be positive");
@@ -42,7 +49,10 @@ impl ChungLu {
             (so - si).abs() / so.max(si) < 1e-3,
             "out-weight sum {so} and in-weight sum {si} must match"
         );
-        Self { out_weights, in_weights }
+        Self {
+            out_weights,
+            in_weights,
+        }
     }
 
     /// Build a generator with power-law weights.
@@ -115,8 +125,14 @@ impl ChungLu {
 /// `total` and capped at `cap_fraction · total`.
 fn power_law_weights(n: usize, total: f64, gamma: f64, cap_fraction: f64) -> Vec<f64> {
     assert!(n > 0, "need at least one vertex");
-    assert!(gamma > 1.0, "power-law exponent must exceed 1 (got {gamma})");
-    assert!((0.0..=1.0).contains(&cap_fraction), "cap fraction out of range");
+    assert!(
+        gamma > 1.0,
+        "power-law exponent must exceed 1 (got {gamma})"
+    );
+    assert!(
+        (0.0..=1.0).contains(&cap_fraction),
+        "cap fraction out of range"
+    );
     let exponent = -1.0 / (gamma - 1.0);
     let mut weights: Vec<f64> = (0..n).map(|i| ((i + 1) as f64).powf(exponent)).collect();
     let sum: f64 = weights.iter().sum();
@@ -140,7 +156,12 @@ fn power_law_weights(n: usize, total: f64, gamma: f64, cap_fraction: f64) -> Vec
 /// (plain Chung–Lu graphs have vanishing clustering), mimicking the dense
 /// "core" of the core–whisker structure discussed in Sections 4.2.1 and 5.2.2.
 #[must_use]
-pub fn plant_triangles<R: Rng32>(graph: &DiGraph, count: usize, core_size: usize, rng: &mut R) -> DiGraph {
+pub fn plant_triangles<R: Rng32>(
+    graph: &DiGraph,
+    count: usize,
+    core_size: usize,
+    rng: &mut R,
+) -> DiGraph {
     let n = graph.num_vertices();
     if n < 3 || count == 0 {
         return graph.clone();
@@ -178,7 +199,10 @@ mod tests {
         let w = power_law_weights(1_000, 5_000.0, 2.5, 0.05);
         let sum: f64 = w.iter().sum();
         assert!((sum - 5_000.0).abs() < 1.0);
-        assert!(w.windows(2).all(|p| p[0] >= p[1]), "weights must be non-increasing");
+        assert!(
+            w.windows(2).all(|p| p[0] >= p[1]),
+            "weights must be non-increasing"
+        );
     }
 
     #[test]
@@ -249,7 +273,10 @@ mod tests {
         let planted = plant_triangles(&base, 400, 200, &mut rng);
         let c0 = stats::global_clustering_coefficient(&base).unwrap_or(0.0);
         let c1 = stats::global_clustering_coefficient(&planted).unwrap_or(0.0);
-        assert!(c1 > c0, "planting triangles should raise clustering ({c0} -> {c1})");
+        assert!(
+            c1 > c0,
+            "planting triangles should raise clustering ({c0} -> {c1})"
+        );
         assert!(planted.num_edges() >= base.num_edges());
     }
 

@@ -102,18 +102,54 @@ impl Dataset {
     #[must_use]
     pub fn table3_reference(&self) -> Table3Row {
         match self {
-            Dataset::Karate => Table3Row { n: 34, m: 156, max_out: 17, max_in: 17 },
-            Dataset::Physicians => Table3Row { n: 241, m: 1_098, max_out: 9, max_in: 26 },
-            Dataset::CaGrQc => Table3Row { n: 5_242, m: 28_968, max_out: 81, max_in: 81 },
-            Dataset::WikiVote => Table3Row { n: 7_115, m: 103_689, max_out: 893, max_in: 457 },
-            Dataset::ComYoutube => {
-                Table3Row { n: 1_134_889, m: 5_975_248, max_out: 28_754, max_in: 28_754 }
-            }
-            Dataset::SocPokec => {
-                Table3Row { n: 1_632_802, m: 30_622_564, max_out: 8_763, max_in: 13_733 }
-            }
-            Dataset::BaSparse => Table3Row { n: 1_000, m: 999, max_out: 20, max_in: 23 },
-            Dataset::BaDense => Table3Row { n: 1_000, m: 10_879, max_out: 100, max_in: 107 },
+            Dataset::Karate => Table3Row {
+                n: 34,
+                m: 156,
+                max_out: 17,
+                max_in: 17,
+            },
+            Dataset::Physicians => Table3Row {
+                n: 241,
+                m: 1_098,
+                max_out: 9,
+                max_in: 26,
+            },
+            Dataset::CaGrQc => Table3Row {
+                n: 5_242,
+                m: 28_968,
+                max_out: 81,
+                max_in: 81,
+            },
+            Dataset::WikiVote => Table3Row {
+                n: 7_115,
+                m: 103_689,
+                max_out: 893,
+                max_in: 457,
+            },
+            Dataset::ComYoutube => Table3Row {
+                n: 1_134_889,
+                m: 5_975_248,
+                max_out: 28_754,
+                max_in: 28_754,
+            },
+            Dataset::SocPokec => Table3Row {
+                n: 1_632_802,
+                m: 30_622_564,
+                max_out: 8_763,
+                max_in: 13_733,
+            },
+            Dataset::BaSparse => Table3Row {
+                n: 1_000,
+                m: 999,
+                max_out: 20,
+                max_in: 23,
+            },
+            Dataset::BaDense => Table3Row {
+                n: 1_000,
+                m: 10_879,
+                max_out: 100,
+                max_in: 107,
+            },
         }
     }
 
@@ -128,7 +164,11 @@ impl Dataset {
             Dataset::SocPokec => (50_000usize, 938_000usize),
             _ => (reference.n, reference.m),
         };
-        DatasetSpec { dataset: *self, num_vertices: n, num_edges: m }
+        DatasetSpec {
+            dataset: *self,
+            num_vertices: n,
+            num_edges: m,
+        }
     }
 
     /// Build the network with the default specification.
@@ -180,7 +220,11 @@ impl DatasetSpec {
     #[must_use]
     pub fn full_scale(dataset: Dataset) -> Self {
         let r = dataset.table3_reference();
-        Self { dataset, num_vertices: r.n, num_edges: r.m }
+        Self {
+            dataset,
+            num_vertices: r.n,
+            num_edges: r.m,
+        }
     }
 
     /// A uniformly scaled-down specification: `1/factor` of the original
@@ -192,7 +236,11 @@ impl DatasetSpec {
         let factor = factor.max(1);
         let n = (r.n / factor).max(64);
         let m = ((r.m as f64) * (n as f64 / r.n as f64)).round() as usize;
-        Self { dataset, num_vertices: n, num_edges: m.max(n) }
+        Self {
+            dataset,
+            num_vertices: n,
+            num_edges: m.max(n),
+        }
     }
 
     /// Build the network. `seed` controls all generator randomness; the exact
@@ -204,10 +252,14 @@ impl DatasetSpec {
             Dataset::Karate => karate_club(),
             Dataset::BaSparse => BarabasiAlbert::sparse().generate_directed(&mut rng),
             Dataset::BaDense => BarabasiAlbert::dense().generate_directed(&mut rng),
-            Dataset::Physicians => build_physicians_analog(self.num_vertices, self.num_edges, &mut rng),
+            Dataset::Physicians => {
+                build_physicians_analog(self.num_vertices, self.num_edges, &mut rng)
+            }
             Dataset::CaGrQc => build_grqc_analog(self.num_vertices, self.num_edges, &mut rng),
             Dataset::WikiVote => build_wikivote_analog(self.num_vertices, self.num_edges, &mut rng),
-            Dataset::ComYoutube => build_youtube_analog(self.num_vertices, self.num_edges, &mut rng),
+            Dataset::ComYoutube => {
+                build_youtube_analog(self.num_vertices, self.num_edges, &mut rng)
+            }
             Dataset::SocPokec => build_pokec_analog(self.num_vertices, self.num_edges, &mut rng),
         }
     }
@@ -240,7 +292,11 @@ fn build_physicians_analog<R: Rng32>(n: usize, m: usize, rng: &mut R) -> DiGraph
         let ideal = (1.33 * m as f64 / n as f64).ceil() as usize;
         ((ideal + 1) & !1usize).clamp(2, (n - 1) & !1usize)
     };
-    let ws = WattsStrogatz { num_vertices: n, k, beta: 0.15 };
+    let ws = WattsStrogatz {
+        num_vertices: n,
+        k,
+        beta: 0.15,
+    };
     let undirected = ws.generate_undirected(rng);
     // Orient each undirected edge randomly, then add extra reciprocal arcs
     // until the target arc count is reached (advice relations are often
@@ -342,7 +398,11 @@ mod tests {
         assert_eq!(s.num_edges(), 999);
         let d = Dataset::BaDense.build(1);
         assert_eq!(d.num_vertices(), 1_000);
-        assert!((d.num_edges() as i64 - 10_879).abs() < 200, "BA_d edge count {} should be close to Table 3's 10,879", d.num_edges());
+        assert!(
+            (d.num_edges() as i64 - 10_879).abs() < 200,
+            "BA_d edge count {} should be close to Table 3's 10,879",
+            d.num_edges()
+        );
     }
 
     #[test]
@@ -373,14 +433,21 @@ mod tests {
         }
         assert_eq!(missing, 0, "collaboration analog must be symmetric");
         let c = imgraph::stats::global_clustering_coefficient(&g).unwrap_or(0.0);
-        assert!(c > 0.05, "collaboration analog should have planted clustering (got {c})");
+        assert!(
+            c > 0.05,
+            "collaboration analog should have planted clustering (got {c})"
+        );
     }
 
     #[test]
     fn wikivote_analog_degree_skew() {
         let spec = DatasetSpec::scaled(Dataset::WikiVote, 4);
         let g = spec.build(13);
-        assert!(g.max_out_degree() > 20, "expected strong out-hubs, got {}", g.max_out_degree());
+        assert!(
+            g.max_out_degree() > 20,
+            "expected strong out-hubs, got {}",
+            g.max_out_degree()
+        );
         let mean = g.num_edges() as f64 / g.num_vertices() as f64;
         assert!(g.max_out_degree() as f64 > 5.0 * mean);
     }
@@ -398,7 +465,10 @@ mod tests {
     fn default_specs_for_large_networks_are_scaled_down() {
         assert!(Dataset::ComYoutube.spec().num_vertices < 100_000);
         assert!(Dataset::SocPokec.spec().num_vertices < 100_000);
-        assert_eq!(DatasetSpec::full_scale(Dataset::ComYoutube).num_vertices, 1_134_889);
+        assert_eq!(
+            DatasetSpec::full_scale(Dataset::ComYoutube).num_vertices,
+            1_134_889
+        );
         assert!(Dataset::ComYoutube.is_large());
         assert!(!Dataset::ComYoutube.is_exact());
     }

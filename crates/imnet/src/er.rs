@@ -19,7 +19,10 @@ use rustc_hash::FxHashSet;
 #[must_use]
 pub fn gnm_directed<R: Rng32>(n: usize, m: usize, rng: &mut R) -> DiGraph {
     let max_edges = n.saturating_mul(n.saturating_sub(1));
-    assert!(m <= max_edges, "cannot place {m} distinct edges in a {n}-vertex digraph");
+    assert!(
+        m <= max_edges,
+        "cannot place {m} distinct edges in a {n}-vertex digraph"
+    );
     let mut seen: FxHashSet<(VertexId, VertexId)> = FxHashSet::default();
     let mut builder = GraphBuilder::with_capacity(n, m);
     while seen.len() < m {
@@ -72,7 +75,10 @@ pub fn gnp_directed<R: Rng32>(n: usize, p: f64, rng: &mut R) -> DiGraph {
         if position >= total {
             break;
         }
-        let (src, mut dst) = ((position / (n as u64 - 1)) as usize, (position % (n as u64 - 1)) as usize);
+        let (src, mut dst) = (
+            (position / (n as u64 - 1)) as usize,
+            (position % (n as u64 - 1)) as usize,
+        );
         // Skip the diagonal: pairs for source `src` enumerate all targets
         // except `src` itself.
         if dst >= src {

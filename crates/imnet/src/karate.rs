@@ -13,32 +13,83 @@ pub const NUM_VERTICES: usize = 34;
 
 /// The 78 undirected friendship edges, 0-indexed.
 pub const UNDIRECTED_EDGES: [(u32, u32); 78] = [
-    (0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (0, 6), (0, 7), (0, 8), (0, 10), (0, 11),
-    (0, 12), (0, 13), (0, 17), (0, 19), (0, 21), (0, 31),
-    (1, 2), (1, 3), (1, 7), (1, 13), (1, 17), (1, 19), (1, 21), (1, 30),
-    (2, 3), (2, 7), (2, 8), (2, 9), (2, 13), (2, 27), (2, 28), (2, 32),
-    (3, 7), (3, 12), (3, 13),
-    (4, 6), (4, 10),
-    (5, 6), (5, 10), (5, 16),
+    (0, 1),
+    (0, 2),
+    (0, 3),
+    (0, 4),
+    (0, 5),
+    (0, 6),
+    (0, 7),
+    (0, 8),
+    (0, 10),
+    (0, 11),
+    (0, 12),
+    (0, 13),
+    (0, 17),
+    (0, 19),
+    (0, 21),
+    (0, 31),
+    (1, 2),
+    (1, 3),
+    (1, 7),
+    (1, 13),
+    (1, 17),
+    (1, 19),
+    (1, 21),
+    (1, 30),
+    (2, 3),
+    (2, 7),
+    (2, 8),
+    (2, 9),
+    (2, 13),
+    (2, 27),
+    (2, 28),
+    (2, 32),
+    (3, 7),
+    (3, 12),
+    (3, 13),
+    (4, 6),
+    (4, 10),
+    (5, 6),
+    (5, 10),
+    (5, 16),
     (6, 16),
-    (8, 30), (8, 32), (8, 33),
+    (8, 30),
+    (8, 32),
+    (8, 33),
     (9, 33),
     (13, 33),
-    (14, 32), (14, 33),
-    (15, 32), (15, 33),
-    (18, 32), (18, 33),
+    (14, 32),
+    (14, 33),
+    (15, 32),
+    (15, 33),
+    (18, 32),
+    (18, 33),
     (19, 33),
-    (20, 32), (20, 33),
-    (22, 32), (22, 33),
-    (23, 25), (23, 27), (23, 29), (23, 32), (23, 33),
-    (24, 25), (24, 27), (24, 31),
+    (20, 32),
+    (20, 33),
+    (22, 32),
+    (22, 33),
+    (23, 25),
+    (23, 27),
+    (23, 29),
+    (23, 32),
+    (23, 33),
+    (24, 25),
+    (24, 27),
+    (24, 31),
     (25, 31),
-    (26, 29), (26, 33),
+    (26, 29),
+    (26, 33),
     (27, 33),
-    (28, 31), (28, 33),
-    (29, 32), (29, 33),
-    (30, 32), (30, 33),
-    (31, 32), (31, 33),
+    (28, 31),
+    (28, 33),
+    (29, 32),
+    (29, 33),
+    (30, 32),
+    (30, 33),
+    (31, 32),
+    (31, 33),
     (32, 33),
 ];
 
@@ -107,7 +158,10 @@ mod tests {
         // Table 3 reports a clustering coefficient of 0.26 for Karate.
         let g = karate_club();
         let c = imgraph::stats::global_clustering_coefficient(&g).unwrap();
-        assert!((c - 0.2557).abs() < 0.01, "clustering coefficient {c} should be ≈ 0.26");
+        assert!(
+            (c - 0.2557).abs() < 0.01,
+            "clustering coefficient {c} should be ≈ 0.26"
+        );
     }
 
     #[test]
@@ -115,11 +169,17 @@ mod tests {
         // Table 3 reports an average distance of 2.41.
         let g = karate_club();
         let d = imgraph::stats::estimate_average_distance(&g, 34, 1).unwrap();
-        assert!((d - 2.41).abs() < 0.02, "average distance {d} should be ≈ 2.41");
+        assert!(
+            (d - 2.41).abs() < 0.02,
+            "average distance {d} should be ≈ 2.41"
+        );
     }
 
     #[test]
     fn graph_is_connected() {
-        assert_eq!(imgraph::components::largest_weak_component(&karate_club()), 34);
+        assert_eq!(
+            imgraph::components::largest_weak_component(&karate_club()),
+            34
+        );
     }
 }

@@ -48,14 +48,24 @@ impl StochasticKronecker {
     pub fn new(initiator: [[f64; 2]; 2], scale: u32, edges: usize) -> Self {
         for row in &initiator {
             for &x in row {
-                assert!(x >= 0.0 && x.is_finite(), "initiator entries must be non-negative");
+                assert!(
+                    x >= 0.0 && x.is_finite(),
+                    "initiator entries must be non-negative"
+                );
             }
         }
         let total: f64 = initiator.iter().flatten().sum();
         assert!(total > 0.0, "initiator matrix must have positive mass");
-        assert!(scale >= 1 && scale <= 24, "scale must lie in 1..=24, got {scale}");
+        assert!(
+            (1..=24).contains(&scale),
+            "scale must lie in 1..=24, got {scale}"
+        );
         assert!(edges > 0, "need at least one edge attempt");
-        Self { initiator, scale, edges }
+        Self {
+            initiator,
+            scale,
+            edges,
+        }
     }
 
     /// Number of vertices of the generated graph (`2^scale`).
@@ -140,7 +150,9 @@ mod tests {
         let gen = StochasticKronecker::new([[0.95, 0.4], [0.4, 0.1]], 9, 8_000);
         let g = gen.generate(&mut Pcg32::seed_from_u64(3));
         let n = g.num_vertices();
-        let low: usize = (0..(n / 8) as VertexId).map(|v| g.out_degree(v) + g.in_degree(v)).sum();
+        let low: usize = (0..(n / 8) as VertexId)
+            .map(|v| g.out_degree(v) + g.in_degree(v))
+            .sum();
         let high: usize = ((7 * n / 8) as VertexId..n as VertexId)
             .map(|v| g.out_degree(v) + g.in_degree(v))
             .sum();

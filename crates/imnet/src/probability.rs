@@ -96,7 +96,10 @@ impl ProbabilityModel {
         let edges = graph.edges_in_insertion_order();
         let probabilities: Vec<f64> = match self {
             ProbabilityModel::Uniform(p) => {
-                assert!(*p > 0.0 && *p <= 1.0, "uniform probability {p} out of (0, 1]");
+                assert!(
+                    *p > 0.0 && *p <= 1.0,
+                    "uniform probability {p} out of (0, 1]"
+                );
                 vec![*p; edges.len()]
             }
             ProbabilityModel::InDegreeWeighted => edges
@@ -224,7 +227,10 @@ mod tests {
 
     #[test]
     fn paper_models_are_the_four_settings() {
-        let labels: Vec<_> = ProbabilityModel::paper_models().iter().map(|m| m.label()).collect();
+        let labels: Vec<_> = ProbabilityModel::paper_models()
+            .iter()
+            .map(|m| m.label())
+            .collect();
         assert_eq!(labels, vec!["uc0.1", "uc0.01", "iwc", "owc"]);
     }
 

@@ -31,9 +31,16 @@ impl WattsStrogatz {
     pub fn generate_undirected<R: Rng32>(&self, rng: &mut R) -> Vec<(VertexId, VertexId)> {
         let n = self.num_vertices;
         let k = self.k;
-        assert!(k % 2 == 0, "k must be even (got {k})");
-        assert!(k < n, "k ({k}) must be smaller than the number of vertices ({n})");
-        assert!((0.0..=1.0).contains(&self.beta), "beta {} out of range", self.beta);
+        assert!(k.is_multiple_of(2), "k must be even (got {k})");
+        assert!(
+            k < n,
+            "k ({k}) must be smaller than the number of vertices ({n})"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.beta),
+            "beta {} out of range",
+            self.beta
+        );
 
         // Ring lattice: vertex i connects to i+1 .. i+k/2 (mod n).
         let mut edges: Vec<(VertexId, VertexId)> = Vec::with_capacity(n * k / 2);
@@ -52,11 +59,11 @@ impl WattsStrogatz {
             adjacency[u as usize].push(v);
             adjacency[v as usize].push(u);
         }
-        for idx in 0..edges.len() {
+        for edge in &mut edges {
             if !rng.bernoulli(self.beta) {
                 continue;
             }
-            let (u, old_v) = edges[idx];
+            let (u, old_v) = *edge;
             // Reject until a valid new endpoint is found; bail out after a
             // bounded number of attempts for nearly complete graphs.
             let mut attempts = 0;
@@ -74,7 +81,7 @@ impl WattsStrogatz {
                 adjacency[old_v as usize].retain(|&x| x != u);
                 adjacency[u as usize].push(new_v);
                 adjacency[new_v as usize].push(u);
-                edges[idx] = (u, new_v);
+                *edge = (u, new_v);
                 break;
             }
         }
@@ -99,7 +106,11 @@ mod tests {
     #[test]
     fn edge_count_is_nk_over_2() {
         let mut rng = Pcg32::seed_from_u64(1);
-        let ws = WattsStrogatz { num_vertices: 100, k: 6, beta: 0.1 };
+        let ws = WattsStrogatz {
+            num_vertices: 100,
+            k: 6,
+            beta: 0.1,
+        };
         let edges = ws.generate_undirected(&mut rng);
         assert_eq!(edges.len(), 100 * 6 / 2);
     }
@@ -107,7 +118,11 @@ mod tests {
     #[test]
     fn no_rewiring_gives_regular_lattice() {
         let mut rng = Pcg32::seed_from_u64(2);
-        let ws = WattsStrogatz { num_vertices: 20, k: 4, beta: 0.0 };
+        let ws = WattsStrogatz {
+            num_vertices: 20,
+            k: 4,
+            beta: 0.0,
+        };
         let g = symmetrize(20, &ws.generate_undirected(&mut rng));
         for v in g.vertices() {
             assert_eq!(g.out_degree(v), 4, "vertex {v} should keep lattice degree");
@@ -117,7 +132,11 @@ mod tests {
     #[test]
     fn lattice_with_no_rewiring_has_high_clustering() {
         let mut rng = Pcg32::seed_from_u64(3);
-        let ws = WattsStrogatz { num_vertices: 200, k: 8, beta: 0.0 };
+        let ws = WattsStrogatz {
+            num_vertices: 200,
+            k: 8,
+            beta: 0.0,
+        };
         let g = symmetrize(200, &ws.generate_undirected(&mut rng));
         let c = imgraph::stats::global_clustering_coefficient(&g).unwrap();
         assert!(c > 0.5, "ring lattice clustering should be high, got {c}");
@@ -126,10 +145,21 @@ mod tests {
     #[test]
     fn rewiring_shortens_average_distance() {
         let n = 300;
-        let base = WattsStrogatz { num_vertices: n, k: 6, beta: 0.0 };
-        let rewired = WattsStrogatz { num_vertices: n, k: 6, beta: 0.2 };
+        let base = WattsStrogatz {
+            num_vertices: n,
+            k: 6,
+            beta: 0.0,
+        };
+        let rewired = WattsStrogatz {
+            num_vertices: n,
+            k: 6,
+            beta: 0.2,
+        };
         let g0 = symmetrize(n, &base.generate_undirected(&mut Pcg32::seed_from_u64(4)));
-        let g1 = symmetrize(n, &rewired.generate_undirected(&mut Pcg32::seed_from_u64(4)));
+        let g1 = symmetrize(
+            n,
+            &rewired.generate_undirected(&mut Pcg32::seed_from_u64(4)),
+        );
         let d0 = imgraph::stats::estimate_average_distance(&g0, 40, 7).unwrap();
         let d1 = imgraph::stats::estimate_average_distance(&g1, 40, 7).unwrap();
         assert!(
@@ -141,7 +171,11 @@ mod tests {
     #[test]
     fn no_self_loops_after_rewiring() {
         let mut rng = Pcg32::seed_from_u64(5);
-        let ws = WattsStrogatz { num_vertices: 80, k: 4, beta: 0.8 };
+        let ws = WattsStrogatz {
+            num_vertices: 80,
+            k: 4,
+            beta: 0.8,
+        };
         for (u, v) in ws.generate_undirected(&mut rng) {
             assert_ne!(u, v);
         }
@@ -151,13 +185,23 @@ mod tests {
     #[should_panic(expected = "must be even")]
     fn odd_k_panics() {
         let mut rng = Pcg32::seed_from_u64(6);
-        let _ = WattsStrogatz { num_vertices: 10, k: 3, beta: 0.1 }.generate_undirected(&mut rng);
+        let _ = WattsStrogatz {
+            num_vertices: 10,
+            k: 3,
+            beta: 0.1,
+        }
+        .generate_undirected(&mut rng);
     }
 
     #[test]
     #[should_panic(expected = "smaller than the number of vertices")]
     fn oversized_k_panics() {
         let mut rng = Pcg32::seed_from_u64(7);
-        let _ = WattsStrogatz { num_vertices: 4, k: 4, beta: 0.1 }.generate_undirected(&mut rng);
+        let _ = WattsStrogatz {
+            num_vertices: 4,
+            k: 4,
+            beta: 0.1,
+        }
+        .generate_undirected(&mut rng);
     }
 }

@@ -94,7 +94,10 @@ mod tests {
     fn derived_seeds_are_distinct() {
         let mut seen = std::collections::HashSet::new();
         for i in 0..10_000u64 {
-            assert!(seen.insert(derive_seed(7, i)), "duplicate derived seed at index {i}");
+            assert!(
+                seen.insert(derive_seed(7, i)),
+                "duplicate derived seed at index {i}"
+            );
         }
     }
 

@@ -20,7 +20,10 @@ impl Pcg32 {
     /// the reference `pcg32_srandom_r` initialisation.
     #[must_use]
     pub fn new(init_state: u64, init_seq: u64) -> Self {
-        let mut rng = Self { state: 0, increment: (init_seq << 1) | 1 };
+        let mut rng = Self {
+            state: 0,
+            increment: (init_seq << 1) | 1,
+        };
         rng.step();
         rng.state = rng.state.wrapping_add(init_state);
         rng.step();
@@ -42,7 +45,10 @@ impl Pcg32 {
 
     #[inline]
     fn step(&mut self) {
-        self.state = self.state.wrapping_mul(MULTIPLIER).wrapping_add(self.increment);
+        self.state = self
+            .state
+            .wrapping_mul(MULTIPLIER)
+            .wrapping_add(self.increment);
     }
 }
 

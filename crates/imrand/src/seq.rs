@@ -108,11 +108,17 @@ impl CumulativeSampler {
     /// Panics if all weights are zero or any weight is negative/NaN.
     #[must_use]
     pub fn new(weights: &[f64]) -> Self {
-        assert!(!weights.is_empty(), "CumulativeSampler needs at least one weight");
+        assert!(
+            !weights.is_empty(),
+            "CumulativeSampler needs at least one weight"
+        );
         let mut cumulative = Vec::with_capacity(weights.len());
         let mut total = 0.0f64;
         for &w in weights {
-            assert!(w >= 0.0 && w.is_finite(), "weights must be finite and non-negative");
+            assert!(
+                w >= 0.0 && w.is_finite(),
+                "weights must be finite and non-negative"
+            );
             total += w;
             cumulative.push(total);
         }
@@ -136,9 +142,10 @@ impl CumulativeSampler {
     pub fn sample<R: Rng32>(&self, rng: &mut R) -> usize {
         let x = rng.next_f64() * self.total;
         // Binary search for the first cumulative weight strictly greater than x.
-        match self.cumulative.binary_search_by(|&c| {
-            c.partial_cmp(&x).expect("cumulative weights are finite")
-        }) {
+        match self
+            .cumulative
+            .binary_search_by(|&c| c.partial_cmp(&x).expect("cumulative weights are finite"))
+        {
             Ok(i) => (i + 1).min(self.cumulative.len() - 1),
             Err(i) => i.min(self.cumulative.len() - 1),
         }
@@ -176,7 +183,10 @@ mod tests {
         let original: Vec<u32> = (0..50).collect();
         let mut v = original.clone();
         shuffle(&mut v, &mut rng);
-        assert_ne!(v, original, "a 50-element shuffle should almost surely move something");
+        assert_ne!(
+            v, original,
+            "a 50-element shuffle should almost surely move something"
+        );
     }
 
     #[test]

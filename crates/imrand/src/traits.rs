@@ -124,7 +124,10 @@ mod tests {
         let n = 100_000;
         let hits = (0..n).filter(|_| rng.bernoulli(p)).count();
         let mean = hits as f64 / n as f64;
-        assert!((mean - p).abs() < 0.01, "empirical mean {mean} too far from {p}");
+        assert!(
+            (mean - p).abs() < 0.01,
+            "empirical mean {mean} too far from {p}"
+        );
     }
 
     #[test]

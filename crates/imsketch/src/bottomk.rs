@@ -90,7 +90,10 @@ impl ReachabilitySketches {
         let ranks: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
         let mut order: Vec<VertexId> = (0..n as VertexId).collect();
         order.sort_by(|&a, &b| {
-            ranks[a as usize].partial_cmp(&ranks[b as usize]).expect("ranks are finite").then(a.cmp(&b))
+            ranks[a as usize]
+                .partial_cmp(&ranks[b as usize])
+                .expect("ranks are finite")
+                .then(a.cmp(&b))
         });
 
         let mut sketches = vec![BottomKSketch::default(); n];
@@ -127,7 +130,11 @@ impl ReachabilitySketches {
                 }
             }
         }
-        Self { sketches, k, build_cost }
+        Self {
+            sketches,
+            k,
+            build_cost,
+        }
     }
 
     /// The sketch parameter `k`.
@@ -187,7 +194,10 @@ mod tests {
         let sketches = ReachabilitySketches::build(&g, 8, &mut Pcg32::seed_from_u64(1));
         for v in 0..6u32 {
             let estimate = sketches.estimate_reachable(v);
-            assert!((estimate - (6 - v as usize) as f64).abs() < 1e-12, "vertex {v}: {estimate}");
+            assert!(
+                (estimate - (6 - v as usize) as f64).abs() < 1e-12,
+                "vertex {v}: {estimate}"
+            );
         }
     }
 
@@ -199,7 +209,10 @@ mod tests {
         for v in 0..30u32 {
             let s = sketches.sketch(v);
             assert!(s.len() <= k);
-            assert!(s.ranks().windows(2).all(|w| w[0] <= w[1]), "unsorted sketch for {v}");
+            assert!(
+                s.ranks().windows(2).all(|w| w[0] <= w[1]),
+                "unsorted sketch for {v}"
+            );
         }
         assert_eq!(sketches.k(), k);
         assert_eq!(sketches.num_vertices(), 30);
@@ -238,7 +251,9 @@ mod tests {
 
     #[test]
     fn estimator_handles_full_sketch_branch() {
-        let sketch = BottomKSketch { ranks: vec![0.1, 0.2, 0.5] };
+        let sketch = BottomKSketch {
+            ranks: vec![0.1, 0.2, 0.5],
+        };
         // Under-full relative to k = 4: exact count.
         assert_eq!(sketch.estimate(4), 3.0);
         // Full at k = 3: (3 - 1) / 0.5 = 4.

@@ -60,8 +60,9 @@ pub fn descendant_counts(graph: &DiGraph) -> Vec<usize> {
         out_adj[a as usize].push(b);
         in_degree[b as usize] += 1;
     }
-    let mut queue: Vec<u32> =
-        (0..num_comps as u32).filter(|&c| in_degree[c as usize] == 0).collect();
+    let mut queue: Vec<u32> = (0..num_comps as u32)
+        .filter(|&c| in_degree[c as usize] == 0)
+        .collect();
     let mut topo: Vec<u32> = Vec::with_capacity(num_comps);
     let mut head = 0usize;
     while head < queue.len() {
@@ -87,8 +88,8 @@ pub fn descendant_counts(graph: &DiGraph) -> Vec<usize> {
         reach_bits[c * words + c / 64] |= 1u64 << (c % 64);
         // Union of successors' bitsets. Successor rows are already final
         // because we walk the order in reverse.
-        for i in 0..out_adj[c].len() {
-            let d = out_adj[c][i] as usize;
+        for &d in &out_adj[c] {
+            let d = d as usize;
             for w in 0..words {
                 let bits = reach_bits[d * words + w];
                 reach_bits[c * words + w] |= bits;
@@ -117,7 +118,9 @@ mod tests {
     use imrand::{Pcg32, Rng32};
 
     fn brute_force(graph: &DiGraph) -> Vec<usize> {
-        (0..graph.num_vertices() as VertexId).map(|v| reachable_count(graph, &[v])).collect()
+        (0..graph.num_vertices() as VertexId)
+            .map(|v| reachable_count(graph, &[v]))
+            .collect()
     }
 
     #[test]

@@ -29,7 +29,11 @@ impl CompressedRrSets {
     /// An empty collection.
     #[must_use]
     pub fn new() -> Self {
-        Self { data: Vec::new(), offsets: vec![0], total_vertices: 0 }
+        Self {
+            data: Vec::new(),
+            offsets: vec![0],
+            total_vertices: 0,
+        }
     }
 
     /// Append one RR set. The members are sorted and deduplicated internally;
@@ -99,7 +103,11 @@ impl CompressedRrSets {
     /// Panics if `index` is out of range.
     #[must_use]
     pub fn decode(&self, index: usize) -> Vec<VertexId> {
-        assert!(index < self.len(), "RR set index {index} out of range ({})", self.len());
+        assert!(
+            index < self.len(),
+            "RR set index {index} out of range ({})",
+            self.len()
+        );
         let slice = &self.data[self.offsets[index]..self.offsets[index + 1]];
         let mut result = Vec::new();
         let mut cursor = 0usize;
@@ -107,7 +115,11 @@ impl CompressedRrSets {
         while cursor < slice.len() {
             let (delta, read) = read_varint(&slice[cursor..]);
             cursor += read;
-            let value = if result.is_empty() { delta } else { prev + delta + 1 };
+            let value = if result.is_empty() {
+                delta
+            } else {
+                prev + delta + 1
+            };
             result.push(value);
             prev = value;
         }
@@ -199,7 +211,11 @@ mod tests {
         }
         // Consecutive ids delta-encode to gap 0 = one byte each, plus a few
         // bytes for the absolute first element.
-        assert!(c.compression_ratio() > 3.0, "ratio {}", c.compression_ratio());
+        assert!(
+            c.compression_ratio() > 3.0,
+            "ratio {}",
+            c.compression_ratio()
+        );
         assert_eq!(c.decode(49), members);
     }
 

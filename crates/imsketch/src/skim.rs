@@ -49,7 +49,10 @@ pub struct SketchGreedyResult {
 
 impl Default for SketchGreedy {
     fn default() -> Self {
-        Self { num_snapshots: 64, sketch_size: 32 }
+        Self {
+            num_snapshots: 64,
+            sketch_size: 32,
+        }
     }
 }
 
@@ -63,7 +66,10 @@ impl SketchGreedy {
     pub fn new(num_snapshots: usize, sketch_size: usize) -> Self {
         assert!(num_snapshots > 0, "need at least one snapshot");
         assert!(sketch_size > 0, "need a positive sketch size");
-        Self { num_snapshots, sketch_size }
+        Self {
+            num_snapshots,
+            sketch_size,
+        }
     }
 
     /// Select `k` seeds from `graph`.
@@ -108,10 +114,8 @@ impl SketchGreedy {
                     union_edges.push((base + u, base + v));
                 }
             }
-            let union_graph =
-                DiGraph::from_edges(n * self.num_snapshots, &union_edges);
-            let sketches =
-                ReachabilitySketches::build(&union_graph, self.sketch_size, rng);
+            let union_graph = DiGraph::from_edges(n * self.num_snapshots, &union_edges);
+            let sketches = ReachabilitySketches::build(&union_graph, self.sketch_size, rng);
             traversal_cost += sketches.build_cost();
             stored_ranks += sketches.stored_ranks();
 
@@ -125,8 +129,8 @@ impl SketchGreedy {
                     continue;
                 }
                 let mut total = 0.0f64;
-                for i in 0..self.num_snapshots {
-                    if alive[i][v as usize] {
+                for (i, snapshot_alive) in alive.iter().enumerate() {
+                    if snapshot_alive[v as usize] {
                         total += sketches.estimate_reachable((i * n) as VertexId + v);
                     }
                 }
@@ -156,7 +160,12 @@ impl SketchGreedy {
             }
         }
 
-        SketchGreedyResult { seeds, estimated_gains, traversal_cost, stored_ranks }
+        SketchGreedyResult {
+            seeds,
+            estimated_gains,
+            traversal_cost,
+            stored_ranks,
+        }
     }
 }
 
@@ -185,7 +194,11 @@ mod tests {
         let result = SketchGreedy::new(32, 16).select(&ig, 1, &mut Pcg32::seed_from_u64(1));
         assert_eq!(result.seeds, vec![0]);
         assert_eq!(result.estimated_gains.len(), 1);
-        assert!(result.estimated_gains[0] > 2.0, "hub gain {}", result.estimated_gains[0]);
+        assert!(
+            result.estimated_gains[0] > 2.0,
+            "hub gain {}",
+            result.estimated_gains[0]
+        );
         assert!(result.traversal_cost > 0);
         assert!(result.stored_ranks > 0);
     }
@@ -213,7 +226,10 @@ mod tests {
     fn k_zero_and_k_clamped() {
         let ig = star(0.5, 3);
         let selector = SketchGreedy::default();
-        assert!(selector.select(&ig, 0, &mut Pcg32::seed_from_u64(4)).seeds.is_empty());
+        assert!(selector
+            .select(&ig, 0, &mut Pcg32::seed_from_u64(4))
+            .seeds
+            .is_empty());
         let all = selector.select(&ig, 100, &mut Pcg32::seed_from_u64(5));
         assert_eq!(all.seeds.len(), 4);
     }

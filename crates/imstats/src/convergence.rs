@@ -110,7 +110,7 @@ pub fn detect_plateau(
                 length,
                 level,
             };
-            if best.map_or(true, |b| plateau.length > b.length) {
+            if best.is_none_or(|b| plateau.length > b.length) {
                 best = Some(plateau);
             }
         }
@@ -121,7 +121,11 @@ pub fn detect_plateau(
 
 /// Produce the full report used by the Figure 1/2 experiment drivers.
 #[must_use]
-pub fn analyze_curve(curve: &[EntropyPoint], plateau_min_length: usize, plateau_tolerance: f64) -> ConvergenceReport {
+pub fn analyze_curve(
+    curve: &[EntropyPoint],
+    plateau_min_length: usize,
+    plateau_tolerance: f64,
+) -> ConvergenceReport {
     ConvergenceReport {
         converged_at: convergence_point(curve),
         final_entropy_is_zero: curve
@@ -136,7 +140,13 @@ mod tests {
     use super::*;
 
     fn curve(points: &[(u64, f64)]) -> Vec<EntropyPoint> {
-        points.iter().map(|&(s, e)| EntropyPoint { sample_number: s, entropy: e }).collect()
+        points
+            .iter()
+            .map(|&(s, e)| EntropyPoint {
+                sample_number: s,
+                entropy: e,
+            })
+            .collect()
     }
 
     #[test]
@@ -197,7 +207,10 @@ mod tests {
     fn short_curves_yield_no_plateau() {
         let c = curve(&[(1, 1.0), (2, 1.0)]);
         assert!(detect_plateau(&c, 3, 0.1).is_none());
-        assert!(detect_plateau(&c, 1, 0.1).is_none(), "min_length < 2 is rejected");
+        assert!(
+            detect_plateau(&c, 1, 0.1).is_none(),
+            "min_length < 2 is rejected"
+        );
     }
 
     #[test]

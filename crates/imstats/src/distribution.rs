@@ -19,7 +19,10 @@ pub struct EmpiricalDistribution<T: Eq + Hash> {
 
 impl<T: Eq + Hash> Default for EmpiricalDistribution<T> {
     fn default() -> Self {
-        Self { counts: FxHashMap::default(), total: 0 }
+        Self {
+            counts: FxHashMap::default(),
+            total: 0,
+        }
     }
 }
 
@@ -84,7 +87,10 @@ impl<T: Eq + Hash> EmpiricalDistribution<T> {
     /// map iteration order is not relied upon anywhere.
     #[must_use]
     pub fn mode(&self) -> Option<(&T, u64)> {
-        self.counts.iter().max_by_key(|&(_, &c)| c).map(|(t, &c)| (t, c))
+        self.counts
+            .iter()
+            .max_by_key(|&(_, &c)| c)
+            .map(|(t, &c)| (t, c))
     }
 
     /// Shannon entropy (base 2) of the empirical distribution; the diversity
@@ -108,8 +114,12 @@ impl<T: Eq + Hash> EmpiricalDistribution<T> {
         if self.total == 0 {
             return 0.0;
         }
-        let hits: u64 =
-            self.counts.iter().filter(|(t, _)| predicate(t)).map(|(_, &c)| c).sum();
+        let hits: u64 = self
+            .counts
+            .iter()
+            .filter(|(t, _)| predicate(t))
+            .map(|(_, &c)| c)
+            .sum();
         hits as f64 / self.total as f64
     }
 }

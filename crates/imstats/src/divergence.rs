@@ -142,7 +142,10 @@ mod tests {
         let q = dist(&[(1, 2), (2, 6), (3, 2)]);
         let tv = total_variation_distance(&p, &q);
         let ov = overlap_coefficient(&p, &q);
-        assert!((tv + ov - 1.0).abs() < 1e-12, "TV {tv} + overlap {ov} should be 1");
+        assert!(
+            (tv + ov - 1.0).abs() < 1e-12,
+            "TV {tv} + overlap {ov} should be 1"
+        );
         assert!(tv > 0.0 && tv < 1.0);
     }
 
@@ -150,8 +153,12 @@ mod tests {
     fn divergences_are_symmetric() {
         let p = dist(&[(1, 8), (2, 2)]);
         let q = dist(&[(1, 3), (3, 7)]);
-        assert!((total_variation_distance(&p, &q) - total_variation_distance(&q, &p)).abs() < 1e-12);
-        assert!((jensen_shannon_divergence(&p, &q) - jensen_shannon_divergence(&q, &p)).abs() < 1e-12);
+        assert!(
+            (total_variation_distance(&p, &q) - total_variation_distance(&q, &p)).abs() < 1e-12
+        );
+        assert!(
+            (jensen_shannon_divergence(&p, &q) - jensen_shannon_divergence(&q, &p)).abs() < 1e-12
+        );
         assert!((support_jaccard(&p, &q) - support_jaccard(&q, &p)).abs() < 1e-12);
     }
 

@@ -17,7 +17,10 @@
 pub fn shannon_entropy_from_probabilities(probabilities: &[f64]) -> f64 {
     let mut h = 0.0f64;
     for &p in probabilities {
-        assert!(p >= 0.0 && p.is_finite(), "probabilities must be finite and non-negative");
+        assert!(
+            p >= 0.0 && p.is_finite(),
+            "probabilities must be finite and non-negative"
+        );
         if p > 0.0 {
             h -= p * p.log2();
         }
@@ -102,7 +105,10 @@ mod tests {
     #[test]
     fn paper_ceiling_for_1000_trials() {
         let ceiling = max_entropy_for_trials(1_000);
-        assert!((ceiling - 9.9657).abs() < 1e-3, "log2(1000) ≈ 9.97, got {ceiling}");
+        assert!(
+            (ceiling - 9.9657).abs() < 1e-3,
+            "log2(1000) ≈ 9.97, got {ceiling}"
+        );
         assert_eq!(max_entropy_for_trials(0), 0.0);
         assert_eq!(max_entropy_for_trials(1), 0.0);
     }

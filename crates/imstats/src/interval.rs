@@ -58,7 +58,7 @@ fn probit(p: f64) -> f64 {
         -3.969_683_028_665_376e1,
         2.209_460_984_245_205e2,
         -2.759_285_104_469_687e2,
-        1.383_577_518_672_690e2,
+        1.383_577_518_672_69e2,
         -3.066_479_806_614_716e1,
         2.506_628_277_459_239,
     ];
@@ -123,9 +123,12 @@ pub fn wilson_interval(successes: u64, trials: u64, confidence: f64) -> Confiden
     let denom = 1.0 + z2 / n;
     let center = (p_hat + z2 / (2.0 * n)) / denom;
     let half = z * ((p_hat * (1.0 - p_hat) + z2 / (4.0 * n)) / n).sqrt() / denom;
+    // The Wilson interval provably contains p̂ (at p̂ ∈ {0, 1} the matching
+    // endpoint equals p̂ exactly), but the floating-point evaluation can land
+    // an ulp inside; clamp so the mathematical guarantee survives rounding.
     ConfidenceInterval {
-        lower: (center - half).max(0.0),
-        upper: (center + half).min(1.0),
+        lower: (center - half).max(0.0).min(p_hat),
+        upper: (center + half).min(1.0).max(p_hat),
         confidence,
     }
 }
@@ -143,7 +146,11 @@ pub fn normal_mean_interval(values: &[f64], confidence: f64) -> ConfidenceInterv
     let variance = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n.max(1.0);
     let std_err = (variance / n).sqrt();
     let z = normal_quantile_two_sided(confidence);
-    ConfidenceInterval { lower: mean - z * std_err, upper: mean + z * std_err, confidence }
+    ConfidenceInterval {
+        lower: mean - z * std_err,
+        upper: mean + z * std_err,
+        confidence,
+    }
 }
 
 /// Percentile bootstrap confidence interval for the mean of `values`.
@@ -182,7 +189,11 @@ pub fn bootstrap_mean_interval(
     let alpha = (1.0 - confidence) / 2.0;
     let lo_idx = ((means.len() as f64 - 1.0) * alpha).round() as usize;
     let hi_idx = ((means.len() as f64 - 1.0) * (1.0 - alpha)).round() as usize;
-    ConfidenceInterval { lower: means[lo_idx], upper: means[hi_idx], confidence }
+    ConfidenceInterval {
+        lower: means[lo_idx],
+        upper: means[hi_idx],
+        confidence,
+    }
 }
 
 #[cfg(test)]
@@ -245,7 +256,10 @@ mod tests {
         let values: Vec<f64> = (0..500).map(|i| f64::from(i % 11)).collect();
         let normal = normal_mean_interval(&values, 0.95);
         let boot = bootstrap_mean_interval(&values, 0.95, 1_000, 3);
-        assert!((normal.lower - boot.lower).abs() < 0.3, "{normal:?} vs {boot:?}");
+        assert!(
+            (normal.lower - boot.lower).abs() < 0.3,
+            "{normal:?} vs {boot:?}"
+        );
         assert!((normal.upper - boot.upper).abs() < 0.3);
     }
 

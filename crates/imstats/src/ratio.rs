@@ -36,7 +36,11 @@ impl SampleCurve {
 
     /// Add a point; points may be added in any order.
     pub fn push(&mut self, sample_number: u64, mean_influence: f64, sample_size: f64) {
-        self.points.push(CurvePoint { sample_number, mean_influence, sample_size });
+        self.points.push(CurvePoint {
+            sample_number,
+            mean_influence,
+            sample_size,
+        });
         self.points.sort_by_key(|p| p.sample_number);
     }
 
@@ -114,8 +118,7 @@ pub fn comparable_number_ratio(
     let mut result = Vec::new();
     for ref_point in reference.points() {
         if let Some(cand_point) = candidate.least_sample_reaching(ref_point.mean_influence) {
-            let number_ratio =
-                cand_point.sample_number as f64 / ref_point.sample_number as f64;
+            let number_ratio = cand_point.sample_number as f64 / ref_point.sample_number as f64;
             let size_ratio = if ref_point.sample_size > 0.0 && cand_point.sample_size > 0.0 {
                 Some(cand_point.sample_size / ref_point.sample_size)
             } else {
@@ -200,7 +203,12 @@ mod tests {
         let ratios = comparable_number_ratio(&reference(), &slower_candidate());
         assert_eq!(ratios.len(), 4);
         for p in &ratios {
-            assert!((p.number_ratio - 2.0).abs() < 1e-12, "ratio at s1={} is {}", p.reference_sample_number, p.number_ratio);
+            assert!(
+                (p.number_ratio - 2.0).abs() < 1e-12,
+                "ratio at s1={} is {}",
+                p.reference_sample_number,
+                p.number_ratio
+            );
         }
     }
 
@@ -209,7 +217,11 @@ mod tests {
         let reference = SampleCurve::from_means(&[(1, 10.0), (4, 1_000.0)]);
         let candidate = SampleCurve::from_means(&[(1, 10.0), (1024, 20.0)]);
         let ratios = comparable_number_ratio(&reference, &candidate);
-        assert_eq!(ratios.len(), 1, "only the reachable reference point should appear");
+        assert_eq!(
+            ratios.len(),
+            1,
+            "only the reachable reference point should appear"
+        );
         assert_eq!(ratios[0].reference_sample_number, 1);
     }
 
@@ -230,7 +242,10 @@ mod tests {
         assert!((points[0].size_ratio.unwrap() - 0.128).abs() < 1e-12);
         let sizes = comparable_size_ratio(&snapshot, &ris);
         assert_eq!(sizes.len(), 2);
-        assert!(sizes.iter().all(|&r| r < 1.0), "RIS should be more space-saving");
+        assert!(
+            sizes.iter().all(|&r| r < 1.0),
+            "RIS should be more space-saving"
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl SummaryStats {
     #[must_use]
     pub fn from_values(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "cannot summarise an empty sample");
-        assert!(values.iter().all(|v| v.is_finite()), "values must be finite");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "values must be finite"
+        );
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("values are finite"));
 
@@ -76,7 +79,10 @@ impl SummaryStats {
     /// An arbitrary percentile in `[0, 100]` of the original sample.
     #[must_use]
     pub fn percentile(values: &[f64], p: f64) -> f64 {
-        assert!(!values.is_empty(), "cannot take a percentile of an empty sample");
+        assert!(
+            !values.is_empty(),
+            "cannot take a percentile of an empty sample"
+        );
         let mut sorted = values.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).expect("values must not be NaN"));
         percentile_of_sorted(&sorted, p)
@@ -101,7 +107,10 @@ impl SummaryStats {
     /// Lower and upper bounds of the median's 95 % notch.
     #[must_use]
     pub fn notch_interval(&self) -> (f64, f64) {
-        (self.median - self.median_notch, self.median + self.median_notch)
+        (
+            self.median - self.median_notch,
+            self.median + self.median_notch,
+        )
     }
 }
 
@@ -164,7 +173,10 @@ mod tests {
     fn percentile_is_order_independent() {
         let a = [5.0, 1.0, 4.0, 2.0, 3.0];
         let b = [1.0, 2.0, 3.0, 4.0, 5.0];
-        assert_eq!(SummaryStats::percentile(&a, 75.0), SummaryStats::percentile(&b, 75.0));
+        assert_eq!(
+            SummaryStats::percentile(&a, 75.0),
+            SummaryStats::percentile(&b, 75.0)
+        );
     }
 
     #[test]

@@ -12,15 +12,18 @@
 //! LT weight assignment), compares the seed sets and influence they find, and
 //! contrasts the LT spread with the IC spread of the same seeds.
 
-use im_study::prelude::*;
 use im_core::greedy_select;
 use im_core::lt::{monte_carlo_lt_influence, weights_are_valid};
 use im_core::lt_estimators::{LtOneshotEstimator, LtRisEstimator, LtSnapshotEstimator};
+use im_study::prelude::*;
 
 fn main() {
     let k = 3;
     let graph = Dataset::Karate.influence_graph(ProbabilityModel::InDegreeWeighted, 0);
-    assert!(weights_are_valid(&graph, 1e-9), "iwc weights satisfy the LT constraint");
+    assert!(
+        weights_are_valid(&graph, 1e-9),
+        "iwc weights satisfy the LT constraint"
+    );
     println!(
         "instance: Karate (iwc as LT weights), n = {}, m = {}, k = {k}\n",
         graph.num_vertices(),
@@ -32,7 +35,10 @@ fn main() {
     let mut evaluate =
         |seeds: &[VertexId]| monte_carlo_lt_influence(&graph, seeds, 20_000, &mut eval_rng);
 
-    println!("{:<14} {:>8} {:<22} {:>12} {:>14}", "approach", "samples", "seeds", "LT spread", "vertices cost");
+    println!(
+        "{:<14} {:>8} {:<22} {:>12} {:>14}",
+        "approach", "samples", "seeds", "LT spread", "vertices cost"
+    );
 
     // LT-Oneshot.
     let mut oneshot = LtOneshotEstimator::new(&graph, 256, default_rng(2));
@@ -92,5 +98,7 @@ fn main() {
     println!("\nUnder iwc the LT spread dominates the IC spread for the same seeds: LT lets");
     println!("incoming weights accumulate across neighbours, IC gives each edge an independent");
     println!("one-shot trial. The three LT estimators agree with each other, mirroring the");
-    println!("paper's IC finding that all approaches share the same limit behaviour (Section 5.1).");
+    println!(
+        "paper's IC finding that all approaches share the same limit behaviour (Section 5.1)."
+    );
 }

@@ -41,7 +41,10 @@ fn main() {
         Algorithm::Snapshot { tau: 256 },
         Algorithm::Ris { theta: 16_384 },
     ];
-    println!("{:<20} {:<14} {:>10} {:>14} {:>14}", "algorithm", "seeds", "influence", "vertices", "edges");
+    println!(
+        "{:<20} {:<14} {:>10} {:>14} {:>14}",
+        "algorithm", "seeds", "influence", "vertices", "edges"
+    );
     for algorithm in algorithms {
         let outcome = algorithm.run(&graph, k, 42);
         let influence = oracle.estimate_seed_set(&outcome.seeds);
@@ -63,5 +66,7 @@ fn main() {
         SeedSet::new(exact_seeds),
         exact_influence
     );
-    println!("(all three algorithms converge to this set as the sample number grows — Section 5.1)");
+    println!(
+        "(all three algorithms converge to this set as the sample number grows — Section 5.1)"
+    );
 }

@@ -17,12 +17,11 @@
 //!    reports in Section 5.2.1;
 //! 4. certify one concrete run a posteriori with OPIM-style online bounds.
 
-use im_study::prelude::*;
 use im_core::determination::{
-    determine_all_sample_numbers, least_sample_number_reaching, opim_online_bounds,
-    AccuracyTarget,
+    determine_all_sample_numbers, least_sample_number_reaching, opim_online_bounds, AccuracyTarget,
 };
 use im_core::ris::RisEstimator;
+use im_study::prelude::*;
 
 fn main() {
     let k = 2;
@@ -40,14 +39,30 @@ fn main() {
     println!("exact-greedy reference influence: {exact_greedy_influence:.3}");
 
     // --- 1 & 2: worst-case determination for a common accuracy target -------
-    let target = AccuracyTarget { epsilon: 0.1, delta: 0.05, k };
+    let target = AccuracyTarget {
+        epsilon: 0.1,
+        delta: 0.05,
+        k,
+    };
     let mut det_rng = default_rng(2);
     let determined = determine_all_sample_numbers(&graph, &target, &mut det_rng);
-    println!("\nworst-case determination at (ε = {}, δ = {}):", target.epsilon, target.delta);
-    println!("  estimated OPT lower bound : {:.3}", determined.opt_lower_bound);
+    println!(
+        "\nworst-case determination at (ε = {}, δ = {}):",
+        target.epsilon, target.delta
+    );
+    println!(
+        "  estimated OPT lower bound : {:.3}",
+        determined.opt_lower_bound
+    );
     println!("  RIS       θ  = {:>12.0}", determined.theta);
-    println!("  Oneshot   β  = {:>12.0}   (adapted via the Tang et al. bound)", determined.beta);
-    println!("  Snapshot  τ  = {:>12.0}   (adapted via the Karimi et al. bound)", determined.tau);
+    println!(
+        "  Oneshot   β  = {:>12.0}   (adapted via the Tang et al. bound)",
+        determined.beta
+    );
+    println!(
+        "  Snapshot  τ  = {:>12.0}   (adapted via the Karimi et al. bound)",
+        determined.tau
+    );
 
     // --- 3: empirical least sample numbers ----------------------------------
     let near_optimal = 0.95 * exact_greedy_influence;
@@ -68,11 +83,15 @@ fn main() {
     let beta_star = sweep(Algorithm::Oneshot { beta: 1 }, 12);
     let tau_star = sweep(Algorithm::Snapshot { tau: 1 }, 12);
     let theta_star = sweep(Algorithm::Ris { theta: 1 }, 18);
-    println!("\nempirical least sample number reaching 95% of exact greedy (mean over {trials} trials):");
+    println!(
+        "\nempirical least sample number reaching 95% of exact greedy (mean over {trials} trials):"
+    );
     println!("  Oneshot   β* = {}", fmt(beta_star));
     println!("  Snapshot  τ* = {}", fmt(tau_star));
     println!("  RIS       θ* = {}", fmt(theta_star));
-    println!("  → the worst-case numbers above exceed these by orders of magnitude (Section 5.2.1).");
+    println!(
+        "  → the worst-case numbers above exceed these by orders of magnitude (Section 5.2.1)."
+    );
 
     // --- 4: a-posteriori certification via OPIM-style online bounds ---------
     let theta_run = 8_192u64;
@@ -83,8 +102,10 @@ fn main() {
     let mut val_rng = default_rng(5);
     let validation = RisEstimator::new(&graph, theta_run, &mut val_rng);
     let n = graph.num_vertices();
-    let cov1 = (selection.estimate_set(seeds.vertices()) / n as f64 * theta_run as f64).round() as u64;
-    let cov2 = (validation.estimate_set(seeds.vertices()) / n as f64 * theta_run as f64).round() as u64;
+    let cov1 =
+        (selection.estimate_set(seeds.vertices()) / n as f64 * theta_run as f64).round() as u64;
+    let cov2 =
+        (validation.estimate_set(seeds.vertices()) / n as f64 * theta_run as f64).round() as u64;
     let bounds = opim_online_bounds(cov1, cov2, theta_run, theta_run, n, 0.01);
     println!("\nonline certification of one RIS run at θ = {theta_run}:");
     println!("  seeds                  : {seeds}");

@@ -30,7 +30,7 @@ fn main() {
         sample_numbers: (0..=14).map(|e| 1u64 << e).collect(),
         trials,
         base_seed: 2020,
-        parallel: true,
+        threads: 0,
     };
     let analyzed = instance.sweep(ApproachKind::Ris, seed_size, &sweep);
 

@@ -18,8 +18,8 @@
 //!    probability-1 strongly connected components and report how much smaller
 //!    every subsequent sample becomes.
 
-use im_study::prelude::*;
 use im_core::ris::generate_rr_set;
+use im_study::prelude::*;
 use imgraph::coarsen::coarsen_by_certain_edges;
 use imgraph::live_edge::sample_snapshot;
 use imgraph::reach::reachable_count;
@@ -42,10 +42,22 @@ fn main() {
         compressed.push(&rr.vertices);
     }
     println!("1. compressed RR sets (θ = {theta}):");
-    println!("   stored vertex ids      : {}", compressed.total_vertices());
-    println!("   raw u32 payload        : {} bytes", compressed.uncompressed_bytes());
-    println!("   delta/varint payload   : {} bytes", compressed.payload_bytes());
-    println!("   compression ratio      : {:.2}×\n", compressed.compression_ratio());
+    println!(
+        "   stored vertex ids      : {}",
+        compressed.total_vertices()
+    );
+    println!(
+        "   raw u32 payload        : {} bytes",
+        compressed.uncompressed_bytes()
+    );
+    println!(
+        "   delta/varint payload   : {} bytes",
+        compressed.payload_bytes()
+    );
+    println!(
+        "   compression ratio      : {:.2}×\n",
+        compressed.compression_ratio()
+    );
 
     // --- 2. Bottom-k sketches versus exact reachability ---------------------
     let mut rng = default_rng(2);
@@ -62,27 +74,40 @@ fn main() {
     }
     let n = graph.num_vertices() as f64;
     println!("2. bottom-{k_sketch} sketches on one live-edge snapshot:");
-    println!("   exact reachable sets   : {} vertex entries", exact.iter().sum::<usize>());
-    println!("   sketch storage         : {} ranks (≤ k·n = {})", sketches.stored_ranks(), k_sketch * graph.num_vertices());
-    println!("   mean |error|           : {:.2} vertices", total_abs_err / n);
+    println!(
+        "   exact reachable sets   : {} vertex entries",
+        exact.iter().sum::<usize>()
+    );
+    println!(
+        "   sketch storage         : {} ranks (≤ k·n = {})",
+        sketches.stored_ranks(),
+        k_sketch * graph.num_vertices()
+    );
+    println!(
+        "   mean |error|           : {:.2} vertices",
+        total_abs_err / n
+    );
     println!("   max |error|            : {worst:.1} vertices\n");
 
     // --- 3. Coarsening -------------------------------------------------------
     // Promote the strongest edges to "certain" to mimic a network with
     // deterministic sub-structures, then contract.
-    let boosted = ProbabilityModel::Uniform(1.0).assign(
-        &Dataset::Karate.build(0),
-    );
+    let boosted = ProbabilityModel::Uniform(1.0).assign(&Dataset::Karate.build(0));
     let coarse = coarsen_by_certain_edges(&boosted, 1.0);
     println!("3. coarsening Karate with all edges certain (the lossless extreme):");
     println!("   original vertices      : {}", boosted.num_vertices());
     println!("   supervertices          : {}", coarse.num_supervertices());
-    println!("   reduction ratio        : {:.1}%", 100.0 * coarse.reduction_ratio());
+    println!(
+        "   reduction ratio        : {:.1}%",
+        100.0 * coarse.reduction_ratio()
+    );
     let largest = coarse.sizes.iter().max().copied().unwrap_or(0);
     println!("   largest supervertex    : {largest} members");
     let full_reach = reachable_count(boosted.graph(), &[0]);
-    println!("   sanity: vertex 0 reaches {full_reach} vertices, its supervertex has size {}",
-        coarse.sizes[coarse.membership[0] as usize]);
+    println!(
+        "   sanity: vertex 0 reaches {full_reach} vertices, its supervertex has size {}",
+        coarse.sizes[coarse.membership[0] as usize]
+    );
     println!("\nTake-away: RR-set compression gives a few-fold memory saving for free,");
     println!("sketches cap Snapshot's per-vertex state at k ranks with small error, and");
     println!("coarsening helps exactly when near-deterministic substructures exist.");

@@ -21,20 +21,23 @@ fn main() {
     println!("Karate, k = {k}, sample number 1, {trials} runs per cell\n");
     println!(
         "{:<8} {:>12} {:>12} {:>12} {:>12} {:>12} {:>12} {:>16}",
-        "prob.", "Oneshot v", "Oneshot e", "Snapshot v", "Snapshot e", "RIS v", "RIS e", "n·RISv/Oneshotv"
+        "prob.",
+        "Oneshot v",
+        "Oneshot e",
+        "Snapshot v",
+        "Snapshot e",
+        "RIS v",
+        "RIS e",
+        "n·RISv/Oneshotv"
     );
 
     for model in ProbabilityModel::paper_models() {
-        let instance = PreparedInstance::prepare(
-            InstanceConfig::new(Dataset::Karate, model),
-            50_000,
-            13,
-        );
+        let instance =
+            PreparedInstance::prepare(InstanceConfig::new(Dataset::Karate, model), 50_000, 13);
         let n = instance.graph.num_vertices() as f64;
         let mut cells: Vec<(f64, f64)> = Vec::new();
         for approach in ApproachKind::all() {
-            let batch =
-                instance.run_trials(approach.with_sample_number(1), k, trials, 21, true);
+            let batch = instance.run_trials(approach.with_sample_number(1), k, trials, 21, true);
             cells.push(batch.mean_traversal_cost());
         }
         let (oneshot, snapshot, ris) = (cells[0], cells[1], cells[2]);

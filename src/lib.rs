@@ -60,8 +60,9 @@ pub use imstats;
 /// The most commonly used types, re-exported for one-line imports.
 pub mod prelude {
     pub use im_core::{
-        Algorithm, InfluenceEstimator, InfluenceOracle, OneshotEstimator, RisEstimator,
-        RunOutcome, SampleSize, SeedSet, SnapshotEstimator, TraversalCost,
+        Algorithm, Backend, InfluenceEstimator, InfluenceOracle, OneshotEstimator, RisEstimator,
+        RunOptions, RunOutcome, SampleBudget, SampleSize, SeedSet, SnapshotEstimator,
+        TraversalCost,
     };
     pub use imexp::{ApproachKind, ExperimentScale, InstanceConfig, PreparedInstance, SweepConfig};
     pub use imgraph::{DiGraph, GraphBuilder, InfluenceGraph, VertexId};

@@ -38,7 +38,10 @@ fn all_three_approaches_converge_to_the_same_seed_set_on_karate() {
             distribution.num_distinct()
         );
         let (modal, _) = distribution.mode().expect("non-empty distribution");
-        assert_eq!(modal, &exact, "{algorithm} limit set should equal exact greedy");
+        assert_eq!(
+            modal, &exact,
+            "{algorithm} limit set should equal exact greedy"
+        );
     }
 }
 
@@ -50,11 +53,15 @@ fn entropy_decreases_and_mean_influence_increases_with_sample_number() {
         sample_numbers: vec![1, 16, 256, 4_096],
         trials: 40,
         base_seed: 5,
-        parallel: true,
+        threads: 0,
     };
     let analyzed = instance.sweep(ApproachKind::Ris, 4, &sweep);
     let entropies: Vec<f64> = analyzed.analyses.iter().map(|a| a.entropy).collect();
-    let means: Vec<f64> = analyzed.analyses.iter().map(|a| a.influence_stats.mean).collect();
+    let means: Vec<f64> = analyzed
+        .analyses
+        .iter()
+        .map(|a| a.influence_stats.mean)
+        .collect();
     assert!(
         entropies.first().unwrap() > entropies.last().unwrap(),
         "entropy should fall from θ=1 ({}) to θ=4096 ({})",
@@ -70,7 +77,10 @@ fn entropy_decreases_and_mean_influence_increases_with_sample_number() {
     // The influence distribution tightens as well.
     let first_sd = analyzed.analyses.first().unwrap().influence_stats.std_dev;
     let last_sd = analyzed.analyses.last().unwrap().influence_stats.std_dev;
-    assert!(last_sd <= first_sd, "SD should not grow: {first_sd} -> {last_sd}");
+    assert!(
+        last_sd <= first_sd,
+        "SD should not grow: {first_sd} -> {last_sd}"
+    );
 }
 
 #[test]
@@ -82,8 +92,12 @@ fn oracle_and_monte_carlo_agree_on_greedy_seed_sets() {
     let oracle_estimate = instance.oracle.estimate_seed_set(&outcome.seeds);
     let seeds: Vec<VertexId> = outcome.seeds.iter().collect();
     let mut rng = default_rng(123);
-    let mc_estimate =
-        im_study::im_core::diffusion::monte_carlo_influence(&instance.graph, &seeds, 60_000, &mut rng);
+    let mc_estimate = im_study::im_core::diffusion::monte_carlo_influence(
+        &instance.graph,
+        &seeds,
+        60_000,
+        &mut rng,
+    );
     let diff = (oracle_estimate - mc_estimate).abs();
     assert!(
         diff < 0.15,

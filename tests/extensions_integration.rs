@@ -6,12 +6,12 @@
 //! end-to-end property a downstream user would rely on (rather than a unit of
 //! a single module, which the per-crate test suites already cover).
 
-use im_study::prelude::*;
 use im_core::determination::{determine_all_sample_numbers, AccuracyTarget};
 use im_core::exact::{exact_greedy, exact_influence};
 use im_core::greedy_select;
 use im_core::lt_estimators::{LtOneshotEstimator, LtRisEstimator, LtSnapshotEstimator};
 use im_core::ris::{generate_rr_set, RisEstimator};
+use im_study::prelude::*;
 use imgraph::coarsen::coarsen_by_certain_edges;
 use imheur::{DegreeDiscount, IrieSelector, RandomSelector, SingleDiscount, WeightedDegree};
 use imsketch::descendant_counts;
@@ -35,12 +35,20 @@ fn informed_heuristics_beat_random_and_approach_exact_greedy() {
     let informed: Vec<(&str, Vec<VertexId>)> = vec![
         ("WeightedDegree", WeightedDegree.select(&graph, k).seeds),
         ("SingleDiscount", SingleDiscount.select(&graph, k).seeds),
-        ("DegreeDiscount", DegreeDiscount::with_mean_probability(&graph).select(&graph, k).seeds),
+        (
+            "DegreeDiscount",
+            DegreeDiscount::with_mean_probability(&graph)
+                .select(&graph, k)
+                .seeds,
+        ),
         ("IRIE", IrieSelector::default().select(&graph, k).seeds),
     ];
     for (name, seeds) in &informed {
         let quality = score(seeds) / exact.influence();
-        assert!(quality > 0.99, "{name} reached only {quality:.3} of exact greedy");
+        assert!(
+            quality > 0.99,
+            "{name} reached only {quality:.3} of exact greedy"
+        );
     }
     // The random baseline averaged over seeds is strictly worse: most pairs
     // miss at least one hub.
@@ -97,7 +105,10 @@ fn compressed_rr_sets_reproduce_the_ris_coverage_counts() {
             "vertex {v}: {from_compressed} vs {from_estimator}"
         );
     }
-    assert!(compressed.compression_ratio() > 1.0, "Karate RR sets should compress");
+    assert!(
+        compressed.compression_ratio() > 1.0,
+        "Karate RR sets should compress"
+    );
 }
 
 #[test]
@@ -166,7 +177,11 @@ fn lossless_coarsening_preserves_exact_influence() {
 #[test]
 fn determination_yields_sample_numbers_that_reach_exact_greedy() {
     let graph = Dataset::Karate.influence_graph(ProbabilityModel::uc01(), 0);
-    let target = AccuracyTarget { epsilon: 0.2, delta: 0.1, k: 1 };
+    let target = AccuracyTarget {
+        epsilon: 0.2,
+        delta: 0.1,
+        k: 1,
+    };
     let determined = determine_all_sample_numbers(&graph, &target, &mut default_rng(1));
     // The determined θ is a worst-case number: running RIS with it must give a
     // near-optimal seed on this tiny instance (Karate's two hubs, vertices 0
@@ -196,7 +211,10 @@ fn lt_estimators_agree_with_each_other_on_seed_choice() {
     let b = greedy_select(&mut snapshot, k, &mut default_rng(4)).seed_set();
     let mut ris = LtRisEstimator::new(&graph, 32_768, &mut default_rng(5));
     let c = greedy_select(&mut ris, k, &mut default_rng(6)).seed_set();
-    assert_eq!(b, c, "LT-Snapshot and LT-RIS should agree at these sample numbers");
+    assert_eq!(
+        b, c,
+        "LT-Snapshot and LT-RIS should agree at these sample numbers"
+    );
     // Oneshot is noisier at β = 128; require overlap rather than equality.
     let overlap = a.vertices().iter().filter(|v| b.contains(**v)).count();
     assert!(overlap >= 1, "LT-Oneshot {a} shares no seed with {b}");
@@ -222,8 +240,14 @@ fn seed_set_distributions_of_different_algorithms_converge_together() {
 
     let tv_small = total_variation_distance(&oneshot_small, &ris_small);
     let tv_big = total_variation_distance(&oneshot_big, &ris_big);
-    assert!(tv_big < tv_small, "TV should shrink with the sample number: {tv_big} vs {tv_small}");
-    assert!(tv_big < 0.2, "distributions should nearly coincide at large sample numbers");
+    assert!(
+        tv_big < tv_small,
+        "TV should shrink with the sample number: {tv_big} vs {tv_small}"
+    );
+    assert!(
+        tv_big < 0.2,
+        "distributions should nearly coincide at large sample numbers"
+    );
     assert!(support_jaccard(&oneshot_big, &ris_big) > 0.3);
     assert!(oneshot_big.entropy() < oneshot_small.entropy());
 }
@@ -244,5 +268,8 @@ fn celf_pp_and_ublf_match_plain_greedy_end_to_end() {
     let mut ublf_est = RisEstimator::new(&graph, theta, &mut default_rng(11));
     let (ublf, stats) = im_core::ublf_select(&mut ublf_est, k, &bounds, &mut default_rng(12));
     assert_eq!(plain.seed_set(), ublf.seed_set());
-    assert!(stats.estimate_calls < plain.estimate_calls, "UBLF should prune Estimate calls");
+    assert!(
+        stats.estimate_calls < plain.estimate_calls,
+        "UBLF should prune Estimate calls"
+    );
 }

@@ -20,7 +20,10 @@ fn finding_1_unique_solution_for_large_sample_numbers() {
     let r_mode = ris.seed_set_distribution().mode().unwrap().0.clone();
     assert!(snapshot.seed_set_distribution().is_degenerate());
     assert!(ris.seed_set_distribution().is_degenerate());
-    assert_eq!(s_mode, r_mode, "Snapshot and RIS must share the same limit seed set");
+    assert_eq!(
+        s_mode, r_mode,
+        "Snapshot and RIS must share the same limit seed set"
+    );
 }
 
 #[test]
@@ -32,16 +35,22 @@ fn finding_2_snapshot_needs_fewer_samples_than_oneshot() {
         sample_numbers: vec![1, 2, 4, 8, 16, 32, 64, 128],
         trials: 60,
         base_seed: 11,
-        parallel: true,
+        threads: 0,
     };
-    let snapshot_curve = instance.sweep(ApproachKind::Snapshot, 4, &sweep).sample_curve();
-    let oneshot_curve = instance.sweep(ApproachKind::Oneshot, 4, &sweep).sample_curve();
+    let snapshot_curve = instance
+        .sweep(ApproachKind::Snapshot, 4, &sweep)
+        .sample_curve();
+    let oneshot_curve = instance
+        .sweep(ApproachKind::Oneshot, 4, &sweep)
+        .sample_curve();
     let ratios = imstats::comparable_number_ratio(&snapshot_curve, &oneshot_curve);
-    assert!(!ratios.is_empty(), "some reference points must be comparable");
-    let median = imstats::ratio::median_ratio(
-        &ratios.iter().map(|p| p.number_ratio).collect::<Vec<_>>(),
-    )
-    .unwrap();
+    assert!(
+        !ratios.is_empty(),
+        "some reference points must be comparable"
+    );
+    let median =
+        imstats::ratio::median_ratio(&ratios.iter().map(|p| p.number_ratio).collect::<Vec<_>>())
+            .unwrap();
     assert!(
         median >= 1.0,
         "Oneshot should need at least as many samples as Snapshot (median ratio {median})"
@@ -57,27 +66,36 @@ fn finding_3_ris_needs_more_but_much_smaller_samples_than_snapshot() {
         sample_numbers: vec![1, 4, 16, 64],
         trials: 50,
         base_seed: 21,
-        parallel: true,
+        threads: 0,
     };
     let ris_sweep = SweepConfig {
         sample_numbers: (0..=14).map(|e| 1u64 << e).collect(),
         trials: 50,
         base_seed: 22,
-        parallel: true,
+        threads: 0,
     };
-    let snapshot_curve = instance.sweep(ApproachKind::Snapshot, 1, &snapshot_sweep).sample_curve();
-    let ris_curve = instance.sweep(ApproachKind::Ris, 1, &ris_sweep).sample_curve();
+    let snapshot_curve = instance
+        .sweep(ApproachKind::Snapshot, 1, &snapshot_sweep)
+        .sample_curve();
+    let ris_curve = instance
+        .sweep(ApproachKind::Ris, 1, &ris_sweep)
+        .sample_curve();
     let points = imstats::comparable_number_ratio(&snapshot_curve, &ris_curve);
     assert!(!points.is_empty());
-    let number_median = imstats::ratio::median_ratio(
-        &points.iter().map(|p| p.number_ratio).collect::<Vec<_>>(),
-    )
-    .unwrap();
+    let number_median =
+        imstats::ratio::median_ratio(&points.iter().map(|p| p.number_ratio).collect::<Vec<_>>())
+            .unwrap();
     let size_median = imstats::ratio::median_ratio(
-        &points.iter().filter_map(|p| p.size_ratio).collect::<Vec<_>>(),
+        &points
+            .iter()
+            .filter_map(|p| p.size_ratio)
+            .collect::<Vec<_>>(),
     )
     .unwrap();
-    assert!(number_median > 4.0, "RIS should need many more samples (got {number_median})");
+    assert!(
+        number_median > 4.0,
+        "RIS should need many more samples (got {number_median})"
+    );
     assert!(
         size_median < number_median / 4.0,
         "the size ratio ({size_median}) must be far below the number ratio ({number_median})"
@@ -93,16 +111,26 @@ fn finding_4_per_sample_traversal_cost_ratio() {
     let m_tilde = instance.graph.probability_sum();
     let trials = 300;
     let cost = |algorithm: Algorithm| {
-        instance.run_trials(algorithm, 1, trials, 8, true).mean_traversal_cost()
+        instance
+            .run_trials(algorithm, 1, trials, 8, true)
+            .mean_traversal_cost()
     };
     let oneshot = cost(Algorithm::Oneshot { beta: 1 });
     let snapshot = cost(Algorithm::Snapshot { tau: 1 });
     let ris = cost(Algorithm::Ris { theta: 1 });
 
     // Vertex cost: Oneshot ≈ Snapshot, and both ≈ n × RIS.
-    assert!((oneshot.0 / snapshot.0 - 1.0).abs() < 0.35, "Oneshot {} vs Snapshot {}", oneshot.0, snapshot.0);
+    assert!(
+        (oneshot.0 / snapshot.0 - 1.0).abs() < 0.35,
+        "Oneshot {} vs Snapshot {}",
+        oneshot.0,
+        snapshot.0
+    );
     let vertex_ratio = n * ris.0 / oneshot.0;
-    assert!((vertex_ratio - 1.0).abs() < 0.5, "n·RIS/Oneshot vertex ratio {vertex_ratio}");
+    assert!(
+        (vertex_ratio - 1.0).abs() < 0.5,
+        "n·RIS/Oneshot vertex ratio {vertex_ratio}"
+    );
     // Edge cost: Snapshot/Oneshot ≈ m̃/m (≈ 0.01 under uc0.01).
     let edge_ratio = snapshot.1 / oneshot.1;
     let expected = m_tilde / m;
@@ -155,14 +183,14 @@ fn finding_6_mean_is_a_dominant_statistic() {
         sample_numbers: vec![4, 16, 64, 256],
         trials: 60,
         base_seed: 31,
-        parallel: true,
+        threads: 0,
     };
     let snapshot = instance.sweep(ApproachKind::Snapshot, 4, &sweep);
     let ris_sweep = SweepConfig {
         sample_numbers: vec![64, 256, 1_024, 4_096],
         trials: 60,
         base_seed: 32,
-        parallel: true,
+        threads: 0,
     };
     let ris = instance.sweep(ApproachKind::Ris, 4, &ris_sweep);
     // For each Snapshot point, find the RIS point with the closest mean and

@@ -12,7 +12,7 @@ use im_core::exact::{exact_greedy, exact_influence, exact_optimum};
 use im_core::ublf::influence_upper_bounds;
 use imgraph::{DiGraph, InfluenceGraph, VertexId};
 use imheur::{DegreeDiscount, MaxDegree, PageRankSelector, SeedSelector, SingleDiscount};
-use imrand::{Pcg32, Rng32};
+use imrand::Pcg32;
 use imsketch::{descendant_counts, CompressedRrSets, ReachabilitySketches};
 use imstats::divergence::{
     jensen_shannon_divergence, overlap_coefficient, support_jaccard, total_variation_distance,
@@ -23,8 +23,11 @@ use imstats::EmpiricalDistribution;
 /// A strategy for tiny influence graphs (≤ 7 vertices, ≤ 10 distinct edges)
 /// small enough for exact influence enumeration.
 fn arb_tiny_influence_graph() -> impl Strategy<Value = InfluenceGraph> {
-    (2usize..=7, proptest::collection::vec(((0u32..7, 0u32..7), 0.05f64..1.0), 1..10)).prop_map(
-        |(n, raw)| {
+    (
+        2usize..=7,
+        proptest::collection::vec(((0u32..7, 0u32..7), 0.05f64..1.0), 1..10),
+    )
+        .prop_map(|(n, raw)| {
             let mut seen = std::collections::HashSet::new();
             let mut edges = Vec::new();
             let mut probs = Vec::new();
@@ -40,17 +43,22 @@ fn arb_tiny_influence_graph() -> impl Strategy<Value = InfluenceGraph> {
                 probs.push(0.5);
             }
             InfluenceGraph::new(DiGraph::from_edges(n, &edges), probs)
-        },
-    )
+        })
 }
 
 /// A strategy for small directed graphs (for sketch/descendant properties).
 fn arb_digraph() -> impl Strategy<Value = DiGraph> {
-    (5usize..40, proptest::collection::vec((0u32..40, 0u32..40), 0..120)).prop_map(|(n, raw)| {
-        let edges: Vec<(u32, u32)> =
-            raw.into_iter().map(|(u, v)| (u % n as u32, v % n as u32)).collect();
-        DiGraph::from_edges(n, &edges)
-    })
+    (
+        5usize..40,
+        proptest::collection::vec((0u32..40, 0u32..40), 0..120),
+    )
+        .prop_map(|(n, raw)| {
+            let edges: Vec<(u32, u32)> = raw
+                .into_iter()
+                .map(|(u, v)| (u % n as u32, v % n as u32))
+                .collect();
+            DiGraph::from_edges(n, &edges)
+        })
 }
 
 proptest! {
@@ -183,9 +191,9 @@ proptest! {
         let jac = support_jaccard(&p, &q);
         // Floating-point counting probabilities can overshoot the unit range
         // by a few ulps (e.g. TV of two disjoint supports sums 2·(Σ p) / 2).
-        prop_assert!(tv >= -1e-12 && tv <= 1.0 + 1e-12, "TV = {tv}");
-        prop_assert!(js >= -1e-12 && js <= 1.0 + 1e-12, "JS = {js}");
-        prop_assert!(jac >= -1e-12 && jac <= 1.0 + 1e-12, "Jaccard = {jac}");
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&tv), "TV = {tv}");
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&js), "JS = {js}");
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&jac), "Jaccard = {jac}");
         prop_assert!((tv + ov - 1.0).abs() < 1e-9);
         prop_assert!((tv - total_variation_distance(&q, &p)).abs() < 1e-12);
         prop_assert!(total_variation_distance(&p, &p) < 1e-12);

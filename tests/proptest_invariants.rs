@@ -17,7 +17,11 @@ fn arb_influence_graph() -> impl Strategy<Value = InfluenceGraph> {
     arb_edges().prop_flat_map(|(n, edges)| {
         let filtered: Vec<(u32, u32)> = edges.into_iter().filter(|(u, v)| u != v).collect();
         let len = filtered.len();
-        (Just(n), Just(filtered), proptest::collection::vec(0.05f64..1.0, len))
+        (
+            Just(n),
+            Just(filtered),
+            proptest::collection::vec(0.05f64..1.0, len),
+        )
             .prop_map(|(n, edges, probs)| {
                 let graph = DiGraph::from_edges(n, &edges);
                 InfluenceGraph::new(graph, probs)

@@ -1,0 +1,182 @@
+//! Determinism contract of the batched sampler layer: for a fixed seed, the
+//! parallel backend must produce **byte-identical** results to the sequential
+//! backend — same RR sets, same snapshots, same estimates, and therefore the
+//! same seed sets — on every estimator (IC and LT variants), on the oracle,
+//! and through the full `Algorithm` front-end and the experiment harness.
+
+use im_study::im_core::lt_estimators::{LtOneshotEstimator, LtRisEstimator, LtSnapshotEstimator};
+use im_study::im_core::oneshot::OneshotEstimator;
+use im_study::im_core::ris::generate_rr_sets_batched;
+use im_study::im_core::sampler::Backend;
+use im_study::im_core::snapshot::{sample_snapshots_batched, SnapshotEstimator};
+use im_study::im_core::{Algorithm, InfluenceOracle, RisEstimator, RunOptions};
+use im_study::prelude::*;
+use imexp::PreparedInstance;
+
+const THREADS: usize = 4;
+
+fn backends() -> (Backend, Backend) {
+    (Backend::Sequential, Backend::Parallel { threads: THREADS })
+}
+
+fn karate() -> InfluenceGraph {
+    Dataset::Karate.influence_graph(ProbabilityModel::uc01(), 0)
+}
+
+/// A generated Barabási–Albert graph, larger than Karate so batching actually
+/// splits the budget across many batches.
+fn ba_graph() -> InfluenceGraph {
+    Dataset::BaDense.influence_graph(ProbabilityModel::uc01(), 7)
+}
+
+fn graphs() -> Vec<(&'static str, InfluenceGraph)> {
+    vec![("karate", karate()), ("ba", ba_graph())]
+}
+
+#[test]
+fn rr_set_generation_is_backend_invariant() {
+    let (seq, par) = backends();
+    for (name, graph) in graphs() {
+        for seed in [0u64, 42] {
+            let a = generate_rr_sets_batched(&graph, 2_048, seed, seq);
+            let b = generate_rr_sets_batched(&graph, 2_048, seed, par);
+            assert_eq!(a, b, "RR sets diverged on {name} (seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn snapshot_sampling_is_backend_invariant() {
+    let (seq, par) = backends();
+    for (name, graph) in graphs() {
+        let a = sample_snapshots_batched(&graph, 512, 9, seq);
+        let b = sample_snapshots_batched(&graph, 512, 9, par);
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(x.graph(), y.graph(), "snapshot {i} diverged on {name}");
+            assert_eq!(x.live_edge_count(), y.live_edge_count());
+        }
+    }
+}
+
+#[test]
+fn all_three_estimators_select_identical_seeds_on_both_backends() {
+    for (name, graph) in graphs() {
+        // Oneshot's greedy loop re-samples per candidate, so its budget is
+        // kept small; Snapshot and RIS sample only in Build.
+        let beta = if name == "karate" { 64 } else { 8 };
+        for algorithm in [
+            Algorithm::Oneshot { beta },
+            Algorithm::Snapshot { tau: 64 },
+            Algorithm::Ris { theta: 2_048 },
+        ] {
+            let seed = 17u64;
+            let a = algorithm.run_with_options(
+                &graph,
+                3,
+                seed,
+                RunOptions::with_backend(Backend::Sequential),
+            );
+            let b = algorithm.run_with_options(
+                &graph,
+                3,
+                seed,
+                RunOptions::with_backend(Backend::Parallel { threads: THREADS }),
+            );
+            assert_eq!(
+                a, b,
+                "{algorithm} run diverged between backends on {name} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn estimator_internals_agree_between_backends() {
+    let graph = karate();
+    let (seq, par) = backends();
+
+    let mut ris_a = RisEstimator::with_backend(&graph, 2_048, 5, seq);
+    let mut ris_b = RisEstimator::with_backend(&graph, 2_048, 5, par);
+    assert_eq!(ris_a.rr_sets(), ris_b.rr_sets());
+    assert_eq!(ris_a.traversal_cost(), ris_b.traversal_cost());
+    assert_eq!(ris_a.sample_size(), ris_b.sample_size());
+    for v in 0..graph.num_vertices() as u32 {
+        assert_eq!(ris_a.estimate(v), ris_b.estimate(v));
+    }
+
+    let mut snap_a = SnapshotEstimator::with_backend(&graph, 64, 5, seq, true);
+    let mut snap_b = SnapshotEstimator::with_backend(&graph, 64, 5, par, true);
+    for v in 0..graph.num_vertices() as u32 {
+        assert_eq!(snap_a.estimate(v), snap_b.estimate(v));
+    }
+
+    let mut one_a = OneshotEstimator::with_backend(&graph, 256, 5, seq);
+    let mut one_b = OneshotEstimator::with_backend(&graph, 256, 5, par);
+    for v in [0u32, 5, 33] {
+        assert_eq!(
+            one_a.estimate(v),
+            one_b.estimate(v),
+            "Oneshot estimate of {v}"
+        );
+    }
+    assert_eq!(one_a.traversal_cost(), one_b.traversal_cost());
+}
+
+#[test]
+fn lt_estimators_agree_between_backends() {
+    let graph = karate();
+    let (seq, par) = backends();
+
+    let mut ris_a = LtRisEstimator::with_backend(&graph, 2_048, 11, seq);
+    let mut ris_b = LtRisEstimator::with_backend(&graph, 2_048, 11, par);
+    let mut snap_a = LtSnapshotEstimator::with_backend(&graph, 128, 11, seq);
+    let mut snap_b = LtSnapshotEstimator::with_backend(&graph, 128, 11, par);
+    let mut one_a = LtOneshotEstimator::with_backend(&graph, 128, 11, seq);
+    let mut one_b = LtOneshotEstimator::with_backend(&graph, 128, 11, par);
+    for v in 0..graph.num_vertices() as u32 {
+        assert_eq!(
+            ris_a.estimate(v),
+            ris_b.estimate(v),
+            "LT-RIS estimate of {v}"
+        );
+        assert_eq!(
+            snap_a.estimate(v),
+            snap_b.estimate(v),
+            "LT-Snapshot estimate of {v}"
+        );
+    }
+    for v in [0u32, 8] {
+        assert_eq!(
+            one_a.estimate(v),
+            one_b.estimate(v),
+            "LT-Oneshot estimate of {v}"
+        );
+    }
+}
+
+#[test]
+fn oracle_pool_is_backend_invariant() {
+    let graph = karate();
+    let (seq, par) = backends();
+    let a = InfluenceOracle::build_with_backend(&graph, 20_000, 13, seq);
+    let b = InfluenceOracle::build_with_backend(&graph, 20_000, 13, par);
+    assert_eq!(a.singleton_influences(), b.singleton_influences());
+    let seeds: Vec<u32> = vec![0, 2, 33];
+    assert_eq!(a.estimate(&seeds), b.estimate(&seeds));
+}
+
+#[test]
+fn trial_fanout_is_thread_count_invariant() {
+    let instance = PreparedInstance::prepare(
+        InstanceConfig::new(Dataset::Karate, ProbabilityModel::uc01()),
+        5_000,
+        7,
+    );
+    let algorithm = Algorithm::Ris { theta: 256 };
+    let serial = instance.run_trials_threads(algorithm, 2, 16, 23, 1);
+    let four = instance.run_trials_threads(algorithm, 2, 16, 23, 4);
+    let auto = instance.run_trials_threads(algorithm, 2, 16, 23, 0);
+    assert_eq!(serial.outcomes, four.outcomes);
+    assert_eq!(serial.outcomes, auto.outcomes);
+}

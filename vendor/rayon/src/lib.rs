@@ -1,0 +1,158 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the small rayon subset the workspace's sampling layer drives — [`scope`]
+//! with [`Scope::spawn`], [`join`] and [`current_num_threads`] — on top of
+//! `std::thread::scope`. There is no work-stealing pool: spawned closures are
+//! collected while the scope body runs and then executed by a crew of scoped
+//! OS threads pulling from a shared queue. That is enough to saturate all
+//! cores for the coarse-grained batch jobs this workspace submits; swap the
+//! `vendor/` path dependency for real rayon when the registry is reachable.
+
+#![forbid(unsafe_code)]
+
+use std::sync::Mutex;
+
+type Job<'scope> = Box<dyn FnOnce(&Scope<'scope>) + Send + 'scope>;
+
+/// A fork-join scope: jobs spawned onto it are guaranteed to finish before
+/// [`scope`] returns.
+pub struct Scope<'scope> {
+    jobs: Mutex<Vec<Job<'scope>>>,
+}
+
+impl<'scope> Scope<'scope> {
+    /// Spawn a job onto the scope. The closure receives the scope again (as in
+    /// rayon), so jobs can spawn follow-up jobs.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.jobs
+            .lock()
+            .expect("scope queue poisoned")
+            .push(Box::new(f));
+    }
+}
+
+/// Create a fork-join scope, run `op` inside it and drain every spawned job
+/// before returning `op`'s result.
+pub fn scope<'scope, OP, R>(op: OP) -> R
+where
+    OP: FnOnce(&Scope<'scope>) -> R,
+{
+    let s = Scope {
+        jobs: Mutex::new(Vec::new()),
+    };
+    let result = op(&s);
+    loop {
+        let jobs: Vec<Job<'scope>> = std::mem::take(&mut *s.jobs.lock().expect("scope queue"));
+        if jobs.is_empty() {
+            break;
+        }
+        run_jobs(&s, jobs);
+    }
+    result
+}
+
+fn run_jobs<'scope>(s: &Scope<'scope>, jobs: Vec<Job<'scope>>) {
+    let workers = current_num_threads().min(jobs.len()).max(1);
+    if workers == 1 {
+        for job in jobs {
+            job(s);
+        }
+        return;
+    }
+    let queue = Mutex::new(jobs.into_iter());
+    std::thread::scope(|ts| {
+        for _ in 0..workers {
+            ts.spawn(|| loop {
+                let job = queue.lock().expect("job queue poisoned").next();
+                match job {
+                    Some(job) => job(s),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+/// Run two closures, potentially in parallel, and return both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let mut rb = None;
+    let ra = std::thread::scope(|ts| {
+        let handle = ts.spawn(b);
+        let ra = a();
+        rb = Some(handle.join().expect("joined closure panicked"));
+        ra
+    });
+    (ra, rb.expect("join closure completed"))
+}
+
+/// Number of worker threads the stand-in will use (the machine's available
+/// parallelism).
+#[must_use]
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_runs_every_spawned_job() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..64 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn nested_spawns_are_drained() {
+        let counter = AtomicUsize::new(0);
+        scope(|s| {
+            s.spawn(|s| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn scope_can_borrow_and_mutate_through_sync_cells() {
+        let data: Vec<u64> = (0..100).collect();
+        let total = AtomicUsize::new(0);
+        scope(|s| {
+            for chunk in data.chunks(10) {
+                s.spawn(|_| {
+                    let sum: u64 = chunk.iter().sum();
+                    total.fetch_add(sum as usize, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::SeqCst), 4950);
+    }
+}

@@ -1,0 +1,102 @@
+//! Offline stand-in for the `rustc-hash` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace vendors
+//! the small dependency surface it needs. This crate implements the same Fx
+//! hash function (the FireFox / rustc hasher: a multiply-and-rotate word
+//! hasher) and exposes the same `FxHashMap` / `FxHashSet` aliases.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A speedy, non-cryptographic hasher used throughout rustc.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    hash: usize,
+}
+
+const SEED: usize = 0x51_7c_c1_b7_27_22_0a_95_u64 as usize;
+const ROTATE: u32 = 5;
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: usize) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(std::mem::size_of::<usize>()) {
+            let mut buf = [0u8; std::mem::size_of::<usize>()];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.add_to_hash(usize::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as usize);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as usize);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as usize);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i as usize);
+        #[cfg(target_pointer_width = "32")]
+        self.add_to_hash((i >> 32) as usize);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash as u64
+    }
+}
+
+/// A `HashMap` using `FxHasher`.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` using `FxHasher`.
+pub type FxHashSet<V> = HashSet<V, BuildHasherDefault<FxHasher>>;
+
+/// The `BuildHasher` for `FxHasher` (named as in rustc-hash 2.x).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_and_set_work() {
+        let mut m: FxHashMap<u32, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(2, "two");
+        assert_eq!(m.get(&1), Some(&"one"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+    }
+
+    #[test]
+    fn hashing_is_deterministic() {
+        let mut a = FxHasher::default();
+        let mut b = FxHasher::default();
+        a.write_u64(0xDEAD_BEEF);
+        b.write_u64(0xDEAD_BEEF);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -1,0 +1,433 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no crates.io access, so `syn`/`quote` are not
+//! available; the derive input is parsed directly from the `proc_macro` token
+//! stream. Only the shapes this workspace uses are supported: non-generic
+//! structs (named, tuple, unit) and non-generic enums with unit, tuple and
+//! struct variants, all without `#[serde(...)]` attributes. The generated
+//! impls target the vendored `serde` crate's `Value` data model and reproduce
+//! serde's externally-tagged enum representation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field list: named fields, a tuple arity, or a unit shape.
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+/// A parsed item: its name and its shape.
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, Fields)>,
+    },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(e) => error(&e),
+    }
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(e) => error(&e),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0usize;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "derive stand-in does not support generic type `{name}`"
+        ));
+    }
+    match kind.as_str() {
+        "struct" => {
+            let fields = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("unsupported struct body: {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("expected enum body, got {other:?}")),
+            };
+            Ok(Item::Enum {
+                name,
+                variants: parse_variants(body)?,
+            })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Skip `#[...]` attributes (including expanded doc comments) and visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Parse `name: Type, ...` field lists, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, got {other:?}")),
+        }
+        skip_type(&tokens, &mut i);
+        fields.push(name);
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    Ok(fields)
+}
+
+/// Advance past one type, stopping at a top-level (angle-depth 0) comma.
+fn skip_type(tokens: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+/// Count the fields of a tuple struct/variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0usize;
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_type(&tokens, &mut i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, Fields)>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_type(&tokens, &mut i);
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn object_literal(entries: &[(String, String)]) -> String {
+    if entries.is_empty() {
+        return "::serde::Value::Object(::std::vec::Vec::new())".to_string();
+    }
+    let pairs: Vec<String> = entries
+        .iter()
+        .map(|(k, v)| format!("(::std::string::String::from({k:?}), {v})"))
+        .collect();
+    format!(
+        "::serde::Value::Object(::std::vec::Vec::from([{}]))",
+        pairs.join(", ")
+    )
+}
+
+fn array_literal(items: &[String]) -> String {
+    if items.is_empty() {
+        return "::serde::Value::Array(::std::vec::Vec::new())".to_string();
+    }
+    format!(
+        "::serde::Value::Array(::std::vec::Vec::from([{}]))",
+        items.join(", ")
+    )
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let entries: Vec<(String, String)> = fs
+                        .iter()
+                        .map(|f| {
+                            (
+                                f.clone(),
+                                format!("::serde::Serialize::to_value(&self.{f})"),
+                            )
+                        })
+                        .collect();
+                    object_literal(&entries)
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Serialize::to_value(&self.{k})"))
+                        .collect();
+                    array_literal(&items)
+                }
+                Fields::Unit => "::serde::Value::Null".to_string(),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut arms = Vec::new();
+            for (vname, fields) in variants {
+                let arm = match fields {
+                    Fields::Unit => format!(
+                        "{name}::{vname} => ::serde::Value::Str(::std::string::String::from({vname:?}))"
+                    ),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            array_literal(&items)
+                        };
+                        let tagged = object_literal(&[(vname.clone(), inner)]);
+                        format!("{name}::{vname}({}) => {tagged}", binders.join(", "))
+                    }
+                    Fields::Named(fs) => {
+                        let entries: Vec<(String, String)> = fs
+                            .iter()
+                            .map(|f| (f.clone(), format!("::serde::Serialize::to_value({f})")))
+                            .collect();
+                        let inner = object_literal(&entries);
+                        let tagged = object_literal(&[(vname.clone(), inner)]);
+                        format!("{name}::{vname} {{ {} }} => {tagged}", fs.join(", "))
+                    }
+                };
+                arms.push(arm);
+            }
+            (name, format!("match self {{ {} }}", arms.join(", ")))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_named_constructor(path: &str, fields: &[String], source: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: ::serde::de_field({source}, {f:?})?"))
+        .collect();
+    format!("{path} {{ {} }}", inits.join(", "))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(fs) => {
+                    let ctor = gen_named_constructor(name, fs, "v");
+                    format!("::std::result::Result::Ok({ctor})")
+                }
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                        .collect();
+                    format!(
+                        "match v {{\n\
+                         ::serde::Value::Array(__items) if __items.len() == {n} => \
+                         ::std::result::Result::Ok({name}({items})),\n\
+                         other => ::std::result::Result::Err(::serde::Error(\
+                         format!(\"expected array of length {n} for `{name}`, got {{other:?}}\"))),\n\
+                         }}",
+                        items = items.join(", ")
+                    )
+                }
+                Fields::Unit => format!("::std::result::Result::Ok({name})"),
+            };
+            (name, body)
+        }
+        Item::Enum { name, variants } => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for (vname, fields) in variants {
+                match fields {
+                    Fields::Unit => unit_arms.push(format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname})"
+                    )),
+                    Fields::Tuple(1) => data_arms.push(format!(
+                        "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(__inner)?))"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?"))
+                            .collect();
+                        data_arms.push(format!(
+                            "{vname:?} => match __inner {{\n\
+                             ::serde::Value::Array(__items) if __items.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vname}({items})),\n\
+                             other => ::std::result::Result::Err(::serde::Error(\
+                             format!(\"bad payload for variant `{vname}`: {{other:?}}\"))),\n\
+                             }}",
+                            items = items.join(", ")
+                        ));
+                    }
+                    Fields::Named(fs) => {
+                        let ctor =
+                            gen_named_constructor(&format!("{name}::{vname}"), fs, "__inner");
+                        data_arms.push(format!("{vname:?} => ::std::result::Result::Ok({ctor})"));
+                    }
+                }
+            }
+            unit_arms.push(format!(
+                "other => ::std::result::Result::Err(::serde::Error(\
+                 format!(\"unknown unit variant `{{other}}` of `{name}`\")))"
+            ));
+            data_arms.push(format!(
+                "other => ::std::result::Result::Err(::serde::Error(\
+                 format!(\"unknown variant `{{other}}` of `{name}`\")))"
+            ));
+            let body = format!(
+                "match v {{\n\
+                 ::serde::Value::Str(__s) => match __s.as_str() {{ {unit} }},\n\
+                 ::serde::Value::Object(__pairs) if __pairs.len() == 1 => {{\n\
+                 let (__tag, __inner) = &__pairs[0];\n\
+                 match __tag.as_str() {{ {data} }}\n\
+                 }},\n\
+                 other => ::std::result::Result::Err(::serde::Error(\
+                 format!(\"expected `{name}` variant, got {{other:?}}\"))),\n\
+                 }}",
+                unit = unit_arms.join(", "),
+                data = data_arms.join(", ")
+            );
+            (name, body)
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}"
+    )
+}
