@@ -1,0 +1,59 @@
+//! Ablation: the oracle's allocation-free `estimate_with` scratch path versus
+//! the allocating `estimate` path, on the serving workload shape (many small
+//! seed-set queries against one large shared RR-set pool).
+//!
+//! This is the hot path of the `imserve` query engine: every `Estimate`
+//! request resolves to exactly one of these calls, so the per-call allocation
+//! removed by `EstimateScratch` is the difference between a zero-garbage
+//! steady state and one allocation per request.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use im_core::sampler::Backend;
+use im_core::InfluenceOracle;
+use imnet::{Dataset, ProbabilityModel};
+use std::hint::black_box;
+
+const POOL: usize = 200_000;
+
+fn bench(c: &mut Criterion) {
+    let ig = Dataset::CaGrQc.influence_graph(ProbabilityModel::uc01(), 3);
+    let oracle = InfluenceOracle::build_with_backend(&ig, POOL, 11, Backend::Sequential);
+    let mut scratch = oracle.scratch();
+
+    // A representative query mix: singletons and multi-seed sets.
+    let mut queries: Vec<Vec<u32>> = Vec::new();
+    let n = ig.num_vertices() as u32;
+    for i in 0..64u32 {
+        queries.push(vec![(i * 37) % n]);
+        queries.push(vec![(i * 37) % n, (i * 101 + 5) % n, (i * 211 + 9) % n]);
+    }
+
+    // Both paths must agree before anything is timed.
+    for q in &queries {
+        assert_eq!(oracle.estimate(q), oracle.estimate_with(q, &mut scratch));
+    }
+
+    let mut group = c.benchmark_group("oracle_estimate");
+    group.bench_function("alloc_per_query (estimate)", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for q in &queries {
+                acc += oracle.estimate(black_box(q));
+            }
+            acc
+        });
+    });
+    group.bench_function("zero_alloc (estimate_with scratch)", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for q in &queries {
+                acc += oracle.estimate_with(black_box(q), &mut scratch);
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

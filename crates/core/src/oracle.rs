@@ -8,12 +8,22 @@
 //! `Inf(S)` is `1.29·n/√pool` (each RR set intersecting `S` is a Bernoulli
 //! trial with success probability `Inf(S)/n`).
 
+use imgraph::binio::{self, BinError, BinReader, BinWriter};
 use imgraph::{InfluenceGraph, VertexId};
 use imrand::Rng32;
 
 use crate::ris::RrScratch;
 use crate::sampler::{self, Backend, SampleBudget};
 use crate::seed_set::SeedSet;
+
+/// Magic bytes of a serialized RR-set pool.
+pub const POOL_MAGIC: [u8; 4] = *b"IMPL";
+/// Current RR-set pool format version.
+pub const POOL_VERSION: u32 = 1;
+
+const POOL_HEAD_TAG: [u8; 4] = *b"HEAD";
+const POOL_LEN_TAG: [u8; 4] = *b"PLEN";
+const POOL_IDS_TAG: [u8; 4] = *b"PIDS";
 
 /// Append `set_id` to the posting list of every member vertex of one RR set
 /// (shared by the stream and batched build paths).
@@ -26,15 +36,50 @@ fn index_rr_set(vertex_to_sets: &mut [Vec<u32>], set_id: u32, vertices: &[Vertex
 /// A shared, read-only influence estimator backed by a pool of RR sets.
 #[derive(Debug, Clone)]
 pub struct InfluenceOracle {
-    /// For each vertex, the ids of pool RR sets containing it.
+    /// For each vertex, the ids of pool RR sets containing it, in increasing
+    /// id order (the build paths index sets in generation order).
     vertex_to_sets: Vec<Vec<u32>>,
     pool_size: usize,
     num_vertices: usize,
-    /// Scratch marks reused across queries (epoch per RR set id).
     // Interior mutability is deliberately avoided: `estimate` takes `&self`
-    // and allocates a fresh bitmap per call; seed sets are tiny and queries
-    // are far off the hot path, so clarity wins here.
+    // and allocates per call, which is fine for the experiment harness. The
+    // serving hot path passes an explicit [`EstimateScratch`] to
+    // `estimate_with` instead, keeping `&self` queries shareable across
+    // threads with zero per-query allocation.
     _private: (),
+}
+
+/// Reusable per-caller scratch for [`InfluenceOracle::estimate_with`].
+///
+/// Holds one epoch mark per pool RR set; bumping the epoch invalidates all
+/// marks in O(1), so repeated estimates perform no allocation and no clearing
+/// pass. Each worker thread owns its own scratch (the oracle itself stays
+/// immutable and shareable behind an `Arc`).
+#[derive(Debug, Clone)]
+pub struct EstimateScratch {
+    marks: Vec<u32>,
+    epoch: u32,
+}
+
+impl EstimateScratch {
+    /// Scratch sized for `oracle`'s pool.
+    #[must_use]
+    pub fn for_oracle(oracle: &InfluenceOracle) -> Self {
+        Self {
+            marks: vec![0u32; oracle.pool_size],
+            epoch: 0,
+        }
+    }
+
+    /// Advance to a fresh epoch, resetting marks when the counter wraps.
+    fn next_epoch(&mut self) -> u32 {
+        if self.epoch == u32::MAX {
+            self.marks.iter_mut().for_each(|m| *m = 0);
+            self.epoch = 0;
+        }
+        self.epoch += 1;
+        self.epoch
+    }
 }
 
 impl InfluenceOracle {
@@ -118,6 +163,149 @@ impl InfluenceOracle {
         }
     }
 
+    /// Reassemble an oracle from previously exported posting lists.
+    ///
+    /// This is the import half of the persistence layer: given the per-vertex
+    /// lists of pool RR-set ids (as produced by the build paths and exposed by
+    /// [`InfluenceOracle::vertex_to_sets`]), it validates the invariants the
+    /// query paths rely on and constructs the oracle **without any sampling**
+    /// — no graph and no random generator are involved, so loading a
+    /// persisted pool can never resample it.
+    ///
+    /// Invariants checked: `pool_size > 0`, at least one vertex, every set id
+    /// `< pool_size`, and every posting list strictly increasing (the order
+    /// the builders produce; `estimate` relies on it for dedup-by-merge).
+    pub fn from_parts(
+        num_vertices: usize,
+        pool_size: usize,
+        vertex_to_sets: Vec<Vec<u32>>,
+    ) -> Result<Self, String> {
+        if pool_size == 0 {
+            return Err("oracle needs a non-empty RR-set pool".into());
+        }
+        if num_vertices == 0 {
+            return Err("oracle needs a non-empty graph".into());
+        }
+        if vertex_to_sets.len() != num_vertices {
+            return Err(format!(
+                "{} posting lists for {num_vertices} vertices",
+                vertex_to_sets.len()
+            ));
+        }
+        for (v, list) in vertex_to_sets.iter().enumerate() {
+            let mut prev: Option<u32> = None;
+            for &id in list {
+                if id as usize >= pool_size {
+                    return Err(format!(
+                        "vertex {v} references RR set {id} outside pool of {pool_size}"
+                    ));
+                }
+                if let Some(p) = prev {
+                    if id <= p {
+                        return Err(format!(
+                            "posting list of vertex {v} is not strictly increasing"
+                        ));
+                    }
+                }
+                prev = Some(id);
+            }
+        }
+        Ok(Self {
+            vertex_to_sets,
+            pool_size,
+            num_vertices,
+            _private: (),
+        })
+    }
+
+    /// The per-vertex posting lists over the RR-set pool (the export half of
+    /// the persistence layer; see [`InfluenceOracle::from_parts`]).
+    #[must_use]
+    pub fn vertex_to_sets(&self) -> &[Vec<u32>] {
+        &self.vertex_to_sets
+    }
+
+    /// Serialize the RR-set pool to the workspace binary format.
+    ///
+    /// Layout (see `imgraph::binio` for the framing): a `HEAD` section with
+    /// `n` and `pool_size`, a `PLEN` section with each vertex's posting-list
+    /// length, and a `PIDS` section with the concatenated ids — i.e. the
+    /// posting lists in CSR form, which reload without any per-list parsing.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = BinWriter::new(POOL_MAGIC, POOL_VERSION);
+
+        let mut head = Vec::with_capacity(16);
+        binio::put_u64(&mut head, self.num_vertices as u64);
+        binio::put_u64(&mut head, self.pool_size as u64);
+        w.section(POOL_HEAD_TAG, &head);
+
+        let total: usize = self.vertex_to_sets.iter().map(Vec::len).sum();
+        let mut lens = Vec::with_capacity(self.num_vertices * 4);
+        let mut ids = Vec::with_capacity(total * 4);
+        for list in &self.vertex_to_sets {
+            binio::put_u32(&mut lens, list.len() as u32);
+            for &id in list {
+                binio::put_u32(&mut ids, id);
+            }
+        }
+        w.section(POOL_LEN_TAG, &lens);
+        w.section(POOL_IDS_TAG, &ids);
+        w.finish()
+    }
+
+    /// Deserialize an RR-set pool written by [`InfluenceOracle::to_bytes`].
+    ///
+    /// The signature is the no-resampling guarantee: no graph, no generator —
+    /// only bytes. Corruption that survives the checksum (or hand-crafted
+    /// input) is rejected with a typed [`BinError`], never a panic.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, BinError> {
+        let sections = BinReader::new(bytes, POOL_MAGIC, POOL_VERSION)?.sections()?;
+
+        let mut head = binio::require_section(&sections, POOL_HEAD_TAG)?;
+        let n = usize::try_from(head.u64()?)
+            .map_err(|_| BinError::Corrupt("vertex count exceeds usize".into()))?;
+        let pool = usize::try_from(head.u64()?)
+            .map_err(|_| BinError::Corrupt("pool size exceeds usize".into()))?;
+
+        let mut len_payload = binio::require_section(&sections, POOL_LEN_TAG)?;
+        if len_payload.remaining()
+            != n.checked_mul(4)
+                .ok_or_else(|| BinError::Corrupt("posting-length section size overflows".into()))?
+        {
+            return Err(BinError::Corrupt(format!(
+                "posting-length section holds {} bytes, expected {}",
+                len_payload.remaining(),
+                n * 4
+            )));
+        }
+        let mut ids_payload = binio::require_section(&sections, POOL_IDS_TAG)?;
+        let mut vertex_to_sets: Vec<Vec<u32>> = Vec::with_capacity(n);
+        for _ in 0..n {
+            let len = len_payload.u32()? as usize;
+            // Guard the allocation against forged lengths: the ids section
+            // must still hold at least `len` entries.
+            if len > ids_payload.remaining() / 4 {
+                return Err(BinError::Truncated {
+                    needed: len * 4,
+                    available: ids_payload.remaining(),
+                });
+            }
+            let mut list = Vec::with_capacity(len);
+            for _ in 0..len {
+                list.push(ids_payload.u32()?);
+            }
+            vertex_to_sets.push(list);
+        }
+        if ids_payload.remaining() != 0 {
+            return Err(BinError::Corrupt(format!(
+                "{} trailing bytes in posting-id section",
+                ids_payload.remaining()
+            )));
+        }
+        Self::from_parts(n, pool, vertex_to_sets).map_err(BinError::Corrupt)
+    }
+
     /// Number of RR sets in the pool.
     #[must_use]
     pub fn pool_size(&self) -> usize {
@@ -155,6 +343,50 @@ impl InfluenceOracle {
         ids.sort_unstable();
         ids.dedup();
         self.num_vertices as f64 * ids.len() as f64 / self.pool_size as f64
+    }
+
+    /// Allocation-free estimate of `Inf(S)` using a reusable scratch.
+    ///
+    /// Returns exactly the same value as [`InfluenceOracle::estimate`] (both
+    /// count the distinct pool RR sets intersecting `S`), but touches only the
+    /// scratch's epoch marks, so a serving hot path issuing millions of
+    /// queries performs zero per-query allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was sized for a different pool.
+    #[must_use]
+    pub fn estimate_with(&self, seeds: &[VertexId], scratch: &mut EstimateScratch) -> f64 {
+        assert_eq!(
+            scratch.marks.len(),
+            self.pool_size,
+            "scratch sized for a different oracle pool"
+        );
+        if seeds.is_empty() {
+            return 0.0;
+        }
+        if seeds.len() == 1 {
+            let hits = self.vertex_to_sets[seeds[0] as usize].len();
+            return self.num_vertices as f64 * hits as f64 / self.pool_size as f64;
+        }
+        let epoch = scratch.next_epoch();
+        let mut distinct = 0usize;
+        for &s in seeds {
+            for &id in &self.vertex_to_sets[s as usize] {
+                let mark = &mut scratch.marks[id as usize];
+                if *mark != epoch {
+                    *mark = epoch;
+                    distinct += 1;
+                }
+            }
+        }
+        self.num_vertices as f64 * distinct as f64 / self.pool_size as f64
+    }
+
+    /// A scratch sized for this oracle (convenience for worker threads).
+    #[must_use]
+    pub fn scratch(&self) -> EstimateScratch {
+        EstimateScratch::for_oracle(self)
     }
 
     /// Estimate the influence spread of a canonical [`SeedSet`].
@@ -346,5 +578,100 @@ mod tests {
     fn zero_pool_panics() {
         let ig = star(0.5);
         let _ = InfluenceOracle::build(&ig, 0, &mut Pcg32::seed_from_u64(8));
+    }
+
+    #[test]
+    fn estimate_with_scratch_matches_estimate() {
+        let ig = star(0.5);
+        let oracle = InfluenceOracle::build(&ig, 20_000, &mut Pcg32::seed_from_u64(12));
+        let mut scratch = oracle.scratch();
+        let seed_sets: &[&[VertexId]] = &[&[], &[0], &[3], &[0, 1], &[1, 2, 3, 4], &[4, 0, 4]];
+        for &seeds in seed_sets {
+            assert_eq!(
+                oracle.estimate(seeds),
+                oracle.estimate_with(seeds, &mut scratch),
+                "scratch path must be bit-identical for {seeds:?}"
+            );
+        }
+        // Repeated use of the same scratch stays correct (epoch discipline).
+        for _ in 0..100 {
+            assert_eq!(
+                oracle.estimate(&[0, 1]),
+                oracle.estimate_with(&[0, 1], &mut scratch)
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_epoch_wrap_resets_marks() {
+        let ig = star(0.5);
+        let oracle = InfluenceOracle::build(&ig, 1_000, &mut Pcg32::seed_from_u64(13));
+        let mut scratch = oracle.scratch();
+        scratch.epoch = u32::MAX - 1;
+        let expected = oracle.estimate(&[0, 2]);
+        for _ in 0..4 {
+            // Crosses the wrap boundary; estimates must stay identical.
+            assert_eq!(oracle.estimate_with(&[0, 2], &mut scratch), expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "different oracle pool")]
+    fn mismatched_scratch_panics() {
+        let ig = star(0.5);
+        let a = InfluenceOracle::build(&ig, 100, &mut Pcg32::seed_from_u64(14));
+        let b = InfluenceOracle::build(&ig, 200, &mut Pcg32::seed_from_u64(14));
+        let mut scratch = a.scratch();
+        let _ = b.estimate_with(&[0], &mut scratch);
+    }
+
+    #[test]
+    fn pool_round_trips_through_bytes() {
+        let ig = star(0.7);
+        let oracle = InfluenceOracle::build_with_backend(&ig, 5_000, 21, Backend::Sequential);
+        let bytes = oracle.to_bytes();
+        let back = InfluenceOracle::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.pool_size(), oracle.pool_size());
+        assert_eq!(back.num_vertices(), oracle.num_vertices());
+        assert_eq!(back.vertex_to_sets(), oracle.vertex_to_sets());
+        // Re-encoding is byte-identical, and estimates are bit-identical.
+        assert_eq!(back.to_bytes(), bytes);
+        for v in 0..5u32 {
+            assert_eq!(back.estimate(&[v]), oracle.estimate(&[v]));
+        }
+        assert_eq!(back.estimate(&[0, 3, 4]), oracle.estimate(&[0, 3, 4]));
+    }
+
+    #[test]
+    fn pool_corruption_and_truncation_are_typed_errors() {
+        let ig = star(0.7);
+        let oracle = InfluenceOracle::build(&ig, 500, &mut Pcg32::seed_from_u64(15));
+        let bytes = oracle.to_bytes();
+        for cut in [0, 7, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(InfluenceOracle::from_bytes(&bytes[..cut]).is_err());
+        }
+        let mut damaged = bytes.clone();
+        let mid = damaged.len() / 2;
+        damaged[mid] ^= 0x01;
+        assert!(matches!(
+            InfluenceOracle::from_bytes(&damaged),
+            Err(BinError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn from_parts_validates_invariants() {
+        // Valid: two vertices, pool of 3.
+        let ok = InfluenceOracle::from_parts(2, 3, vec![vec![0, 2], vec![1]]);
+        assert!(ok.is_ok());
+        // Set id out of range.
+        assert!(InfluenceOracle::from_parts(2, 3, vec![vec![3], vec![]]).is_err());
+        // Not strictly increasing.
+        assert!(InfluenceOracle::from_parts(2, 3, vec![vec![1, 1], vec![]]).is_err());
+        // Wrong list count.
+        assert!(InfluenceOracle::from_parts(2, 3, vec![vec![0]]).is_err());
+        // Degenerate dimensions.
+        assert!(InfluenceOracle::from_parts(0, 3, vec![]).is_err());
+        assert!(InfluenceOracle::from_parts(2, 0, vec![vec![], vec![]]).is_err());
     }
 }

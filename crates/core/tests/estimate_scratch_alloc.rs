@@ -1,0 +1,99 @@
+//! Proof that the serving hot path performs zero per-query allocation.
+//!
+//! A counting global allocator records every `alloc` call; after building the
+//! oracle and its [`EstimateScratch`], a burst of `estimate_with` queries must
+//! leave the counter untouched. The old `estimate` path allocates on every
+//! multi-seed call (it merges posting lists into a fresh `Vec`), which the
+//! second assertion documents as the contrast.
+//!
+//! This file deliberately contains a single `#[test]` so no sibling test can
+//! allocate concurrently on another thread and pollute the counter.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use im_core::InfluenceOracle;
+use imgraph::{DiGraph, InfluenceGraph};
+use imrand::Pcg32;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates directly to the system allocator; the counter is a
+// side-effect-free atomic increment.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+#[test]
+fn estimate_with_performs_zero_allocations_per_query() {
+    // A small scale-free-ish fixture: a hub plus a ring, enough structure for
+    // multi-vertex RR sets.
+    let n = 64u32;
+    let mut edges = Vec::new();
+    for v in 1..n {
+        edges.push((0, v));
+        edges.push((v, (v % (n - 1)) + 1));
+    }
+    let probs = vec![0.2; edges.len()];
+    let graph = InfluenceGraph::new(DiGraph::from_edges(n as usize, &edges), probs);
+    let oracle = InfluenceOracle::build(&graph, 50_000, &mut Pcg32::seed_from_u64(42));
+    let mut scratch = oracle.scratch();
+
+    let seed_sets: Vec<Vec<u32>> = vec![
+        vec![0],
+        vec![0, 1],
+        vec![5, 9, 13],
+        vec![0, 1, 2, 3, 4, 5, 6, 7],
+        (0..32).collect(),
+    ];
+
+    // Warm up once (first call may lazily grow nothing, but be safe).
+    for seeds in &seed_sets {
+        let _ = oracle.estimate_with(seeds, &mut scratch);
+    }
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let mut acc = 0.0f64;
+    for _ in 0..1_000 {
+        for seeds in &seed_sets {
+            acc += oracle.estimate_with(seeds, &mut scratch);
+        }
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert!(acc > 0.0, "estimates must be non-trivial");
+    assert_eq!(
+        after - before,
+        0,
+        "estimate_with must not allocate on the hot path"
+    );
+
+    // Contrast: the allocating path does allocate (one merge buffer per
+    // multi-seed call), which is exactly what the scratch removes.
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    let _ = oracle.estimate(&[0, 1, 2]);
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+    assert!(
+        after > before,
+        "the non-scratch path is expected to allocate"
+    );
+
+    // And both paths agree bit-for-bit.
+    for seeds in &seed_sets {
+        assert_eq!(
+            oracle.estimate(seeds),
+            oracle.estimate_with(seeds, &mut scratch)
+        );
+    }
+}

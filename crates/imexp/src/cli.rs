@@ -1,0 +1,231 @@
+//! Strict, unit-testable argument parsing for the `imexp` binary.
+//!
+//! Parsing is a pure function from arguments to a [`Cli`] value, so every
+//! rejection rule — unknown flags, malformed `--scale` values, missing flag
+//! values, flag/command compatibility — is pinned by unit tests instead of
+//! living implicitly in `main`.
+
+use imserve::cli::{parse_number, take_value};
+// One error type across the workspace binaries: parse failures print the
+// same way whether `imexp` or `imserve` rejected the flag.
+pub use imserve::cli::CliError;
+
+use crate::config::ExperimentScale;
+
+/// A parsed `imexp` invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cli {
+    /// `imexp list`: print the registered experiment names.
+    List,
+    /// `imexp all [--scale …] [--json]`: run every experiment.
+    All {
+        /// Scale preset of every run.
+        scale: ExperimentScale,
+        /// Emit pretty JSON instead of plain-text tables.
+        json: bool,
+    },
+    /// `imexp <experiment> [--scale …] [--json]`: run one experiment.
+    Run {
+        /// Registered experiment name.
+        name: String,
+        /// Scale preset of the run.
+        scale: ExperimentScale,
+        /// Emit pretty JSON instead of plain-text tables.
+        json: bool,
+    },
+    /// `imexp index <dataset> [--model …] [--pool …] [--seed …] --out <path>`:
+    /// build and persist an `imserve` index artifact for a registry dataset.
+    Index {
+        /// Registry dataset name (`karate`, `ba-s`, …).
+        dataset: String,
+        /// Probability-model label (`uc0.1`, `uc0.01`, `iwc`, `owc`).
+        model: String,
+        /// RR sets to draw into the persisted pool.
+        pool: usize,
+        /// Base seed of the pool sample.
+        seed: u64,
+        /// Output path of the artifact.
+        out: String,
+    },
+}
+
+fn parse_scale(value: &str) -> Result<ExperimentScale, CliError> {
+    match value {
+        "quick" => Ok(ExperimentScale::Quick),
+        "standard" => Ok(ExperimentScale::Standard),
+        "paper" => Ok(ExperimentScale::Paper),
+        _ => Err(CliError(format!(
+            "unknown scale {value:?} (expected quick, standard or paper)"
+        ))),
+    }
+}
+
+/// Parse the arguments after the program name.
+pub fn parse(args: &[String]) -> Result<Cli, CliError> {
+    let Some(command) = args.first() else {
+        return Err(CliError("missing command".to_string()));
+    };
+    if command == "index" {
+        return parse_index(&args[1..]);
+    }
+
+    let mut scale = ExperimentScale::Quick;
+    let mut json = false;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => scale = parse_scale(take_value("--scale", args, &mut i)?)?,
+            "--json" => json = true,
+            other => return Err(CliError(format!("unknown option {other:?}"))),
+        }
+        i += 1;
+    }
+
+    match command.as_str() {
+        "list" => {
+            if json || scale != ExperimentScale::Quick {
+                return Err(CliError(
+                    "list accepts no --scale or --json options".to_string(),
+                ));
+            }
+            Ok(Cli::List)
+        }
+        "all" => Ok(Cli::All { scale, json }),
+        name if name.starts_with('-') => Err(CliError(format!(
+            "expected an experiment name, got option {name:?}"
+        ))),
+        name => Ok(Cli::Run {
+            name: name.to_string(),
+            scale,
+            json,
+        }),
+    }
+}
+
+fn parse_index(args: &[String]) -> Result<Cli, CliError> {
+    let Some(dataset) = args.first() else {
+        return Err(CliError("index requires a dataset name".to_string()));
+    };
+    if dataset.starts_with('-') {
+        return Err(CliError(format!(
+            "expected a dataset name, got option {dataset:?}"
+        )));
+    }
+    let mut model = "uc0.1".to_string();
+    let mut pool = 100_000usize;
+    let mut seed = 7u64;
+    let mut out: Option<String> = None;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--model" => model = take_value("--model", args, &mut i)?.to_string(),
+            "--pool" => pool = parse_number("--pool", take_value("--pool", args, &mut i)?)?,
+            "--seed" => seed = parse_number("--seed", take_value("--seed", args, &mut i)?)?,
+            "--out" => out = Some(take_value("--out", args, &mut i)?.to_string()),
+            other => return Err(CliError(format!("unknown option {other:?} for index"))),
+        }
+        i += 1;
+    }
+    if pool == 0 {
+        return Err(CliError("--pool must be positive".to_string()));
+    }
+    Ok(Cli::Index {
+        dataset: dataset.clone(),
+        model,
+        pool,
+        seed,
+        out: out.ok_or_else(|| CliError("index requires --out".to_string()))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn list_all_and_run_parse() {
+        assert_eq!(parse(&args(&["list"])).unwrap(), Cli::List);
+        assert_eq!(
+            parse(&args(&["all", "--scale", "standard", "--json"])).unwrap(),
+            Cli::All {
+                scale: ExperimentScale::Standard,
+                json: true,
+            }
+        );
+        assert_eq!(
+            parse(&args(&["fig1", "--scale", "paper"])).unwrap(),
+            Cli::Run {
+                name: "fig1".into(),
+                scale: ExperimentScale::Paper,
+                json: false,
+            }
+        );
+        assert_eq!(
+            parse(&args(&["table3"])).unwrap(),
+            Cli::Run {
+                name: "table3".into(),
+                scale: ExperimentScale::Quick,
+                json: false,
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse(&args(&["fig1", "--scael", "quick"])).is_err());
+        assert!(parse(&args(&["all", "--verbose"])).is_err());
+        assert!(parse(&args(&["index", "karate", "--out", "x", "--fast"])).is_err());
+    }
+
+    #[test]
+    fn malformed_scale_is_rejected_with_a_clear_error() {
+        let err = parse(&args(&["fig1", "--scale", "enormous"])).unwrap_err();
+        assert!(err.0.contains("enormous"), "error names the bad value");
+        assert!(err.0.contains("quick"), "error lists the accepted values");
+        assert!(parse(&args(&["fig1", "--scale"])).is_err(), "missing value");
+    }
+
+    #[test]
+    fn missing_command_and_option_like_names_are_rejected() {
+        assert!(parse(&args(&[])).is_err());
+        assert!(parse(&args(&["--scale", "quick"])).is_err());
+        assert!(parse(&args(&["list", "--json"])).is_err());
+    }
+
+    #[test]
+    fn index_parses_with_defaults_and_rejects_bad_values() {
+        assert_eq!(
+            parse(&args(&["index", "karate", "--out", "k.imx"])).unwrap(),
+            Cli::Index {
+                dataset: "karate".into(),
+                model: "uc0.1".into(),
+                pool: 100_000,
+                seed: 7,
+                out: "k.imx".into(),
+            }
+        );
+        assert_eq!(
+            parse(&args(&[
+                "index", "ba-s", "--model", "owc", "--pool", "5000", "--seed", "3", "--out",
+                "b.imx",
+            ]))
+            .unwrap(),
+            Cli::Index {
+                dataset: "ba-s".into(),
+                model: "owc".into(),
+                pool: 5_000,
+                seed: 3,
+                out: "b.imx".into(),
+            }
+        );
+        assert!(parse(&args(&["index"])).is_err(), "missing dataset");
+        assert!(parse(&args(&["index", "karate"])).is_err(), "missing --out");
+        assert!(parse(&args(&["index", "--out", "x"])).is_err());
+        assert!(parse(&args(&["index", "karate", "--pool", "lots", "--out", "x"])).is_err());
+        assert!(parse(&args(&["index", "karate", "--pool", "0", "--out", "x"])).is_err());
+    }
+}

@@ -4,105 +4,100 @@
 //! imexp <experiment> [--scale quick|standard|paper] [--json]
 //! imexp all [--scale quick]
 //! imexp list
+//! imexp index <dataset> [--model uc0.1] [--pool 100000] [--seed 7] --out <path>
 //! ```
 //!
 //! Each experiment name corresponds to one table or figure of the paper; see
-//! `imexp list` or DESIGN.md for the mapping.
+//! `imexp list` or DESIGN.md for the mapping. `imexp index` persists the
+//! shared influence oracle of a dataset as an `imserve` index artifact, so
+//! the serving layer reuses exactly the pool the experiments evaluate with.
 
 use std::process::ExitCode;
 
+use imexp::cli::{self, Cli};
 use imexp::config::ExperimentScale;
 use imexp::experiments::{experiment_names, run_by_name};
 
 fn print_usage() {
-    eprintln!("usage: imexp <experiment|all|list> [--scale quick|standard|paper] [--json]");
+    eprintln!(
+        "usage: imexp <experiment|all|list> [--scale quick|standard|paper] [--json]\n\
+         \u{20}      imexp index <dataset> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] --out <path>"
+    );
     eprintln!("experiments: {}", experiment_names().join(", "));
 }
 
-fn parse_scale(value: &str) -> Option<ExperimentScale> {
-    match value {
-        "quick" => Some(ExperimentScale::Quick),
-        "standard" => Some(ExperimentScale::Standard),
-        "paper" => Some(ExperimentScale::Paper),
-        _ => None,
+fn print_report(name: &str, scale: ExperimentScale, json: bool) -> Result<(), String> {
+    let report = run_by_name(name, scale).ok_or_else(|| format!("unknown experiment {name:?}"))?;
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("report serialises")
+        );
+    } else {
+        println!("{report}");
     }
+    Ok(())
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.is_empty() {
-        print_usage();
-        return ExitCode::FAILURE;
-    }
-    let command = args[0].as_str();
-    let mut scale = ExperimentScale::Quick;
-    let mut json = false;
-    let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => {
-                let Some(value) = args.get(i + 1) else {
-                    eprintln!("--scale requires a value");
-                    return ExitCode::FAILURE;
-                };
-                let Some(parsed) = parse_scale(value) else {
-                    eprintln!("unknown scale {value:?} (expected quick, standard or paper)");
-                    return ExitCode::FAILURE;
-                };
-                scale = parsed;
-                i += 2;
-            }
-            "--json" => {
-                json = true;
-                i += 1;
-            }
-            other => {
-                eprintln!("unknown option {other:?}");
-                print_usage();
-                return ExitCode::FAILURE;
-            }
+    let parsed = match cli::parse(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("error: {e}");
+            print_usage();
+            return ExitCode::FAILURE;
         }
-    }
+    };
 
-    match command {
-        "list" => {
+    match parsed {
+        Cli::List => {
             for name in experiment_names() {
                 println!("{name}");
             }
             ExitCode::SUCCESS
         }
-        "all" => {
+        Cli::All { scale, json } => {
             for name in experiment_names() {
                 eprintln!("running {name} …");
-                let report = run_by_name(name, scale).expect("registered experiment must run");
-                if json {
-                    println!(
-                        "{}",
-                        serde_json::to_string_pretty(&report).expect("report serialises")
-                    );
-                } else {
-                    println!("{report}");
+                if let Err(e) = print_report(name, scale, json) {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
                 }
             }
             ExitCode::SUCCESS
         }
-        name => match run_by_name(name, scale) {
-            Some(report) => {
-                if json {
-                    println!(
-                        "{}",
-                        serde_json::to_string_pretty(&report).expect("report serialises")
-                    );
-                } else {
-                    println!("{report}");
-                }
-                ExitCode::SUCCESS
-            }
-            None => {
-                eprintln!("unknown experiment {name:?}");
+        Cli::Run { name, scale, json } => match print_report(&name, scale, json) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
                 print_usage();
                 ExitCode::FAILURE
             }
         },
+        Cli::Index {
+            dataset,
+            model,
+            pool,
+            seed,
+            out,
+        } => {
+            let artifact = match imserve::build_dataset_index(&dataset, &model, pool, seed) {
+                Ok(artifact) => artifact,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = artifact.save(&out) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote index {} / {} (pool {}) -> {}",
+                artifact.meta.graph_id, artifact.meta.model, artifact.meta.pool_size, out
+            );
+            ExitCode::SUCCESS
+        }
     }
 }

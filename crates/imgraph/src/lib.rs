@@ -21,11 +21,15 @@
 //!   giant-component behaviour discussed in Section 5.3;
 //! * [`stats`] — the network statistics of Table 3 (degrees, clustering
 //!   coefficient, average distance);
-//! * [`io`] — plain-text edge-list parsing and writing.
+//! * [`io`] — plain-text edge-list parsing and writing;
+//! * [`binio`] — the checksummed binary artifact format (magic/version header,
+//!   tagged length-prefixed sections) shared by every persisted index in the
+//!   workspace, with the [`InfluenceGraph`] codec.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod binio;
 pub mod builder;
 pub mod coarsen;
 pub mod components;

@@ -1,0 +1,443 @@
+//! Strict argument parsing for the `imserve` binary.
+//!
+//! Parsing is pure (`&[String] -> Result<Command, CliError>`) so every rule —
+//! unknown flags rejected, malformed numbers rejected, required flags
+//! enforced — is unit-testable without spawning the binary.
+
+use crate::protocol::TopKAlgorithm;
+
+/// A parsed invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// `imserve build`: sample a pool and write an index artifact.
+    Build {
+        /// Registry dataset name.
+        dataset: String,
+        /// Probability-model label.
+        model: String,
+        /// RR sets to draw.
+        pool: usize,
+        /// Base seed of the pool sample.
+        seed: u64,
+        /// Output path of the artifact.
+        out: String,
+    },
+    /// `imserve serve`: load an index and answer TCP queries.
+    Serve {
+        /// Index artifact path.
+        index: String,
+        /// Bind address (`host:port`; port 0 picks an ephemeral port).
+        addr: String,
+        /// Worker threads.
+        workers: usize,
+        /// `TopK` LRU cache capacity.
+        cache: usize,
+    },
+    /// `imserve query`: one-shot client request.
+    Query {
+        /// Server address.
+        addr: String,
+        /// The request to send.
+        request: QuerySpec,
+    },
+    /// `imserve loadtest`: hammer a server and report latency percentiles.
+    Loadtest {
+        /// Server address.
+        addr: String,
+        /// Concurrent connections.
+        connections: usize,
+        /// Requests per connection.
+        requests: usize,
+        /// `TopK` seed-set size in the request mix.
+        k: usize,
+    },
+}
+
+/// What `imserve query` should send.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuerySpec {
+    /// `--estimate 0,5,9`
+    Estimate(Vec<u32>),
+    /// `--topk 3 [--algorithm greedy|singleton]`
+    TopK(usize, TopKAlgorithm),
+    /// `--info`
+    Info,
+}
+
+/// A parse failure: human-readable, printed with usage by `main`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// One-line usage summary per subcommand.
+pub const USAGE: &str = "usage:
+  imserve build    --dataset <name> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] --out <path>
+  imserve serve    --index <path> [--addr host:port] [--workers N] [--cache N]
+  imserve query    --addr host:port (--estimate v1,v2,… | --topk K [--algorithm greedy|singleton] | --info)
+  imserve loadtest --addr host:port [--connections N] [--requests N] [--k K]";
+
+/// Parse a flag's numeric value, naming the flag in the error.
+///
+/// Shared with `imexp`'s argument parser, so value-parsing errors read the
+/// same across the workspace binaries.
+pub fn parse_number<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliError> {
+    value
+        .parse()
+        .map_err(|_| CliError(format!("malformed value {value:?} for {flag}")))
+}
+
+/// A flag's value, erroring when it is missing (shared with `imexp`).
+pub fn take_value<'a>(flag: &str, args: &'a [String], i: &mut usize) -> Result<&'a str, CliError> {
+    *i += 1;
+    args.get(*i)
+        .map(String::as_str)
+        .ok_or_else(|| CliError(format!("{flag} requires a value")))
+}
+
+fn parse_seed_list(value: &str) -> Result<Vec<u32>, CliError> {
+    let seeds: Result<Vec<u32>, _> = value
+        .split(',')
+        .map(|s| {
+            s.trim()
+                .parse::<u32>()
+                .map_err(|_| CliError(format!("malformed seed list entry {s:?}")))
+        })
+        .collect();
+    let seeds = seeds?;
+    if seeds.is_empty() {
+        return Err(CliError("seed list must not be empty".to_string()));
+    }
+    Ok(seeds)
+}
+
+/// Parse the arguments after the program name.
+pub fn parse(args: &[String]) -> Result<Command, CliError> {
+    let Some(subcommand) = args.first() else {
+        return Err(CliError("missing subcommand".to_string()));
+    };
+    let rest = &args[1..];
+    match subcommand.as_str() {
+        "build" => parse_build(rest),
+        "serve" => parse_serve(rest),
+        "query" => parse_query(rest),
+        "loadtest" => parse_loadtest(rest),
+        other => Err(CliError(format!("unknown subcommand {other:?}"))),
+    }
+}
+
+fn parse_build(args: &[String]) -> Result<Command, CliError> {
+    let mut dataset: Option<String> = None;
+    let mut model = "uc0.1".to_string();
+    let mut pool = 100_000usize;
+    let mut seed = 7u64;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--dataset" => dataset = Some(take_value("--dataset", args, &mut i)?.to_string()),
+            "--model" => model = take_value("--model", args, &mut i)?.to_string(),
+            "--pool" => pool = parse_number("--pool", take_value("--pool", args, &mut i)?)?,
+            "--seed" => seed = parse_number("--seed", take_value("--seed", args, &mut i)?)?,
+            "--out" => out = Some(take_value("--out", args, &mut i)?.to_string()),
+            other => return Err(CliError(format!("unknown option {other:?} for build"))),
+        }
+        i += 1;
+    }
+    if pool == 0 {
+        return Err(CliError("--pool must be positive".to_string()));
+    }
+    Ok(Command::Build {
+        dataset: dataset.ok_or_else(|| CliError("build requires --dataset".to_string()))?,
+        model,
+        pool,
+        seed,
+        out: out.ok_or_else(|| CliError("build requires --out".to_string()))?,
+    })
+}
+
+fn parse_serve(args: &[String]) -> Result<Command, CliError> {
+    let mut index: Option<String> = None;
+    let mut addr = "127.0.0.1:7431".to_string();
+    let mut workers = 4usize;
+    let mut cache = crate::engine::DEFAULT_CACHE_CAPACITY;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--index" => index = Some(take_value("--index", args, &mut i)?.to_string()),
+            "--addr" => addr = take_value("--addr", args, &mut i)?.to_string(),
+            "--workers" => {
+                workers = parse_number("--workers", take_value("--workers", args, &mut i)?)?;
+            }
+            "--cache" => cache = parse_number("--cache", take_value("--cache", args, &mut i)?)?,
+            other => return Err(CliError(format!("unknown option {other:?} for serve"))),
+        }
+        i += 1;
+    }
+    if workers == 0 {
+        return Err(CliError("--workers must be positive".to_string()));
+    }
+    if cache == 0 {
+        return Err(CliError("--cache must be positive".to_string()));
+    }
+    Ok(Command::Serve {
+        index: index.ok_or_else(|| CliError("serve requires --index".to_string()))?,
+        addr,
+        workers,
+        cache,
+    })
+}
+
+fn parse_query(args: &[String]) -> Result<Command, CliError> {
+    let mut addr: Option<String> = None;
+    let mut request: Option<QuerySpec> = None;
+    let mut algorithm = TopKAlgorithm::Greedy;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(take_value("--addr", args, &mut i)?.to_string()),
+            "--estimate" => {
+                let seeds = parse_seed_list(take_value("--estimate", args, &mut i)?)?;
+                set_once(&mut request, QuerySpec::Estimate(seeds))?;
+            }
+            "--topk" => {
+                let k: usize = parse_number("--topk", take_value("--topk", args, &mut i)?)?;
+                if k == 0 {
+                    return Err(CliError("--topk must be positive".to_string()));
+                }
+                set_once(&mut request, QuerySpec::TopK(k, algorithm))?;
+            }
+            "--algorithm" => {
+                algorithm = TopKAlgorithm::parse(take_value("--algorithm", args, &mut i)?)
+                    .map_err(|e| CliError(e.to_string()))?;
+                // Applies to an already-parsed --topk as well.
+                if let Some(QuerySpec::TopK(_, a)) = &mut request {
+                    *a = algorithm;
+                }
+            }
+            "--info" => set_once(&mut request, QuerySpec::Info)?,
+            other => return Err(CliError(format!("unknown option {other:?} for query"))),
+        }
+        i += 1;
+    }
+    Ok(Command::Query {
+        addr: addr.ok_or_else(|| CliError("query requires --addr".to_string()))?,
+        request: request.ok_or_else(|| {
+            CliError("query requires one of --estimate, --topk or --info".to_string())
+        })?,
+    })
+}
+
+fn set_once(slot: &mut Option<QuerySpec>, value: QuerySpec) -> Result<(), CliError> {
+    if slot.is_some() {
+        return Err(CliError(
+            "query accepts exactly one of --estimate, --topk or --info".to_string(),
+        ));
+    }
+    *slot = Some(value);
+    Ok(())
+}
+
+fn parse_loadtest(args: &[String]) -> Result<Command, CliError> {
+    let mut addr: Option<String> = None;
+    let mut connections = 4usize;
+    let mut requests = 250usize;
+    let mut k = 3usize;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(take_value("--addr", args, &mut i)?.to_string()),
+            "--connections" => {
+                connections =
+                    parse_number("--connections", take_value("--connections", args, &mut i)?)?;
+            }
+            "--requests" => {
+                requests = parse_number("--requests", take_value("--requests", args, &mut i)?)?;
+            }
+            "--k" => k = parse_number("--k", take_value("--k", args, &mut i)?)?,
+            other => return Err(CliError(format!("unknown option {other:?} for loadtest"))),
+        }
+        i += 1;
+    }
+    for (flag, value) in [
+        ("--connections", connections),
+        ("--requests", requests),
+        ("--k", k),
+    ] {
+        if value == 0 {
+            return Err(CliError(format!("{flag} must be positive")));
+        }
+    }
+    Ok(Command::Loadtest {
+        addr: addr.ok_or_else(|| CliError("loadtest requires --addr".to_string()))?,
+        connections,
+        requests,
+        k,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn build_parses_with_defaults_and_overrides() {
+        let cmd = parse(&args(&["build", "--dataset", "karate", "--out", "k.imx"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Build {
+                dataset: "karate".into(),
+                model: "uc0.1".into(),
+                pool: 100_000,
+                seed: 7,
+                out: "k.imx".into(),
+            }
+        );
+        let cmd = parse(&args(&[
+            "build",
+            "--dataset",
+            "ba-s",
+            "--model",
+            "iwc",
+            "--pool",
+            "500",
+            "--seed",
+            "9",
+            "--out",
+            "b.imx",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Build {
+                dataset: "ba-s".into(),
+                model: "iwc".into(),
+                pool: 500,
+                seed: 9,
+                out: "b.imx".into(),
+            }
+        );
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        for bad in [
+            vec!["build", "--dataset", "karate", "--out", "x", "--frobnicate"],
+            vec!["serve", "--index", "x", "--nope"],
+            vec!["query", "--addr", "a:1", "--info", "--wat"],
+            vec!["loadtest", "--addr", "a:1", "--turbo"],
+        ] {
+            assert!(parse(&args(&bad)).is_err(), "{bad:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn malformed_numbers_are_rejected() {
+        assert!(parse(&args(&[
+            "build",
+            "--dataset",
+            "k",
+            "--pool",
+            "many",
+            "--out",
+            "x"
+        ]))
+        .is_err());
+        assert!(parse(&args(&["serve", "--index", "x", "--workers", "-2"])).is_err());
+        assert!(parse(&args(&["query", "--addr", "a:1", "--topk", "3.5"])).is_err());
+        assert!(parse(&args(&["loadtest", "--addr", "a:1", "--requests", ""])).is_err());
+    }
+
+    #[test]
+    fn missing_values_and_required_flags_are_rejected() {
+        assert!(parse(&args(&["build", "--dataset"])).is_err());
+        assert!(
+            parse(&args(&["build", "--out", "x"])).is_err(),
+            "missing --dataset"
+        );
+        assert!(parse(&args(&["serve"])).is_err(), "missing --index");
+        assert!(
+            parse(&args(&["query", "--addr", "a:1"])).is_err(),
+            "missing request"
+        );
+        assert!(parse(&args(&["loadtest"])).is_err(), "missing --addr");
+        assert!(parse(&args(&[])).is_err(), "missing subcommand");
+        assert!(parse(&args(&["conquer"])).is_err(), "unknown subcommand");
+    }
+
+    #[test]
+    fn zero_values_are_rejected() {
+        assert!(parse(&args(&[
+            "build",
+            "--dataset",
+            "k",
+            "--pool",
+            "0",
+            "--out",
+            "x"
+        ]))
+        .is_err());
+        assert!(parse(&args(&["serve", "--index", "x", "--workers", "0"])).is_err());
+        assert!(parse(&args(&["query", "--addr", "a:1", "--topk", "0"])).is_err());
+        assert!(parse(&args(&["loadtest", "--addr", "a:1", "--k", "0"])).is_err());
+    }
+
+    #[test]
+    fn query_specs_parse() {
+        let cmd = parse(&args(&["query", "--addr", "a:1", "--estimate", "0, 5,9"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query {
+                addr: "a:1".into(),
+                request: QuerySpec::Estimate(vec![0, 5, 9]),
+            }
+        );
+        let cmd = parse(&args(&[
+            "query",
+            "--addr",
+            "a:1",
+            "--topk",
+            "4",
+            "--algorithm",
+            "singleton",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query {
+                addr: "a:1".into(),
+                request: QuerySpec::TopK(4, TopKAlgorithm::SingletonRank),
+            }
+        );
+        // Algorithm flag before --topk also applies.
+        let cmd = parse(&args(&[
+            "query",
+            "--addr",
+            "a:1",
+            "--algorithm",
+            "singleton",
+            "--topk",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Query {
+                addr: "a:1".into(),
+                request: QuerySpec::TopK(2, TopKAlgorithm::SingletonRank),
+            }
+        );
+        assert!(parse(&args(&["query", "--addr", "a:1", "--estimate", "1,x"])).is_err());
+        assert!(parse(&args(&["query", "--addr", "a:1", "--info", "--topk", "2"])).is_err());
+    }
+}

@@ -1,0 +1,49 @@
+//! A minimal blocking client for the wire protocol (used by the `query` and
+//! `loadtest` subcommands, tests and CI smoke checks).
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::error::ServeError;
+use crate::protocol::{self, Request, Response};
+
+/// One persistent connection speaking newline-delimited JSON.
+#[derive(Debug)]
+pub struct Connection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Connection {
+    /// Connect to a server.
+    pub fn open(addr: impl ToSocketAddrs) -> Result<Self, ServeError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Self {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Send one request and wait for its response.
+    pub fn roundtrip(&mut self, request: &Request) -> Result<Response, ServeError> {
+        self.writer
+            .write_all(protocol::encode(request)?.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line)?;
+        if read == 0 {
+            return Err(ServeError::Protocol(
+                "server closed the connection".to_string(),
+            ));
+        }
+        protocol::decode(&line)
+    }
+}
+
+/// Convenience: open a fresh connection, send one request, return the answer.
+pub fn query_once(addr: impl ToSocketAddrs, request: &Request) -> Result<Response, ServeError> {
+    Connection::open(addr)?.roundtrip(request)
+}

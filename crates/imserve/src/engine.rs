@@ -1,0 +1,324 @@
+//! The query engine: a loaded index behind `Arc`, answering protocol requests.
+//!
+//! The engine is shared by every server worker. All request handling goes
+//! through [`QueryEngine::handle`], which takes the caller's own
+//! [`EstimateScratch`] so the `Estimate` hot path performs zero allocation and
+//! the engine itself needs no interior mutability beyond the `TopK` LRU cache
+//! and the serving counters.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use im_core::{EstimateScratch, InfluenceOracle};
+
+use crate::index::IndexArtifact;
+use crate::lru::LruCache;
+use crate::protocol::{Request, Response, TopKAlgorithm};
+
+/// Default capacity of the `TopK` result cache.
+pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Cache key for a `TopK` answer.
+///
+/// `graph_id` and `model` are constant for one engine but kept in the key
+/// anyway: a fleet-level cache (or an engine hot-swapped onto a new index)
+/// must never serve a seed set computed for a different influence graph.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct TopKKey {
+    graph_id: String,
+    model: String,
+    k: usize,
+    algorithm: TopKAlgorithm,
+}
+
+/// A cached `TopK` answer.
+#[derive(Debug, Clone)]
+struct TopKValue {
+    seeds: Vec<u32>,
+    spread: f64,
+}
+
+/// Serving counters (monotonic, lock-free).
+#[derive(Debug, Default)]
+struct Counters {
+    requests: AtomicU64,
+    topk_cache_hits: AtomicU64,
+    topk_cache_misses: AtomicU64,
+}
+
+/// The shared, thread-safe query engine.
+#[derive(Debug)]
+pub struct QueryEngine {
+    index: Arc<IndexArtifact>,
+    topk_cache: Mutex<LruCache<TopKKey, TopKValue>>,
+    counters: Counters,
+}
+
+impl QueryEngine {
+    /// Wrap a loaded index with the default cache capacity.
+    #[must_use]
+    pub fn new(index: IndexArtifact) -> Self {
+        Self::with_cache_capacity(index, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// Wrap a loaded index with an explicit `TopK` cache capacity.
+    #[must_use]
+    pub fn with_cache_capacity(index: IndexArtifact, capacity: usize) -> Self {
+        Self {
+            index: Arc::new(index),
+            topk_cache: Mutex::new(LruCache::new(capacity)),
+            counters: Counters::default(),
+        }
+    }
+
+    /// The underlying index.
+    #[must_use]
+    pub fn index(&self) -> &IndexArtifact {
+        &self.index
+    }
+
+    /// The oracle backing the engine (for reference checks in tests).
+    #[must_use]
+    pub fn oracle(&self) -> &InfluenceOracle {
+        &self.index.oracle
+    }
+
+    /// A scratch sized for this engine's pool; one per worker thread.
+    #[must_use]
+    pub fn new_scratch(&self) -> EstimateScratch {
+        self.index.oracle.scratch()
+    }
+
+    /// Answer one request. Never panics on untrusted input: invalid queries
+    /// come back as [`Response::Error`].
+    pub fn handle(&self, request: &Request, scratch: &mut EstimateScratch) -> Response {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        match request {
+            Request::Ping => Response::Pong,
+            Request::Info => self.info(),
+            Request::Estimate { seeds } => self.estimate(seeds, scratch),
+            Request::TopK { k, algorithm } => self.top_k(*k, *algorithm),
+            Request::Stats => Response::Stats {
+                requests: self.counters.requests.load(Ordering::Relaxed),
+                topk_cache_hits: self.counters.topk_cache_hits.load(Ordering::Relaxed),
+                topk_cache_misses: self.counters.topk_cache_misses.load(Ordering::Relaxed),
+            },
+        }
+    }
+
+    fn info(&self) -> Response {
+        let meta = &self.index.meta;
+        Response::Info {
+            graph_id: meta.graph_id.clone(),
+            model: meta.model.clone(),
+            num_vertices: meta.num_vertices,
+            num_edges: meta.num_edges,
+            pool_size: meta.pool_size,
+            confidence_99: self.index.oracle.confidence_99(),
+        }
+    }
+
+    fn estimate(&self, seeds: &[u32], scratch: &mut EstimateScratch) -> Response {
+        let n = self.index.oracle.num_vertices();
+        if let Some(&bad) = seeds.iter().find(|&&s| s as usize >= n) {
+            return Response::Error {
+                message: format!("seed {bad} out of range for {n} vertices"),
+            };
+        }
+        Response::Estimate {
+            seeds: seeds.to_vec(),
+            spread: self.index.oracle.estimate_with(seeds, scratch),
+        }
+    }
+
+    fn top_k(&self, k: usize, algorithm: TopKAlgorithm) -> Response {
+        if k == 0 {
+            return Response::Error {
+                message: "k must be positive".into(),
+            };
+        }
+        let key = TopKKey {
+            graph_id: self.index.meta.graph_id.clone(),
+            model: self.index.meta.model.clone(),
+            k,
+            algorithm,
+        };
+        if let Some(hit) = self
+            .topk_cache
+            .lock()
+            .expect("cache lock poisoned")
+            .get(&key)
+        {
+            self.counters
+                .topk_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return Response::TopK {
+                seeds: hit.seeds.clone(),
+                spread: hit.spread,
+                algorithm,
+            };
+        }
+
+        // Compute outside the lock: selection walks the whole pool and must
+        // not serialize concurrent Estimate-free workers behind it.
+        let oracle = &self.index.oracle;
+        let (seeds, spread) = match algorithm {
+            TopKAlgorithm::Greedy => oracle.greedy_seed_set(k),
+            TopKAlgorithm::SingletonRank => {
+                let ranked = oracle.top_influential_vertices(k);
+                let seeds: Vec<u32> = ranked.iter().map(|&(v, _)| v).collect();
+                let spread = oracle.estimate(&seeds);
+                (seeds, spread)
+            }
+        };
+        self.counters
+            .topk_cache_misses
+            .fetch_add(1, Ordering::Relaxed);
+        self.topk_cache.lock().expect("cache lock poisoned").insert(
+            key,
+            TopKValue {
+                seeds: seeds.clone(),
+                spread,
+            },
+        );
+        Response::TopK {
+            seeds,
+            spread,
+            algorithm,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::build_dataset_index;
+
+    fn karate_engine() -> QueryEngine {
+        QueryEngine::new(build_dataset_index("karate", "uc0.1", 5_000, 7).unwrap())
+    }
+
+    #[test]
+    fn estimate_matches_the_oracle_exactly() {
+        let engine = karate_engine();
+        let mut scratch = engine.new_scratch();
+        for seeds in [vec![0u32], vec![0, 33], vec![5, 9, 13]] {
+            let expected = engine.oracle().estimate(&seeds);
+            match engine.handle(
+                &Request::Estimate {
+                    seeds: seeds.clone(),
+                },
+                &mut scratch,
+            ) {
+                Response::Estimate {
+                    spread,
+                    seeds: echoed,
+                } => {
+                    assert_eq!(spread, expected, "engine must equal the in-process oracle");
+                    assert_eq!(echoed, seeds);
+                }
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_seed_is_an_error_response() {
+        let engine = karate_engine();
+        let mut scratch = engine.new_scratch();
+        let response = engine.handle(&Request::Estimate { seeds: vec![999] }, &mut scratch);
+        assert!(matches!(response, Response::Error { .. }));
+    }
+
+    #[test]
+    fn topk_is_deterministic_and_cached() {
+        let engine = karate_engine();
+        let mut scratch = engine.new_scratch();
+        let request = Request::TopK {
+            k: 3,
+            algorithm: TopKAlgorithm::Greedy,
+        };
+        let first = engine.handle(&request, &mut scratch);
+        let second = engine.handle(&request, &mut scratch);
+        assert_eq!(first, second, "cached answer must be identical");
+        match engine.handle(&Request::Stats, &mut scratch) {
+            Response::Stats {
+                topk_cache_hits,
+                topk_cache_misses,
+                ..
+            } => {
+                assert_eq!(topk_cache_hits, 1);
+                assert_eq!(topk_cache_misses, 1);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // The greedy answer equals the oracle's own greedy selection.
+        match first {
+            Response::TopK { seeds, spread, .. } => {
+                let (expected_seeds, expected_spread) = engine.oracle().greedy_seed_set(3);
+                assert_eq!(seeds, expected_seeds);
+                assert_eq!(spread, expected_spread);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn singleton_rank_uses_the_influence_ranking() {
+        let engine = karate_engine();
+        let mut scratch = engine.new_scratch();
+        match engine.handle(
+            &Request::TopK {
+                k: 2,
+                algorithm: TopKAlgorithm::SingletonRank,
+            },
+            &mut scratch,
+        ) {
+            Response::TopK { seeds, .. } => {
+                let expected: Vec<u32> = engine
+                    .oracle()
+                    .top_influential_vertices(2)
+                    .iter()
+                    .map(|&(v, _)| v)
+                    .collect();
+                assert_eq!(seeds, expected);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_k_is_rejected() {
+        let engine = karate_engine();
+        let mut scratch = engine.new_scratch();
+        let response = engine.handle(
+            &Request::TopK {
+                k: 0,
+                algorithm: TopKAlgorithm::Greedy,
+            },
+            &mut scratch,
+        );
+        assert!(matches!(response, Response::Error { .. }));
+    }
+
+    #[test]
+    fn info_reports_the_index_metadata() {
+        let engine = karate_engine();
+        let mut scratch = engine.new_scratch();
+        match engine.handle(&Request::Info, &mut scratch) {
+            Response::Info {
+                graph_id,
+                model,
+                num_vertices,
+                pool_size,
+                ..
+            } => {
+                assert_eq!(graph_id, "Karate");
+                assert_eq!(model, "uc0.1");
+                assert_eq!(num_vertices, 34);
+                assert_eq!(pool_size, 5_000);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+}

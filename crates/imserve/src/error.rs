@@ -1,0 +1,44 @@
+//! The service-layer error type.
+
+use imgraph::binio::BinError;
+
+/// Anything that can go wrong while building, loading or serving an index.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Index encoding/decoding failure (bad magic, checksum, corruption …).
+    Index(BinError),
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// Malformed request or response on the wire.
+    Protocol(String),
+    /// Invalid query against a loaded index (e.g. vertex id out of range).
+    Query(String),
+    /// Invalid build input (unknown dataset or probability model, zero pool).
+    Build(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Index(e) => write!(f, "index error: {e}"),
+            ServeError::Io(e) => write!(f, "I/O error: {e}"),
+            ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServeError::Query(msg) => write!(f, "query error: {msg}"),
+            ServeError::Build(msg) => write!(f, "build error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<BinError> for ServeError {
+    fn from(e: BinError) -> Self {
+        ServeError::Index(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}

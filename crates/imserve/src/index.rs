@@ -1,0 +1,266 @@
+//! The persisted index artifact: influence graph + RR-set pool + metadata.
+//!
+//! RIS's trade-off (small traversal cost, large storage) is exactly what makes
+//! a precomputed index the right serving architecture: the expensive part —
+//! drawing the pool of RR sets — happens once in `imserve build`, and every
+//! later `imserve serve` reloads the pool from disk in milliseconds instead of
+//! resampling for minutes. The load path is structurally incapable of
+//! sampling: it receives bytes only, never a graph generator or an RNG.
+//!
+//! On-disk layout (framing from `imgraph::binio`):
+//!
+//! ```text
+//! magic "IMSX" | version | META (JSON)   — graph_id, model, dimensions, seed
+//!                        | GRPH (nested) — InfluenceGraph artifact ("IMGB")
+//!                        | POOL (nested) — RR-set pool artifact ("IMPL")
+//!                        | checksum
+//! ```
+//!
+//! The nested artifacts carry their own magic and checksum, so each layer can
+//! also be produced and validated independently.
+
+use std::path::Path;
+
+use im_core::sampler::Backend;
+use im_core::InfluenceOracle;
+use imgraph::binio::{
+    self, influence_graph_from_bytes, influence_graph_to_bytes, BinError, BinReader, BinWriter,
+};
+use imgraph::InfluenceGraph;
+use imnet::{Dataset, ProbabilityModel};
+use serde::{Deserialize, Serialize};
+
+use crate::error::ServeError;
+
+/// Magic bytes of a serialized index artifact.
+pub const INDEX_MAGIC: [u8; 4] = *b"IMSX";
+/// Current index format version.
+pub const INDEX_VERSION: u32 = 1;
+
+const META_TAG: [u8; 4] = *b"META";
+const GRAPH_TAG: [u8; 4] = *b"GRPH";
+const POOL_TAG: [u8; 4] = *b"POOL";
+
+/// Descriptive metadata persisted with (and keyed into) every index.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IndexMeta {
+    /// Stable identifier of the graph the index was built from (dataset name
+    /// for registry builds, caller-chosen for ad-hoc graphs).
+    pub graph_id: String,
+    /// Label of the edge-probability model (`uc0.1`, `iwc`, …).
+    pub model: String,
+    /// Number of vertices of the indexed graph.
+    pub num_vertices: usize,
+    /// Number of edges of the indexed graph.
+    pub num_edges: usize,
+    /// Number of RR sets in the persisted pool.
+    pub pool_size: usize,
+    /// Base seed the pool was drawn from (provenance; never used on load).
+    pub base_seed: u64,
+}
+
+/// A complete loaded index: metadata, graph and the shared RR-set oracle.
+#[derive(Debug, Clone)]
+pub struct IndexArtifact {
+    /// Persisted metadata.
+    pub meta: IndexMeta,
+    /// The influence graph the pool was sampled from.
+    pub graph: InfluenceGraph,
+    /// The shared estimator over the persisted RR-set pool.
+    pub oracle: InfluenceOracle,
+}
+
+impl IndexArtifact {
+    /// Build a fresh index: sample `pool_size` RR sets from `graph` with the
+    /// batched sampler (deterministic per `base_seed`, parallel when the
+    /// `parallel` feature provides worker threads).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_size == 0` or the graph is empty (the oracle's own
+    /// build contract).
+    #[must_use]
+    pub fn build(
+        graph_id: &str,
+        model: &str,
+        graph: InfluenceGraph,
+        pool_size: usize,
+        base_seed: u64,
+    ) -> Self {
+        let oracle =
+            InfluenceOracle::build_with_backend(&graph, pool_size, base_seed, default_backend());
+        let meta = IndexMeta {
+            graph_id: graph_id.to_string(),
+            model: model.to_string(),
+            num_vertices: graph.num_vertices(),
+            num_edges: graph.num_edges(),
+            pool_size,
+            base_seed,
+        };
+        Self {
+            meta,
+            graph,
+            oracle,
+        }
+    }
+
+    /// Serialize the artifact to the binary index format.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = BinWriter::new(INDEX_MAGIC, INDEX_VERSION);
+        let meta_json =
+            serde_json::to_string(&self.meta).expect("index metadata always serializes");
+        w.section(META_TAG, meta_json.as_bytes());
+        w.section(GRAPH_TAG, &influence_graph_to_bytes(&self.graph));
+        w.section(POOL_TAG, &self.oracle.to_bytes());
+        w.finish()
+    }
+
+    /// Deserialize an artifact written by [`IndexArtifact::to_bytes`].
+    ///
+    /// Pure decoding: no sampling, no RNG, no graph traversal beyond the CSR
+    /// rebuild. Cross-checks the metadata against the decoded graph and pool
+    /// so a mismatched splice of two valid artifacts is rejected.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, BinError> {
+        let sections = BinReader::new(bytes, INDEX_MAGIC, INDEX_VERSION)?.sections()?;
+
+        let meta_payload = binio::require_section(&sections, META_TAG)?;
+        let meta_str = std::str::from_utf8(meta_payload.rest())
+            .map_err(|e| BinError::Corrupt(format!("metadata is not UTF-8: {e}")))?;
+        let meta: IndexMeta = serde_json::from_str(meta_str)
+            .map_err(|e| BinError::Corrupt(format!("metadata does not parse: {e}")))?;
+
+        let graph_payload = binio::require_section(&sections, GRAPH_TAG)?;
+        let graph = influence_graph_from_bytes(graph_payload.rest())?;
+
+        let pool_payload = binio::require_section(&sections, POOL_TAG)?;
+        let oracle = InfluenceOracle::from_bytes(pool_payload.rest())?;
+
+        if graph.num_vertices() != meta.num_vertices || graph.num_edges() != meta.num_edges {
+            return Err(BinError::Corrupt(format!(
+                "metadata claims {}x{} but graph is {}x{}",
+                meta.num_vertices,
+                meta.num_edges,
+                graph.num_vertices(),
+                graph.num_edges()
+            )));
+        }
+        if oracle.num_vertices() != graph.num_vertices() {
+            return Err(BinError::Corrupt(format!(
+                "pool indexes {} vertices but graph has {}",
+                oracle.num_vertices(),
+                graph.num_vertices()
+            )));
+        }
+        if oracle.pool_size() != meta.pool_size {
+            return Err(BinError::Corrupt(format!(
+                "metadata claims pool of {} but pool holds {}",
+                meta.pool_size,
+                oracle.pool_size()
+            )));
+        }
+
+        Ok(Self {
+            meta,
+            graph,
+            oracle,
+        })
+    }
+
+    /// Write the artifact to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ServeError> {
+        std::fs::write(path, self.to_bytes()).map_err(ServeError::from)
+    }
+
+    /// Read an artifact from a file.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ServeError> {
+        Ok(Self::from_bytes(&std::fs::read(path)?)?)
+    }
+}
+
+/// The sampling backend used for index builds.
+fn default_backend() -> Backend {
+    #[cfg(feature = "parallel")]
+    {
+        Backend::parallel()
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        Backend::Sequential
+    }
+}
+
+/// Parse a dataset name as accepted by `imserve build --dataset`.
+///
+/// Accepts the paper's names case-insensitively plus common aliases
+/// (`karate`, `ba_s`/`ba-sparse`, `ba_d`/`ba-dense`, …).
+pub fn parse_dataset(name: &str) -> Result<Dataset, ServeError> {
+    let normalized = name.to_ascii_lowercase().replace('_', "-");
+    let dataset = match normalized.as_str() {
+        "karate" => Dataset::Karate,
+        "physicians" => Dataset::Physicians,
+        "ca-grqc" | "cagrqc" => Dataset::CaGrQc,
+        "wiki-vote" | "wikivote" => Dataset::WikiVote,
+        "com-youtube" | "comyoutube" => Dataset::ComYoutube,
+        "soc-pokec" | "socpokec" => Dataset::SocPokec,
+        "ba-s" | "ba-sparse" | "basparse" => Dataset::BaSparse,
+        "ba-d" | "ba-dense" | "badense" => Dataset::BaDense,
+        _ => {
+            return Err(ServeError::Build(format!(
+                "unknown dataset {name:?} (expected one of: karate, physicians, ca-grqc, \
+                 wiki-vote, com-youtube, soc-pokec, ba-s, ba-d)"
+            )))
+        }
+    };
+    Ok(dataset)
+}
+
+/// Parse a probability-model label as accepted by `imserve build --model`.
+///
+/// Accepts the paper's labels: `uc0.1`, `uc0.01`, a general `uc<p>`, `iwc`
+/// and `owc`.
+pub fn parse_model(label: &str) -> Result<ProbabilityModel, ServeError> {
+    match label {
+        "iwc" => return Ok(ProbabilityModel::InDegreeWeighted),
+        "owc" => return Ok(ProbabilityModel::OutDegreeWeighted),
+        _ => {}
+    }
+    if let Some(p) = label.strip_prefix("uc") {
+        let p: f64 = p.parse().map_err(|_| {
+            ServeError::Build(format!(
+                "malformed uniform-cascade probability in {label:?}"
+            ))
+        })?;
+        if !(p > 0.0 && p <= 1.0) {
+            return Err(ServeError::Build(format!(
+                "uniform-cascade probability {p} out of (0, 1]"
+            )));
+        }
+        return Ok(ProbabilityModel::Uniform(p));
+    }
+    Err(ServeError::Build(format!(
+        "unknown probability model {label:?} (expected uc<p>, iwc or owc)"
+    )))
+}
+
+/// Build an index for a registry dataset (`imserve build`'s core).
+pub fn build_dataset_index(
+    dataset: &str,
+    model: &str,
+    pool_size: usize,
+    base_seed: u64,
+) -> Result<IndexArtifact, ServeError> {
+    if pool_size == 0 {
+        return Err(ServeError::Build("pool size must be positive".into()));
+    }
+    let ds = parse_dataset(dataset)?;
+    let pm = parse_model(model)?;
+    let graph = ds.influence_graph(pm, base_seed);
+    Ok(IndexArtifact::build(
+        ds.name(),
+        &pm.label(),
+        graph,
+        pool_size,
+        base_seed,
+    ))
+}

@@ -1,0 +1,38 @@
+//! `imserve` — the persistent influence-query service layer.
+//!
+//! The paper's shared RR-set oracle (Section 5.2) answers spread queries for
+//! arbitrary seed sets; this crate turns it into a servable subsystem:
+//!
+//! * [`index`] — a compact, checksummed binary on-disk format bundling the
+//!   influence graph, the RR-set pool and metadata, built once
+//!   (`imserve build`) and reloaded in milliseconds, never resampled;
+//! * [`engine`] — a thread-safe [`engine::QueryEngine`] answering `Estimate`
+//!   (zero-allocation oracle queries via `EstimateScratch`) and `TopK`
+//!   (greedy maximum coverage, fronted by a bounded LRU cache);
+//! * [`server`] / [`client`] — a std-only TCP front end speaking
+//!   newline-delimited JSON, plus the matching blocking client;
+//! * [`loadtest`] — an in-repo load generator reporting throughput and
+//!   latency percentiles via `imstats`;
+//! * [`cli`] — strict, unit-tested argument parsing for the `imserve` binary.
+//!
+//! See `DESIGN.md` (next to this crate) for the wire protocol and the index
+//! format, and the repository README for a quickstart.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod client;
+pub mod engine;
+pub mod error;
+pub mod index;
+pub mod loadtest;
+pub mod lru;
+pub mod protocol;
+pub mod server;
+
+pub use engine::QueryEngine;
+pub use error::ServeError;
+pub use index::{build_dataset_index, IndexArtifact, IndexMeta};
+pub use protocol::{Request, Response, TopKAlgorithm};
+pub use server::{spawn, ServerConfig, ServerHandle};

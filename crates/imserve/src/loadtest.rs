@@ -1,0 +1,158 @@
+//! The in-repo load generator: hammer a running server from N connections and
+//! report throughput and latency percentiles via `imstats`.
+//!
+//! Each connection runs on its own thread with its own deterministic PCG32
+//! stream, issuing a mix of `Estimate` (singleton and 3-seed) and periodic
+//! `TopK` requests — the shape a production influence service sees: estimates
+//! dominate, selections recur and hit the engine's LRU cache.
+
+use std::net::ToSocketAddrs;
+use std::time::Instant;
+
+use imrand::{Pcg32, Rng32};
+use imstats::SummaryStats;
+
+use crate::client::Connection;
+use crate::error::ServeError;
+use crate::protocol::{Request, Response, TopKAlgorithm};
+
+/// Load-test shape.
+#[derive(Debug, Clone)]
+pub struct LoadtestConfig {
+    /// Concurrent connections (one thread each).
+    pub connections: usize,
+    /// Requests per connection.
+    pub requests_per_connection: usize,
+    /// Seed-set size of the periodic `TopK` requests.
+    pub k: usize,
+    /// Base seed of the per-connection request streams.
+    pub seed: u64,
+}
+
+impl Default for LoadtestConfig {
+    fn default() -> Self {
+        Self {
+            connections: 4,
+            requests_per_connection: 250,
+            k: 3,
+            seed: 1,
+        }
+    }
+}
+
+/// Aggregated load-test results.
+#[derive(Debug, Clone)]
+pub struct LoadtestReport {
+    /// Requests completed across all connections.
+    pub total_requests: usize,
+    /// Wall-clock duration of the whole run in seconds.
+    pub elapsed_secs: f64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Per-request latency statistics in microseconds.
+    pub latency_micros: SummaryStats,
+}
+
+impl std::fmt::Display for LoadtestReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "loadtest: {} requests in {:.3}s  ({:.0} req/s)",
+            self.total_requests, self.elapsed_secs, self.throughput_rps
+        )?;
+        let l = &self.latency_micros;
+        write!(
+            f,
+            "latency µs: p01 {:.0}  median {:.0}  mean {:.0}  q3 {:.0}  p99 {:.0}  max {:.0}",
+            l.p01, l.median, l.mean, l.q3, l.p99, l.max
+        )
+    }
+}
+
+/// Run the load test against a server and gather the report.
+///
+/// Fails fast if the server is unreachable or answers any request with
+/// `Error` (the generator only sends well-formed in-range requests).
+pub fn run<A: ToSocketAddrs>(
+    addr: A,
+    config: &LoadtestConfig,
+) -> Result<LoadtestReport, ServeError> {
+    let connections = config.connections.max(1);
+    let per_connection = config.requests_per_connection.max(1);
+
+    // Discover the vertex range once so generated seeds are always valid.
+    let num_vertices = match Connection::open(&addr)?.roundtrip(&Request::Info)? {
+        Response::Info { num_vertices, .. } => num_vertices,
+        other => {
+            return Err(ServeError::Protocol(format!(
+                "Info answered with {other:?}"
+            )))
+        }
+    };
+    if num_vertices == 0 {
+        return Err(ServeError::Query("served graph is empty".into()));
+    }
+    let addrs: Vec<std::net::SocketAddr> = addr.to_socket_addrs()?.collect();
+
+    let started = Instant::now();
+    let mut threads = Vec::with_capacity(connections);
+    for connection_id in 0..connections {
+        let addrs = addrs.clone();
+        let k = config.k;
+        let seed = config
+            .seed
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(connection_id as u64 + 1));
+        threads.push(std::thread::spawn(
+            move || -> Result<Vec<f64>, ServeError> {
+                let mut connection = Connection::open(addrs.as_slice())?;
+                let mut rng = Pcg32::seed_from_u64(seed);
+                let mut latencies = Vec::with_capacity(per_connection);
+                for i in 0..per_connection {
+                    let request = if i % 16 == 15 {
+                        Request::TopK {
+                            k,
+                            algorithm: TopKAlgorithm::Greedy,
+                        }
+                    } else if i % 4 == 3 {
+                        Request::Estimate {
+                            seeds: vec![
+                                rng.gen_index(num_vertices) as u32,
+                                rng.gen_index(num_vertices) as u32,
+                                rng.gen_index(num_vertices) as u32,
+                            ],
+                        }
+                    } else {
+                        Request::Estimate {
+                            seeds: vec![rng.gen_index(num_vertices) as u32],
+                        }
+                    };
+                    let sent = Instant::now();
+                    let response = connection.roundtrip(&request)?;
+                    latencies.push(sent.elapsed().as_secs_f64() * 1e6);
+                    if let Response::Error { message } = response {
+                        return Err(ServeError::Query(format!(
+                            "server rejected a well-formed request: {message}"
+                        )));
+                    }
+                }
+                Ok(latencies)
+            },
+        ));
+    }
+
+    let mut all_latencies = Vec::with_capacity(connections * per_connection);
+    for thread in threads {
+        let latencies = thread
+            .join()
+            .map_err(|_| ServeError::Query("loadtest worker panicked".into()))??;
+        all_latencies.extend(latencies);
+    }
+    let elapsed_secs = started.elapsed().as_secs_f64();
+
+    Ok(LoadtestReport {
+        total_requests: all_latencies.len(),
+        elapsed_secs,
+        throughput_rps: all_latencies.len() as f64 / elapsed_secs.max(1e-9),
+        latency_micros: SummaryStats::from_values(&all_latencies),
+    })
+}

@@ -1,0 +1,130 @@
+//! A small bounded LRU cache for seed-set selection results.
+//!
+//! Seed-set selection (`TopK`) is the expensive query path — greedy maximum
+//! coverage over the whole RR-set pool — while `Estimate` is a cheap posting-
+//! list merge, so only `TopK` results are cached. The cache is tiny (distinct
+//! `(graph, model, k, algorithm)` combinations number in the dozens), so a
+//! linear eviction scan is simpler and faster than an intrusive list.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded map evicting the least-recently-used entry on overflow.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    tick: u64,
+    map: HashMap<K, (V, u64)>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A cache holding at most `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU cache needs positive capacity");
+        Self {
+            capacity,
+            tick: 0,
+            map: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Look up `key`, marking it most-recently-used on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.map.get_mut(key) {
+            Some((value, used)) => {
+                *used = tick;
+                Some(value)
+            }
+            None => None,
+        }
+    }
+
+    /// Insert `key -> value`, evicting the least-recently-used entry if the
+    /// cache is full and `key` is new.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if self.map.len() == self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (_, used))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss() {
+        let mut cache: LruCache<u32, &'static str> = LruCache::new(2);
+        assert!(cache.is_empty());
+        cache.insert(1, "one");
+        assert_eq!(cache.get(&1), Some(&"one"));
+        assert_eq!(cache.get(&2), None);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.capacity(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        // Touch 1 so 2 becomes the LRU entry.
+        assert_eq!(cache.get(&1), Some(&10));
+        cache.insert(3, 30);
+        assert_eq!(cache.get(&2), None, "2 was least recently used");
+        assert_eq!(cache.get(&1), Some(&10));
+        assert_eq!(cache.get(&3), Some(&30));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_an_existing_key_does_not_evict() {
+        let mut cache: LruCache<u32, u32> = LruCache::new(2);
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        cache.insert(1, 11);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&1), Some(&11));
+        assert_eq!(cache.get(&2), Some(&20));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive capacity")]
+    fn zero_capacity_panics() {
+        let _: LruCache<u32, u32> = LruCache::new(0);
+    }
+}

@@ -1,0 +1,128 @@
+//! `imserve` — build, serve and query persistent influence indexes.
+//!
+//! ```text
+//! imserve build    --dataset karate --model uc0.1 --pool 100000 --out karate.imx
+//! imserve serve    --index karate.imx --addr 127.0.0.1:7431 --workers 4
+//! imserve query    --addr 127.0.0.1:7431 --estimate 0,33
+//! imserve query    --addr 127.0.0.1:7431 --topk 3 --algorithm greedy
+//! imserve loadtest --addr 127.0.0.1:7431 --connections 8 --requests 500
+//! ```
+
+use std::process::ExitCode;
+use std::sync::Arc;
+
+use imserve::cli::{self, Command, QuerySpec};
+use imserve::engine::QueryEngine;
+use imserve::index::{build_dataset_index, IndexArtifact};
+use imserve::loadtest::{self, LoadtestConfig};
+use imserve::protocol::{self, Request};
+use imserve::server::{self, ServerConfig};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match cli::parse(&args) {
+        Ok(command) => command,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("{}", cli::USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(command) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
+    match command {
+        Command::Build {
+            dataset,
+            model,
+            pool,
+            seed,
+            out,
+        } => {
+            let started = std::time::Instant::now();
+            let artifact = build_dataset_index(&dataset, &model, pool, seed)?;
+            artifact.save(&out)?;
+            eprintln!(
+                "built index {} ({} vertices, {} edges, pool {}) in {:.2}s -> {}",
+                artifact.meta.graph_id,
+                artifact.meta.num_vertices,
+                artifact.meta.num_edges,
+                artifact.meta.pool_size,
+                started.elapsed().as_secs_f64(),
+                out
+            );
+            Ok(())
+        }
+        Command::Serve {
+            index,
+            addr,
+            workers,
+            cache,
+        } => {
+            let started = std::time::Instant::now();
+            let artifact = IndexArtifact::load(&index)?;
+            eprintln!(
+                "loaded index {} ({} vertices, pool {}) in {:.0}ms",
+                artifact.meta.graph_id,
+                artifact.meta.num_vertices,
+                artifact.meta.pool_size,
+                started.elapsed().as_secs_f64() * 1e3
+            );
+            let engine = Arc::new(QueryEngine::with_cache_capacity(artifact, cache));
+            let handle = server::spawn(
+                addr.as_str(),
+                engine,
+                &ServerConfig {
+                    workers,
+                    ..ServerConfig::default()
+                },
+            )?;
+            // Printed on stdout so scripts can scrape the resolved port.
+            println!("imserve listening on {}", handle.addr());
+            // Serve until killed; the acceptor thread owns the listener.
+            loop {
+                std::thread::park();
+            }
+        }
+        Command::Query { addr, request } => {
+            let request = match request {
+                QuerySpec::Estimate(seeds) => Request::Estimate { seeds },
+                QuerySpec::TopK(k, algorithm) => Request::TopK { k, algorithm },
+                QuerySpec::Info => Request::Info,
+            };
+            let response = imserve::client::query_once(addr.as_str(), &request)?;
+            println!("{}", protocol::encode(&response)?);
+            if matches!(response, imserve::protocol::Response::Error { .. }) {
+                return Err(Box::new(imserve::ServeError::Query(
+                    "server answered with an error".into(),
+                )));
+            }
+            Ok(())
+        }
+        Command::Loadtest {
+            addr,
+            connections,
+            requests,
+            k,
+        } => {
+            let report = loadtest::run(
+                addr.as_str(),
+                &LoadtestConfig {
+                    connections,
+                    requests_per_connection: requests,
+                    k,
+                    seed: 1,
+                },
+            )?;
+            println!("{report}");
+            Ok(())
+        }
+    }
+}

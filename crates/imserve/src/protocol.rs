@@ -1,0 +1,217 @@
+//! The wire protocol: newline-delimited JSON request/response frames.
+//!
+//! One request per line, one response per line, externally-tagged enums (the
+//! representation both real serde and the vendored stand-in produce for plain
+//! derives), e.g.:
+//!
+//! ```text
+//! -> {"Estimate":{"seeds":[0,5]}}
+//! <- {"Estimate":{"seeds":[0,5],"spread":12.75}}
+//! -> {"TopK":{"k":2,"algorithm":"Greedy"}}
+//! <- {"TopK":{"seeds":[33,0],"spread":14.5,"algorithm":"Greedy"}}
+//! ```
+//!
+//! Responses to the same request against the same index are byte-identical —
+//! the engine is deterministic and no timestamps or volatile fields are ever
+//! put on the wire — so clients can cache and compare freely. The diagnostic
+//! `Stats` response is the one deliberate exception (counters move).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ServeError;
+
+/// Seed-set selection strategies the engine can answer `TopK` with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TopKAlgorithm {
+    /// Greedy maximum coverage over the index's RR-set pool (the study's
+    /// stand-in for Exact Greedy; deterministic for a fixed pool).
+    Greedy,
+    /// Rank vertices by singleton influence and take the best `k` (the
+    /// degree-heuristic analog in oracle space; cheaper, no synergy).
+    SingletonRank,
+}
+
+impl TopKAlgorithm {
+    /// Parse the CLI spelling (`greedy` / `singleton`).
+    pub fn parse(s: &str) -> Result<Self, ServeError> {
+        match s {
+            "greedy" => Ok(TopKAlgorithm::Greedy),
+            "singleton" | "singleton-rank" => Ok(TopKAlgorithm::SingletonRank),
+            _ => Err(ServeError::Protocol(format!(
+                "unknown TopK algorithm {s:?} (expected greedy or singleton)"
+            ))),
+        }
+    }
+}
+
+impl std::fmt::Display for TopKAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TopKAlgorithm::Greedy => write!(f, "greedy"),
+            TopKAlgorithm::SingletonRank => write!(f, "singleton"),
+        }
+    }
+}
+
+/// A client request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Index metadata.
+    Info,
+    /// Estimate the influence spread of an explicit seed set.
+    Estimate {
+        /// The seed vertices (duplicates are tolerated and counted once).
+        seeds: Vec<u32>,
+    },
+    /// Select an influential seed set of size `k`.
+    TopK {
+        /// Requested seed-set size.
+        k: usize,
+        /// Selection strategy.
+        algorithm: TopKAlgorithm,
+    },
+    /// Serving counters (requests handled, cache hits/misses).
+    Stats,
+}
+
+/// A server response (one per request, same order).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Liveness answer.
+    Pong,
+    /// Index metadata.
+    Info {
+        /// Graph identifier from the index metadata.
+        graph_id: String,
+        /// Probability-model label from the index metadata.
+        model: String,
+        /// Vertices of the indexed graph.
+        num_vertices: usize,
+        /// Edges of the indexed graph.
+        num_edges: usize,
+        /// RR sets in the loaded pool.
+        pool_size: usize,
+        /// The oracle's 99 % confidence half-width `1.29·n/√pool`.
+        confidence_99: f64,
+    },
+    /// Spread estimate for an explicit seed set.
+    Estimate {
+        /// The seeds echoed back (as received).
+        seeds: Vec<u32>,
+        /// The oracle estimate `n·(covered fraction of the pool)`.
+        spread: f64,
+    },
+    /// A selected seed set.
+    TopK {
+        /// The chosen seeds in selection order.
+        seeds: Vec<u32>,
+        /// The oracle estimate of the joint influence of `seeds`.
+        spread: f64,
+        /// The strategy that produced the set.
+        algorithm: TopKAlgorithm,
+    },
+    /// Serving counters.
+    Stats {
+        /// Total requests handled (including failed ones).
+        requests: u64,
+        /// `TopK` answers served from the LRU cache.
+        topk_cache_hits: u64,
+        /// `TopK` answers computed and inserted into the cache.
+        topk_cache_misses: u64,
+    },
+    /// The request could not be answered.
+    Error {
+        /// Human-readable reason.
+        message: String,
+    },
+}
+
+/// Encode a frame as its JSON wire line (no trailing newline).
+pub fn encode<T: Serialize>(frame: &T) -> Result<String, ServeError> {
+    serde_json::to_string(frame).map_err(|e| ServeError::Protocol(format!("encode: {e}")))
+}
+
+/// Decode one wire line into a frame.
+pub fn decode<T: serde::Deserialize>(line: &str) -> Result<T, ServeError> {
+    serde_json::from_str(line.trim()).map_err(|e| ServeError::Protocol(format!("decode: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn requests_round_trip_over_the_wire() {
+        let frames = vec![
+            Request::Ping,
+            Request::Info,
+            Request::Estimate {
+                seeds: vec![0, 5, 9],
+            },
+            Request::TopK {
+                k: 3,
+                algorithm: TopKAlgorithm::Greedy,
+            },
+            Request::Stats,
+        ];
+        for frame in frames {
+            let line = encode(&frame).unwrap();
+            assert!(!line.contains('\n'), "frames must be single-line");
+            let back: Request = decode(&line).unwrap();
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip_over_the_wire() {
+        let frames = vec![
+            Response::Pong,
+            Response::Estimate {
+                seeds: vec![1],
+                spread: 3.5,
+            },
+            Response::TopK {
+                seeds: vec![33, 0],
+                spread: 14.25,
+                algorithm: TopKAlgorithm::SingletonRank,
+            },
+            Response::Error {
+                message: "nope".into(),
+            },
+        ];
+        for frame in frames {
+            let back: Response = decode(&encode(&frame).unwrap()).unwrap();
+            assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn the_wire_shape_is_externally_tagged() {
+        let line = encode(&Request::Estimate { seeds: vec![0, 5] }).unwrap();
+        assert_eq!(line, r#"{"Estimate":{"seeds":[0,5]}}"#);
+        assert_eq!(encode(&Request::Ping).unwrap(), r#""Ping""#);
+    }
+
+    #[test]
+    fn malformed_lines_are_protocol_errors() {
+        assert!(decode::<Request>("{\"Estimate\":").is_err());
+        assert!(decode::<Request>("{\"NoSuch\":{}}").is_err());
+        assert!(decode::<Request>("").is_err());
+    }
+
+    #[test]
+    fn algorithm_parsing() {
+        assert_eq!(
+            TopKAlgorithm::parse("greedy").unwrap(),
+            TopKAlgorithm::Greedy
+        );
+        assert_eq!(
+            TopKAlgorithm::parse("singleton").unwrap(),
+            TopKAlgorithm::SingletonRank
+        );
+        assert!(TopKAlgorithm::parse("magic").is_err());
+        assert_eq!(TopKAlgorithm::Greedy.to_string(), "greedy");
+    }
+}

@@ -1,0 +1,218 @@
+//! The std-only multi-threaded TCP front end.
+//!
+//! Architecture: one acceptor thread owns the `TcpListener`; accepted
+//! connections are fanned out over an `mpsc` channel to a fixed pool of worker
+//! threads, each of which owns one [`EstimateScratch`] and serves its
+//! connection to completion (newline-delimited JSON, one response per request
+//! line, in order). The engine itself is immutable behind an `Arc`, so
+//! workers share it without coordination; only the `TopK` cache takes a lock.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+use crate::engine::QueryEngine;
+use crate::error::ServeError;
+use crate::protocol::{self, Request, Response};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads serving connections.
+    pub workers: usize,
+    /// How long a worker waits for the next request line before dropping the
+    /// connection. Workers are a fixed pool and a connection holds its worker
+    /// until it closes, so without this bound `workers` idle clients would
+    /// pin the whole pool; `None` disables the timeout (trusted clients
+    /// only).
+    pub idle_timeout: Option<std::time::Duration>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            idle_timeout: Some(std::time::Duration::from_secs(60)),
+        }
+    }
+}
+
+/// A handle to a running server: its bound address and a shutdown switch.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves ephemeral port 0).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting connections and join the acceptor thread.
+    ///
+    /// In-flight connections are drained by their workers; workers themselves
+    /// are detached and exit once their channel sender is dropped.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the acceptor with a wake-up connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Bind `addr` and serve `engine` on a worker pool until shut down.
+///
+/// Returns immediately with a [`ServerHandle`]; accepting and serving happen
+/// on background threads. Bind to port 0 for an ephemeral port (tests, CI).
+pub fn spawn(
+    addr: impl ToSocketAddrs,
+    engine: Arc<QueryEngine>,
+    config: &ServerConfig,
+) -> Result<ServerHandle, ServeError> {
+    let workers = config.workers.max(1);
+    let listener = TcpListener::bind(addr)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let idle_timeout = config.idle_timeout;
+    let (tx, rx) = mpsc::channel::<TcpStream>();
+    let rx = Arc::new(Mutex::new(rx));
+    for worker_id in 0..workers {
+        let rx = Arc::clone(&rx);
+        let engine = Arc::clone(&engine);
+        std::thread::Builder::new()
+            .name(format!("imserve-worker-{worker_id}"))
+            .spawn(move || {
+                let mut scratch = engine.new_scratch();
+                loop {
+                    // Holding the lock only while receiving keeps sibling
+                    // workers free to pick up the next connection.
+                    let stream = match rx.lock().expect("worker queue poisoned").recv() {
+                        Ok(stream) => stream,
+                        Err(_) => return, // acceptor gone: shut down
+                    };
+                    let _ = stream.set_read_timeout(idle_timeout);
+                    let _ = serve_connection(&engine, stream, &mut scratch);
+                }
+            })
+            .expect("worker thread spawns");
+    }
+
+    let stop_flag = Arc::clone(&stop);
+    let acceptor = std::thread::Builder::new()
+        .name("imserve-acceptor".to_string())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                if stop_flag.load(Ordering::SeqCst) {
+                    return; // drops tx; workers drain and exit
+                }
+                match stream {
+                    Ok(stream) => {
+                        if tx.send(stream).is_err() {
+                            return;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+        })
+        .expect("acceptor thread spawns");
+
+    Ok(ServerHandle {
+        addr: local_addr,
+        stop,
+        acceptor: Some(acceptor),
+    })
+}
+
+/// Serve one connection until it closes or idles past the read timeout: read
+/// request lines, write one response line each, flush after every response so
+/// clients can pipeline.
+fn serve_connection(
+    engine: &QueryEngine,
+    stream: TcpStream,
+    scratch: &mut im_core::EstimateScratch,
+) -> Result<(), ServeError> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match protocol::decode::<Request>(&line) {
+            Ok(request) => engine.handle(&request, scratch),
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
+        };
+        writer.write_all(protocol::encode(&response)?.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::build_dataset_index;
+
+    #[test]
+    fn serves_and_shuts_down() {
+        let engine = Arc::new(QueryEngine::new(
+            build_dataset_index("karate", "uc0.1", 1_000, 3).unwrap(),
+        ));
+        let handle = spawn(
+            "127.0.0.1:0",
+            Arc::clone(&engine),
+            &ServerConfig {
+                workers: 2,
+                ..ServerConfig::default()
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+        assert_ne!(addr.port(), 0, "ephemeral port must be resolved");
+
+        let response = crate::client::Connection::open(addr)
+            .unwrap()
+            .roundtrip(&Request::Ping)
+            .unwrap();
+        assert_eq!(response, Response::Pong);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_do_not_pin_the_worker_pool() {
+        let engine = Arc::new(QueryEngine::new(
+            build_dataset_index("karate", "uc0.1", 500, 3).unwrap(),
+        ));
+        let handle = spawn(
+            "127.0.0.1:0",
+            Arc::clone(&engine),
+            &ServerConfig {
+                workers: 1,
+                idle_timeout: Some(std::time::Duration::from_millis(100)),
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+        // Occupy the single worker with a connection that never sends a byte.
+        let idle = TcpStream::connect(addr).unwrap();
+        // A real client must still be served once the idler times out.
+        let response = crate::client::query_once(addr, &Request::Ping).unwrap();
+        assert_eq!(response, Response::Pong);
+        drop(idle);
+        handle.shutdown();
+    }
+}

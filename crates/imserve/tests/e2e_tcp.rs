@@ -1,0 +1,154 @@
+//! End-to-end: build a Karate index, persist it, reload it, serve it over
+//! TCP on an ephemeral port, and check that concurrent clients receive
+//! responses bit-identical to the in-process oracle.
+
+use std::sync::Arc;
+
+use imserve::client::{query_once, Connection};
+use imserve::engine::QueryEngine;
+use imserve::index::{build_dataset_index, IndexArtifact};
+use imserve::loadtest::{self, LoadtestConfig};
+use imserve::protocol::{Request, Response, TopKAlgorithm};
+use imserve::server::{self, ServerConfig};
+
+const POOL: usize = 20_000;
+const SEED: u64 = 7;
+
+fn served_karate() -> (imserve::ServerHandle, IndexArtifact) {
+    // Build → save → load: the server must run off the *loaded* artifact so
+    // this test covers the whole persistence path. The path is unique per
+    // call — tests in this binary run concurrently.
+    static CALL: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
+    let call = CALL.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+    let built = build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap();
+    let path = std::env::temp_dir().join(format!("imserve_e2e_{}_{call}.imx", std::process::id()));
+    built.save(&path).unwrap();
+    let loaded = IndexArtifact::load(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    let engine = Arc::new(QueryEngine::new(loaded));
+    let handle = server::spawn(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        &ServerConfig {
+            workers: 3,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    (handle, built)
+}
+
+#[test]
+fn concurrent_tcp_queries_match_the_in_process_oracle() {
+    let (handle, reference) = served_karate();
+    let addr = handle.addr();
+
+    // The loaded index the server answers from must agree with the freshly
+    // built one — reloading never resamples the pool.
+    let mut clients = Vec::new();
+    for client_id in 0..4u32 {
+        let oracle = reference.oracle.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut connection = Connection::open(addr).unwrap();
+            for round in 0..10u32 {
+                let v = (client_id * 7 + round) % 34;
+                let seeds = vec![v, (v + 11) % 34];
+                let expected = oracle.estimate(&seeds);
+                match connection
+                    .roundtrip(&Request::Estimate {
+                        seeds: seeds.clone(),
+                    })
+                    .unwrap()
+                {
+                    Response::Estimate {
+                        spread,
+                        seeds: echoed,
+                    } => {
+                        assert_eq!(spread, expected, "client {client_id} round {round}");
+                        assert_eq!(echoed, seeds);
+                    }
+                    other => panic!("unexpected response {other:?}"),
+                }
+
+                let (expected_seeds, expected_spread) = oracle.greedy_seed_set(3);
+                match connection
+                    .roundtrip(&Request::TopK {
+                        k: 3,
+                        algorithm: TopKAlgorithm::Greedy,
+                    })
+                    .unwrap()
+                {
+                    Response::TopK { seeds, spread, .. } => {
+                        assert_eq!(seeds, expected_seeds);
+                        assert_eq!(spread, expected_spread);
+                    }
+                    other => panic!("unexpected response {other:?}"),
+                }
+            }
+        }));
+    }
+    for client in clients {
+        client.join().unwrap();
+    }
+
+    // Repeated identical queries produce byte-identical response lines
+    // (cache hit or miss is invisible on the wire).
+    let request = Request::TopK {
+        k: 2,
+        algorithm: TopKAlgorithm::SingletonRank,
+    };
+    let a = query_once(addr, &request).unwrap();
+    let b = query_once(addr, &request).unwrap();
+    assert_eq!(a, b);
+
+    // Info reflects the persisted metadata.
+    match query_once(addr, &Request::Info).unwrap() {
+        Response::Info {
+            graph_id,
+            model,
+            num_vertices,
+            pool_size,
+            ..
+        } => {
+            assert_eq!(graph_id, "Karate");
+            assert_eq!(model, "uc0.1");
+            assert_eq!(num_vertices, 34);
+            assert_eq!(pool_size, POOL);
+        }
+        other => panic!("unexpected response {other:?}"),
+    }
+
+    // Malformed and invalid requests come back as Error frames, and the
+    // connection stays usable afterwards.
+    let mut connection = Connection::open(addr).unwrap();
+    let bad = connection
+        .roundtrip(&Request::Estimate { seeds: vec![999] })
+        .unwrap();
+    assert!(matches!(bad, Response::Error { .. }));
+    assert_eq!(
+        connection.roundtrip(&Request::Ping).unwrap(),
+        Response::Pong
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn loadtest_runs_against_a_live_server() {
+    let (handle, _reference) = served_karate();
+    let report = loadtest::run(
+        handle.addr(),
+        &LoadtestConfig {
+            connections: 3,
+            requests_per_connection: 40,
+            k: 2,
+            seed: 5,
+        },
+    )
+    .unwrap();
+    assert_eq!(report.total_requests, 120);
+    assert!(report.throughput_rps > 0.0);
+    assert!(report.latency_micros.max >= report.latency_micros.median);
+    handle.shutdown();
+}

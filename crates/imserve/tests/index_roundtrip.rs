@@ -1,0 +1,139 @@
+//! Property tests of the binary index format: serialize→deserialize is
+//! byte-identical, and corrupted or truncated input is rejected with a typed
+//! error — never a panic.
+
+use im_core::sampler::Backend;
+use imgraph::binio::BinError;
+use imgraph::{DiGraph, InfluenceGraph};
+use imserve::IndexArtifact;
+use proptest::prelude::*;
+
+/// Strategy: a random influence graph over `2..=20` vertices.
+fn arb_influence_graph() -> impl Strategy<Value = InfluenceGraph> {
+    (2usize..20).prop_flat_map(|n| {
+        let edge = (0..n as u32, 0..n as u32);
+        proptest::collection::vec(edge, 1..60).prop_flat_map(move |edges| {
+            let len = edges.len();
+            (
+                Just(n),
+                Just(edges),
+                proptest::collection::vec(0.05f64..1.0, len),
+            )
+                .prop_map(|(n, edges, probs)| {
+                    InfluenceGraph::new(DiGraph::from_edges(n, &edges), probs)
+                })
+        })
+    })
+}
+
+/// Strategy: a complete artifact with a small pool.
+fn arb_artifact() -> impl Strategy<Value = IndexArtifact> {
+    (arb_influence_graph(), 1usize..200, 0u64..1000).prop_map(|(graph, pool, seed)| {
+        IndexArtifact::build("prop-graph", "prop-model", graph, pool, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// serialize → deserialize → serialize is byte-identical, and the decoded
+    /// oracle answers every singleton query bit-identically.
+    #[test]
+    fn round_trip_is_byte_identical(artifact in arb_artifact()) {
+        let bytes = artifact.to_bytes();
+        let back = IndexArtifact::from_bytes(&bytes).expect("round trip");
+        prop_assert_eq!(back.to_bytes(), bytes);
+        prop_assert_eq!(&back.meta, &artifact.meta);
+        let n = artifact.graph.num_vertices();
+        prop_assert_eq!(back.graph.num_vertices(), n);
+        prop_assert_eq!(back.graph.probabilities(), artifact.graph.probabilities());
+        for v in 0..n as u32 {
+            prop_assert_eq!(back.oracle.estimate(&[v]), artifact.oracle.estimate(&[v]));
+        }
+    }
+
+    /// Any single flipped byte is rejected with an error, not a panic.
+    #[test]
+    fn corruption_is_rejected(artifact in arb_artifact(), position in 0usize..10_000, flip in 1u8..=255) {
+        let bytes = artifact.to_bytes();
+        let mut damaged = bytes.clone();
+        let position = position % damaged.len();
+        damaged[position] ^= flip;
+        prop_assert!(IndexArtifact::from_bytes(&damaged).is_err());
+    }
+
+    /// Any strict prefix is rejected with an error, not a panic.
+    #[test]
+    fn truncation_is_rejected(artifact in arb_artifact(), cut in 0usize..10_000) {
+        let bytes = artifact.to_bytes();
+        let cut = cut % bytes.len();
+        prop_assert!(IndexArtifact::from_bytes(&bytes[..cut]).is_err());
+    }
+}
+
+#[test]
+fn loading_cannot_resample_the_pool() {
+    // The type-level guarantee: `from_bytes` receives bytes only — no graph
+    // traversal context and no random generator exist in the load path, so a
+    // reload can never redraw the pool. Pin the behavioural consequence:
+    // loading twice (and loading the re-encoding) yields bit-identical
+    // estimates for every seed set, with no sampling work observable.
+    let graph = InfluenceGraph::new(
+        DiGraph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]),
+        vec![0.5; 6],
+    );
+    let built = IndexArtifact::build("ring", "uc0.5", graph, 4_000, 11);
+    let bytes = built.to_bytes();
+    let first = IndexArtifact::from_bytes(&bytes).unwrap();
+    let second = IndexArtifact::from_bytes(&first.to_bytes()).unwrap();
+    for seeds in [vec![0u32], vec![1, 4], vec![0, 1, 2, 3, 4, 5]] {
+        let reference = built.oracle.estimate(&seeds);
+        assert_eq!(first.oracle.estimate(&seeds), reference);
+        assert_eq!(second.oracle.estimate(&seeds), reference);
+    }
+    // The pool is carried verbatim: posting lists match the built oracle's.
+    assert_eq!(first.oracle.vertex_to_sets(), built.oracle.vertex_to_sets());
+}
+
+#[test]
+fn mismatched_splice_is_rejected() {
+    // Splicing the pool of one artifact into the graph of another must fail
+    // the cross-checks even though both halves are individually valid.
+    let small = InfluenceGraph::new(DiGraph::from_edges(3, &[(0, 1), (1, 2)]), vec![0.5, 0.5]);
+    let large = InfluenceGraph::new(
+        DiGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]),
+        vec![0.5; 4],
+    );
+    let mut spliced = IndexArtifact::build("small", "uc0.5", small, 100, 1);
+    let donor = IndexArtifact::build("large", "uc0.5", large, 100, 1);
+    spliced.oracle = donor.oracle;
+    let bytes = spliced.to_bytes();
+    match IndexArtifact::from_bytes(&bytes) {
+        Err(BinError::Corrupt(reason)) => {
+            assert!(reason.contains("vertices"), "unexpected reason: {reason}");
+        }
+        other => panic!("splice must be rejected, got {other:?}"),
+    }
+}
+
+#[test]
+fn sequential_and_parallel_builds_persist_identically() {
+    // The artifact inherits the sampler's backend-independence: a pool drawn
+    // on the parallel backend serializes to the same bytes as the sequential
+    // one for the same seed.
+    let mk_graph = || {
+        InfluenceGraph::new(
+            DiGraph::from_edges(8, &[(0, 1), (1, 2), (2, 0), (3, 4), (5, 6), (6, 7)]),
+            vec![0.3; 6],
+        )
+    };
+    let seq =
+        im_core::InfluenceOracle::build_with_backend(&mk_graph(), 2_000, 5, Backend::Sequential);
+    let par = im_core::InfluenceOracle::build_with_backend(
+        &mk_graph(),
+        2_000,
+        5,
+        Backend::Parallel { threads: 4 },
+    );
+    assert_eq!(seq.to_bytes(), par.to_bytes());
+}

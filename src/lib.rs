@@ -44,6 +44,7 @@
 //! | [`imsketch`] | bottom-k reachability sketches, exact descendant counting, sketch-space greedy, compressed RR sets |
 //! | [`imstats`] | seed-set distributions, Shannon entropy, divergences, confidence intervals, influence summary statistics, comparable ratios |
 //! | [`imexp`] | experiment drivers for every table and figure of the paper |
+//! | [`imserve`] | persistent influence-query service: binary RR-index build/load, query engine with TopK LRU cache, TCP front end, loadtest |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -54,6 +55,7 @@ pub use imgraph;
 pub use imheur;
 pub use imnet;
 pub use imrand;
+pub use imserve;
 pub use imsketch;
 pub use imstats;
 
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use imheur::{DegreeDiscount, MaxDegree, PageRankSelector, SeedSelector};
     pub use imnet::{Dataset, DatasetSpec, ProbabilityModel};
     pub use imrand::{default_rng, Mt19937, Pcg32, Rng32};
+    pub use imserve::{IndexArtifact, QueryEngine, TopKAlgorithm};
     pub use imsketch::{CompressedRrSets, ReachabilitySketches, SketchGreedy};
     pub use imstats::{EmpiricalDistribution, SampleCurve, SummaryStats};
 }
@@ -85,5 +88,24 @@ mod tests {
         let mut rng = default_rng(2);
         let oracle = InfluenceOracle::build(&graph, 10_000, &mut rng);
         assert!(oracle.estimate_seed_set(&outcome.seeds) >= 1.0);
+    }
+
+    #[test]
+    fn prelude_exposes_the_serving_layer() {
+        let graph = Dataset::Karate.influence_graph(ProbabilityModel::uc01(), 0);
+        let artifact = IndexArtifact::build("Karate", "uc0.1", graph, 2_000, 5);
+        let reloaded = IndexArtifact::from_bytes(&artifact.to_bytes()).unwrap();
+        let engine = QueryEngine::new(reloaded);
+        let mut scratch = engine.new_scratch();
+        let request = imserve::Request::TopK {
+            k: 2,
+            algorithm: TopKAlgorithm::Greedy,
+        };
+        let response = engine.handle(&request, &mut scratch);
+        let (expected, _) = artifact.oracle.greedy_seed_set(2);
+        match response {
+            imserve::Response::TopK { seeds, .. } => assert_eq!(seeds, expected),
+            other => panic!("unexpected response {other:?}"),
+        }
     }
 }
