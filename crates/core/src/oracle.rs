@@ -9,7 +9,7 @@
 //! trial with success probability `Inf(S)/n`).
 
 use imgraph::binio::{self, BinError, BinReader, BinWriter};
-use imgraph::{InfluenceGraph, VertexId};
+use imgraph::{GraphDelta, InfluenceGraph, VertexId};
 use imrand::Rng32;
 
 use crate::ris::RrScratch;
@@ -41,12 +41,26 @@ pub struct InfluenceOracle {
     vertex_to_sets: Vec<Vec<u32>>,
     pool_size: usize,
     num_vertices: usize,
+    /// Present iff the pool was drawn with per-set PRNG streams
+    /// ([`InfluenceOracle::build_incremental`]), which is what makes
+    /// [`InfluenceOracle::apply_delta`] possible.
+    incremental: Option<IncrementalState>,
     // Interior mutability is deliberately avoided: `estimate` takes `&self`
     // and allocates per call, which is fine for the experiment harness. The
     // serving hot path passes an explicit [`EstimateScratch`] to
     // `estimate_with` instead, keeping `&self` queries shareable across
     // threads with zero per-query allocation.
     _private: (),
+}
+
+/// The extra state an incrementally maintainable pool carries: the base seed
+/// its per-set PRNG streams derive from, and one sorted vertex trace per RR
+/// set (the inverse of the posting lists), so a mutation can locate and
+/// unindex exactly the sets it dirties.
+#[derive(Debug, Clone)]
+struct IncrementalState {
+    base_seed: u64,
+    traces: Vec<Vec<VertexId>>,
 }
 
 /// Reusable per-caller scratch for [`InfluenceOracle::estimate_with`].
@@ -114,6 +128,7 @@ impl InfluenceOracle {
             vertex_to_sets,
             pool_size,
             num_vertices: n,
+            incremental: None,
             _private: (),
         }
     }
@@ -159,8 +174,191 @@ impl InfluenceOracle {
             vertex_to_sets,
             pool_size,
             num_vertices: n,
+            incremental: None,
             _private: (),
         }
+    }
+
+    /// Build an *incrementally maintainable* oracle: RR set `i` is drawn from
+    /// its **own** PRNG stream, seeded by running `base_seed` and the pool
+    /// index `i` through SplitMix64 (the same [`sampler::batch_rng`]
+    /// derivation the batched sampler uses for batch streams).
+    ///
+    /// Per-set streams are what make [`InfluenceOracle::apply_delta`] exact
+    /// rather than approximate: regenerating set `i` in isolation replays
+    /// precisely the draws a from-scratch rebuild at the same version would
+    /// feed it, so the maintained pool stays byte-identical to the rebuilt
+    /// one. The backend only changes *where* sets are drawn, never what is
+    /// drawn — sequential and parallel builds are byte-identical for a fixed
+    /// `base_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_size == 0` or the graph is empty.
+    pub fn build_incremental(
+        graph: &InfluenceGraph,
+        pool_size: usize,
+        base_seed: u64,
+        backend: Backend,
+    ) -> Self {
+        assert!(pool_size > 0, "oracle needs a non-empty RR-set pool");
+        let n = graph.num_vertices();
+        assert!(n > 0, "oracle needs a non-empty graph");
+        assert!(
+            pool_size <= u32::MAX as usize,
+            "pool size exceeds u32 set ids"
+        );
+
+        let members = sampler::sample_batched(
+            &SampleBudget::new(pool_size as u64),
+            base_seed,
+            backend,
+            || RrScratch::for_graph(graph),
+            |scratch, set_id, _| {
+                // Ignore the batch stream: every set derives its own.
+                let mut rng = sampler::batch_rng(base_seed, set_id);
+                scratch.generate(graph, &mut rng).vertices
+            },
+        );
+        let mut vertex_to_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut traces: Vec<Vec<VertexId>> = Vec::with_capacity(pool_size);
+        for (set_id, mut vertices) in members.into_iter().enumerate() {
+            index_rr_set(&mut vertex_to_sets, set_id as u32, &vertices);
+            // Traces are kept sorted: the canonical form reconstruction by
+            // posting-list inversion also produces (see `attach_incremental`).
+            vertices.sort_unstable();
+            traces.push(vertices);
+        }
+        Self {
+            vertex_to_sets,
+            pool_size,
+            num_vertices: n,
+            incremental: Some(IncrementalState { base_seed, traces }),
+            _private: (),
+        }
+    }
+
+    /// Whether this pool carries the per-set state needed by
+    /// [`InfluenceOracle::apply_delta`].
+    #[must_use]
+    pub fn is_incremental(&self) -> bool {
+        self.incremental.is_some()
+    }
+
+    /// The base seed of an incrementally maintainable pool.
+    #[must_use]
+    pub fn incremental_base_seed(&self) -> Option<u64> {
+        self.incremental.as_ref().map(|s| s.base_seed)
+    }
+
+    /// The sorted member trace of one RR set of an incremental pool.
+    #[must_use]
+    pub fn trace(&self, set_id: u32) -> Option<&[VertexId]> {
+        self.incremental
+            .as_ref()
+            .and_then(|s| s.traces.get(set_id as usize))
+            .map(Vec::as_slice)
+    }
+
+    /// Re-attach incremental state to a pool that was reloaded from bytes.
+    ///
+    /// The per-set traces are derivable from the posting lists (they are each
+    /// other's inverse), so persistence never stores them: this inverts the
+    /// posting lists in `O(Σ|R|)` and records `base_seed` as the stream
+    /// derivation root. The caller asserts — typically via artifact metadata
+    /// — that `base_seed` is the seed the pool was originally drawn with and
+    /// that the pool was built by [`InfluenceOracle::build_incremental`];
+    /// with a wrong seed, later [`InfluenceOracle::apply_delta`] calls would
+    /// resample dirty sets from streams a rebuild would not use.
+    pub fn attach_incremental(&mut self, base_seed: u64) {
+        let mut traces: Vec<Vec<VertexId>> = vec![Vec::new(); self.pool_size];
+        for (v, list) in self.vertex_to_sets.iter().enumerate() {
+            for &id in list {
+                traces[id as usize].push(v as VertexId);
+            }
+        }
+        // Iterating vertices in increasing order yields sorted traces — the
+        // same canonical form `build_incremental` stores.
+        self.incremental = Some(IncrementalState { base_seed, traces });
+    }
+
+    /// Incrementally maintain the pool under one graph mutation.
+    ///
+    /// `graph_after` must be the influence graph *with the delta already
+    /// applied* (same fixed vertex set). The reverse BFS that generates an RR
+    /// set only examines the in-edges of vertices *inside* the set, so a
+    /// mutation of edge `(u, v)` can change the outcome of exactly those sets
+    /// that contain the head vertex `v`: any set not containing `v` replays
+    /// the same traversal — and consumes the same random draws from its own
+    /// stream — on the mutated graph. This method therefore resamples only
+    /// the posting list of `v`, each dirty set from its own derived stream,
+    /// and the result is **byte-identical** (via [`InfluenceOracle::to_bytes`])
+    /// to `build_incremental(graph_after, pool_size, base_seed, _)`.
+    ///
+    /// Returns the number of RR sets resampled. Errors (non-incremental pool,
+    /// mismatched graph, out-of-range head) leave the oracle untouched.
+    pub fn apply_delta(
+        &mut self,
+        graph_after: &InfluenceGraph,
+        delta: &GraphDelta,
+    ) -> Result<usize, String> {
+        let base_seed = match &self.incremental {
+            Some(state) => state.base_seed,
+            None => {
+                return Err(
+                    "oracle pool was not built incrementally (use build_incremental)".into(),
+                )
+            }
+        };
+        if graph_after.num_vertices() != self.num_vertices {
+            return Err(format!(
+                "mutated graph has {} vertices but the pool indexes {}",
+                graph_after.num_vertices(),
+                self.num_vertices
+            ));
+        }
+        let head = delta.head();
+        if head as usize >= self.num_vertices {
+            return Err(format!(
+                "delta head {head} out of range for {} vertices",
+                self.num_vertices
+            ));
+        }
+
+        let dirty = self.vertex_to_sets[head as usize].clone();
+        let mut scratch = RrScratch::for_graph(graph_after);
+        for &set_id in &dirty {
+            // Unindex the set from the postings of its previous members.
+            let old_trace = std::mem::take(
+                &mut self
+                    .incremental
+                    .as_mut()
+                    .expect("incremental state checked above")
+                    .traces[set_id as usize],
+            );
+            for &v in &old_trace {
+                let list = &mut self.vertex_to_sets[v as usize];
+                if let Ok(at) = list.binary_search(&set_id) {
+                    list.remove(at);
+                }
+            }
+            // Regenerate the set from its own stream, exactly as a rebuild
+            // at this version would.
+            let mut rng = sampler::batch_rng(base_seed, u64::from(set_id));
+            let mut trace = scratch.generate(graph_after, &mut rng).vertices;
+            trace.sort_unstable();
+            for &v in &trace {
+                let list = &mut self.vertex_to_sets[v as usize];
+                if let Err(at) = list.binary_search(&set_id) {
+                    list.insert(at, set_id);
+                }
+            }
+            self.incremental
+                .as_mut()
+                .expect("incremental state checked above")
+                .traces[set_id as usize] = trace;
+        }
+        Ok(dirty.len())
     }
 
     /// Reassemble an oracle from previously exported posting lists.
@@ -214,6 +412,7 @@ impl InfluenceOracle {
             vertex_to_sets,
             pool_size,
             num_vertices,
+            incremental: None,
             _private: (),
         })
     }
@@ -657,6 +856,116 @@ mod tests {
             InfluenceOracle::from_bytes(&damaged),
             Err(BinError::ChecksumMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn incremental_build_is_backend_independent_and_carries_traces() {
+        let ig = star(0.5);
+        let seq = InfluenceOracle::build_incremental(&ig, 3_000, 11, Backend::Sequential);
+        let par =
+            InfluenceOracle::build_incremental(&ig, 3_000, 11, Backend::Parallel { threads: 4 });
+        assert_eq!(seq.to_bytes(), par.to_bytes());
+        assert!(seq.is_incremental());
+        assert_eq!(seq.incremental_base_seed(), Some(11));
+        // Every trace is sorted and inverse to the posting lists.
+        for set_id in 0..3_000u32 {
+            let trace = seq.trace(set_id).expect("trace exists");
+            assert!(trace.windows(2).all(|w| w[0] < w[1]), "trace sorted");
+            for &v in trace {
+                assert!(seq.vertex_to_sets()[v as usize].contains(&set_id));
+            }
+        }
+        // The classic builders carry no incremental state.
+        assert!(!InfluenceOracle::build(&ig, 100, &mut Pcg32::seed_from_u64(1)).is_incremental());
+        assert!(
+            !InfluenceOracle::build_with_backend(&ig, 100, 1, Backend::Sequential).is_incremental()
+        );
+    }
+
+    #[test]
+    fn attach_incremental_reconstructs_the_native_traces() {
+        let ig = star(0.4);
+        let native = InfluenceOracle::build_incremental(&ig, 2_000, 5, Backend::Sequential);
+        let mut reloaded = InfluenceOracle::from_bytes(&native.to_bytes()).unwrap();
+        assert!(!reloaded.is_incremental());
+        reloaded.attach_incremental(5);
+        for set_id in 0..2_000u32 {
+            assert_eq!(reloaded.trace(set_id), native.trace(set_id));
+        }
+    }
+
+    #[test]
+    fn apply_delta_matches_a_from_scratch_rebuild_byte_for_byte() {
+        use imgraph::MutableInfluenceGraph;
+        let ig = star(0.5);
+        let mut mutable = MutableInfluenceGraph::from_graph(&ig);
+        let mut oracle = InfluenceOracle::build_incremental(&ig, 2_500, 21, Backend::Sequential);
+
+        let deltas = [
+            GraphDelta::InsertEdge {
+                source: 2,
+                target: 0,
+                probability: 0.5,
+            },
+            GraphDelta::SetProbability {
+                source: 0,
+                target: 3,
+                probability: 1.0,
+            },
+            GraphDelta::DeleteEdge {
+                source: 0,
+                target: 1,
+            },
+            GraphDelta::InsertEdge {
+                source: 4,
+                target: 2,
+                probability: 0.25,
+            },
+        ];
+        for delta in &deltas {
+            mutable.apply(delta).unwrap();
+            let after = mutable.materialize();
+            let resampled = oracle.apply_delta(&after, delta).unwrap();
+            let rebuilt =
+                InfluenceOracle::build_incremental(&after, 2_500, 21, Backend::Sequential);
+            assert_eq!(
+                oracle.to_bytes(),
+                rebuilt.to_bytes(),
+                "maintained pool must be byte-identical to a rebuild after {delta}"
+            );
+            // Only the posting list of the head vertex was dirty — far fewer
+            // sets than the pool on this star graph.
+            assert!(resampled < 2_500, "resampled {resampled} of 2500");
+            // Estimates agree bit-for-bit too.
+            for v in 0..5u32 {
+                assert_eq!(oracle.estimate(&[v]), rebuilt.estimate(&[v]));
+            }
+            assert_eq!(oracle.estimate(&[0, 2, 4]), rebuilt.estimate(&[0, 2, 4]));
+        }
+    }
+
+    #[test]
+    fn apply_delta_rejects_bad_inputs_and_non_incremental_pools() {
+        let ig = star(0.5);
+        let delta = GraphDelta::SetProbability {
+            source: 0,
+            target: 1,
+            probability: 0.9,
+        };
+        let mut plain = InfluenceOracle::build(&ig, 100, &mut Pcg32::seed_from_u64(2));
+        assert!(plain.apply_delta(&ig, &delta).is_err());
+
+        let mut incremental = InfluenceOracle::build_incremental(&ig, 100, 2, Backend::Sequential);
+        let smaller = {
+            let edges: Vec<_> = (1..3u32).map(|v| (0, v)).collect();
+            InfluenceGraph::new(imgraph::DiGraph::from_edges(3, &edges), vec![0.5; 2])
+        };
+        assert!(incremental.apply_delta(&smaller, &delta).is_err());
+        let out_of_range = GraphDelta::DeleteEdge {
+            source: 0,
+            target: 99,
+        };
+        assert!(incremental.apply_delta(&ig, &out_of_range).is_err());
     }
 
     #[test]

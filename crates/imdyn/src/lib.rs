@@ -1,0 +1,322 @@
+//! `imdyn` — incremental RR-set maintenance for evolving influence graphs.
+//!
+//! The RR-set pool behind the serving layer is a *materialized view* over the
+//! influence graph: expensive to compute, cheap to query. Before this crate,
+//! any graph change invalidated the whole view — a full resample and a server
+//! restart. [`DynamicOracle`] instead keeps the view consistent under a
+//! stream of typed mutations ([`imgraph::GraphDelta`]), with a strong
+//! correctness contract:
+//!
+//! > After any sequence of applied deltas, the maintained pool is
+//! > **byte-identical** (via `InfluenceOracle::to_bytes`) to a pool rebuilt
+//! > from scratch on the mutated graph with the same base seed.
+//!
+//! The contract is achievable because the pool is built with one derived
+//! PRNG stream *per RR set* (`InfluenceOracle::build_incremental`), and the
+//! reverse BFS generating a set only examines in-edges of vertices inside the
+//! set — so a mutation of edge `(u, v)` dirties exactly the sets containing
+//! `v`, and those are listed by the pool's own posting list for `v`. See
+//! `README.md` next to this crate for the full argument.
+//!
+//! [`workload`] provides deterministic random mutation generators used by the
+//! proptest suite, the `evolve` experiment and the maintenance bench.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use im_core::sampler::Backend;
+use im_core::InfluenceOracle;
+use imgraph::{DeltaError, DeltaLog, GraphDelta, InfluenceGraph, MutableInfluenceGraph};
+
+pub mod workload;
+
+/// Monotonic counters describing the maintenance work performed so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Deltas successfully applied through [`DynamicOracle::apply`].
+    pub deltas_applied: u64,
+    /// RR sets resampled across all applied deltas.
+    pub sets_resampled: u64,
+    /// Deltas that only patched an edge attribute (no CSR rebuild).
+    pub attribute_patches: u64,
+}
+
+/// What one [`DynamicOracle::apply`] call did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApplyOutcome {
+    /// The engine epoch after the delta (the number of deltas ever applied).
+    pub epoch: u64,
+    /// RR sets that were dirty and resampled.
+    pub resampled: usize,
+    /// Whether the adjacency structure changed (insert/delete) rather than
+    /// only an edge probability.
+    pub structural: bool,
+}
+
+/// An influence oracle kept consistent with an evolving graph.
+///
+/// Owns the graph in both mutable (edge-list) and materialized (CSR) form,
+/// the incrementally maintainable RR-set pool, and the log of every applied
+/// delta. All state advances in lock step inside [`DynamicOracle::apply`], so
+/// readers holding `&self` always observe a consistent `(graph, pool, epoch)`
+/// triple.
+#[derive(Debug, Clone)]
+pub struct DynamicOracle {
+    mutable: MutableInfluenceGraph,
+    graph: InfluenceGraph,
+    oracle: InfluenceOracle,
+    log: DeltaLog,
+    stats: MaintenanceStats,
+}
+
+impl DynamicOracle {
+    /// Build a dynamic oracle over `graph` with a fresh incremental pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pool_size == 0` or the graph is empty (the pool build
+    /// contract).
+    #[must_use]
+    pub fn build(
+        graph: InfluenceGraph,
+        pool_size: usize,
+        base_seed: u64,
+        backend: Backend,
+    ) -> Self {
+        let oracle = InfluenceOracle::build_incremental(&graph, pool_size, base_seed, backend);
+        Self {
+            mutable: MutableInfluenceGraph::from_graph(&graph),
+            graph,
+            oracle,
+            log: DeltaLog::new(),
+            stats: MaintenanceStats::default(),
+        }
+    }
+
+    /// Reassemble a dynamic oracle from persisted parts (graph, pool, log).
+    ///
+    /// `graph` and `oracle` must already be at the *same* version (the
+    /// serving artifact stores the current graph and current pool; the log is
+    /// provenance, not a pending queue). The oracle must carry incremental
+    /// state (`InfluenceOracle::is_incremental`); reload paths re-attach it
+    /// with `attach_incremental(base_seed)` before calling this.
+    pub fn from_parts(
+        graph: InfluenceGraph,
+        oracle: InfluenceOracle,
+        log: DeltaLog,
+    ) -> Result<Self, String> {
+        if !oracle.is_incremental() {
+            return Err("oracle pool carries no incremental state (attach_incremental)".into());
+        }
+        if oracle.num_vertices() != graph.num_vertices() {
+            return Err(format!(
+                "pool indexes {} vertices but graph has {}",
+                oracle.num_vertices(),
+                graph.num_vertices()
+            ));
+        }
+        Ok(Self {
+            mutable: MutableInfluenceGraph::from_graph(&graph),
+            graph,
+            oracle,
+            log,
+            stats: MaintenanceStats::default(),
+        })
+    }
+
+    /// Apply one mutation: update the graph, resample exactly the dirty RR
+    /// sets, and append to the log. On error nothing changes.
+    pub fn apply(&mut self, delta: GraphDelta) -> Result<ApplyOutcome, DeltaError> {
+        let effect = self.mutable.apply(&delta)?;
+        if effect.structural {
+            // Insert/delete change the CSR: re-derive it from the edge list,
+            // which is exactly the graph a from-scratch rebuild would see.
+            self.graph = self.mutable.materialize();
+        } else if let GraphDelta::SetProbability { probability, .. } = delta {
+            // Attribute-only fast path: patch the one probability slot
+            // in place (bit-identical to a rebuild, see `set_probability`).
+            self.graph.set_probability(effect.edge_id, probability);
+            self.stats.attribute_patches += 1;
+        }
+        let resampled = self
+            .oracle
+            .apply_delta(&self.graph, &delta)
+            .expect("dynamic oracle state is incremental and dimension-consistent");
+        self.log.push(delta);
+        self.stats.deltas_applied += 1;
+        self.stats.sets_resampled += resampled as u64;
+        Ok(ApplyOutcome {
+            epoch: self.epoch(),
+            resampled,
+            structural: effect.structural,
+        })
+    }
+
+    /// The engine epoch: the number of deltas ever applied (including those
+    /// already in the log this oracle was reassembled with).
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// The influence graph at the current epoch.
+    #[must_use]
+    pub fn graph(&self) -> &InfluenceGraph {
+        &self.graph
+    }
+
+    /// The mutable edge-list view of the graph at the current epoch.
+    #[must_use]
+    pub fn mutable_graph(&self) -> &MutableInfluenceGraph {
+        &self.mutable
+    }
+
+    /// The maintained RR-set oracle at the current epoch.
+    #[must_use]
+    pub fn oracle(&self) -> &InfluenceOracle {
+        &self.oracle
+    }
+
+    /// The log of every applied delta, in application order.
+    #[must_use]
+    pub fn log(&self) -> &DeltaLog {
+        &self.log
+    }
+
+    /// Maintenance counters.
+    #[must_use]
+    pub fn stats(&self) -> &MaintenanceStats {
+        &self.stats
+    }
+
+    /// The base seed the pool's per-set streams derive from.
+    #[must_use]
+    pub fn base_seed(&self) -> u64 {
+        self.oracle
+            .incremental_base_seed()
+            .expect("dynamic oracle pools are always incremental")
+    }
+
+    /// Number of RR sets in the maintained pool.
+    #[must_use]
+    pub fn pool_size(&self) -> usize {
+        self.oracle.pool_size()
+    }
+
+    /// Build the reference pool: a from-scratch incremental build on the
+    /// current graph at the same seed. This is the right-hand side of the
+    /// crate's correctness contract (and costs a full resample — use it for
+    /// verification, not serving).
+    #[must_use]
+    pub fn rebuild_from_scratch(&self) -> InfluenceOracle {
+        InfluenceOracle::build_incremental(
+            &self.graph,
+            self.pool_size(),
+            self.base_seed(),
+            Backend::Sequential,
+        )
+    }
+
+    /// Verify the correctness contract: the maintained pool serializes to
+    /// exactly the bytes a from-scratch rebuild produces.
+    #[must_use]
+    pub fn matches_rebuild(&self) -> bool {
+        self.oracle.to_bytes() == self.rebuild_from_scratch().to_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imgraph::DiGraph;
+
+    fn star(prob: f64) -> InfluenceGraph {
+        let edges: Vec<_> = (1..5u32).map(|v| (0, v)).collect();
+        InfluenceGraph::new(DiGraph::from_edges(5, &edges), vec![prob; 4])
+    }
+
+    #[test]
+    fn apply_advances_epoch_log_and_stats() {
+        let mut dynamic = DynamicOracle::build(star(0.5), 1_000, 7, Backend::Sequential);
+        assert_eq!(dynamic.epoch(), 0);
+        assert_eq!(dynamic.base_seed(), 7);
+        assert_eq!(dynamic.pool_size(), 1_000);
+
+        let outcome = dynamic
+            .apply(GraphDelta::InsertEdge {
+                source: 3,
+                target: 4,
+                probability: 0.5,
+            })
+            .unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert!(outcome.structural);
+        let outcome = dynamic
+            .apply(GraphDelta::SetProbability {
+                source: 0,
+                target: 2,
+                probability: 1.0,
+            })
+            .unwrap();
+        assert!(!outcome.structural);
+        assert_eq!(dynamic.epoch(), 2);
+        assert_eq!(dynamic.log().len(), 2);
+        assert_eq!(dynamic.stats().deltas_applied, 2);
+        assert_eq!(dynamic.stats().attribute_patches, 1);
+        assert_eq!(dynamic.graph().num_edges(), 5);
+        assert!(dynamic.matches_rebuild());
+    }
+
+    #[test]
+    fn failed_deltas_change_nothing() {
+        let mut dynamic = DynamicOracle::build(star(0.5), 500, 3, Backend::Sequential);
+        let bytes_before = dynamic.oracle().to_bytes();
+        let err = dynamic.apply(GraphDelta::DeleteEdge {
+            source: 4,
+            target: 0,
+        });
+        assert!(err.is_err());
+        assert_eq!(dynamic.epoch(), 0);
+        assert_eq!(dynamic.oracle().to_bytes(), bytes_before);
+        assert_eq!(dynamic.stats(), &MaintenanceStats::default());
+    }
+
+    #[test]
+    fn from_parts_requires_incremental_state_and_matching_dimensions() {
+        let graph = star(0.5);
+        let plain = InfluenceOracle::build_with_backend(&graph, 100, 1, Backend::Sequential);
+        assert!(DynamicOracle::from_parts(graph.clone(), plain.clone(), DeltaLog::new()).is_err());
+
+        let mut attached = plain;
+        attached.attach_incremental(1);
+        let dynamic = DynamicOracle::from_parts(graph.clone(), attached.clone(), DeltaLog::new())
+            .expect("incremental state attached");
+        assert_eq!(dynamic.epoch(), 0);
+
+        let other = {
+            let edges: Vec<_> = (1..3u32).map(|v| (0, v)).collect();
+            InfluenceGraph::new(DiGraph::from_edges(3, &edges), vec![0.5; 2])
+        };
+        assert!(DynamicOracle::from_parts(other, attached, DeltaLog::new()).is_err());
+    }
+
+    #[test]
+    fn epoch_counts_reassembled_logs() {
+        let graph = star(0.5);
+        let mut dynamic = DynamicOracle::build(graph, 200, 9, Backend::Sequential);
+        dynamic
+            .apply(GraphDelta::DeleteEdge {
+                source: 0,
+                target: 1,
+            })
+            .unwrap();
+        let reassembled = DynamicOracle::from_parts(
+            dynamic.graph().clone(),
+            dynamic.oracle().clone(),
+            dynamic.log().clone(),
+        )
+        .unwrap();
+        assert_eq!(reassembled.epoch(), 1);
+        assert!(reassembled.matches_rebuild());
+    }
+}

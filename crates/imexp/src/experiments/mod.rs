@@ -19,9 +19,11 @@
 //! | [`least_samples::bound_gap`] | worst-case bound vs empirical gap (Section 5.2.1) |
 //! | [`extensions::heuristics`] | §3.6 heuristic baselines vs oracle greedy (extension) |
 //! | [`extensions::determination`] | §7 sample-number determination vs empirical requirement (extension) |
+//! | [`evolve`] | incremental RR-set maintenance vs full rebuild under graph mutation (extension) |
 
 pub mod comparable;
 pub mod entropy;
+pub mod evolve;
 pub mod extensions;
 pub mod influence;
 pub mod least_samples;
@@ -157,6 +159,7 @@ pub fn experiment_names() -> Vec<&'static str> {
         "bound_gap",
         "heuristics",
         "determination",
+        "evolve",
     ]
 }
 
@@ -181,6 +184,7 @@ pub fn run_by_name(name: &str, scale: ExperimentScale) -> Option<ExperimentRepor
         "bound_gap" => least_samples::bound_gap(scale),
         "heuristics" => extensions::heuristics(scale),
         "determination" => extensions::determination(scale),
+        "evolve" => evolve::run(scale),
         _ => return None,
     };
     Some(report)
@@ -223,9 +227,10 @@ mod tests {
     fn registry_contains_every_paper_artifact() {
         let names = experiment_names();
         // 15 paper artifacts (Tables 1, 3–9, Figures 1–6 with 7/8 folded into
-        // Tables 6/7, plus the bound-gap report) and 2 extension drivers.
-        assert_eq!(names.len(), 17);
+        // Tables 6/7, plus the bound-gap report) and 3 extension drivers.
+        assert_eq!(names.len(), 18);
         assert!(names.contains(&"heuristics") && names.contains(&"determination"));
+        assert!(names.contains(&"evolve"));
         assert!(run_by_name("definitely-not-an-experiment", ExperimentScale::Quick).is_none());
     }
 }

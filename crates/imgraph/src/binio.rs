@@ -94,6 +94,11 @@ impl From<std::io::Error> for BinError {
     }
 }
 
+/// Section tag for a serialized mutation log ([`crate::delta::DeltaLog`]),
+/// shared by the standalone log artifact and the `imserve` index artifact so
+/// every persisted delta log is recognizable by the same four bytes.
+pub const DELTA_TAG: [u8; 4] = *b"DLTA";
+
 /// FNV-1a 64-bit hash of `bytes` (the format's integrity checksum).
 #[must_use]
 pub fn fnv1a64(bytes: &[u8]) -> u64 {
@@ -213,6 +218,11 @@ impl<'a> Payload<'a> {
         Ok(slice)
     }
 
+    /// Read a single byte.
+    pub fn u8(&mut self) -> Result<u8, BinError> {
+        Ok(self.take(1)?[0])
+    }
+
     /// Read a little-endian `u32`.
     pub fn u32(&mut self) -> Result<u32, BinError> {
         Ok(u32::from_le_bytes(
@@ -296,6 +306,8 @@ pub struct BinReader<'a> {
     /// Content between the header and the checksum trailer.
     body: &'a [u8],
     pos: usize,
+    /// Format version decoded from the header.
+    version: u32,
 }
 
 impl<'a> BinReader<'a> {
@@ -335,7 +347,16 @@ impl<'a> BinReader<'a> {
         Ok(Self {
             body: &bytes[8..bytes.len() - 8],
             pos: 0,
+            version,
         })
+    }
+
+    /// The format version stored in the artifact header (already validated
+    /// to be `<= supported_version`). Lets decoders gate on *older* versions
+    /// without re-parsing the header layout themselves.
+    #[must_use]
+    pub fn version(&self) -> u32 {
+        self.version
     }
 
     /// The next `(tag, payload)` section, or `None` when all are consumed.
@@ -488,7 +509,7 @@ pub fn influence_graph_from_bytes(bytes: &[u8]) -> Result<InfluenceGraph, BinErr
         )));
     }
     for (i, &p) in probabilities.iter().enumerate() {
-        if !(p > 0.0 && p <= 1.0 && p.is_finite()) {
+        if !crate::is_valid_probability(p) {
             return Err(BinError::Corrupt(format!(
                 "edge {i} has invalid probability {p}"
             )));

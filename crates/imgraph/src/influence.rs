@@ -4,6 +4,16 @@ use serde::{Deserialize, Serialize};
 
 use crate::{DiGraph, Edge, VertexId};
 
+/// The influence-probability domain: `p ∈ (0, 1]` and finite.
+///
+/// One predicate shared by every layer that admits probabilities — graph
+/// construction, in-place updates, delta validation, binary decode and CLI
+/// parsing — so the domain can never silently diverge between them.
+#[must_use]
+pub fn is_valid_probability(p: f64) -> bool {
+    p > 0.0 && p <= 1.0 && p.is_finite()
+}
+
 /// A directed graph whose edges carry influence probabilities `p(e) ∈ (0, 1]`.
 ///
 /// This is the input object of the influence-maximization problem
@@ -44,7 +54,7 @@ impl InfluenceGraph {
         );
         for (i, &p) in probabilities.iter().enumerate() {
             assert!(
-                p > 0.0 && p <= 1.0 && p.is_finite(),
+                is_valid_probability(p),
                 "edge {i} has invalid probability {p}; probabilities must lie in (0, 1]"
             );
         }
@@ -106,6 +116,32 @@ impl InfluenceGraph {
     #[must_use]
     pub fn probabilities(&self) -> &[f64] {
         &self.probabilities
+    }
+
+    /// Overwrite the probability of the edge with the given insertion id.
+    ///
+    /// This is the attribute-only fast path of incremental graph maintenance:
+    /// a `SetProbability` delta touches no adjacency, so the CSR and its
+    /// transpose are reused as-is. The cached probability sum is recomputed by
+    /// the same full summation [`InfluenceGraph::new`] performs, so the result
+    /// is bit-identical to rebuilding the graph from scratch with the updated
+    /// probability array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge_id` is out of range or `p` lies outside `(0, 1]`.
+    pub fn set_probability(&mut self, edge_id: u32, p: f64) {
+        assert!(
+            (edge_id as usize) < self.probabilities.len(),
+            "edge id {edge_id} out of range for {} edges",
+            self.probabilities.len()
+        );
+        assert!(
+            is_valid_probability(p),
+            "invalid probability {p}; probabilities must lie in (0, 1]"
+        );
+        self.probabilities[edge_id as usize] = p;
+        self.prob_sum = self.probabilities.iter().sum();
     }
 
     /// `m̃ = Σ_e p(e)`, the expected number of edges in a live-edge sample.

@@ -24,7 +24,11 @@
 //! * [`io`] — plain-text edge-list parsing and writing;
 //! * [`binio`] — the checksummed binary artifact format (magic/version header,
 //!   tagged length-prefixed sections) shared by every persisted index in the
-//!   workspace, with the [`InfluenceGraph`] codec.
+//!   workspace, with the [`InfluenceGraph`] codec;
+//! * [`delta`] — typed graph mutations ([`GraphDelta`]), the mutable
+//!   edge-list representation ([`MutableInfluenceGraph`]) they apply to, and
+//!   the persisted mutation log ([`DeltaLog`]) behind the evolving-graph
+//!   subsystem (`imdyn`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,6 +38,7 @@ pub mod builder;
 pub mod coarsen;
 pub mod components;
 mod csr;
+pub mod delta;
 mod influence;
 pub mod io;
 pub mod live_edge;
@@ -42,7 +47,8 @@ pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::DiGraph;
-pub use influence::InfluenceGraph;
+pub use delta::{DeltaEffect, DeltaError, DeltaLog, GraphDelta, MutableInfluenceGraph};
+pub use influence::{is_valid_probability, InfluenceGraph};
 
 /// Vertex identifier. Graphs in this study have at most a few million
 /// vertices, so 32 bits suffice and halve the memory traffic of adjacency

@@ -4,6 +4,8 @@
 //! unknown flags rejected, malformed numbers rejected, required flags
 //! enforced — is unit-testable without spawning the binary.
 
+use imgraph::GraphDelta;
+
 use crate::protocol::TopKAlgorithm;
 
 /// A parsed invocation.
@@ -21,6 +23,9 @@ pub enum Command {
         seed: u64,
         /// Output path of the artifact.
         out: String,
+        /// Optional delta-script path: mutations applied to the dataset graph
+        /// *before* sampling (the from-scratch reference for a mutated index).
+        deltas: Option<String>,
     },
     /// `imserve serve`: load an index and answer TCP queries.
     Serve {
@@ -39,6 +44,13 @@ pub enum Command {
         addr: String,
         /// The request to send.
         request: QuerySpec,
+    },
+    /// `imserve mutate`: apply a batch of graph deltas to a running server.
+    Mutate {
+        /// Server address.
+        addr: String,
+        /// The deltas to apply, in command-line order.
+        deltas: Vec<GraphDelta>,
     },
     /// `imserve loadtest`: hammer a server and report latency percentiles.
     Loadtest {
@@ -62,6 +74,8 @@ pub enum QuerySpec {
     TopK(usize, TopKAlgorithm),
     /// `--info`
     Info,
+    /// `--stats`
+    Stats,
 }
 
 /// A parse failure: human-readable, printed with usage by `main`.
@@ -78,10 +92,13 @@ impl std::error::Error for CliError {}
 
 /// One-line usage summary per subcommand.
 pub const USAGE: &str = "usage:
-  imserve build    --dataset <name> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] --out <path>
+  imserve build    --dataset <name> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] [--deltas <script>] --out <path>
   imserve serve    --index <path> [--addr host:port] [--workers N] [--cache N]
-  imserve query    --addr host:port (--estimate v1,v2,… | --topk K [--algorithm greedy|singleton] | --info)
-  imserve loadtest --addr host:port [--connections N] [--requests N] [--k K]";
+  imserve query    --addr host:port (--estimate v1,v2,… | --topk K [--algorithm greedy|singleton] | --info | --stats)
+  imserve mutate   --addr host:port (--insert u,v,p | --delete u,v | --setp u,v,p | --file <script>)…
+  imserve loadtest --addr host:port [--connections N] [--requests N] [--k K]
+
+delta scripts hold one JSON delta per line, e.g. {\"InsertEdge\":{\"source\":0,\"target\":33,\"probability\":0.5}}";
 
 /// Parse a flag's numeric value, naming the flag in the error.
 ///
@@ -127,6 +144,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "build" => parse_build(rest),
         "serve" => parse_serve(rest),
         "query" => parse_query(rest),
+        "mutate" => parse_mutate(rest),
         "loadtest" => parse_loadtest(rest),
         other => Err(CliError(format!("unknown subcommand {other:?}"))),
     }
@@ -138,6 +156,7 @@ fn parse_build(args: &[String]) -> Result<Command, CliError> {
     let mut pool = 100_000usize;
     let mut seed = 7u64;
     let mut out: Option<String> = None;
+    let mut deltas: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -146,6 +165,7 @@ fn parse_build(args: &[String]) -> Result<Command, CliError> {
             "--pool" => pool = parse_number("--pool", take_value("--pool", args, &mut i)?)?,
             "--seed" => seed = parse_number("--seed", take_value("--seed", args, &mut i)?)?,
             "--out" => out = Some(take_value("--out", args, &mut i)?.to_string()),
+            "--deltas" => deltas = Some(take_value("--deltas", args, &mut i)?.to_string()),
             other => return Err(CliError(format!("unknown option {other:?} for build"))),
         }
         i += 1;
@@ -159,6 +179,90 @@ fn parse_build(args: &[String]) -> Result<Command, CliError> {
         pool,
         seed,
         out: out.ok_or_else(|| CliError("build requires --out".to_string()))?,
+        deltas,
+    })
+}
+
+/// Parse `u,v` into endpoints.
+fn parse_edge_pair(flag: &str, value: &str) -> Result<(u32, u32), CliError> {
+    let parts: Vec<&str> = value.split(',').collect();
+    if parts.len() != 2 {
+        return Err(CliError(format!("{flag} expects u,v — got {value:?}")));
+    }
+    Ok((
+        parse_number(flag, parts[0].trim())?,
+        parse_number(flag, parts[1].trim())?,
+    ))
+}
+
+/// Parse `u,v,p` into endpoints and a probability.
+fn parse_edge_triple(flag: &str, value: &str) -> Result<(u32, u32, f64), CliError> {
+    let parts: Vec<&str> = value.split(',').collect();
+    if parts.len() != 3 {
+        return Err(CliError(format!("{flag} expects u,v,p — got {value:?}")));
+    }
+    let p: f64 = parse_number(flag, parts[2].trim())?;
+    if !imgraph::is_valid_probability(p) {
+        return Err(CliError(format!("{flag} probability {p} outside (0, 1]")));
+    }
+    Ok((
+        parse_number(flag, parts[0].trim())?,
+        parse_number(flag, parts[1].trim())?,
+        p,
+    ))
+}
+
+fn parse_mutate(args: &[String]) -> Result<Command, CliError> {
+    let mut addr: Option<String> = None;
+    let mut deltas: Vec<GraphDelta> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(take_value("--addr", args, &mut i)?.to_string()),
+            "--insert" => {
+                let (source, target, probability) =
+                    parse_edge_triple("--insert", take_value("--insert", args, &mut i)?)?;
+                deltas.push(GraphDelta::InsertEdge {
+                    source,
+                    target,
+                    probability,
+                });
+            }
+            "--delete" => {
+                let (source, target) =
+                    parse_edge_pair("--delete", take_value("--delete", args, &mut i)?)?;
+                deltas.push(GraphDelta::DeleteEdge { source, target });
+            }
+            "--setp" => {
+                let (source, target, probability) =
+                    parse_edge_triple("--setp", take_value("--setp", args, &mut i)?)?;
+                deltas.push(GraphDelta::SetProbability {
+                    source,
+                    target,
+                    probability,
+                });
+            }
+            "--file" => {
+                let path = take_value("--file", args, &mut i)?;
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CliError(format!("cannot read delta script {path:?}: {e}")))?;
+                deltas.extend(
+                    crate::protocol::parse_delta_script(&text)
+                        .map_err(|e| CliError(e.to_string()))?,
+                );
+            }
+            other => return Err(CliError(format!("unknown option {other:?} for mutate"))),
+        }
+        i += 1;
+    }
+    if deltas.is_empty() {
+        return Err(CliError(
+            "mutate requires at least one of --insert, --delete, --setp or --file".to_string(),
+        ));
+    }
+    Ok(Command::Mutate {
+        addr: addr.ok_or_else(|| CliError("mutate requires --addr".to_string()))?,
+        deltas,
     })
 }
 
@@ -222,6 +326,7 @@ fn parse_query(args: &[String]) -> Result<Command, CliError> {
                 }
             }
             "--info" => set_once(&mut request, QuerySpec::Info)?,
+            "--stats" => set_once(&mut request, QuerySpec::Stats)?,
             other => return Err(CliError(format!("unknown option {other:?} for query"))),
         }
         i += 1;
@@ -229,7 +334,7 @@ fn parse_query(args: &[String]) -> Result<Command, CliError> {
     Ok(Command::Query {
         addr: addr.ok_or_else(|| CliError("query requires --addr".to_string()))?,
         request: request.ok_or_else(|| {
-            CliError("query requires one of --estimate, --topk or --info".to_string())
+            CliError("query requires one of --estimate, --topk, --info or --stats".to_string())
         })?,
     })
 }
@@ -237,7 +342,7 @@ fn parse_query(args: &[String]) -> Result<Command, CliError> {
 fn set_once(slot: &mut Option<QuerySpec>, value: QuerySpec) -> Result<(), CliError> {
     if slot.is_some() {
         return Err(CliError(
-            "query accepts exactly one of --estimate, --topk or --info".to_string(),
+            "query accepts exactly one of --estimate, --topk, --info or --stats".to_string(),
         ));
     }
     *slot = Some(value);
@@ -301,6 +406,7 @@ mod tests {
                 pool: 100_000,
                 seed: 7,
                 out: "k.imx".into(),
+                deltas: None,
             }
         );
         let cmd = parse(&args(&[
@@ -325,6 +431,7 @@ mod tests {
                 pool: 500,
                 seed: 9,
                 out: "b.imx".into(),
+                deltas: None,
             }
         );
     }
@@ -336,6 +443,7 @@ mod tests {
             vec!["serve", "--index", "x", "--nope"],
             vec!["query", "--addr", "a:1", "--info", "--wat"],
             vec!["loadtest", "--addr", "a:1", "--turbo"],
+            vec!["mutate", "--addr", "a:1", "--insert", "0,1,0.5", "--warp"],
         ] {
             assert!(parse(&args(&bad)).is_err(), "{bad:?} must be rejected");
         }
@@ -390,6 +498,123 @@ mod tests {
         assert!(parse(&args(&["serve", "--index", "x", "--workers", "0"])).is_err());
         assert!(parse(&args(&["query", "--addr", "a:1", "--topk", "0"])).is_err());
         assert!(parse(&args(&["loadtest", "--addr", "a:1", "--k", "0"])).is_err());
+    }
+
+    #[test]
+    fn mutate_parses_flags_in_order() {
+        let cmd = parse(&args(&[
+            "mutate", "--addr", "a:1", "--insert", "0,33,0.5", "--delete", "0,1", "--setp",
+            "2,3,1.0",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Mutate {
+                addr: "a:1".into(),
+                deltas: vec![
+                    GraphDelta::InsertEdge {
+                        source: 0,
+                        target: 33,
+                        probability: 0.5
+                    },
+                    GraphDelta::DeleteEdge {
+                        source: 0,
+                        target: 1
+                    },
+                    GraphDelta::SetProbability {
+                        source: 2,
+                        target: 3,
+                        probability: 1.0
+                    },
+                ],
+            }
+        );
+        // Malformed specs are rejected with the flag named.
+        assert!(parse(&args(&["mutate", "--addr", "a:1", "--insert", "0,1"])).is_err());
+        assert!(parse(&args(&["mutate", "--addr", "a:1", "--delete", "0"])).is_err());
+        assert!(parse(&args(&["mutate", "--addr", "a:1", "--setp", "0,1,0.0"])).is_err());
+        assert!(parse(&args(&["mutate", "--addr", "a:1", "--insert", "0,1,2.5"])).is_err());
+        // Required pieces.
+        assert!(
+            parse(&args(&["mutate", "--addr", "a:1"])).is_err(),
+            "no deltas"
+        );
+        assert!(
+            parse(&args(&["mutate", "--insert", "0,1,0.5"])).is_err(),
+            "no addr"
+        );
+        assert!(
+            parse(&args(&[
+                "mutate",
+                "--addr",
+                "a:1",
+                "--file",
+                "/no/such/file"
+            ]))
+            .is_err(),
+            "unreadable script"
+        );
+    }
+
+    #[test]
+    fn mutate_reads_delta_scripts_from_files() {
+        let path =
+            std::env::temp_dir().join(format!("imserve_cli_deltas_{}.jsonl", std::process::id()));
+        std::fs::write(
+            &path,
+            "{\"InsertEdge\":{\"source\":1,\"target\":2,\"probability\":0.25}}\n",
+        )
+        .unwrap();
+        let cmd = parse(&args(&[
+            "mutate",
+            "--addr",
+            "a:1",
+            "--file",
+            path.to_str().unwrap(),
+        ]))
+        .unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(
+            cmd,
+            Command::Mutate {
+                addr: "a:1".into(),
+                deltas: vec![GraphDelta::InsertEdge {
+                    source: 1,
+                    target: 2,
+                    probability: 0.25
+                }],
+            }
+        );
+    }
+
+    #[test]
+    fn build_accepts_a_delta_script_path() {
+        let cmd = parse(&args(&[
+            "build",
+            "--dataset",
+            "karate",
+            "--out",
+            "k.imx",
+            "--deltas",
+            "d.jsonl",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Build { deltas, .. } => assert_eq!(deltas.as_deref(), Some("d.jsonl")),
+            other => panic!("unexpected command {other:?}"),
+        }
+    }
+
+    #[test]
+    fn query_stats_parses_and_is_exclusive() {
+        assert_eq!(
+            parse(&args(&["query", "--addr", "a:1", "--stats"])).unwrap(),
+            Command::Query {
+                addr: "a:1".into(),
+                request: QuerySpec::Stats,
+            }
+        );
+        assert!(parse(&args(&["query", "--addr", "a:1", "--stats", "--info"])).is_err());
     }
 
     #[test]

@@ -2,16 +2,34 @@
 //!
 //! The engine is shared by every server worker. All request handling goes
 //! through [`QueryEngine::handle`], which takes the caller's own
-//! [`EstimateScratch`] so the `Estimate` hot path performs zero allocation and
-//! the engine itself needs no interior mutability beyond the `TopK` LRU cache
-//! and the serving counters.
+//! [`EstimateScratch`] so the `Estimate` hot path performs zero allocation.
+//!
+//! Since the index became mutable (`Mutate` requests drive `imdyn`'s
+//! incremental RR-set maintenance), the serving state lives behind one
+//! `RwLock`: queries share read locks, a mutation takes the write lock while
+//! it resamples the dirty RR sets. The dynamic oracle itself sits in an
+//! `Arc`, so the expensive `TopK` selection snapshots it and computes with
+//! **no lock held** — a queued mutation never stalls `Estimate` traffic
+//! behind a long greedy walk (writer-preferring `RwLock`s would otherwise
+//! serialize every reader behind the waiting writer). A mutation arriving
+//! mid-selection copies the state once (`Arc::make_mut`) and proceeds; the
+//! finished selection is cached under its snapshot's epoch, where newer
+//! lookups can never find it. Mutations never change the pool size or the
+//! vertex count, so worker-owned scratches stay valid across epochs.
+//!
+//! Every `TopK` cache key embeds the index **epoch** (the number of deltas
+//! ever applied). A mutation therefore structurally invalidates every cached
+//! seed set: a stale answer cannot be served because its key can no longer be
+//! constructed.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
-use im_core::{EstimateScratch, InfluenceOracle};
+use im_core::EstimateScratch;
+use imdyn::DynamicOracle;
+use imgraph::GraphDelta;
 
-use crate::index::IndexArtifact;
+use crate::index::{IndexArtifact, IndexMeta};
 use crate::lru::LruCache;
 use crate::protocol::{Request, Response, TopKAlgorithm};
 
@@ -23,10 +41,13 @@ pub const DEFAULT_CACHE_CAPACITY: usize = 64;
 /// `graph_id` and `model` are constant for one engine but kept in the key
 /// anyway: a fleet-level cache (or an engine hot-swapped onto a new index)
 /// must never serve a seed set computed for a different influence graph.
+/// `epoch` versions the key under mutation: entries computed before a delta
+/// can never match a lookup made after it.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 struct TopKKey {
     graph_id: String,
     model: String,
+    epoch: u64,
     k: usize,
     algorithm: TopKAlgorithm,
 }
@@ -44,18 +65,54 @@ struct Counters {
     requests: AtomicU64,
     topk_cache_hits: AtomicU64,
     topk_cache_misses: AtomicU64,
+    deltas_applied: AtomicU64,
+    sets_resampled: AtomicU64,
+}
+
+/// The mutable serving state: the dynamic oracle plus the metadata that
+/// tracks it (edge counts change under mutation).
+#[derive(Debug)]
+pub struct ServingState {
+    /// Index metadata, kept in sync with the dynamic graph.
+    pub meta: IndexMeta,
+    /// The evolving graph and its incrementally maintained pool. Behind an
+    /// `Arc` so long computations can snapshot it and release the lock;
+    /// mutations go through `Arc::make_mut` (copy-on-write only if a
+    /// snapshot is concurrently alive).
+    pub dynamic: Arc<DynamicOracle>,
+}
+
+impl ServingState {
+    /// Export the current state as a persistable artifact (current graph,
+    /// current pool, full applied-delta log).
+    #[must_use]
+    pub fn to_artifact(&self) -> IndexArtifact {
+        IndexArtifact {
+            meta: self.meta.clone(),
+            graph: self.dynamic.graph().clone(),
+            oracle: self.dynamic.oracle().clone(),
+            log: self.dynamic.log().clone(),
+        }
+    }
 }
 
 /// The shared, thread-safe query engine.
 #[derive(Debug)]
 pub struct QueryEngine {
-    index: Arc<IndexArtifact>,
+    state: RwLock<ServingState>,
     topk_cache: Mutex<LruCache<TopKKey, TopKValue>>,
     counters: Counters,
 }
 
 impl QueryEngine {
     /// Wrap a loaded index with the default cache capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the artifact's pool carries no incremental state (never the
+    /// case for artifacts produced by this crate: `build` samples
+    /// incrementally and `from_bytes` rejects pre-incremental versions and
+    /// re-attaches the state on load).
     #[must_use]
     pub fn new(index: IndexArtifact) -> Self {
         Self::with_cache_capacity(index, DEFAULT_CACHE_CAPACITY)
@@ -64,29 +121,42 @@ impl QueryEngine {
     /// Wrap a loaded index with an explicit `TopK` cache capacity.
     #[must_use]
     pub fn with_cache_capacity(index: IndexArtifact, capacity: usize) -> Self {
+        let IndexArtifact {
+            meta,
+            graph,
+            oracle,
+            log,
+        } = index;
+        let dynamic = Arc::new(
+            DynamicOracle::from_parts(graph, oracle, log)
+                .expect("index artifacts always carry consistent incremental pools"),
+        );
         Self {
-            index: Arc::new(index),
+            state: RwLock::new(ServingState { meta, dynamic }),
             topk_cache: Mutex::new(LruCache::new(capacity)),
             counters: Counters::default(),
         }
     }
 
-    /// The underlying index.
-    #[must_use]
-    pub fn index(&self) -> &IndexArtifact {
-        &self.index
+    /// Read access to the serving state (metadata, graph, oracle, log).
+    ///
+    /// Holds the read lock for the guard's lifetime; keep it short on serving
+    /// paths.
+    pub fn state(&self) -> RwLockReadGuard<'_, ServingState> {
+        self.state.read().expect("serving state poisoned")
     }
 
-    /// The oracle backing the engine (for reference checks in tests).
+    /// The current index epoch (total deltas ever applied).
     #[must_use]
-    pub fn oracle(&self) -> &InfluenceOracle {
-        &self.index.oracle
+    pub fn epoch(&self) -> u64 {
+        self.state().dynamic.epoch()
     }
 
-    /// A scratch sized for this engine's pool; one per worker thread.
+    /// A scratch sized for this engine's pool; one per worker thread. Stays
+    /// valid across mutations (the pool size never changes).
     #[must_use]
     pub fn new_scratch(&self) -> EstimateScratch {
-        self.index.oracle.scratch()
+        self.state().dynamic.oracle().scratch()
     }
 
     /// Answer one request. Never panics on untrusted input: invalid queries
@@ -98,28 +168,40 @@ impl QueryEngine {
             Request::Info => self.info(),
             Request::Estimate { seeds } => self.estimate(seeds, scratch),
             Request::TopK { k, algorithm } => self.top_k(*k, *algorithm),
-            Request::Stats => Response::Stats {
-                requests: self.counters.requests.load(Ordering::Relaxed),
-                topk_cache_hits: self.counters.topk_cache_hits.load(Ordering::Relaxed),
-                topk_cache_misses: self.counters.topk_cache_misses.load(Ordering::Relaxed),
-            },
+            Request::Mutate { deltas } => self.mutate(deltas),
+            Request::Stats => self.stats(),
         }
     }
 
     fn info(&self) -> Response {
-        let meta = &self.index.meta;
+        let state = self.state();
         Response::Info {
-            graph_id: meta.graph_id.clone(),
-            model: meta.model.clone(),
-            num_vertices: meta.num_vertices,
-            num_edges: meta.num_edges,
-            pool_size: meta.pool_size,
-            confidence_99: self.index.oracle.confidence_99(),
+            graph_id: state.meta.graph_id.clone(),
+            model: state.meta.model.clone(),
+            num_vertices: state.meta.num_vertices,
+            num_edges: state.meta.num_edges,
+            pool_size: state.meta.pool_size,
+            confidence_99: state.dynamic.oracle().confidence_99(),
+        }
+    }
+
+    fn stats(&self) -> Response {
+        let state = self.state();
+        Response::Stats {
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            topk_cache_hits: self.counters.topk_cache_hits.load(Ordering::Relaxed),
+            topk_cache_misses: self.counters.topk_cache_misses.load(Ordering::Relaxed),
+            pool_size: state.dynamic.pool_size(),
+            epoch: state.dynamic.epoch(),
+            deltas_applied: self.counters.deltas_applied.load(Ordering::Relaxed),
+            sets_resampled: self.counters.sets_resampled.load(Ordering::Relaxed),
         }
     }
 
     fn estimate(&self, seeds: &[u32], scratch: &mut EstimateScratch) -> Response {
-        let n = self.index.oracle.num_vertices();
+        let state = self.state();
+        let oracle = state.dynamic.oracle();
+        let n = oracle.num_vertices();
         if let Some(&bad) = seeds.iter().find(|&&s| s as usize >= n) {
             return Response::Error {
                 message: format!("seed {bad} out of range for {n} vertices"),
@@ -127,8 +209,60 @@ impl QueryEngine {
         }
         Response::Estimate {
             seeds: seeds.to_vec(),
-            spread: self.index.oracle.estimate_with(seeds, scratch),
+            spread: oracle.estimate_with(seeds, scratch),
         }
+    }
+
+    fn mutate(&self, deltas: &[GraphDelta]) -> Response {
+        if deltas.is_empty() {
+            return Response::Error {
+                message: "mutation batch must not be empty".into(),
+            };
+        }
+        let mut state = self.state.write().expect("serving state poisoned");
+        // Copy-on-write: clones the oracle only if a snapshot (e.g. an
+        // in-flight TopK selection) still holds the previous Arc.
+        let dynamic = Arc::make_mut(&mut state.dynamic);
+        let mut applied = 0usize;
+        let mut resampled = 0usize;
+        for delta in deltas {
+            match dynamic.apply(*delta) {
+                Ok(outcome) => {
+                    applied += 1;
+                    resampled += outcome.resampled;
+                }
+                Err(e) => {
+                    // Earlier deltas of the batch stay applied; sync the
+                    // metadata before reporting.
+                    state.meta.num_edges = state.dynamic.graph().num_edges();
+                    self.bump_mutation_counters(applied, resampled);
+                    return Response::Error {
+                        message: format!(
+                            "delta {} of {} rejected ({e}); {applied} applied, epoch {}",
+                            applied + 1,
+                            deltas.len(),
+                            state.dynamic.epoch()
+                        ),
+                    };
+                }
+            }
+        }
+        state.meta.num_edges = state.dynamic.graph().num_edges();
+        self.bump_mutation_counters(applied, resampled);
+        Response::Mutate {
+            epoch: state.dynamic.epoch(),
+            applied,
+            resampled,
+        }
+    }
+
+    fn bump_mutation_counters(&self, applied: usize, resampled: usize) {
+        self.counters
+            .deltas_applied
+            .fetch_add(applied as u64, Ordering::Relaxed);
+        self.counters
+            .sets_resampled
+            .fetch_add(resampled as u64, Ordering::Relaxed);
     }
 
     fn top_k(&self, k: usize, algorithm: TopKAlgorithm) -> Response {
@@ -137,11 +271,20 @@ impl QueryEngine {
                 message: "k must be positive".into(),
             };
         }
-        let key = TopKKey {
-            graph_id: self.index.meta.graph_id.clone(),
-            model: self.index.meta.model.clone(),
-            k,
-            algorithm,
+        // Snapshot the oracle and its epoch under one short read lock, then
+        // compute with no lock held: the key is labelled with the snapshot's
+        // epoch, so even if a mutation lands mid-selection the answer is
+        // cached where post-mutation lookups can never find it.
+        let (dynamic, key) = {
+            let state = self.state();
+            let key = TopKKey {
+                graph_id: state.meta.graph_id.clone(),
+                model: state.meta.model.clone(),
+                epoch: state.dynamic.epoch(),
+                k,
+                algorithm,
+            };
+            (Arc::clone(&state.dynamic), key)
         };
         if let Some(hit) = self
             .topk_cache
@@ -159,9 +302,7 @@ impl QueryEngine {
             };
         }
 
-        // Compute outside the lock: selection walks the whole pool and must
-        // not serialize concurrent Estimate-free workers behind it.
-        let oracle = &self.index.oracle;
+        let oracle = dynamic.oracle();
         let (seeds, spread) = match algorithm {
             TopKAlgorithm::Greedy => oracle.greedy_seed_set(k),
             TopKAlgorithm::SingletonRank => {
@@ -192,18 +333,31 @@ impl QueryEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::index::build_dataset_index;
+    use crate::index::{build_dataset_index, build_dataset_index_with_deltas};
+    use im_core::InfluenceOracle;
+
+    const POOL: usize = 5_000;
+    const SEED: u64 = 7;
 
     fn karate_engine() -> QueryEngine {
-        QueryEngine::new(build_dataset_index("karate", "uc0.1", 5_000, 7).unwrap())
+        QueryEngine::new(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
+    }
+
+    /// A reference oracle equal to the engine's initial pool (builds are
+    /// deterministic per seed).
+    fn karate_oracle() -> InfluenceOracle {
+        build_dataset_index("karate", "uc0.1", POOL, SEED)
+            .unwrap()
+            .oracle
     }
 
     #[test]
     fn estimate_matches_the_oracle_exactly() {
         let engine = karate_engine();
+        let oracle = karate_oracle();
         let mut scratch = engine.new_scratch();
         for seeds in [vec![0u32], vec![0, 33], vec![5, 9, 13]] {
-            let expected = engine.oracle().estimate(&seeds);
+            let expected = oracle.estimate(&seeds);
             match engine.handle(
                 &Request::Estimate {
                     seeds: seeds.clone(),
@@ -245,22 +399,144 @@ mod tests {
             Response::Stats {
                 topk_cache_hits,
                 topk_cache_misses,
+                pool_size,
+                epoch,
                 ..
             } => {
                 assert_eq!(topk_cache_hits, 1);
                 assert_eq!(topk_cache_misses, 1);
+                assert_eq!(pool_size, POOL);
+                assert_eq!(epoch, 0);
             }
             other => panic!("unexpected response {other:?}"),
         }
         // The greedy answer equals the oracle's own greedy selection.
         match first {
             Response::TopK { seeds, spread, .. } => {
-                let (expected_seeds, expected_spread) = engine.oracle().greedy_seed_set(3);
+                let (expected_seeds, expected_spread) = karate_oracle().greedy_seed_set(3);
                 assert_eq!(seeds, expected_seeds);
                 assert_eq!(spread, expected_spread);
             }
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    #[test]
+    fn mutation_invalidates_cached_topk_answers() {
+        let engine = karate_engine();
+        let mut scratch = engine.new_scratch();
+        let request = Request::TopK {
+            k: 3,
+            algorithm: TopKAlgorithm::Greedy,
+        };
+        // Prime the cache at epoch 0.
+        let before = engine.handle(&request, &mut scratch);
+
+        // Apply a drastic mutation: vertex 16's only links go deterministic.
+        let deltas = vec![
+            GraphDelta::SetProbability {
+                source: 5,
+                target: 16,
+                probability: 1.0,
+            },
+            GraphDelta::InsertEdge {
+                source: 16,
+                target: 0,
+                probability: 1.0,
+            },
+        ];
+        match engine.handle(
+            &Request::Mutate {
+                deltas: deltas.clone(),
+            },
+            &mut scratch,
+        ) {
+            Response::Mutate {
+                epoch,
+                applied,
+                resampled,
+            } => {
+                assert_eq!(epoch, 2);
+                assert_eq!(applied, 2);
+                assert!(resampled > 0, "the mutated head vertex has coverage");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+
+        // The same request must now be recomputed (a second miss), against
+        // the mutated pool — and must equal a from-scratch rebuild of the
+        // mutated graph, never the stale cached answer's pool.
+        let after = engine.handle(&request, &mut scratch);
+        match engine.handle(&Request::Stats, &mut scratch) {
+            Response::Stats {
+                topk_cache_hits,
+                topk_cache_misses,
+                epoch,
+                deltas_applied,
+                ..
+            } => {
+                assert_eq!(topk_cache_hits, 0, "no stale hit after the mutation");
+                assert_eq!(topk_cache_misses, 2, "epoch change forces a recompute");
+                assert_eq!(epoch, 2);
+                assert_eq!(deltas_applied, 2);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        let rebuilt =
+            build_dataset_index_with_deltas("karate", "uc0.1", POOL, SEED, &deltas).unwrap();
+        let (expected_seeds, expected_spread) = rebuilt.oracle.greedy_seed_set(3);
+        match after {
+            Response::TopK { seeds, spread, .. } => {
+                assert_eq!(seeds, expected_seeds);
+                assert_eq!(spread, expected_spread);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Sanity: the engine state itself matches the rebuild byte-for-byte.
+        assert_eq!(
+            engine.state().dynamic.oracle().to_bytes(),
+            rebuilt.oracle.to_bytes()
+        );
+        // (The pre-mutation answer may or may not coincide with the new one;
+        // the guarantee under test is recomputation, not difference.)
+        let _ = before;
+    }
+
+    #[test]
+    fn failed_mutations_report_partial_application() {
+        let engine = karate_engine();
+        let edges_before = engine.state().meta.num_edges;
+        let mut scratch = engine.new_scratch();
+        let response = engine.handle(
+            &Request::Mutate {
+                deltas: vec![
+                    GraphDelta::InsertEdge {
+                        source: 0,
+                        target: 1,
+                        probability: 0.5,
+                    },
+                    GraphDelta::DeleteEdge {
+                        source: 999,
+                        target: 0,
+                    },
+                ],
+            },
+            &mut scratch,
+        );
+        match response {
+            Response::Error { message } => {
+                assert!(message.contains("delta 2 of 2"), "{message}");
+                assert!(message.contains("1 applied"), "{message}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(engine.epoch(), 1, "the valid prefix stays applied");
+        // Metadata tracks the surviving insert.
+        assert_eq!(engine.state().meta.num_edges, edges_before + 1);
+        // Empty batches are rejected outright.
+        let response = engine.handle(&Request::Mutate { deltas: vec![] }, &mut scratch);
+        assert!(matches!(response, Response::Error { .. }));
+        assert_eq!(engine.epoch(), 1);
     }
 
     #[test]
@@ -275,8 +551,7 @@ mod tests {
             &mut scratch,
         ) {
             Response::TopK { seeds, .. } => {
-                let expected: Vec<u32> = engine
-                    .oracle()
+                let expected: Vec<u32> = karate_oracle()
                     .top_influential_vertices(2)
                     .iter()
                     .map(|&(v, _)| v)
@@ -316,9 +591,40 @@ mod tests {
                 assert_eq!(graph_id, "Karate");
                 assert_eq!(model, "uc0.1");
                 assert_eq!(num_vertices, 34);
-                assert_eq!(pool_size, 5_000);
+                assert_eq!(pool_size, POOL);
             }
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    #[test]
+    fn state_exports_a_round_trippable_artifact() {
+        let engine = karate_engine();
+        let edges_before = engine.state().meta.num_edges;
+        let mut scratch = engine.new_scratch();
+        engine.handle(
+            &Request::Mutate {
+                deltas: vec![GraphDelta::DeleteEdge {
+                    source: 0,
+                    target: 1,
+                }],
+            },
+            &mut scratch,
+        );
+        let artifact = engine.state().to_artifact();
+        assert_eq!(artifact.log.len(), 1);
+        assert_eq!(artifact.meta.num_edges, edges_before - 1);
+        let reloaded = IndexArtifact::from_bytes(&artifact.to_bytes()).unwrap();
+        assert_eq!(reloaded.log, artifact.log);
+        // A new engine over the reloaded artifact serves the same answers
+        // and continues from the same epoch.
+        let resumed = QueryEngine::new(reloaded);
+        assert_eq!(resumed.epoch(), 1);
+        let mut scratch2 = resumed.new_scratch();
+        let q = Request::Estimate { seeds: vec![0, 33] };
+        assert_eq!(
+            resumed.handle(&q, &mut scratch2),
+            engine.handle(&q, &mut scratch)
+        );
     }
 }

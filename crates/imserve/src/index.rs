@@ -13,8 +13,17 @@
 //! magic "IMSX" | version | META (JSON)   — graph_id, model, dimensions, seed
 //!                        | GRPH (nested) — InfluenceGraph artifact ("IMGB")
 //!                        | POOL (nested) — RR-set pool artifact ("IMPL")
+//!                        | DLTA          — applied mutation log (provenance)
 //!                        | checksum
 //! ```
+//!
+//! `GRPH` and `POOL` always hold the *current* version of the graph and pool;
+//! the `DLTA` section records the deltas already applied to reach it, so a
+//! reloaded index can keep mutating (the pool is incrementally maintainable,
+//! see `imdyn`) and its lineage stays auditable. Format version 2 requires
+//! the section (empty for a fresh build); version-1 artifacts predate the
+//! evolving-graph subsystem and are rejected on load with a rebuild hint —
+//! their per-batch pools cannot be maintained soundly (see [`INDEX_VERSION`]).
 //!
 //! The nested artifacts carry their own magic and checksum, so each layer can
 //! also be produced and validated independently.
@@ -25,8 +34,9 @@ use im_core::sampler::Backend;
 use im_core::InfluenceOracle;
 use imgraph::binio::{
     self, influence_graph_from_bytes, influence_graph_to_bytes, BinError, BinReader, BinWriter,
+    DELTA_TAG,
 };
-use imgraph::InfluenceGraph;
+use imgraph::{DeltaError, DeltaLog, GraphDelta, InfluenceGraph, MutableInfluenceGraph};
 use imnet::{Dataset, ProbabilityModel};
 use serde::{Deserialize, Serialize};
 
@@ -35,7 +45,16 @@ use crate::error::ServeError;
 /// Magic bytes of a serialized index artifact.
 pub const INDEX_MAGIC: [u8; 4] = *b"IMSX";
 /// Current index format version.
-pub const INDEX_VERSION: u32 = 1;
+///
+/// Version 2 changed the *semantics* of the `POOL` section: pools are drawn
+/// with one PRNG stream per RR set (`InfluenceOracle::build_incremental`),
+/// which is what makes them incrementally maintainable under graph deltas.
+/// Version-1 pools were drawn from per-batch streams; the bytes are
+/// indistinguishable but resampling a v1 set from its per-set stream would
+/// silently produce a pool no rebuild can match (and correlated RR sets), so
+/// v1 artifacts are **rejected** on load with a rebuild hint rather than
+/// mutated unsoundly.
+pub const INDEX_VERSION: u32 = 2;
 
 const META_TAG: [u8; 4] = *b"META";
 const GRAPH_TAG: [u8; 4] = *b"GRPH";
@@ -59,15 +78,20 @@ pub struct IndexMeta {
     pub base_seed: u64,
 }
 
-/// A complete loaded index: metadata, graph and the shared RR-set oracle.
+/// A complete loaded index: metadata, graph, the shared RR-set oracle and
+/// the log of mutations already applied to reach this version.
 #[derive(Debug, Clone)]
 pub struct IndexArtifact {
     /// Persisted metadata.
     pub meta: IndexMeta,
-    /// The influence graph the pool was sampled from.
+    /// The influence graph the pool was sampled from (current version).
     pub graph: InfluenceGraph,
-    /// The shared estimator over the persisted RR-set pool.
+    /// The shared estimator over the persisted RR-set pool (current version;
+    /// carries incremental state so the serving layer can keep mutating it).
     pub oracle: InfluenceOracle,
+    /// Mutations applied to reach this version (provenance; already folded
+    /// into `graph` and `oracle`).
+    pub log: DeltaLog,
 }
 
 impl IndexArtifact {
@@ -87,8 +111,11 @@ impl IndexArtifact {
         pool_size: usize,
         base_seed: u64,
     ) -> Self {
+        // Per-set streams (`build_incremental`) rather than per-batch ones:
+        // a served pool must stay maintainable under graph mutation. Still
+        // deterministic per seed and backend-independent.
         let oracle =
-            InfluenceOracle::build_with_backend(&graph, pool_size, base_seed, default_backend());
+            InfluenceOracle::build_incremental(&graph, pool_size, base_seed, default_backend());
         let meta = IndexMeta {
             graph_id: graph_id.to_string(),
             model: model.to_string(),
@@ -101,7 +128,31 @@ impl IndexArtifact {
             meta,
             graph,
             oracle,
+            log: DeltaLog::new(),
         }
+    }
+
+    /// Build an index for `base_graph` *after* applying a delta script to it:
+    /// the deltas mutate the graph first, then the pool is sampled from
+    /// scratch on the mutated graph. This is the from-scratch rebuild the
+    /// incremental path (`Mutate` requests against a served index) must match
+    /// byte-for-byte, which is exactly what the CI smoke step diffs.
+    pub fn build_with_deltas(
+        graph_id: &str,
+        model: &str,
+        base_graph: InfluenceGraph,
+        deltas: &[GraphDelta],
+        pool_size: usize,
+        base_seed: u64,
+    ) -> Result<Self, DeltaError> {
+        let mut mutable = MutableInfluenceGraph::from_graph(&base_graph);
+        for delta in deltas {
+            mutable.apply(delta)?;
+        }
+        let graph = mutable.materialize();
+        let mut artifact = Self::build(graph_id, model, graph, pool_size, base_seed);
+        artifact.log = DeltaLog::from_deltas(deltas.to_vec());
+        Ok(artifact)
     }
 
     /// Serialize the artifact to the binary index format.
@@ -113,6 +164,7 @@ impl IndexArtifact {
         w.section(META_TAG, meta_json.as_bytes());
         w.section(GRAPH_TAG, &influence_graph_to_bytes(&self.graph));
         w.section(POOL_TAG, &self.oracle.to_bytes());
+        w.section(DELTA_TAG, &self.log.encode_payload());
         w.finish()
     }
 
@@ -122,7 +174,17 @@ impl IndexArtifact {
     /// rebuild. Cross-checks the metadata against the decoded graph and pool
     /// so a mismatched splice of two valid artifacts is rejected.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, BinError> {
-        let sections = BinReader::new(bytes, INDEX_MAGIC, INDEX_VERSION)?.sections()?;
+        let reader = BinReader::new(bytes, INDEX_MAGIC, INDEX_VERSION)?;
+        // The header is validated; versions below 2 carry per-batch pools
+        // whose sets cannot be resampled in isolation (see INDEX_VERSION).
+        let version = reader.version();
+        if version < 2 {
+            return Err(BinError::Corrupt(format!(
+                "index artifact version {version} predates the evolving-graph subsystem \
+                 (its pool is not incrementally maintainable); rebuild it with `imserve build`"
+            )));
+        }
+        let sections = reader.sections()?;
 
         let meta_payload = binio::require_section(&sections, META_TAG)?;
         let meta_str = std::str::from_utf8(meta_payload.rest())
@@ -134,7 +196,15 @@ impl IndexArtifact {
         let graph = influence_graph_from_bytes(graph_payload.rest())?;
 
         let pool_payload = binio::require_section(&sections, POOL_TAG)?;
-        let oracle = InfluenceOracle::from_bytes(pool_payload.rest())?;
+        let mut oracle = InfluenceOracle::from_bytes(pool_payload.rest())?;
+        // The metadata records the seed the per-set streams derive from; the
+        // traces themselves are the inverse of the posting lists, so the
+        // incremental state is reconstructible without storing it.
+        oracle.attach_incremental(meta.base_seed);
+
+        // Version 2 always writes the section (empty for fresh builds), so a
+        // missing one means a damaged or spliced artifact, not an old format.
+        let log = DeltaLog::decode_payload(binio::require_section(&sections, DELTA_TAG)?)?;
 
         if graph.num_vertices() != meta.num_vertices || graph.num_edges() != meta.num_edges {
             return Err(BinError::Corrupt(format!(
@@ -164,6 +234,7 @@ impl IndexArtifact {
             meta,
             graph,
             oracle,
+            log,
         })
     }
 
@@ -250,17 +321,25 @@ pub fn build_dataset_index(
     pool_size: usize,
     base_seed: u64,
 ) -> Result<IndexArtifact, ServeError> {
+    build_dataset_index_with_deltas(dataset, model, pool_size, base_seed, &[])
+}
+
+/// [`build_dataset_index`] with a delta script applied to the dataset graph
+/// before the pool is sampled (`imserve build --deltas`): the from-scratch
+/// reference for a mutated served index.
+pub fn build_dataset_index_with_deltas(
+    dataset: &str,
+    model: &str,
+    pool_size: usize,
+    base_seed: u64,
+    deltas: &[GraphDelta],
+) -> Result<IndexArtifact, ServeError> {
     if pool_size == 0 {
         return Err(ServeError::Build("pool size must be positive".into()));
     }
     let ds = parse_dataset(dataset)?;
     let pm = parse_model(model)?;
     let graph = ds.influence_graph(pm, base_seed);
-    Ok(IndexArtifact::build(
-        ds.name(),
-        &pm.label(),
-        graph,
-        pool_size,
-        base_seed,
-    ))
+    IndexArtifact::build_with_deltas(ds.name(), &pm.label(), graph, deltas, pool_size, base_seed)
+        .map_err(|e| ServeError::Build(format!("delta script failed: {e}")))
 }

@@ -7,8 +7,11 @@
 //!   influence graph, the RR-set pool and metadata, built once
 //!   (`imserve build`) and reloaded in milliseconds, never resampled;
 //! * [`engine`] — a thread-safe [`engine::QueryEngine`] answering `Estimate`
-//!   (zero-allocation oracle queries via `EstimateScratch`) and `TopK`
-//!   (greedy maximum coverage, fronted by a bounded LRU cache);
+//!   (zero-allocation oracle queries via `EstimateScratch`), `TopK` (greedy
+//!   maximum coverage, fronted by an epoch-keyed LRU cache) and `Mutate`
+//!   (graph deltas applied through `imdyn`'s incremental RR-set maintenance
+//!   — only the dirty sets are resampled, and the pool stays byte-identical
+//!   to a from-scratch rebuild);
 //! * [`server`] / [`client`] — a std-only TCP front end speaking
 //!   newline-delimited JSON, plus the matching blocking client;
 //! * [`loadtest`] — an in-repo load generator reporting throughput and
@@ -31,8 +34,8 @@ pub mod lru;
 pub mod protocol;
 pub mod server;
 
-pub use engine::QueryEngine;
+pub use engine::{QueryEngine, ServingState};
 pub use error::ServeError;
-pub use index::{build_dataset_index, IndexArtifact, IndexMeta};
+pub use index::{build_dataset_index, build_dataset_index_with_deltas, IndexArtifact, IndexMeta};
 pub use protocol::{Request, Response, TopKAlgorithm};
 pub use server::{spawn, ServerConfig, ServerHandle};

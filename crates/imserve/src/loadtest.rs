@@ -40,6 +40,25 @@ impl Default for LoadtestConfig {
     }
 }
 
+/// A snapshot of the server's own counters, taken after the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Total requests the server has handled (lifetime, not just this run).
+    pub requests: u64,
+    /// `TopK` answers served from the LRU cache.
+    pub topk_cache_hits: u64,
+    /// `TopK` answers computed and cached.
+    pub topk_cache_misses: u64,
+    /// RR sets in the served pool.
+    pub pool_size: usize,
+    /// Current index epoch (total deltas ever applied).
+    pub epoch: u64,
+    /// Deltas applied by the server process.
+    pub deltas_applied: u64,
+    /// RR sets resampled by the server process.
+    pub sets_resampled: u64,
+}
+
 /// Aggregated load-test results.
 #[derive(Debug, Clone)]
 pub struct LoadtestReport {
@@ -51,6 +70,9 @@ pub struct LoadtestReport {
     pub throughput_rps: f64,
     /// Per-request latency statistics in microseconds.
     pub latency_micros: SummaryStats,
+    /// The server's own counters after the run (`None` if the final `Stats`
+    /// round-trip failed — the latency data is still valid).
+    pub server_stats: Option<ServerStats>,
 }
 
 impl std::fmt::Display for LoadtestReport {
@@ -65,7 +87,20 @@ impl std::fmt::Display for LoadtestReport {
             f,
             "latency µs: p01 {:.0}  median {:.0}  mean {:.0}  q3 {:.0}  p99 {:.0}  max {:.0}",
             l.p01, l.median, l.mean, l.q3, l.p99, l.max
-        )
+        )?;
+        if let Some(s) = &self.server_stats {
+            write!(
+                f,
+                "\nserver: pool {}  epoch {}  deltas {} (resampled {})  topk cache {}/{} hits",
+                s.pool_size,
+                s.epoch,
+                s.deltas_applied,
+                s.sets_resampled,
+                s.topk_cache_hits,
+                s.topk_cache_hits + s.topk_cache_misses
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -149,10 +184,34 @@ pub fn run<A: ToSocketAddrs>(
     }
     let elapsed_secs = started.elapsed().as_secs_f64();
 
+    // Surface the server's own view of the run: epoch, pool, cache hit rate.
+    let server_stats =
+        match Connection::open(addrs.as_slice()).and_then(|mut c| c.roundtrip(&Request::Stats)) {
+            Ok(Response::Stats {
+                requests,
+                topk_cache_hits,
+                topk_cache_misses,
+                pool_size,
+                epoch,
+                deltas_applied,
+                sets_resampled,
+            }) => Some(ServerStats {
+                requests,
+                topk_cache_hits,
+                topk_cache_misses,
+                pool_size,
+                epoch,
+                deltas_applied,
+                sets_resampled,
+            }),
+            _ => None,
+        };
+
     Ok(LoadtestReport {
         total_requests: all_latencies.len(),
         elapsed_secs,
         throughput_rps: all_latencies.len() as f64 / elapsed_secs.max(1e-9),
         latency_micros: SummaryStats::from_values(&all_latencies),
+        server_stats,
     })
 }

@@ -5,15 +5,23 @@
 //! imserve serve    --index karate.imx --addr 127.0.0.1:7431 --workers 4
 //! imserve query    --addr 127.0.0.1:7431 --estimate 0,33
 //! imserve query    --addr 127.0.0.1:7431 --topk 3 --algorithm greedy
+//! imserve query    --addr 127.0.0.1:7431 --stats
+//! imserve mutate   --addr 127.0.0.1:7431 --insert 0,33,0.5 --delete 0,1
+//! imserve build    --dataset karate --deltas script.jsonl --out mutated.imx
 //! imserve loadtest --addr 127.0.0.1:7431 --connections 8 --requests 500
 //! ```
+//!
+//! `mutate` applies deltas *incrementally* to a running server (only the
+//! dirty RR sets are resampled); `build --deltas` constructs the equivalent
+//! index *from scratch*. The two are byte-identical by construction — the CI
+//! smoke step diffs their served responses.
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
 use imserve::cli::{self, Command, QuerySpec};
 use imserve::engine::QueryEngine;
-use imserve::index::{build_dataset_index, IndexArtifact};
+use imserve::index::{build_dataset_index_with_deltas, IndexArtifact};
 use imserve::loadtest::{self, LoadtestConfig};
 use imserve::protocol::{self, Request};
 use imserve::server::{self, ServerConfig};
@@ -45,16 +53,22 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             pool,
             seed,
             out,
+            deltas,
         } => {
             let started = std::time::Instant::now();
-            let artifact = build_dataset_index(&dataset, &model, pool, seed)?;
+            let script = match &deltas {
+                Some(path) => protocol::parse_delta_script(&std::fs::read_to_string(path)?)?,
+                None => Vec::new(),
+            };
+            let artifact = build_dataset_index_with_deltas(&dataset, &model, pool, seed, &script)?;
             artifact.save(&out)?;
             eprintln!(
-                "built index {} ({} vertices, {} edges, pool {}) in {:.2}s -> {}",
+                "built index {} ({} vertices, {} edges, pool {}, {} deltas) in {:.2}s -> {}",
                 artifact.meta.graph_id,
                 artifact.meta.num_vertices,
                 artifact.meta.num_edges,
                 artifact.meta.pool_size,
+                artifact.log.len(),
                 started.elapsed().as_secs_f64(),
                 out
             );
@@ -96,8 +110,19 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 QuerySpec::Estimate(seeds) => Request::Estimate { seeds },
                 QuerySpec::TopK(k, algorithm) => Request::TopK { k, algorithm },
                 QuerySpec::Info => Request::Info,
+                QuerySpec::Stats => Request::Stats,
             };
             let response = imserve::client::query_once(addr.as_str(), &request)?;
+            println!("{}", protocol::encode(&response)?);
+            if matches!(response, imserve::protocol::Response::Error { .. }) {
+                return Err(Box::new(imserve::ServeError::Query(
+                    "server answered with an error".into(),
+                )));
+            }
+            Ok(())
+        }
+        Command::Mutate { addr, deltas } => {
+            let response = imserve::client::query_once(addr.as_str(), &Request::Mutate { deltas })?;
             println!("{}", protocol::encode(&response)?);
             if matches!(response, imserve::protocol::Response::Error { .. }) {
                 return Err(Box::new(imserve::ServeError::Query(

@@ -16,6 +16,7 @@
 //! put on the wire — so clients can cache and compare freely. The diagnostic
 //! `Stats` response is the one deliberate exception (counters move).
 
+use imgraph::GraphDelta;
 use serde::{Deserialize, Serialize};
 
 use crate::error::ServeError;
@@ -72,7 +73,16 @@ pub enum Request {
         /// Selection strategy.
         algorithm: TopKAlgorithm,
     },
-    /// Serving counters (requests handled, cache hits/misses).
+    /// Apply a batch of graph mutations, advancing the index epoch.
+    ///
+    /// Deltas are applied in order; on the first failure the batch stops and
+    /// an `Error` response reports how many were applied (earlier deltas in
+    /// the batch stay applied — the epoch reflects them).
+    Mutate {
+        /// The mutations to apply, in order.
+        deltas: Vec<GraphDelta>,
+    },
+    /// Serving counters, pool dimensions and the current index epoch.
     Stats,
 }
 
@@ -112,7 +122,16 @@ pub enum Response {
         /// The strategy that produced the set.
         algorithm: TopKAlgorithm,
     },
-    /// Serving counters.
+    /// Outcome of an applied mutation batch.
+    Mutate {
+        /// The index epoch after the batch (total deltas ever applied).
+        epoch: u64,
+        /// Deltas applied by this batch.
+        applied: usize,
+        /// RR sets resampled by this batch.
+        resampled: usize,
+    },
+    /// Serving counters, pool dimensions and the current index epoch.
     Stats {
         /// Total requests handled (including failed ones).
         requests: u64,
@@ -120,6 +139,15 @@ pub enum Response {
         topk_cache_hits: u64,
         /// `TopK` answers computed and inserted into the cache.
         topk_cache_misses: u64,
+        /// RR sets in the served pool.
+        pool_size: usize,
+        /// Current index epoch (total deltas ever applied, including those
+        /// already in the loaded artifact's log).
+        epoch: u64,
+        /// Deltas applied by *this* server process.
+        deltas_applied: u64,
+        /// RR sets resampled by this server process.
+        sets_resampled: u64,
     },
     /// The request could not be answered.
     Error {
@@ -136,6 +164,31 @@ pub fn encode<T: Serialize>(frame: &T) -> Result<String, ServeError> {
 /// Decode one wire line into a frame.
 pub fn decode<T: serde::Deserialize>(line: &str) -> Result<T, ServeError> {
     serde_json::from_str(line.trim()).map_err(|e| ServeError::Protocol(format!("decode: {e}")))
+}
+
+/// Parse a delta script: one [`GraphDelta`] wire frame per non-empty line
+/// (the same externally-tagged JSON the `Mutate` request carries), e.g.
+///
+/// ```text
+/// {"InsertEdge":{"source":0,"target":33,"probability":0.5}}
+/// {"DeleteEdge":{"source":0,"target":1}}
+/// {"SetProbability":{"source":2,"target":3,"probability":1.0}}
+/// ```
+///
+/// Used by `imserve mutate --file` and `imserve build --deltas`, so the same
+/// script drives both the incremental path and the from-scratch rebuild it
+/// must match.
+pub fn parse_delta_script(text: &str) -> Result<Vec<GraphDelta>, ServeError> {
+    let mut deltas = Vec::new();
+    for (line_no, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let delta: GraphDelta = decode(line)
+            .map_err(|e| ServeError::Protocol(format!("delta script line {}: {e}", line_no + 1)))?;
+        deltas.push(delta);
+    }
+    Ok(deltas)
 }
 
 #[cfg(test)]
@@ -199,6 +252,74 @@ mod tests {
         assert!(decode::<Request>("{\"Estimate\":").is_err());
         assert!(decode::<Request>("{\"NoSuch\":{}}").is_err());
         assert!(decode::<Request>("").is_err());
+    }
+
+    #[test]
+    fn mutation_frames_round_trip_over_the_wire() {
+        let request = Request::Mutate {
+            deltas: vec![
+                GraphDelta::InsertEdge {
+                    source: 0,
+                    target: 33,
+                    probability: 0.5,
+                },
+                GraphDelta::DeleteEdge {
+                    source: 0,
+                    target: 1,
+                },
+                GraphDelta::SetProbability {
+                    source: 2,
+                    target: 3,
+                    probability: 1.0,
+                },
+            ],
+        };
+        let back: Request = decode(&encode(&request).unwrap()).unwrap();
+        assert_eq!(back, request);
+
+        let response = Response::Mutate {
+            epoch: 3,
+            applied: 3,
+            resampled: 17,
+        };
+        let back: Response = decode(&encode(&response).unwrap()).unwrap();
+        assert_eq!(back, response);
+
+        let stats = Response::Stats {
+            requests: 10,
+            topk_cache_hits: 1,
+            topk_cache_misses: 2,
+            pool_size: 5_000,
+            epoch: 3,
+            deltas_applied: 3,
+            sets_resampled: 17,
+        };
+        let back: Response = decode(&encode(&stats).unwrap()).unwrap();
+        assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn delta_scripts_parse_line_by_line() {
+        let script = "\n{\"InsertEdge\":{\"source\":0,\"target\":33,\"probability\":0.5}}\n\
+                      {\"DeleteEdge\":{\"source\":0,\"target\":1}}\n\n";
+        let deltas = parse_delta_script(script).unwrap();
+        assert_eq!(
+            deltas,
+            vec![
+                GraphDelta::InsertEdge {
+                    source: 0,
+                    target: 33,
+                    probability: 0.5
+                },
+                GraphDelta::DeleteEdge {
+                    source: 0,
+                    target: 1
+                },
+            ]
+        );
+        let err = parse_delta_script("{\"Bogus\":{}}").unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+        assert!(parse_delta_script("").unwrap().is_empty());
     }
 
     #[test]

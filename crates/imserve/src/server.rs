@@ -4,8 +4,10 @@
 //! connections are fanned out over an `mpsc` channel to a fixed pool of worker
 //! threads, each of which owns one [`EstimateScratch`] and serves its
 //! connection to completion (newline-delimited JSON, one response per request
-//! line, in order). The engine itself is immutable behind an `Arc`, so
-//! workers share it without coordination; only the `TopK` cache takes a lock.
+//! line, in order). Workers share the engine behind an `Arc`; since the index
+//! became mutable, queries take the engine's internal read lock briefly while
+//! `Mutate` requests take the write lock — see `engine` for the locking
+//! discipline (long selections snapshot the state and hold no lock).
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};

@@ -150,5 +150,11 @@ fn loadtest_runs_against_a_live_server() {
     assert_eq!(report.total_requests, 120);
     assert!(report.throughput_rps > 0.0);
     assert!(report.latency_micros.max >= report.latency_micros.median);
+    let stats = report
+        .server_stats
+        .expect("final Stats round-trip succeeds");
+    assert_eq!(stats.pool_size, POOL);
+    assert_eq!(stats.epoch, 0, "loadtest mix applies no mutations");
+    assert!(stats.requests >= 120);
     handle.shutdown();
 }

@@ -137,3 +137,32 @@ fn sequential_and_parallel_builds_persist_identically() {
     );
     assert_eq!(seq.to_bytes(), par.to_bytes());
 }
+
+/// Version-1 artifacts carried per-batch pools that cannot be incrementally
+/// maintained; since the format cannot distinguish the sampling scheme from
+/// the bytes, loading one must be refused outright (with a rebuild hint)
+/// rather than mutated unsoundly.
+#[test]
+fn version_one_artifacts_are_rejected_with_a_rebuild_hint() {
+    let artifact = IndexArtifact::build(
+        "v1-check",
+        "uc0.5",
+        InfluenceGraph::new(DiGraph::from_edges(3, &[(0, 1), (1, 2)]), vec![0.5, 0.5]),
+        50,
+        3,
+    );
+    let mut bytes = artifact.to_bytes();
+    // Stamp the header back to version 1 and fix up the checksum so the
+    // version check is what fires.
+    bytes[4..8].copy_from_slice(&1u32.to_le_bytes());
+    let len = bytes.len();
+    let sum = imgraph::binio::fnv1a64(&bytes[..len - 8]);
+    bytes[len - 8..].copy_from_slice(&sum.to_le_bytes());
+    match IndexArtifact::from_bytes(&bytes) {
+        Err(BinError::Corrupt(reason)) => {
+            assert!(reason.contains("version 1"), "{reason}");
+            assert!(reason.contains("rebuild"), "{reason}");
+        }
+        other => panic!("v1 artifact must be rejected as Corrupt, got {other:?}"),
+    }
+}

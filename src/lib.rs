@@ -40,6 +40,7 @@
 //! | [`imgraph`] | CSR digraphs, influence graphs, reachability, components, statistics |
 //! | [`imnet`] | Karate club, Barabási–Albert / Erdős–Rényi / Watts–Strogatz / Chung–Lu generators, SNAP analogs, edge-probability models |
 //! | [`im_core`] | IC/LT diffusion, greedy framework, Oneshot / Snapshot / RIS (both models), CELF / CELF++ / UBLF pruning, exact influence, sample-number determination, influence oracle, worst-case bounds |
+//! | [`imdyn`] | incremental RR-set maintenance for evolving graphs: typed deltas, dirty-set resampling, rebuild-equivalence contract |
 //! | [`imheur`] | heuristic baselines: degree, degree discount, PageRank, IRIE, random |
 //! | [`imsketch`] | bottom-k reachability sketches, exact descendant counting, sketch-space greedy, compressed RR sets |
 //! | [`imstats`] | seed-set distributions, Shannon entropy, divergences, confidence intervals, influence summary statistics, comparable ratios |
@@ -50,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub use im_core;
+pub use imdyn;
 pub use imexp;
 pub use imgraph;
 pub use imheur;
@@ -66,8 +68,12 @@ pub mod prelude {
         RunOptions, RunOutcome, SampleBudget, SampleSize, SeedSet, SnapshotEstimator,
         TraversalCost,
     };
+    pub use imdyn::DynamicOracle;
     pub use imexp::{ApproachKind, ExperimentScale, InstanceConfig, PreparedInstance, SweepConfig};
-    pub use imgraph::{DiGraph, GraphBuilder, InfluenceGraph, VertexId};
+    pub use imgraph::{
+        DeltaLog, DiGraph, GraphBuilder, GraphDelta, InfluenceGraph, MutableInfluenceGraph,
+        VertexId,
+    };
     pub use imheur::{DegreeDiscount, MaxDegree, PageRankSelector, SeedSelector};
     pub use imnet::{Dataset, DatasetSpec, ProbabilityModel};
     pub use imrand::{default_rng, Mt19937, Pcg32, Rng32};
@@ -107,5 +113,20 @@ mod tests {
             imserve::Response::TopK { seeds, .. } => assert_eq!(seeds, expected),
             other => panic!("unexpected response {other:?}"),
         }
+    }
+
+    #[test]
+    fn prelude_exposes_the_dynamic_subsystem() {
+        let graph = Dataset::Karate.influence_graph(ProbabilityModel::uc01(), 0);
+        let mut dynamic = DynamicOracle::build(graph, 1_000, 3, Backend::Sequential);
+        let outcome = dynamic
+            .apply(GraphDelta::InsertEdge {
+                source: 0,
+                target: 33,
+                probability: 0.5,
+            })
+            .unwrap();
+        assert_eq!(outcome.epoch, 1);
+        assert!(dynamic.matches_rebuild());
     }
 }
