@@ -1,0 +1,144 @@
+//! Batched-application bench: `DynamicOracle::apply_batch` versus a loop of
+//! per-delta `apply` calls on the 120k-edge Chung–Lu fixture (the same
+//! subcritical `uc0.01` serving profile as `imdyn_apply_delta`), under a
+//! **structural-delta-heavy** workload — the regime the batched path exists
+//! for. Per-delta application pays one CSR re-materialization per
+//! insert/delete; the batch pays exactly one for the whole batch, and an RR
+//! set dirtied by several deltas of the batch is resampled once instead of
+//! once per delta.
+//!
+//! The bench first pins the correctness contract on a small pool (batched ≡
+//! per-delta ≡ from-scratch rebuild, byte for byte), then times both paths
+//! on the serving-size pool and asserts that batching wins.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use im_core::sampler::Backend;
+use imdyn::{workload, DynamicOracle};
+use imgraph::InfluenceGraph;
+use imnet::chung_lu::ChungLu;
+use imnet::ProbabilityModel;
+use imrand::Pcg32;
+use std::hint::black_box;
+use std::time::Instant;
+
+const POOL: usize = 200_000;
+const SEED: u64 = 29;
+const BATCH: usize = 64;
+
+fn chung_lu_graph() -> InfluenceGraph {
+    // 40k vertices, ~120k expected edges, Table-3-like exponents.
+    let model = ChungLu::power_law(40_000, 120_000, 2.3, 2.3, 0.01);
+    let graph = model.generate(&mut imrand::default_rng(97));
+    assert!(
+        graph.num_edges() >= 100_000,
+        "batch fixture must have at least 100k edges, got {}",
+        graph.num_edges()
+    );
+    ProbabilityModel::uc001().assign(&graph)
+}
+
+fn bench(c: &mut Criterion) {
+    let ig = chung_lu_graph();
+    println!(
+        "\n--- imdyn batch-apply bench (Chung-Lu n={} m={}, pool {POOL}, batch {BATCH}) ---",
+        ig.num_vertices(),
+        ig.num_edges()
+    );
+
+    // Correctness first: on a small pool, the batched path must be
+    // byte-identical to the per-delta path and to a from-scratch rebuild.
+    {
+        let base = DynamicOracle::build(ig.clone(), 2_000, SEED, Backend::Sequential);
+        let deltas = workload::random_structural_deltas(
+            base.mutable_graph(),
+            16,
+            &mut Pcg32::seed_from_u64(5),
+        );
+        let mut batched = base.clone();
+        let mut per_delta = base;
+        batched
+            .apply_batch(&deltas)
+            .expect("workload deltas are valid");
+        for delta in &deltas {
+            per_delta.apply(*delta).expect("workload deltas are valid");
+        }
+        assert_eq!(
+            batched.oracle().to_bytes(),
+            per_delta.oracle().to_bytes(),
+            "batched application must equal per-delta application"
+        );
+        assert!(
+            batched.matches_rebuild(),
+            "batched state must equal a from-scratch rebuild"
+        );
+    }
+
+    // The timed comparison: one structural-heavy batch through both paths,
+    // starting from identical serving-size states.
+    let base = DynamicOracle::build(ig.clone(), POOL, SEED, Backend::Sequential);
+    let deltas = workload::random_structural_deltas(
+        base.mutable_graph(),
+        BATCH,
+        &mut Pcg32::seed_from_u64(11),
+    );
+
+    let mut per_delta = base.clone();
+    let started = Instant::now();
+    for delta in &deltas {
+        black_box(per_delta.apply(*delta).expect("workload deltas are valid"));
+    }
+    let per_delta_secs = started.elapsed().as_secs_f64();
+
+    let mut batched = base.clone();
+    let started = Instant::now();
+    let outcome = batched
+        .apply_batch(&deltas)
+        .expect("workload deltas are valid");
+    let batched_secs = started.elapsed().as_secs_f64();
+    assert_eq!(
+        batched.oracle().to_bytes(),
+        per_delta.oracle().to_bytes(),
+        "timed runs must still agree byte-for-byte"
+    );
+
+    let speedup = per_delta_secs / batched_secs;
+    println!(
+        "per-delta: {:.1}ms ({} materializations)   batched: {:.1}ms (1 materialization, \
+         {} sets resampled)",
+        per_delta_secs * 1e3,
+        per_delta.stats().csr_materializations,
+        batched_secs * 1e3,
+        outcome.resampled
+    );
+    println!("measured speedup (per-delta / batched): {speedup:.1}x");
+    assert!(
+        speedup >= 2.0,
+        "batched application must win on structural-delta-heavy workloads \
+         (measured {speedup:.1}x; one CSR rebuild per batch vs one per delta)"
+    );
+
+    let mut group = c.benchmark_group("imdyn_batch_apply");
+    group.sample_size(10);
+    group.bench_function("per_delta/structural_batch64", |bch| {
+        bch.iter(|| {
+            let mut dynamic = base.clone();
+            for delta in &deltas {
+                black_box(dynamic.apply(*delta).expect("workload deltas are valid"));
+            }
+        })
+    });
+    group.bench_function("batched/structural_batch64", |bch| {
+        bch.iter(|| {
+            let mut dynamic = base.clone();
+            black_box(
+                dynamic
+                    .apply_batch(&deltas)
+                    .expect("workload deltas are valid"),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

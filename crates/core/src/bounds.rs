@@ -4,7 +4,7 @@
 //! *worst-case* bounds from the literature and finds gaps of several orders of
 //! magnitude; these functions reproduce the bound side of that comparison.
 //! Constants hidden inside the `Ω`/`O` notation are taken as 1, exactly as the
-//! paper does when it reports "the bound for Oneshot [70] with ε = 0.05,
+//! paper does when it reports "the bound for Oneshot \[70\] with ε = 0.05,
 //! δ = 0.01 is 1.0·10⁸".
 
 /// Parameters shared by all bounds.
@@ -66,7 +66,7 @@ pub fn snapshot_sample_bound(p: &BoundParams) -> f64 {
         * (p.seed_size * p.num_vertices.ln() + (1.0 / p.delta).ln())
 }
 
-/// The RIS sample-number bound of Tang et al. [70] (the `θ` that the paper
+/// The RIS sample-number bound of Tang et al. \[70\] (the `θ` that the paper
 /// compares against): `θ = ε⁻²·k·n·ln n / OPT_k`, which is `k` times smaller
 /// than the Oneshot bound.
 #[must_use]

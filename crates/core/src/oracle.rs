@@ -326,14 +326,80 @@ impl InfluenceOracle {
         }
 
         let dirty = self.vertex_to_sets[head as usize].clone();
+        self.resample_sets(graph_after, base_seed, &dirty);
+        Ok(dirty.len())
+    }
+
+    /// Incrementally maintain the pool under an atomic **batch** of graph
+    /// mutations, resampling every affected RR set **exactly once**.
+    ///
+    /// `graph_after` must be the influence graph with the *whole batch*
+    /// already applied (same fixed vertex set). The dirty set is the union of
+    /// the current posting lists of every delta's head vertex: an RR set
+    /// containing none of the heads replays, draw for draw, the identical
+    /// traversal on the fully mutated graph (the reverse BFS only examines
+    /// in-edges of in-set vertices, and only the heads' in-edge lists
+    /// changed), while a set containing any head is regenerated from its own
+    /// derived stream exactly as a from-scratch rebuild at the final version
+    /// would. The result is therefore **byte-identical** (via
+    /// [`InfluenceOracle::to_bytes`]) both to
+    /// `build_incremental(graph_after, …)` and to applying the same deltas
+    /// one at a time through [`InfluenceOracle::apply_delta`] — but a set
+    /// dirtied by `k` deltas of the batch is resampled once, not `k` times.
+    ///
+    /// Returns the number of RR sets resampled (the union's size). Errors
+    /// (non-incremental pool, mismatched graph, out-of-range head) leave the
+    /// oracle untouched; an empty batch is a no-op.
+    pub fn apply_delta_batch(
+        &mut self,
+        graph_after: &InfluenceGraph,
+        deltas: &[GraphDelta],
+    ) -> Result<usize, String> {
+        let base_seed = match &self.incremental {
+            Some(state) => state.base_seed,
+            None => {
+                return Err(
+                    "oracle pool was not built incrementally (use build_incremental)".into(),
+                )
+            }
+        };
+        if graph_after.num_vertices() != self.num_vertices {
+            return Err(format!(
+                "mutated graph has {} vertices but the pool indexes {}",
+                graph_after.num_vertices(),
+                self.num_vertices
+            ));
+        }
+        let mut dirty: Vec<u32> = Vec::new();
+        for delta in deltas {
+            let head = delta.head();
+            if head as usize >= self.num_vertices {
+                return Err(format!(
+                    "delta head {head} out of range for {} vertices",
+                    self.num_vertices
+                ));
+            }
+            dirty.extend_from_slice(&self.vertex_to_sets[head as usize]);
+        }
+        dirty.sort_unstable();
+        dirty.dedup();
+        self.resample_sets(graph_after, base_seed, &dirty);
+        Ok(dirty.len())
+    }
+
+    /// Resample the given RR sets on `graph_after`, each from its own derived
+    /// stream, keeping posting lists and traces inverse to each other (the
+    /// shared core of [`InfluenceOracle::apply_delta`] and
+    /// [`InfluenceOracle::apply_delta_batch`]).
+    fn resample_sets(&mut self, graph_after: &InfluenceGraph, base_seed: u64, dirty: &[u32]) {
         let mut scratch = RrScratch::for_graph(graph_after);
-        for &set_id in &dirty {
+        for &set_id in dirty {
             // Unindex the set from the postings of its previous members.
             let old_trace = std::mem::take(
                 &mut self
                     .incremental
                     .as_mut()
-                    .expect("incremental state checked above")
+                    .expect("resample_sets is only called with incremental state")
                     .traces[set_id as usize],
             );
             for &v in &old_trace {
@@ -355,10 +421,9 @@ impl InfluenceOracle {
             }
             self.incremental
                 .as_mut()
-                .expect("incremental state checked above")
+                .expect("resample_sets is only called with incremental state")
                 .traces[set_id as usize] = trace;
         }
-        Ok(dirty.len())
     }
 
     /// Reassemble an oracle from previously exported posting lists.
@@ -942,6 +1007,75 @@ mod tests {
             }
             assert_eq!(oracle.estimate(&[0, 2, 4]), rebuilt.estimate(&[0, 2, 4]));
         }
+    }
+
+    #[test]
+    fn apply_delta_batch_matches_rebuild_and_per_delta_application() {
+        use imgraph::MutableInfluenceGraph;
+        let ig = star(0.5);
+        let deltas = [
+            GraphDelta::InsertEdge {
+                source: 2,
+                target: 0,
+                probability: 0.5,
+            },
+            GraphDelta::SetProbability {
+                source: 0,
+                target: 3,
+                probability: 1.0,
+            },
+            GraphDelta::DeleteEdge {
+                source: 0,
+                target: 1,
+            },
+            // Two deltas share head 2: the union must count its sets once.
+            GraphDelta::InsertEdge {
+                source: 4,
+                target: 2,
+                probability: 0.25,
+            },
+            GraphDelta::SetProbability {
+                source: 4,
+                target: 2,
+                probability: 1.0,
+            },
+        ];
+
+        let mut mutable = MutableInfluenceGraph::from_graph(&ig);
+        let mut batched = InfluenceOracle::build_incremental(&ig, 2_500, 21, Backend::Sequential);
+        let mut per_delta = batched.clone();
+
+        // Per-delta reference: resample after every single delta.
+        for delta in &deltas {
+            mutable.apply(delta).unwrap();
+            per_delta
+                .apply_delta(&mutable.materialize(), delta)
+                .unwrap();
+        }
+        let after = mutable.materialize();
+
+        // Batched path: one resample of the dirty union on the final graph.
+        let resampled = batched.apply_delta_batch(&after, &deltas).unwrap();
+        let rebuilt = InfluenceOracle::build_incremental(&after, 2_500, 21, Backend::Sequential);
+        assert_eq!(batched.to_bytes(), rebuilt.to_bytes());
+        assert_eq!(batched.to_bytes(), per_delta.to_bytes());
+        // The union never exceeds the per-delta total (shared heads dedup).
+        assert!(resampled < 2_500);
+
+        // An empty batch is a no-op.
+        let before = batched.to_bytes();
+        assert_eq!(batched.apply_delta_batch(&after, &[]).unwrap(), 0);
+        assert_eq!(batched.to_bytes(), before);
+
+        // Errors leave the pool untouched.
+        let out_of_range = GraphDelta::DeleteEdge {
+            source: 0,
+            target: 99,
+        };
+        assert!(batched.apply_delta_batch(&after, &[out_of_range]).is_err());
+        assert_eq!(batched.to_bytes(), before);
+        let mut plain = InfluenceOracle::build(&ig, 100, &mut Pcg32::seed_from_u64(2));
+        assert!(plain.apply_delta_batch(&ig, &deltas).is_err());
     }
 
     #[test]

@@ -70,6 +70,53 @@ pub fn random_deltas<R: Rng32>(
     deltas
 }
 
+/// Draw one valid **structural** mutation (insert or delete, never a
+/// probability patch) for the current state of `graph`.
+///
+/// Structural deltas are the expensive kind — each forces a CSR
+/// re-materialization on the per-delta maintenance path — so this is the
+/// workload that separates batched from per-delta application (the
+/// `imdyn_batch_apply` bench and the `compaction` experiment). The mix is
+/// 1/2 insert, 1/2 delete on a graph with edges; insert-only when edgeless.
+///
+/// # Panics
+///
+/// Panics if the graph has no vertices.
+pub fn random_structural_delta<R: Rng32>(graph: &MutableInfluenceGraph, rng: &mut R) -> GraphDelta {
+    let n = graph.num_vertices();
+    assert!(n > 0, "cannot mutate an empty graph");
+    let m = graph.num_edges();
+    if m == 0 || rng.gen_index(2) == 0 {
+        GraphDelta::InsertEdge {
+            source: rng.gen_index(n) as u32,
+            target: rng.gen_index(n) as u32,
+            probability: PROBABILITY_PALETTE[rng.gen_index(PROBABILITY_PALETTE.len())],
+        }
+    } else {
+        let (source, target) = graph.edges()[rng.gen_index(m)];
+        GraphDelta::DeleteEdge { source, target }
+    }
+}
+
+/// Draw a sequence of `count` valid structural mutations (the
+/// structural-delta-heavy analog of [`random_deltas`]).
+pub fn random_structural_deltas<R: Rng32>(
+    graph: &MutableInfluenceGraph,
+    count: usize,
+    rng: &mut R,
+) -> Vec<GraphDelta> {
+    let mut scratch = graph.clone();
+    let mut deltas = Vec::with_capacity(count);
+    for _ in 0..count {
+        let delta = random_structural_delta(&scratch, rng);
+        scratch
+            .apply(&delta)
+            .expect("random_structural_delta only produces valid mutations");
+        deltas.push(delta);
+    }
+    deltas
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -113,5 +160,23 @@ mod tests {
         let a = random_deltas(&graph, 12, &mut Pcg32::seed_from_u64(5));
         let b = random_deltas(&graph, 12, &mut Pcg32::seed_from_u64(5));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn structural_workloads_never_patch_attributes() {
+        let graph = diamond();
+        let deltas = random_structural_deltas(&graph, 40, &mut Pcg32::seed_from_u64(9));
+        assert_eq!(deltas.len(), 40);
+        let mut replay = graph.clone();
+        for delta in &deltas {
+            assert!(
+                !matches!(delta, GraphDelta::SetProbability { .. }),
+                "structural workload produced an attribute patch"
+            );
+            replay.apply(delta).expect("workload deltas must be valid");
+        }
+        // Deterministic per seed, like the mixed workload.
+        let again = random_structural_deltas(&graph, 40, &mut Pcg32::seed_from_u64(9));
+        assert_eq!(deltas, again);
     }
 }

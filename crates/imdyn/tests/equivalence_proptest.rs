@@ -82,4 +82,74 @@ proptest! {
         let par = DynamicOracle::build(graph, pool, base_seed, Backend::Parallel { threads: 3 });
         prop_assert_eq!(seq.oracle().to_bytes(), par.oracle().to_bytes());
     }
+
+    /// Compaction commutes with mutation: compact-then-replay equals
+    /// replay-then-compact, byte for byte, under interleaved atomic batches —
+    /// at the graph level (`DeltaLog::compact`), the pool level and the epoch
+    /// level. Compaction must only move history, never change state.
+    #[test]
+    fn compact_then_replay_equals_replay_then_compact(
+        graph in arb_influence_graph(),
+        pool in 1usize..64,
+        base_seed in 0u64..500,
+        workload_seed in 0u64..1_000,
+        steps in 2usize..12,
+        split_at in 1usize..11,
+    ) {
+        use imgraph::binio::influence_graph_to_bytes;
+        use imgraph::DeltaLog;
+
+        let mut rng = Pcg32::seed_from_u64(workload_seed);
+        let mutable = MutableInfluenceGraph::from_graph(&graph);
+        let deltas = workload::random_deltas(&mutable, steps, &mut rng);
+        let split_at = split_at.min(deltas.len() - 1);
+        let (first, second) = deltas.split_at(split_at);
+
+        // Path A: batch, compact between the batches, batch again.
+        let mut compact_between =
+            DynamicOracle::build(graph.clone(), pool, base_seed, Backend::Sequential);
+        compact_between.apply_batch(first).expect("workload deltas are valid");
+        let outcome = compact_between.compact();
+        prop_assert_eq!(outcome.folded, first.len());
+        compact_between.apply_batch(second).expect("workload deltas are valid");
+
+        // Path B: apply everything per delta, compact only at the end.
+        let mut compact_after =
+            DynamicOracle::build(graph.clone(), pool, base_seed, Backend::Sequential);
+        for delta in &deltas {
+            compact_after.apply(*delta).expect("workload deltas are valid");
+        }
+        compact_after.compact();
+
+        prop_assert_eq!(compact_between.epoch(), compact_after.epoch());
+        prop_assert_eq!(
+            compact_between.oracle().to_bytes(),
+            compact_after.oracle().to_bytes(),
+            "pools diverged between compaction schedules"
+        );
+        prop_assert_eq!(
+            influence_graph_to_bytes(compact_between.graph()),
+            influence_graph_to_bytes(compact_after.graph()),
+            "graphs diverged between compaction schedules"
+        );
+        prop_assert!(compact_between.matches_rebuild());
+
+        // Snapshot byte-identity survives a restore round-trip.
+        let restored = DynamicOracle::restore(compact_between.snapshot());
+        prop_assert_eq!(restored.oracle().to_bytes(), compact_after.oracle().to_bytes());
+        prop_assert_eq!(restored.epoch(), compact_after.epoch());
+
+        // Graph level: folding both logs with a compaction in between equals
+        // folding the concatenated log once.
+        let log_first = DeltaLog::from_deltas(first.to_vec());
+        let log_second = DeltaLog::from_deltas(second.to_vec());
+        let log_all = DeltaLog::from_deltas(deltas.clone());
+        let snap_first = log_first.compact(&mutable, 0).expect("valid log");
+        let snap_stepwise = log_second
+            .compact(snap_first.graph(), snap_first.epoch())
+            .expect("valid log");
+        let snap_once = log_all.compact(&mutable, 0).expect("valid log");
+        prop_assert_eq!(snap_stepwise.epoch(), snap_once.epoch());
+        prop_assert_eq!(snap_stepwise.to_bytes(), snap_once.to_bytes());
+    }
 }

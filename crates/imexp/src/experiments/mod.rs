@@ -20,7 +20,9 @@
 //! | [`extensions::heuristics`] | §3.6 heuristic baselines vs oracle greedy (extension) |
 //! | [`extensions::determination`] | §7 sample-number determination vs empirical requirement (extension) |
 //! | [`evolve`] | incremental RR-set maintenance vs full rebuild under graph mutation (extension) |
+//! | [`compaction`] | batched mutation + delta-log compaction vs per-delta apply and rebuild (extension) |
 
+pub mod compaction;
 pub mod comparable;
 pub mod entropy;
 pub mod evolve;
@@ -160,6 +162,7 @@ pub fn experiment_names() -> Vec<&'static str> {
         "heuristics",
         "determination",
         "evolve",
+        "compaction",
     ]
 }
 
@@ -185,6 +188,7 @@ pub fn run_by_name(name: &str, scale: ExperimentScale) -> Option<ExperimentRepor
         "heuristics" => extensions::heuristics(scale),
         "determination" => extensions::determination(scale),
         "evolve" => evolve::run(scale),
+        "compaction" => compaction::run(scale),
         _ => return None,
     };
     Some(report)
@@ -227,10 +231,10 @@ mod tests {
     fn registry_contains_every_paper_artifact() {
         let names = experiment_names();
         // 15 paper artifacts (Tables 1, 3–9, Figures 1–6 with 7/8 folded into
-        // Tables 6/7, plus the bound-gap report) and 3 extension drivers.
-        assert_eq!(names.len(), 18);
+        // Tables 6/7, plus the bound-gap report) and 4 extension drivers.
+        assert_eq!(names.len(), 19);
         assert!(names.contains(&"heuristics") && names.contains(&"determination"));
-        assert!(names.contains(&"evolve"));
+        assert!(names.contains(&"evolve") && names.contains(&"compaction"));
         assert!(run_by_name("definitely-not-an-experiment", ExperimentScale::Quick).is_none());
     }
 }

@@ -99,6 +99,12 @@ impl From<std::io::Error> for BinError {
 /// every persisted delta log is recognizable by the same four bytes.
 pub const DELTA_TAG: [u8; 4] = *b"DLTA";
 
+/// Section tag for a compaction watermark: the epoch a snapshot was folded at
+/// (see [`crate::delta::GraphSnapshot`]). Shared by the standalone snapshot
+/// artifact and version-3 `imserve` index artifacts so every epoch stamp is
+/// recognizable by the same four bytes.
+pub const SNAPSHOT_TAG: [u8; 4] = *b"SNAP";
+
 /// FNV-1a 64-bit hash of `bytes` (the format's integrity checksum).
 #[must_use]
 pub fn fnv1a64(bytes: &[u8]) -> u64 {

@@ -26,13 +26,21 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::binio::{self, BinError, BinReader, BinWriter, DELTA_TAG};
+use crate::binio::{
+    self, influence_graph_from_bytes, influence_graph_to_bytes, BinError, BinReader, BinWriter,
+    DELTA_TAG, SNAPSHOT_TAG,
+};
 use crate::{DiGraph, Edge, InfluenceGraph, VertexId};
 
 /// Magic bytes of a standalone serialized [`DeltaLog`].
 pub const DELTA_MAGIC: [u8; 4] = *b"IMDL";
 /// Current [`DeltaLog`] format version.
 pub const DELTA_VERSION: u32 = 1;
+
+/// Magic bytes of a standalone serialized [`GraphSnapshot`].
+pub const SNAPSHOT_MAGIC: [u8; 4] = *b"IMSN";
+/// Current [`GraphSnapshot`] format version.
+pub const SNAPSHOT_VERSION: u32 = 1;
 
 const KIND_INSERT: u8 = 1;
 const KIND_DELETE: u8 = 2;
@@ -171,6 +179,45 @@ pub struct DeltaEffect {
     /// Whether the adjacency structure changed (insert/delete) as opposed to
     /// only an edge attribute (probability).
     pub structural: bool,
+}
+
+/// What applying one atomic delta batch changed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchEffect {
+    /// Per-delta effects, in application order.
+    pub effects: Vec<DeltaEffect>,
+    /// The distinct head vertices whose in-edge lists changed, sorted by id
+    /// — exactly the vertices whose derived state (RR-set posting lists,
+    /// per-vertex caches) a caller may need to invalidate after the batch.
+    /// Informational: `im_core`'s batched maintenance re-derives the same
+    /// set from the deltas themselves.
+    pub dirty_heads: Vec<VertexId>,
+    /// Number of structural deltas (insert/delete) in the batch. Zero means
+    /// the batch only patched edge attributes and no CSR rebuild is needed.
+    pub structural: usize,
+}
+
+/// Why an atomic delta batch could not be applied: the first offending delta
+/// and its underlying [`DeltaError`]. The target graph is left exactly as it
+/// was before the batch (all-or-nothing semantics).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchError {
+    /// Zero-based index of the delta that failed validation.
+    pub index: usize,
+    /// Why that delta was rejected.
+    pub error: DeltaError,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch delta {}: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
 }
 
 /// An influence graph in mutable edge-list form.
@@ -356,6 +403,40 @@ impl MutableInfluenceGraph {
         }
     }
 
+    /// Apply a whole batch of deltas atomically.
+    ///
+    /// Unlike a loop over [`MutableInfluenceGraph::apply`], the batch is
+    /// **all-or-nothing**: the deltas are staged against a scratch copy and
+    /// committed only if every one of them validates, so a failed batch
+    /// leaves the graph untouched (the per-delta path keeps the valid prefix
+    /// applied instead). Deltas still take effect in order *within* the
+    /// batch — a delete may name an edge inserted earlier in the same batch.
+    ///
+    /// The returned [`BatchEffect`] aggregates what batched incremental
+    /// maintenance needs: the sorted set of distinct dirty head vertices and
+    /// whether any delta was structural (in which case the caller
+    /// re-materializes the CSR **once**, not once per delta).
+    pub fn apply_batch(&mut self, deltas: &[GraphDelta]) -> Result<BatchEffect, BatchError> {
+        let mut staged = self.clone();
+        let mut effects = Vec::with_capacity(deltas.len());
+        for (index, delta) in deltas.iter().enumerate() {
+            match staged.apply(delta) {
+                Ok(effect) => effects.push(effect),
+                Err(error) => return Err(BatchError { index, error }),
+            }
+        }
+        let mut dirty_heads: Vec<VertexId> = effects.iter().map(|e| e.head).collect();
+        dirty_heads.sort_unstable();
+        dirty_heads.dedup();
+        let structural = effects.iter().filter(|e| e.structural).count();
+        *self = staged;
+        Ok(BatchEffect {
+            effects,
+            dirty_heads,
+            structural,
+        })
+    }
+
     /// Re-derive the CSR [`InfluenceGraph`] at the current version.
     ///
     /// Deterministic: the output depends only on the current edge list, which
@@ -371,6 +452,37 @@ impl MutableInfluenceGraph {
 }
 
 /// An append-only log of graph mutations.
+///
+/// The log is the write-ahead half of the index lifecycle: every applied
+/// delta is appended, and a long-lived service periodically *compacts* the
+/// log by folding it into its base graph ([`DeltaLog::compact`]), producing
+/// an epoch-stamped [`GraphSnapshot`] with an empty pending log. Compaction
+/// is pure bookkeeping — the snapshot graph is byte-identical to replaying
+/// the log, which is what keeps rebuild byte-identity auditable across
+/// compactions.
+///
+/// # Example
+///
+/// ```
+/// use imgraph::{DeltaLog, GraphDelta, MutableInfluenceGraph};
+///
+/// let base = MutableInfluenceGraph::new(2);
+/// let mut log = DeltaLog::new();
+/// log.push(GraphDelta::InsertEdge { source: 0, target: 1, probability: 0.5 });
+/// log.push(GraphDelta::SetProbability { source: 0, target: 1, probability: 1.0 });
+///
+/// // Folding the log into the base is byte-identical to replaying it…
+/// let snapshot = log.compact(&base, 0).unwrap();
+/// let mut replayed = base.clone();
+/// log.replay(&mut replayed).unwrap();
+/// assert_eq!(snapshot.graph(), &replayed);
+/// // …and the snapshot is stamped with the epoch the log reached.
+/// assert_eq!(snapshot.epoch(), 2);
+///
+/// // The snapshot round-trips through its checksummed artifact.
+/// let bytes = snapshot.to_bytes();
+/// assert_eq!(imgraph::GraphSnapshot::from_bytes(&bytes).unwrap(), snapshot);
+/// ```
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct DeltaLog {
     deltas: Vec<GraphDelta>,
@@ -423,6 +535,28 @@ impl DeltaLog {
             graph.apply(delta)?;
         }
         Ok(())
+    }
+
+    /// Fold the whole log into `base`, producing an epoch-stamped
+    /// [`GraphSnapshot`] whose pending log is empty.
+    ///
+    /// `base_epoch` is the epoch `base` is already at (the number of deltas
+    /// folded into it by earlier compactions); the snapshot is stamped
+    /// `base_epoch + self.len()`. The fold is applied atomically
+    /// ([`MutableInfluenceGraph::apply_batch`]), and the resulting graph is
+    /// **byte-identical** to replaying the log delta by delta — compaction
+    /// changes where the history is stored, never what the graph is.
+    pub fn compact(
+        &self,
+        base: &MutableInfluenceGraph,
+        base_epoch: u64,
+    ) -> Result<GraphSnapshot, BatchError> {
+        let mut graph = base.clone();
+        graph.apply_batch(&self.deltas)?;
+        Ok(GraphSnapshot {
+            epoch: base_epoch + self.deltas.len() as u64,
+            graph,
+        })
     }
 
     /// Encode the log as a section payload (the content of a
@@ -521,6 +655,85 @@ impl DeltaLog {
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, BinError> {
         let sections = BinReader::new(bytes, DELTA_MAGIC, DELTA_VERSION)?.sections()?;
         Self::decode_payload(binio::require_section(&sections, DELTA_TAG)?)
+    }
+}
+
+/// An epoch-stamped compaction snapshot: the graph with every logged delta
+/// folded in, plus the epoch watermark recording *how many* deltas ever
+/// reached it.
+///
+/// Produced by [`DeltaLog::compact`]. The watermark is what keeps epochs
+/// monotonic across compactions: a service that compacts at epoch `e`
+/// restarts its pending log empty but keeps counting from `e`, so
+/// epoch-keyed caches built before the compaction stay structurally
+/// unreachable rather than accidentally valid.
+///
+/// Persisted as a standalone checksummed artifact (magic `IMSN`): a
+/// [`binio::SNAPSHOT_TAG`] section holding the epoch and a nested
+/// influence-graph artifact holding the folded graph in edge-insertion
+/// order, so `serialize → deserialize → serialize` is byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphSnapshot {
+    epoch: u64,
+    graph: MutableInfluenceGraph,
+}
+
+impl GraphSnapshot {
+    /// A snapshot of `graph` at the given epoch watermark.
+    #[must_use]
+    pub fn new(epoch: u64, graph: MutableInfluenceGraph) -> Self {
+        Self { epoch, graph }
+    }
+
+    /// The epoch watermark: total deltas ever folded into this graph.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The folded graph.
+    #[must_use]
+    pub fn graph(&self) -> &MutableInfluenceGraph {
+        &self.graph
+    }
+
+    /// Consume the snapshot, returning the folded graph.
+    #[must_use]
+    pub fn into_graph(self) -> MutableInfluenceGraph {
+        self.graph
+    }
+
+    /// Serialize the snapshot as a standalone checksummed artifact.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = BinWriter::new(SNAPSHOT_MAGIC, SNAPSHOT_VERSION);
+        let mut stamp = Vec::with_capacity(8);
+        binio::put_u64(&mut stamp, self.epoch);
+        w.section(SNAPSHOT_TAG, &stamp);
+        w.section(
+            binio::GRAPH_MAGIC,
+            &influence_graph_to_bytes(&self.graph.materialize()),
+        );
+        w.finish()
+    }
+
+    /// Deserialize a snapshot written by [`GraphSnapshot::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, BinError> {
+        let sections = BinReader::new(bytes, SNAPSHOT_MAGIC, SNAPSHOT_VERSION)?.sections()?;
+        let mut stamp = binio::require_section(&sections, SNAPSHOT_TAG)?;
+        let epoch = stamp.u64()?;
+        if stamp.remaining() != 0 {
+            return Err(BinError::Corrupt(format!(
+                "{} trailing bytes in snapshot stamp",
+                stamp.remaining()
+            )));
+        }
+        let graph_payload = binio::require_section(&sections, binio::GRAPH_MAGIC)?;
+        let graph = influence_graph_from_bytes(graph_payload.rest())?;
+        Ok(Self {
+            epoch,
+            graph: MutableInfluenceGraph::from_graph(&graph),
+        })
     }
 }
 
@@ -777,6 +990,126 @@ mod tests {
             target: 0,
         }]);
         assert!(bad.replay(&mut mutable).is_err());
+    }
+
+    #[test]
+    fn apply_batch_is_atomic_and_aggregates_dirty_heads() {
+        let mut mutable = MutableInfluenceGraph::from_graph(&diamond());
+        let batch = [
+            GraphDelta::InsertEdge {
+                source: 3,
+                target: 0,
+                probability: 0.75,
+            },
+            GraphDelta::SetProbability {
+                source: 0,
+                target: 1,
+                probability: 1.0,
+            },
+            GraphDelta::DeleteEdge {
+                source: 0,
+                target: 2,
+            },
+            // A delete that only becomes valid after the first insert.
+            GraphDelta::DeleteEdge {
+                source: 3,
+                target: 0,
+            },
+        ];
+        let effect = mutable.apply_batch(&batch).unwrap();
+        assert_eq!(effect.effects.len(), 4);
+        assert_eq!(effect.dirty_heads, vec![0, 1, 2]);
+        assert_eq!(effect.structural, 3);
+
+        // The batch result equals applying the same deltas one by one.
+        let mut sequential = MutableInfluenceGraph::from_graph(&diamond());
+        for delta in &batch {
+            sequential.apply(delta).unwrap();
+        }
+        assert_eq!(mutable, sequential);
+
+        // A failing batch leaves the graph untouched (all-or-nothing), and
+        // names the offending delta.
+        let snapshot = mutable.clone();
+        let err = mutable
+            .apply_batch(&[
+                GraphDelta::SetProbability {
+                    source: 0,
+                    target: 1,
+                    probability: 0.5,
+                },
+                GraphDelta::DeleteEdge {
+                    source: 9,
+                    target: 9,
+                },
+            ])
+            .unwrap_err();
+        assert_eq!(err.index, 1);
+        assert!(matches!(err.error, DeltaError::VertexOutOfRange { .. }));
+        assert!(err.to_string().contains("batch delta 1"));
+        assert_eq!(mutable, snapshot, "failed batches must not mutate");
+
+        // The empty batch is a no-op with an empty effect.
+        let effect = mutable.apply_batch(&[]).unwrap();
+        assert!(effect.effects.is_empty());
+        assert!(effect.dirty_heads.is_empty());
+        assert_eq!(effect.structural, 0);
+    }
+
+    #[test]
+    fn compact_equals_replay_and_stamps_the_epoch() {
+        let base = MutableInfluenceGraph::from_graph(&diamond());
+        let log = DeltaLog::from_deltas(vec![
+            GraphDelta::InsertEdge {
+                source: 3,
+                target: 0,
+                probability: 0.5,
+            },
+            GraphDelta::DeleteEdge {
+                source: 0,
+                target: 1,
+            },
+        ]);
+        let snapshot = log.compact(&base, 7).unwrap();
+        assert_eq!(snapshot.epoch(), 9, "base epoch plus folded deltas");
+        let mut replayed = base.clone();
+        log.replay(&mut replayed).unwrap();
+        assert_eq!(snapshot.graph(), &replayed);
+        assert_eq!(
+            influence_graph_to_bytes(&snapshot.graph().materialize()),
+            influence_graph_to_bytes(&replayed.materialize()),
+            "compaction is byte-identical to replay"
+        );
+        // A log that does not apply reports the failing delta and folds
+        // nothing.
+        let bad = DeltaLog::from_deltas(vec![GraphDelta::DeleteEdge {
+            source: 1,
+            target: 0,
+        }]);
+        assert!(bad.compact(&base, 0).is_err());
+    }
+
+    #[test]
+    fn graph_snapshot_round_trips_and_rejects_corruption() {
+        let base = MutableInfluenceGraph::from_graph(&diamond());
+        let log = DeltaLog::from_deltas(vec![GraphDelta::SetProbability {
+            source: 1,
+            target: 3,
+            probability: 1.0,
+        }]);
+        let snapshot = log.compact(&base, 3).unwrap();
+        let bytes = snapshot.to_bytes();
+        let back = GraphSnapshot::from_bytes(&bytes).unwrap();
+        assert_eq!(back, snapshot);
+        assert_eq!(back.to_bytes(), bytes, "re-encode is byte-identical");
+        assert_eq!(back.epoch(), 4);
+        assert_eq!(back.clone().into_graph(), snapshot.graph().clone());
+        for cut in [0, 9, bytes.len() / 2, bytes.len() - 1] {
+            assert!(GraphSnapshot::from_bytes(&bytes[..cut]).is_err());
+        }
+        let mut damaged = bytes.clone();
+        damaged[bytes.len() / 2] ^= 0x20;
+        assert!(GraphSnapshot::from_bytes(&damaged).is_err());
     }
 
     #[test]

@@ -26,12 +26,14 @@
 //!   tagged length-prefixed sections) shared by every persisted index in the
 //!   workspace, with the [`InfluenceGraph`] codec;
 //! * [`delta`] — typed graph mutations ([`GraphDelta`]), the mutable
-//!   edge-list representation ([`MutableInfluenceGraph`]) they apply to, and
-//!   the persisted mutation log ([`DeltaLog`]) behind the evolving-graph
-//!   subsystem (`imdyn`).
+//!   edge-list representation ([`MutableInfluenceGraph`]) they apply to
+//!   (singly or in atomic batches), the persisted mutation log
+//!   ([`DeltaLog`]) behind the evolving-graph subsystem (`imdyn`), and the
+//!   epoch-stamped compaction snapshot ([`GraphSnapshot`]) the log folds
+//!   into.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod binio;
 pub mod builder;
@@ -47,7 +49,10 @@ pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::DiGraph;
-pub use delta::{DeltaEffect, DeltaError, DeltaLog, GraphDelta, MutableInfluenceGraph};
+pub use delta::{
+    BatchEffect, BatchError, DeltaEffect, DeltaError, DeltaLog, GraphDelta, GraphSnapshot,
+    MutableInfluenceGraph,
+};
 pub use influence::{is_valid_probability, InfluenceGraph};
 
 /// Vertex identifier. Graphs in this study have at most a few million

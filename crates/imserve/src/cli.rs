@@ -37,6 +37,13 @@ pub enum Command {
         workers: usize,
         /// `TopK` LRU cache capacity.
         cache: usize,
+        /// Auto-compaction: fold the pending log once it reaches this many
+        /// deltas (`None` disables the log-length trigger).
+        compact_log_len: Option<usize>,
+        /// Auto-compaction: fold the pending log once resampling since the
+        /// last compaction reaches this fraction of the pool (`None`
+        /// disables the dirty-fraction trigger).
+        compact_dirty: Option<f64>,
     },
     /// `imserve query`: one-shot client request.
     Query {
@@ -51,6 +58,16 @@ pub enum Command {
         addr: String,
         /// The deltas to apply, in command-line order.
         deltas: Vec<GraphDelta>,
+        /// Send the atomic `MutateBatch` request (all-or-nothing, one CSR
+        /// re-materialization) instead of per-delta `Mutate`.
+        batch: bool,
+    },
+    /// `imserve compact`: fold a pending delta log into its snapshot
+    /// watermark — on a running server (`--addr`) or offline on an artifact
+    /// file (`--index`/`--out`).
+    Compact {
+        /// What to compact.
+        target: CompactTarget,
     },
     /// `imserve loadtest`: hammer a server and report latency percentiles.
     Loadtest {
@@ -62,6 +79,23 @@ pub enum Command {
         requests: usize,
         /// `TopK` seed-set size in the request mix.
         k: usize,
+    },
+}
+
+/// What `imserve compact` should act on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CompactTarget {
+    /// Send a `Compact` request to a running server.
+    Server {
+        /// Server address.
+        addr: String,
+    },
+    /// Compact an artifact file offline, writing the result to `out`.
+    File {
+        /// Input artifact path.
+        index: String,
+        /// Output artifact path (may equal `index` to compact in place).
+        out: String,
     },
 }
 
@@ -93,12 +127,14 @@ impl std::error::Error for CliError {}
 /// One-line usage summary per subcommand.
 pub const USAGE: &str = "usage:
   imserve build    --dataset <name> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] [--deltas <script>] --out <path>
-  imserve serve    --index <path> [--addr host:port] [--workers N] [--cache N]
+  imserve serve    --index <path> [--addr host:port] [--workers N] [--cache N] [--compact-log-len N] [--compact-dirty F]
   imserve query    --addr host:port (--estimate v1,v2,… | --topk K [--algorithm greedy|singleton] | --info | --stats)
-  imserve mutate   --addr host:port (--insert u,v,p | --delete u,v | --setp u,v,p | --file <script>)…
+  imserve mutate   --addr host:port [--batch] (--insert u,v,p | --delete u,v | --setp u,v,p | --file <script>)…
+  imserve compact  (--addr host:port | --index <path> --out <path>)
   imserve loadtest --addr host:port [--connections N] [--requests N] [--k K]
 
-delta scripts hold one JSON delta per line, e.g. {\"InsertEdge\":{\"source\":0,\"target\":33,\"probability\":0.5}}";
+delta scripts hold one JSON delta per line, e.g. {\"InsertEdge\":{\"source\":0,\"target\":33,\"probability\":0.5}}
+--batch applies the deltas atomically (all-or-nothing, one CSR rebuild); --compact-* enable auto-compaction";
 
 /// Parse a flag's numeric value, naming the flag in the error.
 ///
@@ -145,6 +181,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "serve" => parse_serve(rest),
         "query" => parse_query(rest),
         "mutate" => parse_mutate(rest),
+        "compact" => parse_compact(rest),
         "loadtest" => parse_loadtest(rest),
         other => Err(CliError(format!("unknown subcommand {other:?}"))),
     }
@@ -215,10 +252,12 @@ fn parse_edge_triple(flag: &str, value: &str) -> Result<(u32, u32, f64), CliErro
 fn parse_mutate(args: &[String]) -> Result<Command, CliError> {
     let mut addr: Option<String> = None;
     let mut deltas: Vec<GraphDelta> = Vec::new();
+    let mut batch = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--addr" => addr = Some(take_value("--addr", args, &mut i)?.to_string()),
+            "--batch" => batch = true,
             "--insert" => {
                 let (source, target, probability) =
                     parse_edge_triple("--insert", take_value("--insert", args, &mut i)?)?;
@@ -263,7 +302,42 @@ fn parse_mutate(args: &[String]) -> Result<Command, CliError> {
     Ok(Command::Mutate {
         addr: addr.ok_or_else(|| CliError("mutate requires --addr".to_string()))?,
         deltas,
+        batch,
     })
+}
+
+fn parse_compact(args: &[String]) -> Result<Command, CliError> {
+    let mut addr: Option<String> = None;
+    let mut index: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(take_value("--addr", args, &mut i)?.to_string()),
+            "--index" => index = Some(take_value("--index", args, &mut i)?.to_string()),
+            "--out" => out = Some(take_value("--out", args, &mut i)?.to_string()),
+            other => return Err(CliError(format!("unknown option {other:?} for compact"))),
+        }
+        i += 1;
+    }
+    let target = match (addr, index, out) {
+        (Some(addr), None, None) => CompactTarget::Server { addr },
+        (None, Some(index), Some(out)) => CompactTarget::File { index, out },
+        (None, Some(_), None) => {
+            return Err(CliError("compact --index requires --out".to_string()))
+        }
+        (None, None, _) => {
+            return Err(CliError(
+                "compact requires --addr or --index/--out".to_string(),
+            ))
+        }
+        (Some(_), _, _) => {
+            return Err(CliError(
+                "compact accepts either --addr or --index/--out, not both".to_string(),
+            ))
+        }
+    };
+    Ok(Command::Compact { target })
 }
 
 fn parse_serve(args: &[String]) -> Result<Command, CliError> {
@@ -271,6 +345,8 @@ fn parse_serve(args: &[String]) -> Result<Command, CliError> {
     let mut addr = "127.0.0.1:7431".to_string();
     let mut workers = 4usize;
     let mut cache = crate::engine::DEFAULT_CACHE_CAPACITY;
+    let mut compact_log_len: Option<usize> = None;
+    let mut compact_dirty: Option<f64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -280,6 +356,18 @@ fn parse_serve(args: &[String]) -> Result<Command, CliError> {
                 workers = parse_number("--workers", take_value("--workers", args, &mut i)?)?;
             }
             "--cache" => cache = parse_number("--cache", take_value("--cache", args, &mut i)?)?,
+            "--compact-log-len" => {
+                compact_log_len = Some(parse_number(
+                    "--compact-log-len",
+                    take_value("--compact-log-len", args, &mut i)?,
+                )?);
+            }
+            "--compact-dirty" => {
+                compact_dirty = Some(parse_number(
+                    "--compact-dirty",
+                    take_value("--compact-dirty", args, &mut i)?,
+                )?);
+            }
             other => return Err(CliError(format!("unknown option {other:?} for serve"))),
         }
         i += 1;
@@ -290,11 +378,23 @@ fn parse_serve(args: &[String]) -> Result<Command, CliError> {
     if cache == 0 {
         return Err(CliError("--cache must be positive".to_string()));
     }
+    if compact_log_len == Some(0) {
+        return Err(CliError("--compact-log-len must be positive".to_string()));
+    }
+    if let Some(f) = compact_dirty {
+        if !(f > 0.0 && f.is_finite()) {
+            return Err(CliError(
+                "--compact-dirty must be a positive fraction".to_string(),
+            ));
+        }
+    }
     Ok(Command::Serve {
         index: index.ok_or_else(|| CliError("serve requires --index".to_string()))?,
         addr,
         workers,
         cache,
+        compact_log_len,
+        compact_dirty,
     })
 }
 
@@ -527,8 +627,21 @@ mod tests {
                         probability: 1.0
                     },
                 ],
+                batch: false,
             }
         );
+        // --batch switches to the atomic MutateBatch request.
+        match parse(&args(&[
+            "mutate", "--addr", "a:1", "--batch", "--delete", "0,1",
+        ]))
+        .unwrap()
+        {
+            Command::Mutate { batch, deltas, .. } => {
+                assert!(batch);
+                assert_eq!(deltas.len(), 1);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
         // Malformed specs are rejected with the flag named.
         assert!(parse(&args(&["mutate", "--addr", "a:1", "--insert", "0,1"])).is_err());
         assert!(parse(&args(&["mutate", "--addr", "a:1", "--delete", "0"])).is_err());
@@ -583,8 +696,73 @@ mod tests {
                     target: 2,
                     probability: 0.25
                 }],
+                batch: false,
             }
         );
+    }
+
+    #[test]
+    fn compact_parses_server_and_file_targets() {
+        assert_eq!(
+            parse(&args(&["compact", "--addr", "a:1"])).unwrap(),
+            Command::Compact {
+                target: CompactTarget::Server { addr: "a:1".into() },
+            }
+        );
+        assert_eq!(
+            parse(&args(&["compact", "--index", "a.imx", "--out", "b.imx"])).unwrap(),
+            Command::Compact {
+                target: CompactTarget::File {
+                    index: "a.imx".into(),
+                    out: "b.imx".into(),
+                },
+            }
+        );
+        // Exactly one target, fully specified.
+        assert!(parse(&args(&["compact"])).is_err());
+        assert!(parse(&args(&["compact", "--index", "a.imx"])).is_err());
+        assert!(parse(&args(&["compact", "--addr", "a:1", "--index", "a.imx"])).is_err());
+        assert!(parse(&args(&["compact", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn serve_parses_compaction_policy_flags() {
+        match parse(&args(&[
+            "serve",
+            "--index",
+            "x.imx",
+            "--compact-log-len",
+            "128",
+            "--compact-dirty",
+            "0.25",
+        ]))
+        .unwrap()
+        {
+            Command::Serve {
+                compact_log_len,
+                compact_dirty,
+                ..
+            } => {
+                assert_eq!(compact_log_len, Some(128));
+                assert_eq!(compact_dirty, Some(0.25));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        // Off by default; invalid thresholds rejected.
+        match parse(&args(&["serve", "--index", "x.imx"])).unwrap() {
+            Command::Serve {
+                compact_log_len,
+                compact_dirty,
+                ..
+            } => {
+                assert_eq!(compact_log_len, None);
+                assert_eq!(compact_dirty, None);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse(&args(&["serve", "--index", "x", "--compact-log-len", "0"])).is_err());
+        assert!(parse(&args(&["serve", "--index", "x", "--compact-dirty", "-1"])).is_err());
+        assert!(parse(&args(&["serve", "--index", "x", "--compact-dirty", "nope"])).is_err());
     }
 
     #[test]

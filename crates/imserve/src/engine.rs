@@ -21,12 +21,20 @@
 //! ever applied). A mutation therefore structurally invalidates every cached
 //! seed set: a stale answer cannot be served because its key can no longer be
 //! constructed.
+//!
+//! The engine also runs the index *lifecycle*: `MutateBatch` applies an
+//! atomic delta batch (one CSR re-materialization, dirty-union resampling),
+//! and `Compact` — or the configured [`imdyn::CompactionPolicy`] firing after
+//! a mutation — folds the pending log into the snapshot watermark. Compaction
+//! never moves the epoch and never blocks readers: it is bookkeeping under
+//! the same write lock, and every long computation works on an `Arc`
+//! snapshot taken before it.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
 
 use im_core::EstimateScratch;
-use imdyn::DynamicOracle;
+use imdyn::{CompactionPolicy, DynamicOracle};
 use imgraph::GraphDelta;
 
 use crate::index::{IndexArtifact, IndexMeta};
@@ -35,6 +43,26 @@ use crate::protocol::{Request, Response, TopKAlgorithm};
 
 /// Default capacity of the `TopK` result cache.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// Engine construction options.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// `TopK` LRU cache capacity.
+    pub cache_capacity: usize,
+    /// When to fold the pending delta log away automatically. The default
+    /// never fires; compaction then happens only on explicit `Compact`
+    /// requests.
+    pub compaction_policy: CompactionPolicy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
+            compaction_policy: CompactionPolicy::DISABLED,
+        }
+    }
+}
 
 /// Cache key for a `TopK` answer.
 ///
@@ -92,11 +120,29 @@ impl ServingState {
             graph: self.dynamic.graph().clone(),
             oracle: self.dynamic.oracle().clone(),
             log: self.dynamic.log().clone(),
+            snapshot_epoch: self.dynamic.snapshot_epoch(),
         }
     }
 }
 
 /// The shared, thread-safe query engine.
+///
+/// # Example
+///
+/// ```
+/// use imserve::engine::QueryEngine;
+/// use imserve::index::build_dataset_index;
+/// use imserve::protocol::{Request, Response};
+///
+/// let index = build_dataset_index("karate", "uc0.1", 500, 7).unwrap();
+/// let engine = QueryEngine::new(index);
+/// let mut scratch = engine.new_scratch();
+/// match engine.handle(&Request::Estimate { seeds: vec![0, 33] }, &mut scratch) {
+///     Response::Estimate { spread, .. } => assert!(spread > 0.0),
+///     other => panic!("unexpected response {other:?}"),
+/// }
+/// assert_eq!(engine.epoch(), 0);
+/// ```
 #[derive(Debug)]
 pub struct QueryEngine {
     state: RwLock<ServingState>,
@@ -121,19 +167,34 @@ impl QueryEngine {
     /// Wrap a loaded index with an explicit `TopK` cache capacity.
     #[must_use]
     pub fn with_cache_capacity(index: IndexArtifact, capacity: usize) -> Self {
+        Self::with_config(
+            index,
+            &EngineConfig {
+                cache_capacity: capacity,
+                ..EngineConfig::default()
+            },
+        )
+    }
+
+    /// Wrap a loaded index with full engine options (cache capacity and
+    /// auto-compaction policy).
+    #[must_use]
+    pub fn with_config(index: IndexArtifact, config: &EngineConfig) -> Self {
         let IndexArtifact {
             meta,
             graph,
             oracle,
             log,
+            snapshot_epoch,
         } = index;
         let dynamic = Arc::new(
-            DynamicOracle::from_parts(graph, oracle, log)
-                .expect("index artifacts always carry consistent incremental pools"),
+            DynamicOracle::from_parts(graph, oracle, log, snapshot_epoch)
+                .expect("index artifacts always carry consistent incremental pools")
+                .with_policy(config.compaction_policy),
         );
         Self {
             state: RwLock::new(ServingState { meta, dynamic }),
-            topk_cache: Mutex::new(LruCache::new(capacity)),
+            topk_cache: Mutex::new(LruCache::new(config.cache_capacity)),
             counters: Counters::default(),
         }
     }
@@ -169,6 +230,8 @@ impl QueryEngine {
             Request::Estimate { seeds } => self.estimate(seeds, scratch),
             Request::TopK { k, algorithm } => self.top_k(*k, *algorithm),
             Request::Mutate { deltas } => self.mutate(deltas),
+            Request::MutateBatch { deltas } => self.mutate_batch(deltas),
+            Request::Compact => self.compact(),
             Request::Stats => self.stats(),
         }
     }
@@ -195,6 +258,9 @@ impl QueryEngine {
             epoch: state.dynamic.epoch(),
             deltas_applied: self.counters.deltas_applied.load(Ordering::Relaxed),
             sets_resampled: self.counters.sets_resampled.load(Ordering::Relaxed),
+            log_len: state.dynamic.log().len(),
+            snapshot_epoch: state.dynamic.snapshot_epoch(),
+            compactions: state.dynamic.stats().compactions,
         }
     }
 
@@ -249,10 +315,56 @@ impl QueryEngine {
         }
         state.meta.num_edges = state.dynamic.graph().num_edges();
         self.bump_mutation_counters(applied, resampled);
+        // Policy-triggered compaction: cheap bookkeeping under the same write
+        // lock; readers holding `Arc` snapshots are unaffected.
+        Arc::make_mut(&mut state.dynamic).maybe_compact();
         Response::Mutate {
             epoch: state.dynamic.epoch(),
             applied,
             resampled,
+        }
+    }
+
+    fn mutate_batch(&self, deltas: &[GraphDelta]) -> Response {
+        if deltas.is_empty() {
+            return Response::Error {
+                message: "mutation batch must not be empty".into(),
+            };
+        }
+        let mut state = self.state.write().expect("serving state poisoned");
+        let dynamic = Arc::make_mut(&mut state.dynamic);
+        match dynamic.apply_batch(deltas) {
+            Ok(outcome) => {
+                state.meta.num_edges = state.dynamic.graph().num_edges();
+                self.bump_mutation_counters(outcome.applied, outcome.resampled);
+                let compacted = Arc::make_mut(&mut state.dynamic).maybe_compact().is_some();
+                Response::MutateBatch {
+                    epoch: state.dynamic.epoch(),
+                    applied: outcome.applied,
+                    resampled: outcome.resampled,
+                    compacted,
+                }
+            }
+            // Atomic batches reject as a unit: nothing was applied and the
+            // epoch did not move.
+            Err(e) => Response::Error {
+                message: format!(
+                    "batch rejected at delta {} of {} ({}); nothing applied, epoch {}",
+                    e.index + 1,
+                    deltas.len(),
+                    e.error,
+                    state.dynamic.epoch()
+                ),
+            },
+        }
+    }
+
+    fn compact(&self) -> Response {
+        let mut state = self.state.write().expect("serving state poisoned");
+        let outcome = Arc::make_mut(&mut state.dynamic).compact();
+        Response::Compact {
+            epoch: outcome.epoch,
+            folded: outcome.folded,
         }
     }
 
@@ -537,6 +649,198 @@ mod tests {
         let response = engine.handle(&Request::Mutate { deltas: vec![] }, &mut scratch);
         assert!(matches!(response, Response::Error { .. }));
         assert_eq!(engine.epoch(), 1);
+    }
+
+    #[test]
+    fn mutate_batch_is_atomic_and_matches_the_per_delta_path() {
+        let batched = karate_engine();
+        let per_delta = karate_engine();
+        let mut scratch = batched.new_scratch();
+        let deltas = vec![
+            GraphDelta::InsertEdge {
+                source: 0,
+                target: 33,
+                probability: 0.5,
+            },
+            GraphDelta::DeleteEdge {
+                source: 0,
+                target: 1,
+            },
+            GraphDelta::SetProbability {
+                source: 33,
+                target: 32,
+                probability: 1.0,
+            },
+        ];
+        match batched.handle(
+            &Request::MutateBatch {
+                deltas: deltas.clone(),
+            },
+            &mut scratch,
+        ) {
+            Response::MutateBatch {
+                epoch,
+                applied,
+                resampled,
+                compacted,
+            } => {
+                assert_eq!(epoch, 3);
+                assert_eq!(applied, 3);
+                assert!(resampled > 0);
+                assert!(!compacted, "no policy configured");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        per_delta.handle(&Request::Mutate { deltas }, &mut scratch);
+        assert_eq!(
+            batched.state().dynamic.oracle().to_bytes(),
+            per_delta.state().dynamic.oracle().to_bytes(),
+            "batched and per-delta application must agree byte-for-byte"
+        );
+        assert_eq!(batched.epoch(), per_delta.epoch());
+        assert_eq!(
+            batched.state().meta.num_edges,
+            per_delta.state().meta.num_edges
+        );
+
+        // An invalid batch rejects as a unit: nothing lands, epoch unmoved.
+        let before = batched.state().dynamic.oracle().to_bytes();
+        let response = batched.handle(
+            &Request::MutateBatch {
+                deltas: vec![
+                    GraphDelta::InsertEdge {
+                        source: 0,
+                        target: 1,
+                        probability: 0.5,
+                    },
+                    GraphDelta::DeleteEdge {
+                        source: 999,
+                        target: 0,
+                    },
+                ],
+            },
+            &mut scratch,
+        );
+        match response {
+            Response::Error { message } => {
+                assert!(message.contains("delta 2 of 2"), "{message}");
+                assert!(message.contains("nothing applied"), "{message}");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(batched.epoch(), 3);
+        assert_eq!(batched.state().dynamic.oracle().to_bytes(), before);
+        // Empty batches are rejected outright.
+        let response = batched.handle(&Request::MutateBatch { deltas: vec![] }, &mut scratch);
+        assert!(matches!(response, Response::Error { .. }));
+    }
+
+    #[test]
+    fn compaction_folds_the_log_and_keeps_answers_identical() {
+        use crate::engine::EngineConfig;
+        use imdyn::CompactionPolicy;
+
+        let engine = karate_engine();
+        let mut scratch = engine.new_scratch();
+        let deltas = vec![
+            GraphDelta::DeleteEdge {
+                source: 0,
+                target: 1,
+            },
+            GraphDelta::InsertEdge {
+                source: 16,
+                target: 0,
+                probability: 1.0,
+            },
+        ];
+        engine.handle(
+            &Request::Mutate {
+                deltas: deltas.clone(),
+            },
+            &mut scratch,
+        );
+        let estimate = Request::Estimate { seeds: vec![0, 33] };
+        let before = engine.handle(&estimate, &mut scratch);
+
+        match engine.handle(&Request::Compact, &mut scratch) {
+            Response::Compact { epoch, folded } => {
+                assert_eq!(epoch, 2, "compaction never moves the epoch");
+                assert_eq!(folded, 2);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        assert_eq!(engine.handle(&estimate, &mut scratch), before);
+        match engine.handle(&Request::Stats, &mut scratch) {
+            Response::Stats {
+                epoch,
+                log_len,
+                snapshot_epoch,
+                compactions,
+                ..
+            } => {
+                assert_eq!(epoch, 2);
+                assert_eq!(log_len, 0);
+                assert_eq!(snapshot_epoch, 2);
+                assert_eq!(compactions, 1);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // A compacted engine keeps serving the post-mutation state: still
+        // byte-identical to the from-scratch rebuild.
+        let rebuilt =
+            build_dataset_index_with_deltas("karate", "uc0.1", POOL, SEED, &deltas).unwrap();
+        assert_eq!(
+            engine.state().dynamic.oracle().to_bytes(),
+            rebuilt.oracle.to_bytes()
+        );
+        // The exported artifact carries the watermark and an empty log.
+        let artifact = engine.state().to_artifact();
+        assert_eq!(artifact.snapshot_epoch, 2);
+        assert!(artifact.log.is_empty());
+        assert_eq!(artifact.epoch(), 2);
+
+        // Auto-compaction: a policy-configured engine folds the log as soon
+        // as the threshold is reached.
+        let auto = QueryEngine::with_config(
+            build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap(),
+            &EngineConfig {
+                compaction_policy: CompactionPolicy::log_len(2),
+                ..EngineConfig::default()
+            },
+        );
+        let mut scratch = auto.new_scratch();
+        match auto.handle(
+            &Request::MutateBatch {
+                deltas: deltas.clone(),
+            },
+            &mut scratch,
+        ) {
+            Response::MutateBatch {
+                epoch, compacted, ..
+            } => {
+                assert_eq!(epoch, 2);
+                assert!(compacted, "log-length 2 policy must fire on a 2-batch");
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        match auto.handle(&Request::Stats, &mut scratch) {
+            Response::Stats {
+                log_len,
+                snapshot_epoch,
+                compactions,
+                ..
+            } => {
+                assert_eq!(log_len, 0);
+                assert_eq!(snapshot_epoch, 2);
+                assert_eq!(compactions, 1);
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+        // Both engines hold the identical mutated pool.
+        assert_eq!(
+            auto.state().dynamic.oracle().to_bytes(),
+            engine.state().dynamic.oracle().to_bytes()
+        );
     }
 
     #[test]

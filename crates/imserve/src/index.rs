@@ -13,17 +13,23 @@
 //! magic "IMSX" | version | META (JSON)   — graph_id, model, dimensions, seed
 //!                        | GRPH (nested) — InfluenceGraph artifact ("IMGB")
 //!                        | POOL (nested) — RR-set pool artifact ("IMPL")
-//!                        | DLTA          — applied mutation log (provenance)
+//!                        | DLTA          — pending mutation log
+//!                        | SNAP (v3)     — snapshot epoch + log watermark
 //!                        | checksum
 //! ```
 //!
 //! `GRPH` and `POOL` always hold the *current* version of the graph and pool;
-//! the `DLTA` section records the deltas already applied to reach it, so a
-//! reloaded index can keep mutating (the pool is incrementally maintainable,
-//! see `imdyn`) and its lineage stays auditable. Format version 2 requires
-//! the section (empty for a fresh build); version-1 artifacts predate the
-//! evolving-graph subsystem and are rejected on load with a rebuild hint —
-//! their per-batch pools cannot be maintained soundly (see [`INDEX_VERSION`]).
+//! the `DLTA` section records the deltas applied since the last compaction,
+//! so a reloaded index can keep mutating (the pool is incrementally
+//! maintainable, see `imdyn`) and its recent lineage stays auditable. The
+//! `SNAP` section (format version 3) records the **snapshot epoch**: how many
+//! deltas were folded away by compactions before the pending log, so the
+//! index epoch — `snapshot_epoch + log length` — stays monotonic across
+//! compactions. Version-2 artifacts predate compaction: they carry no `SNAP`
+//! section and load with a zero watermark (their full log *is* their
+//! history). Version-1 artifacts predate the evolving-graph subsystem and are
+//! rejected on load with a rebuild hint — their per-batch pools cannot be
+//! maintained soundly (see [`INDEX_VERSION`]).
 //!
 //! The nested artifacts carry their own magic and checksum, so each layer can
 //! also be produced and validated independently.
@@ -34,7 +40,7 @@ use im_core::sampler::Backend;
 use im_core::InfluenceOracle;
 use imgraph::binio::{
     self, influence_graph_from_bytes, influence_graph_to_bytes, BinError, BinReader, BinWriter,
-    DELTA_TAG,
+    DELTA_TAG, SNAPSHOT_TAG,
 };
 use imgraph::{DeltaError, DeltaLog, GraphDelta, InfluenceGraph, MutableInfluenceGraph};
 use imnet::{Dataset, ProbabilityModel};
@@ -46,6 +52,11 @@ use crate::error::ServeError;
 pub const INDEX_MAGIC: [u8; 4] = *b"IMSX";
 /// Current index format version.
 ///
+/// Version 3 added the `SNAP` section: the compaction watermark that keeps
+/// the index epoch monotonic when the pending delta log is folded away.
+/// Version-2 artifacts (no `SNAP`; the `DLTA` section holds the full
+/// history) remain readable and load with a zero watermark.
+///
 /// Version 2 changed the *semantics* of the `POOL` section: pools are drawn
 /// with one PRNG stream per RR set (`InfluenceOracle::build_incremental`),
 /// which is what makes them incrementally maintainable under graph deltas.
@@ -54,7 +65,7 @@ pub const INDEX_MAGIC: [u8; 4] = *b"IMSX";
 /// silently produce a pool no rebuild can match (and correlated RR sets), so
 /// v1 artifacts are **rejected** on load with a rebuild hint rather than
 /// mutated unsoundly.
-pub const INDEX_VERSION: u32 = 2;
+pub const INDEX_VERSION: u32 = 3;
 
 const META_TAG: [u8; 4] = *b"META";
 const GRAPH_TAG: [u8; 4] = *b"GRPH";
@@ -78,8 +89,8 @@ pub struct IndexMeta {
     pub base_seed: u64,
 }
 
-/// A complete loaded index: metadata, graph, the shared RR-set oracle and
-/// the log of mutations already applied to reach this version.
+/// A complete loaded index: metadata, graph, the shared RR-set oracle, the
+/// pending mutation log and the compaction watermark.
 #[derive(Debug, Clone)]
 pub struct IndexArtifact {
     /// Persisted metadata.
@@ -89,9 +100,12 @@ pub struct IndexArtifact {
     /// The shared estimator over the persisted RR-set pool (current version;
     /// carries incremental state so the serving layer can keep mutating it).
     pub oracle: InfluenceOracle,
-    /// Mutations applied to reach this version (provenance; already folded
-    /// into `graph` and `oracle`).
+    /// Mutations applied since the last compaction (provenance; already
+    /// folded into `graph` and `oracle`).
     pub log: DeltaLog,
+    /// Deltas folded away by compactions *before* `log` — the snapshot
+    /// watermark. The index epoch is `snapshot_epoch + log.len()`.
+    pub snapshot_epoch: u64,
 }
 
 impl IndexArtifact {
@@ -129,6 +143,7 @@ impl IndexArtifact {
             graph,
             oracle,
             log: DeltaLog::new(),
+            snapshot_epoch: 0,
         }
     }
 
@@ -155,6 +170,28 @@ impl IndexArtifact {
         Ok(artifact)
     }
 
+    /// The index epoch: deltas folded behind the snapshot watermark plus the
+    /// pending log.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.snapshot_epoch + self.log.len() as u64
+    }
+
+    /// Compact the artifact offline: fold the pending log into the snapshot
+    /// watermark, leaving the log empty.
+    ///
+    /// The graph and pool already hold the current version (maintenance keeps
+    /// them at the head), so compaction is pure bookkeeping — the epoch is
+    /// unchanged and a server loading the compacted artifact answers
+    /// byte-identically to one loading the uncompacted original. Returns the
+    /// number of deltas folded.
+    pub fn compact(&mut self) -> usize {
+        let folded = self.log.len();
+        self.snapshot_epoch += folded as u64;
+        self.log = DeltaLog::new();
+        folded
+    }
+
     /// Serialize the artifact to the binary index format.
     #[must_use]
     pub fn to_bytes(&self) -> Vec<u8> {
@@ -165,6 +202,12 @@ impl IndexArtifact {
         w.section(GRAPH_TAG, &influence_graph_to_bytes(&self.graph));
         w.section(POOL_TAG, &self.oracle.to_bytes());
         w.section(DELTA_TAG, &self.log.encode_payload());
+        // The v3 watermark: snapshot epoch plus the total epoch as a
+        // cross-check against a spliced or hand-edited log section.
+        let mut snap = Vec::with_capacity(16);
+        binio::put_u64(&mut snap, self.snapshot_epoch);
+        binio::put_u64(&mut snap, self.epoch());
+        w.section(SNAPSHOT_TAG, &snap);
         w.finish()
     }
 
@@ -202,9 +245,36 @@ impl IndexArtifact {
         // incremental state is reconstructible without storing it.
         oracle.attach_incremental(meta.base_seed);
 
-        // Version 2 always writes the section (empty for fresh builds), so a
-        // missing one means a damaged or spliced artifact, not an old format.
+        // Versions 2 and 3 always write the section (empty for fresh builds),
+        // so a missing one means a damaged or spliced artifact, not an old
+        // format.
         let log = DeltaLog::decode_payload(binio::require_section(&sections, DELTA_TAG)?)?;
+
+        // Version 3 stamps the compaction watermark; version-2 artifacts
+        // predate compaction, so their full log is their history and the
+        // watermark is zero.
+        let snapshot_epoch = if version >= 3 {
+            let mut snap = binio::require_section(&sections, SNAPSHOT_TAG)?;
+            let snapshot_epoch = snap.u64()?;
+            let epoch = snap.u64()?;
+            if snap.remaining() != 0 {
+                return Err(BinError::Corrupt(format!(
+                    "{} trailing bytes in snapshot section",
+                    snap.remaining()
+                )));
+            }
+            let expected = snapshot_epoch + log.len() as u64;
+            if epoch != expected {
+                return Err(BinError::Corrupt(format!(
+                    "snapshot section claims epoch {epoch} but watermark {snapshot_epoch} \
+                     plus {} pending deltas is {expected}",
+                    log.len()
+                )));
+            }
+            snapshot_epoch
+        } else {
+            0
+        };
 
         if graph.num_vertices() != meta.num_vertices || graph.num_edges() != meta.num_edges {
             return Err(BinError::Corrupt(format!(
@@ -235,6 +305,7 @@ impl IndexArtifact {
             graph,
             oracle,
             log,
+            snapshot_epoch,
         })
     }
 

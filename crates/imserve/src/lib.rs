@@ -8,10 +8,12 @@
 //!   (`imserve build`) and reloaded in milliseconds, never resampled;
 //! * [`engine`] — a thread-safe [`engine::QueryEngine`] answering `Estimate`
 //!   (zero-allocation oracle queries via `EstimateScratch`), `TopK` (greedy
-//!   maximum coverage, fronted by an epoch-keyed LRU cache) and `Mutate`
-//!   (graph deltas applied through `imdyn`'s incremental RR-set maintenance
-//!   — only the dirty sets are resampled, and the pool stays byte-identical
-//!   to a from-scratch rebuild);
+//!   maximum coverage, fronted by an epoch-keyed LRU cache), `Mutate` /
+//!   `MutateBatch` (graph deltas applied through `imdyn`'s incremental
+//!   RR-set maintenance — only the dirty sets are resampled, atomic batches
+//!   re-materialize the CSR once, and the pool stays byte-identical to a
+//!   from-scratch rebuild) and `Compact` (fold the pending delta log into
+//!   the index's snapshot watermark, manually or on a policy trigger);
 //! * [`server`] / [`client`] — a std-only TCP front end speaking
 //!   newline-delimited JSON, plus the matching blocking client;
 //! * [`loadtest`] — an in-repo load generator reporting throughput and
@@ -34,7 +36,7 @@ pub mod lru;
 pub mod protocol;
 pub mod server;
 
-pub use engine::{QueryEngine, ServingState};
+pub use engine::{EngineConfig, QueryEngine, ServingState};
 pub use error::ServeError;
 pub use index::{build_dataset_index, build_dataset_index_with_deltas, IndexArtifact, IndexMeta};
 pub use protocol::{Request, Response, TopKAlgorithm};

@@ -57,6 +57,13 @@ pub struct ServerStats {
     pub deltas_applied: u64,
     /// RR sets resampled by the server process.
     pub sets_resampled: u64,
+    /// Pending (uncompacted) deltas in the server's log.
+    pub log_len: usize,
+    /// The epoch of the server's last compaction (its loaded watermark if
+    /// none ran in-process).
+    pub snapshot_epoch: u64,
+    /// Compactions performed by the server process.
+    pub compactions: u64,
 }
 
 /// Aggregated load-test results.
@@ -91,11 +98,15 @@ impl std::fmt::Display for LoadtestReport {
         if let Some(s) = &self.server_stats {
             write!(
                 f,
-                "\nserver: pool {}  epoch {}  deltas {} (resampled {})  topk cache {}/{} hits",
+                "\nserver: pool {}  epoch {}  deltas {} (resampled {})  log {} pending  \
+                 compactions {} (watermark {})  topk cache {}/{} hits",
                 s.pool_size,
                 s.epoch,
                 s.deltas_applied,
                 s.sets_resampled,
+                s.log_len,
+                s.compactions,
+                s.snapshot_epoch,
                 s.topk_cache_hits,
                 s.topk_cache_hits + s.topk_cache_misses
             )?;
@@ -195,6 +206,9 @@ pub fn run<A: ToSocketAddrs>(
                 epoch,
                 deltas_applied,
                 sets_resampled,
+                log_len,
+                snapshot_epoch,
+                compactions,
             }) => Some(ServerStats {
                 requests,
                 topk_cache_hits,
@@ -203,6 +217,9 @@ pub fn run<A: ToSocketAddrs>(
                 epoch,
                 deltas_applied,
                 sets_resampled,
+                log_len,
+                snapshot_epoch,
+                compactions,
             }),
             _ => None,
         };

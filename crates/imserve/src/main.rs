@@ -14,13 +14,24 @@
 //! `mutate` applies deltas *incrementally* to a running server (only the
 //! dirty RR sets are resampled); `build --deltas` constructs the equivalent
 //! index *from scratch*. The two are byte-identical by construction — the CI
-//! smoke step diffs their served responses.
+//! smoke step diffs their served responses. `mutate --batch` applies the
+//! deltas atomically (one CSR rebuild, dirty-union resampling), and
+//! `compact` folds the pending log into the snapshot watermark — live over
+//! TCP or offline on an artifact file:
+//!
+//! ```text
+//! imserve mutate  --addr 127.0.0.1:7431 --batch --file script.jsonl
+//! imserve compact --addr 127.0.0.1:7431
+//! imserve compact --index karate.imx --out karate_compacted.imx
+//! imserve serve   --index karate.imx --compact-log-len 256
+//! ```
 
 use std::process::ExitCode;
 use std::sync::Arc;
 
-use imserve::cli::{self, Command, QuerySpec};
-use imserve::engine::QueryEngine;
+use imdyn::CompactionPolicy;
+use imserve::cli::{self, Command, CompactTarget, QuerySpec};
+use imserve::engine::{EngineConfig, QueryEngine};
 use imserve::index::{build_dataset_index_with_deltas, IndexArtifact};
 use imserve::loadtest::{self, LoadtestConfig};
 use imserve::protocol::{self, Request};
@@ -79,17 +90,36 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             addr,
             workers,
             cache,
+            compact_log_len,
+            compact_dirty,
         } => {
             let started = std::time::Instant::now();
             let artifact = IndexArtifact::load(&index)?;
             eprintln!(
-                "loaded index {} ({} vertices, pool {}) in {:.0}ms",
+                "loaded index {} ({} vertices, pool {}, epoch {}) in {:.0}ms",
                 artifact.meta.graph_id,
                 artifact.meta.num_vertices,
                 artifact.meta.pool_size,
+                artifact.epoch(),
                 started.elapsed().as_secs_f64() * 1e3
             );
-            let engine = Arc::new(QueryEngine::with_cache_capacity(artifact, cache));
+            let policy = CompactionPolicy {
+                max_log_len: compact_log_len,
+                max_dirty_fraction: compact_dirty,
+            };
+            if policy.is_enabled() {
+                eprintln!(
+                    "auto-compaction enabled (log-len {:?}, dirty-fraction {:?})",
+                    policy.max_log_len, policy.max_dirty_fraction
+                );
+            }
+            let engine = Arc::new(QueryEngine::with_config(
+                artifact,
+                &EngineConfig {
+                    cache_capacity: cache,
+                    compaction_policy: policy,
+                },
+            ));
             let handle = server::spawn(
                 addr.as_str(),
                 engine,
@@ -121,8 +151,17 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             }
             Ok(())
         }
-        Command::Mutate { addr, deltas } => {
-            let response = imserve::client::query_once(addr.as_str(), &Request::Mutate { deltas })?;
+        Command::Mutate {
+            addr,
+            deltas,
+            batch,
+        } => {
+            let request = if batch {
+                Request::MutateBatch { deltas }
+            } else {
+                Request::Mutate { deltas }
+            };
+            let response = imserve::client::query_once(addr.as_str(), &request)?;
             println!("{}", protocol::encode(&response)?);
             if matches!(response, imserve::protocol::Response::Error { .. }) {
                 return Err(Box::new(imserve::ServeError::Query(
@@ -131,6 +170,28 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             }
             Ok(())
         }
+        Command::Compact { target } => match target {
+            CompactTarget::Server { addr } => {
+                let response = imserve::client::query_once(addr.as_str(), &Request::Compact)?;
+                println!("{}", protocol::encode(&response)?);
+                if matches!(response, imserve::protocol::Response::Error { .. }) {
+                    return Err(Box::new(imserve::ServeError::Query(
+                        "server answered with an error".into(),
+                    )));
+                }
+                Ok(())
+            }
+            CompactTarget::File { index, out } => {
+                let mut artifact = IndexArtifact::load(&index)?;
+                let folded = artifact.compact();
+                artifact.save(&out)?;
+                eprintln!(
+                    "compacted {index}: folded {folded} deltas at epoch {} -> {out}",
+                    artifact.epoch()
+                );
+                Ok(())
+            }
+        },
         Command::Loadtest {
             addr,
             connections,

@@ -82,6 +82,24 @@ pub enum Request {
         /// The mutations to apply, in order.
         deltas: Vec<GraphDelta>,
     },
+    /// Apply a batch of graph mutations **atomically**: all deltas land or
+    /// none do, the CSR is re-materialized once for the whole batch, and the
+    /// union of dirty RR sets is resampled exactly once per set.
+    ///
+    /// Prefer this over `Mutate` for structural-delta-heavy feeds; the end
+    /// state is byte-identical, only the cost and the failure semantics
+    /// differ (an invalid delta rejects the whole batch and the epoch does
+    /// not move).
+    MutateBatch {
+        /// The mutations to apply, in order, atomically.
+        deltas: Vec<GraphDelta>,
+    },
+    /// Fold the pending delta log into the snapshot watermark now.
+    ///
+    /// Compaction is pure bookkeeping — the graph and pool are already at the
+    /// head version — so the epoch is unchanged and concurrent queries are
+    /// unaffected (readers snapshot the state behind an `Arc`).
+    Compact,
     /// Serving counters, pool dimensions and the current index epoch.
     Stats,
 }
@@ -131,6 +149,27 @@ pub enum Response {
         /// RR sets resampled by this batch.
         resampled: usize,
     },
+    /// Outcome of an atomically applied mutation batch.
+    MutateBatch {
+        /// The index epoch after the batch (total deltas ever applied).
+        epoch: u64,
+        /// Deltas applied (the whole batch; atomic batches never apply a
+        /// prefix).
+        applied: usize,
+        /// Distinct RR sets resampled (the union of the batch's dirty sets).
+        resampled: usize,
+        /// Whether the batch triggered an automatic compaction (the engine's
+        /// compaction policy fired after the batch landed).
+        compacted: bool,
+    },
+    /// Outcome of a compaction.
+    Compact {
+        /// The index epoch — unchanged by compaction, now equal to the
+        /// snapshot watermark.
+        epoch: u64,
+        /// Pending deltas folded into the watermark.
+        folded: usize,
+    },
     /// Serving counters, pool dimensions and the current index epoch.
     Stats {
         /// Total requests handled (including failed ones).
@@ -142,12 +181,20 @@ pub enum Response {
         /// RR sets in the served pool.
         pool_size: usize,
         /// Current index epoch (total deltas ever applied, including those
-        /// already in the loaded artifact's log).
+        /// already folded into the loaded artifact).
         epoch: u64,
         /// Deltas applied by *this* server process.
         deltas_applied: u64,
         /// RR sets resampled by this server process.
         sets_resampled: u64,
+        /// Pending (uncompacted) deltas in the log right now.
+        log_len: usize,
+        /// The snapshot watermark: the epoch of the last compaction (or the
+        /// watermark the index was loaded with; `0` if compaction never ran).
+        snapshot_epoch: u64,
+        /// Compactions performed by *this* server process (manual `Compact`
+        /// requests plus policy-triggered ones).
+        compactions: u64,
     },
     /// The request could not be answered.
     Error {
@@ -293,9 +340,44 @@ mod tests {
             epoch: 3,
             deltas_applied: 3,
             sets_resampled: 17,
+            log_len: 3,
+            snapshot_epoch: 0,
+            compactions: 0,
         };
         let back: Response = decode(&encode(&stats).unwrap()).unwrap();
         assert_eq!(back, stats);
+    }
+
+    #[test]
+    fn lifecycle_frames_round_trip_over_the_wire() {
+        let batch = Request::MutateBatch {
+            deltas: vec![GraphDelta::InsertEdge {
+                source: 0,
+                target: 33,
+                probability: 0.5,
+            }],
+        };
+        let back: Request = decode(&encode(&batch).unwrap()).unwrap();
+        assert_eq!(back, batch);
+
+        let back: Request = decode(&encode(&Request::Compact).unwrap()).unwrap();
+        assert_eq!(back, Request::Compact);
+
+        let response = Response::MutateBatch {
+            epoch: 5,
+            applied: 3,
+            resampled: 12,
+            compacted: true,
+        };
+        let back: Response = decode(&encode(&response).unwrap()).unwrap();
+        assert_eq!(back, response);
+
+        let response = Response::Compact {
+            epoch: 5,
+            folded: 5,
+        };
+        let back: Response = decode(&encode(&response).unwrap()).unwrap();
+        assert_eq!(back, response);
     }
 
     #[test]

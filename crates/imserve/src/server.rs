@@ -2,7 +2,7 @@
 //!
 //! Architecture: one acceptor thread owns the `TcpListener`; accepted
 //! connections are fanned out over an `mpsc` channel to a fixed pool of worker
-//! threads, each of which owns one [`EstimateScratch`] and serves its
+//! threads, each of which owns one [`im_core::EstimateScratch`] and serves its
 //! connection to completion (newline-delimited JSON, one response per request
 //! line, in order). Workers share the engine behind an `Arc`; since the index
 //! became mutable, queries take the engine's internal read lock briefly while
