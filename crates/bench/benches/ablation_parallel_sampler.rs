@@ -85,10 +85,20 @@ fn bench(c: &mut Criterion) {
     );
 
     let o_seq = time(|| {
-        black_box(InfluenceOracle::build_with_backend(&ig, 50_000, 7, seq));
+        black_box(
+            InfluenceOracle::builder(50_000)
+                .seed(7)
+                .backend(seq)
+                .sample(&ig),
+        );
     });
     let o_par = time(|| {
-        black_box(InfluenceOracle::build_with_backend(&ig, 50_000, 7, par));
+        black_box(
+            InfluenceOracle::builder(50_000)
+                .seed(7)
+                .backend(par)
+                .sample(&ig),
+        );
     });
     println!(
         "Oracle pool build (5·10^4 sets):    sequential {o_seq:.3}s  {THREADS}-thread {o_par:.3}s  speedup {:.2}x",

@@ -68,7 +68,11 @@ fn bench(c: &mut Criterion) {
 
     // The rebuild cost every mutation would pay without the subsystem.
     let started = Instant::now();
-    let rebuilt = InfluenceOracle::build_incremental(&ig, POOL, SEED, Backend::Sequential);
+    let rebuilt = InfluenceOracle::builder(POOL)
+        .seed(SEED)
+        .backend(Backend::Sequential)
+        .incremental()
+        .sample(&ig);
     let rebuild_secs = started.elapsed().as_secs_f64();
     black_box(rebuilt);
 
@@ -113,12 +117,13 @@ fn bench(c: &mut Criterion) {
     });
     group.bench_function("rebuild/full_pool", |bch| {
         bch.iter(|| {
-            black_box(InfluenceOracle::build_incremental(
-                &ig,
-                POOL / 4,
-                SEED,
-                Backend::Sequential,
-            ))
+            black_box(
+                InfluenceOracle::builder(POOL / 4)
+                    .seed(SEED)
+                    .backend(Backend::Sequential)
+                    .incremental()
+                    .sample(&ig),
+            )
         })
     });
     group.finish();

@@ -17,7 +17,10 @@ const POOL: usize = 200_000;
 
 fn bench(c: &mut Criterion) {
     let ig = Dataset::CaGrQc.influence_graph(ProbabilityModel::uc01(), 3);
-    let oracle = InfluenceOracle::build_with_backend(&ig, POOL, 11, Backend::Sequential);
+    let oracle = InfluenceOracle::builder(POOL)
+        .seed(11)
+        .backend(Backend::Sequential)
+        .sample(&ig);
     let mut scratch = oracle.scratch();
 
     // A representative query mix: singletons and multi-seed sets.

@@ -62,7 +62,7 @@ pub fn small_sweep(max_exp: u32, trials: usize) -> SweepConfig {
 #[must_use]
 pub fn small_oracle(graph: &InfluenceGraph, pool: usize) -> InfluenceOracle {
     let mut rng = imrand::default_rng(29);
-    InfluenceOracle::build(graph, pool, &mut rng)
+    InfluenceOracle::builder(pool).sample_with_rng(graph, &mut rng)
 }
 
 #[cfg(test)]

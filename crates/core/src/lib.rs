@@ -65,7 +65,7 @@ pub use exact::{exact_greedy, exact_influence};
 pub use greedy::{celf_select, greedy_select, GreedyResult};
 pub use lt_estimators::{LtOneshotEstimator, LtRisEstimator, LtSnapshotEstimator};
 pub use oneshot::OneshotEstimator;
-pub use oracle::{EstimateScratch, InfluenceOracle};
+pub use oracle::{shard_layout, EstimateScratch, InfluenceOracle, OracleBuilder, ShardRange};
 pub use ris::RisEstimator;
 pub use sampler::{Backend, SampleBudget};
 pub use seed_set::SeedSet;

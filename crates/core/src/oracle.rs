@@ -42,7 +42,7 @@ pub struct InfluenceOracle {
     pool_size: usize,
     num_vertices: usize,
     /// Present iff the pool was drawn with per-set PRNG streams
-    /// ([`InfluenceOracle::build_incremental`]), which is what makes
+    /// ([`OracleBuilder::incremental`]), which is what makes
     /// [`InfluenceOracle::apply_delta`] possible.
     incremental: Option<IncrementalState>,
     // Interior mutability is deliberately avoided: `estimate` takes `&self`
@@ -54,13 +54,308 @@ pub struct InfluenceOracle {
 }
 
 /// The extra state an incrementally maintainable pool carries: the base seed
-/// its per-set PRNG streams derive from, and one sorted vertex trace per RR
-/// set (the inverse of the posting lists), so a mutation can locate and
-/// unindex exactly the sets it dirties.
+/// its per-set PRNG streams derive from, the pool's offset into the global
+/// set-id space (zero for a whole pool, the shard's start for a pool shard),
+/// and one sorted vertex trace per RR set (the inverse of the posting
+/// lists), so a mutation can locate and unindex exactly the sets it dirties.
 #[derive(Debug, Clone)]
 struct IncrementalState {
     base_seed: u64,
+    set_id_offset: u64,
     traces: Vec<Vec<VertexId>>,
+}
+
+/// One shard's slice of a global RR-set pool: `len` sets whose PRNG streams
+/// derive from global set ids `offset..offset + len`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRange {
+    /// The shard's first global set id (its stream offset).
+    pub offset: u64,
+    /// RR sets in the shard.
+    pub len: usize,
+}
+
+/// Split a global pool of `global_pool` RR sets into `shards` contiguous
+/// shards, as balanced as possible (the first `global_pool % shards` shards
+/// get one extra set). Because every set's PRNG stream derives from its
+/// *global* id, the concatenation of the shard pools is byte-identical to
+/// the single pool drawn at the same seed — the shard-union invariant the
+/// sharded serving layer relies on.
+///
+/// # Panics
+///
+/// Panics if `shards == 0` or `global_pool < shards` (an empty shard could
+/// never answer a query).
+#[must_use]
+pub fn shard_layout(global_pool: usize, shards: usize) -> Vec<ShardRange> {
+    assert!(shards > 0, "at least one shard");
+    assert!(
+        global_pool >= shards,
+        "global pool of {global_pool} cannot feed {shards} non-empty shards"
+    );
+    let base = global_pool / shards;
+    let extra = global_pool % shards;
+    let mut ranges = Vec::with_capacity(shards);
+    let mut offset = 0u64;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        ranges.push(ShardRange { offset, len });
+        offset += len as u64;
+    }
+    ranges
+}
+
+/// The one construction path for [`InfluenceOracle`] pools.
+///
+/// The builder subsumes the former constructor sprawl
+/// (`build`/`build_with_backend`/`build_incremental`/`from_parts`):
+///
+/// * [`OracleBuilder::sample`] draws the pool from seeded batch streams —
+///   per-batch streams by default, one stream *per RR set* with
+///   [`OracleBuilder::incremental`] (the discipline that makes
+///   [`InfluenceOracle::apply_delta`] exact), optionally offset into a
+///   global set-id space with [`OracleBuilder::shard_offset`] so N shard
+///   pools union byte-identically into one pool;
+/// * [`OracleBuilder::sample_with_rng`] is the paper-faithful sequential
+///   path drawing every set from one caller-supplied stream;
+/// * [`OracleBuilder::assemble`] is the no-sampling import half of the
+///   persistence layer (posting lists in, validated oracle out).
+///
+/// ```
+/// use im_core::sampler::Backend;
+/// use im_core::InfluenceOracle;
+/// use imgraph::{DiGraph, InfluenceGraph};
+///
+/// let ig = InfluenceGraph::new(DiGraph::from_edges(3, &[(0, 1), (1, 2)]), vec![0.5; 2]);
+/// let oracle = InfluenceOracle::builder(1_000)
+///     .seed(7)
+///     .backend(Backend::Sequential)
+///     .incremental()
+///     .sample(&ig);
+/// assert!(oracle.is_incremental());
+/// ```
+#[derive(Debug, Clone)]
+pub struct OracleBuilder {
+    pool_size: usize,
+    base_seed: u64,
+    backend: Backend,
+    incremental: bool,
+    set_id_offset: u64,
+}
+
+impl OracleBuilder {
+    /// Seed of the derived PRNG streams (default `0`).
+    #[must_use]
+    pub fn seed(mut self, base_seed: u64) -> Self {
+        self.base_seed = base_seed;
+        self
+    }
+
+    /// Execution backend for the sampling loop (default sequential). The
+    /// backend only changes *where* sets are drawn, never what is drawn.
+    #[must_use]
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Draw every RR set from its **own** PRNG stream (seeded by running the
+    /// base seed and the set's global id through SplitMix64) instead of
+    /// per-batch streams. Per-set streams are what make
+    /// [`InfluenceOracle::apply_delta`] exact rather than approximate:
+    /// regenerating set `i` in isolation replays precisely the draws a
+    /// from-scratch rebuild at the same version would feed it.
+    #[must_use]
+    pub fn incremental(mut self) -> Self {
+        self.incremental = true;
+        self
+    }
+
+    /// Build this pool as a **shard** of a larger global pool: the local
+    /// sets' PRNG streams derive from global ids `offset..offset + pool`,
+    /// so shards produced from one [`shard_layout`] union byte-identically
+    /// into the single pool drawn at the same seed. Implies
+    /// [`OracleBuilder::incremental`] (a shard must stay maintainable under
+    /// the same broadcast mutations as its siblings).
+    #[must_use]
+    pub fn shard_offset(mut self, offset: u64) -> Self {
+        self.set_id_offset = offset;
+        self.incremental = true;
+        self
+    }
+
+    fn check_dimensions(&self, graph: &InfluenceGraph) -> usize {
+        assert!(self.pool_size > 0, "oracle needs a non-empty RR-set pool");
+        let n = graph.num_vertices();
+        assert!(n > 0, "oracle needs a non-empty graph");
+        assert!(
+            self.set_id_offset as u128 + self.pool_size as u128 <= u128::from(u32::MAX),
+            "pool size exceeds u32 set ids"
+        );
+        n
+    }
+
+    /// Draw the pool from the builder's seeded streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool is empty, the graph is empty, or the (offset) pool
+    /// exceeds `u32` set ids.
+    #[must_use]
+    pub fn sample(&self, graph: &InfluenceGraph) -> InfluenceOracle {
+        let n = self.check_dimensions(graph);
+        if self.incremental {
+            let base_seed = self.base_seed;
+            let offset = self.set_id_offset;
+            let members = sampler::sample_batched(
+                &SampleBudget::new(self.pool_size as u64),
+                base_seed,
+                self.backend,
+                || RrScratch::for_graph(graph),
+                |scratch, set_id, _| {
+                    // Ignore the batch stream: every set derives its own,
+                    // keyed by its *global* id.
+                    let mut rng = sampler::batch_rng(base_seed, offset + set_id);
+                    scratch.generate(graph, &mut rng).vertices
+                },
+            );
+            let mut vertex_to_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
+            let mut traces: Vec<Vec<VertexId>> = Vec::with_capacity(self.pool_size);
+            for (set_id, mut vertices) in members.into_iter().enumerate() {
+                index_rr_set(&mut vertex_to_sets, set_id as u32, &vertices);
+                // Traces are kept sorted: the canonical form reconstruction
+                // by posting-list inversion also produces (see
+                // `attach_incremental`).
+                vertices.sort_unstable();
+                traces.push(vertices);
+            }
+            InfluenceOracle {
+                vertex_to_sets,
+                pool_size: self.pool_size,
+                num_vertices: n,
+                incremental: Some(IncrementalState {
+                    base_seed,
+                    set_id_offset: offset,
+                    traces,
+                }),
+                _private: (),
+            }
+        } else {
+            // Workers return only the member lists; the posting lists are
+            // merged in deterministic batch order on the calling thread.
+            let members = sampler::sample_batched(
+                &SampleBudget::new(self.pool_size as u64),
+                self.base_seed,
+                self.backend,
+                || RrScratch::for_graph(graph),
+                |scratch, _, rng| scratch.generate(graph, rng).vertices,
+            );
+            let mut vertex_to_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
+            for (set_id, vertices) in members.into_iter().enumerate() {
+                index_rr_set(&mut vertex_to_sets, set_id as u32, &vertices);
+            }
+            InfluenceOracle {
+                vertex_to_sets,
+                pool_size: self.pool_size,
+                num_vertices: n,
+                incremental: None,
+                _private: (),
+            }
+        }
+    }
+
+    /// Draw the pool sequentially from one caller-supplied stream (the
+    /// paper-faithful discipline of the original experiments). Incompatible
+    /// with [`OracleBuilder::incremental`] / [`OracleBuilder::shard_offset`]
+    /// — a caller-owned stream cannot be replayed per set.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty pools/graphs or if the builder requested per-set
+    /// streams.
+    #[must_use]
+    pub fn sample_with_rng<R: Rng32>(
+        &self,
+        graph: &InfluenceGraph,
+        rng: &mut R,
+    ) -> InfluenceOracle {
+        assert!(
+            !self.incremental && self.set_id_offset == 0,
+            "per-set streams need a seeded build; use OracleBuilder::sample"
+        );
+        let n = self.check_dimensions(graph);
+        // Stream discipline over the shared RR-set scratch; posting lists are
+        // filled as sets are drawn so the member lists are never all held at
+        // once (pools go up to 10⁷ sets).
+        let mut vertex_to_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut scratch = RrScratch::for_graph(graph);
+        sampler::fold_stream(self.pool_size as u64, rng, (), |(), set_id, rng| {
+            let rr = scratch.generate(graph, rng);
+            index_rr_set(&mut vertex_to_sets, set_id as u32, &rr.vertices);
+        });
+        InfluenceOracle {
+            vertex_to_sets,
+            pool_size: self.pool_size,
+            num_vertices: n,
+            incremental: None,
+            _private: (),
+        }
+    }
+
+    /// Reassemble an oracle from previously exported posting lists — the
+    /// import half of the persistence layer. Validates the invariants the
+    /// query paths rely on and constructs the oracle **without any
+    /// sampling**: no graph and no random generator are involved, so loading
+    /// a persisted pool can never resample it.
+    ///
+    /// Invariants checked: the builder's pool is non-empty, at least one
+    /// vertex, every set id `< pool_size`, and every posting list strictly
+    /// increasing (the order the builders produce; `estimate` relies on it
+    /// for dedup-by-merge).
+    pub fn assemble(
+        &self,
+        num_vertices: usize,
+        vertex_to_sets: Vec<Vec<u32>>,
+    ) -> Result<InfluenceOracle, String> {
+        let pool_size = self.pool_size;
+        if pool_size == 0 {
+            return Err("oracle needs a non-empty RR-set pool".into());
+        }
+        if num_vertices == 0 {
+            return Err("oracle needs a non-empty graph".into());
+        }
+        if vertex_to_sets.len() != num_vertices {
+            return Err(format!(
+                "{} posting lists for {num_vertices} vertices",
+                vertex_to_sets.len()
+            ));
+        }
+        for (v, list) in vertex_to_sets.iter().enumerate() {
+            let mut prev: Option<u32> = None;
+            for &id in list {
+                if id as usize >= pool_size {
+                    return Err(format!(
+                        "vertex {v} references RR set {id} outside pool of {pool_size}"
+                    ));
+                }
+                if let Some(p) = prev {
+                    if id <= p {
+                        return Err(format!(
+                            "posting list of vertex {v} is not strictly increasing"
+                        ));
+                    }
+                }
+                prev = Some(id);
+            }
+        }
+        Ok(InfluenceOracle {
+            vertex_to_sets,
+            pool_size,
+            num_vertices,
+            incremental: None,
+            _private: (),
+        })
+    }
 }
 
 /// Reusable per-caller scratch for [`InfluenceOracle::estimate_with`].
@@ -97,145 +392,60 @@ impl EstimateScratch {
 }
 
 impl InfluenceOracle {
-    /// Build an oracle from `pool_size` RR sets.
+    /// Start building a pool of `pool_size` RR sets — the single entry point
+    /// for every construction path (seeded batch sampling, per-set
+    /// incremental streams, pool shards, caller-supplied streams, and
+    /// no-sampling reassembly from exported parts).
     ///
-    /// The paper uses 10⁷; the experiment harness scales the pool with the
-    /// graph size so the oracle's confidence interval stays well below the
-    /// 5 % near-optimality margin it is used to judge.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pool_size == 0` or the graph is empty.
-    pub fn build<R: Rng32>(graph: &InfluenceGraph, pool_size: usize, rng: &mut R) -> Self {
-        assert!(pool_size > 0, "oracle needs a non-empty RR-set pool");
-        let n = graph.num_vertices();
-        assert!(n > 0, "oracle needs a non-empty graph");
-        assert!(
-            pool_size <= u32::MAX as usize,
-            "pool size exceeds u32 set ids"
-        );
-
-        // Stream discipline over the shared RR-set scratch; posting lists are
-        // filled as sets are drawn so the member lists are never all held at
-        // once (pools go up to 10⁷ sets).
-        let mut vertex_to_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut scratch = RrScratch::for_graph(graph);
-        sampler::fold_stream(pool_size as u64, rng, (), |(), set_id, rng| {
-            let rr = scratch.generate(graph, rng);
-            index_rr_set(&mut vertex_to_sets, set_id as u32, &rr.vertices);
-        });
-        Self {
-            vertex_to_sets,
+    /// The paper uses 10⁷ sets; the experiment harness scales the pool with
+    /// the graph size so the oracle's confidence interval stays well below
+    /// the 5 % near-optimality margin it is used to judge.
+    #[must_use]
+    pub fn builder(pool_size: usize) -> OracleBuilder {
+        OracleBuilder {
             pool_size,
-            num_vertices: n,
-            incremental: None,
-            _private: (),
+            base_seed: 0,
+            backend: Backend::Sequential,
+            incremental: false,
+            set_id_offset: 0,
         }
     }
 
-    /// Build an oracle with the batched sampler: the pool's RR sets are drawn
-    /// from per-batch PRNG streams derived from `base_seed`, optionally across
-    /// worker threads. For a fixed `base_seed` the pool — and therefore every
-    /// oracle estimate — is identical on the sequential and parallel
-    /// [`Backend`]s. This is the recommended constructor for the paper-scale
-    /// 10⁷-set pools, whose generation is embarrassingly parallel.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pool_size == 0` or the graph is empty.
+    /// Build an oracle by drawing `pool_size` RR sets from `rng`.
+    #[deprecated(note = "use InfluenceOracle::builder(pool_size).sample_with_rng(graph, rng)")]
+    pub fn build<R: Rng32>(graph: &InfluenceGraph, pool_size: usize, rng: &mut R) -> Self {
+        Self::builder(pool_size).sample_with_rng(graph, rng)
+    }
+
+    /// Build an oracle with the batched sampler over per-batch streams.
+    #[deprecated(note = "use InfluenceOracle::builder(pool_size).seed(s).backend(b).sample(graph)")]
     pub fn build_with_backend(
         graph: &InfluenceGraph,
         pool_size: usize,
         base_seed: u64,
         backend: Backend,
     ) -> Self {
-        assert!(pool_size > 0, "oracle needs a non-empty RR-set pool");
-        let n = graph.num_vertices();
-        assert!(n > 0, "oracle needs a non-empty graph");
-        assert!(
-            pool_size <= u32::MAX as usize,
-            "pool size exceeds u32 set ids"
-        );
-
-        // Workers return only the member lists; the posting lists are merged
-        // in deterministic batch order on the calling thread.
-        let members = sampler::sample_batched(
-            &SampleBudget::new(pool_size as u64),
-            base_seed,
-            backend,
-            || RrScratch::for_graph(graph),
-            |scratch, _, rng| scratch.generate(graph, rng).vertices,
-        );
-        let mut vertex_to_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (set_id, vertices) in members.into_iter().enumerate() {
-            index_rr_set(&mut vertex_to_sets, set_id as u32, &vertices);
-        }
-        Self {
-            vertex_to_sets,
-            pool_size,
-            num_vertices: n,
-            incremental: None,
-            _private: (),
-        }
+        Self::builder(pool_size)
+            .seed(base_seed)
+            .backend(backend)
+            .sample(graph)
     }
 
-    /// Build an *incrementally maintainable* oracle: RR set `i` is drawn from
-    /// its **own** PRNG stream, seeded by running `base_seed` and the pool
-    /// index `i` through SplitMix64 (the same [`sampler::batch_rng`]
-    /// derivation the batched sampler uses for batch streams).
-    ///
-    /// Per-set streams are what make [`InfluenceOracle::apply_delta`] exact
-    /// rather than approximate: regenerating set `i` in isolation replays
-    /// precisely the draws a from-scratch rebuild at the same version would
-    /// feed it, so the maintained pool stays byte-identical to the rebuilt
-    /// one. The backend only changes *where* sets are drawn, never what is
-    /// drawn — sequential and parallel builds are byte-identical for a fixed
-    /// `base_seed`.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `pool_size == 0` or the graph is empty.
+    /// Build an *incrementally maintainable* oracle over per-set streams.
+    #[deprecated(
+        note = "use InfluenceOracle::builder(pool_size).seed(s).backend(b).incremental().sample(graph)"
+    )]
     pub fn build_incremental(
         graph: &InfluenceGraph,
         pool_size: usize,
         base_seed: u64,
         backend: Backend,
     ) -> Self {
-        assert!(pool_size > 0, "oracle needs a non-empty RR-set pool");
-        let n = graph.num_vertices();
-        assert!(n > 0, "oracle needs a non-empty graph");
-        assert!(
-            pool_size <= u32::MAX as usize,
-            "pool size exceeds u32 set ids"
-        );
-
-        let members = sampler::sample_batched(
-            &SampleBudget::new(pool_size as u64),
-            base_seed,
-            backend,
-            || RrScratch::for_graph(graph),
-            |scratch, set_id, _| {
-                // Ignore the batch stream: every set derives its own.
-                let mut rng = sampler::batch_rng(base_seed, set_id);
-                scratch.generate(graph, &mut rng).vertices
-            },
-        );
-        let mut vertex_to_sets: Vec<Vec<u32>> = vec![Vec::new(); n];
-        let mut traces: Vec<Vec<VertexId>> = Vec::with_capacity(pool_size);
-        for (set_id, mut vertices) in members.into_iter().enumerate() {
-            index_rr_set(&mut vertex_to_sets, set_id as u32, &vertices);
-            // Traces are kept sorted: the canonical form reconstruction by
-            // posting-list inversion also produces (see `attach_incremental`).
-            vertices.sort_unstable();
-            traces.push(vertices);
-        }
-        Self {
-            vertex_to_sets,
-            pool_size,
-            num_vertices: n,
-            incremental: Some(IncrementalState { base_seed, traces }),
-            _private: (),
-        }
+        Self::builder(pool_size)
+            .seed(base_seed)
+            .backend(backend)
+            .incremental()
+            .sample(graph)
     }
 
     /// Whether this pool carries the per-set state needed by
@@ -249,6 +459,14 @@ impl InfluenceOracle {
     #[must_use]
     pub fn incremental_base_seed(&self) -> Option<u64> {
         self.incremental.as_ref().map(|s| s.base_seed)
+    }
+
+    /// The pool's offset into the global set-id space: zero for a whole
+    /// pool, the shard's first global set id for a pool shard built with
+    /// [`OracleBuilder::shard_offset`]. `None` for non-incremental pools.
+    #[must_use]
+    pub fn set_id_offset(&self) -> Option<u64> {
+        self.incremental.as_ref().map(|s| s.set_id_offset)
     }
 
     /// The sorted member trace of one RR set of an incremental pool.
@@ -265,12 +483,15 @@ impl InfluenceOracle {
     /// The per-set traces are derivable from the posting lists (they are each
     /// other's inverse), so persistence never stores them: this inverts the
     /// posting lists in `O(Σ|R|)` and records `base_seed` as the stream
-    /// derivation root. The caller asserts — typically via artifact metadata
-    /// — that `base_seed` is the seed the pool was originally drawn with and
-    /// that the pool was built by [`InfluenceOracle::build_incremental`];
-    /// with a wrong seed, later [`InfluenceOracle::apply_delta`] calls would
-    /// resample dirty sets from streams a rebuild would not use.
-    pub fn attach_incremental(&mut self, base_seed: u64) {
+    /// derivation root and `set_id_offset` as the pool's position in the
+    /// global set-id space (zero for a whole pool, the shard's start for a
+    /// shard pool). The caller asserts — typically via artifact metadata —
+    /// that both match the values the pool was originally drawn with and
+    /// that the pool was built with per-set streams
+    /// ([`OracleBuilder::incremental`]); with a wrong seed or offset, later
+    /// [`InfluenceOracle::apply_delta`] calls would resample dirty sets from
+    /// streams a rebuild would not use.
+    pub fn attach_incremental(&mut self, base_seed: u64, set_id_offset: u64) {
         let mut traces: Vec<Vec<VertexId>> = vec![Vec::new(); self.pool_size];
         for (v, list) in self.vertex_to_sets.iter().enumerate() {
             for &id in list {
@@ -278,8 +499,12 @@ impl InfluenceOracle {
             }
         }
         // Iterating vertices in increasing order yields sorted traces — the
-        // same canonical form `build_incremental` stores.
-        self.incremental = Some(IncrementalState { base_seed, traces });
+        // same canonical form the incremental builder stores.
+        self.incremental = Some(IncrementalState {
+            base_seed,
+            set_id_offset,
+            traces,
+        });
     }
 
     /// Incrementally maintain the pool under one graph mutation.
@@ -302,11 +527,12 @@ impl InfluenceOracle {
         graph_after: &InfluenceGraph,
         delta: &GraphDelta,
     ) -> Result<usize, String> {
-        let base_seed = match &self.incremental {
-            Some(state) => state.base_seed,
+        let (base_seed, offset) = match &self.incremental {
+            Some(state) => (state.base_seed, state.set_id_offset),
             None => {
                 return Err(
-                    "oracle pool was not built incrementally (use build_incremental)".into(),
+                    "oracle pool was not built incrementally (use OracleBuilder::incremental)"
+                        .into(),
                 )
             }
         };
@@ -326,7 +552,7 @@ impl InfluenceOracle {
         }
 
         let dirty = self.vertex_to_sets[head as usize].clone();
-        self.resample_sets(graph_after, base_seed, &dirty);
+        self.resample_sets(graph_after, base_seed, offset, &dirty);
         Ok(dirty.len())
     }
 
@@ -355,11 +581,12 @@ impl InfluenceOracle {
         graph_after: &InfluenceGraph,
         deltas: &[GraphDelta],
     ) -> Result<usize, String> {
-        let base_seed = match &self.incremental {
-            Some(state) => state.base_seed,
+        let (base_seed, offset) = match &self.incremental {
+            Some(state) => (state.base_seed, state.set_id_offset),
             None => {
                 return Err(
-                    "oracle pool was not built incrementally (use build_incremental)".into(),
+                    "oracle pool was not built incrementally (use OracleBuilder::incremental)"
+                        .into(),
                 )
             }
         };
@@ -383,15 +610,22 @@ impl InfluenceOracle {
         }
         dirty.sort_unstable();
         dirty.dedup();
-        self.resample_sets(graph_after, base_seed, &dirty);
+        self.resample_sets(graph_after, base_seed, offset, &dirty);
         Ok(dirty.len())
     }
 
     /// Resample the given RR sets on `graph_after`, each from its own derived
-    /// stream, keeping posting lists and traces inverse to each other (the
-    /// shared core of [`InfluenceOracle::apply_delta`] and
+    /// stream (keyed by global id `offset + local id`), keeping posting lists
+    /// and traces inverse to each other (the shared core of
+    /// [`InfluenceOracle::apply_delta`] and
     /// [`InfluenceOracle::apply_delta_batch`]).
-    fn resample_sets(&mut self, graph_after: &InfluenceGraph, base_seed: u64, dirty: &[u32]) {
+    fn resample_sets(
+        &mut self,
+        graph_after: &InfluenceGraph,
+        base_seed: u64,
+        offset: u64,
+        dirty: &[u32],
+    ) {
         let mut scratch = RrScratch::for_graph(graph_after);
         for &set_id in dirty {
             // Unindex the set from the postings of its previous members.
@@ -410,7 +644,7 @@ impl InfluenceOracle {
             }
             // Regenerate the set from its own stream, exactly as a rebuild
             // at this version would.
-            let mut rng = sampler::batch_rng(base_seed, u64::from(set_id));
+            let mut rng = sampler::batch_rng(base_seed, offset + u64::from(set_id));
             let mut trace = scratch.generate(graph_after, &mut rng).vertices;
             trace.sort_unstable();
             for &v in &trace {
@@ -427,63 +661,17 @@ impl InfluenceOracle {
     }
 
     /// Reassemble an oracle from previously exported posting lists.
-    ///
-    /// This is the import half of the persistence layer: given the per-vertex
-    /// lists of pool RR-set ids (as produced by the build paths and exposed by
-    /// [`InfluenceOracle::vertex_to_sets`]), it validates the invariants the
-    /// query paths rely on and constructs the oracle **without any sampling**
-    /// — no graph and no random generator are involved, so loading a
-    /// persisted pool can never resample it.
-    ///
-    /// Invariants checked: `pool_size > 0`, at least one vertex, every set id
-    /// `< pool_size`, and every posting list strictly increasing (the order
-    /// the builders produce; `estimate` relies on it for dedup-by-merge).
+    #[deprecated(note = "use InfluenceOracle::builder(pool_size).assemble(num_vertices, lists)")]
     pub fn from_parts(
         num_vertices: usize,
         pool_size: usize,
         vertex_to_sets: Vec<Vec<u32>>,
     ) -> Result<Self, String> {
-        if pool_size == 0 {
-            return Err("oracle needs a non-empty RR-set pool".into());
-        }
-        if num_vertices == 0 {
-            return Err("oracle needs a non-empty graph".into());
-        }
-        if vertex_to_sets.len() != num_vertices {
-            return Err(format!(
-                "{} posting lists for {num_vertices} vertices",
-                vertex_to_sets.len()
-            ));
-        }
-        for (v, list) in vertex_to_sets.iter().enumerate() {
-            let mut prev: Option<u32> = None;
-            for &id in list {
-                if id as usize >= pool_size {
-                    return Err(format!(
-                        "vertex {v} references RR set {id} outside pool of {pool_size}"
-                    ));
-                }
-                if let Some(p) = prev {
-                    if id <= p {
-                        return Err(format!(
-                            "posting list of vertex {v} is not strictly increasing"
-                        ));
-                    }
-                }
-                prev = Some(id);
-            }
-        }
-        Ok(Self {
-            vertex_to_sets,
-            pool_size,
-            num_vertices,
-            incremental: None,
-            _private: (),
-        })
+        Self::builder(pool_size).assemble(num_vertices, vertex_to_sets)
     }
 
     /// The per-vertex posting lists over the RR-set pool (the export half of
-    /// the persistence layer; see [`InfluenceOracle::from_parts`]).
+    /// the persistence layer; see [`OracleBuilder::assemble`]).
     #[must_use]
     pub fn vertex_to_sets(&self) -> &[Vec<u32>] {
         &self.vertex_to_sets
@@ -567,7 +755,9 @@ impl InfluenceOracle {
                 ids_payload.remaining()
             )));
         }
-        Self::from_parts(n, pool, vertex_to_sets).map_err(BinError::Corrupt)
+        Self::builder(pool)
+            .assemble(n, vertex_to_sets)
+            .map_err(BinError::Corrupt)
     }
 
     /// Number of RR sets in the pool.
@@ -621,17 +811,31 @@ impl InfluenceOracle {
     /// Panics if `scratch` was sized for a different pool.
     #[must_use]
     pub fn estimate_with(&self, seeds: &[VertexId], scratch: &mut EstimateScratch) -> f64 {
+        let covered = self.covered_with(seeds, scratch);
+        self.num_vertices as f64 * covered as f64 / self.pool_size as f64
+    }
+
+    /// The number of distinct pool RR sets intersecting `S` — the integer
+    /// numerator of [`InfluenceOracle::estimate_with`], exposed so a sharded
+    /// deployment can merge *counts* across pool shards and re-derive the
+    /// union estimate exactly (floating-point combination of per-shard
+    /// spreads would not be byte-identical to the single-pool answer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scratch` was sized for a different pool.
+    #[must_use]
+    pub fn covered_with(&self, seeds: &[VertexId], scratch: &mut EstimateScratch) -> usize {
         assert_eq!(
             scratch.marks.len(),
             self.pool_size,
             "scratch sized for a different oracle pool"
         );
         if seeds.is_empty() {
-            return 0.0;
+            return 0;
         }
         if seeds.len() == 1 {
-            let hits = self.vertex_to_sets[seeds[0] as usize].len();
-            return self.num_vertices as f64 * hits as f64 / self.pool_size as f64;
+            return self.vertex_to_sets[seeds[0] as usize].len();
         }
         let epoch = scratch.next_epoch();
         let mut distinct = 0usize;
@@ -644,7 +848,44 @@ impl InfluenceOracle {
                 }
             }
         }
-        self.num_vertices as f64 * distinct as f64 / self.pool_size as f64
+        distinct
+    }
+
+    /// One round of greedy maximum coverage, exposed as data: given the
+    /// already-selected seed set, return every vertex's marginal coverage
+    /// gain (the number of its pool RR sets not yet covered by `selected`)
+    /// plus the covered count itself.
+    ///
+    /// This is the shard-side primitive of *distributed* greedy selection: a
+    /// router summing these integer gain vectors across pool shards and
+    /// picking the first argmax reproduces, round for round, exactly the
+    /// selection [`InfluenceOracle::greedy_seed_set`] makes on the union
+    /// pool. With `selected` empty the gains are the singleton coverage
+    /// counts, i.e. the integer form of
+    /// [`InfluenceOracle::singleton_influences`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any selected vertex is out of range.
+    #[must_use]
+    pub fn coverage_gains(&self, selected: &[VertexId]) -> (Vec<u64>, u64) {
+        let mut covered = vec![false; self.pool_size];
+        let mut covered_count = 0u64;
+        for &s in selected {
+            for &id in &self.vertex_to_sets[s as usize] {
+                let slot = &mut covered[id as usize];
+                if !*slot {
+                    *slot = true;
+                    covered_count += 1;
+                }
+            }
+        }
+        let gains = self
+            .vertex_to_sets
+            .iter()
+            .map(|list| list.iter().filter(|&&id| !covered[id as usize]).count() as u64)
+            .collect();
+        (gains, covered_count)
     }
 
     /// A scratch sized for this oracle (convenience for worker threads).
@@ -762,7 +1003,7 @@ mod tests {
     fn oracle_matches_closed_form_on_star() {
         let ig = star(0.5);
         let mut rng = Pcg32::seed_from_u64(1);
-        let oracle = InfluenceOracle::build(&ig, 100_000, &mut rng);
+        let oracle = InfluenceOracle::builder(100_000).sample_with_rng(&ig, &mut rng);
         assert!((oracle.estimate(&[0]) - 3.0).abs() < 0.05);
         assert!((oracle.estimate(&[1]) - 1.0).abs() < 0.05);
         // {0, 1}: hub covers 1 + 4·0.5 but vertex 1 is then already counted;
@@ -774,7 +1015,8 @@ mod tests {
     #[test]
     fn oracle_agrees_with_monte_carlo() {
         let ig = star(0.3);
-        let oracle = InfluenceOracle::build(&ig, 50_000, &mut Pcg32::seed_from_u64(2));
+        let oracle =
+            InfluenceOracle::builder(50_000).sample_with_rng(&ig, &mut Pcg32::seed_from_u64(2));
         let mc = monte_carlo_influence(&ig, &[0], 50_000, &mut Pcg32::seed_from_u64(3));
         let rr = oracle.estimate(&[0]);
         assert!((mc - rr).abs() < 0.1, "MC {mc} vs RR-oracle {rr}");
@@ -783,7 +1025,8 @@ mod tests {
     #[test]
     fn identical_seed_sets_get_identical_estimates() {
         let ig = star(0.5);
-        let oracle = InfluenceOracle::build(&ig, 10_000, &mut Pcg32::seed_from_u64(4));
+        let oracle =
+            InfluenceOracle::builder(10_000).sample_with_rng(&ig, &mut Pcg32::seed_from_u64(4));
         let a = oracle.estimate(&[2, 0]);
         let b = oracle.estimate_seed_set(&SeedSet::new(vec![0, 2]));
         assert_eq!(a, b, "the oracle must be a pure function of the seed set");
@@ -792,8 +1035,10 @@ mod tests {
     #[test]
     fn confidence_shrinks_with_pool_size() {
         let ig = star(0.5);
-        let small = InfluenceOracle::build(&ig, 100, &mut Pcg32::seed_from_u64(5));
-        let large = InfluenceOracle::build(&ig, 10_000, &mut Pcg32::seed_from_u64(5));
+        let small =
+            InfluenceOracle::builder(100).sample_with_rng(&ig, &mut Pcg32::seed_from_u64(5));
+        let large =
+            InfluenceOracle::builder(10_000).sample_with_rng(&ig, &mut Pcg32::seed_from_u64(5));
         assert!(large.confidence_99() < small.confidence_99());
         assert!((small.confidence_99() - 1.29 * 5.0 / 10.0).abs() < 1e-12);
         assert_eq!(large.pool_size(), 10_000);
@@ -803,7 +1048,8 @@ mod tests {
     #[test]
     fn top_influential_vertices_ranks_the_hub_first() {
         let ig = star(0.8);
-        let oracle = InfluenceOracle::build(&ig, 20_000, &mut Pcg32::seed_from_u64(6));
+        let oracle =
+            InfluenceOracle::builder(20_000).sample_with_rng(&ig, &mut Pcg32::seed_from_u64(6));
         let top = oracle.top_influential_vertices(3);
         assert_eq!(top.len(), 3);
         assert_eq!(top[0].0, 0);
@@ -817,7 +1063,8 @@ mod tests {
     #[test]
     fn expected_rr_size_matches_mean_singleton_influence() {
         let ig = star(0.5);
-        let oracle = InfluenceOracle::build(&ig, 30_000, &mut Pcg32::seed_from_u64(7));
+        let oracle =
+            InfluenceOracle::builder(30_000).sample_with_rng(&ig, &mut Pcg32::seed_from_u64(7));
         // Σ Inf(v) = 3 + 4·1 = 7, so EPT = 7/5 = 1.4.
         assert!((oracle.expected_rr_size() - 1.4).abs() < 0.05);
     }
@@ -825,7 +1072,8 @@ mod tests {
     #[test]
     fn greedy_seed_set_picks_the_hub_first() {
         let ig = star(0.8);
-        let oracle = InfluenceOracle::build(&ig, 20_000, &mut Pcg32::seed_from_u64(9));
+        let oracle =
+            InfluenceOracle::builder(20_000).sample_with_rng(&ig, &mut Pcg32::seed_from_u64(9));
         let (seeds, influence) = oracle.greedy_seed_set(2);
         assert_eq!(seeds[0], 0, "the hub dominates every leaf");
         assert_eq!(seeds.len(), 2);
@@ -841,13 +1089,14 @@ mod tests {
     #[should_panic(expected = "non-empty RR-set pool")]
     fn zero_pool_panics() {
         let ig = star(0.5);
-        let _ = InfluenceOracle::build(&ig, 0, &mut Pcg32::seed_from_u64(8));
+        let _ = InfluenceOracle::builder(0).sample_with_rng(&ig, &mut Pcg32::seed_from_u64(8));
     }
 
     #[test]
     fn estimate_with_scratch_matches_estimate() {
         let ig = star(0.5);
-        let oracle = InfluenceOracle::build(&ig, 20_000, &mut Pcg32::seed_from_u64(12));
+        let oracle =
+            InfluenceOracle::builder(20_000).sample_with_rng(&ig, &mut Pcg32::seed_from_u64(12));
         let mut scratch = oracle.scratch();
         let seed_sets: &[&[VertexId]] = &[&[], &[0], &[3], &[0, 1], &[1, 2, 3, 4], &[4, 0, 4]];
         for &seeds in seed_sets {
@@ -869,7 +1118,8 @@ mod tests {
     #[test]
     fn scratch_epoch_wrap_resets_marks() {
         let ig = star(0.5);
-        let oracle = InfluenceOracle::build(&ig, 1_000, &mut Pcg32::seed_from_u64(13));
+        let oracle =
+            InfluenceOracle::builder(1_000).sample_with_rng(&ig, &mut Pcg32::seed_from_u64(13));
         let mut scratch = oracle.scratch();
         scratch.epoch = u32::MAX - 1;
         let expected = oracle.estimate(&[0, 2]);
@@ -883,8 +1133,8 @@ mod tests {
     #[should_panic(expected = "different oracle pool")]
     fn mismatched_scratch_panics() {
         let ig = star(0.5);
-        let a = InfluenceOracle::build(&ig, 100, &mut Pcg32::seed_from_u64(14));
-        let b = InfluenceOracle::build(&ig, 200, &mut Pcg32::seed_from_u64(14));
+        let a = InfluenceOracle::builder(100).sample_with_rng(&ig, &mut Pcg32::seed_from_u64(14));
+        let b = InfluenceOracle::builder(200).sample_with_rng(&ig, &mut Pcg32::seed_from_u64(14));
         let mut scratch = a.scratch();
         let _ = b.estimate_with(&[0], &mut scratch);
     }
@@ -892,7 +1142,10 @@ mod tests {
     #[test]
     fn pool_round_trips_through_bytes() {
         let ig = star(0.7);
-        let oracle = InfluenceOracle::build_with_backend(&ig, 5_000, 21, Backend::Sequential);
+        let oracle = InfluenceOracle::builder(5_000)
+            .seed(21)
+            .backend(Backend::Sequential)
+            .sample(&ig);
         let bytes = oracle.to_bytes();
         let back = InfluenceOracle::from_bytes(&bytes).expect("round trip");
         assert_eq!(back.pool_size(), oracle.pool_size());
@@ -909,7 +1162,8 @@ mod tests {
     #[test]
     fn pool_corruption_and_truncation_are_typed_errors() {
         let ig = star(0.7);
-        let oracle = InfluenceOracle::build(&ig, 500, &mut Pcg32::seed_from_u64(15));
+        let oracle =
+            InfluenceOracle::builder(500).sample_with_rng(&ig, &mut Pcg32::seed_from_u64(15));
         let bytes = oracle.to_bytes();
         for cut in [0, 7, 16, bytes.len() / 2, bytes.len() - 1] {
             assert!(InfluenceOracle::from_bytes(&bytes[..cut]).is_err());
@@ -926,9 +1180,16 @@ mod tests {
     #[test]
     fn incremental_build_is_backend_independent_and_carries_traces() {
         let ig = star(0.5);
-        let seq = InfluenceOracle::build_incremental(&ig, 3_000, 11, Backend::Sequential);
-        let par =
-            InfluenceOracle::build_incremental(&ig, 3_000, 11, Backend::Parallel { threads: 4 });
+        let seq = InfluenceOracle::builder(3_000)
+            .seed(11)
+            .backend(Backend::Sequential)
+            .incremental()
+            .sample(&ig);
+        let par = InfluenceOracle::builder(3_000)
+            .seed(11)
+            .backend(Backend::Parallel { threads: 4 })
+            .incremental()
+            .sample(&ig);
         assert_eq!(seq.to_bytes(), par.to_bytes());
         assert!(seq.is_incremental());
         assert_eq!(seq.incremental_base_seed(), Some(11));
@@ -941,19 +1202,27 @@ mod tests {
             }
         }
         // The classic builders carry no incremental state.
-        assert!(!InfluenceOracle::build(&ig, 100, &mut Pcg32::seed_from_u64(1)).is_incremental());
-        assert!(
-            !InfluenceOracle::build_with_backend(&ig, 100, 1, Backend::Sequential).is_incremental()
-        );
+        assert!(!InfluenceOracle::builder(100)
+            .sample_with_rng(&ig, &mut Pcg32::seed_from_u64(1))
+            .is_incremental());
+        assert!(!InfluenceOracle::builder(100)
+            .seed(1)
+            .backend(Backend::Sequential)
+            .sample(&ig)
+            .is_incremental());
     }
 
     #[test]
     fn attach_incremental_reconstructs_the_native_traces() {
         let ig = star(0.4);
-        let native = InfluenceOracle::build_incremental(&ig, 2_000, 5, Backend::Sequential);
+        let native = InfluenceOracle::builder(2_000)
+            .seed(5)
+            .backend(Backend::Sequential)
+            .incremental()
+            .sample(&ig);
         let mut reloaded = InfluenceOracle::from_bytes(&native.to_bytes()).unwrap();
         assert!(!reloaded.is_incremental());
-        reloaded.attach_incremental(5);
+        reloaded.attach_incremental(5, 0);
         for set_id in 0..2_000u32 {
             assert_eq!(reloaded.trace(set_id), native.trace(set_id));
         }
@@ -964,7 +1233,11 @@ mod tests {
         use imgraph::MutableInfluenceGraph;
         let ig = star(0.5);
         let mut mutable = MutableInfluenceGraph::from_graph(&ig);
-        let mut oracle = InfluenceOracle::build_incremental(&ig, 2_500, 21, Backend::Sequential);
+        let mut oracle = InfluenceOracle::builder(2_500)
+            .seed(21)
+            .backend(Backend::Sequential)
+            .incremental()
+            .sample(&ig);
 
         let deltas = [
             GraphDelta::InsertEdge {
@@ -991,8 +1264,11 @@ mod tests {
             mutable.apply(delta).unwrap();
             let after = mutable.materialize();
             let resampled = oracle.apply_delta(&after, delta).unwrap();
-            let rebuilt =
-                InfluenceOracle::build_incremental(&after, 2_500, 21, Backend::Sequential);
+            let rebuilt = InfluenceOracle::builder(2_500)
+                .seed(21)
+                .backend(Backend::Sequential)
+                .incremental()
+                .sample(&after);
             assert_eq!(
                 oracle.to_bytes(),
                 rebuilt.to_bytes(),
@@ -1042,7 +1318,11 @@ mod tests {
         ];
 
         let mut mutable = MutableInfluenceGraph::from_graph(&ig);
-        let mut batched = InfluenceOracle::build_incremental(&ig, 2_500, 21, Backend::Sequential);
+        let mut batched = InfluenceOracle::builder(2_500)
+            .seed(21)
+            .backend(Backend::Sequential)
+            .incremental()
+            .sample(&ig);
         let mut per_delta = batched.clone();
 
         // Per-delta reference: resample after every single delta.
@@ -1056,7 +1336,11 @@ mod tests {
 
         // Batched path: one resample of the dirty union on the final graph.
         let resampled = batched.apply_delta_batch(&after, &deltas).unwrap();
-        let rebuilt = InfluenceOracle::build_incremental(&after, 2_500, 21, Backend::Sequential);
+        let rebuilt = InfluenceOracle::builder(2_500)
+            .seed(21)
+            .backend(Backend::Sequential)
+            .incremental()
+            .sample(&after);
         assert_eq!(batched.to_bytes(), rebuilt.to_bytes());
         assert_eq!(batched.to_bytes(), per_delta.to_bytes());
         // The union never exceeds the per-delta total (shared heads dedup).
@@ -1074,7 +1358,8 @@ mod tests {
         };
         assert!(batched.apply_delta_batch(&after, &[out_of_range]).is_err());
         assert_eq!(batched.to_bytes(), before);
-        let mut plain = InfluenceOracle::build(&ig, 100, &mut Pcg32::seed_from_u64(2));
+        let mut plain =
+            InfluenceOracle::builder(100).sample_with_rng(&ig, &mut Pcg32::seed_from_u64(2));
         assert!(plain.apply_delta_batch(&ig, &deltas).is_err());
     }
 
@@ -1086,10 +1371,15 @@ mod tests {
             target: 1,
             probability: 0.9,
         };
-        let mut plain = InfluenceOracle::build(&ig, 100, &mut Pcg32::seed_from_u64(2));
+        let mut plain =
+            InfluenceOracle::builder(100).sample_with_rng(&ig, &mut Pcg32::seed_from_u64(2));
         assert!(plain.apply_delta(&ig, &delta).is_err());
 
-        let mut incremental = InfluenceOracle::build_incremental(&ig, 100, 2, Backend::Sequential);
+        let mut incremental = InfluenceOracle::builder(100)
+            .seed(2)
+            .backend(Backend::Sequential)
+            .incremental()
+            .sample(&ig);
         let smaller = {
             let edges: Vec<_> = (1..3u32).map(|v| (0, v)).collect();
             InfluenceGraph::new(imgraph::DiGraph::from_edges(3, &edges), vec![0.5; 2])
@@ -1105,16 +1395,201 @@ mod tests {
     #[test]
     fn from_parts_validates_invariants() {
         // Valid: two vertices, pool of 3.
-        let ok = InfluenceOracle::from_parts(2, 3, vec![vec![0, 2], vec![1]]);
+        let ok = InfluenceOracle::builder(3).assemble(2, vec![vec![0, 2], vec![1]]);
         assert!(ok.is_ok());
         // Set id out of range.
-        assert!(InfluenceOracle::from_parts(2, 3, vec![vec![3], vec![]]).is_err());
+        assert!(InfluenceOracle::builder(3)
+            .assemble(2, vec![vec![3], vec![]])
+            .is_err());
         // Not strictly increasing.
-        assert!(InfluenceOracle::from_parts(2, 3, vec![vec![1, 1], vec![]]).is_err());
+        assert!(InfluenceOracle::builder(3)
+            .assemble(2, vec![vec![1, 1], vec![]])
+            .is_err());
         // Wrong list count.
-        assert!(InfluenceOracle::from_parts(2, 3, vec![vec![0]]).is_err());
+        assert!(InfluenceOracle::builder(3)
+            .assemble(2, vec![vec![0]])
+            .is_err());
         // Degenerate dimensions.
-        assert!(InfluenceOracle::from_parts(0, 3, vec![]).is_err());
-        assert!(InfluenceOracle::from_parts(2, 0, vec![vec![], vec![]]).is_err());
+        assert!(InfluenceOracle::builder(3).assemble(0, vec![]).is_err());
+        assert!(InfluenceOracle::builder(0)
+            .assemble(2, vec![vec![], vec![]])
+            .is_err());
+    }
+
+    /// The deprecated constructors forward to the builder without changing a
+    /// single sampled byte (external callers relying on them keep working).
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_constructors_forward_to_the_builder() {
+        let ig = star(0.5);
+        assert_eq!(
+            InfluenceOracle::build(&ig, 500, &mut Pcg32::seed_from_u64(3)).to_bytes(),
+            InfluenceOracle::builder(500)
+                .sample_with_rng(&ig, &mut Pcg32::seed_from_u64(3))
+                .to_bytes()
+        );
+        assert_eq!(
+            InfluenceOracle::build_with_backend(&ig, 500, 9, Backend::Sequential).to_bytes(),
+            InfluenceOracle::builder(500)
+                .seed(9)
+                .backend(Backend::Sequential)
+                .sample(&ig)
+                .to_bytes()
+        );
+        assert_eq!(
+            InfluenceOracle::build_incremental(&ig, 500, 9, Backend::Sequential).to_bytes(),
+            InfluenceOracle::builder(500)
+                .seed(9)
+                .backend(Backend::Sequential)
+                .incremental()
+                .sample(&ig)
+                .to_bytes()
+        );
+        assert!(InfluenceOracle::from_parts(2, 3, vec![vec![0], vec![1]]).is_ok());
+    }
+
+    #[test]
+    fn shard_layout_balances_and_covers_the_pool() {
+        let ranges = shard_layout(10, 3);
+        assert_eq!(
+            ranges,
+            vec![
+                ShardRange { offset: 0, len: 4 },
+                ShardRange { offset: 4, len: 3 },
+                ShardRange { offset: 7, len: 3 },
+            ]
+        );
+        let total: usize = ranges.iter().map(|r| r.len).sum();
+        assert_eq!(total, 10);
+        // Exact split when divisible.
+        for (i, r) in shard_layout(8, 4).iter().enumerate() {
+            assert_eq!(r.len, 2);
+            assert_eq!(r.offset, 2 * i as u64);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot feed")]
+    fn shard_layout_rejects_more_shards_than_sets() {
+        let _ = shard_layout(2, 3);
+    }
+
+    /// The shard-union invariant: N shard pools built from one
+    /// [`shard_layout`] are, set for set, byte-identical slices of the single
+    /// pool built at the same seed — including after a broadcast mutation.
+    #[test]
+    fn shard_pools_union_byte_identically_into_the_single_pool() {
+        use imgraph::MutableInfluenceGraph;
+        let ig = star(0.5);
+        const POOL: usize = 2_000;
+        let single = InfluenceOracle::builder(POOL)
+            .seed(21)
+            .incremental()
+            .sample(&ig);
+        let mut shards: Vec<InfluenceOracle> = shard_layout(POOL, 3)
+            .into_iter()
+            .map(|r| {
+                InfluenceOracle::builder(r.len)
+                    .seed(21)
+                    .shard_offset(r.offset)
+                    .sample(&ig)
+            })
+            .collect();
+
+        let check_union = |single: &InfluenceOracle, shards: &[InfluenceOracle]| {
+            let mut global = 0u32;
+            for shard in shards {
+                assert_eq!(shard.set_id_offset(), Some(u64::from(global)));
+                for local in 0..shard.pool_size() as u32 {
+                    assert_eq!(
+                        shard.trace(local),
+                        single.trace(global),
+                        "set {global} must be identical in shard and single pool"
+                    );
+                    global += 1;
+                }
+            }
+            assert_eq!(global as usize, single.pool_size());
+            // Covered counts add up across shards for any seed set.
+            let mut scratch = single.scratch();
+            let mut shard_scratches: Vec<_> = shards.iter().map(InfluenceOracle::scratch).collect();
+            for seeds in [vec![0u32], vec![0, 2], vec![1, 3, 4]] {
+                let total: usize = shards
+                    .iter()
+                    .zip(&mut shard_scratches)
+                    .map(|(s, sc)| s.covered_with(&seeds, sc))
+                    .sum();
+                assert_eq!(total, single.covered_with(&seeds, &mut scratch));
+            }
+            // Gain vectors sum elementwise to the single pool's gains.
+            for selected in [vec![], vec![0u32], vec![0, 1]] {
+                let (single_gains, single_covered) = single.coverage_gains(&selected);
+                let mut sum = vec![0u64; single.num_vertices()];
+                let mut covered = 0u64;
+                for s in shards {
+                    let (g, c) = s.coverage_gains(&selected);
+                    for (acc, x) in sum.iter_mut().zip(g) {
+                        *acc += x;
+                    }
+                    covered += c;
+                }
+                assert_eq!(sum, single_gains);
+                assert_eq!(covered, single_covered);
+            }
+        };
+        check_union(&single, &shards);
+
+        // Broadcast the same mutation everywhere: the invariant must hold at
+        // the mutated version too (shard streams replay their global ids).
+        let mut mutable = MutableInfluenceGraph::from_graph(&ig);
+        let delta = GraphDelta::InsertEdge {
+            source: 2,
+            target: 0,
+            probability: 0.7,
+        };
+        mutable.apply(&delta).unwrap();
+        let after = mutable.materialize();
+        let mut single = single;
+        single.apply_delta(&after, &delta).unwrap();
+        for shard in &mut shards {
+            shard.apply_delta(&after, &delta).unwrap();
+        }
+        check_union(&single, &shards);
+    }
+
+    #[test]
+    fn covered_with_and_coverage_gains_match_the_estimators() {
+        let ig = star(0.5);
+        let oracle = InfluenceOracle::builder(5_000)
+            .seed(13)
+            .incremental()
+            .sample(&ig);
+        let mut scratch = oracle.scratch();
+        for seeds in [vec![], vec![0u32], vec![0, 1], vec![1, 2, 3, 4]] {
+            let covered = oracle.covered_with(&seeds, &mut scratch);
+            assert_eq!(
+                oracle.estimate(&seeds),
+                oracle.num_vertices() as f64 * covered as f64 / oracle.pool_size() as f64
+            );
+        }
+        // Empty selection: gains are the singleton coverage counts.
+        let (gains, covered) = oracle.coverage_gains(&[]);
+        assert_eq!(covered, 0);
+        for (v, &g) in gains.iter().enumerate() {
+            assert_eq!(g as usize, oracle.vertex_to_sets()[v].len());
+        }
+        // One greedy round driven by gains equals greedy_seed_set's pick.
+        let first = gains
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(v, _)| v as u32)
+            .unwrap();
+        assert_eq!(oracle.greedy_seed_set(1).0, vec![first]);
+        // Gains given the first pick never exceed the unconditional gains.
+        let (gains_after, covered_after) = oracle.coverage_gains(&[first]);
+        assert_eq!(covered_after, gains[first as usize]);
+        assert!(gains_after.iter().zip(&gains).all(|(a, b)| a <= b));
+        assert_eq!(gains_after[first as usize], 0);
     }
 }

@@ -48,7 +48,8 @@ fn estimate_with_performs_zero_allocations_per_query() {
     }
     let probs = vec![0.2; edges.len()];
     let graph = InfluenceGraph::new(DiGraph::from_edges(n as usize, &edges), probs);
-    let oracle = InfluenceOracle::build(&graph, 50_000, &mut Pcg32::seed_from_u64(42));
+    let oracle =
+        InfluenceOracle::builder(50_000).sample_with_rng(&graph, &mut Pcg32::seed_from_u64(42));
     let mut scratch = oracle.scratch();
 
     let seed_sets: Vec<Vec<u32>> = vec![

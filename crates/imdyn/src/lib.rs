@@ -104,6 +104,25 @@ pub struct BatchOutcome {
     pub materialized: bool,
 }
 
+/// One maintained pool's position in the epoch timeline: where its snapshot
+/// watermark sits, how many deltas are still pending in the log, and the
+/// resulting epoch.
+///
+/// This is the unit of *shard-aware* epoch reporting: a sharded service
+/// broadcasts every mutation to all pool shards, so their reports must stay
+/// in lockstep — any divergence between shards' `EpochReport`s means a
+/// broadcast was torn and the union invariant no longer holds. The serving
+/// layer aggregates one report per shard and compares them field by field.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochReport {
+    /// Total deltas ever applied (`snapshot_epoch + log_len`).
+    pub epoch: u64,
+    /// Deltas folded away by compactions (the snapshot watermark).
+    pub snapshot_epoch: u64,
+    /// Deltas still pending in the delta log.
+    pub log_len: usize,
+}
+
 /// What one [`DynamicOracle::compact`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompactionOutcome {
@@ -296,7 +315,11 @@ impl DynamicOracle {
         base_seed: u64,
         backend: Backend,
     ) -> Self {
-        let oracle = InfluenceOracle::build_incremental(&graph, pool_size, base_seed, backend);
+        let oracle = InfluenceOracle::builder(pool_size)
+            .seed(base_seed)
+            .backend(backend)
+            .incremental()
+            .sample(&graph);
         Self {
             mutable: MutableInfluenceGraph::from_graph(&graph),
             graph,
@@ -552,6 +575,18 @@ impl DynamicOracle {
         self.snapshot_epoch
     }
 
+    /// The pool's position in the epoch timeline as one comparable value —
+    /// the unit a sharded deployment uses to verify its shards stayed in
+    /// lockstep (see [`EpochReport`]).
+    #[must_use]
+    pub fn epoch_report(&self) -> EpochReport {
+        EpochReport {
+            epoch: self.epoch(),
+            snapshot_epoch: self.snapshot_epoch,
+            log_len: self.log.len(),
+        }
+    }
+
     /// The influence graph at the current epoch.
     #[must_use]
     pub fn graph(&self) -> &InfluenceGraph {
@@ -599,17 +634,17 @@ impl DynamicOracle {
     }
 
     /// Build the reference pool: a from-scratch incremental build on the
-    /// current graph at the same seed. This is the right-hand side of the
-    /// crate's correctness contract (and costs a full resample — use it for
+    /// current graph at the same seed (and, for a pool shard, the same
+    /// global stream offset). This is the right-hand side of the crate's
+    /// correctness contract (and costs a full resample — use it for
     /// verification, not serving).
     #[must_use]
     pub fn rebuild_from_scratch(&self) -> InfluenceOracle {
-        InfluenceOracle::build_incremental(
-            &self.graph,
-            self.pool_size(),
-            self.base_seed(),
-            Backend::Sequential,
-        )
+        InfluenceOracle::builder(self.pool_size())
+            .seed(self.base_seed())
+            .backend(Backend::Sequential)
+            .shard_offset(self.oracle.set_id_offset().unwrap_or(0))
+            .sample(&self.graph)
     }
 
     /// Verify the correctness contract: the maintained pool serializes to
@@ -887,13 +922,16 @@ mod tests {
     #[test]
     fn from_parts_requires_incremental_state_and_matching_dimensions() {
         let graph = star(0.5);
-        let plain = InfluenceOracle::build_with_backend(&graph, 100, 1, Backend::Sequential);
+        let plain = InfluenceOracle::builder(100)
+            .seed(1)
+            .backend(Backend::Sequential)
+            .sample(&graph);
         assert!(
             DynamicOracle::from_parts(graph.clone(), plain.clone(), DeltaLog::new(), 0).is_err()
         );
 
         let mut attached = plain;
-        attached.attach_incremental(1);
+        attached.attach_incremental(1, 0);
         let dynamic =
             DynamicOracle::from_parts(graph.clone(), attached.clone(), DeltaLog::new(), 0)
                 .expect("incremental state attached");

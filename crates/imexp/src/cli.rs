@@ -47,6 +47,11 @@ pub enum Cli {
         /// Output path of the artifact.
         out: String,
     },
+    /// `imexp loadtest --backend local|remote|sharded:N [--dataset …]
+    /// [--model …] [--pool …] [--seed …] [--connections …] [--requests …]
+    /// [--k …]`: run the same workload through one `InfluenceService`
+    /// backend (with byte-identity verification for `sharded:N`).
+    Loadtest(crate::loadtest::LoadtestSpec),
 }
 
 fn parse_scale(value: &str) -> Result<ExperimentScale, CliError> {
@@ -67,6 +72,9 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
     };
     if command == "index" {
         return parse_index(&args[1..]);
+    }
+    if command == "loadtest" {
+        return parse_loadtest(&args[1..]);
     }
 
     let mut scale = ExperimentScale::Quick;
@@ -136,6 +144,76 @@ fn parse_index(args: &[String]) -> Result<Cli, CliError> {
         seed,
         out: out.ok_or_else(|| CliError("index requires --out".to_string()))?,
     })
+}
+
+fn parse_loadtest(args: &[String]) -> Result<Cli, CliError> {
+    use imserve::loadtest::LoadtestConfig;
+    use imserve::service::BackendSpec;
+
+    let mut backend: Option<BackendSpec> = None;
+    let mut dataset = "karate".to_string();
+    let mut model = "uc0.1".to_string();
+    let mut pool = 20_000usize;
+    let mut seed = 7u64;
+    let mut config = LoadtestConfig {
+        connections: 2,
+        requests_per_connection: 100,
+        ..LoadtestConfig::default()
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--backend" => {
+                backend = Some(
+                    BackendSpec::parse(take_value("--backend", args, &mut i)?)
+                        .map_err(|e| CliError(e.to_string()))?,
+                );
+            }
+            "--dataset" => dataset = take_value("--dataset", args, &mut i)?.to_string(),
+            "--model" => model = take_value("--model", args, &mut i)?.to_string(),
+            "--pool" => pool = parse_number("--pool", take_value("--pool", args, &mut i)?)?,
+            "--seed" => seed = parse_number("--seed", take_value("--seed", args, &mut i)?)?,
+            "--connections" => {
+                config.connections =
+                    parse_number("--connections", take_value("--connections", args, &mut i)?)?;
+            }
+            "--requests" => {
+                config.requests_per_connection =
+                    parse_number("--requests", take_value("--requests", args, &mut i)?)?;
+            }
+            "--k" => config.k = parse_number("--k", take_value("--k", args, &mut i)?)?,
+            other => return Err(CliError(format!("unknown option {other:?} for loadtest"))),
+        }
+        i += 1;
+    }
+    if pool == 0 {
+        return Err(CliError("--pool must be positive".to_string()));
+    }
+    for (flag, value) in [
+        ("--connections", config.connections),
+        ("--requests", config.requests_per_connection),
+        ("--k", config.k),
+    ] {
+        if value == 0 {
+            return Err(CliError(format!("{flag} must be positive")));
+        }
+    }
+    if let Some(BackendSpec::Sharded(count)) = backend {
+        if pool < count {
+            return Err(CliError(format!(
+                "--pool {pool} cannot feed {count} non-empty shards"
+            )));
+        }
+    }
+    Ok(Cli::Loadtest(crate::loadtest::LoadtestSpec {
+        backend: backend
+            .ok_or_else(|| CliError("loadtest requires --backend local|remote|sharded:N".into()))?,
+        dataset,
+        model,
+        pool,
+        seed,
+        config,
+    }))
 }
 
 #[cfg(test)]

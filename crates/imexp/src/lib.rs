@@ -15,7 +15,10 @@
 //!
 //! The `imexp` binary exposes every driver on the command line
 //! (`imexp fig1 --quick`), and the Criterion benches in `crates/bench` call
-//! the same drivers.
+//! the same drivers. [`loadtest`] additionally drives the unified
+//! `InfluenceService` surface: the same workload against the local, remote
+//! and sharded backends (`imexp loadtest --backend sharded:2`), with
+//! byte-identity verification of the sharded merge.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +26,7 @@
 pub mod cli;
 pub mod config;
 pub mod experiments;
+pub mod loadtest;
 pub mod report;
 pub mod runner;
 

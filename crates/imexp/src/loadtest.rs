@@ -1,0 +1,196 @@
+//! `imexp loadtest` — one workload, every backend.
+//!
+//! The point of the unified [`InfluenceService`] trait is that backends are
+//! interchangeable; this driver proves it operationally. It builds the
+//! requested fixture once, opens the requested backend —
+//!
+//! * `local`      — an in-process engine behind [`LocalService`];
+//! * `remote`     — the same engine served over TCP on an ephemeral port,
+//!   queried through [`RemoteService`] (protocol v2);
+//! * `sharded:N`  — the same *global* pool cut into `N` shard engines
+//!   behind a [`ShardedService`] router —
+//!
+//! and then pushes the identical deterministic request stream through the
+//! trait. For the sharded backend it additionally verifies the merge
+//! soundness acceptance bar: a probe set of `Estimate` and `TopK` requests
+//! must come back **bit-identical** (spreads compared by `f64::to_bits`) to
+//! the single-pool local backend.
+
+use std::sync::Arc;
+
+use imnet::chung_lu::ChungLu;
+use imserve::engine::QueryEngine;
+use imserve::index::{parse_dataset, parse_model, IndexArtifact};
+use imserve::loadtest::{run_service, LoadtestConfig, LoadtestReport};
+use imserve::protocol::TopKAlgorithm;
+use imserve::service::{BackendSpec, InfluenceService, LocalService, ServiceError};
+use imserve::shard::ShardedService;
+use imserve::{server, RemoteService, ServerConfig, ServerHandle};
+
+/// Everything `imexp loadtest` needs to run one backend comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadtestSpec {
+    /// Which backend to drive.
+    pub backend: BackendSpec,
+    /// Fixture name: a registry dataset (`karate`, `ba-s`, …) or the
+    /// synthetic `chung-lu` power-law fixture.
+    pub dataset: String,
+    /// Probability-model label.
+    pub model: String,
+    /// Global RR-set pool size (split across shards for `sharded:N`).
+    pub pool: usize,
+    /// Base seed of the pool sample.
+    pub seed: u64,
+    /// Workload shape.
+    pub config: LoadtestConfig,
+}
+
+/// The built fixture: a labelled influence graph.
+fn fixture_graph(
+    dataset: &str,
+    model_label: &str,
+    seed: u64,
+) -> Result<(String, String, imgraph::InfluenceGraph), ServiceError> {
+    let model = parse_model(model_label)?;
+    let normalized = dataset.to_ascii_lowercase().replace('_', "-");
+    if normalized == "chung-lu" || normalized == "chunglu" {
+        // The bench family's power-law fixture, sized for CI: ~2k vertices,
+        // ~6k expected edges, Table-3-like exponents. Deterministic per
+        // seed.
+        let graph = ChungLu::power_law(2_000, 6_000, 2.3, 2.3, 0.01)
+            .generate(&mut imrand::default_rng(seed));
+        return Ok(("ChungLu".to_string(), model.label(), model.assign(&graph)));
+    }
+    let ds = parse_dataset(dataset)?;
+    Ok((
+        ds.name().to_string(),
+        model.label(),
+        ds.influence_graph(model, seed),
+    ))
+}
+
+/// A backend plus whatever keeps it alive (server handle, shard engines).
+struct Backend {
+    service: Box<dyn InfluenceService>,
+    /// Held so an ephemeral server outlives the run.
+    server: Option<ServerHandle>,
+}
+
+impl Drop for Backend {
+    fn drop(&mut self) {
+        if let Some(handle) = self.server.take() {
+            handle.shutdown();
+        }
+    }
+}
+
+fn whole_pool_engine(spec: &LoadtestSpec) -> Result<Arc<QueryEngine>, ServiceError> {
+    let (graph_id, model, graph) = fixture_graph(&spec.dataset, &spec.model, spec.seed)?;
+    let artifact = IndexArtifact::build(&graph_id, &model, graph, spec.pool, spec.seed);
+    Ok(Arc::new(
+        QueryEngine::builder(artifact)
+            .build()
+            .map_err(ServiceError::from)?,
+    ))
+}
+
+fn open_backend(spec: &LoadtestSpec) -> Result<Backend, ServiceError> {
+    match spec.backend {
+        BackendSpec::Local => Ok(Backend {
+            service: Box::new(LocalService::new(whole_pool_engine(spec)?)),
+            server: None,
+        }),
+        BackendSpec::Remote => {
+            let engine = whole_pool_engine(spec)?;
+            let handle = server::spawn(
+                "127.0.0.1:0",
+                engine,
+                &ServerConfig {
+                    workers: 2,
+                    ..ServerConfig::default()
+                },
+            )
+            .map_err(ServiceError::from)?;
+            let service = RemoteService::connect(handle.addr())?;
+            Ok(Backend {
+                service: Box::new(service),
+                server: Some(handle),
+            })
+        }
+        BackendSpec::Sharded(count) => {
+            let (graph_id, model, graph) = fixture_graph(&spec.dataset, &spec.model, spec.seed)?;
+            let mut shards = Vec::with_capacity(count);
+            for index in 0..count {
+                let artifact = IndexArtifact::build_shard(
+                    &graph_id,
+                    &model,
+                    graph.clone(),
+                    spec.pool,
+                    spec.seed,
+                    index,
+                    count,
+                );
+                let engine = Arc::new(
+                    QueryEngine::builder(artifact)
+                        .build()
+                        .map_err(ServiceError::from)?,
+                );
+                shards.push(LocalService::new(engine));
+            }
+            Ok(Backend {
+                service: Box::new(ShardedService::new(shards)?),
+                server: None,
+            })
+        }
+    }
+}
+
+/// The deterministic probe set of the byte-identity check: a spread of seed
+/// sets plus both `TopK` algorithms.
+fn verify_against_local(
+    spec: &LoadtestSpec,
+    sharded: &mut dyn InfluenceService,
+) -> Result<usize, ServiceError> {
+    let mut local = LocalService::new(whole_pool_engine(spec)?);
+    let n = local.info()?.num_vertices as u32;
+    let mut checked = 0usize;
+    let mut probes: Vec<Vec<u32>> = vec![vec![0], vec![n - 1], vec![0, n / 2, n - 1]];
+    for p in 0..8u32 {
+        probes.push(vec![(p * 7) % n, (p * 13 + 1) % n]);
+    }
+    for seeds in probes {
+        let a = local.estimate(&seeds)?;
+        let b = sharded.estimate(&seeds)?;
+        if a.spread.to_bits() != b.spread.to_bits() || a.covered != b.covered || a.pool != b.pool {
+            return Err(ServiceError::Shard(format!(
+                "estimate({seeds:?}) diverged: local {a:?} vs sharded {b:?}"
+            )));
+        }
+        checked += 1;
+    }
+    for algorithm in [TopKAlgorithm::Greedy, TopKAlgorithm::SingletonRank] {
+        let a = local.top_k(spec.config.k, algorithm)?;
+        let b = sharded.top_k(spec.config.k, algorithm)?;
+        if a.seeds != b.seeds || a.spread.to_bits() != b.spread.to_bits() {
+            return Err(ServiceError::Shard(format!(
+                "top_k({}, {algorithm}) diverged: local {a:?} vs sharded {b:?}",
+                spec.config.k
+            )));
+        }
+        checked += 1;
+    }
+    Ok(checked)
+}
+
+/// Run the workload (and, for `sharded:N`, the byte-identity verification),
+/// returning the printable report.
+pub fn run(spec: &LoadtestSpec) -> Result<(LoadtestReport, Option<usize>), ServiceError> {
+    let mut backend = open_backend(spec)?;
+    let report = run_service(&mut backend.service, &spec.config)?;
+    let verified = if matches!(spec.backend, BackendSpec::Sharded(_)) {
+        Some(verify_against_local(spec, &mut *backend.service)?)
+    } else {
+        None
+    };
+    Ok((report, verified))
+}

@@ -21,7 +21,9 @@ use imexp::experiments::{experiment_names, run_by_name};
 fn print_usage() {
     eprintln!(
         "usage: imexp <experiment|all|list> [--scale quick|standard|paper] [--json]\n\
-         \u{20}      imexp index <dataset> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] --out <path>"
+         \u{20}      imexp index <dataset> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] --out <path>\n\
+         \u{20}      imexp loadtest --backend local|remote|sharded:N [--dataset <name>|chung-lu] \
+         [--model M] [--pool N] [--seed S] [--connections N] [--requests N] [--k K]"
     );
     eprintln!("experiments: {}", experiment_names().join(", "));
 }
@@ -98,6 +100,27 @@ fn main() -> ExitCode {
                 artifact.meta.graph_id, artifact.meta.model, artifact.meta.pool_size, out
             );
             ExitCode::SUCCESS
+        }
+        Cli::Loadtest(spec) => {
+            eprintln!(
+                "loadtest: backend {} over {}/{} (pool {}, seed {})",
+                spec.backend, spec.dataset, spec.model, spec.pool, spec.seed
+            );
+            match imexp::loadtest::run(&spec) {
+                Ok((report, verified)) => {
+                    println!("{report}");
+                    if let Some(checked) = verified {
+                        println!(
+                            "sharded ≡ single-pool local: OK ({checked} probes byte-identical)"
+                        );
+                    }
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
         }
     }
 }

@@ -36,7 +36,7 @@ impl PreparedInstance {
             .spec
             .influence_graph(config.model, config.dataset_seed);
         let mut rng = imrand::default_rng(oracle_seed ^ ORACLE_SEED_MIX);
-        let oracle = InfluenceOracle::build(&graph, oracle_pool, &mut rng);
+        let oracle = InfluenceOracle::builder(oracle_pool).sample_with_rng(&graph, &mut rng);
         Self {
             config,
             graph,

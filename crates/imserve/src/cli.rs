@@ -11,13 +11,14 @@ use crate::protocol::TopKAlgorithm;
 /// A parsed invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Command {
-    /// `imserve build`: sample a pool and write an index artifact.
+    /// `imserve build`: sample a pool (or one shard of a global pool) and
+    /// write an index artifact.
     Build {
         /// Registry dataset name.
         dataset: String,
         /// Probability-model label.
         model: String,
-        /// RR sets to draw.
+        /// RR sets to draw (the *global* pool size when `--shard` is given).
         pool: usize,
         /// Base seed of the pool sample.
         seed: u64,
@@ -26,6 +27,10 @@ pub enum Command {
         /// Optional delta-script path: mutations applied to the dataset graph
         /// *before* sampling (the from-scratch reference for a mutated index).
         deltas: Option<String>,
+        /// `--shard i/N`: build shard `i` of `N` over the global pool (the
+        /// local sets' PRNG streams derive from their global ids, so the N
+        /// artifacts union byte-identically into the whole-pool build).
+        shard: Option<(usize, usize)>,
     },
     /// `imserve serve`: load an index and answer TCP queries.
     Serve {
@@ -44,18 +49,28 @@ pub enum Command {
         /// last compaction reaches this fraction of the pool (`None`
         /// disables the dirty-fraction trigger).
         compact_dirty: Option<f64>,
+        /// Mutation write-ahead log path: accepted mutations are appended
+        /// before they are acknowledged and replayed on startup, so they
+        /// survive a crash between index saves.
+        wal: Option<String>,
     },
-    /// `imserve query`: one-shot client request.
+    /// `imserve query`: one-shot client request. With several `--addr`s the
+    /// query routes through a `ShardedService` over all of them.
     Query {
-        /// Server address.
-        addr: String,
+        /// Server addresses (one per shard backend).
+        addrs: Vec<String>,
         /// The request to send.
         request: QuerySpec,
+        /// Speak the bare v1 dialect instead of protocol v2 (single
+        /// address only; compatibility tooling).
+        v1: bool,
     },
-    /// `imserve mutate`: apply a batch of graph deltas to a running server.
+    /// `imserve mutate`: apply a batch of graph deltas to a running server
+    /// (with several `--addr`s, broadcast through a `ShardedService`;
+    /// requires `--batch`).
     Mutate {
-        /// Server address.
-        addr: String,
+        /// Server addresses (one per shard backend).
+        addrs: Vec<String>,
         /// The deltas to apply, in command-line order.
         deltas: Vec<GraphDelta>,
         /// Send the atomic `MutateBatch` request (all-or-nothing, one CSR
@@ -69,10 +84,11 @@ pub enum Command {
         /// What to compact.
         target: CompactTarget,
     },
-    /// `imserve loadtest`: hammer a server and report latency percentiles.
+    /// `imserve loadtest`: hammer a server (or, with several `--addr`s, a
+    /// sharded deployment) and report latency percentiles.
     Loadtest {
-        /// Server address.
-        addr: String,
+        /// Server addresses (one per shard backend).
+        addrs: Vec<String>,
         /// Concurrent connections.
         connections: usize,
         /// Requests per connection.
@@ -126,15 +142,17 @@ impl std::error::Error for CliError {}
 
 /// One-line usage summary per subcommand.
 pub const USAGE: &str = "usage:
-  imserve build    --dataset <name> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] [--deltas <script>] --out <path>
-  imserve serve    --index <path> [--addr host:port] [--workers N] [--cache N] [--compact-log-len N] [--compact-dirty F]
-  imserve query    --addr host:port (--estimate v1,v2,… | --topk K [--algorithm greedy|singleton] | --info | --stats)
-  imserve mutate   --addr host:port [--batch] (--insert u,v,p | --delete u,v | --setp u,v,p | --file <script>)…
+  imserve build    --dataset <name> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] [--deltas <script>] [--shard i/N] --out <path>
+  imserve serve    --index <path> [--addr host:port] [--workers N] [--cache N] [--compact-log-len N] [--compact-dirty F] [--wal <path>]
+  imserve query    --addr host:port [--addr …] [--v1] (--estimate v1,v2,… | --topk K [--algorithm greedy|singleton] | --info | --stats)
+  imserve mutate   --addr host:port [--addr …] [--batch] (--insert u,v,p | --delete u,v | --setp u,v,p | --file <script>)…
   imserve compact  (--addr host:port | --index <path> --out <path>)
-  imserve loadtest --addr host:port [--connections N] [--requests N] [--k K]
+  imserve loadtest --addr host:port [--addr …] [--connections N] [--requests N] [--k K]
 
 delta scripts hold one JSON delta per line, e.g. {\"InsertEdge\":{\"source\":0,\"target\":33,\"probability\":0.5}}
---batch applies the deltas atomically (all-or-nothing, one CSR rebuild); --compact-* enable auto-compaction";
+--batch applies the deltas atomically (all-or-nothing, one CSR rebuild); --compact-* enable auto-compaction
+--shard i/N builds shard i of a global pool; several --addr values route queries through a sharded service
+--wal <path> makes accepted mutations crash-durable between index saves; --v1 speaks the legacy bare-frame dialect";
 
 /// Parse a flag's numeric value, naming the flag in the error.
 ///
@@ -187,6 +205,24 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     }
 }
 
+/// Parse `i/N` into a (shard index, shard count) pair.
+fn parse_shard_spec(value: &str) -> Result<(usize, usize), CliError> {
+    let Some((index, count)) = value.split_once('/') else {
+        return Err(CliError(format!("--shard expects i/N — got {value:?}")));
+    };
+    let index: usize = parse_number("--shard", index.trim())?;
+    let count: usize = parse_number("--shard", count.trim())?;
+    if count == 0 {
+        return Err(CliError("--shard count must be positive".to_string()));
+    }
+    if index >= count {
+        return Err(CliError(format!(
+            "--shard index {index} out of range for {count} shards"
+        )));
+    }
+    Ok((index, count))
+}
+
 fn parse_build(args: &[String]) -> Result<Command, CliError> {
     let mut dataset: Option<String> = None;
     let mut model = "uc0.1".to_string();
@@ -194,6 +230,7 @@ fn parse_build(args: &[String]) -> Result<Command, CliError> {
     let mut seed = 7u64;
     let mut out: Option<String> = None;
     let mut deltas: Option<String> = None;
+    let mut shard: Option<(usize, usize)> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -203,12 +240,26 @@ fn parse_build(args: &[String]) -> Result<Command, CliError> {
             "--seed" => seed = parse_number("--seed", take_value("--seed", args, &mut i)?)?,
             "--out" => out = Some(take_value("--out", args, &mut i)?.to_string()),
             "--deltas" => deltas = Some(take_value("--deltas", args, &mut i)?.to_string()),
+            "--shard" => shard = Some(parse_shard_spec(take_value("--shard", args, &mut i)?)?),
             other => return Err(CliError(format!("unknown option {other:?} for build"))),
         }
         i += 1;
     }
     if pool == 0 {
         return Err(CliError("--pool must be positive".to_string()));
+    }
+    if let Some((_, count)) = shard {
+        if pool < count {
+            return Err(CliError(format!(
+                "--pool {pool} cannot feed {count} non-empty shards"
+            )));
+        }
+        if deltas.is_some() {
+            return Err(CliError(
+                "--shard cannot be combined with --deltas (mutate the served shards instead)"
+                    .to_string(),
+            ));
+        }
     }
     Ok(Command::Build {
         dataset: dataset.ok_or_else(|| CliError("build requires --dataset".to_string()))?,
@@ -217,6 +268,7 @@ fn parse_build(args: &[String]) -> Result<Command, CliError> {
         seed,
         out: out.ok_or_else(|| CliError("build requires --out".to_string()))?,
         deltas,
+        shard,
     })
 }
 
@@ -250,13 +302,13 @@ fn parse_edge_triple(flag: &str, value: &str) -> Result<(u32, u32, f64), CliErro
 }
 
 fn parse_mutate(args: &[String]) -> Result<Command, CliError> {
-    let mut addr: Option<String> = None;
+    let mut addrs: Vec<String> = Vec::new();
     let mut deltas: Vec<GraphDelta> = Vec::new();
     let mut batch = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--addr" => addr = Some(take_value("--addr", args, &mut i)?.to_string()),
+            "--addr" => addrs.push(take_value("--addr", args, &mut i)?.to_string()),
             "--batch" => batch = true,
             "--insert" => {
                 let (source, target, probability) =
@@ -299,8 +351,17 @@ fn parse_mutate(args: &[String]) -> Result<Command, CliError> {
             "mutate requires at least one of --insert, --delete, --setp or --file".to_string(),
         ));
     }
+    if addrs.is_empty() {
+        return Err(CliError("mutate requires --addr".to_string()));
+    }
+    if addrs.len() > 1 && !batch {
+        return Err(CliError(
+            "mutating several shards requires --batch (the broadcast is per-shard atomic)"
+                .to_string(),
+        ));
+    }
     Ok(Command::Mutate {
-        addr: addr.ok_or_else(|| CliError("mutate requires --addr".to_string()))?,
+        addrs,
         deltas,
         batch,
     })
@@ -347,10 +408,12 @@ fn parse_serve(args: &[String]) -> Result<Command, CliError> {
     let mut cache = crate::engine::DEFAULT_CACHE_CAPACITY;
     let mut compact_log_len: Option<usize> = None;
     let mut compact_dirty: Option<f64> = None;
+    let mut wal: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--index" => index = Some(take_value("--index", args, &mut i)?.to_string()),
+            "--wal" => wal = Some(take_value("--wal", args, &mut i)?.to_string()),
             "--addr" => addr = take_value("--addr", args, &mut i)?.to_string(),
             "--workers" => {
                 workers = parse_number("--workers", take_value("--workers", args, &mut i)?)?;
@@ -395,17 +458,20 @@ fn parse_serve(args: &[String]) -> Result<Command, CliError> {
         cache,
         compact_log_len,
         compact_dirty,
+        wal,
     })
 }
 
 fn parse_query(args: &[String]) -> Result<Command, CliError> {
-    let mut addr: Option<String> = None;
+    let mut addrs: Vec<String> = Vec::new();
     let mut request: Option<QuerySpec> = None;
     let mut algorithm = TopKAlgorithm::Greedy;
+    let mut v1 = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--addr" => addr = Some(take_value("--addr", args, &mut i)?.to_string()),
+            "--addr" => addrs.push(take_value("--addr", args, &mut i)?.to_string()),
+            "--v1" => v1 = true,
             "--estimate" => {
                 let seeds = parse_seed_list(take_value("--estimate", args, &mut i)?)?;
                 set_once(&mut request, QuerySpec::Estimate(seeds))?;
@@ -431,11 +497,20 @@ fn parse_query(args: &[String]) -> Result<Command, CliError> {
         }
         i += 1;
     }
+    if addrs.is_empty() {
+        return Err(CliError("query requires --addr".to_string()));
+    }
+    if v1 && addrs.len() > 1 {
+        return Err(CliError(
+            "--v1 speaks to a single server (sharded routing needs protocol v2)".to_string(),
+        ));
+    }
     Ok(Command::Query {
-        addr: addr.ok_or_else(|| CliError("query requires --addr".to_string()))?,
+        addrs,
         request: request.ok_or_else(|| {
             CliError("query requires one of --estimate, --topk, --info or --stats".to_string())
         })?,
+        v1,
     })
 }
 
@@ -450,14 +525,14 @@ fn set_once(slot: &mut Option<QuerySpec>, value: QuerySpec) -> Result<(), CliErr
 }
 
 fn parse_loadtest(args: &[String]) -> Result<Command, CliError> {
-    let mut addr: Option<String> = None;
+    let mut addrs: Vec<String> = Vec::new();
     let mut connections = 4usize;
     let mut requests = 250usize;
     let mut k = 3usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
-            "--addr" => addr = Some(take_value("--addr", args, &mut i)?.to_string()),
+            "--addr" => addrs.push(take_value("--addr", args, &mut i)?.to_string()),
             "--connections" => {
                 connections =
                     parse_number("--connections", take_value("--connections", args, &mut i)?)?;
@@ -479,8 +554,11 @@ fn parse_loadtest(args: &[String]) -> Result<Command, CliError> {
             return Err(CliError(format!("{flag} must be positive")));
         }
     }
+    if addrs.is_empty() {
+        return Err(CliError("loadtest requires --addr".to_string()));
+    }
     Ok(Command::Loadtest {
-        addr: addr.ok_or_else(|| CliError("loadtest requires --addr".to_string()))?,
+        addrs,
         connections,
         requests,
         k,
@@ -507,6 +585,7 @@ mod tests {
                 seed: 7,
                 out: "k.imx".into(),
                 deltas: None,
+                shard: None,
             }
         );
         let cmd = parse(&args(&[
@@ -532,6 +611,7 @@ mod tests {
                 seed: 9,
                 out: "b.imx".into(),
                 deltas: None,
+                shard: None,
             }
         );
     }
@@ -610,7 +690,7 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Mutate {
-                addr: "a:1".into(),
+                addrs: vec!["a:1".into()],
                 deltas: vec![
                     GraphDelta::InsertEdge {
                         source: 0,
@@ -690,7 +770,7 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Mutate {
-                addr: "a:1".into(),
+                addrs: vec!["a:1".into()],
                 deltas: vec![GraphDelta::InsertEdge {
                     source: 1,
                     target: 2,
@@ -788,8 +868,9 @@ mod tests {
         assert_eq!(
             parse(&args(&["query", "--addr", "a:1", "--stats"])).unwrap(),
             Command::Query {
-                addr: "a:1".into(),
+                addrs: vec!["a:1".into()],
                 request: QuerySpec::Stats,
+                v1: false,
             }
         );
         assert!(parse(&args(&["query", "--addr", "a:1", "--stats", "--info"])).is_err());
@@ -801,8 +882,9 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Query {
-                addr: "a:1".into(),
+                addrs: vec!["a:1".into()],
                 request: QuerySpec::Estimate(vec![0, 5, 9]),
+                v1: false,
             }
         );
         let cmd = parse(&args(&[
@@ -818,8 +900,9 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Query {
-                addr: "a:1".into(),
+                addrs: vec!["a:1".into()],
                 request: QuerySpec::TopK(4, TopKAlgorithm::SingletonRank),
+                v1: false,
             }
         );
         // Algorithm flag before --topk also applies.
@@ -836,8 +919,9 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Query {
-                addr: "a:1".into(),
+                addrs: vec!["a:1".into()],
                 request: QuerySpec::TopK(2, TopKAlgorithm::SingletonRank),
+                v1: false,
             }
         );
         assert!(parse(&args(&["query", "--addr", "a:1", "--estimate", "1,x"])).is_err());

@@ -1,13 +1,30 @@
-//! A minimal blocking client for the wire protocol (used by the `query` and
-//! `loadtest` subcommands, tests and CI smoke checks).
+//! Clients for both wire dialects.
+//!
+//! [`Connection`] is the original v1 client: bare request frames, kept for
+//! compatibility tooling (`imserve query --v1`) and for the CI check that a
+//! v1 client still works against a v2 server.
+//!
+//! [`ServiceConnection`] speaks protocol v2 — id-tagged frames over one TCP
+//! connection, with an explicit version handshake on connect and support for
+//! *pipelining* (write many frames, then read the id-matched responses).
+//! [`RemoteService`] wraps it into the typed [`InfluenceService`] trait, so
+//! a remote server is interchangeable with an in-process engine.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::error::ServeError;
-use crate::protocol::{self, Request, Response};
+use imgraph::GraphDelta;
 
-/// One persistent connection speaking newline-delimited JSON.
+use crate::error::ServeError;
+use crate::protocol::{
+    self, Outcome, Request, RequestFrame, Response, ResponseFrame, TopKAlgorithm, PROTOCOL_VERSION,
+};
+use crate::service::{
+    CompactionReport, GainVector, InfluenceService, MutationOutcome, ServiceError, ServiceInfo,
+    ServiceResult, ServiceStats, SpreadEstimate, TopKSelection,
+};
+
+/// One persistent v1 connection speaking bare newline-delimited JSON.
 #[derive(Debug)]
 pub struct Connection {
     reader: BufReader<TcpStream>,
@@ -43,7 +60,290 @@ impl Connection {
     }
 }
 
-/// Convenience: open a fresh connection, send one request, return the answer.
+/// Convenience: open a fresh v1 connection, send one request, return the
+/// answer.
 pub fn query_once(addr: impl ToSocketAddrs, request: &Request) -> Result<Response, ServeError> {
     Connection::open(addr)?.roundtrip(request)
+}
+
+/// One persistent protocol-v2 connection: id-tagged frames, typed errors,
+/// pipelining.
+#[derive(Debug)]
+pub struct ServiceConnection {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    next_id: u64,
+    server_version: u32,
+}
+
+impl ServiceConnection {
+    /// Connect and perform the version handshake. Fails with
+    /// [`ServiceError::Protocol`] if the peer does not speak protocol v2
+    /// (e.g. a v1-only server answering the framed `Hello` with a bare
+    /// error).
+    pub fn connect(addr: impl ToSocketAddrs) -> ServiceResult<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut connection = Self {
+            reader,
+            writer: BufWriter::new(stream),
+            next_id: 0,
+            server_version: 0,
+        };
+        let version = match connection.call(&Request::Hello {
+            max_version: PROTOCOL_VERSION,
+        })? {
+            Response::Hello { version } => version,
+            other => {
+                return Err(ServiceError::Protocol(format!(
+                    "handshake answered with {other:?}"
+                )))
+            }
+        };
+        if version != PROTOCOL_VERSION {
+            return Err(ServiceError::Protocol(format!(
+                "server negotiated unsupported protocol version {version}"
+            )));
+        }
+        connection.server_version = version;
+        Ok(connection)
+    }
+
+    /// The version the handshake negotiated.
+    #[must_use]
+    pub fn server_version(&self) -> u32 {
+        self.server_version
+    }
+
+    /// Send one request and wait for its id-matched response.
+    pub fn call(&mut self, request: &Request) -> ServiceResult<Response> {
+        let id = self.send(request)?;
+        self.flush()?;
+        self.receive(id)?
+    }
+
+    /// Pipeline a batch: write every frame, flush once, then read the
+    /// responses in order (each id-checked). The outer `Result` is the
+    /// transport/framing channel; the per-request results keep typed errors
+    /// separate, so one rejected request does not poison the batch.
+    pub fn pipeline(
+        &mut self,
+        requests: &[Request],
+    ) -> ServiceResult<Vec<ServiceResult<Response>>> {
+        let mut ids = Vec::with_capacity(requests.len());
+        for request in requests {
+            ids.push(self.send(request)?);
+        }
+        self.flush()?;
+        ids.into_iter().map(|id| self.receive(id)).collect()
+    }
+
+    /// Write one frame without flushing; returns the frame id.
+    fn send(&mut self, request: &Request) -> ServiceResult<u64> {
+        self.next_id += 1;
+        let id = self.next_id;
+        let frame = RequestFrame {
+            v: PROTOCOL_VERSION,
+            id,
+            req: request.clone(),
+        };
+        let line = protocol::encode(&frame).map_err(ServiceError::from)?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        Ok(id)
+    }
+
+    fn flush(&mut self) -> ServiceResult<()> {
+        self.writer.flush()?;
+        Ok(())
+    }
+
+    /// Read one response frame and match it against `id`. The outer `Result`
+    /// carries transport/framing failures (the connection is unusable); the
+    /// inner one carries the peer's typed per-request outcome.
+    fn receive(&mut self, id: u64) -> ServiceResult<ServiceResult<Response>> {
+        let mut line = String::new();
+        let read = self.reader.read_line(&mut line)?;
+        if read == 0 {
+            return Err(ServiceError::Protocol(
+                "server closed the connection".to_string(),
+            ));
+        }
+        let frame: ResponseFrame = protocol::decode(&line).map_err(ServiceError::from)?;
+        if frame.id != id {
+            return Err(ServiceError::Protocol(format!(
+                "response id {} does not match request id {id}",
+                frame.id
+            )));
+        }
+        Ok(match frame.body {
+            Outcome::Ok(response) => Ok(response),
+            Outcome::Err(wire) => Err(wire.into_service()),
+        })
+    }
+}
+
+/// The remote backend: an [`InfluenceService`] over one protocol-v2 TCP
+/// connection.
+#[derive(Debug)]
+pub struct RemoteService {
+    connection: ServiceConnection,
+}
+
+impl RemoteService {
+    /// Connect (with handshake) to a serving `imserve` instance.
+    pub fn connect(addr: impl ToSocketAddrs) -> ServiceResult<Self> {
+        Ok(Self {
+            connection: ServiceConnection::connect(addr)?,
+        })
+    }
+
+    /// The underlying connection (for pipelining beyond the trait surface).
+    pub fn connection(&mut self) -> &mut ServiceConnection {
+        &mut self.connection
+    }
+
+    fn unexpected<T>(context: &str, other: Response) -> ServiceResult<T> {
+        Err(ServiceError::Protocol(format!(
+            "{context} answered with {other:?}"
+        )))
+    }
+}
+
+impl InfluenceService for RemoteService {
+    fn info(&mut self) -> ServiceResult<ServiceInfo> {
+        match self.connection.call(&Request::Info)? {
+            Response::Info {
+                graph_id,
+                model,
+                num_vertices,
+                num_edges,
+                pool_size,
+                confidence_99,
+                shard_offset,
+                global_pool,
+            } => Ok(ServiceInfo {
+                graph_id,
+                model,
+                num_vertices,
+                num_edges,
+                pool_size,
+                confidence_99,
+                shard_offset,
+                global_pool,
+            }),
+            other => Self::unexpected("Info", other),
+        }
+    }
+
+    fn estimate(&mut self, seeds: &[u32]) -> ServiceResult<SpreadEstimate> {
+        let request = Request::Estimate {
+            seeds: seeds.to_vec(),
+        };
+        match self.connection.call(&request)? {
+            Response::Estimate {
+                seeds,
+                spread,
+                covered,
+                pool,
+            } => Ok(SpreadEstimate {
+                seeds,
+                spread,
+                covered,
+                pool,
+            }),
+            other => Self::unexpected("Estimate", other),
+        }
+    }
+
+    fn top_k(&mut self, k: usize, algorithm: TopKAlgorithm) -> ServiceResult<TopKSelection> {
+        match self.connection.call(&Request::TopK { k, algorithm })? {
+            Response::TopK {
+                seeds,
+                spread,
+                algorithm,
+            } => Ok(TopKSelection {
+                seeds,
+                spread,
+                algorithm,
+            }),
+            other => Self::unexpected("TopK", other),
+        }
+    }
+
+    fn gains(&mut self, selected: &[u32]) -> ServiceResult<GainVector> {
+        let request = Request::Gains {
+            selected: selected.to_vec(),
+        };
+        match self.connection.call(&request)? {
+            Response::Gains {
+                gains,
+                covered,
+                pool,
+            } => Ok(GainVector {
+                gains,
+                covered,
+                pool,
+            }),
+            other => Self::unexpected("Gains", other),
+        }
+    }
+
+    fn mutate_batch(&mut self, deltas: &[GraphDelta]) -> ServiceResult<MutationOutcome> {
+        let request = Request::MutateBatch {
+            deltas: deltas.to_vec(),
+        };
+        match self.connection.call(&request)? {
+            Response::MutateBatch {
+                epoch,
+                applied,
+                resampled,
+                compacted,
+            } => Ok(MutationOutcome {
+                epoch,
+                applied,
+                resampled,
+                compacted,
+            }),
+            other => Self::unexpected("MutateBatch", other),
+        }
+    }
+
+    fn compact(&mut self) -> ServiceResult<CompactionReport> {
+        match self.connection.call(&Request::Compact)? {
+            Response::Compact { epoch, folded } => Ok(CompactionReport { epoch, folded }),
+            other => Self::unexpected("Compact", other),
+        }
+    }
+
+    fn stats(&mut self) -> ServiceResult<ServiceStats> {
+        match self.connection.call(&Request::Stats)? {
+            Response::Stats {
+                requests,
+                topk_cache_hits,
+                topk_cache_misses,
+                pool_size,
+                epoch,
+                deltas_applied,
+                sets_resampled,
+                log_len,
+                snapshot_epoch,
+                compactions,
+            } => Ok(ServiceStats {
+                requests,
+                topk_cache_hits,
+                topk_cache_misses,
+                pool_size,
+                epoch,
+                deltas_applied,
+                sets_resampled,
+                log_len,
+                snapshot_epoch,
+                compactions,
+                shards: Vec::new(),
+            }),
+            other => Self::unexpected("Stats", other),
+        }
+    }
 }

@@ -37,12 +37,25 @@ use im_core::EstimateScratch;
 use imdyn::{CompactionPolicy, DynamicOracle};
 use imgraph::GraphDelta;
 
+use crate::error::ServeError;
 use crate::index::{IndexArtifact, IndexMeta};
 use crate::lru::LruCache;
-use crate::protocol::{Request, Response, TopKAlgorithm};
+use crate::protocol::{Request, Response, TopKAlgorithm, PROTOCOL_VERSION};
+use crate::service::{
+    CompactionReport, GainVector, MutationOutcome, ServiceError, ServiceInfo, ServiceStats,
+    SpreadEstimate, TopKSelection,
+};
+use crate::wal::WriteAheadLog;
+use imgraph::binio::{fnv1a64, influence_graph_to_bytes};
 
 /// Default capacity of the `TopK` result cache.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+/// The lineage fingerprint WAL records carry: FNV-1a64 over the graph's
+/// canonical serialized bytes. Computed only when a WAL is attached.
+fn graph_fingerprint(graph: &imgraph::InfluenceGraph) -> u64 {
+    fnv1a64(&influence_graph_to_bytes(graph))
+}
 
 /// Engine construction options.
 #[derive(Debug, Clone)]
@@ -95,6 +108,12 @@ struct Counters {
     topk_cache_misses: AtomicU64,
     deltas_applied: AtomicU64,
     sets_resampled: AtomicU64,
+    /// Set when a WAL append fails. WAL discipline is fail-stop: an applied
+    /// but unlogged batch would leave an epoch *gap* in the log, making
+    /// every later (successfully logged and acknowledged) record
+    /// unrecoverable — so once an append fails, further mutations are
+    /// refused before they touch the state.
+    wal_poisoned: std::sync::atomic::AtomicBool,
 }
 
 /// The mutable serving state: the dynamic oracle plus the metadata that
@@ -103,6 +122,9 @@ struct Counters {
 pub struct ServingState {
     /// Index metadata, kept in sync with the dynamic graph.
     pub meta: IndexMeta,
+    /// `Some` iff the served pool is one shard of a larger global pool
+    /// (preserved so exported artifacts keep their global stream offset).
+    pub shard: Option<crate::index::ShardInfo>,
     /// The evolving graph and its incrementally maintained pool. Behind an
     /// `Arc` so long computations can snapshot it and release the lock;
     /// mutations go through `Arc::make_mut` (copy-on-write only if a
@@ -121,6 +143,7 @@ impl ServingState {
             oracle: self.dynamic.oracle().clone(),
             log: self.dynamic.log().clone(),
             snapshot_epoch: self.dynamic.snapshot_epoch(),
+            shard: self.shard,
         }
     }
 }
@@ -132,15 +155,12 @@ impl ServingState {
 /// ```
 /// use imserve::engine::QueryEngine;
 /// use imserve::index::build_dataset_index;
-/// use imserve::protocol::{Request, Response};
 ///
 /// let index = build_dataset_index("karate", "uc0.1", 500, 7).unwrap();
-/// let engine = QueryEngine::new(index);
+/// let engine = QueryEngine::builder(index).build().unwrap();
 /// let mut scratch = engine.new_scratch();
-/// match engine.handle(&Request::Estimate { seeds: vec![0, 33] }, &mut scratch) {
-///     Response::Estimate { spread, .. } => assert!(spread > 0.0),
-///     other => panic!("unexpected response {other:?}"),
-/// }
+/// let estimate = engine.estimate(&[0, 33], &mut scratch).unwrap();
+/// assert!(estimate.spread > 0.0);
 /// assert_eq!(engine.epoch(), 0);
 /// ```
 #[derive(Debug)]
@@ -148,26 +168,159 @@ pub struct QueryEngine {
     state: RwLock<ServingState>,
     topk_cache: Mutex<LruCache<TopKKey, TopKValue>>,
     counters: Counters,
+    /// Mutation durability: when present, every accepted batch is appended
+    /// (and synced) before the mutation call returns. Taken under the state
+    /// write lock, so records land in application order.
+    wal: Option<Mutex<WriteAheadLog>>,
+}
+
+/// Staged construction of a [`QueryEngine`] — cache capacity, compaction
+/// policy and the optional mutation write-ahead log in one place (the former
+/// `new`/`with_cache_capacity`/`with_config` constructor sprawl).
+///
+/// ```no_run
+/// use imserve::engine::QueryEngine;
+/// use imserve::index::IndexArtifact;
+///
+/// let engine = QueryEngine::builder(IndexArtifact::load("karate.imx")?)
+///     .cache_capacity(128)
+///     .wal("karate.wal")
+///     .build()?;
+/// # Ok::<(), imserve::ServeError>(())
+/// ```
+#[derive(Debug)]
+pub struct EngineBuilder {
+    index: IndexArtifact,
+    config: EngineConfig,
+    wal: Option<std::path::PathBuf>,
+}
+
+impl EngineBuilder {
+    /// `TopK` LRU cache capacity (default [`DEFAULT_CACHE_CAPACITY`]).
+    #[must_use]
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Auto-compaction policy (default disabled).
+    #[must_use]
+    pub fn compaction_policy(mut self, policy: CompactionPolicy) -> Self {
+        self.config.compaction_policy = policy;
+        self
+    }
+
+    /// Apply a whole [`EngineConfig`] at once.
+    #[must_use]
+    pub fn config(mut self, config: &EngineConfig) -> Self {
+        self.config = config.clone();
+        self
+    }
+
+    /// Attach a mutation write-ahead log at `path`. On
+    /// [`EngineBuilder::build`] the log is recovered first: records already
+    /// folded into the index artifact are skipped, the pending tail is
+    /// replayed onto the engine, and only then does the engine start
+    /// appending — so a crash between index saves loses no acknowledged
+    /// mutation.
+    #[must_use]
+    pub fn wal(mut self, path: impl Into<std::path::PathBuf>) -> Self {
+        self.wal = Some(path.into());
+        self
+    }
+
+    /// Construct the engine (recovering and replaying the WAL if one was
+    /// attached).
+    ///
+    /// # Errors
+    ///
+    /// Fails only on WAL problems: unreadable or corrupt records, a replayed
+    /// batch the current index rejects, or an epoch gap between the log and
+    /// the loaded artifact (the artifact is newer than the log start or
+    /// older than the log can reach — serving would diverge from what was
+    /// acknowledged).
+    pub fn build(self) -> Result<QueryEngine, ServeError> {
+        // The full identity, not just the dataset name: two indexes over the
+        // same graph at the same seed but a different model, pool size or
+        // shard offset record mutations against different RR-set pools, so
+        // none of them may replay another's log.
+        let meta = &self.index.meta;
+        let identity = format!(
+            "{}/{} pool={} offset={}",
+            meta.graph_id,
+            meta.model,
+            meta.pool_size,
+            self.index.shard.map_or(0, |s| s.offset)
+        );
+        let base_seed = meta.base_seed;
+        let mut engine = QueryEngine::construct(self.index, &self.config);
+        let Some(path) = self.wal else {
+            return Ok(engine);
+        };
+        // The WAL is bound to one index identity: replaying a foreign log
+        // whose epochs happen to line up must fail, not diverge silently.
+        let recovery = WriteAheadLog::recover(&path, &identity, base_seed)?;
+        for (i, record) in recovery.records.iter().enumerate() {
+            let epoch = engine.epoch();
+            if record.epoch_after() <= epoch {
+                continue; // already folded into the loaded artifact
+            }
+            if record.epoch_before != epoch {
+                return Err(ServeError::Wal(format!(
+                    "record {i} spans epochs {}..{} but the index is at epoch {epoch}; \
+                     history is missing — rebuild the index or remove the stale WAL",
+                    record.epoch_before,
+                    record.epoch_after()
+                )));
+            }
+            // Lineage check: same identity and lined-up epochs are not
+            // enough — the record must have been applied to *this* graph
+            // (a rebuild with a different `--deltas` script shares both).
+            let fingerprint = {
+                let state = engine.state();
+                graph_fingerprint(state.dynamic.graph())
+            };
+            if record.graph_hash_before != fingerprint {
+                return Err(ServeError::Wal(format!(
+                    "record {i} (epoch {}) was recorded against a different graph than this \
+                     index holds at that epoch; the WAL belongs to another lineage of the \
+                     same index — rebuild the index or remove the stale WAL",
+                    record.epoch_before
+                )));
+            }
+            engine
+                .mutate_batch(&record.deltas)
+                .map_err(|e| ServeError::Wal(format!("replaying record {i} failed: {e}")))?;
+        }
+        // Only now start appending: replay itself must not re-log records.
+        engine.wal = Some(Mutex::new(recovery.log));
+        Ok(engine)
+    }
 }
 
 impl QueryEngine {
+    /// Start building an engine over a loaded index.
+    #[must_use]
+    pub fn builder(index: IndexArtifact) -> EngineBuilder {
+        EngineBuilder {
+            index,
+            config: EngineConfig::default(),
+            wal: None,
+        }
+    }
+
     /// Wrap a loaded index with the default cache capacity.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the artifact's pool carries no incremental state (never the
-    /// case for artifacts produced by this crate: `build` samples
-    /// incrementally and `from_bytes` rejects pre-incremental versions and
-    /// re-attaches the state on load).
+    #[deprecated(note = "use QueryEngine::builder(index).build()")]
     #[must_use]
     pub fn new(index: IndexArtifact) -> Self {
-        Self::with_cache_capacity(index, DEFAULT_CACHE_CAPACITY)
+        Self::construct(index, &EngineConfig::default())
     }
 
     /// Wrap a loaded index with an explicit `TopK` cache capacity.
+    #[deprecated(note = "use QueryEngine::builder(index).cache_capacity(n).build()")]
     #[must_use]
     pub fn with_cache_capacity(index: IndexArtifact, capacity: usize) -> Self {
-        Self::with_config(
+        Self::construct(
             index,
             &EngineConfig {
                 cache_capacity: capacity,
@@ -176,16 +329,30 @@ impl QueryEngine {
         )
     }
 
-    /// Wrap a loaded index with full engine options (cache capacity and
-    /// auto-compaction policy).
+    /// Wrap a loaded index with full engine options.
+    #[deprecated(note = "use QueryEngine::builder(index).config(&config).build()")]
     #[must_use]
     pub fn with_config(index: IndexArtifact, config: &EngineConfig) -> Self {
+        Self::construct(index, config)
+    }
+
+    /// The WAL-free construction core shared by the builder and the
+    /// deprecated constructors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the artifact's pool carries no incremental state (never the
+    /// case for artifacts produced by this crate: `build` samples
+    /// incrementally and `from_bytes` rejects pre-incremental versions and
+    /// re-attaches the state on load).
+    fn construct(index: IndexArtifact, config: &EngineConfig) -> Self {
         let IndexArtifact {
             meta,
             graph,
             oracle,
             log,
             snapshot_epoch,
+            shard,
         } = index;
         let dynamic = Arc::new(
             DynamicOracle::from_parts(graph, oracle, log, snapshot_epoch)
@@ -193,9 +360,14 @@ impl QueryEngine {
                 .with_policy(config.compaction_policy),
         );
         Self {
-            state: RwLock::new(ServingState { meta, dynamic }),
+            state: RwLock::new(ServingState {
+                meta,
+                shard,
+                dynamic,
+            }),
             topk_cache: Mutex::new(LruCache::new(config.cache_capacity)),
             counters: Counters::default(),
+            wal: None,
         }
     }
 
@@ -220,37 +392,83 @@ impl QueryEngine {
         self.state().dynamic.oracle().scratch()
     }
 
-    /// Answer one request. Never panics on untrusted input: invalid queries
-    /// come back as [`Response::Error`].
+    /// Answer one wire request (the v1/v2 dialect adapter over the typed
+    /// methods). Never panics on untrusted input: invalid queries come back
+    /// as [`Response::Error`] — the caller re-wraps them as typed v2 errors
+    /// when the frame arrived in the v2 dialect.
     pub fn handle(&self, request: &Request, scratch: &mut EstimateScratch) -> Response {
-        self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        match request {
-            Request::Ping => Response::Pong,
-            Request::Info => self.info(),
-            Request::Estimate { seeds } => self.estimate(seeds, scratch),
-            Request::TopK { k, algorithm } => self.top_k(*k, *algorithm),
-            Request::Mutate { deltas } => self.mutate(deltas),
-            Request::MutateBatch { deltas } => self.mutate_batch(deltas),
-            Request::Compact => self.compact(),
-            Request::Stats => self.stats(),
+        match self.handle_service(request, scratch) {
+            Ok(response) => response,
+            Err(e) => Response::Error {
+                message: e.to_string(),
+            },
         }
     }
 
-    fn info(&self) -> Response {
+    /// Answer one wire request with the typed error channel intact (the v2
+    /// adapter; [`QueryEngine::handle`] flattens it for v1).
+    pub fn handle_service(
+        &self,
+        request: &Request,
+        scratch: &mut EstimateScratch,
+    ) -> Result<Response, ServiceError> {
+        match request {
+            Request::Ping => {
+                self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                Ok(Response::Pong)
+            }
+            Request::Hello { max_version } => {
+                self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                Ok(Response::Hello {
+                    version: PROTOCOL_VERSION.min(*max_version).max(1),
+                })
+            }
+            Request::Info => Ok(self.info().into()),
+            Request::Estimate { seeds } => Ok(self.estimate(seeds, scratch)?.into()),
+            Request::TopK { k, algorithm } => Ok(self.top_k(*k, *algorithm)?.into()),
+            Request::Gains { selected } => Ok(self.gains(selected)?.into()),
+            // The per-delta path reports through the legacy Mutate response
+            // (no `compacted` field) to keep the v1 wire stable.
+            Request::Mutate { deltas } => self.mutate(deltas).map(|m| Response::Mutate {
+                epoch: m.epoch,
+                applied: m.applied,
+                resampled: m.resampled,
+            }),
+            Request::MutateBatch { deltas } => Ok(self.mutate_batch(deltas)?.into()),
+            Request::Compact => Ok(self.compact().into()),
+            Request::Stats => Ok(self.stats().into()),
+        }
+    }
+
+    /// Index metadata (graph and pool dimensions, plus the pool's position
+    /// in the global set-id space for shard indexes).
+    #[must_use]
+    pub fn info(&self) -> ServiceInfo {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let state = self.state();
-        Response::Info {
+        let (shard_offset, global_pool) = match state.shard {
+            Some(shard) => (shard.offset, shard.global_pool),
+            None => (0, state.meta.pool_size as u64),
+        };
+        ServiceInfo {
             graph_id: state.meta.graph_id.clone(),
             model: state.meta.model.clone(),
             num_vertices: state.meta.num_vertices,
             num_edges: state.meta.num_edges,
             pool_size: state.meta.pool_size,
             confidence_99: state.dynamic.oracle().confidence_99(),
+            shard_offset,
+            global_pool,
         }
     }
 
-    fn stats(&self) -> Response {
+    /// Serving counters and the epoch timeline (`shards` is always empty —
+    /// one engine is one pool; the sharded router fills it).
+    #[must_use]
+    pub fn stats(&self) -> ServiceStats {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let state = self.state();
-        Response::Stats {
+        ServiceStats {
             requests: self.counters.requests.load(Ordering::Relaxed),
             topk_cache_hits: self.counters.topk_cache_hits.load(Ordering::Relaxed),
             topk_cache_misses: self.counters.topk_cache_misses.load(Ordering::Relaxed),
@@ -261,31 +479,80 @@ impl QueryEngine {
             log_len: state.dynamic.log().len(),
             snapshot_epoch: state.dynamic.snapshot_epoch(),
             compactions: state.dynamic.stats().compactions,
+            shards: Vec::new(),
         }
     }
 
-    fn estimate(&self, seeds: &[u32], scratch: &mut EstimateScratch) -> Response {
+    /// Estimate the influence spread of an explicit seed set (zero
+    /// allocation via the caller's scratch).
+    pub fn estimate(
+        &self,
+        seeds: &[u32],
+        scratch: &mut EstimateScratch,
+    ) -> Result<SpreadEstimate, ServiceError> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let state = self.state();
         let oracle = state.dynamic.oracle();
         let n = oracle.num_vertices();
         if let Some(&bad) = seeds.iter().find(|&&s| s as usize >= n) {
-            return Response::Error {
-                message: format!("seed {bad} out of range for {n} vertices"),
-            };
+            return Err(ServiceError::Query(format!(
+                "seed {bad} out of range for {n} vertices"
+            )));
         }
-        Response::Estimate {
+        let covered = oracle.covered_with(seeds, scratch) as u64;
+        let pool = oracle.pool_size() as u64;
+        Ok(SpreadEstimate {
             seeds: seeds.to_vec(),
-            spread: oracle.estimate_with(seeds, scratch),
-        }
+            spread: n as f64 * covered as f64 / pool as f64,
+            covered,
+            pool,
+        })
     }
 
-    fn mutate(&self, deltas: &[GraphDelta]) -> Response {
+    /// Per-vertex marginal coverage gains given `selected` — the
+    /// distributed-`TopK` primitive (see
+    /// [`im_core::InfluenceOracle::coverage_gains`]). Computed on an `Arc`
+    /// snapshot with no lock held.
+    pub fn gains(&self, selected: &[u32]) -> Result<GainVector, ServiceError> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let dynamic = {
+            let state = self.state();
+            Arc::clone(&state.dynamic)
+        };
+        let oracle = dynamic.oracle();
+        let n = oracle.num_vertices();
+        if let Some(&bad) = selected.iter().find(|&&s| s as usize >= n) {
+            return Err(ServiceError::Query(format!(
+                "selected seed {bad} out of range for {n} vertices"
+            )));
+        }
+        let (gains, covered) = oracle.coverage_gains(selected);
+        Ok(GainVector {
+            gains,
+            covered,
+            pool: oracle.pool_size() as u64,
+        })
+    }
+
+    /// Apply a batch of graph mutations **per delta**: on the first failure
+    /// the batch stops, earlier deltas stay applied (the error reports how
+    /// many), and the epoch reflects them. Prefer
+    /// [`QueryEngine::mutate_batch`] for atomic all-or-nothing semantics.
+    pub fn mutate(&self, deltas: &[GraphDelta]) -> Result<MutationOutcome, ServiceError> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.check_wal_usable()?;
         if deltas.is_empty() {
-            return Response::Error {
-                message: "mutation batch must not be empty".into(),
-            };
+            return Err(ServiceError::Mutation(
+                "mutation batch must not be empty".into(),
+            ));
         }
         let mut state = self.state.write().expect("serving state poisoned");
+        let epoch_before = state.dynamic.epoch();
+        let hash_before = self
+            .wal
+            .as_ref()
+            .map(|_| graph_fingerprint(state.dynamic.graph()))
+            .unwrap_or(0);
         // Copy-on-write: clones the oracle only if a snapshot (e.g. an
         // in-flight TopK selection) still holds the previous Arc.
         let dynamic = Arc::make_mut(&mut state.dynamic);
@@ -299,73 +566,131 @@ impl QueryEngine {
                 }
                 Err(e) => {
                     // Earlier deltas of the batch stay applied; sync the
-                    // metadata before reporting.
+                    // metadata (and WAL the surviving prefix) before
+                    // reporting.
                     state.meta.num_edges = state.dynamic.graph().num_edges();
                     self.bump_mutation_counters(applied, resampled);
-                    return Response::Error {
-                        message: format!(
-                            "delta {} of {} rejected ({e}); {applied} applied, epoch {}",
-                            applied + 1,
-                            deltas.len(),
-                            state.dynamic.epoch()
-                        ),
-                    };
+                    let message = format!(
+                        "delta {} of {} rejected ({e}); {applied} applied, epoch {}",
+                        applied + 1,
+                        deltas.len(),
+                        state.dynamic.epoch()
+                    );
+                    self.wal_append(epoch_before, hash_before, &deltas[..applied])?;
+                    return Err(ServiceError::Mutation(message));
                 }
             }
         }
         state.meta.num_edges = state.dynamic.graph().num_edges();
         self.bump_mutation_counters(applied, resampled);
+        self.wal_append(epoch_before, hash_before, deltas)?;
         // Policy-triggered compaction: cheap bookkeeping under the same write
         // lock; readers holding `Arc` snapshots are unaffected.
-        Arc::make_mut(&mut state.dynamic).maybe_compact();
-        Response::Mutate {
+        let compacted = Arc::make_mut(&mut state.dynamic).maybe_compact().is_some();
+        Ok(MutationOutcome {
             epoch: state.dynamic.epoch(),
             applied,
             resampled,
-        }
+            compacted,
+        })
     }
 
-    fn mutate_batch(&self, deltas: &[GraphDelta]) -> Response {
+    /// Apply a batch of graph mutations **atomically**: all deltas land or
+    /// none do, the CSR is re-materialized once, and the dirty union is
+    /// resampled exactly once per set.
+    pub fn mutate_batch(&self, deltas: &[GraphDelta]) -> Result<MutationOutcome, ServiceError> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.check_wal_usable()?;
         if deltas.is_empty() {
-            return Response::Error {
-                message: "mutation batch must not be empty".into(),
-            };
+            return Err(ServiceError::Mutation(
+                "mutation batch must not be empty".into(),
+            ));
         }
         let mut state = self.state.write().expect("serving state poisoned");
+        let epoch_before = state.dynamic.epoch();
+        let hash_before = self
+            .wal
+            .as_ref()
+            .map(|_| graph_fingerprint(state.dynamic.graph()))
+            .unwrap_or(0);
         let dynamic = Arc::make_mut(&mut state.dynamic);
         match dynamic.apply_batch(deltas) {
             Ok(outcome) => {
                 state.meta.num_edges = state.dynamic.graph().num_edges();
                 self.bump_mutation_counters(outcome.applied, outcome.resampled);
+                self.wal_append(epoch_before, hash_before, deltas)?;
                 let compacted = Arc::make_mut(&mut state.dynamic).maybe_compact().is_some();
-                Response::MutateBatch {
+                Ok(MutationOutcome {
                     epoch: state.dynamic.epoch(),
                     applied: outcome.applied,
                     resampled: outcome.resampled,
                     compacted,
-                }
+                })
             }
             // Atomic batches reject as a unit: nothing was applied and the
             // epoch did not move.
-            Err(e) => Response::Error {
-                message: format!(
-                    "batch rejected at delta {} of {} ({}); nothing applied, epoch {}",
-                    e.index + 1,
-                    deltas.len(),
-                    e.error,
-                    state.dynamic.epoch()
-                ),
-            },
+            Err(e) => Err(ServiceError::Mutation(format!(
+                "batch rejected at delta {} of {} ({}); nothing applied, epoch {}",
+                e.index + 1,
+                deltas.len(),
+                e.error,
+                state.dynamic.epoch()
+            ))),
         }
     }
 
-    fn compact(&self) -> Response {
+    /// Fold the pending delta log into the snapshot watermark now.
+    #[must_use = "the report says how many deltas were folded"]
+    pub fn compact(&self) -> CompactionReport {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
         let mut state = self.state.write().expect("serving state poisoned");
         let outcome = Arc::make_mut(&mut state.dynamic).compact();
-        Response::Compact {
+        CompactionReport {
             epoch: outcome.epoch,
             folded: outcome.folded,
         }
+    }
+
+    /// Refuse mutations once the WAL is poisoned (fail-stop: see
+    /// [`Counters::wal_poisoned`]). Checked before any state is touched.
+    fn check_wal_usable(&self) -> Result<(), ServiceError> {
+        if self.counters.wal_poisoned.load(Ordering::Relaxed) {
+            return Err(ServiceError::Backend(
+                "mutations disabled: a previous WAL append failed, so accepting more would \
+                 leave an unrecoverable gap in the log; restart the server (replaying the \
+                 intact WAL prefix) to resume"
+                    .into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Append an accepted (prefix of a) batch to the WAL, if one is
+    /// attached. Called under the state write lock so records land in
+    /// application order. An append failure is a [`ServiceError::Backend`]:
+    /// the mutation *is* applied in memory but its durability cannot be
+    /// acknowledged — and the engine goes fail-stop for mutations (the
+    /// unlogged batch is an epoch gap that would strand every later
+    /// record), while queries keep serving.
+    fn wal_append(
+        &self,
+        epoch_before: u64,
+        graph_hash_before: u64,
+        applied: &[GraphDelta],
+    ) -> Result<(), ServiceError> {
+        let (Some(wal), false) = (self.wal.as_ref(), applied.is_empty()) else {
+            return Ok(());
+        };
+        wal.lock()
+            .expect("WAL lock poisoned")
+            .append(epoch_before, graph_hash_before, applied)
+            .map_err(|e| {
+                self.counters.wal_poisoned.store(true, Ordering::Relaxed);
+                ServiceError::Backend(format!(
+                    "WAL append failed ({e}); the batch is applied in memory but not durable, \
+                     and further mutations are disabled"
+                ))
+            })
     }
 
     fn bump_mutation_counters(&self, applied: usize, resampled: usize) {
@@ -377,11 +702,12 @@ impl QueryEngine {
             .fetch_add(resampled as u64, Ordering::Relaxed);
     }
 
-    fn top_k(&self, k: usize, algorithm: TopKAlgorithm) -> Response {
+    /// Select an influential seed set of size `k`, fronted by the
+    /// epoch-keyed LRU cache.
+    pub fn top_k(&self, k: usize, algorithm: TopKAlgorithm) -> Result<TopKSelection, ServiceError> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
         if k == 0 {
-            return Response::Error {
-                message: "k must be positive".into(),
-            };
+            return Err(ServiceError::Query("k must be positive".into()));
         }
         // Snapshot the oracle and its epoch under one short read lock, then
         // compute with no lock held: the key is labelled with the snapshot's
@@ -407,11 +733,11 @@ impl QueryEngine {
             self.counters
                 .topk_cache_hits
                 .fetch_add(1, Ordering::Relaxed);
-            return Response::TopK {
+            return Ok(TopKSelection {
                 seeds: hit.seeds.clone(),
                 spread: hit.spread,
                 algorithm,
-            };
+            });
         }
 
         let oracle = dynamic.oracle();
@@ -434,11 +760,11 @@ impl QueryEngine {
                 spread,
             },
         );
-        Response::TopK {
+        Ok(TopKSelection {
             seeds,
             spread,
             algorithm,
-        }
+        })
     }
 }
 
@@ -452,7 +778,9 @@ mod tests {
     const SEED: u64 = 7;
 
     fn karate_engine() -> QueryEngine {
-        QueryEngine::new(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
+        QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
+            .build()
+            .unwrap()
     }
 
     /// A reference oracle equal to the engine's initial pool (builds are
@@ -479,9 +807,14 @@ mod tests {
                 Response::Estimate {
                     spread,
                     seeds: echoed,
+                    covered,
+                    pool,
                 } => {
                     assert_eq!(spread, expected, "engine must equal the in-process oracle");
                     assert_eq!(echoed, seeds);
+                    assert_eq!(pool, POOL as u64);
+                    // The carried integers re-derive the spread exactly.
+                    assert_eq!(spread, 34.0 * covered as f64 / pool as f64);
                 }
                 other => panic!("unexpected response {other:?}"),
             }
@@ -737,7 +1070,6 @@ mod tests {
 
     #[test]
     fn compaction_folds_the_log_and_keeps_answers_identical() {
-        use crate::engine::EngineConfig;
         use imdyn::CompactionPolicy;
 
         let engine = karate_engine();
@@ -801,13 +1133,11 @@ mod tests {
 
         // Auto-compaction: a policy-configured engine folds the log as soon
         // as the threshold is reached.
-        let auto = QueryEngine::with_config(
-            build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap(),
-            &EngineConfig {
-                compaction_policy: CompactionPolicy::log_len(2),
-                ..EngineConfig::default()
-            },
-        );
+        let auto =
+            QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
+                .compaction_policy(CompactionPolicy::log_len(2))
+                .build()
+                .unwrap();
         let mut scratch = auto.new_scratch();
         match auto.handle(
             &Request::MutateBatch {
@@ -922,7 +1252,7 @@ mod tests {
         assert_eq!(reloaded.log, artifact.log);
         // A new engine over the reloaded artifact serves the same answers
         // and continues from the same epoch.
-        let resumed = QueryEngine::new(reloaded);
+        let resumed = QueryEngine::builder(reloaded).build().unwrap();
         assert_eq!(resumed.epoch(), 1);
         let mut scratch2 = resumed.new_scratch();
         let q = Request::Estimate { seeds: vec![0, 33] };

@@ -15,6 +15,9 @@ pub enum ServeError {
     Query(String),
     /// Invalid build input (unknown dataset or probability model, zero pool).
     Build(String),
+    /// Write-ahead-log recovery or append failure (corrupt record, epoch gap
+    /// between the log and the loaded artifact).
+    Wal(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -25,6 +28,7 @@ impl std::fmt::Display for ServeError {
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
             ServeError::Query(msg) => write!(f, "query error: {msg}"),
             ServeError::Build(msg) => write!(f, "build error: {msg}"),
+            ServeError::Wal(msg) => write!(f, "WAL error: {msg}"),
         }
     }
 }

@@ -15,6 +15,8 @@
 //!                        | POOL (nested) — RR-set pool artifact ("IMPL")
 //!                        | DLTA          — pending mutation log
 //!                        | SNAP (v3)     — snapshot epoch + log watermark
+//!                        | SHRD (v4)     — shard stream offset + global pool
+//!                        |                 (shard artifacts only)
 //!                        | checksum
 //! ```
 //!
@@ -52,24 +54,30 @@ use crate::error::ServeError;
 pub const INDEX_MAGIC: [u8; 4] = *b"IMSX";
 /// Current index format version.
 ///
+/// Version 4 added the optional `SHRD` section: the pool's position in a
+/// global set-id space (stream offset plus global pool size), present only
+/// for shard artifacts (`imserve build --shard i/N`). Whole-pool v4
+/// artifacts carry the same sections as v3.
+///
 /// Version 3 added the `SNAP` section: the compaction watermark that keeps
 /// the index epoch monotonic when the pending delta log is folded away.
 /// Version-2 artifacts (no `SNAP`; the `DLTA` section holds the full
 /// history) remain readable and load with a zero watermark.
 ///
 /// Version 2 changed the *semantics* of the `POOL` section: pools are drawn
-/// with one PRNG stream per RR set (`InfluenceOracle::build_incremental`),
-/// which is what makes them incrementally maintainable under graph deltas.
+/// with one PRNG stream per RR set (per-set incremental streams), which is
+/// what makes them incrementally maintainable under graph deltas.
 /// Version-1 pools were drawn from per-batch streams; the bytes are
 /// indistinguishable but resampling a v1 set from its per-set stream would
 /// silently produce a pool no rebuild can match (and correlated RR sets), so
 /// v1 artifacts are **rejected** on load with a rebuild hint rather than
 /// mutated unsoundly.
-pub const INDEX_VERSION: u32 = 3;
+pub const INDEX_VERSION: u32 = 4;
 
 const META_TAG: [u8; 4] = *b"META";
 const GRAPH_TAG: [u8; 4] = *b"GRPH";
 const POOL_TAG: [u8; 4] = *b"POOL";
+const SHARD_TAG: [u8; 4] = *b"SHRD";
 
 /// Descriptive metadata persisted with (and keyed into) every index.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -89,6 +97,18 @@ pub struct IndexMeta {
     pub base_seed: u64,
 }
 
+/// A shard artifact's position in its global pool: which global set ids its
+/// local sets correspond to. Persisted as the `SHRD` section so a reloaded
+/// shard keeps resampling dirty sets from its *global* streams — the
+/// shard-union invariant would silently break otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// First global set id of this shard (its PRNG stream offset).
+    pub offset: u64,
+    /// RR sets in the whole global pool this shard was cut from.
+    pub global_pool: u64,
+}
+
 /// A complete loaded index: metadata, graph, the shared RR-set oracle, the
 /// pending mutation log and the compaction watermark.
 #[derive(Debug, Clone)]
@@ -106,6 +126,8 @@ pub struct IndexArtifact {
     /// Deltas folded away by compactions *before* `log` — the snapshot
     /// watermark. The index epoch is `snapshot_epoch + log.len()`.
     pub snapshot_epoch: u64,
+    /// `Some` iff this index holds one shard of a larger global pool.
+    pub shard: Option<ShardInfo>,
 }
 
 impl IndexArtifact {
@@ -125,11 +147,14 @@ impl IndexArtifact {
         pool_size: usize,
         base_seed: u64,
     ) -> Self {
-        // Per-set streams (`build_incremental`) rather than per-batch ones:
-        // a served pool must stay maintainable under graph mutation. Still
+        // Per-set incremental streams rather than per-batch ones: a served
+        // pool must stay maintainable under graph mutation. Still
         // deterministic per seed and backend-independent.
-        let oracle =
-            InfluenceOracle::build_incremental(&graph, pool_size, base_seed, default_backend());
+        let oracle = InfluenceOracle::builder(pool_size)
+            .seed(base_seed)
+            .backend(default_backend())
+            .incremental()
+            .sample(&graph);
         let meta = IndexMeta {
             graph_id: graph_id.to_string(),
             model: model.to_string(),
@@ -144,6 +169,57 @@ impl IndexArtifact {
             oracle,
             log: DeltaLog::new(),
             snapshot_epoch: 0,
+            shard: None,
+        }
+    }
+
+    /// Build shard `shard_index` of `shard_count` over a `global_pool`-set
+    /// pool: the local sets' PRNG streams derive from their *global* ids, so
+    /// the shards of one layout union byte-identically into the single pool
+    /// [`IndexArtifact::build`] would draw at the same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard_index >= shard_count`, `shard_count == 0`,
+    /// `global_pool < shard_count`, or the graph is empty.
+    #[must_use]
+    pub fn build_shard(
+        graph_id: &str,
+        model: &str,
+        graph: InfluenceGraph,
+        global_pool: usize,
+        base_seed: u64,
+        shard_index: usize,
+        shard_count: usize,
+    ) -> Self {
+        assert!(
+            shard_index < shard_count,
+            "shard index {shard_index} out of range for {shard_count} shards"
+        );
+        let range = im_core::shard_layout(global_pool, shard_count)[shard_index];
+        let oracle = InfluenceOracle::builder(range.len)
+            .seed(base_seed)
+            .backend(default_backend())
+            .shard_offset(range.offset)
+            .sample(&graph);
+        let meta = IndexMeta {
+            graph_id: graph_id.to_string(),
+            model: model.to_string(),
+            num_vertices: graph.num_vertices(),
+            num_edges: graph.num_edges(),
+            pool_size: range.len,
+            base_seed,
+        };
+        Self {
+            meta,
+            graph,
+            oracle,
+            log: DeltaLog::new(),
+            snapshot_epoch: 0,
+            shard: Some(ShardInfo {
+                offset: range.offset,
+                global_pool: global_pool as u64,
+            }),
         }
     }
 
@@ -208,6 +284,15 @@ impl IndexArtifact {
         binio::put_u64(&mut snap, self.snapshot_epoch);
         binio::put_u64(&mut snap, self.epoch());
         w.section(SNAPSHOT_TAG, &snap);
+        // The v4 shard position, only for shard artifacts: whole-pool
+        // indexes stay byte-compatible with v3 readers except for the
+        // version field.
+        if let Some(shard) = self.shard {
+            let mut shrd = Vec::with_capacity(16);
+            binio::put_u64(&mut shrd, shard.offset);
+            binio::put_u64(&mut shrd, shard.global_pool);
+            w.section(SHARD_TAG, &shrd);
+        }
         w.finish()
     }
 
@@ -238,12 +323,38 @@ impl IndexArtifact {
         let graph_payload = binio::require_section(&sections, GRAPH_TAG)?;
         let graph = influence_graph_from_bytes(graph_payload.rest())?;
 
+        // The v4 shard position must be known before the incremental state
+        // is attached: a shard's dirty sets resample from *global* streams.
+        let shard = if version >= 4 {
+            match sections.iter().find(|(tag, _)| *tag == SHARD_TAG) {
+                Some((_, payload)) => {
+                    let mut shrd = *payload;
+                    let offset = shrd.u64()?;
+                    let global_pool = shrd.u64()?;
+                    if shrd.remaining() != 0 {
+                        return Err(BinError::Corrupt(format!(
+                            "{} trailing bytes in shard section",
+                            shrd.remaining()
+                        )));
+                    }
+                    Some(ShardInfo {
+                        offset,
+                        global_pool,
+                    })
+                }
+                None => None,
+            }
+        } else {
+            None
+        };
+
         let pool_payload = binio::require_section(&sections, POOL_TAG)?;
         let mut oracle = InfluenceOracle::from_bytes(pool_payload.rest())?;
         // The metadata records the seed the per-set streams derive from; the
         // traces themselves are the inverse of the posting lists, so the
-        // incremental state is reconstructible without storing it.
-        oracle.attach_incremental(meta.base_seed);
+        // incremental state is reconstructible without storing it. Shards
+        // additionally re-attach their global stream offset.
+        oracle.attach_incremental(meta.base_seed, shard.map_or(0, |s| s.offset));
 
         // Versions 2 and 3 always write the section (empty for fresh builds),
         // so a missing one means a damaged or spliced artifact, not an old
@@ -300,12 +411,23 @@ impl IndexArtifact {
             )));
         }
 
+        if let Some(s) = shard {
+            let end = s.offset + meta.pool_size as u64;
+            if end > s.global_pool {
+                return Err(BinError::Corrupt(format!(
+                    "shard section claims sets {}..{end} of a global pool of {}",
+                    s.offset, s.global_pool
+                )));
+            }
+        }
+
         Ok(Self {
             meta,
             graph,
             oracle,
             log,
             snapshot_epoch,
+            shard,
         })
     }
 

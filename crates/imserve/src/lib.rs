@@ -1,27 +1,38 @@
 //! `imserve` — the persistent influence-query service layer.
 //!
 //! The paper's shared RR-set oracle (Section 5.2) answers spread queries for
-//! arbitrary seed sets; this crate turns it into a servable subsystem:
+//! arbitrary seed sets; this crate turns it into a servable subsystem with
+//! **one typed query surface** over every backend:
 //!
+//! * [`service`] — the [`service::InfluenceService`] trait (`estimate`,
+//!   `top_k`, `gains`, `mutate_batch`, `compact`, `stats`, each returning a
+//!   typed `Result`) plus the in-process [`service::LocalService`];
+//! * [`shard`] — [`shard::ShardedService`], a router fanning queries out
+//!   over N backends holding disjoint RR-set pool shards and merging their
+//!   integer coverage counts, byte-identical to a single-pool backend;
 //! * [`index`] — a compact, checksummed binary on-disk format bundling the
-//!   influence graph, the RR-set pool and metadata, built once
-//!   (`imserve build`) and reloaded in milliseconds, never resampled;
-//! * [`engine`] — a thread-safe [`engine::QueryEngine`] answering `Estimate`
-//!   (zero-allocation oracle queries via `EstimateScratch`), `TopK` (greedy
-//!   maximum coverage, fronted by an epoch-keyed LRU cache), `Mutate` /
-//!   `MutateBatch` (graph deltas applied through `imdyn`'s incremental
-//!   RR-set maintenance — only the dirty sets are resampled, atomic batches
-//!   re-materialize the CSR once, and the pool stays byte-identical to a
-//!   from-scratch rebuild) and `Compact` (fold the pending delta log into
-//!   the index's snapshot watermark, manually or on a policy trigger);
+//!   influence graph, the RR-set pool (whole or one shard of a global pool)
+//!   and metadata, built once (`imserve build`) and reloaded in
+//!   milliseconds, never resampled;
+//! * [`engine`] — a thread-safe [`engine::QueryEngine`] behind the local
+//!   backend: zero-allocation estimates via `EstimateScratch`, greedy `TopK`
+//!   fronted by an epoch-keyed LRU cache, atomic mutation batches through
+//!   `imdyn`'s incremental RR-set maintenance, compaction, and an optional
+//!   mutation write-ahead log ([`wal`]) so acknowledged mutations survive a
+//!   crash between index saves;
 //! * [`server`] / [`client`] — a std-only TCP front end speaking
-//!   newline-delimited JSON, plus the matching blocking client;
-//! * [`loadtest`] — an in-repo load generator reporting throughput and
-//!   latency percentiles via `imstats`;
-//! * [`cli`] — strict, unit-tested argument parsing for the `imserve` binary.
+//!   newline-delimited JSON in two dialects (bare v1 frames and id-tagged
+//!   v2 frames with a version handshake and typed errors), plus the
+//!   matching clients ([`client::RemoteService`] is the trait over TCP);
+//! * [`loadtest`] — an in-repo load generator driving any
+//!   [`service::InfluenceService`] and reporting latency percentiles via
+//!   `imstats`;
+//! * [`cli`] — strict, unit-tested argument parsing for the `imserve`
+//!   binary.
 //!
 //! See `DESIGN.md` (next to this crate) for the wire protocol and the index
-//! format, and the repository README for a quickstart.
+//! format, `ARCHITECTURE.md` at the repository root for the service-trait
+//! diagram, and the repository README for a quickstart.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -35,9 +46,17 @@ pub mod loadtest;
 pub mod lru;
 pub mod protocol;
 pub mod server;
+pub mod service;
+pub mod shard;
+pub mod wal;
 
-pub use engine::{EngineConfig, QueryEngine, ServingState};
+pub use client::RemoteService;
+pub use engine::{EngineBuilder, EngineConfig, QueryEngine, ServingState};
 pub use error::ServeError;
 pub use index::{build_dataset_index, build_dataset_index_with_deltas, IndexArtifact, IndexMeta};
-pub use protocol::{Request, Response, TopKAlgorithm};
+pub use protocol::{Request, Response, TopKAlgorithm, PROTOCOL_VERSION};
 pub use server::{spawn, ServerConfig, ServerHandle};
+pub use service::{
+    BackendSpec, InfluenceService, LocalService, ServiceError, ServiceInfo, ServiceStats,
+};
+pub use shard::ShardedService;

@@ -1,10 +1,18 @@
-//! The in-repo load generator: hammer a running server from N connections and
-//! report throughput and latency percentiles via `imstats`.
+//! The in-repo load generator: drive any [`InfluenceService`] with a
+//! deterministic request mix and report throughput and latency percentiles
+//! via `imstats`.
 //!
-//! Each connection runs on its own thread with its own deterministic PCG32
-//! stream, issuing a mix of `Estimate` (singleton and 3-seed) and periodic
-//! `TopK` requests — the shape a production influence service sees: estimates
-//! dominate, selections recur and hit the engine's LRU cache.
+//! The workload is backend-agnostic — the same generator runs against an
+//! in-process engine ([`crate::service::LocalService`]), a TCP server
+//! ([`crate::client::RemoteService`]) or a sharded deployment
+//! ([`crate::shard::ShardedService`]) — which is exactly what makes backend
+//! comparisons meaningful: `imexp loadtest --backend {local,remote,sharded:N}`
+//! sends the identical stream everywhere.
+//!
+//! Each connection runs its own deterministic PCG32 stream, issuing a mix of
+//! `Estimate` (singleton and 3-seed) and periodic `TopK` requests — the
+//! shape a production influence service sees: estimates dominate, selections
+//! recur and hit the engine's LRU cache (or the shard router's memo).
 
 use std::net::ToSocketAddrs;
 use std::time::Instant;
@@ -12,12 +20,12 @@ use std::time::Instant;
 use imrand::{Pcg32, Rng32};
 use imstats::SummaryStats;
 
-use crate::client::Connection;
-use crate::error::ServeError;
-use crate::protocol::{Request, Response, TopKAlgorithm};
+use crate::client::RemoteService;
+use crate::protocol::TopKAlgorithm;
+use crate::service::{InfluenceService, ServiceError, ServiceStats};
 
 /// Load-test shape.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LoadtestConfig {
     /// Concurrent connections (one thread each).
     pub connections: usize,
@@ -40,32 +48,6 @@ impl Default for LoadtestConfig {
     }
 }
 
-/// A snapshot of the server's own counters, taken after the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ServerStats {
-    /// Total requests the server has handled (lifetime, not just this run).
-    pub requests: u64,
-    /// `TopK` answers served from the LRU cache.
-    pub topk_cache_hits: u64,
-    /// `TopK` answers computed and cached.
-    pub topk_cache_misses: u64,
-    /// RR sets in the served pool.
-    pub pool_size: usize,
-    /// Current index epoch (total deltas ever applied).
-    pub epoch: u64,
-    /// Deltas applied by the server process.
-    pub deltas_applied: u64,
-    /// RR sets resampled by the server process.
-    pub sets_resampled: u64,
-    /// Pending (uncompacted) deltas in the server's log.
-    pub log_len: usize,
-    /// The epoch of the server's last compaction (its loaded watermark if
-    /// none ran in-process).
-    pub snapshot_epoch: u64,
-    /// Compactions performed by the server process.
-    pub compactions: u64,
-}
-
 /// Aggregated load-test results.
 #[derive(Debug, Clone)]
 pub struct LoadtestReport {
@@ -77,9 +59,9 @@ pub struct LoadtestReport {
     pub throughput_rps: f64,
     /// Per-request latency statistics in microseconds.
     pub latency_micros: SummaryStats,
-    /// The server's own counters after the run (`None` if the final `Stats`
-    /// round-trip failed — the latency data is still valid).
-    pub server_stats: Option<ServerStats>,
+    /// The backend's own counters after the run (`None` if the final
+    /// `stats` call failed — the latency data is still valid).
+    pub server_stats: Option<ServiceStats>,
 }
 
 impl std::fmt::Display for LoadtestReport {
@@ -110,120 +92,152 @@ impl std::fmt::Display for LoadtestReport {
                 s.topk_cache_hits,
                 s.topk_cache_hits + s.topk_cache_misses
             )?;
+            for (i, shard) in s.shards.iter().enumerate() {
+                write!(
+                    f,
+                    "\nshard {i}: epoch {} (watermark {}, {} pending)",
+                    shard.epoch, shard.snapshot_epoch, shard.log_len
+                )?;
+            }
         }
         Ok(())
     }
 }
 
-/// Run the load test against a server and gather the report.
+/// The deterministic request mix, issued through the typed trait. Returns
+/// per-request latencies in microseconds.
+fn drive<S: InfluenceService>(
+    service: &mut S,
+    num_vertices: usize,
+    requests: usize,
+    k: usize,
+    stream_seed: u64,
+) -> Result<Vec<f64>, ServiceError> {
+    let mut rng = Pcg32::seed_from_u64(stream_seed);
+    let mut latencies = Vec::with_capacity(requests);
+    for i in 0..requests {
+        let sent = Instant::now();
+        if i % 16 == 15 {
+            service.top_k(k, TopKAlgorithm::Greedy)?;
+        } else if i % 4 == 3 {
+            let seeds = [
+                rng.gen_index(num_vertices) as u32,
+                rng.gen_index(num_vertices) as u32,
+                rng.gen_index(num_vertices) as u32,
+            ];
+            service.estimate(&seeds)?;
+        } else {
+            let seeds = [rng.gen_index(num_vertices) as u32];
+            service.estimate(&seeds)?;
+        }
+        latencies.push(sent.elapsed().as_secs_f64() * 1e6);
+    }
+    Ok(latencies)
+}
+
+/// Derive the per-connection stream seed (stable across backends).
+fn stream_seed(base: u64, connection_id: usize) -> u64 {
+    base.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(connection_id as u64 + 1))
+}
+
+/// Run the load test against services produced by `make` — one per
+/// configured connection, each on its own thread — and gather the report.
 ///
-/// Fails fast if the server is unreachable or answers any request with
-/// `Error` (the generator only sends well-formed in-range requests).
-pub fn run<A: ToSocketAddrs>(
-    addr: A,
-    config: &LoadtestConfig,
-) -> Result<LoadtestReport, ServeError> {
+/// Fails fast if a service cannot be built or answers any request with an
+/// error (the generator only sends well-formed in-range requests).
+pub fn run_with<S, F>(config: &LoadtestConfig, make: F) -> Result<LoadtestReport, ServiceError>
+where
+    S: InfluenceService + Send,
+    F: Fn() -> Result<S, ServiceError> + Sync,
+{
     let connections = config.connections.max(1);
     let per_connection = config.requests_per_connection.max(1);
 
     // Discover the vertex range once so generated seeds are always valid.
-    let num_vertices = match Connection::open(&addr)?.roundtrip(&Request::Info)? {
-        Response::Info { num_vertices, .. } => num_vertices,
-        other => {
-            return Err(ServeError::Protocol(format!(
-                "Info answered with {other:?}"
-            )))
-        }
+    // The probe is dropped before the workers spawn: a lingering remote
+    // probe would occupy one server worker for the whole run (and deadlock
+    // a single-worker server outright, since every loadtest connection
+    // would queue behind it forever).
+    let num_vertices = {
+        let mut probe = make()?;
+        probe.info()?.num_vertices
     };
     if num_vertices == 0 {
-        return Err(ServeError::Query("served graph is empty".into()));
+        return Err(ServiceError::Query("served graph is empty".into()));
     }
-    let addrs: Vec<std::net::SocketAddr> = addr.to_socket_addrs()?.collect();
 
     let started = Instant::now();
-    let mut threads = Vec::with_capacity(connections);
-    for connection_id in 0..connections {
-        let addrs = addrs.clone();
-        let k = config.k;
-        let seed = config
-            .seed
-            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(connection_id as u64 + 1));
-        threads.push(std::thread::spawn(
-            move || -> Result<Vec<f64>, ServeError> {
-                let mut connection = Connection::open(addrs.as_slice())?;
-                let mut rng = Pcg32::seed_from_u64(seed);
-                let mut latencies = Vec::with_capacity(per_connection);
-                for i in 0..per_connection {
-                    let request = if i % 16 == 15 {
-                        Request::TopK {
-                            k,
-                            algorithm: TopKAlgorithm::Greedy,
-                        }
-                    } else if i % 4 == 3 {
-                        Request::Estimate {
-                            seeds: vec![
-                                rng.gen_index(num_vertices) as u32,
-                                rng.gen_index(num_vertices) as u32,
-                                rng.gen_index(num_vertices) as u32,
-                            ],
-                        }
-                    } else {
-                        Request::Estimate {
-                            seeds: vec![rng.gen_index(num_vertices) as u32],
-                        }
-                    };
-                    let sent = Instant::now();
-                    let response = connection.roundtrip(&request)?;
-                    latencies.push(sent.elapsed().as_secs_f64() * 1e6);
-                    if let Response::Error { message } = response {
-                        return Err(ServeError::Query(format!(
-                            "server rejected a well-formed request: {message}"
-                        )));
-                    }
-                }
-                Ok(latencies)
-            },
-        ));
-    }
-
-    let mut all_latencies = Vec::with_capacity(connections * per_connection);
-    for thread in threads {
-        let latencies = thread
-            .join()
-            .map_err(|_| ServeError::Query("loadtest worker panicked".into()))??;
-        all_latencies.extend(latencies);
-    }
+    let all_latencies: Result<Vec<Vec<f64>>, ServiceError> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(connections);
+        for connection_id in 0..connections {
+            let make = &make;
+            let seed = stream_seed(config.seed, connection_id);
+            let k = config.k;
+            handles.push(scope.spawn(move || {
+                let mut service = make()?;
+                drive(&mut service, num_vertices, per_connection, k, seed)
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .map_err(|_| ServiceError::Backend("loadtest worker panicked".into()))?
+            })
+            .collect()
+    });
+    let all_latencies: Vec<f64> = all_latencies?.into_iter().flatten().collect();
     let elapsed_secs = started.elapsed().as_secs_f64();
 
-    // Surface the server's own view of the run: epoch, pool, cache hit rate.
-    let server_stats =
-        match Connection::open(addrs.as_slice()).and_then(|mut c| c.roundtrip(&Request::Stats)) {
-            Ok(Response::Stats {
-                requests,
-                topk_cache_hits,
-                topk_cache_misses,
-                pool_size,
-                epoch,
-                deltas_applied,
-                sets_resampled,
-                log_len,
-                snapshot_epoch,
-                compactions,
-            }) => Some(ServerStats {
-                requests,
-                topk_cache_hits,
-                topk_cache_misses,
-                pool_size,
-                epoch,
-                deltas_applied,
-                sets_resampled,
-                log_len,
-                snapshot_epoch,
-                compactions,
-            }),
-            _ => None,
-        };
+    // Surface the backend's own view of the run on a fresh service (the
+    // engine counters are shared, so any connection sees the same totals).
+    let server_stats = make().ok().and_then(|mut s| s.stats().ok());
 
+    Ok(LoadtestReport {
+        total_requests: all_latencies.len(),
+        elapsed_secs,
+        throughput_rps: all_latencies.len() as f64 / elapsed_secs.max(1e-9),
+        latency_micros: SummaryStats::from_values(&all_latencies),
+        server_stats,
+    })
+}
+
+/// Run the load test against a TCP server (one [`RemoteService`] per
+/// connection) — the `imserve loadtest --addr` entry point.
+pub fn run<A: ToSocketAddrs>(
+    addr: A,
+    config: &LoadtestConfig,
+) -> Result<LoadtestReport, ServiceError> {
+    let addrs: Vec<std::net::SocketAddr> = addr.to_socket_addrs()?.collect();
+    run_with(config, || RemoteService::connect(addrs.as_slice()))
+}
+
+/// Run the whole configured workload *sequentially* through one service —
+/// the backend-comparison entry point (`imexp loadtest --backend …`), where
+/// identical request streams matter more than concurrency.
+pub fn run_service<S: InfluenceService>(
+    service: &mut S,
+    config: &LoadtestConfig,
+) -> Result<LoadtestReport, ServiceError> {
+    let connections = config.connections.max(1);
+    let per_connection = config.requests_per_connection.max(1);
+    let num_vertices = service.info()?.num_vertices;
+    if num_vertices == 0 {
+        return Err(ServiceError::Query("served graph is empty".into()));
+    }
+    let started = Instant::now();
+    let mut all_latencies = Vec::with_capacity(connections * per_connection);
+    for connection_id in 0..connections {
+        all_latencies.extend(drive(
+            service,
+            num_vertices,
+            per_connection,
+            config.k,
+            stream_seed(config.seed, connection_id),
+        )?);
+    }
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let server_stats = service.stats().ok();
     Ok(LoadtestReport {
         total_requests: all_latencies.len(),
         elapsed_secs,

@@ -31,11 +31,43 @@ use std::sync::Arc;
 
 use imdyn::CompactionPolicy;
 use imserve::cli::{self, Command, CompactTarget, QuerySpec};
+use imserve::client::RemoteService;
 use imserve::engine::{EngineConfig, QueryEngine};
-use imserve::index::{build_dataset_index_with_deltas, IndexArtifact};
+use imserve::index::{build_dataset_index_with_deltas, parse_dataset, parse_model, IndexArtifact};
 use imserve::loadtest::{self, LoadtestConfig};
-use imserve::protocol::{self, Request};
+use imserve::protocol::{self, Request, Response};
 use imserve::server::{self, ServerConfig};
+use imserve::service::{InfluenceService, ServiceError};
+use imserve::shard::ShardedService;
+
+/// Open the typed service for a set of `--addr` values: one address is a
+/// plain remote backend, several are routed through a sharded service.
+fn open_service(addrs: &[String]) -> Result<Box<dyn InfluenceService>, ServiceError> {
+    if addrs.len() == 1 {
+        return Ok(Box::new(RemoteService::connect(addrs[0].as_str())?));
+    }
+    let mut shards = Vec::with_capacity(addrs.len());
+    for addr in addrs {
+        shards.push(RemoteService::connect(addr.as_str())?);
+    }
+    let mut sharded = ShardedService::new(shards)?;
+    let info = sharded.info()?;
+    if (info.pool_size as u64) < info.global_pool {
+        eprintln!(
+            "warning: the given shards cover {} of {} global RR sets — answers reflect \
+             the covered slice, not the whole pool (missing --addr?)",
+            info.pool_size, info.global_pool
+        );
+    }
+    Ok(Box::new(sharded))
+}
+
+/// Print a typed result in its wire-JSON form (so scripts and the CI smoke
+/// steps can diff outputs across dialects and backends).
+fn print_response(response: Response) -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", protocol::encode(&response)?);
+    Ok(())
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -65,16 +97,31 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             seed,
             out,
             deltas,
+            shard,
         } => {
             let started = std::time::Instant::now();
-            let script = match &deltas {
-                Some(path) => protocol::parse_delta_script(&std::fs::read_to_string(path)?)?,
-                None => Vec::new(),
+            let artifact = if let Some((index, count)) = shard {
+                let ds = parse_dataset(&dataset)?;
+                let pm = parse_model(&model)?;
+                let graph = ds.influence_graph(pm, seed);
+                IndexArtifact::build_shard(ds.name(), &pm.label(), graph, pool, seed, index, count)
+            } else {
+                let script = match &deltas {
+                    Some(path) => protocol::parse_delta_script(&std::fs::read_to_string(path)?)?,
+                    None => Vec::new(),
+                };
+                build_dataset_index_with_deltas(&dataset, &model, pool, seed, &script)?
             };
-            let artifact = build_dataset_index_with_deltas(&dataset, &model, pool, seed, &script)?;
             artifact.save(&out)?;
+            let shard_note = match (shard, artifact.shard) {
+                (Some((i, n)), Some(info)) => {
+                    format!(", shard {i}/{n} at global offset {}", info.offset)
+                }
+                _ => String::new(),
+            };
             eprintln!(
-                "built index {} ({} vertices, {} edges, pool {}, {} deltas) in {:.2}s -> {}",
+                "built index {} ({} vertices, {} edges, pool {}{shard_note}, {} deltas) \
+                 in {:.2}s -> {}",
                 artifact.meta.graph_id,
                 artifact.meta.num_vertices,
                 artifact.meta.num_edges,
@@ -92,6 +139,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             cache,
             compact_log_len,
             compact_dirty,
+            wal,
         } => {
             let started = std::time::Instant::now();
             let artifact = IndexArtifact::load(&index)?;
@@ -113,13 +161,15 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                     policy.max_log_len, policy.max_dirty_fraction
                 );
             }
-            let engine = Arc::new(QueryEngine::with_config(
-                artifact,
-                &EngineConfig {
-                    cache_capacity: cache,
-                    compaction_policy: policy,
-                },
-            ));
+            let mut builder = QueryEngine::builder(artifact).config(&EngineConfig {
+                cache_capacity: cache,
+                compaction_policy: policy,
+            });
+            if let Some(path) = &wal {
+                eprintln!("mutation WAL enabled at {path}");
+                builder = builder.wal(path);
+            }
+            let engine = Arc::new(builder.build()?);
             let handle = server::spawn(
                 addr.as_str(),
                 engine,
@@ -135,35 +185,59 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 std::thread::park();
             }
         }
-        Command::Query { addr, request } => {
-            let request = match request {
-                QuerySpec::Estimate(seeds) => Request::Estimate { seeds },
-                QuerySpec::TopK(k, algorithm) => Request::TopK { k, algorithm },
-                QuerySpec::Info => Request::Info,
-                QuerySpec::Stats => Request::Stats,
-            };
-            let response = imserve::client::query_once(addr.as_str(), &request)?;
-            println!("{}", protocol::encode(&response)?);
-            if matches!(response, imserve::protocol::Response::Error { .. }) {
-                return Err(Box::new(imserve::ServeError::Query(
-                    "server answered with an error".into(),
-                )));
+        Command::Query { addrs, request, v1 } => {
+            if v1 {
+                // The legacy dialect, kept for compatibility checks: bare
+                // frames over a fresh connection, errors in-band.
+                let request = match request {
+                    QuerySpec::Estimate(seeds) => Request::Estimate { seeds },
+                    QuerySpec::TopK(k, algorithm) => Request::TopK { k, algorithm },
+                    QuerySpec::Info => Request::Info,
+                    QuerySpec::Stats => Request::Stats,
+                };
+                let response = imserve::client::query_once(addrs[0].as_str(), &request)?;
+                print_response(response.clone())?;
+                if matches!(response, Response::Error { .. }) {
+                    return Err(Box::new(imserve::ServeError::Query(
+                        "server answered with an error".into(),
+                    )));
+                }
+                return Ok(());
             }
-            Ok(())
+            let mut service = open_service(&addrs)?;
+            match request {
+                QuerySpec::Estimate(seeds) => print_response(service.estimate(&seeds)?.into()),
+                QuerySpec::TopK(k, algorithm) => {
+                    print_response(service.top_k(k, algorithm)?.into())
+                }
+                QuerySpec::Info => print_response(service.info()?.into()),
+                QuerySpec::Stats => {
+                    let stats = service.stats()?;
+                    for (i, shard) in stats.shards.iter().enumerate() {
+                        eprintln!(
+                            "shard {i}: epoch {} (watermark {}, {} pending)",
+                            shard.epoch, shard.snapshot_epoch, shard.log_len
+                        );
+                    }
+                    print_response(stats.into())
+                }
+            }
         }
         Command::Mutate {
-            addr,
+            addrs,
             deltas,
             batch,
         } => {
-            let request = if batch {
-                Request::MutateBatch { deltas }
-            } else {
-                Request::Mutate { deltas }
-            };
-            let response = imserve::client::query_once(addr.as_str(), &request)?;
-            println!("{}", protocol::encode(&response)?);
-            if matches!(response, imserve::protocol::Response::Error { .. }) {
+            if batch {
+                let mut service = open_service(&addrs)?;
+                return print_response(service.mutate_batch(&deltas)?.into());
+            }
+            // Per-delta semantics only exist on the legacy engine path; the
+            // CLI parser guarantees a single address here.
+            let response =
+                imserve::client::query_once(addrs[0].as_str(), &Request::Mutate { deltas })?;
+            print_response(response.clone())?;
+            if matches!(response, Response::Error { .. }) {
                 return Err(Box::new(imserve::ServeError::Query(
                     "server answered with an error".into(),
                 )));
@@ -172,14 +246,8 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
         }
         Command::Compact { target } => match target {
             CompactTarget::Server { addr } => {
-                let response = imserve::client::query_once(addr.as_str(), &Request::Compact)?;
-                println!("{}", protocol::encode(&response)?);
-                if matches!(response, imserve::protocol::Response::Error { .. }) {
-                    return Err(Box::new(imserve::ServeError::Query(
-                        "server answered with an error".into(),
-                    )));
-                }
-                Ok(())
+                let mut service = RemoteService::connect(addr.as_str())?;
+                print_response(service.compact()?.into())
             }
             CompactTarget::File { index, out } => {
                 let mut artifact = IndexArtifact::load(&index)?;
@@ -193,20 +261,30 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             }
         },
         Command::Loadtest {
-            addr,
+            addrs,
             connections,
             requests,
             k,
         } => {
-            let report = loadtest::run(
-                addr.as_str(),
-                &LoadtestConfig {
-                    connections,
-                    requests_per_connection: requests,
-                    k,
-                    seed: 1,
-                },
-            )?;
+            let config = LoadtestConfig {
+                connections,
+                requests_per_connection: requests,
+                k,
+                seed: 1,
+            };
+            let report = if addrs.len() == 1 {
+                loadtest::run(addrs[0].as_str(), &config)?
+            } else {
+                // A sharded deployment: one router per loadtest connection,
+                // each over its own connections to every shard.
+                loadtest::run_with(&config, || {
+                    let mut shards = Vec::with_capacity(addrs.len());
+                    for addr in &addrs {
+                        shards.push(RemoteService::connect(addr.as_str())?);
+                    }
+                    ShardedService::new(shards)
+                })?
+            };
             println!("{report}");
             Ok(())
         }

@@ -1,15 +1,30 @@
-//! The wire protocol: newline-delimited JSON request/response frames.
+//! The wire protocol: newline-delimited JSON frames, in two dialects.
 //!
-//! One request per line, one response per line, externally-tagged enums (the
-//! representation both real serde and the vendored stand-in produce for plain
-//! derives), e.g.:
+//! **Version 1** (the original dialect, still answered for compatibility):
+//! one bare externally-tagged request per line, one bare response per line,
+//! strictly in order:
 //!
 //! ```text
 //! -> {"Estimate":{"seeds":[0,5]}}
-//! <- {"Estimate":{"seeds":[0,5],"spread":12.75}}
-//! -> {"TopK":{"k":2,"algorithm":"Greedy"}}
-//! <- {"TopK":{"seeds":[33,0],"spread":14.5,"algorithm":"Greedy"}}
+//! <- {"Estimate":{"seeds":[0,5],"spread":12.75,"covered":7644,"pool":20000}}
 //! ```
+//!
+//! **Version 2** wraps the same request/response enums in id-tagged frames
+//! with a typed error taxonomy:
+//!
+//! ```text
+//! -> {"v":2,"id":7,"req":{"Estimate":{"seeds":[0,5]}}}
+//! <- {"v":2,"id":7,"body":{"Ok":{"Estimate":{...}}}}
+//! -> {"v":2,"id":8,"req":{"TopK":{"k":0,"algorithm":"Greedy"}}}
+//! <- {"v":2,"id":8,"body":{"Err":{"kind":"Query","message":"k must be positive"}}}
+//! ```
+//!
+//! The request id is echoed verbatim, which is what enables *pipelining*: a
+//! client may write any number of frames before reading, and match the
+//! in-order responses back to requests by id. A v2 session opens with an
+//! explicit version handshake (`Hello`); servers answer each line in the
+//! dialect it arrived in, so v1 clients keep working against v2 servers
+//! unchanged (see the handshake table in `DESIGN.md`).
 //!
 //! Responses to the same request against the same index are byte-identical —
 //! the engine is deterministic and no timestamps or volatile fields are ever
@@ -20,6 +35,13 @@ use imgraph::GraphDelta;
 use serde::{Deserialize, Serialize};
 
 use crate::error::ServeError;
+use crate::service::{
+    CompactionReport, GainVector, MutationOutcome, ServiceError, ServiceInfo, SpreadEstimate,
+    TopKSelection,
+};
+
+/// The highest protocol version this build speaks.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Seed-set selection strategies the engine can answer `TopK` with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -59,6 +81,13 @@ impl std::fmt::Display for TopKAlgorithm {
 pub enum Request {
     /// Liveness check.
     Ping,
+    /// Protocol-version handshake: the client announces the highest frame
+    /// version it speaks; the server answers [`Response::Hello`] with the
+    /// version the session will use (`min(client, server)`).
+    Hello {
+        /// Highest frame version the client can parse.
+        max_version: u32,
+    },
     /// Index metadata.
     Info,
     /// Estimate the influence spread of an explicit seed set.
@@ -100,6 +129,16 @@ pub enum Request {
     /// head version — so the epoch is unchanged and concurrent queries are
     /// unaffected (readers snapshot the state behind an `Arc`).
     Compact,
+    /// Per-vertex marginal coverage gains given an already-selected seed
+    /// set: one round of greedy maximum coverage as data. This is the
+    /// shard-side primitive of distributed `TopK` — a router summing the
+    /// integer gain vectors of N pool shards and picking the first argmax
+    /// reproduces exactly the selection a single union pool would make.
+    Gains {
+        /// The seeds already selected (may be empty: gains are then the
+        /// singleton coverage counts).
+        selected: Vec<u32>,
+    },
     /// Serving counters, pool dimensions and the current index epoch.
     Stats,
 }
@@ -109,6 +148,11 @@ pub enum Request {
 pub enum Response {
     /// Liveness answer.
     Pong,
+    /// Handshake answer: the frame version the session will use.
+    Hello {
+        /// `min(client max_version, server max_version)`.
+        version: u32,
+    },
     /// Index metadata.
     Info {
         /// Graph identifier from the index metadata.
@@ -123,6 +167,13 @@ pub enum Response {
         pool_size: usize,
         /// The oracle's 99 % confidence half-width `1.29·n/√pool`.
         confidence_99: f64,
+        /// First global set id of the served pool (`0` for a whole pool) —
+        /// what lets a shard router verify its backends tile the global
+        /// pool without overlap.
+        shard_offset: u64,
+        /// RR sets in the whole global pool this one belongs to (equal to
+        /// `pool_size` for an unsharded index).
+        global_pool: u64,
     },
     /// Spread estimate for an explicit seed set.
     Estimate {
@@ -130,6 +181,12 @@ pub enum Response {
         seeds: Vec<u32>,
         /// The oracle estimate `n·(covered fraction of the pool)`.
         spread: f64,
+        /// Distinct pool RR sets intersecting the seed set — the integer
+        /// numerator of `spread`, carried so shard routers can merge counts
+        /// exactly (v1 clients ignore the extra fields).
+        covered: u64,
+        /// RR sets in the answering pool (the denominator of `spread`).
+        pool: u64,
     },
     /// A selected seed set.
     TopK {
@@ -170,6 +227,15 @@ pub enum Response {
         /// Pending deltas folded into the watermark.
         folded: usize,
     },
+    /// Per-vertex marginal coverage gains (answer to [`Request::Gains`]).
+    Gains {
+        /// Marginal gain of every vertex, indexed by vertex id.
+        gains: Vec<u64>,
+        /// Pool RR sets covered by the selected set.
+        covered: u64,
+        /// RR sets in the answering pool.
+        pool: u64,
+    },
     /// Serving counters, pool dimensions and the current index epoch.
     Stats {
         /// Total requests handled (including failed ones).
@@ -201,6 +267,194 @@ pub enum Response {
         /// Human-readable reason.
         message: String,
     },
+}
+
+/// The typed error taxonomy of protocol v2 (the wire form of the
+/// recoverable [`ServiceError`] variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// Malformed frame or request the server cannot parse.
+    Protocol,
+    /// Invalid query against the served index.
+    Query,
+    /// A rejected mutation batch (nothing applied).
+    Mutation,
+    /// The requested frame version or capability is not supported.
+    Unsupported,
+    /// The backend failed internally.
+    Internal,
+}
+
+/// A typed wire error: kind plus human-readable detail.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WireError {
+    /// Which class of failure this is (drives client retry behavior).
+    pub kind: ErrorKind,
+    /// Human-readable reason.
+    pub message: String,
+}
+
+impl WireError {
+    /// Lower a service-layer error onto the wire. The client-side-only
+    /// variants (`Transport`, `Shard`) map to `Internal` — they should never
+    /// be produced by a server, but the mapping is total so relaying them is
+    /// safe.
+    #[must_use]
+    pub fn from_service(e: &ServiceError) -> Self {
+        let (kind, message) = match e {
+            ServiceError::Query(m) => (ErrorKind::Query, m.clone()),
+            ServiceError::Mutation(m) => (ErrorKind::Mutation, m.clone()),
+            ServiceError::Protocol(m) => (ErrorKind::Protocol, m.clone()),
+            ServiceError::Backend(m) => (ErrorKind::Internal, m.clone()),
+            ServiceError::Transport(io) => (ErrorKind::Internal, io.to_string()),
+            ServiceError::Shard(m) => (ErrorKind::Internal, m.clone()),
+        };
+        Self { kind, message }
+    }
+
+    /// Raise the wire error back into the service-layer taxonomy.
+    #[must_use]
+    pub fn into_service(self) -> ServiceError {
+        match self.kind {
+            ErrorKind::Query => ServiceError::Query(self.message),
+            ErrorKind::Mutation => ServiceError::Mutation(self.message),
+            ErrorKind::Protocol | ErrorKind::Unsupported => ServiceError::Protocol(self.message),
+            ErrorKind::Internal => ServiceError::Backend(self.message),
+        }
+    }
+}
+
+/// The version/id envelope of a v2 frame, decodable even when the request
+/// payload is not (e.g. an unknown variant from a newer client). Lets the
+/// server answer an **id-tagged** `Unsupported` error instead of falling
+/// back to a bare v1 line — which would desync a pipelining client that is
+/// matching responses by id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameEnvelope {
+    /// Frame version.
+    pub v: u32,
+    /// Caller-chosen id, echoed on the error frame.
+    pub id: u64,
+}
+
+/// A protocol-v2 request frame: version, caller-chosen id, payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestFrame {
+    /// Frame version (currently always [`PROTOCOL_VERSION`]).
+    pub v: u32,
+    /// Caller-chosen id, echoed verbatim on the response frame — the hook
+    /// pipelining hangs off.
+    pub id: u64,
+    /// The request itself (same enum as the v1 dialect).
+    pub req: Request,
+}
+
+/// A protocol-v2 response body: the typed success/failure split that
+/// replaces v1's in-band `Response::Error`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The request succeeded.
+    Ok(Response),
+    /// The request failed, with a typed reason.
+    Err(WireError),
+}
+
+/// A protocol-v2 response frame, id-matched to its request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResponseFrame {
+    /// Frame version (echoes the request frame's).
+    pub v: u32,
+    /// The id of the request this answers.
+    pub id: u64,
+    /// Success or typed failure.
+    pub body: Outcome,
+}
+
+/// Convert a typed service result into the wire `Response` it serializes as
+/// (shared by the server's dialect adapters and the CLI's output printing).
+impl From<SpreadEstimate> for Response {
+    fn from(e: SpreadEstimate) -> Self {
+        Response::Estimate {
+            seeds: e.seeds,
+            spread: e.spread,
+            covered: e.covered,
+            pool: e.pool,
+        }
+    }
+}
+
+impl From<TopKSelection> for Response {
+    fn from(t: TopKSelection) -> Self {
+        Response::TopK {
+            seeds: t.seeds,
+            spread: t.spread,
+            algorithm: t.algorithm,
+        }
+    }
+}
+
+impl From<GainVector> for Response {
+    fn from(g: GainVector) -> Self {
+        Response::Gains {
+            gains: g.gains,
+            covered: g.covered,
+            pool: g.pool,
+        }
+    }
+}
+
+impl From<MutationOutcome> for Response {
+    fn from(m: MutationOutcome) -> Self {
+        Response::MutateBatch {
+            epoch: m.epoch,
+            applied: m.applied,
+            resampled: m.resampled,
+            compacted: m.compacted,
+        }
+    }
+}
+
+impl From<CompactionReport> for Response {
+    fn from(c: CompactionReport) -> Self {
+        Response::Compact {
+            epoch: c.epoch,
+            folded: c.folded,
+        }
+    }
+}
+
+impl From<ServiceInfo> for Response {
+    fn from(i: ServiceInfo) -> Self {
+        Response::Info {
+            graph_id: i.graph_id,
+            model: i.model,
+            num_vertices: i.num_vertices,
+            num_edges: i.num_edges,
+            pool_size: i.pool_size,
+            confidence_99: i.confidence_99,
+            shard_offset: i.shard_offset,
+            global_pool: i.global_pool,
+        }
+    }
+}
+
+/// The per-shard epoch reports never travel on the wire (they are the
+/// router's own aggregation); everything else maps one-to-one.
+impl From<crate::service::ServiceStats> for Response {
+    fn from(s: crate::service::ServiceStats) -> Self {
+        Response::Stats {
+            requests: s.requests,
+            topk_cache_hits: s.topk_cache_hits,
+            topk_cache_misses: s.topk_cache_misses,
+            pool_size: s.pool_size,
+            epoch: s.epoch,
+            deltas_applied: s.deltas_applied,
+            sets_resampled: s.sets_resampled,
+            log_len: s.log_len,
+            snapshot_epoch: s.snapshot_epoch,
+            compactions: s.compactions,
+        }
+    }
 }
 
 /// Encode a frame as its JSON wire line (no trailing newline).
@@ -268,14 +522,22 @@ mod tests {
     fn responses_round_trip_over_the_wire() {
         let frames = vec![
             Response::Pong,
+            Response::Hello { version: 2 },
             Response::Estimate {
                 seeds: vec![1],
                 spread: 3.5,
+                covered: 7,
+                pool: 10,
             },
             Response::TopK {
                 seeds: vec![33, 0],
                 spread: 14.25,
                 algorithm: TopKAlgorithm::SingletonRank,
+            },
+            Response::Gains {
+                gains: vec![3, 0, 1],
+                covered: 4,
+                pool: 10,
             },
             Response::Error {
                 message: "nope".into(),
@@ -284,6 +546,87 @@ mod tests {
         for frame in frames {
             let back: Response = decode(&encode(&frame).unwrap()).unwrap();
             assert_eq!(back, frame);
+        }
+    }
+
+    #[test]
+    fn v2_frames_round_trip_and_are_distinguishable_from_v1() {
+        let frame = RequestFrame {
+            v: PROTOCOL_VERSION,
+            id: 7,
+            req: Request::Estimate { seeds: vec![0, 5] },
+        };
+        let line = encode(&frame).unwrap();
+        assert_eq!(line, r#"{"v":2,"id":7,"req":{"Estimate":{"seeds":[0,5]}}}"#);
+        let back: RequestFrame = decode(&line).unwrap();
+        assert_eq!(back, frame);
+        // A v2 line is not a valid v1 request, and vice versa — the server's
+        // dialect detection rests on this.
+        assert!(decode::<Request>(&line).is_err());
+        assert!(decode::<RequestFrame>(r#"{"Estimate":{"seeds":[0,5]}}"#).is_err());
+
+        let ok = ResponseFrame {
+            v: PROTOCOL_VERSION,
+            id: 7,
+            body: Outcome::Ok(Response::Pong),
+        };
+        let back: ResponseFrame = decode(&encode(&ok).unwrap()).unwrap();
+        assert_eq!(back, ok);
+        let err = ResponseFrame {
+            v: PROTOCOL_VERSION,
+            id: 8,
+            body: Outcome::Err(WireError {
+                kind: ErrorKind::Query,
+                message: "k must be positive".into(),
+            }),
+        };
+        let line = encode(&err).unwrap();
+        assert!(line.contains(r#""kind":"Query""#), "{line}");
+        let back: ResponseFrame = decode(&line).unwrap();
+        assert_eq!(back, err);
+    }
+
+    #[test]
+    fn wire_errors_round_trip_the_service_taxonomy() {
+        use crate::service::ServiceError;
+        for (e, kind) in [
+            (ServiceError::Query("q".into()), ErrorKind::Query),
+            (ServiceError::Mutation("m".into()), ErrorKind::Mutation),
+            (ServiceError::Protocol("p".into()), ErrorKind::Protocol),
+            (ServiceError::Backend("b".into()), ErrorKind::Internal),
+        ] {
+            let wire = WireError::from_service(&e);
+            assert_eq!(wire.kind, kind);
+            let back = wire.into_service();
+            assert_eq!(
+                std::mem::discriminant(&back),
+                std::mem::discriminant(&e),
+                "{e} must survive the wire round trip"
+            );
+        }
+        // Unsupported raises into Protocol (retrying the same frame version
+        // is pointless either way).
+        let unsupported = WireError {
+            kind: ErrorKind::Unsupported,
+            message: "v9".into(),
+        };
+        assert!(matches!(
+            unsupported.into_service(),
+            ServiceError::Protocol(_)
+        ));
+    }
+
+    #[test]
+    fn handshake_and_gains_requests_round_trip() {
+        for request in [
+            Request::Hello { max_version: 2 },
+            Request::Gains {
+                selected: vec![0, 33],
+            },
+            Request::Gains { selected: vec![] },
+        ] {
+            let back: Request = decode(&encode(&request).unwrap()).unwrap();
+            assert_eq!(back, request);
         }
     }
 

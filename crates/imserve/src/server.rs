@@ -18,7 +18,10 @@ use std::thread::JoinHandle;
 
 use crate::engine::QueryEngine;
 use crate::error::ServeError;
-use crate::protocol::{self, Request, Response};
+use crate::protocol::{
+    self, ErrorKind, FrameEnvelope, Outcome, Request, RequestFrame, Response, ResponseFrame,
+    WireError, PROTOCOL_VERSION,
+};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -139,6 +142,13 @@ pub fn spawn(
 /// Serve one connection until it closes or idles past the read timeout: read
 /// request lines, write one response line each, flush after every response so
 /// clients can pipeline.
+///
+/// Each line is answered in the dialect it arrived in: an id-tagged v2
+/// [`RequestFrame`] gets an id-matched [`ResponseFrame`] with the typed
+/// error taxonomy; a bare v1 [`Request`] gets a bare [`Response`] (errors
+/// flattened into `Response::Error`). The two dialects are structurally
+/// disjoint on the wire, so detection is just "try v2 first" — and v1
+/// clients keep working against this server unchanged.
 fn serve_connection(
     engine: &QueryEngine,
     stream: TcpStream,
@@ -151,13 +161,57 @@ fn serve_connection(
         if line.trim().is_empty() {
             continue;
         }
-        let response = match protocol::decode::<Request>(&line) {
-            Ok(request) => engine.handle(&request, scratch),
-            Err(e) => Response::Error {
-                message: e.to_string(),
+        let reply = match protocol::decode::<RequestFrame>(&line) {
+            Ok(frame) => {
+                let body = if frame.v == PROTOCOL_VERSION {
+                    match engine.handle_service(&frame.req, scratch) {
+                        Ok(response) => Outcome::Ok(response),
+                        Err(e) => Outcome::Err(WireError::from_service(&e)),
+                    }
+                } else {
+                    Outcome::Err(WireError {
+                        kind: ErrorKind::Unsupported,
+                        message: format!(
+                            "frame version {} not supported (this server speaks \
+                             {PROTOCOL_VERSION})",
+                            frame.v
+                        ),
+                    })
+                };
+                protocol::encode(&ResponseFrame {
+                    v: PROTOCOL_VERSION,
+                    id: frame.id,
+                    body,
+                })?
+            }
+            // Not a complete v2 frame. If the version/id envelope still
+            // parses, the line *is* v2 with an unrecognized or malformed
+            // request payload (e.g. a newer client's variant): answer an
+            // id-tagged error so a pipelining client stays in sync.
+            // Otherwise fall back to the v1 dialect.
+            Err(frame_error) => match protocol::decode::<FrameEnvelope>(&line) {
+                Ok(envelope) => protocol::encode(&ResponseFrame {
+                    v: PROTOCOL_VERSION,
+                    id: envelope.id,
+                    body: Outcome::Err(WireError {
+                        kind: ErrorKind::Unsupported,
+                        message: format!(
+                            "unrecognized or malformed v2 request payload: {frame_error}"
+                        ),
+                    }),
+                })?,
+                Err(_) => {
+                    let response = match protocol::decode::<Request>(&line) {
+                        Ok(request) => engine.handle(&request, scratch),
+                        Err(e) => Response::Error {
+                            message: e.to_string(),
+                        },
+                    };
+                    protocol::encode(&response)?
+                }
             },
         };
-        writer.write_all(protocol::encode(&response)?.as_bytes())?;
+        writer.write_all(reply.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
     }
@@ -171,9 +225,11 @@ mod tests {
 
     #[test]
     fn serves_and_shuts_down() {
-        let engine = Arc::new(QueryEngine::new(
-            build_dataset_index("karate", "uc0.1", 1_000, 3).unwrap(),
-        ));
+        let engine = Arc::new(
+            QueryEngine::builder(build_dataset_index("karate", "uc0.1", 1_000, 3).unwrap())
+                .build()
+                .unwrap(),
+        );
         let handle = spawn(
             "127.0.0.1:0",
             Arc::clone(&engine),
@@ -196,9 +252,11 @@ mod tests {
 
     #[test]
     fn idle_connections_do_not_pin_the_worker_pool() {
-        let engine = Arc::new(QueryEngine::new(
-            build_dataset_index("karate", "uc0.1", 500, 3).unwrap(),
-        ));
+        let engine = Arc::new(
+            QueryEngine::builder(build_dataset_index("karate", "uc0.1", 500, 3).unwrap())
+                .build()
+                .unwrap(),
+        );
         let handle = spawn(
             "127.0.0.1:0",
             Arc::clone(&engine),

@@ -1,0 +1,425 @@
+//! The unified influence-query surface: one typed trait over every backend.
+//!
+//! Before this module the workspace had three disjoint ways to ask the same
+//! influence question — in-process [`crate::engine::QueryEngine::handle`]
+//! with the externally-tagged [`crate::protocol::Response`] enum, the
+//! blocking TCP client, and direct oracle calls in the experiment harness —
+//! so every new capability had to be wired three times and there was no seam
+//! to plug sharding into. [`InfluenceService`] is that seam: a typed trait
+//! whose implementations are interchangeable.
+//!
+//! * [`LocalService`] wraps an [`std::sync::Arc`]'d engine — zero-cost,
+//!   scratch-reusing, the in-process backend;
+//! * [`crate::client::RemoteService`] speaks protocol v2 over TCP;
+//! * [`crate::shard::ShardedService`] routes over N backends holding
+//!   disjoint RR-set pool shards and merges their integer coverage counts,
+//!   so its answers are byte-identical to a single-pool backend.
+//!
+//! Every method returns `Result<_, `[`ServiceError`]`>` with a typed error
+//! taxonomy instead of a stringly `Response::Error`, and the result types
+//! carry the integer coverage counts (`covered`, `pool`) that make exact
+//! cross-shard merging possible — floating-point combination of per-shard
+//! spreads would not reproduce the single-pool answer bit for bit.
+
+use std::sync::Arc;
+
+use im_core::EstimateScratch;
+use imdyn::EpochReport;
+use imgraph::GraphDelta;
+
+use crate::engine::QueryEngine;
+use crate::error::ServeError;
+use crate::protocol::TopKAlgorithm;
+
+/// Everything that can go wrong while answering an influence query, typed by
+/// *whose fault it is* so callers can branch without parsing messages. The
+/// first four variants travel over protocol v2 as
+/// [`crate::protocol::ErrorKind`]; the rest are client-side conditions that
+/// never appear on the wire.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// The query itself is invalid against the served index (seed out of
+    /// range, `k == 0`, …). Retrying without changing the request is useless.
+    Query(String),
+    /// A mutation batch was rejected (invalid delta, duplicate edge, …);
+    /// atomic batches leave the index untouched.
+    Mutation(String),
+    /// The peer violated the wire protocol (malformed frame, wrong response
+    /// variant, version mismatch).
+    Protocol(String),
+    /// The backend failed internally (index corruption, WAL append failure).
+    Backend(String),
+    /// The transport failed (connect, read, write).
+    Transport(std::io::Error),
+    /// A sharded deployment lost its union invariant (shards disagree on
+    /// epoch, dimensions, or a broadcast was torn). Queries can no longer be
+    /// merged soundly; the shards need re-synchronization.
+    Shard(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Query(m) => write!(f, "query error: {m}"),
+            ServiceError::Mutation(m) => write!(f, "mutation rejected: {m}"),
+            ServiceError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ServiceError::Backend(m) => write!(f, "backend error: {m}"),
+            ServiceError::Transport(e) => write!(f, "transport error: {e}"),
+            ServiceError::Shard(m) => write!(f, "shard invariant violated: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<std::io::Error> for ServiceError {
+    fn from(e: std::io::Error) -> Self {
+        ServiceError::Transport(e)
+    }
+}
+
+impl From<ServeError> for ServiceError {
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::Io(io) => ServiceError::Transport(io),
+            ServeError::Protocol(m) => ServiceError::Protocol(m),
+            ServeError::Query(m) => ServiceError::Query(m),
+            ServeError::Index(b) => ServiceError::Backend(format!("index error: {b}")),
+            ServeError::Build(m) => ServiceError::Backend(format!("build error: {m}")),
+            ServeError::Wal(m) => ServiceError::Backend(format!("WAL error: {m}")),
+        }
+    }
+}
+
+/// Shorthand for the trait's return type.
+pub type ServiceResult<T> = Result<T, ServiceError>;
+
+/// Index metadata as served: dimensions of the graph and pool behind the
+/// service. For a sharded service the pool size is the union pool and the
+/// confidence half-width is derived from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceInfo {
+    /// Stable identifier of the indexed graph.
+    pub graph_id: String,
+    /// Label of the edge-probability model.
+    pub model: String,
+    /// Vertices of the indexed graph.
+    pub num_vertices: usize,
+    /// Edges of the indexed graph (tracks mutations).
+    pub num_edges: usize,
+    /// RR sets answering queries (summed over shards).
+    pub pool_size: usize,
+    /// The oracle's 99 % confidence half-width `1.29·n/√pool`.
+    pub confidence_99: f64,
+    /// First global set id of the served pool: `0` for a whole pool (or a
+    /// fully merged shard group), the shard's stream offset for one shard.
+    /// Together with `pool_size` this is the pool's global range — what a
+    /// shard router validates disjoint, gap-free coverage against.
+    pub shard_offset: u64,
+    /// RR sets in the whole global pool this one belongs to (equal to
+    /// `pool_size` for an unsharded index or a fully merged group).
+    pub global_pool: u64,
+}
+
+/// A spread estimate, with the integer coverage count it derives from.
+///
+/// `spread == num_vertices · covered / pool` exactly; carrying the integers
+/// lets a router re-derive the union estimate from summed counts so a
+/// sharded answer is bit-identical to the single-pool one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpreadEstimate {
+    /// The seeds echoed back (as received).
+    pub seeds: Vec<u32>,
+    /// The oracle estimate `n·(covered fraction of the pool)`.
+    pub spread: f64,
+    /// Distinct pool RR sets intersecting the seed set.
+    pub covered: u64,
+    /// RR sets in the answering pool.
+    pub pool: u64,
+}
+
+/// A selected seed set with its estimated joint influence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopKSelection {
+    /// The chosen seeds in selection order.
+    pub seeds: Vec<u32>,
+    /// The oracle estimate of the joint influence of `seeds`.
+    pub spread: f64,
+    /// The strategy that produced the set.
+    pub algorithm: TopKAlgorithm,
+}
+
+/// One round of greedy maximum coverage as data: every vertex's marginal
+/// coverage gain given an already-selected seed set — the shard-side
+/// primitive of distributed `TopK` (see
+/// [`im_core::InfluenceOracle::coverage_gains`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GainVector {
+    /// Per-vertex marginal gain: pool RR sets the vertex covers that the
+    /// selected set does not.
+    pub gains: Vec<u64>,
+    /// Pool RR sets covered by the selected set.
+    pub covered: u64,
+    /// RR sets in the answering pool.
+    pub pool: u64,
+}
+
+/// What an applied mutation batch did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MutationOutcome {
+    /// The index epoch after the batch (total deltas ever applied).
+    pub epoch: u64,
+    /// Deltas applied by this batch.
+    pub applied: usize,
+    /// Distinct RR sets resampled (summed over shards).
+    pub resampled: usize,
+    /// Whether the batch triggered an automatic compaction (any shard).
+    pub compacted: bool,
+}
+
+/// What a compaction did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// The index epoch — unchanged by compaction.
+    pub epoch: u64,
+    /// Pending deltas folded into the watermark (summed over shards).
+    pub folded: usize,
+}
+
+/// Serving counters, pool dimensions and the epoch timeline.
+///
+/// For local and remote backends `shards` is empty; a sharded service
+/// reports one lockstep-verified [`EpochReport`] per shard (the shard-aware
+/// epoch reporting that makes torn broadcasts observable).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceStats {
+    /// Total requests handled (summed over shards; lifetime counters).
+    pub requests: u64,
+    /// `TopK` answers served from backend LRU caches.
+    pub topk_cache_hits: u64,
+    /// `TopK` answers computed and inserted into backend caches.
+    pub topk_cache_misses: u64,
+    /// RR sets answering queries (summed over shards).
+    pub pool_size: usize,
+    /// Current index epoch (lockstep across shards).
+    pub epoch: u64,
+    /// Deltas applied by the serving process(es).
+    pub deltas_applied: u64,
+    /// RR sets resampled by the serving process(es) (summed over shards).
+    pub sets_resampled: u64,
+    /// Pending (uncompacted) deltas in the log (lockstep across shards).
+    pub log_len: usize,
+    /// The snapshot watermark (lockstep across shards).
+    pub snapshot_epoch: u64,
+    /// Compactions performed (summed over shards).
+    pub compactions: u64,
+    /// Per-shard epoch reports (empty for unsharded backends).
+    pub shards: Vec<EpochReport>,
+}
+
+/// One typed query surface over local, remote and sharded backends.
+///
+/// Methods take `&mut self` because every implementation owns per-caller
+/// mutable state (an estimate scratch, a TCP connection, a shard router);
+/// the engine behind a [`LocalService`] stays fully shared — cheap handles,
+/// one per worker.
+///
+/// Implementations must be *interchangeable*: for the same logical pool
+/// (one index, or its shards derived from one [`im_core::shard_layout`]),
+/// `estimate`, `top_k` and `gains` return bit-identical values on every
+/// backend. That invariant is what lets the experiment harness and the load
+/// generator run unchanged against any backend.
+pub trait InfluenceService {
+    /// Index metadata (graph and pool dimensions).
+    fn info(&mut self) -> ServiceResult<ServiceInfo>;
+
+    /// Estimate the influence spread of an explicit seed set.
+    fn estimate(&mut self, seeds: &[u32]) -> ServiceResult<SpreadEstimate>;
+
+    /// Select an influential seed set of size `k`.
+    fn top_k(&mut self, k: usize, algorithm: TopKAlgorithm) -> ServiceResult<TopKSelection>;
+
+    /// Per-vertex marginal coverage gains given `selected` (one round of
+    /// greedy maximum coverage as data; the distributed-`TopK` primitive).
+    fn gains(&mut self, selected: &[u32]) -> ServiceResult<GainVector>;
+
+    /// Apply a batch of graph mutations atomically (all-or-nothing per
+    /// backend; a sharded service broadcasts to every shard).
+    fn mutate_batch(&mut self, deltas: &[GraphDelta]) -> ServiceResult<MutationOutcome>;
+
+    /// Fold the pending delta log into the snapshot watermark now.
+    fn compact(&mut self) -> ServiceResult<CompactionReport>;
+
+    /// Serving counters and the epoch timeline.
+    fn stats(&mut self) -> ServiceResult<ServiceStats>;
+}
+
+impl<S: InfluenceService + ?Sized> InfluenceService for Box<S> {
+    fn info(&mut self) -> ServiceResult<ServiceInfo> {
+        (**self).info()
+    }
+    fn estimate(&mut self, seeds: &[u32]) -> ServiceResult<SpreadEstimate> {
+        (**self).estimate(seeds)
+    }
+    fn top_k(&mut self, k: usize, algorithm: TopKAlgorithm) -> ServiceResult<TopKSelection> {
+        (**self).top_k(k, algorithm)
+    }
+    fn gains(&mut self, selected: &[u32]) -> ServiceResult<GainVector> {
+        (**self).gains(selected)
+    }
+    fn mutate_batch(&mut self, deltas: &[GraphDelta]) -> ServiceResult<MutationOutcome> {
+        (**self).mutate_batch(deltas)
+    }
+    fn compact(&mut self) -> ServiceResult<CompactionReport> {
+        (**self).compact()
+    }
+    fn stats(&mut self) -> ServiceResult<ServiceStats> {
+        (**self).stats()
+    }
+}
+
+/// The in-process backend: a cheap per-caller handle onto a shared
+/// [`QueryEngine`], owning the one piece of per-caller state (the estimate
+/// scratch) so the `estimate` hot path stays zero-allocation.
+///
+/// ```
+/// use std::sync::Arc;
+/// use imserve::engine::QueryEngine;
+/// use imserve::index::build_dataset_index;
+/// use imserve::service::{InfluenceService, LocalService};
+///
+/// let index = build_dataset_index("karate", "uc0.1", 500, 7).unwrap();
+/// let engine = Arc::new(QueryEngine::builder(index).build().unwrap());
+/// let mut service = LocalService::new(engine);
+/// let estimate = service.estimate(&[0, 33]).unwrap();
+/// assert!(estimate.spread > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct LocalService {
+    engine: Arc<QueryEngine>,
+    scratch: EstimateScratch,
+}
+
+impl LocalService {
+    /// A new handle onto `engine` (allocates only the estimate scratch).
+    #[must_use]
+    pub fn new(engine: Arc<QueryEngine>) -> Self {
+        let scratch = engine.new_scratch();
+        Self { engine, scratch }
+    }
+
+    /// The shared engine behind this handle.
+    #[must_use]
+    pub fn engine(&self) -> &Arc<QueryEngine> {
+        &self.engine
+    }
+}
+
+impl InfluenceService for LocalService {
+    fn info(&mut self) -> ServiceResult<ServiceInfo> {
+        Ok(self.engine.info())
+    }
+
+    fn estimate(&mut self, seeds: &[u32]) -> ServiceResult<SpreadEstimate> {
+        self.engine.estimate(seeds, &mut self.scratch)
+    }
+
+    fn top_k(&mut self, k: usize, algorithm: TopKAlgorithm) -> ServiceResult<TopKSelection> {
+        self.engine.top_k(k, algorithm)
+    }
+
+    fn gains(&mut self, selected: &[u32]) -> ServiceResult<GainVector> {
+        self.engine.gains(selected)
+    }
+
+    fn mutate_batch(&mut self, deltas: &[GraphDelta]) -> ServiceResult<MutationOutcome> {
+        self.engine.mutate_batch(deltas)
+    }
+
+    fn compact(&mut self) -> ServiceResult<CompactionReport> {
+        Ok(self.engine.compact())
+    }
+
+    fn stats(&mut self) -> ServiceResult<ServiceStats> {
+        Ok(self.engine.stats())
+    }
+}
+
+/// Which [`InfluenceService`] implementation to run a workload against —
+/// the `--backend` axis of `imexp loadtest` and friends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackendSpec {
+    /// In-process [`LocalService`] over one engine.
+    Local,
+    /// [`crate::client::RemoteService`] over a TCP server (spawned on an
+    /// ephemeral port by harnesses that own the index).
+    Remote,
+    /// [`crate::shard::ShardedService`] over this many local pool shards.
+    Sharded(usize),
+}
+
+impl BackendSpec {
+    /// Parse the CLI spelling: `local`, `remote` or `sharded:N`.
+    pub fn parse(s: &str) -> Result<Self, ServiceError> {
+        match s {
+            "local" => return Ok(BackendSpec::Local),
+            "remote" => return Ok(BackendSpec::Remote),
+            _ => {}
+        }
+        if let Some(n) = s.strip_prefix("sharded:") {
+            let shards: usize = n.parse().map_err(|_| {
+                ServiceError::Query(format!("malformed shard count in backend {s:?}"))
+            })?;
+            if shards == 0 {
+                return Err(ServiceError::Query(
+                    "sharded backend needs at least one shard".into(),
+                ));
+            }
+            return Ok(BackendSpec::Sharded(shards));
+        }
+        Err(ServiceError::Query(format!(
+            "unknown backend {s:?} (expected local, remote or sharded:N)"
+        )))
+    }
+}
+
+impl std::fmt::Display for BackendSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendSpec::Local => write!(f, "local"),
+            BackendSpec::Remote => write!(f, "remote"),
+            BackendSpec::Sharded(n) => write!(f, "sharded:{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backend_specs_parse() {
+        assert_eq!(BackendSpec::parse("local").unwrap(), BackendSpec::Local);
+        assert_eq!(BackendSpec::parse("remote").unwrap(), BackendSpec::Remote);
+        assert_eq!(
+            BackendSpec::parse("sharded:3").unwrap(),
+            BackendSpec::Sharded(3)
+        );
+        assert!(BackendSpec::parse("sharded:0").is_err());
+        assert!(BackendSpec::parse("sharded:x").is_err());
+        assert!(BackendSpec::parse("quantum").is_err());
+        assert_eq!(BackendSpec::Sharded(2).to_string(), "sharded:2");
+    }
+
+    #[test]
+    fn service_errors_display_their_taxonomy() {
+        assert!(ServiceError::Query("k".into())
+            .to_string()
+            .contains("query"));
+        assert!(ServiceError::Shard("e".into())
+            .to_string()
+            .contains("shard invariant"));
+        let from_serve: ServiceError = ServeError::Protocol("bad".into()).into();
+        assert!(matches!(from_serve, ServiceError::Protocol(_)));
+    }
+}

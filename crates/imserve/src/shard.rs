@@ -1,0 +1,448 @@
+//! [`ShardedService`]: one influence service over N disjoint pool shards.
+//!
+//! The scale wall for a single serving process is the RR-set pool: it must
+//! fit one machine's memory, and every estimate touches it. Sharding cuts
+//! the global pool into N contiguous slices ([`im_core::shard_layout`]),
+//! each held by its own backend (in-process engine or remote server), and
+//! routes every query through this module.
+//!
+//! **The shard-union invariant.** Every RR set's PRNG stream derives from
+//! its *global* id (SplitMix64 over `base_seed` and the id), so shard `i`'s
+//! local sets are byte-identical to the corresponding slice of the single
+//! pool drawn at the same seed — including after mutations, because each
+//! shard resamples its dirty sets from the same global streams a whole-pool
+//! engine would use. Merging is therefore exact, not approximate:
+//!
+//! * `estimate` sums the shards' integer **covered counts** and re-derives
+//!   `spread = n · Σcovered / Σpool` — bit-identical to the single-pool
+//!   answer (combining per-shard floating-point spreads would not be);
+//! * `top_k` runs the greedy rounds *in the router*: each round fetches
+//!   every shard's integer gain vector ([`InfluenceService::gains`]), sums
+//!   them elementwise, and picks the first argmax — reproducing, pick for
+//!   pick, the selection greedy makes on the union pool;
+//! * mutations are **broadcast** to every shard and the returned epochs are
+//!   verified to stay in lockstep; any divergence (a torn broadcast) is
+//!   reported as [`ServiceError::Shard`] rather than silently merged.
+//!
+//! **Write ownership.** A shard group has one writer: the router (or a
+//! single upstream feed all routers share). Mutating shard servers *behind*
+//! a router's back can interleave with a fan-out so that different shards
+//! answer one query at different epochs — a cross-epoch merge no single
+//! pool could produce. The router verifies lockstep epochs wherever it can
+//! do so without taxing the hot path: at construction, on every broadcast
+//! outcome, on `stats`, and before every `top_k` (whose memo must never
+//! serve a selection for an epoch the shards have left). A fresh
+//! out-of-band mutation therefore surfaces as [`ServiceError::Shard`] at
+//! the next selection or stats call instead of staying invisible.
+//!
+//! The router is itself an [`InfluenceService`], so sharded deployments nest
+//! (shards of shards) and every caller — CLI, load generator, experiment
+//! harness — works unchanged.
+
+use imdyn::EpochReport;
+use imgraph::GraphDelta;
+
+use crate::protocol::TopKAlgorithm;
+use crate::service::{
+    CompactionReport, GainVector, InfluenceService, MutationOutcome, ServiceError, ServiceInfo,
+    ServiceResult, ServiceStats, SpreadEstimate, TopKSelection,
+};
+
+/// A router over N shard backends (see the module docs for the invariant).
+#[derive(Debug)]
+pub struct ShardedService<S: InfluenceService> {
+    shards: Vec<S>,
+    /// Merged metadata, validated at construction and after every mutation.
+    info: ServiceInfo,
+    /// The lockstep epoch as of the last verification (construction,
+    /// broadcast outcome, `stats`, or the pre-`top_k` refresh).
+    epoch: u64,
+    /// One memoized selection: `(k, algorithm, epoch) -> selection`. The
+    /// router-driven greedy costs `k` gain rounds per shard, so repeated
+    /// identical selections (the common loadtest shape) shouldn't pay it
+    /// twice; backend-side LRU caches cannot help here because the router
+    /// never calls backend `top_k`. Guarded by the pre-`top_k` epoch
+    /// refresh, so a selection computed for a departed epoch cannot be
+    /// served.
+    memo: Option<(usize, TopKAlgorithm, u64, TopKSelection)>,
+}
+
+impl<S: InfluenceService> ShardedService<S> {
+    /// Assemble a router over `shards`, validating that they serve the same
+    /// graph at the same epoch (anything else means the backends were not
+    /// built from one shard layout, or have diverged).
+    pub fn new(mut shards: Vec<S>) -> ServiceResult<Self> {
+        if shards.is_empty() {
+            return Err(ServiceError::Shard("no shard backends given".into()));
+        }
+        let mut merged: Option<ServiceInfo> = None;
+        let mut epoch: Option<u64> = None;
+        // Each backend's claimed global range, for the coverage check below.
+        let mut ranges: Vec<(u64, u64, u64)> = Vec::with_capacity(shards.len());
+        for (i, shard) in shards.iter_mut().enumerate() {
+            let info = shard.info()?;
+            let stats = shard.stats()?;
+            ranges.push((
+                info.shard_offset,
+                info.shard_offset + info.pool_size as u64,
+                info.global_pool,
+            ));
+            match &mut merged {
+                None => {
+                    merged = Some(info);
+                    epoch = Some(stats.epoch);
+                }
+                Some(m) => {
+                    if info.graph_id != m.graph_id
+                        || info.model != m.model
+                        || info.num_vertices != m.num_vertices
+                        || info.num_edges != m.num_edges
+                    {
+                        return Err(ServiceError::Shard(format!(
+                            "shard {i} serves {}/{} ({}x{}) but shard 0 serves {}/{} ({}x{})",
+                            info.graph_id,
+                            info.model,
+                            info.num_vertices,
+                            info.num_edges,
+                            m.graph_id,
+                            m.model,
+                            m.num_vertices,
+                            m.num_edges
+                        )));
+                    }
+                    if Some(stats.epoch) != epoch {
+                        return Err(ServiceError::Shard(format!(
+                            "shard {i} is at epoch {} but shard 0 is at {}",
+                            stats.epoch,
+                            epoch.unwrap_or(0)
+                        )));
+                    }
+                    m.pool_size += info.pool_size;
+                }
+            }
+        }
+        // The backends must cover one contiguous, disjoint slice of the
+        // global set-id space — no duplicates (the same address listed
+        // twice would double-count its covered sets), no overlaps, no
+        // interior gaps. Every backend reports its global range via `info`,
+        // so a misconfigured shard set fails here instead of merging wrong
+        // answers. (A group covering a contiguous *sub*-range is legal: it
+        // behaves as one larger shard, which is what lets routers nest; the
+        // merged `info` exposes `pool_size < global_pool` so partial
+        // coverage stays observable.)
+        let global = ranges[0].2;
+        if let Some((i, _)) = ranges.iter().enumerate().find(|(_, r)| r.2 != global) {
+            return Err(ServiceError::Shard(format!(
+                "shard {i} claims a global pool of {} but shard 0 claims {global}",
+                ranges[i].2
+            )));
+        }
+        let mut sorted = ranges.clone();
+        sorted.sort_unstable();
+        let group_start = sorted[0].0;
+        let mut expected_start = group_start;
+        for &(start, end, _) in &sorted {
+            if start != expected_start {
+                return Err(ServiceError::Shard(format!(
+                    "shard backends do not tile the global pool of {global}: sets \
+                     {expected_start}..{start} are {} — merged answers would not equal the \
+                     single-pool ones (is the same shard address listed twice, or one missing?)",
+                    if start < expected_start {
+                        "covered twice"
+                    } else {
+                        "covered by no backend"
+                    }
+                )));
+            }
+            expected_start = end;
+        }
+        if expected_start > global {
+            return Err(ServiceError::Shard(format!(
+                "shard backends claim sets up to {expected_start}, past the global pool \
+                 of {global}"
+            )));
+        }
+        let mut info = merged.expect("at least one shard");
+        info.shard_offset = group_start;
+        info.global_pool = global;
+        info.confidence_99 = 1.29 * info.num_vertices as f64 / (info.pool_size as f64).sqrt();
+        Ok(Self {
+            shards,
+            info,
+            epoch: epoch.unwrap_or(0),
+            memo: None,
+        })
+    }
+
+    /// Number of shard backends behind this router.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Re-read every shard's epoch, verify they are still in lockstep, and
+    /// record the common value (one cheap `stats` round per shard). Makes
+    /// out-of-band mutations visible — and the `top_k` memo safe — at the
+    /// cost of the verification round.
+    fn refresh_epoch(&mut self) -> ServiceResult<u64> {
+        let mut epoch: Option<u64> = None;
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let observed = shard.stats()?.epoch;
+            match epoch {
+                None => epoch = Some(observed),
+                Some(e) if e == observed => {}
+                Some(e) => {
+                    return Err(ServiceError::Shard(format!(
+                        "shard {i} is at epoch {observed} but shard 0 is at {e}; the shards \
+                         were mutated outside this router or a broadcast was torn"
+                    )))
+                }
+            }
+        }
+        let epoch = epoch.expect("at least one shard");
+        self.epoch = epoch;
+        Ok(epoch)
+    }
+
+    /// Sum every shard's gain vector elementwise (one greedy round over the
+    /// union pool).
+    fn summed_gains(&mut self, selected: &[u32]) -> ServiceResult<GainVector> {
+        let n = self.info.num_vertices;
+        let mut sum = vec![0u64; n];
+        let mut covered = 0u64;
+        let mut pool = 0u64;
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let gv = shard.gains(selected)?;
+            if gv.gains.len() != n {
+                return Err(ServiceError::Shard(format!(
+                    "shard {i} answered {} gains for {n} vertices",
+                    gv.gains.len()
+                )));
+            }
+            for (acc, g) in sum.iter_mut().zip(&gv.gains) {
+                *acc += g;
+            }
+            covered += gv.covered;
+            pool += gv.pool;
+        }
+        Ok(GainVector {
+            gains: sum,
+            covered,
+            pool,
+        })
+    }
+
+    /// Router-driven greedy maximum coverage over the union pool —
+    /// replicates [`im_core::InfluenceOracle::greedy_seed_set`] exactly:
+    /// each round picks the *first* vertex attaining the maximal summed
+    /// gain (strictly-greater to win, so ties keep the lowest id).
+    fn greedy(&mut self, k: usize) -> ServiceResult<Vec<u32>> {
+        let n = self.info.num_vertices;
+        let k = k.min(n);
+        let mut selected: Vec<u32> = Vec::with_capacity(k);
+        let mut is_selected = vec![false; n];
+        for _ in 0..k {
+            let round = self.summed_gains(&selected)?;
+            let mut best: Option<(usize, u64)> = None;
+            for (v, &gain) in round.gains.iter().enumerate() {
+                if is_selected[v] {
+                    continue;
+                }
+                match best {
+                    Some((_, best_gain)) if gain <= best_gain => {}
+                    _ => best = Some((v, gain)),
+                }
+            }
+            let Some((chosen, _)) = best else { break };
+            is_selected[chosen] = true;
+            selected.push(chosen as u32);
+        }
+        Ok(selected)
+    }
+
+    /// Rank vertices by singleton coverage (the integer form of singleton
+    /// influence) and take the best `k` — replicates
+    /// [`im_core::InfluenceOracle::top_influential_vertices`] (ties broken
+    /// by vertex id; coverage order equals influence order because the
+    /// union pool divisor is shared).
+    fn singleton_rank(&mut self, k: usize) -> ServiceResult<Vec<u32>> {
+        let singles = self.summed_gains(&[])?;
+        let mut ranked: Vec<(u32, u64)> = singles
+            .gains
+            .iter()
+            .enumerate()
+            .map(|(v, &g)| (v as u32, g))
+            .collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(k);
+        Ok(ranked.into_iter().map(|(v, _)| v).collect())
+    }
+}
+
+impl<S: InfluenceService> InfluenceService for ShardedService<S> {
+    fn info(&mut self) -> ServiceResult<ServiceInfo> {
+        Ok(self.info.clone())
+    }
+
+    fn estimate(&mut self, seeds: &[u32]) -> ServiceResult<SpreadEstimate> {
+        let mut covered = 0u64;
+        let mut pool = 0u64;
+        for shard in &mut self.shards {
+            let estimate = shard.estimate(seeds)?;
+            covered += estimate.covered;
+            pool += estimate.pool;
+        }
+        // Re-derive the union spread from the summed integers: the same
+        // expression a whole-pool oracle evaluates, hence bit-identical.
+        Ok(SpreadEstimate {
+            seeds: seeds.to_vec(),
+            spread: self.info.num_vertices as f64 * covered as f64 / pool as f64,
+            covered,
+            pool,
+        })
+    }
+
+    fn top_k(&mut self, k: usize, algorithm: TopKAlgorithm) -> ServiceResult<TopKSelection> {
+        if k == 0 {
+            return Err(ServiceError::Query("k must be positive".into()));
+        }
+        // Selections are expensive and memoized, so verify the lockstep
+        // epoch first: a mutation applied behind this router's back must
+        // invalidate the memo (and a torn broadcast must surface) rather
+        // than silently serving a stale seed set.
+        let epoch = self.refresh_epoch()?;
+        if let Some((mk, malg, mepoch, selection)) = &self.memo {
+            if *mk == k && *malg == algorithm && *mepoch == epoch {
+                return Ok(selection.clone());
+            }
+        }
+        let seeds = match algorithm {
+            TopKAlgorithm::Greedy => self.greedy(k)?,
+            TopKAlgorithm::SingletonRank => self.singleton_rank(k)?,
+        };
+        let spread = self.estimate(&seeds)?.spread;
+        let selection = TopKSelection {
+            seeds,
+            spread,
+            algorithm,
+        };
+        self.memo = Some((k, algorithm, self.epoch, selection.clone()));
+        Ok(selection)
+    }
+
+    fn gains(&mut self, selected: &[u32]) -> ServiceResult<GainVector> {
+        self.summed_gains(selected)
+    }
+
+    fn mutate_batch(&mut self, deltas: &[GraphDelta]) -> ServiceResult<MutationOutcome> {
+        // Broadcast in shard order. Shard-local batches are atomic, so the
+        // only torn state is *between* shards: if shard i rejects after
+        // 0..i-1 applied, the union invariant is broken and we say so loudly
+        // instead of returning a mergeable-looking answer.
+        let mut first: Option<MutationOutcome> = None;
+        let mut resampled = 0usize;
+        let mut compacted = false;
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let outcome = shard.mutate_batch(deltas).map_err(|e| {
+                if i == 0 {
+                    // Nothing applied anywhere: the batch is simply invalid.
+                    e
+                } else {
+                    ServiceError::Shard(format!(
+                        "broadcast torn: shards 0..{i} applied the batch but shard {i} \
+                         rejected it ({e}); shards have diverged and must be re-synchronized"
+                    ))
+                }
+            })?;
+            match &first {
+                None => first = Some(outcome),
+                Some(f) => {
+                    if outcome.epoch != f.epoch || outcome.applied != f.applied {
+                        return Err(ServiceError::Shard(format!(
+                            "shard {i} reports epoch {} ({} applied) but shard 0 reports \
+                             epoch {} ({} applied)",
+                            outcome.epoch, outcome.applied, f.epoch, f.applied
+                        )));
+                    }
+                }
+            }
+            resampled += outcome.resampled;
+            compacted |= outcome.compacted;
+        }
+        let first = first.expect("at least one shard");
+        self.epoch = first.epoch;
+        self.memo = None;
+        // Mutations change edge counts; refresh the merged metadata from
+        // shard 0 (dimension equality was just verified via the outcomes).
+        let refreshed = self.shards[0].info()?;
+        self.info.num_edges = refreshed.num_edges;
+        Ok(MutationOutcome {
+            epoch: first.epoch,
+            applied: first.applied,
+            resampled,
+            compacted,
+        })
+    }
+
+    fn compact(&mut self) -> ServiceResult<CompactionReport> {
+        let mut epoch: Option<u64> = None;
+        let mut folded = 0usize;
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let report = shard.compact()?;
+            match epoch {
+                None => epoch = Some(report.epoch),
+                Some(e) if e == report.epoch => {}
+                Some(e) => {
+                    return Err(ServiceError::Shard(format!(
+                        "shard {i} compacted at epoch {} but shard 0 at {e}",
+                        report.epoch
+                    )))
+                }
+            }
+            folded += report.folded;
+        }
+        Ok(CompactionReport {
+            epoch: epoch.expect("at least one shard"),
+            folded,
+        })
+    }
+
+    fn stats(&mut self) -> ServiceResult<ServiceStats> {
+        let mut merged: Option<ServiceStats> = None;
+        let mut shard_reports: Vec<EpochReport> = Vec::with_capacity(self.shards.len());
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let stats = shard.stats()?;
+            shard_reports.push(EpochReport {
+                epoch: stats.epoch,
+                snapshot_epoch: stats.snapshot_epoch,
+                log_len: stats.log_len,
+            });
+            match &mut merged {
+                None => merged = Some(stats),
+                Some(m) => {
+                    // Epochs are lockstep-critical; watermarks may differ
+                    // (shards compact on their own policies), so the merged
+                    // view reports the most conservative pair.
+                    if stats.epoch != m.epoch {
+                        return Err(ServiceError::Shard(format!(
+                            "shard {i} is at epoch {} but shard 0 is at {}",
+                            stats.epoch, m.epoch
+                        )));
+                    }
+                    m.requests += stats.requests;
+                    m.topk_cache_hits += stats.topk_cache_hits;
+                    m.topk_cache_misses += stats.topk_cache_misses;
+                    m.pool_size += stats.pool_size;
+                    m.deltas_applied += stats.deltas_applied;
+                    m.sets_resampled += stats.sets_resampled;
+                    m.log_len = m.log_len.max(stats.log_len);
+                    m.snapshot_epoch = m.snapshot_epoch.min(stats.snapshot_epoch);
+                    m.compactions += stats.compactions;
+                }
+            }
+        }
+        let mut stats = merged.expect("at least one shard");
+        stats.shards = shard_reports;
+        Ok(stats)
+    }
+}

@@ -6,7 +6,7 @@
 use std::sync::Arc;
 
 use imserve::client::Connection;
-use imserve::engine::{EngineConfig, QueryEngine};
+use imserve::engine::QueryEngine;
 use imserve::index::{build_dataset_index, IndexArtifact};
 use imserve::protocol::{Request, Response, TopKAlgorithm};
 use imserve::server::{self, ServerConfig};
@@ -21,7 +21,7 @@ const SEED: u64 = 7;
 fn serve(artifact: IndexArtifact) -> ServerHandle {
     server::spawn(
         "127.0.0.1:0",
-        Arc::new(QueryEngine::new(artifact)),
+        Arc::new(QueryEngine::builder(artifact).build().unwrap()),
         &ServerConfig {
             workers: 2,
             ..ServerConfig::default()
@@ -97,7 +97,9 @@ fn compacted_snapshot_restored_into_a_server_matches_the_pre_compaction_server()
 
     // Engine B: the same state compacted, exported as a snapshot artifact,
     // saved, reloaded and served — the restart-after-compaction path.
-    let engine = QueryEngine::new(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap());
+    let engine = QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
+        .build()
+        .unwrap();
     let mut scratch = engine.new_scratch();
     engine.handle(
         &Request::MutateBatch {
@@ -195,13 +197,12 @@ fn policy_triggered_compaction_over_tcp_is_invisible_to_queries() {
     // fires, and the served answers still match an unpoliced server.
     let auto = server::spawn(
         "127.0.0.1:0",
-        Arc::new(QueryEngine::with_config(
-            build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap(),
-            &EngineConfig {
-                compaction_policy: CompactionPolicy::log_len(2),
-                ..EngineConfig::default()
-            },
-        )),
+        Arc::new(
+            QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
+                .compaction_policy(CompactionPolicy::log_len(2))
+                .build()
+                .unwrap(),
+        ),
         &ServerConfig {
             workers: 2,
             ..ServerConfig::default()

@@ -21,7 +21,7 @@ const SEED: u64 = 7;
 fn serve(artifact: IndexArtifact) -> ServerHandle {
     server::spawn(
         "127.0.0.1:0",
-        Arc::new(QueryEngine::new(artifact)),
+        Arc::new(QueryEngine::builder(artifact).build().unwrap()),
         &ServerConfig {
             workers: 2,
             ..ServerConfig::default()
@@ -151,7 +151,9 @@ fn mutated_index_round_trips_through_persistence() {
     // Mutate in process, export the artifact, reload, serve: answers match
     // the live engine (a restarted server continues exactly where the old
     // one stopped, including the epoch).
-    let engine = QueryEngine::new(build_dataset_index("karate", "uc0.1", 2_000, 3).unwrap());
+    let engine = QueryEngine::builder(build_dataset_index("karate", "uc0.1", 2_000, 3).unwrap())
+        .build()
+        .unwrap();
     let mut scratch = engine.new_scratch();
     let response = engine.handle(
         &Request::Mutate {

@@ -26,7 +26,7 @@ fn served_karate() -> (imserve::ServerHandle, IndexArtifact) {
     let loaded = IndexArtifact::load(&path).unwrap();
     let _ = std::fs::remove_file(&path);
 
-    let engine = Arc::new(QueryEngine::new(loaded));
+    let engine = Arc::new(QueryEngine::builder(loaded).build().unwrap());
     let handle = server::spawn(
         "127.0.0.1:0",
         Arc::clone(&engine),
@@ -64,6 +64,7 @@ fn concurrent_tcp_queries_match_the_in_process_oracle() {
                     Response::Estimate {
                         spread,
                         seeds: echoed,
+                        ..
                     } => {
                         assert_eq!(spread, expected, "client {client_id} round {round}");
                         assert_eq!(echoed, seeds);

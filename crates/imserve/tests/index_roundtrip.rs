@@ -127,14 +127,14 @@ fn sequential_and_parallel_builds_persist_identically() {
             vec![0.3; 6],
         )
     };
-    let seq =
-        im_core::InfluenceOracle::build_with_backend(&mk_graph(), 2_000, 5, Backend::Sequential);
-    let par = im_core::InfluenceOracle::build_with_backend(
-        &mk_graph(),
-        2_000,
-        5,
-        Backend::Parallel { threads: 4 },
-    );
+    let seq = im_core::InfluenceOracle::builder(2_000)
+        .seed(5)
+        .backend(Backend::Sequential)
+        .sample(&mk_graph());
+    let par = im_core::InfluenceOracle::builder(2_000)
+        .seed(5)
+        .backend(Backend::Parallel { threads: 4 })
+        .sample(&mk_graph());
     assert_eq!(seq.to_bytes(), par.to_bytes());
 }
 
@@ -180,16 +180,20 @@ fn version_two_artifacts_migrate_to_version_three() {
     assert_eq!(migrated.log.deltas(), deltas.as_slice());
     assert_eq!(migrated.oracle.to_bytes(), reference.oracle.to_bytes());
 
-    // Re-saving upgrades the artifact to v3 (SNAP section, version stamp)…
-    let v3_bytes = migrated.to_bytes();
-    assert_ne!(v3_bytes, v2_bytes);
-    assert_eq!(u32::from_le_bytes(v3_bytes[4..8].try_into().unwrap()), 3);
-    // …and the reloaded v3 index is semantically identical.
-    let reloaded = IndexArtifact::from_bytes(&v3_bytes).expect("v3 round trip");
+    // Re-saving upgrades the artifact to the current version (SNAP section,
+    // version stamp)…
+    let v4_bytes = migrated.to_bytes();
+    assert_ne!(v4_bytes, v2_bytes);
+    assert_eq!(
+        u32::from_le_bytes(v4_bytes[4..8].try_into().unwrap()),
+        imserve::index::INDEX_VERSION
+    );
+    // …and the reloaded index is semantically identical.
+    let reloaded = IndexArtifact::from_bytes(&v4_bytes).expect("current-version round trip");
     assert_eq!(reloaded.epoch(), migrated.epoch());
     assert_eq!(reloaded.log, migrated.log);
     assert_eq!(reloaded.oracle.to_bytes(), migrated.oracle.to_bytes());
-    assert_eq!(reloaded.to_bytes(), v3_bytes, "v3 re-encode is stable");
+    assert_eq!(reloaded.to_bytes(), v4_bytes, "re-encode is stable");
 
     // Compacting the migrated index folds its history without moving the
     // epoch, and the compacted artifact still round-trips.

@@ -1,0 +1,523 @@
+//! The `InfluenceService` interchangeability contract, end to end:
+//!
+//! * local, remote (protocol v2 over TCP) and sharded backends answer every
+//!   query bit-identically — including after broadcast mutations;
+//! * a v1 client keeps working against a v2 server (dialect compatibility);
+//! * v2 pipelining matches responses to requests by id;
+//! * the typed error taxonomy survives the wire.
+
+use std::sync::Arc;
+
+use imgraph::GraphDelta;
+use imserve::client::{Connection, RemoteService, ServiceConnection};
+use imserve::engine::QueryEngine;
+use imserve::index::{build_dataset_index, IndexArtifact};
+use imserve::protocol::{Request, Response, TopKAlgorithm, PROTOCOL_VERSION};
+use imserve::server::{self, ServerConfig};
+use imserve::service::{InfluenceService, LocalService, ServiceError};
+use imserve::shard::ShardedService;
+
+const POOL: usize = 6_000;
+const SEED: u64 = 7;
+const SHARDS: usize = 3;
+
+fn karate_graph() -> imgraph::InfluenceGraph {
+    imserve::index::parse_dataset("karate")
+        .unwrap()
+        .influence_graph(imserve::index::parse_model("uc0.1").unwrap(), SEED)
+}
+
+fn local_backend() -> LocalService {
+    let engine = QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
+        .build()
+        .unwrap();
+    LocalService::new(Arc::new(engine))
+}
+
+fn sharded_backend() -> ShardedService<LocalService> {
+    let graph = karate_graph();
+    let shards: Vec<LocalService> = (0..SHARDS)
+        .map(|i| {
+            let artifact =
+                IndexArtifact::build_shard("Karate", "uc0.1", graph.clone(), POOL, SEED, i, SHARDS);
+            LocalService::new(Arc::new(QueryEngine::builder(artifact).build().unwrap()))
+        })
+        .collect();
+    ShardedService::new(shards).unwrap()
+}
+
+/// Assert two services answer a probe battery bit-identically.
+fn assert_equivalent(a: &mut dyn InfluenceService, b: &mut dyn InfluenceService, context: &str) {
+    let info_a = a.info().unwrap();
+    let info_b = b.info().unwrap();
+    assert_eq!(info_a.num_vertices, info_b.num_vertices, "{context}");
+    assert_eq!(info_a.num_edges, info_b.num_edges, "{context}");
+    assert_eq!(info_a.pool_size, info_b.pool_size, "{context}");
+    let n = info_a.num_vertices as u32;
+    for seeds in [
+        vec![0u32],
+        vec![n - 1],
+        vec![0, 5, 9],
+        vec![0, n / 2, n - 1],
+        vec![33, 0, 33],
+    ] {
+        let ea = a.estimate(&seeds).unwrap();
+        let eb = b.estimate(&seeds).unwrap();
+        assert_eq!(
+            ea.spread.to_bits(),
+            eb.spread.to_bits(),
+            "{context}: estimate({seeds:?})"
+        );
+        assert_eq!(ea.covered, eb.covered, "{context}: covered({seeds:?})");
+        assert_eq!(ea.pool, eb.pool, "{context}: pool({seeds:?})");
+    }
+    for selected in [vec![], vec![0u32], vec![0, 33]] {
+        let ga = a.gains(&selected).unwrap();
+        let gb = b.gains(&selected).unwrap();
+        assert_eq!(ga.gains, gb.gains, "{context}: gains({selected:?})");
+        assert_eq!(ga.covered, gb.covered, "{context}");
+    }
+    for algorithm in [TopKAlgorithm::Greedy, TopKAlgorithm::SingletonRank] {
+        for k in [1usize, 3] {
+            let ta = a.top_k(k, algorithm).unwrap();
+            let tb = b.top_k(k, algorithm).unwrap();
+            assert_eq!(ta.seeds, tb.seeds, "{context}: top_k({k}, {algorithm})");
+            assert_eq!(
+                ta.spread.to_bits(),
+                tb.spread.to_bits(),
+                "{context}: top_k({k}, {algorithm}) spread"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_service_is_byte_identical_to_local_including_after_mutations() {
+    let mut local = local_backend();
+    let mut sharded = sharded_backend();
+    assert_eq!(sharded.shard_count(), SHARDS);
+    assert_equivalent(&mut local, &mut sharded, "fresh pools");
+
+    // Broadcast the same batches to both; equivalence must hold at every
+    // intermediate epoch (interleaved with queries, which prime caches).
+    let batches: Vec<Vec<GraphDelta>> = vec![
+        vec![
+            GraphDelta::InsertEdge {
+                source: 0,
+                target: 33,
+                probability: 0.5,
+            },
+            GraphDelta::DeleteEdge {
+                source: 0,
+                target: 1,
+            },
+        ],
+        vec![GraphDelta::SetProbability {
+            source: 33,
+            target: 32,
+            probability: 1.0,
+        }],
+        vec![GraphDelta::InsertEdge {
+            source: 16,
+            target: 0,
+            probability: 0.9,
+        }],
+    ];
+    let mut epoch = 0u64;
+    for (i, batch) in batches.iter().enumerate() {
+        let a = local.mutate_batch(batch).unwrap();
+        let b = sharded.mutate_batch(batch).unwrap();
+        epoch += batch.len() as u64;
+        assert_eq!(a.epoch, epoch);
+        assert_eq!(b.epoch, epoch, "sharded epoch stays in lockstep");
+        assert_eq!(a.applied, batch.len());
+        assert_eq!(b.applied, batch.len());
+        assert_equivalent(&mut local, &mut sharded, &format!("after batch {i}"));
+    }
+
+    // Shard-aware epoch reporting: every shard sits at the common epoch.
+    let stats = sharded.stats().unwrap();
+    assert_eq!(stats.epoch, epoch);
+    assert_eq!(stats.shards.len(), SHARDS);
+    for report in &stats.shards {
+        assert_eq!(report.epoch, epoch);
+        assert_eq!(report.log_len as u64, epoch, "no shard compacted");
+    }
+    assert_eq!(stats.pool_size, POOL);
+
+    // A rejected batch is atomic everywhere: nothing lands on any backend.
+    let bad = vec![
+        GraphDelta::InsertEdge {
+            source: 0,
+            target: 2,
+            probability: 0.5,
+        },
+        GraphDelta::DeleteEdge {
+            source: 999,
+            target: 0,
+        },
+    ];
+    assert!(matches!(
+        local.mutate_batch(&bad),
+        Err(ServiceError::Mutation(_))
+    ));
+    assert!(matches!(
+        sharded.mutate_batch(&bad),
+        Err(ServiceError::Mutation(_))
+    ));
+    assert_equivalent(&mut local, &mut sharded, "after rejected batch");
+
+    // Compaction broadcasts too: epochs agree, pending logs fold everywhere.
+    let report = sharded.compact().unwrap();
+    assert_eq!(report.epoch, epoch);
+    assert_eq!(report.folded, SHARDS * epoch as usize);
+    let stats = sharded.stats().unwrap();
+    for shard in &stats.shards {
+        assert_eq!(shard.log_len, 0);
+        assert_eq!(shard.snapshot_epoch, epoch);
+    }
+    local.compact().unwrap();
+    assert_equivalent(&mut local, &mut sharded, "after compaction");
+}
+
+#[test]
+fn remote_service_is_byte_identical_to_local_over_protocol_v2() {
+    let engine = Arc::new(
+        QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
+            .build()
+            .unwrap(),
+    );
+    let handle = server::spawn(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        &ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let mut remote = RemoteService::connect(handle.addr()).unwrap();
+    let mut local = local_backend();
+    assert_equivalent(&mut local, &mut remote, "remote vs local");
+
+    // Mutate through the remote service; the local reference applies the
+    // same batch.
+    let batch = vec![GraphDelta::DeleteEdge {
+        source: 0,
+        target: 1,
+    }];
+    let a = local.mutate_batch(&batch).unwrap();
+    let b = remote.mutate_batch(&batch).unwrap();
+    assert_eq!(a.epoch, b.epoch);
+    assert_eq!(a.resampled, b.resampled);
+    assert_equivalent(&mut local, &mut remote, "remote vs local after mutation");
+
+    // Typed errors survive the wire with their taxonomy intact.
+    match remote.estimate(&[9_999]) {
+        Err(ServiceError::Query(message)) => assert!(message.contains("out of range")),
+        other => panic!("expected a typed Query error, got {other:?}"),
+    }
+    match remote.top_k(0, TopKAlgorithm::Greedy) {
+        Err(ServiceError::Query(message)) => assert!(message.contains("positive")),
+        other => panic!("expected a typed Query error, got {other:?}"),
+    }
+    match remote.mutate_batch(&[]) {
+        Err(ServiceError::Mutation(message)) => assert!(message.contains("empty")),
+        other => panic!("expected a typed Mutation error, got {other:?}"),
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn sharded_service_over_remote_shards_matches_local() {
+    // The full deployment shape: every shard behind its own TCP server, the
+    // router speaking protocol v2 to all of them.
+    let graph = karate_graph();
+    let mut handles = Vec::new();
+    let mut remotes = Vec::new();
+    for i in 0..2 {
+        let artifact =
+            IndexArtifact::build_shard("Karate", "uc0.1", graph.clone(), POOL, SEED, i, 2);
+        let engine = Arc::new(QueryEngine::builder(artifact).build().unwrap());
+        let handle = server::spawn("127.0.0.1:0", engine, &ServerConfig::default()).unwrap();
+        remotes.push(RemoteService::connect(handle.addr()).unwrap());
+        handles.push(handle);
+    }
+    let mut sharded = ShardedService::new(remotes).unwrap();
+    let mut local = local_backend();
+    assert_equivalent(&mut local, &mut sharded, "remote shards vs local");
+
+    let batch = vec![GraphDelta::InsertEdge {
+        source: 2,
+        target: 0,
+        probability: 0.25,
+    }];
+    local.mutate_batch(&batch).unwrap();
+    sharded.mutate_batch(&batch).unwrap();
+    assert_equivalent(&mut local, &mut sharded, "remote shards after mutation");
+    for handle in handles {
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn v1_clients_work_unchanged_against_a_v2_server() {
+    let engine = Arc::new(
+        QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
+            .build()
+            .unwrap(),
+    );
+    let handle =
+        server::spawn("127.0.0.1:0", Arc::clone(&engine), &ServerConfig::default()).unwrap();
+
+    // Bare v1 frames on the wire, answered with bare v1 responses.
+    let mut v1 = Connection::open(handle.addr()).unwrap();
+    assert_eq!(v1.roundtrip(&Request::Ping).unwrap(), Response::Pong);
+    let v1_estimate = v1
+        .roundtrip(&Request::Estimate { seeds: vec![0, 33] })
+        .unwrap();
+    // The very same question through protocol v2 gets the same payload.
+    let mut v2 = RemoteService::connect(handle.addr()).unwrap();
+    let typed = v2.estimate(&[0, 33]).unwrap();
+    match v1_estimate {
+        Response::Estimate {
+            seeds,
+            spread,
+            covered,
+            pool,
+        } => {
+            assert_eq!(seeds, vec![0, 33]);
+            assert_eq!(spread.to_bits(), typed.spread.to_bits());
+            assert_eq!(covered, typed.covered);
+            assert_eq!(pool, typed.pool);
+        }
+        other => panic!("unexpected v1 response {other:?}"),
+    }
+    // v1 errors stay in-band (no typed channel to speak of).
+    let response = v1
+        .roundtrip(&Request::Estimate { seeds: vec![9_999] })
+        .unwrap();
+    assert!(matches!(response, Response::Error { .. }));
+    // Both dialects interleave freely on one server (different sockets).
+    assert_eq!(v1.roundtrip(&Request::Ping).unwrap(), Response::Pong);
+    handle.shutdown();
+}
+
+#[test]
+fn protocol_v2_pipelines_and_handshakes() {
+    let engine = Arc::new(
+        QueryEngine::builder(build_dataset_index("karate", "uc0.1", 2_000, SEED).unwrap())
+            .build()
+            .unwrap(),
+    );
+    let handle =
+        server::spawn("127.0.0.1:0", Arc::clone(&engine), &ServerConfig::default()).unwrap();
+
+    let mut connection = ServiceConnection::connect(handle.addr()).unwrap();
+    assert_eq!(connection.server_version(), PROTOCOL_VERSION);
+
+    // Write three requests before reading anything; responses come back
+    // id-matched and in order.
+    let outcomes = connection
+        .pipeline(&[
+            Request::Estimate { seeds: vec![0] },
+            Request::TopK {
+                k: 0, // invalid on purpose: typed error mid-pipeline
+                algorithm: TopKAlgorithm::Greedy,
+            },
+            Request::Estimate { seeds: vec![33] },
+        ])
+        .unwrap();
+    assert_eq!(outcomes.len(), 3);
+    assert!(matches!(
+        outcomes[0],
+        Ok(Response::Estimate { ref seeds, .. }) if seeds == &vec![0]
+    ));
+    assert!(
+        matches!(outcomes[1], Err(ServiceError::Query(_))),
+        "a rejected request must not poison the pipeline"
+    );
+    assert!(matches!(
+        outcomes[2],
+        Ok(Response::Estimate { ref seeds, .. }) if seeds == &vec![33]
+    ));
+    // The connection stays usable after a mid-pipeline error.
+    let answer = connection.call(&Request::Ping).unwrap();
+    assert_eq!(answer, Response::Pong);
+    handle.shutdown();
+}
+
+/// A misconfigured shard set — the same shard listed twice, overlapping
+/// ranges, or replicas of a whole pool — must fail construction instead of
+/// silently double-counting coverage.
+#[test]
+fn duplicate_or_overlapping_shard_backends_are_rejected() {
+    let graph = karate_graph();
+    let shard0 = || {
+        let artifact =
+            IndexArtifact::build_shard("Karate", "uc0.1", graph.clone(), POOL, SEED, 0, 2);
+        LocalService::new(Arc::new(QueryEngine::builder(artifact).build().unwrap()))
+    };
+    // The same shard twice ("--addr S0 --addr S0").
+    match ShardedService::new(vec![shard0(), shard0()]) {
+        Err(ServiceError::Shard(message)) => {
+            assert!(message.contains("covered twice"), "{message}")
+        }
+        other => panic!("duplicate shards must be rejected, got {other:?}"),
+    }
+    // Two whole-pool replicas are a replication setup, not a merge.
+    match ShardedService::new(vec![local_backend(), local_backend()]) {
+        Err(ServiceError::Shard(message)) => {
+            assert!(message.contains("covered twice"), "{message}")
+        }
+        other => panic!("whole-pool replicas must be rejected, got {other:?}"),
+    }
+    // A contiguous subset (one shard alone) is legal and self-describing:
+    // it behaves as one larger shard and reports partial coverage.
+    let mut partial = ShardedService::new(vec![shard0()]).unwrap();
+    let info = partial.info().unwrap();
+    assert_eq!(info.pool_size, POOL / 2);
+    assert_eq!(info.global_pool, POOL as u64);
+    assert_eq!(info.shard_offset, 0);
+}
+
+/// A v2 frame whose request payload the server cannot parse (a newer
+/// client's variant, a typo) must come back as an **id-tagged** Unsupported
+/// error, not a bare v1 line — a pipelining client matches responses by id
+/// and would otherwise desync.
+#[test]
+fn unknown_v2_payloads_get_id_tagged_errors() {
+    use std::io::{BufRead, BufReader, Write};
+
+    let engine = Arc::new(
+        QueryEngine::builder(build_dataset_index("karate", "uc0.1", 1_000, SEED).unwrap())
+            .build()
+            .unwrap(),
+    );
+    let handle =
+        server::spawn("127.0.0.1:0", Arc::clone(&engine), &ServerConfig::default()).unwrap();
+
+    let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    // Pipeline a valid frame, a frame with an unknown request variant, and
+    // another valid frame — all before reading.
+    stream
+        .write_all(
+            b"{\"v\":2,\"id\":41,\"req\":\"Ping\"}\n\
+              {\"v\":2,\"id\":42,\"req\":{\"TimeTravel\":{\"to\":1999}}}\n\
+              {\"v\":2,\"id\":43,\"req\":\"Ping\"}\n",
+        )
+        .unwrap();
+    let mut lines = Vec::new();
+    for _ in 0..3 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        lines.push(line);
+    }
+    assert!(lines[0].contains("\"id\":41"), "{}", lines[0]);
+    assert!(lines[0].contains("Pong"), "{}", lines[0]);
+    assert!(
+        lines[1].contains("\"id\":42") && lines[1].contains("Unsupported"),
+        "unknown payloads must keep their frame id: {}",
+        lines[1]
+    );
+    assert!(lines[2].contains("\"id\":43"), "{}", lines[2]);
+    assert!(lines[2].contains("Pong"), "{}", lines[2]);
+    handle.shutdown();
+}
+
+/// Out-of-band mutations (behind the router's back) must never let the
+/// `top_k` memo serve a stale selection: mutating *every* shard invalidates
+/// it, and mutating only *some* shards surfaces as a torn-epoch error.
+#[test]
+fn sharded_topk_memo_survives_out_of_band_mutations() {
+    let graph = karate_graph();
+    let engines: Vec<Arc<QueryEngine>> = (0..2)
+        .map(|i| {
+            let artifact =
+                IndexArtifact::build_shard("Karate", "uc0.1", graph.clone(), POOL, SEED, i, 2);
+            Arc::new(QueryEngine::builder(artifact).build().unwrap())
+        })
+        .collect();
+    let mut sharded = ShardedService::new(
+        engines
+            .iter()
+            .map(|e| LocalService::new(Arc::clone(e)))
+            .collect(),
+    )
+    .unwrap();
+    let before = sharded.top_k(3, TopKAlgorithm::Greedy).unwrap();
+
+    // Mutate every shard engine directly — the router never sees it.
+    let batch = vec![GraphDelta::InsertEdge {
+        source: 16,
+        target: 0,
+        probability: 1.0,
+    }];
+    for engine in &engines {
+        engine.mutate_batch(&batch).unwrap();
+    }
+    // The next selection must be recomputed at the new epoch, matching a
+    // single-pool reference over the mutated graph — not the memoized one.
+    let after = sharded.top_k(3, TopKAlgorithm::Greedy).unwrap();
+    let mut reference = {
+        let artifact =
+            imserve::index::build_dataset_index_with_deltas("karate", "uc0.1", POOL, SEED, &batch)
+                .unwrap();
+        LocalService::new(Arc::new(QueryEngine::builder(artifact).build().unwrap()))
+    };
+    let expected = reference.top_k(3, TopKAlgorithm::Greedy).unwrap();
+    assert_eq!(after.seeds, expected.seeds);
+    assert_eq!(after.spread.to_bits(), expected.spread.to_bits());
+    let _ = before;
+
+    // Tearing the group (mutating only one shard) is a loud Shard error.
+    engines[0].mutate_batch(&batch_again()).unwrap();
+    match sharded.top_k(3, TopKAlgorithm::Greedy) {
+        Err(ServiceError::Shard(message)) => assert!(message.contains("epoch"), "{message}"),
+        other => panic!("expected a Shard error on torn epochs, got {other:?}"),
+    }
+}
+
+fn batch_again() -> Vec<GraphDelta> {
+    vec![GraphDelta::DeleteEdge {
+        source: 0,
+        target: 1,
+    }]
+}
+
+/// Regression: the loadtest's discovery probe must not hold its connection
+/// across the run — on a single-worker server a lingering probe would pin
+/// the only worker and deadlock every loadtest connection behind it.
+#[test]
+fn loadtest_completes_against_a_single_worker_server() {
+    use imserve::loadtest::{self, LoadtestConfig};
+
+    let engine = Arc::new(
+        QueryEngine::builder(build_dataset_index("karate", "uc0.1", 1_000, SEED).unwrap())
+            .build()
+            .unwrap(),
+    );
+    let handle = server::spawn(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        &ServerConfig {
+            workers: 1,
+            idle_timeout: Some(std::time::Duration::from_secs(30)),
+        },
+    )
+    .unwrap();
+    let report = loadtest::run(
+        handle.addr(),
+        &LoadtestConfig {
+            connections: 2,
+            requests_per_connection: 20,
+            k: 2,
+            seed: 1,
+        },
+    )
+    .unwrap();
+    assert_eq!(report.total_requests, 40);
+    assert!(report.server_stats.is_some());
+    handle.shutdown();
+}

@@ -27,7 +27,7 @@ fn main() {
     ] {
         let graph = model.assign(&base);
         let mut rng = default_rng(11);
-        let oracle = InfluenceOracle::build(&graph, 300_000, &mut rng);
+        let oracle = InfluenceOracle::builder(300_000).sample_with_rng(&graph, &mut rng);
         let (greedy_seeds, greedy_influence) = oracle.greedy_seed_set(k);
         println!(
             "\nBA_d under {} — n = {}, m = {}, k = {k}",

@@ -81,7 +81,7 @@ fn main() {
 
     // How do the LT seeds fare under IC with the same probabilities?
     let mut ic_rng = default_rng(8);
-    let ic_oracle = InfluenceOracle::build(&graph, 200_000, &mut ic_rng);
+    let ic_oracle = InfluenceOracle::builder(200_000).sample_with_rng(&graph, &mut ic_rng);
     println!("\nsame seeds evaluated under the IC model with identical edge parameters:");
     for (name, seeds) in [
         ("LT-Oneshot", &oneshot_seeds),

@@ -26,7 +26,7 @@ fn main() {
     // 2. A shared influence oracle (the paper reuses one estimator across all
     //    runs so identical seed sets get identical estimates).
     let mut rng = default_rng(0xC0FFEE);
-    let oracle = InfluenceOracle::build(&graph, 200_000, &mut rng);
+    let oracle = InfluenceOracle::builder(200_000).sample_with_rng(&graph, &mut rng);
     println!(
         "oracle: {} RR sets, 99% confidence half-width {:.3}\n",
         oracle.pool_size(),

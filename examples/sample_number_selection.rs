@@ -34,7 +34,7 @@ fn main() {
 
     // Ground truth for the comparison: greedy on a large shared oracle.
     let mut rng = default_rng(1);
-    let oracle = InfluenceOracle::build(&graph, 200_000, &mut rng);
+    let oracle = InfluenceOracle::builder(200_000).sample_with_rng(&graph, &mut rng);
     let (_, exact_greedy_influence) = oracle.greedy_seed_set(k);
     println!("exact-greedy reference influence: {exact_greedy_influence:.3}");
 

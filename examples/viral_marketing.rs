@@ -25,7 +25,7 @@ fn main() {
     );
 
     let mut rng = default_rng(99);
-    let oracle = InfluenceOracle::build(&graph, 300_000, &mut rng);
+    let oracle = InfluenceOracle::builder(300_000).sample_with_rng(&graph, &mut rng);
 
     // Baseline heuristic: seed the k highest out-degree members.
     let degree_seeds = |k: usize| -> SeedSet {

@@ -27,7 +27,7 @@
 //!
 //! // Evaluate the chosen seeds with a shared influence oracle.
 //! let mut rng = imrand::default_rng(7);
-//! let oracle = InfluenceOracle::build(&graph, 50_000, &mut rng);
+//! let oracle = InfluenceOracle::builder(50_000).sample_with_rng(&graph, &mut rng);
 //! let spread = oracle.estimate_seed_set(&outcome.seeds);
 //! assert!(spread > 2.0 && spread < 34.0);
 //! ```
@@ -45,7 +45,7 @@
 //! | [`imsketch`] | bottom-k reachability sketches, exact descendant counting, sketch-space greedy, compressed RR sets |
 //! | [`imstats`] | seed-set distributions, Shannon entropy, divergences, confidence intervals, influence summary statistics, comparable ratios |
 //! | [`imexp`] | experiment drivers for every table and figure of the paper |
-//! | [`imserve`] | persistent influence-query service: binary RR-index build/load, query engine with TopK LRU cache, TCP front end, loadtest |
+//! | [`imserve`] | persistent influence-query service: typed `InfluenceService` trait over local/remote/sharded backends, binary RR-index build/load (whole pools or shards), query engine with TopK LRU cache and mutation WAL, TCP front end (protocol v1+v2), loadtest |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -77,7 +77,10 @@ pub mod prelude {
     pub use imheur::{DegreeDiscount, MaxDegree, PageRankSelector, SeedSelector};
     pub use imnet::{Dataset, DatasetSpec, ProbabilityModel};
     pub use imrand::{default_rng, Mt19937, Pcg32, Rng32};
-    pub use imserve::{IndexArtifact, QueryEngine, TopKAlgorithm};
+    pub use imserve::{
+        IndexArtifact, InfluenceService, LocalService, QueryEngine, RemoteService, ShardedService,
+        TopKAlgorithm,
+    };
     pub use imsketch::{CompressedRrSets, ReachabilitySketches, SketchGreedy};
     pub use imstats::{EmpiricalDistribution, SampleCurve, SummaryStats};
 }
@@ -92,7 +95,7 @@ mod tests {
         let outcome = Algorithm::Snapshot { tau: 32 }.run(&graph, 1, 1);
         assert_eq!(outcome.seeds.len(), 1);
         let mut rng = default_rng(2);
-        let oracle = InfluenceOracle::build(&graph, 10_000, &mut rng);
+        let oracle = InfluenceOracle::builder(10_000).sample_with_rng(&graph, &mut rng);
         assert!(oracle.estimate_seed_set(&outcome.seeds) >= 1.0);
     }
 
@@ -101,7 +104,7 @@ mod tests {
         let graph = Dataset::Karate.influence_graph(ProbabilityModel::uc01(), 0);
         let artifact = IndexArtifact::build("Karate", "uc0.1", graph, 2_000, 5);
         let reloaded = IndexArtifact::from_bytes(&artifact.to_bytes()).unwrap();
-        let engine = QueryEngine::new(reloaded);
+        let engine = QueryEngine::builder(reloaded).build().unwrap();
         let mut scratch = engine.new_scratch();
         let request = imserve::Request::TopK {
             k: 2,

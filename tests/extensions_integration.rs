@@ -188,7 +188,7 @@ fn determination_yields_sample_numbers_that_reach_exact_greedy() {
     // and 33, have almost identical influence, so we check quality rather than
     // identity of the returned seed).
     let mut oracle_rng = default_rng(2);
-    let oracle = InfluenceOracle::build(&graph, 100_000, &mut oracle_rng);
+    let oracle = InfluenceOracle::builder(100_000).sample_with_rng(&graph, &mut oracle_rng);
     let (_, greedy_influence) = oracle.greedy_seed_set(1);
     let theta = (determined.theta as u64).min(1 << 20);
     let outcome = Algorithm::Ris { theta }.run(&graph, 1, 77);

@@ -159,8 +159,14 @@ fn lt_estimators_agree_between_backends() {
 fn oracle_pool_is_backend_invariant() {
     let graph = karate();
     let (seq, par) = backends();
-    let a = InfluenceOracle::build_with_backend(&graph, 20_000, 13, seq);
-    let b = InfluenceOracle::build_with_backend(&graph, 20_000, 13, par);
+    let a = InfluenceOracle::builder(20_000)
+        .seed(13)
+        .backend(seq)
+        .sample(&graph);
+    let b = InfluenceOracle::builder(20_000)
+        .seed(13)
+        .backend(par)
+        .sample(&graph);
     assert_eq!(a.singleton_influences(), b.singleton_influences());
     let seeds: Vec<u32> = vec![0, 2, 33];
     assert_eq!(a.estimate(&seeds), b.estimate(&seeds));
