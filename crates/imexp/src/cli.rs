@@ -47,10 +47,13 @@ pub enum Cli {
         /// Output path of the artifact.
         out: String,
     },
-    /// `imexp loadtest --backend local|remote|sharded:N [--dataset …]
-    /// [--model …] [--pool …] [--seed …] [--connections …] [--requests …]
-    /// [--k …]`: run the same workload through one `InfluenceService`
-    /// backend (with byte-identity verification for `sharded:N`).
+    /// `imexp loadtest --backend local|remote|remote-reactor|sharded:N|all
+    /// [--dataset …] [--model …] [--pool …] [--seed …] [--connections …]
+    /// [--requests …] [--k …] [--arrival-rps R] [--bench-out <path>]`: run
+    /// the same workload through one or more `InfluenceService` backends
+    /// (with byte-identity verification for `sharded:N`), optionally
+    /// writing the per-backend latency trajectory as one JSON benchmark
+    /// document.
     Loadtest(crate::loadtest::LoadtestSpec),
 }
 
@@ -150,11 +153,12 @@ fn parse_loadtest(args: &[String]) -> Result<Cli, CliError> {
     use imserve::loadtest::LoadtestConfig;
     use imserve::service::BackendSpec;
 
-    let mut backend: Option<BackendSpec> = None;
+    let mut backends: Vec<BackendSpec> = Vec::new();
     let mut dataset = "karate".to_string();
     let mut model = "uc0.1".to_string();
     let mut pool = 20_000usize;
     let mut seed = 7u64;
+    let mut bench_out: Option<String> = None;
     let mut config = LoadtestConfig {
         connections: 2,
         requests_per_connection: 100,
@@ -164,10 +168,18 @@ fn parse_loadtest(args: &[String]) -> Result<Cli, CliError> {
     while i < args.len() {
         match args[i].as_str() {
             "--backend" => {
-                backend = Some(
-                    BackendSpec::parse(take_value("--backend", args, &mut i)?)
-                        .map_err(|e| CliError(e.to_string()))?,
-                );
+                let value = take_value("--backend", args, &mut i)?;
+                if value == "all" {
+                    // The full latency trajectory, cheapest to dearest.
+                    backends.extend([
+                        BackendSpec::Local,
+                        BackendSpec::Remote,
+                        BackendSpec::RemoteReactor,
+                        BackendSpec::Sharded(4),
+                    ]);
+                } else {
+                    backends.push(BackendSpec::parse(value).map_err(|e| CliError(e.to_string()))?);
+                }
             }
             "--dataset" => dataset = take_value("--dataset", args, &mut i)?.to_string(),
             "--model" => model = take_value("--model", args, &mut i)?.to_string(),
@@ -182,6 +194,15 @@ fn parse_loadtest(args: &[String]) -> Result<Cli, CliError> {
                     parse_number("--requests", take_value("--requests", args, &mut i)?)?;
             }
             "--k" => config.k = parse_number("--k", take_value("--k", args, &mut i)?)?,
+            "--arrival-rps" => {
+                config.arrival_rps = Some(parse_number(
+                    "--arrival-rps",
+                    take_value("--arrival-rps", args, &mut i)?,
+                )?);
+            }
+            "--bench-out" => {
+                bench_out = Some(take_value("--bench-out", args, &mut i)?.to_string());
+            }
             other => return Err(CliError(format!("unknown option {other:?} for loadtest"))),
         }
         i += 1;
@@ -198,21 +219,31 @@ fn parse_loadtest(args: &[String]) -> Result<Cli, CliError> {
             return Err(CliError(format!("{flag} must be positive")));
         }
     }
-    if let Some(BackendSpec::Sharded(count)) = backend {
-        if pool < count {
-            return Err(CliError(format!(
-                "--pool {pool} cannot feed {count} non-empty shards"
-            )));
+    if config.arrival_rps == Some(0) {
+        return Err(CliError("--arrival-rps must be positive".to_string()));
+    }
+    for backend in &backends {
+        if let BackendSpec::Sharded(count) = backend {
+            if pool < *count {
+                return Err(CliError(format!(
+                    "--pool {pool} cannot feed {count} non-empty shards"
+                )));
+            }
         }
     }
+    if backends.is_empty() {
+        return Err(CliError(
+            "loadtest requires --backend local|remote|remote-reactor|sharded:N|all".into(),
+        ));
+    }
     Ok(Cli::Loadtest(crate::loadtest::LoadtestSpec {
-        backend: backend
-            .ok_or_else(|| CliError("loadtest requires --backend local|remote|sharded:N".into()))?,
+        backends,
         dataset,
         model,
         pool,
         seed,
         config,
+        bench_out,
     }))
 }
 
@@ -272,6 +303,66 @@ mod tests {
         assert!(parse(&args(&[])).is_err());
         assert!(parse(&args(&["--scale", "quick"])).is_err());
         assert!(parse(&args(&["list", "--json"])).is_err());
+    }
+
+    #[test]
+    fn loadtest_backends_accumulate_and_all_expands() {
+        use imserve::service::BackendSpec;
+        let parsed = parse(&args(&[
+            "loadtest",
+            "--backend",
+            "local",
+            "--backend",
+            "sharded:2",
+        ]))
+        .unwrap();
+        match parsed {
+            Cli::Loadtest(spec) => {
+                assert_eq!(
+                    spec.backends,
+                    vec![BackendSpec::Local, BackendSpec::Sharded(2)]
+                );
+                assert_eq!(spec.bench_out, None);
+                assert_eq!(spec.config.arrival_rps, None);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        match parse(&args(&[
+            "loadtest",
+            "--backend",
+            "all",
+            "--arrival-rps",
+            "800",
+            "--bench-out",
+            "bench.json",
+        ]))
+        .unwrap()
+        {
+            Cli::Loadtest(spec) => {
+                assert_eq!(
+                    spec.backends,
+                    vec![
+                        BackendSpec::Local,
+                        BackendSpec::Remote,
+                        BackendSpec::RemoteReactor,
+                        BackendSpec::Sharded(4),
+                    ]
+                );
+                assert_eq!(spec.config.arrival_rps, Some(800));
+                assert_eq!(spec.bench_out.as_deref(), Some("bench.json"));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse(&args(&["loadtest"])).is_err(), "missing --backend");
+        assert!(parse(&args(&[
+            "loadtest",
+            "--backend",
+            "local",
+            "--arrival-rps",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse(&args(&["loadtest", "--backend", "warp9"])).is_err());
     }
 
     #[test]

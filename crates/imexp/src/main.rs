@@ -22,8 +22,9 @@ fn print_usage() {
     eprintln!(
         "usage: imexp <experiment|all|list> [--scale quick|standard|paper] [--json]\n\
          \u{20}      imexp index <dataset> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] --out <path>\n\
-         \u{20}      imexp loadtest --backend local|remote|sharded:N [--dataset <name>|chung-lu] \
-         [--model M] [--pool N] [--seed S] [--connections N] [--requests N] [--k K]"
+         \u{20}      imexp loadtest --backend local|remote|remote-reactor|sharded:N|all [--backend …] \
+         [--dataset <name>|chung-lu] [--model M] [--pool N] [--seed S] [--connections N] \
+         [--requests N] [--k K] [--arrival-rps R] [--bench-out <path>]"
     );
     eprintln!("experiments: {}", experiment_names().join(", "));
 }
@@ -102,25 +103,43 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Cli::Loadtest(spec) => {
+            let backends: Vec<String> = spec.backends.iter().map(ToString::to_string).collect();
             eprintln!(
-                "loadtest: backend {} over {}/{} (pool {}, seed {})",
-                spec.backend, spec.dataset, spec.model, spec.pool, spec.seed
-            );
-            match imexp::loadtest::run(&spec) {
-                Ok((report, verified)) => {
-                    println!("{report}");
-                    if let Some(checked) = verified {
-                        println!(
-                            "sharded ≡ single-pool local: OK ({checked} probes byte-identical)"
-                        );
-                    }
-                    ExitCode::SUCCESS
+                "loadtest: backends [{}] over {}/{} (pool {}, seed {}{})",
+                backends.join(", "),
+                spec.dataset,
+                spec.model,
+                spec.pool,
+                spec.seed,
+                match spec.config.arrival_rps {
+                    Some(rps) => format!(", open loop at {rps} req/s"),
+                    None => ", closed loop".to_string(),
                 }
+            );
+            let runs = match imexp::loadtest::run(&spec) {
+                Ok(runs) => runs,
                 Err(e) => {
                     eprintln!("error: {e}");
-                    ExitCode::FAILURE
+                    return ExitCode::FAILURE;
+                }
+            };
+            for run in &runs {
+                println!("== backend {} ==", run.backend);
+                println!("{}", run.report);
+                if let Some(checked) = run.verified_probes {
+                    println!("sharded ≡ single-pool local: OK ({checked} probes byte-identical)");
                 }
             }
+            if let Some(path) = &spec.bench_out {
+                let document = imexp::loadtest::bench_document(&spec, &runs);
+                let json = serde_json::to_string_pretty(&document).expect("document serialises");
+                if let Err(e) = std::fs::write(path, json + "\n") {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote benchmark document -> {path}");
+            }
+            ExitCode::SUCCESS
         }
     }
 }

@@ -38,7 +38,11 @@ pub enum Command {
         index: String,
         /// Bind address (`host:port`; port 0 picks an ephemeral port).
         addr: String,
-        /// Worker threads.
+        /// Front end: the event-driven reactor (default) or the threaded
+        /// turn-queue fallback (`--threaded`).
+        reactor: bool,
+        /// Worker threads (reactor: compute-pool threads; threaded: turn
+        /// workers).
         workers: usize,
         /// `TopK` LRU cache capacity.
         cache: usize,
@@ -95,6 +99,9 @@ pub enum Command {
         requests: usize,
         /// `TopK` seed-set size in the request mix.
         k: usize,
+        /// Open-loop arrival rate in requests/second across all connections
+        /// (`None` = closed loop).
+        arrival_rps: Option<u64>,
     },
 }
 
@@ -143,16 +150,18 @@ impl std::error::Error for CliError {}
 /// One-line usage summary per subcommand.
 pub const USAGE: &str = "usage:
   imserve build    --dataset <name> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] [--deltas <script>] [--shard i/N] --out <path>
-  imserve serve    --index <path> [--addr host:port] [--workers N] [--cache N] [--compact-log-len N] [--compact-dirty F] [--wal <path>]
+  imserve serve    --index <path> [--addr host:port] [--reactor | --threaded] [--workers N] [--cache N] [--compact-log-len N] [--compact-dirty F] [--wal <path>]
   imserve query    --addr host:port [--addr …] [--v1] (--estimate v1,v2,… | --topk K [--algorithm greedy|singleton] | --info | --stats)
   imserve mutate   --addr host:port [--addr …] [--batch] (--insert u,v,p | --delete u,v | --setp u,v,p | --file <script>)…
   imserve compact  (--addr host:port | --index <path> --out <path>)
-  imserve loadtest --addr host:port [--addr …] [--connections N] [--requests N] [--k K]
+  imserve loadtest --addr host:port [--addr …] [--connections N] [--requests N] [--k K] [--arrival-rps R]
 
 delta scripts hold one JSON delta per line, e.g. {\"InsertEdge\":{\"source\":0,\"target\":33,\"probability\":0.5}}
 --batch applies the deltas atomically (all-or-nothing, one CSR rebuild); --compact-* enable auto-compaction
 --shard i/N builds shard i of a global pool; several --addr values route queries through a sharded service
---wal <path> makes accepted mutations crash-durable between index saves; --v1 speaks the legacy bare-frame dialect";
+--wal <path> makes accepted mutations crash-durable between index saves; --v1 speaks the legacy bare-frame dialect
+--reactor (default) serves every connection from one event loop; --threaded keeps the turn-queue worker pool
+--arrival-rps switches the loadtest to an open-loop schedule measuring latency from each scheduled arrival";
 
 /// Parse a flag's numeric value, naming the flag in the error.
 ///
@@ -404,6 +413,7 @@ fn parse_compact(args: &[String]) -> Result<Command, CliError> {
 fn parse_serve(args: &[String]) -> Result<Command, CliError> {
     let mut index: Option<String> = None;
     let mut addr = "127.0.0.1:7431".to_string();
+    let mut reactor: Option<bool> = None;
     let mut workers = 4usize;
     let mut cache = crate::engine::DEFAULT_CACHE_CAPACITY;
     let mut compact_log_len: Option<usize> = None;
@@ -415,6 +425,22 @@ fn parse_serve(args: &[String]) -> Result<Command, CliError> {
             "--index" => index = Some(take_value("--index", args, &mut i)?.to_string()),
             "--wal" => wal = Some(take_value("--wal", args, &mut i)?.to_string()),
             "--addr" => addr = take_value("--addr", args, &mut i)?.to_string(),
+            "--reactor" => {
+                if reactor == Some(false) {
+                    return Err(CliError(
+                        "--reactor and --threaded are mutually exclusive".to_string(),
+                    ));
+                }
+                reactor = Some(true);
+            }
+            "--threaded" => {
+                if reactor == Some(true) {
+                    return Err(CliError(
+                        "--reactor and --threaded are mutually exclusive".to_string(),
+                    ));
+                }
+                reactor = Some(false);
+            }
             "--workers" => {
                 workers = parse_number("--workers", take_value("--workers", args, &mut i)?)?;
             }
@@ -454,6 +480,7 @@ fn parse_serve(args: &[String]) -> Result<Command, CliError> {
     Ok(Command::Serve {
         index: index.ok_or_else(|| CliError("serve requires --index".to_string()))?,
         addr,
+        reactor: reactor.unwrap_or(true),
         workers,
         cache,
         compact_log_len,
@@ -529,6 +556,7 @@ fn parse_loadtest(args: &[String]) -> Result<Command, CliError> {
     let mut connections = 4usize;
     let mut requests = 250usize;
     let mut k = 3usize;
+    let mut arrival_rps: Option<u64> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -541,6 +569,12 @@ fn parse_loadtest(args: &[String]) -> Result<Command, CliError> {
                 requests = parse_number("--requests", take_value("--requests", args, &mut i)?)?;
             }
             "--k" => k = parse_number("--k", take_value("--k", args, &mut i)?)?,
+            "--arrival-rps" => {
+                arrival_rps = Some(parse_number(
+                    "--arrival-rps",
+                    take_value("--arrival-rps", args, &mut i)?,
+                )?);
+            }
             other => return Err(CliError(format!("unknown option {other:?} for loadtest"))),
         }
         i += 1;
@@ -554,6 +588,9 @@ fn parse_loadtest(args: &[String]) -> Result<Command, CliError> {
             return Err(CliError(format!("{flag} must be positive")));
         }
     }
+    if arrival_rps == Some(0) {
+        return Err(CliError("--arrival-rps must be positive".to_string()));
+    }
     if addrs.is_empty() {
         return Err(CliError("loadtest requires --addr".to_string()));
     }
@@ -562,6 +599,7 @@ fn parse_loadtest(args: &[String]) -> Result<Command, CliError> {
         connections,
         requests,
         k,
+        arrival_rps,
     })
 }
 
@@ -843,6 +881,47 @@ mod tests {
         assert!(parse(&args(&["serve", "--index", "x", "--compact-log-len", "0"])).is_err());
         assert!(parse(&args(&["serve", "--index", "x", "--compact-dirty", "-1"])).is_err());
         assert!(parse(&args(&["serve", "--index", "x", "--compact-dirty", "nope"])).is_err());
+    }
+
+    #[test]
+    fn serve_front_end_flags_parse_and_exclude_each_other() {
+        // Reactor is the default.
+        match parse(&args(&["serve", "--index", "x.imx"])).unwrap() {
+            Command::Serve { reactor, .. } => assert!(reactor),
+            other => panic!("unexpected command {other:?}"),
+        }
+        match parse(&args(&["serve", "--index", "x.imx", "--threaded"])).unwrap() {
+            Command::Serve { reactor, .. } => assert!(!reactor),
+            other => panic!("unexpected command {other:?}"),
+        }
+        match parse(&args(&["serve", "--index", "x.imx", "--reactor"])).unwrap() {
+            Command::Serve { reactor, .. } => assert!(reactor),
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse(&args(&["serve", "--index", "x", "--reactor", "--threaded"])).is_err());
+        assert!(parse(&args(&["serve", "--index", "x", "--threaded", "--reactor"])).is_err());
+    }
+
+    #[test]
+    fn loadtest_arrival_rate_parses_and_rejects_zero() {
+        match parse(&args(&["loadtest", "--addr", "a:1"])).unwrap() {
+            Command::Loadtest { arrival_rps, .. } => assert_eq!(arrival_rps, None),
+            other => panic!("unexpected command {other:?}"),
+        }
+        match parse(&args(&[
+            "loadtest",
+            "--addr",
+            "a:1",
+            "--arrival-rps",
+            "500",
+        ]))
+        .unwrap()
+        {
+            Command::Loadtest { arrival_rps, .. } => assert_eq!(arrival_rps, Some(500)),
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse(&args(&["loadtest", "--addr", "a:1", "--arrival-rps", "0"])).is_err());
+        assert!(parse(&args(&["loadtest", "--addr", "a:1", "--arrival-rps", "x"])).is_err());
     }
 
     #[test]

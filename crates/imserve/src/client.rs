@@ -10,12 +10,14 @@
 //! [`RemoteService`] wraps it into the typed [`InfluenceService`] trait, so
 //! a remote server is interchangeable with an in-process engine.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use imgraph::GraphDelta;
 
 use crate::error::ServeError;
+use crate::linebuf::LineBuffer;
 use crate::protocol::{
     self, Outcome, Request, RequestFrame, Response, ResponseFrame, TopKAlgorithm, PROTOCOL_VERSION,
 };
@@ -67,10 +69,17 @@ pub fn query_once(addr: impl ToSocketAddrs, request: &Request) -> Result<Respons
 }
 
 /// One persistent protocol-v2 connection: id-tagged frames, typed errors,
-/// pipelining.
+/// pipelining — both the blocking batch form ([`ServiceConnection::pipeline`])
+/// and the non-blocking [`ServiceConnection::send`] /
+/// [`ServiceConnection::poll_response`] pair for callers that hold several
+/// requests in flight without buffering whole batches.
 #[derive(Debug)]
 pub struct ServiceConnection {
-    reader: BufReader<TcpStream>,
+    /// Read side of the socket (a clone of the write side); raw reads feed
+    /// the line reassembly buffer so blocking and non-blocking reads share
+    /// one stream position.
+    reader: TcpStream,
+    lines: LineBuffer,
     writer: BufWriter<TcpStream>,
     next_id: u64,
     server_version: u32,
@@ -84,9 +93,10 @@ impl ServiceConnection {
     pub fn connect(addr: impl ToSocketAddrs) -> ServiceResult<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        let reader = BufReader::new(stream.try_clone()?);
+        let reader = stream.try_clone()?;
         let mut connection = Self {
             reader,
+            lines: LineBuffer::new(),
             writer: BufWriter::new(stream),
             next_id: 0,
             server_version: 0,
@@ -139,8 +149,14 @@ impl ServiceConnection {
         ids.into_iter().map(|id| self.receive(id)).collect()
     }
 
-    /// Write one frame without flushing; returns the frame id.
-    fn send(&mut self, request: &Request) -> ServiceResult<u64> {
+    /// Write one frame into the send buffer *without flushing or waiting for
+    /// the answer*; returns the frame id to match against
+    /// [`ServiceConnection::poll_response`]. Call
+    /// [`ServiceConnection::flush`] once the burst is written — this is how
+    /// a caller (a shard router, a future async front end) holds several
+    /// requests in flight on one connection without buffering whole batches
+    /// the way [`ServiceConnection::pipeline`] does.
+    pub fn send(&mut self, request: &Request) -> ServiceResult<u64> {
         self.next_id += 1;
         let id = self.next_id;
         let frame = RequestFrame {
@@ -154,34 +170,139 @@ impl ServiceConnection {
         Ok(id)
     }
 
-    fn flush(&mut self) -> ServiceResult<()> {
+    /// Flush buffered request frames to the socket.
+    pub fn flush(&mut self) -> ServiceResult<()> {
         self.writer.flush()?;
         Ok(())
     }
 
-    /// Read one response frame and match it against `id`. The outer `Result`
+    /// Non-blocking receive: if a complete response frame is available,
+    /// return its id and typed per-request outcome; `Ok(None)` means no
+    /// frame is ready yet. Responses arrive in request order, so the
+    /// returned id is the oldest in-flight [`ServiceConnection::send`] id
+    /// not yet polled. The outer `Result` carries transport/framing failures
+    /// (the connection is unusable).
+    pub fn poll_response(&mut self) -> ServiceResult<Option<(u64, ServiceResult<Response>)>> {
+        if let Some(line) = self.next_buffered_line()? {
+            return Ok(Some(Self::parse_frame(&line)?));
+        }
+        // Nothing reassembled yet: drain whatever the socket has right now.
+        self.reader.set_nonblocking(true)?;
+        let drained = loop {
+            match self.read_available() {
+                Ok(ReadOutcome::Bytes) => continue,
+                other => break other,
+            }
+        };
+        self.reader.set_nonblocking(false)?;
+        let outcome = drained?;
+        match self.next_buffered_line()? {
+            Some(line) => Ok(Some(Self::parse_frame(&line)?)),
+            None if outcome == ReadOutcome::Eof => Err(ServiceError::Protocol(
+                "server closed the connection".to_string(),
+            )),
+            None => Ok(None),
+        }
+    }
+
+    /// Apply a per-request deadline to this connection: blocking reads and
+    /// writes fail with [`ServiceError::Transport`] (`TimedOut`/`WouldBlock`)
+    /// once the peer stays silent past `deadline`. `None` removes the bound.
+    pub fn set_deadline(&mut self, deadline: Option<Duration>) -> ServiceResult<()> {
+        self.reader.set_read_timeout(deadline)?;
+        self.writer.get_ref().set_write_timeout(deadline)?;
+        Ok(())
+    }
+
+    /// Pop the next reassembled line, if any.
+    fn next_buffered_line(&mut self) -> ServiceResult<Option<String>> {
+        match self.lines.next_line() {
+            None => Ok(None),
+            Some(Ok(line)) => Ok(Some(line)),
+            Some(Err(_)) => Err(ServiceError::Protocol(
+                "response line is not valid UTF-8".to_string(),
+            )),
+        }
+    }
+
+    /// Read one chunk from the socket into the reassembly buffer, reporting
+    /// what happened (respects the socket's blocking mode and read timeout).
+    fn read_available(&mut self) -> ServiceResult<ReadOutcome> {
+        let mut chunk = [0u8; 8192];
+        loop {
+            match self.reader.read(&mut chunk) {
+                Ok(0) => return Ok(ReadOutcome::Eof),
+                Ok(n) => {
+                    self.lines.extend(&chunk[..n]);
+                    return Ok(ReadOutcome::Bytes);
+                }
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    return Ok(ReadOutcome::Empty)
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    fn parse_frame(line: &str) -> ServiceResult<(u64, ServiceResult<Response>)> {
+        let frame: ResponseFrame = protocol::decode(line).map_err(ServiceError::from)?;
+        Ok((
+            frame.id,
+            match frame.body {
+                Outcome::Ok(response) => Ok(response),
+                Outcome::Err(wire) => Err(wire.into_service()),
+            },
+        ))
+    }
+
+    /// Blocking receive of the response frame for `id`. The outer `Result`
     /// carries transport/framing failures (the connection is unusable); the
     /// inner one carries the peer's typed per-request outcome.
     fn receive(&mut self, id: u64) -> ServiceResult<ServiceResult<Response>> {
-        let mut line = String::new();
-        let read = self.reader.read_line(&mut line)?;
-        if read == 0 {
-            return Err(ServiceError::Protocol(
-                "server closed the connection".to_string(),
-            ));
+        loop {
+            if let Some(line) = self.next_buffered_line()? {
+                let (frame_id, outcome) = Self::parse_frame(&line)?;
+                if frame_id != id {
+                    return Err(ServiceError::Protocol(format!(
+                        "response id {frame_id} does not match request id {id}"
+                    )));
+                }
+                return Ok(outcome);
+            }
+            // Blocking read of the next chunk. With a deadline set this
+            // fails with a timeout error instead of hanging forever — the
+            // per-shard deadline the fan-out path relies on.
+            match self.read_available()? {
+                ReadOutcome::Bytes => continue,
+                ReadOutcome::Empty => {
+                    return Err(ServiceError::Transport(std::io::Error::new(
+                        std::io::ErrorKind::TimedOut,
+                        "timed out waiting for the response",
+                    )))
+                }
+                ReadOutcome::Eof => {
+                    return Err(ServiceError::Protocol(
+                        "server closed the connection".to_string(),
+                    ))
+                }
+            }
         }
-        let frame: ResponseFrame = protocol::decode(&line).map_err(ServiceError::from)?;
-        if frame.id != id {
-            return Err(ServiceError::Protocol(format!(
-                "response id {} does not match request id {id}",
-                frame.id
-            )));
-        }
-        Ok(match frame.body {
-            Outcome::Ok(response) => Ok(response),
-            Outcome::Err(wire) => Err(wire.into_service()),
-        })
     }
+}
+
+/// What one [`ServiceConnection::read_available`] attempt observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReadOutcome {
+    /// Bytes were appended to the reassembly buffer.
+    Bytes,
+    /// The socket had nothing within its blocking mode/timeout.
+    Empty,
+    /// The peer closed the connection.
+    Eof,
 }
 
 /// The remote backend: an [`InfluenceService`] over one protocol-v2 TCP
@@ -315,6 +436,10 @@ impl InfluenceService for RemoteService {
             Response::Compact { epoch, folded } => Ok(CompactionReport { epoch, folded }),
             other => Self::unexpected("Compact", other),
         }
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> ServiceResult<()> {
+        self.connection.set_deadline(deadline)
     }
 
     fn stats(&mut self) -> ServiceResult<ServiceStats> {

@@ -20,10 +20,14 @@
 //!   `imdyn`'s incremental RR-set maintenance, compaction, and an optional
 //!   mutation write-ahead log ([`wal`]) so acknowledged mutations survive a
 //!   crash between index saves;
-//! * [`server`] / [`client`] — a std-only TCP front end speaking
-//!   newline-delimited JSON in two dialects (bare v1 frames and id-tagged
-//!   v2 frames with a version handshake and typed errors), plus the
-//!   matching clients ([`client::RemoteService`] is the trait over TCP);
+//! * [`reactor`] / [`server`] / [`client`] — two std-only TCP front ends
+//!   speaking newline-delimited JSON in two dialects (bare v1 frames and
+//!   id-tagged v2 frames with a version handshake and typed errors): the
+//!   default event-driven readiness loop multiplexing every connection over
+//!   non-blocking sockets with a bounded compute pool, and the threaded
+//!   turn-queue fallback — plus the matching clients
+//!   ([`client::RemoteService`] is the trait over TCP, with a non-blocking
+//!   `send`/`poll_response` pair for pipelined in-flight requests);
 //! * [`loadtest`] — an in-repo load generator driving any
 //!   [`service::InfluenceService`] and reporting latency percentiles via
 //!   `imstats`;
@@ -42,9 +46,11 @@ pub mod client;
 pub mod engine;
 pub mod error;
 pub mod index;
+mod linebuf;
 pub mod loadtest;
 pub mod lru;
 pub mod protocol;
+pub mod reactor;
 pub mod server;
 pub mod service;
 pub mod shard;
@@ -55,6 +61,7 @@ pub use engine::{EngineBuilder, EngineConfig, QueryEngine, ServingState};
 pub use error::ServeError;
 pub use index::{build_dataset_index, build_dataset_index_with_deltas, IndexArtifact, IndexMeta};
 pub use protocol::{Request, Response, TopKAlgorithm, PROTOCOL_VERSION};
+pub use reactor::ReactorConfig;
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use service::{
     BackendSpec, InfluenceService, LocalService, ServiceError, ServiceInfo, ServiceStats,

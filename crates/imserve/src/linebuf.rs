@@ -1,0 +1,94 @@
+//! Incremental newline-delimited frame reassembly.
+//!
+//! Both front ends (the threaded worker pool and the reactor event loop) and
+//! the non-blocking client read raw byte chunks off a socket and need to cut
+//! them back into complete protocol lines, keeping any trailing partial line
+//! buffered until the next read delivers the rest. [`LineBuffer`] is that
+//! shared reassembly state: bytes go in via [`LineBuffer::extend`], complete
+//! lines come out via [`LineBuffer::next_line`], and whatever is left stays
+//! put across reads (and, for the threaded pool, across worker turns).
+
+/// Reassembles newline-delimited UTF-8 frames from arbitrary byte chunks.
+#[derive(Debug, Default)]
+pub(crate) struct LineBuffer {
+    buf: Vec<u8>,
+    /// Bytes before `start` were already handed out as lines; compacted
+    /// lazily so repeated small lines don't memmove the tail each time.
+    start: usize,
+}
+
+impl LineBuffer {
+    /// A fresh, empty buffer.
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append one raw chunk read from the socket.
+    pub(crate) fn extend(&mut self, chunk: &[u8]) {
+        // Compact before growing so consumed prefixes don't accumulate.
+        if self.start > 0 {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// The next complete line, without its trailing `\n` (a trailing `\r` is
+    /// also stripped, for telnet-style clients). Returns `None` while only a
+    /// partial line is buffered, `Some(Err(_))` if the line is not UTF-8 —
+    /// the connection is then unusable, since frame boundaries can no longer
+    /// be trusted.
+    pub(crate) fn next_line(&mut self) -> Option<Result<String, std::str::Utf8Error>> {
+        let rest = &self.buf[self.start..];
+        let newline = rest.iter().position(|&b| b == b'\n')?;
+        let mut line = &rest[..newline];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
+        }
+        let parsed = std::str::from_utf8(line).map(str::to_string);
+        self.start += newline + 1;
+        Some(parsed)
+    }
+
+    /// Whether any bytes (complete or partial) are buffered.
+    pub(crate) fn has_buffered(&self) -> bool {
+        self.start < self.buf.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reassembles_lines_across_chunks() {
+        let mut lb = LineBuffer::new();
+        lb.extend(b"{\"a\":1}\n{\"b\"");
+        assert_eq!(lb.next_line().unwrap().unwrap(), "{\"a\":1}");
+        assert!(lb.next_line().is_none());
+        assert!(lb.has_buffered());
+        lb.extend(b":2}\n");
+        assert_eq!(lb.next_line().unwrap().unwrap(), "{\"b\":2}");
+        assert!(lb.next_line().is_none());
+        assert!(!lb.has_buffered());
+    }
+
+    #[test]
+    fn strips_carriage_returns_and_rejects_bad_utf8() {
+        let mut lb = LineBuffer::new();
+        lb.extend(b"ping\r\n");
+        assert_eq!(lb.next_line().unwrap().unwrap(), "ping");
+        lb.extend(&[0xFF, 0xFE, b'\n']);
+        assert!(lb.next_line().unwrap().is_err());
+    }
+
+    #[test]
+    fn many_lines_in_one_chunk() {
+        let mut lb = LineBuffer::new();
+        lb.extend(b"a\nb\nc\n");
+        assert_eq!(lb.next_line().unwrap().unwrap(), "a");
+        assert_eq!(lb.next_line().unwrap().unwrap(), "b");
+        assert_eq!(lb.next_line().unwrap().unwrap(), "c");
+        assert!(lb.next_line().is_none());
+    }
+}

@@ -13,9 +13,21 @@
 //! `Estimate` (singleton and 3-seed) and periodic `TopK` requests — the
 //! shape a production influence service sees: estimates dominate, selections
 //! recur and hit the engine's LRU cache (or the shard router's memo).
+//!
+//! Two arrival disciplines:
+//!
+//! * **Closed-loop** (the default): every connection fires its next request
+//!   the instant the previous reply lands. Measures per-request service
+//!   latency, but hides queueing — a slow server simply slows the arrival
+//!   stream down with it (coordinated omission).
+//! * **Open-loop** ([`LoadtestConfig::arrival_rps`]): requests are scheduled
+//!   on a fixed global arrival clock that does *not* wait for replies, and
+//!   each latency is measured from the request's **scheduled** arrival time,
+//!   so time spent queueing behind a saturated server counts against it.
+//!   This is the discipline to use for tail-latency (p99/p999) claims.
 
 use std::net::ToSocketAddrs;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use imrand::{Pcg32, Rng32};
 use imstats::SummaryStats;
@@ -35,6 +47,13 @@ pub struct LoadtestConfig {
     pub k: usize,
     /// Base seed of the per-connection request streams.
     pub seed: u64,
+    /// Open-loop arrival rate in requests per second across *all*
+    /// connections, or `None` for the default closed loop. The global
+    /// schedule is interleaved round-robin: with `C` connections at rate
+    /// `R`, connection `c` owns arrivals `c/R, (c+C)/R, (c+2C)/R, …` after
+    /// the start mark, and latencies are measured from those scheduled
+    /// instants (queueing delay included).
+    pub arrival_rps: Option<u64>,
 }
 
 impl Default for LoadtestConfig {
@@ -44,7 +63,37 @@ impl Default for LoadtestConfig {
             requests_per_connection: 250,
             k: 3,
             seed: 1,
+            arrival_rps: None,
         }
+    }
+}
+
+/// One connection's slice of the open-loop arrival schedule.
+#[derive(Debug, Clone, Copy)]
+struct OpenLoop {
+    /// Common schedule origin across every connection.
+    start: Instant,
+    /// This connection's first arrival, relative to `start`.
+    first_offset: Duration,
+    /// Gap between this connection's consecutive arrivals.
+    period: Duration,
+}
+
+impl OpenLoop {
+    /// Carve connection `connection_id`'s slice out of a global schedule of
+    /// `rps` arrivals per second shared round-robin by `connections` peers.
+    fn for_connection(start: Instant, rps: u64, connections: usize, connection_id: usize) -> Self {
+        let gap = 1.0 / rps.max(1) as f64;
+        Self {
+            start,
+            first_offset: Duration::from_secs_f64(gap * connection_id as f64),
+            period: Duration::from_secs_f64(gap * connections as f64),
+        }
+    }
+
+    /// The scheduled arrival instant of this connection's request `i`.
+    fn arrival(&self, i: usize) -> Instant {
+        self.start + self.first_offset + self.period.mul_f64(i as f64)
     }
 }
 
@@ -59,6 +108,10 @@ pub struct LoadtestReport {
     pub throughput_rps: f64,
     /// Per-request latency statistics in microseconds.
     pub latency_micros: SummaryStats,
+    /// The 99.9th latency percentile in microseconds (beyond what
+    /// [`SummaryStats`] carries; the tail the open-loop mode exists to
+    /// measure).
+    pub p999_micros: f64,
     /// The backend's own counters after the run (`None` if the final
     /// `stats` call failed — the latency data is still valid).
     pub server_stats: Option<ServiceStats>,
@@ -74,8 +127,9 @@ impl std::fmt::Display for LoadtestReport {
         let l = &self.latency_micros;
         write!(
             f,
-            "latency µs: p01 {:.0}  median {:.0}  mean {:.0}  q3 {:.0}  p99 {:.0}  max {:.0}",
-            l.p01, l.median, l.mean, l.q3, l.p99, l.max
+            "latency µs: p01 {:.0}  median {:.0}  mean {:.0}  q3 {:.0}  p99 {:.0}  \
+             p999 {:.0}  max {:.0}",
+            l.p01, l.median, l.mean, l.q3, l.p99, self.p999_micros, l.max
         )?;
         if let Some(s) = &self.server_stats {
             write!(
@@ -105,18 +159,31 @@ impl std::fmt::Display for LoadtestReport {
 }
 
 /// The deterministic request mix, issued through the typed trait. Returns
-/// per-request latencies in microseconds.
+/// per-request latencies in microseconds. With a `schedule`, each request
+/// waits for its scheduled open-loop arrival and its latency is measured
+/// from that instant (a late start *is* latency); without one, latency is
+/// measured from the moment the previous reply landed (closed loop).
 fn drive<S: InfluenceService>(
     service: &mut S,
     num_vertices: usize,
     requests: usize,
     k: usize,
     stream_seed: u64,
+    schedule: Option<OpenLoop>,
 ) -> Result<Vec<f64>, ServiceError> {
     let mut rng = Pcg32::seed_from_u64(stream_seed);
     let mut latencies = Vec::with_capacity(requests);
     for i in 0..requests {
-        let sent = Instant::now();
+        let sent = match schedule {
+            None => Instant::now(),
+            Some(open) => {
+                let arrival = open.arrival(i);
+                if let Some(wait) = arrival.checked_duration_since(Instant::now()) {
+                    std::thread::sleep(wait);
+                }
+                arrival
+            }
+        };
         if i % 16 == 15 {
             service.top_k(k, TopKAlgorithm::Greedy)?;
         } else if i % 4 == 3 {
@@ -173,10 +240,27 @@ where
             let make = &make;
             let seed = stream_seed(config.seed, connection_id);
             let k = config.k;
-            handles.push(scope.spawn(move || {
-                let mut service = make()?;
-                drive(&mut service, num_vertices, per_connection, k, seed)
-            }));
+            let schedule = config
+                .arrival_rps
+                .map(|rps| OpenLoop::for_connection(started, rps, connections, connection_id));
+            // Workers mostly sit in socket reads (or open-loop sleeps), so a
+            // small explicit stack keeps thousands of connections affordable
+            // where the platform default (often 8 MiB) would not be.
+            let handle = std::thread::Builder::new()
+                .stack_size(128 * 1024)
+                .spawn_scoped(scope, move || {
+                    let mut service = make()?;
+                    drive(
+                        &mut service,
+                        num_vertices,
+                        per_connection,
+                        k,
+                        seed,
+                        schedule,
+                    )
+                })
+                .map_err(ServiceError::from)?;
+            handles.push(handle);
         }
         handles
             .into_iter()
@@ -197,6 +281,7 @@ where
         total_requests: all_latencies.len(),
         elapsed_secs,
         throughput_rps: all_latencies.len() as f64 / elapsed_secs.max(1e-9),
+        p999_micros: SummaryStats::percentile(&all_latencies, 99.9),
         latency_micros: SummaryStats::from_values(&all_latencies),
         server_stats,
     })
@@ -228,12 +313,15 @@ pub fn run_service<S: InfluenceService>(
     let started = Instant::now();
     let mut all_latencies = Vec::with_capacity(connections * per_connection);
     for connection_id in 0..connections {
+        // Sequential replay has no concurrent arrival clock; the open-loop
+        // schedule is meaningless here and is deliberately ignored.
         all_latencies.extend(drive(
             service,
             num_vertices,
             per_connection,
             config.k,
             stream_seed(config.seed, connection_id),
+            None,
         )?);
     }
     let elapsed_secs = started.elapsed().as_secs_f64();
@@ -242,6 +330,7 @@ pub fn run_service<S: InfluenceService>(
         total_requests: all_latencies.len(),
         elapsed_secs,
         throughput_rps: all_latencies.len() as f64 / elapsed_secs.max(1e-9),
+        p999_micros: SummaryStats::percentile(&all_latencies, 99.9),
         latency_micros: SummaryStats::from_values(&all_latencies),
         server_stats,
     })

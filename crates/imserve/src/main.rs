@@ -3,6 +3,7 @@
 //! ```text
 //! imserve build    --dataset karate --model uc0.1 --pool 100000 --out karate.imx
 //! imserve serve    --index karate.imx --addr 127.0.0.1:7431 --workers 4
+//! imserve serve    --index karate.imx --threaded   # turn-queue fallback front end
 //! imserve query    --addr 127.0.0.1:7431 --estimate 0,33
 //! imserve query    --addr 127.0.0.1:7431 --topk 3 --algorithm greedy
 //! imserve query    --addr 127.0.0.1:7431 --stats
@@ -135,6 +136,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
         Command::Serve {
             index,
             addr,
+            reactor,
             workers,
             cache,
             compact_log_len,
@@ -170,14 +172,33 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 builder = builder.wal(path);
             }
             let engine = Arc::new(builder.build()?);
-            let handle = server::spawn(
-                addr.as_str(),
-                engine,
-                &ServerConfig {
-                    workers,
-                    ..ServerConfig::default()
-                },
-            )?;
+            let handle = if reactor {
+                imserve::reactor::spawn(
+                    addr.as_str(),
+                    engine,
+                    &imserve::ReactorConfig {
+                        compute_threads: workers,
+                        ..imserve::ReactorConfig::default()
+                    },
+                )?
+            } else {
+                server::spawn(
+                    addr.as_str(),
+                    engine,
+                    &ServerConfig {
+                        workers,
+                        ..ServerConfig::default()
+                    },
+                )?
+            };
+            eprintln!(
+                "front end: {}",
+                if reactor {
+                    "reactor (event loop)"
+                } else {
+                    "threaded (turn queue)"
+                }
+            );
             // Printed on stdout so scripts can scrape the resolved port.
             println!("imserve listening on {}", handle.addr());
             // Serve until killed; the acceptor thread owns the listener.
@@ -265,12 +286,14 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             connections,
             requests,
             k,
+            arrival_rps,
         } => {
             let config = LoadtestConfig {
                 connections,
                 requests_per_connection: requests,
                 k,
                 seed: 1,
+                arrival_rps,
             };
             let report = if addrs.len() == 1 {
                 loadtest::run(addrs[0].as_str(), &config)?

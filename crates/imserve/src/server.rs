@@ -1,23 +1,31 @@
-//! The std-only multi-threaded TCP front end.
+//! The std-only threaded TCP front end (the `--threaded` fallback).
 //!
 //! Architecture: one acceptor thread owns the `TcpListener`; accepted
-//! connections are fanned out over an `mpsc` channel to a fixed pool of worker
-//! threads, each of which owns one [`im_core::EstimateScratch`] and serves its
-//! connection to completion (newline-delimited JSON, one response per request
-//! line, in order). Workers share the engine behind an `Arc`; since the index
-//! became mutable, queries take the engine's internal read lock briefly while
-//! `Mutate` requests take the write lock — see `engine` for the locking
+//! connections live in a shared turn queue drained by a fixed pool of worker
+//! threads. A worker takes one connection *per turn* — it drains whatever
+//! complete request lines are buffered, answers them in order, then releases
+//! the connection back to the queue — so `workers` slow or idle clients can
+//! no longer pin the whole pool (the old design parked a worker on one
+//! connection for its lifetime, which is what deadlocked a single-worker
+//! server under the load generator's lingering probe connection). Workers
+//! share the engine behind an `Arc`; see `engine` for the locking
 //! discipline (long selections snapshot the state and hold no lock).
+//!
+//! The event-driven front end in [`crate::reactor`] is the default server;
+//! both front ends answer through the same `answer_line` dialect core, so
+//! their responses are byte-identical for identical request streams.
 
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use crate::engine::QueryEngine;
 use crate::error::ServeError;
+use crate::linebuf::LineBuffer;
 use crate::protocol::{
     self, ErrorKind, FrameEnvelope, Outcome, Request, RequestFrame, Response, ResponseFrame,
     WireError, PROTOCOL_VERSION,
@@ -28,11 +36,10 @@ use crate::protocol::{
 pub struct ServerConfig {
     /// Worker threads serving connections.
     pub workers: usize,
-    /// How long a worker waits for the next request line before dropping the
-    /// connection. Workers are a fixed pool and a connection holds its worker
-    /// until it closes, so without this bound `workers` idle clients would
-    /// pin the whole pool; `None` disables the timeout (trusted clients
-    /// only).
+    /// How long a connection may stay silent before it is dropped. Workers
+    /// time-slice over all open connections, so an idle client costs a queue
+    /// slot (not a worker) until this bound expires; `None` keeps idle
+    /// connections forever (trusted clients only).
     pub idle_timeout: Option<std::time::Duration>,
 }
 
@@ -48,9 +55,9 @@ impl Default for ServerConfig {
 /// A handle to a running server: its bound address and a shutdown switch.
 #[derive(Debug)]
 pub struct ServerHandle {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+    pub(crate) addr: SocketAddr,
+    pub(crate) stop: Arc<AtomicBool>,
+    pub(crate) acceptor: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
@@ -63,7 +70,7 @@ impl ServerHandle {
     /// Stop accepting connections and join the acceptor thread.
     ///
     /// In-flight connections are drained by their workers; workers themselves
-    /// are detached and exit once their channel sender is dropped.
+    /// are detached and exit once the connection queue closes and empties.
     pub fn shutdown(mut self) {
         self.stop.store(true, Ordering::SeqCst);
         // Unblock the acceptor with a wake-up connection.
@@ -71,6 +78,69 @@ impl ServerHandle {
         if let Some(handle) = self.acceptor.take() {
             let _ = handle.join();
         }
+    }
+}
+
+/// One open connection's state while it waits in (or moves through) the turn
+/// queue: the socket, any partial request line read during a previous turn,
+/// and the idle clock.
+struct PooledConnection {
+    stream: TcpStream,
+    lines: LineBuffer,
+    last_activity: Instant,
+}
+
+/// The turn queue shared by the acceptor and the workers.
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+}
+
+struct QueueState {
+    connections: VecDeque<PooledConnection>,
+    /// Set when the acceptor exits; workers drain the queue and then stop.
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(QueueState {
+                connections: VecDeque::new(),
+                closed: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    fn push(&self, connection: PooledConnection) {
+        let mut state = self.state.lock().expect("connection queue poisoned");
+        state.connections.push_back(connection);
+        drop(state);
+        self.available.notify_one();
+    }
+
+    /// Pop the next connection, blocking until one is available. Returns
+    /// `None` once the queue is closed *and* empty (shutdown).
+    fn pop(&self) -> Option<(PooledConnection, usize)> {
+        let mut state = self.state.lock().expect("connection queue poisoned");
+        loop {
+            if let Some(connection) = state.connections.pop_front() {
+                return Some((connection, state.connections.len()));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .expect("connection queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("connection queue poisoned").closed = true;
+        self.available.notify_all();
     }
 }
 
@@ -89,26 +159,13 @@ pub fn spawn(
     let stop = Arc::new(AtomicBool::new(false));
 
     let idle_timeout = config.idle_timeout;
-    let (tx, rx) = mpsc::channel::<TcpStream>();
-    let rx = Arc::new(Mutex::new(rx));
+    let queue = Arc::new(ConnQueue::new());
     for worker_id in 0..workers {
-        let rx = Arc::clone(&rx);
+        let queue = Arc::clone(&queue);
         let engine = Arc::clone(&engine);
         std::thread::Builder::new()
             .name(format!("imserve-worker-{worker_id}"))
-            .spawn(move || {
-                let mut scratch = engine.new_scratch();
-                loop {
-                    // Holding the lock only while receiving keeps sibling
-                    // workers free to pick up the next connection.
-                    let stream = match rx.lock().expect("worker queue poisoned").recv() {
-                        Ok(stream) => stream,
-                        Err(_) => return, // acceptor gone: shut down
-                    };
-                    let _ = stream.set_read_timeout(idle_timeout);
-                    let _ = serve_connection(&engine, stream, &mut scratch);
-                }
-            })
+            .spawn(move || worker_loop(&queue, &engine, idle_timeout))
             .expect("worker thread spawns");
     }
 
@@ -118,17 +175,22 @@ pub fn spawn(
         .spawn(move || {
             for stream in listener.incoming() {
                 if stop_flag.load(Ordering::SeqCst) {
-                    return; // drops tx; workers drain and exit
+                    queue.close();
+                    return;
                 }
                 match stream {
                     Ok(stream) => {
-                        if tx.send(stream).is_err() {
-                            return;
-                        }
+                        let _ = stream.set_nodelay(true);
+                        queue.push(PooledConnection {
+                            stream,
+                            lines: LineBuffer::new(),
+                            last_activity: Instant::now(),
+                        });
                     }
                     Err(_) => continue,
                 }
             }
+            queue.close();
         })
         .expect("acceptor thread spawns");
 
@@ -139,83 +201,162 @@ pub fn spawn(
     })
 }
 
-/// Serve one connection until it closes or idles past the read timeout: read
-/// request lines, write one response line each, flush after every response so
-/// clients can pipeline.
-///
-/// Each line is answered in the dialect it arrived in: an id-tagged v2
-/// [`RequestFrame`] gets an id-matched [`ResponseFrame`] with the typed
-/// error taxonomy; a bare v1 [`Request`] gets a bare [`Response`] (errors
-/// flattened into `Response::Error`). The two dialects are structurally
-/// disjoint on the wire, so detection is just "try v2 first" — and v1
-/// clients keep working against this server unchanged.
-fn serve_connection(
+/// How long a worker pauses after cycling through the whole queue without
+/// finding any readable connection, bounding the poll rate while every
+/// client is idle. New requests wait at most this long plus queue delay.
+const IDLE_PAUSE: Duration = Duration::from_micros(500);
+
+/// One worker: take a connection, serve the requests it has ready, release
+/// it, repeat. Exits when the queue closes and drains.
+fn worker_loop(queue: &ConnQueue, engine: &QueryEngine, idle_timeout: Option<Duration>) {
+    let mut scratch = engine.new_scratch();
+    // Consecutive turns without progress; once it covers the whole queue,
+    // every connection is idle and the worker backs off briefly.
+    let mut fruitless_turns = 0usize;
+    while let Some((mut connection, queued_behind)) = queue.pop() {
+        match serve_turn(engine, &mut connection, &mut scratch) {
+            Ok(progress) => {
+                let expired =
+                    idle_timeout.is_some_and(|limit| connection.last_activity.elapsed() > limit);
+                if expired {
+                    // Idle past the bound: drop the connection (and with it
+                    // its queue slot). Buffered partial lines die with it.
+                    fruitless_turns = 0;
+                    continue;
+                }
+                queue.push(connection);
+                if progress {
+                    fruitless_turns = 0;
+                } else {
+                    fruitless_turns += 1;
+                    if fruitless_turns > queued_behind {
+                        std::thread::sleep(IDLE_PAUSE);
+                        fruitless_turns = 0;
+                    }
+                }
+            }
+            // Closed or broken connection: drop it.
+            Err(_) => fruitless_turns = 0,
+        }
+    }
+}
+
+/// Serve one turn on `connection`: drain readable bytes without blocking,
+/// answer every complete request line in order, and report whether anything
+/// happened. `Err` means the connection is finished (EOF or I/O/framing
+/// failure) and must not be requeued.
+fn serve_turn(
     engine: &QueryEngine,
-    stream: TcpStream,
+    connection: &mut PooledConnection,
     scratch: &mut im_core::EstimateScratch,
-) -> Result<(), ServeError> {
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
+) -> Result<bool, ServeError> {
+    // Probe without blocking so an idle connection costs this worker nothing
+    // but the probe; the socket is restored to blocking before replies are
+    // written (a slow-reading client throttles only its own turn).
+    connection.stream.set_nonblocking(true)?;
+    let mut chunk = [0u8; 8192];
+    let mut saw_eof = false;
+    let mut read_any = false;
+    loop {
+        match connection.stream.read(&mut chunk) {
+            Ok(0) => {
+                saw_eof = true;
+                break;
+            }
+            Ok(n) => {
+                connection.lines.extend(&chunk[..n]);
+                read_any = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    connection.stream.set_nonblocking(false)?;
+    if read_any {
+        connection.last_activity = Instant::now();
+    }
+
+    let mut answered = false;
+    while let Some(line) = connection.lines.next_line() {
+        let line =
+            line.map_err(|_| ServeError::Protocol("request line is not valid UTF-8".to_string()))?;
         if line.trim().is_empty() {
             continue;
         }
-        let reply = match protocol::decode::<RequestFrame>(&line) {
-            Ok(frame) => {
-                let body = if frame.v == PROTOCOL_VERSION {
-                    match engine.handle_service(&frame.req, scratch) {
-                        Ok(response) => Outcome::Ok(response),
-                        Err(e) => Outcome::Err(WireError::from_service(&e)),
-                    }
-                } else {
-                    Outcome::Err(WireError {
-                        kind: ErrorKind::Unsupported,
-                        message: format!(
-                            "frame version {} not supported (this server speaks \
-                             {PROTOCOL_VERSION})",
-                            frame.v
-                        ),
-                    })
-                };
-                protocol::encode(&ResponseFrame {
-                    v: PROTOCOL_VERSION,
-                    id: frame.id,
-                    body,
-                })?
-            }
-            // Not a complete v2 frame. If the version/id envelope still
-            // parses, the line *is* v2 with an unrecognized or malformed
-            // request payload (e.g. a newer client's variant): answer an
-            // id-tagged error so a pipelining client stays in sync.
-            // Otherwise fall back to the v1 dialect.
-            Err(frame_error) => match protocol::decode::<FrameEnvelope>(&line) {
-                Ok(envelope) => protocol::encode(&ResponseFrame {
-                    v: PROTOCOL_VERSION,
-                    id: envelope.id,
-                    body: Outcome::Err(WireError {
-                        kind: ErrorKind::Unsupported,
-                        message: format!(
-                            "unrecognized or malformed v2 request payload: {frame_error}"
-                        ),
-                    }),
-                })?,
-                Err(_) => {
-                    let response = match protocol::decode::<Request>(&line) {
-                        Ok(request) => engine.handle(&request, scratch),
-                        Err(e) => Response::Error {
-                            message: e.to_string(),
-                        },
-                    };
-                    protocol::encode(&response)?
-                }
-            },
-        };
-        writer.write_all(reply.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        let reply = answer_line(engine, &line, scratch)?;
+        connection.stream.write_all(reply.as_bytes())?;
+        connection.stream.write_all(b"\n")?;
+        answered = true;
     }
-    Ok(())
+    if saw_eof {
+        return Err(ServeError::Protocol("connection closed".to_string()));
+    }
+    Ok(read_any || answered)
+}
+
+/// Answer one request line in the dialect it arrived in — the shared core of
+/// both front ends (threaded pool and reactor), which is what makes their
+/// responses byte-identical.
+///
+/// An id-tagged v2 [`RequestFrame`] gets an id-matched [`ResponseFrame`]
+/// with the typed error taxonomy; a bare v1 [`Request`] gets a bare
+/// [`Response`] (errors flattened into `Response::Error`). The two dialects
+/// are structurally disjoint on the wire, so detection is just "try v2
+/// first" — and v1 clients keep working against either server unchanged.
+pub(crate) fn answer_line(
+    engine: &QueryEngine,
+    line: &str,
+    scratch: &mut im_core::EstimateScratch,
+) -> Result<String, ServeError> {
+    match protocol::decode::<RequestFrame>(line) {
+        Ok(frame) => {
+            let body = if frame.v == PROTOCOL_VERSION {
+                match engine.handle_service(&frame.req, scratch) {
+                    Ok(response) => Outcome::Ok(response),
+                    Err(e) => Outcome::Err(WireError::from_service(&e)),
+                }
+            } else {
+                Outcome::Err(WireError {
+                    kind: ErrorKind::Unsupported,
+                    message: format!(
+                        "frame version {} not supported (this server speaks \
+                         {PROTOCOL_VERSION})",
+                        frame.v
+                    ),
+                })
+            };
+            protocol::encode(&ResponseFrame {
+                v: PROTOCOL_VERSION,
+                id: frame.id,
+                body,
+            })
+        }
+        // Not a complete v2 frame. If the version/id envelope still parses,
+        // the line *is* v2 with an unrecognized or malformed request payload
+        // (e.g. a newer client's variant): answer an id-tagged error so a
+        // pipelining client stays in sync. Otherwise fall back to the v1
+        // dialect.
+        Err(frame_error) => match protocol::decode::<FrameEnvelope>(line) {
+            Ok(envelope) => protocol::encode(&ResponseFrame {
+                v: PROTOCOL_VERSION,
+                id: envelope.id,
+                body: Outcome::Err(WireError {
+                    kind: ErrorKind::Unsupported,
+                    message: format!("unrecognized or malformed v2 request payload: {frame_error}"),
+                }),
+            }),
+            Err(_) => {
+                let response = match protocol::decode::<Request>(line) {
+                    Ok(request) => engine.handle(&request, scratch),
+                    Err(e) => Response::Error {
+                        message: e.to_string(),
+                    },
+                };
+                protocol::encode(&response)
+            }
+        },
+    }
 }
 
 #[cfg(test)]
@@ -273,6 +414,40 @@ mod tests {
         let response = crate::client::query_once(addr, &Request::Ping).unwrap();
         assert_eq!(response, Response::Pong);
         drop(idle);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn one_worker_interleaves_many_live_connections() {
+        // The requeue design's defining property: a single worker serves
+        // several concurrently-open connections request by request, instead
+        // of pinning the first one to completion.
+        let engine = Arc::new(
+            QueryEngine::builder(build_dataset_index("karate", "uc0.1", 500, 3).unwrap())
+                .build()
+                .unwrap(),
+        );
+        let handle = spawn(
+            "127.0.0.1:0",
+            Arc::clone(&engine),
+            &ServerConfig {
+                workers: 1,
+                idle_timeout: Some(std::time::Duration::from_secs(5)),
+            },
+        )
+        .unwrap();
+        let addr = handle.addr();
+        let mut connections: Vec<crate::client::Connection> = (0..4)
+            .map(|_| crate::client::Connection::open(addr).unwrap())
+            .collect();
+        // Round-robin requests: every connection stays open while every
+        // other one is served — impossible under connection-pinned workers.
+        for _round in 0..3 {
+            for connection in &mut connections {
+                let response = connection.roundtrip(&Request::Ping).unwrap();
+                assert_eq!(response, Response::Pong);
+            }
+        }
         handle.shutdown();
     }
 }

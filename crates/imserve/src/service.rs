@@ -252,6 +252,18 @@ pub trait InfluenceService {
 
     /// Serving counters and the epoch timeline.
     fn stats(&mut self) -> ServiceResult<ServiceStats>;
+
+    /// Bound how long any single call on this service may wait on its
+    /// backend. In-process backends answer synchronously and ignore the
+    /// deadline (the default no-op); [`crate::client::RemoteService`] maps
+    /// it onto socket timeouts, and [`crate::shard::ShardedService`]
+    /// propagates it to every shard so one dead shard fails the fan-out
+    /// loudly (as a typed [`ServiceError::Shard`]) instead of hanging the
+    /// router. `None` removes the bound.
+    fn set_deadline(&mut self, deadline: Option<std::time::Duration>) -> ServiceResult<()> {
+        let _ = deadline;
+        Ok(())
+    }
 }
 
 impl<S: InfluenceService + ?Sized> InfluenceService for Box<S> {
@@ -275,6 +287,9 @@ impl<S: InfluenceService + ?Sized> InfluenceService for Box<S> {
     }
     fn stats(&mut self) -> ServiceResult<ServiceStats> {
         (**self).stats()
+    }
+    fn set_deadline(&mut self, deadline: Option<std::time::Duration>) -> ServiceResult<()> {
+        (**self).set_deadline(deadline)
     }
 }
 
@@ -351,19 +366,24 @@ impl InfluenceService for LocalService {
 pub enum BackendSpec {
     /// In-process [`LocalService`] over one engine.
     Local,
-    /// [`crate::client::RemoteService`] over a TCP server (spawned on an
-    /// ephemeral port by harnesses that own the index).
+    /// [`crate::client::RemoteService`] over a threaded TCP server (spawned
+    /// on an ephemeral port by harnesses that own the index).
     Remote,
+    /// [`crate::client::RemoteService`] over the event-driven reactor front
+    /// end ([`crate::reactor`]) on an ephemeral port.
+    RemoteReactor,
     /// [`crate::shard::ShardedService`] over this many local pool shards.
     Sharded(usize),
 }
 
 impl BackendSpec {
-    /// Parse the CLI spelling: `local`, `remote` or `sharded:N`.
+    /// Parse the CLI spelling: `local`, `remote`, `remote-reactor` or
+    /// `sharded:N`.
     pub fn parse(s: &str) -> Result<Self, ServiceError> {
         match s {
             "local" => return Ok(BackendSpec::Local),
             "remote" => return Ok(BackendSpec::Remote),
+            "remote-reactor" => return Ok(BackendSpec::RemoteReactor),
             _ => {}
         }
         if let Some(n) = s.strip_prefix("sharded:") {
@@ -378,7 +398,7 @@ impl BackendSpec {
             return Ok(BackendSpec::Sharded(shards));
         }
         Err(ServiceError::Query(format!(
-            "unknown backend {s:?} (expected local, remote or sharded:N)"
+            "unknown backend {s:?} (expected local, remote, remote-reactor or sharded:N)"
         )))
     }
 }
@@ -388,6 +408,7 @@ impl std::fmt::Display for BackendSpec {
         match self {
             BackendSpec::Local => write!(f, "local"),
             BackendSpec::Remote => write!(f, "remote"),
+            BackendSpec::RemoteReactor => write!(f, "remote-reactor"),
             BackendSpec::Sharded(n) => write!(f, "sharded:{n}"),
         }
     }
@@ -401,6 +422,11 @@ mod tests {
     fn backend_specs_parse() {
         assert_eq!(BackendSpec::parse("local").unwrap(), BackendSpec::Local);
         assert_eq!(BackendSpec::parse("remote").unwrap(), BackendSpec::Remote);
+        assert_eq!(
+            BackendSpec::parse("remote-reactor").unwrap(),
+            BackendSpec::RemoteReactor
+        );
+        assert_eq!(BackendSpec::RemoteReactor.to_string(), "remote-reactor");
         assert_eq!(
             BackendSpec::parse("sharded:3").unwrap(),
             BackendSpec::Sharded(3)

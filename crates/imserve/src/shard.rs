@@ -38,6 +38,20 @@
 //! The router is itself an [`InfluenceService`], so sharded deployments nest
 //! (shards of shards) and every caller — CLI, load generator, experiment
 //! harness — works unchanged.
+//!
+//! **Concurrent fan-out.** Per-shard requests are issued concurrently (one
+//! scoped thread per shard; remote shards overlap their network round trips,
+//! local shards overlap their pool scans on a multi-core host) and the
+//! results are merged in shard-index order, so the merged integers — and
+//! therefore the derived spreads and selections — are byte-identical to the
+//! sequential fan-out and to a single-pool backend. Failure semantics are
+//! typed: a shard that rejects the *request* (a [`ServiceError::Query`] or
+//! [`ServiceError::Mutation`]) fails the fan-out with that same error, since
+//! every shard rejects deterministically alike; a shard that breaks
+//! *mid-fan-out* (dropped connection, timeout, protocol violation) surfaces
+//! as [`ServiceError::Shard`] naming the shard index. Set a per-shard
+//! deadline with [`InfluenceService::set_deadline`] so a dead shard degrades
+//! the answer loudly instead of hanging the router.
 
 use imdyn::EpochReport;
 use imgraph::GraphDelta;
@@ -67,7 +81,7 @@ pub struct ShardedService<S: InfluenceService> {
     memo: Option<(usize, TopKAlgorithm, u64, TopKSelection)>,
 }
 
-impl<S: InfluenceService> ShardedService<S> {
+impl<S: InfluenceService + Send> ShardedService<S> {
     /// Assemble a router over `shards`, validating that they serve the same
     /// graph at the same epoch (anything else means the backends were not
     /// built from one shard layout, or have diverged).
@@ -180,14 +194,69 @@ impl<S: InfluenceService> ShardedService<S> {
         self.shards.len()
     }
 
-    /// Re-read every shard's epoch, verify they are still in lockstep, and
-    /// record the common value (one cheap `stats` round per shard). Makes
-    /// out-of-band mutations visible — and the `top_k` memo safe — at the
-    /// cost of the verification round.
+    /// Run `op` on every shard concurrently (one scoped thread per shard;
+    /// the single-shard case stays inline) and collect the per-shard results
+    /// in shard-index order — the order every merge below depends on.
+    fn fan_out<T: Send>(
+        shards: &mut [S],
+        op: impl Fn(&mut S) -> ServiceResult<T> + Sync,
+    ) -> Vec<ServiceResult<T>> {
+        if shards.len() == 1 {
+            return vec![op(&mut shards[0])];
+        }
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .map(|shard| {
+                    let op = &op;
+                    scope.spawn(move || op(shard))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle.join().unwrap_or_else(|_| {
+                        Err(ServiceError::Backend(
+                            "shard fan-out worker panicked".into(),
+                        ))
+                    })
+                })
+                .collect()
+        })
+    }
+
+    /// Type a shard's fan-out failure. Request-level rejections (`Query`,
+    /// `Mutation`) pass through untouched — every shard rejects an invalid
+    /// request deterministically alike, so the caller sees the same typed
+    /// error a single-pool backend returns. Anything else means shard `i`
+    /// itself broke (dropped connection, deadline expiry, protocol
+    /// violation): the union invariant is gone and the error says which
+    /// shard took it.
+    fn shard_error(i: usize, e: ServiceError) -> ServiceError {
+        match e {
+            ServiceError::Query(_) | ServiceError::Mutation(_) | ServiceError::Shard(_) => e,
+            other => ServiceError::Shard(format!("shard {i} failed during fan-out: {other}")),
+        }
+    }
+
+    /// Unwrap a fan-out's results, failing on the lowest-indexed shard error.
+    fn merge_results<T>(results: Vec<ServiceResult<T>>) -> ServiceResult<Vec<T>> {
+        let mut values = Vec::with_capacity(results.len());
+        for (i, result) in results.into_iter().enumerate() {
+            values.push(result.map_err(|e| Self::shard_error(i, e))?);
+        }
+        Ok(values)
+    }
+
+    /// Re-read every shard's epoch (concurrently), verify they are still in
+    /// lockstep, and record the common value (one cheap `stats` round per
+    /// shard). Makes out-of-band mutations visible — and the `top_k` memo
+    /// safe — at the cost of the verification round.
     fn refresh_epoch(&mut self) -> ServiceResult<u64> {
+        let all = Self::merge_results(Self::fan_out(&mut self.shards, |shard| shard.stats()))?;
         let mut epoch: Option<u64> = None;
-        for (i, shard) in self.shards.iter_mut().enumerate() {
-            let observed = shard.stats()?.epoch;
+        for (i, stats) in all.iter().enumerate() {
+            let observed = stats.epoch;
             match epoch {
                 None => epoch = Some(observed),
                 Some(e) if e == observed => {}
@@ -205,14 +274,18 @@ impl<S: InfluenceService> ShardedService<S> {
     }
 
     /// Sum every shard's gain vector elementwise (one greedy round over the
-    /// union pool).
+    /// union pool). The vectors are fetched concurrently and summed in
+    /// shard-index order; integer addition commutes, so the sums equal the
+    /// sequential ones bit for bit.
     fn summed_gains(&mut self, selected: &[u32]) -> ServiceResult<GainVector> {
         let n = self.info.num_vertices;
+        let all = Self::merge_results(Self::fan_out(&mut self.shards, |shard| {
+            shard.gains(selected)
+        }))?;
         let mut sum = vec![0u64; n];
         let mut covered = 0u64;
         let mut pool = 0u64;
-        for (i, shard) in self.shards.iter_mut().enumerate() {
-            let gv = shard.gains(selected)?;
+        for (i, gv) in all.iter().enumerate() {
             if gv.gains.len() != n {
                 return Err(ServiceError::Shard(format!(
                     "shard {i} answered {} gains for {n} vertices",
@@ -279,16 +352,18 @@ impl<S: InfluenceService> ShardedService<S> {
     }
 }
 
-impl<S: InfluenceService> InfluenceService for ShardedService<S> {
+impl<S: InfluenceService + Send> InfluenceService for ShardedService<S> {
     fn info(&mut self) -> ServiceResult<ServiceInfo> {
         Ok(self.info.clone())
     }
 
     fn estimate(&mut self, seeds: &[u32]) -> ServiceResult<SpreadEstimate> {
+        let all = Self::merge_results(Self::fan_out(&mut self.shards, |shard| {
+            shard.estimate(seeds)
+        }))?;
         let mut covered = 0u64;
         let mut pool = 0u64;
-        for shard in &mut self.shards {
-            let estimate = shard.estimate(seeds)?;
+        for estimate in &all {
             covered += estimate.covered;
             pool += estimate.pool;
         }
@@ -335,27 +410,45 @@ impl<S: InfluenceService> InfluenceService for ShardedService<S> {
     }
 
     fn mutate_batch(&mut self, deltas: &[GraphDelta]) -> ServiceResult<MutationOutcome> {
-        // Broadcast in shard order. Shard-local batches are atomic, so the
-        // only torn state is *between* shards: if shard i rejects after
-        // 0..i-1 applied, the union invariant is broken and we say so loudly
-        // instead of returning a mergeable-looking answer.
+        // Broadcast to every shard concurrently. Shard-local batches are
+        // atomic, so the only torn state is *between* shards: if some shards
+        // applied the batch and others rejected it, the union invariant is
+        // broken and we say so loudly instead of returning a
+        // mergeable-looking answer. If *every* shard rejected, nothing was
+        // applied anywhere and the batch is simply invalid — the caller sees
+        // shard 0's error untouched, exactly as a single-pool backend would
+        // report it.
+        let results = Self::fan_out(&mut self.shards, |shard| shard.mutate_batch(deltas));
+        if results.iter().all(Result::is_err) {
+            let first = results.into_iter().next().expect("at least one shard");
+            return Err(first.expect_err("all results are errors"));
+        }
+        if let Some((i, Err(e))) = results
+            .iter()
+            .enumerate()
+            .find(|(_, r)| r.is_err())
+            .map(|(i, r)| (i, r.as_ref()))
+        {
+            // Partial application: the epochs have diverged, so the memo
+            // (keyed by the lockstep epoch) must not survive.
+            self.memo = None;
+            return Err(ServiceError::Shard(format!(
+                "broadcast torn: shard {i} rejected the batch ({e}) while other shards \
+                 applied it; shards have diverged and must be re-synchronized"
+            )));
+        }
+        let outcomes: Vec<MutationOutcome> =
+            results.into_iter().map(|r| r.expect("no errors")).collect();
         let mut first: Option<MutationOutcome> = None;
         let mut resampled = 0usize;
         let mut compacted = false;
-        for (i, shard) in self.shards.iter_mut().enumerate() {
-            let outcome = shard.mutate_batch(deltas).map_err(|e| {
-                if i == 0 {
-                    // Nothing applied anywhere: the batch is simply invalid.
-                    e
-                } else {
-                    ServiceError::Shard(format!(
-                        "broadcast torn: shards 0..{i} applied the batch but shard {i} \
-                         rejected it ({e}); shards have diverged and must be re-synchronized"
-                    ))
-                }
-            })?;
+        for (i, outcome) in outcomes.into_iter().enumerate() {
             match &first {
-                None => first = Some(outcome),
+                None => {
+                    resampled += outcome.resampled;
+                    compacted |= outcome.compacted;
+                    first = Some(outcome);
+                }
                 Some(f) => {
                     if outcome.epoch != f.epoch || outcome.applied != f.applied {
                         return Err(ServiceError::Shard(format!(
@@ -364,10 +457,10 @@ impl<S: InfluenceService> InfluenceService for ShardedService<S> {
                             outcome.epoch, outcome.applied, f.epoch, f.applied
                         )));
                     }
+                    resampled += outcome.resampled;
+                    compacted |= outcome.compacted;
                 }
             }
-            resampled += outcome.resampled;
-            compacted |= outcome.compacted;
         }
         let first = first.expect("at least one shard");
         self.epoch = first.epoch;
@@ -385,10 +478,10 @@ impl<S: InfluenceService> InfluenceService for ShardedService<S> {
     }
 
     fn compact(&mut self) -> ServiceResult<CompactionReport> {
+        let all = Self::merge_results(Self::fan_out(&mut self.shards, |shard| shard.compact()))?;
         let mut epoch: Option<u64> = None;
         let mut folded = 0usize;
-        for (i, shard) in self.shards.iter_mut().enumerate() {
-            let report = shard.compact()?;
+        for (i, report) in all.into_iter().enumerate() {
             match epoch {
                 None => epoch = Some(report.epoch),
                 Some(e) if e == report.epoch => {}
@@ -407,11 +500,20 @@ impl<S: InfluenceService> InfluenceService for ShardedService<S> {
         })
     }
 
+    fn set_deadline(&mut self, deadline: Option<std::time::Duration>) -> ServiceResult<()> {
+        // Propagate to every shard so a dead backend fails its fan-out leg
+        // within the deadline instead of hanging the whole router.
+        Self::merge_results(Self::fan_out(&mut self.shards, |shard| {
+            shard.set_deadline(deadline)
+        }))?;
+        Ok(())
+    }
+
     fn stats(&mut self) -> ServiceResult<ServiceStats> {
+        let all = Self::merge_results(Self::fan_out(&mut self.shards, |shard| shard.stats()))?;
         let mut merged: Option<ServiceStats> = None;
-        let mut shard_reports: Vec<EpochReport> = Vec::with_capacity(self.shards.len());
-        for (i, shard) in self.shards.iter_mut().enumerate() {
-            let stats = shard.stats()?;
+        let mut shard_reports: Vec<EpochReport> = Vec::with_capacity(all.len());
+        for (i, stats) in all.into_iter().enumerate() {
             shard_reports.push(EpochReport {
                 epoch: stats.epoch,
                 snapshot_epoch: stats.snapshot_epoch,

@@ -145,6 +145,7 @@ fn loadtest_runs_against_a_live_server() {
             requests_per_connection: 40,
             k: 2,
             seed: 5,
+            arrival_rps: None,
         },
     )
     .unwrap();

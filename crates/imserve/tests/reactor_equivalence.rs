@@ -1,0 +1,195 @@
+//! Front-end interchangeability: the event-driven reactor and the threaded
+//! turn-queue server answer the same wire bytes for the same request lines.
+//!
+//! Both front ends route every complete line through the same dialect core
+//! (`answer_line`), so this suite pins the observable contract: per
+//! connection, a deterministic script mixing bare v1 frames, id-tagged v2
+//! frames and pipelined bursts must come back **byte-identical** from both
+//! servers (engines built from identical artifacts), in request order, under
+//! concurrent connections. Stats and mutations are deliberately excluded
+//! from the scripts — request counters and epochs depend on cross-connection
+//! interleaving, which no front end can (or should) pin.
+//!
+//! The suite also exercises the client's non-blocking `send`/`poll_response`
+//! pair against the reactor: many frames in flight on one connection, replies
+//! drained incrementally without blocking.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use imserve::client::ServiceConnection;
+use imserve::engine::QueryEngine;
+use imserve::index::build_dataset_index;
+use imserve::protocol::{self, Request, RequestFrame, Response, TopKAlgorithm, PROTOCOL_VERSION};
+use imserve::reactor;
+use imserve::server::{self, ServerConfig};
+use imserve::{ReactorConfig, ServerHandle};
+
+const POOL: usize = 2_000;
+const SEED: u64 = 7;
+const CONNECTIONS: usize = 8;
+const KARATE_N: u32 = 34;
+
+fn fresh_engine() -> Arc<QueryEngine> {
+    Arc::new(
+        QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
+            .build()
+            .unwrap(),
+    )
+}
+
+/// Connection `c`'s deterministic request script: raw wire lines mixing the
+/// v1 and v2 dialects.
+fn script(c: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let c32 = c as u32;
+    for i in 0..12u32 {
+        let line = match i % 4 {
+            0 => protocol::encode(&Request::Estimate {
+                seeds: vec![(c32 * 5 + i) % KARATE_N],
+            })
+            .unwrap(),
+            1 => protocol::encode(&RequestFrame {
+                v: PROTOCOL_VERSION,
+                id: u64::from(i) + 1,
+                req: Request::Estimate {
+                    seeds: vec![(c32 + i) % KARATE_N, (c32 * 3 + 7) % KARATE_N],
+                },
+            })
+            .unwrap(),
+            2 => protocol::encode(&RequestFrame {
+                v: PROTOCOL_VERSION,
+                id: u64::from(i) + 100,
+                req: Request::TopK {
+                    k: 1 + c % 3,
+                    algorithm: if i % 8 == 2 {
+                        TopKAlgorithm::Greedy
+                    } else {
+                        TopKAlgorithm::SingletonRank
+                    },
+                },
+            })
+            .unwrap(),
+            _ => protocol::encode(&Request::Info).unwrap(),
+        };
+        lines.push(line);
+    }
+    lines
+}
+
+/// Send the whole script as one pipelined burst and read back one response
+/// line per request line, in order.
+fn exchange(addr: SocketAddr, lines: &[String]) -> Vec<String> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut burst = lines.join("\n");
+    burst.push('\n');
+    stream.write_all(burst.as_bytes()).unwrap();
+    stream.flush().unwrap();
+    let mut reader = BufReader::new(stream);
+    (0..lines.len())
+        .map(|_| {
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            assert!(line.ends_with('\n'), "server answered a complete line");
+            line.truncate(line.len() - 1);
+            line
+        })
+        .collect()
+}
+
+/// Run every connection's script concurrently against `addr`, returning the
+/// per-connection response transcripts.
+fn run_scripts(addr: SocketAddr) -> Vec<Vec<String>> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONNECTIONS)
+            .map(|c| scope.spawn(move || exchange(addr, &script(c))))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+#[test]
+fn reactor_and_threaded_front_ends_answer_byte_identically() {
+    let threaded = server::spawn(
+        "127.0.0.1:0",
+        fresh_engine(),
+        &ServerConfig {
+            workers: 2,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let reactor = reactor::spawn(
+        "127.0.0.1:0",
+        fresh_engine(),
+        &ReactorConfig {
+            compute_threads: 2,
+            ..ReactorConfig::default()
+        },
+    )
+    .unwrap();
+
+    let from_threaded = run_scripts(threaded.addr());
+    let from_reactor = run_scripts(reactor.addr());
+
+    for (c, (a, b)) in from_threaded.iter().zip(&from_reactor).enumerate() {
+        assert_eq!(a.len(), b.len(), "connection {c} answer count");
+        for (i, (ta, tb)) in a.iter().zip(b).enumerate() {
+            assert_eq!(ta, tb, "connection {c}, response {i} diverged");
+        }
+    }
+
+    shutdown(threaded);
+    shutdown(reactor);
+}
+
+fn shutdown(handle: ServerHandle) {
+    handle.shutdown();
+}
+
+#[test]
+fn poll_response_drains_pipelined_frames_in_order() {
+    let handle = reactor::spawn(
+        "127.0.0.1:0",
+        fresh_engine(),
+        &ReactorConfig {
+            compute_threads: 2,
+            ..ReactorConfig::default()
+        },
+    )
+    .unwrap();
+    let mut connection = ServiceConnection::connect(handle.addr()).unwrap();
+
+    // Put ten frames in flight without reading a single reply.
+    let depth = 10usize;
+    let mut sent = Vec::with_capacity(depth);
+    for i in 0..depth {
+        let id = connection
+            .send(&Request::Estimate {
+                seeds: vec![i as u32 % KARATE_N],
+            })
+            .unwrap();
+        sent.push(id);
+    }
+    connection.flush().unwrap();
+
+    // Drain with the non-blocking poll: every reply arrives, ids in send
+    // order (the reactor re-serializes each connection's replies).
+    let mut received = Vec::with_capacity(depth);
+    while received.len() < depth {
+        match connection.poll_response().unwrap() {
+            Some((id, outcome)) => {
+                let response = outcome.unwrap();
+                assert!(matches!(response, Response::Estimate { .. }));
+                received.push(id);
+            }
+            None => std::thread::sleep(std::time::Duration::from_millis(1)),
+        }
+    }
+    assert_eq!(received, sent, "replies drain in request order");
+
+    // An idle poll reports "nothing yet" instead of blocking or erroring.
+    assert!(connection.poll_response().unwrap().is_none());
+    handle.shutdown();
+}

@@ -514,6 +514,7 @@ fn loadtest_completes_against_a_single_worker_server() {
             requests_per_connection: 20,
             k: 2,
             seed: 1,
+            arrival_rps: None,
         },
     )
     .unwrap();
