@@ -75,6 +75,24 @@ pub struct MaintenanceStats {
     pub resampled_since_compaction: u64,
 }
 
+impl MaintenanceStats {
+    /// Visit every counter as a `(name, value)` pair, in declaration order.
+    /// The names are stable identifiers (snake_case field names) — metric
+    /// exporters mirror them without hand-listing the fields.
+    pub fn for_each(&self, mut f: impl FnMut(&'static str, u64)) {
+        f("deltas_applied", self.deltas_applied);
+        f("sets_resampled", self.sets_resampled);
+        f("attribute_patches", self.attribute_patches);
+        f("batches_applied", self.batches_applied);
+        f("csr_materializations", self.csr_materializations);
+        f("compactions", self.compactions);
+        f(
+            "resampled_since_compaction",
+            self.resampled_since_compaction,
+        );
+    }
+}
+
 /// What one [`DynamicOracle::apply`] call did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ApplyOutcome {

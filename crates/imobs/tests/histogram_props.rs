@@ -1,0 +1,118 @@
+//! Correctness of the log₂ histogram: exact bucket boundaries, lossless
+//! concurrent recording, snapshot isolation, and — property-tested — the
+//! one-bucket quantile bound that makes the scraped percentiles honest.
+
+use proptest::prelude::*;
+
+use imobs::{bucket_index, bucket_lower_bound, bucket_upper_bound, Histogram, HISTOGRAM_BUCKETS};
+
+#[test]
+fn bucket_boundaries_are_exact_at_every_power_of_two() {
+    // The zero bucket holds exactly the value 0.
+    assert_eq!(bucket_index(0), 0);
+    assert_eq!(bucket_lower_bound(0), 0);
+    assert_eq!(bucket_upper_bound(0), 0);
+    // Bucket i (i ≥ 1) is the half-open decade [2^(i-1), 2^i): both edges of
+    // every decade land where the bound functions say they do.
+    for i in 1..64usize {
+        assert_eq!(bucket_index(bucket_lower_bound(i)), i, "lower edge of {i}");
+        assert_eq!(bucket_index(bucket_upper_bound(i)), i, "upper edge of {i}");
+        assert_eq!(bucket_upper_bound(i) + 1, bucket_lower_bound(i + 1));
+    }
+    assert_eq!(bucket_index(1), 1);
+    assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+}
+
+#[test]
+fn concurrent_recording_loses_no_samples() {
+    let histogram = Histogram::new();
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 20_000;
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let histogram = &histogram;
+            scope.spawn(move || {
+                for i in 0..PER_THREAD {
+                    // Distinct per-thread value streams spanning many buckets.
+                    histogram.record((t + 1) * i % 4096);
+                }
+            });
+        }
+    });
+    let snapshot = histogram.snapshot();
+    assert_eq!(snapshot.count, THREADS * PER_THREAD);
+    assert_eq!(
+        snapshot.buckets.iter().sum::<u64>(),
+        THREADS * PER_THREAD,
+        "every sample must land in exactly one bucket"
+    );
+    let expected_sum: u64 = (0..THREADS)
+        .flat_map(|t| (0..PER_THREAD).map(move |i| (t + 1) * i % 4096))
+        .sum();
+    assert_eq!(snapshot.sum, expected_sum);
+}
+
+#[test]
+fn snapshots_are_isolated_from_later_records() {
+    let histogram = Histogram::new();
+    histogram.record(10);
+    histogram.record(1000);
+    let frozen = histogram.snapshot();
+    assert_eq!(frozen.count, 2);
+    histogram.record(7);
+    histogram.record(7);
+    // The snapshot is an owned copy; only the live histogram moved on.
+    assert_eq!(frozen.count, 2);
+    assert_eq!(frozen.buckets.iter().sum::<u64>(), 2);
+    let live = histogram.snapshot();
+    assert_eq!(live.count, 4);
+    assert_eq!(live.sum, frozen.sum + 14);
+}
+
+/// The true `q`-quantile under the same rank convention the histogram uses:
+/// the sample at 1-based rank `ceil(q·n)` (at least 1) in sorted order.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The histogram quantile bounds the true quantile to within one log₂
+    /// bucket: it is the inclusive upper bound of the bucket holding the
+    /// true quantile sample, so estimate ≥ truth and both share a bucket.
+    #[test]
+    fn quantile_bounds_true_quantile_within_one_bucket(
+        mut values in proptest::collection::vec(0u64..1_000_000, 1..400),
+        q_permille in 0u64..=1000,
+    ) {
+        let q = q_permille as f64 / 1000.0;
+        let histogram = Histogram::new();
+        for &v in &values {
+            histogram.record(v);
+        }
+        values.sort_unstable();
+        let truth = true_quantile(&values, q);
+        let estimate = histogram.snapshot().quantile(q);
+        prop_assert!(estimate >= truth, "estimate {estimate} < true quantile {truth}");
+        prop_assert_eq!(
+            bucket_index(estimate),
+            bucket_index(truth),
+            "estimate must stay in the true quantile's bucket"
+        );
+        prop_assert_eq!(estimate, bucket_upper_bound(bucket_index(truth)));
+    }
+
+    /// Count and sum always mirror the recorded stream exactly.
+    #[test]
+    fn count_and_sum_are_exact(values in proptest::collection::vec(0u64..1_000_000, 0..200)) {
+        let histogram = Histogram::new();
+        for &v in &values {
+            histogram.record(v);
+        }
+        prop_assert_eq!(histogram.count(), values.len() as u64);
+        prop_assert_eq!(histogram.sum(), values.iter().sum::<u64>());
+    }
+}

@@ -57,6 +57,13 @@ pub enum Command {
         /// before they are acknowledged and replayed on startup, so they
         /// survive a crash between index saves.
         wal: Option<String>,
+        /// Optional bind address of the Prometheus-style plaintext metrics
+        /// endpoint (`None` disables scraping; the wire `Metrics` request
+        /// still works).
+        metrics_addr: Option<String>,
+        /// Slow-query log threshold in microseconds: request spans at or
+        /// above it land in the ring buffer rendered with the scrape.
+        slow_micros: u64,
     },
     /// `imserve query`: one-shot client request. With several `--addr`s the
     /// query routes through a `ShardedService` over all of them.
@@ -133,6 +140,8 @@ pub enum QuerySpec {
     Info,
     /// `--stats`
     Stats,
+    /// `--metrics`
+    Metrics,
 }
 
 /// A parse failure: human-readable, printed with usage by `main`.
@@ -150,8 +159,8 @@ impl std::error::Error for CliError {}
 /// One-line usage summary per subcommand.
 pub const USAGE: &str = "usage:
   imserve build    --dataset <name> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] [--deltas <script>] [--shard i/N] --out <path>
-  imserve serve    --index <path> [--addr host:port] [--reactor | --threaded] [--workers N] [--cache N] [--compact-log-len N] [--compact-dirty F] [--wal <path>]
-  imserve query    --addr host:port [--addr …] [--v1] (--estimate v1,v2,… | --topk K [--algorithm greedy|singleton] | --info | --stats)
+  imserve serve    --index <path> [--addr host:port] [--reactor | --threaded] [--workers N] [--cache N] [--compact-log-len N] [--compact-dirty F] [--wal <path>] [--metrics-addr host:port] [--slow-micros N]
+  imserve query    --addr host:port [--addr …] [--v1] (--estimate v1,v2,… | --topk K [--algorithm greedy|singleton] | --info | --stats | --metrics)
   imserve mutate   --addr host:port [--addr …] [--batch] (--insert u,v,p | --delete u,v | --setp u,v,p | --file <script>)…
   imserve compact  (--addr host:port | --index <path> --out <path>)
   imserve loadtest --addr host:port [--addr …] [--connections N] [--requests N] [--k K] [--arrival-rps R]
@@ -161,7 +170,8 @@ delta scripts hold one JSON delta per line, e.g. {\"InsertEdge\":{\"source\":0,\
 --shard i/N builds shard i of a global pool; several --addr values route queries through a sharded service
 --wal <path> makes accepted mutations crash-durable between index saves; --v1 speaks the legacy bare-frame dialect
 --reactor (default) serves every connection from one event loop; --threaded keeps the turn-queue worker pool
---arrival-rps switches the loadtest to an open-loop schedule measuring latency from each scheduled arrival";
+--arrival-rps switches the loadtest to an open-loop schedule measuring latency from each scheduled arrival
+--metrics-addr exposes a Prometheus-style plaintext scrape; --slow-micros sets the slow-query log threshold";
 
 /// Parse a flag's numeric value, naming the flag in the error.
 ///
@@ -419,12 +429,21 @@ fn parse_serve(args: &[String]) -> Result<Command, CliError> {
     let mut compact_log_len: Option<usize> = None;
     let mut compact_dirty: Option<f64> = None;
     let mut wal: Option<String> = None;
+    let mut metrics_addr: Option<String> = None;
+    let mut slow_micros = crate::obs::DEFAULT_SLOW_THRESHOLD_MICROS;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--index" => index = Some(take_value("--index", args, &mut i)?.to_string()),
             "--wal" => wal = Some(take_value("--wal", args, &mut i)?.to_string()),
             "--addr" => addr = take_value("--addr", args, &mut i)?.to_string(),
+            "--metrics-addr" => {
+                metrics_addr = Some(take_value("--metrics-addr", args, &mut i)?.to_string());
+            }
+            "--slow-micros" => {
+                slow_micros =
+                    parse_number("--slow-micros", take_value("--slow-micros", args, &mut i)?)?;
+            }
             "--reactor" => {
                 if reactor == Some(false) {
                     return Err(CliError(
@@ -486,6 +505,8 @@ fn parse_serve(args: &[String]) -> Result<Command, CliError> {
         compact_log_len,
         compact_dirty,
         wal,
+        metrics_addr,
+        slow_micros,
     })
 }
 
@@ -520,6 +541,7 @@ fn parse_query(args: &[String]) -> Result<Command, CliError> {
             }
             "--info" => set_once(&mut request, QuerySpec::Info)?,
             "--stats" => set_once(&mut request, QuerySpec::Stats)?,
+            "--metrics" => set_once(&mut request, QuerySpec::Metrics)?,
             other => return Err(CliError(format!("unknown option {other:?} for query"))),
         }
         i += 1;
@@ -535,7 +557,10 @@ fn parse_query(args: &[String]) -> Result<Command, CliError> {
     Ok(Command::Query {
         addrs,
         request: request.ok_or_else(|| {
-            CliError("query requires one of --estimate, --topk, --info or --stats".to_string())
+            CliError(
+                "query requires one of --estimate, --topk, --info, --stats or --metrics"
+                    .to_string(),
+            )
         })?,
         v1,
     })
@@ -544,7 +569,8 @@ fn parse_query(args: &[String]) -> Result<Command, CliError> {
 fn set_once(slot: &mut Option<QuerySpec>, value: QuerySpec) -> Result<(), CliError> {
     if slot.is_some() {
         return Err(CliError(
-            "query accepts exactly one of --estimate, --topk, --info or --stats".to_string(),
+            "query accepts exactly one of --estimate, --topk, --info, --stats or --metrics"
+                .to_string(),
         ));
     }
     *slot = Some(value);
@@ -900,6 +926,58 @@ mod tests {
         }
         assert!(parse(&args(&["serve", "--index", "x", "--reactor", "--threaded"])).is_err());
         assert!(parse(&args(&["serve", "--index", "x", "--threaded", "--reactor"])).is_err());
+    }
+
+    #[test]
+    fn serve_metrics_flags_parse_with_defaults() {
+        // Off by default, with the documented slow-query threshold.
+        match parse(&args(&["serve", "--index", "x.imx"])).unwrap() {
+            Command::Serve {
+                metrics_addr,
+                slow_micros,
+                ..
+            } => {
+                assert_eq!(metrics_addr, None);
+                assert_eq!(slow_micros, crate::obs::DEFAULT_SLOW_THRESHOLD_MICROS);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        match parse(&args(&[
+            "serve",
+            "--index",
+            "x.imx",
+            "--metrics-addr",
+            "127.0.0.1:0",
+            "--slow-micros",
+            "2500",
+        ]))
+        .unwrap()
+        {
+            Command::Serve {
+                metrics_addr,
+                slow_micros,
+                ..
+            } => {
+                assert_eq!(metrics_addr.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(slow_micros, 2500);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse(&args(&["serve", "--index", "x", "--slow-micros", "soon"])).is_err());
+        assert!(parse(&args(&["serve", "--index", "x", "--metrics-addr"])).is_err());
+    }
+
+    #[test]
+    fn query_metrics_parses_and_is_exclusive() {
+        assert_eq!(
+            parse(&args(&["query", "--addr", "a:1", "--metrics"])).unwrap(),
+            Command::Query {
+                addrs: vec!["a:1".into()],
+                request: QuerySpec::Metrics,
+                v1: false,
+            }
+        );
+        assert!(parse(&args(&["query", "--addr", "a:1", "--metrics", "--stats"])).is_err());
     }
 
     #[test]

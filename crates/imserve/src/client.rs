@@ -22,8 +22,8 @@ use crate::protocol::{
     self, Outcome, Request, RequestFrame, Response, ResponseFrame, TopKAlgorithm, PROTOCOL_VERSION,
 };
 use crate::service::{
-    CompactionReport, GainVector, InfluenceService, MutationOutcome, ServiceError, ServiceInfo,
-    ServiceResult, ServiceStats, SpreadEstimate, TopKSelection,
+    CompactionReport, GainVector, InfluenceService, MetricsReport, MutationOutcome, ServiceError,
+    ServiceInfo, ServiceResult, ServiceStats, SpreadEstimate, TopKSelection,
 };
 
 /// One persistent v1 connection speaking bare newline-delimited JSON.
@@ -83,6 +83,11 @@ pub struct ServiceConnection {
     writer: BufWriter<TcpStream>,
     next_id: u64,
     server_version: u32,
+    /// When set, every outgoing frame carries this trace id in the optional
+    /// `"t"` field, so the server's span (and any further fan-out hop)
+    /// stitches into the caller's causal trace. `None` (the default) keeps
+    /// frames byte-identical to the pre-tracing wire.
+    trace: Option<u64>,
 }
 
 impl ServiceConnection {
@@ -100,6 +105,7 @@ impl ServiceConnection {
             writer: BufWriter::new(stream),
             next_id: 0,
             server_version: 0,
+            trace: None,
         };
         let version = match connection.call(&Request::Hello {
             max_version: PROTOCOL_VERSION,
@@ -124,6 +130,11 @@ impl ServiceConnection {
     #[must_use]
     pub fn server_version(&self) -> u32 {
         self.server_version
+    }
+
+    /// Attach (or clear) the trace id stamped onto subsequent frames.
+    pub fn set_trace(&mut self, trace: Option<u64>) {
+        self.trace = trace;
     }
 
     /// Send one request and wait for its id-matched response.
@@ -163,6 +174,7 @@ impl ServiceConnection {
             v: PROTOCOL_VERSION,
             id,
             req: request.clone(),
+            trace: self.trace,
         };
         let line = protocol::encode(&frame).map_err(ServiceError::from)?;
         self.writer.write_all(line.as_bytes())?;
@@ -455,6 +467,8 @@ impl InfluenceService for RemoteService {
                 log_len,
                 snapshot_epoch,
                 compactions,
+                uptime_secs,
+                requests_by_type,
             } => Ok(ServiceStats {
                 requests,
                 topk_cache_hits,
@@ -466,9 +480,22 @@ impl InfluenceService for RemoteService {
                 log_len,
                 snapshot_epoch,
                 compactions,
+                uptime_secs,
+                requests_by_type,
                 shards: Vec::new(),
             }),
             other => Self::unexpected("Stats", other),
         }
+    }
+
+    fn metrics(&mut self) -> ServiceResult<MetricsReport> {
+        match self.connection.call(&Request::Metrics)? {
+            Response::Metrics(report) => Ok(report),
+            other => Self::unexpected("Metrics", other),
+        }
+    }
+
+    fn set_trace(&mut self, trace: Option<u64>) {
+        self.connection.set_trace(trace);
     }
 }

@@ -32,6 +32,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock, RwLockReadGuard};
+use std::time::Instant;
 
 use im_core::EstimateScratch;
 use imdyn::{CompactionPolicy, DynamicOracle};
@@ -40,10 +41,11 @@ use imgraph::GraphDelta;
 use crate::error::ServeError;
 use crate::index::{IndexArtifact, IndexMeta};
 use crate::lru::LruCache;
+use crate::obs::ServingMetrics;
 use crate::protocol::{Request, Response, TopKAlgorithm, PROTOCOL_VERSION};
 use crate::service::{
-    CompactionReport, GainVector, MutationOutcome, ServiceError, ServiceInfo, ServiceStats,
-    SpreadEstimate, TopKSelection,
+    CompactionReport, GainVector, MetricsReport, MutationOutcome, ServiceError, ServiceInfo,
+    ServiceStats, SpreadEstimate, TopKSelection,
 };
 use crate::wal::WriteAheadLog;
 use imgraph::binio::{fnv1a64, influence_graph_to_bytes};
@@ -172,6 +174,10 @@ pub struct QueryEngine {
     /// (and synced) before the mutation call returns. Taken under the state
     /// write lock, so records land in application order.
     wal: Option<Mutex<WriteAheadLog>>,
+    /// The observability surface every layer records into. Instance-owned
+    /// (not process-global) so engines in parallel tests never share
+    /// counters; front ends clone the `Arc` to record their own stages.
+    obs: Arc<ServingMetrics>,
 }
 
 /// Staged construction of a [`QueryEngine`] — cache capacity, compaction
@@ -193,6 +199,7 @@ pub struct EngineBuilder {
     index: IndexArtifact,
     config: EngineConfig,
     wal: Option<std::path::PathBuf>,
+    metrics: Option<Arc<ServingMetrics>>,
 }
 
 impl EngineBuilder {
@@ -229,6 +236,15 @@ impl EngineBuilder {
         self
     }
 
+    /// Share a pre-built [`ServingMetrics`] (e.g. one the server front end
+    /// also records into, or one with a custom slow-query threshold). The
+    /// default is a fresh instance per engine.
+    #[must_use]
+    pub fn metrics(mut self, metrics: Arc<ServingMetrics>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
     /// Construct the engine (recovering and replaying the WAL if one was
     /// attached).
     ///
@@ -253,7 +269,7 @@ impl EngineBuilder {
             self.index.shard.map_or(0, |s| s.offset)
         );
         let base_seed = meta.base_seed;
-        let mut engine = QueryEngine::construct(self.index, &self.config);
+        let mut engine = QueryEngine::construct(self.index, &self.config, self.metrics);
         let Some(path) = self.wal else {
             return Ok(engine);
         };
@@ -306,6 +322,7 @@ impl QueryEngine {
             index,
             config: EngineConfig::default(),
             wal: None,
+            metrics: None,
         }
     }
 
@@ -313,7 +330,7 @@ impl QueryEngine {
     #[deprecated(note = "use QueryEngine::builder(index).build()")]
     #[must_use]
     pub fn new(index: IndexArtifact) -> Self {
-        Self::construct(index, &EngineConfig::default())
+        Self::construct(index, &EngineConfig::default(), None)
     }
 
     /// Wrap a loaded index with an explicit `TopK` cache capacity.
@@ -326,6 +343,7 @@ impl QueryEngine {
                 cache_capacity: capacity,
                 ..EngineConfig::default()
             },
+            None,
         )
     }
 
@@ -333,7 +351,7 @@ impl QueryEngine {
     #[deprecated(note = "use QueryEngine::builder(index).config(&config).build()")]
     #[must_use]
     pub fn with_config(index: IndexArtifact, config: &EngineConfig) -> Self {
-        Self::construct(index, config)
+        Self::construct(index, config, None)
     }
 
     /// The WAL-free construction core shared by the builder and the
@@ -345,7 +363,11 @@ impl QueryEngine {
     /// case for artifacts produced by this crate: `build` samples
     /// incrementally and `from_bytes` rejects pre-incremental versions and
     /// re-attaches the state on load).
-    fn construct(index: IndexArtifact, config: &EngineConfig) -> Self {
+    fn construct(
+        index: IndexArtifact,
+        config: &EngineConfig,
+        metrics: Option<Arc<ServingMetrics>>,
+    ) -> Self {
         let IndexArtifact {
             meta,
             graph,
@@ -368,7 +390,16 @@ impl QueryEngine {
             topk_cache: Mutex::new(LruCache::new(config.cache_capacity)),
             counters: Counters::default(),
             wal: None,
+            obs: metrics.unwrap_or_else(ServingMetrics::with_defaults),
         }
+    }
+
+    /// The engine's observability surface — front ends clone this `Arc` to
+    /// record their own stages (queue wait, reorder wait, connections) into
+    /// the same registry the engine exposes.
+    #[must_use]
+    pub fn obs(&self) -> &Arc<ServingMetrics> {
+        &self.obs
     }
 
     /// Read access to the serving state (metadata, graph, oracle, log).
@@ -412,21 +443,23 @@ impl QueryEngine {
         request: &Request,
         scratch: &mut EstimateScratch,
     ) -> Result<Response, ServiceError> {
-        match request {
+        let result = match request {
             Request::Ping => {
                 self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                self.obs.ping.count.inc();
                 Ok(Response::Pong)
             }
             Request::Hello { max_version } => {
                 self.counters.requests.fetch_add(1, Ordering::Relaxed);
+                self.obs.hello.count.inc();
                 Ok(Response::Hello {
                     version: PROTOCOL_VERSION.min(*max_version).max(1),
                 })
             }
             Request::Info => Ok(self.info().into()),
-            Request::Estimate { seeds } => Ok(self.estimate(seeds, scratch)?.into()),
-            Request::TopK { k, algorithm } => Ok(self.top_k(*k, *algorithm)?.into()),
-            Request::Gains { selected } => Ok(self.gains(selected)?.into()),
+            Request::Estimate { seeds } => self.estimate(seeds, scratch).map(Response::from),
+            Request::TopK { k, algorithm } => self.top_k(*k, *algorithm).map(Response::from),
+            Request::Gains { selected } => self.gains(selected).map(Response::from),
             // The per-delta path reports through the legacy Mutate response
             // (no `compacted` field) to keep the v1 wire stable.
             Request::Mutate { deltas } => self.mutate(deltas).map(|m| Response::Mutate {
@@ -434,10 +467,15 @@ impl QueryEngine {
                 applied: m.applied,
                 resampled: m.resampled,
             }),
-            Request::MutateBatch { deltas } => Ok(self.mutate_batch(deltas)?.into()),
+            Request::MutateBatch { deltas } => self.mutate_batch(deltas).map(Response::from),
             Request::Compact => Ok(self.compact().into()),
             Request::Stats => Ok(self.stats().into()),
+            Request::Metrics => Ok(self.metrics_report().into()),
+        };
+        if result.is_err() {
+            self.obs.request_errors.inc();
         }
+        result
     }
 
     /// Index metadata (graph and pool dimensions, plus the pool's position
@@ -445,6 +483,7 @@ impl QueryEngine {
     #[must_use]
     pub fn info(&self) -> ServiceInfo {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.info.count.inc();
         let state = self.state();
         let (shard_offset, global_pool) = match state.shard {
             Some(shard) => (shard.offset, shard.global_pool),
@@ -467,6 +506,7 @@ impl QueryEngine {
     #[must_use]
     pub fn stats(&self) -> ServiceStats {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.stats.count.inc();
         let state = self.state();
         ServiceStats {
             requests: self.counters.requests.load(Ordering::Relaxed),
@@ -479,8 +519,48 @@ impl QueryEngine {
             log_len: state.dynamic.log().len(),
             snapshot_epoch: state.dynamic.snapshot_epoch(),
             compactions: state.dynamic.stats().compactions,
+            uptime_secs: self.obs.uptime_secs(),
+            requests_by_type: self.obs.request_counts(),
             shards: Vec::new(),
         }
+    }
+
+    /// Mirror the state-derived gauges (epoch, log length, pool size,
+    /// maintenance counters) into the registry. Called at snapshot and
+    /// render time only — gauges that track live state are sampled, not
+    /// maintained on hot paths.
+    fn sync_state_gauges(&self) {
+        let state = self.state();
+        self.obs.epoch.set(state.dynamic.epoch() as i64);
+        self.obs.log_len.set(state.dynamic.log().len() as i64);
+        self.obs
+            .snapshot_epoch
+            .set(state.dynamic.snapshot_epoch() as i64);
+        self.obs.pool_size.set(state.dynamic.pool_size() as i64);
+        state
+            .dynamic
+            .stats()
+            .for_each(|name, value| self.obs.set_maintenance(name, value));
+    }
+
+    /// Snapshot every metric plus the slow-query log as the wire
+    /// [`MetricsReport`] (the `Metrics` request's payload). Deliberately
+    /// volatile, like `Stats`: two identical `Metrics` requests may answer
+    /// differently, and that is exempt from the byte-identity invariant.
+    #[must_use]
+    pub fn metrics_report(&self) -> MetricsReport {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.metrics.count.inc();
+        self.sync_state_gauges();
+        self.obs.report()
+    }
+
+    /// Render the Prometheus plaintext exposition (the `--metrics-addr`
+    /// endpoint body), state gauges freshly sampled.
+    #[must_use]
+    pub fn render_metrics(&self) -> String {
+        self.sync_state_gauges();
+        self.obs.render_prometheus()
     }
 
     /// Estimate the influence spread of an explicit seed set (zero
@@ -490,7 +570,9 @@ impl QueryEngine {
         seeds: &[u32],
         scratch: &mut EstimateScratch,
     ) -> Result<SpreadEstimate, ServiceError> {
+        let began = Instant::now();
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.estimate.count.inc();
         let state = self.state();
         let oracle = state.dynamic.oracle();
         let n = oracle.num_vertices();
@@ -501,6 +583,10 @@ impl QueryEngine {
         }
         let covered = oracle.covered_with(seeds, scratch) as u64;
         let pool = oracle.pool_size() as u64;
+        self.obs
+            .estimate
+            .latency_micros
+            .record(began.elapsed().as_micros() as u64);
         Ok(SpreadEstimate {
             seeds: seeds.to_vec(),
             spread: n as f64 * covered as f64 / pool as f64,
@@ -514,7 +600,9 @@ impl QueryEngine {
     /// [`im_core::InfluenceOracle::coverage_gains`]). Computed on an `Arc`
     /// snapshot with no lock held.
     pub fn gains(&self, selected: &[u32]) -> Result<GainVector, ServiceError> {
+        let began = Instant::now();
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.gains.count.inc();
         let dynamic = {
             let state = self.state();
             Arc::clone(&state.dynamic)
@@ -527,6 +615,10 @@ impl QueryEngine {
             )));
         }
         let (gains, covered) = oracle.coverage_gains(selected);
+        self.obs
+            .gains
+            .latency_micros
+            .record(began.elapsed().as_micros() as u64);
         Ok(GainVector {
             gains,
             covered,
@@ -539,7 +631,9 @@ impl QueryEngine {
     /// many), and the epoch reflects them. Prefer
     /// [`QueryEngine::mutate_batch`] for atomic all-or-nothing semantics.
     pub fn mutate(&self, deltas: &[GraphDelta]) -> Result<MutationOutcome, ServiceError> {
+        let began = Instant::now();
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.mutate.count.inc();
         self.check_wal_usable()?;
         if deltas.is_empty() {
             return Err(ServiceError::Mutation(
@@ -587,6 +681,13 @@ impl QueryEngine {
         // Policy-triggered compaction: cheap bookkeeping under the same write
         // lock; readers holding `Arc` snapshots are unaffected.
         let compacted = Arc::make_mut(&mut state.dynamic).maybe_compact().is_some();
+        if compacted {
+            self.obs.compactions.inc();
+        }
+        self.obs
+            .mutate
+            .latency_micros
+            .record(began.elapsed().as_micros() as u64);
         Ok(MutationOutcome {
             epoch: state.dynamic.epoch(),
             applied,
@@ -599,7 +700,9 @@ impl QueryEngine {
     /// none do, the CSR is re-materialized once, and the dirty union is
     /// resampled exactly once per set.
     pub fn mutate_batch(&self, deltas: &[GraphDelta]) -> Result<MutationOutcome, ServiceError> {
+        let began = Instant::now();
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.mutate_batch.count.inc();
         self.check_wal_usable()?;
         if deltas.is_empty() {
             return Err(ServiceError::Mutation(
@@ -620,6 +723,13 @@ impl QueryEngine {
                 self.bump_mutation_counters(outcome.applied, outcome.resampled);
                 self.wal_append(epoch_before, hash_before, deltas)?;
                 let compacted = Arc::make_mut(&mut state.dynamic).maybe_compact().is_some();
+                if compacted {
+                    self.obs.compactions.inc();
+                }
+                self.obs
+                    .mutate_batch
+                    .latency_micros
+                    .record(began.elapsed().as_micros() as u64);
                 Ok(MutationOutcome {
                     epoch: state.dynamic.epoch(),
                     applied: outcome.applied,
@@ -642,9 +752,16 @@ impl QueryEngine {
     /// Fold the pending delta log into the snapshot watermark now.
     #[must_use = "the report says how many deltas were folded"]
     pub fn compact(&self) -> CompactionReport {
+        let began = Instant::now();
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.compact.count.inc();
         let mut state = self.state.write().expect("serving state poisoned");
         let outcome = Arc::make_mut(&mut state.dynamic).compact();
+        self.obs.compactions.inc();
+        self.obs
+            .compact
+            .latency_micros
+            .record(began.elapsed().as_micros() as u64);
         CompactionReport {
             epoch: outcome.epoch,
             folded: outcome.folded,
@@ -681,7 +798,8 @@ impl QueryEngine {
         let (Some(wal), false) = (self.wal.as_ref(), applied.is_empty()) else {
             return Ok(());
         };
-        wal.lock()
+        let bytes = wal
+            .lock()
             .expect("WAL lock poisoned")
             .append(epoch_before, graph_hash_before, applied)
             .map_err(|e| {
@@ -690,7 +808,10 @@ impl QueryEngine {
                     "WAL append failed ({e}); the batch is applied in memory but not durable, \
                      and further mutations are disabled"
                 ))
-            })
+            })?;
+        self.obs.wal_appended_bytes.add(bytes);
+        self.obs.wal_fsyncs.inc();
+        Ok(())
     }
 
     fn bump_mutation_counters(&self, applied: usize, resampled: usize) {
@@ -700,12 +821,16 @@ impl QueryEngine {
         self.counters
             .sets_resampled
             .fetch_add(resampled as u64, Ordering::Relaxed);
+        self.obs.deltas_applied.add(applied as u64);
+        self.obs.sets_resampled.add(resampled as u64);
     }
 
     /// Select an influential seed set of size `k`, fronted by the
     /// epoch-keyed LRU cache.
     pub fn top_k(&self, k: usize, algorithm: TopKAlgorithm) -> Result<TopKSelection, ServiceError> {
+        let began = Instant::now();
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.top_k.count.inc();
         if k == 0 {
             return Err(ServiceError::Query("k must be positive".into()));
         }
@@ -733,6 +858,11 @@ impl QueryEngine {
             self.counters
                 .topk_cache_hits
                 .fetch_add(1, Ordering::Relaxed);
+            self.obs.topk_cache_hits.inc();
+            self.obs
+                .top_k
+                .latency_micros
+                .record(began.elapsed().as_micros() as u64);
             return Ok(TopKSelection {
                 seeds: hit.seeds.clone(),
                 spread: hit.spread,
@@ -753,6 +883,7 @@ impl QueryEngine {
         self.counters
             .topk_cache_misses
             .fetch_add(1, Ordering::Relaxed);
+        self.obs.topk_cache_misses.inc();
         self.topk_cache.lock().expect("cache lock poisoned").insert(
             key,
             TopKValue {
@@ -760,6 +891,10 @@ impl QueryEngine {
                 spread,
             },
         );
+        self.obs
+            .top_k
+            .latency_micros
+            .record(began.elapsed().as_micros() as u64);
         Ok(TopKSelection {
             seeds,
             spread,

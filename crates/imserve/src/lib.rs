@@ -28,6 +28,13 @@
 //!   turn-queue fallback — plus the matching clients
 //!   ([`client::RemoteService`] is the trait over TCP, with a non-blocking
 //!   `send`/`poll_response` pair for pipelined in-flight requests);
+//! * [`obs`] — the serving stack's observability surface:
+//!   [`obs::ServingMetrics`] bundles every counter/gauge/histogram (built on
+//!   the std-only `imobs` primitives) plus a slow-query span log, and
+//!   [`obs::spawn_metrics_endpoint`] serves the Prometheus plaintext
+//!   exposition behind `serve --metrics-addr`; request-scoped trace ids ride
+//!   the optional `"t"` field of v2 frames so sharded fan-outs stitch into
+//!   one causal trace;
 //! * [`loadtest`] — an in-repo load generator driving any
 //!   [`service::InfluenceService`] and reporting latency percentiles via
 //!   `imstats`;
@@ -49,6 +56,7 @@ pub mod index;
 mod linebuf;
 pub mod loadtest;
 pub mod lru;
+pub mod obs;
 pub mod protocol;
 pub mod reactor;
 pub mod server;
@@ -60,10 +68,12 @@ pub use client::RemoteService;
 pub use engine::{EngineBuilder, EngineConfig, QueryEngine, ServingState};
 pub use error::ServeError;
 pub use index::{build_dataset_index, build_dataset_index_with_deltas, IndexArtifact, IndexMeta};
+pub use obs::{spawn_metrics_endpoint, ServingMetrics};
 pub use protocol::{Request, Response, TopKAlgorithm, PROTOCOL_VERSION};
 pub use reactor::ReactorConfig;
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use service::{
-    BackendSpec, InfluenceService, LocalService, ServiceError, ServiceInfo, ServiceStats,
+    BackendSpec, InfluenceService, LocalService, MetricsReport, RequestTypeCounts, ServiceError,
+    ServiceInfo, ServiceStats,
 };
 pub use shard::ShardedService;

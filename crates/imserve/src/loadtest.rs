@@ -34,7 +34,7 @@ use imstats::SummaryStats;
 
 use crate::client::RemoteService;
 use crate::protocol::TopKAlgorithm;
-use crate::service::{InfluenceService, ServiceError, ServiceStats};
+use crate::service::{InfluenceService, MetricsReport, ServiceError, ServiceStats};
 
 /// Load-test shape.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -115,6 +115,96 @@ pub struct LoadtestReport {
     /// The backend's own counters after the run (`None` if the final
     /// `stats` call failed — the latency data is still valid).
     pub server_stats: Option<ServiceStats>,
+    /// Server-side metric deltas across the run (`None` when the backend
+    /// does not answer `Metrics`, e.g. an older server).
+    pub server_metrics: Option<ServerMetricsDelta>,
+}
+
+/// What the *server* observed across one load-test run: the difference
+/// between a `Metrics` snapshot taken before the workload and one taken
+/// after. Complements the client-side percentiles — queue-wait p99 shows
+/// time spent parked in the compute queue, backpressure stalls show how
+/// often the reactor throttled reads, and the cache-hit delta explains
+/// `TopK` latency bimodality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerMetricsDelta {
+    /// Requests the server handled during the run.
+    pub requests_total: u64,
+    /// `TopK` cache hits during the run.
+    pub topk_cache_hits: u64,
+    /// `TopK` cache misses during the run.
+    pub topk_cache_misses: u64,
+    /// Reactor backpressure stall episodes during the run.
+    pub backpressure_stalls: u64,
+    /// Requests that crossed the slow-query threshold during the run.
+    pub slow_queries: u64,
+    /// The 99th percentile of compute-queue wait during the run, in
+    /// microseconds (upper bound of the log₂ bucket holding the sample).
+    pub queue_wait_p99_micros: u64,
+}
+
+impl ServerMetricsDelta {
+    /// The run's own deltas from two cumulative snapshots.
+    #[must_use]
+    pub fn between(before: &MetricsReport, after: &MetricsReport) -> Self {
+        let counter = |name: &str| after.counter(name).saturating_sub(before.counter(name));
+        // The per-type request counters are one labelled family; the total
+        // is their sum across labels.
+        let requests = |report: &MetricsReport| {
+            report
+                .counters
+                .iter()
+                .filter(|s| s.name.starts_with("imserve_requests_total"))
+                .map(|s| s.value)
+                .sum::<u64>()
+        };
+        Self {
+            requests_total: requests(after).saturating_sub(requests(before)),
+            topk_cache_hits: counter("imserve_topk_cache_hits_total"),
+            topk_cache_misses: counter("imserve_topk_cache_misses_total"),
+            backpressure_stalls: counter("imserve_backpressure_stalls_total"),
+            slow_queries: counter("imserve_slow_queries_total"),
+            queue_wait_p99_micros: histogram_delta_quantile(
+                before,
+                after,
+                "imserve_queue_wait_micros",
+                0.99,
+            ),
+        }
+    }
+}
+
+/// The `q`-quantile of the samples a histogram gained between two cumulative
+/// snapshots: subtract the before-counts bucket-wise, then walk the delta
+/// distribution. Exact to within one log₂ bucket, like the live quantile.
+fn histogram_delta_quantile(
+    before: &MetricsReport,
+    after: &MetricsReport,
+    name: &str,
+    q: f64,
+) -> u64 {
+    let Some(after) = after.histogram(name) else {
+        return 0;
+    };
+    let before_count = |le: u64| {
+        before
+            .histogram(name)
+            .and_then(|h| h.buckets.iter().find(|b| b.le == le))
+            .map_or(0, |b| b.count)
+    };
+    let total = after
+        .count
+        .saturating_sub(before.histogram(name).map_or(0, |h| h.count));
+    if total == 0 {
+        return 0;
+    }
+    let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+    for b in &after.buckets {
+        if b.count.saturating_sub(before_count(b.le)) >= rank {
+            return b.le;
+        }
+    }
+    after.buckets.last().map_or(0, |b| b.le)
 }
 
 impl std::fmt::Display for LoadtestReport {
@@ -153,6 +243,19 @@ impl std::fmt::Display for LoadtestReport {
                     shard.epoch, shard.snapshot_epoch, shard.log_len
                 )?;
             }
+        }
+        if let Some(m) = &self.server_metrics {
+            write!(
+                f,
+                "\nserver metrics over the run: {} requests  topk cache {}/{} hits  \
+                 queue-wait p99 {}µs  backpressure stalls {}  slow queries {}",
+                m.requests_total,
+                m.topk_cache_hits,
+                m.topk_cache_hits + m.topk_cache_misses,
+                m.queue_wait_p99_micros,
+                m.backpressure_stalls,
+                m.slow_queries
+            )?;
         }
         Ok(())
     }
@@ -225,9 +328,11 @@ where
     // probe would occupy one server worker for the whole run (and deadlock
     // a single-worker server outright, since every loadtest connection
     // would queue behind it forever).
-    let num_vertices = {
+    let (num_vertices, metrics_before) = {
         let mut probe = make()?;
-        probe.info()?.num_vertices
+        // The pre-run snapshot anchors the server-metrics delta; backends
+        // without `Metrics` support degrade to latency-only reporting.
+        (probe.info()?.num_vertices, probe.metrics().ok())
     };
     if num_vertices == 0 {
         return Err(ServiceError::Query("served graph is empty".into()));
@@ -275,7 +380,15 @@ where
 
     // Surface the backend's own view of the run on a fresh service (the
     // engine counters are shared, so any connection sees the same totals).
-    let server_stats = make().ok().and_then(|mut s| s.stats().ok());
+    let mut post = make().ok();
+    let server_stats = post.as_mut().and_then(|s| s.stats().ok());
+    let server_metrics = match (&metrics_before, post.as_mut()) {
+        (Some(before), Some(s)) => s
+            .metrics()
+            .ok()
+            .map(|after| ServerMetricsDelta::between(before, &after)),
+        _ => None,
+    };
 
     Ok(LoadtestReport {
         total_requests: all_latencies.len(),
@@ -284,6 +397,7 @@ where
         p999_micros: SummaryStats::percentile(&all_latencies, 99.9),
         latency_micros: SummaryStats::from_values(&all_latencies),
         server_stats,
+        server_metrics,
     })
 }
 
@@ -310,6 +424,7 @@ pub fn run_service<S: InfluenceService>(
     if num_vertices == 0 {
         return Err(ServiceError::Query("served graph is empty".into()));
     }
+    let metrics_before = service.metrics().ok();
     let started = Instant::now();
     let mut all_latencies = Vec::with_capacity(connections * per_connection);
     for connection_id in 0..connections {
@@ -326,6 +441,12 @@ pub fn run_service<S: InfluenceService>(
     }
     let elapsed_secs = started.elapsed().as_secs_f64();
     let server_stats = service.stats().ok();
+    let server_metrics = metrics_before.and_then(|before| {
+        service
+            .metrics()
+            .ok()
+            .map(|after| ServerMetricsDelta::between(&before, &after))
+    });
     Ok(LoadtestReport {
         total_requests: all_latencies.len(),
         elapsed_secs,
@@ -333,5 +454,6 @@ pub fn run_service<S: InfluenceService>(
         p999_micros: SummaryStats::percentile(&all_latencies, 99.9),
         latency_micros: SummaryStats::from_values(&all_latencies),
         server_stats,
+        server_metrics,
     })
 }

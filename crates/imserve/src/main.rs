@@ -142,6 +142,8 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             compact_log_len,
             compact_dirty,
             wal,
+            metrics_addr,
+            slow_micros,
         } => {
             let started = std::time::Instant::now();
             let artifact = IndexArtifact::load(&index)?;
@@ -163,15 +165,26 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                     policy.max_log_len, policy.max_dirty_fraction
                 );
             }
-            let mut builder = QueryEngine::builder(artifact).config(&EngineConfig {
-                cache_capacity: cache,
-                compaction_policy: policy,
-            });
+            let mut builder = QueryEngine::builder(artifact)
+                .config(&EngineConfig {
+                    cache_capacity: cache,
+                    compaction_policy: policy,
+                })
+                .metrics(imserve::ServingMetrics::new(slow_micros));
             if let Some(path) = &wal {
                 eprintln!("mutation WAL enabled at {path}");
                 builder = builder.wal(path);
             }
             let engine = Arc::new(builder.build()?);
+            if let Some(metrics_addr) = &metrics_addr {
+                let render_engine = Arc::clone(&engine);
+                let bound = imserve::spawn_metrics_endpoint(metrics_addr.as_str(), move || {
+                    render_engine.render_metrics()
+                })?;
+                eprintln!("metrics endpoint on http://{bound}/metrics (slow-query threshold {slow_micros}us)");
+                // Printed on stdout so scripts can scrape the resolved port.
+                println!("imserve metrics on {bound}");
+            }
             let handle = if reactor {
                 imserve::reactor::spawn(
                     addr.as_str(),
@@ -215,6 +228,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                     QuerySpec::TopK(k, algorithm) => Request::TopK { k, algorithm },
                     QuerySpec::Info => Request::Info,
                     QuerySpec::Stats => Request::Stats,
+                    QuerySpec::Metrics => Request::Metrics,
                 };
                 let response = imserve::client::query_once(addrs[0].as_str(), &request)?;
                 print_response(response.clone())?;
@@ -242,6 +256,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                     }
                     print_response(stats.into())
                 }
+                QuerySpec::Metrics => print_response(service.metrics()?.into()),
             }
         }
         Command::Mutate {

@@ -1,0 +1,610 @@
+//! The serving stack's observability surface: every metric the stack
+//! records, under one [`imobs::Registry`], plus the plaintext exposition
+//! endpoint behind `serve --metrics-addr`.
+//!
+//! [`ServingMetrics`] is the one struct threaded through the layers — the
+//! engine, both front ends, the WAL, and the shard router all hold `Arc`
+//! handles onto its counters/gauges/histograms, so recording stays lock-free
+//! and allocation-free on every hot path (the `EstimateScratch` discipline).
+//! Exposition — the Prometheus text endpoint and the wire `Metrics`
+//! response — snapshots the registry on demand; nothing is pushed anywhere.
+//!
+//! None of this touches the query wire format: responses stay byte-identical
+//! with metrics enabled, because metrics only ever travel on their own
+//! endpoint or inside the deliberately volatile `Stats`/`Metrics` responses.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use imobs::{Counter, Gauge, Histogram, Registry, SlowLog};
+
+use crate::service::{
+    GaugeSample, HistogramBucket, HistogramSample, MetricSample, MetricsReport, RequestTypeCounts,
+    SlowQuery, SpanStage,
+};
+
+/// Default slow-query retention threshold (`serve --slow-micros` overrides).
+pub const DEFAULT_SLOW_THRESHOLD_MICROS: u64 = 10_000;
+
+/// Slow-query ring capacity: enough to hold the worst tail of a loadtest
+/// without unbounded memory.
+pub const SLOW_LOG_CAPACITY: usize = 32;
+
+/// One request type's hot-path handles: a lifetime counter and a latency
+/// histogram (microseconds).
+#[derive(Debug, Clone)]
+pub struct RequestLane {
+    /// Lifetime requests of this type.
+    pub count: Arc<Counter>,
+    /// End-to-end handling latency in microseconds.
+    pub latency_micros: Arc<Histogram>,
+}
+
+/// One shard's fan-out handles on the router side.
+#[derive(Debug, Clone)]
+pub struct ShardLane {
+    /// Sub-requests sent to this shard.
+    pub sends: Arc<Counter>,
+    /// Successful replies received from this shard.
+    pub recvs: Arc<Counter>,
+    /// Failed sub-requests (transport, protocol, or shard errors).
+    pub errors: Arc<Counter>,
+    /// Round-trip time of this shard's sub-requests in microseconds.
+    pub rtt_micros: Arc<Histogram>,
+}
+
+/// Every metric the serving stack records, under one registry.
+///
+/// Constructed once per engine (or per shard router) and shared by `Arc`;
+/// all `Arc<Counter>`/`Arc<Gauge>`/`Arc<Histogram>` fields are safe to
+/// record from any thread without further coordination.
+#[derive(Debug)]
+pub struct ServingMetrics {
+    registry: Registry,
+    started: Instant,
+
+    /// Per-request-type lanes (wire and in-process paths both record here).
+    pub ping: RequestLane,
+    /// `Hello` handshake lane.
+    pub hello: RequestLane,
+    /// `Info` lane.
+    pub info: RequestLane,
+    /// `Estimate` lane (the hot path).
+    pub estimate: RequestLane,
+    /// `TopK` lane.
+    pub top_k: RequestLane,
+    /// `Gains` lane.
+    pub gains: RequestLane,
+    /// `Mutate` (non-atomic) lane.
+    pub mutate: RequestLane,
+    /// `MutateBatch` lane.
+    pub mutate_batch: RequestLane,
+    /// `Compact` lane.
+    pub compact: RequestLane,
+    /// `Stats` lane.
+    pub stats: RequestLane,
+    /// `Metrics` snapshot lane.
+    pub metrics: RequestLane,
+
+    /// Requests answered with an error (any type, any dialect).
+    pub request_errors: Arc<Counter>,
+    /// Lines that failed to parse as either dialect.
+    pub parse_errors: Arc<Counter>,
+
+    /// `TopK` answers served from the LRU cache.
+    pub topk_cache_hits: Arc<Counter>,
+    /// `TopK` answers computed and inserted into the cache.
+    pub topk_cache_misses: Arc<Counter>,
+    /// Deltas applied by this process.
+    pub deltas_applied: Arc<Counter>,
+    /// RR sets resampled by this process.
+    pub sets_resampled: Arc<Counter>,
+    /// Compactions performed (manual plus policy-triggered).
+    pub compactions: Arc<Counter>,
+
+    /// Bytes appended to the mutation WAL.
+    pub wal_appended_bytes: Arc<Counter>,
+    /// WAL fsyncs performed (one per acknowledged batch).
+    pub wal_fsyncs: Arc<Counter>,
+
+    /// Times the reactor stopped reading a connection because its
+    /// in-flight/backlog bounds were hit.
+    pub backpressure_stalls: Arc<Counter>,
+    /// Requests dispatched to compute and not yet completed.
+    pub inflight: Arc<Gauge>,
+    /// Completed-but-unflushed responses parked in reorder buffers.
+    pub reorder_depth: Arc<Gauge>,
+    /// Bytes buffered for write-back across all connections.
+    pub write_backlog_bytes: Arc<Gauge>,
+    /// Currently open connections.
+    pub open_connections: Arc<Gauge>,
+
+    /// Time from dispatch into the compute queue to a worker picking the
+    /// request up (microseconds).
+    pub queue_wait_micros: Arc<Histogram>,
+    /// Time a completed response waited in a reorder buffer for its
+    /// predecessors (microseconds).
+    pub reorder_wait_micros: Arc<Histogram>,
+    /// Duration of write-back flushes (microseconds).
+    pub write_flush_micros: Arc<Histogram>,
+
+    /// Current index epoch (mirrored at snapshot time).
+    pub epoch: Arc<Gauge>,
+    /// Pending delta-log length (mirrored at snapshot time).
+    pub log_len: Arc<Gauge>,
+    /// Snapshot watermark epoch (mirrored at snapshot time).
+    pub snapshot_epoch: Arc<Gauge>,
+    /// RR sets in the served pool (mirrored at snapshot time).
+    pub pool_size: Arc<Gauge>,
+    /// Seconds this process has served (mirrored at snapshot time).
+    pub uptime_seconds: Arc<Gauge>,
+
+    /// Fan-out operations the shard router performed (0 for an unsharded
+    /// server; the family is always registered so scrapes are uniform).
+    pub shard_fanouts: Arc<Counter>,
+    per_shard: Mutex<Vec<ShardLane>>,
+
+    /// Spans of the slowest requests (threshold-gated ring buffer).
+    pub slow_log: SlowLog,
+    /// Spans retained by the slow log (lifetime).
+    pub slow_queries: Arc<Counter>,
+}
+
+impl ServingMetrics {
+    /// A fresh metric set with every family registered, retaining slow
+    /// queries at `slow_threshold_micros`.
+    #[must_use]
+    pub fn new(slow_threshold_micros: u64) -> Arc<Self> {
+        let registry = Registry::new();
+        let lane = |kind: &str| RequestLane {
+            count: registry.counter(
+                &format!("imserve_requests_total{{type=\"{kind}\"}}"),
+                "Lifetime requests handled, by request type.",
+            ),
+            latency_micros: registry.histogram(
+                &format!("imserve_request_latency_micros{{type=\"{kind}\"}}"),
+                "End-to-end request handling latency in microseconds, by request type.",
+            ),
+        };
+        let m = Self {
+            ping: lane("ping"),
+            hello: lane("hello"),
+            info: lane("info"),
+            estimate: lane("estimate"),
+            top_k: lane("top_k"),
+            gains: lane("gains"),
+            mutate: lane("mutate"),
+            mutate_batch: lane("mutate_batch"),
+            compact: lane("compact"),
+            stats: lane("stats"),
+            metrics: lane("metrics"),
+            request_errors: registry.counter(
+                "imserve_request_errors_total",
+                "Requests answered with an error.",
+            ),
+            parse_errors: registry.counter(
+                "imserve_parse_errors_total",
+                "Lines that parsed as neither protocol dialect.",
+            ),
+            topk_cache_hits: registry.counter(
+                "imserve_topk_cache_hits_total",
+                "TopK answers served from the LRU cache.",
+            ),
+            topk_cache_misses: registry.counter(
+                "imserve_topk_cache_misses_total",
+                "TopK answers computed and inserted into the cache.",
+            ),
+            deltas_applied: registry.counter(
+                "imserve_deltas_applied_total",
+                "Graph deltas applied by this process.",
+            ),
+            sets_resampled: registry.counter(
+                "imserve_sets_resampled_total",
+                "RR sets resampled by this process.",
+            ),
+            compactions: registry.counter(
+                "imserve_compactions_total",
+                "Delta-log compactions performed (manual plus policy-triggered).",
+            ),
+            wal_appended_bytes: registry.counter(
+                "imserve_wal_appended_bytes_total",
+                "Bytes appended to the mutation write-ahead log.",
+            ),
+            wal_fsyncs: registry.counter(
+                "imserve_wal_fsyncs_total",
+                "WAL fsyncs performed (one per acknowledged batch).",
+            ),
+            backpressure_stalls: registry.counter(
+                "imserve_backpressure_stalls_total",
+                "Times the reactor paused reading a connection at its in-flight or backlog bound.",
+            ),
+            inflight: registry.gauge(
+                "imserve_inflight_requests",
+                "Requests dispatched to compute and not yet completed.",
+            ),
+            reorder_depth: registry.gauge(
+                "imserve_reorder_buffer_depth",
+                "Completed responses parked in reorder buffers, across connections.",
+            ),
+            write_backlog_bytes: registry.gauge(
+                "imserve_write_backlog_bytes",
+                "Bytes buffered for write-back across all connections.",
+            ),
+            open_connections: registry.gauge(
+                "imserve_open_connections",
+                "Currently open client connections.",
+            ),
+            queue_wait_micros: registry.histogram(
+                "imserve_queue_wait_micros",
+                "Compute-pool queue wait in microseconds (dispatch to worker pickup).",
+            ),
+            reorder_wait_micros: registry.histogram(
+                "imserve_reorder_wait_micros",
+                "Reorder-buffer wait in microseconds (completion to in-order flush).",
+            ),
+            write_flush_micros: registry.histogram(
+                "imserve_write_flush_micros",
+                "Write-back flush duration in microseconds.",
+            ),
+            epoch: registry.gauge("imserve_epoch", "Current index epoch."),
+            log_len: registry.gauge("imserve_log_len", "Pending (uncompacted) delta-log length."),
+            snapshot_epoch: registry.gauge(
+                "imserve_snapshot_epoch",
+                "Snapshot watermark epoch (last compaction).",
+            ),
+            pool_size: registry.gauge("imserve_pool_size", "RR sets in the served pool."),
+            uptime_seconds: registry.gauge(
+                "imserve_uptime_seconds",
+                "Seconds this serving process has been up.",
+            ),
+            shard_fanouts: registry.counter(
+                "imserve_shard_fanouts_total",
+                "Fan-out operations performed by the shard router (0 when unsharded).",
+            ),
+            per_shard: Mutex::new(Vec::new()),
+            slow_log: SlowLog::new(SLOW_LOG_CAPACITY, slow_threshold_micros),
+            slow_queries: registry.counter(
+                "imserve_slow_queries_total",
+                "Requests slower than the slow-query threshold.",
+            ),
+            registry,
+            started: Instant::now(),
+        };
+        Arc::new(m)
+    }
+
+    /// A fresh metric set at the default slow-query threshold.
+    #[must_use]
+    pub fn with_defaults() -> Arc<Self> {
+        Self::new(DEFAULT_SLOW_THRESHOLD_MICROS)
+    }
+
+    /// Seconds since this metric set was created (process serving time).
+    #[must_use]
+    pub fn uptime_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    /// The hot-path handles for shard `index`, registering its labelled
+    /// counter/histogram families on first use. Idempotent per index.
+    pub fn shard_lane(&self, index: usize) -> ShardLane {
+        let mut lanes = self.per_shard.lock().expect("shard lane lock");
+        while lanes.len() <= index {
+            let i = lanes.len();
+            lanes.push(ShardLane {
+                sends: self.registry.counter(
+                    &format!("imserve_shard_sends_total{{shard=\"{i}\"}}"),
+                    "Sub-requests sent to each shard by the router.",
+                ),
+                recvs: self.registry.counter(
+                    &format!("imserve_shard_recvs_total{{shard=\"{i}\"}}"),
+                    "Successful sub-responses received from each shard.",
+                ),
+                errors: self.registry.counter(
+                    &format!("imserve_shard_errors_total{{shard=\"{i}\"}}"),
+                    "Failed sub-requests per shard (transport, protocol or shard errors).",
+                ),
+                rtt_micros: self.registry.histogram(
+                    &format!("imserve_shard_rtt_micros{{shard=\"{i}\"}}"),
+                    "Round-trip time of sub-requests per shard in microseconds.",
+                ),
+            });
+        }
+        lanes[index].clone()
+    }
+
+    /// Mirror one maintenance counter (from [`imdyn::MaintenanceStats`])
+    /// into a gauge named `imserve_maintenance_<name>`. Called at snapshot
+    /// time, never on a hot path (registration re-fetches by name).
+    pub fn set_maintenance(&self, name: &str, value: u64) {
+        self.registry
+            .gauge(
+                &format!("imserve_maintenance_{name}"),
+                "Incremental-maintenance counters mirrored from the dynamic oracle.",
+            )
+            .set(value as i64);
+    }
+
+    /// Lifetime request counts split by type (the `ServiceStats` view).
+    #[must_use]
+    pub fn request_counts(&self) -> RequestTypeCounts {
+        RequestTypeCounts {
+            ping: self.ping.count.get(),
+            hello: self.hello.count.get(),
+            info: self.info.count.get(),
+            estimate: self.estimate.count.get(),
+            top_k: self.top_k.count.get(),
+            gains: self.gains.count.get(),
+            mutate: self.mutate.count.get(),
+            mutate_batch: self.mutate_batch.count.get(),
+            compact: self.compact.count.get(),
+            stats: self.stats.count.get(),
+            metrics: self.metrics.count.get(),
+        }
+    }
+
+    /// Offer a finished span to the slow log (counting retentions).
+    pub fn observe_span(&self, record: imobs::SpanRecord) {
+        if self.slow_log.offer(record) {
+            self.slow_queries.inc();
+        }
+    }
+
+    /// The uptime gauge, refreshed. Call before snapshotting or rendering.
+    pub fn refresh_uptime(&self) {
+        self.uptime_seconds.set(self.uptime_secs() as i64);
+    }
+
+    /// Build the wire [`MetricsReport`]: every registered metric plus the
+    /// slow-query log, in registration order.
+    #[must_use]
+    pub fn report(&self) -> MetricsReport {
+        self.refresh_uptime();
+        let snap = self.registry.snapshot();
+        MetricsReport {
+            counters: snap
+                .counters
+                .into_iter()
+                .map(|(name, value)| MetricSample { name, value })
+                .collect(),
+            gauges: snap
+                .gauges
+                .into_iter()
+                .map(|(name, value)| GaugeSample { name, value })
+                .collect(),
+            histograms: snap
+                .histograms
+                .into_iter()
+                .map(|(name, h)| {
+                    let last = h.last_nonempty_bucket().unwrap_or(0);
+                    let mut cumulative = 0u64;
+                    let buckets = h
+                        .buckets
+                        .iter()
+                        .take(last + 1)
+                        .enumerate()
+                        .map(|(i, &n)| {
+                            cumulative += n;
+                            HistogramBucket {
+                                le: imobs::bucket_upper_bound(i),
+                                count: cumulative,
+                            }
+                        })
+                        .collect();
+                    HistogramSample {
+                        name,
+                        count: h.count,
+                        sum: h.sum,
+                        buckets,
+                    }
+                })
+                .collect(),
+            slow_queries: self
+                .slow_log
+                .entries()
+                .into_iter()
+                .map(|r| SlowQuery {
+                    trace: r.trace,
+                    total_micros: r.total_micros,
+                    stages: r
+                        .events
+                        .into_iter()
+                        .map(|e| SpanStage {
+                            stage: e.stage.to_string(),
+                            at_micros: e.at_micros,
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Render the Prometheus plaintext exposition, with the slow-query log
+    /// appended as comment lines (`# slowlog trace=… total_us=… stages=…`) —
+    /// comments are legal in the text format, so ordinary scrapers ignore
+    /// them while humans and the CI smoke can read the span timelines.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        self.refresh_uptime();
+        let mut out = self.registry.render_prometheus();
+        for entry in self.slow_log.entries() {
+            let stages: Vec<String> = entry
+                .events
+                .iter()
+                .map(|e| format!("{}={}", e.stage, e.at_micros))
+                .collect();
+            let _ = writeln!(
+                out,
+                "# slowlog trace={:#x} total_us={} stages[{}]",
+                entry.trace,
+                entry.total_micros,
+                stages.join(",")
+            );
+        }
+        out
+    }
+}
+
+/// Serve `render()` over plaintext HTTP at `addr` from a detached thread.
+///
+/// This is a deliberately tiny HTTP/1.0-style responder — read the request
+/// head, answer `200 text/plain` with the current exposition, close — which
+/// is all a Prometheus scraper (or `curl`) needs. Returns the bound address
+/// (useful with port `0`).
+pub fn spawn_metrics_endpoint<A, F>(addr: A, render: F) -> std::io::Result<SocketAddr>
+where
+    A: ToSocketAddrs,
+    F: Fn() -> String + Send + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?;
+    std::thread::Builder::new()
+        .name("imserve-metrics".into())
+        .spawn(move || {
+            for stream in listener.incoming() {
+                let Ok(stream) = stream else { continue };
+                // One request per connection; any error just drops the
+                // connection (the scraper retries).
+                let _ = serve_one_scrape(stream, &render);
+            }
+        })?;
+    Ok(bound)
+}
+
+/// Answer a single scrape on `stream`.
+fn serve_one_scrape(
+    stream: std::net::TcpStream,
+    render: &impl Fn() -> String,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    // Consume the request head (request line + headers) up to the blank line.
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
+            break;
+        }
+    }
+    let body = render();
+    let mut stream = stream;
+    write!(
+        stream,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    )?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_counts_reflect_lane_counters() {
+        let m = ServingMetrics::with_defaults();
+        m.estimate.count.add(3);
+        m.top_k.count.inc();
+        m.stats.count.inc();
+        let counts = m.request_counts();
+        assert_eq!(counts.estimate, 3);
+        assert_eq!(counts.top_k, 1);
+        assert_eq!(counts.stats, 1);
+        assert_eq!(counts.total(), 5);
+    }
+
+    #[test]
+    fn shard_lanes_register_labelled_families_once() {
+        let m = ServingMetrics::with_defaults();
+        let lane1 = m.shard_lane(1); // registers shards 0 and 1
+        lane1.sends.inc();
+        lane1.errors.inc();
+        let again = m.shard_lane(1);
+        again.sends.inc();
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("imserve_shard_sends_total{shard=\"0\"} 0"),
+            "{text}"
+        );
+        assert!(
+            text.contains("imserve_shard_sends_total{shard=\"1\"} 2"),
+            "{text}"
+        );
+        assert!(
+            text.contains("imserve_shard_errors_total{shard=\"1\"} 1"),
+            "{text}"
+        );
+        assert_eq!(
+            text.matches("# TYPE imserve_shard_sends_total counter")
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn report_mirrors_registry_and_slow_log() {
+        let m = ServingMetrics::new(100);
+        m.estimate.count.inc();
+        m.estimate.latency_micros.record(250);
+        m.set_maintenance("compactions", 4);
+        let mut span = imobs::Span::begin(0x42);
+        span.event_with_micros("queue_wait", 10);
+        span.event_with_micros("execute", 200);
+        let mut record = span.finish();
+        record.total_micros = 250; // force it over the threshold
+        m.observe_span(record);
+
+        let report = m.report();
+        assert_eq!(
+            report.counter("imserve_requests_total{type=\"estimate\"}"),
+            1
+        );
+        assert_eq!(report.gauge("imserve_maintenance_compactions"), 4);
+        let hist = report
+            .histogram("imserve_request_latency_micros{type=\"estimate\"}")
+            .unwrap();
+        assert_eq!(hist.count, 1);
+        assert_eq!(hist.sum, 250);
+        assert_eq!(hist.quantile_micros(0.99), 255);
+        assert_eq!(report.slow_queries.len(), 1);
+        assert_eq!(report.slow_queries[0].trace, 0x42);
+        assert_eq!(report.slow_queries[0].stages[1].stage, "execute");
+        assert_eq!(m.slow_queries.get(), 1);
+
+        let text = m.render_prometheus();
+        assert!(
+            text.contains("# slowlog trace=0x42 total_us=250 stages[queue_wait=10,execute=200]"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn metrics_endpoint_answers_plaintext_scrapes() {
+        let m = ServingMetrics::with_defaults();
+        m.info.count.add(7);
+        let render = {
+            let m = Arc::clone(&m);
+            move || m.render_prometheus()
+        };
+        let addr = spawn_metrics_endpoint("127.0.0.1:0", render).unwrap();
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        write!(stream, "GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n").unwrap();
+        let mut body = String::new();
+        use std::io::Read as _;
+        stream.read_to_string(&mut body).unwrap();
+        assert!(body.starts_with("HTTP/1.0 200 OK"), "{body}");
+        assert!(body.contains("text/plain"), "{body}");
+        assert!(
+            body.contains("imserve_requests_total{type=\"info\"} 7"),
+            "{body}"
+        );
+        assert!(
+            body.contains("# TYPE imserve_uptime_seconds gauge"),
+            "{body}"
+        );
+    }
+}

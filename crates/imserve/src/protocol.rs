@@ -36,8 +36,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::ServeError;
 use crate::service::{
-    CompactionReport, GainVector, MutationOutcome, ServiceError, ServiceInfo, SpreadEstimate,
-    TopKSelection,
+    CompactionReport, GainVector, MetricsReport, MutationOutcome, RequestTypeCounts, ServiceError,
+    ServiceInfo, SpreadEstimate, TopKSelection,
 };
 
 /// The highest protocol version this build speaks.
@@ -141,6 +141,11 @@ pub enum Request {
     },
     /// Serving counters, pool dimensions and the current index epoch.
     Stats,
+    /// A point-in-time observability snapshot: every registered counter,
+    /// gauge and histogram plus the slow-query log — the wire twin of the
+    /// `--metrics-addr` Prometheus endpoint, so the same data is reachable
+    /// through an existing connection.
+    Metrics,
 }
 
 /// A server response (one per request, same order).
@@ -261,7 +266,14 @@ pub enum Response {
         /// Compactions performed by *this* server process (manual `Compact`
         /// requests plus policy-triggered ones).
         compactions: u64,
+        /// Seconds this server process has been up.
+        uptime_secs: u64,
+        /// Lifetime requests split by request type.
+        requests_by_type: RequestTypeCounts,
     },
+    /// An observability snapshot (answer to [`Request::Metrics`]). Like
+    /// `Stats`, deliberately volatile.
+    Metrics(MetricsReport),
     /// The request could not be answered.
     Error {
         /// Human-readable reason.
@@ -337,8 +349,16 @@ pub struct FrameEnvelope {
     pub id: u64,
 }
 
-/// A protocol-v2 request frame: version, caller-chosen id, payload.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A protocol-v2 request frame: version, caller-chosen id, payload, and an
+/// optional trace id.
+///
+/// `Serialize`/`Deserialize` are hand-written (not derived) because the
+/// trace field must be *omitted entirely* when absent: every frame a
+/// non-tracing client sends stays byte-for-byte what it was before the
+/// field existed, and old servers never see an unknown key. Responses never
+/// carry the trace id at all, so traced and untraced requests receive
+/// byte-identical answers.
+#[derive(Debug, Clone, PartialEq)]
 pub struct RequestFrame {
     /// Frame version (currently always [`PROTOCOL_VERSION`]).
     pub v: u32,
@@ -347,6 +367,56 @@ pub struct RequestFrame {
     pub id: u64,
     /// The request itself (same enum as the v1 dialect).
     pub req: Request,
+    /// Optional request-scoped trace id (`"t"` on the wire; omitted when
+    /// `None`). A router sets the same id on every shard hop of one logical
+    /// request, so the per-server slow-query logs stitch into one causal
+    /// trace.
+    pub trace: Option<u64>,
+}
+
+impl RequestFrame {
+    /// An untraced frame (the common case; byte-identical to the pre-trace
+    /// wire format).
+    #[must_use]
+    pub fn new(id: u64, req: Request) -> Self {
+        Self {
+            v: PROTOCOL_VERSION,
+            id,
+            req,
+            trace: None,
+        }
+    }
+}
+
+impl Serialize for RequestFrame {
+    fn to_value(&self) -> serde::Value {
+        let mut pairs = vec![
+            ("v".to_string(), self.v.to_value()),
+            ("id".to_string(), self.id.to_value()),
+            ("req".to_string(), self.req.to_value()),
+        ];
+        if let Some(t) = self.trace {
+            pairs.push(("t".to_string(), t.to_value()));
+        }
+        serde::Value::Object(pairs)
+    }
+}
+
+impl Deserialize for RequestFrame {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let trace = match v.get("t") {
+            None | Some(serde::Value::Null) => None,
+            Some(t) => {
+                Some(u64::from_value(t).map_err(|e| serde::Error(format!("field `t`: {e}")))?)
+            }
+        };
+        Ok(Self {
+            v: serde::de_field(v, "v")?,
+            id: serde::de_field(v, "id")?,
+            req: serde::de_field(v, "req")?,
+            trace,
+        })
+    }
 }
 
 /// A protocol-v2 response body: the typed success/failure split that
@@ -453,7 +523,15 @@ impl From<crate::service::ServiceStats> for Response {
             log_len: s.log_len,
             snapshot_epoch: s.snapshot_epoch,
             compactions: s.compactions,
+            uptime_secs: s.uptime_secs,
+            requests_by_type: s.requests_by_type,
         }
+    }
+}
+
+impl From<MetricsReport> for Response {
+    fn from(m: MetricsReport) -> Self {
+        Response::Metrics(m)
     }
 }
 
@@ -551,11 +629,7 @@ mod tests {
 
     #[test]
     fn v2_frames_round_trip_and_are_distinguishable_from_v1() {
-        let frame = RequestFrame {
-            v: PROTOCOL_VERSION,
-            id: 7,
-            req: Request::Estimate { seeds: vec![0, 5] },
-        };
+        let frame = RequestFrame::new(7, Request::Estimate { seeds: vec![0, 5] });
         let line = encode(&frame).unwrap();
         assert_eq!(line, r#"{"v":2,"id":7,"req":{"Estimate":{"seeds":[0,5]}}}"#);
         let back: RequestFrame = decode(&line).unwrap();
@@ -584,6 +658,73 @@ mod tests {
         assert!(line.contains(r#""kind":"Query""#), "{line}");
         let back: ResponseFrame = decode(&line).unwrap();
         assert_eq!(back, err);
+    }
+
+    #[test]
+    fn traced_frames_append_the_t_field_and_untraced_bytes_are_unchanged() {
+        // Untraced: byte-for-byte the pre-trace wire format.
+        let untraced = RequestFrame::new(3, Request::Ping);
+        assert_eq!(encode(&untraced).unwrap(), r#"{"v":2,"id":3,"req":"Ping"}"#);
+
+        // Traced: the id rides as a trailing "t" key and round-trips.
+        let traced = RequestFrame {
+            trace: Some(0xABCD),
+            ..untraced.clone()
+        };
+        let line = encode(&traced).unwrap();
+        assert_eq!(line, r#"{"v":2,"id":3,"req":"Ping","t":43981}"#);
+        let back: RequestFrame = decode(&line).unwrap();
+        assert_eq!(back, traced);
+
+        // A server that predates the field would have ignored unknown keys;
+        // this one parses it, and treats an explicit null as absent.
+        let back: RequestFrame = decode(r#"{"v":2,"id":3,"req":"Ping","t":null}"#).unwrap();
+        assert_eq!(back, untraced);
+    }
+
+    #[test]
+    fn metrics_frames_round_trip_over_the_wire() {
+        use crate::service::{
+            GaugeSample, HistogramBucket, HistogramSample, MetricSample, SlowQuery, SpanStage,
+        };
+        let back: Request = decode(&encode(&Request::Metrics).unwrap()).unwrap();
+        assert_eq!(back, Request::Metrics);
+
+        let report = MetricsReport {
+            counters: vec![MetricSample {
+                name: "imserve_requests_total".into(),
+                value: 42,
+            }],
+            gauges: vec![GaugeSample {
+                name: "imserve_epoch".into(),
+                value: 3,
+            }],
+            histograms: vec![HistogramSample {
+                name: "imserve_request_latency_micros{type=\"estimate\"}".into(),
+                count: 2,
+                sum: 300,
+                buckets: vec![
+                    HistogramBucket { le: 127, count: 1 },
+                    HistogramBucket { le: 255, count: 2 },
+                ],
+            }],
+            slow_queries: vec![SlowQuery {
+                trace: 7,
+                total_micros: 15_000,
+                stages: vec![SpanStage {
+                    stage: "execute".into(),
+                    at_micros: 14_000,
+                }],
+            }],
+        };
+        let response = Response::Metrics(report.clone());
+        let line = encode(&response).unwrap();
+        assert!(line.contains("imserve_requests_total"), "{line}");
+        let back: Response = decode(&line).unwrap();
+        assert_eq!(back, response);
+        // The client-side quantile helper reads the cumulative buckets.
+        assert_eq!(report.histograms[0].quantile_micros(0.5), 127);
+        assert_eq!(report.histograms[0].quantile_micros(1.0), 255);
     }
 
     #[test]
@@ -686,6 +827,13 @@ mod tests {
             log_len: 3,
             snapshot_epoch: 0,
             compactions: 0,
+            uptime_secs: 12,
+            requests_by_type: RequestTypeCounts {
+                estimate: 6,
+                top_k: 3,
+                stats: 1,
+                ..RequestTypeCounts::default()
+            },
         };
         let back: Response = decode(&encode(&stats).unwrap()).unwrap();
         assert_eq!(back, stats);

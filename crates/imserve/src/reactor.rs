@@ -55,6 +55,7 @@ use std::time::{Duration, Instant};
 use crate::engine::QueryEngine;
 use crate::error::ServeError;
 use crate::linebuf::LineBuffer;
+use crate::obs::ServingMetrics;
 use crate::server::{answer_line, ServerHandle};
 
 /// Reactor tuning knobs.
@@ -89,6 +90,9 @@ struct Job {
     connection: u64,
     sequence: u64,
     line: String,
+    /// When the loop dispatched this job; the gap to worker pickup is the
+    /// compute-pool queue wait the request's span records.
+    enqueued: Instant,
 }
 
 /// A reply travelling compute pool → loop.
@@ -112,8 +116,9 @@ struct Connection {
     next_sequence: u64,
     /// Next sequence number to append to `write_buf` (in-order flush).
     next_to_flush: u64,
-    /// Completions that finished ahead of their turn.
-    reorder: BTreeMap<u64, String>,
+    /// Completions that finished ahead of their turn, each stamped with its
+    /// parking time so the reorder wait is measurable.
+    reorder: BTreeMap<u64, (String, Instant)>,
     /// Requests currently inside the compute pool.
     inflight: usize,
     last_activity: Instant,
@@ -121,6 +126,9 @@ struct Connection {
     eof: bool,
     /// Connection-fatal failure; reap as soon as it is observed.
     dead: bool,
+    /// Whether the last tick had this connection over a backpressure bound
+    /// (edge detection for the stall counter).
+    throttled: bool,
 }
 
 impl Connection {
@@ -137,6 +145,7 @@ impl Connection {
             last_activity: Instant::now(),
             eof: false,
             dead: false,
+            throttled: false,
         }
     }
 
@@ -180,7 +189,8 @@ pub fn spawn(
                         Ok(job) => job,
                         Err(_) => return, // loop gone: shut down
                     };
-                    let reply = answer_line(&engine, &job.line, &mut scratch);
+                    let queue_wait = job.enqueued.elapsed().as_micros() as u64;
+                    let reply = answer_line(&engine, &job.line, &mut scratch, Some(queue_wait));
                     if done_tx
                         .send(Completion {
                             connection: job.connection,
@@ -199,9 +209,10 @@ pub fn spawn(
 
     let stop_flag = Arc::clone(&stop);
     let loop_config = config.clone();
+    let obs = Arc::clone(engine.obs());
     let event_loop = std::thread::Builder::new()
         .name("imserve-reactor".to_string())
-        .spawn(move || run_loop(&listener, &loop_config, &stop_flag, &job_tx, &done_rx))
+        .spawn(move || run_loop(&listener, &loop_config, &stop_flag, &job_tx, &done_rx, &obs))
         .expect("reactor thread spawns");
 
     Ok(ServerHandle {
@@ -223,6 +234,7 @@ fn run_loop(
     stop: &AtomicBool,
     job_tx: &Sender<Job>,
     done_rx: &Receiver<Completion>,
+    obs: &ServingMetrics,
 ) {
     let mut connections: HashMap<u64, Connection> = HashMap::new();
     let mut next_connection_id = 0u64;
@@ -262,7 +274,9 @@ fn run_loop(
                         connection.inflight -= 1;
                         match completion.reply {
                             Ok(reply) => {
-                                connection.reorder.insert(completion.sequence, reply);
+                                connection
+                                    .reorder
+                                    .insert(completion.sequence, (reply, Instant::now()));
                             }
                             Err(_) => connection.dead = true,
                         }
@@ -273,6 +287,9 @@ fn run_loop(
             }
         }
 
+        let mut inflight_total = 0i64;
+        let mut reorder_total = 0i64;
+        let mut backlog_total = 0i64;
         for (&id, connection) in connections.iter_mut() {
             if connection.dead {
                 reap.push(id);
@@ -280,14 +297,18 @@ fn run_loop(
             }
 
             // In-order flush: move consecutive finished replies to the wire
-            // buffer.
-            while let Some(reply) = connection.reorder.remove(&connection.next_to_flush) {
+            // buffer, recording how long each was parked out of order.
+            while let Some((reply, parked)) = connection.reorder.remove(&connection.next_to_flush) {
+                obs.reorder_wait_micros
+                    .record(parked.elapsed().as_micros() as u64);
                 connection.write_buf.extend_from_slice(reply.as_bytes());
                 connection.write_buf.push(b'\n');
                 connection.next_to_flush += 1;
             }
 
             // Phase 4: write until the socket stops accepting.
+            let flush_began = Instant::now();
+            let mut flushed_any = false;
             while connection.written < connection.write_buf.len() {
                 match connection
                     .stream
@@ -299,6 +320,7 @@ fn run_loop(
                     }
                     Ok(n) => {
                         connection.written += n;
+                        flushed_any = true;
                         progress = true;
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
@@ -309,6 +331,10 @@ fn run_loop(
                     }
                 }
             }
+            if flushed_any {
+                obs.write_flush_micros
+                    .record(flush_began.elapsed().as_micros() as u64);
+            }
             if connection.written == connection.write_buf.len() && connection.written > 0 {
                 connection.write_buf.clear();
                 connection.written = 0;
@@ -318,6 +344,11 @@ fn run_loop(
             // backpressure bound.
             let throttled = connection.inflight >= config.max_inflight_per_connection
                 || connection.backlog() > config.max_write_backlog;
+            if throttled && !connection.throttled {
+                // Rising edge only: one stall per episode, not per tick.
+                obs.backpressure_stalls.inc();
+            }
+            connection.throttled = throttled;
             if !connection.eof && !connection.dead && !throttled {
                 loop {
                     match connection.stream.read(&mut chunk) {
@@ -361,6 +392,7 @@ fn run_loop(
                         connection: id,
                         sequence,
                         line,
+                        enqueued: Instant::now(),
                     })
                     .is_err()
                 {
@@ -382,10 +414,19 @@ fn run_loop(
                     }
                 }
             }
+            inflight_total += connection.inflight as i64;
+            reorder_total += connection.reorder.len() as i64;
+            backlog_total += connection.backlog() as i64;
         }
         for id in reap.drain(..) {
             connections.remove(&id);
         }
+        // Depth gauges are sampled once per tick (absolute values, not
+        // increments) — cheap, and immune to drift from reaped connections.
+        obs.inflight.set(inflight_total);
+        obs.reorder_depth.set(reorder_total);
+        obs.write_backlog_bytes.set(backlog_total);
+        obs.open_connections.set(connections.len() as i64);
 
         if progress {
             backoff = BACKOFF_MIN;

@@ -26,6 +26,7 @@ use std::time::{Duration, Instant};
 use crate::engine::QueryEngine;
 use crate::error::ServeError;
 use crate::linebuf::LineBuffer;
+use crate::obs::ServingMetrics;
 use crate::protocol::{
     self, ErrorKind, FrameEnvelope, Outcome, Request, RequestFrame, Response, ResponseFrame,
     WireError, PROTOCOL_VERSION,
@@ -81,6 +82,23 @@ impl ServerHandle {
     }
 }
 
+/// Decrements the open-connections gauge when the connection is dropped, on
+/// whichever path drops it (idle expiry, I/O error, shutdown drain).
+struct ConnGauge(Arc<ServingMetrics>);
+
+impl ConnGauge {
+    fn open(obs: &Arc<ServingMetrics>) -> Self {
+        obs.open_connections.inc();
+        Self(Arc::clone(obs))
+    }
+}
+
+impl Drop for ConnGauge {
+    fn drop(&mut self) {
+        self.0.open_connections.dec();
+    }
+}
+
 /// One open connection's state while it waits in (or moves through) the turn
 /// queue: the socket, any partial request line read during a previous turn,
 /// and the idle clock.
@@ -88,6 +106,7 @@ struct PooledConnection {
     stream: TcpStream,
     lines: LineBuffer,
     last_activity: Instant,
+    _gauge: ConnGauge,
 }
 
 /// The turn queue shared by the acceptor and the workers.
@@ -170,6 +189,7 @@ pub fn spawn(
     }
 
     let stop_flag = Arc::clone(&stop);
+    let obs = Arc::clone(engine.obs());
     let acceptor = std::thread::Builder::new()
         .name("imserve-acceptor".to_string())
         .spawn(move || {
@@ -185,6 +205,7 @@ pub fn spawn(
                             stream,
                             lines: LineBuffer::new(),
                             last_activity: Instant::now(),
+                            _gauge: ConnGauge::open(&obs),
                         });
                     }
                     Err(_) => continue,
@@ -284,7 +305,7 @@ fn serve_turn(
         if line.trim().is_empty() {
             continue;
         }
-        let reply = answer_line(engine, &line, scratch)?;
+        let reply = answer_line(engine, &line, scratch, None)?;
         connection.stream.write_all(reply.as_bytes())?;
         connection.stream.write_all(b"\n")?;
         answered = true;
@@ -304,13 +325,36 @@ fn serve_turn(
 /// [`Response`] (errors flattened into `Response::Error`). The two dialects
 /// are structurally disjoint on the wire, so detection is just "try v2
 /// first" — and v1 clients keep working against either server unchanged.
+///
+/// Every answered line records a request span: parse, execute and encode
+/// durations, plus the `queue_wait_micros` the front end measured before
+/// this call (the reactor's dispatch-to-worker gap; the threaded pool
+/// passes `None`). The span joins the client's trace id when the v2 frame
+/// carries one (`"t"`), so a router's fan-out legs stitch into the original
+/// request's trace; otherwise a fresh process-unique id is minted. Slow
+/// spans land in the engine's slow-query log. None of this touches the
+/// reply bytes.
 pub(crate) fn answer_line(
     engine: &QueryEngine,
     line: &str,
     scratch: &mut im_core::EstimateScratch,
+    queue_wait_micros: Option<u64>,
 ) -> Result<String, ServeError> {
+    let obs = engine.obs();
+    let began = Instant::now();
+    if let Some(wait) = queue_wait_micros {
+        obs.queue_wait_micros.record(wait);
+    }
     match protocol::decode::<RequestFrame>(line) {
         Ok(frame) => {
+            let parse_micros = began.elapsed().as_micros() as u64;
+            let trace = frame.trace.unwrap_or_else(imobs::next_trace_id);
+            let mut span = imobs::Span::begin(trace);
+            if let Some(wait) = queue_wait_micros {
+                span.event_with_micros("queue_wait", wait);
+            }
+            span.event_with_micros("parse", parse_micros);
+            let executed = Instant::now();
             let body = if frame.v == PROTOCOL_VERSION {
                 match engine.handle_service(&frame.req, scratch) {
                     Ok(response) => Outcome::Ok(response),
@@ -326,11 +370,21 @@ pub(crate) fn answer_line(
                     ),
                 })
             };
-            protocol::encode(&ResponseFrame {
+            span.event_with_micros("execute", executed.elapsed().as_micros() as u64);
+            let encoded = Instant::now();
+            let reply = protocol::encode(&ResponseFrame {
                 v: PROTOCOL_VERSION,
                 id: frame.id,
                 body,
-            })
+            });
+            span.event_with_micros("encode", encoded.elapsed().as_micros() as u64);
+            let mut record = span.finish();
+            // Total = queue wait + everything measured here (the span began
+            // after parse, so its own clock misses the front of the line).
+            record.total_micros =
+                queue_wait_micros.unwrap_or(0) + began.elapsed().as_micros() as u64;
+            obs.observe_span(record);
+            reply
         }
         // Not a complete v2 frame. If the version/id envelope still parses,
         // the line *is* v2 with an unrecognized or malformed request payload
@@ -338,22 +392,44 @@ pub(crate) fn answer_line(
         // pipelining client stays in sync. Otherwise fall back to the v1
         // dialect.
         Err(frame_error) => match protocol::decode::<FrameEnvelope>(line) {
-            Ok(envelope) => protocol::encode(&ResponseFrame {
-                v: PROTOCOL_VERSION,
-                id: envelope.id,
-                body: Outcome::Err(WireError {
-                    kind: ErrorKind::Unsupported,
-                    message: format!("unrecognized or malformed v2 request payload: {frame_error}"),
-                }),
-            }),
+            Ok(envelope) => {
+                obs.parse_errors.inc();
+                protocol::encode(&ResponseFrame {
+                    v: PROTOCOL_VERSION,
+                    id: envelope.id,
+                    body: Outcome::Err(WireError {
+                        kind: ErrorKind::Unsupported,
+                        message: format!(
+                            "unrecognized or malformed v2 request payload: {frame_error}"
+                        ),
+                    }),
+                })
+            }
             Err(_) => {
-                let response = match protocol::decode::<Request>(line) {
+                let parse_micros = began.elapsed().as_micros() as u64;
+                let parsed = protocol::decode::<Request>(line);
+                let mut span = imobs::Span::begin(imobs::next_trace_id());
+                if let Some(wait) = queue_wait_micros {
+                    span.event_with_micros("queue_wait", wait);
+                }
+                span.event_with_micros("parse", parse_micros);
+                let executed = Instant::now();
+                let response = match parsed {
                     Ok(request) => engine.handle(&request, scratch),
-                    Err(e) => Response::Error {
-                        message: e.to_string(),
-                    },
+                    Err(e) => {
+                        obs.parse_errors.inc();
+                        Response::Error {
+                            message: e.to_string(),
+                        }
+                    }
                 };
-                protocol::encode(&response)
+                span.event_with_micros("execute", executed.elapsed().as_micros() as u64);
+                let reply = protocol::encode(&response);
+                let mut record = span.finish();
+                record.total_micros =
+                    queue_wait_micros.unwrap_or(0) + began.elapsed().as_micros() as u64;
+                obs.observe_span(record);
+                reply
             }
         },
     }

@@ -26,6 +26,7 @@ use std::sync::Arc;
 use im_core::EstimateScratch;
 use imdyn::EpochReport;
 use imgraph::GraphDelta;
+use serde::{Deserialize, Serialize};
 
 use crate::engine::QueryEngine;
 use crate::error::ServeError;
@@ -186,6 +187,71 @@ pub struct CompactionReport {
     pub folded: usize,
 }
 
+/// Lifetime request counts split by request type — the per-type half of the
+/// operational picture `query --stats` reports. Travels on the wire inside
+/// `Response::Stats` (volatile, like every other stats field).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RequestTypeCounts {
+    /// `Ping` liveness checks.
+    pub ping: u64,
+    /// `Hello` version handshakes.
+    pub hello: u64,
+    /// `Info` metadata requests.
+    pub info: u64,
+    /// `Estimate` spread queries.
+    pub estimate: u64,
+    /// `TopK` selections.
+    pub top_k: u64,
+    /// `Gains` marginal-coverage queries.
+    pub gains: u64,
+    /// `Mutate` (non-atomic) batches.
+    pub mutate: u64,
+    /// `MutateBatch` atomic batches.
+    pub mutate_batch: u64,
+    /// `Compact` requests.
+    pub compact: u64,
+    /// `Stats` requests.
+    pub stats: u64,
+    /// `Metrics` snapshot requests.
+    pub metrics: u64,
+}
+
+impl RequestTypeCounts {
+    /// Total requests across every type.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.ping
+            + self.hello
+            + self.info
+            + self.estimate
+            + self.top_k
+            + self.gains
+            + self.mutate
+            + self.mutate_batch
+            + self.compact
+            + self.stats
+            + self.metrics
+    }
+
+    /// Field-wise sum (how a shard router aggregates its backends).
+    #[must_use]
+    pub fn merged(&self, other: &Self) -> Self {
+        Self {
+            ping: self.ping + other.ping,
+            hello: self.hello + other.hello,
+            info: self.info + other.info,
+            estimate: self.estimate + other.estimate,
+            top_k: self.top_k + other.top_k,
+            gains: self.gains + other.gains,
+            mutate: self.mutate + other.mutate,
+            mutate_batch: self.mutate_batch + other.mutate_batch,
+            compact: self.compact + other.compact,
+            stats: self.stats + other.stats,
+            metrics: self.metrics + other.metrics,
+        }
+    }
+}
+
 /// Serving counters, pool dimensions and the epoch timeline.
 ///
 /// For local and remote backends `shards` is empty; a sharded service
@@ -213,8 +279,140 @@ pub struct ServiceStats {
     pub snapshot_epoch: u64,
     /// Compactions performed (summed over shards).
     pub compactions: u64,
+    /// Seconds the serving process has been up (the max over shards — the
+    /// oldest backend of the group).
+    pub uptime_secs: u64,
+    /// Lifetime requests split by request type (summed over shards).
+    pub requests_by_type: RequestTypeCounts,
     /// Per-shard epoch reports (empty for unsharded backends).
     pub shards: Vec<EpochReport>,
+}
+
+/// One sampled counter or other scalar `u64` metric.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Fully-qualified metric name (may carry inline labels).
+    pub name: String,
+    /// Sampled value.
+    pub value: u64,
+}
+
+/// One sampled gauge (signed level).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GaugeSample {
+    /// Fully-qualified metric name.
+    pub name: String,
+    /// Sampled level.
+    pub value: i64,
+}
+
+/// One cumulative histogram bucket: samples `≤ le`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramBucket {
+    /// Inclusive upper bound of the bucket.
+    pub le: u64,
+    /// Samples at or below `le` (cumulative).
+    pub count: u64,
+}
+
+/// One sampled log₂ histogram, in cumulative-bucket form (trailing empty
+/// buckets trimmed; the last bucket's count equals `count`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSample {
+    /// Fully-qualified metric name.
+    pub name: String,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Cumulative buckets, lowest bound first.
+    pub buckets: Vec<HistogramBucket>,
+}
+
+impl HistogramSample {
+    /// Upper bound of the bucket holding the `q`-quantile sample (`0` when
+    /// empty) — the same estimate the server-side histogram answers, exact
+    /// to within one log₂ bucket.
+    #[must_use]
+    pub fn quantile_micros(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        for b in &self.buckets {
+            if b.count >= rank {
+                return b.le;
+            }
+        }
+        self.buckets.last().map_or(0, |b| b.le)
+    }
+}
+
+/// One stage event inside a traced request span.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanStage {
+    /// Stage label (`parse`, `queue_wait`, `execute`, …).
+    pub stage: String,
+    /// Microseconds this stage took.
+    pub at_micros: u64,
+}
+
+/// One retained slow query: its trace id and full stage timeline.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SlowQuery {
+    /// The request's trace id (shared across hops of one logical request,
+    /// so router-side and shard-side entries stitch together).
+    pub trace: u64,
+    /// End-to-end microseconds for this hop.
+    pub total_micros: u64,
+    /// Stage events in record order.
+    pub stages: Vec<SpanStage>,
+}
+
+/// A point-in-time snapshot of a backend's observability state: every
+/// registered counter, gauge and histogram plus the slow-query log. This is
+/// the wire form of `query --metrics` / `Request::Metrics`; the same data
+/// renders as Prometheus text on `serve --metrics-addr`.
+///
+/// Like `Stats`, metrics responses are deliberately volatile — the
+/// byte-identity invariant covers query answers, not diagnostics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MetricsReport {
+    /// Every counter, in registration order.
+    pub counters: Vec<MetricSample>,
+    /// Every gauge, in registration order.
+    pub gauges: Vec<GaugeSample>,
+    /// Every histogram, in registration order.
+    pub histograms: Vec<HistogramSample>,
+    /// Retained slow queries, oldest first.
+    pub slow_queries: Vec<SlowQuery>,
+}
+
+impl MetricsReport {
+    /// Look up a counter value by exact name (`0` when absent — counters
+    /// that never fired may legitimately be missing from older servers).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|s| s.name == name)
+            .map_or(0, |s| s.value)
+    }
+
+    /// Look up a gauge level by exact name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|s| s.name == name)
+            .map_or(0, |s| s.value)
+    }
+
+    /// Look up a histogram by exact name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
+        self.histograms.iter().find(|s| s.name == name)
+    }
 }
 
 /// One typed query surface over local, remote and sharded backends.
@@ -253,6 +451,30 @@ pub trait InfluenceService {
     /// Serving counters and the epoch timeline.
     fn stats(&mut self) -> ServiceResult<ServiceStats>;
 
+    /// A point-in-time observability snapshot: every registered metric plus
+    /// the slow-query log. [`LocalService`] snapshots its engine's registry;
+    /// [`crate::client::RemoteService`] fetches the server's over the wire;
+    /// [`crate::shard::ShardedService`] reports its *router-side* registry
+    /// (fan-out counters and latencies — ask the shards directly for
+    /// engine-side metrics). The default declines, so minimal test doubles
+    /// keep compiling.
+    fn metrics(&mut self) -> ServiceResult<MetricsReport> {
+        Err(ServiceError::Backend(
+            "metrics snapshot not supported by this backend".into(),
+        ))
+    }
+
+    /// Join this service's subsequent calls to the caller's request trace.
+    /// Remote backends propagate the id on every v2 frame (`"t"` field) so
+    /// the server's span — and its slow-log entry, if the request is slow —
+    /// carries the caller's id; a shard router sets it on every shard before
+    /// a fan-out. `None` (the default state) omits the field and leaves the
+    /// wire bytes exactly as before. In-process backends ignore it (their
+    /// spans are created by the serving front end, not the service).
+    fn set_trace(&mut self, trace: Option<u64>) {
+        let _ = trace;
+    }
+
     /// Bound how long any single call on this service may wait on its
     /// backend. In-process backends answer synchronously and ignore the
     /// deadline (the default no-op); [`crate::client::RemoteService`] maps
@@ -287,6 +509,12 @@ impl<S: InfluenceService + ?Sized> InfluenceService for Box<S> {
     }
     fn stats(&mut self) -> ServiceResult<ServiceStats> {
         (**self).stats()
+    }
+    fn metrics(&mut self) -> ServiceResult<MetricsReport> {
+        (**self).metrics()
+    }
+    fn set_trace(&mut self, trace: Option<u64>) {
+        (**self).set_trace(trace)
     }
     fn set_deadline(&mut self, deadline: Option<std::time::Duration>) -> ServiceResult<()> {
         (**self).set_deadline(deadline)
@@ -357,6 +585,10 @@ impl InfluenceService for LocalService {
 
     fn stats(&mut self) -> ServiceResult<ServiceStats> {
         Ok(self.engine.stats())
+    }
+
+    fn metrics(&mut self) -> ServiceResult<MetricsReport> {
+        Ok(self.engine.metrics_report())
     }
 }
 

@@ -53,13 +53,17 @@
 //! deadline with [`InfluenceService::set_deadline`] so a dead shard degrades
 //! the answer loudly instead of hanging the router.
 
+use std::sync::Arc;
+use std::time::Instant;
+
 use imdyn::EpochReport;
 use imgraph::GraphDelta;
 
+use crate::obs::{ServingMetrics, ShardLane};
 use crate::protocol::TopKAlgorithm;
 use crate::service::{
-    CompactionReport, GainVector, InfluenceService, MutationOutcome, ServiceError, ServiceInfo,
-    ServiceResult, ServiceStats, SpreadEstimate, TopKSelection,
+    CompactionReport, GainVector, InfluenceService, MetricsReport, MutationOutcome, ServiceError,
+    ServiceInfo, ServiceResult, ServiceStats, SpreadEstimate, TopKSelection,
 };
 
 /// A router over N shard backends (see the module docs for the invariant).
@@ -79,6 +83,11 @@ pub struct ShardedService<S: InfluenceService> {
     /// refresh, so a selection computed for a departed epoch cannot be
     /// served.
     memo: Option<(usize, TopKAlgorithm, u64, TopKSelection)>,
+    /// Router-side metrics: fan-out counts plus one labelled lane per shard.
+    obs: Arc<ServingMetrics>,
+    /// Pre-fetched per-shard lane handles (index-aligned with `shards`), so
+    /// fan-out legs record without touching the registry.
+    lanes: Vec<ShardLane>,
 }
 
 impl<S: InfluenceService + Send> ShardedService<S> {
@@ -180,11 +189,18 @@ impl<S: InfluenceService + Send> ShardedService<S> {
         info.shard_offset = group_start;
         info.global_pool = global;
         info.confidence_99 = 1.29 * info.num_vertices as f64 / (info.pool_size as f64).sqrt();
+        // Router-side observability: its own registry (fan-out counters and
+        // per-shard labelled lanes), separate from any engine's — the router
+        // measures the fan-out layer, the shards measure themselves.
+        let obs = ServingMetrics::with_defaults();
+        let lanes: Vec<ShardLane> = (0..shards.len()).map(|i| obs.shard_lane(i)).collect();
         Ok(Self {
             shards,
             info,
             epoch: epoch.unwrap_or(0),
             memo: None,
+            obs,
+            lanes,
         })
     }
 
@@ -194,22 +210,47 @@ impl<S: InfluenceService + Send> ShardedService<S> {
         self.shards.len()
     }
 
+    /// The router-side observability surface (fan-out counters, per-shard
+    /// send/recv/error lanes and round-trip histograms).
+    #[must_use]
+    pub fn obs(&self) -> &Arc<ServingMetrics> {
+        &self.obs
+    }
+
     /// Run `op` on every shard concurrently (one scoped thread per shard;
     /// the single-shard case stays inline) and collect the per-shard results
-    /// in shard-index order — the order every merge below depends on.
+    /// in shard-index order — the order every merge below depends on. Each
+    /// leg records into its shard's lane (send/recv/error counters and the
+    /// round-trip histogram); `obs` counts the fan-out itself.
     fn fan_out<T: Send>(
         shards: &mut [S],
+        obs: &ServingMetrics,
+        lanes: &[ShardLane],
         op: impl Fn(&mut S) -> ServiceResult<T> + Sync,
     ) -> Vec<ServiceResult<T>> {
+        obs.shard_fanouts.inc();
+        let run = |i: usize, shard: &mut S| -> ServiceResult<T> {
+            let lane = &lanes[i];
+            lane.sends.inc();
+            let began = Instant::now();
+            let result = op(shard);
+            lane.rtt_micros.record(began.elapsed().as_micros() as u64);
+            match &result {
+                Ok(_) => lane.recvs.inc(),
+                Err(_) => lane.errors.inc(),
+            }
+            result
+        };
         if shards.len() == 1 {
-            return vec![op(&mut shards[0])];
+            return vec![run(0, &mut shards[0])];
         }
         std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter_mut()
-                .map(|shard| {
-                    let op = &op;
-                    scope.spawn(move || op(shard))
+                .enumerate()
+                .map(|(i, shard)| {
+                    let run = &run;
+                    scope.spawn(move || run(i, shard))
                 })
                 .collect();
             handles
@@ -253,7 +294,12 @@ impl<S: InfluenceService + Send> ShardedService<S> {
     /// shard). Makes out-of-band mutations visible — and the `top_k` memo
     /// safe — at the cost of the verification round.
     fn refresh_epoch(&mut self) -> ServiceResult<u64> {
-        let all = Self::merge_results(Self::fan_out(&mut self.shards, |shard| shard.stats()))?;
+        let all = Self::merge_results(Self::fan_out(
+            &mut self.shards,
+            &self.obs,
+            &self.lanes,
+            |shard| shard.stats(),
+        ))?;
         let mut epoch: Option<u64> = None;
         for (i, stats) in all.iter().enumerate() {
             let observed = stats.epoch;
@@ -279,9 +325,12 @@ impl<S: InfluenceService + Send> ShardedService<S> {
     /// sequential ones bit for bit.
     fn summed_gains(&mut self, selected: &[u32]) -> ServiceResult<GainVector> {
         let n = self.info.num_vertices;
-        let all = Self::merge_results(Self::fan_out(&mut self.shards, |shard| {
-            shard.gains(selected)
-        }))?;
+        let all = Self::merge_results(Self::fan_out(
+            &mut self.shards,
+            &self.obs,
+            &self.lanes,
+            |shard| shard.gains(selected),
+        ))?;
         let mut sum = vec![0u64; n];
         let mut covered = 0u64;
         let mut pool = 0u64;
@@ -358,9 +407,12 @@ impl<S: InfluenceService + Send> InfluenceService for ShardedService<S> {
     }
 
     fn estimate(&mut self, seeds: &[u32]) -> ServiceResult<SpreadEstimate> {
-        let all = Self::merge_results(Self::fan_out(&mut self.shards, |shard| {
-            shard.estimate(seeds)
-        }))?;
+        let all = Self::merge_results(Self::fan_out(
+            &mut self.shards,
+            &self.obs,
+            &self.lanes,
+            |shard| shard.estimate(seeds),
+        ))?;
         let mut covered = 0u64;
         let mut pool = 0u64;
         for estimate in &all {
@@ -418,7 +470,9 @@ impl<S: InfluenceService + Send> InfluenceService for ShardedService<S> {
         // applied anywhere and the batch is simply invalid — the caller sees
         // shard 0's error untouched, exactly as a single-pool backend would
         // report it.
-        let results = Self::fan_out(&mut self.shards, |shard| shard.mutate_batch(deltas));
+        let results = Self::fan_out(&mut self.shards, &self.obs, &self.lanes, |shard| {
+            shard.mutate_batch(deltas)
+        });
         if results.iter().all(Result::is_err) {
             let first = results.into_iter().next().expect("at least one shard");
             return Err(first.expect_err("all results are errors"));
@@ -478,7 +532,12 @@ impl<S: InfluenceService + Send> InfluenceService for ShardedService<S> {
     }
 
     fn compact(&mut self) -> ServiceResult<CompactionReport> {
-        let all = Self::merge_results(Self::fan_out(&mut self.shards, |shard| shard.compact()))?;
+        let all = Self::merge_results(Self::fan_out(
+            &mut self.shards,
+            &self.obs,
+            &self.lanes,
+            |shard| shard.compact(),
+        ))?;
         let mut epoch: Option<u64> = None;
         let mut folded = 0usize;
         for (i, report) in all.into_iter().enumerate() {
@@ -503,14 +562,22 @@ impl<S: InfluenceService + Send> InfluenceService for ShardedService<S> {
     fn set_deadline(&mut self, deadline: Option<std::time::Duration>) -> ServiceResult<()> {
         // Propagate to every shard so a dead backend fails its fan-out leg
         // within the deadline instead of hanging the whole router.
-        Self::merge_results(Self::fan_out(&mut self.shards, |shard| {
-            shard.set_deadline(deadline)
-        }))?;
+        Self::merge_results(Self::fan_out(
+            &mut self.shards,
+            &self.obs,
+            &self.lanes,
+            |shard| shard.set_deadline(deadline),
+        ))?;
         Ok(())
     }
 
     fn stats(&mut self) -> ServiceResult<ServiceStats> {
-        let all = Self::merge_results(Self::fan_out(&mut self.shards, |shard| shard.stats()))?;
+        let all = Self::merge_results(Self::fan_out(
+            &mut self.shards,
+            &self.obs,
+            &self.lanes,
+            |shard| shard.stats(),
+        ))?;
         let mut merged: Option<ServiceStats> = None;
         let mut shard_reports: Vec<EpochReport> = Vec::with_capacity(all.len());
         for (i, stats) in all.into_iter().enumerate() {
@@ -540,11 +607,31 @@ impl<S: InfluenceService + Send> InfluenceService for ShardedService<S> {
                     m.log_len = m.log_len.max(stats.log_len);
                     m.snapshot_epoch = m.snapshot_epoch.min(stats.snapshot_epoch);
                     m.compactions += stats.compactions;
+                    // The group has served as long as its oldest member.
+                    m.uptime_secs = m.uptime_secs.max(stats.uptime_secs);
+                    m.requests_by_type = m.requests_by_type.merged(&stats.requests_by_type);
                 }
             }
         }
         let mut stats = merged.expect("at least one shard");
         stats.shards = shard_reports;
         Ok(stats)
+    }
+
+    /// The *router's* metrics: fan-out counts, per-shard send/recv/error
+    /// lanes and round-trip histograms. Shard backends keep their own
+    /// registries (query them directly for engine-side metrics) — the layers
+    /// measure themselves, they are not merged.
+    fn metrics(&mut self) -> ServiceResult<MetricsReport> {
+        Ok(self.obs.report())
+    }
+
+    /// Propagate the caller's trace id to every shard: each fan-out leg
+    /// stamps it onto its frames ([`crate::client::RemoteService`] hops), so
+    /// the per-shard sub-requests stitch into the original request's trace.
+    fn set_trace(&mut self, trace: Option<u64>) {
+        for shard in &mut self.shards {
+            shard.set_trace(trace);
+        }
     }
 }

@@ -218,13 +218,14 @@ impl WriteAheadLog {
     /// Append one accepted batch — stamped with the epoch and the
     /// fingerprint of the graph it was applied to — flushing and syncing
     /// before returning so an acknowledged mutation survives a crash of
-    /// this process.
+    /// this process. Returns the on-disk size of the appended record
+    /// (length prefix included), for the caller's byte accounting.
     pub fn append(
         &mut self,
         epoch_before: u64,
         graph_hash_before: u64,
         deltas: &[GraphDelta],
-    ) -> Result<(), ServeError> {
+    ) -> Result<u64, ServeError> {
         let body = DeltaLog::from_deltas(deltas.to_vec()).to_bytes();
         let mut record = Vec::with_capacity(4 + 16 + body.len());
         record.extend_from_slice(
@@ -243,7 +244,7 @@ impl WriteAheadLog {
         self.file.write_all(&record)?;
         self.file.flush()?;
         self.file.sync_data()?;
-        Ok(())
+        Ok(record.len() as u64)
     }
 
     /// The path this log appends to.

@@ -1,0 +1,186 @@
+//! End-to-end observability: the `Metrics` request and the scrape endpoint
+//! reflect served traffic, trace ids propagate across the sharded wire into
+//! every hop's slow-query log, and tracing never perturbs response bytes.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use imserve::client::RemoteService;
+use imserve::engine::QueryEngine;
+use imserve::index::{build_dataset_index, parse_dataset, parse_model, IndexArtifact};
+use imserve::protocol::{Request, RequestFrame, TopKAlgorithm, PROTOCOL_VERSION};
+use imserve::service::InfluenceService;
+use imserve::shard::ShardedService;
+use imserve::{protocol, reactor, ReactorConfig, ServingMetrics};
+
+const POOL: usize = 2_000;
+const SEED: u64 = 7;
+
+/// An engine whose slow-query threshold is zero, so every request is
+/// retained with its full stage timeline.
+fn observed_engine(artifact: IndexArtifact) -> Arc<QueryEngine> {
+    Arc::new(
+        QueryEngine::builder(artifact)
+            .metrics(ServingMetrics::new(0))
+            .build()
+            .unwrap(),
+    )
+}
+
+#[test]
+fn metrics_request_and_scrape_endpoint_reflect_served_traffic() {
+    let engine = observed_engine(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap());
+    let handle = reactor::spawn(
+        "127.0.0.1:0",
+        Arc::clone(&engine),
+        &ReactorConfig {
+            compute_threads: 2,
+            ..ReactorConfig::default()
+        },
+    )
+    .unwrap();
+    let render_engine = Arc::clone(&engine);
+    let scrape_addr =
+        imserve::spawn_metrics_endpoint("127.0.0.1:0", move || render_engine.render_metrics())
+            .unwrap();
+
+    let mut service = RemoteService::connect(handle.addr()).unwrap();
+    service.estimate(&[0]).unwrap();
+    service.estimate(&[0, 33]).unwrap();
+    // Same selection twice: a cache miss then a hit.
+    service.top_k(2, TopKAlgorithm::Greedy).unwrap();
+    service.top_k(2, TopKAlgorithm::Greedy).unwrap();
+    let stats = service.stats().unwrap();
+    assert!(stats.requests_by_type.estimate >= 2);
+    assert_eq!(stats.topk_cache_hits, 1);
+
+    // The wire `Metrics` snapshot carries the same counters the engine saw.
+    let report = service.metrics().unwrap();
+    let estimate_lane = report.counter("imserve_requests_total{type=\"estimate\"}");
+    assert_eq!(estimate_lane, 2);
+    assert_eq!(report.counter("imserve_topk_cache_hits_total"), 1);
+    assert_eq!(report.counter("imserve_topk_cache_misses_total"), 1);
+    let latency = report
+        .histogram("imserve_request_latency_micros{type=\"estimate\"}")
+        .expect("estimate latency histogram");
+    assert_eq!(latency.count, 2);
+    // Threshold zero: every request is in the slow log, with stage
+    // timelines whose names match the serving pipeline.
+    assert!(!report.slow_queries.is_empty());
+    let slow = report.slow_queries.last().unwrap();
+    let stages: Vec<&str> = slow.stages.iter().map(|s| s.stage.as_str()).collect();
+    assert!(stages.contains(&"execute"), "stages: {stages:?}");
+    assert!(stages.contains(&"parse"), "stages: {stages:?}");
+
+    // The plaintext scrape renders the same families Prometheus-style.
+    let mut stream = TcpStream::connect(scrape_addr).unwrap();
+    stream
+        .write_all(b"GET /metrics HTTP/1.0\r\nHost: test\r\n\r\n")
+        .unwrap();
+    let mut body = String::new();
+    stream.read_to_string(&mut body).unwrap();
+    assert!(body.starts_with("HTTP/1.0 200 OK"), "head: {body:.60}");
+    for needle in [
+        "# TYPE imserve_requests_total counter",
+        "imserve_requests_total{type=\"estimate\"} 2",
+        "# TYPE imserve_request_latency_micros histogram",
+        "imserve_topk_cache_hits_total 1",
+        "imserve_uptime_seconds",
+        "imserve_queue_wait_micros",
+        "# slowlog trace=0x",
+    ] {
+        assert!(body.contains(needle), "scrape missing {needle:?}:\n{body}");
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn trace_ids_propagate_through_the_sharded_wire_into_every_slow_log() {
+    // Two real shard artifacts over one global pool, each behind its own
+    // TCP server, routed by a ShardedService — the full production topology.
+    let ds = parse_dataset("karate").unwrap();
+    let model = parse_model("uc0.1").unwrap();
+    let mut engines = Vec::new();
+    let mut handles = Vec::new();
+    for index in 0..2usize {
+        let graph = ds.influence_graph(model, SEED);
+        let artifact =
+            IndexArtifact::build_shard(ds.name(), &model.label(), graph, POOL, SEED, index, 2);
+        let engine = observed_engine(artifact);
+        engines.push(Arc::clone(&engine));
+        handles.push(reactor::spawn("127.0.0.1:0", engine, &ReactorConfig::default()).unwrap());
+    }
+    let shards: Vec<RemoteService> = handles
+        .iter()
+        .map(|h| RemoteService::connect(h.addr()).unwrap())
+        .collect();
+    let mut router = ShardedService::new(shards).unwrap();
+
+    const TRACE: u64 = 0x00C0FFEE;
+    router.set_trace(Some(TRACE));
+    router.estimate(&[0, 5]).unwrap();
+
+    // Every shard server retained the hop under the router's trace id — the
+    // property that lets one logical request be stitched across machines.
+    for (i, engine) in engines.iter().enumerate() {
+        let traces: Vec<u64> = engine
+            .obs()
+            .slow_log
+            .entries()
+            .iter()
+            .map(|r| r.trace)
+            .collect();
+        assert!(
+            traces.contains(&TRACE),
+            "shard {i} slow log missing trace {TRACE:#x}: {traces:?}"
+        );
+    }
+
+    // Untraced requests mint fresh ids — never zero, never the stale one.
+    router.set_trace(None);
+    router.estimate(&[1]).unwrap();
+    let fresh: Vec<u64> = engines[0]
+        .obs()
+        .slow_log
+        .entries()
+        .iter()
+        .map(|r| r.trace)
+        .collect();
+    assert!(fresh.iter().all(|&t| t != 0));
+    for handle in handles {
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn traced_frames_get_byte_identical_responses_to_untraced_ones() {
+    let engine = observed_engine(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap());
+    let handle = reactor::spawn("127.0.0.1:0", engine, &ReactorConfig::default()).unwrap();
+    let mut stream = TcpStream::connect(handle.addr()).unwrap();
+
+    let request = Request::Estimate { seeds: vec![0, 9] };
+    let untraced = protocol::encode(&RequestFrame::new(42, request.clone())).unwrap();
+    let traced = protocol::encode(&RequestFrame {
+        v: PROTOCOL_VERSION,
+        id: 42,
+        req: request,
+        trace: Some(0xDEAD_BEEF),
+    })
+    .unwrap();
+    assert_ne!(untraced, traced, "the t field must be on the wire");
+
+    stream
+        .write_all(format!("{untraced}\n{traced}\n").as_bytes())
+        .unwrap();
+    let mut reader = BufReader::new(stream);
+    let mut first = String::new();
+    reader.read_line(&mut first).unwrap();
+    let mut second = String::new();
+    reader.read_line(&mut second).unwrap();
+    assert_eq!(
+        first, second,
+        "tracing must never change a response's bytes"
+    );
+    handle.shutdown();
+}

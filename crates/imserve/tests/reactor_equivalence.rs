@@ -21,7 +21,7 @@ use std::sync::Arc;
 use imserve::client::ServiceConnection;
 use imserve::engine::QueryEngine;
 use imserve::index::build_dataset_index;
-use imserve::protocol::{self, Request, RequestFrame, Response, TopKAlgorithm, PROTOCOL_VERSION};
+use imserve::protocol::{self, Request, RequestFrame, Response, TopKAlgorithm};
 use imserve::reactor;
 use imserve::server::{self, ServerConfig};
 use imserve::{ReactorConfig, ServerHandle};
@@ -50,18 +50,16 @@ fn script(c: usize) -> Vec<String> {
                 seeds: vec![(c32 * 5 + i) % KARATE_N],
             })
             .unwrap(),
-            1 => protocol::encode(&RequestFrame {
-                v: PROTOCOL_VERSION,
-                id: u64::from(i) + 1,
-                req: Request::Estimate {
+            1 => protocol::encode(&RequestFrame::new(
+                u64::from(i) + 1,
+                Request::Estimate {
                     seeds: vec![(c32 + i) % KARATE_N, (c32 * 3 + 7) % KARATE_N],
                 },
-            })
+            ))
             .unwrap(),
-            2 => protocol::encode(&RequestFrame {
-                v: PROTOCOL_VERSION,
-                id: u64::from(i) + 100,
-                req: Request::TopK {
+            2 => protocol::encode(&RequestFrame::new(
+                u64::from(i) + 100,
+                Request::TopK {
                     k: 1 + c % 3,
                     algorithm: if i % 8 == 2 {
                         TopKAlgorithm::Greedy
@@ -69,7 +67,7 @@ fn script(c: usize) -> Vec<String> {
                         TopKAlgorithm::SingletonRank
                     },
                 },
-            })
+            ))
             .unwrap(),
             _ => protocol::encode(&Request::Info).unwrap(),
         };
