@@ -385,8 +385,14 @@ pub struct BenchServerMetrics {
     pub backpressure_stalls: u64,
     /// Requests past the slow-query threshold during the run.
     pub slow_queries: u64,
-    /// Server-side compute-queue wait p99 in microseconds.
+    /// Server-side compute-queue wait p99 in microseconds. For `sharded:N`
+    /// this walks the router's *federated* snapshot — the cluster's merged
+    /// queue-wait histogram, not any single shard's.
     pub queue_wait_p99_micros: u64,
+    /// Requests each shard handled during the run, from the federated
+    /// snapshot's `shard="i"`-labelled request counters. Empty for
+    /// non-sharded backends (schema-additive; absent in older documents).
+    pub per_shard_requests: Vec<u64>,
 }
 
 /// Assemble the benchmark document: workload shape, host metadata, the
@@ -418,6 +424,7 @@ pub fn bench_document(spec: &LoadtestSpec, runs: &[BackendRun]) -> BenchDocument
                             backpressure_stalls: m.backpressure_stalls,
                             slow_queries: m.slow_queries,
                             queue_wait_p99_micros: m.queue_wait_p99_micros,
+                            per_shard_requests: m.per_shard_requests.clone(),
                         }
                     }),
                 }

@@ -23,9 +23,20 @@
 //!   (router → shard) stitch into one causal trace.
 //! - [`SlowLog`] — a bounded ring of the worst [`SpanRecord`]s over a
 //!   configurable latency threshold.
+//! - [`events`] — a leveled, typed-field operational event log with a
+//!   bounded ring and an optional JSON-lines stderr sink.
+//!
+//! Snapshots federate: [`RegistrySnapshot::merge`] and
+//! [`HistogramSnapshot::merge`] combine per-process snapshots into one
+//! cluster view (counters sum, gauges sum, histogram buckets add
+//! element-wise so merged quantiles keep the one-bucket error bound).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod events;
+
+pub use events::{Event, EventField, EventLevel, EventLog, FieldValue};
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -250,6 +261,23 @@ impl HistogramSnapshot {
     pub fn last_nonempty_bucket(&self) -> Option<usize> {
         self.buckets.iter().rposition(|&n| n > 0)
     }
+
+    /// Fold `other` into `self`: per-bucket counts add element-wise, counts
+    /// add, sums add (wrapping, like the live histogram). Because both sides
+    /// use the same log₂ bucket boundaries, the merged snapshot is exactly
+    /// the snapshot the concatenated sample streams would have produced, so
+    /// [`HistogramSnapshot::quantile`] on the merged result keeps the same
+    /// one-bucket error bound.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, &theirs) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -367,17 +395,29 @@ impl Registry {
     /// Render every metric in Prometheus plaintext exposition format
     /// (version 0.0.4): `# HELP` / `# TYPE` headers per family, cumulative
     /// `_bucket{le=...}` series plus `_sum` / `_count` for histograms.
+    ///
+    /// Output is **byte-stable**: families render in lexicographic order and
+    /// labelled series sort within their family, so two scrapes of identical
+    /// state are identical bytes regardless of registration order or thread
+    /// interleaving (per-shard lanes register lazily from worker threads).
     #[must_use]
     pub fn render_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let entries = self.entries.lock().expect("registry lock");
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        order.sort_by(|&a, &b| {
+            let (fa, fb) = (family_of(&entries[a].name), family_of(&entries[b].name));
+            fa.cmp(fb)
+                .then_with(|| entries[a].name.cmp(&entries[b].name))
+        });
         let mut out = String::new();
-        let mut seen_families: Vec<String> = Vec::new();
-        for e in entries.iter() {
+        let mut last_family: Option<&str> = None;
+        for &idx in &order {
+            let e = &entries[idx];
             let family = family_of(&e.name);
-            let first_of_family = !seen_families.iter().any(|f| f == family);
+            let first_of_family = last_family != Some(family);
             if first_of_family {
-                seen_families.push(family.to_string());
+                last_family = Some(family);
             }
             match &e.metric {
                 Metric::Counter(c) => {
@@ -461,6 +501,33 @@ impl RegistrySnapshot {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, h)| h)
+    }
+
+    /// Fold `other` into `self` by exact series name: counters and gauges
+    /// sum, histograms merge via [`HistogramSnapshot::merge`]; series absent
+    /// on one side are appended verbatim. This is the federation primitive —
+    /// a router merges its shards' snapshots (after relabelling each with a
+    /// `shard="i"` label where per-shard series are wanted) into one
+    /// cluster-wide snapshot.
+    pub fn merge(&mut self, other: &RegistrySnapshot) {
+        for (name, value) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += value,
+                None => self.counters.push((name.clone(), *value)),
+            }
+        }
+        for (name, value) in &other.gauges {
+            match self.gauges.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => *mine += value,
+                None => self.gauges.push((name.clone(), *value)),
+            }
+        }
+        for (name, snap) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mine)) => mine.merge(snap),
+                None => self.histograms.push((name.clone(), snap.clone())),
+            }
+        }
     }
 }
 
@@ -806,6 +873,66 @@ mod tests {
         assert_eq!(snap.gauge("obs_depth"), Some(-2));
         assert_eq!(snap.histogram("obs_latency_micros").unwrap().count, 2);
         assert_eq!(snap.counter("obs_shard_errors_total{shard=\"1\"}"), Some(2));
+    }
+
+    #[test]
+    fn render_is_byte_stable_across_registration_orders() {
+        let forwards = Registry::new();
+        let backwards = Registry::new();
+        let names = [
+            "obs_requests_total{type=\"estimate\"}",
+            "obs_requests_total{type=\"apply\"}",
+            "obs_zeta_total",
+            "obs_alpha_total",
+        ];
+        for name in names {
+            forwards.counter(name, "Requests.").inc();
+        }
+        for name in names.iter().rev() {
+            backwards.counter(name, "Requests.").inc();
+        }
+        let a = forwards.render_prometheus();
+        let b = backwards.render_prometheus();
+        assert_eq!(a, b, "scrape bytes must not depend on registration order");
+        // Families and series are lexicographically sorted.
+        let alpha = a.find("obs_alpha_total 1").unwrap();
+        let apply = a.find("obs_requests_total{type=\"apply\"}").unwrap();
+        let estimate = a.find("obs_requests_total{type=\"estimate\"}").unwrap();
+        let zeta = a.find("obs_zeta_total 1").unwrap();
+        assert!(alpha < apply && apply < estimate && estimate < zeta, "{a}");
+        // One TYPE header per family, even for the labelled one.
+        assert_eq!(a.matches("# TYPE obs_requests_total counter").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_merge_equals_concatenated_samples() {
+        let left = Histogram::new();
+        let right = Histogram::new();
+        let both = Histogram::new();
+        for v in [0u64, 1, 5, 300, 1 << 40] {
+            left.record(v);
+            both.record(v);
+        }
+        for v in [2u64, 5, 7_000, u64::MAX] {
+            right.record(v);
+            both.record(v);
+        }
+        let mut merged = left.snapshot();
+        merged.merge(&right.snapshot());
+        assert_eq!(merged, both.snapshot());
+
+        let ra = Registry::new();
+        let rb = Registry::new();
+        ra.counter("obs_total", "T.").add(3);
+        rb.counter("obs_total", "T.").add(4);
+        ra.gauge("obs_depth", "D.").set(2);
+        rb.gauge("obs_depth", "D.").set(-5);
+        rb.counter("obs_only_b_total", "B.").inc();
+        let mut snap = ra.snapshot();
+        snap.merge(&rb.snapshot());
+        assert_eq!(snap.counter("obs_total"), Some(7));
+        assert_eq!(snap.gauge("obs_depth"), Some(-3));
+        assert_eq!(snap.counter("obs_only_b_total"), Some(1));
     }
 
     #[test]

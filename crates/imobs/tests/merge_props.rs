@@ -1,0 +1,126 @@
+//! Federation correctness, property-tested: merging K per-shard histogram
+//! snapshots is indistinguishable from one histogram that saw every sample,
+//! cumulative bucket series agree with the concatenated stream, and the
+//! merged quantile keeps the same one-bucket error bound a single process
+//! enjoys — the property that makes a federated p99 honest.
+
+use proptest::prelude::*;
+
+use imobs::{bucket_index, bucket_upper_bound, Histogram, HistogramSnapshot, Registry};
+
+/// The true `q`-quantile under the histogram's rank convention.
+fn true_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+    sorted[rank - 1]
+}
+
+/// Cumulative bucket series of a snapshot, the shape `_bucket{le=...}`
+/// exposition and the wire `MetricsReport` carry.
+fn cumulative(snapshot: &HistogramSnapshot) -> Vec<u64> {
+    let mut out = Vec::with_capacity(snapshot.buckets.len());
+    let mut running = 0u64;
+    for &n in &snapshot.buckets {
+        running += n;
+        out.push(running);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Merging K shards' snapshots equals the snapshot of the concatenated
+    /// samples — raw buckets, cumulative buckets, count, and sum all match.
+    #[test]
+    fn merging_k_snapshots_equals_concatenated_samples(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u64..10_000_000, 0..120),
+            1..6,
+        ),
+    ) {
+        let whole = Histogram::new();
+        let mut merged: Option<HistogramSnapshot> = None;
+        for samples in &shards {
+            let shard = Histogram::new();
+            for &v in samples {
+                shard.record(v);
+                whole.record(v);
+            }
+            let snap = shard.snapshot();
+            match merged.as_mut() {
+                Some(m) => m.merge(&snap),
+                None => merged = Some(snap),
+            }
+        }
+        let merged = merged.expect("at least one shard");
+        let expected = whole.snapshot();
+        prop_assert_eq!(&merged, &expected, "merged snapshot must equal the union");
+        prop_assert_eq!(cumulative(&merged), cumulative(&expected));
+    }
+
+    /// A quantile of the merged snapshot keeps the one-bucket bound with
+    /// respect to the *cluster-wide* sample stream: the estimate is ≥ the
+    /// true quantile and sits exactly at its bucket's upper bound.
+    #[test]
+    fn merged_quantile_keeps_the_one_bucket_bound(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u64..10_000_000, 1..120),
+            1..6,
+        ),
+        q_permille in 0u64..=1000,
+    ) {
+        let q = q_permille as f64 / 1000.0;
+        let mut all: Vec<u64> = Vec::new();
+        let mut merged: Option<HistogramSnapshot> = None;
+        for samples in &shards {
+            let shard = Histogram::new();
+            for &v in samples {
+                shard.record(v);
+            }
+            all.extend_from_slice(samples);
+            let snap = shard.snapshot();
+            match merged.as_mut() {
+                Some(m) => m.merge(&snap),
+                None => merged = Some(snap),
+            }
+        }
+        let merged = merged.expect("at least one shard");
+        all.sort_unstable();
+        let truth = true_quantile(&all, q);
+        let estimate = merged.quantile(q);
+        prop_assert!(estimate >= truth, "estimate {estimate} < true quantile {truth}");
+        prop_assert_eq!(bucket_index(estimate), bucket_index(truth));
+        prop_assert_eq!(estimate, bucket_upper_bound(bucket_index(truth)));
+    }
+
+    /// Registry-level merge: counters sum per series, and the merged
+    /// histogram for a shared name is the union histogram.
+    #[test]
+    fn registry_snapshots_merge_per_series(
+        left in proptest::collection::vec(0u64..100_000, 0..60),
+        right in proptest::collection::vec(0u64..100_000, 0..60),
+    ) {
+        let ra = Registry::new();
+        let rb = Registry::new();
+        ra.counter("obs_requests_total", "R.").add(left.len() as u64);
+        rb.counter("obs_requests_total", "R.").add(right.len() as u64);
+        let ha = ra.histogram("obs_latency_micros", "L.");
+        let hb = rb.histogram("obs_latency_micros", "L.");
+        let whole = Histogram::new();
+        for &v in &left {
+            ha.record(v);
+            whole.record(v);
+        }
+        for &v in &right {
+            hb.record(v);
+            whole.record(v);
+        }
+        let mut snap = ra.snapshot();
+        snap.merge(&rb.snapshot());
+        prop_assert_eq!(
+            snap.counter("obs_requests_total"),
+            Some((left.len() + right.len()) as u64)
+        );
+        prop_assert_eq!(snap.histogram("obs_latency_micros"), Some(&whole.snapshot()));
+    }
+}

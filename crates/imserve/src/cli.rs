@@ -65,6 +65,20 @@ pub enum Command {
         /// above it land in the ring buffer rendered with the scrape.
         slow_micros: u64,
     },
+    /// `imserve route`: a long-lived router process over N shard servers,
+    /// exposing the cluster's operational surface — federated `/metrics`,
+    /// `/events`, `/healthz` and `/readyz` — on `--metrics-addr`. Shard
+    /// connections re-establish themselves, so readiness recovers when a
+    /// dead shard comes back.
+    Route {
+        /// Shard server addresses (one per shard backend).
+        addrs: Vec<String>,
+        /// Bind address of the operational HTTP endpoint.
+        metrics_addr: String,
+        /// Per-shard deadline in milliseconds, so a dead shard degrades
+        /// `/readyz` loudly instead of hanging the probe.
+        deadline_ms: u64,
+    },
     /// `imserve query`: one-shot client request. With several `--addr`s the
     /// query routes through a `ShardedService` over all of them.
     Query {
@@ -142,6 +156,10 @@ pub enum QuerySpec {
     Stats,
     /// `--metrics`
     Metrics,
+    /// `--health`
+    Health,
+    /// `--events`
+    Events,
 }
 
 /// A parse failure: human-readable, printed with usage by `main`.
@@ -160,7 +178,8 @@ impl std::error::Error for CliError {}
 pub const USAGE: &str = "usage:
   imserve build    --dataset <name> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] [--deltas <script>] [--shard i/N] --out <path>
   imserve serve    --index <path> [--addr host:port] [--reactor | --threaded] [--workers N] [--cache N] [--compact-log-len N] [--compact-dirty F] [--wal <path>] [--metrics-addr host:port] [--slow-micros N]
-  imserve query    --addr host:port [--addr …] [--v1] (--estimate v1,v2,… | --topk K [--algorithm greedy|singleton] | --info | --stats | --metrics)
+  imserve route    --addr host:port [--addr …] --metrics-addr host:port [--deadline-ms N]
+  imserve query    --addr host:port [--addr …] [--v1] (--estimate v1,v2,… | --topk K [--algorithm greedy|singleton] | --info | --stats | --metrics | --health | --events)
   imserve mutate   --addr host:port [--addr …] [--batch] (--insert u,v,p | --delete u,v | --setp u,v,p | --file <script>)…
   imserve compact  (--addr host:port | --index <path> --out <path>)
   imserve loadtest --addr host:port [--addr …] [--connections N] [--requests N] [--k K] [--arrival-rps R]
@@ -171,7 +190,8 @@ delta scripts hold one JSON delta per line, e.g. {\"InsertEdge\":{\"source\":0,\
 --wal <path> makes accepted mutations crash-durable between index saves; --v1 speaks the legacy bare-frame dialect
 --reactor (default) serves every connection from one event loop; --threaded keeps the turn-queue worker pool
 --arrival-rps switches the loadtest to an open-loop schedule measuring latency from each scheduled arrival
---metrics-addr exposes a Prometheus-style plaintext scrape; --slow-micros sets the slow-query log threshold";
+--metrics-addr exposes the operational HTTP surface (/metrics, /events, /healthz, /readyz); --slow-micros sets the slow-query log threshold
+route serves the cluster's federated scrape and readiness over its shards; --deadline-ms bounds each shard probe";
 
 /// Parse a flag's numeric value, naming the flag in the error.
 ///
@@ -216,6 +236,7 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
     match subcommand.as_str() {
         "build" => parse_build(rest),
         "serve" => parse_serve(rest),
+        "route" => parse_route(rest),
         "query" => parse_query(rest),
         "mutate" => parse_mutate(rest),
         "compact" => parse_compact(rest),
@@ -510,6 +531,42 @@ fn parse_serve(args: &[String]) -> Result<Command, CliError> {
     })
 }
 
+/// Per-shard probe deadline when `route` is given none.
+pub const DEFAULT_ROUTE_DEADLINE_MS: u64 = 2_000;
+
+fn parse_route(args: &[String]) -> Result<Command, CliError> {
+    let mut addrs: Vec<String> = Vec::new();
+    let mut metrics_addr: Option<String> = None;
+    let mut deadline_ms = DEFAULT_ROUTE_DEADLINE_MS;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addrs.push(take_value("--addr", args, &mut i)?.to_string()),
+            "--metrics-addr" => {
+                metrics_addr = Some(take_value("--metrics-addr", args, &mut i)?.to_string());
+            }
+            "--deadline-ms" => {
+                deadline_ms =
+                    parse_number("--deadline-ms", take_value("--deadline-ms", args, &mut i)?)?;
+            }
+            other => return Err(CliError(format!("unknown option {other:?} for route"))),
+        }
+        i += 1;
+    }
+    if addrs.is_empty() {
+        return Err(CliError("route requires --addr".to_string()));
+    }
+    if deadline_ms == 0 {
+        return Err(CliError("--deadline-ms must be positive".to_string()));
+    }
+    Ok(Command::Route {
+        addrs,
+        metrics_addr: metrics_addr
+            .ok_or_else(|| CliError("route requires --metrics-addr".to_string()))?,
+        deadline_ms,
+    })
+}
+
 fn parse_query(args: &[String]) -> Result<Command, CliError> {
     let mut addrs: Vec<String> = Vec::new();
     let mut request: Option<QuerySpec> = None;
@@ -542,6 +599,8 @@ fn parse_query(args: &[String]) -> Result<Command, CliError> {
             "--info" => set_once(&mut request, QuerySpec::Info)?,
             "--stats" => set_once(&mut request, QuerySpec::Stats)?,
             "--metrics" => set_once(&mut request, QuerySpec::Metrics)?,
+            "--health" => set_once(&mut request, QuerySpec::Health)?,
+            "--events" => set_once(&mut request, QuerySpec::Events)?,
             other => return Err(CliError(format!("unknown option {other:?} for query"))),
         }
         i += 1;
@@ -558,7 +617,8 @@ fn parse_query(args: &[String]) -> Result<Command, CliError> {
         addrs,
         request: request.ok_or_else(|| {
             CliError(
-                "query requires one of --estimate, --topk, --info, --stats or --metrics"
+                "query requires one of --estimate, --topk, --info, --stats, --metrics, \
+                 --health or --events"
                     .to_string(),
             )
         })?,
@@ -569,7 +629,8 @@ fn parse_query(args: &[String]) -> Result<Command, CliError> {
 fn set_once(slot: &mut Option<QuerySpec>, value: QuerySpec) -> Result<(), CliError> {
     if slot.is_some() {
         return Err(CliError(
-            "query accepts exactly one of --estimate, --topk, --info, --stats or --metrics"
+            "query accepts exactly one of --estimate, --topk, --info, --stats, --metrics, \
+             --health or --events"
                 .to_string(),
         ));
     }
@@ -1083,5 +1144,85 @@ mod tests {
         );
         assert!(parse(&args(&["query", "--addr", "a:1", "--estimate", "1,x"])).is_err());
         assert!(parse(&args(&["query", "--addr", "a:1", "--info", "--topk", "2"])).is_err());
+    }
+
+    #[test]
+    fn query_health_and_events_parse_and_are_exclusive() {
+        assert_eq!(
+            parse(&args(&["query", "--addr", "a:1", "--health"])).unwrap(),
+            Command::Query {
+                addrs: vec!["a:1".into()],
+                request: QuerySpec::Health,
+                v1: false,
+            }
+        );
+        assert_eq!(
+            parse(&args(&["query", "--addr", "a:1", "--events"])).unwrap(),
+            Command::Query {
+                addrs: vec!["a:1".into()],
+                request: QuerySpec::Events,
+                v1: false,
+            }
+        );
+        assert!(parse(&args(&["query", "--addr", "a:1", "--health", "--stats"])).is_err());
+        assert!(parse(&args(&["query", "--addr", "a:1", "--events", "--health"])).is_err());
+    }
+
+    #[test]
+    fn route_parses_with_defaults_and_rejects_bad_flags() {
+        assert_eq!(
+            parse(&args(&[
+                "route",
+                "--addr",
+                "a:1",
+                "--addr",
+                "b:2",
+                "--metrics-addr",
+                "127.0.0.1:0",
+            ]))
+            .unwrap(),
+            Command::Route {
+                addrs: vec!["a:1".into(), "b:2".into()],
+                metrics_addr: "127.0.0.1:0".into(),
+                deadline_ms: DEFAULT_ROUTE_DEADLINE_MS,
+            }
+        );
+        match parse(&args(&[
+            "route",
+            "--addr",
+            "a:1",
+            "--metrics-addr",
+            "m:9",
+            "--deadline-ms",
+            "250",
+        ]))
+        .unwrap()
+        {
+            Command::Route { deadline_ms, .. } => assert_eq!(deadline_ms, 250),
+            other => panic!("unexpected command {other:?}"),
+        }
+        // Required pieces and value sanity.
+        assert!(
+            parse(&args(&["route", "--metrics-addr", "m:9"])).is_err(),
+            "missing --addr"
+        );
+        assert!(
+            parse(&args(&["route", "--addr", "a:1"])).is_err(),
+            "missing --metrics-addr"
+        );
+        assert!(
+            parse(&args(&[
+                "route",
+                "--addr",
+                "a:1",
+                "--metrics-addr",
+                "m:9",
+                "--deadline-ms",
+                "0"
+            ]))
+            .is_err(),
+            "zero deadline"
+        );
+        assert!(parse(&args(&["route", "--addr", "a:1", "--turbo"])).is_err());
     }
 }

@@ -495,7 +495,148 @@ impl InfluenceService for RemoteService {
         }
     }
 
+    fn health(&mut self) -> ServiceResult<crate::service::HealthReport> {
+        match self.connection.call(&Request::Health)? {
+            Response::Health(report) => Ok(report),
+            other => Self::unexpected("Health", other),
+        }
+    }
+
+    fn events(&mut self) -> ServiceResult<Vec<crate::service::EventRecord>> {
+        match self.connection.call(&Request::Events)? {
+            Response::Events(events) => Ok(events),
+            other => Self::unexpected("Events", other),
+        }
+    }
+
     fn set_trace(&mut self, trace: Option<u64>) {
         self.connection.set_trace(trace);
+    }
+}
+
+/// A self-healing remote backend: [`RemoteService`] plus reconnection.
+///
+/// A plain [`RemoteService`] owns one TCP connection; once the peer dies,
+/// every later call fails even after the server comes back. Long-lived
+/// processes watching a cluster (`imserve route`) need the opposite: a dead
+/// shard should degrade `/readyz` *while it is dead* and recover on its own
+/// when the shard returns. This wrapper drops the connection on any
+/// transport or protocol failure and re-dials (replaying the configured
+/// deadline and trace id) on the next call. Request-level errors (`Query`,
+/// `Mutation`, …) pass through without touching the connection — the peer
+/// answered, it just said no.
+///
+/// Construction is lazy: [`ReconnectingService::new`] never dials, so a
+/// router can be assembled before every shard is up (the first call reports
+/// the shard unreachable instead).
+#[derive(Debug)]
+pub struct ReconnectingService {
+    addr: String,
+    deadline: Option<Duration>,
+    trace: Option<u64>,
+    inner: Option<RemoteService>,
+}
+
+impl ReconnectingService {
+    /// Wrap `addr` without dialling it yet.
+    #[must_use]
+    pub fn new(addr: impl Into<String>) -> Self {
+        Self {
+            addr: addr.into(),
+            deadline: None,
+            trace: None,
+            inner: None,
+        }
+    }
+
+    /// The wrapped shard address.
+    #[must_use]
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// The live connection, dialling (and replaying deadline and trace) if
+    /// the previous one was dropped.
+    fn service(&mut self) -> ServiceResult<&mut RemoteService> {
+        if self.inner.is_none() {
+            let mut service = RemoteService::connect(&self.addr)?;
+            service.set_deadline(self.deadline)?;
+            service.set_trace(self.trace);
+            self.inner = Some(service);
+        }
+        Ok(self.inner.as_mut().expect("connection just established"))
+    }
+
+    /// Run `op` over the live connection, dropping it on a connection-fatal
+    /// error so the next call re-dials.
+    fn run<T>(
+        &mut self,
+        op: impl FnOnce(&mut RemoteService) -> ServiceResult<T>,
+    ) -> ServiceResult<T> {
+        let result = op(self.service()?);
+        if matches!(
+            result,
+            Err(ServiceError::Transport(_) | ServiceError::Protocol(_))
+        ) {
+            self.inner = None;
+        }
+        result
+    }
+}
+
+impl InfluenceService for ReconnectingService {
+    fn info(&mut self) -> ServiceResult<ServiceInfo> {
+        self.run(|s| s.info())
+    }
+
+    fn estimate(&mut self, seeds: &[u32]) -> ServiceResult<SpreadEstimate> {
+        self.run(|s| s.estimate(seeds))
+    }
+
+    fn top_k(&mut self, k: usize, algorithm: TopKAlgorithm) -> ServiceResult<TopKSelection> {
+        self.run(|s| s.top_k(k, algorithm))
+    }
+
+    fn gains(&mut self, selected: &[u32]) -> ServiceResult<GainVector> {
+        self.run(|s| s.gains(selected))
+    }
+
+    fn mutate_batch(&mut self, deltas: &[GraphDelta]) -> ServiceResult<MutationOutcome> {
+        self.run(|s| s.mutate_batch(deltas))
+    }
+
+    fn compact(&mut self) -> ServiceResult<CompactionReport> {
+        self.run(|s| s.compact())
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) -> ServiceResult<()> {
+        self.deadline = deadline;
+        match &mut self.inner {
+            Some(service) => service.set_deadline(deadline),
+            None => Ok(()),
+        }
+    }
+
+    fn stats(&mut self) -> ServiceResult<ServiceStats> {
+        self.run(|s| s.stats())
+    }
+
+    fn metrics(&mut self) -> ServiceResult<MetricsReport> {
+        self.run(|s| s.metrics())
+    }
+
+    fn health(&mut self) -> ServiceResult<crate::service::HealthReport> {
+        self.run(|s| s.health())
+    }
+
+    fn events(&mut self) -> ServiceResult<Vec<crate::service::EventRecord>> {
+        self.run(|s| s.events())
+    }
+
+    fn set_trace(&mut self, trace: Option<u64>) {
+        self.trace = trace;
+        if let Some(service) = &mut self.inner {
+            service.set_trace(trace);
+        }
     }
 }

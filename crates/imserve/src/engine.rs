@@ -44,11 +44,12 @@ use crate::lru::LruCache;
 use crate::obs::ServingMetrics;
 use crate::protocol::{Request, Response, TopKAlgorithm, PROTOCOL_VERSION};
 use crate::service::{
-    CompactionReport, GainVector, MetricsReport, MutationOutcome, ServiceError, ServiceInfo,
-    ServiceStats, SpreadEstimate, TopKSelection,
+    CompactionReport, EventRecord, GainVector, HealthReport, MetricsReport, MutationOutcome,
+    ServiceError, ServiceInfo, ServiceStats, SpreadEstimate, TopKSelection,
 };
 use crate::wal::WriteAheadLog;
 use imgraph::binio::{fnv1a64, influence_graph_to_bytes};
+use imobs::EventField;
 
 /// Default capacity of the `TopK` result cache.
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
@@ -471,6 +472,8 @@ impl QueryEngine {
             Request::Compact => Ok(self.compact().into()),
             Request::Stats => Ok(self.stats().into()),
             Request::Metrics => Ok(self.metrics_report().into()),
+            Request::Health => Ok(self.health().into()),
+            Request::Events => Ok(self.event_records().into()),
         };
         if result.is_err() {
             self.obs.request_errors.inc();
@@ -561,6 +564,52 @@ impl QueryEngine {
     pub fn render_metrics(&self) -> String {
         self.sync_state_gauges();
         self.obs.render_prometheus()
+    }
+
+    /// This engine's liveness/readiness verdict, from real signals:
+    ///
+    /// * `wal_writable` — the fail-stop flag: once an append fails the
+    ///   engine refuses mutations, and readiness says so (a WAL-less engine
+    ///   is trivially writable — non-durability is configuration, not
+    ///   degradation);
+    /// * `reactor_backpressure` — no connection is currently paused at its
+    ///   in-flight/backlog bound (sampled each reactor tick; an engine not
+    ///   behind a reactor reads the gauge's resting zero).
+    #[must_use]
+    pub fn health(&self) -> HealthReport {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.health.count.inc();
+        let mut report = HealthReport::new();
+        let poisoned = self.counters.wal_poisoned.load(Ordering::Relaxed);
+        let wal_detail = if poisoned {
+            "a WAL append failed; mutations are disabled until restart".to_string()
+        } else if self.wal.is_some() {
+            "WAL attached and accepting appends".to_string()
+        } else {
+            "no WAL attached (mutations are non-durable by configuration)".to_string()
+        };
+        report.push("wal_writable", !poisoned, wal_detail);
+        let throttled = self.obs.throttled_connections.get();
+        report.push(
+            "reactor_backpressure",
+            throttled == 0,
+            format!("{throttled} connection(s) paused at their in-flight/backlog bound"),
+        );
+        report
+    }
+
+    /// The engine's recent operational events as wire records, oldest
+    /// first (the `Events` request's payload).
+    #[must_use]
+    pub fn event_records(&self) -> Vec<EventRecord> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.events.count.inc();
+        self.obs
+            .event_log
+            .entries()
+            .iter()
+            .map(EventRecord::from)
+            .collect()
     }
 
     /// Estimate the influence spread of an explicit seed set (zero
@@ -678,12 +727,10 @@ impl QueryEngine {
         state.meta.num_edges = state.dynamic.graph().num_edges();
         self.bump_mutation_counters(applied, resampled);
         self.wal_append(epoch_before, hash_before, deltas)?;
+        self.note_epoch_moved(epoch_before, state.dynamic.epoch());
         // Policy-triggered compaction: cheap bookkeeping under the same write
         // lock; readers holding `Arc` snapshots are unaffected.
-        let compacted = Arc::make_mut(&mut state.dynamic).maybe_compact().is_some();
-        if compacted {
-            self.obs.compactions.inc();
-        }
+        let compacted = self.maybe_compact_with_events(&mut state);
         self.obs
             .mutate
             .latency_micros
@@ -722,10 +769,8 @@ impl QueryEngine {
                 state.meta.num_edges = state.dynamic.graph().num_edges();
                 self.bump_mutation_counters(outcome.applied, outcome.resampled);
                 self.wal_append(epoch_before, hash_before, deltas)?;
-                let compacted = Arc::make_mut(&mut state.dynamic).maybe_compact().is_some();
-                if compacted {
-                    self.obs.compactions.inc();
-                }
+                self.note_epoch_moved(epoch_before, state.dynamic.epoch());
+                let compacted = self.maybe_compact_with_events(&mut state);
                 self.obs
                     .mutate_batch
                     .latency_micros
@@ -756,12 +801,28 @@ impl QueryEngine {
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         self.obs.compact.count.inc();
         let mut state = self.state.write().expect("serving state poisoned");
+        self.obs.event_log.info(
+            "compaction_started",
+            0,
+            vec![
+                EventField::str("trigger", "request"),
+                EventField::u64("epoch", state.dynamic.epoch()),
+                EventField::u64("log_len", state.dynamic.log().len() as u64),
+            ],
+        );
         let outcome = Arc::make_mut(&mut state.dynamic).compact();
         self.obs.compactions.inc();
-        self.obs
-            .compact
-            .latency_micros
-            .record(began.elapsed().as_micros() as u64);
+        let duration_micros = began.elapsed().as_micros() as u64;
+        self.obs.compact.latency_micros.record(duration_micros);
+        self.obs.event_log.info(
+            "compaction_finished",
+            0,
+            vec![
+                EventField::str("trigger", "request"),
+                EventField::u64("folded", outcome.folded as u64),
+                EventField::u64("duration_micros", duration_micros),
+            ],
+        );
         CompactionReport {
             epoch: outcome.epoch,
             folded: outcome.folded,
@@ -804,6 +865,15 @@ impl QueryEngine {
             .append(epoch_before, graph_hash_before, applied)
             .map_err(|e| {
                 self.counters.wal_poisoned.store(true, Ordering::Relaxed);
+                self.obs.event_log.error(
+                    "wal_append_failed",
+                    0,
+                    vec![
+                        EventField::u64("epoch_before", epoch_before),
+                        EventField::u64("deltas", applied.len() as u64),
+                        EventField::text("error", e.to_string()),
+                    ],
+                );
                 ServiceError::Backend(format!(
                     "WAL append failed ({e}); the batch is applied in memory but not durable, \
                      and further mutations are disabled"
@@ -812,6 +882,52 @@ impl QueryEngine {
         self.obs.wal_appended_bytes.add(bytes);
         self.obs.wal_fsyncs.inc();
         Ok(())
+    }
+
+    /// Record that a mutation moved the epoch, structurally invalidating
+    /// every cached `TopK` answer (their keys embed the old epoch and can
+    /// no longer be constructed). Called under the state write lock.
+    fn note_epoch_moved(&self, old_epoch: u64, new_epoch: u64) {
+        self.obs.event_log.info(
+            "cache_epoch_invalidated",
+            0,
+            vec![
+                EventField::u64("old_epoch", old_epoch),
+                EventField::u64("new_epoch", new_epoch),
+            ],
+        );
+    }
+
+    /// Run the compaction policy after a mutation, emitting start/finish
+    /// events with the fold's duration when it fires. Called under the
+    /// state write lock.
+    fn maybe_compact_with_events(&self, state: &mut ServingState) -> bool {
+        let log_len = state.dynamic.log().len() as u64;
+        let began = Instant::now();
+        let Some(outcome) = Arc::make_mut(&mut state.dynamic).maybe_compact() else {
+            return false;
+        };
+        self.obs.compactions.inc();
+        let duration_micros = began.elapsed().as_micros() as u64;
+        self.obs.event_log.info(
+            "compaction_started",
+            0,
+            vec![
+                EventField::str("trigger", "policy"),
+                EventField::u64("epoch", outcome.epoch),
+                EventField::u64("log_len", log_len),
+            ],
+        );
+        self.obs.event_log.info(
+            "compaction_finished",
+            0,
+            vec![
+                EventField::str("trigger", "policy"),
+                EventField::u64("folded", outcome.folded as u64),
+                EventField::u64("duration_micros", duration_micros),
+            ],
+        );
+        true
     }
 
     fn bump_mutation_counters(&self, applied: usize, resampled: usize) {

@@ -30,11 +30,15 @@
 //!   `send`/`poll_response` pair for pipelined in-flight requests);
 //! * [`obs`] — the serving stack's observability surface:
 //!   [`obs::ServingMetrics`] bundles every counter/gauge/histogram (built on
-//!   the std-only `imobs` primitives) plus a slow-query span log, and
-//!   [`obs::spawn_metrics_endpoint`] serves the Prometheus plaintext
-//!   exposition behind `serve --metrics-addr`; request-scoped trace ids ride
-//!   the optional `"t"` field of v2 frames so sharded fan-outs stitch into
-//!   one causal trace;
+//!   the std-only `imobs` primitives) plus a slow-query span log and a
+//!   bounded structured event ring, and [`obs::spawn_ops_endpoint`] serves
+//!   the operational HTTP surface behind `serve`/`route --metrics-addr` —
+//!   `/metrics` (Prometheus plaintext, federated across shards on a
+//!   router), `/events` (JSON lines), `/healthz` and `/readyz` (readiness
+//!   from real signals: WAL writability, shard reachability and epoch
+//!   lockstep, reactor backpressure); request-scoped trace ids ride the
+//!   optional `"t"` field of v2 frames so sharded fan-outs stitch into one
+//!   causal trace and router-side events name the trace that hit them;
 //! * [`loadtest`] — an in-repo load generator driving any
 //!   [`service::InfluenceService`] and reporting latency percentiles via
 //!   `imstats`;
@@ -64,16 +68,18 @@ pub mod service;
 pub mod shard;
 pub mod wal;
 
-pub use client::RemoteService;
+pub use client::{ReconnectingService, RemoteService};
 pub use engine::{EngineBuilder, EngineConfig, QueryEngine, ServingState};
 pub use error::ServeError;
 pub use index::{build_dataset_index, build_dataset_index_with_deltas, IndexArtifact, IndexMeta};
-pub use obs::{spawn_metrics_endpoint, ServingMetrics};
+pub use obs::{
+    route_ops_request, spawn_metrics_endpoint, spawn_ops_endpoint, OpsResponse, ServingMetrics,
+};
 pub use protocol::{Request, Response, TopKAlgorithm, PROTOCOL_VERSION};
 pub use reactor::ReactorConfig;
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use service::{
-    BackendSpec, InfluenceService, LocalService, MetricsReport, RequestTypeCounts, ServiceError,
-    ServiceInfo, ServiceStats,
+    BackendSpec, EventRecord, HealthReport, HealthSignal, InfluenceService, LocalService,
+    MetricsReport, RequestTypeCounts, ServiceError, ServiceInfo, ServiceStats,
 };
 pub use shard::ShardedService;

@@ -126,7 +126,7 @@ pub struct LoadtestReport {
 /// time spent parked in the compute queue, backpressure stalls show how
 /// often the reactor throttled reads, and the cache-hit delta explains
 /// `TopK` latency bimodality.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerMetricsDelta {
     /// Requests the server handled during the run.
     pub requests_total: u64,
@@ -140,7 +140,14 @@ pub struct ServerMetricsDelta {
     pub slow_queries: u64,
     /// The 99th percentile of compute-queue wait during the run, in
     /// microseconds (upper bound of the log₂ bucket holding the sample).
+    /// Against a sharded backend the snapshot is the router's *federated*
+    /// report, so this quantile walks the elementwise-merged cluster
+    /// histogram (exact to within one log₂ bucket, like every quantile).
     pub queue_wait_p99_micros: u64,
+    /// Requests each shard handled during the run, from the federated
+    /// snapshot's `shard="i"`-labelled request counters — empty against a
+    /// backend that is not a shard router.
+    pub per_shard_requests: Vec<u64>,
 }
 
 impl ServerMetricsDelta {
@@ -150,14 +157,23 @@ impl ServerMetricsDelta {
         let counter = |name: &str| after.counter(name).saturating_sub(before.counter(name));
         // The per-type request counters are one labelled family; the total
         // is their sum across labels.
+        // Shard-labelled copies are *duplicates* of values already counted
+        // in the merged series; summing them alongside would double-count.
         let requests = |report: &MetricsReport| {
             report
                 .counters
                 .iter()
-                .filter(|s| s.name.starts_with("imserve_requests_total"))
+                .filter(|s| {
+                    s.name.starts_with("imserve_requests_total") && !s.name.contains("shard=\"")
+                })
                 .map(|s| s.value)
                 .sum::<u64>()
         };
+        let before_shards = per_shard_requests(before);
+        let mut per_shard = per_shard_requests(after);
+        for (i, count) in per_shard.iter_mut().enumerate() {
+            *count = count.saturating_sub(before_shards.get(i).copied().unwrap_or(0));
+        }
         Self {
             requests_total: requests(after).saturating_sub(requests(before)),
             topk_cache_hits: counter("imserve_topk_cache_hits_total"),
@@ -170,8 +186,31 @@ impl ServerMetricsDelta {
                 "imserve_queue_wait_micros",
                 0.99,
             ),
+            per_shard_requests: per_shard,
         }
     }
+}
+
+/// Sum each shard's request counters out of a federated snapshot: every
+/// `imserve_requests_total{shard="i",…}` series contributes to slot `i`.
+/// Empty when the report carries no shard-labelled request series (a
+/// single-server backend).
+fn per_shard_requests(report: &MetricsReport) -> Vec<u64> {
+    let mut per_shard: Vec<u64> = Vec::new();
+    for sample in &report.counters {
+        let Some(rest) = sample.name.strip_prefix("imserve_requests_total{shard=\"") else {
+            continue;
+        };
+        let Some(end) = rest.find('"') else { continue };
+        let Ok(shard) = rest[..end].parse::<usize>() else {
+            continue;
+        };
+        if per_shard.len() <= shard {
+            per_shard.resize(shard + 1, 0);
+        }
+        per_shard[shard] += sample.value;
+    }
+    per_shard
 }
 
 /// The `q`-quantile of the samples a histogram gained between two cumulative
@@ -256,6 +295,9 @@ impl std::fmt::Display for LoadtestReport {
                 m.backpressure_stalls,
                 m.slow_queries
             )?;
+            for (i, requests) in m.per_shard_requests.iter().enumerate() {
+                write!(f, "\nshard {i} handled {requests} requests over the run")?;
+            }
         }
         Ok(())
     }

@@ -7,6 +7,7 @@
 //! imserve query    --addr 127.0.0.1:7431 --estimate 0,33
 //! imserve query    --addr 127.0.0.1:7431 --topk 3 --algorithm greedy
 //! imserve query    --addr 127.0.0.1:7431 --stats
+//! imserve route    --addr 127.0.0.1:7431 --addr 127.0.0.1:7432 --metrics-addr 127.0.0.1:9200
 //! imserve mutate   --addr 127.0.0.1:7431 --insert 0,33,0.5 --delete 0,1
 //! imserve build    --dataset karate --deltas script.jsonl --out mutated.imx
 //! imserve loadtest --addr 127.0.0.1:7431 --connections 8 --requests 500
@@ -28,11 +29,12 @@
 //! ```
 
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use imdyn::CompactionPolicy;
 use imserve::cli::{self, Command, CompactTarget, QuerySpec};
-use imserve::client::RemoteService;
+use imserve::client::{ReconnectingService, RemoteService};
 use imserve::engine::{EngineConfig, QueryEngine};
 use imserve::index::{build_dataset_index_with_deltas, parse_dataset, parse_model, IndexArtifact};
 use imserve::loadtest::{self, LoadtestConfig};
@@ -177,11 +179,19 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             }
             let engine = Arc::new(builder.build()?);
             if let Some(metrics_addr) = &metrics_addr {
-                let render_engine = Arc::clone(&engine);
-                let bound = imserve::spawn_metrics_endpoint(metrics_addr.as_str(), move || {
-                    render_engine.render_metrics()
+                let ops_engine = Arc::clone(&engine);
+                let bound = imserve::spawn_ops_endpoint(metrics_addr.as_str(), move |path| {
+                    imserve::route_ops_request(
+                        path,
+                        || ops_engine.render_metrics(),
+                        || ops_engine.obs().event_log.render_json_lines(),
+                        || ops_engine.health(),
+                    )
                 })?;
-                eprintln!("metrics endpoint on http://{bound}/metrics (slow-query threshold {slow_micros}us)");
+                eprintln!(
+                    "ops endpoint on http://{bound}/metrics (also /events, /healthz, /readyz; \
+                     slow-query threshold {slow_micros}us)"
+                );
                 // Printed on stdout so scripts can scrape the resolved port.
                 println!("imserve metrics on {bound}");
             }
@@ -219,6 +229,63 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 std::thread::park();
             }
         }
+        Command::Route {
+            addrs,
+            metrics_addr,
+            deadline_ms,
+        } => {
+            // The cluster's operational face: a long-lived router whose
+            // shard connections self-heal (a dead shard degrades /readyz
+            // while it is down and readiness recovers when it returns).
+            let shards: Vec<ReconnectingService> = addrs
+                .iter()
+                .map(|addr| ReconnectingService::new(addr.as_str()))
+                .collect();
+            let mut router = ShardedService::new(shards)?;
+            router.set_deadline(Some(Duration::from_millis(deadline_ms)))?;
+            let router = Arc::new(Mutex::new(router));
+            let bound = imserve::spawn_ops_endpoint(metrics_addr.as_str(), move |path| {
+                let metrics = Arc::clone(&router);
+                let events = Arc::clone(&router);
+                let health = Arc::clone(&router);
+                imserve::route_ops_request(
+                    path,
+                    move || {
+                        metrics
+                            .lock()
+                            .expect("router lock")
+                            .cluster_metrics()
+                            .render_prometheus()
+                    },
+                    move || {
+                        let router = events.lock().expect("router lock");
+                        router.obs().event_log.render_json_lines()
+                    },
+                    move || {
+                        health
+                            .lock()
+                            .expect("router lock")
+                            .health()
+                            .unwrap_or_else(|e| {
+                                let mut report = imserve::HealthReport::new();
+                                report.push("router", false, e.to_string());
+                                report
+                            })
+                    },
+                )
+            })?;
+            eprintln!(
+                "routing {} shard(s) with a {deadline_ms}ms probe deadline; federated ops \
+                 endpoint on http://{bound}/metrics (also /events, /healthz, /readyz)",
+                addrs.len()
+            );
+            // Printed on stdout so scripts can scrape the resolved port.
+            println!("imserve route on {bound}");
+            // Route until killed; the endpoint thread owns the listener.
+            loop {
+                std::thread::park();
+            }
+        }
         Command::Query { addrs, request, v1 } => {
             if v1 {
                 // The legacy dialect, kept for compatibility checks: bare
@@ -229,6 +296,11 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                     QuerySpec::Info => Request::Info,
                     QuerySpec::Stats => Request::Stats,
                     QuerySpec::Metrics => Request::Metrics,
+                    QuerySpec::Health | QuerySpec::Events => {
+                        return Err(Box::new(imserve::ServeError::Query(
+                            "--health and --events need protocol v2 (drop --v1)".into(),
+                        )));
+                    }
                 };
                 let response = imserve::client::query_once(addrs[0].as_str(), &request)?;
                 print_response(response.clone())?;
@@ -257,6 +329,19 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                     print_response(stats.into())
                 }
                 QuerySpec::Metrics => print_response(service.metrics()?.into()),
+                QuerySpec::Health => {
+                    let report = service.health()?;
+                    eprint!("{}", report.render_text());
+                    let degraded = !report.ready;
+                    print_response(report.into())?;
+                    if degraded {
+                        return Err(Box::new(imserve::ServeError::Query(
+                            "service reports not ready".into(),
+                        )));
+                    }
+                    Ok(())
+                }
+                QuerySpec::Events => print_response(service.events()?.into()),
             }
         }
         Command::Mutate {

@@ -18,7 +18,7 @@ use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use imobs::{Counter, Gauge, Histogram, Registry, SlowLog};
+use imobs::{Counter, EventLog, Gauge, Histogram, Registry, SlowLog};
 
 use crate::service::{
     GaugeSample, HistogramBucket, HistogramSample, MetricSample, MetricsReport, RequestTypeCounts,
@@ -87,6 +87,10 @@ pub struct ServingMetrics {
     pub stats: RequestLane,
     /// `Metrics` snapshot lane.
     pub metrics: RequestLane,
+    /// `Health` probe lane.
+    pub health: RequestLane,
+    /// `Events` snapshot lane.
+    pub events: RequestLane,
 
     /// Requests answered with an error (any type, any dialect).
     pub request_errors: Arc<Counter>,
@@ -112,6 +116,9 @@ pub struct ServingMetrics {
     /// Times the reactor stopped reading a connection because its
     /// in-flight/backlog bounds were hit.
     pub backpressure_stalls: Arc<Counter>,
+    /// Connections currently paused at their in-flight or backlog bound
+    /// (sampled each reactor tick; the readiness signal for backpressure).
+    pub throttled_connections: Arc<Gauge>,
     /// Requests dispatched to compute and not yet completed.
     pub inflight: Arc<Gauge>,
     /// Completed-but-unflushed responses parked in reorder buffers.
@@ -150,6 +157,11 @@ pub struct ServingMetrics {
     pub slow_log: SlowLog,
     /// Spans retained by the slow log (lifetime).
     pub slow_queries: Arc<Counter>,
+
+    /// Structured operational events (WAL failures, compactions, torn
+    /// broadcasts, backpressure episodes) — a bounded ring, exposed on
+    /// `/events` and the `Events` protocol request.
+    pub event_log: EventLog,
 }
 
 impl ServingMetrics {
@@ -180,6 +192,8 @@ impl ServingMetrics {
             compact: lane("compact"),
             stats: lane("stats"),
             metrics: lane("metrics"),
+            health: lane("health"),
+            events: lane("events"),
             request_errors: registry.counter(
                 "imserve_request_errors_total",
                 "Requests answered with an error.",
@@ -219,6 +233,10 @@ impl ServingMetrics {
             backpressure_stalls: registry.counter(
                 "imserve_backpressure_stalls_total",
                 "Times the reactor paused reading a connection at its in-flight or backlog bound.",
+            ),
+            throttled_connections: registry.gauge(
+                "imserve_throttled_connections",
+                "Connections currently paused at their in-flight or backlog bound.",
             ),
             inflight: registry.gauge(
                 "imserve_inflight_requests",
@@ -269,6 +287,7 @@ impl ServingMetrics {
                 "imserve_slow_queries_total",
                 "Requests slower than the slow-query threshold.",
             ),
+            event_log: EventLog::default(),
             registry,
             started: Instant::now(),
         };
@@ -448,16 +467,99 @@ impl ServingMetrics {
     }
 }
 
-/// Serve `render()` over plaintext HTTP at `addr` from a detached thread.
+/// One ops-endpoint reply: a status code plus a plaintext body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpsResponse {
+    /// HTTP status code (`200`, `404`, `503`).
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: String,
+}
+
+impl OpsResponse {
+    /// A `200` Prometheus-exposition reply.
+    #[must_use]
+    pub fn metrics(body: String) -> Self {
+        OpsResponse {
+            status: 200,
+            content_type: "text/plain; version=0.0.4",
+            body,
+        }
+    }
+
+    /// A plaintext reply with an explicit status.
+    #[must_use]
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        OpsResponse {
+            status,
+            content_type: "text/plain",
+            body: body.into(),
+        }
+    }
+
+    /// A `200` JSON-lines reply (the `/events` body).
+    #[must_use]
+    pub fn json_lines(body: String) -> Self {
+        OpsResponse {
+            status: 200,
+            content_type: "application/x-ndjson",
+            body,
+        }
+    }
+
+    fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            404 => "Not Found",
+            503 => "Service Unavailable",
+            _ => "Status",
+        }
+    }
+}
+
+/// Route one ops-endpoint request to the four operational surfaces:
 ///
-/// This is a deliberately tiny HTTP/1.0-style responder — read the request
-/// head, answer `200 text/plain` with the current exposition, close — which
-/// is all a Prometheus scraper (or `curl`) needs. Returns the bound address
+/// | path                | reply |
+/// |---------------------|-------|
+/// | `/metrics` (or `/`) | Prometheus exposition from `metrics()` |
+/// | `/events`           | recent events as JSON lines from `events()` |
+/// | `/healthz`          | liveness: `200 ok` (the process answered) |
+/// | `/readyz`           | readiness from `health()`: `200 ready`, or `503` naming every failing signal |
+///
+/// Anything else is `404`. The closures run only for their own path, so a
+/// readiness probe never pays for a metrics snapshot.
+pub fn route_ops_request(
+    path: &str,
+    metrics: impl FnOnce() -> String,
+    events: impl FnOnce() -> String,
+    health: impl FnOnce() -> crate::service::HealthReport,
+) -> OpsResponse {
+    match path {
+        "/" | "/metrics" => OpsResponse::metrics(metrics()),
+        "/events" => OpsResponse::json_lines(events()),
+        "/healthz" => OpsResponse::text(200, "ok\n"),
+        "/readyz" => {
+            let report = health();
+            let status = if report.ready { 200 } else { 503 };
+            OpsResponse::text(status, report.render_text())
+        }
+        _ => OpsResponse::text(404, "not found\n"),
+    }
+}
+
+/// Serve `handler(path)` over plaintext HTTP at `addr` from a detached
+/// thread.
+///
+/// This is a deliberately tiny HTTP/1.0-style responder — parse the request
+/// line's path, consume the head, answer, close — which is all a Prometheus
+/// scraper, a Kubernetes probe, or `curl` needs. Returns the bound address
 /// (useful with port `0`).
-pub fn spawn_metrics_endpoint<A, F>(addr: A, render: F) -> std::io::Result<SocketAddr>
+pub fn spawn_ops_endpoint<A, F>(addr: A, handler: F) -> std::io::Result<SocketAddr>
 where
     A: ToSocketAddrs,
-    F: Fn() -> String + Send + 'static,
+    F: Fn(&str) -> OpsResponse + Send + 'static,
 {
     let listener = TcpListener::bind(addr)?;
     let bound = listener.local_addr()?;
@@ -468,34 +570,57 @@ where
                 let Ok(stream) = stream else { continue };
                 // One request per connection; any error just drops the
                 // connection (the scraper retries).
-                let _ = serve_one_scrape(stream, &render);
+                let _ = serve_one_scrape(stream, &handler);
             }
         })?;
     Ok(bound)
 }
 
-/// Answer a single scrape on `stream`.
+/// Serve `render()` as the reply to every path — the metrics-only endpoint
+/// kept for callers that predate the routed ops surface ([`spawn_ops_endpoint`]).
+pub fn spawn_metrics_endpoint<A, F>(addr: A, render: F) -> std::io::Result<SocketAddr>
+where
+    A: ToSocketAddrs,
+    F: Fn() -> String + Send + 'static,
+{
+    spawn_ops_endpoint(addr, move |_path| OpsResponse::metrics(render()))
+}
+
+/// Answer a single request on `stream`.
 fn serve_one_scrape(
     stream: std::net::TcpStream,
-    render: &impl Fn() -> String,
+    handler: &impl Fn(&str) -> OpsResponse,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(std::time::Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
-    // Consume the request head (request line + headers) up to the blank line.
+    // Parse the request line's path (`GET /readyz HTTP/1.1`), then consume
+    // the remaining head up to the blank line.
     let mut line = String::new();
+    reader.read_line(&mut line)?;
+    let path = line
+        .split_whitespace()
+        .nth(1)
+        .unwrap_or("/")
+        .split('?')
+        .next()
+        .unwrap_or("/")
+        .to_string();
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 || line == "\r\n" || line == "\n" {
             break;
         }
     }
-    let body = render();
+    let reply = handler(&path);
     let mut stream = stream;
     write!(
         stream,
-        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
-        body.len(),
-        body
+        "HTTP/1.0 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        reply.status,
+        reply.reason(),
+        reply.content_type,
+        reply.body.len(),
+        reply.body
     )?;
     stream.flush()
 }

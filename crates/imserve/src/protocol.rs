@@ -146,6 +146,17 @@ pub enum Request {
     /// `--metrics-addr` Prometheus endpoint, so the same data is reachable
     /// through an existing connection.
     Metrics,
+    /// A liveness/readiness verdict computed from real signals (WAL
+    /// writability, shard reachability and epoch lockstep, reactor
+    /// backpressure) — the wire twin of the `/readyz` endpoint. Servers
+    /// predating this request answer a typed `Unsupported` error (the
+    /// [`FrameEnvelope`] salvage path), which callers treat as unknown
+    /// health, not unhealth.
+    Health,
+    /// The server's recent operational events (WAL failures, compactions,
+    /// torn broadcasts, backpressure episodes), oldest first — the wire
+    /// twin of the `/events` endpoint.
+    Events,
 }
 
 /// A server response (one per request, same order).
@@ -274,6 +285,11 @@ pub enum Response {
     /// An observability snapshot (answer to [`Request::Metrics`]). Like
     /// `Stats`, deliberately volatile.
     Metrics(MetricsReport),
+    /// A health verdict (answer to [`Request::Health`]). Volatile.
+    Health(crate::service::HealthReport),
+    /// Recent operational events (answer to [`Request::Events`]), oldest
+    /// first. Volatile.
+    Events(Vec<crate::service::EventRecord>),
     /// The request could not be answered.
     Error {
         /// Human-readable reason.
@@ -532,6 +548,18 @@ impl From<crate::service::ServiceStats> for Response {
 impl From<MetricsReport> for Response {
     fn from(m: MetricsReport) -> Self {
         Response::Metrics(m)
+    }
+}
+
+impl From<crate::service::HealthReport> for Response {
+    fn from(h: crate::service::HealthReport) -> Self {
+        Response::Health(h)
+    }
+}
+
+impl From<Vec<crate::service::EventRecord>> for Response {
+    fn from(events: Vec<crate::service::EventRecord>) -> Self {
+        Response::Events(events)
     }
 }
 

@@ -290,6 +290,7 @@ fn run_loop(
         let mut inflight_total = 0i64;
         let mut reorder_total = 0i64;
         let mut backlog_total = 0i64;
+        let mut throttled_total = 0i64;
         for (&id, connection) in connections.iter_mut() {
             if connection.dead {
                 reap.push(id);
@@ -347,8 +348,27 @@ fn run_loop(
             if throttled && !connection.throttled {
                 // Rising edge only: one stall per episode, not per tick.
                 obs.backpressure_stalls.inc();
+                obs.event_log.warn(
+                    "backpressure_engaged",
+                    0,
+                    vec![
+                        imobs::EventField::u64("connection", id),
+                        imobs::EventField::u64("inflight", connection.inflight as u64),
+                        imobs::EventField::u64("backlog_bytes", connection.backlog() as u64),
+                    ],
+                );
+            } else if !throttled && connection.throttled {
+                // Falling edge: the episode ended; pair it up in the log.
+                obs.event_log.info(
+                    "backpressure_released",
+                    0,
+                    vec![imobs::EventField::u64("connection", id)],
+                );
             }
             connection.throttled = throttled;
+            if throttled {
+                throttled_total += 1;
+            }
             if !connection.eof && !connection.dead && !throttled {
                 loop {
                     match connection.stream.read(&mut chunk) {
@@ -426,6 +446,7 @@ fn run_loop(
         obs.inflight.set(inflight_total);
         obs.reorder_depth.set(reorder_total);
         obs.write_backlog_bytes.set(backlog_total);
+        obs.throttled_connections.set(throttled_total);
         obs.open_connections.set(connections.len() as i64);
 
         if progress {

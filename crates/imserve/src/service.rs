@@ -388,6 +388,42 @@ pub struct MetricsReport {
     pub slow_queries: Vec<SlowQuery>,
 }
 
+/// Insert `shard="i"` as the first label of a (possibly already labelled)
+/// series name: `x_total` → `x_total{shard="0"}`, `x_total{type="a"}` →
+/// `x_total{shard="0",type="a"}`.
+fn shard_labelled(name: &str, shard: usize) -> String {
+    match name.split_once('{') {
+        Some((family, rest)) => format!("{family}{{shard=\"{shard}\",{rest}"),
+        None => format!("{name}{{shard=\"{shard}\"}}"),
+    }
+}
+
+/// Merge two cumulative log₂ histogram bucket series. Both sides are
+/// contiguous from bucket index 0 with canonical `le` bounds (the shape
+/// every `MetricsReport` producer emits), so bucket `i` aligns with bucket
+/// `i` and a cumulative count past a side's trimmed tail saturates at that
+/// side's total — exactly the series the concatenated samples would
+/// produce.
+fn merge_cumulative_buckets(
+    a: &[HistogramBucket],
+    a_total: u64,
+    b: &[HistogramBucket],
+    b_total: u64,
+) -> Vec<HistogramBucket> {
+    let len = a.len().max(b.len());
+    let mut out = Vec::with_capacity(len);
+    for i in 0..len {
+        let le = a
+            .get(i)
+            .or_else(|| b.get(i))
+            .map_or_else(|| imobs::bucket_upper_bound(i), |bucket| bucket.le);
+        let ca = a.get(i).map_or(a_total, |bucket| bucket.count);
+        let cb = b.get(i).map_or(b_total, |bucket| bucket.count);
+        out.push(HistogramBucket { le, count: ca + cb });
+    }
+    out
+}
+
 impl MetricsReport {
     /// Look up a counter value by exact name (`0` when absent — counters
     /// that never fired may legitimately be missing from older servers).
@@ -412,6 +448,286 @@ impl MetricsReport {
     #[must_use]
     pub fn histogram(&self, name: &str) -> Option<&HistogramSample> {
         self.histograms.iter().find(|s| s.name == name)
+    }
+
+    /// A copy of this report with every series relabelled under
+    /// `shard="i"` — how a router tags one shard's snapshot before folding
+    /// it into the federated cluster report. Slow queries are kept verbatim
+    /// (they already carry trace ids that identify their hop).
+    #[must_use]
+    pub fn with_shard_label(&self, shard: usize) -> MetricsReport {
+        MetricsReport {
+            counters: self
+                .counters
+                .iter()
+                .map(|s| MetricSample {
+                    name: shard_labelled(&s.name, shard),
+                    value: s.value,
+                })
+                .collect(),
+            gauges: self
+                .gauges
+                .iter()
+                .map(|s| GaugeSample {
+                    name: shard_labelled(&s.name, shard),
+                    value: s.value,
+                })
+                .collect(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|s| HistogramSample {
+                    name: shard_labelled(&s.name, shard),
+                    count: s.count,
+                    sum: s.sum,
+                    buckets: s.buckets.clone(),
+                })
+                .collect(),
+            slow_queries: self.slow_queries.clone(),
+        }
+    }
+
+    /// Fold `other` into `self` by exact series name: counters and gauges
+    /// sum, cumulative histogram buckets add element-wise (so a merged
+    /// quantile keeps the one-bucket error bound), series absent on one
+    /// side append verbatim, and slow queries concatenate. Merging a
+    /// shard-labelled copy *and* the unlabelled original gives the
+    /// federated shape: per-shard series plus a cluster-wide sum.
+    pub fn merge(&mut self, other: &MetricsReport) {
+        for sample in &other.counters {
+            match self.counters.iter_mut().find(|s| s.name == sample.name) {
+                Some(mine) => mine.value += sample.value,
+                None => self.counters.push(sample.clone()),
+            }
+        }
+        for sample in &other.gauges {
+            match self.gauges.iter_mut().find(|s| s.name == sample.name) {
+                Some(mine) => mine.value += sample.value,
+                None => self.gauges.push(sample.clone()),
+            }
+        }
+        for sample in &other.histograms {
+            match self.histograms.iter_mut().find(|s| s.name == sample.name) {
+                Some(mine) => {
+                    mine.buckets = merge_cumulative_buckets(
+                        &mine.buckets,
+                        mine.count,
+                        &sample.buckets,
+                        sample.count,
+                    );
+                    mine.count += sample.count;
+                    mine.sum = mine.sum.wrapping_add(sample.sum);
+                }
+                None => self.histograms.push(sample.clone()),
+            }
+        }
+        self.slow_queries.extend(other.slow_queries.iter().cloned());
+    }
+
+    /// Render this report in Prometheus plaintext exposition format, with
+    /// families and labelled series lexicographically sorted (byte-stable,
+    /// like [`imobs::Registry::render_prometheus`]). This is how a router
+    /// exposes a *federated* report — snapshot data merged from many
+    /// processes, with no live registry behind it. Slow queries append as
+    /// `# slowlog` comment lines.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        enum Kind<'a> {
+            Counter(u64),
+            Gauge(i64),
+            Histogram(&'a HistogramSample),
+        }
+        let mut series: Vec<(&str, &str, Kind<'_>)> = Vec::new();
+        for s in &self.counters {
+            series.push((imobs::family_of(&s.name), &s.name, Kind::Counter(s.value)));
+        }
+        for s in &self.gauges {
+            series.push((imobs::family_of(&s.name), &s.name, Kind::Gauge(s.value)));
+        }
+        for s in &self.histograms {
+            series.push((imobs::family_of(&s.name), &s.name, Kind::Histogram(s)));
+        }
+        series.sort_by(|a, b| a.0.cmp(b.0).then_with(|| a.1.cmp(b.1)));
+        let mut out = String::new();
+        let mut last_family: Option<&str> = None;
+        for (family, name, kind) in &series {
+            let first_of_family = last_family != Some(family);
+            if first_of_family {
+                last_family = Some(family);
+            }
+            match kind {
+                Kind::Counter(v) => {
+                    if first_of_family {
+                        let _ = writeln!(out, "# TYPE {family} counter");
+                    }
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                Kind::Gauge(v) => {
+                    if first_of_family {
+                        let _ = writeln!(out, "# TYPE {family} gauge");
+                    }
+                    let _ = writeln!(out, "{name} {v}");
+                }
+                Kind::Histogram(h) => {
+                    if first_of_family {
+                        let _ = writeln!(out, "# TYPE {family} histogram");
+                    }
+                    for bucket in &h.buckets {
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{{le=\"{}\"}} {}",
+                            bucket.le, bucket.count
+                        );
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+                    let _ = writeln!(out, "{name}_sum {}", h.sum);
+                    let _ = writeln!(out, "{name}_count {}", h.count);
+                }
+            }
+        }
+        for slow in &self.slow_queries {
+            let _ = write!(
+                out,
+                "# slowlog trace={:#x} total_us={} stages[",
+                slow.trace, slow.total_micros
+            );
+            for (i, stage) in slow.stages.iter().enumerate() {
+                let sep = if i == 0 { "" } else { "," };
+                let _ = write!(out, "{sep}{}={}", stage.stage, stage.at_micros);
+            }
+            let _ = writeln!(out, "]");
+        }
+        out
+    }
+}
+
+/// One typed field of a wire [`EventRecord`], stringified at snapshot time
+/// (the in-process ring keeps values typed; the wire does not need to).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventFieldSample {
+    /// Field name.
+    pub name: String,
+    /// Field value, rendered.
+    pub value: String,
+}
+
+/// One operational event as served by the `Events` protocol request and the
+/// `/events` endpoint: the wire form of [`imobs::Event`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventRecord {
+    /// Monotone per-process sequence number.
+    pub seq: u64,
+    /// Severity (`info` / `warn` / `error`).
+    pub level: String,
+    /// Stable machine-readable code (`wal_append_failed`, `torn_broadcast`,
+    /// `compaction_finished`, …).
+    pub code: String,
+    /// Wall-clock microseconds since the Unix epoch when recorded.
+    pub at_unix_micros: u64,
+    /// The active trace id (`0` when the event happened outside a request).
+    pub trace: u64,
+    /// Typed fields, stringified.
+    pub fields: Vec<EventFieldSample>,
+}
+
+impl From<&imobs::Event> for EventRecord {
+    fn from(event: &imobs::Event) -> Self {
+        EventRecord {
+            seq: event.seq,
+            level: event.level.as_str().to_string(),
+            code: event.code.to_string(),
+            at_unix_micros: event.at_unix_micros,
+            trace: event.trace,
+            fields: event
+                .fields
+                .iter()
+                .map(|f| EventFieldSample {
+                    name: f.name.to_string(),
+                    value: f.value.to_string(),
+                })
+                .collect(),
+        }
+    }
+}
+
+impl EventRecord {
+    /// Look up a field's rendered value by name.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| f.value.as_str())
+    }
+}
+
+/// One named health signal with its verdict and a human-readable detail
+/// (which shard, which bound, what it read).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthSignal {
+    /// Signal name (`wal_writable`, `shard_0_reachable`, `epoch_lockstep`,
+    /// `reactor_backpressure`, …).
+    pub name: String,
+    /// Whether the signal is healthy.
+    pub ok: bool,
+    /// What the signal read, or why it failed.
+    pub detail: String,
+}
+
+/// A liveness/readiness verdict computed from real signals — the payload of
+/// the `Health` protocol request and the `/readyz` endpoint. `ready` is the
+/// conjunction of every signal, so a degraded report always names *which*
+/// signal (and for a router, which shard) failed and why.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Whether every signal is healthy.
+    pub ready: bool,
+    /// Every evaluated signal, healthy or not.
+    pub signals: Vec<HealthSignal>,
+}
+
+impl HealthReport {
+    /// An empty (vacuously ready) report to push signals into.
+    #[must_use]
+    pub fn new() -> Self {
+        HealthReport {
+            ready: true,
+            signals: Vec::new(),
+        }
+    }
+
+    /// Record one signal; an unhealthy one flips `ready` off.
+    pub fn push(&mut self, name: impl Into<String>, ok: bool, detail: impl Into<String>) {
+        self.ready &= ok;
+        self.signals.push(HealthSignal {
+            name: name.into(),
+            ok,
+            detail: detail.into(),
+        });
+    }
+
+    /// Look up a signal by exact name.
+    #[must_use]
+    pub fn signal(&self, name: &str) -> Option<&HealthSignal> {
+        self.signals.iter().find(|s| s.name == name)
+    }
+
+    /// The plaintext `/readyz` body: `ready` on success, otherwise
+    /// `not ready` followed by one `name: detail` line per failing signal.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        if self.ready {
+            return "ready\n".to_string();
+        }
+        let mut out = String::from("not ready\n");
+        for signal in self.signals.iter().filter(|s| !s.ok) {
+            out.push_str(&signal.name);
+            out.push_str(": ");
+            out.push_str(&signal.detail);
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -464,6 +780,28 @@ pub trait InfluenceService {
         ))
     }
 
+    /// A liveness/readiness verdict computed from real signals: WAL
+    /// writability, shard reachability and epoch lockstep, reactor
+    /// backpressure. [`LocalService`] asks its engine;
+    /// [`crate::client::RemoteService`] sends the typed `Health` request;
+    /// [`crate::shard::ShardedService`] probes every shard and degrades its
+    /// readiness naming the failing shard. The default declines, so minimal
+    /// test doubles keep compiling.
+    fn health(&mut self) -> ServiceResult<HealthReport> {
+        Err(ServiceError::Backend(
+            "health report not supported by this backend".into(),
+        ))
+    }
+
+    /// The backend's recent operational events (WAL failures, compactions,
+    /// torn broadcasts, backpressure episodes), oldest first. The default
+    /// declines, like [`InfluenceService::metrics`].
+    fn events(&mut self) -> ServiceResult<Vec<EventRecord>> {
+        Err(ServiceError::Backend(
+            "event log not supported by this backend".into(),
+        ))
+    }
+
     /// Join this service's subsequent calls to the caller's request trace.
     /// Remote backends propagate the id on every v2 frame (`"t"` field) so
     /// the server's span — and its slow-log entry, if the request is slow —
@@ -512,6 +850,12 @@ impl<S: InfluenceService + ?Sized> InfluenceService for Box<S> {
     }
     fn metrics(&mut self) -> ServiceResult<MetricsReport> {
         (**self).metrics()
+    }
+    fn health(&mut self) -> ServiceResult<HealthReport> {
+        (**self).health()
+    }
+    fn events(&mut self) -> ServiceResult<Vec<EventRecord>> {
+        (**self).events()
     }
     fn set_trace(&mut self, trace: Option<u64>) {
         (**self).set_trace(trace)
@@ -589,6 +933,14 @@ impl InfluenceService for LocalService {
 
     fn metrics(&mut self) -> ServiceResult<MetricsReport> {
         Ok(self.engine.metrics_report())
+    }
+
+    fn health(&mut self) -> ServiceResult<HealthReport> {
+        Ok(self.engine.health())
+    }
+
+    fn events(&mut self) -> ServiceResult<Vec<EventRecord>> {
+        Ok(self.engine.event_records())
     }
 }
 

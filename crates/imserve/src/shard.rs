@@ -58,12 +58,14 @@ use std::time::Instant;
 
 use imdyn::EpochReport;
 use imgraph::GraphDelta;
+use imobs::EventField;
 
 use crate::obs::{ServingMetrics, ShardLane};
 use crate::protocol::TopKAlgorithm;
 use crate::service::{
-    CompactionReport, GainVector, InfluenceService, MetricsReport, MutationOutcome, ServiceError,
-    ServiceInfo, ServiceResult, ServiceStats, SpreadEstimate, TopKSelection,
+    CompactionReport, EventRecord, GainVector, GaugeSample, HealthReport, InfluenceService,
+    MetricsReport, MutationOutcome, ServiceError, ServiceInfo, ServiceResult, ServiceStats,
+    SpreadEstimate, TopKSelection,
 };
 
 /// A router over N shard backends (see the module docs for the invariant).
@@ -88,6 +90,10 @@ pub struct ShardedService<S: InfluenceService> {
     /// Pre-fetched per-shard lane handles (index-aligned with `shards`), so
     /// fan-out legs record without touching the registry.
     lanes: Vec<ShardLane>,
+    /// The caller's active trace id (also broadcast to every shard by
+    /// [`InfluenceService::set_trace`]), retained so router-side events —
+    /// torn broadcasts, deadline misses — carry the trace that hit them.
+    trace: Option<u64>,
 }
 
 impl<S: InfluenceService + Send> ShardedService<S> {
@@ -201,6 +207,7 @@ impl<S: InfluenceService + Send> ShardedService<S> {
             memo: None,
             obs,
             lanes,
+            trace: None,
         })
     }
 
@@ -217,15 +224,56 @@ impl<S: InfluenceService + Send> ShardedService<S> {
         &self.obs
     }
 
+    /// Federate the cluster's metrics into one report: fan a `Metrics`
+    /// request out to every shard concurrently, tag each answering shard's
+    /// series with a leading `shard="i"` label, and merge both the tagged
+    /// copy *and* the untagged original into the router's own report — so a
+    /// single scrape shows the merged cluster value for every family
+    /// (counters summed, cumulative histogram buckets added elementwise,
+    /// keeping quantile bounds within one log₂ bucket) next to the
+    /// per-shard series that sum to it. A shard that cannot answer (dead,
+    /// or an older server without the `Metrics` request) degrades the
+    /// report instead of failing it: its series are absent and its
+    /// `imserve_shard_up{shard="i"}` gauge reads `0`.
+    pub fn cluster_metrics(&mut self) -> MetricsReport {
+        let results = Self::fan_out(
+            &mut self.shards,
+            &self.obs,
+            &self.lanes,
+            self.trace.unwrap_or(0),
+            |shard| shard.metrics(),
+        );
+        let mut merged = self.obs.report();
+        for (i, result) in results.into_iter().enumerate() {
+            let up = match result {
+                Ok(report) => {
+                    merged.merge(&report.with_shard_label(i));
+                    merged.merge(&report);
+                    1
+                }
+                Err(_) => 0,
+            };
+            merged.gauges.push(GaugeSample {
+                name: format!("imserve_shard_up{{shard=\"{i}\"}}"),
+                value: up,
+            });
+        }
+        merged
+    }
+
     /// Run `op` on every shard concurrently (one scoped thread per shard;
     /// the single-shard case stays inline) and collect the per-shard results
     /// in shard-index order — the order every merge below depends on. Each
     /// leg records into its shard's lane (send/recv/error counters and the
-    /// round-trip histogram); `obs` counts the fan-out itself.
+    /// round-trip histogram); `obs` counts the fan-out itself and its event
+    /// log receives one event per failing leg — `shard_deadline_missed` for
+    /// a transport timeout, `shard_fanout_error` otherwise — stamped with
+    /// `trace` (the caller's active trace id, `0` when untraced).
     fn fan_out<T: Send>(
         shards: &mut [S],
         obs: &ServingMetrics,
         lanes: &[ShardLane],
+        trace: u64,
         op: impl Fn(&mut S) -> ServiceResult<T> + Sync,
     ) -> Vec<ServiceResult<T>> {
         obs.shard_fanouts.inc();
@@ -237,7 +285,29 @@ impl<S: InfluenceService + Send> ShardedService<S> {
             lane.rtt_micros.record(began.elapsed().as_micros() as u64);
             match &result {
                 Ok(_) => lane.recvs.inc(),
-                Err(_) => lane.errors.inc(),
+                Err(e) => {
+                    lane.errors.inc();
+                    let deadline_missed = matches!(
+                        e,
+                        ServiceError::Transport(io) if matches!(
+                            io.kind(),
+                            std::io::ErrorKind::TimedOut | std::io::ErrorKind::WouldBlock
+                        )
+                    );
+                    let code = if deadline_missed {
+                        "shard_deadline_missed"
+                    } else {
+                        "shard_fanout_error"
+                    };
+                    obs.event_log.warn(
+                        code,
+                        trace,
+                        vec![
+                            EventField::u64("shard", i as u64),
+                            EventField::text("error", e.to_string()),
+                        ],
+                    );
+                }
             }
             result
         };
@@ -298,6 +368,7 @@ impl<S: InfluenceService + Send> ShardedService<S> {
             &mut self.shards,
             &self.obs,
             &self.lanes,
+            self.trace.unwrap_or(0),
             |shard| shard.stats(),
         ))?;
         let mut epoch: Option<u64> = None;
@@ -329,6 +400,7 @@ impl<S: InfluenceService + Send> ShardedService<S> {
             &mut self.shards,
             &self.obs,
             &self.lanes,
+            self.trace.unwrap_or(0),
             |shard| shard.gains(selected),
         ))?;
         let mut sum = vec![0u64; n];
@@ -411,6 +483,7 @@ impl<S: InfluenceService + Send> InfluenceService for ShardedService<S> {
             &mut self.shards,
             &self.obs,
             &self.lanes,
+            self.trace.unwrap_or(0),
             |shard| shard.estimate(seeds),
         ))?;
         let mut covered = 0u64;
@@ -470,9 +543,13 @@ impl<S: InfluenceService + Send> InfluenceService for ShardedService<S> {
         // applied anywhere and the batch is simply invalid — the caller sees
         // shard 0's error untouched, exactly as a single-pool backend would
         // report it.
-        let results = Self::fan_out(&mut self.shards, &self.obs, &self.lanes, |shard| {
-            shard.mutate_batch(deltas)
-        });
+        let results = Self::fan_out(
+            &mut self.shards,
+            &self.obs,
+            &self.lanes,
+            self.trace.unwrap_or(0),
+            |shard| shard.mutate_batch(deltas),
+        );
         if results.iter().all(Result::is_err) {
             let first = results.into_iter().next().expect("at least one shard");
             return Err(first.expect_err("all results are errors"));
@@ -486,6 +563,16 @@ impl<S: InfluenceService + Send> InfluenceService for ShardedService<S> {
             // Partial application: the epochs have diverged, so the memo
             // (keyed by the lockstep epoch) must not survive.
             self.memo = None;
+            self.obs.event_log.error(
+                "torn_broadcast",
+                self.trace.unwrap_or(0),
+                vec![
+                    EventField::u64("shard", i as u64),
+                    EventField::u64("epoch_before", self.epoch),
+                    EventField::u64("deltas", deltas.len() as u64),
+                    EventField::text("error", e.to_string()),
+                ],
+            );
             return Err(ServiceError::Shard(format!(
                 "broadcast torn: shard {i} rejected the batch ({e}) while other shards \
                  applied it; shards have diverged and must be re-synchronized"
@@ -536,6 +623,7 @@ impl<S: InfluenceService + Send> InfluenceService for ShardedService<S> {
             &mut self.shards,
             &self.obs,
             &self.lanes,
+            self.trace.unwrap_or(0),
             |shard| shard.compact(),
         ))?;
         let mut epoch: Option<u64> = None;
@@ -566,6 +654,7 @@ impl<S: InfluenceService + Send> InfluenceService for ShardedService<S> {
             &mut self.shards,
             &self.obs,
             &self.lanes,
+            self.trace.unwrap_or(0),
             |shard| shard.set_deadline(deadline),
         ))?;
         Ok(())
@@ -576,6 +665,7 @@ impl<S: InfluenceService + Send> InfluenceService for ShardedService<S> {
             &mut self.shards,
             &self.obs,
             &self.lanes,
+            self.trace.unwrap_or(0),
             |shard| shard.stats(),
         ))?;
         let mut merged: Option<ServiceStats> = None;
@@ -618,18 +708,92 @@ impl<S: InfluenceService + Send> InfluenceService for ShardedService<S> {
         Ok(stats)
     }
 
-    /// The *router's* metrics: fan-out counts, per-shard send/recv/error
-    /// lanes and round-trip histograms. Shard backends keep their own
-    /// registries (query them directly for engine-side metrics) — the layers
-    /// measure themselves, they are not merged.
+    /// Federated cluster metrics — see [`ShardedService::cluster_metrics`].
     fn metrics(&mut self) -> ServiceResult<MetricsReport> {
-        Ok(self.obs.report())
+        Ok(self.cluster_metrics())
+    }
+
+    /// Cluster readiness from real signals: one `shard_{i}_reachable` signal
+    /// per backend (from a concurrent `stats` fan-out, so a dead shard is
+    /// named with the error that killed its leg) plus one `epoch_lockstep`
+    /// signal over the reachable shards (naming the diverging shards and
+    /// epochs when a torn broadcast or out-of-band mutation split them).
+    /// Never fails: an unreachable shard degrades the report, it does not
+    /// error the probe — `/readyz` must keep answering while degraded.
+    fn health(&mut self) -> ServiceResult<HealthReport> {
+        let results = Self::fan_out(
+            &mut self.shards,
+            &self.obs,
+            &self.lanes,
+            self.trace.unwrap_or(0),
+            |shard| shard.stats(),
+        );
+        let mut report = HealthReport::new();
+        let mut epochs: Vec<(usize, u64)> = Vec::with_capacity(results.len());
+        for (i, result) in results.into_iter().enumerate() {
+            match result {
+                Ok(stats) => {
+                    report.push(
+                        format!("shard_{i}_reachable"),
+                        true,
+                        format!("epoch {}, {} requests served", stats.epoch, stats.requests),
+                    );
+                    epochs.push((i, stats.epoch));
+                }
+                Err(e) => {
+                    report.push(
+                        format!("shard_{i}_reachable"),
+                        false,
+                        format!("shard {i} is unreachable: {e}"),
+                    );
+                }
+            }
+        }
+        match epochs.split_first() {
+            Some((&(first_idx, first_epoch), rest)) => {
+                match rest.iter().find(|&&(_, e)| e != first_epoch) {
+                    Some(&(i, e)) => report.push(
+                        "epoch_lockstep",
+                        false,
+                        format!(
+                            "shard {i} is at epoch {e} but shard {first_idx} is at \
+                             {first_epoch}; merged answers would mix epochs"
+                        ),
+                    ),
+                    None => report.push(
+                        "epoch_lockstep",
+                        true,
+                        format!("all reachable shards at epoch {first_epoch}"),
+                    ),
+                }
+            }
+            None => report.push("epoch_lockstep", false, "no shard is reachable"),
+        }
+        Ok(report)
+    }
+
+    /// The router's own event ring: torn broadcasts, deadline misses and
+    /// fan-out errors observed at this layer. Shard-side events stay on
+    /// their shards (ask them directly) — unlike metrics, events are
+    /// discrete records whose interleaving across layers would be
+    /// misleading without a merge key the wire does not carry.
+    fn events(&mut self) -> ServiceResult<Vec<EventRecord>> {
+        Ok(self
+            .obs
+            .event_log
+            .entries()
+            .iter()
+            .map(EventRecord::from)
+            .collect())
     }
 
     /// Propagate the caller's trace id to every shard: each fan-out leg
     /// stamps it onto its frames ([`crate::client::RemoteService`] hops), so
     /// the per-shard sub-requests stitch into the original request's trace.
+    /// The router also retains it so its own events (torn broadcasts,
+    /// deadline misses) carry the trace that hit them.
     fn set_trace(&mut self, trace: Option<u64>) {
+        self.trace = trace;
         for shard in &mut self.shards {
             shard.set_trace(trace);
         }
