@@ -64,6 +64,30 @@ pub enum Command {
         /// Slow-query log threshold in microseconds: request spans at or
         /// above it land in the ring buffer rendered with the scrape.
         slow_micros: u64,
+        /// Bind address of the replication listener (leader mode): followers
+        /// dial it and tail this server's WAL. Requires `--wal`.
+        repl_addr: Option<String>,
+        /// Leader address to follow (follower mode): the engine starts
+        /// read-only and applies the leader's WAL stream until promoted.
+        follow: Option<String>,
+    },
+    /// `imserve reload`: hot-swap a running server's index for a freshly
+    /// validated artifact (same identity, epoch and lineage; typically a
+    /// compacted copy) without restarting or dropping in-flight queries.
+    Reload {
+        /// Server address.
+        addr: String,
+        /// Artifact path on the *server's* filesystem.
+        index: String,
+    },
+    /// `imserve promote`: turn a read-only follower writable, optionally
+    /// verifying its replication cursor reached the leader's last
+    /// acknowledged epoch first.
+    Promote {
+        /// Follower address.
+        addr: String,
+        /// Refuse unless the follower's cursor reached this epoch.
+        expected_epoch: Option<u64>,
     },
     /// `imserve route`: a long-lived router process over N shard servers,
     /// exposing the cluster's operational surface — federated `/metrics`,
@@ -177,8 +201,10 @@ impl std::error::Error for CliError {}
 /// One-line usage summary per subcommand.
 pub const USAGE: &str = "usage:
   imserve build    --dataset <name> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] [--deltas <script>] [--shard i/N] --out <path>
-  imserve serve    --index <path> [--addr host:port] [--reactor | --threaded] [--workers N] [--cache N] [--compact-log-len N] [--compact-dirty F] [--wal <path>] [--metrics-addr host:port] [--slow-micros N]
-  imserve route    --addr host:port [--addr …] --metrics-addr host:port [--deadline-ms N]
+  imserve serve    --index <path> [--addr host:port] [--reactor | --threaded] [--workers N] [--cache N] [--compact-log-len N] [--compact-dirty F] [--wal <path>] [--metrics-addr host:port] [--slow-micros N] [--repl-addr host:port] [--follow host:port]
+  imserve route    --addr host:port[|replica…] [--addr …] --metrics-addr host:port [--deadline-ms N]
+  imserve reload   --addr host:port --index <path>
+  imserve promote  --addr host:port [--expected-epoch N]
   imserve query    --addr host:port [--addr …] [--v1] (--estimate v1,v2,… | --topk K [--algorithm greedy|singleton] | --info | --stats | --metrics | --health | --events)
   imserve mutate   --addr host:port [--addr …] [--batch] (--insert u,v,p | --delete u,v | --setp u,v,p | --file <script>)…
   imserve compact  (--addr host:port | --index <path> --out <path>)
@@ -191,7 +217,10 @@ delta scripts hold one JSON delta per line, e.g. {\"InsertEdge\":{\"source\":0,\
 --reactor (default) serves every connection from one event loop; --threaded keeps the turn-queue worker pool
 --arrival-rps switches the loadtest to an open-loop schedule measuring latency from each scheduled arrival
 --metrics-addr exposes the operational HTTP surface (/metrics, /events, /healthz, /readyz); --slow-micros sets the slow-query log threshold
-route serves the cluster's federated scrape and readiness over its shards; --deadline-ms bounds each shard probe";
+route serves the cluster's federated scrape and readiness over its shards; --deadline-ms bounds each shard probe
+--repl-addr (with --wal) streams this server's WAL to followers; --follow makes a read-only replica of the given leader
+route --addr takes |-separated replicas per shard (leader first): reads fail over to a caught-up follower
+reload hot-swaps a validated artifact into a running server; promote turns a follower writable (--expected-epoch names the epoch it must have reached)";
 
 /// Parse a flag's numeric value, naming the flag in the error.
 ///
@@ -237,6 +266,8 @@ pub fn parse(args: &[String]) -> Result<Command, CliError> {
         "build" => parse_build(rest),
         "serve" => parse_serve(rest),
         "route" => parse_route(rest),
+        "reload" => parse_reload(rest),
+        "promote" => parse_promote(rest),
         "query" => parse_query(rest),
         "mutate" => parse_mutate(rest),
         "compact" => parse_compact(rest),
@@ -452,12 +483,18 @@ fn parse_serve(args: &[String]) -> Result<Command, CliError> {
     let mut wal: Option<String> = None;
     let mut metrics_addr: Option<String> = None;
     let mut slow_micros = crate::obs::DEFAULT_SLOW_THRESHOLD_MICROS;
+    let mut repl_addr: Option<String> = None;
+    let mut follow: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--index" => index = Some(take_value("--index", args, &mut i)?.to_string()),
             "--wal" => wal = Some(take_value("--wal", args, &mut i)?.to_string()),
             "--addr" => addr = take_value("--addr", args, &mut i)?.to_string(),
+            "--repl-addr" => {
+                repl_addr = Some(take_value("--repl-addr", args, &mut i)?.to_string());
+            }
+            "--follow" => follow = Some(take_value("--follow", args, &mut i)?.to_string()),
             "--metrics-addr" => {
                 metrics_addr = Some(take_value("--metrics-addr", args, &mut i)?.to_string());
             }
@@ -517,6 +554,11 @@ fn parse_serve(args: &[String]) -> Result<Command, CliError> {
             ));
         }
     }
+    if repl_addr.is_some() && wal.is_none() {
+        return Err(CliError(
+            "--repl-addr requires --wal (followers tail the write-ahead log)".to_string(),
+        ));
+    }
     Ok(Command::Serve {
         index: index.ok_or_else(|| CliError("serve requires --index".to_string()))?,
         addr,
@@ -528,6 +570,49 @@ fn parse_serve(args: &[String]) -> Result<Command, CliError> {
         wal,
         metrics_addr,
         slow_micros,
+        repl_addr,
+        follow,
+    })
+}
+
+fn parse_reload(args: &[String]) -> Result<Command, CliError> {
+    let mut addr: Option<String> = None;
+    let mut index: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(take_value("--addr", args, &mut i)?.to_string()),
+            "--index" => index = Some(take_value("--index", args, &mut i)?.to_string()),
+            other => return Err(CliError(format!("unknown option {other:?} for reload"))),
+        }
+        i += 1;
+    }
+    Ok(Command::Reload {
+        addr: addr.ok_or_else(|| CliError("reload requires --addr".to_string()))?,
+        index: index.ok_or_else(|| CliError("reload requires --index".to_string()))?,
+    })
+}
+
+fn parse_promote(args: &[String]) -> Result<Command, CliError> {
+    let mut addr: Option<String> = None;
+    let mut expected_epoch: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => addr = Some(take_value("--addr", args, &mut i)?.to_string()),
+            "--expected-epoch" => {
+                expected_epoch = Some(parse_number(
+                    "--expected-epoch",
+                    take_value("--expected-epoch", args, &mut i)?,
+                )?);
+            }
+            other => return Err(CliError(format!("unknown option {other:?} for promote"))),
+        }
+        i += 1;
+    }
+    Ok(Command::Promote {
+        addr: addr.ok_or_else(|| CliError("promote requires --addr".to_string()))?,
+        expected_epoch,
     })
 }
 
@@ -1166,6 +1251,90 @@ mod tests {
         );
         assert!(parse(&args(&["query", "--addr", "a:1", "--health", "--stats"])).is_err());
         assert!(parse(&args(&["query", "--addr", "a:1", "--events", "--health"])).is_err());
+    }
+
+    #[test]
+    fn serve_replication_flags_parse_with_their_constraints() {
+        // Leader mode: --repl-addr needs a WAL to tail.
+        match parse(&args(&[
+            "serve",
+            "--index",
+            "x.imx",
+            "--wal",
+            "x.wal",
+            "--repl-addr",
+            "127.0.0.1:0",
+        ]))
+        .unwrap()
+        {
+            Command::Serve {
+                repl_addr, follow, ..
+            } => {
+                assert_eq!(repl_addr.as_deref(), Some("127.0.0.1:0"));
+                assert_eq!(follow, None);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        let err = parse(&args(&["serve", "--index", "x", "--repl-addr", "a:1"])).unwrap_err();
+        assert!(err.to_string().contains("--wal"), "{err}");
+        // Follower mode: --follow parses with or without a WAL (the WAL is
+        // the durable cursor; without it the cursor restarts at the
+        // artifact's epoch).
+        match parse(&args(&["serve", "--index", "x.imx", "--follow", "l:1"])).unwrap() {
+            Command::Serve {
+                repl_addr, follow, ..
+            } => {
+                assert_eq!(repl_addr, None);
+                assert_eq!(follow.as_deref(), Some("l:1"));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse(&args(&["serve", "--index", "x", "--follow"])).is_err());
+    }
+
+    #[test]
+    fn reload_and_promote_parse_with_required_flags() {
+        assert_eq!(
+            parse(&args(&["reload", "--addr", "a:1", "--index", "c.imx"])).unwrap(),
+            Command::Reload {
+                addr: "a:1".into(),
+                index: "c.imx".into(),
+            }
+        );
+        assert!(parse(&args(&["reload", "--addr", "a:1"])).is_err());
+        assert!(parse(&args(&["reload", "--index", "c.imx"])).is_err());
+        assert!(parse(&args(&["reload", "--addr", "a:1", "--index", "c", "--x"])).is_err());
+
+        assert_eq!(
+            parse(&args(&["promote", "--addr", "f:1"])).unwrap(),
+            Command::Promote {
+                addr: "f:1".into(),
+                expected_epoch: None,
+            }
+        );
+        assert_eq!(
+            parse(&args(&[
+                "promote",
+                "--addr",
+                "f:1",
+                "--expected-epoch",
+                "12"
+            ]))
+            .unwrap(),
+            Command::Promote {
+                addr: "f:1".into(),
+                expected_epoch: Some(12),
+            }
+        );
+        assert!(parse(&args(&["promote"])).is_err());
+        assert!(parse(&args(&[
+            "promote",
+            "--addr",
+            "f:1",
+            "--expected-epoch",
+            "x"
+        ]))
+        .is_err());
     }
 
     #[test]

@@ -22,8 +22,9 @@ use crate::protocol::{
     self, Outcome, Request, RequestFrame, Response, ResponseFrame, TopKAlgorithm, PROTOCOL_VERSION,
 };
 use crate::service::{
-    CompactionReport, GainVector, InfluenceService, MetricsReport, MutationOutcome, ServiceError,
-    ServiceInfo, ServiceResult, ServiceStats, SpreadEstimate, TopKSelection,
+    CompactionReport, GainVector, InfluenceService, MetricsReport, MutationOutcome,
+    PromotionOutcome, ReloadOutcome, ServiceError, ServiceInfo, ServiceResult, ServiceStats,
+    SpreadEstimate, TopKSelection,
 };
 
 /// One persistent v1 connection speaking bare newline-delimited JSON.
@@ -509,6 +510,39 @@ impl InfluenceService for RemoteService {
         }
     }
 
+    fn reload(&mut self, path: &str) -> ServiceResult<ReloadOutcome> {
+        let request = Request::Reload {
+            path: path.to_string(),
+        };
+        match self.connection.call(&request)? {
+            Response::Reloaded {
+                epoch,
+                pool_size,
+                log_len,
+                swap_micros,
+            } => Ok(ReloadOutcome {
+                epoch,
+                pool_size,
+                log_len,
+                swap_micros,
+            }),
+            other => Self::unexpected("Reload", other),
+        }
+    }
+
+    fn promote(&mut self, expected_epoch: Option<u64>) -> ServiceResult<PromotionOutcome> {
+        match self.connection.call(&Request::Promote { expected_epoch })? {
+            Response::Promoted {
+                epoch,
+                was_read_only,
+            } => Ok(PromotionOutcome {
+                epoch,
+                was_read_only,
+            }),
+            other => Self::unexpected("Promote", other),
+        }
+    }
+
     fn set_trace(&mut self, trace: Option<u64>) {
         self.connection.set_trace(trace);
     }
@@ -535,9 +569,22 @@ pub struct ReconnectingService {
     deadline: Option<Duration>,
     trace: Option<u64>,
     inner: Option<RemoteService>,
+    /// Earliest instant the next dial attempt is allowed; `None` means dial
+    /// freely. Set after a *failed dial* (not after a mid-call failure — the
+    /// peer was up moments ago, so an immediate redial is cheap and usually
+    /// succeeds).
+    next_dial: Option<std::time::Instant>,
+    /// The delay the *next* failed dial will impose, doubling up to
+    /// [`ReconnectingService::MAX_REDIAL_BACKOFF`].
+    redial_backoff: Duration,
 }
 
 impl ReconnectingService {
+    /// First post-failure redial delay; doubles per consecutive failure.
+    pub const INITIAL_REDIAL_BACKOFF: Duration = Duration::from_millis(25);
+    /// Ceiling on the exponential redial backoff.
+    pub const MAX_REDIAL_BACKOFF: Duration = Duration::from_secs(2);
+
     /// Wrap `addr` without dialling it yet.
     #[must_use]
     pub fn new(addr: impl Into<String>) -> Self {
@@ -546,6 +593,8 @@ impl ReconnectingService {
             deadline: None,
             trace: None,
             inner: None,
+            next_dial: None,
+            redial_backoff: Self::INITIAL_REDIAL_BACKOFF,
         }
     }
 
@@ -555,14 +604,48 @@ impl ReconnectingService {
         &self.addr
     }
 
+    /// How long until the next dial attempt is allowed, if a failed dial has
+    /// armed the backoff gate. `None` means the next call may dial
+    /// immediately (either the connection is live or no dial has failed
+    /// recently).
+    #[must_use]
+    pub fn redial_wait(&self) -> Option<Duration> {
+        let next = self.next_dial?;
+        let now = std::time::Instant::now();
+        (self.inner.is_none() && next > now).then(|| next - now)
+    }
+
     /// The live connection, dialling (and replaying deadline and trace) if
-    /// the previous one was dropped.
+    /// the previous one was dropped. Consecutive failed dials are spaced by
+    /// an exponential backoff: inside the window the call fails fast with a
+    /// `WouldBlock` transport error instead of hammering a dead peer's
+    /// connect path (each SYN to a down host can cost a full timeout).
     fn service(&mut self) -> ServiceResult<&mut RemoteService> {
         if self.inner.is_none() {
-            let mut service = RemoteService::connect(&self.addr)?;
-            service.set_deadline(self.deadline)?;
-            service.set_trace(self.trace);
-            self.inner = Some(service);
+            if let Some(wait) = self.redial_wait() {
+                return Err(ServiceError::Transport(std::io::Error::new(
+                    std::io::ErrorKind::WouldBlock,
+                    format!(
+                        "redial backoff: {} unreachable, next attempt in {}ms",
+                        self.addr,
+                        wait.as_millis()
+                    ),
+                )));
+            }
+            match RemoteService::connect(&self.addr) {
+                Ok(mut service) => {
+                    service.set_deadline(self.deadline)?;
+                    service.set_trace(self.trace);
+                    self.inner = Some(service);
+                    self.next_dial = None;
+                    self.redial_backoff = Self::INITIAL_REDIAL_BACKOFF;
+                }
+                Err(e) => {
+                    self.next_dial = Some(std::time::Instant::now() + self.redial_backoff);
+                    self.redial_backoff = (self.redial_backoff * 2).min(Self::MAX_REDIAL_BACKOFF);
+                    return Err(e);
+                }
+            }
         }
         Ok(self.inner.as_mut().expect("connection just established"))
     }
@@ -631,6 +714,14 @@ impl InfluenceService for ReconnectingService {
 
     fn events(&mut self) -> ServiceResult<Vec<crate::service::EventRecord>> {
         self.run(|s| s.events())
+    }
+
+    fn reload(&mut self, path: &str) -> ServiceResult<ReloadOutcome> {
+        self.run(|s| s.reload(path))
+    }
+
+    fn promote(&mut self, expected_epoch: Option<u64>) -> ServiceResult<PromotionOutcome> {
+        self.run(|s| s.promote(expected_epoch))
     }
 
     fn set_trace(&mut self, trace: Option<u64>) {

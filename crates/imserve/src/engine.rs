@@ -45,9 +45,10 @@ use crate::obs::ServingMetrics;
 use crate::protocol::{Request, Response, TopKAlgorithm, PROTOCOL_VERSION};
 use crate::service::{
     CompactionReport, EventRecord, GainVector, HealthReport, MetricsReport, MutationOutcome,
-    ServiceError, ServiceInfo, ServiceStats, SpreadEstimate, TopKSelection,
+    PromotionOutcome, ReloadOutcome, ServiceError, ServiceInfo, ServiceStats, SpreadEstimate,
+    TopKSelection,
 };
-use crate::wal::WriteAheadLog;
+use crate::wal::{WalRecord, WriteAheadLog};
 use imgraph::binio::{fnv1a64, influence_graph_to_bytes};
 use imobs::EventField;
 
@@ -55,9 +56,24 @@ use imobs::EventField;
 pub const DEFAULT_CACHE_CAPACITY: usize = 64;
 
 /// The lineage fingerprint WAL records carry: FNV-1a64 over the graph's
-/// canonical serialized bytes. Computed only when a WAL is attached.
-fn graph_fingerprint(graph: &imgraph::InfluenceGraph) -> u64 {
+/// canonical serialized bytes. Computed when a WAL is attached, when a
+/// replicated record is applied, and when an artifact is validated for a
+/// hot-swap.
+pub(crate) fn graph_fingerprint(graph: &imgraph::InfluenceGraph) -> u64 {
     fnv1a64(&influence_graph_to_bytes(graph))
+}
+
+/// Derive the WAL/replication identity string for an index: the full
+/// identity, not just the dataset name, so two indexes that differ in model,
+/// pool size or shard offset never accept each other's mutation history.
+pub(crate) fn index_identity(meta: &IndexMeta, shard: Option<&crate::index::ShardInfo>) -> String {
+    format!(
+        "{}/{} pool={} offset={}",
+        meta.graph_id,
+        meta.model,
+        meta.pool_size,
+        shard.map_or(0, |s| s.offset)
+    )
 }
 
 /// Engine construction options.
@@ -179,6 +195,14 @@ pub struct QueryEngine {
     /// (not process-global) so engines in parallel tests never share
     /// counters; front ends clone the `Arc` to record their own stages.
     obs: Arc<ServingMetrics>,
+    /// Construction options, kept so a hot-swapped artifact inherits the
+    /// same compaction policy the engine was built with.
+    config: EngineConfig,
+    /// When set, client mutations are refused with a typed
+    /// [`ServiceError::ReadOnly`]; only [`QueryEngine::apply_replicated`]
+    /// (the replication stream) moves the epoch. Cleared by
+    /// [`QueryEngine::promote`].
+    read_only: std::sync::atomic::AtomicBool,
 }
 
 /// Staged construction of a [`QueryEngine`] — cache capacity, compaction
@@ -201,6 +225,7 @@ pub struct EngineBuilder {
     config: EngineConfig,
     wal: Option<std::path::PathBuf>,
     metrics: Option<Arc<ServingMetrics>>,
+    read_only: bool,
 }
 
 impl EngineBuilder {
@@ -246,6 +271,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Build the engine read-only (a replication follower): client
+    /// mutations are refused with a typed [`ServiceError::ReadOnly`] until
+    /// [`QueryEngine::promote`] clears the flag. WAL replay during `build`
+    /// is unaffected — it restores already-acknowledged history, which is
+    /// not a client write.
+    #[must_use]
+    pub fn read_only(mut self, read_only: bool) -> Self {
+        self.read_only = read_only;
+        self
+    }
+
     /// Construct the engine (recovering and replaying the WAL if one was
     /// attached).
     ///
@@ -261,56 +297,53 @@ impl EngineBuilder {
         // same graph at the same seed but a different model, pool size or
         // shard offset record mutations against different RR-set pools, so
         // none of them may replay another's log.
-        let meta = &self.index.meta;
-        let identity = format!(
-            "{}/{} pool={} offset={}",
-            meta.graph_id,
-            meta.model,
-            meta.pool_size,
-            self.index.shard.map_or(0, |s| s.offset)
-        );
-        let base_seed = meta.base_seed;
+        let identity = index_identity(&self.index.meta, self.index.shard.as_ref());
+        let base_seed = self.index.meta.base_seed;
         let mut engine = QueryEngine::construct(self.index, &self.config, self.metrics);
-        let Some(path) = self.wal else {
-            return Ok(engine);
-        };
-        // The WAL is bound to one index identity: replaying a foreign log
-        // whose epochs happen to line up must fail, not diverge silently.
-        let recovery = WriteAheadLog::recover(&path, &identity, base_seed)?;
-        for (i, record) in recovery.records.iter().enumerate() {
-            let epoch = engine.epoch();
-            if record.epoch_after() <= epoch {
-                continue; // already folded into the loaded artifact
+        if let Some(path) = self.wal {
+            // The WAL is bound to one index identity: replaying a foreign
+            // log whose epochs happen to line up must fail, not diverge
+            // silently.
+            let recovery = WriteAheadLog::recover(&path, &identity, base_seed)?;
+            for (i, record) in recovery.records.iter().enumerate() {
+                let epoch = engine.epoch();
+                if record.epoch_after() <= epoch {
+                    continue; // already folded into the loaded artifact
+                }
+                if record.epoch_before != epoch {
+                    return Err(ServeError::Wal(format!(
+                        "record {i} spans epochs {}..{} but the index is at epoch {epoch}; \
+                         history is missing — rebuild the index or remove the stale WAL",
+                        record.epoch_before,
+                        record.epoch_after()
+                    )));
+                }
+                // Lineage check: same identity and lined-up epochs are not
+                // enough — the record must have been applied to *this* graph
+                // (a rebuild with a different `--deltas` script shares both).
+                let fingerprint = {
+                    let state = engine.state();
+                    graph_fingerprint(state.dynamic.graph())
+                };
+                if record.graph_hash_before != fingerprint {
+                    return Err(ServeError::Wal(format!(
+                        "record {i} (epoch {}) was recorded against a different graph than this \
+                         index holds at that epoch; the WAL belongs to another lineage of the \
+                         same index — rebuild the index or remove the stale WAL",
+                        record.epoch_before
+                    )));
+                }
+                engine
+                    .mutate_batch(&record.deltas)
+                    .map_err(|e| ServeError::Wal(format!("replaying record {i} failed: {e}")))?;
             }
-            if record.epoch_before != epoch {
-                return Err(ServeError::Wal(format!(
-                    "record {i} spans epochs {}..{} but the index is at epoch {epoch}; \
-                     history is missing — rebuild the index or remove the stale WAL",
-                    record.epoch_before,
-                    record.epoch_after()
-                )));
-            }
-            // Lineage check: same identity and lined-up epochs are not
-            // enough — the record must have been applied to *this* graph
-            // (a rebuild with a different `--deltas` script shares both).
-            let fingerprint = {
-                let state = engine.state();
-                graph_fingerprint(state.dynamic.graph())
-            };
-            if record.graph_hash_before != fingerprint {
-                return Err(ServeError::Wal(format!(
-                    "record {i} (epoch {}) was recorded against a different graph than this \
-                     index holds at that epoch; the WAL belongs to another lineage of the \
-                     same index — rebuild the index or remove the stale WAL",
-                    record.epoch_before
-                )));
-            }
-            engine
-                .mutate_batch(&record.deltas)
-                .map_err(|e| ServeError::Wal(format!("replaying record {i} failed: {e}")))?;
+            // Only now start appending: replay itself must not re-log
+            // records.
+            engine.wal = Some(Mutex::new(recovery.log));
         }
-        // Only now start appending: replay itself must not re-log records.
-        engine.wal = Some(Mutex::new(recovery.log));
+        // Only now go read-only: replay restores acknowledged history, which
+        // is not a client write.
+        engine.read_only.store(self.read_only, Ordering::Relaxed);
         Ok(engine)
     }
 }
@@ -324,6 +357,7 @@ impl QueryEngine {
             config: EngineConfig::default(),
             wal: None,
             metrics: None,
+            read_only: false,
         }
     }
 
@@ -392,6 +426,8 @@ impl QueryEngine {
             counters: Counters::default(),
             wal: None,
             obs: metrics.unwrap_or_else(ServingMetrics::with_defaults),
+            config: config.clone(),
+            read_only: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -474,6 +510,12 @@ impl QueryEngine {
             Request::Metrics => Ok(self.metrics_report().into()),
             Request::Health => Ok(self.health().into()),
             Request::Events => Ok(self.event_records().into()),
+            Request::Reload { path } => self
+                .reload_from_path(std::path::Path::new(path))
+                .map(Response::from),
+            Request::Promote { expected_epoch } => {
+                self.promote(*expected_epoch).map(Response::from)
+            }
         };
         if result.is_err() {
             self.obs.request_errors.inc();
@@ -683,6 +725,7 @@ impl QueryEngine {
         let began = Instant::now();
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         self.obs.mutate.count.inc();
+        self.check_writable()?;
         self.check_wal_usable()?;
         if deltas.is_empty() {
             return Err(ServiceError::Mutation(
@@ -750,6 +793,7 @@ impl QueryEngine {
         let began = Instant::now();
         self.counters.requests.fetch_add(1, Ordering::Relaxed);
         self.obs.mutate_batch.count.inc();
+        self.check_writable()?;
         self.check_wal_usable()?;
         if deltas.is_empty() {
             return Err(ServiceError::Mutation(
@@ -827,6 +871,253 @@ impl QueryEngine {
             epoch: outcome.epoch,
             folded: outcome.folded,
         }
+    }
+
+    /// Whether this engine currently refuses client mutations (a follower
+    /// that has not been promoted).
+    #[must_use]
+    pub fn is_read_only(&self) -> bool {
+        self.read_only.load(Ordering::Relaxed)
+    }
+
+    /// The WAL/replication identity string this engine's index derives —
+    /// what a replication handshake (and the WAL header) verifies.
+    #[must_use]
+    pub fn identity(&self) -> String {
+        let state = self.state();
+        index_identity(&state.meta, state.shard.as_ref())
+    }
+
+    /// The index's base sampling seed (the other half of the WAL identity).
+    #[must_use]
+    pub fn base_seed(&self) -> u64 {
+        self.state().meta.base_seed
+    }
+
+    /// Apply one record from the replication stream, bypassing the
+    /// read-only gate (this *is* the stream).
+    ///
+    /// Returns `Ok(None)` when the record's whole span is at or below the
+    /// current epoch (already applied — the resume cursor overshot, which is
+    /// normal after a reconnect). A record *beyond* the current epoch means
+    /// history is missing, and a record whose lineage fingerprint does not
+    /// match the graph this replica holds at that epoch means the replica
+    /// diverged (or the stream corrupted) — both are typed
+    /// [`ServiceError::Backend`] fail-stops: the follower must resync, never
+    /// serve diverged answers.
+    ///
+    /// The record lands through the same atomic machinery as
+    /// [`QueryEngine::mutate_batch`] and is appended to this replica's own
+    /// WAL (if one is attached), so the follower's resume cursor is durable
+    /// and its log stays byte-compatible with the leader's.
+    pub fn apply_replicated(
+        &self,
+        record: &WalRecord,
+    ) -> Result<Option<MutationOutcome>, ServiceError> {
+        self.check_wal_usable()?;
+        if record.deltas.is_empty() {
+            return Ok(None);
+        }
+        let mut state = self.state.write().expect("serving state poisoned");
+        let epoch = state.dynamic.epoch();
+        if record.epoch_after() <= epoch {
+            return Ok(None); // already applied (resume-cursor overshoot)
+        }
+        if record.epoch_before != epoch {
+            return Err(ServiceError::Backend(format!(
+                "replication stream record spans epochs {}..{} but this replica is at epoch \
+                 {epoch}; history is missing — resync the replica from a fresh artifact",
+                record.epoch_before,
+                record.epoch_after()
+            )));
+        }
+        let fingerprint = graph_fingerprint(state.dynamic.graph());
+        if record.graph_hash_before != fingerprint {
+            return Err(ServiceError::Backend(format!(
+                "replication divergence at epoch {epoch}: the leader's record was applied to a \
+                 different graph than this replica holds (lineage fingerprint mismatch) — the \
+                 stream is corrupt or the replica diverged; resync from a fresh artifact"
+            )));
+        }
+        let dynamic = Arc::make_mut(&mut state.dynamic);
+        match dynamic.apply_batch(&record.deltas) {
+            Ok(outcome) => {
+                state.meta.num_edges = state.dynamic.graph().num_edges();
+                self.bump_mutation_counters(outcome.applied, outcome.resampled);
+                self.wal_append(
+                    record.epoch_before,
+                    record.graph_hash_before,
+                    &record.deltas,
+                )?;
+                self.note_epoch_moved(record.epoch_before, state.dynamic.epoch());
+                let compacted = self.maybe_compact_with_events(&mut state);
+                Ok(Some(MutationOutcome {
+                    epoch: state.dynamic.epoch(),
+                    applied: outcome.applied,
+                    resampled: outcome.resampled,
+                    compacted,
+                }))
+            }
+            Err(e) => Err(ServiceError::Backend(format!(
+                "replicated batch rejected at delta {} of {} ({}); the leader applied what this \
+                 replica cannot — resync from a fresh artifact",
+                e.index + 1,
+                record.deltas.len(),
+                e.error
+            ))),
+        }
+    }
+
+    /// Load the artifact at `path` (on this process's filesystem) and
+    /// hot-swap it in via [`QueryEngine::reload`].
+    pub fn reload_from_path(&self, path: &std::path::Path) -> Result<ReloadOutcome, ServiceError> {
+        let artifact = IndexArtifact::load(path)?;
+        self.reload(artifact)
+    }
+
+    /// Atomically swap a freshly validated artifact into the running engine
+    /// behind the snapshot seam. In-flight queries finish on the old `Arc`
+    /// snapshot; new queries see the new representation on their next read
+    /// lock.
+    ///
+    /// A swap never changes *answers*, only representation: the artifact
+    /// must carry the same identity, the same base seed, the same epoch and
+    /// the same graph fingerprint as the served state (the use case is
+    /// loading a compacted copy without restarting). Epoch and fingerprint
+    /// are re-checked under the write lock, so a mutation racing the swap
+    /// makes the reload fail loudly rather than silently dropping the
+    /// mutation.
+    ///
+    /// Cached `TopK` answers stay valid across the swap by construction —
+    /// their keys embed the (unchanged) epoch and the pool is required to be
+    /// bit-identical.
+    pub fn reload(&self, artifact: IndexArtifact) -> Result<ReloadOutcome, ServiceError> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.reload.count.inc();
+        // Validate identity and build the replacement oracle *outside* the
+        // write lock: readers keep flowing while the artifact is hashed.
+        let new_identity = index_identity(&artifact.meta, artifact.shard.as_ref());
+        let (identity, base_seed) = {
+            let state = self.state();
+            (
+                index_identity(&state.meta, state.shard.as_ref()),
+                state.meta.base_seed,
+            )
+        };
+        if new_identity != identity || artifact.meta.base_seed != base_seed {
+            return Err(ServiceError::Backend(format!(
+                "reload refused: artifact identity {new_identity:?} (seed {}) does not match \
+                 the served index {identity:?} (seed {base_seed}); hot-swap replaces the \
+                 representation of the same index, never a different one",
+                artifact.meta.base_seed
+            )));
+        }
+        let new_epoch = artifact.epoch();
+        let new_fingerprint = graph_fingerprint(&artifact.graph);
+        let IndexArtifact {
+            meta,
+            graph,
+            oracle,
+            log,
+            snapshot_epoch,
+            shard,
+        } = artifact;
+        let dynamic = DynamicOracle::from_parts(graph, oracle, log, snapshot_epoch)
+            .map_err(|e| ServiceError::Backend(format!("reload: artifact is unusable: {e}")))?
+            .with_policy(self.config.compaction_policy);
+        let began = Instant::now();
+        let mut state = self.state.write().expect("serving state poisoned");
+        let epoch = state.dynamic.epoch();
+        if new_epoch != epoch {
+            return Err(ServiceError::Backend(format!(
+                "reload refused: artifact is at epoch {new_epoch} but the engine is at epoch \
+                 {epoch}; hot-swap never changes history — export a fresh artifact from the \
+                 running engine (or catch it up) and retry"
+            )));
+        }
+        if new_fingerprint != graph_fingerprint(state.dynamic.graph()) {
+            return Err(ServiceError::Backend(format!(
+                "reload refused: artifact holds a different graph than the engine serves at \
+                 epoch {epoch} (lineage fingerprint mismatch); the artifact belongs to another \
+                 lineage of the same index"
+            )));
+        }
+        state.meta = meta;
+        state.shard = shard;
+        state.dynamic = Arc::new(dynamic);
+        let pool_size = state.dynamic.pool_size();
+        let log_len = state.dynamic.log().len();
+        drop(state);
+        let swap_micros = began.elapsed().as_micros() as u64;
+        self.obs.index_swap_micros.record(swap_micros);
+        self.obs.reload.latency_micros.record(swap_micros);
+        self.obs.event_log.info(
+            "index_swapped",
+            0,
+            vec![
+                EventField::u64("epoch", epoch),
+                EventField::u64("log_len", log_len as u64),
+                EventField::u64("swap_micros", swap_micros),
+            ],
+        );
+        Ok(ReloadOutcome {
+            epoch,
+            pool_size,
+            log_len,
+            swap_micros,
+        })
+    }
+
+    /// Turn a read-only follower writable.
+    ///
+    /// With `expected_epoch` set (the leader's last acknowledged epoch, as
+    /// known to the operator), the promotion is refused with a typed
+    /// [`ServiceError::Promotion`] naming the epoch gap unless this
+    /// replica's cursor reached it. `None` promotes unconditionally — the
+    /// operator accepts whatever was replicated. Idempotent on an
+    /// already-writable node.
+    pub fn promote(&self, expected_epoch: Option<u64>) -> Result<PromotionOutcome, ServiceError> {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.obs.promote.count.inc();
+        // Under the write lock so a concurrent replication apply cannot move
+        // the epoch between the gap check and the flag flip.
+        let state = self.state.write().expect("serving state poisoned");
+        let epoch = state.dynamic.epoch();
+        if let Some(required) = expected_epoch {
+            if epoch < required {
+                return Err(ServiceError::Promotion(format!(
+                    "replication cursor is at epoch {epoch} but the leader's last acknowledged \
+                     epoch is {required}; {} epoch(s) are missing — let the follower catch up, \
+                     or promote without an expected epoch to accept the loss",
+                    required - epoch
+                )));
+            }
+        }
+        let was_read_only = self.read_only.swap(false, Ordering::Relaxed);
+        drop(state);
+        if was_read_only {
+            self.obs
+                .event_log
+                .info("promoted", 0, vec![EventField::u64("epoch", epoch)]);
+        }
+        Ok(PromotionOutcome {
+            epoch,
+            was_read_only,
+        })
+    }
+
+    /// Refuse client mutations on a read-only replica (replicated records
+    /// come through [`QueryEngine::apply_replicated`], which bypasses this
+    /// gate). Checked before any state is touched.
+    fn check_writable(&self) -> Result<(), ServiceError> {
+        if self.read_only.load(Ordering::Relaxed) {
+            return Err(ServiceError::ReadOnly(
+                "this node applies mutations only from its replication stream; \
+                 write to the leader, or promote this replica first"
+                    .into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Refuse mutations once the WAL is poisoned (fail-stop: see
@@ -1511,5 +1802,200 @@ mod tests {
             resumed.handle(&q, &mut scratch2),
             engine.handle(&q, &mut scratch)
         );
+    }
+
+    fn karate_follower() -> QueryEngine {
+        QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
+            .read_only(true)
+            .build()
+            .unwrap()
+    }
+
+    fn test_deltas() -> Vec<GraphDelta> {
+        vec![
+            GraphDelta::SetProbability {
+                source: 0,
+                target: 1,
+                probability: 0.9,
+            },
+            GraphDelta::DeleteEdge {
+                source: 0,
+                target: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn read_only_engines_refuse_client_mutations_until_promoted() {
+        let follower = karate_follower();
+        assert!(follower.is_read_only());
+        let refusal = follower.mutate_batch(&test_deltas()).unwrap_err();
+        assert!(
+            matches!(refusal, ServiceError::ReadOnly(_)),
+            "expected a typed ReadOnly refusal, got {refusal:?}"
+        );
+        let refusal = follower.mutate(&test_deltas()).unwrap_err();
+        assert!(matches!(refusal, ServiceError::ReadOnly(_)));
+        // Reads keep flowing on the read-only node.
+        assert!(follower
+            .estimate(&[0, 33], &mut follower.new_scratch())
+            .is_ok());
+
+        let outcome = follower.promote(None).unwrap();
+        assert!(outcome.was_read_only);
+        assert_eq!(outcome.epoch, 0);
+        assert!(!follower.is_read_only());
+        // Each delta of the batch advances the epoch: a 2-delta batch spans 0..2.
+        assert_eq!(follower.mutate_batch(&test_deltas()).unwrap().epoch, 2);
+
+        // Idempotent on an already-writable node.
+        let again = follower.promote(None).unwrap();
+        assert!(!again.was_read_only);
+        assert_eq!(again.epoch, 2);
+    }
+
+    #[test]
+    fn promotion_with_an_expected_epoch_names_the_gap() {
+        let follower = karate_follower();
+        let refusal = follower.promote(Some(3)).unwrap_err();
+        match refusal {
+            ServiceError::Promotion(message) => {
+                assert!(message.contains("epoch 0"), "gap not named: {message}");
+                assert!(
+                    message.contains("epoch is 3"),
+                    "target not named: {message}"
+                );
+            }
+            other => panic!("expected a Promotion refusal, got {other:?}"),
+        }
+        // The refused node stays read-only; a satisfied expectation flips it.
+        assert!(follower.is_read_only());
+        assert!(follower.promote(Some(0)).unwrap().was_read_only);
+        assert!(!follower.is_read_only());
+    }
+
+    #[test]
+    fn apply_replicated_skips_duplicates_and_fail_stops_on_gaps_and_divergence() {
+        let leader = karate_engine();
+        let follower = karate_follower();
+
+        // Ship one batch the way the replication stream does: the record
+        // carries the pre-apply epoch and lineage fingerprint.
+        let record = WalRecord {
+            epoch_before: leader.epoch(),
+            graph_hash_before: graph_fingerprint(leader.state().dynamic.graph()),
+            deltas: test_deltas(),
+        };
+        leader.mutate_batch(&record.deltas).unwrap();
+        let outcome = follower.apply_replicated(&record).unwrap().unwrap();
+        assert_eq!(outcome.epoch, 2);
+        assert_eq!(follower.epoch(), leader.epoch());
+        // Byte-identical pools after the apply.
+        assert_eq!(
+            follower.state().dynamic.oracle().to_bytes(),
+            leader.state().dynamic.oracle().to_bytes()
+        );
+
+        // A resume-cursor overshoot re-ships the record: skipped, not an error.
+        assert!(follower.apply_replicated(&record).unwrap().is_none());
+
+        // A record from the future means history is missing: fail-stop.
+        let gap = WalRecord {
+            epoch_before: 5,
+            graph_hash_before: graph_fingerprint(follower.state().dynamic.graph()),
+            deltas: test_deltas(),
+        };
+        match follower.apply_replicated(&gap).unwrap_err() {
+            ServiceError::Backend(message) => {
+                assert!(message.contains("history is missing"), "{message}");
+            }
+            other => panic!("expected a Backend fail-stop, got {other:?}"),
+        }
+
+        // A record for the right epoch but another lineage: divergence.
+        let diverged = WalRecord {
+            epoch_before: follower.epoch(),
+            graph_hash_before: 0xDEAD_BEEF,
+            deltas: test_deltas(),
+        };
+        match follower.apply_replicated(&diverged).unwrap_err() {
+            ServiceError::Backend(message) => {
+                assert!(message.contains("divergence"), "{message}");
+            }
+            other => panic!("expected a Backend fail-stop, got {other:?}"),
+        }
+        // Neither refusal moved the epoch.
+        assert_eq!(follower.epoch(), 2);
+    }
+
+    #[test]
+    fn reload_hot_swaps_a_compacted_copy_without_changing_answers() {
+        let engine = karate_engine();
+        engine.mutate_batch(&test_deltas()).unwrap();
+        let mut scratch = engine.new_scratch();
+        let before = engine.estimate(&[0, 33], &mut scratch).unwrap();
+        assert_eq!(engine.state().dynamic.log().len(), 2);
+
+        // Export, compact offline, hot-swap the compacted copy back in.
+        let mut artifact = engine.state().to_artifact();
+        artifact.compact();
+        let outcome = engine.reload(artifact).unwrap();
+        assert_eq!(outcome.epoch, 2);
+        assert_eq!(outcome.log_len, 0, "the compacted copy folded the log");
+        assert_eq!(engine.epoch(), 2);
+        assert_eq!(engine.estimate(&[0, 33], &mut scratch).unwrap(), before);
+    }
+
+    #[test]
+    fn reload_refuses_foreign_epochs_and_identities() {
+        let engine = karate_engine();
+        engine.mutate_batch(&test_deltas()).unwrap();
+
+        // An artifact at another epoch (the pristine build) is refused.
+        let stale = build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap();
+        match engine.reload(stale).unwrap_err() {
+            ServiceError::Backend(message) => {
+                assert!(message.contains("epoch 0"), "{message}");
+                assert!(message.contains("epoch 2"), "{message}");
+            }
+            other => panic!("expected a Backend refusal, got {other:?}"),
+        }
+
+        // Another seed is another identity, refused before any lock is taken.
+        let foreign = build_dataset_index("karate", "uc0.1", POOL, SEED + 1).unwrap();
+        match engine.reload(foreign).unwrap_err() {
+            ServiceError::Backend(message) => {
+                assert!(message.contains("identity"), "{message}");
+            }
+            other => panic!("expected a Backend refusal, got {other:?}"),
+        }
+
+        // A same-epoch artifact from a different mutation history is another
+        // lineage: the fingerprint check refuses it.
+        let other_history = build_dataset_index_with_deltas(
+            "karate",
+            "uc0.1",
+            POOL,
+            SEED,
+            &[
+                GraphDelta::SetProbability {
+                    source: 5,
+                    target: 6,
+                    probability: 0.55,
+                },
+                GraphDelta::DeleteEdge {
+                    source: 5,
+                    target: 6,
+                },
+            ],
+        )
+        .unwrap();
+        match engine.reload(other_history).unwrap_err() {
+            ServiceError::Backend(message) => {
+                assert!(message.contains("fingerprint"), "{message}");
+            }
+            other => panic!("expected a Backend refusal, got {other:?}"),
+        }
+        assert_eq!(engine.epoch(), 2, "refused reloads leave the engine alone");
     }
 }

@@ -39,6 +39,17 @@
 //!   lockstep, reactor backpressure); request-scoped trace ids ride the
 //!   optional `"t"` field of v2 frames so sharded fan-outs stitch into one
 //!   causal trace and router-side events name the trace that hit them;
+//! * [`replication`] / [`replica`] / [`testkit`] — live operations:
+//!   followers (`serve --follow`) tail the leader's write-ahead log over a
+//!   length-prefixed record stream (identity-verified handshake, durable
+//!   resume cursor, lockstep epoch + lineage-fingerprint checks) and answer
+//!   reads byte-identically while refusing writes with a typed `ReadOnly`
+//!   error until promoted; [`replica::ReplicaSet`] fails router reads over
+//!   to a caught-up follower and keeps writes leader-ordered; the engine
+//!   hot-swaps a freshly validated artifact behind the snapshot seam
+//!   (`imserve reload`) without dropping in-flight queries; and
+//!   [`testkit`] is the deterministic in-process cluster harness (leader +
+//!   followers + injectable faults) the integration suites drive;
 //! * [`loadtest`] — an in-repo load generator driving any
 //!   [`service::InfluenceService`] and reporting latency percentiles via
 //!   `imstats`;
@@ -63,9 +74,12 @@ pub mod lru;
 pub mod obs;
 pub mod protocol;
 pub mod reactor;
+pub mod replica;
+pub mod replication;
 pub mod server;
 pub mod service;
 pub mod shard;
+pub mod testkit;
 pub mod wal;
 
 pub use client::{ReconnectingService, RemoteService};
@@ -77,6 +91,11 @@ pub use obs::{
 };
 pub use protocol::{Request, Response, TopKAlgorithm, PROTOCOL_VERSION};
 pub use reactor::ReactorConfig;
+pub use replica::{parse_replica_addrs, ReplicaSet};
+pub use replication::{
+    apply_stream, spawn_follower, spawn_leader, FollowerHandle, FollowerStatus, LeaderHandle,
+    ReplicationFaults,
+};
 pub use server::{spawn, ServerConfig, ServerHandle};
 pub use service::{
     BackendSpec, EventRecord, HealthReport, HealthSignal, InfluenceService, LocalService,

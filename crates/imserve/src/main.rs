@@ -39,6 +39,7 @@ use imserve::engine::{EngineConfig, QueryEngine};
 use imserve::index::{build_dataset_index_with_deltas, parse_dataset, parse_model, IndexArtifact};
 use imserve::loadtest::{self, LoadtestConfig};
 use imserve::protocol::{self, Request, Response};
+use imserve::replica::ReplicaSet;
 use imserve::server::{self, ServerConfig};
 use imserve::service::{InfluenceService, ServiceError};
 use imserve::shard::ShardedService;
@@ -146,6 +147,8 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             wal,
             metrics_addr,
             slow_micros,
+            repl_addr,
+            follow,
         } => {
             let started = std::time::Instant::now();
             let artifact = IndexArtifact::load(&index)?;
@@ -177,15 +180,82 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 eprintln!("mutation WAL enabled at {path}");
                 builder = builder.wal(path);
             }
+            if follow.is_some() {
+                // Followers start read-only; `imserve promote` flips them
+                // writable once their replication cursor has caught up.
+                builder = builder.read_only(true);
+            }
             let engine = Arc::new(builder.build()?);
+            let follower_status = follow.as_ref().map(|leader| {
+                let status = Arc::new(imserve::FollowerStatus::default());
+                let handle = imserve::spawn_follower(
+                    leader.as_str(),
+                    Arc::clone(&engine),
+                    Arc::clone(&status),
+                );
+                eprintln!("following leader at {leader} (read-only until promoted)");
+                (status, handle)
+            });
+            let _leader = match &repl_addr {
+                Some(repl_addr) => {
+                    // The CLI refuses `--repl-addr` without `--wal`, so the
+                    // unwrap documents an invariant, not a hope.
+                    let wal_path = wal.clone().expect("--repl-addr requires --wal");
+                    let leader = imserve::spawn_leader(
+                        repl_addr.as_str(),
+                        Arc::clone(&engine),
+                        wal_path,
+                        Arc::new(imserve::ReplicationFaults::default()),
+                    )?;
+                    eprintln!("replication listener on {}", leader.addr());
+                    // Printed on stdout so scripts can scrape the resolved port.
+                    println!("imserve replication on {}", leader.addr());
+                    Some(leader)
+                }
+                None => None,
+            };
             if let Some(metrics_addr) = &metrics_addr {
                 let ops_engine = Arc::clone(&engine);
+                let ops_status = follower_status
+                    .as_ref()
+                    .map(|(status, _)| Arc::clone(status));
                 let bound = imserve::spawn_ops_endpoint(metrics_addr.as_str(), move |path| {
+                    let ops_status = ops_status.clone();
+                    let health_engine = Arc::clone(&ops_engine);
                     imserve::route_ops_request(
                         path,
                         || ops_engine.render_metrics(),
                         || ops_engine.obs().event_log.render_json_lines(),
-                        || ops_engine.health(),
+                        move || {
+                            let mut report = health_engine.health();
+                            if let Some(status) = &ops_status {
+                                let connected =
+                                    status.connected.load(std::sync::atomic::Ordering::SeqCst);
+                                // A promoted node is a leader now: the dead
+                                // stream behind it must not fail readiness.
+                                let promoted = !health_engine.is_read_only();
+                                let detail = if promoted {
+                                    format!(
+                                        "promoted; no longer following (cursor stopped at epoch {})",
+                                        status
+                                            .last_applied_epoch
+                                            .load(std::sync::atomic::Ordering::SeqCst)
+                                    )
+                                } else {
+                                    match status.last_error() {
+                                        Some(error) if !connected => error,
+                                        _ => format!(
+                                            "streaming; cursor at epoch {}",
+                                            status
+                                                .last_applied_epoch
+                                                .load(std::sync::atomic::Ordering::SeqCst)
+                                        ),
+                                    }
+                                };
+                                report.push("replication", connected || promoted, detail);
+                            }
+                            report
+                        },
                     )
                 })?;
                 eprintln!(
@@ -237,10 +307,23 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             // The cluster's operational face: a long-lived router whose
             // shard connections self-heal (a dead shard degrades /readyz
             // while it is down and readiness recovers when it returns).
-            let shards: Vec<ReconnectingService> = addrs
-                .iter()
-                .map(|addr| ReconnectingService::new(addr.as_str()))
-                .collect();
+            // Each `--addr` operand may name a `|`-separated replica set
+            // (leader first): reads fail over to a caught-up follower while
+            // writes stay leader-ordered.
+            let mut shards: Vec<ReplicaSet<ReconnectingService>> = Vec::with_capacity(addrs.len());
+            let mut replica_count = 0usize;
+            for operand in &addrs {
+                let members: Vec<(String, ReconnectingService)> =
+                    imserve::parse_replica_addrs(operand)?
+                        .into_iter()
+                        .map(|member| {
+                            let service = ReconnectingService::new(member.as_str());
+                            (member, service)
+                        })
+                        .collect();
+                replica_count += members.len().saturating_sub(1);
+                shards.push(ReplicaSet::new(members));
+            }
             let mut router = ShardedService::new(shards)?;
             router.set_deadline(Some(Duration::from_millis(deadline_ms)))?;
             let router = Arc::new(Mutex::new(router));
@@ -275,8 +358,9 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 )
             })?;
             eprintln!(
-                "routing {} shard(s) with a {deadline_ms}ms probe deadline; federated ops \
-                 endpoint on http://{bound}/metrics (also /events, /healthz, /readyz)",
+                "routing {} shard(s) ({replica_count} standby replica(s)) with a \
+                 {deadline_ms}ms probe deadline; federated ops endpoint on \
+                 http://{bound}/metrics (also /events, /healthz, /readyz)",
                 addrs.len()
             );
             // Printed on stdout so scripts can scrape the resolved port.
@@ -285,6 +369,33 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             loop {
                 std::thread::park();
             }
+        }
+        Command::Reload { addr, index } => {
+            let mut service = RemoteService::connect(addr.as_str())?;
+            let outcome = service.reload(&index)?;
+            eprintln!(
+                "reloaded {index} at epoch {}: pool {}, {} pending deltas, swap held the \
+                 write lock for {}us",
+                outcome.epoch, outcome.pool_size, outcome.log_len, outcome.swap_micros
+            );
+            print_response(outcome.into())
+        }
+        Command::Promote {
+            addr,
+            expected_epoch,
+        } => {
+            let mut service = RemoteService::connect(addr.as_str())?;
+            let outcome = service.promote(expected_epoch)?;
+            eprintln!(
+                "{} at epoch {}",
+                if outcome.was_read_only {
+                    "promoted follower to writable"
+                } else {
+                    "already writable (promotion is idempotent)"
+                },
+                outcome.epoch
+            );
+            print_response(outcome.into())
         }
         Command::Query { addrs, request, v1 } => {
             if v1 {

@@ -91,6 +91,11 @@ pub struct ServingMetrics {
     pub health: RequestLane,
     /// `Events` snapshot lane.
     pub events: RequestLane,
+    /// `Reload` hot-swap lane (the latency histogram records the swap time
+    /// under the write lock).
+    pub reload: RequestLane,
+    /// `Promote` admin lane.
+    pub promote: RequestLane,
 
     /// Requests answered with an error (any type, any dialect).
     pub request_errors: Arc<Counter>,
@@ -112,6 +117,19 @@ pub struct ServingMetrics {
     pub wal_appended_bytes: Arc<Counter>,
     /// WAL fsyncs performed (one per acknowledged batch).
     pub wal_fsyncs: Arc<Counter>,
+
+    /// Validated index hot-swaps performed, timed under the write lock
+    /// (microseconds) — readers never see a partially swapped state.
+    pub index_swap_micros: Arc<Histogram>,
+    /// WAL records shipped to replication followers by this leader.
+    pub repl_records_shipped: Arc<Counter>,
+    /// Replicated WAL records applied by this follower.
+    pub repl_records_applied: Arc<Counter>,
+    /// Follower replication connections accepted by this leader.
+    pub repl_connections: Arc<Counter>,
+    /// `1` while this follower's replication stream is connected to its
+    /// leader, `0` while redialing.
+    pub repl_connected: Arc<Gauge>,
 
     /// Times the reactor stopped reading a connection because its
     /// in-flight/backlog bounds were hit.
@@ -194,6 +212,8 @@ impl ServingMetrics {
             metrics: lane("metrics"),
             health: lane("health"),
             events: lane("events"),
+            reload: lane("reload"),
+            promote: lane("promote"),
             request_errors: registry.counter(
                 "imserve_request_errors_total",
                 "Requests answered with an error.",
@@ -229,6 +249,26 @@ impl ServingMetrics {
             wal_fsyncs: registry.counter(
                 "imserve_wal_fsyncs_total",
                 "WAL fsyncs performed (one per acknowledged batch).",
+            ),
+            index_swap_micros: registry.histogram(
+                "imserve_index_swap_micros",
+                "Validated index hot-swap duration under the write lock, in microseconds.",
+            ),
+            repl_records_shipped: registry.counter(
+                "imserve_repl_records_shipped_total",
+                "WAL records shipped to replication followers.",
+            ),
+            repl_records_applied: registry.counter(
+                "imserve_repl_records_applied_total",
+                "Replicated WAL records applied by this follower.",
+            ),
+            repl_connections: registry.counter(
+                "imserve_repl_connections_total",
+                "Follower replication connections accepted.",
+            ),
+            repl_connected: registry.gauge(
+                "imserve_repl_connected",
+                "1 while the follower's replication stream is connected, 0 while redialing.",
             ),
             backpressure_stalls: registry.counter(
                 "imserve_backpressure_stalls_total",
@@ -361,6 +401,8 @@ impl ServingMetrics {
             compact: self.compact.count.get(),
             stats: self.stats.count.get(),
             metrics: self.metrics.count.get(),
+            reload: self.reload.count.get(),
+            promote: self.promote.count.get(),
         }
     }
 

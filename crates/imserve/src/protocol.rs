@@ -36,8 +36,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::error::ServeError;
 use crate::service::{
-    CompactionReport, GainVector, MetricsReport, MutationOutcome, RequestTypeCounts, ServiceError,
-    ServiceInfo, SpreadEstimate, TopKSelection,
+    CompactionReport, GainVector, MetricsReport, MutationOutcome, PromotionOutcome, ReloadOutcome,
+    RequestTypeCounts, ServiceError, ServiceInfo, SpreadEstimate, TopKSelection,
 };
 
 /// The highest protocol version this build speaks.
@@ -157,6 +157,26 @@ pub enum Request {
     /// torn broadcasts, backpressure episodes), oldest first — the wire
     /// twin of the `/events` endpoint.
     Events,
+    /// Hot-swap the served index for the artifact at `path` (a path on the
+    /// **server's** filesystem, typically a compacted copy of the index it
+    /// is already serving). The server validates identity, graph
+    /// fingerprint and epoch continuity before atomically swapping behind
+    /// the snapshot seam; in-flight queries finish on the old snapshot.
+    /// Servers predating this request answer a typed `Unsupported` error
+    /// (the [`FrameEnvelope`] salvage path).
+    Reload {
+        /// Artifact path on the server's filesystem.
+        path: String,
+    },
+    /// Turn a read-only follower writable. With `expected_epoch` the server
+    /// refuses (typed `Promotion` error naming the gap) unless its
+    /// replication cursor reached that epoch; without it the promotion is
+    /// unconditional. Idempotent on an already-writable node.
+    Promote {
+        /// The leader's last acknowledged epoch the follower must have
+        /// reached, or `None` to promote unconditionally.
+        expected_epoch: Option<u64>,
+    },
 }
 
 /// A server response (one per request, same order).
@@ -290,6 +310,25 @@ pub enum Response {
     /// Recent operational events (answer to [`Request::Events`]), oldest
     /// first. Volatile.
     Events(Vec<crate::service::EventRecord>),
+    /// Outcome of a hot-swap reload (answer to [`Request::Reload`]).
+    Reloaded {
+        /// The index epoch (identical before and after the swap).
+        epoch: u64,
+        /// RR sets in the served pool after the swap.
+        pool_size: usize,
+        /// Pending delta-log length after the swap.
+        log_len: usize,
+        /// Microseconds the validated swap took under the write lock.
+        swap_micros: u64,
+    },
+    /// Outcome of a promotion (answer to [`Request::Promote`]).
+    Promoted {
+        /// The node's epoch at the moment it became writable.
+        epoch: u64,
+        /// Whether this call actually flipped the node writable (`false`
+        /// when it was already a leader).
+        was_read_only: bool,
+    },
     /// The request could not be answered.
     Error {
         /// Human-readable reason.
@@ -311,6 +350,12 @@ pub enum ErrorKind {
     Unsupported,
     /// The backend failed internally.
     Internal,
+    /// The server is a read-only replica; writes go to the leader (or
+    /// promote the replica first).
+    ReadOnly,
+    /// A follower promotion was refused: its replication cursor has not
+    /// reached the required epoch (the message names the gap).
+    Promotion,
 }
 
 /// A typed wire error: kind plus human-readable detail.
@@ -336,6 +381,8 @@ impl WireError {
             ServiceError::Backend(m) => (ErrorKind::Internal, m.clone()),
             ServiceError::Transport(io) => (ErrorKind::Internal, io.to_string()),
             ServiceError::Shard(m) => (ErrorKind::Internal, m.clone()),
+            ServiceError::ReadOnly(m) => (ErrorKind::ReadOnly, m.clone()),
+            ServiceError::Promotion(m) => (ErrorKind::Promotion, m.clone()),
         };
         Self { kind, message }
     }
@@ -348,6 +395,8 @@ impl WireError {
             ErrorKind::Mutation => ServiceError::Mutation(self.message),
             ErrorKind::Protocol | ErrorKind::Unsupported => ServiceError::Protocol(self.message),
             ErrorKind::Internal => ServiceError::Backend(self.message),
+            ErrorKind::ReadOnly => ServiceError::ReadOnly(self.message),
+            ErrorKind::Promotion => ServiceError::Promotion(self.message),
         }
     }
 }
@@ -563,6 +612,26 @@ impl From<Vec<crate::service::EventRecord>> for Response {
     }
 }
 
+impl From<ReloadOutcome> for Response {
+    fn from(r: ReloadOutcome) -> Self {
+        Response::Reloaded {
+            epoch: r.epoch,
+            pool_size: r.pool_size,
+            log_len: r.log_len,
+            swap_micros: r.swap_micros,
+        }
+    }
+}
+
+impl From<PromotionOutcome> for Response {
+    fn from(p: PromotionOutcome) -> Self {
+        Response::Promoted {
+            epoch: p.epoch,
+            was_read_only: p.was_read_only,
+        }
+    }
+}
+
 /// Encode a frame as its JSON wire line (no trailing newline).
 pub fn encode<T: Serialize>(frame: &T) -> Result<String, ServeError> {
     serde_json::to_string(frame).map_err(|e| ServeError::Protocol(format!("encode: {e}")))
@@ -763,6 +832,8 @@ mod tests {
             (ServiceError::Mutation("m".into()), ErrorKind::Mutation),
             (ServiceError::Protocol("p".into()), ErrorKind::Protocol),
             (ServiceError::Backend("b".into()), ErrorKind::Internal),
+            (ServiceError::ReadOnly("r".into()), ErrorKind::ReadOnly),
+            (ServiceError::Promotion("g".into()), ErrorKind::Promotion),
         ] {
             let wire = WireError::from_service(&e);
             assert_eq!(wire.kind, kind);
@@ -796,6 +867,39 @@ mod tests {
         ] {
             let back: Request = decode(&encode(&request).unwrap()).unwrap();
             assert_eq!(back, request);
+        }
+    }
+
+    #[test]
+    fn admin_frames_round_trip_over_the_wire() {
+        for request in [
+            Request::Reload {
+                path: "/tmp/compacted.idx".into(),
+            },
+            Request::Promote {
+                expected_epoch: Some(12),
+            },
+            Request::Promote {
+                expected_epoch: None,
+            },
+        ] {
+            let back: Request = decode(&encode(&request).unwrap()).unwrap();
+            assert_eq!(back, request);
+        }
+        for response in [
+            Response::Reloaded {
+                epoch: 12,
+                pool_size: 20_000,
+                log_len: 0,
+                swap_micros: 87,
+            },
+            Response::Promoted {
+                epoch: 12,
+                was_read_only: true,
+            },
+        ] {
+            let back: Response = decode(&encode(&response).unwrap()).unwrap();
+            assert_eq!(back, response);
         }
     }
 

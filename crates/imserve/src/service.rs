@@ -56,6 +56,14 @@ pub enum ServiceError {
     /// epoch, dimensions, or a broadcast was torn). Queries can no longer be
     /// merged soundly; the shards need re-synchronization.
     Shard(String),
+    /// The backend is a read-only replica: it applies mutations only from
+    /// its replication stream, never from clients. Write to the leader (or
+    /// promote the replica) instead.
+    ReadOnly(String),
+    /// A follower promotion was refused — its replication cursor has not
+    /// reached the epoch the caller required. The message names the epoch
+    /// gap.
+    Promotion(String),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -67,6 +75,8 @@ impl std::fmt::Display for ServiceError {
             ServiceError::Backend(m) => write!(f, "backend error: {m}"),
             ServiceError::Transport(e) => write!(f, "transport error: {e}"),
             ServiceError::Shard(m) => write!(f, "shard invariant violated: {m}"),
+            ServiceError::ReadOnly(m) => write!(f, "read-only replica: {m}"),
+            ServiceError::Promotion(m) => write!(f, "promotion refused: {m}"),
         }
     }
 }
@@ -187,6 +197,33 @@ pub struct CompactionReport {
     pub folded: usize,
 }
 
+/// What a hot-swap reload did. The swap never changes answers — the new
+/// artifact must replay to the identical epoch and fingerprint — so the
+/// outcome only reports the (unchanged) logical position and the new
+/// physical shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReloadOutcome {
+    /// The index epoch (identical before and after the swap).
+    pub epoch: u64,
+    /// RR sets in the served pool after the swap.
+    pub pool_size: usize,
+    /// Pending delta-log length after the swap (typically smaller: the
+    /// reloaded artifact is usually a compacted copy).
+    pub log_len: usize,
+    /// Microseconds the validated swap took under the write lock.
+    pub swap_micros: u64,
+}
+
+/// What a promotion did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromotionOutcome {
+    /// The node's epoch at the moment it became writable.
+    pub epoch: u64,
+    /// Whether this call actually flipped the node writable (`false` when
+    /// it was already a leader — promotion is idempotent).
+    pub was_read_only: bool,
+}
+
 /// Lifetime request counts split by request type — the per-type half of the
 /// operational picture `query --stats` reports. Travels on the wire inside
 /// `Response::Stats` (volatile, like every other stats field).
@@ -214,6 +251,10 @@ pub struct RequestTypeCounts {
     pub stats: u64,
     /// `Metrics` snapshot requests.
     pub metrics: u64,
+    /// `Reload` hot-swap requests.
+    pub reload: u64,
+    /// `Promote` admin requests.
+    pub promote: u64,
 }
 
 impl RequestTypeCounts {
@@ -231,6 +272,8 @@ impl RequestTypeCounts {
             + self.compact
             + self.stats
             + self.metrics
+            + self.reload
+            + self.promote
     }
 
     /// Field-wise sum (how a shard router aggregates its backends).
@@ -248,6 +291,8 @@ impl RequestTypeCounts {
             compact: self.compact + other.compact,
             stats: self.stats + other.stats,
             metrics: self.metrics + other.metrics,
+            reload: self.reload + other.reload,
+            promote: self.promote + other.promote,
         }
     }
 }
@@ -802,6 +847,31 @@ pub trait InfluenceService {
         ))
     }
 
+    /// Hot-swap the backend's index for the artifact at `path` (a path on
+    /// the *backend's* filesystem — typically a compacted copy written by
+    /// `imserve compact --index`). The backend validates identity, graph
+    /// fingerprint and epoch continuity before swapping; in-flight queries
+    /// finish on the old snapshot. The default declines, like
+    /// [`InfluenceService::metrics`].
+    fn reload(&mut self, path: &str) -> ServiceResult<ReloadOutcome> {
+        let _ = path;
+        Err(ServiceError::Backend(
+            "hot-swap reload not supported by this backend".into(),
+        ))
+    }
+
+    /// Turn a read-only follower writable. With `expected_epoch` set the
+    /// backend refuses (typed [`ServiceError::Promotion`] naming the gap)
+    /// unless its replication cursor reached that epoch; `None` promotes
+    /// unconditionally (the operator accepts whatever was replicated). The
+    /// default declines, like [`InfluenceService::metrics`].
+    fn promote(&mut self, expected_epoch: Option<u64>) -> ServiceResult<PromotionOutcome> {
+        let _ = expected_epoch;
+        Err(ServiceError::Backend(
+            "promotion not supported by this backend".into(),
+        ))
+    }
+
     /// Join this service's subsequent calls to the caller's request trace.
     /// Remote backends propagate the id on every v2 frame (`"t"` field) so
     /// the server's span — and its slow-log entry, if the request is slow —
@@ -856,6 +926,12 @@ impl<S: InfluenceService + ?Sized> InfluenceService for Box<S> {
     }
     fn events(&mut self) -> ServiceResult<Vec<EventRecord>> {
         (**self).events()
+    }
+    fn reload(&mut self, path: &str) -> ServiceResult<ReloadOutcome> {
+        (**self).reload(path)
+    }
+    fn promote(&mut self, expected_epoch: Option<u64>) -> ServiceResult<PromotionOutcome> {
+        (**self).promote(expected_epoch)
     }
     fn set_trace(&mut self, trace: Option<u64>) {
         (**self).set_trace(trace)
@@ -941,6 +1017,14 @@ impl InfluenceService for LocalService {
 
     fn events(&mut self) -> ServiceResult<Vec<EventRecord>> {
         Ok(self.engine.event_records())
+    }
+
+    fn reload(&mut self, path: &str) -> ServiceResult<ReloadOutcome> {
+        self.engine.reload_from_path(std::path::Path::new(path))
+    }
+
+    fn promote(&mut self, expected_epoch: Option<u64>) -> ServiceResult<PromotionOutcome> {
+        self.engine.promote(expected_epoch)
     }
 }
 
@@ -1029,7 +1113,30 @@ mod tests {
         assert!(ServiceError::Shard("e".into())
             .to_string()
             .contains("shard invariant"));
+        assert!(ServiceError::ReadOnly("writes go to the leader".into())
+            .to_string()
+            .contains("read-only replica"));
+        assert!(ServiceError::Promotion("cursor at 3, required 5".into())
+            .to_string()
+            .contains("promotion refused"));
         let from_serve: ServiceError = ServeError::Protocol("bad".into()).into();
         assert!(matches!(from_serve, ServiceError::Protocol(_)));
+    }
+
+    #[test]
+    fn request_counts_include_admin_lanes() {
+        let counts = RequestTypeCounts {
+            reload: 2,
+            promote: 1,
+            estimate: 4,
+            ..RequestTypeCounts::default()
+        };
+        assert_eq!(counts.total(), 7);
+        let merged = counts.merged(&RequestTypeCounts {
+            reload: 1,
+            ..RequestTypeCounts::default()
+        });
+        assert_eq!(merged.reload, 3);
+        assert_eq!(merged.promote, 1);
     }
 }

@@ -66,6 +66,43 @@ impl WalRecord {
     pub fn epoch_after(&self) -> u64 {
         self.epoch_before + self.deltas.len() as u64
     }
+
+    /// Encode this record's payload — `u64 epoch_before | u64
+    /// graph_hash_before | DeltaLog::to_bytes()` — exactly as it sits on
+    /// disk after a record's length prefix. The replication stream ships
+    /// the same payload behind the same `u32` length prefix, so a follower
+    /// applies bytes bit-identical to what the leader fsynced.
+    #[must_use]
+    pub fn encode_payload(&self) -> Vec<u8> {
+        let body = DeltaLog::from_deltas(self.deltas.clone()).to_bytes();
+        let mut payload = Vec::with_capacity(16 + body.len());
+        payload.extend_from_slice(&self.epoch_before.to_le_bytes());
+        payload.extend_from_slice(&self.graph_hash_before.to_le_bytes());
+        payload.extend_from_slice(&body);
+        payload
+    }
+
+    /// Decode one record payload (the bytes behind a record's length
+    /// prefix, on disk or on the replication stream). The inner `IMDL`
+    /// checksum makes a corrupt payload a typed error, never a silently
+    /// wrong batch.
+    pub fn decode_payload(payload: &[u8]) -> Result<Self, ServeError> {
+        if payload.len() < 16 {
+            return Err(ServeError::Wal(format!(
+                "record payload of {} bytes cannot hold an epoch + lineage header",
+                payload.len()
+            )));
+        }
+        let epoch_before = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+        let graph_hash_before = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
+        let log = DeltaLog::from_bytes(&payload[16..])
+            .map_err(|e| ServeError::Wal(format!("record is corrupt: {e}")))?;
+        Ok(WalRecord {
+            epoch_before,
+            graph_hash_before,
+            deltas: log.deltas().to_vec(),
+        })
+    }
 }
 
 /// What [`WriteAheadLog::recover`] found on disk.
@@ -95,7 +132,10 @@ const WAL_VERSION: u32 = 1;
 /// string the engine derives from its metadata (dataset, model, pool
 /// dimensions, shard offset), so two indexes that differ in *any* of those
 /// — including two shards of one layout — never accept each other's log.
-fn encode_header(identity: &str, base_seed: u64) -> Vec<u8> {
+/// Public because a WAL *tailer* (the replication leader loop) verifies the
+/// same bytes before streaming records out of the file.
+#[must_use]
+pub fn encode_header(identity: &str, base_seed: u64) -> Vec<u8> {
     let id = identity.as_bytes();
     let mut header = Vec::with_capacity(20 + id.len());
     header.extend_from_slice(&WAL_MAGIC);
@@ -180,24 +220,9 @@ impl WriteAheadLog {
             if bytes.len() - at - 4 < len {
                 break; // torn tail: the length prefix outran the file
             }
-            let payload = &bytes[at + 4..at + 4 + len];
-            if payload.len() < 16 {
-                return Err(ServeError::Wal(format!(
-                    "record {} payload of {} bytes cannot hold an epoch + lineage header",
-                    records.len(),
-                    payload.len()
-                )));
-            }
-            let epoch_before = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
-            let graph_hash_before = u64::from_le_bytes(payload[8..16].try_into().expect("8 bytes"));
-            let log = DeltaLog::from_bytes(&payload[16..]).map_err(|e| {
-                ServeError::Wal(format!("record {} is corrupt: {e}", records.len()))
-            })?;
-            records.push(WalRecord {
-                epoch_before,
-                graph_hash_before,
-                deltas: log.deltas().to_vec(),
-            });
+            let record = WalRecord::decode_payload(&bytes[at + 4..at + 4 + len])
+                .map_err(|e| ServeError::Wal(format!("record {}: {e}", records.len())))?;
+            records.push(record);
             at += 4 + len;
             valid_len = at;
         }
@@ -226,10 +251,15 @@ impl WriteAheadLog {
         graph_hash_before: u64,
         deltas: &[GraphDelta],
     ) -> Result<u64, ServeError> {
-        let body = DeltaLog::from_deltas(deltas.to_vec()).to_bytes();
-        let mut record = Vec::with_capacity(4 + 16 + body.len());
+        let payload = WalRecord {
+            epoch_before,
+            graph_hash_before,
+            deltas: deltas.to_vec(),
+        }
+        .encode_payload();
+        let mut record = Vec::with_capacity(4 + payload.len());
         record.extend_from_slice(
-            &u32::try_from(16 + body.len())
+            &u32::try_from(payload.len())
                 .map_err(|_| {
                     ServeError::Wal(format!(
                         "batch of {} deltas overflows a record",
@@ -238,9 +268,7 @@ impl WriteAheadLog {
                 })?
                 .to_le_bytes(),
         );
-        record.extend_from_slice(&epoch_before.to_le_bytes());
-        record.extend_from_slice(&graph_hash_before.to_le_bytes());
-        record.extend_from_slice(&body);
+        record.extend_from_slice(&payload);
         self.file.write_all(&record)?;
         self.file.flush()?;
         self.file.sync_data()?;
@@ -308,6 +336,25 @@ mod tests {
         assert_eq!(recovery.records[1].graph_hash_before, 0xCD);
         assert_eq!(recovery.records[1].epoch_after(), 3);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn record_payloads_round_trip_through_the_codec() {
+        let record = WalRecord {
+            epoch_before: 5,
+            graph_hash_before: 0xDEAD_BEEF,
+            deltas: sample_deltas(),
+        };
+        let payload = record.encode_payload();
+        let back = WalRecord::decode_payload(&payload).unwrap();
+        assert_eq!(back, record);
+        // Too short for the epoch + lineage header: typed error.
+        assert!(WalRecord::decode_payload(&payload[..12]).is_err());
+        // A flipped body byte fails the inner IMDL checksum.
+        let mut corrupt = payload.clone();
+        let mid = 16 + (corrupt.len() - 16) / 2;
+        corrupt[mid] ^= 0x01;
+        assert!(WalRecord::decode_payload(&corrupt).is_err());
     }
 
     #[test]

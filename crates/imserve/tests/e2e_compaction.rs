@@ -3,14 +3,14 @@
 //! face of the compaction contract (compaction changes where history is
 //! stored, never what is served).
 
+mod fixtures;
+
 use std::sync::Arc;
 
 use imserve::client::Connection;
 use imserve::engine::QueryEngine;
 use imserve::index::{build_dataset_index, IndexArtifact};
 use imserve::protocol::{Request, Response, TopKAlgorithm};
-use imserve::server::{self, ServerConfig};
-use imserve::ServerHandle;
 
 use imdyn::CompactionPolicy;
 use imgraph::GraphDelta;
@@ -18,16 +18,8 @@ use imgraph::GraphDelta;
 const POOL: usize = 10_000;
 const SEED: u64 = 7;
 
-fn serve(artifact: IndexArtifact) -> ServerHandle {
-    server::spawn(
-        "127.0.0.1:0",
-        Arc::new(QueryEngine::builder(artifact).build().unwrap()),
-        &ServerConfig {
-            workers: 2,
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap()
+fn serve(artifact: IndexArtifact) -> fixtures::ServerGuard {
+    fixtures::serve_artifact(artifact, 2)
 }
 
 fn scripted_deltas() -> Vec<GraphDelta> {
@@ -117,10 +109,9 @@ fn compacted_snapshot_restored_into_a_server_matches_the_pre_compaction_server()
     let snapshot = engine.state().to_artifact();
     assert_eq!(snapshot.snapshot_epoch, 3);
     assert!(snapshot.log.is_empty());
-    let path = std::env::temp_dir().join(format!("imserve_e2e_cmp_{}.imx", std::process::id()));
-    snapshot.save(&path).unwrap();
-    let restored = IndexArtifact::load(&path).unwrap();
-    let _ = std::fs::remove_file(&path);
+    let path = fixtures::temp_path("e2e_cmp", "imx");
+    snapshot.save(path.as_str()).unwrap();
+    let restored = IndexArtifact::load(path.as_str()).unwrap();
     assert_eq!(restored.epoch(), 3);
 
     let compacted = serve(restored);
@@ -195,7 +186,7 @@ fn compacted_snapshot_restored_into_a_server_matches_the_pre_compaction_server()
 fn policy_triggered_compaction_over_tcp_is_invisible_to_queries() {
     // A server with a log-length-2 policy: the batch lands, auto-compaction
     // fires, and the served answers still match an unpoliced server.
-    let auto = server::spawn(
+    let auto = fixtures::spawn_server(
         "127.0.0.1:0",
         Arc::new(
             QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
@@ -203,12 +194,8 @@ fn policy_triggered_compaction_over_tcp_is_invisible_to_queries() {
                 .build()
                 .unwrap(),
         ),
-        &ServerConfig {
-            workers: 2,
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap();
+        2,
+    );
     let plain = serve(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap());
     let mut a = Connection::open(auto.addr()).unwrap();
     let mut b = Connection::open(plain.addr()).unwrap();

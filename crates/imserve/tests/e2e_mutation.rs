@@ -4,30 +4,20 @@
 //! *from-scratch rebuild* of the mutated graph — the serving-layer face of
 //! `imdyn`'s byte-identity contract.
 
-use std::sync::Arc;
+mod fixtures;
 
 use imserve::client::Connection;
 use imserve::engine::QueryEngine;
 use imserve::index::{build_dataset_index, build_dataset_index_with_deltas, IndexArtifact};
 use imserve::protocol::{Request, Response, TopKAlgorithm};
-use imserve::server::{self, ServerConfig};
-use imserve::ServerHandle;
 
 use imgraph::GraphDelta;
 
 const POOL: usize = 10_000;
 const SEED: u64 = 7;
 
-fn serve(artifact: IndexArtifact) -> ServerHandle {
-    server::spawn(
-        "127.0.0.1:0",
-        Arc::new(QueryEngine::builder(artifact).build().unwrap()),
-        &ServerConfig {
-            workers: 2,
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap()
+fn serve(artifact: IndexArtifact) -> fixtures::ServerGuard {
+    fixtures::serve_artifact(artifact, 2)
 }
 
 /// The scripted batch: one of each mutation kind against the Karate club.
@@ -164,10 +154,9 @@ fn mutated_index_round_trips_through_persistence() {
     assert!(matches!(response, Response::Mutate { epoch: 3, .. }));
 
     let exported = engine.state().to_artifact();
-    let path = std::env::temp_dir().join(format!("imserve_e2e_mut_{}.imx", std::process::id()));
-    exported.save(&path).unwrap();
-    let reloaded = IndexArtifact::load(&path).unwrap();
-    let _ = std::fs::remove_file(&path);
+    let path = fixtures::temp_path("e2e_mut", "imx");
+    exported.save(path.as_str()).unwrap();
+    let reloaded = IndexArtifact::load(path.as_str()).unwrap();
     assert_eq!(reloaded.log.deltas(), scripted_deltas().as_slice());
 
     let handle = serve(reloaded);

@@ -2,41 +2,22 @@
 //! TCP on an ephemeral port, and check that concurrent clients receive
 //! responses bit-identical to the in-process oracle.
 
-use std::sync::Arc;
+mod fixtures;
 
 use imserve::client::{query_once, Connection};
-use imserve::engine::QueryEngine;
-use imserve::index::{build_dataset_index, IndexArtifact};
+use imserve::index::IndexArtifact;
 use imserve::loadtest::{self, LoadtestConfig};
 use imserve::protocol::{Request, Response, TopKAlgorithm};
-use imserve::server::{self, ServerConfig};
 
 const POOL: usize = 20_000;
 const SEED: u64 = 7;
 
-fn served_karate() -> (imserve::ServerHandle, IndexArtifact) {
+fn served_karate() -> (fixtures::ServerGuard, IndexArtifact) {
     // Build → save → load: the server must run off the *loaded* artifact so
-    // this test covers the whole persistence path. The path is unique per
-    // call — tests in this binary run concurrently.
-    static CALL: std::sync::atomic::AtomicU32 = std::sync::atomic::AtomicU32::new(0);
-    let call = CALL.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-    let built = build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap();
-    let path = std::env::temp_dir().join(format!("imserve_e2e_{}_{call}.imx", std::process::id()));
-    built.save(&path).unwrap();
-    let loaded = IndexArtifact::load(&path).unwrap();
-    let _ = std::fs::remove_file(&path);
-
-    let engine = Arc::new(QueryEngine::builder(loaded).build().unwrap());
-    let handle = server::spawn(
-        "127.0.0.1:0",
-        Arc::clone(&engine),
-        &ServerConfig {
-            workers: 3,
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap();
-    (handle, built)
+    // this test covers the whole persistence path.
+    let reference = fixtures::karate(POOL, SEED);
+    let loaded = fixtures::karate_from_disk(POOL, SEED);
+    (fixtures::serve_artifact(loaded, 3), reference)
 }
 
 #[test]

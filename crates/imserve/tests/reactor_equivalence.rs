@@ -14,6 +14,8 @@
 //! pair against the reactor: many frames in flight on one connection, replies
 //! drained incrementally without blocking.
 
+mod fixtures;
+
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -23,8 +25,7 @@ use imserve::engine::QueryEngine;
 use imserve::index::build_dataset_index;
 use imserve::protocol::{self, Request, RequestFrame, Response, TopKAlgorithm};
 use imserve::reactor;
-use imserve::server::{self, ServerConfig};
-use imserve::{ReactorConfig, ServerHandle};
+use imserve::ReactorConfig;
 
 const POOL: usize = 2_000;
 const SEED: u64 = 7;
@@ -109,15 +110,7 @@ fn run_scripts(addr: SocketAddr) -> Vec<Vec<String>> {
 
 #[test]
 fn reactor_and_threaded_front_ends_answer_byte_identically() {
-    let threaded = server::spawn(
-        "127.0.0.1:0",
-        fresh_engine(),
-        &ServerConfig {
-            workers: 2,
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap();
+    let threaded = fixtures::spawn_server("127.0.0.1:0", fresh_engine(), 2);
     let reactor = reactor::spawn(
         "127.0.0.1:0",
         fresh_engine(),
@@ -138,12 +131,8 @@ fn reactor_and_threaded_front_ends_answer_byte_identically() {
         }
     }
 
-    shutdown(threaded);
-    shutdown(reactor);
-}
-
-fn shutdown(handle: ServerHandle) {
-    handle.shutdown();
+    threaded.shutdown();
+    reactor.shutdown();
 }
 
 #[test]

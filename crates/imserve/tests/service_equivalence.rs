@@ -6,6 +6,8 @@
 //! * v2 pipelining matches responses to requests by id;
 //! * the typed error taxonomy survives the wire.
 
+mod fixtures;
+
 use std::sync::Arc;
 
 use imgraph::GraphDelta;
@@ -187,15 +189,7 @@ fn remote_service_is_byte_identical_to_local_over_protocol_v2() {
             .build()
             .unwrap(),
     );
-    let handle = server::spawn(
-        "127.0.0.1:0",
-        Arc::clone(&engine),
-        &ServerConfig {
-            workers: 2,
-            ..ServerConfig::default()
-        },
-    )
-    .unwrap();
+    let handle = fixtures::spawn_server("127.0.0.1:0", Arc::clone(&engine), 2);
     let mut remote = RemoteService::connect(handle.addr()).unwrap();
     let mut local = local_backend();
     assert_equivalent(&mut local, &mut remote, "remote vs local");
@@ -239,7 +233,7 @@ fn sharded_service_over_remote_shards_matches_local() {
         let artifact =
             IndexArtifact::build_shard("Karate", "uc0.1", graph.clone(), POOL, SEED, i, 2);
         let engine = Arc::new(QueryEngine::builder(artifact).build().unwrap());
-        let handle = server::spawn("127.0.0.1:0", engine, &ServerConfig::default()).unwrap();
+        let handle = fixtures::spawn_server("127.0.0.1:0", engine, 4);
         remotes.push(RemoteService::connect(handle.addr()).unwrap());
         handles.push(handle);
     }
@@ -267,8 +261,7 @@ fn v1_clients_work_unchanged_against_a_v2_server() {
             .build()
             .unwrap(),
     );
-    let handle =
-        server::spawn("127.0.0.1:0", Arc::clone(&engine), &ServerConfig::default()).unwrap();
+    let handle = fixtures::spawn_server("127.0.0.1:0", Arc::clone(&engine), 4);
 
     // Bare v1 frames on the wire, answered with bare v1 responses.
     let mut v1 = Connection::open(handle.addr()).unwrap();
@@ -310,8 +303,7 @@ fn protocol_v2_pipelines_and_handshakes() {
             .build()
             .unwrap(),
     );
-    let handle =
-        server::spawn("127.0.0.1:0", Arc::clone(&engine), &ServerConfig::default()).unwrap();
+    let handle = fixtures::spawn_server("127.0.0.1:0", Arc::clone(&engine), 4);
 
     let mut connection = ServiceConnection::connect(handle.addr()).unwrap();
     assert_eq!(connection.server_version(), PROTOCOL_VERSION);
@@ -394,8 +386,7 @@ fn unknown_v2_payloads_get_id_tagged_errors() {
             .build()
             .unwrap(),
     );
-    let handle =
-        server::spawn("127.0.0.1:0", Arc::clone(&engine), &ServerConfig::default()).unwrap();
+    let handle = fixtures::spawn_server("127.0.0.1:0", Arc::clone(&engine), 4);
 
     let mut stream = std::net::TcpStream::connect(handle.addr()).unwrap();
     let mut reader = BufReader::new(stream.try_clone().unwrap());

@@ -2,7 +2,7 @@
 //! mutation survives an abrupt process death between index saves, and
 //! replay composes correctly with artifacts saved mid-stream.
 
-use std::path::PathBuf;
+mod fixtures;
 
 use imgraph::GraphDelta;
 use imserve::engine::QueryEngine;
@@ -12,8 +12,8 @@ use imserve::ServeError;
 const POOL: usize = 2_000;
 const SEED: u64 = 7;
 
-fn temp_wal(tag: &str) -> PathBuf {
-    std::env::temp_dir().join(format!("imserve_walrec_{tag}_{}.dlta", std::process::id()))
+fn temp_wal(tag: &str) -> fixtures::TempPath {
+    fixtures::temp_path(&format!("walrec_{tag}"), "dlta")
 }
 
 fn batches() -> Vec<Vec<GraphDelta>> {
@@ -40,11 +40,10 @@ fn batches() -> Vec<Vec<GraphDelta>> {
 #[test]
 fn a_fresh_engine_replays_the_wal_and_matches_the_survivor() {
     let wal = temp_wal("replay");
-    let _ = std::fs::remove_file(&wal);
 
     // "Process one": accepts two batches, then dies without saving.
     let first = QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
-        .wal(&wal)
+        .wal(&*wal)
         .build()
         .unwrap();
     for batch in batches() {
@@ -57,7 +56,7 @@ fn a_fresh_engine_replays_the_wal_and_matches_the_survivor() {
     // "Process two": same artifact, same WAL path — the pending records
     // replay on startup and the served pool is byte-identical.
     let second = QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
-        .wal(&wal)
+        .wal(&*wal)
         .build()
         .unwrap();
     assert_eq!(second.epoch(), 3, "all acknowledged mutations recovered");
@@ -75,21 +74,19 @@ fn a_fresh_engine_replays_the_wal_and_matches_the_survivor() {
     let continuous = second.state().dynamic.oracle().to_bytes();
     drop(second);
     let third = QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
-        .wal(&wal)
+        .wal(&*wal)
         .build()
         .unwrap();
     assert_eq!(third.epoch(), 4);
     assert_eq!(third.state().dynamic.oracle().to_bytes(), continuous);
-    let _ = std::fs::remove_file(&wal);
 }
 
 #[test]
 fn saved_artifacts_skip_already_folded_records() {
     let wal = temp_wal("skip");
-    let _ = std::fs::remove_file(&wal);
 
     let engine = QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
-        .wal(&wal)
+        .wal(&*wal)
         .build()
         .unwrap();
     for batch in batches() {
@@ -101,7 +98,7 @@ fn saved_artifacts_skip_already_folded_records() {
     assert_eq!(saved.epoch(), 3);
     drop(engine);
 
-    let resumed = QueryEngine::builder(saved).wal(&wal).build().unwrap();
+    let resumed = QueryEngine::builder(saved).wal(&*wal).build().unwrap();
     assert_eq!(
         resumed.epoch(),
         3,
@@ -119,19 +116,17 @@ fn saved_artifacts_skip_already_folded_records() {
     // A fresh (unmutated) artifact now replays the whole log: 3 + 1 deltas.
     let replayed =
         QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
-            .wal(&wal)
+            .wal(&*wal)
             .build()
             .unwrap();
     assert_eq!(replayed.epoch(), 4);
-    let _ = std::fs::remove_file(&wal);
 }
 
 #[test]
 fn epoch_gaps_fail_loudly_instead_of_serving_diverged_state() {
     let wal = temp_wal("gap");
-    let _ = std::fs::remove_file(&wal);
     let engine = QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
-        .wal(&wal)
+        .wal(&*wal)
         .build()
         .unwrap();
     for batch in batches() {
@@ -143,12 +138,11 @@ fn epoch_gaps_fail_loudly_instead_of_serving_diverged_state() {
     // i.e. epoch 1 (mid-record): replay must refuse.
     let mut stale = build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap();
     stale.snapshot_epoch = 1; // epoch 1: inside record 0's span
-    let err = QueryEngine::builder(stale).wal(&wal).build().unwrap_err();
+    let err = QueryEngine::builder(stale).wal(&*wal).build().unwrap_err();
     match err {
         ServeError::Wal(message) => assert!(message.contains("history is missing"), "{message}"),
         other => panic!("expected a WAL error, got {other}"),
     }
-    let _ = std::fs::remove_file(&wal);
 }
 
 /// Same identity, lined-up epochs, *different graph lineage*: an index
@@ -159,9 +153,8 @@ fn wal_from_a_different_graph_lineage_is_rejected() {
     use imserve::index::build_dataset_index_with_deltas;
 
     let wal = temp_wal("lineage");
-    let _ = std::fs::remove_file(&wal);
     let engine = QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
-        .wal(&wal)
+        .wal(&*wal)
         .build()
         .unwrap();
     for batch in batches() {
@@ -192,14 +185,16 @@ fn wal_from_a_different_graph_lineage_is_rejected() {
     let rebuilt =
         build_dataset_index_with_deltas("karate", "uc0.1", POOL, SEED, &foreign_history).unwrap();
     assert_eq!(rebuilt.epoch(), 2);
-    let err = QueryEngine::builder(rebuilt).wal(&wal).build().unwrap_err();
+    let err = QueryEngine::builder(rebuilt)
+        .wal(&*wal)
+        .build()
+        .unwrap_err();
     match err {
         ServeError::Wal(message) => {
             assert!(message.contains("different graph"), "{message}")
         }
         other => panic!("expected a WAL lineage error, got {other}"),
     }
-    let _ = std::fs::remove_file(&wal);
 }
 
 /// The per-delta `Mutate` path logs its *applied prefix* when a delta is
@@ -207,9 +202,8 @@ fn wal_from_a_different_graph_lineage_is_rejected() {
 #[test]
 fn partial_mutate_failures_log_the_surviving_prefix() {
     let wal = temp_wal("prefix");
-    let _ = std::fs::remove_file(&wal);
     let engine = QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
-        .wal(&wal)
+        .wal(&*wal)
         .build()
         .unwrap();
     let result = engine.mutate(&[
@@ -230,12 +224,11 @@ fn partial_mutate_failures_log_the_surviving_prefix() {
 
     let recovered =
         QueryEngine::builder(build_dataset_index("karate", "uc0.1", POOL, SEED).unwrap())
-            .wal(&wal)
+            .wal(&*wal)
             .build()
             .unwrap();
     assert_eq!(recovered.epoch(), 1);
     assert_eq!(recovered.state().dynamic.oracle().to_bytes(), survivor);
-    let _ = std::fs::remove_file(&wal);
 }
 
 /// The deprecated constructors still work (as builder forwards) so external
