@@ -10,6 +10,7 @@
 
 use imgraph::binio::{self, BinError, BinReader, BinWriter};
 use imgraph::{GraphDelta, InfluenceGraph, VertexId};
+use impool::{Pool, PoolLayout, TieredConfig};
 use imrand::Rng32;
 
 use crate::ris::RrScratch;
@@ -34,11 +35,17 @@ fn index_rr_set(vertex_to_sets: &mut [Vec<u32>], set_id: u32, vertices: &[Vertex
 }
 
 /// A shared, read-only influence estimator backed by a pool of RR sets.
+///
+/// The physical pool layout is delegated to an [`impool::Pool`] store: the
+/// per-vertex posting lists (and, for incrementally maintainable pools, the
+/// per-set traces) may live uncompressed in RAM, delta-varint compressed, or
+/// tiered to a cold index file — every query path scans through the store
+/// and returns identical results in identical order regardless of layout.
 #[derive(Debug, Clone)]
 pub struct InfluenceOracle {
-    /// For each vertex, the ids of pool RR sets containing it, in increasing
-    /// id order (the build paths index sets in generation order).
-    vertex_to_sets: Vec<Vec<u32>>,
+    /// The pool store: posting lists (vertex → RR-set ids, increasing) plus,
+    /// for incremental pools, the inverse traces.
+    pool: Pool,
     pool_size: usize,
     num_vertices: usize,
     /// Present iff the pool was drawn with per-set PRNG streams
@@ -54,15 +61,15 @@ pub struct InfluenceOracle {
 }
 
 /// The extra state an incrementally maintainable pool carries: the base seed
-/// its per-set PRNG streams derive from, the pool's offset into the global
-/// set-id space (zero for a whole pool, the shard's start for a pool shard),
-/// and one sorted vertex trace per RR set (the inverse of the posting
-/// lists), so a mutation can locate and unindex exactly the sets it dirties.
-#[derive(Debug, Clone)]
+/// its per-set PRNG streams derive from and the pool's offset into the
+/// global set-id space (zero for a whole pool, the shard's start for a pool
+/// shard). The per-set traces themselves live in the pool store, inverse to
+/// the posting lists, so a mutation can locate and unindex exactly the sets
+/// it dirties in any layout.
+#[derive(Debug, Clone, Copy)]
 struct IncrementalState {
     base_seed: u64,
     set_id_offset: u64,
-    traces: Vec<Vec<VertexId>>,
 }
 
 /// One shard's slice of a global RR-set pool: `len` sets whose PRNG streams
@@ -141,6 +148,7 @@ pub struct OracleBuilder {
     backend: Backend,
     incremental: bool,
     set_id_offset: u64,
+    layout: PoolLayout,
 }
 
 impl OracleBuilder {
@@ -148,6 +156,19 @@ impl OracleBuilder {
     #[must_use]
     pub fn seed(mut self, base_seed: u64) -> Self {
         self.base_seed = base_seed;
+        self
+    }
+
+    /// Physical pool layout of the built oracle (default
+    /// [`PoolLayout::Raw`]). The layout changes *where bytes live*, never a
+    /// query result: every layout answers byte-identically (including
+    /// [`InfluenceOracle::to_bytes`]) at every maintenance epoch. A
+    /// [`PoolLayout::Tiered`] build starts fully resident — its data regions
+    /// demote to a cold file only once the oracle is re-loaded from a
+    /// persisted index artifact.
+    #[must_use]
+    pub fn layout(mut self, layout: PoolLayout) -> Self {
+        self.layout = layout;
         self
     }
 
@@ -229,14 +250,15 @@ impl OracleBuilder {
                 vertices.sort_unstable();
                 traces.push(vertices);
             }
+            let pool =
+                Pool::raw(n, self.pool_size, vertex_to_sets, Some(traces)).convert(self.layout);
             InfluenceOracle {
-                vertex_to_sets,
+                pool,
                 pool_size: self.pool_size,
                 num_vertices: n,
                 incremental: Some(IncrementalState {
                     base_seed,
                     set_id_offset: offset,
-                    traces,
                 }),
                 _private: (),
             }
@@ -254,8 +276,9 @@ impl OracleBuilder {
             for (set_id, vertices) in members.into_iter().enumerate() {
                 index_rr_set(&mut vertex_to_sets, set_id as u32, &vertices);
             }
+            let pool = Pool::raw(n, self.pool_size, vertex_to_sets, None).convert(self.layout);
             InfluenceOracle {
-                vertex_to_sets,
+                pool,
                 pool_size: self.pool_size,
                 num_vertices: n,
                 incremental: None,
@@ -293,8 +316,9 @@ impl OracleBuilder {
             let rr = scratch.generate(graph, rng);
             index_rr_set(&mut vertex_to_sets, set_id as u32, &rr.vertices);
         });
+        let pool = Pool::raw(n, self.pool_size, vertex_to_sets, None).convert(self.layout);
         InfluenceOracle {
-            vertex_to_sets,
+            pool,
             pool_size: self.pool_size,
             num_vertices: n,
             incremental: None,
@@ -348,8 +372,9 @@ impl OracleBuilder {
                 prev = Some(id);
             }
         }
+        let pool = Pool::raw(num_vertices, pool_size, vertex_to_sets, None).convert(self.layout);
         Ok(InfluenceOracle {
-            vertex_to_sets,
+            pool,
             pool_size,
             num_vertices,
             incremental: None,
@@ -408,7 +433,88 @@ impl InfluenceOracle {
             backend: Backend::Sequential,
             incremental: false,
             set_id_offset: 0,
+            layout: PoolLayout::Raw,
         }
+    }
+
+    /// Adopt an already-validated pool store as an oracle (the import path
+    /// for compressed `PCMP` index sections, whose decoder enforces the same
+    /// invariants [`OracleBuilder::assemble`] checks on raw lists: strictly
+    /// increasing posting lists with every id inside the pool).
+    pub fn from_pool(pool: Pool) -> Result<Self, String> {
+        if pool.pool_size() == 0 {
+            return Err("oracle needs a non-empty RR-set pool".into());
+        }
+        if pool.num_vertices() == 0 {
+            return Err("oracle needs a non-empty graph".into());
+        }
+        Ok(InfluenceOracle {
+            pool_size: pool.pool_size(),
+            num_vertices: pool.num_vertices(),
+            pool,
+            incremental: None,
+            _private: (),
+        })
+    }
+
+    /// Decode a compressed `PCMP` pool payload ([`impool::decode_pcmp_payload`])
+    /// into an oracle, returning the layout hint the payload was stamped with
+    /// (`Compressed` or `Tiered`). The decoder's eager validation is what
+    /// makes [`InfluenceOracle::from_pool`] sound here.
+    pub fn from_pcmp_payload(payload: &[u8]) -> Result<(Self, PoolLayout), String> {
+        let (packed, hint) = impool::decode_pcmp_payload(payload).map_err(|e| e.to_string())?;
+        let pool = match hint {
+            PoolLayout::Tiered => Pool::Tiered(packed),
+            _ => Pool::Compressed(packed),
+        };
+        Ok((Self::from_pool(pool)?, hint))
+    }
+
+    /// The pool store behind this oracle.
+    #[must_use]
+    pub fn pool(&self) -> &Pool {
+        &self.pool
+    }
+
+    /// The physical layout of the pool store.
+    #[must_use]
+    pub fn pool_layout(&self) -> PoolLayout {
+        self.pool.layout()
+    }
+
+    /// Bytes of process memory the pool store keeps resident (see
+    /// [`impool::PoolStore::resident_bytes`]).
+    #[must_use]
+    pub fn pool_resident_bytes(&self) -> usize {
+        self.pool.resident_bytes()
+    }
+
+    /// Convert the pool store to another layout in place. Purely physical:
+    /// every query (and [`InfluenceOracle::to_bytes`]) answers identically
+    /// before and after.
+    pub fn convert_layout(&mut self, layout: PoolLayout) {
+        if self.pool.layout() != layout {
+            self.pool = self.pool.convert(layout);
+        }
+    }
+
+    /// Encode the pool as a `PCMP` index-section payload (any layout; see
+    /// [`impool::decode_pcmp_payload`]).
+    #[must_use]
+    pub fn encode_pcmp_payload(&self, hint: PoolLayout) -> Vec<u8> {
+        self.pool.encode_pcmp_payload(hint)
+    }
+
+    /// Demote a tiered pool's data regions to the cold backing `file` (the
+    /// index artifact whose `PCMP` payload starts at `payload_offset`).
+    /// No-op for raw/compressed pools.
+    pub fn attach_cold_pool_file(
+        &mut self,
+        file: std::sync::Arc<std::fs::File>,
+        payload_offset: u64,
+        config: TieredConfig,
+    ) {
+        self.pool.attach_cold_file(file, payload_offset, config);
     }
 
     /// Build an oracle by drawing `pool_size` RR sets from `rng`.
@@ -469,13 +575,17 @@ impl InfluenceOracle {
         self.incremental.as_ref().map(|s| s.set_id_offset)
     }
 
-    /// The sorted member trace of one RR set of an incremental pool.
+    /// The sorted member trace of one RR set of an incremental pool
+    /// (materialized from the pool store, whatever its layout).
     #[must_use]
-    pub fn trace(&self, set_id: u32) -> Option<&[VertexId]> {
-        self.incremental
-            .as_ref()
-            .and_then(|s| s.traces.get(set_id as usize))
-            .map(Vec::as_slice)
+    pub fn trace(&self, set_id: u32) -> Option<Vec<VertexId>> {
+        if self.incremental.is_none()
+            || !self.pool.has_traces()
+            || set_id as usize >= self.pool_size
+        {
+            return None;
+        }
+        Some(self.pool.trace(set_id))
     }
 
     /// Re-attach incremental state to a pool that was reloaded from bytes.
@@ -492,18 +602,14 @@ impl InfluenceOracle {
     /// [`InfluenceOracle::apply_delta`] calls would resample dirty sets from
     /// streams a rebuild would not use.
     pub fn attach_incremental(&mut self, base_seed: u64, set_id_offset: u64) {
-        let mut traces: Vec<Vec<VertexId>> = vec![Vec::new(); self.pool_size];
-        for (v, list) in self.vertex_to_sets.iter().enumerate() {
-            for &id in list {
-                traces[id as usize].push(v as VertexId);
-            }
-        }
         // Iterating vertices in increasing order yields sorted traces — the
-        // same canonical form the incremental builder stores.
+        // same canonical form the incremental builder stores. The inversion
+        // runs inside the pool store (and is a no-op for stores that already
+        // carry traces, e.g. a decoded PCMP section with both directions).
+        self.pool.build_traces();
         self.incremental = Some(IncrementalState {
             base_seed,
             set_id_offset,
-            traces,
         });
     }
 
@@ -551,7 +657,7 @@ impl InfluenceOracle {
             ));
         }
 
-        let dirty = self.vertex_to_sets[head as usize].clone();
+        let dirty = self.pool.postings(head);
         self.resample_sets(graph_after, base_seed, offset, &dirty);
         Ok(dirty.len())
     }
@@ -606,7 +712,7 @@ impl InfluenceOracle {
                     self.num_vertices
                 ));
             }
-            dirty.extend_from_slice(&self.vertex_to_sets[head as usize]);
+            self.pool.for_each_posting_inline(head, |id| dirty.push(id));
         }
         dirty.sort_unstable();
         dirty.dedup();
@@ -628,35 +734,17 @@ impl InfluenceOracle {
     ) {
         let mut scratch = RrScratch::for_graph(graph_after);
         for &set_id in dirty {
-            // Unindex the set from the postings of its previous members.
-            let old_trace = std::mem::take(
-                &mut self
-                    .incremental
-                    .as_mut()
-                    .expect("resample_sets is only called with incremental state")
-                    .traces[set_id as usize],
-            );
-            for &v in &old_trace {
-                let list = &mut self.vertex_to_sets[v as usize];
-                if let Ok(at) = list.binary_search(&set_id) {
-                    list.remove(at);
-                }
-            }
+            // The set's previous members, to be unindexed from their postings.
+            let old_trace = self.pool.trace(set_id);
             // Regenerate the set from its own stream, exactly as a rebuild
             // at this version would.
             let mut rng = sampler::batch_rng(base_seed, offset + u64::from(set_id));
             let mut trace = scratch.generate(graph_after, &mut rng).vertices;
             trace.sort_unstable();
-            for &v in &trace {
-                let list = &mut self.vertex_to_sets[v as usize];
-                if let Err(at) = list.binary_search(&set_id) {
-                    list.insert(at, set_id);
-                }
-            }
-            self.incremental
-                .as_mut()
-                .expect("resample_sets is only called with incremental state")
-                .traces[set_id as usize] = trace;
+            // One store-level swap keeps postings and traces inverse to each
+            // other in every layout (compressed stores shadow the dirtied
+            // lists in their mutation overlay).
+            self.pool.replace_set(set_id, &old_trace, &trace);
         }
     }
 
@@ -670,11 +758,12 @@ impl InfluenceOracle {
         Self::builder(pool_size).assemble(num_vertices, vertex_to_sets)
     }
 
-    /// The per-vertex posting lists over the RR-set pool (the export half of
-    /// the persistence layer; see [`OracleBuilder::assemble`]).
+    /// Materialize the posting list of one vertex (the RR-set ids containing
+    /// it, strictly increasing). Layout-independent; for bulk export prefer
+    /// [`InfluenceOracle::to_bytes`].
     #[must_use]
-    pub fn vertex_to_sets(&self) -> &[Vec<u32>] {
-        &self.vertex_to_sets
+    pub fn posting_list(&self, v: VertexId) -> Vec<u32> {
+        self.pool.postings(v)
     }
 
     /// Serialize the RR-set pool to the workspace binary format.
@@ -692,14 +781,13 @@ impl InfluenceOracle {
         binio::put_u64(&mut head, self.pool_size as u64);
         w.section(POOL_HEAD_TAG, &head);
 
-        let total: usize = self.vertex_to_sets.iter().map(Vec::len).sum();
         let mut lens = Vec::with_capacity(self.num_vertices * 4);
-        let mut ids = Vec::with_capacity(total * 4);
-        for list in &self.vertex_to_sets {
-            binio::put_u32(&mut lens, list.len() as u32);
-            for &id in list {
-                binio::put_u32(&mut ids, id);
-            }
+        let mut ids = Vec::new();
+        for v in 0..self.num_vertices as u32 {
+            let before = ids.len();
+            self.pool
+                .for_each_posting_inline(v, |id| binio::put_u32(&mut ids, id));
+            binio::put_u32(&mut lens, ((ids.len() - before) / 4) as u32);
         }
         w.section(POOL_LEN_TAG, &lens);
         w.section(POOL_IDS_TAG, &ids);
@@ -786,13 +874,13 @@ impl InfluenceOracle {
         }
         if seeds.len() == 1 {
             // Fast path: a singleton's coverage is just its posting-list length.
-            let hits = self.vertex_to_sets[seeds[0] as usize].len();
+            let hits = self.pool.posting_len(seeds[0]);
             return self.num_vertices as f64 * hits as f64 / self.pool_size as f64;
         }
         // Merge the posting lists and count distinct RR-set ids.
         let mut ids: Vec<u32> = Vec::new();
         for &s in seeds {
-            ids.extend_from_slice(&self.vertex_to_sets[s as usize]);
+            self.pool.for_each_posting_inline(s, |id| ids.push(id));
         }
         ids.sort_unstable();
         ids.dedup();
@@ -835,18 +923,22 @@ impl InfluenceOracle {
             return 0;
         }
         if seeds.len() == 1 {
-            return self.vertex_to_sets[seeds[0] as usize].len();
+            return self.pool.posting_len(seeds[0]);
         }
         let epoch = scratch.next_epoch();
+        let marks = &mut scratch.marks;
         let mut distinct = 0usize;
         for &s in seeds {
-            for &id in &self.vertex_to_sets[s as usize] {
-                let mark = &mut scratch.marks[id as usize];
+            // The scan runs directly over the store's form — for compressed
+            // layouts the varint blocks are decoded on the fly, with no
+            // materialized list.
+            self.pool.for_each_posting_inline(s, |id| {
+                let mark = &mut marks[id as usize];
                 if *mark != epoch {
                     *mark = epoch;
                     distinct += 1;
                 }
-            }
+            });
         }
         distinct
     }
@@ -872,19 +964,22 @@ impl InfluenceOracle {
         let mut covered = vec![false; self.pool_size];
         let mut covered_count = 0u64;
         for &s in selected {
-            for &id in &self.vertex_to_sets[s as usize] {
+            self.pool.for_each_posting_inline(s, |id| {
                 let slot = &mut covered[id as usize];
                 if !*slot {
                     *slot = true;
                     covered_count += 1;
                 }
-            }
+            });
         }
-        let gains = self
-            .vertex_to_sets
-            .iter()
-            .map(|list| list.iter().filter(|&&id| !covered[id as usize]).count() as u64)
-            .collect();
+        let mut gains = Vec::with_capacity(self.num_vertices);
+        for v in 0..self.num_vertices as u32 {
+            let mut gain = 0u64;
+            self.pool.for_each_posting_inline(v, |id| {
+                gain += u64::from(!covered[id as usize]);
+            });
+            gains.push(gain);
+        }
         (gains, covered_count)
     }
 
@@ -906,10 +1001,9 @@ impl InfluenceOracle {
     /// model of Table 1.
     #[must_use]
     pub fn singleton_influences(&self) -> Vec<f64> {
-        (0..self.num_vertices)
+        (0..self.num_vertices as u32)
             .map(|v| {
-                self.num_vertices as f64 * self.vertex_to_sets[v].len() as f64
-                    / self.pool_size as f64
+                self.num_vertices as f64 * self.pool.posting_len(v) as f64 / self.pool_size as f64
             })
             .collect()
     }
@@ -963,10 +1057,10 @@ impl InfluenceOracle {
                 if already {
                     continue;
                 }
-                let gain = self.vertex_to_sets[v]
-                    .iter()
-                    .filter(|&&id| !covered[id as usize])
-                    .count();
+                let mut gain = 0usize;
+                self.pool.for_each_posting_inline(v as u32, |id| {
+                    gain += usize::from(!covered[id as usize]);
+                });
                 match best {
                     Some((_, best_gain)) if gain <= best_gain => {}
                     _ => best = Some((v as VertexId, gain)),
@@ -974,12 +1068,12 @@ impl InfluenceOracle {
             }
             let Some((chosen, _)) = best else { break };
             is_selected[chosen as usize] = true;
-            for &id in &self.vertex_to_sets[chosen as usize] {
+            self.pool.for_each_posting_inline(chosen, |id| {
                 if !covered[id as usize] {
                     covered[id as usize] = true;
                     covered_count += 1;
                 }
-            }
+            });
             selected.push(chosen);
         }
         let influence = n as f64 * covered_count as f64 / self.pool_size as f64;
@@ -1150,7 +1244,9 @@ mod tests {
         let back = InfluenceOracle::from_bytes(&bytes).expect("round trip");
         assert_eq!(back.pool_size(), oracle.pool_size());
         assert_eq!(back.num_vertices(), oracle.num_vertices());
-        assert_eq!(back.vertex_to_sets(), oracle.vertex_to_sets());
+        for v in 0..5u32 {
+            assert_eq!(back.posting_list(v), oracle.posting_list(v));
+        }
         // Re-encoding is byte-identical, and estimates are bit-identical.
         assert_eq!(back.to_bytes(), bytes);
         for v in 0..5u32 {
@@ -1197,8 +1293,8 @@ mod tests {
         for set_id in 0..3_000u32 {
             let trace = seq.trace(set_id).expect("trace exists");
             assert!(trace.windows(2).all(|w| w[0] < w[1]), "trace sorted");
-            for &v in trace {
-                assert!(seq.vertex_to_sets()[v as usize].contains(&set_id));
+            for &v in &trace {
+                assert!(seq.posting_list(v).contains(&set_id));
             }
         }
         // The classic builders carry no incremental state.
@@ -1557,6 +1653,89 @@ mod tests {
         check_union(&single, &shards);
     }
 
+    /// The load-bearing pool-store invariant: every layout answers every
+    /// query byte-identically at every maintenance epoch — `to_bytes`,
+    /// estimates, coverage counts, gains, greedy selection and traces.
+    #[test]
+    fn pool_layouts_are_byte_identical_at_every_epoch() {
+        use imgraph::MutableInfluenceGraph;
+        let ig = star(0.5);
+        let build = |layout: PoolLayout| {
+            InfluenceOracle::builder(2_000)
+                .seed(21)
+                .incremental()
+                .layout(layout)
+                .sample(&ig)
+        };
+        let mut raw = build(PoolLayout::Raw);
+        let mut compressed = build(PoolLayout::Compressed);
+        let mut tiered = build(PoolLayout::Tiered);
+        assert_eq!(raw.pool_layout(), PoolLayout::Raw);
+        assert_eq!(compressed.pool_layout(), PoolLayout::Compressed);
+        assert_eq!(tiered.pool_layout(), PoolLayout::Tiered);
+
+        let deltas = [
+            GraphDelta::InsertEdge {
+                source: 3,
+                target: 0,
+                probability: 0.6,
+            },
+            GraphDelta::DeleteEdge {
+                source: 0,
+                target: 2,
+            },
+            GraphDelta::SetProbability {
+                source: 0,
+                target: 1,
+                probability: 0.9,
+            },
+        ];
+        let mut mutable = MutableInfluenceGraph::from_graph(&ig);
+        let check_epoch =
+            |raw: &InfluenceOracle, compressed: &InfluenceOracle, tiered: &InfluenceOracle| {
+                let bytes = raw.to_bytes();
+                assert_eq!(compressed.to_bytes(), bytes, "compressed to_bytes");
+                assert_eq!(tiered.to_bytes(), bytes, "tiered to_bytes");
+                let mut scratches = [raw.scratch(), compressed.scratch(), tiered.scratch()];
+                for seeds in [vec![0u32], vec![1, 4], vec![0, 1, 2, 3, 4]] {
+                    let want = raw.estimate(&seeds);
+                    for (o, sc) in [compressed, tiered].into_iter().zip(&mut scratches[1..]) {
+                        assert_eq!(o.estimate(&seeds), want);
+                        assert_eq!(o.estimate_with(&seeds, sc), want);
+                    }
+                }
+                assert_eq!(compressed.coverage_gains(&[0]), raw.coverage_gains(&[0]));
+                assert_eq!(tiered.coverage_gains(&[0]), raw.coverage_gains(&[0]));
+                assert_eq!(compressed.greedy_seed_set(2), raw.greedy_seed_set(2));
+                assert_eq!(tiered.greedy_seed_set(2), raw.greedy_seed_set(2));
+                for set_id in (0..2_000u32).step_by(97) {
+                    assert_eq!(compressed.trace(set_id), raw.trace(set_id));
+                    assert_eq!(tiered.trace(set_id), raw.trace(set_id));
+                }
+            };
+        check_epoch(&raw, &compressed, &tiered);
+        for delta in &deltas {
+            mutable.apply(delta).unwrap();
+            let after = mutable.materialize();
+            let n_raw = raw.apply_delta(&after, delta).unwrap();
+            assert_eq!(compressed.apply_delta(&after, delta).unwrap(), n_raw);
+            assert_eq!(tiered.apply_delta(&after, delta).unwrap(), n_raw);
+            check_epoch(&raw, &compressed, &tiered);
+        }
+        // Converting layouts after mutations still yields identical bytes.
+        compressed.convert_layout(PoolLayout::Raw);
+        assert_eq!(compressed.to_bytes(), raw.to_bytes());
+        // The compressed pool is the smaller one on this dense star pool.
+        assert!(
+            InfluenceOracle::builder(2_000)
+                .seed(21)
+                .layout(PoolLayout::Compressed)
+                .sample(&ig)
+                .pool_resident_bytes()
+                < build(PoolLayout::Raw).pool_resident_bytes()
+        );
+    }
+
     #[test]
     fn covered_with_and_coverage_gains_match_the_estimators() {
         let ig = star(0.5);
@@ -1576,7 +1755,7 @@ mod tests {
         let (gains, covered) = oracle.coverage_gains(&[]);
         assert_eq!(covered, 0);
         for (v, &g) in gains.iter().enumerate() {
-            assert_eq!(g as usize, oracle.vertex_to_sets()[v].len());
+            assert_eq!(g as usize, oracle.posting_list(v as u32).len());
         }
         // One greedy round driven by gains equals greedy_seed_set's pick.
         let first = gains

@@ -623,6 +623,16 @@ impl DynamicOracle {
         &self.oracle
     }
 
+    /// Re-layout the maintained pool in place (raw ⇄ compressed ⇄ tiered).
+    ///
+    /// A pure storage change: epoch, pending log, incremental state and every
+    /// answer — including the byte-identical-rebuild contract — are
+    /// unaffected. The cross-layout equivalence proptest pins this by
+    /// maintaining one oracle per layout through identical mutation batches.
+    pub fn convert_pool_layout(&mut self, layout: im_core::PoolLayout) {
+        self.oracle.convert_layout(layout);
+    }
+
     /// The pending log: every delta applied since the last compaction (or
     /// since the artifact this oracle was reassembled from was written), in
     /// application order.

@@ -55,6 +55,11 @@ pub enum Cli {
     /// writing the per-backend latency trajectory as one JSON benchmark
     /// document.
     Loadtest(crate::loadtest::LoadtestSpec),
+    /// `imexp pool [--nodes N] [--degree D] [--model M] [--pool N]
+    /// [--seed S] [--queries Q] [--k K] [--bench-out <path>]`: benchmark the
+    /// three `impool` pool-store layouts (raw, compressed, tiered) on the
+    /// streamed Chung–Lu fixture, optionally writing `BENCH_pool.json`.
+    Pool(crate::poolbench::PoolBenchSpec),
 }
 
 fn parse_scale(value: &str) -> Result<ExperimentScale, CliError> {
@@ -78,6 +83,9 @@ pub fn parse(args: &[String]) -> Result<Cli, CliError> {
     }
     if command == "loadtest" {
         return parse_loadtest(&args[1..]);
+    }
+    if command == "pool" {
+        return parse_pool(&args[1..]);
     }
 
     let mut scale = ExperimentScale::Quick;
@@ -247,6 +255,50 @@ fn parse_loadtest(args: &[String]) -> Result<Cli, CliError> {
     }))
 }
 
+fn parse_pool(args: &[String]) -> Result<Cli, CliError> {
+    let mut spec = crate::poolbench::PoolBenchSpec::default();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--nodes" => {
+                spec.nodes = parse_number("--nodes", take_value("--nodes", args, &mut i)?)?
+            }
+            "--degree" => {
+                let value = take_value("--degree", args, &mut i)?;
+                spec.degree = value
+                    .parse()
+                    .map_err(|_| CliError(format!("--degree expects a number, got {value:?}")))?;
+            }
+            "--model" => spec.model = take_value("--model", args, &mut i)?.to_string(),
+            "--pool" => spec.pool = parse_number("--pool", take_value("--pool", args, &mut i)?)?,
+            "--seed" => spec.seed = parse_number("--seed", take_value("--seed", args, &mut i)?)?,
+            "--queries" => {
+                spec.queries = parse_number("--queries", take_value("--queries", args, &mut i)?)?;
+            }
+            "--k" => spec.k = parse_number("--k", take_value("--k", args, &mut i)?)?,
+            "--bench-out" => {
+                spec.bench_out = Some(take_value("--bench-out", args, &mut i)?.to_string());
+            }
+            other => return Err(CliError(format!("unknown option {other:?} for pool"))),
+        }
+        i += 1;
+    }
+    for (flag, value) in [
+        ("--nodes", spec.nodes),
+        ("--pool", spec.pool),
+        ("--queries", spec.queries),
+        ("--k", spec.k),
+    ] {
+        if value == 0 {
+            return Err(CliError(format!("{flag} must be positive")));
+        }
+    }
+    if spec.degree.is_nan() || spec.degree <= 0.0 {
+        return Err(CliError("--degree must be positive".to_string()));
+    }
+    Ok(Cli::Pool(spec))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -363,6 +415,59 @@ mod tests {
         ]))
         .is_err());
         assert!(parse(&args(&["loadtest", "--backend", "warp9"])).is_err());
+    }
+
+    #[test]
+    fn pool_parses_with_defaults_and_rejects_bad_values() {
+        match parse(&args(&["pool"])).unwrap() {
+            Cli::Pool(spec) => {
+                assert_eq!(spec, crate::poolbench::PoolBenchSpec::default());
+                assert_eq!(spec.nodes, 1_000_000);
+                assert_eq!(spec.bench_out, None);
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        match parse(&args(&[
+            "pool",
+            "--nodes",
+            "5000",
+            "--degree",
+            "3.5",
+            "--model",
+            "uc0.1",
+            "--pool",
+            "2500",
+            "--seed",
+            "11",
+            "--queries",
+            "50",
+            "--k",
+            "4",
+            "--bench-out",
+            "BENCH_pool.json",
+        ]))
+        .unwrap()
+        {
+            Cli::Pool(spec) => {
+                assert_eq!(spec.nodes, 5_000);
+                assert!((spec.degree - 3.5).abs() < 1e-12);
+                assert_eq!(spec.model, "uc0.1");
+                assert_eq!(spec.pool, 2_500);
+                assert_eq!(spec.seed, 11);
+                assert_eq!(spec.queries, 50);
+                assert_eq!(spec.k, 4);
+                assert_eq!(spec.bench_out.as_deref(), Some("BENCH_pool.json"));
+            }
+            other => panic!("unexpected command {other:?}"),
+        }
+        assert!(parse(&args(&["pool", "--nodes", "0"])).is_err());
+        assert!(parse(&args(&["pool", "--degree", "dense"])).is_err());
+        assert!(parse(&args(&["pool", "--degree", "0"])).is_err());
+        assert!(parse(&args(&["pool", "--layout", "raw"])).is_err());
+        assert!(
+            parse(&args(&["pool", "--bench-out"])).is_err(),
+            "missing value"
+        );
     }
 
     #[test]

@@ -1,0 +1,180 @@
+//! Streamed, seeded scale fixtures — Chung–Lu graphs big enough to stress
+//! the pool store without a real SNAP download.
+//!
+//! The registry analogs in `imnet` target the paper's network sizes (tens of
+//! thousands of vertices); the pool-store benchmarks need a fixture one to
+//! two orders of magnitude larger, and [`imnet::chung_lu::ChungLu::generate`]
+//! is the wrong tool for that: it keeps a global `(u, v)` hash set to reject
+//! duplicate draws, which at millions of edges costs more memory than the
+//! graph itself. [`ScaleFixture`] reuses the same power-law weight sequences
+//! but *streams* construction vertex-by-vertex — the expected out-degree of
+//! each source is drawn once, its targets are sampled from the in-weight
+//! distribution, and duplicates are removed inside that single small target
+//! list. Peak auxiliary memory is O(n) for the weight/sampler arrays (a few
+//! megabytes at 10⁶ vertices) plus the largest single out-neighbourhood,
+//! never O(m).
+//!
+//! Generation is deterministic per `(nodes, degree, gamma, seed)`: the same
+//! spec always yields the same graph, so committed benchmark numbers
+//! (`BENCH_pool.json`) stay reproducible and future scale tests can share
+//! the fixture by value.
+
+use imgraph::{DiGraph, GraphBuilder, InfluenceGraph};
+use imnet::chung_lu::ChungLu;
+use imnet::ProbabilityModel;
+use imrand::{seq::CumulativeSampler, Rng32};
+
+/// Spec of a streamed Chung–Lu fixture. Construct via [`ScaleFixture::new`]
+/// or the [`ScaleFixture::million`] preset used by `imexp pool`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleFixture {
+    /// Number of vertices.
+    pub nodes: usize,
+    /// Target mean degree (expected edges = `nodes · degree`).
+    pub degree: f64,
+    /// Power-law exponent of both degree tails (Table-3-like networks sit
+    /// in `[2, 3]`).
+    pub gamma: f64,
+    /// Cap on any single expected degree, as a fraction of the edge target
+    /// (bounds the hubs so the realised maximum degree stays plausible).
+    pub max_weight_fraction: f64,
+    /// Generation seed.
+    pub seed: u64,
+}
+
+impl ScaleFixture {
+    /// A fixture with the default tail shape (γ = 2.3, hub cap 0.1 % of the
+    /// edge target — the exponent the registry's social-network analogs use).
+    #[must_use]
+    pub fn new(nodes: usize, degree: f64, seed: u64) -> Self {
+        Self {
+            nodes,
+            degree,
+            gamma: 2.3,
+            max_weight_fraction: 0.001,
+            seed,
+        }
+    }
+
+    /// The million-vertex preset behind `imexp pool`: 10⁶ vertices at mean
+    /// degree 4 (≈4·10⁶ expected edges).
+    #[must_use]
+    pub fn million(seed: u64) -> Self {
+        Self::new(1_000_000, 4.0, seed)
+    }
+
+    /// Expected number of edges.
+    #[must_use]
+    pub fn expected_edges(&self) -> usize {
+        (self.nodes as f64 * self.degree).round() as usize
+    }
+
+    /// Generate the graph by streaming one source vertex at a time.
+    ///
+    /// Each source `u` draws `⌊w⁺(u)⌋ + Bernoulli(frac(w⁺(u)))` targets from
+    /// the in-weight distribution, drops self-loops and deduplicates within
+    /// its own target list; realised edge counts land within a few percent of
+    /// [`ScaleFixture::expected_edges`] (per-source duplicates are rare while
+    /// the in-weight cap keeps every target's selection probability small).
+    #[must_use]
+    pub fn generate(&self) -> DiGraph {
+        assert!(self.nodes > 0, "fixture needs at least one vertex");
+        let weights = ChungLu::power_law(
+            self.nodes,
+            self.expected_edges(),
+            self.gamma,
+            self.gamma,
+            self.max_weight_fraction,
+        );
+        let in_sampler = CumulativeSampler::new(&weights.in_weights);
+        let mut rng = imrand::default_rng(self.seed);
+        let mut builder = GraphBuilder::with_capacity(self.nodes, self.expected_edges());
+        let mut targets: Vec<u32> = Vec::new();
+        for (u, &weight) in weights.out_weights.iter().enumerate() {
+            let mut out_degree = weight.floor() as usize;
+            if rng.bernoulli(weight.fract()) {
+                out_degree += 1;
+            }
+            targets.clear();
+            for _ in 0..out_degree {
+                let v = in_sampler.sample(&mut rng) as u32;
+                if v as usize != u {
+                    targets.push(v);
+                }
+            }
+            targets.sort_unstable();
+            targets.dedup();
+            for &v in &targets {
+                builder.add_edge(u as u32, v);
+            }
+        }
+        builder.build()
+    }
+
+    /// Generate and assign edge probabilities in one step.
+    #[must_use]
+    pub fn influence_graph(&self, model: ProbabilityModel) -> InfluenceGraph {
+        model.assign(&self.generate())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = ScaleFixture::new(3_000, 4.0, 11);
+        assert_eq!(spec.generate(), spec.generate());
+        assert_ne!(
+            spec.generate(),
+            ScaleFixture::new(3_000, 4.0, 12).generate()
+        );
+    }
+
+    #[test]
+    fn edge_count_lands_near_target() {
+        let spec = ScaleFixture::new(10_000, 5.0, 3);
+        let g = spec.generate();
+        assert_eq!(g.num_vertices(), 10_000);
+        let target = spec.expected_edges() as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - target).abs() / target < 0.05,
+            "realised {got} edges should be within 5% of {target}"
+        );
+    }
+
+    #[test]
+    fn graph_is_simple_with_a_skewed_tail() {
+        let g = ScaleFixture::new(5_000, 4.0, 7).generate();
+        let mut seen = std::collections::HashSet::new();
+        for (u, v) in g.edges() {
+            assert_ne!(u, v, "no self-loops");
+            assert!(seen.insert((u, v)), "no parallel edges");
+        }
+        // Vertex 0 carries the largest weight; it should dominate the mean.
+        let mean = g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            g.out_degree(0) as f64 > 5.0 * mean,
+            "hub out-degree {} should dominate mean {mean}",
+            g.out_degree(0)
+        );
+    }
+
+    #[test]
+    fn million_preset_shape() {
+        let spec = ScaleFixture::million(7);
+        assert_eq!(spec.nodes, 1_000_000);
+        assert_eq!(spec.expected_edges(), 4_000_000);
+    }
+
+    #[test]
+    fn influence_graph_assigns_model_probabilities() {
+        let g = ScaleFixture::new(500, 3.0, 5).influence_graph(ProbabilityModel::Uniform(0.1));
+        assert_eq!(g.num_vertices(), 500);
+        for &p in g.probabilities() {
+            assert!((p - 0.1).abs() < 1e-12);
+        }
+    }
+}

@@ -18,7 +18,10 @@
 //! the same drivers. [`loadtest`] additionally drives the unified
 //! `InfluenceService` surface: the same workload against the local, remote
 //! and sharded backends (`imexp loadtest --backend sharded:2`), with
-//! byte-identity verification of the sharded merge.
+//! byte-identity verification of the sharded merge. [`poolbench`] compares
+//! the three `impool` pool-store layouts on the streamed million-vertex
+//! Chung–Lu fixture from [`fixture`] (`imexp pool`, committed as
+//! `BENCH_pool.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,7 +29,9 @@
 pub mod cli;
 pub mod config;
 pub mod experiments;
+pub mod fixture;
 pub mod loadtest;
+pub mod poolbench;
 pub mod report;
 pub mod runner;
 

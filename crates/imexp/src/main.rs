@@ -24,7 +24,9 @@ fn print_usage() {
          \u{20}      imexp index <dataset> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] --out <path>\n\
          \u{20}      imexp loadtest --backend local|remote|remote-reactor|sharded:N|all [--backend …] \
          [--dataset <name>|chung-lu] [--model M] [--pool N] [--seed S] [--connections N] \
-         [--requests N] [--k K] [--arrival-rps R] [--bench-out <path>]"
+         [--requests N] [--k K] [--arrival-rps R] [--bench-out <path>]\n\
+         \u{20}      imexp pool [--nodes N] [--degree D] [--model M] [--pool N] [--seed S] \
+         [--queries Q] [--k K] [--bench-out <path>]"
     );
     eprintln!("experiments: {}", experiment_names().join(", "));
 }
@@ -132,6 +134,32 @@ fn main() -> ExitCode {
             }
             if let Some(path) = &spec.bench_out {
                 let document = imexp::loadtest::bench_document(&spec, &runs);
+                let json = serde_json::to_string_pretty(&document).expect("document serialises");
+                if let Err(e) = std::fs::write(path, json + "\n") {
+                    eprintln!("error: cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote benchmark document -> {path}");
+            }
+            ExitCode::SUCCESS
+        }
+        Cli::Pool(spec) => {
+            let result = match imexp::poolbench::run(&spec) {
+                Ok(result) => result,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!("{}", result.table().render());
+            println!(
+                "compressed is {:.2}x smaller than raw per RR set \
+                 ({} probes bit-identical across layouts)",
+                result.compression_ratio(),
+                result.verified_probes
+            );
+            if let Some(path) = &spec.bench_out {
+                let document = imexp::poolbench::bench_document(&spec, &result);
                 let json = serde_json::to_string_pretty(&document).expect("document serialises");
                 if let Err(e) = std::fs::write(path, json + "\n") {
                     eprintln!("error: cannot write {path}: {e}");

@@ -1,0 +1,366 @@
+//! Delta-varint blocked list codec.
+//!
+//! A sorted, strictly increasing `u32` list is encoded as
+//!
+//! ```text
+//! varint(len)
+//! then, per block of up to BLOCK_IDS ids:
+//!     varint(first_id)            absolute restart value
+//!     varint(gap - 1) * (k - 1)   deltas to the remaining k-1 ids
+//! ```
+//!
+//! Gaps are stored minus one (ids are strictly increasing, so every gap is
+//! at least 1), which keeps single-byte deltas for runs as sparse as one id
+//! every 128. Each block restarts with an absolute id so a scan can enter at
+//! any block boundary; [`SkipEntry`] records `(first_id, byte offset)` per
+//! block, giving `O(len / BLOCK_IDS)` seeks without touching the data bytes.
+//!
+//! The decoder is *total*: every byte sequence either decodes to exactly the
+//! list that produced it or fails with a typed [`PoolCodecError`]. Payload
+//! validation ([`crate::decode_pcmp_payload`]) additionally enforces strict
+//! monotonicity across block restarts, id bounds, and exact byte-length
+//! agreement with the list directory.
+
+/// Number of ids per block (and per skip entry).
+pub const BLOCK_IDS: usize = 128;
+
+/// Typed decode failure for the pool codecs.
+///
+/// Mirrors the `binio` error discipline: corruption and truncation are
+/// always rejected with a reason, never a panic or a garbage list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PoolCodecError {
+    /// Input ended mid-value.
+    Truncated {
+        /// What was being decoded when the input ran out.
+        context: &'static str,
+    },
+    /// Structurally invalid input.
+    Corrupt {
+        /// Why the input was rejected.
+        reason: &'static str,
+    },
+    /// The payload checksum did not match its contents.
+    ChecksumMismatch,
+    /// The payload declares a codec version this build cannot read.
+    UnsupportedVersion {
+        /// Version found in the payload.
+        found: u32,
+        /// Highest version this build supports.
+        supported: u32,
+    },
+}
+
+impl std::fmt::Display for PoolCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolCodecError::Truncated { context } => {
+                write!(f, "pool codec: truncated input while reading {context}")
+            }
+            PoolCodecError::Corrupt { reason } => write!(f, "pool codec: corrupt input: {reason}"),
+            PoolCodecError::ChecksumMismatch => write!(f, "pool codec: checksum mismatch"),
+            PoolCodecError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "pool codec: unsupported version {found} (max supported {supported})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PoolCodecError {}
+
+/// One skip-index entry: the absolute first id of a block and the block's
+/// byte offset from the start of the list's encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SkipEntry {
+    /// Absolute first id of the block (a varint restart point).
+    pub first_id: u32,
+    /// Byte offset of the block from the start of the list encoding.
+    pub offset: u32,
+}
+
+/// Append `x` as an LEB128 varint (1–5 bytes).
+#[inline]
+pub fn write_varint(out: &mut Vec<u8>, mut x: u32) {
+    loop {
+        let byte = (x & 0x7f) as u8;
+        x >>= 7;
+        if x == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Read one LEB128 varint at `*pos`, advancing it. Rejects encodings longer
+/// than 5 bytes and 5-byte encodings that overflow `u32`.
+#[inline]
+pub fn read_varint(bytes: &[u8], pos: &mut usize) -> Result<u32, PoolCodecError> {
+    let mut acc: u32 = 0;
+    let mut shift: u32 = 0;
+    loop {
+        let Some(&b) = bytes.get(*pos) else {
+            return Err(PoolCodecError::Truncated { context: "varint" });
+        };
+        *pos += 1;
+        let low = u32::from(b & 0x7f);
+        if shift == 28 {
+            if b & 0x80 != 0 {
+                return Err(PoolCodecError::Corrupt {
+                    reason: "varint longer than 5 bytes",
+                });
+            }
+            if low > 0x0f {
+                return Err(PoolCodecError::Corrupt {
+                    reason: "varint overflows u32",
+                });
+            }
+        }
+        acc |= low << shift;
+        if b & 0x80 == 0 {
+            return Ok(acc);
+        }
+        shift += 7;
+    }
+}
+
+/// Encode a strictly increasing list, returning one [`SkipEntry`] per block.
+/// Offsets are relative to the first byte written by this call (i.e. they
+/// include the leading length varint).
+///
+/// # Panics
+///
+/// Debug-asserts strict monotonicity; the encoder is only ever fed lists the
+/// pool already validated.
+pub fn encode_list(ids: &[u32], out: &mut Vec<u8>) -> Vec<SkipEntry> {
+    let start = out.len();
+    write_varint(out, ids.len() as u32);
+    let mut skips = Vec::with_capacity(ids.len().div_ceil(BLOCK_IDS));
+    for block in ids.chunks(BLOCK_IDS) {
+        skips.push(SkipEntry {
+            first_id: block[0],
+            offset: (out.len() - start) as u32,
+        });
+        write_varint(out, block[0]);
+        let mut prev = block[0];
+        for &id in &block[1..] {
+            debug_assert!(id > prev, "list must be strictly increasing");
+            write_varint(out, id - prev - 1);
+            prev = id;
+        }
+    }
+    skips
+}
+
+/// Read the length header of an encoded list without scanning its ids.
+#[inline]
+pub fn list_len(bytes: &[u8]) -> Result<usize, PoolCodecError> {
+    let mut pos = 0;
+    read_varint(bytes, &mut pos).map(|n| n as usize)
+}
+
+/// Decode an encoded list starting at `*pos`, invoking `f` for each id in
+/// order and advancing `*pos` past the list. Returns the id count.
+///
+/// Enforces strict monotonicity *within* blocks by construction (gap + 1)
+/// and *across* block restarts explicitly, so any scan over validated or
+/// unvalidated bytes yields a strictly increasing sequence or a typed error.
+#[inline]
+pub fn scan_list(
+    bytes: &[u8],
+    pos: &mut usize,
+    mut f: impl FnMut(u32),
+) -> Result<usize, PoolCodecError> {
+    let len = read_varint(bytes, pos)? as usize;
+    let mut remaining = len;
+    let mut last: Option<u32> = None;
+    while remaining > 0 {
+        let take = remaining.min(BLOCK_IDS);
+        let first = read_varint(bytes, pos)?;
+        if let Some(prev) = last {
+            if first <= prev {
+                return Err(PoolCodecError::Corrupt {
+                    reason: "block restart id not increasing",
+                });
+            }
+        }
+        f(first);
+        let mut prev = first;
+        for _ in 1..take {
+            let gap = read_varint(bytes, pos)?;
+            let id = prev.checked_add(gap).and_then(|x| x.checked_add(1)).ok_or(
+                PoolCodecError::Corrupt {
+                    reason: "delta overflows u32 id space",
+                },
+            )?;
+            f(id);
+            prev = id;
+        }
+        last = Some(prev);
+        remaining -= take;
+    }
+    Ok(len)
+}
+
+/// Decode an encoded list into a fresh `Vec`, checking that exactly
+/// `expected_bytes` were consumed.
+pub fn decode_list(bytes: &[u8]) -> Result<Vec<u32>, PoolCodecError> {
+    let mut pos = 0;
+    let mut out = Vec::new();
+    let len = scan_list(bytes, &mut pos, |id| out.push(id))?;
+    debug_assert_eq!(out.len(), len);
+    if pos != bytes.len() {
+        return Err(PoolCodecError::Corrupt {
+            reason: "trailing bytes after encoded list",
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(ids: &[u32]) -> (Vec<u8>, Vec<SkipEntry>) {
+        let mut buf = Vec::new();
+        let skips = encode_list(ids, &mut buf);
+        assert_eq!(decode_list(&buf).expect("round trip"), ids);
+        assert_eq!(list_len(&buf).expect("len header"), ids.len());
+        (buf, skips)
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        for x in [0, 1, 127, 128, 16383, 16384, u32::MAX - 1, u32::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, x);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Ok(x));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_overlong_and_overflow() {
+        // 6-byte continuation chain.
+        let overlong = [0x80, 0x80, 0x80, 0x80, 0x80, 0x01];
+        assert_eq!(
+            read_varint(&overlong, &mut 0),
+            Err(PoolCodecError::Corrupt {
+                reason: "varint longer than 5 bytes"
+            })
+        );
+        // 5th byte carries more than 4 significant bits.
+        let overflow = [0xff, 0xff, 0xff, 0xff, 0x10];
+        assert_eq!(
+            read_varint(&overflow, &mut 0),
+            Err(PoolCodecError::Corrupt {
+                reason: "varint overflows u32"
+            })
+        );
+        assert_eq!(
+            read_varint(&[0x80], &mut 0),
+            Err(PoolCodecError::Truncated { context: "varint" })
+        );
+    }
+
+    #[test]
+    fn empty_and_singleton_lists() {
+        let (buf, skips) = round_trip(&[]);
+        assert_eq!(buf, vec![0]);
+        assert!(skips.is_empty());
+        let (_, skips) = round_trip(&[42]);
+        assert_eq!(
+            skips,
+            vec![SkipEntry {
+                first_id: 42,
+                offset: 1
+            }]
+        );
+    }
+
+    #[test]
+    fn multi_block_list_has_one_skip_per_block() {
+        let ids: Vec<u32> = (0..BLOCK_IDS as u32 * 3 + 5).map(|i| i * 7 + 3).collect();
+        let (buf, skips) = round_trip(&ids);
+        assert_eq!(skips.len(), 4);
+        for (b, entry) in skips.iter().enumerate() {
+            assert_eq!(entry.first_id, ids[b * BLOCK_IDS]);
+            // Entering at the skip offset decodes the block's first id.
+            let mut pos = entry.offset as usize;
+            assert_eq!(read_varint(&buf, &mut pos), Ok(entry.first_id));
+        }
+    }
+
+    #[test]
+    fn dense_run_is_one_byte_per_id() {
+        let ids: Vec<u32> = (1000..1000 + BLOCK_IDS as u32).collect();
+        let (buf, _) = round_trip(&ids);
+        // len varint (2B) + absolute first (2B) + 127 single-byte zero gaps.
+        assert_eq!(buf.len(), 2 + 2 + (BLOCK_IDS - 1));
+    }
+
+    #[test]
+    fn scan_rejects_non_increasing_block_restart() {
+        let ids: Vec<u32> = (0..BLOCK_IDS as u32 + 1).collect();
+        let mut buf = Vec::new();
+        let skips = encode_list(&ids, &mut buf);
+        // Rewrite the second block's restart id (last varint) to 0: it now
+        // repeats an id from block one.
+        let second = skips[1].offset as usize;
+        buf.truncate(second);
+        write_varint(&mut buf, 0);
+        assert_eq!(
+            decode_list(&buf),
+            Err(PoolCodecError::Corrupt {
+                reason: "block restart id not increasing"
+            })
+        );
+    }
+
+    #[test]
+    fn truncation_anywhere_is_rejected() {
+        let ids: Vec<u32> = (0..300u32).map(|i| i * 3).collect();
+        let mut buf = Vec::new();
+        encode_list(&ids, &mut buf);
+        for cut in 0..buf.len() {
+            let err = decode_list(&buf[..cut]).expect_err("truncation must fail");
+            assert!(
+                matches!(
+                    err,
+                    PoolCodecError::Truncated { .. } | PoolCodecError::Corrupt { .. }
+                ),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut buf = Vec::new();
+        encode_list(&[1, 5, 9], &mut buf);
+        buf.push(0x00);
+        assert_eq!(
+            decode_list(&buf),
+            Err(PoolCodecError::Corrupt {
+                reason: "trailing bytes after encoded list"
+            })
+        );
+    }
+
+    #[test]
+    fn delta_overflow_is_rejected() {
+        // first = u32::MAX, then a gap that would push past u32::MAX.
+        let mut buf = Vec::new();
+        write_varint(&mut buf, 2); // len
+        write_varint(&mut buf, u32::MAX); // first id
+        write_varint(&mut buf, 0); // gap-1 = 0 -> id = MAX + 1
+        assert_eq!(
+            decode_list(&buf),
+            Err(PoolCodecError::Corrupt {
+                reason: "delta overflows u32 id space"
+            })
+        );
+    }
+}

@@ -1,0 +1,546 @@
+//! Compressed segment storage shared by the compressed and tiered backends.
+//!
+//! A [`SegmentStore`] holds one direction of the pool index (posting lists
+//! *or* traces) as a single delta-varint data region plus:
+//!
+//! * a **directory** — `count + 1` byte offsets delimiting each encoded list,
+//! * **skip headers** — per-block [`SkipEntry`]s for lists spanning more than
+//!   one block (single-block lists need none: the directory entry is the
+//!   skip),
+//! * a **mutation overlay** — dirtied lists materialized as plain `Vec<u32>`,
+//!   shadowing their encoded form until the next re-encode.
+//!
+//! The data region is either fully resident ([`Region::Resident`]) or cold
+//! in a backing file ([`Region::Cold`]) with only lists at or above the hot
+//! threshold pinned in memory. Directory, skip headers and overlay are
+//! always resident — they are what makes a cold scan one `pread`, not a
+//! search.
+
+use crate::codec::{encode_list, list_len, scan_list, SkipEntry};
+use crate::{PoolLayout, PoolStore};
+use rustc_hash::FxHashMap;
+use std::fs::File;
+use std::sync::Arc;
+
+/// Default hot-list threshold: encoded lists of at least this many bytes
+/// stay resident when a pool is demoted to a cold file. Under power-law
+/// degree distributions the few long lists dominate both scan cost and
+/// access frequency, so pinning them buys the most latency per byte.
+pub const DEFAULT_HOT_LIST_BYTES: usize = 4096;
+
+/// Tiering policy knobs for [`crate::Pool::attach_cold_file`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TieredConfig {
+    /// Encoded lists of at least this many bytes stay resident.
+    pub hot_list_bytes: usize,
+}
+
+impl Default for TieredConfig {
+    fn default() -> Self {
+        TieredConfig {
+            hot_list_bytes: DEFAULT_HOT_LIST_BYTES,
+        }
+    }
+}
+
+/// Read `buf.len()` bytes at `offset` without moving a shared cursor.
+#[cfg(unix)]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) {
+    use std::os::unix::fs::FileExt;
+    file.read_exact_at(buf, offset)
+        .expect("cold pool segment read failed: backing index file unreadable");
+}
+
+/// Portable fallback: serialize seek+read on the shared handle.
+#[cfg(not(unix))]
+fn read_exact_at(file: &File, buf: &mut [u8], offset: u64) {
+    use std::io::{Read, Seek, SeekFrom};
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut f = file;
+    f.seek(SeekFrom::Start(offset))
+        .and_then(|_| f.read_exact(buf))
+        .expect("cold pool segment read failed: backing index file unreadable");
+}
+
+/// Where a store's encoded data region lives.
+#[derive(Debug, Clone)]
+pub(crate) enum Region {
+    /// The whole data region is in memory.
+    Resident(Arc<Vec<u8>>),
+    /// The data region lives in a backing file at absolute offset `base`;
+    /// only the `hot` lists are pinned resident.
+    Cold {
+        file: Arc<File>,
+        base: u64,
+        hot: Arc<FxHashMap<u32, Box<[u8]>>>,
+    },
+}
+
+/// One direction of a compressed pool (postings or traces).
+#[derive(Debug, Clone)]
+pub(crate) struct SegmentStore {
+    /// `count + 1` byte offsets into the data region.
+    pub(crate) offsets: Arc<Vec<u32>>,
+    /// Skip headers for lists spanning more than one block.
+    pub(crate) skips: Arc<FxHashMap<u32, Box<[SkipEntry]>>>,
+    pub(crate) region: Region,
+    /// Dirtied lists, materialized; shadows the encoded form.
+    pub(crate) overlay: FxHashMap<u32, Vec<u32>>,
+}
+
+impl SegmentStore {
+    /// Encode `lists` into a fresh resident store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the encoded data region would exceed `u32::MAX` bytes (the
+    /// directory is `u32`-addressed).
+    pub(crate) fn from_lists(lists: &[Vec<u32>]) -> Self {
+        let mut data = Vec::new();
+        let mut offsets = Vec::with_capacity(lists.len() + 1);
+        offsets.push(0u32);
+        let mut skips = FxHashMap::default();
+        for (i, list) in lists.iter().enumerate() {
+            let entries = encode_list(list, &mut data);
+            if entries.len() > 1 {
+                skips.insert(i as u32, entries.into_boxed_slice());
+            }
+            let end = u32::try_from(data.len()).expect("pool segment data exceeds 4 GiB");
+            offsets.push(end);
+        }
+        SegmentStore {
+            offsets: Arc::new(offsets),
+            skips: Arc::new(skips),
+            region: Region::Resident(Arc::new(data)),
+            overlay: FxHashMap::default(),
+        }
+    }
+
+    pub(crate) fn count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    fn range(&self, i: u32) -> (usize, usize) {
+        (
+            self.offsets[i as usize] as usize,
+            self.offsets[i as usize + 1] as usize,
+        )
+    }
+
+    /// Run `f` over list `i`'s encoded bytes, wherever they live.
+    fn with_bytes<R>(&self, i: u32, f: impl FnOnce(&[u8]) -> R) -> R {
+        let (a, b) = self.range(i);
+        match &self.region {
+            Region::Resident(data) => f(&data[a..b]),
+            Region::Cold { file, base, hot } => {
+                if let Some(bytes) = hot.get(&i) {
+                    f(bytes)
+                } else {
+                    let mut buf = vec![0u8; b - a];
+                    read_exact_at(file, &mut buf, base + a as u64);
+                    f(&buf)
+                }
+            }
+        }
+    }
+
+    /// Visit list `i` in increasing id order (overlay-aware).
+    #[inline]
+    pub(crate) fn scan(&self, i: u32, f: &mut (impl FnMut(u32) + ?Sized)) {
+        if let Some(list) = self.overlay.get(&i) {
+            for &id in list {
+                f(id);
+            }
+            return;
+        }
+        self.with_bytes(i, |bytes| {
+            let mut pos = 0;
+            scan_list(bytes, &mut pos, f).expect("validated pool bytes failed to decode");
+        });
+    }
+
+    /// Length of list `i` without scanning it. For cold non-hot lists this
+    /// reads at most 5 bytes (the length varint) from the backing file.
+    pub(crate) fn len_of(&self, i: u32) -> usize {
+        if let Some(list) = self.overlay.get(&i) {
+            return list.len();
+        }
+        let (a, b) = self.range(i);
+        match &self.region {
+            Region::Resident(data) => {
+                list_len(&data[a..b]).expect("validated pool bytes failed to decode")
+            }
+            Region::Cold { file, base, hot } => {
+                if let Some(bytes) = hot.get(&i) {
+                    list_len(bytes).expect("validated pool bytes failed to decode")
+                } else {
+                    let n = (b - a).min(5);
+                    let mut buf = [0u8; 5];
+                    read_exact_at(file, &mut buf[..n], base + a as u64);
+                    list_len(&buf[..n]).expect("validated pool bytes failed to decode")
+                }
+            }
+        }
+    }
+
+    /// Materialize list `i`.
+    pub(crate) fn list(&self, i: u32) -> Vec<u32> {
+        if let Some(list) = self.overlay.get(&i) {
+            return list.clone();
+        }
+        let mut out = Vec::new();
+        self.scan(i, &mut |id| out.push(id));
+        out
+    }
+
+    /// Edit list `i` in place via the overlay.
+    fn edit(&mut self, i: u32, f: impl FnOnce(&mut Vec<u32>)) {
+        let mut list = match self.overlay.remove(&i) {
+            Some(list) => list,
+            None => self.list(i),
+        };
+        f(&mut list);
+        self.overlay.insert(i, list);
+    }
+
+    /// Demote the data region to `file` at absolute offset `base`, pinning
+    /// lists of at least `hot_list_bytes` encoded bytes. No-op if already
+    /// cold.
+    pub(crate) fn attach_cold(&mut self, file: Arc<File>, base: u64, hot_list_bytes: usize) {
+        let Region::Resident(data) = &self.region else {
+            return;
+        };
+        let mut hot = FxHashMap::default();
+        for i in 0..self.count() as u32 {
+            let (a, b) = self.range(i);
+            if b - a >= hot_list_bytes {
+                hot.insert(i, data[a..b].to_vec().into_boxed_slice());
+            }
+        }
+        self.region = Region::Cold {
+            file,
+            base,
+            hot: Arc::new(hot),
+        };
+    }
+
+    pub(crate) fn resident_bytes(&self) -> usize {
+        let entry_overhead = 2 * std::mem::size_of::<usize>();
+        let mut total = self.offsets.len() * std::mem::size_of::<u32>();
+        total += self
+            .skips
+            .values()
+            .map(|s| s.len() * std::mem::size_of::<SkipEntry>() + entry_overhead)
+            .sum::<usize>();
+        total += self
+            .overlay
+            .values()
+            .map(|l| l.capacity() * std::mem::size_of::<u32>() + entry_overhead)
+            .sum::<usize>();
+        total += match &self.region {
+            Region::Resident(data) => data.len(),
+            Region::Cold { hot, .. } => hot
+                .values()
+                .map(|b| b.len() + entry_overhead)
+                .sum::<usize>(),
+        };
+        total
+    }
+}
+
+/// Compressed pool store: delta-varint blocked lists both ways, optionally
+/// tiered to a cold backing file. Backs both [`crate::Pool::Compressed`]
+/// and [`crate::Pool::Tiered`].
+#[derive(Debug, Clone)]
+pub struct PackedPool {
+    pub(crate) num_vertices: usize,
+    pub(crate) pool_size: usize,
+    pub(crate) postings: SegmentStore,
+    pub(crate) traces: Option<SegmentStore>,
+    /// Byte offset of the postings data region inside the `PCMP` payload
+    /// this pool was decoded from (`None` for pools built in memory — such
+    /// pools cannot be demoted until re-loaded from an artifact).
+    pub(crate) postings_data_off: Option<u64>,
+    /// Same, for the traces data region.
+    pub(crate) traces_data_off: Option<u64>,
+}
+
+impl PackedPool {
+    /// Encode raw lists into a fully resident compressed pool.
+    #[must_use]
+    pub fn from_lists(
+        num_vertices: usize,
+        pool_size: usize,
+        postings: &[Vec<u32>],
+        traces: Option<&[Vec<u32>]>,
+    ) -> Self {
+        assert_eq!(postings.len(), num_vertices, "posting table length");
+        if let Some(t) = traces {
+            assert_eq!(t.len(), pool_size, "trace table length");
+        }
+        PackedPool {
+            num_vertices,
+            pool_size,
+            postings: SegmentStore::from_lists(postings),
+            traces: traces.map(SegmentStore::from_lists),
+            postings_data_off: None,
+            traces_data_off: None,
+        }
+    }
+
+    /// Visit vertex `v`'s posting list (monomorphized hot path).
+    #[inline]
+    pub fn scan_postings(&self, v: u32, f: &mut impl FnMut(u32)) {
+        self.postings.scan(v, f);
+    }
+
+    /// Visit RR set `set`'s trace (monomorphized hot path).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pool carries no traces.
+    #[inline]
+    pub fn scan_trace(&self, set: u32, f: &mut impl FnMut(u32)) {
+        self.traces
+            .as_ref()
+            .expect("compressed pool has no traces")
+            .scan(set, f);
+    }
+
+    /// Length of vertex `v`'s posting list.
+    #[inline]
+    #[must_use]
+    pub fn posting_len(&self, v: u32) -> usize {
+        self.postings.len_of(v)
+    }
+
+    /// Whether any list has been dirtied since the last encode.
+    #[must_use]
+    pub fn has_overlay(&self) -> bool {
+        !self.postings.overlay.is_empty()
+            || self.traces.as_ref().is_some_and(|t| !t.overlay.is_empty())
+    }
+
+    pub(crate) fn attach_cold(
+        &mut self,
+        file: Arc<File>,
+        payload_offset: u64,
+        config: TieredConfig,
+    ) {
+        if let Some(off) = self.postings_data_off {
+            self.postings
+                .attach_cold(file.clone(), payload_offset + off, config.hot_list_bytes);
+        }
+        if let (Some(traces), Some(off)) = (&mut self.traces, self.traces_data_off) {
+            traces.attach_cold(file, payload_offset + off, config.hot_list_bytes);
+        }
+    }
+}
+
+impl PoolStore for PackedPool {
+    fn layout(&self) -> PoolLayout {
+        match self.postings.region {
+            Region::Resident(_) => PoolLayout::Compressed,
+            Region::Cold { .. } => PoolLayout::Tiered,
+        }
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    fn posting_len(&self, v: u32) -> usize {
+        self.postings.len_of(v)
+    }
+
+    fn for_each_posting(&self, v: u32, f: &mut dyn FnMut(u32)) {
+        self.postings.scan(v, f);
+    }
+
+    fn postings(&self, v: u32) -> Vec<u32> {
+        self.postings.list(v)
+    }
+
+    fn has_traces(&self) -> bool {
+        self.traces.is_some()
+    }
+
+    fn for_each_trace(&self, set: u32, f: &mut dyn FnMut(u32)) {
+        self.traces
+            .as_ref()
+            .expect("compressed pool has no traces")
+            .scan(set, f);
+    }
+
+    fn trace(&self, set: u32) -> Vec<u32> {
+        self.traces
+            .as_ref()
+            .expect("compressed pool has no traces")
+            .list(set)
+    }
+
+    fn replace_set(&mut self, set: u32, old_members: &[u32], new_members: &[u32]) {
+        assert!(self.traces.is_some(), "compressed pool has no traces");
+        for &v in old_members {
+            self.postings.edit(v, |list| {
+                if let Ok(at) = list.binary_search(&set) {
+                    list.remove(at);
+                }
+            });
+        }
+        for &v in new_members {
+            self.postings.edit(v, |list| {
+                if let Err(at) = list.binary_search(&set) {
+                    list.insert(at, set);
+                }
+            });
+        }
+        let traces = self.traces.as_mut().expect("checked above");
+        traces.overlay.insert(set, new_members.to_vec());
+    }
+
+    fn build_traces(&mut self) {
+        if self.traces.is_some() {
+            return;
+        }
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); self.pool_size];
+        for v in 0..self.num_vertices as u32 {
+            self.postings
+                .scan(v, &mut |set| lists[set as usize].push(v));
+        }
+        // Postings walked in increasing v, so each trace is already sorted.
+        self.traces = Some(SegmentStore::from_lists(&lists));
+        self.traces_data_off = None;
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.postings.resident_bytes()
+            + self.traces.as_ref().map_or(0, SegmentStore::resident_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn lists() -> Vec<Vec<u32>> {
+        vec![
+            (0..400).map(|i| i * 3).collect(),
+            vec![7],
+            vec![],
+            (100..230).collect(),
+        ]
+    }
+
+    #[test]
+    fn store_round_trips_lists() {
+        let ls = lists();
+        let store = SegmentStore::from_lists(&ls);
+        assert_eq!(store.count(), 4);
+        for (i, l) in ls.iter().enumerate() {
+            assert_eq!(store.list(i as u32), *l, "list {i}");
+            assert_eq!(store.len_of(i as u32), l.len());
+        }
+        // Skips only for multi-block lists (0 spans 4 blocks, 3 spans 2).
+        assert_eq!(store.skips.len(), 2);
+        assert_eq!(store.skips[&0].len(), 4);
+        assert_eq!(store.skips[&3].len(), 2);
+    }
+
+    #[test]
+    fn overlay_shadows_encoded_form() {
+        let ls = lists();
+        let mut store = SegmentStore::from_lists(&ls);
+        store.edit(1, |l| l.push(9));
+        assert_eq!(store.list(1), vec![7, 9]);
+        assert_eq!(store.len_of(1), 2);
+        // Untouched lists still read from the encoded region.
+        assert_eq!(store.list(0), ls[0]);
+    }
+
+    #[test]
+    fn cold_region_reads_match_resident() {
+        let ls = lists();
+        let mut store = SegmentStore::from_lists(&ls);
+        let Region::Resident(data) = &store.region else {
+            unreachable!()
+        };
+        let path = std::env::temp_dir().join(format!(
+            "impool-cold-test-{}-{:p}",
+            std::process::id(),
+            &store
+        ));
+        let prefix = 13usize; // arbitrary non-zero base offset
+        {
+            let mut f = std::fs::File::create(&path).expect("create temp file");
+            f.write_all(&vec![0xAA; prefix]).expect("pad");
+            f.write_all(data).expect("data");
+        }
+        let file = std::fs::File::open(&path).expect("open temp file");
+        // Threshold of 16 bytes: list 0 (~400 varints) stays hot, the rest go cold.
+        store.attach_cold(Arc::new(file), prefix as u64, 16);
+        let Region::Cold { hot, .. } = &store.region else {
+            panic!("expected cold region")
+        };
+        assert!(hot.contains_key(&0));
+        assert!(!hot.contains_key(&1));
+        for (i, l) in ls.iter().enumerate() {
+            assert_eq!(store.list(i as u32), *l, "cold list {i}");
+            assert_eq!(store.len_of(i as u32), l.len(), "cold len {i}");
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn replace_set_keeps_inverse_invariant() {
+        let postings = vec![vec![0, 1], vec![0], vec![1]];
+        let traces = vec![vec![0, 1], vec![0, 2]];
+        let mut pool = PackedPool::from_lists(3, 2, &postings, Some(&traces));
+        pool.replace_set(0, &[0, 1], &[1, 2]);
+        assert_eq!(pool.postings(0), vec![1]);
+        assert_eq!(pool.postings(1), vec![0]);
+        assert_eq!(pool.postings(2), vec![0, 1]);
+        assert_eq!(pool.trace(0), vec![1, 2]);
+        assert!(pool.has_overlay());
+    }
+
+    #[test]
+    fn build_traces_inverts_postings() {
+        let postings = vec![vec![0, 1], vec![1], vec![0, 2]];
+        let mut pool = PackedPool::from_lists(3, 3, &postings, None);
+        pool.build_traces();
+        assert_eq!(pool.trace(0), vec![0, 2]);
+        assert_eq!(pool.trace(1), vec![0, 1]);
+        assert_eq!(pool.trace(2), vec![2]);
+    }
+
+    #[test]
+    fn tiered_resident_bytes_shrink_after_attach() {
+        let ls: Vec<Vec<u32>> = (0..32).map(|v| (v..v + 600).collect()).collect();
+        let mut store = SegmentStore::from_lists(&ls);
+        let resident = store.resident_bytes();
+        let Region::Resident(data) = &store.region else {
+            unreachable!()
+        };
+        let path = std::env::temp_dir().join(format!(
+            "impool-shrink-test-{}-{:p}",
+            std::process::id(),
+            &store
+        ));
+        std::fs::write(&path, data.as_slice()).expect("write temp file");
+        let file = std::fs::File::open(&path).expect("open temp file");
+        store.attach_cold(Arc::new(file), 0, usize::MAX);
+        assert!(
+            store.resident_bytes() * 2 < resident,
+            "cold {} vs resident {resident}",
+            store.resident_bytes()
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

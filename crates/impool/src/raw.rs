@@ -1,0 +1,191 @@
+//! The uncompressed reference backend: `Vec<Vec<u32>>` both ways.
+
+use crate::{PoolLayout, PoolStore};
+
+/// Uncompressed in-RAM pool store — the layout the original oracle used and
+/// the semantic reference every other backend is equivalence-tested against.
+#[derive(Debug, Clone)]
+pub struct RawPool {
+    num_vertices: usize,
+    pool_size: usize,
+    /// `postings[v]` = strictly increasing ids of RR sets containing `v`.
+    postings: Vec<Vec<u32>>,
+    /// `traces[s]` = sorted member vertices of RR set `s` (inverse index).
+    traces: Option<Vec<Vec<u32>>>,
+}
+
+impl RawPool {
+    /// Build from posting lists and optional traces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `postings.len() != num_vertices` or a provided trace table
+    /// is not `pool_size` long — these are construction bugs, not data
+    /// corruption (persisted bytes are validated before reaching here).
+    #[must_use]
+    pub fn new(
+        num_vertices: usize,
+        pool_size: usize,
+        postings: Vec<Vec<u32>>,
+        traces: Option<Vec<Vec<u32>>>,
+    ) -> Self {
+        assert_eq!(postings.len(), num_vertices, "posting table length");
+        if let Some(t) = &traces {
+            assert_eq!(t.len(), pool_size, "trace table length");
+        }
+        RawPool {
+            num_vertices,
+            pool_size,
+            postings,
+            traces,
+        }
+    }
+
+    /// Borrow vertex `v`'s posting list (raw-only zero-cost accessor).
+    #[inline]
+    #[must_use]
+    pub fn posting_slice(&self, v: u32) -> &[u32] {
+        &self.postings[v as usize]
+    }
+
+    /// Borrow RR set `set`'s trace (raw-only zero-cost accessor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store carries no traces.
+    #[inline]
+    #[must_use]
+    pub fn trace_slice(&self, set: u32) -> &[u32] {
+        let traces = self.traces.as_ref().expect("raw pool has no traces");
+        &traces[set as usize]
+    }
+}
+
+/// Remove `id` from the sorted list `list` (no-op if absent).
+fn remove_sorted(list: &mut Vec<u32>, id: u32) {
+    if let Ok(at) = list.binary_search(&id) {
+        list.remove(at);
+    }
+}
+
+/// Insert `id` into the sorted list `list` (no-op if present).
+fn insert_sorted(list: &mut Vec<u32>, id: u32) {
+    if let Err(at) = list.binary_search(&id) {
+        list.insert(at, id);
+    }
+}
+
+impl PoolStore for RawPool {
+    fn layout(&self) -> PoolLayout {
+        PoolLayout::Raw
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    fn pool_size(&self) -> usize {
+        self.pool_size
+    }
+
+    fn posting_len(&self, v: u32) -> usize {
+        self.postings[v as usize].len()
+    }
+
+    fn for_each_posting(&self, v: u32, f: &mut dyn FnMut(u32)) {
+        for &id in &self.postings[v as usize] {
+            f(id);
+        }
+    }
+
+    fn postings(&self, v: u32) -> Vec<u32> {
+        self.postings[v as usize].clone()
+    }
+
+    fn has_traces(&self) -> bool {
+        self.traces.is_some()
+    }
+
+    fn for_each_trace(&self, set: u32, f: &mut dyn FnMut(u32)) {
+        for &v in self.trace_slice(set) {
+            f(v);
+        }
+    }
+
+    fn trace(&self, set: u32) -> Vec<u32> {
+        self.trace_slice(set).to_vec()
+    }
+
+    fn replace_set(&mut self, set: u32, old_members: &[u32], new_members: &[u32]) {
+        assert!(self.traces.is_some(), "raw pool has no traces");
+        for &v in old_members {
+            remove_sorted(&mut self.postings[v as usize], set);
+        }
+        for &v in new_members {
+            insert_sorted(&mut self.postings[v as usize], set);
+        }
+        let traces = self.traces.as_mut().expect("checked above");
+        traces[set as usize] = new_members.to_vec();
+    }
+
+    fn build_traces(&mut self) {
+        if self.traces.is_some() {
+            return;
+        }
+        let mut traces: Vec<Vec<u32>> = vec![Vec::new(); self.pool_size];
+        for (v, list) in self.postings.iter().enumerate() {
+            for &set in list {
+                traces[set as usize].push(v as u32);
+            }
+        }
+        // Postings are walked in increasing v, so each trace is sorted.
+        self.traces = Some(traces);
+    }
+
+    fn resident_bytes(&self) -> usize {
+        fn table_bytes(table: &[Vec<u32>]) -> usize {
+            std::mem::size_of_val(table)
+                + table
+                    .iter()
+                    .map(|l| l.capacity() * std::mem::size_of::<u32>())
+                    .sum::<usize>()
+        }
+        let mut total = table_bytes(&self.postings);
+        if let Some(t) = &self.traces {
+            total += table_bytes(t);
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_traces_is_sorted_inverse() {
+        let postings = vec![vec![0, 1], vec![1], vec![0, 2]];
+        let mut pool = RawPool::new(3, 3, postings, None);
+        pool.build_traces();
+        assert_eq!(pool.trace(0), vec![0, 2]);
+        assert_eq!(pool.trace(1), vec![0, 1]);
+        assert_eq!(pool.trace(2), vec![2]);
+    }
+
+    #[test]
+    fn replace_set_updates_both_directions() {
+        let postings = vec![vec![0], vec![0], vec![]];
+        let mut pool = RawPool::new(3, 1, postings, Some(vec![vec![0, 1]]));
+        pool.replace_set(0, &[0, 1], &[2]);
+        assert_eq!(pool.postings(0), Vec::<u32>::new());
+        assert_eq!(pool.postings(1), Vec::<u32>::new());
+        assert_eq!(pool.postings(2), vec![0]);
+        assert_eq!(pool.trace(0), vec![2]);
+    }
+
+    #[test]
+    fn resident_bytes_counts_capacity() {
+        let pool = RawPool::new(2, 4, vec![vec![0, 1, 2, 3], vec![]], None);
+        assert!(pool.resident_bytes() >= 2 * std::mem::size_of::<Vec<u32>>() + 16);
+    }
+}

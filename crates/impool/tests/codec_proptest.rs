@@ -1,0 +1,173 @@
+//! Property tests of the pool codecs, mirroring the `binio` suite's
+//! discipline: round-trips are exact, decoders are total (any byte sequence
+//! either decodes cleanly or fails with a typed [`PoolCodecError`] — never a
+//! panic, never garbage), and the checksummed `PCMP` payload rejects every
+//! single-byte corruption and every truncation.
+
+use impool::{
+    decode_list, decode_pcmp_payload, encode_list, list_len, read_varint, write_varint, Pool,
+    PoolCodecError, PoolLayout, BLOCK_IDS,
+};
+use proptest::prelude::*;
+
+/// Strategy: a strictly increasing id list (possibly empty, spanning several
+/// blocks), built by sorting and deduplicating arbitrary draws.
+fn arb_id_list() -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0u32..2_000_000, 0..(BLOCK_IDS * 3 + 17)).prop_map(|mut ids| {
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    })
+}
+
+/// Strategy: a small raw pool — `sets` RR sets over `n` vertices with random
+/// membership — encoded to a `PCMP` payload for corruption tests.
+fn arb_payload() -> impl Strategy<Value = Vec<u8>> {
+    (2usize..12, 1usize..20, 0usize..3).prop_flat_map(|(n, sets, hint)| {
+        proptest::collection::vec(proptest::collection::vec(0u32..n as u32, 0..6), sets).prop_map(
+            move |members| {
+                let mut postings: Vec<Vec<u32>> = vec![Vec::new(); n];
+                let mut traces: Vec<Vec<u32>> = Vec::with_capacity(members.len());
+                for (set, vertices) in members.iter().enumerate() {
+                    let mut vs = vertices.clone();
+                    vs.sort_unstable();
+                    vs.dedup();
+                    for &v in &vs {
+                        postings[v as usize].push(set as u32);
+                    }
+                    traces.push(vs);
+                }
+                let pool = Pool::raw(n, members.len(), postings, Some(traces));
+                let hint = [PoolLayout::Raw, PoolLayout::Compressed, PoolLayout::Tiered][hint];
+                pool.encode_pcmp_payload(hint)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Varints round-trip and consume exactly the bytes they wrote.
+    #[test]
+    fn varint_round_trips(
+        x in 0u32..=u32::MAX,
+        trailing in proptest::collection::vec(0u8..=255, 0..4),
+    ) {
+        let mut buf = Vec::new();
+        write_varint(&mut buf, x);
+        let written = buf.len();
+        prop_assert!(written <= 5);
+        buf.extend_from_slice(&trailing);
+        let mut pos = 0;
+        prop_assert_eq!(read_varint(&buf, &mut pos), Ok(x));
+        prop_assert_eq!(pos, written, "reader must stop at the value boundary");
+    }
+
+    /// The varint reader is total: arbitrary bytes either decode or fail
+    /// typed, and the cursor never moves past the input.
+    #[test]
+    fn varint_reader_is_total(bytes in proptest::collection::vec(0u8..=255, 0..8)) {
+        let mut pos = 0;
+        match read_varint(&bytes, &mut pos) {
+            Ok(_) => {
+                prop_assert!(pos <= bytes.len());
+            }
+            Err(PoolCodecError::Truncated { .. }) => {
+                prop_assert_eq!(pos, bytes.len());
+            }
+            Err(PoolCodecError::Corrupt { .. }) => {
+                prop_assert!(pos <= bytes.len());
+            }
+            Err(other) => {
+                prop_assert!(false, "unexpected error class {other:?}");
+            }
+        }
+    }
+
+    /// Lists round-trip exactly, the length header is readable without a
+    /// scan, and every block gets one skip entry whose offset lands on the
+    /// block's absolute restart varint.
+    #[test]
+    fn list_round_trips_with_sound_skip_entries(ids in arb_id_list()) {
+        let mut buf = Vec::new();
+        let skips = encode_list(&ids, &mut buf);
+        prop_assert_eq!(decode_list(&buf).expect("round trip"), ids.clone());
+        prop_assert_eq!(list_len(&buf).expect("length header"), ids.len());
+        prop_assert_eq!(skips.len(), ids.len().div_ceil(BLOCK_IDS));
+        for (b, entry) in skips.iter().enumerate() {
+            prop_assert_eq!(entry.first_id, ids[b * BLOCK_IDS]);
+            let mut pos = entry.offset as usize;
+            prop_assert_eq!(read_varint(&buf, &mut pos), Ok(entry.first_id));
+        }
+    }
+
+    /// Every proper prefix of an encoded list is rejected typed.
+    #[test]
+    fn list_truncation_is_rejected(ids in arb_id_list()) {
+        let mut buf = Vec::new();
+        encode_list(&ids, &mut buf);
+        for cut in 0..buf.len() {
+            match decode_list(&buf[..cut]) {
+                Err(PoolCodecError::Truncated { .. } | PoolCodecError::Corrupt { .. }) => {}
+                other => {
+                    prop_assert!(false, "cut at {cut} gave {other:?}");
+                }
+            }
+        }
+    }
+
+    /// The list decoder is total over corrupted input: flipping any single
+    /// byte either fails typed or yields some strictly increasing list that
+    /// matches its own length header — never a panic, never unsorted output.
+    #[test]
+    fn list_decoder_is_total_under_corruption(
+        ids in arb_id_list(),
+        flip_at in 0usize..1 << 20,
+        flip_bits in 1u8..=255,
+    ) {
+        let mut buf = Vec::new();
+        encode_list(&ids, &mut buf);
+        let at = flip_at % buf.len();
+        buf[at] ^= flip_bits;
+        if let Ok(decoded) = decode_list(&buf) {
+            prop_assert!(decoded.windows(2).all(|w| w[0] < w[1]));
+            prop_assert_eq!(decoded.len(), list_len(&buf).expect("header"));
+        }
+    }
+
+    /// `PCMP` payloads round-trip: the decoded pool re-encodes to the exact
+    /// same bytes under the same layout hint.
+    #[test]
+    fn pcmp_payload_round_trips(payload in arb_payload()) {
+        let (packed, hint) = decode_pcmp_payload(&payload).expect("valid payload");
+        let pool = match hint {
+            PoolLayout::Tiered => Pool::Tiered(packed),
+            _ => Pool::Compressed(packed),
+        };
+        prop_assert_eq!(pool.encode_pcmp_payload(hint), payload);
+    }
+
+    /// Any single corrupted byte anywhere in a `PCMP` payload — header,
+    /// directories, data blocks or trailer — is rejected typed (the fnv1a64
+    /// trailer covers everything before it, and flipping the trailer itself
+    /// breaks the comparison).
+    #[test]
+    fn pcmp_single_byte_corruption_is_rejected(
+        payload in arb_payload(),
+        flip_at in 0usize..1 << 20,
+        flip_bits in 1u8..=255,
+    ) {
+        let mut bytes = payload;
+        let at = flip_at % bytes.len();
+        bytes[at] ^= flip_bits;
+        prop_assert!(decode_pcmp_payload(&bytes).is_err());
+    }
+
+    /// Every truncation of a `PCMP` payload is rejected typed.
+    #[test]
+    fn pcmp_truncation_is_rejected(payload in arb_payload(), cut in 0usize..1 << 20) {
+        let cut = cut % payload.len();
+        prop_assert!(decode_pcmp_payload(&payload[..cut]).is_err());
+    }
+}

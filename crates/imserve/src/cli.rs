@@ -4,6 +4,7 @@
 //! unknown flags rejected, malformed numbers rejected, required flags
 //! enforced — is unit-testable without spawning the binary.
 
+use im_core::PoolLayout;
 use imgraph::GraphDelta;
 
 use crate::protocol::TopKAlgorithm;
@@ -31,6 +32,9 @@ pub enum Command {
         /// local sets' PRNG streams derive from their global ids, so the N
         /// artifacts union byte-identically into the whole-pool build).
         shard: Option<(usize, usize)>,
+        /// Physical pool-store layout persisted in the artifact: `raw`
+        /// (`POOL` section), `compressed` or `tiered` (`PCMP` section).
+        pool_layout: PoolLayout,
     },
     /// `imserve serve`: load an index and answer TCP queries.
     Serve {
@@ -70,6 +74,11 @@ pub enum Command {
         /// Leader address to follow (follower mode): the engine starts
         /// read-only and applies the leader's WAL stream until promoted.
         follow: Option<String>,
+        /// Override the loaded artifact's pool layout before serving
+        /// (`None` keeps the persisted layout). Note a `tiered` override on
+        /// a `POOL` artifact stays fully resident — cold demotion needs the
+        /// artifact itself to carry a `PCMP` section.
+        pool_layout: Option<PoolLayout>,
     },
     /// `imserve reload`: hot-swap a running server's index for a freshly
     /// validated artifact (same identity, epoch and lineage; typically a
@@ -200,8 +209,8 @@ impl std::error::Error for CliError {}
 
 /// One-line usage summary per subcommand.
 pub const USAGE: &str = "usage:
-  imserve build    --dataset <name> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] [--deltas <script>] [--shard i/N] --out <path>
-  imserve serve    --index <path> [--addr host:port] [--reactor | --threaded] [--workers N] [--cache N] [--compact-log-len N] [--compact-dirty F] [--wal <path>] [--metrics-addr host:port] [--slow-micros N] [--repl-addr host:port] [--follow host:port]
+  imserve build    --dataset <name> [--model uc0.1|uc0.01|iwc|owc] [--pool N] [--seed S] [--deltas <script>] [--shard i/N] [--pool-layout raw|compressed|tiered] --out <path>
+  imserve serve    --index <path> [--addr host:port] [--reactor | --threaded] [--workers N] [--cache N] [--compact-log-len N] [--compact-dirty F] [--wal <path>] [--metrics-addr host:port] [--slow-micros N] [--repl-addr host:port] [--follow host:port] [--pool-layout raw|compressed|tiered]
   imserve route    --addr host:port[|replica…] [--addr …] --metrics-addr host:port [--deadline-ms N]
   imserve reload   --addr host:port --index <path>
   imserve promote  --addr host:port [--expected-epoch N]
@@ -220,7 +229,8 @@ delta scripts hold one JSON delta per line, e.g. {\"InsertEdge\":{\"source\":0,\
 route serves the cluster's federated scrape and readiness over its shards; --deadline-ms bounds each shard probe
 --repl-addr (with --wal) streams this server's WAL to followers; --follow makes a read-only replica of the given leader
 route --addr takes |-separated replicas per shard (leader first): reads fail over to a caught-up follower
-reload hot-swaps a validated artifact into a running server; promote turns a follower writable (--expected-epoch names the epoch it must have reached)";
+reload hot-swaps a validated artifact into a running server; promote turns a follower writable (--expected-epoch names the epoch it must have reached)
+--pool-layout picks the pool storage engine: raw lists, delta-varint compressed, or tiered (compressed with cold blocks left in the artifact file)";
 
 /// Parse a flag's numeric value, naming the flag in the error.
 ///
@@ -294,6 +304,15 @@ fn parse_shard_spec(value: &str) -> Result<(usize, usize), CliError> {
     Ok((index, count))
 }
 
+/// Parse a `--pool-layout` value, naming the accepted labels in the error.
+fn parse_pool_layout(value: &str) -> Result<PoolLayout, CliError> {
+    PoolLayout::parse(value).ok_or_else(|| {
+        CliError(format!(
+            "unknown pool layout {value:?} (expected raw, compressed or tiered)"
+        ))
+    })
+}
+
 fn parse_build(args: &[String]) -> Result<Command, CliError> {
     let mut dataset: Option<String> = None;
     let mut model = "uc0.1".to_string();
@@ -302,6 +321,7 @@ fn parse_build(args: &[String]) -> Result<Command, CliError> {
     let mut out: Option<String> = None;
     let mut deltas: Option<String> = None;
     let mut shard: Option<(usize, usize)> = None;
+    let mut pool_layout = PoolLayout::Raw;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -312,6 +332,9 @@ fn parse_build(args: &[String]) -> Result<Command, CliError> {
             "--out" => out = Some(take_value("--out", args, &mut i)?.to_string()),
             "--deltas" => deltas = Some(take_value("--deltas", args, &mut i)?.to_string()),
             "--shard" => shard = Some(parse_shard_spec(take_value("--shard", args, &mut i)?)?),
+            "--pool-layout" => {
+                pool_layout = parse_pool_layout(take_value("--pool-layout", args, &mut i)?)?;
+            }
             other => return Err(CliError(format!("unknown option {other:?} for build"))),
         }
         i += 1;
@@ -340,6 +363,7 @@ fn parse_build(args: &[String]) -> Result<Command, CliError> {
         out: out.ok_or_else(|| CliError("build requires --out".to_string()))?,
         deltas,
         shard,
+        pool_layout,
     })
 }
 
@@ -485,10 +509,18 @@ fn parse_serve(args: &[String]) -> Result<Command, CliError> {
     let mut slow_micros = crate::obs::DEFAULT_SLOW_THRESHOLD_MICROS;
     let mut repl_addr: Option<String> = None;
     let mut follow: Option<String> = None;
+    let mut pool_layout: Option<PoolLayout> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--index" => index = Some(take_value("--index", args, &mut i)?.to_string()),
+            "--pool-layout" => {
+                pool_layout = Some(parse_pool_layout(take_value(
+                    "--pool-layout",
+                    args,
+                    &mut i,
+                )?)?);
+            }
             "--wal" => wal = Some(take_value("--wal", args, &mut i)?.to_string()),
             "--addr" => addr = take_value("--addr", args, &mut i)?.to_string(),
             "--repl-addr" => {
@@ -572,6 +604,7 @@ fn parse_serve(args: &[String]) -> Result<Command, CliError> {
         slow_micros,
         repl_addr,
         follow,
+        pool_layout,
     })
 }
 
@@ -796,6 +829,7 @@ mod tests {
                 out: "k.imx".into(),
                 deltas: None,
                 shard: None,
+                pool_layout: PoolLayout::Raw,
             }
         );
         let cmd = parse(&args(&[
@@ -822,8 +856,66 @@ mod tests {
                 out: "b.imx".into(),
                 deltas: None,
                 shard: None,
+                pool_layout: PoolLayout::Raw,
             }
         );
+    }
+
+    #[test]
+    fn pool_layout_flags_parse_and_reject_unknown_labels() {
+        for (label, layout) in [
+            ("raw", PoolLayout::Raw),
+            ("compressed", PoolLayout::Compressed),
+            ("tiered", PoolLayout::Tiered),
+        ] {
+            match parse(&args(&[
+                "build",
+                "--dataset",
+                "karate",
+                "--out",
+                "k.imx",
+                "--pool-layout",
+                label,
+            ]))
+            .unwrap()
+            {
+                Command::Build { pool_layout, .. } => assert_eq!(pool_layout, layout),
+                other => panic!("unexpected command {other:?}"),
+            }
+            match parse(&args(&[
+                "serve",
+                "--index",
+                "x.imx",
+                "--pool-layout",
+                label,
+            ]))
+            .unwrap()
+            {
+                Command::Serve { pool_layout, .. } => assert_eq!(pool_layout, Some(layout)),
+                other => panic!("unexpected command {other:?}"),
+            }
+        }
+        // Raw is the build default; serve keeps the persisted layout.
+        match parse(&args(&["build", "--dataset", "k", "--out", "x"])).unwrap() {
+            Command::Build { pool_layout, .. } => assert_eq!(pool_layout, PoolLayout::Raw),
+            other => panic!("unexpected command {other:?}"),
+        }
+        match parse(&args(&["serve", "--index", "x.imx"])).unwrap() {
+            Command::Serve { pool_layout, .. } => assert_eq!(pool_layout, None),
+            other => panic!("unexpected command {other:?}"),
+        }
+        let err = parse(&args(&[
+            "build",
+            "--dataset",
+            "k",
+            "--out",
+            "x",
+            "--pool-layout",
+            "zip",
+        ]))
+        .unwrap_err();
+        assert!(err.to_string().contains("zip"), "{err}");
+        assert!(parse(&args(&["serve", "--index", "x", "--pool-layout"])).is_err());
     }
 
     #[test]

@@ -470,6 +470,8 @@ impl InfluenceService for RemoteService {
                 compactions,
                 uptime_secs,
                 requests_by_type,
+                pool_resident_bytes,
+                pool_layout,
             } => Ok(ServiceStats {
                 requests,
                 topk_cache_hits,
@@ -483,6 +485,8 @@ impl InfluenceService for RemoteService {
                 compactions,
                 uptime_secs,
                 requests_by_type,
+                pool_resident_bytes,
+                pool_layout,
                 shards: Vec::new(),
             }),
             other => Self::unexpected("Stats", other),

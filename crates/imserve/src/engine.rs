@@ -566,6 +566,8 @@ impl QueryEngine {
             compactions: state.dynamic.stats().compactions,
             uptime_secs: self.obs.uptime_secs(),
             requests_by_type: self.obs.request_counts(),
+            pool_resident_bytes: state.dynamic.oracle().pool_resident_bytes() as u64,
+            pool_layout: state.dynamic.oracle().pool_layout().label().to_string(),
             shards: Vec::new(),
         }
     }

@@ -13,6 +13,9 @@
 //! magic "IMSX" | version | META (JSON)   — graph_id, model, dimensions, seed
 //!                        | GRPH (nested) — InfluenceGraph artifact ("IMGB")
 //!                        | POOL (nested) — RR-set pool artifact ("IMPL")
+//!                        |   or
+//!                        | PCMP (v5)     — compressed pool payload ("IMCP");
+//!                        |                 exactly one of POOL/PCMP present
 //!                        | DLTA          — pending mutation log
 //!                        | SNAP (v3)     — snapshot epoch + log watermark
 //!                        | SHRD (v4)     — shard stream offset + global pool
@@ -20,7 +23,8 @@
 //!                        | checksum
 //! ```
 //!
-//! `GRPH` and `POOL` always hold the *current* version of the graph and pool;
+//! `GRPH` and the pool section always hold the *current* version of the graph
+//! and pool;
 //! the `DLTA` section records the deltas applied since the last compaction,
 //! so a reloaded index can keep mutating (the pool is incrementally
 //! maintainable, see `imdyn`) and its recent lineage stays auditable. The
@@ -39,7 +43,7 @@
 use std::path::Path;
 
 use im_core::sampler::Backend;
-use im_core::InfluenceOracle;
+use im_core::{InfluenceOracle, PoolLayout, TieredConfig};
 use imgraph::binio::{
     self, influence_graph_from_bytes, influence_graph_to_bytes, BinError, BinReader, BinWriter,
     DELTA_TAG, SNAPSHOT_TAG,
@@ -53,6 +57,14 @@ use crate::error::ServeError;
 /// Magic bytes of a serialized index artifact.
 pub const INDEX_MAGIC: [u8; 4] = *b"IMSX";
 /// Current index format version.
+///
+/// Version 5 added the `PCMP` section: a delta-varint compressed pool
+/// payload written *instead of* `POOL` when the artifact was built with
+/// `--pool-layout compressed` or `tiered` (exactly one of the two pool
+/// sections must be present). A tiered artifact's payload additionally lets
+/// [`IndexArtifact::load`] leave cold posting/trace blocks in the file and
+/// page them in on demand. Raw-layout artifacts keep writing `POOL`, and
+/// versions 2–4 remain readable unchanged.
 ///
 /// Version 4 added the optional `SHRD` section: the pool's position in a
 /// global set-id space (stream offset plus global pool size), present only
@@ -72,11 +84,12 @@ pub const INDEX_MAGIC: [u8; 4] = *b"IMSX";
 /// silently produce a pool no rebuild can match (and correlated RR sets), so
 /// v1 artifacts are **rejected** on load with a rebuild hint rather than
 /// mutated unsoundly.
-pub const INDEX_VERSION: u32 = 4;
+pub const INDEX_VERSION: u32 = 5;
 
 const META_TAG: [u8; 4] = *b"META";
 const GRAPH_TAG: [u8; 4] = *b"GRPH";
 const POOL_TAG: [u8; 4] = *b"POOL";
+const PACKED_POOL_TAG: [u8; 4] = *b"PCMP";
 const SHARD_TAG: [u8; 4] = *b"SHRD";
 
 /// Descriptive metadata persisted with (and keyed into) every index.
@@ -253,6 +266,21 @@ impl IndexArtifact {
         self.snapshot_epoch + self.log.len() as u64
     }
 
+    /// Convert the pool store to another physical layout in place (the
+    /// `--pool-layout` switch behind `imserve build` and `serve`). Purely
+    /// physical: queries and the `DLTA`/`SNAP` lineage are unchanged, and
+    /// [`IndexArtifact::to_bytes`] picks the matching pool section (`POOL`
+    /// for raw, `PCMP` otherwise).
+    pub fn convert_pool_layout(&mut self, layout: PoolLayout) {
+        self.oracle.convert_layout(layout);
+    }
+
+    /// The physical layout of the pool store.
+    #[must_use]
+    pub fn pool_layout(&self) -> PoolLayout {
+        self.oracle.pool_layout()
+    }
+
     /// Compact the artifact offline: fold the pending log into the snapshot
     /// watermark, leaving the log empty.
     ///
@@ -276,7 +304,13 @@ impl IndexArtifact {
             serde_json::to_string(&self.meta).expect("index metadata always serializes");
         w.section(META_TAG, meta_json.as_bytes());
         w.section(GRAPH_TAG, &influence_graph_to_bytes(&self.graph));
-        w.section(POOL_TAG, &self.oracle.to_bytes());
+        // The pool travels raw (`POOL`, the v2 "IMPL" artifact) or
+        // delta-varint compressed (`PCMP`, v5) depending on its layout; the
+        // persisted hint restores the same layout on load.
+        match self.oracle.pool_layout() {
+            PoolLayout::Raw => w.section(POOL_TAG, &self.oracle.to_bytes()),
+            layout => w.section(PACKED_POOL_TAG, &self.oracle.encode_pcmp_payload(layout)),
+        }
         w.section(DELTA_TAG, &self.log.encode_payload());
         // The v3 watermark: snapshot epoch plus the total epoch as a
         // cross-check against a spliced or hand-edited log section.
@@ -302,6 +336,14 @@ impl IndexArtifact {
     /// rebuild. Cross-checks the metadata against the decoded graph and pool
     /// so a mismatched splice of two valid artifacts is rejected.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, BinError> {
+        Ok(Self::from_bytes_tracking_pool(bytes)?.0)
+    }
+
+    /// [`IndexArtifact::from_bytes`] plus the absolute byte offset of the
+    /// `PCMP` payload within `bytes` (`None` for `POOL` artifacts), which is
+    /// what [`IndexArtifact::load`] needs to demote a tiered pool onto the
+    /// backing file.
+    fn from_bytes_tracking_pool(bytes: &[u8]) -> Result<(Self, Option<u64>), BinError> {
         let reader = BinReader::new(bytes, INDEX_MAGIC, INDEX_VERSION)?;
         // The header is validated; versions below 2 carry per-batch pools
         // whose sets cannot be resampled in isolation (see INDEX_VERSION).
@@ -348,8 +390,39 @@ impl IndexArtifact {
             None
         };
 
-        let pool_payload = binio::require_section(&sections, POOL_TAG)?;
-        let mut oracle = InfluenceOracle::from_bytes(pool_payload.rest())?;
+        // Exactly one pool section: raw `POOL` (any version) or compressed
+        // `PCMP` (version 5). Both decode to the same logical pool — the
+        // layouts are byte-identical under every query — but only `PCMP`
+        // records the block structure a tiered load can leave cold.
+        let pool_section = sections.iter().find(|(tag, _)| *tag == POOL_TAG);
+        let pcmp_section = sections.iter().find(|(tag, _)| *tag == PACKED_POOL_TAG);
+        let (mut oracle, pcmp_offset) = match (pool_section, pcmp_section) {
+            (Some(_), Some(_)) => {
+                return Err(BinError::Corrupt(
+                    "artifact carries both POOL and PCMP sections".into(),
+                ))
+            }
+            (Some((_, payload)), None) => (InfluenceOracle::from_bytes(payload.rest())?, None),
+            (None, Some((_, payload))) => {
+                if version < 5 {
+                    return Err(BinError::Corrupt(format!(
+                        "PCMP pool section in a version-{version} artifact (compressed \
+                         pools need format version 5)"
+                    )));
+                }
+                let payload_bytes = payload.rest();
+                // Where the payload sits in the artifact: the slice borrows
+                // from `bytes`, so the offset is plain pointer arithmetic.
+                let offset = payload_bytes.as_ptr() as usize - bytes.as_ptr() as usize;
+                let (oracle, _hint) = InfluenceOracle::from_pcmp_payload(payload_bytes)
+                    .map_err(|e| BinError::Corrupt(format!("compressed pool section: {e}")))?;
+                (oracle, Some(offset as u64))
+            }
+            (None, None) => {
+                binio::require_section(&sections, POOL_TAG)?;
+                unreachable!("require_section errors on a missing POOL section")
+            }
+        };
         // The metadata records the seed the per-set streams derive from; the
         // traces themselves are the inverse of the posting lists, so the
         // incremental state is reconstructible without storing it. Shards
@@ -421,14 +494,17 @@ impl IndexArtifact {
             }
         }
 
-        Ok(Self {
-            meta,
-            graph,
-            oracle,
-            log,
-            snapshot_epoch,
-            shard,
-        })
+        Ok((
+            Self {
+                meta,
+                graph,
+                oracle,
+                log,
+                snapshot_epoch,
+                shard,
+            },
+            pcmp_offset,
+        ))
     }
 
     /// Write the artifact to a file.
@@ -437,8 +513,23 @@ impl IndexArtifact {
     }
 
     /// Read an artifact from a file.
+    ///
+    /// A tiered artifact (`PCMP` section stamped with the tiered hint) is
+    /// additionally demoted onto the file it was read from: after full
+    /// validation only the list directories, skip headers and hot lists stay
+    /// resident, and cold posting/trace blocks are re-read on demand.
     pub fn load(path: impl AsRef<Path>) -> Result<Self, ServeError> {
-        Ok(Self::from_bytes(&std::fs::read(path)?)?)
+        let path = path.as_ref();
+        let (mut artifact, pcmp_offset) = Self::from_bytes_tracking_pool(&std::fs::read(path)?)?;
+        if artifact.oracle.pool_layout() == PoolLayout::Tiered {
+            if let Some(offset) = pcmp_offset {
+                let file = std::sync::Arc::new(std::fs::File::open(path)?);
+                artifact
+                    .oracle
+                    .attach_cold_pool_file(file, offset, TieredConfig::default());
+            }
+        }
+        Ok(artifact)
     }
 }
 

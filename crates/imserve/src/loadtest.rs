@@ -275,6 +275,13 @@ impl std::fmt::Display for LoadtestReport {
                 s.topk_cache_hits,
                 s.topk_cache_hits + s.topk_cache_misses
             )?;
+            write!(
+                f,
+                "\npool: {} layout  {} resident bytes  {:.1} bytes/RR-set",
+                s.pool_layout,
+                s.pool_resident_bytes,
+                s.pool_bytes_per_set()
+            )?;
             for (i, shard) in s.shards.iter().enumerate() {
                 write!(
                     f,

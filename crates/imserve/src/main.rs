@@ -102,9 +102,10 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             out,
             deltas,
             shard,
+            pool_layout,
         } => {
             let started = std::time::Instant::now();
-            let artifact = if let Some((index, count)) = shard {
+            let mut artifact = if let Some((index, count)) = shard {
                 let ds = parse_dataset(&dataset)?;
                 let pm = parse_model(&model)?;
                 let graph = ds.influence_graph(pm, seed);
@@ -116,6 +117,7 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 };
                 build_dataset_index_with_deltas(&dataset, &model, pool, seed, &script)?
             };
+            artifact.convert_pool_layout(pool_layout);
             artifact.save(&out)?;
             let shard_note = match (shard, artifact.shard) {
                 (Some((i, n)), Some(info)) => {
@@ -124,12 +126,13 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
                 _ => String::new(),
             };
             eprintln!(
-                "built index {} ({} vertices, {} edges, pool {}{shard_note}, {} deltas) \
-                 in {:.2}s -> {}",
+                "built index {} ({} vertices, {} edges, pool {} [{} layout]{shard_note}, \
+                 {} deltas) in {:.2}s -> {}",
                 artifact.meta.graph_id,
                 artifact.meta.num_vertices,
                 artifact.meta.num_edges,
                 artifact.meta.pool_size,
+                artifact.pool_layout(),
                 artifact.log.len(),
                 started.elapsed().as_secs_f64(),
                 out
@@ -149,14 +152,21 @@ fn run(command: Command) -> Result<(), Box<dyn std::error::Error>> {
             slow_micros,
             repl_addr,
             follow,
+            pool_layout,
         } => {
             let started = std::time::Instant::now();
-            let artifact = IndexArtifact::load(&index)?;
+            let mut artifact = IndexArtifact::load(&index)?;
+            if let Some(layout) = pool_layout {
+                artifact.convert_pool_layout(layout);
+            }
             eprintln!(
-                "loaded index {} ({} vertices, pool {}, epoch {}) in {:.0}ms",
+                "loaded index {} ({} vertices, pool {} [{} layout, {} resident bytes], \
+                 epoch {}) in {:.0}ms",
                 artifact.meta.graph_id,
                 artifact.meta.num_vertices,
                 artifact.meta.pool_size,
+                artifact.pool_layout(),
+                artifact.oracle.pool_resident_bytes(),
                 artifact.epoch(),
                 started.elapsed().as_secs_f64() * 1e3
             );

@@ -301,6 +301,10 @@ pub enum Response {
         uptime_secs: u64,
         /// Lifetime requests split by request type.
         requests_by_type: RequestTypeCounts,
+        /// Bytes of process memory the pool store keeps resident.
+        pool_resident_bytes: u64,
+        /// Active pool-store layout label (`raw`, `compressed`, `tiered`).
+        pool_layout: String,
     },
     /// An observability snapshot (answer to [`Request::Metrics`]). Like
     /// `Stats`, deliberately volatile.
@@ -590,6 +594,8 @@ impl From<crate::service::ServiceStats> for Response {
             compactions: s.compactions,
             uptime_secs: s.uptime_secs,
             requests_by_type: s.requests_by_type,
+            pool_resident_bytes: s.pool_resident_bytes,
+            pool_layout: s.pool_layout,
         }
     }
 }
@@ -966,6 +972,8 @@ mod tests {
                 stats: 1,
                 ..RequestTypeCounts::default()
             },
+            pool_resident_bytes: 81_920,
+            pool_layout: "compressed".to_string(),
         };
         let back: Response = decode(&encode(&stats).unwrap()).unwrap();
         assert_eq!(back, stats);

@@ -314,6 +314,8 @@ mod tests {
                 compactions: 0,
                 uptime_secs: 0,
                 requests_by_type: RequestTypeCounts::default(),
+                pool_resident_bytes: 0,
+                pool_layout: "raw".to_string(),
                 shards: Vec::new(),
             }
         }

@@ -329,8 +329,27 @@ pub struct ServiceStats {
     pub uptime_secs: u64,
     /// Lifetime requests split by request type (summed over shards).
     pub requests_by_type: RequestTypeCounts,
+    /// Bytes of process memory the pool store keeps resident (summed over
+    /// shards): list directories, skip headers, hot lists and overlays — a
+    /// tiered store's cold file bytes are excluded.
+    pub pool_resident_bytes: u64,
+    /// Active pool-store layout label (`raw`, `compressed`, `tiered`;
+    /// `mixed` when shards disagree).
+    pub pool_layout: String,
     /// Per-shard epoch reports (empty for unsharded backends).
     pub shards: Vec<EpochReport>,
+}
+
+impl ServiceStats {
+    /// Resident pool bytes per RR set — the storage engine's headline
+    /// figure (`0.0` for an empty pool).
+    #[must_use]
+    pub fn pool_bytes_per_set(&self) -> f64 {
+        if self.pool_size == 0 {
+            return 0.0;
+        }
+        self.pool_resident_bytes as f64 / self.pool_size as f64
+    }
 }
 
 /// One sampled counter or other scalar `u64` metric.

@@ -700,6 +700,10 @@ impl<S: InfluenceService + Send> InfluenceService for ShardedService<S> {
                     // The group has served as long as its oldest member.
                     m.uptime_secs = m.uptime_secs.max(stats.uptime_secs);
                     m.requests_by_type = m.requests_by_type.merged(&stats.requests_by_type);
+                    m.pool_resident_bytes += stats.pool_resident_bytes;
+                    if m.pool_layout != stats.pool_layout {
+                        m.pool_layout = "mixed".to_string();
+                    }
                 }
             }
         }

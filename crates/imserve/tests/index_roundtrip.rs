@@ -26,11 +26,22 @@ fn arb_influence_graph() -> impl Strategy<Value = InfluenceGraph> {
     })
 }
 
-/// Strategy: a complete artifact with a small pool.
+/// Strategy: a complete artifact with a small pool, in a random pool-store
+/// layout (so the framing properties cover the `POOL` and `PCMP` sections
+/// alike).
 fn arb_artifact() -> impl Strategy<Value = IndexArtifact> {
-    (arb_influence_graph(), 1usize..200, 0u64..1000).prop_map(|(graph, pool, seed)| {
-        IndexArtifact::build("prop-graph", "prop-model", graph, pool, seed)
-    })
+    (arb_influence_graph(), 1usize..200, 0u64..1000, 0usize..3).prop_map(
+        |(graph, pool, seed, layout)| {
+            let layout = [
+                im_core::PoolLayout::Raw,
+                im_core::PoolLayout::Compressed,
+                im_core::PoolLayout::Tiered,
+            ][layout];
+            let mut artifact = IndexArtifact::build("prop-graph", "prop-model", graph, pool, seed);
+            artifact.convert_pool_layout(layout);
+            artifact
+        },
+    )
 }
 
 proptest! {
@@ -92,7 +103,7 @@ fn loading_cannot_resample_the_pool() {
         assert_eq!(second.oracle.estimate(&seeds), reference);
     }
     // The pool is carried verbatim: posting lists match the built oracle's.
-    assert_eq!(first.oracle.vertex_to_sets(), built.oracle.vertex_to_sets());
+    assert_eq!(first.oracle.to_bytes(), built.oracle.to_bytes());
 }
 
 #[test]
@@ -237,6 +248,178 @@ fn inconsistent_snapshot_watermarks_are_rejected() {
             assert!(reason.contains("snapshot section"), "{reason}");
         }
         other => panic!("forged watermark must be rejected, got {other:?}"),
+    }
+}
+
+/// A version-4 artifact (raw `POOL` section, `SNAP` watermark, no `PCMP`)
+/// migrates to version 5 through a plain load/save round-trip, and converting
+/// its pool to the compressed layout changes the persisted section without
+/// changing a single answer.
+#[test]
+fn version_four_artifacts_migrate_to_version_five() {
+    use im_core::PoolLayout;
+    use imgraph::binio::{self, influence_graph_to_bytes, BinWriter};
+    use imgraph::GraphDelta;
+    use imserve::index::{build_dataset_index_with_deltas, INDEX_MAGIC};
+
+    let deltas = vec![GraphDelta::InsertEdge {
+        source: 2,
+        target: 20,
+        probability: 0.4,
+    }];
+    let reference = build_dataset_index_with_deltas("karate", "uc0.1", 1_500, 13, &deltas).unwrap();
+
+    // The exact byte layout a PR-9 (version 4) whole-pool `imserve build`
+    // produced: META/GRPH/POOL/DLTA/SNAP, raw pool, no PCMP section.
+    let mut w = BinWriter::new(INDEX_MAGIC, 4);
+    w.section(
+        *b"META",
+        serde_json::to_string(&reference.meta).unwrap().as_bytes(),
+    );
+    w.section(*b"GRPH", &influence_graph_to_bytes(&reference.graph));
+    w.section(*b"POOL", &reference.oracle.to_bytes());
+    w.section(*b"DLTA", &reference.log.encode_payload());
+    let mut snap = Vec::with_capacity(16);
+    binio::put_u64(&mut snap, 0);
+    binio::put_u64(&mut snap, reference.epoch());
+    w.section(*b"SNAP", &snap);
+    let v4_bytes = w.finish();
+
+    let migrated = IndexArtifact::from_bytes(&v4_bytes).expect("v4 stays readable");
+    assert_eq!(migrated.pool_layout(), PoolLayout::Raw);
+    assert_eq!(migrated.epoch(), 1);
+    assert_eq!(migrated.oracle.to_bytes(), reference.oracle.to_bytes());
+
+    // Re-saving stamps the current version; the raw layout keeps the POOL
+    // section, so the body differs only in the version field.
+    let v5_bytes = migrated.to_bytes();
+    assert_eq!(
+        u32::from_le_bytes(v5_bytes[4..8].try_into().unwrap()),
+        imserve::index::INDEX_VERSION
+    );
+    let reloaded = IndexArtifact::from_bytes(&v5_bytes).expect("v5 round trip");
+    assert_eq!(reloaded.oracle.to_bytes(), migrated.oracle.to_bytes());
+    assert_eq!(reloaded.to_bytes(), v5_bytes, "re-encode is stable");
+
+    // Converting the migrated pool to the compressed layout swaps the
+    // persisted section (POOL -> PCMP) and nothing else observable.
+    let mut compressed = reloaded;
+    compressed.convert_pool_layout(PoolLayout::Compressed);
+    let compressed_bytes = compressed.to_bytes();
+    assert_ne!(compressed_bytes, v5_bytes);
+    let back = IndexArtifact::from_bytes(&compressed_bytes).expect("compressed round trip");
+    assert_eq!(back.pool_layout(), PoolLayout::Compressed);
+    assert_eq!(back.oracle.to_bytes(), reference.oracle.to_bytes());
+    assert_eq!(back.epoch(), migrated.epoch());
+    for seeds in [vec![0u32], vec![2, 20], vec![0, 1, 2, 3]] {
+        assert_eq!(
+            back.oracle.estimate(&seeds),
+            reference.oracle.estimate(&seeds)
+        );
+    }
+    assert_eq!(back.to_bytes(), compressed_bytes, "re-encode is stable");
+}
+
+/// A tiered artifact loaded from disk demotes cold pool blocks onto the
+/// artifact file: far fewer bytes stay resident than for the compressed
+/// in-memory load of the same artifact, and every answer is bit-identical to
+/// the raw build's.
+#[test]
+fn tiered_artifacts_load_cold_and_answer_identically() {
+    use im_core::PoolLayout;
+
+    let graph = InfluenceGraph::new(
+        DiGraph::from_edges(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (2, 3),
+                (3, 0),
+                (4, 5),
+                (5, 6),
+                (6, 7),
+                (7, 4),
+            ],
+        ),
+        vec![0.6; 8],
+    );
+    let raw = IndexArtifact::build("tier-check", "uc0.6", graph, 6_000, 23);
+    let mut tiered = raw.clone();
+    tiered.convert_pool_layout(PoolLayout::Tiered);
+
+    let path = std::env::temp_dir().join(format!(
+        "imserve-tiered-roundtrip-{}.imx",
+        std::process::id()
+    ));
+    tiered.save(path.to_str().unwrap()).unwrap();
+    let loaded = IndexArtifact::load(path.to_str().unwrap()).unwrap();
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(loaded.pool_layout(), PoolLayout::Tiered);
+    // Cold demotion happened: the tiered load keeps less resident than the
+    // fully-resident in-memory pool of either other layout.
+    assert!(
+        loaded.oracle.pool_resident_bytes() < tiered.oracle.pool_resident_bytes(),
+        "tiered load must shed resident bytes ({} vs {})",
+        loaded.oracle.pool_resident_bytes(),
+        tiered.oracle.pool_resident_bytes()
+    );
+    // ...and answers stay bit-identical to the raw reference, pool bytes
+    // included.
+    assert_eq!(loaded.oracle.to_bytes(), raw.oracle.to_bytes());
+    for seeds in [vec![0u32], vec![1, 5], vec![0, 2, 4, 6]] {
+        assert_eq!(loaded.oracle.estimate(&seeds), raw.oracle.estimate(&seeds));
+    }
+}
+
+/// Forged pool sections are rejected: both `POOL` and `PCMP` at once, and a
+/// `PCMP` section smuggled into a pre-v5 artifact.
+#[test]
+fn conflicting_or_backdated_pool_sections_are_rejected() {
+    use im_core::PoolLayout;
+    use imgraph::binio::fnv1a64;
+
+    let artifact = IndexArtifact::build(
+        "pcmp-check",
+        "uc0.5",
+        InfluenceGraph::new(DiGraph::from_edges(3, &[(0, 1), (1, 2)]), vec![0.5, 0.5]),
+        50,
+        3,
+    );
+    let mut compressed = artifact.clone();
+    compressed.convert_pool_layout(PoolLayout::Compressed);
+
+    // Splice the PCMP payload of the compressed encoding into the raw
+    // artifact as an *extra* section (before the checksum), re-stamping the
+    // checksum so the one-pool-section rule is what fires.
+    let raw_bytes = artifact.to_bytes();
+    let pcmp_payload = artifact.oracle.encode_pcmp_payload(PoolLayout::Compressed);
+    let mut both = raw_bytes[..raw_bytes.len() - 8].to_vec();
+    both.extend_from_slice(b"PCMP");
+    both.extend_from_slice(&(pcmp_payload.len() as u64).to_le_bytes());
+    both.extend_from_slice(&pcmp_payload);
+    let sum = fnv1a64(&both);
+    both.extend_from_slice(&sum.to_le_bytes());
+    match IndexArtifact::from_bytes(&both) {
+        Err(BinError::Corrupt(reason)) => {
+            assert!(reason.contains("both POOL and PCMP"), "{reason}");
+        }
+        other => panic!("double pool section must be rejected, got {other:?}"),
+    }
+
+    // Stamp a compressed (PCMP-carrying) artifact back to version 4: the
+    // format predates the section, so the combination must be refused.
+    let mut backdated = compressed.to_bytes();
+    backdated[4..8].copy_from_slice(&4u32.to_le_bytes());
+    let len = backdated.len();
+    let sum = fnv1a64(&backdated[..len - 8]);
+    backdated[len - 8..].copy_from_slice(&sum.to_le_bytes());
+    match IndexArtifact::from_bytes(&backdated) {
+        Err(BinError::Corrupt(reason)) => {
+            assert!(reason.contains("version 5"), "{reason}");
+        }
+        other => panic!("backdated PCMP must be rejected, got {other:?}"),
     }
 }
 
